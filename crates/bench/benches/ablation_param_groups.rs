@@ -1,0 +1,64 @@
+//! Criterion bench for the §III ablation and DESIGN.md §5 design choices:
+//! the *latency* side of adapting different parameter groups and of taking
+//! multiple entropy-descent steps (the accuracy side is
+//! `cargo run -p ld-bench --bin ablation_params`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ld_adapt::{LdBnAdaptConfig, LdBnAdapter};
+use ld_nn::BnStatsPolicy;
+use ld_tensor::rng::SeededRng;
+use ld_ufld::{UfldConfig, UfldModel};
+use std::time::Duration;
+
+fn bench_steps_per_batch(c: &mut Criterion) {
+    let cfg = UfldConfig::tiny(2);
+    let mut group = c.benchmark_group("ablation/steps_per_batch");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for steps in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
+            let mut model = UfldModel::new(&cfg, 5);
+            let mut acfg = LdBnAdaptConfig::paper(2); // bs 2 exercises the re-forward path
+            acfg.steps_per_batch = steps;
+            let mut adapter = LdBnAdapter::new(acfg, &mut model);
+            let frame = SeededRng::new(6).uniform_tensor(
+                &[3, cfg.input_height, cfg.input_width],
+                0.0,
+                1.0,
+            );
+            b.iter(|| {
+                adapter.process_frame(&mut model, &frame);
+                adapter.process_frame(&mut model, &frame)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stats_policy(c: &mut Criterion) {
+    let cfg = UfldConfig::tiny(2);
+    let mut group = c.benchmark_group("ablation/bn_stats_policy");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, policy) in [
+        ("running", BnStatsPolicy::Running),
+        ("batch", BnStatsPolicy::Batch),
+        ("batch_ema", BnStatsPolicy::BatchEma { momentum: 0.1 }),
+    ] {
+        group.bench_function(name, |b| {
+            let mut model = UfldModel::new(&cfg, 7);
+            let mut adapter = LdBnAdapter::new(
+                LdBnAdaptConfig::paper(1).with_stats_policy(policy),
+                &mut model,
+            );
+            let frame = SeededRng::new(8).uniform_tensor(
+                &[3, cfg.input_height, cfg.input_width],
+                0.0,
+                1.0,
+            );
+            b.iter(|| adapter.process_frame(&mut model, &frame));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps_per_batch, bench_stats_policy);
+criterion_main!(benches);

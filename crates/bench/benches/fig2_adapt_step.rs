@@ -1,0 +1,61 @@
+//! Criterion bench behind **Figure 2's** method column: wall-clock cost of
+//! one LD-BN-ADAPT `process_frame` (inference + adaptation) on this host,
+//! for adaptation batch sizes 1/2/4 and both parameter-group ablations.
+//!
+//! Absolute times are host-CPU times of the scaled model (the Orin numbers
+//! come from `fig3_latency`); the *relative* costs — bs=1 cheapest per
+//! frame, BN-only cheaper than full — mirror the paper's argument.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ld_adapt::{LdBnAdaptConfig, LdBnAdapter};
+use ld_nn::ParamFilter;
+use ld_tensor::rng::SeededRng;
+use ld_ufld::{UfldConfig, UfldModel};
+use std::time::Duration;
+
+fn bench_batch_sizes(c: &mut Criterion) {
+    let cfg = UfldConfig::tiny(2);
+    let mut group = c.benchmark_group("fig2/adapt_frame_by_batch_size");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for bs in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |b, &bs| {
+            let mut model = UfldModel::new(&cfg, 1);
+            let mut adapter = LdBnAdapter::new(LdBnAdaptConfig::paper(bs), &mut model);
+            let frame = SeededRng::new(2).uniform_tensor(
+                &[3, cfg.input_height, cfg.input_width],
+                0.0,
+                1.0,
+            );
+            b.iter(|| adapter.process_frame(&mut model, &frame));
+        });
+    }
+    group.finish();
+}
+
+fn bench_param_groups(c: &mut Criterion) {
+    let cfg = UfldConfig::tiny(2);
+    let mut group = c.benchmark_group("fig2/adapt_frame_by_param_group");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, filter) in [
+        ("bn_only", ParamFilter::BnOnly),
+        ("conv_only", ParamFilter::ConvOnly),
+        ("fc_only", ParamFilter::FcOnly),
+        ("all", ParamFilter::All),
+    ] {
+        group.bench_function(name, |b| {
+            let mut model = UfldModel::new(&cfg, 1);
+            let mut adapter =
+                LdBnAdapter::new(LdBnAdaptConfig::paper(1).with_filter(filter), &mut model);
+            let frame = SeededRng::new(3).uniform_tensor(
+                &[3, cfg.input_height, cfg.input_width],
+                0.0,
+                1.0,
+            );
+            b.iter(|| adapter.process_frame(&mut model, &frame));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_sizes, bench_param_groups);
+criterion_main!(benches);

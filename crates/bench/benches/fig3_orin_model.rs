@@ -1,0 +1,47 @@
+//! Criterion bench behind **Figure 3**: evaluation cost of the Jetson Orin
+//! roofline model (design-space sweeps are cheap enough to embed in
+//! schedulers) and of the paper-scale cost extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ld_orin::{feasibility, AdaptCostModel, PowerMode};
+use ld_ufld::{cost, Backbone, UfldConfig};
+use std::time::Duration;
+
+fn bench_cost_walk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3/cost_walk");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for backbone in [Backbone::ResNet18, Backbone::ResNet34] {
+        let cfg = UfldConfig::paper(backbone, 4);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(backbone.short_name()),
+            &cfg,
+            |b, cfg| b.iter(|| cost::model_costs(cfg)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_frame_latency_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3/frame_latency_eval");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let model = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
+    group.bench_function("r18_all_modes", |b| {
+        b.iter(|| {
+            PowerMode::ALL
+                .iter()
+                .map(|&m| model.ld_bn_adapt_frame(m, 1).total_ms())
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_design_space(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3/design_space");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function("feasibility_4lanes", |b| b.iter(|| feasibility(4)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_walk, bench_frame_latency_eval, bench_full_design_space);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Regenerates the **§III ablation**: "In addition to BN-based adaptation,
+//! we also tested convolutional and fully-connected adaptation but found
+//! the BN-based approach to be the most effective."
+//!
+//! Also sweeps the design decisions called out in DESIGN.md §5: the BN
+//! statistics policy and the number of descent steps per batch.
+//!
+//! ```text
+//! cargo run --release -p ld-bench --bin ablation_params            # ≈ 8 min
+//! cargo run --release -p ld-bench --bin ablation_params -- --quick # ≈ 1 min
+//! ```
+
+use ld_adapt::{
+    evaluate_frozen, frame_spec_for, run_online, ExperimentConfig, LdBnAdaptConfig, PretrainedCell,
+};
+use ld_bench::{quick_mode, save_results, Table};
+use ld_carlane::{Benchmark, FrameStream};
+use ld_nn::{BnStatsPolicy, ParamFilter};
+use ld_ufld::Backbone;
+
+fn main() {
+    let quick = quick_mode();
+    let mut exp = ExperimentConfig::scaled();
+    if quick {
+        exp.train.steps = 60;
+        exp.train.dataset_size = 64;
+        exp.eval_frames = 40;
+    }
+    println!("== §III ablation: which parameter group to adapt (MoLane, R-18) ==\n");
+
+    let cell = PretrainedCell::train(Benchmark::MoLane, Backbone::ResNet18, &exp, false);
+    let spec = frame_spec_for(cell.config());
+    let stream = FrameStream::target(Benchmark::MoLane, spec, exp.eval_frames, exp.eval_seed);
+
+    // Parameter-group ablation (all with batch stats + 1 step, as in §III).
+    let mut t1 = Table::new(&["adapted group", "trainable params", "accuracy %"]);
+    for (name, filter) in [
+        ("none (frozen)", ParamFilter::Frozen),
+        ("BN γ/β (paper)", ParamFilter::BnOnly),
+        ("conv weights", ParamFilter::ConvOnly),
+        ("FC weights", ParamFilter::FcOnly),
+    ] {
+        let mut model = cell.fresh_model();
+        let result = if matches!(filter, ParamFilter::Frozen) {
+            evaluate_frozen(&mut model, &stream)
+        } else {
+            run_online(
+                &mut model,
+                LdBnAdaptConfig::paper(1).with_lr(exp.adapt_lr).with_filter(filter),
+                &stream,
+            )
+        };
+        let trainable = {
+            let mut m = cell.fresh_model();
+            ld_ufld::filter_trainable(&mut m, filter)
+        };
+        t1.row(&[name.into(), trainable.to_string(), format!("{:.2}", result.report.percent())]);
+        eprintln!("  {name}: {:.2}%", result.report.percent());
+    }
+    let r1 = t1.render();
+    println!("{r1}");
+
+    // BN statistics-policy ablation (DESIGN.md §5.1).
+    println!("== ablation: BN statistics policy (bs = 1) ==\n");
+    let mut t2 = Table::new(&["stats policy", "accuracy %"]);
+    for (name, policy) in [
+        ("running (frozen stats)", BnStatsPolicy::Running),
+        ("batch (paper)", BnStatsPolicy::Batch),
+        ("batch + EMA(0.1)", BnStatsPolicy::BatchEma { momentum: 0.1 }),
+    ] {
+        let mut model = cell.fresh_model();
+        let result = run_online(
+            &mut model,
+            LdBnAdaptConfig::paper(1).with_lr(exp.adapt_lr).with_stats_policy(policy),
+            &stream,
+        );
+        t2.row(&[name.into(), format!("{:.2}", result.report.percent())]);
+        eprintln!("  {name}: {:.2}%", result.report.percent());
+    }
+    let r2 = t2.render();
+    println!("{r2}");
+
+    // Steps-per-batch ablation (DESIGN.md §5.2): more steps cost latency.
+    println!("== ablation: entropy-descent steps per batch (bs = 1) ==\n");
+    let mut t3 = Table::new(&["steps/batch", "accuracy %", "relative adapt cost"]);
+    for steps in [1usize, 2, 4] {
+        let mut model = cell.fresh_model();
+        let mut cfg = LdBnAdaptConfig::paper(1).with_lr(exp.adapt_lr);
+        cfg.steps_per_batch = steps;
+        let result = run_online(&mut model, cfg, &stream);
+        t3.row(&[
+            steps.to_string(),
+            format!("{:.2}", result.report.percent()),
+            format!("≈{}×", steps),
+        ]);
+        eprintln!("  {steps} steps: {:.2}%", result.report.percent());
+    }
+    let r3 = t3.render();
+    println!("{r3}");
+
+    save_results("ablation_params.txt", &format!("{r1}\n{r2}\n{r3}"));
+}

@@ -1,0 +1,81 @@
+//! Regenerates **Figure 3**: per-frame latency (inference followed by
+//! LD-BN-ADAPT adaptation, batch size 1) of paper-scale UFLD R-18/R-34 on
+//! the Jetson AGX Orin roofline model, across power modes, against the
+//! 30 FPS (33.3 ms) and 18 FPS (55.5 ms) deadlines.
+//!
+//! ```text
+//! cargo run --release -p ld-bench --bin fig3_latency
+//! ```
+
+use ld_bench::{paper, save_results, Table};
+use ld_orin::{feasibility, AdaptCostModel, Deadline, PowerMode};
+use ld_ufld::{Backbone, UfldConfig};
+
+fn main() {
+    println!("== Figure 3: per-frame latency on Jetson AGX Orin (roofline model) ==");
+    println!("paper-scale UFLD: 288×800 input, 100+1 cells, 56 rows, 4 lanes; bs = 1\n");
+
+    let mut table = Table::new(&[
+        "backbone",
+        "power mode",
+        "infer ms",
+        "adapt ms",
+        "total ms",
+        "energy mJ",
+        "30 FPS (≤33.3)",
+        "18 FPS (≤55.5)",
+    ]);
+    for backbone in [Backbone::ResNet18, Backbone::ResNet34] {
+        let cfg = UfldConfig::paper(backbone, 4);
+        let model = AdaptCostModel::paper_scale(&cfg);
+        for mode in PowerMode::ALL {
+            let f = model.ld_bn_adapt_frame(mode, 1);
+            let total = f.total_ms();
+            table.row(&[
+                backbone.to_string(),
+                mode.to_string(),
+                format!("{:.1}", f.preprocess_ms + f.inference_ms),
+                format!("{:.1}", f.adapt_forward_ms + f.backward_ms + f.update_ms),
+                format!("{total:.1}"),
+                format!("{:.0}", model.energy_mj(mode, 1)),
+                if Deadline::FPS30.met_by(total) { "MEETS" } else { "misses" }.into(),
+                if Deadline::FPS18.met_by(total) { "MEETS" } else { "misses" }.into(),
+            ]);
+        }
+    }
+    let rendered = table.render();
+    println!("{rendered}");
+
+    // The feasible sets the paper reports in §IV.
+    let points = feasibility(4);
+    let set = |pred: &dyn Fn(&ld_orin::DesignPoint) -> bool| -> Vec<String> {
+        points
+            .iter()
+            .filter(|p| pred(p))
+            .map(|p| format!("{}@{}", p.backbone, p.mode))
+            .collect()
+    };
+    let meets30 = set(&|p| p.meets_30fps);
+    let meets18 = set(&|p| p.meets_18fps);
+    let mut summary = String::new();
+    summary.push_str(&format!(
+        "meets 30 FPS ({} ms): {meets30:?}\n  paper: [\"R-18@60W\"]\n",
+        paper::BUDGET_30FPS_MS
+    ));
+    summary.push_str(&format!(
+        "meets 18 FPS ({} ms): {meets18:?}\n  paper: [\"R-18@60W\", \"R-18@50W\", \"R-34@60W\"]\n",
+        paper::BUDGET_18FPS_MS
+    ));
+    println!("{summary}");
+
+    // Batch-size overhead note (why other batch sizes were not considered
+    // for latency: bs=1 is both most accurate and cheapest per frame).
+    let m18 = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
+    let mut bs_table = Table::new(&["adapt bs", "worst-case frame ms @60W"]);
+    for bs in [1usize, 2, 4] {
+        bs_table.row(&[bs.to_string(), format!("{:.1}", m18.ld_bn_adapt_frame(PowerMode::MaxN60, bs).total_ms())]);
+    }
+    let bs_rendered = bs_table.render();
+    println!("{bs_rendered}");
+    save_results("fig3_latency.txt", &format!("{rendered}\n{summary}\n{bs_rendered}"));
+}

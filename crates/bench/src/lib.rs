@@ -1,0 +1,129 @@
+//! Shared infrastructure for the figure-regeneration binaries.
+//!
+//! Each binary regenerates one table/figure of the paper:
+//!
+//! | target | paper artefact |
+//! |---|---|
+//! | `fig2_accuracy` | Fig. 2 — accuracy per benchmark × backbone × method |
+//! | `fig3_latency` | Fig. 3 — per-frame latency on Orin per power mode |
+//! | `text_stats` | §III/§II numbers — BN param share, SOTA epoch time |
+//! | `ablation_params` | §III ablation — BN vs conv vs FC adaptation |
+//!
+//! Run them with `cargo run --release -p ld-bench --bin <name>`; pass
+//! `--quick` for a reduced-size smoke run.
+
+use std::fmt::Write as _;
+
+/// Paper-reported reference numbers (from the text of §IV).
+pub mod paper {
+    /// CARLANE SOTA best accuracy per benchmark `(MoLane, TuLane, MuLane)`
+    /// with the best backbone noted in the text.
+    pub const SOTA_BEST: [(f64, &str); 3] = [(93.94, "R-18"), (93.29, "R-34"), (91.57, "R-18")];
+    /// LD-BN-ADAPT best accuracy per benchmark, ditto.
+    pub const LDBN_BEST: [(f64, &str); 3] = [(92.68, "R-18"), (92.70, "R-18"), (91.19, "R-34")];
+    /// Average of the SOTA bests.
+    pub const SOTA_AVG: f64 = 92.93;
+    /// Average of the LD-BN-ADAPT bests.
+    pub const LDBN_AVG: f64 = 92.19;
+    /// The strict real-time budget (30 FPS camera).
+    pub const BUDGET_30FPS_MS: f64 = 33.3;
+    /// The relaxed budget (18 FPS, Audi A8 L3).
+    pub const BUDGET_18FPS_MS: f64 = 55.5;
+}
+
+/// `true` when `--quick` (or `LD_BENCH_QUICK=1`) was passed — shrinks the
+/// workloads so the binary finishes in well under a minute.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("LD_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// A minimal fixed-width table printer for terminal output.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "Table: row/header length mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "| {:w$} ", c, w = widths[i]);
+            }
+            out.push_str("|\n");
+        };
+        line(&mut out, &self.header);
+        for w in &widths {
+            let _ = write!(&mut out, "|{:-<w$}", "", w = w + 2);
+        }
+        out.push_str("|\n");
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Writes experiment output under `results/` (best effort, also printed).
+pub fn save_results(name: &str, contents: &str) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = std::fs::write(dir.join(name), contents);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".into(), "1.00".into()]);
+        t.row(&["longer".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn paper_averages_are_consistent() {
+        let s: f64 = paper::SOTA_BEST.iter().map(|(v, _)| v).sum::<f64>() / 3.0;
+        let l: f64 = paper::LDBN_BEST.iter().map(|(v, _)| v).sum::<f64>() / 3.0;
+        assert!((s - paper::SOTA_AVG).abs() < 0.01, "sota avg {s}");
+        assert!((l - paper::LDBN_AVG).abs() < 0.01, "ldbn avg {l}");
+    }
+}

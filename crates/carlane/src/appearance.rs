@@ -1,0 +1,178 @@
+//! Per-domain appearance models.
+//!
+//! The CARLANE benchmarks' domain gap is an *appearance* gap: the same road
+//! geometry photographs completely differently in the CARLA simulator, on an
+//! indoor model-vehicle track (MoLane's target) and on sunlit US highways
+//! (TuLane's target = TuSimple). [`Appearance`] captures the low-level image
+//! statistics that shift — illumination, contrast, colour balance, sensor
+//! noise, vignetting, glare, road texture — which are precisely the
+//! statistics batch-norm layers absorb, making this the mechanism that
+//! LD-BN-ADAPT corrects.
+
+use ld_tensor::rng::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// Concrete appearance parameters for one rendered frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Appearance {
+    /// Background (sky/wall) RGB colour.
+    pub sky: [f32; 3],
+    /// Road surface base albedo (grey level).
+    pub road_albedo: f32,
+    /// Lane-marking brightness.
+    pub line_brightness: f32,
+    /// Global contrast multiplier around 0.5.
+    pub contrast: f32,
+    /// Additive brightness shift.
+    pub brightness: f32,
+    /// Per-channel colour tint.
+    pub tint: [f32; 3],
+    /// Std-dev of additive Gaussian sensor noise.
+    pub noise_std: f32,
+    /// Vignette strength (0 = none).
+    pub vignette: f32,
+    /// Horizontal 3-tap blur passes (0 = sharp).
+    pub blur_passes: usize,
+    /// Road texture amplitude (procedural asphalt/crack noise).
+    pub texture_amp: f32,
+    /// Number of glare blobs (sun reflections, 0 = none).
+    pub glare_blobs: usize,
+}
+
+/// Ranges from which per-frame appearance is jittered.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppearanceRanges {
+    base: Appearance,
+    /// Multiplicative jitter half-range applied to scalar fields.
+    jitter: f32,
+    /// Probability a frame receives glare (when the base allows it).
+    glare_prob: f32,
+}
+
+impl AppearanceRanges {
+    /// Clean, saturated CARLA-simulator look (the **source** domain).
+    pub fn carla_source() -> Self {
+        AppearanceRanges {
+            base: Appearance {
+                sky: [0.55, 0.68, 0.88],
+                road_albedo: 0.34,
+                line_brightness: 0.95,
+                contrast: 1.0,
+                brightness: 0.0,
+                tint: [1.0, 1.0, 1.0],
+                noise_std: 0.004,
+                vignette: 0.0,
+                blur_passes: 0,
+                texture_amp: 0.012,
+                glare_blobs: 0,
+            },
+            jitter: 0.06,
+            glare_prob: 0.0,
+        }
+    }
+
+    /// Indoor model-vehicle track (MoLane's real-world **target**): dark
+    /// floor, warm light, vignetting, mild blur.
+    pub fn molane_target() -> Self {
+        AppearanceRanges {
+            base: Appearance {
+                sky: [0.42, 0.38, 0.34],
+                road_albedo: 0.17,
+                line_brightness: 0.78,
+                contrast: 0.82,
+                brightness: -0.05,
+                tint: [1.12, 1.0, 0.84],
+                noise_std: 0.022,
+                vignette: 0.38,
+                blur_passes: 1,
+                texture_amp: 0.03,
+                glare_blobs: 0,
+            },
+            jitter: 0.15,
+            glare_prob: 0.15,
+        }
+    }
+
+    /// Sunlit US highway (TuLane's **target** = TuSimple): washed-out
+    /// contrast, sensor noise, cracks, glare.
+    pub fn tulane_target() -> Self {
+        AppearanceRanges {
+            base: Appearance {
+                sky: [0.76, 0.80, 0.85],
+                road_albedo: 0.46,
+                line_brightness: 0.88,
+                contrast: 0.72,
+                brightness: 0.09,
+                tint: [1.05, 1.01, 0.93],
+                noise_std: 0.035,
+                vignette: 0.10,
+                blur_passes: 0,
+                texture_amp: 0.05,
+                glare_blobs: 2,
+            },
+            jitter: 0.18,
+            glare_prob: 0.5,
+        }
+    }
+
+    /// Samples a frame's concrete appearance.
+    pub fn sample(&self, rng: &mut SeededRng) -> Appearance {
+        let j = |rng: &mut SeededRng, x: f32| x * (1.0 + rng.uniform(-self.jitter, self.jitter));
+        let mut a = self.base.clone();
+        a.sky = [j(rng, a.sky[0]), j(rng, a.sky[1]), j(rng, a.sky[2])];
+        a.road_albedo = j(rng, a.road_albedo);
+        a.line_brightness = j(rng, a.line_brightness).clamp(0.0, 1.0);
+        a.contrast = j(rng, a.contrast);
+        a.brightness += rng.uniform(-self.jitter, self.jitter) * 0.3;
+        a.tint = [j(rng, a.tint[0]), j(rng, a.tint[1]), j(rng, a.tint[2])];
+        a.noise_std = j(rng, a.noise_std).max(0.0);
+        a.vignette = j(rng, a.vignette).max(0.0);
+        a.texture_amp = j(rng, a.texture_amp).max(0.0);
+        a.glare_blobs = if rng.chance(self.glare_prob) { self.base.glare_blobs.max(1) } else { 0 };
+        a
+    }
+
+    /// The un-jittered base appearance.
+    pub fn base(&self) -> &Appearance {
+        &self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_differ_in_key_statistics() {
+        let carla = AppearanceRanges::carla_source();
+        let mo = AppearanceRanges::molane_target();
+        let tu = AppearanceRanges::tulane_target();
+        // MoLane is darker than CARLA; TuLane is brighter/washed out.
+        assert!(mo.base().road_albedo < carla.base().road_albedo);
+        assert!(tu.base().road_albedo > carla.base().road_albedo);
+        assert!(mo.base().contrast < carla.base().contrast);
+        assert!(tu.base().noise_std > carla.base().noise_std);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_jittered() {
+        let r = AppearanceRanges::tulane_target();
+        let a = r.sample(&mut SeededRng::new(3));
+        let b = r.sample(&mut SeededRng::new(3));
+        assert_eq!(a, b);
+        let c = r.sample(&mut SeededRng::new(4));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sampled_values_stay_physical() {
+        let r = AppearanceRanges::molane_target();
+        let mut rng = SeededRng::new(8);
+        for _ in 0..100 {
+            let a = r.sample(&mut rng);
+            assert!(a.noise_std >= 0.0);
+            assert!(a.line_brightness <= 1.0 && a.line_brightness >= 0.0);
+            assert!(a.vignette >= 0.0);
+        }
+    }
+}

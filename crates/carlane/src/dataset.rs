@@ -1,0 +1,212 @@
+//! Labeled frames and deterministic frame streams.
+//!
+//! A [`FrameStream`] plays the role of the paper's 30 FPS camera: it yields
+//! frames one by one, deterministically derived from a base seed, so that
+//! every adaptation method is evaluated on *exactly* the same pixels.
+
+use crate::domain::{Benchmark, Domain};
+use crate::render::render;
+use crate::scene::Scene;
+use crate::spec::FrameSpec;
+use ld_tensor::rng::{mix_seed, SeededRng};
+use ld_tensor::Tensor;
+
+/// One rendered frame with ground-truth labels.
+///
+/// The labels exist for *every* frame (the generator knows the geometry),
+/// but adaptation methods must not read them — they are consumed only by the
+/// evaluation harness. This mirrors the benchmark setting: target data is
+/// unlabeled for the adapter, labeled for the offline scorer.
+#[derive(Debug, Clone)]
+pub struct LabeledFrame {
+    /// RGB image `(3, H, W)` in `[0, 1]`.
+    pub image: Tensor,
+    /// Row-anchor labels `(row_anchors × num_lanes)`.
+    pub labels: Vec<u32>,
+    /// Which domain rendered this frame.
+    pub domain: Domain,
+    /// Index within its stream.
+    pub index: usize,
+}
+
+/// A deterministic, seekable stream of frames from a benchmark split.
+#[derive(Debug, Clone)]
+pub struct FrameStream {
+    benchmark: Benchmark,
+    spec: FrameSpec,
+    seed: u64,
+    /// `true` = unlabeled-target split, `false` = labeled-source split.
+    target: bool,
+    len: usize,
+    next: usize,
+}
+
+impl FrameStream {
+    /// Creates the labeled **source** split (CARLA renders).
+    pub fn source(benchmark: Benchmark, spec: FrameSpec, len: usize, seed: u64) -> Self {
+        FrameStream { benchmark, spec, seed: mix_seed(seed, 0x50), target: false, len, next: 0 }
+    }
+
+    /// Creates the unlabeled **target** split (real-world-like renders).
+    pub fn target(benchmark: Benchmark, spec: FrameSpec, len: usize, seed: u64) -> Self {
+        FrameStream { benchmark, spec, seed: mix_seed(seed, 0x7A), target: true, len, next: 0 }
+    }
+
+    /// Stream length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the stream has zero frames.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The frame spec.
+    pub fn spec(&self) -> &FrameSpec {
+        &self.spec
+    }
+
+    /// The benchmark this stream samples.
+    pub fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    /// Renders frame `i` (pure function of `(seed, i)` — seekable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn frame(&self, i: usize) -> LabeledFrame {
+        assert!(i < self.len, "frame index {i} out of range {}", self.len);
+        let domain = if self.target {
+            self.benchmark.target_domain_for_frame(i)
+        } else {
+            self.benchmark.source_domain()
+        };
+        let mut geo_rng = SeededRng::new(mix_seed(self.seed, (i as u64) << 1));
+        let mut app_rng = SeededRng::new(mix_seed(self.seed, ((i as u64) << 1) | 1));
+        let scene = Scene::sample(self.benchmark.num_lanes(), &self.benchmark.geometry(), &mut geo_rng);
+        let appearance = domain.appearance().sample(&mut app_rng);
+        let image = render(&scene, &appearance, &self.spec, &mut app_rng);
+        let labels = scene.labels(&self.spec);
+        LabeledFrame { image, labels, domain, index: i }
+    }
+
+    /// Collects frames `[start, start+n)` into an NCHW batch plus labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the stream.
+    pub fn batch(&self, start: usize, n: usize) -> (Tensor, Vec<u32>) {
+        assert!(start + n <= self.len, "batch [{start}, {}) out of range {}", start + n, self.len);
+        let (h, w) = (self.spec.height, self.spec.width);
+        let mut images = Tensor::zeros(&[n, 3, h, w]);
+        let mut labels = Vec::with_capacity(n * self.spec.labels_per_frame());
+        for k in 0..n {
+            let f = self.frame(start + k);
+            images.image_mut(k).copy_from_slice(f.image.as_slice());
+            labels.extend_from_slice(&f.labels);
+        }
+        (images, labels)
+    }
+}
+
+impl Iterator for FrameStream {
+    type Item = LabeledFrame;
+
+    fn next(&mut self) -> Option<LabeledFrame> {
+        if self.next >= self.len {
+            return None;
+        }
+        let f = self.frame(self.next);
+        self.next += 1;
+        Some(f)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.len - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for FrameStream {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FrameSpec {
+        FrameSpec::new(64, 40, 16, 6, 2)
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_seekable() {
+        let s = FrameStream::target(Benchmark::MoLane, spec(), 10, 42);
+        let f3a = s.frame(3);
+        let f3b = s.frame(3);
+        assert_eq!(f3a.image.as_slice(), f3b.image.as_slice());
+        assert_eq!(f3a.labels, f3b.labels);
+        // Iterating also visits the same frames.
+        let collected: Vec<_> = s.clone().collect();
+        assert_eq!(collected.len(), 10);
+        assert_eq!(collected[3].image.as_slice(), f3a.image.as_slice());
+    }
+
+    #[test]
+    fn source_and_target_share_no_seed_stream() {
+        let src = FrameStream::source(Benchmark::MoLane, spec(), 4, 42);
+        let tgt = FrameStream::target(Benchmark::MoLane, spec(), 4, 42);
+        assert_ne!(src.frame(0).image.as_slice(), tgt.frame(0).image.as_slice());
+        assert_eq!(src.frame(0).domain, Domain::CarlaSource);
+        assert_eq!(tgt.frame(0).domain, Domain::ModelVehicle);
+    }
+
+    #[test]
+    fn mulane_target_alternates_domains() {
+        let spec4 = FrameSpec::new(64, 40, 16, 6, 4);
+        let s = FrameStream::target(Benchmark::MuLane, spec4, 6, 1);
+        let domains: Vec<Domain> = (0..6).map(|i| s.frame(i).domain).collect();
+        assert_eq!(
+            domains,
+            vec![
+                Domain::ModelVehicle,
+                Domain::Highway,
+                Domain::ModelVehicle,
+                Domain::Highway,
+                Domain::ModelVehicle,
+                Domain::Highway
+            ]
+        );
+    }
+
+    #[test]
+    fn batch_concatenates_frames() {
+        let s = FrameStream::source(Benchmark::MoLane, spec(), 8, 9);
+        let (images, labels) = s.batch(2, 3);
+        assert_eq!(images.shape_dims(), &[3, 3, 40, 64]);
+        assert_eq!(labels.len(), 3 * s.spec().labels_per_frame());
+        let f2 = s.frame(2);
+        assert_eq!(images.image(0), f2.image.as_slice());
+        assert_eq!(&labels[..f2.labels.len()], f2.labels.as_slice());
+    }
+
+    #[test]
+    fn labels_contain_visible_lanes() {
+        // At least some rows of some frames must label real lane cells
+        // (otherwise the benchmark would be vacuous).
+        let s = FrameStream::source(Benchmark::TuLane, FrameSpec::new(64, 40, 16, 6, 4), 5, 3);
+        let bg = s.spec().background_class();
+        let mut visible = 0usize;
+        for f in s {
+            visible += f.labels.iter().filter(|&&l| l != bg).count();
+        }
+        assert!(visible > 20, "only {visible} visible lane points");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn frame_out_of_range_panics() {
+        FrameStream::source(Benchmark::MoLane, spec(), 2, 0).frame(2);
+    }
+}

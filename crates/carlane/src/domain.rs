@@ -1,0 +1,137 @@
+//! The CARLANE benchmark suite: domains and benchmarks.
+
+use crate::appearance::AppearanceRanges;
+use crate::scene::GeometryRanges;
+use serde::{Deserialize, Serialize};
+
+/// A data domain: where frames (appear to) come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    /// CARLA-simulator rendering (labeled source data).
+    CarlaSource,
+    /// Real-world 1/8-scale model vehicle on an indoor track (MoLane target).
+    ModelVehicle,
+    /// Real-world US-highway imagery, TuSimple-like (TuLane target).
+    Highway,
+}
+
+impl Domain {
+    /// Appearance distribution of this domain.
+    pub fn appearance(self) -> AppearanceRanges {
+        match self {
+            Domain::CarlaSource => AppearanceRanges::carla_source(),
+            Domain::ModelVehicle => AppearanceRanges::molane_target(),
+            Domain::Highway => AppearanceRanges::tulane_target(),
+        }
+    }
+}
+
+/// One of the three CARLANE benchmarks (Fig. 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// 2-lane sim-to-real: CARLA → model vehicle.
+    MoLane,
+    /// 4-lane sim-to-real: CARLA → TuSimple highways.
+    TuLane,
+    /// Multi-target: CARLA → {model vehicle ∪ TuSimple}.
+    MuLane,
+}
+
+impl Benchmark {
+    /// All benchmarks in the paper's order.
+    pub const ALL: [Benchmark; 3] = [Benchmark::MoLane, Benchmark::TuLane, Benchmark::MuLane];
+
+    /// Number of lane lines this benchmark labels (2 for MoLane, 4 else).
+    pub fn num_lanes(self) -> usize {
+        match self {
+            Benchmark::MoLane => 2,
+            Benchmark::TuLane | Benchmark::MuLane => 4,
+        }
+    }
+
+    /// Geometry distribution of the benchmark's roads.
+    pub fn geometry(self) -> GeometryRanges {
+        match self {
+            Benchmark::MoLane => GeometryRanges::two_lane(),
+            Benchmark::TuLane | Benchmark::MuLane => GeometryRanges::four_lane(),
+        }
+    }
+
+    /// The unlabeled target domain(s); MuLane interleaves both real-world
+    /// domains 50/50 (its multi-target design).
+    pub fn target_domains(self) -> &'static [Domain] {
+        match self {
+            Benchmark::MoLane => &[Domain::ModelVehicle],
+            Benchmark::TuLane => &[Domain::Highway],
+            Benchmark::MuLane => &[Domain::ModelVehicle, Domain::Highway],
+        }
+    }
+
+    /// The labeled source domain (always CARLA).
+    pub fn source_domain(self) -> Domain {
+        Domain::CarlaSource
+    }
+
+    /// The target domain of the `i`-th frame of a target stream (MuLane
+    /// alternates; the single-target benchmarks are constant).
+    pub fn target_domain_for_frame(self, frame_index: usize) -> Domain {
+        let domains = self.target_domains();
+        domains[frame_index % domains.len()]
+    }
+
+    /// Paper-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::MoLane => "MoLane",
+            Benchmark::TuLane => "TuLane",
+            Benchmark::MuLane => "MuLane",
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_counts_match_paper() {
+        assert_eq!(Benchmark::MoLane.num_lanes(), 2);
+        assert_eq!(Benchmark::TuLane.num_lanes(), 4);
+        assert_eq!(Benchmark::MuLane.num_lanes(), 4);
+    }
+
+    #[test]
+    fn mulane_is_multi_target() {
+        assert_eq!(Benchmark::MuLane.target_domains().len(), 2);
+        assert_eq!(Benchmark::MuLane.target_domain_for_frame(0), Domain::ModelVehicle);
+        assert_eq!(Benchmark::MuLane.target_domain_for_frame(1), Domain::Highway);
+        assert_eq!(Benchmark::MuLane.target_domain_for_frame(2), Domain::ModelVehicle);
+    }
+
+    #[test]
+    fn single_target_benchmarks_are_constant() {
+        for i in 0..5 {
+            assert_eq!(Benchmark::MoLane.target_domain_for_frame(i), Domain::ModelVehicle);
+            assert_eq!(Benchmark::TuLane.target_domain_for_frame(i), Domain::Highway);
+        }
+    }
+
+    #[test]
+    fn source_is_always_carla() {
+        for b in Benchmark::ALL {
+            assert_eq!(b.source_domain(), Domain::CarlaSource);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Benchmark::MoLane.to_string(), "MoLane");
+        assert_eq!(Benchmark::MuLane.to_string(), "MuLane");
+    }
+}

@@ -1,0 +1,267 @@
+//! Continuous environmental drift — the paper's motivating scenario.
+//!
+//! §I argues that cloud-based adaptation fails when "while the model
+//! adapts, the conditions might again change before the updated model is
+//! deployed". That requires *streams whose conditions change over time*:
+//! [`DriftSchedule`] interpolates between appearance states (e.g. clear
+//! noon → dusk → tunnel lighting) along a frame timeline, and
+//! [`DriftingStream`] renders frames under the schedule while keeping the
+//! geometry distribution (and hence the labels) of a base benchmark.
+
+use crate::appearance::Appearance;
+use crate::dataset::LabeledFrame;
+use crate::domain::Benchmark;
+use crate::render::render;
+use crate::scene::Scene;
+use crate::spec::FrameSpec;
+use ld_tensor::rng::{mix_seed, SeededRng};
+use serde::{Deserialize, Serialize};
+
+/// A named appearance waypoint on the drift timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftPhase {
+    /// Label for reports ("noon", "dusk", …).
+    pub name: String,
+    /// Frame index at which this phase is fully reached.
+    pub at_frame: usize,
+    /// The appearance at this waypoint.
+    pub appearance: Appearance,
+}
+
+/// Piecewise-linear interpolation between appearance waypoints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftSchedule {
+    phases: Vec<DriftPhase>,
+}
+
+impl DriftSchedule {
+    /// Creates a schedule from waypoints (sorted by `at_frame`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or frame indices are not strictly
+    /// increasing.
+    pub fn new(mut phases: Vec<DriftPhase>) -> Self {
+        assert!(!phases.is_empty(), "DriftSchedule: no phases");
+        phases.sort_by_key(|p| p.at_frame);
+        for w in phases.windows(2) {
+            assert!(
+                w[1].at_frame > w[0].at_frame,
+                "DriftSchedule: duplicate waypoint frame {}",
+                w[1].at_frame
+            );
+        }
+        DriftSchedule { phases }
+    }
+
+    /// A canonical "drive into the evening" schedule: clear CARLA-like
+    /// conditions that darken and gain noise/vignette over `frames` frames.
+    pub fn noon_to_dusk(frames: usize) -> Self {
+        let noon = crate::appearance::AppearanceRanges::carla_source().base().clone();
+        let mut dusk = noon.clone();
+        dusk.sky = [0.25, 0.2, 0.3];
+        dusk.road_albedo = 0.16;
+        dusk.brightness = -0.18;
+        dusk.contrast = 0.7;
+        dusk.tint = [1.05, 0.95, 1.1];
+        dusk.noise_std = 0.05;
+        dusk.vignette = 0.3;
+        DriftSchedule::new(vec![
+            DriftPhase { name: "noon".into(), at_frame: 0, appearance: noon },
+            DriftPhase { name: "dusk".into(), at_frame: frames.max(1) - 1, appearance: dusk },
+        ])
+    }
+
+    /// The waypoints.
+    pub fn phases(&self) -> &[DriftPhase] {
+        &self.phases
+    }
+
+    /// The interpolated appearance at `frame`.
+    pub fn appearance_at(&self, frame: usize) -> Appearance {
+        let first = &self.phases[0];
+        if frame <= first.at_frame {
+            return first.appearance.clone();
+        }
+        for w in self.phases.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if frame <= b.at_frame {
+                let t = (frame - a.at_frame) as f32 / (b.at_frame - a.at_frame) as f32;
+                return lerp_appearance(&a.appearance, &b.appearance, t);
+            }
+        }
+        self.phases.last().expect("nonempty").appearance.clone()
+    }
+
+    /// The phase label active at `frame` (nearest waypoint at or before it).
+    pub fn phase_name_at(&self, frame: usize) -> &str {
+        let mut name = self.phases[0].name.as_str();
+        for p in &self.phases {
+            if p.at_frame <= frame {
+                name = p.name.as_str();
+            }
+        }
+        name
+    }
+}
+
+fn lerp(a: f32, b: f32, t: f32) -> f32 {
+    a + (b - a) * t
+}
+
+fn lerp_appearance(a: &Appearance, b: &Appearance, t: f32) -> Appearance {
+    Appearance {
+        sky: [
+            lerp(a.sky[0], b.sky[0], t),
+            lerp(a.sky[1], b.sky[1], t),
+            lerp(a.sky[2], b.sky[2], t),
+        ],
+        road_albedo: lerp(a.road_albedo, b.road_albedo, t),
+        line_brightness: lerp(a.line_brightness, b.line_brightness, t),
+        contrast: lerp(a.contrast, b.contrast, t),
+        brightness: lerp(a.brightness, b.brightness, t),
+        tint: [
+            lerp(a.tint[0], b.tint[0], t),
+            lerp(a.tint[1], b.tint[1], t),
+            lerp(a.tint[2], b.tint[2], t),
+        ],
+        noise_std: lerp(a.noise_std, b.noise_std, t),
+        vignette: lerp(a.vignette, b.vignette, t),
+        blur_passes: if t < 0.5 { a.blur_passes } else { b.blur_passes },
+        texture_amp: lerp(a.texture_amp, b.texture_amp, t),
+        glare_blobs: if t < 0.5 { a.glare_blobs } else { b.glare_blobs },
+    }
+}
+
+/// A deterministic stream whose appearance follows a [`DriftSchedule`]
+/// while sampling scene geometry from a benchmark's distribution.
+#[derive(Debug, Clone)]
+pub struct DriftingStream {
+    benchmark: Benchmark,
+    spec: FrameSpec,
+    schedule: DriftSchedule,
+    seed: u64,
+    len: usize,
+}
+
+impl DriftingStream {
+    /// Creates a drifting stream of `len` frames.
+    pub fn new(
+        benchmark: Benchmark,
+        spec: FrameSpec,
+        schedule: DriftSchedule,
+        len: usize,
+        seed: u64,
+    ) -> Self {
+        DriftingStream { benchmark, spec, schedule, seed: mix_seed(seed, 0xD21F7), len }
+    }
+
+    /// Stream length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the stream has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The schedule driving the appearance.
+    pub fn schedule(&self) -> &DriftSchedule {
+        &self.schedule
+    }
+
+    /// Renders frame `i` (pure function of `(seed, i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn frame(&self, i: usize) -> LabeledFrame {
+        assert!(i < self.len, "frame index {i} out of range {}", self.len);
+        let mut geo_rng = SeededRng::new(mix_seed(self.seed, (i as u64) << 1));
+        let mut px_rng = SeededRng::new(mix_seed(self.seed, ((i as u64) << 1) | 1));
+        let scene = Scene::sample(self.benchmark.num_lanes(), &self.benchmark.geometry(), &mut geo_rng);
+        let appearance = self.schedule.appearance_at(i);
+        let image = render(&scene, &appearance, &self.spec, &mut px_rng);
+        let labels = scene.labels(&self.spec);
+        LabeledFrame { image, labels, domain: self.benchmark.source_domain(), index: i }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::channel_means;
+
+    fn spec() -> FrameSpec {
+        FrameSpec::new(80, 48, 20, 8, 2)
+    }
+
+    #[test]
+    fn schedule_interpolates_endpoints_and_midpoint() {
+        let s = DriftSchedule::noon_to_dusk(101);
+        let start = s.appearance_at(0);
+        let end = s.appearance_at(100);
+        let mid = s.appearance_at(50);
+        assert!(start.road_albedo > end.road_albedo);
+        let expected_mid = (start.road_albedo + end.road_albedo) / 2.0;
+        assert!((mid.road_albedo - expected_mid).abs() < 1e-3);
+        // Clamped outside the range.
+        assert_eq!(s.appearance_at(1000).road_albedo, end.road_albedo);
+    }
+
+    #[test]
+    fn phase_names_advance() {
+        let s = DriftSchedule::noon_to_dusk(10);
+        assert_eq!(s.phase_name_at(0), "noon");
+        assert_eq!(s.phase_name_at(9), "dusk");
+        assert_eq!(s.phase_name_at(4), "noon");
+    }
+
+    #[test]
+    fn drifting_stream_darkens_over_time() {
+        let stream = DriftingStream::new(
+            Benchmark::MoLane,
+            spec(),
+            DriftSchedule::noon_to_dusk(40),
+            40,
+            3,
+        );
+        let early = channel_means(&stream.frame(0).image);
+        let late = channel_means(&stream.frame(39).image);
+        let mean = |m: [f32; 3]| (m[0] + m[1] + m[2]) / 3.0;
+        assert!(
+            mean(late) < mean(early) - 0.05,
+            "dusk should be darker: {early:?} → {late:?}"
+        );
+    }
+
+    #[test]
+    fn drifting_stream_is_deterministic_and_labeled() {
+        let mk = || {
+            DriftingStream::new(Benchmark::MoLane, spec(), DriftSchedule::noon_to_dusk(10), 10, 7)
+        };
+        let a = mk();
+        let b = mk();
+        for i in 0..10 {
+            assert_eq!(a.frame(i).image.as_slice(), b.frame(i).image.as_slice());
+            assert_eq!(a.frame(i).labels.len(), spec().labels_per_frame());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no phases")]
+    fn empty_schedule_rejected() {
+        DriftSchedule::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate waypoint")]
+    fn duplicate_waypoints_rejected() {
+        let a = crate::appearance::AppearanceRanges::carla_source().base().clone();
+        DriftSchedule::new(vec![
+            DriftPhase { name: "x".into(), at_frame: 3, appearance: a.clone() },
+            DriftPhase { name: "y".into(), at_frame: 3, appearance: a },
+        ]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Synthetic CARLANE: sim-to-real lane-detection benchmarks.
+//!
+//! The paper evaluates on the CARLANE suite (Stuhr et al., NeurIPS 2022):
+//! labeled **source** data rendered by the CARLA simulator, and unlabeled
+//! real-world **target** data — a 1/8-scale model vehicle (MoLane), TuSimple
+//! US highways (TuLane), or both (MuLane). Those datasets are not available
+//! offline, so this crate synthesises the same *structure*:
+//!
+//! * a perspective road-geometry model ([`scene`]) shared by all domains —
+//!   ground-truth labels come from the geometry, exactly like a simulator's;
+//! * per-domain appearance models ([`appearance`]) that shift illumination,
+//!   contrast, colour balance, noise, vignetting and glare — the low-level
+//!   statistics whose shift between simulation and reality is what
+//!   batch-norm adaptation corrects;
+//! * deterministic, seekable frame streams ([`dataset`]) standing in for
+//!   the 30 FPS camera feed.
+//!
+//! # Example
+//!
+//! ```
+//! use ld_carlane::{Benchmark, FrameSpec, FrameStream};
+//!
+//! let spec = FrameSpec::new(160, 64, 25, 14, 2);
+//! let mut stream = FrameStream::target(Benchmark::MoLane, spec, 100, 7);
+//! let frame = stream.next().expect("frame");
+//! assert_eq!(frame.image.shape_dims(), &[3, 64, 160]);
+//! assert_eq!(frame.labels.len(), spec.labels_per_frame());
+//! ```
+
+pub mod appearance;
+pub mod dataset;
+pub mod domain;
+pub mod drift;
+pub mod ppm;
+pub mod render;
+pub mod scene;
+pub mod spec;
+
+pub use appearance::{Appearance, AppearanceRanges};
+pub use dataset::{FrameStream, LabeledFrame};
+pub use domain::{Benchmark, Domain};
+pub use drift::{DriftPhase, DriftSchedule, DriftingStream};
+pub use render::render;
+pub use scene::{GeometryRanges, LineStyle, Scene};
+pub use spec::FrameSpec;

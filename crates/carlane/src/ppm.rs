@@ -1,0 +1,106 @@
+//! Exporting rendered frames as PPM images and ASCII previews.
+
+use ld_tensor::Tensor;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes a `(3, H, W)` tensor in `[0, 1]` as a binary PPM (P6) file.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 3 with 3 channels.
+pub fn write_ppm(img: &Tensor, path: &Path) -> io::Result<()> {
+    let dims = img.shape_dims();
+    assert_eq!(dims.len(), 3, "write_ppm: want (3, H, W)");
+    assert_eq!(dims[0], 3, "write_ppm: want 3 channels");
+    let (h, w) = (dims[1], dims[2]);
+    let mut f = std::fs::File::create(path)?;
+    write!(f, "P6\n{w} {h}\n255\n")?;
+    let plane = h * w;
+    let mut buf = Vec::with_capacity(plane * 3);
+    for i in 0..plane {
+        for ch in 0..3 {
+            let v = (img.as_slice()[ch * plane + i].clamp(0.0, 1.0) * 255.0).round() as u8;
+            buf.push(v);
+        }
+    }
+    f.write_all(&buf)
+}
+
+/// Renders a coarse ASCII luminance preview (for terminals), one string per
+/// output row.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 3 with 3 channels or `cols == 0`.
+pub fn ascii_preview(img: &Tensor, cols: usize) -> Vec<String> {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let dims = img.shape_dims();
+    assert_eq!(dims.len(), 3, "ascii_preview: want (3, H, W)");
+    assert_eq!(dims[0], 3, "ascii_preview: want 3 channels");
+    assert!(cols > 0, "ascii_preview: zero columns");
+    let (h, w) = (dims[1], dims[2]);
+    let cols = cols.min(w);
+    // Terminal cells are ~2× taller than wide.
+    let rows = ((h as f32 / w as f32) * cols as f32 / 2.0).round().max(1.0) as usize;
+    let plane = h * w;
+    let mut out = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let mut line = String::with_capacity(cols);
+        for c in 0..cols {
+            let y = (r * h) / rows;
+            let x = (c * w) / cols;
+            let lum = (0.299 * img.as_slice()[y * w + x]
+                + 0.587 * img.as_slice()[plane + y * w + x]
+                + 0.114 * img.as_slice()[2 * plane + y * w + x])
+                .clamp(0.0, 1.0);
+            let idx = (lum * (RAMP.len() - 1) as f32).round() as usize;
+            line.push(RAMP[idx] as char);
+        }
+        out.push(line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppm_roundtrip_header_and_size() {
+        let img = Tensor::full(&[3, 4, 5], 0.5);
+        let dir = std::env::temp_dir();
+        let path = dir.join("ld_carlane_test.ppm");
+        write_ppm(&img, &path).expect("write");
+        let bytes = std::fs::read(&path).expect("read");
+        let header = b"P6\n5 4\n255\n";
+        assert_eq!(&bytes[..header.len()], header);
+        assert_eq!(bytes.len(), header.len() + 3 * 4 * 5);
+        // 0.5 * 255 rounds to 128.
+        assert_eq!(bytes[header.len()], 128);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ascii_preview_shapes_and_ramp() {
+        let mut img = Tensor::zeros(&[3, 8, 16]);
+        // Bright bottom half.
+        for ch in 0..3 {
+            for y in 4..8 {
+                for x in 0..16 {
+                    *img.at_mut(&[ch, y, x]) = 1.0;
+                }
+            }
+        }
+        let lines = ascii_preview(&img, 16);
+        assert!(!lines.is_empty());
+        let first = lines.first().unwrap();
+        let last = lines.last().unwrap();
+        assert!(first.contains(' '));
+        assert!(last.contains('@'));
+    }
+}

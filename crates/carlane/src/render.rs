@@ -1,0 +1,265 @@
+//! Rasterising road scenes into RGB tensors.
+
+use crate::appearance::Appearance;
+use crate::scene::{LineStyle, Scene};
+use crate::spec::FrameSpec;
+use ld_tensor::rng::SeededRng;
+use ld_tensor::Tensor;
+
+/// Renders `scene` with `appearance` into a `(3, H, W)` RGB tensor in
+/// `[0, 1]`.
+///
+/// The pipeline is: sky/road base → procedural road texture → anti-aliased
+/// lane markings (dashed where styled) → glare blobs → photometric grade
+/// (contrast/brightness/tint) → vignette → sensor noise → optional blur →
+/// clamp.
+pub fn render(scene: &Scene, app: &Appearance, spec: &FrameSpec, rng: &mut SeededRng) -> Tensor {
+    let (h, w) = (spec.height, spec.width);
+    let mut img = Tensor::zeros(&[3, h, w]);
+    let vh = scene.horizon_row(h);
+
+    // --- Base: sky and road with texture -------------------------------
+    {
+        let data = img.as_mut_slice();
+        for v in 0..h {
+            let is_sky = (v as f32) <= vh;
+            for x in 0..w {
+                let (r, g, b) = if is_sky {
+                    // Slight vertical gradient toward the horizon.
+                    let f = 1.0 - 0.25 * (v as f32 / vh.max(1.0));
+                    (app.sky[0] * f, app.sky[1] * f, app.sky[2] * f)
+                } else {
+                    let t = scene.proximity(v, h).unwrap_or(1.0);
+                    // Road darkens slightly with distance; add texture.
+                    let tex = app.texture_amp * hash_noise(x as u32, v as u32);
+                    let shade = app.road_albedo * (0.82 + 0.18 * t) + tex;
+                    (shade, shade, shade)
+                };
+                data[v * w + x] = r;
+                data[h * w + v * w + x] = g;
+                data[2 * h * w + v * w + x] = b;
+            }
+        }
+    }
+
+    // --- Lane markings ---------------------------------------------------
+    for line in 0..scene.num_lines() {
+        let style = scene.line_styles[line];
+        for v in (vh.ceil() as usize)..h {
+            let Some(t) = scene.proximity(v, h) else { continue };
+            let Some(cx) = scene.line_x_px(line, v, spec) else { continue };
+            if let LineStyle::Dashed { phase } = style {
+                // Dash pattern advances with ground distance ~ 1/t.
+                let s = 1.0 / t.max(0.06);
+                if ((s * 1.4 + phase).fract()) > 0.55 {
+                    continue;
+                }
+            }
+            let half_w = (scene.line_width_px * (0.25 + 0.75 * t)).max(0.5);
+            let lo = (cx - half_w - 1.0).floor().max(0.0) as usize;
+            let hi = ((cx + half_w + 1.0).ceil() as usize).min(w);
+            let data = img.as_mut_slice();
+            for x in lo..hi {
+                // Anti-aliased coverage by distance from the line centre.
+                let d = ((x as f32 + 0.5) - cx).abs();
+                let cov = (half_w + 0.5 - d).clamp(0.0, 1.0);
+                if cov <= 0.0 {
+                    continue;
+                }
+                let c = app.line_brightness;
+                for ch in 0..3 {
+                    let px = &mut data[ch * h * w + v * w + x];
+                    *px = *px * (1.0 - cov) + c * cov;
+                }
+            }
+        }
+    }
+
+    // --- Glare blobs -------------------------------------------------------
+    for _ in 0..app.glare_blobs {
+        let gx = rng.uniform(0.0, w as f32);
+        let gy = rng.uniform(vh, h as f32);
+        let radius = rng.uniform(0.08, 0.22) * w as f32;
+        let strength = rng.uniform(0.15, 0.4);
+        let data = img.as_mut_slice();
+        let lo_v = (gy - radius).max(0.0) as usize;
+        let hi_v = ((gy + radius) as usize).min(h);
+        for v in lo_v..hi_v {
+            for x in ((gx - radius).max(0.0) as usize)..(((gx + radius) as usize).min(w)) {
+                let d2 = ((x as f32 - gx).powi(2) + (v as f32 - gy).powi(2)) / (radius * radius);
+                if d2 < 1.0 {
+                    let amt = strength * (1.0 - d2);
+                    for ch in 0..3 {
+                        data[ch * h * w + v * w + x] += amt;
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Photometric grade, vignette, noise --------------------------------
+    {
+        let cx = w as f32 / 2.0;
+        let cy = h as f32 / 2.0;
+        let max_r2 = cx * cx + cy * cy;
+        let data = img.as_mut_slice();
+        for ch in 0..3 {
+            for v in 0..h {
+                for x in 0..w {
+                    let idx = ch * h * w + v * w + x;
+                    let mut p = data[idx];
+                    p = (p - 0.5) * app.contrast + 0.5 + app.brightness;
+                    p *= app.tint[ch];
+                    if app.vignette > 0.0 {
+                        let r2 = ((x as f32 - cx).powi(2) + (v as f32 - cy).powi(2)) / max_r2;
+                        p *= 1.0 - app.vignette * r2;
+                    }
+                    if app.noise_std > 0.0 {
+                        p += rng.normal(0.0, app.noise_std);
+                    }
+                    data[idx] = p;
+                }
+            }
+        }
+    }
+
+    // --- Blur and clamp ------------------------------------------------------
+    for _ in 0..app.blur_passes {
+        horizontal_blur3(&mut img, h, w);
+    }
+    img.map_inplace(|p| p.clamp(0.0, 1.0));
+    img
+}
+
+/// Deterministic per-pixel hash noise in `[-1, 1]` (procedural texture).
+fn hash_noise(x: u32, y: u32) -> f32 {
+    let mut n = x.wrapping_mul(0x9E37_79B9) ^ y.wrapping_mul(0x85EB_CA6B);
+    n ^= n >> 13;
+    n = n.wrapping_mul(0xC2B2_AE35);
+    n ^= n >> 16;
+    (n & 0xFFFF) as f32 / 32768.0 - 1.0
+}
+
+/// In-place 3-tap `[0.25, 0.5, 0.25]` horizontal blur per channel.
+fn horizontal_blur3(img: &mut Tensor, h: usize, w: usize) {
+    let data = img.as_mut_slice();
+    let mut row = vec![0.0f32; w];
+    for ch in 0..3 {
+        for v in 0..h {
+            let base = ch * h * w + v * w;
+            row.copy_from_slice(&data[base..base + w]);
+            for x in 0..w {
+                let l = row[x.saturating_sub(1)];
+                let r = row[(x + 1).min(w - 1)];
+                data[base + x] = 0.25 * l + 0.5 * row[x] + 0.25 * r;
+            }
+        }
+    }
+}
+
+/// Per-channel mean of a `(3, H, W)` image (diagnostics for domain gap).
+pub fn channel_means(img: &Tensor) -> [f32; 3] {
+    let dims = img.shape_dims();
+    let plane = dims[1] * dims[2];
+    let mut out = [0.0f32; 3];
+    for (ch, o) in out.iter_mut().enumerate() {
+        *o = img.as_slice()[ch * plane..(ch + 1) * plane].iter().sum::<f32>() / plane as f32;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::appearance::AppearanceRanges;
+    use crate::scene::GeometryRanges;
+
+    fn spec() -> FrameSpec {
+        FrameSpec::new(80, 48, 20, 8, 2)
+    }
+
+    fn scene(seed: u64) -> Scene {
+        Scene::sample(2, &GeometryRanges::two_lane(), &mut SeededRng::new(seed))
+    }
+
+    #[test]
+    fn render_produces_clamped_rgb() {
+        let sp = spec();
+        let app = AppearanceRanges::tulane_target().sample(&mut SeededRng::new(1));
+        let img = render(&scene(1), &app, &sp, &mut SeededRng::new(2));
+        assert_eq!(img.shape_dims(), &[3, 48, 80]);
+        assert!(img.min() >= 0.0 && img.max() <= 1.0);
+        assert!(!img.has_non_finite());
+    }
+
+    #[test]
+    fn lane_markings_are_brighter_than_road() {
+        let sp = spec();
+        let s = scene(3);
+        let app = AppearanceRanges::carla_source().base().clone();
+        let img = render(&s, &app, &sp, &mut SeededRng::new(3));
+        // At the bottom row, the pixel at a line centre must exceed the road
+        // pixel halfway between the two lines.
+        let v = sp.height - 1;
+        let line_x = s.line_x_px(0, v, &sp).unwrap().round() as usize;
+        let mid_x = ((s.line_x_px(0, v, &sp).unwrap() + s.line_x_px(1, v, &sp).unwrap()) / 2.0) as usize;
+        let plane = sp.height * sp.width;
+        let line_px = img.as_slice()[v * sp.width + line_x.min(sp.width - 1)];
+        let road_px = img.as_slice()[v * sp.width + mid_x.min(sp.width - 1)];
+        assert!(line_px > road_px + 0.2, "line {line_px} road {road_px}");
+        let _ = plane;
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let sp = spec();
+        let app = AppearanceRanges::molane_target().sample(&mut SeededRng::new(5));
+        let a = render(&scene(5), &app, &sp, &mut SeededRng::new(6));
+        let b = render(&scene(5), &app, &sp, &mut SeededRng::new(6));
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn domains_shift_channel_statistics() {
+        // The domain gap LD-BN-ADAPT corrects: CARLA vs MoLane means differ.
+        let sp = spec();
+        let s = scene(7);
+        let carla = render(
+            &s,
+            AppearanceRanges::carla_source().base(),
+            &sp,
+            &mut SeededRng::new(8),
+        );
+        let mo = render(
+            &s,
+            AppearanceRanges::molane_target().base(),
+            &sp,
+            &mut SeededRng::new(8),
+        );
+        let mc = channel_means(&carla);
+        let mm = channel_means(&mo);
+        let gap: f32 = mc.iter().zip(&mm).map(|(a, b)| (a - b).abs()).sum();
+        assert!(gap > 0.15, "channel-mean gap only {gap}");
+    }
+
+    #[test]
+    fn blur_preserves_mean_roughly() {
+        let sp = spec();
+        let app = AppearanceRanges::carla_source().base().clone();
+        let img = render(&scene(9), &app, &sp, &mut SeededRng::new(9));
+        let mut blurred = img.clone();
+        horizontal_blur3(&mut blurred, sp.height, sp.width);
+        assert!((img.mean() - blurred.mean()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hash_noise_is_bounded_and_varies() {
+        let mut distinct = std::collections::HashSet::new();
+        for x in 0..50u32 {
+            let n = hash_noise(x, 17);
+            assert!((-1.0..=1.0).contains(&n));
+            distinct.insert((n * 1e4) as i32);
+        }
+        assert!(distinct.len() > 30);
+    }
+}

@@ -1,0 +1,108 @@
+//! Frame/label geometry shared between the renderer and the lane detector.
+
+use serde::{Deserialize, Serialize};
+
+/// Describes the frames a benchmark produces and how they are labeled.
+///
+/// This mirrors the label-relevant part of a `UfldConfig` (the crates are
+/// deliberately decoupled: `ld-carlane` depends only on `ld-tensor`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FrameSpec {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Number of lateral grid cells for labels.
+    pub griding: usize,
+    /// Number of row anchors (label rows).
+    pub row_anchors: usize,
+    /// Number of lane lines to label.
+    pub num_lanes: usize,
+}
+
+impl FrameSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(width: usize, height: usize, griding: usize, row_anchors: usize, num_lanes: usize) -> Self {
+        assert!(
+            width > 0 && height > 0 && griding > 0 && row_anchors > 0 && num_lanes > 0,
+            "FrameSpec: zero dimension"
+        );
+        FrameSpec { width, height, griding, row_anchors, num_lanes }
+    }
+
+    /// The background ("no lane") label class.
+    pub fn background_class(&self) -> u32 {
+        self.griding as u32
+    }
+
+    /// Labels per frame (`row_anchors × num_lanes`).
+    pub fn labels_per_frame(&self) -> usize {
+        self.row_anchors * self.num_lanes
+    }
+
+    /// Converts a pixel x-coordinate to its grid cell, if inside the image.
+    pub fn px_to_cell(&self, x_px: f32) -> Option<u32> {
+        if x_px < 0.0 || x_px >= self.width as f32 {
+            return None;
+        }
+        let cell = (x_px / self.width as f32 * self.griding as f32) as u32;
+        Some(cell.min(self.griding as u32 - 1))
+    }
+
+    /// The image rows used as row anchors, top anchor first.
+    ///
+    /// Anchors are evenly spaced between just below the given horizon row
+    /// and the bottom of the image (UFLD's TuSimple anchors likewise span
+    /// the lower part of the frame).
+    pub fn anchor_rows(&self, horizon_row: f32) -> Vec<usize> {
+        let top = (horizon_row + 0.06 * self.height as f32).min(self.height as f32 - 2.0);
+        let bottom = self.height as f32 - 1.0;
+        (0..self.row_anchors)
+            .map(|i| {
+                let f = if self.row_anchors == 1 {
+                    1.0
+                } else {
+                    i as f32 / (self.row_anchors - 1) as f32
+                };
+                (top + f * (bottom - top)).round() as usize
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn px_to_cell_maps_edges() {
+        let s = FrameSpec::new(100, 50, 10, 5, 2);
+        assert_eq!(s.px_to_cell(0.0), Some(0));
+        assert_eq!(s.px_to_cell(99.9), Some(9));
+        assert_eq!(s.px_to_cell(-0.1), None);
+        assert_eq!(s.px_to_cell(100.0), None);
+        assert_eq!(s.px_to_cell(55.0), Some(5));
+    }
+
+    #[test]
+    fn anchor_rows_are_monotone_and_in_range() {
+        let s = FrameSpec::new(160, 64, 25, 14, 2);
+        let rows = s.anchor_rows(0.35 * 64.0);
+        assert_eq!(rows.len(), 14);
+        for w in rows.windows(2) {
+            assert!(w[1] > w[0], "{rows:?}");
+        }
+        assert!(*rows.first().unwrap() > 22);
+        assert_eq!(*rows.last().unwrap(), 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero dimension")]
+    fn rejects_zero_dims() {
+        FrameSpec::new(0, 1, 1, 1, 1);
+    }
+}

@@ -1,0 +1,301 @@
+//! Lloyd's algorithm with k-means++ initialisation.
+
+// Assignment/update loops index points, distances and assignments in
+// lockstep; index loops are the clearest formulation.
+#![allow(clippy::needless_range_loop)]
+
+use ld_tensor::linalg::sq_dist;
+use ld_tensor::rng::SeededRng;
+use ld_tensor::Tensor;
+
+/// Centroid initialisation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KMeansInit {
+    /// k-means++ (D² weighting) — the default and what the baseline uses.
+    #[default]
+    KMeansPlusPlus,
+    /// Uniformly random distinct points (for comparison/testing).
+    Random,
+}
+
+/// A fitted k-means model.
+///
+/// Rows of the `(n, d)` input matrix are the points; the model stores `k`
+/// centroids of dimension `d`, the final assignment of every training point
+/// and the inertia history across Lloyd iterations.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    centroids: Tensor,
+    assignments: Vec<usize>,
+    inertia_history: Vec<f32>,
+    k: usize,
+    dim: usize,
+}
+
+impl KMeans {
+    /// Fits k-means with k-means++ initialisation.
+    ///
+    /// Runs at most `max_iter` Lloyd iterations (stops early when the
+    /// assignment is stable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not rank 2, `k == 0`, or there are fewer points
+    /// than clusters.
+    pub fn fit(data: &Tensor, k: usize, max_iter: usize, seed: u64) -> Self {
+        Self::fit_with(data, k, max_iter, seed, KMeansInit::KMeansPlusPlus)
+    }
+
+    /// Fits k-means with an explicit initialisation strategy.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`KMeans::fit`].
+    pub fn fit_with(data: &Tensor, k: usize, max_iter: usize, seed: u64, init: KMeansInit) -> Self {
+        let (n, d) = data.dims2();
+        assert!(k > 0, "KMeans: k must be > 0");
+        assert!(n >= k, "KMeans: {n} points < {k} clusters");
+        let mut rng = SeededRng::new(seed);
+        let points = data.as_slice();
+        let row = |i: usize| &points[i * d..(i + 1) * d];
+
+        let mut centroids: Vec<f32> = Vec::with_capacity(k * d);
+        match init {
+            KMeansInit::Random => {
+                let mut order: Vec<usize> = (0..n).collect();
+                rng.shuffle(&mut order);
+                for &i in order.iter().take(k) {
+                    centroids.extend_from_slice(row(i));
+                }
+            }
+            KMeansInit::KMeansPlusPlus => {
+                let first = rng.index(n);
+                centroids.extend_from_slice(row(first));
+                let mut d2: Vec<f32> = (0..n).map(|i| sq_dist(row(i), row(first))).collect();
+                for _ in 1..k {
+                    let total: f32 = d2.iter().sum();
+                    let pick = if total <= 0.0 {
+                        rng.index(n)
+                    } else {
+                        let mut target = rng.uniform(0.0, total);
+                        let mut chosen = n - 1;
+                        for (i, &w) in d2.iter().enumerate() {
+                            if target < w {
+                                chosen = i;
+                                break;
+                            }
+                            target -= w;
+                        }
+                        chosen
+                    };
+                    let c_off = centroids.len();
+                    centroids.extend_from_slice(row(pick));
+                    let new_c = centroids[c_off..c_off + d].to_vec();
+                    for i in 0..n {
+                        let dist = sq_dist(row(i), &new_c);
+                        if dist < d2[i] {
+                            d2[i] = dist;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut assignments = vec![0usize; n];
+        let mut inertia_history = Vec::new();
+        for _ in 0..max_iter.max(1) {
+            // Assignment step.
+            let mut changed = false;
+            let mut inertia = 0.0f32;
+            for i in 0..n {
+                let mut best = 0usize;
+                let mut best_d = f32::INFINITY;
+                for c in 0..k {
+                    let dist = sq_dist(row(i), &centroids[c * d..(c + 1) * d]);
+                    if dist < best_d {
+                        best_d = dist;
+                        best = c;
+                    }
+                }
+                inertia += best_d;
+                if assignments[i] != best {
+                    assignments[i] = best;
+                    changed = true;
+                }
+            }
+            inertia_history.push(inertia);
+
+            // Update step.
+            let mut sums = vec![0.0f32; k * d];
+            let mut counts = vec![0usize; k];
+            for i in 0..n {
+                let c = assignments[i];
+                counts[c] += 1;
+                for (s, &x) in sums[c * d..(c + 1) * d].iter_mut().zip(row(i)) {
+                    *s += x;
+                }
+            }
+            for c in 0..k {
+                if counts[c] == 0 {
+                    // Re-seed an empty cluster at a random point.
+                    let i = rng.index(n);
+                    centroids[c * d..(c + 1) * d].copy_from_slice(row(i));
+                    continue;
+                }
+                let inv = 1.0 / counts[c] as f32;
+                for (dst, &s) in centroids[c * d..(c + 1) * d].iter_mut().zip(&sums[c * d..(c + 1) * d]) {
+                    *dst = s * inv;
+                }
+            }
+            if !changed && inertia_history.len() > 1 {
+                break;
+            }
+        }
+
+        KMeans {
+            centroids: Tensor::from_vec(centroids, &[k, d]),
+            assignments,
+            inertia_history,
+            k,
+            dim: d,
+        }
+    }
+
+    /// The `(k, d)` centroid matrix.
+    pub fn centroids(&self) -> &Tensor {
+        &self.centroids
+    }
+
+    /// The final cluster index of each training point.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Total within-cluster squared distance at each Lloyd iteration.
+    pub fn inertia_history(&self) -> &[f32] {
+        &self.inertia_history
+    }
+
+    /// Final inertia.
+    pub fn inertia(&self) -> f32 {
+        *self.inertia_history.last().unwrap_or(&0.0)
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Index of the centroid nearest to `point`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len()` differs from the training dimension.
+    pub fn predict(&self, point: &[f32]) -> usize {
+        assert_eq!(point.len(), self.dim, "predict: dimension mismatch");
+        let mut best = 0;
+        let mut best_d = f32::INFINITY;
+        for c in 0..self.k {
+            let d = sq_dist(point, &self.centroids.as_slice()[c * self.dim..(c + 1) * self.dim]);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(seed: u64, per: usize) -> Tensor {
+        // Three Gaussian blobs at (0,0), (10,0), (0,10).
+        let mut rng = SeededRng::new(seed);
+        let centers = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
+        let mut data = Vec::with_capacity(per * 3 * 2);
+        for &(cx, cy) in &centers {
+            for _ in 0..per {
+                data.push(rng.normal(cx, 0.5));
+                data.push(rng.normal(cy, 0.5));
+            }
+        }
+        Tensor::from_vec(data, &[per * 3, 2])
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let data = blobs(1, 30);
+        let km = KMeans::fit(&data, 3, 50, 2);
+        // Every blob maps to a single cluster.
+        for b in 0..3 {
+            let first = km.assignments()[b * 30];
+            for i in 0..30 {
+                assert_eq!(km.assignments()[b * 30 + i], first, "blob {b} split");
+            }
+        }
+        // And clusters are distinct.
+        let mut ids: Vec<usize> = (0..3).map(|b| km.assignments()[b * 30]).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn inertia_never_increases() {
+        let data = blobs(3, 20);
+        let km = KMeans::fit(&data, 3, 50, 4);
+        let h = km.inertia_history();
+        for w in h.windows(2) {
+            assert!(w[1] <= w[0] + 1e-3, "inertia rose: {w:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let data = blobs(5, 15);
+        let a = KMeans::fit(&data, 3, 30, 9);
+        let b = KMeans::fit(&data, 3, 30, 9);
+        assert_eq!(a.assignments(), b.assignments());
+        assert_eq!(a.centroids().as_slice(), b.centroids().as_slice());
+    }
+
+    #[test]
+    fn predict_maps_to_nearest_centroid() {
+        let data = blobs(6, 20);
+        let km = KMeans::fit(&data, 3, 50, 7);
+        let near_origin = km.predict(&[0.2, -0.1]);
+        let c = &km.centroids().as_slice()[near_origin * 2..near_origin * 2 + 2];
+        assert!(c[0].abs() < 1.0 && c[1].abs() < 1.0, "centroid {c:?}");
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data = Tensor::from_vec(vec![0.0, 1.0, 5.0, 6.0], &[2, 2]);
+        let km = KMeans::fit(&data, 2, 10, 1);
+        assert!(km.inertia() < 1e-6);
+    }
+
+    #[test]
+    fn random_init_also_converges() {
+        let data = blobs(8, 25);
+        let km = KMeans::fit_with(&data, 3, 60, 11, KMeansInit::Random);
+        assert!(km.inertia() < 200.0, "inertia {}", km.inertia());
+    }
+
+    #[test]
+    #[should_panic(expected = "points")]
+    fn rejects_more_clusters_than_points() {
+        let data = Tensor::zeros(&[2, 2]);
+        KMeans::fit(&data, 3, 10, 0);
+    }
+
+    #[test]
+    fn duplicate_points_dont_crash() {
+        // All-identical points: D² weights are all zero.
+        let data = Tensor::ones(&[8, 3]);
+        let km = KMeans::fit(&data, 2, 10, 3);
+        assert!(km.inertia() < 1e-9);
+    }
+}

@@ -1,0 +1,26 @@
+//! k-means clustering — the embedding-encoding substrate of the CARLANE
+//! SOTA adaptation baseline.
+//!
+//! The paper's baseline (§II) "encod\[es\] the semantic structure of data in
+//! both the source and target domains into an embedding space; K-means is
+//! used for this encoding". This crate provides that k-means: k-means++
+//! seeding, Lloyd iterations, inertia tracking and nearest-centroid
+//! prediction, all deterministic under an explicit seed.
+//!
+//! # Example
+//!
+//! ```
+//! use ld_cluster::KMeans;
+//! use ld_tensor::Tensor;
+//!
+//! // Two well-separated blobs in 1-D.
+//! let data = Tensor::from_vec(vec![0.0, 0.1, 0.2, 10.0, 10.1, 10.2], &[6, 1]);
+//! let km = KMeans::fit(&data, 2, 20, 7);
+//! let a = km.predict(&[0.05]);
+//! let b = km.predict(&[10.05]);
+//! assert_ne!(a, b);
+//! ```
+
+mod kmeans;
+
+pub use kmeans::{KMeans, KMeansInit};

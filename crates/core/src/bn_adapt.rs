@@ -1,0 +1,334 @@
+//! **LD-BN-ADAPT** — the paper's contribution (§III).
+//!
+//! After inference on each incoming unlabeled target frame, the deployed
+//! UFLD model is adapted in real time:
+//!
+//! 1. every batch-norm layer *recomputes its normalisation statistics*
+//!    `(µ, σ)` from the current unlabeled batch
+//!    ([`BnStatsPolicy::Batch`]), and
+//! 2. the batch-norm *scale/shift parameters* `(γ, β)` — about 1 % of the
+//!    model — are optimised by **a single backpropagation pass** minimising
+//!    the Shannon entropy of the model's own predictions.
+//!
+//! The updated model is then used for the next frame. With `batch_size`
+//! of 1/2/4, the update happens after every 1/2/4 frames (the paper's
+//! `bs` sweep in Fig. 2). The same engine also runs the paper's §III
+//! ablations — adapting convolutional or fully-connected parameters
+//! instead — by swapping the [`ParamFilter`].
+
+use ld_nn::{loss, BnStatsPolicy, Layer, Mode, ParamFilter, Sgd};
+use ld_tensor::Tensor;
+use ld_ufld::UfldModel;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the online adapter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LdBnAdaptConfig {
+    /// Frames per adaptation step (paper sweeps 1, 2, 4; 1 is best).
+    pub batch_size: usize,
+    /// Learning rate of the single entropy-descent step.
+    pub lr: f32,
+    /// SGD momentum across steps.
+    pub momentum: f32,
+    /// Backprop passes per adaptation step (the paper uses exactly 1 to
+    /// meet the real-time deadline; exposed for the ablation bench).
+    pub steps_per_batch: usize,
+    /// Which statistics BN layers normalise with during deployment.
+    pub stats_policy: BnStatsPolicy,
+    /// Which parameter group the optimiser may touch.
+    pub filter: ParamFilter,
+}
+
+impl LdBnAdaptConfig {
+    /// The paper's method with the given adaptation batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn paper(batch_size: usize) -> Self {
+        assert!(batch_size > 0, "LdBnAdaptConfig: zero batch size");
+        LdBnAdaptConfig {
+            batch_size,
+            lr: 1e-3,
+            momentum: 0.9,
+            steps_per_batch: 1,
+            stats_policy: BnStatsPolicy::Batch,
+            filter: ParamFilter::BnOnly,
+        }
+    }
+
+    /// The §III ablation: adapt a different parameter group.
+    pub fn with_filter(mut self, filter: ParamFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Override the learning rate (builder style).
+    pub fn with_lr(mut self, lr: f32) -> Self {
+        self.lr = lr;
+        self
+    }
+
+    /// Override the statistics policy (ablation bench).
+    pub fn with_stats_policy(mut self, policy: BnStatsPolicy) -> Self {
+        self.stats_policy = policy;
+        self
+    }
+}
+
+/// Outcome of processing one frame.
+#[derive(Debug, Clone)]
+pub struct FrameOutcome {
+    /// The model's logits for this frame (computed *before* any update
+    /// triggered by this frame, as in the paper: inference first, then
+    /// adaptation).
+    pub logits: Tensor,
+    /// Prediction entropy of this frame.
+    pub entropy: f32,
+    /// `Some(step)` when this frame completed a batch and triggered an
+    /// adaptation step.
+    pub adapted: Option<AdaptStep>,
+}
+
+/// Telemetry of one adaptation step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptStep {
+    /// Entropy of the adaptation batch before the update.
+    pub entropy_before: f32,
+    /// Entropy of the adaptation batch re-evaluated after the update.
+    pub entropy_after: f32,
+}
+
+/// The online adaptation engine.
+///
+/// # Example
+///
+/// ```
+/// use ld_adapt::{LdBnAdapter, LdBnAdaptConfig};
+/// use ld_ufld::{UfldConfig, UfldModel};
+/// use ld_tensor::Tensor;
+///
+/// let cfg = UfldConfig::tiny(2);
+/// let mut model = UfldModel::new(&cfg, 3);
+/// let mut adapter = LdBnAdapter::new(LdBnAdaptConfig::paper(1), &mut model);
+/// let frame = Tensor::zeros(&[3, cfg.input_height, cfg.input_width]);
+/// let out = adapter.process_frame(&mut model, &frame);
+/// assert!(out.adapted.is_some()); // batch size 1 adapts every frame
+/// ```
+#[derive(Debug)]
+pub struct LdBnAdapter {
+    cfg: LdBnAdaptConfig,
+    opt: Sgd,
+    /// Frames collected toward the next adaptation step.
+    buffer: Vec<Tensor>,
+    steps_taken: usize,
+}
+
+impl LdBnAdapter {
+    /// Creates the adapter and configures `model` for deployment-time
+    /// adaptation (BN policy + trainability filter).
+    pub fn new(cfg: LdBnAdaptConfig, model: &mut UfldModel) -> Self {
+        assert!(cfg.batch_size > 0, "LdBnAdapter: zero batch size");
+        model.set_bn_policy(cfg.stats_policy);
+        model.apply_filter(cfg.filter);
+        let opt = Sgd::new(cfg.lr).momentum(cfg.momentum);
+        LdBnAdapter { cfg, opt, buffer: Vec::new(), steps_taken: 0 }
+    }
+
+    /// The adapter's configuration.
+    pub fn config(&self) -> &LdBnAdaptConfig {
+        &self.cfg
+    }
+
+    /// Number of adaptation steps performed so far.
+    pub fn steps_taken(&self) -> usize {
+        self.steps_taken
+    }
+
+    /// Runs inference on one `(3, H, W)` frame and, when a batch of
+    /// `batch_size` unlabeled frames has been collected, performs the
+    /// adaptation step. Returns the frame's logits (pre-update prediction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame shape does not match the model config.
+    pub fn process_frame(&mut self, model: &mut UfldModel, frame: &Tensor) -> FrameOutcome {
+        let dims = frame.shape_dims();
+        assert_eq!(dims.len(), 3, "process_frame: want a (3, H, W) frame");
+        let batch1 = frame.to_shape(&[1, dims[0], dims[1], dims[2]]);
+
+        // Inference with the current model (stats per policy).
+        let logits = model.forward(&batch1, Mode::Eval);
+        let h = loss::entropy(&logits);
+
+        self.buffer.push(frame.clone());
+        let adapted = if self.buffer.len() >= self.cfg.batch_size {
+            let step = if self.cfg.batch_size == 1 && self.cfg.steps_per_batch == 1 {
+                // Fast path (bs = 1): reuse the inference forward's caches —
+                // the entropy gradient backpropagates through the activations
+                // just computed, so adaptation costs one backward pass only.
+                model.zero_grad();
+                model.backward(&h.grad);
+                model.visit_params(&mut |p| self.opt.update(p));
+                self.steps_taken += 1;
+                let after = loss::entropy(&model.forward(&batch1, Mode::Eval)).value;
+                AdaptStep { entropy_before: h.value, entropy_after: after }
+            } else {
+                let refs: Vec<&Tensor> = self.buffer.iter().collect();
+                let shaped: Vec<Tensor> = refs
+                    .iter()
+                    .map(|t| t.to_shape(&[1, dims[0], dims[1], dims[2]]))
+                    .collect();
+                let shaped_refs: Vec<&Tensor> = shaped.iter().collect();
+                let batch = Tensor::cat_batch(&shaped_refs);
+                let mut before = f32::NAN;
+                for s in 0..self.cfg.steps_per_batch {
+                    let out = model.forward(&batch, Mode::Eval);
+                    let hb = loss::entropy(&out);
+                    if s == 0 {
+                        before = hb.value;
+                    }
+                    model.zero_grad();
+                    model.backward(&hb.grad);
+                    model.visit_params(&mut |p| self.opt.update(p));
+                    self.steps_taken += 1;
+                }
+                let after = loss::entropy(&model.forward(&batch, Mode::Eval)).value;
+                AdaptStep { entropy_before: before, entropy_after: after }
+            };
+            self.buffer.clear();
+            Some(step)
+        } else {
+            None
+        };
+
+        FrameOutcome { logits, entropy: h.value, adapted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_tensor::rng::SeededRng;
+    use ld_ufld::UfldConfig;
+
+    fn tiny() -> (UfldConfig, UfldModel) {
+        let cfg = UfldConfig::tiny(2);
+        let model = UfldModel::new(&cfg, 21);
+        (cfg, model)
+    }
+
+    fn random_frame(cfg: &UfldConfig, seed: u64) -> Tensor {
+        SeededRng::new(seed).uniform_tensor(&[3, cfg.input_height, cfg.input_width], 0.0, 1.0)
+    }
+
+    #[test]
+    fn batch_size_controls_adaptation_cadence() {
+        let (cfg, mut model) = tiny();
+        let mut adapter = LdBnAdapter::new(LdBnAdaptConfig::paper(2), &mut model);
+        let f0 = random_frame(&cfg, 0);
+        let out0 = adapter.process_frame(&mut model, &f0);
+        assert!(out0.adapted.is_none());
+        let out1 = adapter.process_frame(&mut model, &random_frame(&cfg, 1));
+        assert!(out1.adapted.is_some());
+        assert_eq!(adapter.steps_taken(), 1);
+    }
+
+    #[test]
+    fn adaptation_reduces_batch_entropy() {
+        let (cfg, mut model) = tiny();
+        let mut adapter =
+            LdBnAdapter::new(LdBnAdaptConfig::paper(1).with_lr(5e-2), &mut model);
+        // Average over several frames: entropy after the step must drop.
+        let mut drops = 0;
+        let mut total = 0;
+        for i in 0..6 {
+            let out = adapter.process_frame(&mut model, &random_frame(&cfg, 100 + i));
+            let st = out.adapted.expect("bs=1 adapts each frame");
+            if st.entropy_after <= st.entropy_before {
+                drops += 1;
+            }
+            total += 1;
+        }
+        assert!(drops * 2 >= total, "entropy dropped on only {drops}/{total} steps");
+    }
+
+    #[test]
+    fn bn_only_adaptation_never_touches_conv_or_fc_weights() {
+        let (cfg, mut model) = tiny();
+        // Snapshot all non-BN parameters.
+        let mut before = Vec::new();
+        model.visit_params(&mut |p| {
+            if !p.kind.is_bn() {
+                before.push((p.name.clone(), p.value.clone()));
+            }
+        });
+        let mut adapter = LdBnAdapter::new(LdBnAdaptConfig::paper(1), &mut model);
+        for i in 0..3 {
+            adapter.process_frame(&mut model, &random_frame(&cfg, i));
+        }
+        let mut idx = 0;
+        model.visit_params(&mut |p| {
+            if !p.kind.is_bn() {
+                assert_eq!(
+                    p.value.as_slice(),
+                    before[idx].1.as_slice(),
+                    "{} changed under BnOnly",
+                    p.name
+                );
+                idx += 1;
+            }
+        });
+        // …and at least one BN parameter must have moved.
+        let mut bn_moved = false;
+        model.visit_params(&mut |p| {
+            if p.kind.is_bn() && p.value.as_slice().iter().any(|&v| v != 0.0 && v != 1.0) {
+                bn_moved = true;
+            }
+        });
+        assert!(bn_moved, "no BN parameter changed");
+    }
+
+    #[test]
+    fn conv_filter_ablation_touches_conv_weights() {
+        let (cfg, mut model) = tiny();
+        let mut conv_before = Vec::new();
+        model.visit_params(&mut |p| {
+            if p.kind.is_conv() {
+                conv_before.push(p.value.clone());
+            }
+        });
+        let mut adapter = LdBnAdapter::new(
+            LdBnAdaptConfig::paper(1).with_filter(ParamFilter::ConvOnly).with_lr(1e-2),
+            &mut model,
+        );
+        adapter.process_frame(&mut model, &random_frame(&cfg, 5));
+        let mut changed = false;
+        let mut i = 0;
+        model.visit_params(&mut |p| {
+            if p.kind.is_conv() {
+                if p.value.as_slice() != conv_before[i].as_slice() {
+                    changed = true;
+                }
+                i += 1;
+            }
+        });
+        assert!(changed, "ConvOnly ablation did not move conv weights");
+    }
+
+    #[test]
+    fn multi_step_config_takes_multiple_steps() {
+        let (cfg, mut model) = tiny();
+        let mut c = LdBnAdaptConfig::paper(1);
+        c.steps_per_batch = 3;
+        let mut adapter = LdBnAdapter::new(c, &mut model);
+        adapter.process_frame(&mut model, &random_frame(&cfg, 9));
+        assert_eq!(adapter.steps_taken(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero batch size")]
+    fn zero_batch_size_rejected() {
+        LdBnAdaptConfig::paper(0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Bridging the lane detector's configuration to the benchmark generator.
+
+use ld_carlane::FrameSpec;
+use ld_ufld::UfldConfig;
+
+/// Derives the benchmark [`FrameSpec`] matching a model configuration.
+///
+/// The generator renders frames at the model's input resolution and labels
+/// them on the model's grid/row-anchor layout, so streams plug directly into
+/// the network with no resizing.
+pub fn frame_spec_for(cfg: &UfldConfig) -> FrameSpec {
+    FrameSpec::new(
+        cfg.input_width,
+        cfg.input_height,
+        cfg.griding_num,
+        cfg.row_anchors,
+        cfg.num_lanes,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_ufld::Backbone;
+
+    #[test]
+    fn spec_matches_config_fields() {
+        let cfg = UfldConfig::scaled(Backbone::ResNet18, 4);
+        let spec = frame_spec_for(&cfg);
+        assert_eq!(spec.width, cfg.input_width);
+        assert_eq!(spec.height, cfg.input_height);
+        assert_eq!(spec.griding, cfg.griding_num);
+        assert_eq!(spec.row_anchors, cfg.row_anchors);
+        assert_eq!(spec.num_lanes, cfg.num_lanes);
+        assert_eq!(spec.background_class() as usize, cfg.background_class());
+    }
+}

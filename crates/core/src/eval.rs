@@ -1,0 +1,129 @@
+//! Evaluation harnesses: offline (frozen model) and online (adapt-as-you-go).
+
+use crate::bn_adapt::{LdBnAdaptConfig, LdBnAdapter};
+use crate::bridge::frame_spec_for;
+use ld_carlane::FrameStream;
+use ld_nn::{Layer, Mode};
+use ld_ufld::{decode_batch, score_image, AccuracyReport, UfldModel};
+use serde::{Deserialize, Serialize};
+
+/// Result of an online evaluation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineResult {
+    /// Aggregate accuracy over the whole stream.
+    pub report: AccuracyReport,
+    /// Per-frame accuracy (1 sample per frame).
+    pub per_frame: Vec<f32>,
+    /// Per-frame prediction entropy.
+    pub entropy: Vec<f32>,
+    /// Adaptation steps performed.
+    pub adapt_steps: usize,
+}
+
+impl OnlineResult {
+    /// Mean accuracy over a trailing window (for drift timelines).
+    pub fn window_accuracy(&self, end: usize, window: usize) -> f64 {
+        let lo = end.saturating_sub(window);
+        let slice = &self.per_frame[lo..end.min(self.per_frame.len())];
+        if slice.is_empty() {
+            return 0.0;
+        }
+        slice.iter().map(|&x| x as f64).sum::<f64>() / slice.len() as f64
+    }
+}
+
+/// Evaluates a frozen model on a stream (no adaptation — the paper's
+/// "UFLD no adaptation" reference, and the post-hoc evaluation of the SOTA
+/// baseline's adapted model).
+pub fn evaluate_frozen(model: &mut UfldModel, stream: &FrameStream) -> OnlineResult {
+    let cfg = model.config().clone();
+    let spec = frame_spec_for(&cfg);
+    debug_assert_eq!(spec, *stream.spec(), "stream spec mismatch");
+    let mut result = OnlineResult::default();
+    for i in 0..stream.len() {
+        let frame = stream.frame(i);
+        let batch1 = frame
+            .image
+            .to_shape(&[1, 3, cfg.input_height, cfg.input_width]);
+        let logits = model.forward(&batch1, Mode::Eval);
+        let lanes = decode_batch(&logits, &cfg);
+        let rep = score_image(&lanes[0], &frame.labels, &cfg);
+        result.per_frame.push(rep.accuracy() as f32);
+        result.entropy.push(ld_nn::loss::entropy(&logits).value);
+        result.report.merge(&rep);
+    }
+    result
+}
+
+/// Runs the paper's online protocol: for each incoming frame, inference with
+/// the current model, scoring, then (per the adapter's batch size) the
+/// adaptation step. The updated model serves the next frame.
+pub fn run_online(
+    model: &mut UfldModel,
+    adapt_cfg: LdBnAdaptConfig,
+    stream: &FrameStream,
+) -> OnlineResult {
+    let cfg = model.config().clone();
+    let mut adapter = LdBnAdapter::new(adapt_cfg, model);
+    let mut result = OnlineResult::default();
+    for i in 0..stream.len() {
+        let frame = stream.frame(i);
+        let out = adapter.process_frame(model, &frame.image);
+        let lanes = decode_batch(&out.logits, &cfg);
+        let rep = score_image(&lanes[0], &frame.labels, &cfg);
+        result.per_frame.push(rep.accuracy() as f32);
+        result.entropy.push(out.entropy);
+        result.report.merge(&rep);
+    }
+    result.adapt_steps = adapter.steps_taken();
+    result
+}
+
+/// Convenience: evaluates on the labeled source split (sanity ceiling).
+pub fn evaluate_source(
+    model: &mut UfldModel,
+    benchmark: ld_carlane::Benchmark,
+    frames: usize,
+    seed: u64,
+) -> OnlineResult {
+    let spec = frame_spec_for(model.config());
+    let stream = FrameStream::source(benchmark, spec, frames, seed);
+    evaluate_frozen(model, &stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{pretrain_on_source, TrainConfig};
+    use ld_carlane::Benchmark;
+    use ld_ufld::UfldConfig;
+
+    #[test]
+    fn frozen_and_online_eval_run_end_to_end() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = UfldModel::new(&cfg, 41);
+        pretrain_on_source(&mut model, Benchmark::MoLane, &TrainConfig::smoke());
+        let spec = frame_spec_for(&cfg);
+        let stream = FrameStream::target(Benchmark::MoLane, spec, 6, 77);
+
+        let frozen = evaluate_frozen(&mut model, &stream);
+        assert_eq!(frozen.per_frame.len(), 6);
+        assert_eq!(frozen.adapt_steps, 0);
+
+        let online = run_online(&mut model, crate::LdBnAdaptConfig::paper(2), &stream);
+        assert_eq!(online.per_frame.len(), 6);
+        assert_eq!(online.adapt_steps, 3);
+        assert!(online.report.gt_points > 0);
+    }
+
+    #[test]
+    fn window_accuracy_slices_correctly() {
+        let r = OnlineResult {
+            per_frame: vec![0.0, 0.0, 1.0, 1.0],
+            ..Default::default()
+        };
+        assert!((r.window_accuracy(4, 2) - 1.0).abs() < 1e-9);
+        assert!((r.window_accuracy(2, 2) - 0.0).abs() < 1e-9);
+        assert!((r.window_accuracy(4, 4) - 0.5).abs() < 1e-9);
+    }
+}

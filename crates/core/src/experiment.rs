@@ -1,0 +1,223 @@
+//! Reusable experiment runners behind the paper's Figure 2 and the §III
+//! parameter-group ablation. The `ld-bench` binaries are thin wrappers
+//! around these.
+
+use crate::bn_adapt::LdBnAdaptConfig;
+use crate::bridge::frame_spec_for;
+use crate::eval::{evaluate_frozen, run_online, OnlineResult};
+use crate::sota::{adapt_sota, SotaConfig};
+use crate::trainer::{pretrain_on_source, TrainConfig};
+use ld_carlane::{Benchmark, FrameStream};
+use ld_nn::ParamFilter;
+use ld_ufld::{Backbone, UfldConfig, UfldModel};
+use serde::{Deserialize, Serialize};
+
+/// An adaptation method evaluated in Figure 2 (plus the §III ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Method {
+    /// Source-trained UFLD deployed as-is ("UFLD no adaptation").
+    NoAdapt,
+    /// The CARLANE SOTA offline adaptation baseline.
+    Sota,
+    /// LD-BN-ADAPT with the given adaptation batch size (1, 2 or 4).
+    BnAdapt {
+        /// Frames per adaptation step.
+        batch_size: usize,
+    },
+    /// §III ablation: adapt convolutional parameters instead of BN.
+    ConvAdapt,
+    /// §III ablation: adapt fully-connected parameters instead of BN.
+    FcAdapt,
+}
+
+impl Method {
+    /// Paper-style label.
+    pub fn label(self) -> String {
+        match self {
+            Method::NoAdapt => "UFLD (no adapt)".into(),
+            Method::Sota => "CARLANE SOTA".into(),
+            Method::BnAdapt { batch_size } => format!("LD-BN-ADAPT bs={batch_size}"),
+            Method::ConvAdapt => "CONV-ADAPT (ablation)".into(),
+            Method::FcAdapt => "FC-ADAPT (ablation)".into(),
+        }
+    }
+}
+
+/// Configuration of one Figure-2-style experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Pre-training schedule.
+    pub train: TrainConfig,
+    /// SOTA baseline schedule.
+    pub sota: SotaConfig,
+    /// Online adaptation learning rate.
+    pub adapt_lr: f32,
+    /// Frames in the target evaluation stream.
+    pub eval_frames: usize,
+    /// Stream seed (shared by all methods → identical pixels).
+    pub eval_seed: u64,
+    /// Model-init seed.
+    pub model_seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The scaled configuration used to regenerate Figure 2.
+    pub fn scaled() -> Self {
+        ExperimentConfig {
+            train: TrainConfig::scaled(),
+            sota: SotaConfig::scaled(),
+            adapt_lr: 1e-3,
+            eval_frames: 240,
+            eval_seed: 0xE7A1,
+            model_seed: 0x5EED,
+        }
+    }
+
+    /// Miniature configuration for integration tests.
+    pub fn smoke() -> Self {
+        ExperimentConfig {
+            train: TrainConfig::smoke(),
+            sota: SotaConfig::smoke(),
+            adapt_lr: 1e-3,
+            eval_frames: 10,
+            eval_seed: 0xE7A2,
+            model_seed: 0x5EED,
+        }
+    }
+}
+
+/// Result of one (benchmark, backbone, method) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Benchmark evaluated.
+    pub benchmark: Benchmark,
+    /// Backbone used.
+    pub backbone: Backbone,
+    /// Method label.
+    pub method: String,
+    /// Accuracy in percent (paper's Fig. 2 y-axis).
+    pub accuracy_pct: f64,
+    /// Adaptation steps performed (0 for offline methods).
+    pub adapt_steps: usize,
+}
+
+/// A pre-trained model bundle reused across the methods of one column.
+pub struct PretrainedCell {
+    cfg: UfldConfig,
+    state: Vec<(String, ld_tensor::Tensor)>,
+    benchmark: Benchmark,
+    backbone: Backbone,
+}
+
+impl PretrainedCell {
+    /// Pre-trains a model for `(benchmark, backbone)` on the source domain
+    /// using `base_cfg` scaled-model hyper-parameters.
+    pub fn train(benchmark: Benchmark, backbone: Backbone, exp: &ExperimentConfig, tiny: bool) -> Self {
+        let cfg = if tiny {
+            let mut c = UfldConfig::tiny(benchmark.num_lanes());
+            c.backbone = backbone;
+            c
+        } else {
+            UfldConfig::scaled(backbone, benchmark.num_lanes())
+        };
+        let mut model = UfldModel::new(&cfg, exp.model_seed);
+        pretrain_on_source(&mut model, benchmark, &exp.train);
+        PretrainedCell {
+            cfg,
+            state: model.state_dict(),
+            benchmark,
+            backbone,
+        }
+    }
+
+    /// A fresh copy of the pre-trained model (methods never share state).
+    pub fn fresh_model(&self) -> UfldModel {
+        let mut m = UfldModel::new(&self.cfg, 0);
+        m.load_state_dict(&self.state);
+        m
+    }
+
+    /// The model config.
+    pub fn config(&self) -> &UfldConfig {
+        &self.cfg
+    }
+
+    /// Evaluates one method on this cell's shared target stream.
+    pub fn evaluate(&self, method: Method, exp: &ExperimentConfig) -> (CellResult, OnlineResult) {
+        let spec = frame_spec_for(&self.cfg);
+        let stream = FrameStream::target(self.benchmark, spec, exp.eval_frames, exp.eval_seed);
+        let mut model = self.fresh_model();
+        let online = match method {
+            Method::NoAdapt => evaluate_frozen(&mut model, &stream),
+            Method::Sota => {
+                adapt_sota(&mut model, self.benchmark, &exp.sota);
+                evaluate_frozen(&mut model, &stream)
+            }
+            Method::BnAdapt { batch_size } => run_online(
+                &mut model,
+                LdBnAdaptConfig::paper(batch_size).with_lr(exp.adapt_lr),
+                &stream,
+            ),
+            Method::ConvAdapt => run_online(
+                &mut model,
+                LdBnAdaptConfig::paper(1)
+                    .with_lr(exp.adapt_lr)
+                    .with_filter(ParamFilter::ConvOnly),
+                &stream,
+            ),
+            Method::FcAdapt => run_online(
+                &mut model,
+                LdBnAdaptConfig::paper(1)
+                    .with_lr(exp.adapt_lr)
+                    .with_filter(ParamFilter::FcOnly),
+                &stream,
+            ),
+        };
+        let cell = CellResult {
+            benchmark: self.benchmark,
+            backbone: self.backbone,
+            method: method.label(),
+            accuracy_pct: online.report.percent(),
+            adapt_steps: online.adapt_steps,
+        };
+        (cell, online)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_cell_runs_all_methods() {
+        let exp = ExperimentConfig::smoke();
+        let cell = PretrainedCell::train(Benchmark::MoLane, Backbone::ResNet18, &exp, true);
+        for method in [
+            Method::NoAdapt,
+            Method::BnAdapt { batch_size: 2 },
+            Method::ConvAdapt,
+        ] {
+            let (res, online) = cell.evaluate(method, &exp);
+            assert!(res.accuracy_pct >= 0.0 && res.accuracy_pct <= 100.0, "{res:?}");
+            assert_eq!(online.per_frame.len(), exp.eval_frames);
+        }
+    }
+
+    #[test]
+    fn methods_share_identical_streams() {
+        // Two evaluations of the same method must agree exactly
+        // (determinism of streams + fresh model copies).
+        let exp = ExperimentConfig::smoke();
+        let cell = PretrainedCell::train(Benchmark::MoLane, Backbone::ResNet18, &exp, true);
+        let (a, _) = cell.evaluate(Method::BnAdapt { batch_size: 1 }, &exp);
+        let (b, _) = cell.evaluate(Method::BnAdapt { batch_size: 1 }, &exp);
+        assert_eq!(a.accuracy_pct, b.accuracy_pct);
+    }
+
+    #[test]
+    fn method_labels_match_paper_vocabulary() {
+        assert_eq!(Method::BnAdapt { batch_size: 1 }.label(), "LD-BN-ADAPT bs=1");
+        assert!(Method::Sota.label().contains("SOTA"));
+        assert!(Method::NoAdapt.label().contains("no adapt"));
+    }
+}

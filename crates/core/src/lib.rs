@@ -1,0 +1,49 @@
+//! **LD-BN-ADAPT** — real-time, fully unsupervised domain adaptation for
+//! lane detection (the paper's contribution), with baselines and ablations.
+//!
+//! The deployment story this crate implements (paper §I–§III):
+//!
+//! * a UFLD lane detector is pre-trained on *labeled simulator data*
+//!   ([`trainer`]);
+//! * deployed in the vehicle, it sees *unlabeled* real-world frames from a
+//!   30 FPS camera whose appearance statistics differ from training;
+//! * after each inference, [`LdBnAdapter`] recomputes the batch-norm
+//!   statistics from the unlabeled batch and takes **one entropy-descent
+//!   step on the BN scale/shift parameters only** (~1 % of the model) —
+//!   cheap enough for on-device, real-time use;
+//! * the offline state of the art ([`sota`]) — k-means embedding encoding,
+//!   source-prototype knowledge transfer, pseudo-labels and multi-epoch
+//!   full-network fine-tuning — serves as the accuracy reference that is
+//!   *not* real-time capable;
+//! * [`eval`] and [`experiment`] reproduce the paper's Figure 2 protocol,
+//!   including the batch-size sweep and the conv/FC ablations.
+//!
+//! # Example: online adaptation over a target stream
+//!
+//! ```
+//! use ld_adapt::{frame_spec_for, run_online, LdBnAdaptConfig};
+//! use ld_carlane::{Benchmark, FrameStream};
+//! use ld_ufld::{UfldConfig, UfldModel};
+//!
+//! let cfg = UfldConfig::tiny(2);
+//! let mut model = UfldModel::new(&cfg, 7);
+//! let stream = FrameStream::target(Benchmark::MoLane, frame_spec_for(&cfg), 4, 9);
+//! let result = run_online(&mut model, LdBnAdaptConfig::paper(1), &stream);
+//! assert_eq!(result.adapt_steps, 4); // bs = 1 ⇒ adapt after every frame
+//! ```
+
+pub mod bn_adapt;
+pub mod bridge;
+pub mod eval;
+pub mod experiment;
+pub mod governor;
+pub mod sota;
+pub mod trainer;
+
+pub use bn_adapt::{AdaptStep, FrameOutcome, LdBnAdaptConfig, LdBnAdapter};
+pub use governor::{AdaptGovernor, GovernorConfig, GovernorStats};
+pub use bridge::frame_spec_for;
+pub use eval::{evaluate_frozen, evaluate_source, run_online, OnlineResult};
+pub use experiment::{CellResult, ExperimentConfig, Method, PretrainedCell};
+pub use sota::{adapt_sota, SotaConfig, SotaStats};
+pub use trainer::{pretrain_on_source, TrainConfig, TrainStats};

@@ -1,0 +1,107 @@
+//! Activation and shape-adapter layers (parameter-free).
+
+use crate::layer::{Layer, Mode};
+use ld_tensor::Tensor;
+
+/// Rectified linear unit, `y = max(x, 0)`.
+#[derive(Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let mut mask = vec![false; x.len()];
+        let mut out = x.clone();
+        for (i, v) in out.as_mut_slice().iter_mut().enumerate() {
+            if *v > 0.0 {
+                mask[i] = true;
+            } else {
+                *v = 0.0;
+            }
+        }
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("Relu::backward before forward");
+        assert_eq!(grad_out.len(), mask.len(), "Relu::backward: size mismatch");
+        let mut g = grad_out.clone();
+        for (v, &m) in g.as_mut_slice().iter_mut().zip(mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+}
+
+/// Flattens NCHW activations to `(batch, C·H·W)` rows (and restores the
+/// shape on backward).
+#[derive(Default)]
+pub struct Flatten {
+    in_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { in_shape: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let dims = x.shape_dims().to_vec();
+        assert!(dims.len() >= 2, "Flatten: want rank ≥ 2, got {}", dims.len());
+        let n = dims[0];
+        let rest: usize = dims[1..].iter().product();
+        self.in_shape = Some(dims);
+        x.to_shape(&[n, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.in_shape.as_ref().expect("Flatten::backward before forward");
+        grad_out.to_shape(shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_and_masks_gradient() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-2.0, 0.0, 3.0], &[1, 3]);
+        let y = r.forward(&x, Mode::Train);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 3.0]);
+        let g = r.backward(&Tensor::from_vec(vec![1.0, 1.0, 1.0], &[1, 3]));
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::arange(0.0, 1.0, 24).reshape(&[2, 3, 2, 2]);
+        let y = f.forward(&x, Mode::Eval);
+        assert_eq!(y.shape_dims(), &[2, 12]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape_dims(), &[2, 3, 2, 2]);
+        assert_eq!(g.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "before forward")]
+    fn relu_backward_without_forward_panics() {
+        Relu::new().backward(&Tensor::zeros(&[1]));
+    }
+}

@@ -1,0 +1,422 @@
+//! Batch normalisation — the layer LD-BN-ADAPT adapts at test time.
+//!
+//! A BN layer computes `y = γ·(x − µ)/σ + β` per channel. The paper's method
+//! (§III) touches both halves:
+//!
+//! 1. the normalisation statistics `(µ, σ)` are **recomputed from the
+//!    unlabeled target batch** instead of the training-time running
+//!    estimates (controlled here by [`BnStatsPolicy`]), and
+//! 2. the affine parameters `(γ, β)` are **updated by one entropy-descent
+//!    step** (they are the only [`Parameter`]s a
+//!    [`ParamFilter::BnOnly`](crate::ParamFilter::BnOnly) leaves trainable).
+
+// The normalisation kernels index several per-channel arrays in lockstep;
+// plain index loops are clearer than zipped iterator chains here.
+#![allow(clippy::needless_range_loop)]
+
+use crate::layer::{Layer, Mode};
+use crate::param::{ParamKind, Parameter};
+use ld_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Which statistics a BN layer normalises with during [`Mode::Eval`].
+///
+/// During [`Mode::Train`] batch statistics are always used (and running
+/// estimates updated), as in every deep-learning framework.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum BnStatsPolicy {
+    /// Frozen running statistics from training (standard deployment; the
+    /// paper's "no adaptation" reference).
+    #[default]
+    Running,
+    /// Statistics recomputed from the current batch (the paper's choice:
+    /// "normalization … recomputed from the unlabeled data").
+    Batch,
+    /// Batch statistics, additionally folded into the running estimates with
+    /// the given momentum — an ablation variant that retains memory across
+    /// frames.
+    BatchEma {
+        /// Running-estimate update momentum in `(0, 1]`.
+        momentum: f32,
+    },
+}
+
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    used_batch_stats: bool,
+    count: usize,
+}
+
+/// 2-D batch normalisation over NCHW activations.
+///
+/// # Example
+///
+/// ```
+/// use ld_nn::{BatchNorm2d, Layer, Mode};
+/// use ld_tensor::Tensor;
+///
+/// let mut bn = BatchNorm2d::new("bn", 2);
+/// let x = Tensor::from_vec(vec![1.0, 3.0, -2.0, 2.0], &[1, 2, 1, 2]);
+/// let y = bn.forward(&x, Mode::Train);
+/// // Per-channel batch mean is removed.
+/// assert!(y.as_slice()[0] + y.as_slice()[1] < 1e-5);
+/// ```
+pub struct BatchNorm2d {
+    name: String,
+    gamma: Parameter,
+    beta: Parameter,
+    running_mean: Tensor,
+    running_var: Tensor,
+    channels: usize,
+    /// Statistics policy applied in [`Mode::Eval`].
+    pub policy: BnStatsPolicy,
+    /// Momentum for running-stat updates during training.
+    pub train_momentum: f32,
+    eps: f32,
+    cache: Option<BnCache>,
+}
+
+impl BatchNorm2d {
+    /// Creates a BN layer with γ=1, β=0, running stats (0, 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(name: &str, channels: usize) -> Self {
+        assert!(channels > 0, "BatchNorm2d: zero channels");
+        BatchNorm2d {
+            name: name.to_owned(),
+            gamma: Parameter::new(format!("{name}.gamma"), ParamKind::BnGamma, Tensor::ones(&[channels])),
+            beta: Parameter::new(format!("{name}.beta"), ParamKind::BnBeta, Tensor::zeros(&[channels])),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            channels,
+            policy: BnStatsPolicy::Running,
+            train_momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Current running mean (one value per channel).
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// Current running variance (one value per channel).
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+
+    /// Immutable access to γ.
+    pub fn gamma(&self) -> &Parameter {
+        &self.gamma
+    }
+
+    /// Immutable access to β.
+    pub fn beta(&self) -> &Parameter {
+        &self.beta
+    }
+
+    fn fold_into_running(&mut self, mean: &Tensor, var: &Tensor, momentum: f32) {
+        for c in 0..self.channels {
+            let rm = &mut self.running_mean.as_mut_slice()[c];
+            *rm = (1.0 - momentum) * *rm + momentum * mean.as_slice()[c];
+            let rv = &mut self.running_var.as_mut_slice()[c];
+            *rv = (1.0 - momentum) * *rv + momentum * var.as_slice()[c];
+        }
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let (n, c, h, w) = x.dims4();
+        assert_eq!(c, self.channels, "BatchNorm2d {}: {c} channels, want {}", self.gamma.name, self.channels);
+        let use_batch = match (mode, self.policy) {
+            (Mode::Train, _) => true,
+            (Mode::Eval, BnStatsPolicy::Running) => false,
+            (Mode::Eval, BnStatsPolicy::Batch | BnStatsPolicy::BatchEma { .. }) => true,
+        };
+
+        let (mean, var) = if use_batch {
+            let m = x.channel_mean_nchw();
+            let v = x.channel_var_nchw(&m);
+            match (mode, self.policy) {
+                (Mode::Train, _) => {
+                    let mom = self.train_momentum;
+                    self.fold_into_running(&m, &v, mom);
+                }
+                (Mode::Eval, BnStatsPolicy::BatchEma { momentum }) => {
+                    self.fold_into_running(&m, &v, momentum);
+                }
+                _ => {}
+            }
+            (m, v)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+
+        let plane = h * w;
+        let mut x_hat = Tensor::zeros(x.shape_dims());
+        let mut out = Tensor::zeros(x.shape_dims());
+        let mut inv_std = vec![0.0f32; c];
+        for ci in 0..c {
+            inv_std[ci] = 1.0 / (var.as_slice()[ci] + self.eps).sqrt();
+        }
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * plane;
+                let mu = mean.as_slice()[ci];
+                let is = inv_std[ci];
+                let g = self.gamma.value.as_slice()[ci];
+                let b = self.beta.value.as_slice()[ci];
+                for i in 0..plane {
+                    let xh = (x.as_slice()[base + i] - mu) * is;
+                    x_hat.as_mut_slice()[base + i] = xh;
+                    out.as_mut_slice()[base + i] = g * xh + b;
+                }
+            }
+        }
+        self.cache = Some(BnCache {
+            x_hat,
+            inv_std,
+            used_batch_stats: use_batch,
+            count: n * plane,
+        });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("BatchNorm2d::backward before forward");
+        let (n, c, h, w) = grad_out.dims4();
+        assert_eq!(
+            grad_out.shape_dims(),
+            cache.x_hat.shape_dims(),
+            "BatchNorm2d::backward: gradient shape mismatch"
+        );
+        let plane = h * w;
+        let m = cache.count as f32;
+
+        // Per-channel reductions Σdy and Σ dy·x̂.
+        let mut sum_dy = vec![0.0f32; c];
+        let mut sum_dy_xhat = vec![0.0f32; c];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * plane;
+                let mut s = 0.0;
+                let mut sx = 0.0;
+                for i in 0..plane {
+                    let dy = grad_out.as_slice()[base + i];
+                    s += dy;
+                    sx += dy * cache.x_hat.as_slice()[base + i];
+                }
+                sum_dy[ci] += s;
+                sum_dy_xhat[ci] += sx;
+            }
+        }
+
+        if self.gamma.trainable {
+            for ci in 0..c {
+                self.gamma.grad.as_mut_slice()[ci] += sum_dy_xhat[ci];
+            }
+        }
+        if self.beta.trainable {
+            for ci in 0..c {
+                self.beta.grad.as_mut_slice()[ci] += sum_dy[ci];
+            }
+        }
+
+        let mut grad_in = Tensor::zeros(grad_out.shape_dims());
+        if cache.used_batch_stats {
+            // Full BN backward: statistics depend on x.
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = (ni * c + ci) * plane;
+                    let g = self.gamma.value.as_slice()[ci];
+                    let is = cache.inv_std[ci];
+                    let k1 = sum_dy[ci] / m;
+                    let k2 = sum_dy_xhat[ci] / m;
+                    for i in 0..plane {
+                        let dy = grad_out.as_slice()[base + i];
+                        let xh = cache.x_hat.as_slice()[base + i];
+                        grad_in.as_mut_slice()[base + i] = g * is * (dy - k1 - xh * k2);
+                    }
+                }
+            }
+        } else {
+            // Running stats are constants: dx = dy · γ · inv_std.
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = (ni * c + ci) * plane;
+                    let scale = self.gamma.value.as_slice()[ci] * cache.inv_std[ci];
+                    for i in 0..plane {
+                        grad_in.as_mut_slice()[base + i] = grad_out.as_slice()[base + i] * scale;
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        let prefix = self.name.clone();
+        f(&format!("{prefix}.gamma"), &mut self.gamma.value);
+        f(&format!("{prefix}.beta"), &mut self.beta.value);
+        f(&format!("{prefix}.running_mean"), &mut self.running_mean);
+        f(&format!("{prefix}.running_var"), &mut self.running_var);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_tensor::rng::SeededRng;
+
+    #[test]
+    fn train_forward_normalises_batch() {
+        let mut bn = BatchNorm2d::new("bn", 2);
+        let mut rng = SeededRng::new(1);
+        let x = rng.uniform_tensor(&[4, 2, 3, 3], -3.0, 5.0);
+        let y = bn.forward(&x, Mode::Train);
+        let m = y.channel_mean_nchw();
+        let v = y.channel_var_nchw(&m);
+        for c in 0..2 {
+            assert!(m.as_slice()[c].abs() < 1e-4);
+            assert!((v.as_slice()[c] - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn train_updates_running_stats_toward_batch() {
+        let mut bn = BatchNorm2d::new("bn", 1);
+        let x = Tensor::full(&[2, 1, 2, 2], 10.0);
+        bn.forward(&x, Mode::Train);
+        // mean moved from 0 toward 10 by momentum 0.1.
+        assert!((bn.running_mean().as_slice()[0] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn eval_running_policy_uses_frozen_stats() {
+        let mut bn = BatchNorm2d::new("bn", 1);
+        bn.running_mean = Tensor::from_vec(vec![5.0], &[1]);
+        bn.running_var = Tensor::from_vec(vec![4.0], &[1]);
+        let x = Tensor::full(&[1, 1, 1, 2], 9.0);
+        let y = bn.forward(&x, Mode::Eval);
+        // (9 − 5)/2 = 2.
+        for &v in y.as_slice() {
+            assert!((v - 2.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn eval_batch_policy_recomputes_stats() {
+        let mut bn = BatchNorm2d::new("bn", 1);
+        bn.policy = BnStatsPolicy::Batch;
+        // Running stats are garbage; batch stats must be used instead.
+        bn.running_mean = Tensor::from_vec(vec![1000.0], &[1]);
+        let x = Tensor::from_vec(vec![1.0, 3.0], &[1, 1, 1, 2]);
+        let y = bn.forward(&x, Mode::Eval);
+        assert!((y.as_slice()[0] + y.as_slice()[1]).abs() < 1e-4, "batch-normalised output sums to ~0");
+        // Batch policy must NOT touch running stats.
+        assert_eq!(bn.running_mean().as_slice()[0], 1000.0);
+    }
+
+    #[test]
+    fn eval_batch_ema_policy_updates_running() {
+        let mut bn = BatchNorm2d::new("bn", 1);
+        bn.policy = BnStatsPolicy::BatchEma { momentum: 0.5 };
+        let x = Tensor::full(&[1, 1, 1, 2], 8.0);
+        bn.forward(&x, Mode::Eval);
+        assert!((bn.running_mean().as_slice()[0] - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference_batch_stats() {
+        let mut bn = BatchNorm2d::new("bn", 2);
+        let mut rng = SeededRng::new(3);
+        bn.gamma.value = rng.uniform_tensor(&[2], 0.5, 1.5);
+        bn.beta.value = rng.uniform_tensor(&[2], -0.5, 0.5);
+        let x = rng.uniform_tensor(&[2, 2, 2, 2], -1.0, 1.0);
+
+        // loss = Σ y² / 2  ⇒ dL/dy = y.
+        let y = bn.forward(&x, Mode::Train);
+        let gin = bn.backward(&y);
+
+        let eps = 1e-2;
+        let loss = |bn: &mut BatchNorm2d, x: &Tensor| {
+            let y = bn.forward(x, Mode::Train);
+            0.5 * y.sq_norm()
+        };
+        for &idx in &[0usize, 5, 10, 15] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&mut bn, &xp) - loss(&mut bn, &xm)) / (2.0 * eps);
+            let an = gin.as_slice()[idx];
+            assert!((fd - an).abs() < 2e-2, "dx[{idx}]: fd {fd} an {an}");
+        }
+        // γ gradient.
+        let _ = loss(&mut bn, &x); // refresh cache
+        bn.zero_grad();
+        let y = bn.forward(&x, Mode::Train);
+        bn.backward(&y.clone());
+        for ci in 0..2 {
+            let base = bn.gamma.value.clone();
+            let mut gp = base.clone();
+            gp.as_mut_slice()[ci] += eps;
+            bn.gamma.value = gp;
+            let fp = loss(&mut bn, &x);
+            let mut gm = base.clone();
+            gm.as_mut_slice()[ci] -= eps;
+            bn.gamma.value = gm;
+            let fm = loss(&mut bn, &x);
+            bn.gamma.value = base;
+            let fd = (fp - fm) / (2.0 * eps);
+            let an = bn.gamma.grad.as_slice()[ci];
+            assert!((fd - an).abs() < 3e-2, "dγ[{ci}]: fd {fd} an {an}");
+        }
+    }
+
+    #[test]
+    fn backward_running_stats_is_linear_scaling() {
+        let mut bn = BatchNorm2d::new("bn", 1);
+        bn.running_var = Tensor::from_vec(vec![3.0], &[1]);
+        bn.gamma.value = Tensor::from_vec(vec![2.0], &[1]);
+        let x = Tensor::full(&[1, 1, 1, 3], 1.0);
+        bn.forward(&x, Mode::Eval);
+        let g = bn.backward(&Tensor::ones(&[1, 1, 1, 3]));
+        let want = 2.0 / (3.0f32 + 1e-5).sqrt();
+        for &v in g.as_slice() {
+            assert!((v - want).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bn_param_count_is_two_per_channel() {
+        let mut bn = BatchNorm2d::new("bn", 8);
+        assert_eq!(bn.param_count(), 16);
+    }
+
+    #[test]
+    fn single_image_batch_uses_spatial_statistics() {
+        // bs=1 adaptation works because stats are over H·W.
+        let mut bn = BatchNorm2d::new("bn", 1);
+        bn.policy = BnStatsPolicy::Batch;
+        let x = Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], &[1, 1, 2, 2]);
+        let y = bn.forward(&x, Mode::Eval);
+        let mean: f32 = y.as_slice().iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+    }
+}

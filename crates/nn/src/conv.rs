@@ -1,0 +1,328 @@
+//! 2-D convolution via im2col + GEMM, with full backward pass.
+
+use crate::layer::{Layer, Mode};
+use crate::param::{ParamKind, Parameter};
+use ld_tensor::conv::{im2col, ConvGeom};
+use ld_tensor::linalg::{gemm, Trans};
+use ld_tensor::rng::SeededRng;
+use ld_tensor::Tensor;
+
+struct ConvCache {
+    /// One im2col matrix `(K, OH·OW)` per batch image.
+    cols: Vec<Tensor>,
+    geom: ConvGeom,
+    batch: usize,
+}
+
+/// A 2-D convolution layer (square kernel, equal stride/pad on both axes).
+///
+/// Weights are stored `(out_ch, in_ch, k, k)`; activations are NCHW.
+///
+/// # Example
+///
+/// ```
+/// use ld_nn::{Conv2d, Layer, Mode};
+/// use ld_tensor::Tensor;
+///
+/// let mut conv = Conv2d::new("c", 3, 8, 3, 1, 1, true, 42);
+/// let x = Tensor::zeros(&[2, 3, 8, 8]);
+/// let y = conv.forward(&x, Mode::Eval);
+/// assert_eq!(y.shape_dims(), &[2, 8, 8, 8]);
+/// ```
+pub struct Conv2d {
+    weight: Parameter,
+    bias: Option<Parameter>,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    cache: Option<ConvCache>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-normal weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_ch`, `out_ch`, `kernel` or `stride` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+        seed: u64,
+    ) -> Self {
+        assert!(in_ch > 0 && out_ch > 0 && kernel > 0 && stride > 0, "Conv2d: zero dimension");
+        let fan_in = in_ch * kernel * kernel;
+        let mut rng = SeededRng::new(seed);
+        let weight = Parameter::new(
+            format!("{name}.weight"),
+            ParamKind::ConvWeight,
+            rng.kaiming_tensor(&[out_ch, in_ch, kernel, kernel], fan_in),
+        );
+        let bias = bias.then(|| {
+            Parameter::new(format!("{name}.bias"), ParamKind::ConvBias, Tensor::zeros(&[out_ch]))
+        });
+        Conv2d { weight, bias, in_ch, out_ch, kernel, stride, pad, cache: None }
+    }
+
+    /// Output spatial dims for an input of `h × w`.
+    pub fn out_dims(&self, h: usize, w: usize) -> (usize, usize) {
+        let g = self.geom(h, w);
+        (g.out_h(), g.out_w())
+    }
+
+    fn geom(&self, h: usize, w: usize) -> ConvGeom {
+        ConvGeom {
+            c: self.in_ch,
+            h,
+            w,
+            kh: self.kernel,
+            kw: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+        }
+    }
+
+    /// The weight tensor viewed as a `(out_ch, K)` matrix.
+    fn weight_matrix(&self) -> Tensor {
+        let k = self.in_ch * self.kernel * self.kernel;
+        self.weight.value.to_shape(&[self.out_ch, k])
+    }
+
+    /// Immutable access to the weight parameter (for tests/censuses).
+    pub fn weight(&self) -> &Parameter {
+        &self.weight
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let (n, c, h, w) = x.dims4();
+        assert_eq!(c, self.in_ch, "Conv2d {}: input has {c} channels, want {}", self.weight.name, self.in_ch);
+        let g = self.geom(h, w);
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let k = g.col_rows();
+        let spatial = oh * ow;
+        let wmat = self.weight_matrix();
+
+        let mut out = Tensor::zeros(&[n, self.out_ch, oh, ow]);
+        let mut cols = Vec::with_capacity(n);
+        for ni in 0..n {
+            let mut col = Tensor::zeros(&[k, spatial]);
+            im2col(x.image(ni), g, col.as_mut_slice());
+            // y_i = W[O,K] · col[K, S]
+            let mut y = Tensor::zeros(&[self.out_ch, spatial]);
+            gemm(1.0, &wmat, Trans::No, &col, Trans::No, 0.0, &mut y);
+            if let Some(b) = &self.bias {
+                for o in 0..self.out_ch {
+                    let bv = b.value.as_slice()[o];
+                    for v in &mut y.as_mut_slice()[o * spatial..(o + 1) * spatial] {
+                        *v += bv;
+                    }
+                }
+            }
+            out.image_mut(ni).copy_from_slice(y.as_slice());
+            cols.push(col);
+        }
+        self.cache = Some(ConvCache { cols, geom: g, batch: n });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("Conv2d::backward before forward");
+        let g = cache.geom;
+        let (n, oc, oh, ow) = grad_out.dims4();
+        assert_eq!(n, cache.batch, "Conv2d::backward: batch mismatch");
+        assert_eq!(oc, self.out_ch, "Conv2d::backward: channel mismatch");
+        assert_eq!((oh, ow), (g.out_h(), g.out_w()), "Conv2d::backward: spatial mismatch");
+        let spatial = oh * ow;
+        let k = g.col_rows();
+        let wmat = self.weight_matrix();
+
+        let mut grad_in = Tensor::zeros(&[n, g.c, g.h, g.w]);
+        let mut dw = Tensor::zeros(&[self.out_ch, k]);
+        let compute_dw = self.weight.trainable;
+
+        for ni in 0..n {
+            let dy = Tensor::from_vec(grad_out.image(ni).to_vec(), &[self.out_ch, spatial]);
+            if compute_dw {
+                // dW[O,K] += dY[O,S] · colᵀ[S,K]
+                gemm(1.0, &dy, Trans::No, &cache.cols[ni], Trans::Yes, 1.0, &mut dw);
+            }
+            // dcol[K,S] = Wᵀ[K,O] · dY[O,S]
+            let mut dcol = Tensor::zeros(&[k, spatial]);
+            gemm(1.0, &wmat, Trans::Yes, &dy, Trans::No, 0.0, &mut dcol);
+            ld_tensor::conv::col2im(dcol.as_slice(), g, grad_in.image_mut(ni));
+        }
+
+        if compute_dw {
+            self.weight.grad.axpy(
+                1.0,
+                &dw.reshape(&[self.out_ch, self.in_ch, self.kernel, self.kernel]),
+            );
+        }
+        if let Some(b) = &mut self.bias {
+            if b.trainable {
+                for ni in 0..n {
+                    let img = grad_out.image(ni);
+                    for o in 0..self.out_ch {
+                        let s: f32 = img[o * spatial..(o + 1) * spatial].iter().sum();
+                        b.grad.as_mut_slice()[o] += s;
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manual_conv_single(
+        x: &Tensor,
+        w: &Tensor,
+        b: Option<&Tensor>,
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
+        let (n, c, h, wd) = x.dims4();
+        let oc = w.shape_dims()[0];
+        let k = w.shape_dims()[2];
+        let oh = (h + 2 * pad - k) / stride + 1;
+        let ow = (wd + 2 * pad - k) / stride + 1;
+        let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+        for ni in 0..n {
+            for o in 0..oc {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = b.map_or(0.0, |bb| bb.as_slice()[o]);
+                        for ci in 0..c {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let iy = (oy * stride + ky) as isize - pad as isize;
+                                    let ix = (ox * stride + kx) as isize - pad as isize;
+                                    if iy >= 0 && iy < h as isize && ix >= 0 && ix < wd as isize {
+                                        acc += x.at(&[ni, ci, iy as usize, ix as usize])
+                                            * w.at(&[o, ci, ky, kx]);
+                                    }
+                                }
+                            }
+                        }
+                        *out.at_mut(&[ni, o, oy, ox]) = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn forward_matches_direct_convolution() {
+        let mut conv = Conv2d::new("t", 2, 3, 3, 2, 1, true, 7);
+        let mut rng = SeededRng::new(1);
+        let x = rng.uniform_tensor(&[2, 2, 7, 6], -1.0, 1.0);
+        // Give the bias a nonzero value so it is exercised.
+        conv.bias.as_mut().unwrap().value = rng.uniform_tensor(&[3], -0.5, 0.5);
+        let got = conv.forward(&x, Mode::Train);
+        let want = manual_conv_single(
+            &x,
+            &conv.weight.value,
+            Some(&conv.bias.as_ref().unwrap().value),
+            2,
+            1,
+        );
+        assert_eq!(got.shape_dims(), want.shape_dims());
+        for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_difference() {
+        let mut conv = Conv2d::new("t", 1, 2, 3, 1, 1, true, 3);
+        let mut rng = SeededRng::new(2);
+        let x = rng.uniform_tensor(&[1, 1, 5, 5], -1.0, 1.0);
+
+        // Analytic gradients for loss = sum(conv(x)).
+        let y = conv.forward(&x, Mode::Train);
+        let gin = conv.backward(&Tensor::ones(y.shape_dims()));
+
+        let eps = 1e-2;
+        // dL/dx check (a few positions).
+        for &(i, j) in &[(0usize, 0usize), (2, 3), (4, 4)] {
+            let mut xp = x.clone();
+            *xp.at_mut(&[0, 0, i, j]) += eps;
+            let mut xm = x.clone();
+            *xm.at_mut(&[0, 0, i, j]) -= eps;
+            let fp = conv.forward(&xp, Mode::Train).sum();
+            let fm = conv.forward(&xm, Mode::Train).sum();
+            let fd = (fp - fm) / (2.0 * eps);
+            let an = gin.at(&[0, 0, i, j]);
+            assert!((fd - an).abs() < 1e-2, "dx({i},{j}): fd {fd} an {an}");
+        }
+
+        // dL/dw check.
+        let base_w = conv.weight.value.clone();
+        for &wi in &[0usize, 5, 17] {
+            let mut wp = base_w.clone();
+            wp.as_mut_slice()[wi] += eps;
+            conv.weight.value = wp;
+            let fp = conv.forward(&x, Mode::Train).sum();
+            let mut wm = base_w.clone();
+            wm.as_mut_slice()[wi] -= eps;
+            conv.weight.value = wm;
+            let fm = conv.forward(&x, Mode::Train).sum();
+            conv.weight.value = base_w.clone();
+            let fd = (fp - fm) / (2.0 * eps);
+            let an = conv.weight.grad.as_slice()[wi];
+            assert!((fd - an).abs() < 2e-2, "dw[{wi}]: fd {fd} an {an}");
+        }
+
+        // dL/db = number of output positions per channel.
+        let spatial = (5 * 5) as f32;
+        for &g in conv.bias.as_ref().unwrap().grad.as_slice() {
+            assert!((g - spatial).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn frozen_weight_skips_gradient() {
+        let mut conv = Conv2d::new("t", 1, 1, 3, 1, 1, false, 4);
+        conv.weight.trainable = false;
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let y = conv.forward(&x, Mode::Eval);
+        conv.backward(&Tensor::ones(y.shape_dims()));
+        assert!(conv.weight.grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "channels")]
+    fn rejects_wrong_input_channels() {
+        let mut conv = Conv2d::new("t", 3, 4, 3, 1, 1, false, 5);
+        conv.forward(&Tensor::zeros(&[1, 2, 6, 6]), Mode::Eval);
+    }
+
+    #[test]
+    fn param_visitation_and_counts() {
+        let mut conv = Conv2d::new("t", 2, 4, 3, 1, 1, true, 6);
+        assert_eq!(conv.param_count(), 4 * 2 * 3 * 3 + 4);
+        let mut names = Vec::new();
+        conv.visit_params(&mut |p| names.push(p.name.clone()));
+        assert_eq!(names, vec!["t.weight", "t.bias"]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Finite-difference gradient checking utilities.
+//!
+//! Every layer and loss in this stack is verified against central finite
+//! differences; this module provides the shared machinery (also used by the
+//! downstream `ld-ufld` tests for whole-network checks).
+
+use crate::layer::{Layer, Mode};
+use ld_tensor::Tensor;
+
+/// Result of a gradient check: worst absolute and relative deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheck {
+    /// Maximum absolute difference between analytic and numeric gradients.
+    pub max_abs_err: f32,
+    /// Maximum relative difference (normalised by magnitude + 1e-3).
+    pub max_rel_err: f32,
+}
+
+impl GradCheck {
+    /// `true` when both deviations are below the tolerances.
+    pub fn passes(&self, abs_tol: f32, rel_tol: f32) -> bool {
+        self.max_abs_err <= abs_tol || self.max_rel_err <= rel_tol
+    }
+}
+
+/// Checks a layer's input gradient for the scalar loss `L = Σ y²/2`
+/// (so `∂L/∂y = y`) at the probe indices.
+///
+/// Returns the worst deviations across the probes.
+///
+/// # Panics
+///
+/// Panics if a probe index is out of range for `x`.
+pub fn check_input_gradient(
+    layer: &mut dyn Layer,
+    x: &Tensor,
+    mode: Mode,
+    probes: &[usize],
+    eps: f32,
+) -> GradCheck {
+    let y = layer.forward(x, mode);
+    let analytic = layer.backward(&y);
+    let mut max_abs = 0.0f32;
+    let mut max_rel = 0.0f32;
+    for &i in probes {
+        let mut xp = x.clone();
+        xp.as_mut_slice()[i] += eps;
+        let fp = 0.5 * layer.forward(&xp, mode).sq_norm();
+        let mut xm = x.clone();
+        xm.as_mut_slice()[i] -= eps;
+        let fm = 0.5 * layer.forward(&xm, mode).sq_norm();
+        let numeric = (fp - fm) / (2.0 * eps);
+        let a = analytic.as_slice()[i];
+        let abs = (numeric - a).abs();
+        max_abs = max_abs.max(abs);
+        max_rel = max_rel.max(abs / (numeric.abs().max(a.abs()) + 1e-3));
+    }
+    // Restore a coherent cache for the caller.
+    let _ = layer.forward(x, mode);
+    GradCheck { max_abs_err: max_abs, max_rel_err: max_rel }
+}
+
+/// Checks the gradient of every trainable parameter of `layer` (probing up
+/// to `probes_per_param` entries each) for the loss `L = Σ y²/2`.
+pub fn check_param_gradients(
+    layer: &mut dyn Layer,
+    x: &Tensor,
+    mode: Mode,
+    probes_per_param: usize,
+    eps: f32,
+) -> GradCheck {
+    // Accumulate analytic grads.
+    layer.zero_grad();
+    let y = layer.forward(x, mode);
+    layer.backward(&y);
+
+    // Snapshot analytic gradients.
+    let mut grads: Vec<(u64, Tensor)> = Vec::new();
+    layer.visit_params(&mut |p| {
+        if p.trainable {
+            grads.push((p.id(), p.grad.clone()));
+        }
+    });
+
+    let mut max_abs = 0.0f32;
+    let mut max_rel = 0.0f32;
+    for (pid, analytic) in grads {
+        let n = analytic.len();
+        let step = (n / probes_per_param.max(1)).max(1);
+        for i in (0..n).step_by(step) {
+            let perturb = |delta: f32, layer: &mut dyn Layer| {
+                layer.visit_params(&mut |p| {
+                    if p.id() == pid {
+                        p.value.as_mut_slice()[i] += delta;
+                    }
+                });
+            };
+            perturb(eps, layer);
+            let fp = 0.5 * layer.forward(x, mode).sq_norm();
+            perturb(-2.0 * eps, layer);
+            let fm = 0.5 * layer.forward(x, mode).sq_norm();
+            perturb(eps, layer); // restore
+            let numeric = (fp - fm) / (2.0 * eps);
+            let a = analytic.as_slice()[i];
+            let abs = (numeric - a).abs();
+            max_abs = max_abs.max(abs);
+            max_rel = max_rel.max(abs / (numeric.abs().max(a.abs()) + 1e-3));
+        }
+    }
+    let _ = layer.forward(x, mode);
+    GradCheck { max_abs_err: max_abs, max_rel_err: max_rel }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::act::Relu;
+    use crate::conv::Conv2d;
+    use crate::linear::Linear;
+    use ld_tensor::rng::SeededRng;
+
+    #[test]
+    fn relu_input_gradient_checks() {
+        let mut layer = Relu::new();
+        let x = SeededRng::new(1).uniform_tensor(&[2, 3, 4, 4], -1.0, 1.0);
+        let probes: Vec<usize> = (0..x.len()).step_by(7).collect();
+        let r = check_input_gradient(&mut layer, &x, Mode::Train, &probes, 1e-2);
+        assert!(r.passes(2e-2, 1e-2), "{r:?}");
+    }
+
+    #[test]
+    fn conv_param_gradients_check() {
+        let mut layer = Conv2d::new("c", 2, 3, 3, 1, 1, true, 11);
+        let x = SeededRng::new(2).uniform_tensor(&[2, 2, 5, 5], -1.0, 1.0);
+        let r = check_param_gradients(&mut layer, &x, Mode::Train, 6, 1e-2);
+        assert!(r.passes(5e-2, 2e-2), "{r:?}");
+    }
+
+    #[test]
+    fn linear_both_gradients_check() {
+        let mut layer = Linear::new("fc", 6, 4, 12);
+        let x = SeededRng::new(3).uniform_tensor(&[3, 6], -1.0, 1.0);
+        let probes: Vec<usize> = (0..x.len()).collect();
+        let ri = check_input_gradient(&mut layer, &x, Mode::Train, &probes, 1e-2);
+        assert!(ri.passes(2e-2, 1e-2), "{ri:?}");
+        let rp = check_param_gradients(&mut layer, &x, Mode::Train, 8, 1e-2);
+        assert!(rp.passes(5e-2, 2e-2), "{rp:?}");
+    }
+}

@@ -1,0 +1,192 @@
+//! The [`Layer`] trait: stateful forward/backward building blocks.
+
+use crate::param::{ParamFilter, Parameter};
+use ld_tensor::Tensor;
+
+/// Whether a forward pass runs in training or evaluation conditions.
+///
+/// Batch-norm is the only layer that behaves differently: in [`Mode::Train`]
+/// it normalises with batch statistics and updates its running estimates; in
+/// [`Mode::Eval`] its behaviour is governed by its
+/// [`BnStatsPolicy`](crate::bn::BnStatsPolicy) (the knob LD-BN-ADAPT turns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Training: batch statistics, running-stat updates, caches for backward.
+    Train,
+    /// Evaluation / deployment: statistics per the layer's policy.
+    Eval,
+}
+
+/// A differentiable network module.
+///
+/// Layers are *stateful*: `forward` caches whatever `backward` needs, and
+/// `backward` accumulates parameter gradients internally while returning the
+/// gradient with respect to the layer input.
+///
+/// The contract is strictly `forward` → `backward` (at most once per
+/// forward); implementations may panic if `backward` is called without a
+/// cached forward.
+pub trait Layer {
+    /// Computes the layer output, caching intermediates when they will be
+    /// needed by [`Layer::backward`].
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor;
+
+    /// Propagates `grad_out` (∂loss/∂output) to the input, accumulating
+    /// parameter gradients for trainable parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward` or with a gradient whose shape does
+    /// not match the last forward output.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits every parameter (mutably) in a stable order.
+    ///
+    /// The default implementation visits nothing (for parameter-free layers
+    /// such as ReLU and pooling).
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Parameter)) {}
+
+    /// Zeroes all parameter gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Marks parameters trainable according to `filter`.
+    fn apply_filter(&mut self, filter: ParamFilter) {
+        self.visit_params(&mut |p| p.trainable = filter.admits(p.kind));
+    }
+
+    /// Total number of scalar parameters.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+
+    /// Number of scalar parameters currently marked trainable.
+    fn trainable_param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| {
+            if p.trainable {
+                n += p.len()
+            }
+        });
+        n
+    }
+
+    /// Visits every piece of persistent state by name: parameter values
+    /// *plus* non-trainable buffers (batch-norm running statistics).
+    ///
+    /// This is the snapshot/restore surface used for model checkpoints and
+    /// for resetting a deployed model between adaptation experiments. The
+    /// default implementation visits parameter values only; layers with
+    /// extra buffers (and containers) override it.
+    fn visit_state(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        self.visit_params(&mut |p| {
+            let name = p.name.clone();
+            f(&name, &mut p.value);
+        });
+    }
+}
+
+/// A sequence of boxed layers applied in order.
+///
+/// # Example
+///
+/// ```
+/// use ld_nn::{Sequential, Relu, Layer, Mode};
+/// use ld_tensor::Tensor;
+///
+/// let mut net = Sequential::new();
+/// net.push(Relu::new());
+/// let y = net.forward(&Tensor::from_vec(vec![-1.0, 2.0], &[1, 2, 1, 1]), Mode::Eval);
+/// assert_eq!(y.as_slice(), &[0.0, 2.0]);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// An empty sequence.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when the sequence holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Iterates over the boxed layers.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Box<dyn Layer>> {
+        self.layers.iter_mut()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, mode);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_state(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::act::Relu;
+
+    #[test]
+    fn sequential_forwards_in_order_and_backwards_in_reverse() {
+        let mut net = Sequential::new();
+        net.push(Relu::new());
+        net.push(Relu::new());
+        let x = Tensor::from_vec(vec![-3.0, 4.0], &[1, 2, 1, 1]);
+        let y = net.forward(&x, Mode::Train);
+        assert_eq!(y.as_slice(), &[0.0, 4.0]);
+        let g = net.backward(&Tensor::ones(&[1, 2, 1, 1]));
+        assert_eq!(g.as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut net = Sequential::new();
+        assert!(net.is_empty());
+        let x = Tensor::from_vec(vec![1.5], &[1, 1, 1, 1]);
+        let y = net.forward(&x, Mode::Eval);
+        assert_eq!(y, x);
+    }
+}

@@ -1,0 +1,58 @@
+//! Neural-network building blocks with hand-derived backward passes.
+//!
+//! This crate provides everything the UFLD lane detector and the LD-BN-ADAPT
+//! adaptation algorithms need, implemented from scratch on top of
+//! [`ld_tensor`]:
+//!
+//! * **Layers** — [`Conv2d`], [`BatchNorm2d`], [`Linear`], [`Relu`],
+//!   [`MaxPool2d`], [`GlobalAvgPool`], [`Flatten`], composed freely or via
+//!   [`Sequential`]. Each caches its forward intermediates and implements an
+//!   exact backward pass (verified by finite differences in
+//!   [`gradcheck`]).
+//! * **Losses** ([`loss`]) — grouped softmax cross-entropy for supervised
+//!   training, the paper's **Shannon-entropy adaptation objective**, and
+//!   UFLD's structural similarity/shape regularisers.
+//! * **Optimizers** ([`Sgd`], [`Adam`]) with momentum/decay and a cosine
+//!   schedule.
+//! * **Parameter groups** ([`ParamFilter`]) — the mechanism that restricts
+//!   adaptation to batch-norm γ/β (the paper's method) or to the conv/FC
+//!   ablation groups.
+//!
+//! # Example: one entropy-descent step on BN parameters
+//!
+//! ```
+//! use ld_nn::{BatchNorm2d, Layer, Mode, ParamFilter, Sgd, loss};
+//! use ld_tensor::rng::SeededRng;
+//!
+//! let mut bn = BatchNorm2d::new("bn", 4);
+//! bn.policy = ld_nn::BnStatsPolicy::Batch;
+//! bn.apply_filter(ParamFilter::BnOnly);
+//!
+//! let x = SeededRng::new(0).normal_tensor(&[1, 4, 6, 6], 0.5, 2.0);
+//! let logits = bn.forward(&x, Mode::Eval);
+//! let h = loss::entropy(&logits);
+//! bn.backward(&h.grad);
+//! let mut opt = Sgd::new(1e-3);
+//! bn.visit_params(&mut |p| opt.update(p));
+//! ```
+
+pub mod act;
+pub mod bn;
+pub mod conv;
+pub mod gradcheck;
+pub mod layer;
+pub mod linear;
+pub mod loss;
+pub mod optim;
+pub mod param;
+pub mod pool;
+
+pub use act::{Flatten, Relu};
+pub use bn::{BatchNorm2d, BnStatsPolicy};
+pub use conv::Conv2d;
+pub use layer::{Layer, Mode, Sequential};
+pub use linear::Linear;
+pub use loss::LossOutput;
+pub use optim::{cosine_lr, Adam, Sgd};
+pub use param::{ParamFilter, ParamKind, Parameter};
+pub use pool::{GlobalAvgPool, MaxPool2d};

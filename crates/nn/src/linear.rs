@@ -1,0 +1,168 @@
+//! Fully-connected (dense) layer.
+
+use crate::layer::{Layer, Mode};
+use crate::param::{ParamKind, Parameter};
+use ld_tensor::linalg::{gemm, Trans};
+use ld_tensor::rng::SeededRng;
+use ld_tensor::Tensor;
+
+/// A dense layer `y = x·Wᵀ + b` over `(batch, features)` tensors.
+///
+/// The UFLD head flattens backbone features and applies two of these.
+///
+/// # Example
+///
+/// ```
+/// use ld_nn::{Linear, Layer, Mode};
+/// use ld_tensor::Tensor;
+///
+/// let mut fc = Linear::new("fc", 4, 2, 0);
+/// let y = fc.forward(&Tensor::zeros(&[3, 4]), Mode::Eval);
+/// assert_eq!(y.shape_dims(), &[3, 2]);
+/// ```
+pub struct Linear {
+    weight: Parameter,
+    bias: Parameter,
+    in_features: usize,
+    out_features: usize,
+    cache: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a dense layer with Xavier-uniform weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either feature count is zero.
+    pub fn new(name: &str, in_features: usize, out_features: usize, seed: u64) -> Self {
+        assert!(in_features > 0 && out_features > 0, "Linear: zero features");
+        let mut rng = SeededRng::new(seed);
+        Linear {
+            weight: Parameter::new(
+                format!("{name}.weight"),
+                ParamKind::LinearWeight,
+                rng.xavier_tensor(&[out_features, in_features], in_features, out_features),
+            ),
+            bias: Parameter::new(format!("{name}.bias"), ParamKind::LinearBias, Tensor::zeros(&[out_features])),
+            in_features,
+            out_features,
+            cache: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let (n, f) = x.dims2();
+        assert_eq!(f, self.in_features, "Linear {}: {f} features, want {}", self.weight.name, self.in_features);
+        let mut y = Tensor::zeros(&[n, self.out_features]);
+        // y = x[N,in] · Wᵀ[in,out]
+        gemm(1.0, x, Trans::No, &self.weight.value, Trans::Yes, 0.0, &mut y);
+        for ni in 0..n {
+            let row = &mut y.as_mut_slice()[ni * self.out_features..(ni + 1) * self.out_features];
+            for (v, &b) in row.iter_mut().zip(self.bias.value.as_slice()) {
+                *v += b;
+            }
+        }
+        self.cache = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache.as_ref().expect("Linear::backward before forward");
+        let (n, o) = grad_out.dims2();
+        assert_eq!(o, self.out_features, "Linear::backward: feature mismatch");
+        assert_eq!(n, x.dims2().0, "Linear::backward: batch mismatch");
+
+        if self.weight.trainable {
+            // dW[out,in] += dYᵀ[out,N] · X[N,in]
+            gemm(1.0, grad_out, Trans::Yes, x, Trans::No, 1.0, &mut self.weight.grad);
+        }
+        if self.bias.trainable {
+            for ni in 0..n {
+                let row = &grad_out.as_slice()[ni * o..(ni + 1) * o];
+                for (g, &d) in self.bias.grad.as_mut_slice().iter_mut().zip(row) {
+                    *g += d;
+                }
+            }
+        }
+        // dX[N,in] = dY[N,out] · W[out,in]
+        let mut gx = Tensor::zeros(&[n, self.in_features]);
+        gemm(1.0, grad_out, Trans::No, &self.weight.value, Trans::No, 0.0, &mut gx);
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_manual() {
+        let mut fc = Linear::new("fc", 3, 2, 1);
+        fc.weight.value = Tensor::from_vec(vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5], &[2, 3]);
+        fc.bias.value = Tensor::from_vec(vec![0.1, -0.1], &[2]);
+        let x = Tensor::from_vec(vec![2.0, 3.0, 4.0], &[1, 3]);
+        let y = fc.forward(&x, Mode::Eval);
+        assert!((y.as_slice()[0] - (2.0 - 4.0 + 0.1)).abs() < 1e-6);
+        assert!((y.as_slice()[1] - (4.5 - 0.1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut fc = Linear::new("fc", 4, 3, 2);
+        let mut rng = SeededRng::new(5);
+        let x = rng.uniform_tensor(&[2, 4], -1.0, 1.0);
+
+        // loss = Σ y²/2 ⇒ dL/dy = y.
+        let y = fc.forward(&x, Mode::Train);
+        let gin = fc.backward(&y);
+
+        let eps = 1e-2;
+        let loss = |fc: &mut Linear, x: &Tensor| 0.5 * fc.forward(x, Mode::Train).sq_norm();
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&mut fc, &xp) - loss(&mut fc, &xm)) / (2.0 * eps);
+            assert!((fd - gin.as_slice()[idx]).abs() < 2e-2, "dx[{idx}]");
+        }
+        for &widx in &[0usize, 5, 11] {
+            let base = fc.weight.value.clone();
+            let mut wp = base.clone();
+            wp.as_mut_slice()[widx] += eps;
+            fc.weight.value = wp;
+            let fp = loss(&mut fc, &x);
+            let mut wm = base.clone();
+            wm.as_mut_slice()[widx] -= eps;
+            fc.weight.value = wm;
+            let fm = loss(&mut fc, &x);
+            fc.weight.value = base;
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - fc.weight.grad.as_slice()[widx]).abs() < 2e-2, "dw[{widx}]");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "features")]
+    fn rejects_wrong_feature_count() {
+        let mut fc = Linear::new("fc", 3, 2, 0);
+        fc.forward(&Tensor::zeros(&[1, 5]), Mode::Eval);
+    }
+}

@@ -1,0 +1,432 @@
+//! Losses over UFLD-style grouped logits, with analytic gradients.
+//!
+//! UFLD logits have shape `(N, C, R, L)`: for every batch image `n`, row
+//! anchor `r` and lane `l`, the `C = griding + 1` class scores select which
+//! grid cell the lane passes through (the extra class means "no lane on this
+//! row"). Every loss here therefore applies softmax *per (n, r, l) group*
+//! along the class axis.
+//!
+//! * [`group_cross_entropy`] — supervised classification loss (source
+//!   pre-training and the SOTA baseline's pseudo-label loss);
+//! * [`entropy`] — the paper's **unsupervised adaptation objective**:
+//!   Shannon entropy `H(y) = −Σ_c p(y_c)·log p(y_c)` of the model's own
+//!   predictions (§III), with gradient `∂H/∂z_k = −p_k (log p_k + H)`;
+//! * [`similarity`] / [`shape`] — UFLD's structural regularisers (adjacent
+//!   row anchors classify similarly; lanes are locally straight).
+
+use ld_tensor::Tensor;
+
+/// A scalar loss value together with its gradient w.r.t. the logits.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// The scalar loss.
+    pub value: f32,
+    /// ∂loss/∂logits, same shape as the input logits.
+    pub grad: Tensor,
+}
+
+/// Dimensions of a grouped-logit tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupDims {
+    /// Batch size.
+    pub n: usize,
+    /// Classes per group (griding cells + 1 background).
+    pub c: usize,
+    /// Row anchors.
+    pub r: usize,
+    /// Lanes.
+    pub l: usize,
+}
+
+/// Validates and unpacks `(N, C, R, L)` logits.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 4.
+pub fn group_dims(logits: &Tensor) -> GroupDims {
+    let (n, c, r, l) = logits.dims4();
+    GroupDims { n, c, r, l }
+}
+
+/// Numerically-stable softmax along the class axis of `(N, C, R, L)` logits.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 4.
+pub fn group_softmax(logits: &Tensor) -> Tensor {
+    let d = group_dims(logits);
+    let stride = d.r * d.l; // distance between consecutive classes of a group
+    let mut out = Tensor::zeros(logits.shape_dims());
+    let src = logits.as_slice();
+    let dst = out.as_mut_slice();
+    for n in 0..d.n {
+        let img = n * d.c * stride;
+        for g in 0..stride {
+            let mut maxv = f32::NEG_INFINITY;
+            for c in 0..d.c {
+                maxv = maxv.max(src[img + c * stride + g]);
+            }
+            let mut z = 0.0;
+            for c in 0..d.c {
+                let e = (src[img + c * stride + g] - maxv).exp();
+                dst[img + c * stride + g] = e;
+                z += e;
+            }
+            let inv = 1.0 / z;
+            for c in 0..d.c {
+                dst[img + c * stride + g] *= inv;
+            }
+        }
+    }
+    out
+}
+
+/// Mean cross-entropy over all `(n, r, l)` groups against integer labels.
+///
+/// `labels` is row-major `(N, R, L)` with values in `[0, C)`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or a label is out of range.
+pub fn group_cross_entropy(logits: &Tensor, labels: &[u32]) -> LossOutput {
+    let d = group_dims(logits);
+    let stride = d.r * d.l;
+    assert_eq!(labels.len(), d.n * stride, "group_cross_entropy: label count mismatch");
+    let probs = group_softmax(logits);
+    let groups = (d.n * stride) as f32;
+    let mut grad = probs.clone();
+    let mut loss = 0.0f64;
+    for n in 0..d.n {
+        let img = n * d.c * stride;
+        for g in 0..stride {
+            let label = labels[n * stride + g] as usize;
+            assert!(label < d.c, "group_cross_entropy: label {label} out of range {}", d.c);
+            let p = probs.as_slice()[img + label * stride + g].max(1e-12);
+            loss -= (p as f64).ln();
+            grad.as_mut_slice()[img + label * stride + g] -= 1.0;
+        }
+    }
+    grad.scale(1.0 / groups);
+    LossOutput { value: (loss / groups as f64) as f32, grad }
+}
+
+/// Mean Shannon entropy of the per-group predictive distributions — the
+/// paper's fully-unsupervised adaptation loss.
+///
+/// For each group, `H = −Σ_c p_c log p_c`; the gradient w.r.t. the logits is
+/// `∂H/∂z_k = −p_k (log p_k + H)`.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 4.
+pub fn entropy(logits: &Tensor) -> LossOutput {
+    let d = group_dims(logits);
+    let stride = d.r * d.l;
+    let probs = group_softmax(logits);
+    let groups = (d.n * stride) as f32;
+    let mut grad = Tensor::zeros(logits.shape_dims());
+    let mut total = 0.0f64;
+    for n in 0..d.n {
+        let img = n * d.c * stride;
+        for g in 0..stride {
+            let mut h = 0.0f32;
+            for c in 0..d.c {
+                let p = probs.as_slice()[img + c * stride + g];
+                if p > 1e-12 {
+                    h -= p * p.ln();
+                }
+            }
+            total += h as f64;
+            for c in 0..d.c {
+                let p = probs.as_slice()[img + c * stride + g];
+                let logp = p.max(1e-12).ln();
+                grad.as_mut_slice()[img + c * stride + g] = -p * (logp + h) / groups;
+            }
+        }
+    }
+    LossOutput { value: (total / groups as f64) as f32, grad }
+}
+
+/// UFLD similarity loss: mean L1 distance between the logits of vertically
+/// adjacent row anchors (lanes are continuous, so neighbouring rows should
+/// classify similarly).
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 4.
+pub fn similarity(logits: &Tensor) -> LossOutput {
+    let d = group_dims(logits);
+    if d.r < 2 {
+        return LossOutput { value: 0.0, grad: Tensor::zeros(logits.shape_dims()) };
+    }
+    let stride = d.r * d.l;
+    let count = (d.n * d.c * (d.r - 1) * d.l) as f32;
+    let src = logits.as_slice();
+    let mut grad = Tensor::zeros(logits.shape_dims());
+    let g = grad.as_mut_slice();
+    let mut total = 0.0f64;
+    for n in 0..d.n {
+        for c in 0..d.c {
+            let base = (n * d.c + c) * stride;
+            for r in 0..d.r - 1 {
+                for l in 0..d.l {
+                    let a = base + r * d.l + l;
+                    let b = base + (r + 1) * d.l + l;
+                    let diff = src[a] - src[b];
+                    total += diff.abs() as f64;
+                    let s = if diff > 0.0 { 1.0 } else if diff < 0.0 { -1.0 } else { 0.0 } / count;
+                    g[a] += s;
+                    g[b] -= s;
+                }
+            }
+        }
+    }
+    LossOutput { value: (total / count as f64) as f32, grad }
+}
+
+/// UFLD shape loss: second-order smoothness of the *expected* lane location.
+///
+/// The expected location on row `r` is `loc_r = Σ_c c·softmax(z[..C−1])_c`
+/// (background class excluded); the loss penalises
+/// `((loc_r − loc_{r+1}) − (loc_{r+1} − loc_{r+2}))²`, encouraging locally
+/// straight lanes.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 4 or has fewer than 2 classes.
+pub fn shape(logits: &Tensor) -> LossOutput {
+    let d = group_dims(logits);
+    assert!(d.c >= 2, "shape loss: need ≥ 2 classes");
+    let cells = d.c - 1; // exclude background class
+    let stride = d.r * d.l;
+    let mut grad = Tensor::zeros(logits.shape_dims());
+    if d.r < 3 {
+        return LossOutput { value: 0.0, grad };
+    }
+    let src = logits.as_slice();
+
+    // Per (n, r, l): softmax over the first `cells` classes and expectation.
+    let mut probs = vec![0.0f32; d.n * stride * cells];
+    let mut locs = vec![0.0f32; d.n * stride];
+    for n in 0..d.n {
+        let img = n * d.c * stride;
+        for g in 0..stride {
+            let mut maxv = f32::NEG_INFINITY;
+            for c in 0..cells {
+                maxv = maxv.max(src[img + c * stride + g]);
+            }
+            let mut z = 0.0;
+            for c in 0..cells {
+                let e = (src[img + c * stride + g] - maxv).exp();
+                probs[(n * stride + g) * cells + c] = e;
+                z += e;
+            }
+            let mut loc = 0.0;
+            for c in 0..cells {
+                let p = probs[(n * stride + g) * cells + c] / z;
+                probs[(n * stride + g) * cells + c] = p;
+                loc += c as f32 * p;
+            }
+            locs[n * stride + g] = loc;
+        }
+    }
+
+    let triples = (d.n * (d.r - 2) * d.l) as f32;
+    let mut total = 0.0f64;
+    // d(loss)/d(loc_r) accumulated per group.
+    let mut dloc = vec![0.0f32; d.n * stride];
+    for n in 0..d.n {
+        for r in 0..d.r - 2 {
+            for l in 0..d.l {
+                let i0 = n * stride + r * d.l + l;
+                let i1 = n * stride + (r + 1) * d.l + l;
+                let i2 = n * stride + (r + 2) * d.l + l;
+                let diff = locs[i0] - 2.0 * locs[i1] + locs[i2];
+                total += (diff * diff) as f64;
+                let k = 2.0 * diff / triples;
+                dloc[i0] += k;
+                dloc[i1] -= 2.0 * k;
+                dloc[i2] += k;
+            }
+        }
+    }
+
+    // Chain through the expectation: dloc/dz_k = p_k (k − loc).
+    let g = grad.as_mut_slice();
+    for n in 0..d.n {
+        let img = n * d.c * stride;
+        for gi in 0..stride {
+            let dl = dloc[n * stride + gi];
+            if dl == 0.0 {
+                continue;
+            }
+            let loc = locs[n * stride + gi];
+            for c in 0..cells {
+                let p = probs[(n * stride + gi) * cells + c];
+                g[img + c * stride + gi] += dl * p * (c as f32 - loc);
+            }
+        }
+    }
+    LossOutput { value: (total / triples as f64) as f32, grad }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_tensor::rng::SeededRng;
+
+    fn rand_logits(n: usize, c: usize, r: usize, l: usize, seed: u64) -> Tensor {
+        SeededRng::new(seed).uniform_tensor(&[n, c, r, l], -2.0, 2.0)
+    }
+
+    fn fd_check(
+        logits: &Tensor,
+        f: &dyn Fn(&Tensor) -> LossOutput,
+        indices: &[usize],
+        tol: f32,
+    ) {
+        let out = f(logits);
+        let eps = 1e-2;
+        for &i in indices {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let fd = (f(&lp).value - f(&lm).value) / (2.0 * eps);
+            let an = out.grad.as_slice()[i];
+            assert!((fd - an).abs() < tol, "idx {i}: fd {fd} an {an}");
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = rand_logits(2, 5, 3, 2, 1);
+        let p = group_softmax(&logits);
+        let d = group_dims(&logits);
+        let stride = d.r * d.l;
+        for n in 0..d.n {
+            for g in 0..stride {
+                let s: f32 = (0..d.c)
+                    .map(|c| p.as_slice()[n * d.c * stride + c * stride + g])
+                    .sum();
+                assert!((s - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_huge_logits() {
+        let mut logits = Tensor::zeros(&[1, 3, 1, 1]);
+        logits.as_mut_slice().copy_from_slice(&[1000.0, 999.0, -1000.0]);
+        let p = group_softmax(&logits);
+        assert!(!p.has_non_finite());
+        assert!(p.as_slice()[0] > p.as_slice()[1]);
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_small() {
+        // Huge logit on the correct class ⇒ loss ≈ 0.
+        let mut logits = Tensor::zeros(&[1, 4, 2, 1]);
+        let labels = [2u32, 0];
+        *logits.at_mut(&[0, 2, 0, 0]) = 50.0;
+        *logits.at_mut(&[0, 0, 1, 0]) = 50.0;
+        let out = group_cross_entropy(&logits, &labels);
+        assert!(out.value < 1e-3, "loss {}", out.value);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_c() {
+        let logits = Tensor::zeros(&[1, 8, 1, 1]);
+        let out = group_cross_entropy(&logits, &[3]);
+        assert!((out.value - (8.0f32).ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_fd() {
+        let logits = rand_logits(2, 5, 2, 2, 3);
+        let labels: Vec<u32> = (0..8).map(|i| (i % 5) as u32).collect();
+        fd_check(&logits, &|l| group_cross_entropy(l, &labels), &[0, 7, 19, 33], 1e-3);
+    }
+
+    #[test]
+    fn entropy_bounds() {
+        // Uniform logits: H = ln C (maximum); peaked: H ≈ 0.
+        let c = 6;
+        let uniform = Tensor::zeros(&[1, c, 1, 1]);
+        let h = entropy(&uniform).value;
+        assert!((h - (c as f32).ln()).abs() < 1e-4);
+
+        let mut peaked = Tensor::zeros(&[1, c, 1, 1]);
+        *peaked.at_mut(&[0, 0, 0, 0]) = 60.0;
+        assert!(entropy(&peaked).value < 1e-3);
+    }
+
+    #[test]
+    fn entropy_gradient_matches_fd() {
+        let logits = rand_logits(2, 5, 2, 2, 4);
+        fd_check(&logits, &|l| entropy(l), &[0, 11, 23, 39], 1e-3);
+    }
+
+    #[test]
+    fn entropy_gradient_descends_toward_confidence() {
+        // One gradient-descent step on H must reduce H.
+        let logits = rand_logits(1, 5, 3, 2, 5);
+        let out = entropy(&logits);
+        let mut stepped = logits.clone();
+        stepped.axpy(-5.0, &out.grad);
+        let after = entropy(&stepped).value;
+        assert!(after < out.value, "{after} !< {}", out.value);
+    }
+
+    #[test]
+    fn similarity_zero_for_identical_rows() {
+        let mut logits = Tensor::zeros(&[1, 3, 4, 2]);
+        for c in 0..3 {
+            for r in 0..4 {
+                for l in 0..2 {
+                    *logits.at_mut(&[0, c, r, l]) = c as f32 * 0.7 - l as f32;
+                }
+            }
+        }
+        assert_eq!(similarity(&logits).value, 0.0);
+    }
+
+    #[test]
+    fn similarity_gradient_matches_fd() {
+        let logits = rand_logits(1, 4, 4, 2, 6);
+        // L1 is non-differentiable at 0 — random logits avoid ties w.h.p.
+        fd_check(&logits, &|l| similarity(l), &[1, 9, 17, 25], 1e-3);
+    }
+
+    #[test]
+    fn shape_zero_for_straight_lanes() {
+        // Expected locations forming an arithmetic progression ⇒ zero loss.
+        let mut logits = Tensor::zeros(&[1, 5, 4, 1]);
+        for r in 0..4 {
+            *logits.at_mut(&[0, r % 4, r, 0]) = 30.0; // delta distribution at cell r
+        }
+        let out = shape(&logits);
+        assert!(out.value < 1e-4, "loss {}", out.value);
+    }
+
+    #[test]
+    fn shape_gradient_matches_fd() {
+        let logits = rand_logits(1, 5, 4, 2, 7);
+        fd_check(&logits, &|l| shape(l), &[2, 13, 27, 38], 2e-3);
+    }
+
+    #[test]
+    fn losses_handle_degenerate_row_counts() {
+        let logits = rand_logits(1, 4, 1, 2, 8);
+        assert_eq!(similarity(&logits).value, 0.0);
+        let logits2 = rand_logits(1, 4, 2, 2, 9);
+        assert_eq!(shape(&logits2).value, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn cross_entropy_rejects_out_of_range_label() {
+        let logits = Tensor::zeros(&[1, 3, 1, 1]);
+        group_cross_entropy(&logits, &[3]);
+    }
+}

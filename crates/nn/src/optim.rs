@@ -1,0 +1,271 @@
+//! Optimizers: SGD with momentum and Adam.
+//!
+//! Optimizers hold their per-parameter state (momentum / moment estimates)
+//! keyed by the parameter's unique id, and are applied through a model's
+//! [`Layer::visit_params`](crate::Layer::visit_params) visitation:
+//!
+//! ```
+//! use ld_nn::{Linear, Layer, Mode, Sgd};
+//! use ld_tensor::Tensor;
+//!
+//! let mut fc = Linear::new("fc", 2, 2, 0);
+//! let mut opt = Sgd::new(0.1).momentum(0.9);
+//! let y = fc.forward(&Tensor::ones(&[1, 2]), Mode::Train);
+//! fc.backward(&y); // loss = ||y||²/2
+//! fc.visit_params(&mut |p| opt.update(p));
+//! ```
+
+use crate::param::Parameter;
+use ld_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+///
+/// Update rule (PyTorch convention):
+/// `v ← µ·v + (g + λ·w)`, `w ← w − lr·v`.
+#[derive(Debug, Default)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: HashMap<u64, Tensor>,
+}
+
+impl Sgd {
+    /// Creates plain SGD with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "Sgd: bad learning rate {lr}");
+        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: HashMap::new() }
+    }
+
+    /// Sets the momentum coefficient (builder style).
+    pub fn momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Sets L2 weight decay (builder style).
+    pub fn weight_decay(mut self, weight_decay: f32) -> Self {
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0, "Sgd: bad learning rate {lr}");
+        self.lr = lr;
+    }
+
+    /// Applies one update to a parameter (no-op when not trainable).
+    pub fn update(&mut self, p: &mut Parameter) {
+        if !p.trainable {
+            return;
+        }
+        if self.momentum == 0.0 && self.weight_decay == 0.0 {
+            p.value.axpy(-self.lr, &p.grad);
+            return;
+        }
+        let mut g = p.grad.clone();
+        if self.weight_decay != 0.0 {
+            g.axpy(self.weight_decay, &p.value);
+        }
+        if self.momentum != 0.0 {
+            let v = self
+                .velocity
+                .entry(p.id())
+                .or_insert_with(|| Tensor::zeros(p.value.shape_dims()));
+            v.scale(self.momentum);
+            v.axpy(1.0, &g);
+            p.value.axpy(-self.lr, v);
+        } else {
+            p.value.axpy(-self.lr, &g);
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, 2015).
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    /// Per-parameter step counters and moment estimates.
+    state: HashMap<u64, AdamState>,
+}
+
+#[derive(Debug)]
+struct AdamState {
+    t: u32,
+    m: Tensor,
+    v: Tensor,
+}
+
+impl Adam {
+    /// Creates Adam with standard betas `(0.9, 0.999)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "Adam: bad learning rate {lr}");
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, state: HashMap::new() }
+    }
+
+    /// Sets L2 weight decay (builder style).
+    pub fn weight_decay(mut self, weight_decay: f32) -> Self {
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0, "Adam: bad learning rate {lr}");
+        self.lr = lr;
+    }
+
+    /// Applies one update to a parameter (no-op when not trainable).
+    pub fn update(&mut self, p: &mut Parameter) {
+        if !p.trainable {
+            return;
+        }
+        let st = self.state.entry(p.id()).or_insert_with(|| AdamState {
+            t: 0,
+            m: Tensor::zeros(p.value.shape_dims()),
+            v: Tensor::zeros(p.value.shape_dims()),
+        });
+        st.t += 1;
+        let (b1, b2) = (self.beta1, self.beta2);
+        let bias1 = 1.0 - b1.powi(st.t as i32);
+        let bias2 = 1.0 - b2.powi(st.t as i32);
+        let wd = self.weight_decay;
+        for i in 0..p.value.len() {
+            let mut g = p.grad.as_slice()[i];
+            if wd != 0.0 {
+                g += wd * p.value.as_slice()[i];
+            }
+            let m = &mut st.m.as_mut_slice()[i];
+            *m = b1 * *m + (1.0 - b1) * g;
+            let v = &mut st.v.as_mut_slice()[i];
+            *v = b2 * *v + (1.0 - b2) * g * g;
+            let mhat = *m / bias1;
+            let vhat = *v / bias2;
+            p.value.as_mut_slice()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+/// Cosine learning-rate schedule from `lr0` to `lr_min` over `total` steps.
+///
+/// ```
+/// let lr = ld_nn::cosine_lr(0.1, 0.0, 0, 100);
+/// assert!((lr - 0.1).abs() < 1e-6);
+/// assert!(ld_nn::cosine_lr(0.1, 0.0, 100, 100) < 1e-6);
+/// ```
+pub fn cosine_lr(lr0: f32, lr_min: f32, step: usize, total: usize) -> f32 {
+    if total == 0 {
+        return lr0;
+    }
+    let t = (step.min(total)) as f32 / total as f32;
+    lr_min + 0.5 * (lr0 - lr_min) * (1.0 + (std::f32::consts::PI * t).cos())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamKind;
+
+    fn param_with_grad(value: f32, grad: f32) -> Parameter {
+        let mut p = Parameter::new("p", ParamKind::LinearWeight, Tensor::full(&[2], value));
+        p.grad = Tensor::full(&[2], grad);
+        p
+    }
+
+    #[test]
+    fn sgd_plain_step() {
+        let mut opt = Sgd::new(0.5);
+        let mut p = param_with_grad(1.0, 2.0);
+        opt.update(&mut p);
+        assert_eq!(p.value.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates() {
+        let mut opt = Sgd::new(1.0).momentum(0.5);
+        let mut p = param_with_grad(0.0, 1.0);
+        opt.update(&mut p); // v=1, w=-1
+        assert_eq!(p.value.as_slice()[0], -1.0);
+        p.grad = Tensor::full(&[2], 1.0);
+        opt.update(&mut p); // v=1.5, w=-2.5
+        assert_eq!(p.value.as_slice()[0], -2.5);
+    }
+
+    #[test]
+    fn sgd_weight_decay_pulls_to_zero() {
+        let mut opt = Sgd::new(0.1).weight_decay(1.0);
+        let mut p = param_with_grad(2.0, 0.0);
+        opt.update(&mut p);
+        assert!((p.value.as_slice()[0] - 1.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frozen_parameter_is_untouched() {
+        let mut opt = Sgd::new(0.5);
+        let mut p = param_with_grad(1.0, 5.0);
+        p.trainable = false;
+        opt.update(&mut p);
+        assert_eq!(p.value.as_slice()[0], 1.0);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, |Δw| of the first step ≈ lr.
+        let mut opt = Adam::new(0.01);
+        let mut p = param_with_grad(0.0, 3.0);
+        opt.update(&mut p);
+        assert!((p.value.as_slice()[0] + 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Minimise f(w) = (w − 3)²/2 with Adam.
+        let mut opt = Adam::new(0.1);
+        let mut p = Parameter::new("w", ParamKind::LinearWeight, Tensor::zeros(&[1]));
+        for _ in 0..300 {
+            let w = p.value.as_slice()[0];
+            p.grad = Tensor::from_vec(vec![w - 3.0], &[1]);
+            opt.update(&mut p);
+        }
+        assert!((p.value.as_slice()[0] - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn cosine_schedule_endpoints_and_midpoint() {
+        assert!((cosine_lr(1.0, 0.0, 0, 10) - 1.0).abs() < 1e-6);
+        assert!((cosine_lr(1.0, 0.0, 5, 10) - 0.5).abs() < 1e-6);
+        assert!(cosine_lr(1.0, 0.0, 10, 10) < 1e-6);
+        // Steps past the horizon clamp.
+        assert!(cosine_lr(1.0, 0.0, 20, 10) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn sgd_rejects_bad_lr() {
+        Sgd::new(-1.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Trainable parameters and parameter-group filters.
+//!
+//! The paper's central idea — *adapt only the batch-norm scale/shift* — and
+//! its §III ablation (conv-only / FC-only adaptation) are expressed here as
+//! first-class [`ParamFilter`]s applied over a model's parameter set.
+
+use ld_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_PARAM_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Which architectural group a parameter belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// Convolution filter weights.
+    ConvWeight,
+    /// Convolution bias.
+    ConvBias,
+    /// Batch-norm scale (γ).
+    BnGamma,
+    /// Batch-norm shift (β).
+    BnBeta,
+    /// Fully-connected weight matrix.
+    LinearWeight,
+    /// Fully-connected bias.
+    LinearBias,
+}
+
+impl ParamKind {
+    /// `true` for batch-norm parameters (γ, β).
+    pub fn is_bn(self) -> bool {
+        matches!(self, ParamKind::BnGamma | ParamKind::BnBeta)
+    }
+
+    /// `true` for convolution parameters.
+    pub fn is_conv(self) -> bool {
+        matches!(self, ParamKind::ConvWeight | ParamKind::ConvBias)
+    }
+
+    /// `true` for fully-connected parameters.
+    pub fn is_fc(self) -> bool {
+        matches!(self, ParamKind::LinearWeight | ParamKind::LinearBias)
+    }
+}
+
+/// A tensor-valued trainable parameter with its gradient accumulator.
+#[derive(Debug, Clone)]
+pub struct Parameter {
+    /// Unique id (stable for the lifetime of the process) used by optimizers
+    /// to key momentum state.
+    id: u64,
+    /// Human-readable name, e.g. `"layer2.0.bn1.gamma"`.
+    pub name: String,
+    /// Parameter group.
+    pub kind: ParamKind,
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// Whether optimizers may update this parameter and layers should spend
+    /// time computing its gradient.
+    pub trainable: bool,
+}
+
+impl Parameter {
+    /// Creates a trainable parameter with a zeroed gradient.
+    pub fn new(name: impl Into<String>, kind: ParamKind, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape_dims());
+        Parameter {
+            id: NEXT_PARAM_ID.fetch_add(1, Ordering::Relaxed),
+            name: name.into(),
+            kind,
+            value,
+            grad,
+            trainable: true,
+        }
+    }
+
+    /// The parameter's process-unique id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of scalar elements.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// `true` if the parameter holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Zeroes the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+}
+
+/// Selects which parameter groups are trainable during adaptation.
+///
+/// `LD-BN-ADAPT` uses [`ParamFilter::BnOnly`]; the paper's §III ablation also
+/// evaluates [`ParamFilter::ConvOnly`] and [`ParamFilter::FcOnly`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ParamFilter {
+    /// Every parameter is trainable (regular training / full fine-tuning).
+    #[default]
+    All,
+    /// Only batch-norm γ/β (the paper's method).
+    BnOnly,
+    /// Only convolution weights/biases (ablation).
+    ConvOnly,
+    /// Only fully-connected weights/biases (ablation).
+    FcOnly,
+    /// Nothing trainable (pure inference).
+    Frozen,
+}
+
+impl ParamFilter {
+    /// Whether a parameter of `kind` is trainable under this filter.
+    pub fn admits(self, kind: ParamKind) -> bool {
+        match self {
+            ParamFilter::All => true,
+            ParamFilter::BnOnly => kind.is_bn(),
+            ParamFilter::ConvOnly => kind.is_conv(),
+            ParamFilter::FcOnly => kind.is_fc(),
+            ParamFilter::Frozen => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let a = Parameter::new("a", ParamKind::BnGamma, Tensor::ones(&[2]));
+        let b = Parameter::new("b", ParamKind::BnBeta, Tensor::zeros(&[2]));
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn grad_matches_value_shape_and_zeroes() {
+        let mut p = Parameter::new("w", ParamKind::ConvWeight, Tensor::ones(&[2, 3]));
+        assert_eq!(p.grad.shape_dims(), &[2, 3]);
+        p.grad.fill(1.0);
+        p.zero_grad();
+        assert!(p.grad.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn filter_admits_expected_groups() {
+        use ParamKind::*;
+        assert!(ParamFilter::BnOnly.admits(BnGamma));
+        assert!(ParamFilter::BnOnly.admits(BnBeta));
+        assert!(!ParamFilter::BnOnly.admits(ConvWeight));
+        assert!(!ParamFilter::BnOnly.admits(LinearWeight));
+        assert!(ParamFilter::ConvOnly.admits(ConvWeight));
+        assert!(!ParamFilter::ConvOnly.admits(BnGamma));
+        assert!(ParamFilter::FcOnly.admits(LinearBias));
+        assert!(!ParamFilter::FcOnly.admits(ConvBias));
+        assert!(ParamFilter::All.admits(BnGamma) && ParamFilter::All.admits(ConvWeight));
+        assert!(!ParamFilter::Frozen.admits(BnGamma));
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(ParamKind::BnGamma.is_bn());
+        assert!(ParamKind::ConvBias.is_conv());
+        assert!(ParamKind::LinearWeight.is_fc());
+        assert!(!ParamKind::LinearWeight.is_bn());
+    }
+}

@@ -1,0 +1,174 @@
+//! Spatial pooling layers.
+
+use crate::layer::{Layer, Mode};
+use ld_tensor::conv::conv_out_dim;
+use ld_tensor::Tensor;
+
+/// Max pooling over NCHW activations (square window).
+///
+/// The ResNet stem uses a 3×3/stride-2 max pool after the first convolution.
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    /// Flat input index of each output's argmax, plus the input shape.
+    cache: Option<(Vec<usize>, Vec<usize>)>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize, pad: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "MaxPool2d: zero kernel/stride");
+        MaxPool2d { kernel, stride, pad, cache: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let (n, c, h, w) = x.dims4();
+        let oh = conv_out_dim(h, self.kernel, self.stride, self.pad);
+        let ow = conv_out_dim(w, self.kernel, self.stride, self.pad);
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        let xs = x.as_slice();
+        let mut oi = 0usize;
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = (ni * c + ci) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = plane; // fallback (all-padding window)
+                        for ky in 0..self.kernel {
+                            let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..self.kernel {
+                                let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let idx = plane + iy as usize * w + ix as usize;
+                                if xs[idx] > best {
+                                    best = xs[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        // All-padding windows (possible only with pad ≥ kernel)
+                        // cannot occur because conv_out_dim validates geometry.
+                        out.as_mut_slice()[oi] = best;
+                        argmax[oi] = best_idx;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        self.cache = Some((argmax, x.shape_dims().to_vec()));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (argmax, in_shape) = self.cache.as_ref().expect("MaxPool2d::backward before forward");
+        assert_eq!(grad_out.len(), argmax.len(), "MaxPool2d::backward: size mismatch");
+        let mut gin = Tensor::zeros(in_shape);
+        for (oi, &src) in argmax.iter().enumerate() {
+            gin.as_mut_slice()[src] += grad_out.as_slice()[oi];
+        }
+        gin
+    }
+}
+
+/// Global average pooling: NCHW → `(N, C, 1, 1)`.
+#[derive(Default)]
+pub struct GlobalAvgPool {
+    in_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { in_shape: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let (n, c, h, w) = x.dims4();
+        let plane = h * w;
+        let mut out = Tensor::zeros(&[n, c, 1, 1]);
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * plane;
+                let s: f32 = x.as_slice()[base..base + plane].iter().sum();
+                out.as_mut_slice()[ni * c + ci] = s / plane as f32;
+            }
+        }
+        self.in_shape = Some(x.shape_dims().to_vec());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.in_shape.as_ref().expect("GlobalAvgPool::backward before forward");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let plane = h * w;
+        let mut gin = Tensor::zeros(shape);
+        for ni in 0..n {
+            for ci in 0..c {
+                let g = grad_out.as_slice()[ni * c + ci] / plane as f32;
+                let base = (ni * c + ci) * plane;
+                for i in 0..plane {
+                    gin.as_mut_slice()[base + i] = g;
+                }
+            }
+        }
+        gin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_window_maxima() {
+        let mut mp = MaxPool2d::new(2, 2, 0);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0], &[1, 1, 4, 4]);
+        let y = mp.forward(&x, Mode::Eval);
+        assert_eq!(y.shape_dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_routes_gradient_to_argmax() {
+        let mut mp = MaxPool2d::new(2, 2, 0);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        mp.forward(&x, Mode::Eval);
+        let g = mp.backward(&Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]));
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn maxpool_with_padding_ignores_padding() {
+        let mut mp = MaxPool2d::new(3, 2, 1);
+        let x = Tensor::from_vec(vec![-1.0, -2.0, -3.0, -4.0], &[1, 1, 2, 2]);
+        let y = mp.forward(&x, Mode::Eval);
+        // Padding zeros must not win: max of the window is the max of real values.
+        assert_eq!(y.as_slice()[0], -1.0);
+    }
+
+    #[test]
+    fn gap_averages_and_spreads_gradient() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 2, 2]);
+        let y = gap.forward(&x, Mode::Eval);
+        assert_eq!(y.as_slice(), &[4.0]);
+        let g = gap.backward(&Tensor::from_vec(vec![8.0], &[1, 1, 1, 1]));
+        assert_eq!(g.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+}

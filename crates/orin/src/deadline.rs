@@ -1,0 +1,155 @@
+//! Real-time deadlines and the §IV design-space exploration.
+
+use crate::adapt_cost::AdaptCostModel;
+use crate::spec::PowerMode;
+use ld_ufld::{Backbone, UfldConfig};
+use serde::{Deserialize, Serialize};
+
+/// A real-time constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Deadline {
+    /// Human label.
+    pub name: &'static str,
+    /// Frame budget in milliseconds.
+    pub budget_ms: f64,
+}
+
+impl Deadline {
+    /// The paper's strict constraint: a 30 FPS camera (33.3 ms).
+    pub const FPS30: Deadline = Deadline { name: "30 FPS", budget_ms: 33.3 };
+    /// The paper's relaxed constraint: 18 FPS / 55.5 ms (Audi A8 L3 system).
+    pub const FPS18: Deadline = Deadline { name: "18 FPS", budget_ms: 55.5 };
+
+    /// Whether a frame latency meets this deadline.
+    pub fn met_by(&self, total_ms: f64) -> bool {
+        total_ms <= self.budget_ms
+    }
+}
+
+/// One point of the (backbone × power-mode) design space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Backbone evaluated.
+    pub backbone: Backbone,
+    /// Power mode evaluated.
+    pub mode: PowerMode,
+    /// Worst-case frame latency (inference + adaptation, bs = 1) in ms.
+    pub latency_ms: f64,
+    /// Energy per frame in mJ.
+    pub energy_mj: f64,
+    /// Whether the 30 FPS deadline is met.
+    pub meets_30fps: bool,
+    /// Whether the 18 FPS deadline is met.
+    pub meets_18fps: bool,
+}
+
+/// Evaluates the full design space of Figure 3 (both backbones × all
+/// power modes) at adaptation batch size 1.
+pub fn feasibility(num_lanes: usize) -> Vec<DesignPoint> {
+    let mut points = Vec::new();
+    for backbone in [Backbone::ResNet18, Backbone::ResNet34] {
+        let cfg = UfldConfig::paper(backbone, num_lanes);
+        let model = AdaptCostModel::paper_scale(&cfg);
+        for mode in PowerMode::ALL {
+            let frame = model.ld_bn_adapt_frame(mode, 1);
+            let total = frame.total_ms();
+            points.push(DesignPoint {
+                backbone,
+                mode,
+                latency_ms: total,
+                energy_mj: model.energy_mj(mode, 1),
+                meets_30fps: Deadline::FPS30.met_by(total),
+                meets_18fps: Deadline::FPS18.met_by(total),
+            });
+        }
+    }
+    points
+}
+
+/// The §IV selection rule: among design points meeting `deadline` and a
+/// power cap, prefer the more robust (deeper) backbone, then lower energy.
+///
+/// Returns `None` when nothing is feasible.
+pub fn best_configuration(
+    points: &[DesignPoint],
+    deadline: Deadline,
+    power_cap_w: f64,
+    prefer_robust: bool,
+) -> Option<&DesignPoint> {
+    points
+        .iter()
+        .filter(|p| deadline.met_by(p.latency_ms) && p.mode.watts() <= power_cap_w)
+        .min_by(|a, b| {
+            let depth = |p: &DesignPoint| match p.backbone {
+                Backbone::ResNet34 => 0usize,
+                Backbone::ResNet18 => 1usize,
+            };
+            if prefer_robust {
+                depth(a)
+                    .cmp(&depth(b))
+                    .then(a.energy_mj.partial_cmp(&b.energy_mj).expect("finite"))
+            } else {
+                a.energy_mj.partial_cmp(&b.energy_mj).expect("finite").then(depth(a).cmp(&depth(b)))
+            }
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_feasible_set_is_exactly_reproduced() {
+        // §IV: 30 FPS → only R-18 @ 60 W. 18 FPS → R-18@60W, R-18@50W,
+        // R-34@60W.
+        let points = feasibility(4);
+        let meets30: Vec<String> = points
+            .iter()
+            .filter(|p| p.meets_30fps)
+            .map(|p| format!("{}@{}", p.backbone, p.mode))
+            .collect();
+        assert_eq!(meets30, vec!["R-18@60W (MAXN)"]);
+
+        let meets18: Vec<String> = points
+            .iter()
+            .filter(|p| p.meets_18fps)
+            .map(|p| format!("{}@{}", p.backbone, p.mode))
+            .collect();
+        assert_eq!(
+            meets18,
+            vec!["R-18@50W", "R-18@60W (MAXN)", "R-34@60W (MAXN)"]
+        );
+    }
+
+    #[test]
+    fn strict_power_cap_selects_r18_at_50w() {
+        // §IV: "if there is a strict power constraint of 50W then R-18
+        // should be used" (at the 18 FPS deadline).
+        let points = feasibility(4);
+        let best = best_configuration(&points, Deadline::FPS18, 50.0, false).expect("feasible");
+        assert_eq!(best.backbone, Backbone::ResNet18);
+        assert_eq!(best.mode, PowerMode::W50);
+    }
+
+    #[test]
+    fn robustness_preference_selects_r34_at_60w() {
+        // §IV: "if a more robust model is required … then R-34 should be
+        // selected" (multi-target scenarios, 18 FPS, no power cap).
+        let points = feasibility(4);
+        let best = best_configuration(&points, Deadline::FPS18, 60.0, true).expect("feasible");
+        assert_eq!(best.backbone, Backbone::ResNet34);
+        assert_eq!(best.mode, PowerMode::MaxN60);
+    }
+
+    #[test]
+    fn nothing_feasible_under_impossible_cap() {
+        let points = feasibility(4);
+        assert!(best_configuration(&points, Deadline::FPS30, 10.0, false).is_none());
+    }
+
+    #[test]
+    fn deadline_met_by_boundary() {
+        assert!(Deadline::FPS30.met_by(33.3));
+        assert!(!Deadline::FPS30.met_by(33.31));
+    }
+}

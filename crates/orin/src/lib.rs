@@ -1,0 +1,35 @@
+//! Analytical Nvidia Jetson AGX Orin performance & energy model.
+//!
+//! Substitutes for the physical board the paper measures in Figure 3: a
+//! roofline model over the analytic per-layer costs of the *paper-scale*
+//! UFLD models (288×800 input, ResNet-18/34), across the Orin's power
+//! modes, for
+//!
+//! * pure inference,
+//! * the LD-BN-ADAPT frame loop (inference + BN-only backward + update),
+//! * the SOTA baseline's per-epoch cost (the ">1 hour per epoch" claim),
+//! * real-time deadline feasibility (30 FPS / 18 FPS) and the
+//!   multi-objective model/power-mode selection discussed in §IV.
+//!
+//! # Example
+//!
+//! ```
+//! use ld_orin::{AdaptCostModel, PowerMode};
+//! use ld_ufld::{Backbone, UfldConfig};
+//!
+//! let model = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
+//! let frame = model.ld_bn_adapt_frame(PowerMode::MaxN60, 1);
+//! assert!(frame.total_ms() <= 33.3); // R-18 @ MAXN meets 30 FPS
+//! ```
+
+pub mod adapt_cost;
+pub mod deadline;
+pub mod roofline;
+pub mod scheduler;
+pub mod spec;
+
+pub use adapt_cost::{AdaptCostModel, FrameLatency};
+pub use deadline::{best_configuration, feasibility, Deadline, DesignPoint};
+pub use roofline::{Efficiency, Roofline};
+pub use scheduler::{plan_adaptation, precision_what_if, AdaptBudget, Precision};
+pub use spec::{OrinSpec, PowerMode};

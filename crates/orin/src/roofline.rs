@@ -1,0 +1,181 @@
+//! Per-layer roofline latency estimation.
+//!
+//! Each operator's time is `max(compute time, memory time)` plus a fixed
+//! kernel-launch overhead, where compute time uses a per-operator-kind
+//! efficiency (achievable fraction of peak) and memory time divides the
+//! operator's touched bytes by DRAM bandwidth. This level of modelling
+//! reproduces the *shape* of Figure 3 — which (model, power-mode) pairs
+//! meet which deadline — not cycle-exact numbers; EXPERIMENTS.md records
+//! estimates as estimates.
+
+use crate::spec::{OrinSpec, PowerMode};
+use ld_ufld::cost::{CostKind, LayerCost};
+use serde::{Deserialize, Serialize};
+
+/// Achievable fraction of peak per operator kind.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Efficiency {
+    /// Convolutions (im2col/implicit GEMM kernels).
+    pub conv: f64,
+    /// Dense layers (GEMV at batch 1 — bandwidth bound; roofline handles it).
+    pub fc: f64,
+    /// Bandwidth-bound elementwise/normalisation ops.
+    pub elementwise: f64,
+}
+
+impl Default for Efficiency {
+    fn default() -> Self {
+        // Calibrated to eager-mode PyTorch 1.11 FP32 on Orin (the paper's
+        // software stack — no TensorRT, since the model is re-trained in
+        // place): dense conv kernels reach under a third of FP32 peak;
+        // elementwise kernels reach ~¾ of DRAM bandwidth.
+        Efficiency { conv: 0.29, fc: 0.50, elementwise: 0.75 }
+    }
+}
+
+/// The roofline model: hardware spec + efficiencies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Board description.
+    pub spec: OrinSpec,
+    /// Per-kind efficiencies.
+    pub eff: Efficiency,
+}
+
+impl Roofline {
+    /// Model with default AGX Orin spec and calibrated efficiencies.
+    pub fn agx_orin() -> Self {
+        Roofline { spec: OrinSpec::agx_orin(), eff: Efficiency::default() }
+    }
+
+    /// Seconds to execute one operator at `mode` with `batch` images.
+    pub fn layer_seconds(&self, cost: &LayerCost, mode: PowerMode, batch: usize) -> f64 {
+        let b = batch as f64;
+        let (flop_eff, is_compute) = match cost.kind {
+            CostKind::Conv => (self.eff.conv, true),
+            CostKind::Fc => (self.eff.fc, true),
+            CostKind::Bn | CostKind::Act | CostKind::Add | CostKind::Pool => {
+                (self.eff.elementwise, false)
+            }
+        };
+        let compute_s = if is_compute {
+            cost.flops * b / (self.spec.peak_flops(mode) * flop_eff)
+        } else {
+            // Elementwise kernels are bandwidth bound; compute is negligible.
+            0.0
+        };
+        // Activations scale with batch; parameters are read once per kernel.
+        let bytes = (cost.bytes_in + cost.bytes_out) * b + cost.bytes_param;
+        let mem_s = bytes / (self.spec.peak_bytes_per_s(mode) * self.eff.elementwise);
+        compute_s.max(mem_s) + self.spec.kernel_overhead_us * 1e-6
+    }
+
+    /// Seconds for a full forward pass over `costs` at `mode`/`batch`.
+    pub fn forward_seconds(&self, costs: &[LayerCost], mode: PowerMode, batch: usize) -> f64 {
+        costs.iter().map(|c| self.layer_seconds(c, mode, batch)).sum()
+    }
+
+    /// Seconds for a backward pass.
+    ///
+    /// `train_all = false` models LD-BN-ADAPT's BN-only adaptation: every
+    /// layer still propagates its input gradient (≈ 1× its forward cost for
+    /// GEMM ops) and BN layers compute their cheap γ/β gradients, but conv
+    /// and FC *weight* gradients (the second GEMM, another ≈ 1× forward)
+    /// are skipped. `train_all = true` models full fine-tuning (the SOTA
+    /// baseline): both GEMMs run.
+    pub fn backward_seconds(
+        &self,
+        costs: &[LayerCost],
+        mode: PowerMode,
+        batch: usize,
+        train_all: bool,
+    ) -> f64 {
+        let mut total = 0.0;
+        for c in costs {
+            let fwd = self.layer_seconds(c, mode, batch);
+            let factor = match c.kind {
+                // dX GEMM ≈ forward; dW GEMM ≈ another forward.
+                CostKind::Conv | CostKind::Fc => {
+                    if train_all {
+                        2.0
+                    } else {
+                        1.0
+                    }
+                }
+                // BN backward reduces twice over the activations.
+                CostKind::Bn => 2.0,
+                // Mask application / gradient routing ≈ forward.
+                CostKind::Act | CostKind::Add | CostKind::Pool => 1.0,
+            };
+            total += fwd * factor;
+        }
+        total
+    }
+
+    /// Seconds for the optimizer update of `n_params` scalars
+    /// (read grad + read/write value ⇒ 12 bytes each).
+    pub fn update_seconds(&self, n_params: usize, mode: PowerMode) -> f64 {
+        let bytes = 12.0 * n_params as f64;
+        bytes / (self.spec.peak_bytes_per_s(mode) * self.eff.elementwise)
+            + self.spec.kernel_overhead_us * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_ufld::cost::model_costs;
+    use ld_ufld::{Backbone, UfldConfig};
+
+    fn costs_r18() -> Vec<LayerCost> {
+        model_costs(&UfldConfig::paper(Backbone::ResNet18, 4))
+    }
+
+    #[test]
+    fn latency_decreases_with_power() {
+        let rl = Roofline::agx_orin();
+        let costs = costs_r18();
+        let times: Vec<f64> = PowerMode::ALL
+            .iter()
+            .map(|&m| rl.forward_seconds(&costs, m, 1))
+            .collect();
+        for w in times.windows(2) {
+            assert!(w[1] < w[0], "latency must drop with power: {times:?}");
+        }
+    }
+
+    #[test]
+    fn paper_scale_inference_is_single_digit_ms_at_maxn() {
+        let rl = Roofline::agx_orin();
+        let t = rl.forward_seconds(&costs_r18(), PowerMode::MaxN60, 1);
+        assert!(t > 2e-3 && t < 20e-3, "forward {t}s");
+    }
+
+    #[test]
+    fn bn_only_backward_is_cheaper_than_full() {
+        let rl = Roofline::agx_orin();
+        let costs = costs_r18();
+        let bn_only = rl.backward_seconds(&costs, PowerMode::MaxN60, 1, false);
+        let full = rl.backward_seconds(&costs, PowerMode::MaxN60, 1, true);
+        assert!(bn_only < full, "{bn_only} !< {full}");
+        // Full fine-tuning roughly doubles the GEMM work.
+        assert!(full / bn_only > 1.3 && full / bn_only < 2.5);
+    }
+
+    #[test]
+    fn batch_scales_compute_sublinearly_to_linearly() {
+        let rl = Roofline::agx_orin();
+        let costs = costs_r18();
+        let t1 = rl.forward_seconds(&costs, PowerMode::MaxN60, 1);
+        let t4 = rl.forward_seconds(&costs, PowerMode::MaxN60, 4);
+        assert!(t4 > 2.0 * t1 && t4 < 4.5 * t1, "t1 {t1} t4 {t4}");
+    }
+
+    #[test]
+    fn update_cost_is_microseconds_for_bn_params() {
+        let rl = Roofline::agx_orin();
+        // ~10k BN scalars update in well under a millisecond.
+        let t = rl.update_seconds(10_000, PowerMode::W15);
+        assert!(t < 1e-3, "update {t}s");
+    }
+}

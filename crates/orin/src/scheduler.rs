@@ -1,0 +1,152 @@
+//! Deadline-aware adaptation scheduling and precision what-if analysis.
+//!
+//! §IV closes with: "real-time model adaptation … is possible but requires
+//! a careful study of the multi-objective design space and the various
+//! application constraints." This module operationalises that study:
+//!
+//! * [`AdaptBudget`] — given a (backbone, power mode, deadline), how much
+//!   adaptation fits in each frame? (none / statistics only / the full
+//!   BN backward / multiple steps);
+//! * [`Precision`] — a what-if for FP16/INT8 execution (the paper's stack
+//!   is FP32 PyTorch; Tensor-core precisions are the natural follow-up).
+
+use crate::adapt_cost::AdaptCostModel;
+use crate::roofline::Roofline;
+use crate::spec::PowerMode;
+use ld_ufld::UfldConfig;
+use serde::{Deserialize, Serialize};
+
+/// How much adaptation fits in a frame budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdaptBudget {
+    /// Even pure inference misses the deadline.
+    Infeasible,
+    /// Only inference fits; adaptation must be skipped (or offloaded to
+    /// idle frames).
+    InferenceOnly,
+    /// Inference plus `steps` entropy-descent step(s) fit.
+    Steps {
+        /// Number of whole backward+update passes that fit.
+        steps: usize,
+    },
+}
+
+/// Plans the adaptation duty per frame for a model/mode/deadline triple.
+///
+/// # Example
+///
+/// ```
+/// use ld_orin::{plan_adaptation, AdaptBudget, PowerMode};
+/// use ld_ufld::{Backbone, UfldConfig};
+///
+/// let cfg = UfldConfig::paper(Backbone::ResNet18, 4);
+/// let plan = plan_adaptation(&cfg, PowerMode::MaxN60, 33.3);
+/// assert_eq!(plan, AdaptBudget::Steps { steps: 1 }); // the paper's setting
+/// ```
+pub fn plan_adaptation(cfg: &UfldConfig, mode: PowerMode, budget_ms: f64) -> AdaptBudget {
+    let model = AdaptCostModel::paper_scale(cfg);
+    let infer = model.inference_ms(mode);
+    if infer > budget_ms {
+        return AdaptBudget::Infeasible;
+    }
+    let one_frame = model.ld_bn_adapt_frame(mode, 1);
+    let step_cost = one_frame.backward_ms + one_frame.update_ms;
+    if infer + step_cost > budget_ms {
+        return AdaptBudget::InferenceOnly;
+    }
+    let extra = ((budget_ms - infer) / step_cost).floor() as usize;
+    AdaptBudget::Steps { steps: extra.max(1) }
+}
+
+/// Arithmetic precision of the deployed network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// FP32 CUDA cores (the paper's PyTorch 1.11 deployment).
+    Fp32,
+    /// FP16 on tensor cores (≈4× FP32 GEMM throughput on Ampere, half the
+    /// activation traffic).
+    Fp16,
+}
+
+impl Precision {
+    /// GEMM-throughput multiplier relative to FP32.
+    pub fn compute_speedup(self) -> f64 {
+        match self {
+            Precision::Fp32 => 1.0,
+            Precision::Fp16 => 4.0,
+        }
+    }
+
+    /// Bytes-per-element ratio relative to FP32.
+    pub fn byte_ratio(self) -> f64 {
+        match self {
+            Precision::Fp32 => 1.0,
+            Precision::Fp16 => 0.5,
+        }
+    }
+}
+
+/// Frame latency under a precision what-if: scales the roofline's compute
+/// and memory terms. Returns `(total_ms, meets_30fps)`.
+pub fn precision_what_if(cfg: &UfldConfig, mode: PowerMode, precision: Precision) -> (f64, bool) {
+    let base = Roofline::agx_orin();
+    let mut eff = base.eff;
+    eff.conv *= precision.compute_speedup();
+    eff.fc *= precision.compute_speedup();
+    eff.elementwise /= precision.byte_ratio(); // half the bytes = 2× effective BW
+    let model = AdaptCostModel::new(cfg, Roofline { spec: base.spec, eff });
+    let total = model.ld_bn_adapt_frame(mode, 1).total_ms();
+    (total, total <= 33.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_ufld::Backbone;
+
+    #[test]
+    fn paper_setting_fits_exactly_one_step() {
+        let cfg = UfldConfig::paper(Backbone::ResNet18, 4);
+        assert_eq!(
+            plan_adaptation(&cfg, PowerMode::MaxN60, 33.3),
+            AdaptBudget::Steps { steps: 1 }
+        );
+    }
+
+    #[test]
+    fn relaxed_deadline_affords_more_steps() {
+        let cfg = UfldConfig::paper(Backbone::ResNet18, 4);
+        match plan_adaptation(&cfg, PowerMode::MaxN60, 55.5) {
+            AdaptBudget::Steps { steps } => assert!(steps >= 2, "steps {steps}"),
+            other => panic!("expected steps, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tight_budget_degrades_to_inference_only_then_infeasible() {
+        let cfg = UfldConfig::paper(Backbone::ResNet34, 4);
+        // R-34 at 15 W: inference ≈ 77 ms.
+        assert_eq!(plan_adaptation(&cfg, PowerMode::W15, 90.0), AdaptBudget::InferenceOnly);
+        assert_eq!(plan_adaptation(&cfg, PowerMode::W15, 33.3), AdaptBudget::Infeasible);
+    }
+
+    #[test]
+    fn fp16_extends_the_feasible_set() {
+        // The natural follow-up: with tensor cores, R-34 (and lower power
+        // modes) come within the 30 FPS budget.
+        let r34 = UfldConfig::paper(Backbone::ResNet34, 4);
+        let (t_fp32, ok32) = precision_what_if(&r34, PowerMode::MaxN60, Precision::Fp32);
+        let (t_fp16, ok16) = precision_what_if(&r34, PowerMode::MaxN60, Precision::Fp16);
+        assert!(!ok32, "fp32 R-34 must miss 30 FPS ({t_fp32:.1} ms)");
+        assert!(ok16, "fp16 R-34 should meet 30 FPS ({t_fp16:.1} ms)");
+        assert!(t_fp16 < t_fp32 / 1.8);
+    }
+
+    #[test]
+    fn fp32_what_if_matches_base_model() {
+        let cfg = UfldConfig::paper(Backbone::ResNet18, 4);
+        let (t, _) = precision_what_if(&cfg, PowerMode::W50, Precision::Fp32);
+        let base = AdaptCostModel::paper_scale(&cfg).ld_bn_adapt_frame(PowerMode::W50, 1).total_ms();
+        assert!((t - base).abs() < 1e-9);
+    }
+}

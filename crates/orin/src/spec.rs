@@ -1,0 +1,147 @@
+//! Nvidia Jetson AGX Orin hardware description.
+//!
+//! Figure 3 of the paper measures per-frame latency on a Jetson AGX Orin
+//! across its `nvpmodel` power modes. Without the physical board, this
+//! module captures the published characteristics that drive a roofline
+//! estimate: CUDA core count, per-mode GPU clock and DRAM bandwidth, and
+//! the mode's power budget (for energy estimates).
+//!
+//! Numbers follow Nvidia's Jetson AGX Orin (64 GB) module data sheet and
+//! `nvpmodel` tables: 2048 CUDA cores; GPU clocks ≈ 420 / 624 / 828 /
+//! 1301 MHz and EMC bandwidth ≈ 136.5 / 204.8 / 204.8 / 204.8 GB/s for the
+//! 15 W / 30 W / 50 W / MAXN (~60 W) modes respectively.
+
+use serde::{Deserialize, Serialize};
+
+/// A Jetson AGX Orin `nvpmodel` power mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PowerMode {
+    /// 15 W budget.
+    W15,
+    /// 30 W budget.
+    W30,
+    /// 50 W budget.
+    W50,
+    /// MAXN — unlocked, ≈ 60 W (the paper's "60W" mode).
+    MaxN60,
+}
+
+impl PowerMode {
+    /// All modes in ascending power order (Figure 3's x-axis).
+    pub const ALL: [PowerMode; 4] = [PowerMode::W15, PowerMode::W30, PowerMode::W50, PowerMode::MaxN60];
+
+    /// Power budget in watts.
+    pub fn watts(self) -> f64 {
+        match self {
+            PowerMode::W15 => 15.0,
+            PowerMode::W30 => 30.0,
+            PowerMode::W50 => 50.0,
+            PowerMode::MaxN60 => 60.0,
+        }
+    }
+
+    /// GPU clock in MHz under this mode.
+    pub fn gpu_clock_mhz(self) -> f64 {
+        match self {
+            PowerMode::W15 => 420.0,
+            PowerMode::W30 => 624.0,
+            PowerMode::W50 => 828.0,
+            PowerMode::MaxN60 => 1301.0,
+        }
+    }
+
+    /// DRAM bandwidth in GB/s under this mode (EMC clock scales with the
+    /// power budget: ≈1600 / 2133 / 3200 / 3200 MHz).
+    pub fn mem_bandwidth_gbps(self) -> f64 {
+        match self {
+            PowerMode::W15 => 102.4,
+            PowerMode::W30 => 136.5,
+            PowerMode::W50 => 204.8,
+            PowerMode::MaxN60 => 204.8,
+        }
+    }
+
+    /// Display label matching the paper's figure.
+    pub fn label(self) -> &'static str {
+        match self {
+            PowerMode::W15 => "15W",
+            PowerMode::W30 => "30W",
+            PowerMode::W50 => "50W",
+            PowerMode::MaxN60 => "60W (MAXN)",
+        }
+    }
+}
+
+impl std::fmt::Display for PowerMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Static hardware description of the board.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OrinSpec {
+    /// CUDA cores (Ampere SMs × 128).
+    pub cuda_cores: usize,
+    /// Fixed per-kernel launch overhead in microseconds.
+    pub kernel_overhead_us: f64,
+    /// Host-side per-frame preprocessing cost in ms (1280×720 decode,
+    /// resize to 288×800, normalise) — charged once per camera frame.
+    pub host_preprocess_ms: f64,
+}
+
+impl OrinSpec {
+    /// The Jetson AGX Orin 64 GB developer kit.
+    pub fn agx_orin() -> Self {
+        OrinSpec {
+            cuda_cores: 2048,
+            kernel_overhead_us: 6.0,
+            host_preprocess_ms: 1.2,
+        }
+    }
+
+    /// Peak FP32 throughput in FLOP/s at a power mode
+    /// (2 FLOPs per core per cycle, fused multiply–add).
+    pub fn peak_flops(&self, mode: PowerMode) -> f64 {
+        2.0 * self.cuda_cores as f64 * mode.gpu_clock_mhz() * 1e6
+    }
+
+    /// DRAM bandwidth in bytes/s at a power mode.
+    pub fn peak_bytes_per_s(&self, mode: PowerMode) -> f64 {
+        mode.mem_bandwidth_gbps() * 1e9
+    }
+}
+
+impl Default for OrinSpec {
+    fn default() -> Self {
+        OrinSpec::agx_orin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clocks_and_bandwidth_rise_with_power() {
+        let modes = PowerMode::ALL;
+        for w in modes.windows(2) {
+            assert!(w[1].watts() > w[0].watts());
+            assert!(w[1].gpu_clock_mhz() >= w[0].gpu_clock_mhz());
+            assert!(w[1].mem_bandwidth_gbps() >= w[0].mem_bandwidth_gbps());
+        }
+    }
+
+    #[test]
+    fn maxn_peak_is_about_5_tflops_fp32() {
+        let spec = OrinSpec::agx_orin();
+        let p = spec.peak_flops(PowerMode::MaxN60);
+        assert!(p > 4.5e12 && p < 6.0e12, "peak {p}");
+    }
+
+    #[test]
+    fn labels_match_paper_axis() {
+        assert_eq!(PowerMode::W15.label(), "15W");
+        assert_eq!(PowerMode::MaxN60.to_string(), "60W (MAXN)");
+    }
+}

@@ -1,0 +1,224 @@
+//! `im2col` / `col2im` lowering for 2-D convolutions.
+//!
+//! A convolution of a `(C, H, W)` image with `(O, C, KH, KW)` filters at
+//! stride `s` and zero-padding `p` is computed as the GEMM
+//! `W[O, C·KH·KW] · col[C·KH·KW, OH·OW]`. The adjoint (`col2im`) scatters
+//! column gradients back into image space and is used by the convolution
+//! backward pass — together they must form an exact transpose pair, which
+//! the property tests verify.
+
+/// Output spatial size of a convolution along one axis.
+///
+/// # Panics
+///
+/// Panics if the kernel does not fit (`input + 2·pad < kernel`) or stride is 0.
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "conv_out_dim: stride must be > 0");
+    assert!(
+        input + 2 * pad >= kernel,
+        "conv_out_dim: kernel {kernel} larger than padded input {}",
+        input + 2 * pad
+    );
+    (input + 2 * pad - kernel) / stride + 1
+}
+
+/// Geometry of one im2col lowering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvGeom {
+    /// Input channels.
+    pub c: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same both axes).
+    pub stride: usize,
+    /// Zero padding (same both axes).
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        conv_out_dim(self.h, self.kh, self.stride, self.pad)
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        conv_out_dim(self.w, self.kw, self.stride, self.pad)
+    }
+
+    /// Rows of the column matrix (`C·KH·KW`).
+    pub fn col_rows(&self) -> usize {
+        self.c * self.kh * self.kw
+    }
+
+    /// Columns of the column matrix (`OH·OW`).
+    pub fn col_cols(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Elements in the input image (`C·H·W`).
+    pub fn image_len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+}
+
+/// Lowers one `(C, H, W)` image into the column matrix.
+///
+/// `col` is laid out `(C·KH·KW, OH·OW)` row-major and fully overwritten
+/// (padded taps become zero).
+///
+/// # Panics
+///
+/// Panics if `image` or `col` have the wrong length.
+pub fn im2col(image: &[f32], g: ConvGeom, col: &mut [f32]) {
+    assert_eq!(image.len(), g.image_len(), "im2col: bad image length");
+    assert_eq!(col.len(), g.col_rows() * g.col_cols(), "im2col: bad col length");
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let n_cols = oh * ow;
+    let mut row = 0usize;
+    for c in 0..g.c {
+        let plane = &image[c * g.h * g.w..(c + 1) * g.h * g.w];
+        for ky in 0..g.kh {
+            for kx in 0..g.kw {
+                let dst = &mut col[row * n_cols..(row + 1) * n_cols];
+                let mut di = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    if iy < 0 || iy >= g.h as isize {
+                        dst[di..di + ow].iter_mut().for_each(|x| *x = 0.0);
+                        di += ow;
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        dst[di] = if ix < 0 || ix >= g.w as isize {
+                            0.0
+                        } else {
+                            plane[iy * g.w + ix as usize]
+                        };
+                        di += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Scatters a column matrix back into image space, **accumulating** into
+/// `image` (the adjoint of [`im2col`]).
+///
+/// Callers typically zero `image` first when computing input gradients.
+///
+/// # Panics
+///
+/// Panics if `image` or `col` have the wrong length.
+pub fn col2im(col: &[f32], g: ConvGeom, image: &mut [f32]) {
+    assert_eq!(image.len(), g.image_len(), "col2im: bad image length");
+    assert_eq!(col.len(), g.col_rows() * g.col_cols(), "col2im: bad col length");
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let n_cols = oh * ow;
+    let mut row = 0usize;
+    for c in 0..g.c {
+        let plane_off = c * g.h * g.w;
+        for ky in 0..g.kh {
+            for kx in 0..g.kw {
+                let src = &col[row * n_cols..(row + 1) * n_cols];
+                let mut si = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    if iy < 0 || iy >= g.h as isize {
+                        si += ow;
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        if ix >= 0 && ix < g.w as isize {
+                            image[plane_off + iy * g.w + ix as usize] += src[si];
+                        }
+                        si += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_dim_formula() {
+        assert_eq!(conv_out_dim(5, 3, 1, 0), 3);
+        assert_eq!(conv_out_dim(5, 3, 1, 1), 5);
+        assert_eq!(conv_out_dim(8, 3, 2, 1), 4);
+        assert_eq!(conv_out_dim(7, 7, 2, 3), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel")]
+    fn out_dim_rejects_oversized_kernel() {
+        conv_out_dim(2, 5, 1, 0);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel stride 1: col matrix equals the image rows.
+        let g = ConvGeom { c: 2, h: 2, w: 3, kh: 1, kw: 1, stride: 1, pad: 0 };
+        let image: Vec<f32> = (0..12).map(|x| x as f32).collect();
+        let mut col = vec![0.0; g.col_rows() * g.col_cols()];
+        im2col(&image, g, &mut col);
+        assert_eq!(col, image);
+    }
+
+    #[test]
+    fn im2col_3x3_padded_center_tap() {
+        // With pad 1 and a 3x3 kernel, the center tap row reproduces the image.
+        let g = ConvGeom { c: 1, h: 3, w: 3, kh: 3, kw: 3, stride: 1, pad: 1 };
+        let image: Vec<f32> = (1..=9).map(|x| x as f32).collect();
+        let mut col = vec![0.0; g.col_rows() * g.col_cols()];
+        im2col(&image, g, &mut col);
+        let center = 4; // (ky=1, kx=1)
+        assert_eq!(&col[center * 9..center * 9 + 9], image.as_slice());
+        // Top-left tap at output (0,0) reads padding.
+        assert_eq!(col[0], 0.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y.
+        use crate::rng::SeededRng;
+        let g = ConvGeom { c: 2, h: 5, w: 4, kh: 3, kw: 3, stride: 2, pad: 1 };
+        let mut rng = SeededRng::new(42);
+        let x: Vec<f32> = (0..g.image_len()).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let y: Vec<f32> = (0..g.col_rows() * g.col_cols())
+            .map(|_| rng.uniform(-1.0, 1.0))
+            .collect();
+        let mut cx = vec![0.0; y.len()];
+        im2col(&x, g, &mut cx);
+        let lhs: f32 = cx.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let mut aty = vec![0.0; x.len()];
+        col2im(&y, g, &mut aty);
+        let rhs: f32 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_accumulates() {
+        let g = ConvGeom { c: 1, h: 2, w: 2, kh: 1, kw: 1, stride: 1, pad: 0 };
+        let col = vec![1.0; 4];
+        let mut image = vec![1.0; 4];
+        col2im(&col, g, &mut image);
+        assert_eq!(image, vec![2.0; 4]);
+    }
+}

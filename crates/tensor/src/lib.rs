@@ -1,0 +1,76 @@
+//! Dense `f32` N-dimensional tensors for the LD-BN-ADAPT lane-detection stack.
+//!
+//! This crate is the numerical substrate of the whole reproduction: a small,
+//! dependency-light tensor library providing exactly what a from-scratch
+//! convolutional network with hand-derived backward passes needs:
+//!
+//! * [`Tensor`] — contiguous row-major `f32` storage with shape/stride
+//!   arithmetic, elementwise maps/zips, axis reductions and NCHW helpers;
+//! * [`linalg`] — a miniature GEMM (`C ← α·op(A)·op(B) + β·C`) with optional
+//!   transposes and a two-way parallel split for large products;
+//! * [`conv`] — `im2col`/`col2im` lowering used by the convolution layers;
+//! * [`rng`] — deterministic, seedable random fills (uniform, normal,
+//!   Kaiming/Xavier fan-based initialisers);
+//! * [`io`] — compact binary (de)serialisation via `serde` + [`bytes`].
+//!
+//! # Example
+//!
+//! ```
+//! use ld_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = ld_tensor::linalg::matmul(&a, &b);
+//! assert_eq!(c.as_slice(), a.as_slice());
+//! ```
+//!
+//! # Design notes
+//!
+//! Shape mismatches are programming errors, not runtime conditions, so the
+//! arithmetic API panics with descriptive messages (like `ndarray`), while
+//! fallible boundaries (deserialisation) return [`TensorError`].
+
+pub mod conv;
+pub mod io;
+pub mod linalg;
+pub mod parallel;
+pub mod rng;
+mod shape;
+mod tensor;
+
+pub use shape::{strides_for, Shape};
+pub use tensor::Tensor;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced at fallible tensor boundaries (I/O, deserialisation).
+///
+/// Shape errors inside pure math kernels panic instead (see crate docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The serialized byte stream was malformed or truncated.
+    DecodeBytes(String),
+    /// An element count did not match the product of the decoded shape.
+    LengthMismatch {
+        /// Product of the decoded shape dimensions.
+        expected: usize,
+        /// Number of elements actually present.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::DecodeBytes(msg) => write!(f, "tensor decode failed: {msg}"),
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "tensor length mismatch: shape wants {expected} elements, got {actual}"
+            ),
+        }
+    }
+}
+
+impl Error for TensorError {}

@@ -1,0 +1,290 @@
+//! A miniature GEMM: `C ← α·op(A)·op(B) + β·C` with optional transposes.
+//!
+//! This is the hot path of the whole stack — convolutions lower to GEMM via
+//! [`crate::conv::im2col`], and the UFLD head is two dense layers. The
+//! kernels use accumulation-friendly loop orders (contiguous innermost
+//! access) and split output rows across cores for large products.
+
+use crate::parallel::{for_each_chunk, SendPtr};
+use crate::Tensor;
+
+/// Whether an operand participates transposed in the product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trans {
+    /// Use the matrix as stored.
+    No,
+    /// Use the matrix transposed.
+    Yes,
+}
+
+impl Trans {
+    fn is_t(self) -> bool {
+        matches!(self, Trans::Yes)
+    }
+}
+
+/// General matrix multiply: `c ← alpha * op(a) * op(b) + beta * c`.
+///
+/// `op(a)` is `m×k` and `op(b)` is `k×n`; `c` must be `m×n`.
+///
+/// # Panics
+///
+/// Panics if any operand is not rank 2 or the inner/outer dimensions do not
+/// agree.
+///
+/// # Example
+///
+/// ```
+/// use ld_tensor::{Tensor, linalg::{gemm, Trans}};
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let b = Tensor::eye(2);
+/// let mut c = Tensor::zeros(&[2, 2]);
+/// gemm(1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c);
+/// assert_eq!(c.as_slice(), a.as_slice());
+/// ```
+pub fn gemm(alpha: f32, a: &Tensor, ta: Trans, b: &Tensor, tb: Trans, beta: f32, c: &mut Tensor) {
+    let (ar, ac) = a.dims2();
+    let (br, bc) = b.dims2();
+    let (m, k) = if ta.is_t() { (ac, ar) } else { (ar, ac) };
+    let (kb, n) = if tb.is_t() { (bc, br) } else { (br, bc) };
+    assert_eq!(k, kb, "gemm: inner dims disagree ({k} vs {kb})");
+    let (cm, cn) = c.dims2();
+    assert_eq!((cm, cn), (m, n), "gemm: output is {cm}x{cn}, want {m}x{n}");
+
+    if beta == 0.0 {
+        c.fill_zero();
+    } else if beta != 1.0 {
+        c.scale(beta);
+    }
+    if alpha == 0.0 || m == 0 || n == 0 {
+        return;
+    }
+
+    let work = m * n * k;
+    let a_s = a.as_slice();
+    let b_s = b.as_slice();
+    let c_ptr = SendPtr(c.as_mut_slice().as_mut_ptr());
+
+    match (ta.is_t(), tb.is_t()) {
+        (false, false) => {
+            // C[i,:] += alpha * A[i,kk] * B[kk,:]
+            for_each_chunk(m, work, |rows| {
+                for i in rows {
+                    // SAFETY: each thread owns disjoint row range of C.
+                    let crow = unsafe { c_ptr.slice_mut(i * n, n) };
+                    for kk in 0..k {
+                        let av = alpha * a_s[i * ac + kk];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &b_s[kk * n..kk * n + n];
+                        for (cv, &bv) in crow.iter_mut().zip(brow) {
+                            *cv += av * bv;
+                        }
+                    }
+                }
+            });
+        }
+        (true, false) => {
+            // op(A)[i,kk] = A[kk,i]
+            for_each_chunk(m, work, |rows| {
+                for i in rows {
+                    // SAFETY: disjoint rows of C per thread.
+                    let crow = unsafe { c_ptr.slice_mut(i * n, n) };
+                    for kk in 0..k {
+                        let av = alpha * a_s[kk * ac + i];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &b_s[kk * n..kk * n + n];
+                        for (cv, &bv) in crow.iter_mut().zip(brow) {
+                            *cv += av * bv;
+                        }
+                    }
+                }
+            });
+        }
+        (false, true) => {
+            // C[i,j] += alpha * dot(A[i,:], B[j,:])
+            for_each_chunk(m, work, |rows| {
+                for i in rows {
+                    // SAFETY: disjoint rows of C per thread.
+                    let crow = unsafe { c_ptr.slice_mut(i * n, n) };
+                    let arow = &a_s[i * ac..i * ac + k];
+                    for (j, cv) in crow.iter_mut().enumerate() {
+                        let brow = &b_s[j * bc..j * bc + k];
+                        let mut acc = 0.0;
+                        for (&av, &bv) in arow.iter().zip(brow) {
+                            acc += av * bv;
+                        }
+                        *cv += alpha * acc;
+                    }
+                }
+            });
+        }
+        (true, true) => {
+            // Rare in this stack; strided but correct.
+            for_each_chunk(m, work, |rows| {
+                for i in rows {
+                    // SAFETY: disjoint rows of C per thread.
+                    let crow = unsafe { c_ptr.slice_mut(i * n, n) };
+                    for (j, cv) in crow.iter_mut().enumerate() {
+                        let mut acc = 0.0;
+                        for kk in 0..k {
+                            acc += a_s[kk * ac + i] * b_s[j * bc + kk];
+                        }
+                        *cv += alpha * acc;
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// Plain matrix product `A · B` into a fresh tensor.
+///
+/// # Panics
+///
+/// Panics on rank/dimension mismatch (see [`gemm`]).
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let m = a.dims2().0;
+    let n = b.dims2().1;
+    let mut c = Tensor::zeros(&[m, n]);
+    gemm(1.0, a, Trans::No, b, Trans::No, 0.0, &mut c);
+    c
+}
+
+/// Matrix–vector product `A · x` for a 2-D `a` and 1-D `x`.
+///
+/// # Panics
+///
+/// Panics if `a` is not rank 2, `x` not rank 1, or lengths disagree.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
+    let (m, k) = a.dims2();
+    assert_eq!(x.rank(), 1, "matvec: x must be rank 1");
+    assert_eq!(x.len(), k, "matvec: length mismatch");
+    let xt = x.to_shape(&[k, 1]);
+    matmul(a, &xt).reshape(&[m])
+}
+
+/// Euclidean distance squared between two equal-length flat tensors.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "sq_dist: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = a.dims2();
+        let (_, n) = b.dims2();
+        let mut c = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for kk in 0..k {
+                    s += a.at(&[i, kk]) * b.at(&[kk, j]);
+                }
+                *c.at_mut(&[i, j]) = s;
+            }
+        }
+        c
+    }
+
+    fn rand_tensor(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = crate::rng::SeededRng::new(seed);
+        rng.uniform_tensor(dims, -1.0, 1.0)
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape_dims(), b.shape_dims());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = rand_tensor(&[7, 5], 1);
+        let b = rand_tensor(&[5, 9], 2);
+        assert_close(&matmul(&a, &b), &naive_matmul(&a, &b), 1e-5);
+    }
+
+    #[test]
+    fn all_transpose_combinations_agree() {
+        let a = rand_tensor(&[6, 4], 3); // op(A) 6x4 (NN) …
+        let b = rand_tensor(&[4, 5], 4);
+        let reference = naive_matmul(&a, &b);
+
+        let at = a.transposed(); // stored 4x6 → Trans::Yes gives 6x4
+        let bt = b.transposed(); // stored 5x4 → Trans::Yes gives 4x5
+
+        for (aa, ta, bb, tb) in [
+            (&a, Trans::No, &b, Trans::No),
+            (&at, Trans::Yes, &b, Trans::No),
+            (&a, Trans::No, &bt, Trans::Yes),
+            (&at, Trans::Yes, &bt, Trans::Yes),
+        ] {
+            let mut c = Tensor::zeros(&[6, 5]);
+            gemm(1.0, aa, ta, bb, tb, 0.0, &mut c);
+            assert_close(&c, &reference, 1e-5);
+        }
+    }
+
+    #[test]
+    fn alpha_beta_accumulate() {
+        let a = rand_tensor(&[3, 3], 5);
+        let b = Tensor::eye(3);
+        let mut c = Tensor::ones(&[3, 3]);
+        gemm(2.0, &a, Trans::No, &b, Trans::No, 3.0, &mut c);
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = 2.0 * a.at(&[i, j]) + 3.0;
+                assert!((c.at(&[i, j]) - want).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn big_parallel_product_matches_naive() {
+        // Large enough to cross PAR_THRESHOLD_FLOPS.
+        let a = rand_tensor(&[80, 70], 6);
+        let b = rand_tensor(&[70, 90], 7);
+        assert_close(&matmul(&a, &b), &naive_matmul(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = rand_tensor(&[4, 6], 8);
+        let x = rand_tensor(&[6], 9);
+        let y = matvec(&a, &x);
+        let y2 = matmul(&a, &x.to_shape(&[6, 1])).reshape(&[4]);
+        assert_close(&y, &y2, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn gemm_rejects_mismatched_inner() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let mut c = Tensor::zeros(&[2, 2]);
+        gemm(1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c);
+    }
+
+    #[test]
+    fn sq_dist_basic() {
+        assert_eq!(sq_dist(&[0.0, 3.0], &[4.0, 0.0]), 25.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! A minimal fork-join helper over row ranges, built on `crossbeam::scope`.
+//!
+//! The convolution and GEMM kernels split their output-row loops across the
+//! machine's cores. With the tiny models used in CI this usually stays
+//! single-threaded (below [`PAR_THRESHOLD_FLOPS`]); experiment-scale GEMMs
+//! fan out.
+
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Work sizes (in FLOPs or elements) below this run on the calling thread.
+pub const PAR_THRESHOLD_FLOPS: usize = 1 << 18;
+
+fn num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Runs `f` over `0..total` split into contiguous chunks, in parallel when
+/// `work_hint` (an estimate of total FLOPs/elements) is large enough.
+///
+/// `f` receives the chunk's index range. Chunks never overlap and cover the
+/// whole range exactly once, so disjoint output slices may be written through
+/// interior mutability by the caller.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// let acc = AtomicUsize::new(0);
+/// ld_tensor::parallel::for_each_chunk(100, usize::MAX, |r| {
+///     acc.fetch_add(r.len(), Ordering::Relaxed);
+/// });
+/// assert_eq!(acc.load(Ordering::Relaxed), 100);
+/// ```
+pub fn for_each_chunk(total: usize, work_hint: usize, f: impl Fn(Range<usize>) + Sync) {
+    if total == 0 {
+        return;
+    }
+    let threads = num_threads().min(total);
+    if threads <= 1 || work_hint < PAR_THRESHOLD_FLOPS {
+        f(0..total);
+        return;
+    }
+    let chunk = total.div_ceil(threads);
+    crossbeam::scope(|s| {
+        let mut start = 0;
+        while start < total {
+            let end = (start + chunk).min(total);
+            let fr = &f;
+            s.spawn(move |_| fr(start..end));
+            start = end;
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+/// A raw-pointer wrapper letting disjoint row ranges of one buffer be written
+/// from multiple threads.
+///
+/// Used internally by the GEMM/conv kernels; exposed for the NN crate's
+/// batch-parallel loops.
+#[derive(Clone, Copy)]
+pub struct SendPtr(pub *mut f32);
+
+// SAFETY: callers only ever write disjoint index ranges per thread; the
+// fork-join structure of `for_each_chunk` guarantees the writes complete
+// before `for_each_chunk` returns.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Reborrows the pointed-to buffer as a mutable slice of length `len`
+    /// starting at `offset`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee `[offset, offset+len)` is in bounds of the
+    /// original allocation, that no other thread accesses that range
+    /// concurrently, and that the returned borrow does not outlive the
+    /// buffer.
+    pub unsafe fn slice_mut<'a>(self, offset: usize, len: usize) -> &'a mut [f32] {
+        std::slice::from_raw_parts_mut(self.0.add(offset), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_range_exactly_once_small() {
+        let acc = AtomicUsize::new(0);
+        for_each_chunk(7, 0, |r| {
+            acc.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn covers_range_exactly_once_parallel() {
+        let acc = AtomicUsize::new(0);
+        for_each_chunk(1000, usize::MAX, |r| {
+            acc.fetch_add(r.sum::<usize>(), Ordering::Relaxed);
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        for_each_chunk(0, usize::MAX, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn disjoint_writes_through_sendptr() {
+        let mut buf = vec![0.0f32; 64];
+        let ptr = SendPtr(buf.as_mut_ptr());
+        for_each_chunk(64, usize::MAX, |r| {
+            let s = unsafe { ptr.slice_mut(r.start, r.len()) };
+            for (i, x) in s.iter_mut().enumerate() {
+                *x = (r.start + i) as f32;
+            }
+        });
+        for (i, &x) in buf.iter().enumerate() {
+            assert_eq!(x, i as f32);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Deterministic random number generation and weight-initialisation fills.
+//!
+//! Every stochastic component of the reproduction (weight init, synthetic
+//! scene sampling, k-means seeding) goes through [`SeededRng`] so that whole
+//! experiments are reproducible from a single `u64` seed.
+
+use crate::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seedable RNG with tensor-filling and NN-initialisation helpers.
+///
+/// # Example
+///
+/// ```
+/// use ld_tensor::rng::SeededRng;
+/// let mut a = SeededRng::new(7);
+/// let mut b = SeededRng::new(7);
+/// assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    inner: StdRng,
+    /// Cached second Box–Muller sample.
+    spare_normal: Option<f32>,
+}
+
+impl SeededRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRng {
+            inner: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Derives an independent child generator (for parallel streams).
+    pub fn derive(&self, salt: u64) -> SeededRng {
+        // Mix a fresh draw with the salt via splitmix64 finalisation.
+        let mut base = self.inner.clone();
+        let x: u64 = base.gen();
+        SeededRng::new(mix_seed(x, salt))
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        self.inner.gen::<f32>() * (hi - lo) + lo
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index: n must be > 0");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn chance(&mut self, p: f32) -> bool {
+        self.inner.gen::<f32>() < p
+    }
+
+    /// Standard normal sample via Box–Muller.
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        let z = match self.spare_normal.take() {
+            Some(z) => z,
+            None => {
+                // Box–Muller transform with guarded log argument.
+                let u1: f32 = self.inner.gen::<f32>().max(1e-12);
+                let u2: f32 = self.inner.gen();
+                let r = (-2.0 * u1.ln()).sqrt();
+                let theta = 2.0 * std::f32::consts::PI * u2;
+                self.spare_normal = Some(r * theta.sin());
+                r * theta.cos()
+            }
+        };
+        mean + std * z
+    }
+
+    /// A tensor with i.i.d. uniform entries in `[lo, hi)`.
+    pub fn uniform_tensor(&mut self, dims: &[usize], lo: f32, hi: f32) -> Tensor {
+        let mut t = Tensor::zeros(dims);
+        for x in t.as_mut_slice() {
+            *x = self.uniform(lo, hi);
+        }
+        t
+    }
+
+    /// A tensor with i.i.d. normal entries.
+    pub fn normal_tensor(&mut self, dims: &[usize], mean: f32, std: f32) -> Tensor {
+        let mut t = Tensor::zeros(dims);
+        for x in t.as_mut_slice() {
+            *x = self.normal(mean, std);
+        }
+        t
+    }
+
+    /// Kaiming/He normal initialisation for ReLU networks:
+    /// `std = sqrt(2 / fan_in)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fan_in == 0`.
+    pub fn kaiming_tensor(&mut self, dims: &[usize], fan_in: usize) -> Tensor {
+        assert!(fan_in > 0, "kaiming_tensor: fan_in must be > 0");
+        let std = (2.0 / fan_in as f32).sqrt();
+        self.normal_tensor(dims, 0.0, std)
+    }
+
+    /// Xavier/Glorot uniform initialisation:
+    /// `limit = sqrt(6 / (fan_in + fan_out))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both fans are 0.
+    pub fn xavier_tensor(&mut self, dims: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
+        assert!(fan_in + fan_out > 0, "xavier_tensor: zero fans");
+        let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        self.uniform_tensor(dims, -limit, limit)
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Mixes two 64-bit values into a well-distributed seed (splitmix64 finaliser).
+///
+/// Used to derive per-sample / per-frame seeds from a base experiment seed.
+pub fn mix_seed(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SeededRng::new(123);
+        let mut b = SeededRng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let va: Vec<f32> = (0..16).map(|_| a.uniform(0.0, 1.0)).collect();
+        let vb: Vec<f32> = (0..16).map(|_| b.uniform(0.0, 1.0)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = SeededRng::new(9);
+        for _ in 0..1000 {
+            let x = r.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut r = SeededRng::new(10);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| r.normal(1.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let mut r = SeededRng::new(11);
+        let t = r.kaiming_tensor(&[200, 50], 50);
+        let std = (t.sq_norm() / t.len() as f32).sqrt();
+        let want = (2.0f32 / 50.0).sqrt();
+        assert!((std - want).abs() < 0.02, "std {std} want {want}");
+    }
+
+    #[test]
+    fn mix_seed_changes_with_either_input() {
+        assert_ne!(mix_seed(1, 2), mix_seed(1, 3));
+        assert_ne!(mix_seed(1, 2), mix_seed(2, 2));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SeededRng::new(5);
+        let mut xs: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn derive_gives_independent_streams() {
+        let base = SeededRng::new(77);
+        let mut c1 = base.derive(1);
+        let mut c2 = base.derive(2);
+        assert_ne!(c1.uniform(0.0, 1.0), c2.uniform(0.0, 1.0));
+    }
+}

@@ -1,0 +1,174 @@
+//! Shape utilities: dimension products, row-major strides, index linearisation.
+
+use std::fmt;
+
+/// An owned tensor shape (dimension sizes, outermost first).
+///
+/// `Shape` is a thin newtype over `Vec<usize>` adding the index math used
+/// throughout the crate. A scalar is represented by the empty shape `[]`
+/// (one element).
+///
+/// # Example
+///
+/// ```
+/// use ld_tensor::Shape;
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// assert_eq!(s.linear_index(&[1, 2, 3]), 23);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension sizes.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Number of elements: the product of all dimensions (1 for a scalar).
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// `true` when the shape holds zero elements (some dimension is 0).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        strides_for(&self.0)
+    }
+
+    /// Linearises a multi-index into a flat offset (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong rank or any coordinate is out of range.
+    pub fn linear_index(&self, idx: &[usize]) -> usize {
+        assert_eq!(
+            idx.len(),
+            self.0.len(),
+            "index rank {} != shape rank {}",
+            idx.len(),
+            self.0.len()
+        );
+        let mut off = 0;
+        let mut stride = 1;
+        for (i, (&x, &d)) in idx.iter().zip(self.0.iter()).enumerate().rev() {
+            assert!(x < d, "index {x} out of range {d} at axis {i}");
+            off += x * stride;
+            stride *= d;
+            let _ = i;
+        }
+        off
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+/// Row-major strides for the given dimension sizes.
+///
+/// The innermost (last) dimension has stride 1.
+///
+/// ```
+/// assert_eq!(ld_tensor::strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+/// ```
+pub fn strides_for(dims: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1; dims.len()];
+    for i in (0..dims.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1];
+    }
+    strides
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape_has_one_element() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rank(), 0);
+        assert!(!s.is_empty());
+        assert_eq!(s.linear_index(&[]), 0);
+    }
+
+    #[test]
+    fn strides_match_row_major() {
+        assert_eq!(strides_for(&[4]), vec![1]);
+        assert_eq!(strides_for(&[2, 3]), vec![3, 1]);
+        assert_eq!(strides_for(&[2, 3, 4, 5]), vec![60, 20, 5, 1]);
+    }
+
+    #[test]
+    fn linear_index_walks_row_major() {
+        let s = Shape::new(&[2, 3]);
+        let order: Vec<usize> = (0..2)
+            .flat_map(|i| (0..3).map(move |j| (i, j)))
+            .map(|(i, j)| s.linear_index(&[i, j]))
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn linear_index_rejects_out_of_range() {
+        Shape::new(&[2, 2]).linear_index(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn linear_index_rejects_wrong_rank() {
+        Shape::new(&[2, 2]).linear_index(&[0]);
+    }
+
+    #[test]
+    fn zero_sized_dim_is_empty() {
+        assert!(Shape::new(&[3, 0, 2]).is_empty());
+        assert_eq!(Shape::new(&[3, 0, 2]).len(), 0);
+    }
+}

@@ -1,0 +1,806 @@
+//! The core contiguous row-major `f32` tensor type.
+
+use crate::shape::Shape;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// All layers in `ld-nn` operate on `Tensor`s in NCHW layout for activations
+/// and `(out, in, kh, kw)` layout for convolution weights.
+///
+/// # Example
+///
+/// ```
+/// use ld_tensor::Tensor;
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// assert_eq!(t.shape_dims(), &[2, 3]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(dims: &[usize]) -> Self {
+        Tensor {
+            shape: Shape::new(dims),
+            data: vec![0.0; dims.iter().product()],
+        }
+    }
+
+    /// A tensor of ones with the given shape.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        Tensor {
+            shape: Shape::new(dims),
+            data: vec![value; dims.iter().product()],
+        }
+    }
+
+    /// Builds a tensor from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the shape's element count.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Self {
+        let expected: usize = dims.iter().product();
+        assert_eq!(
+            data.len(),
+            expected,
+            "from_vec: data length {} != shape {:?} product {}",
+            data.len(),
+            dims,
+            expected
+        );
+        Tensor {
+            shape: Shape::new(dims),
+            data,
+        }
+    }
+
+    /// A scalar (rank-0) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::new(&[]),
+            data: vec![value],
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Evenly spaced values `start, start+step, …` (`count` of them) as a 1-D tensor.
+    pub fn arange(start: f32, step: f32, count: usize) -> Self {
+        let data = (0..count).map(|i| start + step * i as f32).collect();
+        Tensor::from_vec(data, &[count])
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dimension sizes as a plain slice.
+    pub fn shape_dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Immutable view of the flat row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-range coordinates.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.shape.linear_index(idx)]
+    }
+
+    /// Mutable element reference at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-range coordinates.
+    pub fn at_mut(&mut self, idx: &[usize]) -> &mut f32 {
+        let off = self.shape.linear_index(idx);
+        &mut self.data[off]
+    }
+
+    /// `true` if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation (copy-free where possible)
+    // ------------------------------------------------------------------
+
+    /// Reinterprets the tensor with a new shape of identical element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(mut self, dims: &[usize]) -> Self {
+        let expected: usize = dims.iter().product();
+        assert_eq!(
+            self.data.len(),
+            expected,
+            "reshape: cannot view {} elements as {:?}",
+            self.data.len(),
+            dims
+        );
+        self.shape = Shape::new(dims);
+        self
+    }
+
+    /// A reshaped copy (non-consuming convenience over [`Tensor::reshape`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn to_shape(&self, dims: &[usize]) -> Self {
+        self.clone().reshape(dims)
+    }
+
+    /// Transposes a 2-D tensor (copying).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn transposed(&self) -> Self {
+        assert_eq!(self.rank(), 2, "transposed: want rank 2, got {}", self.rank());
+        let (m, n) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = Tensor::zeros(&[n, m]);
+        for i in 0..m {
+            for j in 0..n {
+                out.data[j * m + i] = self.data[i * n + j];
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise maps/zips
+    // ------------------------------------------------------------------
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise combination of two same-shape tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Self {
+        assert_eq!(
+            self.shape, other.shape,
+            "zip: shape mismatch {} vs {}",
+            self.shape, other.shape
+        );
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// In-place `self[i] += alpha * other[i]` (axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(
+            self.shape, other.shape,
+            "axpy: shape mismatch {} vs {}",
+            self.shape, other.shape
+        );
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// In-place scaling `self[i] *= alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Sets every element to zero (reusing the allocation).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.iter_mut().for_each(|x| *x = value);
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (−∞ for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (+∞ for an empty tensor).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element in the flat data (first on ties; 0 if empty).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Sum along `axis`, producing a tensor with that axis removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank`.
+    pub fn sum_axis(&self, axis: usize) -> Tensor {
+        let dims = self.shape.dims();
+        assert!(axis < dims.len(), "sum_axis: axis {axis} >= rank {}", dims.len());
+        let outer: usize = dims[..axis].iter().product();
+        let mid = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        let mut out_dims: Vec<usize> = dims[..axis].to_vec();
+        out_dims.extend_from_slice(&dims[axis + 1..]);
+        let mut out = Tensor::zeros(&out_dims);
+        for o in 0..outer {
+            for m in 0..mid {
+                let src = (o * mid + m) * inner;
+                let dst = o * inner;
+                for i in 0..inner {
+                    out.data[dst + i] += self.data[src + i];
+                }
+            }
+        }
+        out
+    }
+
+    /// Mean along `axis`, producing a tensor with that axis removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank` or the axis has zero length.
+    pub fn mean_axis(&self, axis: usize) -> Tensor {
+        let n = self.shape.dim(axis);
+        assert!(n > 0, "mean_axis: axis {axis} has zero length");
+        let mut s = self.sum_axis(axis);
+        s.scale(1.0 / n as f32);
+        s
+    }
+
+    // ------------------------------------------------------------------
+    // NCHW helpers (used pervasively by the NN layers)
+    // ------------------------------------------------------------------
+
+    /// Borrow image `n` of an NCHW batch as a flat `C*H*W` slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4 or `n` is out of range.
+    pub fn image(&self, n: usize) -> &[f32] {
+        assert_eq!(self.rank(), 4, "image: want NCHW rank-4, got {}", self.rank());
+        let per = self.shape.dim(1) * self.shape.dim(2) * self.shape.dim(3);
+        assert!(n < self.shape.dim(0), "image: batch index {n} out of range");
+        &self.data[n * per..(n + 1) * per]
+    }
+
+    /// Mutable variant of [`Tensor::image`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4 or `n` is out of range.
+    pub fn image_mut(&mut self, n: usize) -> &mut [f32] {
+        assert_eq!(self.rank(), 4, "image_mut: want NCHW rank-4, got {}", self.rank());
+        let per = self.shape.dim(1) * self.shape.dim(2) * self.shape.dim(3);
+        assert!(n < self.shape.dim(0), "image_mut: batch index {n} out of range");
+        &mut self.data[n * per..(n + 1) * per]
+    }
+
+    /// Per-channel mean over batch and spatial dims of an NCHW tensor.
+    ///
+    /// Returns a 1-D tensor of length `C`. Used by batch-norm statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not rank 4.
+    pub fn channel_mean_nchw(&self) -> Tensor {
+        let (n, c, h, w) = self.dims4();
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let mut out = Tensor::zeros(&[c]);
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * plane;
+                let mut s = 0.0;
+                for i in 0..plane {
+                    s += self.data[base + i];
+                }
+                out.data[ci] += s;
+            }
+        }
+        out.scale(1.0 / count);
+        out
+    }
+
+    /// Per-channel biased variance over batch and spatial dims of NCHW,
+    /// given precomputed per-channel means.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not rank 4 or `mean.len() != C`.
+    pub fn channel_var_nchw(&self, mean: &Tensor) -> Tensor {
+        let (n, c, h, w) = self.dims4();
+        assert_eq!(mean.len(), c, "channel_var_nchw: mean length != C");
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let mut out = Tensor::zeros(&[c]);
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * plane;
+                let m = mean.data[ci];
+                let mut s = 0.0;
+                for i in 0..plane {
+                    let d = self.data[base + i] - m;
+                    s += d * d;
+                }
+                out.data[ci] += s;
+            }
+        }
+        out.scale(1.0 / count);
+        out
+    }
+
+    /// Unpacks an NCHW shape into `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4.
+    pub fn dims4(&self) -> (usize, usize, usize, usize) {
+        assert_eq!(self.rank(), 4, "dims4: want rank 4, got {} ({})", self.rank(), self.shape);
+        (
+            self.shape.dim(0),
+            self.shape.dim(1),
+            self.shape.dim(2),
+            self.shape.dim(3),
+        )
+    }
+
+    /// Unpacks a matrix shape into `(rows, cols)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn dims2(&self) -> (usize, usize) {
+        assert_eq!(self.rank(), 2, "dims2: want rank 2, got {} ({})", self.rank(), self.shape);
+        (self.shape.dim(0), self.shape.dim(1))
+    }
+
+    /// Concatenates rank-4 tensors along the batch (first) axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or trailing dims disagree.
+    pub fn cat_batch(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "cat_batch: no tensors given");
+        let tail = &parts[0].shape_dims()[1..];
+        let mut n_total = 0;
+        for p in parts {
+            assert_eq!(
+                &p.shape_dims()[1..],
+                tail,
+                "cat_batch: trailing dims disagree"
+            );
+            n_total += p.shape_dims()[0];
+        }
+        let mut dims = vec![n_total];
+        dims.extend_from_slice(tail);
+        let mut data = Vec::with_capacity(dims.iter().product());
+        for p in parts {
+            data.extend_from_slice(p.as_slice());
+        }
+        Tensor::from_vec(data, &dims)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let preview: Vec<f32> = self.data.iter().take(8).copied().collect();
+        write!(
+            f,
+            "Tensor(shape={}, data[..{}]={:?}{})",
+            self.shape,
+            preview.len(),
+            preview,
+            if self.data.len() > 8 { ", …" } else { "" }
+        )
+    }
+}
+
+impl Default for Tensor {
+    /// A rank-0 zero scalar.
+    fn default() -> Self {
+        Tensor::scalar(0.0)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Operator overloads (same-shape elementwise, plus scalar right-operands)
+// ----------------------------------------------------------------------
+
+impl Add<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn add(self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a - b)
+    }
+}
+
+impl Mul<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn mul(self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a * b)
+    }
+}
+
+impl Div<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn div(self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a / b)
+    }
+}
+
+impl Mul<f32> for &Tensor {
+    type Output = Tensor;
+    fn mul(self, rhs: f32) -> Tensor {
+        self.map(|a| a * rhs)
+    }
+}
+
+impl Add<f32> for &Tensor {
+    type Output = Tensor;
+    fn add(self, rhs: f32) -> Tensor {
+        self.map(|a| a + rhs)
+    }
+}
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+    fn neg(self) -> Tensor {
+        self.map(|a| -a)
+    }
+}
+
+impl AddAssign<&Tensor> for Tensor {
+    fn add_assign(&mut self, rhs: &Tensor) {
+        self.axpy(1.0, rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_produce_expected_contents() {
+        assert!(Tensor::zeros(&[3]).as_slice().iter().all(|&x| x == 0.0));
+        assert!(Tensor::ones(&[3]).as_slice().iter().all(|&x| x == 1.0));
+        assert_eq!(Tensor::full(&[2], 7.5).as_slice(), &[7.5, 7.5]);
+        assert_eq!(Tensor::eye(2).as_slice(), &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(Tensor::arange(1.0, 0.5, 3).as_slice(), &[1.0, 1.5, 2.0]);
+        assert_eq!(Tensor::scalar(3.0).rank(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_vec")]
+    fn from_vec_rejects_wrong_length() {
+        Tensor::from_vec(vec![1.0, 2.0], &[3]);
+    }
+
+    #[test]
+    fn indexing_and_mutation() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        *t.at_mut(&[1, 2]) = 5.0;
+        assert_eq!(t.at(&[1, 2]), 5.0);
+        assert_eq!(t.as_slice()[5], 5.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::arange(0.0, 1.0, 6).reshape(&[2, 3]);
+        assert_eq!(t.shape_dims(), &[2, 3]);
+        assert_eq!(t.at(&[1, 0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape")]
+    fn reshape_rejects_bad_count() {
+        Tensor::zeros(&[4]).reshape(&[3]);
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let tt = t.transposed();
+        assert_eq!(tt.shape_dims(), &[3, 2]);
+        assert_eq!(tt.as_slice(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn elementwise_operators() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 5.0], &[2]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 7.0]);
+        assert_eq!((&b - &a).as_slice(), &[2.0, 3.0]);
+        assert_eq!((&a * &b).as_slice(), &[3.0, 10.0]);
+        assert_eq!((&b / &a).as_slice(), &[3.0, 2.5]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!((&a + 1.0).as_slice(), &[2.0, 3.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Tensor::ones(&[3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.as_slice(), &[3.0, 5.0, 7.0]);
+        a.scale(0.5);
+        assert_eq!(a.as_slice(), &[1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.5], &[4]);
+        assert_eq!(t.sum(), 2.5);
+        assert_eq!(t.mean(), 0.625);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), -2.0);
+        assert_eq!(t.argmax(), 2);
+        assert!((t.sq_norm() - (1.0 + 4.0 + 9.0 + 0.25)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sum_axis_and_mean_axis() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let rows = t.sum_axis(1);
+        assert_eq!(rows.shape_dims(), &[2]);
+        assert_eq!(rows.as_slice(), &[6.0, 15.0]);
+        let cols = t.sum_axis(0);
+        assert_eq!(cols.as_slice(), &[5.0, 7.0, 9.0]);
+        let mc = t.mean_axis(0);
+        assert_eq!(mc.as_slice(), &[2.5, 3.5, 4.5]);
+    }
+
+    #[test]
+    fn channel_stats_nchw() {
+        // batch 2, channels 2, 1x2 spatial
+        let t = Tensor::from_vec(
+            vec![
+                1.0, 3.0, // n0 c0
+                10.0, 10.0, // n0 c1
+                5.0, 7.0, // n1 c0
+                20.0, 20.0, // n1 c1
+            ],
+            &[2, 2, 1, 2],
+        );
+        let m = t.channel_mean_nchw();
+        assert_eq!(m.as_slice(), &[4.0, 15.0]);
+        let v = t.channel_var_nchw(&m);
+        // c0: values 1,3,5,7 → var = mean((−3)²,(−1)²,1²,3²) = 5
+        // c1: values 10,10,20,20 → var = 25
+        assert_eq!(v.as_slice(), &[5.0, 25.0]);
+    }
+
+    #[test]
+    fn image_slices() {
+        let t = Tensor::arange(0.0, 1.0, 12).reshape(&[2, 3, 1, 2]);
+        assert_eq!(t.image(0), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(t.image(1), &[6.0, 7.0, 8.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn cat_batch_concatenates() {
+        let a = Tensor::ones(&[1, 2, 1, 1]);
+        let b = Tensor::zeros(&[2, 2, 1, 1]);
+        let c = Tensor::cat_batch(&[&a, &b]);
+        assert_eq!(c.shape_dims(), &[3, 2, 1, 1]);
+        assert_eq!(c.as_slice()[..2], [1.0, 1.0]);
+        assert!(c.as_slice()[2..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut t = Tensor::zeros(&[2]);
+        assert!(!t.has_non_finite());
+        t.as_mut_slice()[1] = f32::NAN;
+        assert!(t.has_non_finite());
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "zip")]
+    fn elementwise_ops_reject_shape_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        let _ = &a + &b;
+    }
+
+    #[test]
+    #[should_panic(expected = "axpy")]
+    fn axpy_rejects_shape_mismatch() {
+        let mut a = Tensor::zeros(&[2]);
+        a.axpy(1.0, &Tensor::zeros(&[3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "mean_axis")]
+    fn mean_axis_rejects_zero_length_axis() {
+        Tensor::zeros(&[2, 0]).mean_axis(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum_axis")]
+    fn sum_axis_rejects_out_of_range_axis() {
+        Tensor::zeros(&[2, 2]).sum_axis(2);
+    }
+
+    #[test]
+    fn empty_tensor_reductions_are_well_defined() {
+        let t = Tensor::zeros(&[0]);
+        assert_eq!(t.sum(), 0.0);
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.max(), f32::NEG_INFINITY);
+        assert_eq!(t.min(), f32::INFINITY);
+        assert_eq!(t.argmax(), 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn default_is_zero_scalar() {
+        let t = Tensor::default();
+        assert_eq!(t.rank(), 0);
+        assert_eq!(t.as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn debug_format_is_nonempty_and_bounded() {
+        let t = Tensor::zeros(&[100]);
+        let s = format!("{t:?}");
+        assert!(s.contains("Tensor"));
+        assert!(s.contains('…'), "long tensors must elide: {s}");
+        assert!(s.len() < 200);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = Tensor::ones(&[2]);
+        let b = Tensor::from_vec(vec![2.0, 3.0], &[2]);
+        a += &b;
+        assert_eq!(a.as_slice(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cat_batch")]
+    fn cat_batch_rejects_mismatched_tails() {
+        let a = Tensor::zeros(&[1, 2, 2, 2]);
+        let b = Tensor::zeros(&[1, 3, 2, 2]);
+        Tensor::cat_batch(&[&a, &b]);
+    }
+
+    #[test]
+    fn arange_zero_count_is_empty() {
+        let t = Tensor::arange(5.0, 1.0, 0);
+        assert!(t.is_empty());
+        assert_eq!(t.shape_dims(), &[0]);
+    }
+}

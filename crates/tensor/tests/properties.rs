@@ -1,0 +1,132 @@
+//! Property-based tests for the tensor substrate's algebraic invariants.
+
+use ld_tensor::conv::{col2im, im2col, ConvGeom};
+use ld_tensor::linalg::{gemm, matmul, Trans};
+use ld_tensor::rng::SeededRng;
+use ld_tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..8, 1usize..8, 1usize..8)
+}
+
+fn tensor_of(dims: &[usize], seed: u64) -> Tensor {
+    SeededRng::new(seed).uniform_tensor(dims, -2.0, 2.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_identity_left((m, n, _k) in small_dims(), seed in 0u64..1000) {
+        let a = tensor_of(&[m, n], seed);
+        let i = Tensor::eye(m);
+        let c = matmul(&i, &a);
+        prop_assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matmul_identity_right((m, n, _k) in small_dims(), seed in 0u64..1000) {
+        let a = tensor_of(&[m, n], seed);
+        let i = Tensor::eye(n);
+        let c = matmul(&a, &i);
+        prop_assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition((m, n, k) in small_dims(), seed in 0u64..1000) {
+        let a = tensor_of(&[m, k], seed);
+        let b1 = tensor_of(&[k, n], seed + 1);
+        let b2 = tensor_of(&[k, n], seed + 2);
+        let b_sum = &b1 + &b2;
+        let lhs = matmul(&a, &b_sum);
+        let rhs = &matmul(&a, &b1) + &matmul(&a, &b2);
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn gemm_transpose_consistency((m, n, k) in small_dims(), seed in 0u64..1000) {
+        // (A·B)ᵀ == Bᵀ·Aᵀ
+        let a = tensor_of(&[m, k], seed);
+        let b = tensor_of(&[k, n], seed + 9);
+        let ab_t = matmul(&a, &b).transposed();
+        let mut bt_at = Tensor::zeros(&[n, m]);
+        gemm(1.0, &b, Trans::Yes, &a, Trans::Yes, 0.0, &mut bt_at);
+        for (x, y) in ab_t.as_slice().iter().zip(bt_at.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn sum_axis_preserves_total(
+        (a, b, c) in small_dims(),
+        axis in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let t = tensor_of(&[a, b, c], seed);
+        let total = t.sum();
+        let reduced = t.sum_axis(axis);
+        prop_assert!((reduced.sum() - total).abs() < 1e-3 * (1.0 + total.abs()));
+    }
+
+    #[test]
+    fn transpose_is_involution((m, n, _k) in small_dims(), seed in 0u64..1000) {
+        let a = tensor_of(&[m, n], seed);
+        let tt = a.transposed().transposed();
+        prop_assert_eq!(tt.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        c in 1usize..3, h in 3usize..8, w in 3usize..8,
+        k in 1usize..4, stride in 1usize..3, pad in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let g = ConvGeom { c, h, w, kh: k, kw: k, stride, pad };
+        let mut rng = SeededRng::new(seed);
+        let x: Vec<f32> = (0..g.image_len()).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let y: Vec<f32> = (0..g.col_rows() * g.col_cols()).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut cx = vec![0.0; y.len()];
+        im2col(&x, g, &mut cx);
+        let lhs: f32 = cx.iter().zip(&y).map(|(p, q)| p * q).sum();
+        let mut aty = vec![0.0; x.len()];
+        col2im(&y, g, &mut aty);
+        let rhs: f32 = x.iter().zip(&aty).map(|(p, q)| p * q).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn bytes_roundtrip_any_shape((a, b, c) in small_dims(), seed in 0u64..1000) {
+        let t = tensor_of(&[a, b, c], seed);
+        let back = Tensor::from_bytes(t.to_bytes()).expect("decode");
+        prop_assert_eq!(t, back);
+    }
+
+    #[test]
+    fn channel_stats_normalisation(n in 1usize..4, c in 1usize..4, hw in 1usize..5, seed in 0u64..1000) {
+        // After (x - mean)/std per channel, batch stats become ~(0, 1).
+        let t = tensor_of(&[n, c, hw, hw], seed);
+        let m = t.channel_mean_nchw();
+        let v = t.channel_var_nchw(&m);
+        let mut norm = t.clone();
+        let (nn, cc, hh, ww) = t.dims4();
+        for ni in 0..nn {
+            for ci in 0..cc {
+                let std = (v.as_slice()[ci] + 1e-6).sqrt();
+                let mean = m.as_slice()[ci];
+                let plane = hh * ww;
+                let base = (ni * cc + ci) * plane;
+                for i in 0..plane {
+                    norm.as_mut_slice()[base + i] = (t.as_slice()[base + i] - mean) / std;
+                }
+            }
+        }
+        let m2 = norm.channel_mean_nchw();
+        for &x in m2.as_slice() {
+            prop_assert!(x.abs() < 1e-3);
+        }
+    }
+}

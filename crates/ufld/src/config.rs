@@ -1,0 +1,276 @@
+//! UFLD architecture configuration.
+//!
+//! The paper evaluates two backbones (ResNet-18 and ResNet-34) on
+//! 1280×720 camera frames resized to the canonical UFLD input 288×800, with
+//! `griding_num = 100` grid cells, 56 row anchors, and 2 or 4 lanes. Those
+//! values form [`UfldConfig::paper`].
+//!
+//! Because the reproduction trains on a 2-core CPU, a width/resolution
+//! scaled variant ([`UfldConfig::scaled`]) with identical topology is used
+//! for the accuracy experiments, and a miniature [`UfldConfig::tiny`] for
+//! unit tests. The Jetson Orin latency model always consumes the paper-scale
+//! config.
+
+use serde::{Deserialize, Serialize};
+
+/// Backbone choice (paper: R-18 vs R-34).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Backbone {
+    /// ResNet-18: BasicBlock stages `[2, 2, 2, 2]`.
+    ResNet18,
+    /// ResNet-34: BasicBlock stages `[3, 4, 6, 3]`.
+    ResNet34,
+}
+
+impl Backbone {
+    /// Number of BasicBlocks per stage.
+    pub fn stage_blocks(self) -> [usize; 4] {
+        match self {
+            Backbone::ResNet18 => [2, 2, 2, 2],
+            Backbone::ResNet34 => [3, 4, 6, 3],
+        }
+    }
+
+    /// Human-readable short name matching the paper's figures.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Backbone::ResNet18 => "R-18",
+            Backbone::ResNet34 => "R-34",
+        }
+    }
+}
+
+impl std::fmt::Display for Backbone {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Full architectural description of a UFLD lane-detection model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UfldConfig {
+    /// Backbone depth.
+    pub backbone: Backbone,
+    /// Input image height (after resize).
+    pub input_height: usize,
+    /// Input image width (after resize).
+    pub input_width: usize,
+    /// Input channels (3 for RGB).
+    pub input_channels: usize,
+    /// Channel width of the first stage (64 in standard ResNet; smaller in
+    /// the scaled configs). Stages use `w, 2w, 4w, 8w`.
+    pub width_base: usize,
+    /// Number of lateral grid cells per row anchor (`100` in the paper).
+    pub griding_num: usize,
+    /// Number of row anchors (`56` in the paper).
+    pub row_anchors: usize,
+    /// Number of lanes (2 for MoLane, 4 for TuLane/MuLane).
+    pub num_lanes: usize,
+    /// Channels after the 1×1 reduction conv feeding the FC head (8 in UFLD).
+    pub head_reduce_channels: usize,
+    /// Hidden width of the FC head (2048 in UFLD).
+    pub head_hidden: usize,
+    /// Lane-position tolerance for the accuracy metric, in grid cells.
+    pub tolerance_cells: f32,
+}
+
+impl UfldConfig {
+    /// The paper-scale configuration (288×800 input, 100 cells, 56 rows).
+    ///
+    /// `num_lanes` is 2 for MoLane and 4 for TuLane/MuLane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_lanes == 0`.
+    pub fn paper(backbone: Backbone, num_lanes: usize) -> Self {
+        assert!(num_lanes > 0, "UfldConfig: zero lanes");
+        UfldConfig {
+            backbone,
+            input_height: 288,
+            input_width: 800,
+            input_channels: 3,
+            width_base: 64,
+            griding_num: 100,
+            row_anchors: 56,
+            num_lanes,
+            head_reduce_channels: 8,
+            head_hidden: 2048,
+            // TuSimple: 20 px at 1280 ⇒ 20/12.8 = 1.5625 grid cells.
+            tolerance_cells: 1.5625,
+        }
+    }
+
+    /// CPU-trainable scaled configuration with identical topology:
+    /// 64×160 input, 25 cells, 14 rows, width base 8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_lanes == 0`.
+    pub fn scaled(backbone: Backbone, num_lanes: usize) -> Self {
+        assert!(num_lanes > 0, "UfldConfig: zero lanes");
+        UfldConfig {
+            backbone,
+            input_height: 64,
+            input_width: 160,
+            input_channels: 3,
+            width_base: 8,
+            griding_num: 25,
+            row_anchors: 14,
+            num_lanes,
+            head_reduce_channels: 4,
+            head_hidden: 128,
+            tolerance_cells: 1.0,
+        }
+    }
+
+    /// Miniature config for unit tests (32×64 input, tiny head).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_lanes == 0`.
+    pub fn tiny(num_lanes: usize) -> Self {
+        assert!(num_lanes > 0, "UfldConfig: zero lanes");
+        UfldConfig {
+            backbone: Backbone::ResNet18,
+            input_height: 32,
+            input_width: 64,
+            input_channels: 3,
+            width_base: 4,
+            griding_num: 10,
+            row_anchors: 6,
+            num_lanes,
+            head_reduce_channels: 2,
+            head_hidden: 32,
+            tolerance_cells: 1.0,
+        }
+    }
+
+    /// Classes per group: grid cells plus the "no lane" background class.
+    pub fn num_classes(&self) -> usize {
+        self.griding_num + 1
+    }
+
+    /// The background ("no lane") class index.
+    pub fn background_class(&self) -> usize {
+        self.griding_num
+    }
+
+    /// Stage channel widths `w, 2w, 4w, 8w`.
+    pub fn stage_channels(&self) -> [usize; 4] {
+        [self.width_base, self.width_base * 2, self.width_base * 4, self.width_base * 8]
+    }
+
+    /// Spatial size of the backbone output feature map.
+    ///
+    /// The backbone downsamples by 2 in the stem conv, 2 in the max pool and
+    /// 2 in each of stages 2–4: a total factor of 32.
+    pub fn feature_dims(&self) -> (usize, usize) {
+        let h = self.input_height;
+        let w = self.input_width;
+        // conv7x7/2 (pad 3) → ⌈h/2⌉; maxpool3/2 (pad 1) → ⌈h/4⌉; stages → /32.
+        let after = |mut d: usize| {
+            d = (d + 2 * 3 - 7) / 2 + 1; // stem conv
+            d = (d + 2 - 3) / 2 + 1; // max pool
+            for _ in 0..3 {
+                d = (d + 2 - 3) / 2 + 1; // stride-2 first block of stages 2..4
+            }
+            d
+        };
+        (after(h), after(w))
+    }
+
+    /// Flattened feature count feeding the first FC layer.
+    pub fn head_in_features(&self) -> usize {
+        let (fh, fw) = self.feature_dims();
+        self.head_reduce_channels * fh * fw
+    }
+
+    /// Total logits per image: `classes × rows × lanes`.
+    pub fn logit_len(&self) -> usize {
+        self.num_classes() * self.row_anchors * self.num_lanes
+    }
+
+    /// The logits tensor shape for a batch of `n` images.
+    pub fn logit_dims(&self, n: usize) -> [usize; 4] {
+        [n, self.num_classes(), self.row_anchors, self.num_lanes]
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.input_height < 32 || self.input_width < 32 {
+            return Err(format!(
+                "input {}×{} too small for a /32 backbone",
+                self.input_height, self.input_width
+            ));
+        }
+        if self.width_base == 0 || self.griding_num == 0 || self.row_anchors == 0 || self.num_lanes == 0 {
+            return Err("zero-sized architectural dimension".into());
+        }
+        let (fh, fw) = self.feature_dims();
+        if fh == 0 || fw == 0 {
+            return Err("backbone output collapses to zero spatial size".into());
+        }
+        if self.tolerance_cells <= 0.0 {
+            return Err("tolerance_cells must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_published_numbers() {
+        let cfg = UfldConfig::paper(Backbone::ResNet18, 4);
+        assert_eq!(cfg.griding_num, 100);
+        assert_eq!(cfg.row_anchors, 56);
+        assert_eq!(cfg.num_classes(), 101);
+        assert_eq!((cfg.input_height, cfg.input_width), (288, 800));
+        // 288/32 = 9, 800/32 = 25 — the canonical UFLD 9×25 feature map.
+        assert_eq!(cfg.feature_dims(), (9, 25));
+        assert_eq!(cfg.head_in_features(), 8 * 9 * 25);
+        assert_eq!(cfg.logit_len(), 101 * 56 * 4);
+    }
+
+    #[test]
+    fn stage_blocks_match_resnet_depths() {
+        assert_eq!(Backbone::ResNet18.stage_blocks(), [2, 2, 2, 2]);
+        assert_eq!(Backbone::ResNet34.stage_blocks(), [3, 4, 6, 3]);
+        // 2·(2+2+2+2)+2 = 18 and 2·(3+4+6+3)+2 = 34 conv layers.
+    }
+
+    #[test]
+    fn scaled_and_tiny_validate() {
+        for lanes in [2, 4] {
+            UfldConfig::paper(Backbone::ResNet34, lanes).validate().unwrap();
+            UfldConfig::scaled(Backbone::ResNet18, lanes).validate().unwrap();
+            UfldConfig::tiny(lanes).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn tiny_feature_dims_are_nonzero() {
+        let cfg = UfldConfig::tiny(2);
+        let (fh, fw) = cfg.feature_dims();
+        assert!(fh >= 1 && fw >= 2, "{fh}x{fw}");
+    }
+
+    #[test]
+    fn validate_rejects_small_input() {
+        let mut cfg = UfldConfig::tiny(2);
+        cfg.input_height = 16;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(Backbone::ResNet18.to_string(), "R-18");
+        assert_eq!(Backbone::ResNet34.to_string(), "R-34");
+    }
+}

@@ -1,0 +1,272 @@
+//! Analytic per-layer compute/memory costs of a UFLD model.
+//!
+//! The Jetson Orin latency model (crate `ld-orin`) consumes this walk of the
+//! *paper-scale* architecture — no tensors are allocated, so the 288×800
+//! R-18/R-34 models (tens of millions of parameters) can be costed exactly
+//! even though the reproduction trains scaled-down variants.
+//!
+//! FLOP conventions (per image, batch 1): a multiply–accumulate counts as 2
+//! FLOPs; normalisation/activation layers count their per-element ops.
+
+use crate::config::UfldConfig;
+use serde::{Deserialize, Serialize};
+
+/// Operator category (drives per-kind efficiency in the roofline model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostKind {
+    /// Convolution (GEMM-bound).
+    Conv,
+    /// Batch normalisation (bandwidth-bound).
+    Bn,
+    /// Elementwise activation (bandwidth-bound).
+    Act,
+    /// Pooling.
+    Pool,
+    /// Residual addition.
+    Add,
+    /// Fully-connected (GEMM-bound, often memory-bound at batch 1).
+    Fc,
+}
+
+/// Cost of a single operator instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Layer name (mirrors the model's parameter naming).
+    pub name: String,
+    /// Operator category.
+    pub kind: CostKind,
+    /// Forward FLOPs per image.
+    pub flops: f64,
+    /// Activation bytes read per image.
+    pub bytes_in: f64,
+    /// Activation bytes written per image.
+    pub bytes_out: f64,
+    /// Parameter bytes read.
+    pub bytes_param: f64,
+    /// Scalar parameter count (0 for parameter-free ops).
+    pub params: usize,
+    /// Whether the op has trainable parameters of BN kind (γ/β).
+    pub is_bn: bool,
+}
+
+impl LayerCost {
+    #[allow(clippy::too_many_arguments)] // private ctor mirroring conv geometry
+    fn conv(name: &str, cin: usize, cout: usize, k: usize, oh: usize, ow: usize, ih: usize, iw: usize, bias: bool) -> Self {
+        let params = cout * cin * k * k + if bias { cout } else { 0 };
+        LayerCost {
+            name: name.into(),
+            kind: CostKind::Conv,
+            flops: 2.0 * (cin * k * k) as f64 * (cout * oh * ow) as f64,
+            bytes_in: 4.0 * (cin * ih * iw) as f64,
+            bytes_out: 4.0 * (cout * oh * ow) as f64,
+            bytes_param: 4.0 * params as f64,
+            params,
+            is_bn: false,
+        }
+    }
+
+    fn bn(name: &str, c: usize, h: usize, w: usize) -> Self {
+        let elems = (c * h * w) as f64;
+        LayerCost {
+            name: name.into(),
+            kind: CostKind::Bn,
+            flops: 4.0 * elems,
+            bytes_in: 4.0 * elems,
+            bytes_out: 4.0 * elems,
+            bytes_param: 4.0 * (2 * c) as f64,
+            params: 2 * c,
+            is_bn: true,
+        }
+    }
+
+    fn act(name: &str, elems: usize) -> Self {
+        LayerCost {
+            name: name.into(),
+            kind: CostKind::Act,
+            flops: elems as f64,
+            bytes_in: 4.0 * elems as f64,
+            bytes_out: 4.0 * elems as f64,
+            bytes_param: 0.0,
+            params: 0,
+            is_bn: false,
+        }
+    }
+
+    fn pool(name: &str, k: usize, c: usize, oh: usize, ow: usize, ih: usize, iw: usize) -> Self {
+        LayerCost {
+            name: name.into(),
+            kind: CostKind::Pool,
+            flops: (k * k * c * oh * ow) as f64,
+            bytes_in: 4.0 * (c * ih * iw) as f64,
+            bytes_out: 4.0 * (c * oh * ow) as f64,
+            bytes_param: 0.0,
+            params: 0,
+            is_bn: false,
+        }
+    }
+
+    fn add(name: &str, elems: usize) -> Self {
+        LayerCost {
+            name: name.into(),
+            kind: CostKind::Add,
+            flops: elems as f64,
+            bytes_in: 8.0 * elems as f64,
+            bytes_out: 4.0 * elems as f64,
+            bytes_param: 0.0,
+            params: 0,
+            is_bn: false,
+        }
+    }
+
+    fn fc(name: &str, fin: usize, fout: usize) -> Self {
+        let params = fout * fin + fout;
+        LayerCost {
+            name: name.into(),
+            kind: CostKind::Fc,
+            flops: 2.0 * fin as f64 * fout as f64,
+            bytes_in: 4.0 * fin as f64,
+            bytes_out: 4.0 * fout as f64,
+            bytes_param: 4.0 * params as f64,
+            params,
+            is_bn: false,
+        }
+    }
+}
+
+fn out_dim(i: usize, k: usize, s: usize, p: usize) -> usize {
+    (i + 2 * p - k) / s + 1
+}
+
+/// Walks the architecture described by `cfg`, producing every operator's
+/// cost in execution order.
+pub fn model_costs(cfg: &UfldConfig) -> Vec<LayerCost> {
+    let chans = cfg.stage_channels();
+    let mut costs = Vec::new();
+    let (mut h, mut w) = (cfg.input_height, cfg.input_width);
+
+    // Stem.
+    let (oh, ow) = (out_dim(h, 7, 2, 3), out_dim(w, 7, 2, 3));
+    costs.push(LayerCost::conv("stem.conv", cfg.input_channels, chans[0], 7, oh, ow, h, w, false));
+    costs.push(LayerCost::bn("stem.bn", chans[0], oh, ow));
+    costs.push(LayerCost::act("stem.relu", chans[0] * oh * ow));
+    let (ph, pw) = (out_dim(oh, 3, 2, 1), out_dim(ow, 3, 2, 1));
+    costs.push(LayerCost::pool("stem.pool", 3, chans[0], ph, pw, oh, ow));
+    h = ph;
+    w = pw;
+
+    // Stages.
+    let mut in_ch = chans[0];
+    for (stage, &n_blocks) in cfg.backbone.stage_blocks().iter().enumerate() {
+        let out_ch = chans[stage];
+        for b in 0..n_blocks {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            let name = format!("layer{}.{}", stage + 1, b);
+            let (oh, ow) = (out_dim(h, 3, stride, 1), out_dim(w, 3, stride, 1));
+            costs.push(LayerCost::conv(&format!("{name}.conv1"), in_ch, out_ch, 3, oh, ow, h, w, false));
+            costs.push(LayerCost::bn(&format!("{name}.bn1"), out_ch, oh, ow));
+            costs.push(LayerCost::act(&format!("{name}.relu1"), out_ch * oh * ow));
+            costs.push(LayerCost::conv(&format!("{name}.conv2"), out_ch, out_ch, 3, oh, ow, oh, ow, false));
+            costs.push(LayerCost::bn(&format!("{name}.bn2"), out_ch, oh, ow));
+            if stride != 1 || in_ch != out_ch {
+                costs.push(LayerCost::conv(&format!("{name}.down.conv"), in_ch, out_ch, 1, oh, ow, h, w, false));
+                costs.push(LayerCost::bn(&format!("{name}.down.bn"), out_ch, oh, ow));
+            }
+            costs.push(LayerCost::add(&format!("{name}.add"), out_ch * oh * ow));
+            costs.push(LayerCost::act(&format!("{name}.relu2"), out_ch * oh * ow));
+            h = oh;
+            w = ow;
+            in_ch = out_ch;
+        }
+    }
+
+    // Head.
+    costs.push(LayerCost::conv("head.reduce", in_ch, cfg.head_reduce_channels, 1, h, w, h, w, true));
+    costs.push(LayerCost::act("head.reduce_relu", cfg.head_reduce_channels * h * w));
+    costs.push(LayerCost::fc("head.fc1", cfg.head_in_features(), cfg.head_hidden));
+    costs.push(LayerCost::act("head.relu", cfg.head_hidden));
+    costs.push(LayerCost::fc("head.fc2", cfg.head_hidden, cfg.logit_len()));
+    costs
+}
+
+/// Aggregate totals over a cost walk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostTotals {
+    /// Total forward FLOPs per image.
+    pub flops: f64,
+    /// Total activation + parameter bytes touched per image.
+    pub bytes: f64,
+    /// Total scalar parameters.
+    pub params: usize,
+    /// Scalar BN parameters.
+    pub bn_params: usize,
+}
+
+/// Sums a cost walk.
+pub fn totals(costs: &[LayerCost]) -> CostTotals {
+    let mut t = CostTotals::default();
+    for c in costs {
+        t.flops += c.flops;
+        t.bytes += c.bytes_in + c.bytes_out + c.bytes_param;
+        t.params += c.params;
+        if c.is_bn {
+            t.bn_params += c.params;
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Backbone;
+    use crate::model::UfldModel;
+    use ld_nn::Layer;
+
+    #[test]
+    fn cost_params_match_real_model() {
+        // The analytic walk must agree exactly with the instantiated model.
+        for lanes in [2, 4] {
+            let cfg = UfldConfig::tiny(lanes);
+            let mut model = UfldModel::new(&cfg, 1);
+            let t = totals(&model_costs(&cfg));
+            assert_eq!(t.params, model.param_count(), "lanes {lanes}");
+        }
+    }
+
+    #[test]
+    fn paper_scale_r18_flops_are_in_published_range() {
+        // torchvision ResNet-18 at 224² is ~3.6 GFLOPs (2·1.8 GMACs);
+        // at 288×800 the backbone alone scales to roughly 13 GFLOPs.
+        let cfg = UfldConfig::paper(Backbone::ResNet18, 4);
+        let t = totals(&model_costs(&cfg));
+        assert!(t.flops > 5e9 && t.flops < 5e10, "flops {}", t.flops);
+    }
+
+    #[test]
+    fn r34_costs_more_than_r18() {
+        let c18 = totals(&model_costs(&UfldConfig::paper(Backbone::ResNet18, 4)));
+        let c34 = totals(&model_costs(&UfldConfig::paper(Backbone::ResNet34, 4)));
+        assert!(c34.flops > 1.5 * c18.flops, "{} vs {}", c34.flops, c18.flops);
+        assert!(c34.params > c18.params);
+    }
+
+    #[test]
+    fn bn_params_are_tiny_fraction_at_paper_scale() {
+        let cfg = UfldConfig::paper(Backbone::ResNet18, 4);
+        let t = totals(&model_costs(&cfg));
+        let frac = t.bn_params as f64 / t.params as f64;
+        assert!(frac < 0.01, "bn fraction {frac} exceeds the paper's ~1% bound");
+        assert!(t.bn_params > 0);
+    }
+
+    #[test]
+    fn walk_is_in_execution_order_and_nonempty() {
+        let costs = model_costs(&UfldConfig::tiny(2));
+        assert!(costs.len() > 30);
+        assert_eq!(costs.first().unwrap().name, "stem.conv");
+        assert_eq!(costs.last().unwrap().name, "head.fc2");
+        for c in &costs {
+            assert!(c.flops > 0.0, "{} has zero flops", c.name);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Decoding row-anchor logits into lane positions.
+//!
+//! Following the UFLD paper: per `(row, lane)` group, if the argmax class is
+//! the background ("no lane") class the lane is absent on that row;
+//! otherwise the lateral position is the *expectation* of the cell index
+//! under the softmax over the real grid cells, giving sub-cell resolution.
+
+use crate::config::UfldConfig;
+use ld_tensor::Tensor;
+
+/// Decoded lanes for one image: `positions[lane][row]` is the predicted
+/// grid-cell position (fractional) or `None` when no lane is detected there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneSet {
+    positions: Vec<Vec<Option<f32>>>,
+}
+
+impl LaneSet {
+    /// Creates a lane set from raw positions.
+    pub fn new(positions: Vec<Vec<Option<f32>>>) -> Self {
+        LaneSet { positions }
+    }
+
+    /// Number of lanes.
+    pub fn num_lanes(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Position of `lane` at `row` (grid-cell units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn position(&self, lane: usize, row: usize) -> Option<f32> {
+        self.positions[lane][row]
+    }
+
+    /// All positions of one lane, top row first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn lane(&self, lane: usize) -> &[Option<f32>] {
+        &self.positions[lane]
+    }
+
+    /// Number of rows where `lane` is present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn visible_rows(&self, lane: usize) -> usize {
+        self.positions[lane].iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Converts a grid-cell position to a pixel x-coordinate for an image of
+    /// width `img_width` divided into `griding` cells.
+    pub fn cell_to_px(cell: f32, griding: usize, img_width: usize) -> f32 {
+        (cell + 0.5) * img_width as f32 / griding as f32
+    }
+}
+
+/// Decodes a batch of logits `(N, C, R, L)` into per-image [`LaneSet`]s.
+///
+/// # Panics
+///
+/// Panics if the logits shape does not match `cfg`.
+pub fn decode_batch(logits: &Tensor, cfg: &UfldConfig) -> Vec<LaneSet> {
+    let (n, c, r, l) = logits.dims4();
+    assert_eq!(
+        (c, r, l),
+        (cfg.num_classes(), cfg.row_anchors, cfg.num_lanes),
+        "decode_batch: logits do not match config"
+    );
+    let stride = r * l;
+    let cells = cfg.griding_num;
+    let src = logits.as_slice();
+    let mut out = Vec::with_capacity(n);
+    #[allow(clippy::needless_range_loop)] // index math over strided groups
+    for ni in 0..n {
+        let img = ni * c * stride;
+        let mut lanes = vec![vec![None; r]; l];
+        for ri in 0..r {
+            for li in 0..l {
+                let g = ri * l + li;
+                // Arg-max over all classes (incl. background).
+                let mut best = 0usize;
+                let mut best_v = f32::NEG_INFINITY;
+                for ci in 0..c {
+                    let v = src[img + ci * stride + g];
+                    if v > best_v {
+                        best_v = v;
+                        best = ci;
+                    }
+                }
+                if best == cfg.background_class() {
+                    continue;
+                }
+                // Soft position: expectation over the real cells.
+                let mut maxv = f32::NEG_INFINITY;
+                for ci in 0..cells {
+                    maxv = maxv.max(src[img + ci * stride + g]);
+                }
+                let mut z = 0.0f32;
+                let mut loc = 0.0f32;
+                for ci in 0..cells {
+                    let e = (src[img + ci * stride + g] - maxv).exp();
+                    z += e;
+                    loc += ci as f32 * e;
+                }
+                lanes[li][ri] = Some(loc / z);
+            }
+        }
+        out.push(LaneSet::new(lanes));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta_logits(cfg: &UfldConfig, cells: &[Option<usize>]) -> Tensor {
+        // One image; cells[r*L + l] gives the peaked class per group.
+        let mut t = Tensor::zeros(&cfg.logit_dims(1));
+        let stride = cfg.row_anchors * cfg.num_lanes;
+        for (g, &cell) in cells.iter().enumerate() {
+            let class = cell.unwrap_or(cfg.background_class());
+            t.as_mut_slice()[class * stride + g] = 40.0;
+        }
+        t
+    }
+
+    #[test]
+    fn decodes_peaked_cells_exactly() {
+        let cfg = UfldConfig::tiny(2);
+        let groups = cfg.row_anchors * cfg.num_lanes;
+        let cells: Vec<Option<usize>> = (0..groups).map(|g| Some(g % cfg.griding_num)).collect();
+        let logits = delta_logits(&cfg, &cells);
+        let sets = decode_batch(&logits, &cfg);
+        assert_eq!(sets.len(), 1);
+        for r in 0..cfg.row_anchors {
+            for l in 0..cfg.num_lanes {
+                let want = ((r * cfg.num_lanes + l) % cfg.griding_num) as f32;
+                let got = sets[0].position(l, r).expect("present");
+                assert!((got - want).abs() < 0.05, "row {r} lane {l}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn background_class_means_absent() {
+        let cfg = UfldConfig::tiny(2);
+        let groups = cfg.row_anchors * cfg.num_lanes;
+        let cells: Vec<Option<usize>> = (0..groups).map(|_| None).collect();
+        let logits = delta_logits(&cfg, &cells);
+        let sets = decode_batch(&logits, &cfg);
+        for l in 0..cfg.num_lanes {
+            assert_eq!(sets[0].visible_rows(l), 0);
+        }
+    }
+
+    #[test]
+    fn soft_position_interpolates_between_cells() {
+        let cfg = UfldConfig::tiny(1);
+        let stride = cfg.row_anchors * cfg.num_lanes;
+        let mut logits = Tensor::zeros(&cfg.logit_dims(1));
+        // Equal mass on cells 3 and 4 of group 0 → expectation 3.5.
+        logits.as_mut_slice()[3 * stride] = 10.0;
+        logits.as_mut_slice()[4 * stride] = 10.0;
+        let sets = decode_batch(&logits, &cfg);
+        let p = sets[0].position(0, 0).expect("present");
+        assert!((p - 3.5).abs() < 0.05, "{p}");
+    }
+
+    #[test]
+    fn cell_to_px_maps_center() {
+        // Cell 0 of 10 cells over 100 px → center at 5 px.
+        assert!((LaneSet::cell_to_px(0.0, 10, 100) - 5.0).abs() < 1e-5);
+        assert!((LaneSet::cell_to_px(9.0, 10, 100) - 95.0).abs() < 1e-5);
+    }
+}

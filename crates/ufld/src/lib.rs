@@ -1,0 +1,44 @@
+//! Ultra-Fast Lane Detection (UFLD) in Rust.
+//!
+//! Re-implementation of the lane detector the paper adapts (Qin et al.,
+//! ECCV 2020): lanes are represented as per-row-anchor grid-cell
+//! classifications emitted by a ResNet-18/34 backbone and a light FC head.
+//!
+//! * [`UfldConfig`] / [`Backbone`] — architecture descriptions, from the
+//!   paper-scale 288×800/100-cell/56-row models down to CPU-sized variants;
+//! * [`UfldModel`] — the network, with full backward pass, state snapshots
+//!   and BN-policy control (the hook LD-BN-ADAPT uses);
+//! * [`decode`] — logits → lane positions (argmax + soft expectation);
+//! * [`metric`] — TuSimple-style accuracy with miss/false-positive counts;
+//! * [`summary`] — parameter censuses (the "BN ≈ 1 %" claim);
+//! * [`cost`] — analytic FLOPs/bytes walks consumed by the Jetson Orin
+//!   latency model.
+//!
+//! # Example
+//!
+//! ```
+//! use ld_ufld::{UfldConfig, UfldModel, decode};
+//! use ld_nn::{Layer, Mode};
+//! use ld_tensor::Tensor;
+//!
+//! let cfg = UfldConfig::tiny(2);
+//! let mut model = UfldModel::new(&cfg, 7);
+//! let frame = Tensor::zeros(&[1, 3, cfg.input_height, cfg.input_width]);
+//! let logits = model.forward(&frame, Mode::Eval);
+//! let lanes = decode::decode_batch(&logits, &cfg);
+//! assert_eq!(lanes.len(), 1);
+//! ```
+
+pub mod config;
+pub mod cost;
+pub mod decode;
+pub mod metric;
+pub mod model;
+pub mod resnet;
+pub mod summary;
+
+pub use config::{Backbone, UfldConfig};
+pub use decode::{decode_batch, LaneSet};
+pub use metric::{score_batch, score_image, AccuracyReport};
+pub use model::{filter_trainable, UfldModel};
+pub use summary::ParamCensus;

@@ -1,0 +1,183 @@
+//! TuSimple-style lane-detection accuracy.
+//!
+//! Accuracy is the fraction of ground-truth lane points whose predicted
+//! lateral position falls within a tolerance:
+//! `acc = Σ_clip C_clip / Σ_clip S_clip` (TuSimple benchmark definition),
+//! with the tolerance expressed in grid cells
+//! ([`UfldConfig::tolerance_cells`]; 20 px at 1280-px width for the paper
+//! config). Missed points and false positives are tracked alongside.
+
+use crate::config::UfldConfig;
+use crate::decode::LaneSet;
+use serde::{Deserialize, Serialize};
+
+/// Counters aggregated over one or more evaluated images.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    /// Ground-truth lane points (label ≠ background).
+    pub gt_points: usize,
+    /// Ground-truth points predicted within tolerance.
+    pub correct: usize,
+    /// Ground-truth points with no prediction (missed).
+    pub missed: usize,
+    /// Predictions on rows with no ground-truth lane (false positives).
+    pub false_positives: usize,
+}
+
+impl AccuracyReport {
+    /// TuSimple accuracy: `correct / gt_points` (1.0 when there are no
+    /// ground-truth points).
+    pub fn accuracy(&self) -> f64 {
+        if self.gt_points == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.gt_points as f64
+        }
+    }
+
+    /// Accuracy in percent (as the paper's Figure 2 reports).
+    pub fn percent(&self) -> f64 {
+        100.0 * self.accuracy()
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: &AccuracyReport) {
+        self.gt_points += other.gt_points;
+        self.correct += other.correct;
+        self.missed += other.missed;
+        self.false_positives += other.false_positives;
+    }
+}
+
+/// Scores one image's decoded lanes against its labels.
+///
+/// `labels` is row-major `(R, L)` with class indices; background
+/// (`cfg.background_class()`) marks "no lane on this row".
+///
+/// # Panics
+///
+/// Panics if `labels.len() != R·L` or the lane set has the wrong lane count.
+pub fn score_image(pred: &LaneSet, labels: &[u32], cfg: &UfldConfig) -> AccuracyReport {
+    let (r, l) = (cfg.row_anchors, cfg.num_lanes);
+    assert_eq!(labels.len(), r * l, "score_image: label count mismatch");
+    assert_eq!(pred.num_lanes(), l, "score_image: lane count mismatch");
+    let bg = cfg.background_class() as u32;
+    let tol = cfg.tolerance_cells;
+    let mut rep = AccuracyReport::default();
+    for ri in 0..r {
+        for li in 0..l {
+            let label = labels[ri * l + li];
+            let predicted = pred.position(li, ri);
+            if label == bg {
+                if predicted.is_some() {
+                    rep.false_positives += 1;
+                }
+                continue;
+            }
+            rep.gt_points += 1;
+            match predicted {
+                None => rep.missed += 1,
+                Some(p) => {
+                    if (p - label as f32).abs() <= tol {
+                        rep.correct += 1;
+                    }
+                }
+            }
+        }
+    }
+    rep
+}
+
+/// Scores a batch: `labels` is `(N, R, L)` row-major.
+///
+/// # Panics
+///
+/// Panics if the label count does not match the predictions.
+pub fn score_batch(preds: &[LaneSet], labels: &[u32], cfg: &UfldConfig) -> AccuracyReport {
+    let per = cfg.row_anchors * cfg.num_lanes;
+    assert_eq!(labels.len(), preds.len() * per, "score_batch: label count mismatch");
+    let mut total = AccuracyReport::default();
+    for (i, p) in preds.iter().enumerate() {
+        total.merge(&score_image(p, &labels[i * per..(i + 1) * per], cfg));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> UfldConfig {
+        UfldConfig::tiny(2)
+    }
+
+    fn all_bg_labels(cfg: &UfldConfig) -> Vec<u32> {
+        vec![cfg.background_class() as u32; cfg.row_anchors * cfg.num_lanes]
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let cfg = cfg();
+        let mut labels = all_bg_labels(&cfg);
+        let mut pos = vec![vec![None; cfg.row_anchors]; cfg.num_lanes];
+        for r in 0..cfg.row_anchors {
+            labels[r * cfg.num_lanes] = 4;
+            pos[0][r] = Some(4.0);
+        }
+        let rep = score_image(&LaneSet::new(pos), &labels, &cfg);
+        assert_eq!(rep.gt_points, cfg.row_anchors);
+        assert_eq!(rep.correct, cfg.row_anchors);
+        assert_eq!(rep.accuracy(), 1.0);
+        assert_eq!(rep.false_positives, 0);
+    }
+
+    #[test]
+    fn off_by_more_than_tolerance_is_wrong() {
+        let cfg = cfg(); // tolerance 1.0 cell
+        let mut labels = all_bg_labels(&cfg);
+        labels[0] = 5;
+        let mut pos = vec![vec![None; cfg.row_anchors]; cfg.num_lanes];
+        pos[0][0] = Some(6.9); // 1.9 cells away
+        let rep = score_image(&LaneSet::new(pos), &labels, &cfg);
+        assert_eq!(rep.correct, 0);
+        assert_eq!(rep.gt_points, 1);
+
+        let mut pos2 = vec![vec![None; cfg.row_anchors]; cfg.num_lanes];
+        pos2[0][0] = Some(5.9); // 0.9 cells away — within tolerance
+        let rep2 = score_image(&LaneSet::new(pos2), &labels, &cfg);
+        assert_eq!(rep2.correct, 1);
+    }
+
+    #[test]
+    fn missed_and_false_positive_accounting() {
+        let cfg = cfg();
+        let mut labels = all_bg_labels(&cfg);
+        labels[0] = 3; // gt on (row 0, lane 0)
+        let mut pos = vec![vec![None; cfg.row_anchors]; cfg.num_lanes];
+        pos[1][0] = Some(2.0); // spurious prediction on lane 1
+        let rep = score_image(&LaneSet::new(pos), &labels, &cfg);
+        assert_eq!(rep.missed, 1);
+        assert_eq!(rep.false_positives, 1);
+        assert_eq!(rep.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn empty_scene_is_perfect() {
+        let cfg = cfg();
+        let labels = all_bg_labels(&cfg);
+        let pos = vec![vec![None; cfg.row_anchors]; cfg.num_lanes];
+        let rep = score_image(&LaneSet::new(pos), &labels, &cfg);
+        assert_eq!(rep.accuracy(), 1.0);
+        assert_eq!(rep.gt_points, 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = AccuracyReport { gt_points: 10, correct: 9, missed: 1, false_positives: 0 };
+        let b = AccuracyReport { gt_points: 10, correct: 5, missed: 2, false_positives: 3 };
+        a.merge(&b);
+        assert_eq!(a.gt_points, 20);
+        assert_eq!(a.correct, 14);
+        assert!((a.percent() - 70.0).abs() < 1e-9);
+    }
+}

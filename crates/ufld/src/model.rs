@@ -1,0 +1,388 @@
+//! The UFLD lane-detection model: ResNet backbone + row-anchor head.
+//!
+//! Following Qin et al. (ECCV 2020), lane detection is formulated as
+//! row-anchor classification: the backbone feature map is reduced by a 1×1
+//! convolution, flattened, and passed through a two-layer FC head producing
+//! `(griding + 1) × row_anchors × num_lanes` logits per image.
+
+use crate::config::UfldConfig;
+use crate::resnet::ResNetBackbone;
+use ld_nn::{
+    BatchNorm2d, BnStatsPolicy, Conv2d, Flatten, Layer, Linear, Mode, ParamFilter, Parameter, Relu,
+};
+use ld_tensor::rng::mix_seed;
+use ld_tensor::{Tensor, TensorError};
+use std::collections::HashMap;
+
+/// A complete UFLD model.
+///
+/// # Example
+///
+/// ```
+/// use ld_ufld::{UfldConfig, UfldModel};
+/// use ld_nn::{Layer, Mode};
+/// use ld_tensor::Tensor;
+///
+/// let cfg = UfldConfig::tiny(2);
+/// let mut model = UfldModel::new(&cfg, 42);
+/// let x = Tensor::zeros(&[1, 3, cfg.input_height, cfg.input_width]);
+/// let logits = model.forward(&x, Mode::Eval);
+/// assert_eq!(logits.shape_dims(), &cfg.logit_dims(1));
+/// ```
+pub struct UfldModel {
+    cfg: UfldConfig,
+    backbone: ResNetBackbone,
+    reduce: Conv2d,
+    reduce_relu: Relu,
+    flatten: Flatten,
+    fc1: Linear,
+    head_relu: Relu,
+    fc2: Linear,
+    /// Embedding (post-`fc1`, post-ReLU) cached by the last forward — the
+    /// representation the SOTA baseline clusters.
+    last_embedding: Option<Tensor>,
+}
+
+impl UfldModel {
+    /// Builds a model with freshly initialised weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config fails [`UfldConfig::validate`].
+    pub fn new(cfg: &UfldConfig, seed: u64) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("UfldModel: invalid config: {e}");
+        }
+        let backbone = ResNetBackbone::new(cfg, mix_seed(seed, 0xBB));
+        let out_ch = cfg.stage_channels()[3];
+        UfldModel {
+            cfg: cfg.clone(),
+            backbone,
+            reduce: Conv2d::new("head.reduce", out_ch, cfg.head_reduce_channels, 1, 1, 0, true, mix_seed(seed, 0x1C)),
+            reduce_relu: Relu::new(),
+            flatten: Flatten::new(),
+            fc1: Linear::new("head.fc1", cfg.head_in_features(), cfg.head_hidden, mix_seed(seed, 0xF1)),
+            head_relu: Relu::new(),
+            fc2: Linear::new("head.fc2", cfg.head_hidden, cfg.logit_len(), mix_seed(seed, 0xF2)),
+            last_embedding: None,
+        }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &UfldConfig {
+        &self.cfg
+    }
+
+    /// The `(batch, head_hidden)` embedding produced by the last forward —
+    /// the feature space the SOTA baseline encodes with k-means.
+    pub fn last_embedding(&self) -> Option<&Tensor> {
+        self.last_embedding.as_ref()
+    }
+
+    /// Sets the batch-norm statistics policy on **all** BN layers (the
+    /// first half of LD-BN-ADAPT: recompute (µ, σ) from unlabeled data).
+    pub fn set_bn_policy(&mut self, policy: BnStatsPolicy) {
+        self.backbone.for_each_bn(&mut |bn: &mut BatchNorm2d| bn.policy = policy);
+    }
+
+    /// Number of BN layers.
+    pub fn bn_layer_count(&mut self) -> usize {
+        let mut n = 0;
+        self.backbone.for_each_bn(&mut |_| n += 1);
+        n
+    }
+
+    /// Snapshot of all persistent state (weights + BN running statistics).
+    pub fn state_dict(&mut self) -> Vec<(String, Tensor)> {
+        let mut entries = Vec::new();
+        self.visit_state(&mut |name, t| entries.push((name.to_owned(), t.clone())));
+        entries
+    }
+
+    /// Restores a snapshot taken with [`UfldModel::state_dict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry is missing or has a mismatched shape.
+    pub fn load_state_dict(&mut self, entries: &[(String, Tensor)]) {
+        let map: HashMap<&str, &Tensor> = entries.iter().map(|(n, t)| (n.as_str(), t)).collect();
+        self.visit_state(&mut |name, t| {
+            let src = map
+                .get(name)
+                .unwrap_or_else(|| panic!("load_state_dict: missing entry {name}"));
+            assert_eq!(
+                src.shape_dims(),
+                t.shape_dims(),
+                "load_state_dict: shape mismatch for {name}"
+            );
+            *t = (*src).clone();
+        });
+    }
+
+    /// Serialises the full state to bytes (config as JSON-free binary is not
+    /// needed; callers keep the config separately).
+    pub fn state_bytes(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (name, t) in self.state_dict() {
+            let nb = name.as_bytes();
+            out.extend_from_slice(&(nb.len() as u32).to_le_bytes());
+            out.extend_from_slice(nb);
+            let tb = t.to_bytes();
+            out.extend_from_slice(&(tb.len() as u64).to_le_bytes());
+            out.extend_from_slice(&tb);
+        }
+        out
+    }
+
+    /// Restores state serialised by [`UfldModel::state_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError`] on malformed input.
+    pub fn load_state_bytes(&mut self, mut bytes: &[u8]) -> Result<(), TensorError> {
+        let mut entries = Vec::new();
+        while !bytes.is_empty() {
+            if bytes.len() < 4 {
+                return Err(TensorError::DecodeBytes("truncated name length".into()));
+            }
+            let nlen = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+            bytes = &bytes[4..];
+            if bytes.len() < nlen + 8 {
+                return Err(TensorError::DecodeBytes("truncated entry".into()));
+            }
+            let name = String::from_utf8(bytes[..nlen].to_vec())
+                .map_err(|e| TensorError::DecodeBytes(e.to_string()))?;
+            bytes = &bytes[nlen..];
+            let tlen = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
+            bytes = &bytes[8..];
+            if bytes.len() < tlen {
+                return Err(TensorError::DecodeBytes("truncated tensor".into()));
+            }
+            let t = Tensor::from_bytes(bytes::Bytes::copy_from_slice(&bytes[..tlen]))?;
+            bytes = &bytes[tlen..];
+            entries.push((name, t));
+        }
+        self.load_state_dict(&entries);
+        Ok(())
+    }
+
+    /// A deep copy of the model (weights, running stats and config; caches
+    /// are not carried over).
+    pub fn clone_model(&mut self) -> UfldModel {
+        let mut copy = UfldModel::new(&self.cfg, 0);
+        let state = self.state_dict();
+        copy.load_state_dict(&state);
+        copy
+    }
+
+    /// Backward pass with an **additional gradient injected at the
+    /// embedding** (the post-`fc1` ReLU activations).
+    ///
+    /// The SOTA baseline's prototype-alignment loss is defined on the
+    /// embedding space; its gradient enters here alongside the logit
+    /// gradient from the classification/pseudo-label losses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes mismatch or `forward` has not been called.
+    pub fn backward_with_embedding_grad(
+        &mut self,
+        grad_logits: &Tensor,
+        grad_embedding: &Tensor,
+    ) -> Tensor {
+        let n = grad_logits.shape_dims()[0];
+        assert_eq!(
+            grad_logits.shape_dims(),
+            &self.cfg.logit_dims(n),
+            "backward_with_embedding_grad: logit gradient shape mismatch"
+        );
+        assert_eq!(
+            grad_embedding.shape_dims(),
+            &[n, self.cfg.head_hidden],
+            "backward_with_embedding_grad: embedding gradient shape mismatch"
+        );
+        let g = grad_logits.to_shape(&[n, self.cfg.logit_len()]);
+        let mut g = self.fc2.backward(&g);
+        g.axpy(1.0, grad_embedding);
+        let g = self.head_relu.backward(&g);
+        let g = self.fc1.backward(&g);
+        let g = self.flatten.backward(&g);
+        let g = self.reduce_relu.backward(&g);
+        let g = self.reduce.backward(&g);
+        self.backbone.backward(&g)
+    }
+}
+
+impl Layer for UfldModel {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let (_, c, h, w) = x.dims4();
+        assert_eq!(
+            (c, h, w),
+            (self.cfg.input_channels, self.cfg.input_height, self.cfg.input_width),
+            "UfldModel: input shape {c}×{h}×{w} does not match config"
+        );
+        let f = self.backbone.forward(x, mode);
+        let f = self.reduce.forward(&f, mode);
+        let f = self.reduce_relu.forward(&f, mode);
+        let f = self.flatten.forward(&f, mode);
+        let f = self.fc1.forward(&f, mode);
+        let emb = self.head_relu.forward(&f, mode);
+        self.last_embedding = Some(emb.clone());
+        let logits = self.fc2.forward(&emb, mode);
+        let n = logits.dims2().0;
+        logits.reshape(&self.cfg.logit_dims(n))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let n = grad_out.shape_dims()[0];
+        assert_eq!(
+            grad_out.shape_dims(),
+            &self.cfg.logit_dims(n),
+            "UfldModel::backward: gradient shape mismatch"
+        );
+        let g = grad_out.to_shape(&[n, self.cfg.logit_len()]);
+        let g = self.fc2.backward(&g);
+        let g = self.head_relu.backward(&g);
+        let g = self.fc1.backward(&g);
+        let g = self.flatten.backward(&g);
+        let g = self.reduce_relu.backward(&g);
+        let g = self.reduce.backward(&g);
+        self.backbone.backward(&g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.backbone.visit_params(f);
+        self.reduce.visit_params(f);
+        self.fc1.visit_params(f);
+        self.fc2.visit_params(f);
+    }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        self.backbone.visit_state(f);
+        self.reduce.visit_state(f);
+        self.fc1.visit_state(f);
+        self.fc2.visit_state(f);
+    }
+}
+
+/// Applies a [`ParamFilter`] and returns how many scalars stay trainable.
+///
+/// Convenience wrapper used by the adaptation engines.
+pub fn filter_trainable(model: &mut UfldModel, filter: ParamFilter) -> usize {
+    model.apply_filter(filter);
+    model.trainable_param_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_nn::loss;
+    use ld_tensor::rng::SeededRng;
+
+    fn tiny_model(seed: u64) -> (UfldConfig, UfldModel) {
+        let cfg = UfldConfig::tiny(2);
+        let model = UfldModel::new(&cfg, seed);
+        (cfg, model)
+    }
+
+    #[test]
+    fn forward_produces_configured_logit_shape() {
+        let (cfg, mut model) = tiny_model(1);
+        let x = SeededRng::new(0).uniform_tensor(&[2, 3, cfg.input_height, cfg.input_width], 0.0, 1.0);
+        let y = model.forward(&x, Mode::Eval);
+        assert_eq!(y.shape_dims(), &cfg.logit_dims(2));
+        assert!(!y.has_non_finite());
+    }
+
+    #[test]
+    fn backward_reaches_the_input() {
+        let (cfg, mut model) = tiny_model(2);
+        let x = SeededRng::new(1).uniform_tensor(&[1, 3, cfg.input_height, cfg.input_width], 0.0, 1.0);
+        let y = model.forward(&x, Mode::Train);
+        let h = loss::entropy(&y);
+        let gin = model.backward(&h.grad);
+        assert_eq!(gin.shape_dims(), x.shape_dims());
+    }
+
+    #[test]
+    fn embedding_is_exposed_after_forward() {
+        let (cfg, mut model) = tiny_model(3);
+        assert!(model.last_embedding().is_none());
+        let x = Tensor::zeros(&[2, 3, cfg.input_height, cfg.input_width]);
+        model.forward(&x, Mode::Eval);
+        let emb = model.last_embedding().expect("embedding cached");
+        assert_eq!(emb.shape_dims(), &[2, cfg.head_hidden]);
+    }
+
+    #[test]
+    fn bn_filter_leaves_only_bn_trainable() {
+        let (_, mut model) = tiny_model(4);
+        let total = model.param_count();
+        let bn_trainable = filter_trainable(&mut model, ParamFilter::BnOnly);
+        assert!(bn_trainable > 0);
+        // BN params are a small fraction of the network (≈1% at paper scale,
+        // a few % for the tiny test model).
+        assert!(
+            (bn_trainable as f64) < 0.2 * total as f64,
+            "bn {bn_trainable} of {total}"
+        );
+    }
+
+    #[test]
+    fn state_dict_roundtrip_preserves_outputs() {
+        let (cfg, mut model) = tiny_model(5);
+        let x = SeededRng::new(9).uniform_tensor(&[1, 3, cfg.input_height, cfg.input_width], 0.0, 1.0);
+        let y0 = model.forward(&x, Mode::Eval);
+        let state = model.state_dict();
+
+        // Perturb all parameters, then restore.
+        model.visit_params(&mut |p| p.value.map_inplace(|v| v + 0.37));
+        let y_perturbed = model.forward(&x, Mode::Eval);
+        assert_ne!(y0.as_slice(), y_perturbed.as_slice());
+
+        model.load_state_dict(&state);
+        let y1 = model.forward(&x, Mode::Eval);
+        for (a, b) in y0.as_slice().iter().zip(y1.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn state_bytes_roundtrip() {
+        let (_, mut model) = tiny_model(6);
+        let bytes = model.state_bytes();
+        let mut other = UfldModel::new(&UfldConfig::tiny(2), 999);
+        other.load_state_bytes(&bytes).expect("load");
+        let x = Tensor::zeros(&[1, 3, 32, 64]);
+        let ya = model.forward(&x, Mode::Eval);
+        let yb = other.forward(&x, Mode::Eval);
+        assert_eq!(ya.as_slice(), yb.as_slice());
+    }
+
+    #[test]
+    fn load_state_bytes_rejects_garbage() {
+        let (_, mut model) = tiny_model(7);
+        assert!(model.load_state_bytes(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn clone_model_is_independent() {
+        let (cfg, mut model) = tiny_model(8);
+        let mut copy = model.clone_model();
+        let x = SeededRng::new(4).uniform_tensor(&[1, 3, cfg.input_height, cfg.input_width], 0.0, 1.0);
+        let ya = model.forward(&x, Mode::Eval);
+        let yb = copy.forward(&x, Mode::Eval);
+        assert_eq!(ya.as_slice(), yb.as_slice());
+        // Mutating the copy must not affect the original.
+        copy.visit_params(&mut |p| p.value.fill(0.0));
+        let ya2 = model.forward(&x, Mode::Eval);
+        assert_eq!(ya.as_slice(), ya2.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "input shape")]
+    fn forward_rejects_wrong_resolution() {
+        let (_, mut model) = tiny_model(9);
+        model.forward(&Tensor::zeros(&[1, 3, 16, 16]), Mode::Eval);
+    }
+}

@@ -1,0 +1,312 @@
+//! ResNet-18/34 backbone built from `ld-nn` layers.
+//!
+//! Standard torchvision topology: a 7×7/2 stem convolution, 3×3/2 max pool,
+//! then four stages of [`BasicBlock`]s (`[2,2,2,2]` for R-18, `[3,4,6,3]`
+//! for R-34) with channel widths `w, 2w, 4w, 8w`. Stages 2–4 downsample by 2
+//! in their first block via a 1×1 strided projection shortcut.
+
+use crate::config::UfldConfig;
+use ld_nn::{BatchNorm2d, Conv2d, Layer, MaxPool2d, Mode, Parameter, Relu};
+use ld_tensor::rng::mix_seed;
+use ld_tensor::Tensor;
+
+/// The classic two-convolution residual block
+/// `out = relu(bn2(conv2(relu(bn1(conv1(x))))) + shortcut(x))`.
+pub struct BasicBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    relu1: Relu,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    /// 1×1 strided projection when shape changes; identity otherwise.
+    downsample: Option<(Conv2d, BatchNorm2d)>,
+    relu2: Relu,
+    /// Cached shortcut input for the identity path's backward.
+    cached_input: Option<Tensor>,
+}
+
+impl BasicBlock {
+    /// Builds a block mapping `in_ch → out_ch` at the given stride.
+    pub fn new(name: &str, in_ch: usize, out_ch: usize, stride: usize, seed: u64) -> Self {
+        let needs_proj = stride != 1 || in_ch != out_ch;
+        BasicBlock {
+            conv1: Conv2d::new(&format!("{name}.conv1"), in_ch, out_ch, 3, stride, 1, false, mix_seed(seed, 1)),
+            bn1: BatchNorm2d::new(&format!("{name}.bn1"), out_ch),
+            relu1: Relu::new(),
+            conv2: Conv2d::new(&format!("{name}.conv2"), out_ch, out_ch, 3, 1, 1, false, mix_seed(seed, 2)),
+            bn2: BatchNorm2d::new(&format!("{name}.bn2"), out_ch),
+            downsample: needs_proj.then(|| {
+                (
+                    Conv2d::new(&format!("{name}.down.conv"), in_ch, out_ch, 1, stride, 0, false, mix_seed(seed, 3)),
+                    BatchNorm2d::new(&format!("{name}.down.bn"), out_ch),
+                )
+            }),
+            relu2: Relu::new(),
+            cached_input: None,
+        }
+    }
+
+    /// Applies `f` to every BN layer in the block (policy configuration).
+    pub fn for_each_bn(&mut self, f: &mut dyn FnMut(&mut BatchNorm2d)) {
+        f(&mut self.bn1);
+        f(&mut self.bn2);
+        if let Some((_, bn)) = &mut self.downsample {
+            f(bn);
+        }
+    }
+}
+
+impl Layer for BasicBlock {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let main = self.conv1.forward(x, mode);
+        let main = self.bn1.forward(&main, mode);
+        let main = self.relu1.forward(&main, mode);
+        let main = self.conv2.forward(&main, mode);
+        let main = self.bn2.forward(&main, mode);
+        let shortcut = match &mut self.downsample {
+            Some((conv, bn)) => {
+                let s = conv.forward(x, mode);
+                bn.forward(&s, mode)
+            }
+            None => x.clone(),
+        };
+        self.cached_input = Some(x.clone());
+        let sum = &main + &shortcut;
+        self.relu2.forward(&sum, mode)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g_sum = self.relu2.backward(grad_out);
+        // Main branch.
+        let g = self.bn2.backward(&g_sum);
+        let g = self.conv2.backward(&g);
+        let g = self.relu1.backward(&g);
+        let g = self.bn1.backward(&g);
+        let g_main = self.conv1.backward(&g);
+        // Shortcut branch.
+        let g_short = match &mut self.downsample {
+            Some((conv, bn)) => {
+                let g = bn.backward(&g_sum);
+                conv.backward(&g)
+            }
+            None => g_sum,
+        };
+        &g_main + &g_short
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.conv1.visit_params(f);
+        self.bn1.visit_params(f);
+        self.conv2.visit_params(f);
+        self.bn2.visit_params(f);
+        if let Some((conv, bn)) = &mut self.downsample {
+            conv.visit_params(f);
+            bn.visit_params(f);
+        }
+    }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        self.conv1.visit_state(f);
+        self.bn1.visit_state(f);
+        self.conv2.visit_state(f);
+        self.bn2.visit_state(f);
+        if let Some((conv, bn)) = &mut self.downsample {
+            conv.visit_state(f);
+            bn.visit_state(f);
+        }
+    }
+}
+
+/// The full backbone: stem + four stages of BasicBlocks.
+pub struct ResNetBackbone {
+    stem_conv: Conv2d,
+    stem_bn: BatchNorm2d,
+    stem_relu: Relu,
+    stem_pool: MaxPool2d,
+    blocks: Vec<BasicBlock>,
+}
+
+impl ResNetBackbone {
+    /// Builds the backbone described by `cfg`.
+    pub fn new(cfg: &UfldConfig, seed: u64) -> Self {
+        let chans = cfg.stage_channels();
+        let stem_conv = Conv2d::new(
+            "stem.conv",
+            cfg.input_channels,
+            chans[0],
+            7,
+            2,
+            3,
+            false,
+            mix_seed(seed, 100),
+        );
+        let stem_bn = BatchNorm2d::new("stem.bn", chans[0]);
+        let mut blocks = Vec::new();
+        let mut in_ch = chans[0];
+        for (stage, &n_blocks) in cfg.backbone.stage_blocks().iter().enumerate() {
+            let out_ch = chans[stage];
+            for b in 0..n_blocks {
+                let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+                blocks.push(BasicBlock::new(
+                    &format!("layer{}.{}", stage + 1, b),
+                    in_ch,
+                    out_ch,
+                    stride,
+                    mix_seed(seed, (stage * 100 + b) as u64),
+                ));
+                in_ch = out_ch;
+            }
+        }
+        ResNetBackbone {
+            stem_conv,
+            stem_bn,
+            stem_relu: Relu::new(),
+            stem_pool: MaxPool2d::new(3, 2, 1),
+            blocks,
+        }
+    }
+
+    /// Output channel count (8 × width base).
+    pub fn out_channels(&self, cfg: &UfldConfig) -> usize {
+        cfg.stage_channels()[3]
+    }
+
+    /// Applies `f` to every BN layer in the backbone.
+    pub fn for_each_bn(&mut self, f: &mut dyn FnMut(&mut BatchNorm2d)) {
+        f(&mut self.stem_bn);
+        for b in &mut self.blocks {
+            b.for_each_bn(f);
+        }
+    }
+
+    /// Number of residual blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+impl Layer for ResNetBackbone {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let mut cur = self.stem_conv.forward(x, mode);
+        cur = self.stem_bn.forward(&cur, mode);
+        cur = self.stem_relu.forward(&cur, mode);
+        cur = self.stem_pool.forward(&cur, mode);
+        for b in &mut self.blocks {
+            cur = b.forward(&cur, mode);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for b in self.blocks.iter_mut().rev() {
+            g = b.backward(&g);
+        }
+        g = self.stem_pool.backward(&g);
+        g = self.stem_relu.backward(&g);
+        g = self.stem_bn.backward(&g);
+        self.stem_conv.backward(&g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.stem_conv.visit_params(f);
+        self.stem_bn.visit_params(f);
+        for b in &mut self.blocks {
+            b.visit_params(f);
+        }
+    }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        self.stem_conv.visit_state(f);
+        self.stem_bn.visit_state(f);
+        for b in &mut self.blocks {
+            b.visit_state(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Backbone;
+    use ld_tensor::rng::SeededRng;
+
+    #[test]
+    fn block_counts_match_depth() {
+        let cfg18 = UfldConfig::tiny(2);
+        let bb = ResNetBackbone::new(&cfg18, 0);
+        assert_eq!(bb.block_count(), 8);
+
+        let mut cfg34 = UfldConfig::tiny(2);
+        cfg34.backbone = Backbone::ResNet34;
+        let bb34 = ResNetBackbone::new(&cfg34, 0);
+        assert_eq!(bb34.block_count(), 16);
+    }
+
+    #[test]
+    fn forward_shape_matches_config() {
+        let cfg = UfldConfig::tiny(2);
+        let mut bb = ResNetBackbone::new(&cfg, 1);
+        let x = Tensor::zeros(&[2, 3, cfg.input_height, cfg.input_width]);
+        let y = bb.forward(&x, Mode::Eval);
+        let (fh, fw) = cfg.feature_dims();
+        assert_eq!(y.shape_dims(), &[2, cfg.stage_channels()[3], fh, fw]);
+    }
+
+    #[test]
+    fn identity_block_gradient_flows_through_both_branches() {
+        // A stride-1 same-channel block: shortcut is identity, so the input
+        // gradient includes an unmodified copy of the output gradient (plus
+        // the main branch contribution).
+        let mut block = BasicBlock::new("b", 4, 4, 1, 7);
+        let x = SeededRng::new(2).uniform_tensor(&[1, 4, 6, 6], -1.0, 1.0);
+        let y = block.forward(&x, Mode::Train);
+        let g = block.backward(&Tensor::ones(y.shape_dims()));
+        assert_eq!(g.shape_dims(), x.shape_dims());
+        assert!(g.sq_norm() > 0.0);
+    }
+
+    #[test]
+    fn projection_block_changes_shape() {
+        let mut block = BasicBlock::new("b", 4, 8, 2, 9);
+        let x = Tensor::zeros(&[1, 4, 8, 8]);
+        let y = block.forward(&x, Mode::Eval);
+        assert_eq!(y.shape_dims(), &[1, 8, 4, 4]);
+        let g = block.backward(&Tensor::ones(y.shape_dims()));
+        assert_eq!(g.shape_dims(), x.shape_dims());
+    }
+
+    #[test]
+    fn block_input_gradient_matches_finite_difference() {
+        let mut block = BasicBlock::new("b", 2, 2, 1, 5);
+        let x = SeededRng::new(3).uniform_tensor(&[1, 2, 5, 5], -1.0, 1.0);
+        let probes: Vec<usize> = (0..x.len()).step_by(11).collect();
+        let r = ld_nn::gradcheck::check_input_gradient(&mut block, &x, Mode::Train, &probes, 1e-2);
+        assert!(r.passes(5e-2, 3e-2), "{r:?}");
+    }
+
+    #[test]
+    fn backbone_bn_visitation_covers_all_layers() {
+        let cfg = UfldConfig::tiny(2);
+        let mut bb = ResNetBackbone::new(&cfg, 4);
+        let mut n = 0;
+        bb.for_each_bn(&mut |_| n += 1);
+        // stem + 2 per block + 1 per projection block (stages 2..4 first blocks).
+        assert_eq!(n, 1 + 8 * 2 + 3);
+    }
+
+    #[test]
+    fn state_visitation_includes_running_stats() {
+        let cfg = UfldConfig::tiny(2);
+        let mut bb = ResNetBackbone::new(&cfg, 4);
+        let mut names = Vec::new();
+        bb.visit_state(&mut |name, _| names.push(name.to_owned()));
+        assert!(names.iter().any(|n| n.ends_with("running_mean")));
+        assert!(names.iter().any(|n| n == "layer4.1.bn2.running_var"));
+        // Names must be unique for state_dict roundtrips.
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+}

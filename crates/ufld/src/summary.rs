@@ -1,0 +1,97 @@
+//! Parameter censuses — the paper's "BN parameters are only ~1 % of the
+//! model" claim, made checkable.
+
+use crate::model::UfldModel;
+use ld_nn::Layer;
+use serde::{Deserialize, Serialize};
+
+/// Scalar-parameter counts per architectural group.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamCensus {
+    /// Convolution weights + biases.
+    pub conv: usize,
+    /// Batch-norm γ and β.
+    pub bn: usize,
+    /// Fully-connected weights + biases.
+    pub fc: usize,
+}
+
+impl ParamCensus {
+    /// Counts the parameters of a model by group.
+    pub fn of(model: &mut UfldModel) -> Self {
+        let mut census = ParamCensus::default();
+        model.visit_params(&mut |p| {
+            if p.kind.is_bn() {
+                census.bn += p.len();
+            } else if p.kind.is_conv() {
+                census.conv += p.len();
+            } else {
+                census.fc += p.len();
+            }
+        });
+        census
+    }
+
+    /// All parameters.
+    pub fn total(&self) -> usize {
+        self.conv + self.bn + self.fc
+    }
+
+    /// Fraction of parameters that are batch-norm γ/β — the quantity the
+    /// paper bounds by "typically only ~1 %".
+    pub fn bn_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.bn as f64 / self.total() as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ParamCensus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "conv {} + bn {} + fc {} = {} params (bn = {:.3}%)",
+            self.conv,
+            self.bn,
+            self.fc,
+            self.total(),
+            100.0 * self.bn_fraction()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::UfldConfig;
+
+    #[test]
+    fn census_matches_param_count() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = UfldModel::new(&cfg, 1);
+        let census = ParamCensus::of(&mut model);
+        assert_eq!(census.total(), model.param_count());
+        assert!(census.bn > 0 && census.conv > 0 && census.fc > 0);
+    }
+
+    #[test]
+    fn bn_fraction_is_small_as_the_paper_claims() {
+        // "BN parameters typically only comprise ~1% of the total" — at any
+        // width the BN share must stay ≲ a few percent.
+        let cfg = UfldConfig::scaled(crate::config::Backbone::ResNet18, 4);
+        let mut model = UfldModel::new(&cfg, 2);
+        let census = ParamCensus::of(&mut model);
+        assert!(census.bn_fraction() < 0.05, "bn fraction {}", census.bn_fraction());
+    }
+
+    #[test]
+    fn display_contains_percentages() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = UfldModel::new(&cfg, 3);
+        let s = ParamCensus::of(&mut model).to_string();
+        assert!(s.contains("bn"));
+        assert!(s.contains('%'));
+    }
+}

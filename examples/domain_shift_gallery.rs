@@ -1,0 +1,56 @@
+//! Renders the paper's Figure 1: sample frames from every CARLANE domain —
+//! the clean CARLA-like source and the MoLane/TuLane real-world-like
+//! targets — as PPM files plus terminal ASCII previews, with the
+//! channel-statistics gap that batch-norm adaptation corrects.
+//!
+//! ```text
+//! cargo run --release --example domain_shift_gallery
+//! # → gallery/*.ppm
+//! ```
+
+use ld_carlane::ppm::{ascii_preview, write_ppm};
+use ld_carlane::render::channel_means;
+use ld_carlane::{Benchmark, FrameSpec, FrameStream};
+use std::path::Path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = Path::new("gallery");
+    std::fs::create_dir_all(out_dir)?;
+    // Render at 2× the experiment resolution so the PPMs are inspectable.
+    let spec2 = FrameSpec::new(320, 128, 25, 14, 2);
+    let spec4 = FrameSpec::new(320, 128, 25, 14, 4);
+
+    let splits: [(&str, FrameStream); 4] = [
+        ("source_carla", FrameStream::source(Benchmark::MoLane, spec2, 2, 101)),
+        ("target_molane", FrameStream::target(Benchmark::MoLane, spec2, 2, 102)),
+        ("target_tulane", FrameStream::target(Benchmark::TuLane, spec4, 2, 103)),
+        ("target_mulane", FrameStream::target(Benchmark::MuLane, spec4, 2, 104)),
+    ];
+
+    for (name, stream) in splits {
+        for i in 0..stream.len() {
+            let frame = stream.frame(i);
+            let path = out_dir.join(format!("{name}_{i}.ppm"));
+            write_ppm(&frame.image, &path)?;
+            if i == 0 {
+                let m = channel_means(&frame.image);
+                println!(
+                    "\n{name} (domain {:?}; channel means R {:.2} G {:.2} B {:.2}):",
+                    frame.domain, m[0], m[1], m[2]
+                );
+                for line in ascii_preview(&frame.image, 72) {
+                    println!("  {line}");
+                }
+                let bg = stream.spec().background_class();
+                let visible = frame.labels.iter().filter(|&&l| l != bg).count();
+                println!(
+                    "  labels: {}/{} row-anchor points carry a lane cell",
+                    visible,
+                    frame.labels.len()
+                );
+            }
+        }
+    }
+    println!("\nwrote 8 frames to {}/", out_dir.display());
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! The paper's §IV design-space exploration: which (backbone × power mode)
+//! configurations of the Jetson AGX Orin meet which real-time deadline, at
+//! what energy cost — and the selection rules the paper discusses
+//! ("if there is a strict power constraint of 50 W then R-18 should be
+//! used; … if a more robust model is required … then R-34").
+//!
+//! ```text
+//! cargo run --release --example power_mode_explorer
+//! ```
+
+use ld_orin::{best_configuration, feasibility, Deadline};
+
+fn main() {
+    println!("Jetson AGX Orin design space (paper-scale UFLD, adaptation bs = 1)\n");
+    let points = feasibility(4);
+
+    println!(
+        "{:<10} {:<12} {:>11} {:>11} {:>8} {:>8}",
+        "backbone", "power mode", "latency ms", "energy mJ", "30 FPS", "18 FPS"
+    );
+    for p in &points {
+        println!(
+            "{:<10} {:<12} {:>11.1} {:>11.0} {:>8} {:>8}",
+            p.backbone.to_string(),
+            p.mode.to_string(),
+            p.latency_ms,
+            p.energy_mj,
+            if p.meets_30fps { "✓" } else { "–" },
+            if p.meets_18fps { "✓" } else { "–" },
+        );
+    }
+
+    println!("\nselection under the paper's scenarios:");
+    let scenarios: [(&str, Deadline, f64, bool); 4] = [
+        ("strict 30 FPS camera, any power", Deadline::FPS30, 60.0, false),
+        ("18 FPS (Audi A8 L3), 50 W power cap", Deadline::FPS18, 50.0, false),
+        ("18 FPS, robust multi-target (prefer deeper)", Deadline::FPS18, 60.0, true),
+        ("30 FPS under a 30 W cap (infeasible)", Deadline::FPS30, 30.0, false),
+    ];
+    for (name, deadline, cap, robust) in scenarios {
+        match best_configuration(&points, deadline, cap, robust) {
+            Some(p) => println!(
+                "  {name}: → {} @ {} ({:.1} ms, {:.0} mJ/frame)",
+                p.backbone, p.mode, p.latency_ms, p.energy_mj
+            ),
+            None => println!("  {name}: → no feasible configuration"),
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: build a UFLD model, run inference on a synthetic target
+//! frame, take one LD-BN-ADAPT step, and watch the prediction entropy drop.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ld_bn_adapt::prelude::*;
+use ld_carlane::FrameStream;
+
+fn main() {
+    // 1. A CPU-sized UFLD model (same topology as the paper's R-18, scaled).
+    let cfg = UfldConfig::scaled(Backbone::ResNet18, 2);
+    let mut model = UfldModel::new(&cfg, 42);
+    println!("model: {} with {} parameters", cfg.backbone, {
+        use ld_nn::Layer;
+        model.param_count()
+    });
+
+    // 2. Pre-train briefly on the labeled source domain (CARLA-like).
+    //    (A real deployment loads a checkpoint; see `UfldModel::state_bytes`.)
+    let mut train = ld_adapt::TrainConfig::scaled();
+    train.steps = 120; // abbreviated for the quickstart
+    train.dataset_size = 96;
+    println!("pre-training on the source domain ({} steps)…", train.steps);
+    let stats = ld_adapt::pretrain_on_source(&mut model, Benchmark::MoLane, &train);
+    println!("  loss {:.3} → {:.3}", stats.loss_curve[0], stats.final_loss());
+
+    // 3. Deploy: unlabeled real-world-like target frames arrive at 30 FPS.
+    let spec = ld_adapt::frame_spec_for(&cfg);
+    let stream = FrameStream::target(Benchmark::MoLane, spec, 12, 7);
+
+    // 4. LD-BN-ADAPT: after each inference, recompute BN statistics from the
+    //    frame and take one entropy-descent step on γ/β only.
+    let mut adapter = ld_adapt::LdBnAdapter::new(ld_adapt::LdBnAdaptConfig::paper(1), &mut model);
+    println!("\nonline adaptation (batch size 1):");
+    for frame in stream {
+        let out = adapter.process_frame(&mut model, &frame.image);
+        let step = out.adapted.expect("bs=1 adapts every frame");
+        println!(
+            "  frame {:>2}: prediction entropy {:.4} → {:.4} after the BN update",
+            frame.index, step.entropy_before, step.entropy_after
+        );
+    }
+    println!(
+        "\n{} adaptation steps taken; only BN γ/β changed — conv/FC weights are untouched.",
+        adapter.steps_taken()
+    );
+}

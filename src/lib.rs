@@ -1,0 +1,45 @@
+//! # LD-BN-ADAPT — facade crate
+//!
+//! Reproduction of *"Real-Time Fully Unsupervised Domain Adaptation for Lane
+//! Detection in Autonomous Driving"* (DATE 2023). This crate re-exports the
+//! whole workspace under one roof; see the individual crates for details:
+//!
+//! * [`tensor`] — dense `f32` tensors, GEMM, im2col ([`ld_tensor`])
+//! * [`nn`] — layers/losses/optimizers with hand-derived backprop ([`ld_nn`])
+//! * [`cluster`] — k-means (SOTA-baseline substrate) ([`ld_cluster`])
+//! * [`ufld`] — the Ultra-Fast Lane Detection model ([`ld_ufld`])
+//! * [`carlane`] — synthetic CARLANE sim-to-real benchmarks ([`ld_carlane`])
+//! * [`adapt`] — **the paper's contribution**: LD-BN-ADAPT, baselines,
+//!   ablations and the evaluation harness ([`ld_adapt`])
+//! * [`orin`] — the Jetson AGX Orin roofline latency/energy model
+//!   ([`ld_orin`])
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs`; in short:
+//!
+//! ```no_run
+//! use ld_bn_adapt::prelude::*;
+//!
+//! // Build a (scaled) UFLD model, pre-train on the simulated source domain,
+//! // then run the LD-BN-ADAPT online loop over a target stream.
+//! let cfg = UfldConfig::scaled(Backbone::ResNet18, 2);
+//! let model = UfldModel::new(&cfg, 42);
+//! ```
+
+pub use ld_adapt as adapt;
+pub use ld_carlane as carlane;
+pub use ld_cluster as cluster;
+pub use ld_nn as nn;
+pub use ld_orin as orin;
+pub use ld_tensor as tensor;
+pub use ld_ufld as ufld;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use ld_adapt::*;
+    pub use ld_carlane::{Benchmark, Domain};
+    pub use ld_nn::{BnStatsPolicy, Layer, Mode, ParamFilter};
+    pub use ld_tensor::Tensor;
+    pub use ld_ufld::{Backbone, UfldConfig, UfldModel};
+}

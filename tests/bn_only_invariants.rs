@@ -1,0 +1,125 @@
+//! Cross-crate invariants of BN-only adaptation: what it may and may not
+//! touch, and that snapshots fully capture adaptation state.
+
+use ld_adapt::{frame_spec_for, run_online, LdBnAdaptConfig};
+use ld_carlane::{Benchmark, FrameStream};
+use ld_nn::{BnStatsPolicy, Layer, Mode, ParamFilter};
+use ld_tensor::Tensor;
+use ld_ufld::{UfldConfig, UfldModel};
+
+fn target_stream(cfg: &UfldConfig, n: usize) -> FrameStream {
+    FrameStream::target(Benchmark::MoLane, frame_spec_for(cfg), n, 0x1117)
+}
+
+#[test]
+fn bn_only_adaptation_preserves_every_non_bn_scalar() {
+    let cfg = UfldConfig::tiny(2);
+    let mut model = UfldModel::new(&cfg, 3);
+    let before: Vec<(String, Tensor)> = {
+        let mut v = Vec::new();
+        model.visit_params(&mut |p| {
+            if !p.kind.is_bn() {
+                v.push((p.name.clone(), p.value.clone()));
+            }
+        });
+        v
+    };
+    run_online(&mut model, LdBnAdaptConfig::paper(1), &target_stream(&cfg, 8));
+    let mut i = 0;
+    model.visit_params(&mut |p| {
+        if !p.kind.is_bn() {
+            assert_eq!(p.value.as_slice(), before[i].1.as_slice(), "{} drifted", p.name);
+            i += 1;
+        }
+    });
+    assert_eq!(i, before.len());
+}
+
+#[test]
+fn batch_policy_leaves_running_stats_frozen() {
+    // The paper's policy recomputes (µ, σ) per batch without overwriting
+    // the training-time running estimates.
+    let cfg = UfldConfig::tiny(2);
+    let mut model = UfldModel::new(&cfg, 4);
+    let before: Vec<(String, Tensor)> = {
+        let mut v = Vec::new();
+        model.visit_state(&mut |name, t| {
+            if name.contains("running") {
+                v.push((name.to_owned(), t.clone()));
+            }
+        });
+        v
+    };
+    run_online(&mut model, LdBnAdaptConfig::paper(1), &target_stream(&cfg, 6));
+    let mut i = 0;
+    model.visit_state(&mut |name, t| {
+        if name.contains("running") {
+            assert_eq!(t.as_slice(), before[i].1.as_slice(), "{name} drifted under Batch policy");
+            i += 1;
+        }
+    });
+    assert_eq!(i, before.len());
+}
+
+#[test]
+fn ema_policy_updates_running_stats() {
+    let cfg = UfldConfig::tiny(2);
+    let mut model = UfldModel::new(&cfg, 5);
+    let before: Vec<Tensor> = {
+        let mut v = Vec::new();
+        model.visit_state(&mut |name, t| {
+            if name.contains("running_mean") {
+                v.push(t.clone());
+            }
+        });
+        v
+    };
+    run_online(
+        &mut model,
+        LdBnAdaptConfig::paper(1).with_stats_policy(BnStatsPolicy::BatchEma { momentum: 0.2 }),
+        &target_stream(&cfg, 6),
+    );
+    let mut changed = false;
+    let mut i = 0;
+    model.visit_state(&mut |name, t| {
+        if name.contains("running_mean") {
+            if t.as_slice() != before[i].as_slice() {
+                changed = true;
+            }
+            i += 1;
+        }
+    });
+    assert!(changed, "EMA policy must move the running statistics");
+}
+
+#[test]
+fn state_bytes_snapshot_restores_adapted_model_exactly() {
+    let cfg = UfldConfig::tiny(2);
+    let mut model = UfldModel::new(&cfg, 6);
+    run_online(&mut model, LdBnAdaptConfig::paper(2), &target_stream(&cfg, 6));
+    let bytes = model.state_bytes();
+
+    let mut restored = UfldModel::new(&cfg, 999);
+    restored.load_state_bytes(&bytes).expect("decode");
+    // Outputs must be bit-identical under frozen statistics.
+    let x = Tensor::zeros(&[1, 3, cfg.input_height, cfg.input_width]);
+    model.set_bn_policy(BnStatsPolicy::Running);
+    restored.set_bn_policy(BnStatsPolicy::Running);
+    let ya = model.forward(&x, Mode::Eval);
+    let yb = restored.forward(&x, Mode::Eval);
+    assert_eq!(ya.as_slice(), yb.as_slice());
+}
+
+#[test]
+fn trainable_counts_shrink_with_filters() {
+    let cfg = UfldConfig::tiny(4);
+    let mut model = UfldModel::new(&cfg, 7);
+    let all = ld_ufld::filter_trainable(&mut model, ParamFilter::All);
+    let bn = ld_ufld::filter_trainable(&mut model, ParamFilter::BnOnly);
+    let conv = ld_ufld::filter_trainable(&mut model, ParamFilter::ConvOnly);
+    let fc = ld_ufld::filter_trainable(&mut model, ParamFilter::FcOnly);
+    let frozen = ld_ufld::filter_trainable(&mut model, ParamFilter::Frozen);
+    assert_eq!(all, bn + conv + fc, "groups must partition the parameters");
+    assert_eq!(frozen, 0);
+    assert!(bn < conv && bn < fc, "BN must be the smallest group: {bn} vs {conv}/{fc}");
+}

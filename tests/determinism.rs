@@ -1,0 +1,61 @@
+//! Reproducibility: everything derives from explicit seeds, so identical
+//! inputs must give bit-identical results across runs (and thread counts —
+//! the parallel GEMM partitions output rows without changing accumulation
+//! order).
+
+use ld_adapt::{pretrain_on_source, ExperimentConfig, Method, PretrainedCell, TrainConfig};
+use ld_carlane::{Benchmark, FrameStream, FrameSpec};
+use ld_ufld::{Backbone, UfldConfig, UfldModel};
+
+#[test]
+fn pretraining_is_bit_reproducible() {
+    let cfg = UfldConfig::tiny(2);
+    let mut train = TrainConfig::smoke();
+    train.steps = 20;
+    let mut a = UfldModel::new(&cfg, 77);
+    let mut b = UfldModel::new(&cfg, 77);
+    let sa = pretrain_on_source(&mut a, Benchmark::MoLane, &train);
+    let sb = pretrain_on_source(&mut b, Benchmark::MoLane, &train);
+    assert_eq!(sa.loss_curve, sb.loss_curve);
+    assert_eq!(a.state_bytes(), b.state_bytes());
+}
+
+#[test]
+fn different_seeds_give_different_models() {
+    let cfg = UfldConfig::tiny(2);
+    let mut a = UfldModel::new(&cfg, 1);
+    let mut b = UfldModel::new(&cfg, 2);
+    assert_ne!(a.state_bytes(), b.state_bytes());
+}
+
+#[test]
+fn experiment_cells_are_reproducible() {
+    let exp = ExperimentConfig::smoke();
+    let cell = PretrainedCell::train(Benchmark::TuLane, Backbone::ResNet18, &exp, true);
+    let (r1, o1) = cell.evaluate(Method::BnAdapt { batch_size: 2 }, &exp);
+    let (r2, o2) = cell.evaluate(Method::BnAdapt { batch_size: 2 }, &exp);
+    assert_eq!(r1.accuracy_pct, r2.accuracy_pct);
+    assert_eq!(o1.per_frame, o2.per_frame);
+    assert_eq!(o1.entropy, o2.entropy);
+}
+
+#[test]
+fn streams_are_identical_across_instances() {
+    let spec = FrameSpec::new(64, 40, 16, 6, 4);
+    let a = FrameStream::target(Benchmark::MuLane, spec, 5, 31);
+    let b = FrameStream::target(Benchmark::MuLane, spec, 5, 31);
+    for i in 0..5 {
+        assert_eq!(a.frame(i).image.as_slice(), b.frame(i).image.as_slice());
+        assert_eq!(a.frame(i).labels, b.frame(i).labels);
+    }
+}
+
+#[test]
+fn stream_iteration_matches_random_access() {
+    let spec = FrameSpec::new(48, 40, 10, 5, 2);
+    let stream = FrameStream::source(Benchmark::MoLane, spec, 7, 99);
+    for (i, frame) in stream.clone().enumerate() {
+        assert_eq!(frame.image.as_slice(), stream.frame(i).image.as_slice());
+        assert_eq!(frame.index, i);
+    }
+}

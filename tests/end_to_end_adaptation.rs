@@ -1,0 +1,102 @@
+//! End-to-end reproduction of the paper's core claim at test scale:
+//! a source-trained lane detector degrades on the shifted target domain,
+//! and LD-BN-ADAPT recovers accuracy online without labels.
+
+use ld_adapt::{
+    evaluate_frozen, evaluate_source, frame_spec_for, pretrain_on_source, run_online,
+    LdBnAdaptConfig, TrainConfig,
+};
+use ld_carlane::{Benchmark, FrameStream};
+use ld_ufld::{UfldConfig, UfldModel};
+
+fn trained_tiny_model() -> (UfldConfig, UfldModel) {
+    let cfg = UfldConfig::tiny(2);
+    let mut model = UfldModel::new(&cfg, 0xE2E);
+    let mut train = TrainConfig::smoke();
+    train.steps = 150;
+    train.dataset_size = 48;
+    pretrain_on_source(&mut model, Benchmark::MoLane, &train);
+    (cfg, model)
+}
+
+#[test]
+fn training_beats_random_initialisation_on_source() {
+    let cfg = UfldConfig::tiny(2);
+    let mut untrained = UfldModel::new(&cfg, 0xE2E);
+    let random_acc = evaluate_source(&mut untrained, Benchmark::MoLane, 12, 5).report.percent();
+
+    let (_, mut model) = trained_tiny_model();
+    let trained_acc = evaluate_source(&mut model, Benchmark::MoLane, 12, 5).report.percent();
+    assert!(
+        trained_acc > random_acc + 10.0,
+        "training had no effect: {random_acc:.1}% → {trained_acc:.1}%"
+    );
+}
+
+#[test]
+fn domain_shift_hurts_and_bn_adaptation_recovers() {
+    let (cfg, mut model) = trained_tiny_model();
+    let spec = frame_spec_for(&cfg);
+    let stream = FrameStream::target(Benchmark::MoLane, spec, 30, 0xAC);
+    let snapshot = model.state_dict();
+
+    let source_acc = evaluate_source(&mut model, Benchmark::MoLane, 20, 9).report.percent();
+    model.load_state_dict(&snapshot);
+    let frozen = evaluate_frozen(&mut model, &stream);
+    model.load_state_dict(&snapshot);
+    let adapted = run_online(&mut model, LdBnAdaptConfig::paper(1), &stream);
+
+    // The target domain must be harder than the source…
+    assert!(
+        frozen.report.percent() < source_acc,
+        "no domain gap: source {source_acc:.1}% target {:.1}%",
+        frozen.report.percent()
+    );
+    // …and online BN adaptation must close a meaningful part of the gap.
+    assert!(
+        adapted.report.percent() > frozen.report.percent(),
+        "adaptation did not help: frozen {:.1}% adapted {:.1}%",
+        frozen.report.percent(),
+        adapted.report.percent()
+    );
+    assert_eq!(adapted.adapt_steps, 30, "bs=1 must adapt after every frame");
+}
+
+#[test]
+fn adaptation_reduces_mean_prediction_entropy() {
+    let (cfg, mut model) = trained_tiny_model();
+    let spec = frame_spec_for(&cfg);
+    let stream = FrameStream::target(Benchmark::MoLane, spec, 24, 0xBD);
+    let snapshot = model.state_dict();
+
+    let frozen = evaluate_frozen(&mut model, &stream);
+    model.load_state_dict(&snapshot);
+    let adapted = run_online(&mut model, LdBnAdaptConfig::paper(1), &stream);
+
+    // Entropy minimisation is the objective — the second half of the stream
+    // must be more confident than the frozen model on the same frames.
+    let half = frozen.entropy.len() / 2;
+    let mean = |xs: &[f32]| xs.iter().sum::<f32>() / xs.len() as f32;
+    let frozen_tail = mean(&frozen.entropy[half..]);
+    let adapted_tail = mean(&adapted.entropy[half..]);
+    assert!(
+        adapted_tail < frozen_tail,
+        "entropy did not drop: frozen {frozen_tail:.4} vs adapted {adapted_tail:.4}"
+    );
+}
+
+#[test]
+fn batch_size_one_adapts_most_frequently() {
+    let (cfg, mut model) = trained_tiny_model();
+    let spec = frame_spec_for(&cfg);
+    let stream = FrameStream::target(Benchmark::MoLane, spec, 12, 0xCE);
+    let snapshot = model.state_dict();
+
+    let mut steps = Vec::new();
+    for bs in [1usize, 2, 4] {
+        model.load_state_dict(&snapshot);
+        let r = run_online(&mut model, LdBnAdaptConfig::paper(bs), &stream);
+        steps.push(r.adapt_steps);
+    }
+    assert_eq!(steps, vec![12, 6, 3]);
+}

@@ -1,0 +1,86 @@
+//! Consistency between the analytic Orin model, the cost walker and the
+//! instantiated networks — plus the Figure 3 invariants at workspace level.
+
+use ld_nn::Layer;
+use ld_orin::{feasibility, AdaptCostModel, Deadline, PowerMode, Roofline};
+use ld_ufld::cost::{model_costs, totals};
+use ld_ufld::{Backbone, UfldConfig, UfldModel};
+
+#[test]
+fn cost_walk_params_match_instantiated_models_at_all_sizes() {
+    for cfg in [
+        UfldConfig::tiny(2),
+        UfldConfig::tiny(4),
+        UfldConfig::scaled(Backbone::ResNet18, 2),
+        UfldConfig::scaled(Backbone::ResNet34, 4),
+    ] {
+        let mut model = UfldModel::new(&cfg, 1);
+        let t = totals(&model_costs(&cfg));
+        assert_eq!(t.params, model.param_count(), "{cfg:?}");
+    }
+}
+
+#[test]
+fn bn_param_count_matches_cost_walk() {
+    let cfg = UfldConfig::scaled(Backbone::ResNet18, 2);
+    let mut model = UfldModel::new(&cfg, 2);
+    let mut bn = 0usize;
+    model.visit_params(&mut |p| {
+        if p.kind.is_bn() {
+            bn += p.len();
+        }
+    });
+    assert_eq!(bn, totals(&model_costs(&cfg)).bn_params);
+}
+
+#[test]
+fn latency_monotone_in_power_and_depth() {
+    for backbone in [Backbone::ResNet18, Backbone::ResNet34] {
+        let m = AdaptCostModel::paper_scale(&UfldConfig::paper(backbone, 4));
+        let mut last = f64::INFINITY;
+        for mode in PowerMode::ALL {
+            let t = m.ld_bn_adapt_frame(mode, 1).total_ms();
+            assert!(t < last, "{backbone:?}@{mode}: {t} !< {last}");
+            last = t;
+        }
+    }
+    let r18 = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
+    let r34 = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet34, 4));
+    for mode in PowerMode::ALL {
+        assert!(
+            r34.ld_bn_adapt_frame(mode, 1).total_ms() > r18.ld_bn_adapt_frame(mode, 1).total_ms()
+        );
+    }
+}
+
+#[test]
+fn figure3_headline_results_hold() {
+    // The paper's §IV summary, end to end through the public API.
+    let points = feasibility(4);
+    let n30 = points.iter().filter(|p| p.meets_30fps).count();
+    let n18 = points.iter().filter(|p| p.meets_18fps).count();
+    assert_eq!(n30, 1, "exactly one configuration meets 30 FPS");
+    assert_eq!(n18, 3, "exactly three configurations meet 18 FPS");
+    // And inference alone is always cheaper than inference + adaptation.
+    let m = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
+    for mode in PowerMode::ALL {
+        assert!(m.inference_ms(mode) < m.ld_bn_adapt_frame(mode, 1).total_ms());
+    }
+}
+
+#[test]
+fn deadlines_match_paper_budgets() {
+    assert!((Deadline::FPS30.budget_ms - 33.3).abs() < 1e-9);
+    assert!((Deadline::FPS18.budget_ms - 55.5).abs() < 1e-9);
+}
+
+#[test]
+fn roofline_is_deterministic_and_finite() {
+    let rl = Roofline::agx_orin();
+    let costs = model_costs(&UfldConfig::paper(Backbone::ResNet34, 4));
+    for mode in PowerMode::ALL {
+        let t = rl.forward_seconds(&costs, mode, 1);
+        assert!(t.is_finite() && t > 0.0);
+        assert_eq!(t, rl.forward_seconds(&costs, mode, 1));
+    }
+}
