@@ -13,18 +13,17 @@ use std::time::Duration;
 fn bench_steps_per_batch(c: &mut Criterion) {
     let cfg = UfldConfig::tiny(2);
     let mut group = c.benchmark_group("ablation/steps_per_batch");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for steps in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
             let mut model = UfldModel::new(&cfg, 5);
             let mut acfg = LdBnAdaptConfig::paper(2); // bs 2 exercises the re-forward path
             acfg.steps_per_batch = steps;
             let mut adapter = LdBnAdapter::new(acfg, &mut model);
-            let frame = SeededRng::new(6).uniform_tensor(
-                &[3, cfg.input_height, cfg.input_width],
-                0.0,
-                1.0,
-            );
+            let frame =
+                SeededRng::new(6).uniform_tensor(&[3, cfg.input_height, cfg.input_width], 0.0, 1.0);
             b.iter(|| {
                 adapter.process_frame(&mut model, &frame);
                 adapter.process_frame(&mut model, &frame)
@@ -37,7 +36,9 @@ fn bench_steps_per_batch(c: &mut Criterion) {
 fn bench_stats_policy(c: &mut Criterion) {
     let cfg = UfldConfig::tiny(2);
     let mut group = c.benchmark_group("ablation/bn_stats_policy");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (name, policy) in [
         ("running", BnStatsPolicy::Running),
         ("batch", BnStatsPolicy::Batch),
@@ -49,11 +50,8 @@ fn bench_stats_policy(c: &mut Criterion) {
                 LdBnAdaptConfig::paper(1).with_stats_policy(policy),
                 &mut model,
             );
-            let frame = SeededRng::new(8).uniform_tensor(
-                &[3, cfg.input_height, cfg.input_width],
-                0.0,
-                1.0,
-            );
+            let frame =
+                SeededRng::new(8).uniform_tensor(&[3, cfg.input_height, cfg.input_width], 0.0, 1.0);
             b.iter(|| adapter.process_frame(&mut model, &frame));
         });
     }

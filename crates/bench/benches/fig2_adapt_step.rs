@@ -16,16 +16,15 @@ use std::time::Duration;
 fn bench_batch_sizes(c: &mut Criterion) {
     let cfg = UfldConfig::tiny(2);
     let mut group = c.benchmark_group("fig2/adapt_frame_by_batch_size");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for bs in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |b, &bs| {
             let mut model = UfldModel::new(&cfg, 1);
             let mut adapter = LdBnAdapter::new(LdBnAdaptConfig::paper(bs), &mut model);
-            let frame = SeededRng::new(2).uniform_tensor(
-                &[3, cfg.input_height, cfg.input_width],
-                0.0,
-                1.0,
-            );
+            let frame =
+                SeededRng::new(2).uniform_tensor(&[3, cfg.input_height, cfg.input_width], 0.0, 1.0);
             b.iter(|| adapter.process_frame(&mut model, &frame));
         });
     }
@@ -35,7 +34,9 @@ fn bench_batch_sizes(c: &mut Criterion) {
 fn bench_param_groups(c: &mut Criterion) {
     let cfg = UfldConfig::tiny(2);
     let mut group = c.benchmark_group("fig2/adapt_frame_by_param_group");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (name, filter) in [
         ("bn_only", ParamFilter::BnOnly),
         ("conv_only", ParamFilter::ConvOnly),
@@ -46,11 +47,8 @@ fn bench_param_groups(c: &mut Criterion) {
             let mut model = UfldModel::new(&cfg, 1);
             let mut adapter =
                 LdBnAdapter::new(LdBnAdaptConfig::paper(1).with_filter(filter), &mut model);
-            let frame = SeededRng::new(3).uniform_tensor(
-                &[3, cfg.input_height, cfg.input_width],
-                0.0,
-                1.0,
-            );
+            let frame =
+                SeededRng::new(3).uniform_tensor(&[3, cfg.input_height, cfg.input_width], 0.0, 1.0);
             b.iter(|| adapter.process_frame(&mut model, &frame));
         });
     }

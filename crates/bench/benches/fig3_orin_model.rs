@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench_cost_walk(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3/cost_walk");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for backbone in [Backbone::ResNet18, Backbone::ResNet34] {
         let cfg = UfldConfig::paper(backbone, 4);
         group.bench_with_input(
@@ -23,7 +25,9 @@ fn bench_cost_walk(c: &mut Criterion) {
 
 fn bench_frame_latency_eval(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3/frame_latency_eval");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let model = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
     group.bench_function("r18_all_modes", |b| {
         b.iter(|| {
@@ -38,10 +42,17 @@ fn bench_frame_latency_eval(c: &mut Criterion) {
 
 fn bench_full_design_space(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3/design_space");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("feasibility_4lanes", |b| b.iter(|| feasibility(4)));
     group.finish();
 }
 
-criterion_group!(benches, bench_cost_walk, bench_frame_latency_eval, bench_full_design_space);
+criterion_group!(
+    benches,
+    bench_cost_walk,
+    bench_frame_latency_eval,
+    bench_full_design_space
+);
 criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Benchmarks the blocked-and-packed GEMM against the seed's naive kernel
+//! over ResNet-18-shaped products (the im2col shapes of the UFLD backbone),
+//! and emits machine-readable `BENCH_gemm.json` at the workspace root so
+//! later PRs have a perf trajectory to regress against.
+//!
+//! Run: `cargo bench -p ld-bench --bench gemm_blocked` (add `-- --quick`
+//! for the smoke variant used by `scripts/check.sh`).
+
+use criterion::{black_box, take_results, BenchmarkId, Criterion};
+use ld_tensor::linalg::{gemm, Trans};
+use ld_tensor::rng::SeededRng;
+use ld_tensor::Tensor;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// `(m, k, n)` im2col products of a ResNet-18 UFLD backbone
+/// (`m` = out channels, `k` = in·kh·kw, `n` = out spatial).
+const SHAPES: &[(usize, usize, usize)] = &[
+    (64, 576, 3136),   // layer1 3×3 conv, 56×56
+    (128, 1152, 784),  // layer2 3×3 conv, 28×28
+    (256, 1152, 3136), // the acceptance-gate product (layer3-width at 56×56)
+    (512, 4608, 49),   // layer4 3×3 conv, 7×7
+    (128, 64, 784),    // 1×1 projection shortcut
+];
+
+/// A faithful replica of the seed kernel this PR replaced: row-split loop
+/// order, per-`k` zero-skip branch, no packing, output rows split over the
+/// pool exactly as the seed split them over `crossbeam::scope`. Kept here
+/// (not in the library) purely as the regression baseline.
+fn seed_naive_gemm(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    use ld_tensor::parallel::{for_each_chunk, SendPtr};
+    let (m, k) = a.dims2();
+    let n = b.dims2().1;
+    let work = m * n * k;
+    let a_s = a.as_slice();
+    let b_s = b.as_slice();
+    c.as_mut_slice().fill(0.0);
+    let c_ptr = SendPtr(c.as_mut_slice().as_mut_ptr());
+    for_each_chunk(m, work, |rows| {
+        for i in rows {
+            // SAFETY: each chunk owns a disjoint row range of C.
+            let crow = unsafe { c_ptr.slice_mut(i * n, n) };
+            for kk in 0..k {
+                let av = a_s[i * k + kk];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b_s[kk * n..kk * n + n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    });
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let quick = criterion::quick_mode();
+    let mut group = c.benchmark_group("gemm_blocked");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(if quick { 1 } else { 3 }));
+    // `GEMM_SHAPE=256x1152x3136` narrows the sweep (handy when tuning
+    // MC/KC/NC block sizes against a single product).
+    let only = std::env::var("GEMM_SHAPE").ok();
+    for &(m, k, n) in SHAPES {
+        if quick && m * k * n > 300_000_000 {
+            continue; // keep the smoke run under a few seconds
+        }
+        if let Some(f) = &only {
+            if *f != format!("{m}x{k}x{n}") {
+                continue;
+            }
+        }
+        let mut rng = SeededRng::new((m * 31 + k * 7 + n) as u64);
+        let a = rng.uniform_tensor(&[m, k], -1.0, 1.0);
+        let b = rng.uniform_tensor(&[k, n], -1.0, 1.0);
+        let mut cm = Tensor::zeros(&[m, n]);
+        group.bench_with_input(
+            BenchmarkId::new("blocked", format!("{m}x{k}x{n}")),
+            &(m, k, n),
+            |bench, _| {
+                bench.iter(|| {
+                    gemm(
+                        1.0,
+                        black_box(&a),
+                        Trans::No,
+                        black_box(&b),
+                        Trans::No,
+                        0.0,
+                        &mut cm,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("seed_naive", format!("{m}x{k}x{n}")),
+            &(m, k, n),
+            |bench, _| bench.iter(|| seed_naive_gemm(black_box(&a), black_box(&b), &mut cm)),
+        );
+    }
+    group.finish();
+}
+
+/// Turns the recorded measurements into `BENCH_gemm.json`:
+/// `[{"shape": [m,k,n], "kernel": "...", "ns_per_iter": …, "gflops": …,
+///    "speedup_vs_seed": …}, …]` (speedup only on `blocked` rows with a
+/// matching baseline).
+fn write_json() {
+    let results = take_results();
+    let parse_shape = |id: &str| -> Option<(usize, usize, usize)> {
+        let dims = id.rsplit('/').next()?;
+        let mut it = dims.split('x').map(|v| v.parse().ok());
+        Some((it.next()??, it.next()??, it.next()??))
+    };
+    let ns_of = |kernel: &str, shape: (usize, usize, usize)| -> Option<f64> {
+        results
+            .iter()
+            .find(|r| r.id.contains(&format!("/{kernel}/")) && parse_shape(&r.id) == Some(shape))
+            .map(|r| r.ns_per_iter)
+    };
+
+    let mut json = String::from("[\n");
+    let mut rows = Vec::new();
+    for r in &results {
+        let Some(shape) = parse_shape(&r.id) else {
+            continue;
+        };
+        let kernel = if r.id.contains("/blocked/") {
+            "blocked"
+        } else {
+            "seed_naive"
+        };
+        let flops = 2.0 * shape.0 as f64 * shape.1 as f64 * shape.2 as f64;
+        let gflops = flops / r.ns_per_iter;
+        let speedup = if kernel == "blocked" {
+            ns_of("seed_naive", shape).map(|base| base / r.ns_per_iter)
+        } else {
+            None
+        };
+        let mut row = format!(
+            "  {{\"shape\": [{}, {}, {}], \"kernel\": \"{}\", \"ns_per_iter\": {:.1}, \"gflops\": {:.3}",
+            shape.0, shape.1, shape.2, kernel, r.ns_per_iter, gflops
+        );
+        if let Some(s) = speedup {
+            let _ = write!(row, ", \"speedup_vs_seed\": {s:.2}");
+        }
+        row.push('}');
+        rows.push(row);
+    }
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n]\n");
+
+    // Smoke (`--quick`) and `GEMM_SHAPE`-filtered runs measure a reduced
+    // sweep with throwaway iteration counts — keep them from clobbering the
+    // committed full-run trajectory.
+    let path = if criterion::quick_mode() || std::env::var_os("GEMM_SHAPE").is_some() {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.quick.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json")
+    };
+    std::fs::write(path, &json).expect("write BENCH_gemm.json");
+    eprintln!("wrote {path}");
+    eprint!("{json}");
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_kernels(&mut c);
+    write_json();
+}

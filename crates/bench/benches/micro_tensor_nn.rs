@@ -13,7 +13,9 @@ use std::time::Duration;
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro/gemm");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for n in [32usize, 64, 128] {
         let mut rng = SeededRng::new(1);
         let a = rng.uniform_tensor(&[n, n], -1.0, 1.0);
@@ -27,7 +29,9 @@ fn bench_gemm(c: &mut Criterion) {
 
 fn bench_conv(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro/conv3x3_16ch_32x80");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let mut conv = Conv2d::new("c", 16, 16, 3, 1, 1, false, 2);
     let x = SeededRng::new(3).uniform_tensor(&[1, 16, 32, 80], -1.0, 1.0);
     group.bench_function("forward", |b| b.iter(|| conv.forward(&x, Mode::Eval)));
@@ -38,10 +42,14 @@ fn bench_conv(c: &mut Criterion) {
 
 fn bench_bn_and_entropy(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro/bn_entropy");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let mut bn = BatchNorm2d::new("bn", 32);
     let x = SeededRng::new(4).uniform_tensor(&[2, 32, 16, 40], -1.0, 1.0);
-    group.bench_function("bn_forward_train", |b| b.iter(|| bn.forward(&x, Mode::Train)));
+    group.bench_function("bn_forward_train", |b| {
+        b.iter(|| bn.forward(&x, Mode::Train))
+    });
     let logits = SeededRng::new(5).uniform_tensor(&[1, 26, 14, 4], -2.0, 2.0);
     group.bench_function("entropy_loss", |b| b.iter(|| loss::entropy(&logits)));
     group.finish();
@@ -49,7 +57,9 @@ fn bench_bn_and_entropy(c: &mut Criterion) {
 
 fn bench_kmeans(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro/kmeans");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let data = SeededRng::new(6).uniform_tensor(&[256, 32], -1.0, 1.0);
     group.bench_function("fit_k8_n256_d32", |b| {
         b.iter(|| KMeans::fit(&data, 8, 15, 7))
@@ -59,7 +69,9 @@ fn bench_kmeans(c: &mut Criterion) {
 
 fn bench_renderer(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro/render_frame");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let spec = FrameSpec::new(160, 64, 25, 14, 2);
     let scene = Scene::sample(2, &GeometryRanges::two_lane(), &mut SeededRng::new(8));
     let app = AppearanceRanges::tulane_target().sample(&mut SeededRng::new(9));

@@ -46,7 +46,9 @@ fn main() {
         } else {
             run_online(
                 &mut model,
-                LdBnAdaptConfig::paper(1).with_lr(exp.adapt_lr).with_filter(filter),
+                LdBnAdaptConfig::paper(1)
+                    .with_lr(exp.adapt_lr)
+                    .with_filter(filter),
                 &stream,
             )
         };
@@ -54,7 +56,11 @@ fn main() {
             let mut m = cell.fresh_model();
             ld_ufld::filter_trainable(&mut m, filter)
         };
-        t1.row(&[name.into(), trainable.to_string(), format!("{:.2}", result.report.percent())]);
+        t1.row(&[
+            name.into(),
+            trainable.to_string(),
+            format!("{:.2}", result.report.percent()),
+        ]);
         eprintln!("  {name}: {:.2}%", result.report.percent());
     }
     let r1 = t1.render();
@@ -66,12 +72,17 @@ fn main() {
     for (name, policy) in [
         ("running (frozen stats)", BnStatsPolicy::Running),
         ("batch (paper)", BnStatsPolicy::Batch),
-        ("batch + EMA(0.1)", BnStatsPolicy::BatchEma { momentum: 0.1 }),
+        (
+            "batch + EMA(0.1)",
+            BnStatsPolicy::BatchEma { momentum: 0.1 },
+        ),
     ] {
         let mut model = cell.fresh_model();
         let result = run_online(
             &mut model,
-            LdBnAdaptConfig::paper(1).with_lr(exp.adapt_lr).with_stats_policy(policy),
+            LdBnAdaptConfig::paper(1)
+                .with_lr(exp.adapt_lr)
+                .with_stats_policy(policy),
             &stream,
         );
         t2.row(&[name.into(), format!("{:.2}", result.report.percent())]);

@@ -38,8 +38,18 @@ fn main() {
                 format!("{:.1}", f.adapt_forward_ms + f.backward_ms + f.update_ms),
                 format!("{total:.1}"),
                 format!("{:.0}", model.energy_mj(mode, 1)),
-                if Deadline::FPS30.met_by(total) { "MEETS" } else { "misses" }.into(),
-                if Deadline::FPS18.met_by(total) { "MEETS" } else { "misses" }.into(),
+                if Deadline::FPS30.met_by(total) {
+                    "MEETS"
+                } else {
+                    "misses"
+                }
+                .into(),
+                if Deadline::FPS18.met_by(total) {
+                    "MEETS"
+                } else {
+                    "misses"
+                }
+                .into(),
             ]);
         }
     }
@@ -73,9 +83,18 @@ fn main() {
     let m18 = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
     let mut bs_table = Table::new(&["adapt bs", "worst-case frame ms @60W"]);
     for bs in [1usize, 2, 4] {
-        bs_table.row(&[bs.to_string(), format!("{:.1}", m18.ld_bn_adapt_frame(PowerMode::MaxN60, bs).total_ms())]);
+        bs_table.row(&[
+            bs.to_string(),
+            format!(
+                "{:.1}",
+                m18.ld_bn_adapt_frame(PowerMode::MaxN60, bs).total_ms()
+            ),
+        ]);
     }
     let bs_rendered = bs_table.render();
     println!("{bs_rendered}");
-    save_results("fig3_latency.txt", &format!("{rendered}\n{summary}\n{bs_rendered}"));
+    save_results(
+        "fig3_latency.txt",
+        &format!("{rendered}\n{summary}\n{bs_rendered}"),
+    );
 }

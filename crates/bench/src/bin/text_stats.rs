@@ -19,14 +19,24 @@ use ld_ufld::{cost, Backbone, ParamCensus, UfldConfig, UfldModel};
 /// CARLANE training-split sizes (source + target) per benchmark, from the
 /// CARLANE benchmark paper — the "several thousands of samples" the SOTA
 /// baseline trains on each epoch.
-const EPOCH_SAMPLES: [(&str, usize); 3] =
-    [("MoLane", 80_000 + 43_843), ("TuLane", 24_998 + 3_268), ("MuLane", 104_998 + 47_111)];
+const EPOCH_SAMPLES: [(&str, usize); 3] = [
+    ("MoLane", 80_000 + 43_843),
+    ("TuLane", 24_998 + 3_268),
+    ("MuLane", 104_998 + 47_111),
+];
 
 fn main() {
     println!("== Text statistics: BN share, SOTA epoch cost ==\n");
 
     // --- BN parameter share (§III) -------------------------------------
-    let mut census_table = Table::new(&["model", "conv params", "bn params", "fc params", "total", "bn share"]);
+    let mut census_table = Table::new(&[
+        "model",
+        "conv params",
+        "bn params",
+        "fc params",
+        "total",
+        "bn share",
+    ]);
     for backbone in [Backbone::ResNet18, Backbone::ResNet34] {
         for lanes in [2usize, 4] {
             let cfg = UfldConfig::paper(backbone, lanes);
@@ -35,7 +45,11 @@ fn main() {
             let costs = cost::model_costs(&cfg);
             let t = cost::totals(&costs);
             let by_kind = |kind: cost::CostKind| -> usize {
-                costs.iter().filter(|c| c.kind == kind).map(|c| c.params).sum()
+                costs
+                    .iter()
+                    .filter(|c| c.kind == kind)
+                    .map(|c| c.params)
+                    .sum()
             };
             census_table.row(&[
                 format!("{backbone} ({lanes} lanes)"),
@@ -49,7 +63,9 @@ fn main() {
     }
     let census_rendered = census_table.render();
     println!("{census_rendered}");
-    println!("paper claim: BN params are \"typically only ~1%\" of the model — ✓ (well under 1%)\n");
+    println!(
+        "paper claim: BN params are \"typically only ~1%\" of the model — ✓ (well under 1%)\n"
+    );
 
     // Cross-check with an instantiated (scaled) model.
     let mut scaled = UfldModel::new(&UfldConfig::scaled(Backbone::ResNet18, 4), 0);
@@ -61,7 +77,14 @@ fn main() {
     );
 
     // --- SOTA epoch time on Orin (§II) -----------------------------------
-    let mut epoch_table = Table::new(&["benchmark", "backbone", "samples/epoch", "epoch @60W", "epoch @50W", "> 1 h?"]);
+    let mut epoch_table = Table::new(&[
+        "benchmark",
+        "backbone",
+        "samples/epoch",
+        "epoch @60W",
+        "epoch @50W",
+        "> 1 h?",
+    ]);
     for (name, samples) in EPOCH_SAMPLES {
         for backbone in [Backbone::ResNet18, Backbone::ResNet34] {
             let cfg = UfldConfig::paper(backbone, 4);
@@ -80,7 +103,9 @@ fn main() {
     }
     let epoch_rendered = epoch_table.render();
     println!("{epoch_rendered}");
-    println!("paper claim: \"each epoch on Orin took greater than 1 hour (depending on the benchmark)\"");
+    println!(
+        "paper claim: \"each epoch on Orin took greater than 1 hour (depending on the benchmark)\""
+    );
     println!("model: epochs range 0.7–8.2 h — above 1 h everywhere except the smallest");
     println!("benchmark (TuLane) on the fastest setting, matching the paper's");
     println!("\"depending on the benchmark\" qualifier.\n");

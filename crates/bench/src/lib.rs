@@ -35,7 +35,9 @@ pub mod paper {
 /// workloads so the binary finishes in well under a minute.
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
-        || std::env::var("LD_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+        || std::env::var("LD_BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
 }
 
 /// A minimal fixed-width table printer for terminal output.
@@ -48,7 +50,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header length).
@@ -57,7 +62,11 @@ impl Table {
     ///
     /// Panics if the row length differs from the header length.
     pub fn row(&mut self, cells: &[String]) {
-        assert_eq!(cells.len(), self.header.len(), "Table: row/header length mismatch");
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "Table: row/header length mismatch"
+        );
         self.rows.push(cells.to_vec());
     }
 

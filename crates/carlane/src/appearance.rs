@@ -10,10 +10,9 @@
 //! LD-BN-ADAPT corrects.
 
 use ld_tensor::rng::SeededRng;
-use serde::{Deserialize, Serialize};
 
 /// Concrete appearance parameters for one rendered frame.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Appearance {
     /// Background (sky/wall) RGB colour.
     pub sky: [f32; 3],
@@ -40,7 +39,7 @@ pub struct Appearance {
 }
 
 /// Ranges from which per-frame appearance is jittered.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppearanceRanges {
     base: Appearance,
     /// Multiplicative jitter half-range applied to scalar fields.
@@ -128,7 +127,11 @@ impl AppearanceRanges {
         a.noise_std = j(rng, a.noise_std).max(0.0);
         a.vignette = j(rng, a.vignette).max(0.0);
         a.texture_amp = j(rng, a.texture_amp).max(0.0);
-        a.glare_blobs = if rng.chance(self.glare_prob) { self.base.glare_blobs.max(1) } else { 0 };
+        a.glare_blobs = if rng.chance(self.glare_prob) {
+            self.base.glare_blobs.max(1)
+        } else {
+            0
+        };
         a
     }
 

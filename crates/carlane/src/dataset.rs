@@ -44,12 +44,26 @@ pub struct FrameStream {
 impl FrameStream {
     /// Creates the labeled **source** split (CARLA renders).
     pub fn source(benchmark: Benchmark, spec: FrameSpec, len: usize, seed: u64) -> Self {
-        FrameStream { benchmark, spec, seed: mix_seed(seed, 0x50), target: false, len, next: 0 }
+        FrameStream {
+            benchmark,
+            spec,
+            seed: mix_seed(seed, 0x50),
+            target: false,
+            len,
+            next: 0,
+        }
     }
 
     /// Creates the unlabeled **target** split (real-world-like renders).
     pub fn target(benchmark: Benchmark, spec: FrameSpec, len: usize, seed: u64) -> Self {
-        FrameStream { benchmark, spec, seed: mix_seed(seed, 0x7A), target: true, len, next: 0 }
+        FrameStream {
+            benchmark,
+            spec,
+            seed: mix_seed(seed, 0x7A),
+            target: true,
+            len,
+            next: 0,
+        }
     }
 
     /// Stream length.
@@ -86,11 +100,20 @@ impl FrameStream {
         };
         let mut geo_rng = SeededRng::new(mix_seed(self.seed, (i as u64) << 1));
         let mut app_rng = SeededRng::new(mix_seed(self.seed, ((i as u64) << 1) | 1));
-        let scene = Scene::sample(self.benchmark.num_lanes(), &self.benchmark.geometry(), &mut geo_rng);
+        let scene = Scene::sample(
+            self.benchmark.num_lanes(),
+            &self.benchmark.geometry(),
+            &mut geo_rng,
+        );
         let appearance = domain.appearance().sample(&mut app_rng);
         let image = render(&scene, &appearance, &self.spec, &mut app_rng);
         let labels = scene.labels(&self.spec);
-        LabeledFrame { image, labels, domain, index: i }
+        LabeledFrame {
+            image,
+            labels,
+            domain,
+            index: i,
+        }
     }
 
     /// Collects frames `[start, start+n)` into an NCHW batch plus labels.
@@ -99,7 +122,12 @@ impl FrameStream {
     ///
     /// Panics if the range exceeds the stream.
     pub fn batch(&self, start: usize, n: usize) -> (Tensor, Vec<u32>) {
-        assert!(start + n <= self.len, "batch [{start}, {}) out of range {}", start + n, self.len);
+        assert!(
+            start + n <= self.len,
+            "batch [{start}, {}) out of range {}",
+            start + n,
+            self.len
+        );
         let (h, w) = (self.spec.height, self.spec.width);
         let mut images = Tensor::zeros(&[n, 3, h, w]);
         let mut labels = Vec::with_capacity(n * self.spec.labels_per_frame());

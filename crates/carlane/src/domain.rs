@@ -2,10 +2,9 @@
 
 use crate::appearance::AppearanceRanges;
 use crate::scene::GeometryRanges;
-use serde::{Deserialize, Serialize};
 
 /// A data domain: where frames (appear to) come from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Domain {
     /// CARLA-simulator rendering (labeled source data).
     CarlaSource,
@@ -27,7 +26,7 @@ impl Domain {
 }
 
 /// One of the three CARLANE benchmarks (Fig. 1 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Benchmark {
     /// 2-lane sim-to-real: CARLA → model vehicle.
     MoLane,
@@ -109,16 +108,31 @@ mod tests {
     #[test]
     fn mulane_is_multi_target() {
         assert_eq!(Benchmark::MuLane.target_domains().len(), 2);
-        assert_eq!(Benchmark::MuLane.target_domain_for_frame(0), Domain::ModelVehicle);
-        assert_eq!(Benchmark::MuLane.target_domain_for_frame(1), Domain::Highway);
-        assert_eq!(Benchmark::MuLane.target_domain_for_frame(2), Domain::ModelVehicle);
+        assert_eq!(
+            Benchmark::MuLane.target_domain_for_frame(0),
+            Domain::ModelVehicle
+        );
+        assert_eq!(
+            Benchmark::MuLane.target_domain_for_frame(1),
+            Domain::Highway
+        );
+        assert_eq!(
+            Benchmark::MuLane.target_domain_for_frame(2),
+            Domain::ModelVehicle
+        );
     }
 
     #[test]
     fn single_target_benchmarks_are_constant() {
         for i in 0..5 {
-            assert_eq!(Benchmark::MoLane.target_domain_for_frame(i), Domain::ModelVehicle);
-            assert_eq!(Benchmark::TuLane.target_domain_for_frame(i), Domain::Highway);
+            assert_eq!(
+                Benchmark::MoLane.target_domain_for_frame(i),
+                Domain::ModelVehicle
+            );
+            assert_eq!(
+                Benchmark::TuLane.target_domain_for_frame(i),
+                Domain::Highway
+            );
         }
     }
 

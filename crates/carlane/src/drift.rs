@@ -15,10 +15,9 @@ use crate::render::render;
 use crate::scene::Scene;
 use crate::spec::FrameSpec;
 use ld_tensor::rng::{mix_seed, SeededRng};
-use serde::{Deserialize, Serialize};
 
 /// A named appearance waypoint on the drift timeline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DriftPhase {
     /// Label for reports ("noon", "dusk", …).
     pub name: String,
@@ -29,7 +28,7 @@ pub struct DriftPhase {
 }
 
 /// Piecewise-linear interpolation between appearance waypoints.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DriftSchedule {
     phases: Vec<DriftPhase>,
 }
@@ -57,7 +56,9 @@ impl DriftSchedule {
     /// A canonical "drive into the evening" schedule: clear CARLA-like
     /// conditions that darken and gain noise/vignette over `frames` frames.
     pub fn noon_to_dusk(frames: usize) -> Self {
-        let noon = crate::appearance::AppearanceRanges::carla_source().base().clone();
+        let noon = crate::appearance::AppearanceRanges::carla_source()
+            .base()
+            .clone();
         let mut dusk = noon.clone();
         dusk.sky = [0.25, 0.2, 0.3];
         dusk.road_albedo = 0.16;
@@ -67,8 +68,16 @@ impl DriftSchedule {
         dusk.noise_std = 0.05;
         dusk.vignette = 0.3;
         DriftSchedule::new(vec![
-            DriftPhase { name: "noon".into(), at_frame: 0, appearance: noon },
-            DriftPhase { name: "dusk".into(), at_frame: frames.max(1) - 1, appearance: dusk },
+            DriftPhase {
+                name: "noon".into(),
+                at_frame: 0,
+                appearance: noon,
+            },
+            DriftPhase {
+                name: "dusk".into(),
+                at_frame: frames.max(1) - 1,
+                appearance: dusk,
+            },
         ])
     }
 
@@ -127,9 +136,17 @@ fn lerp_appearance(a: &Appearance, b: &Appearance, t: f32) -> Appearance {
         ],
         noise_std: lerp(a.noise_std, b.noise_std, t),
         vignette: lerp(a.vignette, b.vignette, t),
-        blur_passes: if t < 0.5 { a.blur_passes } else { b.blur_passes },
+        blur_passes: if t < 0.5 {
+            a.blur_passes
+        } else {
+            b.blur_passes
+        },
         texture_amp: lerp(a.texture_amp, b.texture_amp, t),
-        glare_blobs: if t < 0.5 { a.glare_blobs } else { b.glare_blobs },
+        glare_blobs: if t < 0.5 {
+            a.glare_blobs
+        } else {
+            b.glare_blobs
+        },
     }
 }
 
@@ -153,7 +170,13 @@ impl DriftingStream {
         len: usize,
         seed: u64,
     ) -> Self {
-        DriftingStream { benchmark, spec, schedule, seed: mix_seed(seed, 0xD21F7), len }
+        DriftingStream {
+            benchmark,
+            spec,
+            schedule,
+            seed: mix_seed(seed, 0xD21F7),
+            len,
+        }
     }
 
     /// Stream length.
@@ -180,11 +203,20 @@ impl DriftingStream {
         assert!(i < self.len, "frame index {i} out of range {}", self.len);
         let mut geo_rng = SeededRng::new(mix_seed(self.seed, (i as u64) << 1));
         let mut px_rng = SeededRng::new(mix_seed(self.seed, ((i as u64) << 1) | 1));
-        let scene = Scene::sample(self.benchmark.num_lanes(), &self.benchmark.geometry(), &mut geo_rng);
+        let scene = Scene::sample(
+            self.benchmark.num_lanes(),
+            &self.benchmark.geometry(),
+            &mut geo_rng,
+        );
         let appearance = self.schedule.appearance_at(i);
         let image = render(&scene, &appearance, &self.spec, &mut px_rng);
         let labels = scene.labels(&self.spec);
-        LabeledFrame { image, labels, domain: self.benchmark.source_domain(), index: i }
+        LabeledFrame {
+            image,
+            labels,
+            domain: self.benchmark.source_domain(),
+            index: i,
+        }
     }
 }
 
@@ -239,7 +271,13 @@ mod tests {
     #[test]
     fn drifting_stream_is_deterministic_and_labeled() {
         let mk = || {
-            DriftingStream::new(Benchmark::MoLane, spec(), DriftSchedule::noon_to_dusk(10), 10, 7)
+            DriftingStream::new(
+                Benchmark::MoLane,
+                spec(),
+                DriftSchedule::noon_to_dusk(10),
+                10,
+                7,
+            )
         };
         let a = mk();
         let b = mk();
@@ -258,10 +296,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate waypoint")]
     fn duplicate_waypoints_rejected() {
-        let a = crate::appearance::AppearanceRanges::carla_source().base().clone();
+        let a = crate::appearance::AppearanceRanges::carla_source()
+            .base()
+            .clone();
         DriftSchedule::new(vec![
-            DriftPhase { name: "x".into(), at_frame: 3, appearance: a.clone() },
-            DriftPhase { name: "y".into(), at_frame: 3, appearance: a },
+            DriftPhase {
+                name: "x".into(),
+                at_frame: 3,
+                appearance: a.clone(),
+            },
+            DriftPhase {
+                name: "y".into(),
+                at_frame: 3,
+                appearance: a,
+            },
         ]);
     }
 }

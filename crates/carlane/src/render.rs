@@ -46,8 +46,12 @@ pub fn render(scene: &Scene, app: &Appearance, spec: &FrameSpec, rng: &mut Seede
     for line in 0..scene.num_lines() {
         let style = scene.line_styles[line];
         for v in (vh.ceil() as usize)..h {
-            let Some(t) = scene.proximity(v, h) else { continue };
-            let Some(cx) = scene.line_x_px(line, v, spec) else { continue };
+            let Some(t) = scene.proximity(v, h) else {
+                continue;
+            };
+            let Some(cx) = scene.line_x_px(line, v, spec) else {
+                continue;
+            };
             if let LineStyle::Dashed { phase } = style {
                 // Dash pattern advances with ground distance ~ 1/t.
                 let s = 1.0 / t.max(0.06);
@@ -163,7 +167,10 @@ pub fn channel_means(img: &Tensor) -> [f32; 3] {
     let plane = dims[1] * dims[2];
     let mut out = [0.0f32; 3];
     for (ch, o) in out.iter_mut().enumerate() {
-        *o = img.as_slice()[ch * plane..(ch + 1) * plane].iter().sum::<f32>() / plane as f32;
+        *o = img.as_slice()[ch * plane..(ch + 1) * plane]
+            .iter()
+            .sum::<f32>()
+            / plane as f32;
     }
     out
 }
@@ -202,7 +209,8 @@ mod tests {
         // pixel halfway between the two lines.
         let v = sp.height - 1;
         let line_x = s.line_x_px(0, v, &sp).unwrap().round() as usize;
-        let mid_x = ((s.line_x_px(0, v, &sp).unwrap() + s.line_x_px(1, v, &sp).unwrap()) / 2.0) as usize;
+        let mid_x =
+            ((s.line_x_px(0, v, &sp).unwrap() + s.line_x_px(1, v, &sp).unwrap()) / 2.0) as usize;
         let plane = sp.height * sp.width;
         let line_px = img.as_slice()[v * sp.width + line_x.min(sp.width - 1)];
         let road_px = img.as_slice()[v * sp.width + mid_x.min(sp.width - 1)];

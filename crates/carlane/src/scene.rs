@@ -16,10 +16,9 @@
 
 use crate::spec::FrameSpec;
 use ld_tensor::rng::SeededRng;
-use serde::{Deserialize, Serialize};
 
 /// Dash pattern of one lane line.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LineStyle {
     /// Continuous marking.
     Solid,
@@ -31,7 +30,7 @@ pub enum LineStyle {
 }
 
 /// Geometry of one rendered road scene.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scene {
     /// Lateral offsets (fraction of image width at the bottom row) of each
     /// lane line, left to right, already including the vehicle's offset.
@@ -49,7 +48,7 @@ pub struct Scene {
 }
 
 /// Ranges from which scene geometry is sampled.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GeometryRanges {
     /// Lane width (fraction of image width at the bottom row): `(lo, hi)`.
     pub lane_width: (f32, f32),
@@ -120,7 +119,9 @@ impl Scene {
             let interior = i > 0 && i + 1 < num_lines;
             let dashed = interior && rng.chance(ranges.dash_prob);
             line_styles.push(if dashed {
-                LineStyle::Dashed { phase: rng.uniform(0.0, 1.0) }
+                LineStyle::Dashed {
+                    phase: rng.uniform(0.0, 1.0),
+                }
             } else {
                 LineStyle::Solid
             });
@@ -222,7 +223,10 @@ mod tests {
         let near_h = s.horizon_row(64).ceil() as usize + 1;
         let top_l = s.line_x_px(0, near_h, &sp).unwrap();
         let top_r = s.line_x_px(1, near_h, &sp).unwrap();
-        assert!(bottom_r - bottom_l > 2.0 * (top_r - top_l), "no convergence");
+        assert!(
+            bottom_r - bottom_l > 2.0 * (top_r - top_l),
+            "no convergence"
+        );
         // Symmetric straight road: lines mirror around the centre.
         assert!((bottom_l + bottom_r - 160.0).abs() < 1e-3);
     }
@@ -241,7 +245,8 @@ mod tests {
         let sp = spec();
         let near_h = s.horizon_row(64).ceil() as usize + 1;
         let straight = straight_scene();
-        let shift_far = s.line_x_px(0, near_h, &sp).unwrap() - straight.line_x_px(0, near_h, &sp).unwrap();
+        let shift_far =
+            s.line_x_px(0, near_h, &sp).unwrap() - straight.line_x_px(0, near_h, &sp).unwrap();
         let shift_near = s.line_x_px(0, 63, &sp).unwrap() - straight.line_x_px(0, 63, &sp).unwrap();
         assert!(shift_far.abs() > 5.0 * shift_near.abs().max(1e-6));
     }

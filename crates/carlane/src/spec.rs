@@ -1,12 +1,10 @@
 //! Frame/label geometry shared between the renderer and the lane detector.
 
-use serde::{Deserialize, Serialize};
-
 /// Describes the frames a benchmark produces and how they are labeled.
 ///
 /// This mirrors the label-relevant part of a `UfldConfig` (the crates are
 /// deliberately decoupled: `ld-carlane` depends only on `ld-tensor`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FrameSpec {
     /// Image width in pixels.
     pub width: usize,
@@ -26,12 +24,24 @@ impl FrameSpec {
     /// # Panics
     ///
     /// Panics if any dimension is zero.
-    pub fn new(width: usize, height: usize, griding: usize, row_anchors: usize, num_lanes: usize) -> Self {
+    pub fn new(
+        width: usize,
+        height: usize,
+        griding: usize,
+        row_anchors: usize,
+        num_lanes: usize,
+    ) -> Self {
         assert!(
             width > 0 && height > 0 && griding > 0 && row_anchors > 0 && num_lanes > 0,
             "FrameSpec: zero dimension"
         );
-        FrameSpec { width, height, griding, row_anchors, num_lanes }
+        FrameSpec {
+            width,
+            height,
+            griding,
+            row_anchors,
+            num_lanes,
+        }
     }
 
     /// The background ("no lane") label class.

@@ -143,7 +143,10 @@ impl KMeans {
                     continue;
                 }
                 let inv = 1.0 / counts[c] as f32;
-                for (dst, &s) in centroids[c * d..(c + 1) * d].iter_mut().zip(&sums[c * d..(c + 1) * d]) {
+                for (dst, &s) in centroids[c * d..(c + 1) * d]
+                    .iter_mut()
+                    .zip(&sums[c * d..(c + 1) * d])
+                {
                     *dst = s * inv;
                 }
             }
@@ -196,7 +199,10 @@ impl KMeans {
         let mut best = 0;
         let mut best_d = f32::INFINITY;
         for c in 0..self.k {
-            let d = sq_dist(point, &self.centroids.as_slice()[c * self.dim..(c + 1) * self.dim]);
+            let d = sq_dist(
+                point,
+                &self.centroids.as_slice()[c * self.dim..(c + 1) * self.dim],
+            );
             if d < best_d {
                 best_d = d;
                 best = c;

@@ -1,51 +1,67 @@
-//! Property tests for the k-means substrate.
+//! Property tests for the k-means substrate (seeded randomized loops; the
+//! offline build cannot fetch `proptest`).
 
 use ld_cluster::KMeans;
 use ld_tensor::rng::SeededRng;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn inertia_monotone_nonincreasing(n in 6usize..40, k in 1usize..5, seed in 0u64..500) {
-        prop_assume!(n >= k);
+#[test]
+fn inertia_monotone_nonincreasing() {
+    for case in 0..32u64 {
+        let mut r = SeededRng::new(0x1AE ^ case);
+        let k = 1 + r.index(4);
+        let n = (6 + r.index(34)).max(k);
+        let seed = r.index(500) as u64;
         let data = SeededRng::new(seed).uniform_tensor(&[n, 3], -5.0, 5.0);
         let km = KMeans::fit(&data, k, 25, seed ^ 0xABCD);
         let h = km.inertia_history();
         for w in h.windows(2) {
-            prop_assert!(w[1] <= w[0] + 1e-2, "inertia increased: {:?}", w);
+            assert!(w[1] <= w[0] + 1e-2, "case {case}: inertia increased: {w:?}");
         }
     }
+}
 
-    #[test]
-    fn assignments_in_range(n in 4usize..30, k in 1usize..4, seed in 0u64..500) {
-        prop_assume!(n >= k);
+#[test]
+fn assignments_in_range() {
+    for case in 0..32u64 {
+        let mut r = SeededRng::new(0xA55 ^ case);
+        let k = 1 + r.index(3);
+        let n = (4 + r.index(26)).max(k);
+        let seed = r.index(500) as u64;
         let data = SeededRng::new(seed).uniform_tensor(&[n, 2], 0.0, 1.0);
         let km = KMeans::fit(&data, k, 15, seed);
-        prop_assert_eq!(km.assignments().len(), n);
+        assert_eq!(km.assignments().len(), n);
         for &a in km.assignments() {
-            prop_assert!(a < k);
+            assert!(a < k, "case {case}: assignment {a} out of range");
         }
     }
+}
 
-    #[test]
-    fn more_clusters_never_hurt_inertia(n in 10usize..30, seed in 0u64..200) {
-        // Well-converged k-means with k=3 should fit no worse than k=1
-        // (monotonicity of the optimum; allow slack for local minima).
+#[test]
+fn more_clusters_never_hurt_inertia() {
+    // Well-converged k-means with k=3 should fit no worse than k=1
+    // (monotonicity of the optimum; allow slack for local minima).
+    for case in 0..16u64 {
+        let mut r = SeededRng::new(0x3C ^ case);
+        let n = 10 + r.index(20);
+        let seed = r.index(200) as u64;
         let data = SeededRng::new(seed).uniform_tensor(&[n, 2], -3.0, 3.0);
         let k1 = KMeans::fit(&data, 1, 30, 42);
         let k3 = KMeans::fit(&data, 3, 30, 42);
-        prop_assert!(k3.inertia() <= k1.inertia() + 1e-3);
+        assert!(k3.inertia() <= k1.inertia() + 1e-3, "case {case}");
     }
+}
 
-    #[test]
-    fn predict_agrees_with_training_assignment(n in 6usize..25, seed in 0u64..300) {
+#[test]
+fn predict_agrees_with_training_assignment() {
+    for case in 0..32u64 {
+        let mut r = SeededRng::new(0x9ED ^ case);
+        let n = 6 + r.index(19);
+        let seed = r.index(300) as u64;
         let data = SeededRng::new(seed).uniform_tensor(&[n, 2], -2.0, 2.0);
         let km = KMeans::fit(&data, 2, 40, seed.wrapping_add(1));
         for i in 0..n {
             let p = km.predict(&data.as_slice()[i * 2..(i + 1) * 2]);
-            prop_assert_eq!(p, km.assignments()[i], "point {}", i);
+            assert_eq!(p, km.assignments()[i], "case {case}: point {i}");
         }
     }
 }

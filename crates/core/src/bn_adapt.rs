@@ -19,10 +19,9 @@
 use ld_nn::{loss, BnStatsPolicy, Layer, Mode, ParamFilter, Sgd};
 use ld_tensor::Tensor;
 use ld_ufld::UfldModel;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the online adapter.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LdBnAdaptConfig {
     /// Frames per adaptation step (paper sweeps 1, 2, 4; 1 is best).
     pub batch_size: usize,
@@ -132,7 +131,12 @@ impl LdBnAdapter {
         model.set_bn_policy(cfg.stats_policy);
         model.apply_filter(cfg.filter);
         let opt = Sgd::new(cfg.lr).momentum(cfg.momentum);
-        LdBnAdapter { cfg, opt, buffer: Vec::new(), steps_taken: 0 }
+        LdBnAdapter {
+            cfg,
+            opt,
+            buffer: Vec::new(),
+            steps_taken: 0,
+        }
     }
 
     /// The adapter's configuration.
@@ -172,7 +176,10 @@ impl LdBnAdapter {
                 model.visit_params(&mut |p| self.opt.update(p));
                 self.steps_taken += 1;
                 let after = loss::entropy(&model.forward(&batch1, Mode::Eval)).value;
-                AdaptStep { entropy_before: h.value, entropy_after: after }
+                AdaptStep {
+                    entropy_before: h.value,
+                    entropy_after: after,
+                }
             } else {
                 let refs: Vec<&Tensor> = self.buffer.iter().collect();
                 let shaped: Vec<Tensor> = refs
@@ -194,7 +201,10 @@ impl LdBnAdapter {
                     self.steps_taken += 1;
                 }
                 let after = loss::entropy(&model.forward(&batch, Mode::Eval)).value;
-                AdaptStep { entropy_before: before, entropy_after: after }
+                AdaptStep {
+                    entropy_before: before,
+                    entropy_after: after,
+                }
             };
             self.buffer.clear();
             Some(step)
@@ -202,7 +212,11 @@ impl LdBnAdapter {
             None
         };
 
-        FrameOutcome { logits, entropy: h.value, adapted }
+        FrameOutcome {
+            logits,
+            entropy: h.value,
+            adapted,
+        }
     }
 }
 
@@ -237,8 +251,7 @@ mod tests {
     #[test]
     fn adaptation_reduces_batch_entropy() {
         let (cfg, mut model) = tiny();
-        let mut adapter =
-            LdBnAdapter::new(LdBnAdaptConfig::paper(1).with_lr(5e-2), &mut model);
+        let mut adapter = LdBnAdapter::new(LdBnAdaptConfig::paper(1).with_lr(5e-2), &mut model);
         // Average over several frames: entropy after the step must drop.
         let mut drops = 0;
         let mut total = 0;
@@ -250,7 +263,10 @@ mod tests {
             }
             total += 1;
         }
-        assert!(drops * 2 >= total, "entropy dropped on only {drops}/{total} steps");
+        assert!(
+            drops * 2 >= total,
+            "entropy dropped on only {drops}/{total} steps"
+        );
     }
 
     #[test]
@@ -299,7 +315,9 @@ mod tests {
             }
         });
         let mut adapter = LdBnAdapter::new(
-            LdBnAdaptConfig::paper(1).with_filter(ParamFilter::ConvOnly).with_lr(1e-2),
+            LdBnAdaptConfig::paper(1)
+                .with_filter(ParamFilter::ConvOnly)
+                .with_lr(1e-2),
             &mut model,
         );
         adapter.process_frame(&mut model, &random_frame(&cfg, 5));

@@ -5,10 +5,9 @@ use crate::bridge::frame_spec_for;
 use ld_carlane::FrameStream;
 use ld_nn::{Layer, Mode};
 use ld_ufld::{decode_batch, score_image, AccuracyReport, UfldModel};
-use serde::{Deserialize, Serialize};
 
 /// Result of an online evaluation run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct OnlineResult {
     /// Aggregate accuracy over the whole stream.
     pub report: AccuracyReport,

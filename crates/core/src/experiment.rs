@@ -10,10 +10,9 @@ use crate::trainer::{pretrain_on_source, TrainConfig};
 use ld_carlane::{Benchmark, FrameStream};
 use ld_nn::ParamFilter;
 use ld_ufld::{Backbone, UfldConfig, UfldModel};
-use serde::{Deserialize, Serialize};
 
 /// An adaptation method evaluated in Figure 2 (plus the §III ablations).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Method {
     /// Source-trained UFLD deployed as-is ("UFLD no adaptation").
     NoAdapt,
@@ -44,7 +43,7 @@ impl Method {
 }
 
 /// Configuration of one Figure-2-style experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
     /// Pre-training schedule.
     pub train: TrainConfig,
@@ -87,7 +86,7 @@ impl ExperimentConfig {
 }
 
 /// Result of one (benchmark, backbone, method) cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellResult {
     /// Benchmark evaluated.
     pub benchmark: Benchmark,
@@ -112,7 +111,12 @@ pub struct PretrainedCell {
 impl PretrainedCell {
     /// Pre-trains a model for `(benchmark, backbone)` on the source domain
     /// using `base_cfg` scaled-model hyper-parameters.
-    pub fn train(benchmark: Benchmark, backbone: Backbone, exp: &ExperimentConfig, tiny: bool) -> Self {
+    pub fn train(
+        benchmark: Benchmark,
+        backbone: Backbone,
+        exp: &ExperimentConfig,
+        tiny: bool,
+    ) -> Self {
         let cfg = if tiny {
             let mut c = UfldConfig::tiny(benchmark.num_lanes());
             c.backbone = backbone;
@@ -198,7 +202,10 @@ mod tests {
             Method::ConvAdapt,
         ] {
             let (res, online) = cell.evaluate(method, &exp);
-            assert!(res.accuracy_pct >= 0.0 && res.accuracy_pct <= 100.0, "{res:?}");
+            assert!(
+                res.accuracy_pct >= 0.0 && res.accuracy_pct <= 100.0,
+                "{res:?}"
+            );
             assert_eq!(online.per_frame.len(), exp.eval_frames);
         }
     }
@@ -216,7 +223,10 @@ mod tests {
 
     #[test]
     fn method_labels_match_paper_vocabulary() {
-        assert_eq!(Method::BnAdapt { batch_size: 1 }.label(), "LD-BN-ADAPT bs=1");
+        assert_eq!(
+            Method::BnAdapt { batch_size: 1 }.label(),
+            "LD-BN-ADAPT bs=1"
+        );
         assert!(Method::Sota.label().contains("SOTA"));
         assert!(Method::NoAdapt.label().contains("no adapt"));
     }

@@ -16,10 +16,9 @@
 use crate::bn_adapt::{LdBnAdaptConfig, LdBnAdapter};
 use ld_tensor::Tensor;
 use ld_ufld::UfldModel;
-use serde::{Deserialize, Serialize};
 
 /// Policy of the governor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GovernorConfig {
     /// Adapt when the frame entropy exceeds `threshold_ratio ×` the running
     /// reference entropy (the mean over accepted-confident frames).
@@ -48,7 +47,7 @@ impl Default for GovernorConfig {
 }
 
 /// Telemetry of a governed run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct GovernorStats {
     /// Frames seen.
     pub frames: usize,
@@ -114,7 +113,10 @@ impl AdaptGovernor {
     /// Panics if `adapt_cfg.batch_size != 1` (skipping frames with larger
     /// batches would make the batch contents nondeterministic).
     pub fn new(adapt_cfg: LdBnAdaptConfig, gov_cfg: GovernorConfig, model: &mut UfldModel) -> Self {
-        assert_eq!(adapt_cfg.batch_size, 1, "AdaptGovernor requires batch size 1");
+        assert_eq!(
+            adapt_cfg.batch_size, 1,
+            "AdaptGovernor requires batch size 1"
+        );
         let good_bn_state = snapshot_bn(model);
         AdaptGovernor {
             adapter: LdBnAdapter::new(adapt_cfg, model),
@@ -206,7 +208,10 @@ mod tests {
         let (cfg, mut model) = trained_model();
         let mut gov = AdaptGovernor::new(
             LdBnAdaptConfig::paper(1),
-            GovernorConfig { warmup_frames: 3, ..Default::default() },
+            GovernorConfig {
+                warmup_frames: 3,
+                ..Default::default()
+            },
             &mut model,
         );
         let stream = FrameStream::target(Benchmark::MoLane, frame_spec_for(&cfg), 3, 1);
@@ -222,7 +227,11 @@ mod tests {
         let (cfg, mut model) = trained_model();
         let mut gov = AdaptGovernor::new(
             LdBnAdaptConfig::paper(1),
-            GovernorConfig { warmup_frames: 4, threshold_ratio: 1.5, ..Default::default() },
+            GovernorConfig {
+                warmup_frames: 4,
+                threshold_ratio: 1.5,
+                ..Default::default()
+            },
             &mut model,
         );
         // Stationary source-like stream: after warm-up, entropy stays in
@@ -232,7 +241,10 @@ mod tests {
             gov.process_frame(&mut model, &f.image);
         }
         let s = gov.stats();
-        assert!(s.skipped_frames > 8, "expected skips in steady state: {s:?}");
+        assert!(
+            s.skipped_frames > 8,
+            "expected skips in steady state: {s:?}"
+        );
         assert!(s.duty_cycle() < 0.6, "duty cycle {:.2}", s.duty_cycle());
     }
 
@@ -245,7 +257,11 @@ mod tests {
         let (cfg, mut model) = trained_model();
         let mut gov = AdaptGovernor::new(
             LdBnAdaptConfig::paper(1),
-            GovernorConfig { warmup_frames: 2, threshold_ratio: 1.02, ..Default::default() },
+            GovernorConfig {
+                warmup_frames: 2,
+                threshold_ratio: 1.02,
+                ..Default::default()
+            },
             &mut model,
         );
         let stream = FrameStream::source(Benchmark::MoLane, frame_spec_for(&cfg), 1, 8);
@@ -254,7 +270,10 @@ mod tests {
             gov.process_frame(&mut model, &calm);
         }
         let settled = gov.stats();
-        assert!(settled.skipped_frames >= 4, "governor never settled: {settled:?}");
+        assert!(
+            settled.skipped_frames >= 4,
+            "governor never settled: {settled:?}"
+        );
 
         let noise = ld_tensor::rng::SeededRng::new(99).uniform_tensor(
             &[3, cfg.input_height, cfg.input_width],
@@ -272,12 +291,21 @@ mod tests {
         let (cfg, mut model) = trained_model();
         let mut gov = AdaptGovernor::new(
             LdBnAdaptConfig::paper(1),
-            GovernorConfig { warmup_frames: 4, threshold_ratio: 1.05, ..Default::default() },
+            GovernorConfig {
+                warmup_frames: 4,
+                threshold_ratio: 1.05,
+                ..Default::default()
+            },
             &mut model,
         );
         let spec = frame_spec_for(&cfg);
-        let stream =
-            DriftingStream::new(Benchmark::MoLane, spec, DriftSchedule::noon_to_dusk(20), 20, 5);
+        let stream = DriftingStream::new(
+            Benchmark::MoLane,
+            spec,
+            DriftSchedule::noon_to_dusk(20),
+            20,
+            5,
+        );
         for i in 0..20 {
             gov.process_frame(&mut model, &stream.frame(i).image);
         }
@@ -289,7 +317,12 @@ mod tests {
 
     #[test]
     fn duty_cycle_math() {
-        let s = GovernorStats { frames: 10, adapted_frames: 3, skipped_frames: 7, rollbacks: 0 };
+        let s = GovernorStats {
+            frames: 10,
+            adapted_frames: 3,
+            skipped_frames: 7,
+            rollbacks: 0,
+        };
         assert!((s.duty_cycle() - 0.3).abs() < 1e-12);
         assert_eq!(GovernorStats::default().duty_cycle(), 0.0);
     }
@@ -332,7 +365,11 @@ mod tests {
             }
         });
         gov.process_frame(&mut model, &calm);
-        assert!(gov.stats().rollbacks >= 1, "no rollback recorded: {:?}", gov.stats());
+        assert!(
+            gov.stats().rollbacks >= 1,
+            "no rollback recorded: {:?}",
+            gov.stats()
+        );
         // BN parameters must be back at (or adapted one small step from)
         // the known-good values, not the poisoned zeros.
         let mut restored: Vec<f32> = Vec::new();
@@ -346,7 +383,10 @@ mod tests {
             .zip(&restored)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f32::max);
-        assert!(dist < 0.2, "BN params far from known-good after rollback: {dist}");
+        assert!(
+            dist < 0.2,
+            "BN params far from known-good after rollback: {dist}"
+        );
         assert!(restored.iter().any(|&v| v != 0.0), "still poisoned");
     }
 
@@ -354,6 +394,10 @@ mod tests {
     #[should_panic(expected = "batch size 1")]
     fn rejects_multi_frame_batches() {
         let (_, mut model) = trained_model();
-        AdaptGovernor::new(LdBnAdaptConfig::paper(2), GovernorConfig::default(), &mut model);
+        AdaptGovernor::new(
+            LdBnAdaptConfig::paper(2),
+            GovernorConfig::default(),
+            &mut model,
+        );
     }
 }

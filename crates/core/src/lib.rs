@@ -41,9 +41,9 @@ pub mod sota;
 pub mod trainer;
 
 pub use bn_adapt::{AdaptStep, FrameOutcome, LdBnAdaptConfig, LdBnAdapter};
-pub use governor::{AdaptGovernor, GovernorConfig, GovernorStats};
 pub use bridge::frame_spec_for;
 pub use eval::{evaluate_frozen, evaluate_source, run_online, OnlineResult};
 pub use experiment::{CellResult, ExperimentConfig, Method, PretrainedCell};
+pub use governor::{AdaptGovernor, GovernorConfig, GovernorStats};
 pub use sota::{adapt_sota, SotaConfig, SotaStats};
 pub use trainer::{pretrain_on_source, TrainConfig, TrainStats};

@@ -25,10 +25,9 @@ use ld_nn::{loss, Layer, Mode, ParamFilter, Sgd};
 use ld_tensor::rng::SeededRng;
 use ld_tensor::Tensor;
 use ld_ufld::UfldModel;
-use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters of the SOTA baseline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SotaConfig {
     /// Fine-tuning epochs over the target set (the real system runs ~10;
     /// the scaled reproduction converges in a few).
@@ -93,7 +92,7 @@ impl SotaConfig {
 }
 
 /// Telemetry from a SOTA adaptation run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SotaStats {
     /// Total loss per step.
     pub loss_curve: Vec<f32>,
@@ -129,10 +128,14 @@ pub fn adapt_sota(model: &mut UfldModel, benchmark: Benchmark, cfg: &SotaConfig)
             let img = Tensor::from_vec(tgt_images.image(i).to_vec(), &[1, 3, h, w]);
             model.forward(&img, Mode::Eval);
             let emb = model.last_embedding().expect("embedding");
-            embeddings.as_mut_slice()[i * hidden..(i + 1) * hidden]
-                .copy_from_slice(emb.as_slice());
+            embeddings.as_mut_slice()[i * hidden..(i + 1) * hidden].copy_from_slice(emb.as_slice());
         }
-        let km = KMeans::fit(&embeddings, cfg.k_clusters.min(cfg.target_size), 20, cfg.seed ^ epoch as u64);
+        let km = KMeans::fit(
+            &embeddings,
+            cfg.k_clusters.min(cfg.target_size),
+            20,
+            cfg.seed ^ epoch as u64,
+        );
         stats.inertia_per_epoch.push(km.inertia());
 
         // --- (2)+(3) Knowledge transfer: joint fine-tuning of all params.
@@ -202,9 +205,9 @@ pub fn adapt_sota(model: &mut UfldModel, benchmark: Benchmark, cfg: &SotaConfig)
             model.backward_with_embedding_grad(&grad_logits, &grad_emb);
             model.visit_params(&mut |p| opt.update(p));
 
-            stats.loss_curve.push(
-                s_ce.value + cfg.pseudo_weight * pl.value + proto_loss,
-            );
+            stats
+                .loss_curve
+                .push(s_ce.value + cfg.pseudo_weight * pl.value + proto_loss);
             stats.steps += 1;
         }
     }

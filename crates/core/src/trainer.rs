@@ -8,10 +8,9 @@ use crate::bridge::frame_spec_for;
 use ld_carlane::{Benchmark, FrameStream};
 use ld_nn::{loss, Layer, Mode, ParamFilter, Sgd};
 use ld_ufld::UfldModel;
-use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters for source pre-training.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainConfig {
     /// Number of SGD steps.
     pub steps: usize,
@@ -66,7 +65,7 @@ impl TrainConfig {
 }
 
 /// Loss trajectory and final state of a pre-training run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TrainStats {
     /// Total loss after each step.
     pub loss_curve: Vec<f32>,
@@ -102,7 +101,9 @@ pub fn pretrain_on_source(
     let per_frame_labels = spec.labels_per_frame();
 
     model.apply_filter(ParamFilter::All);
-    let mut opt = Sgd::new(cfg.lr).momentum(cfg.momentum).weight_decay(cfg.weight_decay);
+    let mut opt = Sgd::new(cfg.lr)
+        .momentum(cfg.momentum)
+        .weight_decay(cfg.weight_decay);
     let mut order: Vec<usize> = (0..cfg.dataset_size).collect();
     let mut rng = ld_tensor::rng::SeededRng::new(cfg.seed ^ 0x5511FF);
     rng.shuffle(&mut order);

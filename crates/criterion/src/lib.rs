@@ -1,0 +1,331 @@
+//! An offline, dependency-free stand-in for the `criterion` benchmark
+//! harness, API-compatible with the subset this workspace uses.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! crate cannot be fetched. This shim keeps every `benches/*.rs` file
+//! compiling unchanged (`criterion_group!`, `criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `black_box`) while doing real wall-clock
+//! measurement with `std::time::Instant`.
+//!
+//! Extras over the real API surface (used by `gemm_blocked` to emit
+//! machine-readable results):
+//!
+//! * [`take_results`] — drains the per-process registry of
+//!   [`BenchResult`]s recorded by every `iter` call;
+//! * `--quick` / `LD_BENCH_QUICK=1` shrinks warm-up and measurement time so
+//!   a full bench suite smoke-runs in seconds (used by `scripts/check.sh`).
+
+use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Re-export-compatible opaque-value helper: defeats constant folding.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One completed measurement, recorded by [`Bencher::iter`].
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `"group/function"` path of the benchmark.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Total iterations timed (excluding warm-up).
+    pub iters: u64,
+}
+
+fn registry() -> &'static Mutex<Vec<BenchResult>> {
+    static R: OnceLock<Mutex<Vec<BenchResult>>> = OnceLock::new();
+    R.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Drains every result recorded so far (in execution order).
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut registry().lock().expect("results registry poisoned"))
+}
+
+/// `true` when `--quick` was passed or `LD_BENCH_QUICK=1` is set.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("LD_BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+}
+
+/// Throughput annotation (accepted and ignored, as the shim reports ns/iter).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`group/function` or `group/function/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, like the real crate's.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything `bench_function` accepts as a name.
+pub trait IntoBenchmarkId {
+    /// The `group/...` suffix for this id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.repr
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The measurement driver handed to bench closures.
+pub struct Bencher {
+    id: String,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, recording mean ns/iter into the process registry.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let quick = quick_mode();
+        // Warm-up: at least one call, at most ~10% of the budget.
+        let warmup_budget = if quick {
+            Duration::from_millis(5)
+        } else {
+            self.measurement_time / 10
+        };
+        let w0 = Instant::now();
+        black_box(routine());
+        let first = w0.elapsed();
+        let mut warmed = first;
+        while warmed < warmup_budget {
+            black_box(routine());
+            warmed += first.max(Duration::from_nanos(1));
+        }
+
+        let budget = if quick {
+            Duration::from_millis(20)
+        } else {
+            self.measurement_time
+        };
+        let max_iters = if quick {
+            5
+        } else {
+            self.sample_size.max(10) as u64 * 10
+        };
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < max_iters && (iters == 0 || start.elapsed() < budget) {
+            black_box(routine());
+            iters += 1;
+        }
+        let total = start.elapsed();
+        let ns = total.as_nanos() as f64 / iters as f64;
+        registry()
+            .lock()
+            .expect("results registry poisoned")
+            .push(BenchResult {
+                id: self.id.clone(),
+                ns_per_iter: ns,
+                iters,
+            });
+        eprintln!("{:<48} {:>14.1} ns/iter  ({} iters)", self.id, ns, iters);
+    }
+
+    /// Like `iter`, but the routine consumes a cloned input each call.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.iter(|| routine(setup()));
+    }
+}
+
+/// Batch sizing hint (accepted for API compatibility; ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples (used to bound iterations).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-clock measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepts a throughput annotation (reported metric stays ns/iter).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            id: format!("{}/{}", self.name, id.into_id()),
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Runs one benchmark that borrows an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            id: format!("{}/{}", self.name, id.into_id()),
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        self
+    }
+
+    /// Ends the group (no-op; prints a separator for readability).
+    pub fn finish(&mut self) {
+        eprintln!();
+    }
+}
+
+/// The top-level harness handle passed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("== {name} ==");
+        BenchmarkGroup {
+            name,
+            measurement_time: Duration::from_secs(2),
+            sample_size: 100,
+            _parent: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            id: id.into_id(),
+            measurement_time: Duration::from_secs(2),
+            sample_size: 100,
+        };
+        f(&mut b);
+        self
+    }
+}
+
+/// Bundles bench functions into a callable group, like the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `fn main` running the listed groups, like the real crate.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_results() {
+        std::env::set_var("LD_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10)
+            .measurement_time(Duration::from_millis(10));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::from_parameter(42), &42, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        let rs = take_results();
+        assert!(rs.iter().any(|r| r.id == "shim/noop"));
+        assert!(rs.iter().any(|r| r.id == "shim/42"));
+        assert!(rs.iter().all(|r| r.ns_per_iter > 0.0 && r.iters > 0));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).into_id(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+    }
+}

@@ -61,7 +61,11 @@ impl Flatten {
 impl Layer for Flatten {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
         let dims = x.shape_dims().to_vec();
-        assert!(dims.len() >= 2, "Flatten: want rank ≥ 2, got {}", dims.len());
+        assert!(
+            dims.len() >= 2,
+            "Flatten: want rank ≥ 2, got {}",
+            dims.len()
+        );
         let n = dims[0];
         let rest: usize = dims[1..].iter().product();
         self.in_shape = Some(dims);
@@ -69,7 +73,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.in_shape.as_ref().expect("Flatten::backward before forward");
+        let shape = self
+            .in_shape
+            .as_ref()
+            .expect("Flatten::backward before forward");
         grad_out.to_shape(shape)
     }
 }

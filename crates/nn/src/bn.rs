@@ -17,13 +17,12 @@
 use crate::layer::{Layer, Mode};
 use crate::param::{ParamKind, Parameter};
 use ld_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 /// Which statistics a BN layer normalises with during [`Mode::Eval`].
 ///
 /// During [`Mode::Train`] batch statistics are always used (and running
 /// estimates updated), as in every deep-learning framework.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum BnStatsPolicy {
     /// Frozen running statistics from training (standard deployment; the
     /// paper's "no adaptation" reference).
@@ -75,6 +74,9 @@ pub struct BatchNorm2d {
     pub train_momentum: f32,
     eps: f32,
     cache: Option<BnCache>,
+    /// Reusable buffers for [`BatchNorm2d::folded_affine`] (sized once).
+    fold_scale: Vec<f32>,
+    fold_shift: Vec<f32>,
 }
 
 impl BatchNorm2d {
@@ -87,8 +89,16 @@ impl BatchNorm2d {
         assert!(channels > 0, "BatchNorm2d: zero channels");
         BatchNorm2d {
             name: name.to_owned(),
-            gamma: Parameter::new(format!("{name}.gamma"), ParamKind::BnGamma, Tensor::ones(&[channels])),
-            beta: Parameter::new(format!("{name}.beta"), ParamKind::BnBeta, Tensor::zeros(&[channels])),
+            gamma: Parameter::new(
+                format!("{name}.gamma"),
+                ParamKind::BnGamma,
+                Tensor::ones(&[channels]),
+            ),
+            beta: Parameter::new(
+                format!("{name}.beta"),
+                ParamKind::BnBeta,
+                Tensor::zeros(&[channels]),
+            ),
             running_mean: Tensor::zeros(&[channels]),
             running_var: Tensor::ones(&[channels]),
             channels,
@@ -96,6 +106,8 @@ impl BatchNorm2d {
             train_momentum: 0.1,
             eps: 1e-5,
             cache: None,
+            fold_scale: Vec::new(),
+            fold_shift: Vec::new(),
         }
     }
 
@@ -124,6 +136,42 @@ impl BatchNorm2d {
         &self.beta
     }
 
+    /// The per-channel affine this layer collapses to under **frozen running
+    /// statistics**: `y = scale[c]·x + shift[c]` with
+    /// `scale = γ/√(σ²_run + ε)` and `shift = β − scale·µ_run`.
+    ///
+    /// Drops the cached forward intermediates, making a subsequent
+    /// [`Layer::backward`] panic with "backward before forward".
+    ///
+    /// The fused conv→BN eval path calls this when it bypasses
+    /// [`Layer::forward`]: the cache would otherwise hold a *previous*
+    /// input's statistics, and a backward run against it would be silently
+    /// wrong rather than loudly impossible.
+    pub fn invalidate_cache(&mut self) {
+        self.cache = None;
+    }
+
+    /// This is the conv→BN folding used by the fused eval path
+    /// ([`Conv2d::forward_fused_affine`](crate::Conv2d::forward_fused_affine)):
+    /// a preceding convolution applies the affine as its output epilogue and
+    /// the whole BN traversal is skipped. Only valid to *use* when the layer
+    /// would normalise with running stats (eval + [`BnStatsPolicy::Running`]);
+    /// callers check the policy. Recomputed on every call into reusable
+    /// buffers, so current γ/β/running values are always reflected without
+    /// steady-state allocation.
+    pub fn folded_affine(&mut self) -> (&[f32], &[f32]) {
+        self.fold_scale.resize(self.channels, 0.0);
+        self.fold_shift.resize(self.channels, 0.0);
+        for c in 0..self.channels {
+            let s =
+                self.gamma.value.as_slice()[c] / (self.running_var.as_slice()[c] + self.eps).sqrt();
+            self.fold_scale[c] = s;
+            self.fold_shift[c] =
+                self.beta.value.as_slice()[c] - s * self.running_mean.as_slice()[c];
+        }
+        (&self.fold_scale, &self.fold_shift)
+    }
+
     fn fold_into_running(&mut self, mean: &Tensor, var: &Tensor, momentum: f32) {
         for c in 0..self.channels {
             let rm = &mut self.running_mean.as_mut_slice()[c];
@@ -137,7 +185,11 @@ impl BatchNorm2d {
 impl Layer for BatchNorm2d {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         let (n, c, h, w) = x.dims4();
-        assert_eq!(c, self.channels, "BatchNorm2d {}: {c} channels, want {}", self.gamma.name, self.channels);
+        assert_eq!(
+            c, self.channels,
+            "BatchNorm2d {}: {c} channels, want {}",
+            self.gamma.name, self.channels
+        );
         let use_batch = match (mode, self.policy) {
             (Mode::Train, _) => true,
             (Mode::Eval, BnStatsPolicy::Running) => false,
@@ -193,7 +245,10 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("BatchNorm2d::backward before forward");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm2d::backward before forward");
         let (n, c, h, w) = grad_out.dims4();
         assert_eq!(
             grad_out.shape_dims(),
@@ -327,7 +382,10 @@ mod tests {
         bn.running_mean = Tensor::from_vec(vec![1000.0], &[1]);
         let x = Tensor::from_vec(vec![1.0, 3.0], &[1, 1, 1, 2]);
         let y = bn.forward(&x, Mode::Eval);
-        assert!((y.as_slice()[0] + y.as_slice()[1]).abs() < 1e-4, "batch-normalised output sums to ~0");
+        assert!(
+            (y.as_slice()[0] + y.as_slice()[1]).abs() < 1e-4,
+            "batch-normalised output sums to ~0"
+        );
         // Batch policy must NOT touch running stats.
         assert_eq!(bn.running_mean().as_slice()[0], 1000.0);
     }
@@ -400,6 +458,31 @@ mod tests {
         let want = 2.0 / (3.0f32 + 1e-5).sqrt();
         for &v in g.as_slice() {
             assert!((v - want).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn folded_affine_equals_running_stats_forward() {
+        let mut bn = BatchNorm2d::new("bn", 3);
+        let mut rng = SeededRng::new(21);
+        bn.gamma.value = rng.uniform_tensor(&[3], 0.5, 1.5);
+        bn.beta.value = rng.uniform_tensor(&[3], -0.5, 0.5);
+        bn.running_mean = rng.uniform_tensor(&[3], -1.0, 1.0);
+        bn.running_var = rng.uniform_tensor(&[3], 0.5, 2.0);
+        let x = rng.uniform_tensor(&[2, 3, 4, 4], -2.0, 2.0);
+        let want = bn.forward(&x, Mode::Eval);
+        let (scale, shift) = bn.folded_affine();
+        let (n, c, h, w) = x.dims4();
+        let plane = h * w;
+        for ni in 0..n {
+            for ci in 0..c {
+                for i in 0..plane {
+                    let idx = (ni * c + ci) * plane + i;
+                    let got = scale[ci] * x.as_slice()[idx] + shift[ci];
+                    let ref_v = want.as_slice()[idx];
+                    assert!((got - ref_v).abs() < 1e-5, "{got} vs {ref_v}");
+                }
+            }
         }
     }
 

@@ -1,17 +1,56 @@
 //! 2-D convolution via im2col + GEMM, with full backward pass.
+//!
+//! This is the layer the 30 FPS adaptation loop spends its time in, so the
+//! forward/backward paths are written to be **allocation-free at steady
+//! state**: the im2col/col2im column panels live in a per-layer scratch
+//! arena sized once on the first frame and reused for every following frame
+//! at the same input shape ([`Conv2d::scratch_reallocs`] counts the sizings,
+//! and a test pins it to one). The GEMM runs straight from the weight
+//! storage into the output tensor via [`ld_tensor::linalg::gemm_raw`] — no
+//! reshaped weight copies, no per-image `y` temporaries — and the batch loop
+//! fans images out over the persistent worker pool.
 
 use crate::layer::{Layer, Mode};
 use crate::param::{ParamKind, Parameter};
-use ld_tensor::conv::{im2col, ConvGeom};
-use ld_tensor::linalg::{gemm, Trans};
+use ld_tensor::conv::{col2im, im2col, ConvGeom};
+use ld_tensor::linalg::{gemm_raw, Trans};
+use ld_tensor::parallel::{for_each_chunk, SendPtr};
 use ld_tensor::rng::SeededRng;
 use ld_tensor::Tensor;
 
-struct ConvCache {
-    /// One im2col matrix `(K, OH·OW)` per batch image.
-    cols: Vec<Tensor>,
-    geom: ConvGeom,
+/// Reusable per-layer work buffers (column panels + backward scratch).
+///
+/// `cols` holds one `(K, OH·OW)` im2col matrix per batch image,
+/// back-to-back; it doubles as the forward cache consumed by `backward`.
+#[derive(Default)]
+struct ConvScratch {
+    cols: Vec<f32>,
+    dcol: Vec<f32>,
+    geom: Option<ConvGeom>,
     batch: usize,
+    reallocs: usize,
+}
+
+impl ConvScratch {
+    /// Sizes the arena for a `(batch, geom)` problem; counts real (re)sizes.
+    fn ensure(&mut self, batch: usize, geom: ConvGeom) {
+        let per_image = geom.col_rows() * geom.col_cols();
+        let need = batch * per_image;
+        if self.cols.len() < need || self.dcol.len() < per_image {
+            self.cols.resize(need, 0.0);
+            self.dcol.resize(per_image, 0.0);
+            self.reallocs += 1;
+        }
+        self.geom = Some(geom);
+        self.batch = batch;
+    }
+
+    /// The column panel of image `ni` (immutable).
+    fn col(&self, ni: usize) -> &[f32] {
+        let g = self.geom.expect("scratch not sized");
+        let per_image = g.col_rows() * g.col_cols();
+        &self.cols[ni * per_image..(ni + 1) * per_image]
+    }
 }
 
 /// A 2-D convolution layer (square kernel, equal stride/pad on both axes).
@@ -37,7 +76,7 @@ pub struct Conv2d {
     kernel: usize,
     stride: usize,
     pad: usize,
-    cache: Option<ConvCache>,
+    scratch: ConvScratch,
 }
 
 impl Conv2d {
@@ -57,7 +96,10 @@ impl Conv2d {
         bias: bool,
         seed: u64,
     ) -> Self {
-        assert!(in_ch > 0 && out_ch > 0 && kernel > 0 && stride > 0, "Conv2d: zero dimension");
+        assert!(
+            in_ch > 0 && out_ch > 0 && kernel > 0 && stride > 0,
+            "Conv2d: zero dimension"
+        );
         let fan_in = in_ch * kernel * kernel;
         let mut rng = SeededRng::new(seed);
         let weight = Parameter::new(
@@ -66,9 +108,22 @@ impl Conv2d {
             rng.kaiming_tensor(&[out_ch, in_ch, kernel, kernel], fan_in),
         );
         let bias = bias.then(|| {
-            Parameter::new(format!("{name}.bias"), ParamKind::ConvBias, Tensor::zeros(&[out_ch]))
+            Parameter::new(
+                format!("{name}.bias"),
+                ParamKind::ConvBias,
+                Tensor::zeros(&[out_ch]),
+            )
         });
-        Conv2d { weight, bias, in_ch, out_ch, kernel, stride, pad, cache: None }
+        Conv2d {
+            weight,
+            bias,
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+            pad,
+            scratch: ConvScratch::default(),
+        }
     }
 
     /// Output spatial dims for an input of `h × w`.
@@ -89,84 +144,189 @@ impl Conv2d {
         }
     }
 
-    /// The weight tensor viewed as a `(out_ch, K)` matrix.
-    fn weight_matrix(&self) -> Tensor {
-        let k = self.in_ch * self.kernel * self.kernel;
-        self.weight.value.to_shape(&[self.out_ch, k])
-    }
-
     /// Immutable access to the weight parameter (for tests/censuses).
     pub fn weight(&self) -> &Parameter {
         &self.weight
+    }
+
+    /// How many times the scratch arena has been (re)sized.
+    ///
+    /// At a fixed input shape this stays at 1 after the first forward — the
+    /// steady-state zero-allocation invariant the adaptation loop relies on.
+    pub fn scratch_reallocs(&self) -> usize {
+        self.scratch.reallocs
+    }
+
+    /// Shared forward machinery: im2col + GEMM into `out`, then an optional
+    /// per-channel affine epilogue `y = scale[o]·y + shift[o]` (used by the
+    /// fused conv→BN eval path; `None` applies just the conv bias).
+    fn forward_impl(&mut self, x: &Tensor, affine: Option<(&[f32], &[f32])>) -> Tensor {
+        let (n, c, h, w) = x.dims4();
+        assert_eq!(
+            c, self.in_ch,
+            "Conv2d {}: input has {c} channels, want {}",
+            self.weight.name, self.in_ch
+        );
+        let g = self.geom(h, w);
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let k = g.col_rows();
+        let spatial = oh * ow;
+        self.scratch.ensure(n, g);
+
+        let mut out = Tensor::zeros(&[n, self.out_ch, oh, ow]);
+        // The weight tensor (O, C, K, K) is row-major, so its storage *is*
+        // the (O, C·K·K) GEMM operand — no reshape copy.
+        let wmat = self.weight.value.as_slice();
+        let bias = self.bias.as_ref().map(|b| b.value.as_slice());
+        let out_ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
+        let cols_ptr = SendPtr(self.scratch.cols.as_mut_ptr());
+        let per_image = k * spatial;
+        let image_out = self.out_ch * spatial;
+        let out_ch = self.out_ch;
+
+        // One unit of work per batch image; each image owns a disjoint
+        // column panel and output slice. GEMMs nested inside run inline on
+        // the owning thread (the pool refuses nested dispatch), so image-
+        // level parallelism only pays when the batch can occupy the pool —
+        // smaller batches run the image loop inline and let each GEMM split
+        // itself across the workers instead.
+        let work = if n >= ld_tensor::parallel::pool_width() {
+            2 * n * out_ch * spatial * k
+        } else {
+            0
+        };
+        for_each_chunk(n, work, |images| {
+            for ni in images {
+                // SAFETY: per-image slices are disjoint across the chunked range.
+                let col = unsafe { cols_ptr.slice_mut(ni * per_image, per_image) };
+                im2col(x.image(ni), g, col);
+                let y = unsafe { out_ptr.slice_mut(ni * image_out, image_out) };
+                // y[O, S] = W[O, K] · col[K, S]
+                gemm_raw(
+                    1.0,
+                    wmat,
+                    Trans::No,
+                    col,
+                    Trans::No,
+                    0.0,
+                    y,
+                    out_ch,
+                    k,
+                    spatial,
+                );
+                match (affine, bias) {
+                    (Some((scale, shift)), b) => {
+                        for o in 0..out_ch {
+                            let bv = b.map_or(0.0, |b| b[o]);
+                            let (s, t) = (scale[o], shift[o] + scale[o] * bv);
+                            for v in &mut y[o * spatial..(o + 1) * spatial] {
+                                *v = s * *v + t;
+                            }
+                        }
+                    }
+                    (None, Some(b)) => {
+                        for o in 0..out_ch {
+                            let bv = b[o];
+                            for v in &mut y[o * spatial..(o + 1) * spatial] {
+                                *v += bv;
+                            }
+                        }
+                    }
+                    (None, None) => {}
+                }
+            }
+        });
+        out
+    }
+
+    /// Inference-only forward with a fused per-channel affine epilogue:
+    /// `y = scale[o] · conv(x) + shift[o]`.
+    ///
+    /// This is the folded conv→BN path: a following eval-mode BatchNorm with
+    /// frozen running statistics collapses to exactly such an affine, so the
+    /// whole BN traversal (plus its normalisation cache) is skipped. The
+    /// conv's own bias, when present, folds into `shift`.
+    ///
+    /// Does **not** populate the backward cache contract beyond what
+    /// [`Layer::forward`] does; use it only for inference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale`/`shift` lengths differ from the output channels.
+    pub fn forward_fused_affine(&mut self, x: &Tensor, scale: &[f32], shift: &[f32]) -> Tensor {
+        assert_eq!(
+            scale.len(),
+            self.out_ch,
+            "forward_fused_affine: scale length"
+        );
+        assert_eq!(
+            shift.len(),
+            self.out_ch,
+            "forward_fused_affine: shift length"
+        );
+        self.forward_impl(x, Some((scale, shift)))
     }
 }
 
 impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
-        let (n, c, h, w) = x.dims4();
-        assert_eq!(c, self.in_ch, "Conv2d {}: input has {c} channels, want {}", self.weight.name, self.in_ch);
-        let g = self.geom(h, w);
-        let (oh, ow) = (g.out_h(), g.out_w());
-        let k = g.col_rows();
-        let spatial = oh * ow;
-        let wmat = self.weight_matrix();
-
-        let mut out = Tensor::zeros(&[n, self.out_ch, oh, ow]);
-        let mut cols = Vec::with_capacity(n);
-        for ni in 0..n {
-            let mut col = Tensor::zeros(&[k, spatial]);
-            im2col(x.image(ni), g, col.as_mut_slice());
-            // y_i = W[O,K] · col[K, S]
-            let mut y = Tensor::zeros(&[self.out_ch, spatial]);
-            gemm(1.0, &wmat, Trans::No, &col, Trans::No, 0.0, &mut y);
-            if let Some(b) = &self.bias {
-                for o in 0..self.out_ch {
-                    let bv = b.value.as_slice()[o];
-                    for v in &mut y.as_mut_slice()[o * spatial..(o + 1) * spatial] {
-                        *v += bv;
-                    }
-                }
-            }
-            out.image_mut(ni).copy_from_slice(y.as_slice());
-            cols.push(col);
-        }
-        self.cache = Some(ConvCache { cols, geom: g, batch: n });
-        out
+        self.forward_impl(x, None)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("Conv2d::backward before forward");
-        let g = cache.geom;
+        let g = self.scratch.geom.expect("Conv2d::backward before forward");
         let (n, oc, oh, ow) = grad_out.dims4();
-        assert_eq!(n, cache.batch, "Conv2d::backward: batch mismatch");
+        assert_eq!(n, self.scratch.batch, "Conv2d::backward: batch mismatch");
         assert_eq!(oc, self.out_ch, "Conv2d::backward: channel mismatch");
-        assert_eq!((oh, ow), (g.out_h(), g.out_w()), "Conv2d::backward: spatial mismatch");
+        assert_eq!(
+            (oh, ow),
+            (g.out_h(), g.out_w()),
+            "Conv2d::backward: spatial mismatch"
+        );
         let spatial = oh * ow;
         let k = g.col_rows();
-        let wmat = self.weight_matrix();
-
-        let mut grad_in = Tensor::zeros(&[n, g.c, g.h, g.w]);
-        let mut dw = Tensor::zeros(&[self.out_ch, k]);
         let compute_dw = self.weight.trainable;
 
+        let mut grad_in = Tensor::zeros(&[n, g.c, g.h, g.w]);
+        // Sequential over images: dW accumulates into shared weight.grad
+        // (batch sizes in the adaptation loop are tiny, parallelising this
+        // would race the accumulation or need per-thread replicas).
         for ni in 0..n {
-            let dy = Tensor::from_vec(grad_out.image(ni).to_vec(), &[self.out_ch, spatial]);
+            // dY[O, S] is exactly the image slice of grad_out — no copy.
+            let dy = grad_out.image(ni);
             if compute_dw {
-                // dW[O,K] += dY[O,S] · colᵀ[S,K]
-                gemm(1.0, &dy, Trans::No, &cache.cols[ni], Trans::Yes, 1.0, &mut dw);
+                // dW[O, K] += dY[O, S] · colᵀ[S, K], straight into the grad
+                // tensor ((O, C, K, K) storage is the (O, K) matrix).
+                gemm_raw(
+                    1.0,
+                    dy,
+                    Trans::No,
+                    self.scratch.col(ni),
+                    Trans::Yes,
+                    1.0,
+                    self.weight.grad.as_mut_slice(),
+                    self.out_ch,
+                    spatial,
+                    k,
+                );
             }
-            // dcol[K,S] = Wᵀ[K,O] · dY[O,S]
-            let mut dcol = Tensor::zeros(&[k, spatial]);
-            gemm(1.0, &wmat, Trans::Yes, &dy, Trans::No, 0.0, &mut dcol);
-            ld_tensor::conv::col2im(dcol.as_slice(), g, grad_in.image_mut(ni));
+            // dcol[K, S] = Wᵀ[K, O] · dY[O, S]
+            let dcol = &mut self.scratch.dcol[..k * spatial];
+            gemm_raw(
+                1.0,
+                self.weight.value.as_slice(),
+                Trans::Yes,
+                dy,
+                Trans::No,
+                0.0,
+                dcol,
+                k,
+                self.out_ch,
+                spatial,
+            );
+            col2im(dcol, g, grad_in.image_mut(ni));
         }
 
-        if compute_dw {
-            self.weight.grad.axpy(
-                1.0,
-                &dw.reshape(&[self.out_ch, self.in_ch, self.kernel, self.kernel]),
-            );
-        }
         if let Some(b) = &mut self.bias {
             if b.trainable {
                 for ni in 0..n {
@@ -324,5 +484,67 @@ mod tests {
         let mut names = Vec::new();
         conv.visit_params(&mut |p| names.push(p.name.clone()));
         assert_eq!(names, vec!["t.weight", "t.bias"]);
+    }
+
+    /// The steady-state zero-allocation contract: at a fixed input shape the
+    /// scratch arena is sized exactly once, and repeated forwards are
+    /// bit-identical (same buffers, same arithmetic, same results).
+    #[test]
+    fn scratch_is_reused_and_outputs_bit_identical() {
+        let mut conv = Conv2d::new("t", 3, 8, 3, 1, 1, true, 11);
+        let x = SeededRng::new(12).uniform_tensor(&[2, 3, 10, 12], -1.0, 1.0);
+        let y0 = conv.forward(&x, Mode::Eval);
+        assert_eq!(conv.scratch_reallocs(), 1, "first frame sizes the arena");
+        for _ in 0..10 {
+            let y = conv.forward(&x, Mode::Eval);
+            assert_eq!(y.as_slice(), y0.as_slice(), "repeat forwards bit-identical");
+        }
+        assert_eq!(conv.scratch_reallocs(), 1, "no steady-state reallocation");
+
+        // A larger shape regrows once; returning to the original does not.
+        let big = Tensor::zeros(&[2, 3, 20, 24]);
+        conv.forward(&big, Mode::Eval);
+        assert_eq!(conv.scratch_reallocs(), 2);
+        conv.forward(&x, Mode::Eval);
+        assert_eq!(conv.scratch_reallocs(), 2, "smaller shape reuses the arena");
+    }
+
+    /// Backward must consume the forward's cached columns, so interleaved
+    /// forward/backward at the same shape also stays allocation-stable.
+    #[test]
+    fn train_loop_is_allocation_stable() {
+        let mut conv = Conv2d::new("t", 2, 4, 3, 1, 1, false, 13);
+        let x = SeededRng::new(14).uniform_tensor(&[1, 2, 8, 8], -1.0, 1.0);
+        for _ in 0..5 {
+            let y = conv.forward(&x, Mode::Train);
+            conv.backward(&Tensor::ones(y.shape_dims()));
+        }
+        assert_eq!(conv.scratch_reallocs(), 1);
+    }
+
+    /// `forward_fused_affine(scale, shift)` equals conv → per-channel affine.
+    #[test]
+    fn fused_affine_matches_conv_then_affine() {
+        let mut conv = Conv2d::new("t", 2, 3, 3, 1, 1, true, 15);
+        let mut rng = SeededRng::new(16);
+        conv.bias.as_mut().unwrap().value = rng.uniform_tensor(&[3], -0.5, 0.5);
+        let x = rng.uniform_tensor(&[2, 2, 6, 6], -1.0, 1.0);
+        let scale: Vec<f32> = (0..3).map(|_| rng.uniform(0.5, 1.5)).collect();
+        let shift: Vec<f32> = (0..3).map(|_| rng.uniform(-0.5, 0.5)).collect();
+
+        let base = conv.forward(&x, Mode::Eval);
+        let fused = conv.forward_fused_affine(&x, &scale, &shift);
+        let (n, oc, oh, ow) = base.dims4();
+        let spatial = oh * ow;
+        for ni in 0..n {
+            for o in 0..oc {
+                for s in 0..spatial {
+                    let idx = (ni * oc + o) * spatial + s;
+                    let want = scale[o] * base.as_slice()[idx] + shift[o];
+                    let got = fused.as_slice()[idx];
+                    assert!((want - got).abs() < 1e-5, "{want} vs {got}");
+                }
+            }
+        }
     }
 }

@@ -57,7 +57,10 @@ pub fn check_input_gradient(
     }
     // Restore a coherent cache for the caller.
     let _ = layer.forward(x, mode);
-    GradCheck { max_abs_err: max_abs, max_rel_err: max_rel }
+    GradCheck {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+    }
 }
 
 /// Checks the gradient of every trainable parameter of `layer` (probing up
@@ -108,7 +111,10 @@ pub fn check_param_gradients(
         }
     }
     let _ = layer.forward(x, mode);
-    GradCheck { max_abs_err: max_abs, max_rel_err: max_rel }
+    GradCheck {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+    }
 }
 
 #[cfg(test)]

@@ -43,7 +43,11 @@ impl Linear {
                 ParamKind::LinearWeight,
                 rng.xavier_tensor(&[out_features, in_features], in_features, out_features),
             ),
-            bias: Parameter::new(format!("{name}.bias"), ParamKind::LinearBias, Tensor::zeros(&[out_features])),
+            bias: Parameter::new(
+                format!("{name}.bias"),
+                ParamKind::LinearBias,
+                Tensor::zeros(&[out_features]),
+            ),
             in_features,
             out_features,
             cache: None,
@@ -64,10 +68,22 @@ impl Linear {
 impl Layer for Linear {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
         let (n, f) = x.dims2();
-        assert_eq!(f, self.in_features, "Linear {}: {f} features, want {}", self.weight.name, self.in_features);
+        assert_eq!(
+            f, self.in_features,
+            "Linear {}: {f} features, want {}",
+            self.weight.name, self.in_features
+        );
         let mut y = Tensor::zeros(&[n, self.out_features]);
         // y = x[N,in] · Wᵀ[in,out]
-        gemm(1.0, x, Trans::No, &self.weight.value, Trans::Yes, 0.0, &mut y);
+        gemm(
+            1.0,
+            x,
+            Trans::No,
+            &self.weight.value,
+            Trans::Yes,
+            0.0,
+            &mut y,
+        );
         for ni in 0..n {
             let row = &mut y.as_mut_slice()[ni * self.out_features..(ni + 1) * self.out_features];
             for (v, &b) in row.iter_mut().zip(self.bias.value.as_slice()) {
@@ -79,14 +95,25 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cache.as_ref().expect("Linear::backward before forward");
+        let x = self
+            .cache
+            .as_ref()
+            .expect("Linear::backward before forward");
         let (n, o) = grad_out.dims2();
         assert_eq!(o, self.out_features, "Linear::backward: feature mismatch");
         assert_eq!(n, x.dims2().0, "Linear::backward: batch mismatch");
 
         if self.weight.trainable {
             // dW[out,in] += dYᵀ[out,N] · X[N,in]
-            gemm(1.0, grad_out, Trans::Yes, x, Trans::No, 1.0, &mut self.weight.grad);
+            gemm(
+                1.0,
+                grad_out,
+                Trans::Yes,
+                x,
+                Trans::No,
+                1.0,
+                &mut self.weight.grad,
+            );
         }
         if self.bias.trainable {
             for ni in 0..n {
@@ -98,7 +125,15 @@ impl Layer for Linear {
         }
         // dX[N,in] = dY[N,out] · W[out,in]
         let mut gx = Tensor::zeros(&[n, self.in_features]);
-        gemm(1.0, grad_out, Trans::No, &self.weight.value, Trans::No, 0.0, &mut gx);
+        gemm(
+            1.0,
+            grad_out,
+            Trans::No,
+            &self.weight.value,
+            Trans::No,
+            0.0,
+            &mut gx,
+        );
         gx
     }
 
@@ -155,7 +190,10 @@ mod tests {
             let fm = loss(&mut fc, &x);
             fc.weight.value = base;
             let fd = (fp - fm) / (2.0 * eps);
-            assert!((fd - fc.weight.grad.as_slice()[widx]).abs() < 2e-2, "dw[{widx}]");
+            assert!(
+                (fd - fc.weight.grad.as_slice()[widx]).abs() < 2e-2,
+                "dw[{widx}]"
+            );
         }
     }
 

@@ -91,7 +91,11 @@ pub fn group_softmax(logits: &Tensor) -> Tensor {
 pub fn group_cross_entropy(logits: &Tensor, labels: &[u32]) -> LossOutput {
     let d = group_dims(logits);
     let stride = d.r * d.l;
-    assert_eq!(labels.len(), d.n * stride, "group_cross_entropy: label count mismatch");
+    assert_eq!(
+        labels.len(),
+        d.n * stride,
+        "group_cross_entropy: label count mismatch"
+    );
     let probs = group_softmax(logits);
     let groups = (d.n * stride) as f32;
     let mut grad = probs.clone();
@@ -100,14 +104,21 @@ pub fn group_cross_entropy(logits: &Tensor, labels: &[u32]) -> LossOutput {
         let img = n * d.c * stride;
         for g in 0..stride {
             let label = labels[n * stride + g] as usize;
-            assert!(label < d.c, "group_cross_entropy: label {label} out of range {}", d.c);
+            assert!(
+                label < d.c,
+                "group_cross_entropy: label {label} out of range {}",
+                d.c
+            );
             let p = probs.as_slice()[img + label * stride + g].max(1e-12);
             loss -= (p as f64).ln();
             grad.as_mut_slice()[img + label * stride + g] -= 1.0;
         }
     }
     grad.scale(1.0 / groups);
-    LossOutput { value: (loss / groups as f64) as f32, grad }
+    LossOutput {
+        value: (loss / groups as f64) as f32,
+        grad,
+    }
 }
 
 /// Mean Shannon entropy of the per-group predictive distributions — the
@@ -144,7 +155,10 @@ pub fn entropy(logits: &Tensor) -> LossOutput {
             }
         }
     }
-    LossOutput { value: (total / groups as f64) as f32, grad }
+    LossOutput {
+        value: (total / groups as f64) as f32,
+        grad,
+    }
 }
 
 /// UFLD similarity loss: mean L1 distance between the logits of vertically
@@ -157,7 +171,10 @@ pub fn entropy(logits: &Tensor) -> LossOutput {
 pub fn similarity(logits: &Tensor) -> LossOutput {
     let d = group_dims(logits);
     if d.r < 2 {
-        return LossOutput { value: 0.0, grad: Tensor::zeros(logits.shape_dims()) };
+        return LossOutput {
+            value: 0.0,
+            grad: Tensor::zeros(logits.shape_dims()),
+        };
     }
     let stride = d.r * d.l;
     let count = (d.n * d.c * (d.r - 1) * d.l) as f32;
@@ -174,14 +191,23 @@ pub fn similarity(logits: &Tensor) -> LossOutput {
                     let b = base + (r + 1) * d.l + l;
                     let diff = src[a] - src[b];
                     total += diff.abs() as f64;
-                    let s = if diff > 0.0 { 1.0 } else if diff < 0.0 { -1.0 } else { 0.0 } / count;
+                    let s = if diff > 0.0 {
+                        1.0
+                    } else if diff < 0.0 {
+                        -1.0
+                    } else {
+                        0.0
+                    } / count;
                     g[a] += s;
                     g[b] -= s;
                 }
             }
         }
     }
-    LossOutput { value: (total / count as f64) as f32, grad }
+    LossOutput {
+        value: (total / count as f64) as f32,
+        grad,
+    }
 }
 
 /// UFLD shape loss: second-order smoothness of the *expected* lane location.
@@ -267,7 +293,10 @@ pub fn shape(logits: &Tensor) -> LossOutput {
             }
         }
     }
-    LossOutput { value: (total / triples as f64) as f32, grad }
+    LossOutput {
+        value: (total / triples as f64) as f32,
+        grad,
+    }
 }
 
 #[cfg(test)]
@@ -279,12 +308,7 @@ mod tests {
         SeededRng::new(seed).uniform_tensor(&[n, c, r, l], -2.0, 2.0)
     }
 
-    fn fd_check(
-        logits: &Tensor,
-        f: &dyn Fn(&Tensor) -> LossOutput,
-        indices: &[usize],
-        tol: f32,
-    ) {
+    fn fd_check(logits: &Tensor, f: &dyn Fn(&Tensor) -> LossOutput, indices: &[usize], tol: f32) {
         let out = f(logits);
         let eps = 1e-2;
         for &i in indices {
@@ -317,7 +341,9 @@ mod tests {
     #[test]
     fn softmax_is_stable_for_huge_logits() {
         let mut logits = Tensor::zeros(&[1, 3, 1, 1]);
-        logits.as_mut_slice().copy_from_slice(&[1000.0, 999.0, -1000.0]);
+        logits
+            .as_mut_slice()
+            .copy_from_slice(&[1000.0, 999.0, -1000.0]);
         let p = group_softmax(&logits);
         assert!(!p.has_non_finite());
         assert!(p.as_slice()[0] > p.as_slice()[1]);
@@ -345,7 +371,12 @@ mod tests {
     fn cross_entropy_gradient_matches_fd() {
         let logits = rand_logits(2, 5, 2, 2, 3);
         let labels: Vec<u32> = (0..8).map(|i| (i % 5) as u32).collect();
-        fd_check(&logits, &|l| group_cross_entropy(l, &labels), &[0, 7, 19, 33], 1e-3);
+        fd_check(
+            &logits,
+            &|l| group_cross_entropy(l, &labels),
+            &[0, 7, 19, 33],
+            1e-3,
+        );
     }
 
     #[test]

@@ -39,7 +39,12 @@ impl Sgd {
     /// Panics if `lr` is not finite and positive.
     pub fn new(lr: f32) -> Self {
         assert!(lr.is_finite() && lr > 0.0, "Sgd: bad learning rate {lr}");
-        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: HashMap::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: HashMap::new(),
+        }
     }
 
     /// Sets the momentum coefficient (builder style).
@@ -119,7 +124,14 @@ impl Adam {
     /// Panics if `lr` is not finite and positive.
     pub fn new(lr: f32) -> Self {
         assert!(lr.is_finite() && lr > 0.0, "Adam: bad learning rate {lr}");
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, state: HashMap::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            state: HashMap::new(),
+        }
     }
 
     /// Sets L2 weight decay (builder style).

@@ -5,13 +5,12 @@
 //! first-class [`ParamFilter`]s applied over a model's parameter set.
 
 use ld_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static NEXT_PARAM_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Which architectural group a parameter belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ParamKind {
     /// Convolution filter weights.
     ConvWeight,
@@ -102,7 +101,7 @@ impl Parameter {
 ///
 /// `LD-BN-ADAPT` uses [`ParamFilter::BnOnly`]; the paper's §III ablation also
 /// evaluates [`ParamFilter::ConvOnly`] and [`ParamFilter::FcOnly`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ParamFilter {
     /// Every parameter is trainable (regular training / full fine-tuning).
     #[default]

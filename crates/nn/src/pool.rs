@@ -23,7 +23,12 @@ impl MaxPool2d {
     /// Panics if `kernel` or `stride` is zero.
     pub fn new(kernel: usize, stride: usize, pad: usize) -> Self {
         assert!(kernel > 0 && stride > 0, "MaxPool2d: zero kernel/stride");
-        MaxPool2d { kernel, stride, pad, cache: None }
+        MaxPool2d {
+            kernel,
+            stride,
+            pad,
+            cache: None,
+        }
     }
 }
 
@@ -74,8 +79,15 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (argmax, in_shape) = self.cache.as_ref().expect("MaxPool2d::backward before forward");
-        assert_eq!(grad_out.len(), argmax.len(), "MaxPool2d::backward: size mismatch");
+        let (argmax, in_shape) = self
+            .cache
+            .as_ref()
+            .expect("MaxPool2d::backward before forward");
+        assert_eq!(
+            grad_out.len(),
+            argmax.len(),
+            "MaxPool2d::backward: size mismatch"
+        );
         let mut gin = Tensor::zeros(in_shape);
         for (oi, &src) in argmax.iter().enumerate() {
             gin.as_mut_slice()[src] += grad_out.as_slice()[oi];
@@ -114,7 +126,10 @@ impl Layer for GlobalAvgPool {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.in_shape.as_ref().expect("GlobalAvgPool::backward before forward");
+        let shape = self
+            .in_shape
+            .as_ref()
+            .expect("GlobalAvgPool::backward before forward");
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
         let plane = h * w;
         let mut gin = Tensor::zeros(shape);
@@ -138,7 +153,13 @@ mod tests {
     #[test]
     fn maxpool_picks_window_maxima() {
         let mut mp = MaxPool2d::new(2, 2, 0);
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0], &[1, 1, 4, 4]);
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
+            &[1, 1, 4, 4],
+        );
         let y = mp.forward(&x, Mode::Eval);
         assert_eq!(y.shape_dims(), &[1, 1, 2, 2]);
         assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);

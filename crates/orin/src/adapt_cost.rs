@@ -5,10 +5,9 @@ use crate::roofline::Roofline;
 use crate::spec::PowerMode;
 use ld_ufld::cost::{model_costs, totals, LayerCost};
 use ld_ufld::UfldConfig;
-use serde::{Deserialize, Serialize};
 
 /// Breakdown of one frame's latency under LD-BN-ADAPT.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FrameLatency {
     /// Host-side preprocessing (decode/resize/normalise) in ms.
     pub preprocess_ms: f64,
@@ -26,7 +25,11 @@ pub struct FrameLatency {
 impl FrameLatency {
     /// Total worst-case frame latency in ms (what must meet the deadline).
     pub fn total_ms(&self) -> f64 {
-        self.preprocess_ms + self.inference_ms + self.adapt_forward_ms + self.backward_ms + self.update_ms
+        self.preprocess_ms
+            + self.inference_ms
+            + self.adapt_forward_ms
+            + self.backward_ms
+            + self.update_ms
     }
 
     /// Achievable frames per second.
@@ -50,7 +53,12 @@ impl AdaptCostModel {
     pub fn new(cfg: &UfldConfig, roofline: Roofline) -> Self {
         let costs = model_costs(cfg);
         let t = totals(&costs);
-        AdaptCostModel { roofline, costs, bn_params: t.bn_params, all_params: t.params }
+        AdaptCostModel {
+            roofline,
+            costs,
+            bn_params: t.bn_params,
+            all_params: t.params,
+        }
     }
 
     /// Convenience: paper-scale model on a default AGX Orin.
@@ -85,11 +93,16 @@ impl AdaptCostModel {
         assert!(batch_size > 0, "ld_bn_adapt_frame: zero batch size");
         let fwd1 = 1e3 * self.roofline.forward_seconds(&self.costs, mode, 1);
         let (adapt_fwd, bwd) = if batch_size == 1 {
-            (0.0, 1e3 * self.roofline.backward_seconds(&self.costs, mode, 1, false))
+            (
+                0.0,
+                1e3 * self.roofline.backward_seconds(&self.costs, mode, 1, false),
+            )
         } else {
             (
                 1e3 * self.roofline.forward_seconds(&self.costs, mode, batch_size),
-                1e3 * self.roofline.backward_seconds(&self.costs, mode, batch_size, false),
+                1e3 * self
+                    .roofline
+                    .backward_seconds(&self.costs, mode, batch_size, false),
             )
         };
         FrameLatency {
@@ -115,7 +128,13 @@ impl AdaptCostModel {
     /// over all target embeddings per epoch. `samples` should be the
     /// benchmark's source+target training-set size (tens of thousands for
     /// CARLANE).
-    pub fn sota_epoch_seconds(&self, mode: PowerMode, samples: usize, embed_dim: usize, k: usize) -> f64 {
+    pub fn sota_epoch_seconds(
+        &self,
+        mode: PowerMode,
+        samples: usize,
+        embed_dim: usize,
+        k: usize,
+    ) -> f64 {
         let fwd = self.roofline.forward_seconds(&self.costs, mode, 1);
         let bwd = self.roofline.backward_seconds(&self.costs, mode, 1, true);
         let upd = self.roofline.update_seconds(self.all_params, mode);
@@ -155,7 +174,10 @@ mod tests {
         let m = model(Backbone::ResNet34);
         let t60 = m.ld_bn_adapt_frame(PowerMode::MaxN60, 1).total_ms();
         let t50 = m.ld_bn_adapt_frame(PowerMode::W50, 1).total_ms();
-        assert!(t60 > 33.3, "R-34 must miss 30 FPS even at MAXN, got {t60:.1} ms");
+        assert!(
+            t60 > 33.3,
+            "R-34 must miss 30 FPS even at MAXN, got {t60:.1} ms"
+        );
         assert!(t60 <= 55.5, "R-34@60W must meet 18 FPS, got {t60:.1} ms");
         assert!(t50 > 55.5, "R-34@50W must miss 18 FPS, got {t50:.1} ms");
     }
@@ -186,7 +208,10 @@ mod tests {
         let m = model(Backbone::ResNet18);
         let f1 = m.ld_bn_adapt_frame(PowerMode::MaxN60, 1).total_ms();
         let f4 = m.ld_bn_adapt_frame(PowerMode::MaxN60, 4).total_ms();
-        assert!(f4 > f1, "batch-completing frame must pay more: {f4} vs {f1}");
+        assert!(
+            f4 > f1,
+            "batch-completing frame must pay more: {f4} vs {f1}"
+        );
     }
 
     #[test]

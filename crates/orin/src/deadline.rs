@@ -3,10 +3,9 @@
 use crate::adapt_cost::AdaptCostModel;
 use crate::spec::PowerMode;
 use ld_ufld::{Backbone, UfldConfig};
-use serde::{Deserialize, Serialize};
 
 /// A real-time constraint.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Deadline {
     /// Human label.
     pub name: &'static str,
@@ -16,9 +15,15 @@ pub struct Deadline {
 
 impl Deadline {
     /// The paper's strict constraint: a 30 FPS camera (33.3 ms).
-    pub const FPS30: Deadline = Deadline { name: "30 FPS", budget_ms: 33.3 };
+    pub const FPS30: Deadline = Deadline {
+        name: "30 FPS",
+        budget_ms: 33.3,
+    };
     /// The paper's relaxed constraint: 18 FPS / 55.5 ms (Audi A8 L3 system).
-    pub const FPS18: Deadline = Deadline { name: "18 FPS", budget_ms: 55.5 };
+    pub const FPS18: Deadline = Deadline {
+        name: "18 FPS",
+        budget_ms: 55.5,
+    };
 
     /// Whether a frame latency meets this deadline.
     pub fn met_by(&self, total_ms: f64) -> bool {
@@ -27,7 +32,7 @@ impl Deadline {
 }
 
 /// One point of the (backbone × power-mode) design space.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignPoint {
     /// Backbone evaluated.
     pub backbone: Backbone,
@@ -89,7 +94,10 @@ pub fn best_configuration(
                     .cmp(&depth(b))
                     .then(a.energy_mj.partial_cmp(&b.energy_mj).expect("finite"))
             } else {
-                a.energy_mj.partial_cmp(&b.energy_mj).expect("finite").then(depth(a).cmp(&depth(b)))
+                a.energy_mj
+                    .partial_cmp(&b.energy_mj)
+                    .expect("finite")
+                    .then(depth(a).cmp(&depth(b)))
             }
         })
 }

@@ -10,10 +10,9 @@
 
 use crate::spec::{OrinSpec, PowerMode};
 use ld_ufld::cost::{CostKind, LayerCost};
-use serde::{Deserialize, Serialize};
 
 /// Achievable fraction of peak per operator kind.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Efficiency {
     /// Convolutions (im2col/implicit GEMM kernels).
     pub conv: f64,
@@ -29,12 +28,16 @@ impl Default for Efficiency {
         // software stack — no TensorRT, since the model is re-trained in
         // place): dense conv kernels reach under a third of FP32 peak;
         // elementwise kernels reach ~¾ of DRAM bandwidth.
-        Efficiency { conv: 0.29, fc: 0.50, elementwise: 0.75 }
+        Efficiency {
+            conv: 0.29,
+            fc: 0.50,
+            elementwise: 0.75,
+        }
     }
 }
 
 /// The roofline model: hardware spec + efficiencies.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Roofline {
     /// Board description.
     pub spec: OrinSpec,
@@ -45,7 +48,10 @@ pub struct Roofline {
 impl Roofline {
     /// Model with default AGX Orin spec and calibrated efficiencies.
     pub fn agx_orin() -> Self {
-        Roofline { spec: OrinSpec::agx_orin(), eff: Efficiency::default() }
+        Roofline {
+            spec: OrinSpec::agx_orin(),
+            eff: Efficiency::default(),
+        }
     }
 
     /// Seconds to execute one operator at `mode` with `batch` images.
@@ -72,7 +78,10 @@ impl Roofline {
 
     /// Seconds for a full forward pass over `costs` at `mode`/`batch`.
     pub fn forward_seconds(&self, costs: &[LayerCost], mode: PowerMode, batch: usize) -> f64 {
-        costs.iter().map(|c| self.layer_seconds(c, mode, batch)).sum()
+        costs
+            .iter()
+            .map(|c| self.layer_seconds(c, mode, batch))
+            .sum()
     }
 
     /// Seconds for a backward pass.

@@ -14,10 +14,9 @@ use crate::adapt_cost::AdaptCostModel;
 use crate::roofline::Roofline;
 use crate::spec::PowerMode;
 use ld_ufld::UfldConfig;
-use serde::{Deserialize, Serialize};
 
 /// How much adaptation fits in a frame budget.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdaptBudget {
     /// Even pure inference misses the deadline.
     Infeasible,
@@ -55,11 +54,13 @@ pub fn plan_adaptation(cfg: &UfldConfig, mode: PowerMode, budget_ms: f64) -> Ada
         return AdaptBudget::InferenceOnly;
     }
     let extra = ((budget_ms - infer) / step_cost).floor() as usize;
-    AdaptBudget::Steps { steps: extra.max(1) }
+    AdaptBudget::Steps {
+        steps: extra.max(1),
+    }
 }
 
 /// Arithmetic precision of the deployed network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Precision {
     /// FP32 CUDA cores (the paper's PyTorch 1.11 deployment).
     Fp32,
@@ -94,7 +95,13 @@ pub fn precision_what_if(cfg: &UfldConfig, mode: PowerMode, precision: Precision
     eff.conv *= precision.compute_speedup();
     eff.fc *= precision.compute_speedup();
     eff.elementwise /= precision.byte_ratio(); // half the bytes = 2× effective BW
-    let model = AdaptCostModel::new(cfg, Roofline { spec: base.spec, eff });
+    let model = AdaptCostModel::new(
+        cfg,
+        Roofline {
+            spec: base.spec,
+            eff,
+        },
+    );
     let total = model.ld_bn_adapt_frame(mode, 1).total_ms();
     (total, total <= 33.3)
 }
@@ -126,8 +133,14 @@ mod tests {
     fn tight_budget_degrades_to_inference_only_then_infeasible() {
         let cfg = UfldConfig::paper(Backbone::ResNet34, 4);
         // R-34 at 15 W: inference ≈ 77 ms.
-        assert_eq!(plan_adaptation(&cfg, PowerMode::W15, 90.0), AdaptBudget::InferenceOnly);
-        assert_eq!(plan_adaptation(&cfg, PowerMode::W15, 33.3), AdaptBudget::Infeasible);
+        assert_eq!(
+            plan_adaptation(&cfg, PowerMode::W15, 90.0),
+            AdaptBudget::InferenceOnly
+        );
+        assert_eq!(
+            plan_adaptation(&cfg, PowerMode::W15, 33.3),
+            AdaptBudget::Infeasible
+        );
     }
 
     #[test]
@@ -146,7 +159,9 @@ mod tests {
     fn fp32_what_if_matches_base_model() {
         let cfg = UfldConfig::paper(Backbone::ResNet18, 4);
         let (t, _) = precision_what_if(&cfg, PowerMode::W50, Precision::Fp32);
-        let base = AdaptCostModel::paper_scale(&cfg).ld_bn_adapt_frame(PowerMode::W50, 1).total_ms();
+        let base = AdaptCostModel::paper_scale(&cfg)
+            .ld_bn_adapt_frame(PowerMode::W50, 1)
+            .total_ms();
         assert!((t - base).abs() < 1e-9);
     }
 }

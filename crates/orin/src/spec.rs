@@ -11,10 +11,8 @@
 //! 1301 MHz and EMC bandwidth ≈ 136.5 / 204.8 / 204.8 / 204.8 GB/s for the
 //! 15 W / 30 W / 50 W / MAXN (~60 W) modes respectively.
 
-use serde::{Deserialize, Serialize};
-
 /// A Jetson AGX Orin `nvpmodel` power mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PowerMode {
     /// 15 W budget.
     W15,
@@ -28,7 +26,12 @@ pub enum PowerMode {
 
 impl PowerMode {
     /// All modes in ascending power order (Figure 3's x-axis).
-    pub const ALL: [PowerMode; 4] = [PowerMode::W15, PowerMode::W30, PowerMode::W50, PowerMode::MaxN60];
+    pub const ALL: [PowerMode; 4] = [
+        PowerMode::W15,
+        PowerMode::W30,
+        PowerMode::W50,
+        PowerMode::MaxN60,
+    ];
 
     /// Power budget in watts.
     pub fn watts(self) -> f64 {
@@ -79,7 +82,7 @@ impl std::fmt::Display for PowerMode {
 }
 
 /// Static hardware description of the board.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OrinSpec {
     /// CUDA cores (Ampere SMs × 128).
     pub cuda_cores: usize,

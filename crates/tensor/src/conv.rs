@@ -78,7 +78,11 @@ impl ConvGeom {
 /// Panics if `image` or `col` have the wrong length.
 pub fn im2col(image: &[f32], g: ConvGeom, col: &mut [f32]) {
     assert_eq!(image.len(), g.image_len(), "im2col: bad image length");
-    assert_eq!(col.len(), g.col_rows() * g.col_cols(), "im2col: bad col length");
+    assert_eq!(
+        col.len(),
+        g.col_rows() * g.col_cols(),
+        "im2col: bad col length"
+    );
     let (oh, ow) = (g.out_h(), g.out_w());
     let n_cols = oh * ow;
     let mut row = 0usize;
@@ -122,7 +126,11 @@ pub fn im2col(image: &[f32], g: ConvGeom, col: &mut [f32]) {
 /// Panics if `image` or `col` have the wrong length.
 pub fn col2im(col: &[f32], g: ConvGeom, image: &mut [f32]) {
     assert_eq!(image.len(), g.image_len(), "col2im: bad image length");
-    assert_eq!(col.len(), g.col_rows() * g.col_cols(), "col2im: bad col length");
+    assert_eq!(
+        col.len(),
+        g.col_rows() * g.col_cols(),
+        "col2im: bad col length"
+    );
     let (oh, ow) = (g.out_h(), g.out_w());
     let n_cols = oh * ow;
     let mut row = 0usize;
@@ -174,7 +182,15 @@ mod tests {
     #[test]
     fn im2col_identity_kernel() {
         // 1x1 kernel stride 1: col matrix equals the image rows.
-        let g = ConvGeom { c: 2, h: 2, w: 3, kh: 1, kw: 1, stride: 1, pad: 0 };
+        let g = ConvGeom {
+            c: 2,
+            h: 2,
+            w: 3,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            pad: 0,
+        };
         let image: Vec<f32> = (0..12).map(|x| x as f32).collect();
         let mut col = vec![0.0; g.col_rows() * g.col_cols()];
         im2col(&image, g, &mut col);
@@ -184,7 +200,15 @@ mod tests {
     #[test]
     fn im2col_3x3_padded_center_tap() {
         // With pad 1 and a 3x3 kernel, the center tap row reproduces the image.
-        let g = ConvGeom { c: 1, h: 3, w: 3, kh: 3, kw: 3, stride: 1, pad: 1 };
+        let g = ConvGeom {
+            c: 1,
+            h: 3,
+            w: 3,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
         let image: Vec<f32> = (1..=9).map(|x| x as f32).collect();
         let mut col = vec![0.0; g.col_rows() * g.col_cols()];
         im2col(&image, g, &mut col);
@@ -198,7 +222,15 @@ mod tests {
     fn col2im_is_adjoint_of_im2col() {
         // <im2col(x), y> == <x, col2im(y)> for random x, y.
         use crate::rng::SeededRng;
-        let g = ConvGeom { c: 2, h: 5, w: 4, kh: 3, kw: 3, stride: 2, pad: 1 };
+        let g = ConvGeom {
+            c: 2,
+            h: 5,
+            w: 4,
+            kh: 3,
+            kw: 3,
+            stride: 2,
+            pad: 1,
+        };
         let mut rng = SeededRng::new(42);
         let x: Vec<f32> = (0..g.image_len()).map(|_| rng.uniform(-1.0, 1.0)).collect();
         let y: Vec<f32> = (0..g.col_rows() * g.col_cols())
@@ -215,7 +247,15 @@ mod tests {
 
     #[test]
     fn col2im_accumulates() {
-        let g = ConvGeom { c: 1, h: 2, w: 2, kh: 1, kw: 1, stride: 1, pad: 0 };
+        let g = ConvGeom {
+            c: 1,
+            h: 2,
+            w: 2,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            pad: 0,
+        };
         let col = vec![1.0; 4];
         let mut image = vec![1.0; 4];
         col2im(&col, g, &mut image);

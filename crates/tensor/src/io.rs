@@ -1,4 +1,4 @@
-//! Tensor (de)serialisation: `serde` support plus a compact binary format.
+//! Tensor (de)serialisation: the compact `LDTN` binary format.
 //!
 //! The binary format (`LDTN`) is used for model checkpoints:
 //!
@@ -8,30 +8,29 @@
 //! dims   rank × u64 LE
 //! data   len  × f32 LE
 //! ```
+//!
+//! Implemented on plain `Vec<u8>` / `&[u8]` — the build environment cannot
+//! fetch the `bytes`/`serde` crates, and a checkpoint format this small does
+//! not need them.
 
 use crate::{Tensor, TensorError};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use serde::de::{self, Deserializer, MapAccess, Visitor};
-use serde::ser::{SerializeStruct, Serializer};
-use serde::{Deserialize, Serialize};
-use std::fmt;
 
 const MAGIC: &[u8; 4] = b"LDTN";
 
 impl Tensor {
     /// Encodes the tensor into the compact `LDTN` binary format.
-    pub fn to_bytes(&self) -> Bytes {
+    pub fn to_bytes(&self) -> Vec<u8> {
         let dims = self.shape_dims();
-        let mut buf = BytesMut::with_capacity(8 + dims.len() * 8 + self.len() * 4);
-        buf.put_slice(MAGIC);
-        buf.put_u32_le(dims.len() as u32);
+        let mut buf = Vec::with_capacity(8 + dims.len() * 8 + self.len() * 4);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&(dims.len() as u32).to_le_bytes());
         for &d in dims {
-            buf.put_u64_le(d as u64);
+            buf.extend_from_slice(&(d as u64).to_le_bytes());
         }
         for &x in self.as_slice() {
-            buf.put_f32_le(x);
+            buf.extend_from_slice(&x.to_le_bytes());
         }
-        buf.freeze()
+        buf
     }
 
     /// Decodes a tensor from the `LDTN` binary format.
@@ -41,101 +40,49 @@ impl Tensor {
     /// Returns [`TensorError::DecodeBytes`] on a bad magic/truncated stream
     /// and [`TensorError::LengthMismatch`] if the payload size disagrees with
     /// the header.
-    pub fn from_bytes(mut bytes: Bytes) -> Result<Tensor, TensorError> {
-        if bytes.remaining() < 8 {
+    pub fn from_bytes(bytes: impl AsRef<[u8]>) -> Result<Tensor, TensorError> {
+        let mut bytes = bytes.as_ref();
+        if bytes.len() < 8 {
             return Err(TensorError::DecodeBytes("truncated header".into()));
         }
-        let mut magic = [0u8; 4];
-        bytes.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
+        let magic = &bytes[..4];
+        if magic != MAGIC {
             return Err(TensorError::DecodeBytes(format!(
                 "bad magic {magic:?}, want {MAGIC:?}"
             )));
         }
-        let rank = bytes.get_u32_le() as usize;
+        let rank = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        bytes = &bytes[8..];
         if rank > 16 {
             return Err(TensorError::DecodeBytes(format!("implausible rank {rank}")));
         }
-        if bytes.remaining() < rank * 8 {
+        if bytes.len() < rank * 8 {
             return Err(TensorError::DecodeBytes("truncated dims".into()));
         }
         let mut dims = Vec::with_capacity(rank);
         for _ in 0..rank {
-            dims.push(bytes.get_u64_le() as usize);
+            dims.push(u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize);
+            bytes = &bytes[8..];
         }
         let expected: usize = dims.iter().product();
-        if bytes.remaining() != expected * 4 {
+        if bytes.len() != expected * 4 {
             return Err(TensorError::LengthMismatch {
                 expected,
-                actual: bytes.remaining() / 4,
+                actual: bytes.len() / 4,
             });
         }
         let mut data = Vec::with_capacity(expected);
-        for _ in 0..expected {
-            data.push(bytes.get_f32_le());
+        for chunk in bytes.chunks_exact(4) {
+            data.push(f32::from_le_bytes(chunk.try_into().unwrap()));
         }
         Ok(Tensor::from_vec(data, &dims))
     }
 }
 
-impl Serialize for Tensor {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut st = serializer.serialize_struct("Tensor", 2)?;
-        st.serialize_field("dims", self.shape_dims())?;
-        st.serialize_field("data", self.as_slice())?;
-        st.end()
-    }
-}
-
-impl<'de> Deserialize<'de> for Tensor {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        #[derive(Deserialize)]
-        #[serde(field_identifier, rename_all = "lowercase")]
-        enum Field {
-            Dims,
-            Data,
-        }
-
-        struct TensorVisitor;
-
-        impl<'de> Visitor<'de> for TensorVisitor {
-            type Value = Tensor;
-
-            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
-                f.write_str("a Tensor with dims and data")
-            }
-
-            fn visit_map<V: MapAccess<'de>>(self, mut map: V) -> Result<Tensor, V::Error> {
-                let mut dims: Option<Vec<usize>> = None;
-                let mut data: Option<Vec<f32>> = None;
-                while let Some(key) = map.next_key()? {
-                    match key {
-                        Field::Dims => dims = Some(map.next_value()?),
-                        Field::Data => data = Some(map.next_value()?),
-                    }
-                }
-                let dims = dims.ok_or_else(|| de::Error::missing_field("dims"))?;
-                let data = data.ok_or_else(|| de::Error::missing_field("data"))?;
-                let expected: usize = dims.iter().product();
-                if data.len() != expected {
-                    return Err(de::Error::custom(format!(
-                        "tensor data length {} does not match dims {:?}",
-                        data.len(),
-                        dims
-                    )));
-                }
-                Ok(Tensor::from_vec(data, &dims))
-            }
-        }
-
-        deserializer.deserialize_struct("Tensor", &["dims", "data"], TensorVisitor)
-    }
-}
-
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::rng::SeededRng;
+    use crate::{Tensor, TensorError};
 
     #[test]
     fn bytes_roundtrip() {
@@ -155,7 +102,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic() {
-        let err = Tensor::from_bytes(Bytes::from_static(b"XXXX\0\0\0\0")).unwrap_err();
+        let err = Tensor::from_bytes(b"XXXX\0\0\0\0").unwrap_err();
         assert!(matches!(err, TensorError::DecodeBytes(_)));
     }
 
@@ -163,14 +110,17 @@ mod tests {
     fn rejects_truncated_payload() {
         let t = Tensor::ones(&[4]);
         let full = t.to_bytes();
-        let cut = full.slice(0..full.len() - 4);
+        let cut = &full[..full.len() - 4];
         let err = Tensor::from_bytes(cut).unwrap_err();
         assert!(matches!(err, TensorError::LengthMismatch { .. }));
     }
 
     #[test]
     fn error_display_is_informative() {
-        let e = TensorError::LengthMismatch { expected: 4, actual: 2 };
+        let e = TensorError::LengthMismatch {
+            expected: 4,
+            actual: 2,
+        };
         let s = e.to_string();
         assert!(s.contains('4') && s.contains('2'));
     }

@@ -6,12 +6,13 @@
 //!
 //! * [`Tensor`] — contiguous row-major `f32` storage with shape/stride
 //!   arithmetic, elementwise maps/zips, axis reductions and NCHW helpers;
-//! * [`linalg`] — a miniature GEMM (`C ← α·op(A)·op(B) + β·C`) with optional
-//!   transposes and a two-way parallel split for large products;
+//! * [`linalg`] — a cache-blocked, panel-packed GEMM
+//!   (`C ← α·op(A)·op(B) + β·C`) with optional transposes, parallelised over
+//!   a persistent worker pool for large products;
 //! * [`conv`] — `im2col`/`col2im` lowering used by the convolution layers;
 //! * [`rng`] — deterministic, seedable random fills (uniform, normal,
 //!   Kaiming/Xavier fan-based initialisers);
-//! * [`io`] — compact binary (de)serialisation via `serde` + [`bytes`].
+//! * [`io`] — compact binary (de)serialisation (the `LDTN` format).
 //!
 //! # Example
 //!

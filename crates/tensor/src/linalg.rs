@@ -1,12 +1,76 @@
-//! A miniature GEMM: `C ← α·op(A)·op(B) + β·C` with optional transposes.
+//! A cache-blocked, panel-packed GEMM: `C ← α·op(A)·op(B) + β·C`.
 //!
 //! This is the hot path of the whole stack — convolutions lower to GEMM via
-//! [`crate::conv::im2col`], and the UFLD head is two dense layers. The
-//! kernels use accumulation-friendly loop orders (contiguous innermost
-//! access) and split output rows across cores for large products.
+//! [`crate::conv::im2col`], and the UFLD head is two dense layers. The paper's
+//! real-time claim (BN-only adaptation inside a 33.3 ms frame budget) lives
+//! or dies on this kernel, so it uses the classic GotoBLAS/BLIS structure
+//! rather than a naive triple loop:
+//!
+//! # Blocking scheme
+//!
+//! ```text
+//! for jc in 0..n step NC                  (columns of C, L3-resident B block)
+//!   for pc in 0..k step KC                (depth, pack B[KC×NC] once)
+//!     for ic in 0..m step MC   ← parallel (rows of C, pack A[MC×KC] per thread)
+//!       for jr in 0..NC step NR           (B micro-panel → L1)
+//!         for ir in 0..MC step MR         (A micro-tile stays in registers)
+//!           micro-kernel: MR×NR accumulators over KC
+//! ```
+//!
+//! * **Packing** copies the `op(A)`/`op(B)` operands into contiguous panels
+//!   (`MR`-row strips of A, `NR`-column strips of B), so the micro-kernel
+//!   reads both operands with stride 1 regardless of the transpose flags —
+//!   all four `op` combinations share one kernel, and `α` is folded into the
+//!   A panels for free.
+//! * **The micro-kernel** keeps an `MR×NR` accumulator array in registers;
+//!   with `MR = 4`, `NR = 32` each row is two AVX-512 (four AVX2) vectors and
+//!   the inner statement is a rank-1 update that LLVM auto-vectorizes to
+//!   packed FMAs without explicit intrinsics (see `.cargo/config.toml`:
+//!   builds use `target-cpu=native`).
+//! * **Parallelism** splits the `ic` loop over the persistent worker pool
+//!   ([`crate::parallel`]): each thread packs its own A block (thread-local
+//!   scratch, reused across calls — zero steady-state allocation) and owns a
+//!   disjoint row-band of C.
+//!
+//! # Tuning `MR`/`NR` and `MC`/`KC`/`NC`
+//!
+//! The register tile `MR×NR` must fit the vector register file: 4×32 is
+//! 8 AVX-512 (16 AVX2) accumulators, measured fastest on a Xeon at ~50
+//! GFLOP/s single-core — 8×16 spills and collapses to a tenth of that, so
+//! re-measure (`GEMM_SHAPE=256x1152x3136 cargo bench -p ld-bench --bench
+//! gemm_blocked`) after any change. The `MR·KC` packed-A strip (4 KiB) plus
+//! the hot `KC·NR` packed-B strip (32 KiB) target L1/L2; the `MC×KC` packed
+//! A block (128 KiB) targets L2; the `KC×NC` packed B block (2 MiB) targets
+//! L3. Shrink `KC`/`MC` for small-cache embedded parts (e.g. Cortex-A78AE
+//! on the Orin: halve both). The property tests cover arbitrary sizes and
+//! all transpose combos, so re-tuning is safe.
 
 use crate::parallel::{for_each_chunk, SendPtr};
 use crate::Tensor;
+use std::cell::RefCell;
+
+/// Micro-kernel rows (accumulator tile height).
+const MR: usize = 4;
+/// Micro-kernel columns (accumulator tile width; one AVX-512 / two AVX2
+/// vectors per row).
+const NR: usize = 32;
+/// Row-block size: packed `MC×KC` A block targets L2.
+const MC: usize = 128;
+/// Depth-block size: `KC×NR` B micro-panels target L1.
+const KC: usize = 256;
+/// Column-block size: packed `KC×NC` B block targets L3.
+const NC: usize = 2048;
+
+/// Products with fewer FLOPs than this skip packing entirely (the panel
+/// copies cost more than they save on operands this small).
+const SMALL_GEMM_FLOPS: usize = 16 * 1024;
+
+thread_local! {
+    /// Per-thread packed-A scratch (`MC×KC` worst case), reused across calls.
+    static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Packed-B scratch (`KC×NC` worst case), owned by the calling thread.
+    static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Whether an operand participates transposed in the product.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -50,34 +114,98 @@ pub fn gemm(alpha: f32, a: &Tensor, ta: Trans, b: &Tensor, tb: Trans, beta: f32,
     assert_eq!(k, kb, "gemm: inner dims disagree ({k} vs {kb})");
     let (cm, cn) = c.dims2();
     assert_eq!((cm, cn), (m, n), "gemm: output is {cm}x{cn}, want {m}x{n}");
+    gemm_raw(
+        alpha,
+        a.as_slice(),
+        ta,
+        b.as_slice(),
+        tb,
+        beta,
+        c.as_mut_slice(),
+        m,
+        k,
+        n,
+    );
+}
+
+/// Slice-level GEMM: `c ← alpha * op(a) * op(b) + beta * c` over row-major
+/// buffers (`op(a)` is `m×k`, `op(b)` is `k×n`, `c` is `m×n`).
+///
+/// This is the allocation-free entry point the convolution layers use: it
+/// lets a caller multiply a weight tensor viewed as a matrix directly into a
+/// slice of a larger output buffer, with no intermediate `Tensor`s.
+///
+/// # Panics
+///
+/// Panics if a buffer length disagrees with the stated dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_raw(
+    alpha: f32,
+    a: &[f32],
+    ta: Trans,
+    b: &[f32],
+    tb: Trans,
+    beta: f32,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "gemm_raw: op(A) is {m}x{k}, bad buffer");
+    assert_eq!(b.len(), k * n, "gemm_raw: op(B) is {k}x{n}, bad buffer");
+    assert_eq!(c.len(), m * n, "gemm_raw: C is {m}x{n}, bad buffer");
 
     if beta == 0.0 {
-        c.fill_zero();
+        c.fill(0.0);
     } else if beta != 1.0 {
-        c.scale(beta);
+        for v in c.iter_mut() {
+            *v *= beta;
+        }
     }
-    if alpha == 0.0 || m == 0 || n == 0 {
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
         return;
     }
 
-    let work = m * n * k;
-    let a_s = a.as_slice();
-    let b_s = b.as_slice();
-    let c_ptr = SendPtr(c.as_mut_slice().as_mut_ptr());
+    let flops = m * n * k;
+    if flops < SMALL_GEMM_FLOPS || n < NR / 2 {
+        gemm_small(alpha, a, ta, b, tb, c, m, k, n);
+        return;
+    }
+    gemm_blocked(alpha, a, ta, b, tb, c, m, k, n);
+}
 
+/// Unpacked fallback for products where panel copies don't pay off (few
+/// FLOPs, or outputs narrower than half a micro-tile).
+///
+/// Loop orders keep the innermost access contiguous per transpose combo;
+/// deliberately branch-free in the inner loops (a zero-skip test on `A`
+/// would pessimize dense inputs and make FLOP counts data-dependent).
+/// Output rows split over the worker pool when the product is large enough
+/// (large-but-narrow shapes land here, e.g. tall mat-vecs).
+#[allow(clippy::too_many_arguments)]
+fn gemm_small(
+    alpha: f32,
+    a: &[f32],
+    ta: Trans,
+    b: &[f32],
+    tb: Trans,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let c_ptr = SendPtr(c.as_mut_ptr());
+    let work = 2 * m * n * k;
     match (ta.is_t(), tb.is_t()) {
         (false, false) => {
             // C[i,:] += alpha * A[i,kk] * B[kk,:]
             for_each_chunk(m, work, |rows| {
                 for i in rows {
-                    // SAFETY: each thread owns disjoint row range of C.
+                    // SAFETY: each chunk owns a disjoint row range of C.
                     let crow = unsafe { c_ptr.slice_mut(i * n, n) };
                     for kk in 0..k {
-                        let av = alpha * a_s[i * ac + kk];
-                        if av == 0.0 {
-                            continue;
-                        }
-                        let brow = &b_s[kk * n..kk * n + n];
+                        let av = alpha * a[i * k + kk];
+                        let brow = &b[kk * n..kk * n + n];
                         for (cv, &bv) in crow.iter_mut().zip(brow) {
                             *cv += av * bv;
                         }
@@ -86,17 +214,14 @@ pub fn gemm(alpha: f32, a: &Tensor, ta: Trans, b: &Tensor, tb: Trans, beta: f32,
             });
         }
         (true, false) => {
-            // op(A)[i,kk] = A[kk,i]
+            // op(A)[i,kk] = A[kk,i] (A stored k×m).
             for_each_chunk(m, work, |rows| {
                 for i in rows {
-                    // SAFETY: disjoint rows of C per thread.
+                    // SAFETY: disjoint rows of C per chunk.
                     let crow = unsafe { c_ptr.slice_mut(i * n, n) };
                     for kk in 0..k {
-                        let av = alpha * a_s[kk * ac + i];
-                        if av == 0.0 {
-                            continue;
-                        }
-                        let brow = &b_s[kk * n..kk * n + n];
+                        let av = alpha * a[kk * m + i];
+                        let brow = &b[kk * n..kk * n + n];
                         for (cv, &bv) in crow.iter_mut().zip(brow) {
                             *cv += av * bv;
                         }
@@ -105,14 +230,14 @@ pub fn gemm(alpha: f32, a: &Tensor, ta: Trans, b: &Tensor, tb: Trans, beta: f32,
             });
         }
         (false, true) => {
-            // C[i,j] += alpha * dot(A[i,:], B[j,:])
+            // C[i,j] += alpha * dot(A[i,:], B[j,:]) (B stored n×k).
             for_each_chunk(m, work, |rows| {
                 for i in rows {
-                    // SAFETY: disjoint rows of C per thread.
+                    let arow = &a[i * k..(i + 1) * k];
+                    // SAFETY: disjoint rows of C per chunk.
                     let crow = unsafe { c_ptr.slice_mut(i * n, n) };
-                    let arow = &a_s[i * ac..i * ac + k];
                     for (j, cv) in crow.iter_mut().enumerate() {
-                        let brow = &b_s[j * bc..j * bc + k];
+                        let brow = &b[j * k..(j + 1) * k];
                         let mut acc = 0.0;
                         for (&av, &bv) in arow.iter().zip(brow) {
                             acc += av * bv;
@@ -126,16 +251,224 @@ pub fn gemm(alpha: f32, a: &Tensor, ta: Trans, b: &Tensor, tb: Trans, beta: f32,
             // Rare in this stack; strided but correct.
             for_each_chunk(m, work, |rows| {
                 for i in rows {
-                    // SAFETY: disjoint rows of C per thread.
+                    // SAFETY: disjoint rows of C per chunk.
                     let crow = unsafe { c_ptr.slice_mut(i * n, n) };
                     for (j, cv) in crow.iter_mut().enumerate() {
                         let mut acc = 0.0;
                         for kk in 0..k {
-                            acc += a_s[kk * ac + i] * b_s[j * bc + kk];
+                            acc += a[kk * m + i] * b[j * k + kk];
                         }
                         *cv += alpha * acc;
                     }
                 }
+            });
+        }
+    }
+}
+
+/// Packs `alpha · op(A)[ic..ic+mc, pc..pc+kc]` into `MR`-row strips.
+///
+/// Layout: strip-major, then k, then the `MR` rows of the strip — exactly
+/// the order the micro-kernel consumes. Rows past `mc` are zero-padded so
+/// edge tiles run the same full-width kernel.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    alpha: f32,
+    a: &[f32],
+    ta: Trans,
+    m: usize,
+    k: usize,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    buf: &mut [f32],
+) {
+    let mut w = 0;
+    for ir in (0..mc).step_by(MR) {
+        let rows = MR.min(mc - ir);
+        if ta.is_t() {
+            // op(A)[i, kk] = A[kk, i]: walk k rows of storage, stride-1 in i.
+            for kk in 0..kc {
+                let src = &a[(pc + kk) * m + ic + ir..];
+                for r in 0..rows {
+                    buf[w + r] = alpha * src[r];
+                }
+                for r in rows..MR {
+                    buf[w + r] = 0.0;
+                }
+                w += MR;
+            }
+        } else {
+            for kk in 0..kc {
+                for r in 0..rows {
+                    buf[w + r] = alpha * a[(ic + ir + r) * k + pc + kk];
+                }
+                for r in rows..MR {
+                    buf[w + r] = 0.0;
+                }
+                w += MR;
+            }
+        }
+    }
+}
+
+/// Packs `op(B)[pc..pc+kc, jc..jc+nc]` into `NR`-column strips
+/// (strip-major, then k, then the `NR` columns), zero-padding past `nc`.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    b: &[f32],
+    tb: Trans,
+    k: usize,
+    n: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    buf: &mut [f32],
+) {
+    let mut w = 0;
+    for jr in (0..nc).step_by(NR) {
+        let cols = NR.min(nc - jr);
+        if tb.is_t() {
+            // op(B)[kk, j] = B[j, kk]: storage is n×k, stride-1 in kk.
+            for kk in 0..kc {
+                for cidx in 0..cols {
+                    buf[w + cidx] = b[(jc + jr + cidx) * k + pc + kk];
+                }
+                for cidx in cols..NR {
+                    buf[w + cidx] = 0.0;
+                }
+                w += NR;
+            }
+        } else {
+            for kk in 0..kc {
+                let src = &b[(pc + kk) * n + jc + jr..];
+                buf[w..w + cols].copy_from_slice(&src[..cols]);
+                for cidx in cols..NR {
+                    buf[w + cidx] = 0.0;
+                }
+                w += NR;
+            }
+        }
+    }
+}
+
+/// The register-tiled micro-kernel: `C[MR×NR] += Ap[MR×kc] · Bp[kc×NR]`.
+///
+/// `ap` and `bp` are packed strips (see [`pack_a`]/[`pack_b`]); `crow` points
+/// at `C[i0, j0]` with row stride `ldc`. Only `rows×cols` of the accumulator
+/// tile are written back (edge tiles compute on zero padding).
+///
+/// `inline(never)` is load-bearing: inlined into the blocked loop nest the
+/// register allocator loses the accumulator tile to the surrounding state
+/// and throughput drops ~6× (measured). As a standalone function LLVM keeps
+/// all `MR×NR/LANES` accumulator vectors in registers.
+#[inline(never)]
+fn micro_kernel(
+    ap: &[f32],
+    bp: &[f32],
+    kc: usize,
+    crow: SendPtr,
+    ldc: usize,
+    rows: usize,
+    cols: usize,
+) {
+    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+    let mut acc = [[0.0f32; NR]; MR];
+    // The rank-1 update over fixed-size arrays is the whole trick: LLVM
+    // keeps `acc` in vector registers and emits one packed FMA (or mul+add
+    // pair) per row per k. Raw pointer strides keep bounds checks out of
+    // the innermost loop.
+    let mut a_ptr = ap.as_ptr();
+    let mut b_ptr = bp.as_ptr();
+    for _ in 0..kc {
+        // SAFETY: `ap`/`bp` hold `kc` packed strips of exactly MR/NR
+        // elements (asserted above); the pointers step one strip per k.
+        let b_k = unsafe { &*(b_ptr as *const [f32; NR]) };
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = unsafe { *a_ptr.add(r) };
+            for (slot, &bv) in accr.iter_mut().zip(b_k) {
+                // Deliberately `a*b + c` rather than `f32::mul_add`: LLVM
+                // vectorizes this whole NR-wide row and contracts it to
+                // packed FMA when the target has it, whereas the scalar
+                // `mul_add` intrinsic defeats the SLP vectorizer (measured
+                // 6× slower on an AVX-512 Xeon).
+                *slot += av * bv;
+            }
+        }
+        a_ptr = unsafe { a_ptr.add(MR) };
+        b_ptr = unsafe { b_ptr.add(NR) };
+    }
+    for (r, accr) in acc.iter().enumerate().take(rows) {
+        // SAFETY: the caller hands a row band it owns exclusively; the
+        // `rows`/`cols` clamp keeps writes inside C.
+        let dst = unsafe { crow.slice_mut(r * ldc, cols) };
+        for (d, &v) in dst.iter_mut().zip(accr.iter()) {
+            *d += v;
+        }
+    }
+}
+
+/// The packed, blocked path (see the module docs for the loop structure).
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked(
+    alpha: f32,
+    a: &[f32],
+    ta: Trans,
+    b: &[f32],
+    tb: Trans,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let c_ptr = SendPtr(c.as_mut_ptr());
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let nc_strips = nc.div_ceil(NR);
+            PACK_B.with(|pb| {
+                let mut pb = pb.borrow_mut();
+                let need_b = nc_strips * NR * kc;
+                if pb.len() < need_b {
+                    pb.resize(need_b, 0.0);
+                }
+                pack_b(b, tb, k, n, pc, kc, jc, nc, &mut pb[..need_b]);
+                let pb = &pb[..need_b];
+
+                // Parallel over row blocks: each thread owns disjoint C rows
+                // and packs its own A block into thread-local scratch.
+                let n_blocks = m.div_ceil(MC);
+                let work = 2 * m * nc * kc;
+                for_each_chunk(n_blocks, work, |blocks| {
+                    PACK_A.with(|pa| {
+                        let mut pa = pa.borrow_mut();
+                        for blk in blocks {
+                            let ic = blk * MC;
+                            let mc = MC.min(m - ic);
+                            let mc_strips = mc.div_ceil(MR);
+                            let need_a = mc_strips * MR * kc;
+                            if pa.len() < need_a {
+                                pa.resize(need_a, 0.0);
+                            }
+                            pack_a(alpha, a, ta, m, k, ic, mc, pc, kc, &mut pa[..need_a]);
+                            let pa = &pa[..need_a];
+
+                            for (js, jr) in (0..nc).step_by(NR).enumerate() {
+                                let cols = NR.min(nc - jr);
+                                let bp = &pb[js * NR * kc..(js + 1) * NR * kc];
+                                for (is, ir) in (0..mc).step_by(MR).enumerate() {
+                                    let rows = MR.min(mc - ir);
+                                    let ap = &pa[is * MR * kc..(is + 1) * MR * kc];
+                                    let crow = unsafe { c_ptr.add((ic + ir) * n + jc + jr) };
+                                    micro_kernel(ap, bp, kc, crow, n, rows, cols);
+                                }
+                            }
+                        }
+                    });
+                });
             });
         }
     }
@@ -244,6 +577,28 @@ mod tests {
     }
 
     #[test]
+    fn all_transpose_combinations_agree_blocked_sizes() {
+        // Big enough to exercise the packed path, odd enough to hit every
+        // edge-tile case (m, n not multiples of MR/NR; k not of KC).
+        let (m, k, n) = (61, 277, 43);
+        let a = rand_tensor(&[m, k], 13);
+        let b = rand_tensor(&[k, n], 14);
+        let reference = naive_matmul(&a, &b);
+        let at = a.transposed();
+        let bt = b.transposed();
+        for (aa, ta, bb, tb) in [
+            (&a, Trans::No, &b, Trans::No),
+            (&at, Trans::Yes, &b, Trans::No),
+            (&a, Trans::No, &bt, Trans::Yes),
+            (&at, Trans::Yes, &bt, Trans::Yes),
+        ] {
+            let mut c = Tensor::zeros(&[m, n]);
+            gemm(1.0, aa, ta, bb, tb, 0.0, &mut c);
+            assert_close(&c, &reference, 1e-3);
+        }
+    }
+
+    #[test]
     fn alpha_beta_accumulate() {
         let a = rand_tensor(&[3, 3], 5);
         let b = Tensor::eye(3);
@@ -253,6 +608,23 @@ mod tests {
             for j in 0..3 {
                 let want = 2.0 * a.at(&[i, j]) + 3.0;
                 assert!((c.at(&[i, j]) - want).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_beta_accumulate_blocked() {
+        let (m, k, n) = (37, 129, 53);
+        let a = rand_tensor(&[m, k], 21);
+        let b = rand_tensor(&[k, n], 22);
+        let c0 = rand_tensor(&[m, n], 23);
+        let mut c = c0.clone();
+        gemm(0.5, &a, Trans::No, &b, Trans::No, -1.5, &mut c);
+        let reference = naive_matmul(&a, &b);
+        for i in 0..m {
+            for j in 0..n {
+                let want = 0.5 * reference.at(&[i, j]) - 1.5 * c0.at(&[i, j]);
+                assert!((c.at(&[i, j]) - want).abs() < 1e-3);
             }
         }
     }
@@ -272,6 +644,32 @@ mod tests {
         let y = matvec(&a, &x);
         let y2 = matmul(&a, &x.to_shape(&[6, 1])).reshape(&[4]);
         assert_close(&y, &y2, 1e-6);
+    }
+
+    #[test]
+    fn gemm_raw_writes_into_subslice_views() {
+        // The conv layers multiply directly into batch-image slices; check
+        // the raw entry point against the tensor one.
+        let a = rand_tensor(&[5, 11], 31);
+        let b = rand_tensor(&[11, 9], 32);
+        let want = matmul(&a, &b);
+        let mut big = vec![7.0f32; 2 * 5 * 9];
+        gemm_raw(
+            1.0,
+            a.as_slice(),
+            Trans::No,
+            b.as_slice(),
+            Trans::No,
+            0.0,
+            &mut big[45..90],
+            5,
+            11,
+            9,
+        );
+        assert_eq!(&big[..45], &[7.0; 45][..], "prefix untouched");
+        for (x, y) in big[45..].iter().zip(want.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
     }
 
     #[test]

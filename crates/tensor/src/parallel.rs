@@ -1,15 +1,95 @@
-//! A minimal fork-join helper over row ranges, built on `crossbeam::scope`.
+//! A persistent fork-join worker pool for the dense-compute kernels.
 //!
-//! The convolution and GEMM kernels split their output-row loops across the
-//! machine's cores. With the tiny models used in CI this usually stays
-//! single-threaded (below [`PAR_THRESHOLD_FLOPS`]); experiment-scale GEMMs
-//! fan out.
+//! The convolution and GEMM kernels split their output loops across the
+//! machine's cores. Earlier revisions spawned fresh OS threads through
+//! `crossbeam::scope` on **every** call — dozens of times per frame in the
+//! 30 FPS adaptation loop, each paying thread-creation latency. This module
+//! replaces that with a lazily-initialized pool of `cores − 1` long-lived
+//! workers fed over channels; the calling thread executes the first chunk
+//! itself, so small machines (including 1-core CI) never context-switch.
+//!
+//! With the tiny models used in CI the work usually stays below
+//! [`PAR_THRESHOLD_FLOPS`] and runs single-threaded on the caller.
 
 use std::ops::Range;
-use std::sync::OnceLock;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Work sizes (in FLOPs or elements) below this run on the calling thread.
 pub const PAR_THRESHOLD_FLOPS: usize = 1 << 18;
+
+/// A unit of work shipped to a persistent worker.
+///
+/// The closure is type-erased to `'static`, but [`for_each_chunk`] blocks
+/// until every job completes, so borrows inside the closure never outlive
+/// the call (the same discipline `crossbeam::scope` enforced structurally).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Completion latch shared between one `for_each_chunk` call and its jobs.
+struct Latch {
+    remaining: AtomicUsize,
+    panicked: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Self {
+        Latch {
+            remaining: AtomicUsize::new(n),
+            panicked: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn job_done(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.lock.lock().expect("latch lock poisoned");
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut g = self.lock.lock().expect("latch lock poisoned");
+        while self.remaining.load(Ordering::Acquire) > 0 {
+            g = self.cv.wait(g).expect("latch wait poisoned");
+        }
+    }
+}
+
+/// The process-wide worker pool: `cores − 1` threads, one channel each.
+struct Pool {
+    senders: Vec<Sender<Job>>,
+}
+
+impl Pool {
+    fn new(workers: usize) -> Self {
+        let mut senders = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = channel::<Job>();
+            std::thread::Builder::new()
+                .name(format!("ld-pool-{i}"))
+                .spawn(move || {
+                    // Workers live for the process lifetime; they exit when
+                    // the channel disconnects at process teardown.
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+                .expect("failed to spawn pool worker");
+            senders.push(tx);
+        }
+        Pool { senders }
+    }
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool::new(num_threads().saturating_sub(1)))
+}
 
 fn num_threads() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
@@ -20,12 +100,35 @@ fn num_threads() -> usize {
     })
 }
 
+thread_local! {
+    /// `true` while this thread is executing a chunk of a parallel region.
+    /// Nested `for_each_chunk` calls then run inline: the outer split already
+    /// owns the cores, and a worker enqueueing onto its own channel while
+    /// blocked on the latch would deadlock.
+    static IN_PARALLEL_REGION: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Number of threads `for_each_chunk` can use (persistent workers + caller).
+pub fn pool_width() -> usize {
+    num_threads()
+}
+
 /// Runs `f` over `0..total` split into contiguous chunks, in parallel when
 /// `work_hint` (an estimate of total FLOPs/elements) is large enough.
 ///
 /// `f` receives the chunk's index range. Chunks never overlap and cover the
 /// whole range exactly once, so disjoint output slices may be written through
 /// interior mutability by the caller.
+///
+/// Parallel execution reuses the persistent pool — no OS threads are spawned
+/// per call. The calling thread always executes the first chunk itself and
+/// blocks until the workers finish the rest, which is what makes lending
+/// non-`'static` borrows to the workers sound.
+///
+/// # Panics
+///
+/// Panics if a worker job panicked (mirrors the old `crossbeam::scope`
+/// behavior); the pool itself survives.
 ///
 /// # Example
 ///
@@ -42,21 +145,57 @@ pub fn for_each_chunk(total: usize, work_hint: usize, f: impl Fn(Range<usize>) +
         return;
     }
     let threads = num_threads().min(total);
-    if threads <= 1 || work_hint < PAR_THRESHOLD_FLOPS {
+    if threads <= 1 || work_hint < PAR_THRESHOLD_FLOPS || IN_PARALLEL_REGION.with(|g| g.get()) {
         f(0..total);
         return;
     }
+
+    let pool = pool();
     let chunk = total.div_ceil(threads);
-    crossbeam::scope(|s| {
-        let mut start = 0;
-        while start < total {
-            let end = (start + chunk).min(total);
-            let fr = &f;
-            s.spawn(move |_| fr(start..end));
-            start = end;
-        }
-    })
-    .expect("parallel worker panicked");
+    // Chunk 0 runs on the caller; chunks 1.. go to the workers.
+    let worker_chunks: Vec<Range<usize>> = (1..threads)
+        .map(|t| (t * chunk).min(total)..((t + 1) * chunk).min(total))
+        .filter(|r| !r.is_empty())
+        .collect();
+    let latch = Latch::new(worker_chunks.len());
+
+    // SAFETY: the jobs only run between now and `latch.wait()` returning,
+    // during which the caller's stack frame (holding `f` and `latch`) is
+    // pinned. Erasing the lifetimes lets the borrows cross the `'static`
+    // bound on the worker channel.
+    let f_ref: &(dyn Fn(Range<usize>) + Sync) = &f;
+    let f_static: &'static (dyn Fn(Range<usize>) + Sync) = unsafe { std::mem::transmute(f_ref) };
+    let latch_static: &'static Latch = unsafe { std::mem::transmute(&latch) };
+
+    for (i, range) in worker_chunks.into_iter().enumerate() {
+        let job: Job = Box::new(move || {
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                IN_PARALLEL_REGION.with(|g| g.set(true));
+                f_static(range);
+            }));
+            IN_PARALLEL_REGION.with(|g| g.set(false));
+            if result.is_err() {
+                latch_static.panicked.store(true, Ordering::Release);
+            }
+            latch_static.job_done();
+        });
+        // Round-robin over the worker channels. Send only fails if a worker
+        // died, which only happens at process teardown.
+        pool.senders[i % pool.senders.len()]
+            .send(job)
+            .expect("pool worker disconnected");
+    }
+
+    let caller_result = panic::catch_unwind(AssertUnwindSafe(|| {
+        IN_PARALLEL_REGION.with(|g| g.set(true));
+        f(0..chunk.min(total));
+    }));
+    IN_PARALLEL_REGION.with(|g| g.set(false));
+    latch.wait();
+    if caller_result.is_err() || latch.panicked.load(Ordering::Acquire) {
+        // Re-raise after all borrows of `f`/`latch` have quiesced.
+        panic!("parallel worker panicked");
+    }
 }
 
 /// A raw-pointer wrapper letting disjoint row ranges of one buffer be written
@@ -85,6 +224,15 @@ impl SendPtr {
     /// buffer.
     pub unsafe fn slice_mut<'a>(self, offset: usize, len: usize) -> &'a mut [f32] {
         std::slice::from_raw_parts_mut(self.0.add(offset), len)
+    }
+
+    /// A pointer `offset` elements further into the same buffer.
+    ///
+    /// # Safety
+    ///
+    /// `offset` must stay within the original allocation.
+    pub unsafe fn add(self, offset: usize) -> SendPtr {
+        SendPtr(self.0.add(offset))
     }
 }
 
@@ -129,5 +277,65 @@ mod tests {
         for (i, &x) in buf.iter().enumerate() {
             assert_eq!(x, i as f32);
         }
+    }
+
+    /// Reads the live thread count of this process from procfs.
+    #[cfg(target_os = "linux")]
+    fn os_thread_count() -> usize {
+        let status = std::fs::read_to_string("/proc/self/status").expect("procfs");
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix("Threads:"))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("Threads: line")
+    }
+
+    /// The acceptance test for the pool: repeated parallel calls must not
+    /// spawn per-call OS threads. (Before this module existed, each call
+    /// forked `cores` fresh threads through `crossbeam::scope`.)
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn repeated_calls_spawn_no_new_threads() {
+        // Warm the pool.
+        for_each_chunk(512, usize::MAX, |_r| {});
+        let before = os_thread_count();
+        for _ in 0..100 {
+            for_each_chunk(512, usize::MAX, |_r| {});
+        }
+        let after = os_thread_count();
+        assert_eq!(
+            before, after,
+            "thread count grew across 100 parallel calls: {before} -> {after}"
+        );
+        // And the pool is bounded by the core count.
+        assert!(after <= 2 + pool_width(), "unexpected thread count {after}");
+    }
+
+    #[test]
+    fn pool_width_is_positive() {
+        assert!(pool_width() >= 1);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn worker_panic_propagates_and_pool_survives() {
+        if pool_width() < 2 {
+            // Single-core: the panicking chunk runs on the caller anyway.
+            return;
+        }
+        let result = std::panic::catch_unwind(|| {
+            for_each_chunk(1000, usize::MAX, |r| {
+                if r.start > 0 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(result.is_err(), "worker panic must propagate");
+        // The pool still works afterwards.
+        let acc = AtomicUsize::new(0);
+        for_each_chunk(1000, usize::MAX, |r| {
+            acc.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 1000);
     }
 }

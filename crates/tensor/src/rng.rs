@@ -5,10 +5,12 @@
 //! experiments are reproducible from a single `u64` seed.
 
 use crate::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A seedable RNG with tensor-filling and NN-initialisation helpers.
+///
+/// Internally a xoshiro256++ generator seeded through splitmix64 — small,
+/// fast, dependency-free, and identical across platforms, which is all the
+/// reproduction needs (no external `rand` crate involved).
 ///
 /// # Example
 ///
@@ -20,7 +22,7 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SeededRng {
-    inner: StdRng,
+    state: [u64; 4],
     /// Cached second Box–Muller sample.
     spare_normal: Option<f32>,
 }
@@ -28,23 +30,51 @@ pub struct SeededRng {
 impl SeededRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        // Expand the seed into four non-zero words with splitmix64.
+        let mut sm = seed;
+        let mut next_word = move || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
         SeededRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [next_word(), next_word(), next_word(), next_word()],
             spare_normal: None,
         }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++ step).
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f32` in `[0, 1)` from the top 24 bits of one output.
+    fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
     }
 
     /// Derives an independent child generator (for parallel streams).
     pub fn derive(&self, salt: u64) -> SeededRng {
         // Mix a fresh draw with the salt via splitmix64 finalisation.
-        let mut base = self.inner.clone();
-        let x: u64 = base.gen();
+        let mut base = self.clone();
+        let x = base.next_u64();
         SeededRng::new(mix_seed(x, salt))
     }
 
     /// Uniform sample in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
-        self.inner.gen::<f32>() * (hi - lo) + lo
+        self.next_f32() * (hi - lo) + lo
     }
 
     /// Uniform integer in `[0, n)`.
@@ -54,12 +84,14 @@ impl SeededRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index: n must be > 0");
-        self.inner.gen_range(0..n)
+        // Lemire's multiply-shift maps a 64-bit draw onto [0, n) without bias
+        // worth caring about at these n.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Bernoulli draw with probability `p` of `true`.
     pub fn chance(&mut self, p: f32) -> bool {
-        self.inner.gen::<f32>() < p
+        self.next_f32() < p
     }
 
     /// Standard normal sample via Box–Muller.
@@ -68,8 +100,8 @@ impl SeededRng {
             Some(z) => z,
             None => {
                 // Box–Muller transform with guarded log argument.
-                let u1: f32 = self.inner.gen::<f32>().max(1e-12);
-                let u2: f32 = self.inner.gen();
+                let u1: f32 = self.next_f32().max(1e-12);
+                let u2: f32 = self.next_f32();
                 let r = (-2.0 * u1.ln()).sqrt();
                 let theta = 2.0 * std::f32::consts::PI * u2;
                 self.spare_normal = Some(r * theta.sin());

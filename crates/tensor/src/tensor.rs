@@ -198,7 +198,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank 2.
     pub fn transposed(&self) -> Self {
-        assert_eq!(self.rank(), 2, "transposed: want rank 2, got {}", self.rank());
+        assert_eq!(
+            self.rank(),
+            2,
+            "transposed: want rank 2, got {}",
+            self.rank()
+        );
         let (m, n) = (self.shape.dim(0), self.shape.dim(1));
         let mut out = Tensor::zeros(&[n, m]);
         for i in 0..m {
@@ -336,7 +341,11 @@ impl Tensor {
     /// Panics if `axis >= rank`.
     pub fn sum_axis(&self, axis: usize) -> Tensor {
         let dims = self.shape.dims();
-        assert!(axis < dims.len(), "sum_axis: axis {axis} >= rank {}", dims.len());
+        assert!(
+            axis < dims.len(),
+            "sum_axis: axis {axis} >= rank {}",
+            dims.len()
+        );
         let outer: usize = dims[..axis].iter().product();
         let mid = dims[axis];
         let inner: usize = dims[axis + 1..].iter().product();
@@ -378,7 +387,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank 4 or `n` is out of range.
     pub fn image(&self, n: usize) -> &[f32] {
-        assert_eq!(self.rank(), 4, "image: want NCHW rank-4, got {}", self.rank());
+        assert_eq!(
+            self.rank(),
+            4,
+            "image: want NCHW rank-4, got {}",
+            self.rank()
+        );
         let per = self.shape.dim(1) * self.shape.dim(2) * self.shape.dim(3);
         assert!(n < self.shape.dim(0), "image: batch index {n} out of range");
         &self.data[n * per..(n + 1) * per]
@@ -390,9 +404,17 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank 4 or `n` is out of range.
     pub fn image_mut(&mut self, n: usize) -> &mut [f32] {
-        assert_eq!(self.rank(), 4, "image_mut: want NCHW rank-4, got {}", self.rank());
+        assert_eq!(
+            self.rank(),
+            4,
+            "image_mut: want NCHW rank-4, got {}",
+            self.rank()
+        );
         let per = self.shape.dim(1) * self.shape.dim(2) * self.shape.dim(3);
-        assert!(n < self.shape.dim(0), "image_mut: batch index {n} out of range");
+        assert!(
+            n < self.shape.dim(0),
+            "image_mut: batch index {n} out of range"
+        );
         &mut self.data[n * per..(n + 1) * per]
     }
 
@@ -456,7 +478,13 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank 4.
     pub fn dims4(&self) -> (usize, usize, usize, usize) {
-        assert_eq!(self.rank(), 4, "dims4: want rank 4, got {} ({})", self.rank(), self.shape);
+        assert_eq!(
+            self.rank(),
+            4,
+            "dims4: want rank 4, got {} ({})",
+            self.rank(),
+            self.shape
+        );
         (
             self.shape.dim(0),
             self.shape.dim(1),
@@ -471,7 +499,13 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank 2.
     pub fn dims2(&self) -> (usize, usize) {
-        assert_eq!(self.rank(), 2, "dims2: want rank 2, got {} ({})", self.rank(), self.shape);
+        assert_eq!(
+            self.rank(),
+            2,
+            "dims2: want rank 2, got {} ({})",
+            self.rank(),
+            self.shape
+        );
         (self.shape.dim(0), self.shape.dim(1))
     }
 

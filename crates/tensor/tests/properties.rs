@@ -1,114 +1,272 @@
 //! Property-based tests for the tensor substrate's algebraic invariants.
+//!
+//! Implemented as seeded randomized loops (the offline build cannot fetch
+//! `proptest`); every case is deterministic from its loop index, so a failure
+//! message pinpoints a reproducible input.
 
 use ld_tensor::conv::{col2im, im2col, ConvGeom};
 use ld_tensor::linalg::{gemm, matmul, Trans};
 use ld_tensor::rng::SeededRng;
 use ld_tensor::Tensor;
-use proptest::prelude::*;
 
-fn small_dims() -> impl Strategy<Value = (usize, usize, usize)> {
-    (1usize..8, 1usize..8, 1usize..8)
+/// Deterministic `(m, n, k)` in `[1, 8)³` for case `i`.
+fn small_dims(i: u64) -> (usize, usize, usize) {
+    let mut r = SeededRng::new(0xD1_35 ^ i);
+    (1 + r.index(7), 1 + r.index(7), 1 + r.index(7))
 }
 
 fn tensor_of(dims: &[usize], seed: u64) -> Tensor {
     SeededRng::new(seed).uniform_tensor(dims, -2.0, 2.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn matmul_identity_left((m, n, _k) in small_dims(), seed in 0u64..1000) {
-        let a = tensor_of(&[m, n], seed);
-        let i = Tensor::eye(m);
-        let c = matmul(&i, &a);
-        prop_assert_eq!(c.as_slice(), a.as_slice());
+/// Reference triple-loop product of `op(a)·op(b)` used to pit the blocked
+/// GEMM against a trivially-correct implementation.
+fn naive_gemm(
+    alpha: f32,
+    a: &Tensor,
+    ta: Trans,
+    b: &Tensor,
+    tb: Trans,
+    beta: f32,
+    c: &Tensor,
+) -> Tensor {
+    let (ar, ac) = a.dims2();
+    let (m, k) = if ta == Trans::Yes { (ac, ar) } else { (ar, ac) };
+    let (br, bc) = b.dims2();
+    let n = if tb == Trans::Yes { br } else { bc };
+    let at = |i: usize, kk: usize| {
+        if ta == Trans::Yes {
+            a.at(&[kk, i])
+        } else {
+            a.at(&[i, kk])
+        }
+    };
+    let bt = |kk: usize, j: usize| {
+        if tb == Trans::Yes {
+            b.at(&[j, kk])
+        } else {
+            b.at(&[kk, j])
+        }
+    };
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0f32;
+            for kk in 0..k {
+                s += at(i, kk) * bt(kk, j);
+            }
+            *out.at_mut(&[i, j]) = alpha * s + beta * c.at(&[i, j]);
+        }
     }
+    out
+}
 
-    #[test]
-    fn matmul_identity_right((m, n, _k) in small_dims(), seed in 0u64..1000) {
-        let a = tensor_of(&[m, n], seed);
-        let i = Tensor::eye(n);
-        let c = matmul(&a, &i);
-        prop_assert_eq!(c.as_slice(), a.as_slice());
+fn assert_close(a: &Tensor, b: &Tensor, tol: f32, ctx: &str) {
+    assert_eq!(a.shape_dims(), b.shape_dims(), "{ctx}: shape mismatch");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert!((x - y).abs() <= tol, "{ctx}: elem {i}: {x} vs {y}");
     }
+}
 
-    #[test]
-    fn matmul_distributes_over_addition((m, n, k) in small_dims(), seed in 0u64..1000) {
-        let a = tensor_of(&[m, k], seed);
-        let b1 = tensor_of(&[k, n], seed + 1);
-        let b2 = tensor_of(&[k, n], seed + 2);
+#[test]
+fn matmul_identity_left_and_right() {
+    for i in 0..64 {
+        let (m, n, _) = small_dims(i);
+        let a = tensor_of(&[m, n], i);
+        assert_eq!(matmul(&Tensor::eye(m), &a).as_slice(), a.as_slice());
+        assert_eq!(matmul(&a, &Tensor::eye(n)).as_slice(), a.as_slice());
+    }
+}
+
+#[test]
+fn matmul_distributes_over_addition() {
+    for i in 0..64 {
+        let (m, n, k) = small_dims(i);
+        let a = tensor_of(&[m, k], i);
+        let b1 = tensor_of(&[k, n], i + 1);
+        let b2 = tensor_of(&[k, n], i + 2);
         let b_sum = &b1 + &b2;
         let lhs = matmul(&a, &b_sum);
         let rhs = &matmul(&a, &b1) + &matmul(&a, &b2);
-        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-4, "{} vs {}", x, y);
-        }
+        assert_close(&lhs, &rhs, 1e-4, &format!("case {i}"));
     }
+}
 
-    #[test]
-    fn gemm_transpose_consistency((m, n, k) in small_dims(), seed in 0u64..1000) {
+#[test]
+fn gemm_transpose_consistency() {
+    for i in 0..64 {
         // (A·B)ᵀ == Bᵀ·Aᵀ
-        let a = tensor_of(&[m, k], seed);
-        let b = tensor_of(&[k, n], seed + 9);
+        let (m, n, k) = small_dims(i);
+        let a = tensor_of(&[m, k], i);
+        let b = tensor_of(&[k, n], i + 9);
         let ab_t = matmul(&a, &b).transposed();
         let mut bt_at = Tensor::zeros(&[n, m]);
         gemm(1.0, &b, Trans::Yes, &a, Trans::Yes, 0.0, &mut bt_at);
-        for (x, y) in ab_t.as_slice().iter().zip(bt_at.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-4);
+        assert_close(&ab_t, &bt_at, 1e-4, &format!("case {i}"));
+    }
+}
+
+#[test]
+fn blocked_gemm_matches_naive_all_transpose_combos() {
+    // Randomized (m, k, n) sweep including sizes around and across the
+    // micro-kernel/cache-block boundaries (non-multiples of MR/NR/KC).
+    let mut r = SeededRng::new(0xB10C);
+    for case in 0..48u64 {
+        let m = 1 + r.index(97);
+        let k = 1 + r.index(70);
+        let n = 1 + r.index(97);
+        for (ti, &(ta, tb)) in [
+            (Trans::No, Trans::No),
+            (Trans::Yes, Trans::No),
+            (Trans::No, Trans::Yes),
+            (Trans::Yes, Trans::Yes),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let a_dims = if ta == Trans::Yes { [k, m] } else { [m, k] };
+            let b_dims = if tb == Trans::Yes { [n, k] } else { [k, n] };
+            let a = tensor_of(&a_dims, case * 31 + ti as u64);
+            let b = tensor_of(&b_dims, case * 37 + ti as u64 + 1);
+            let mut c = tensor_of(&[m, n], case * 41 + ti as u64 + 2);
+            let want = naive_gemm(1.0, &a, ta, &b, tb, 0.0, &c);
+            gemm(1.0, &a, ta, &b, tb, 0.0, &mut c);
+            assert_close(
+                &c,
+                &want,
+                1e-4 * k as f32,
+                &format!("case {case} combo {ti} ({m}x{k}x{n})"),
+            );
         }
     }
+}
 
-    #[test]
-    fn sum_axis_preserves_total(
-        (a, b, c) in small_dims(),
-        axis in 0usize..3,
-        seed in 0u64..1000,
-    ) {
-        let t = tensor_of(&[a, b, c], seed);
+#[test]
+fn blocked_gemm_matches_naive_alpha_beta() {
+    let mut r = SeededRng::new(0xA1FA);
+    for case in 0..32u64 {
+        let m = 1 + r.index(80);
+        let k = 1 + r.index(48);
+        let n = 1 + r.index(80);
+        let alpha = r.uniform(-2.0, 2.0);
+        let beta = [0.0, 1.0, r.uniform(-1.5, 1.5)][r.index(3)];
+        let a = tensor_of(&[m, k], case * 7);
+        let b = tensor_of(&[k, n], case * 7 + 1);
+        let c0 = tensor_of(&[m, n], case * 7 + 2);
+        let want = naive_gemm(alpha, &a, Trans::No, &b, Trans::No, beta, &c0);
+        let mut c = c0.clone();
+        gemm(alpha, &a, Trans::No, &b, Trans::No, beta, &mut c);
+        assert_close(
+            &c,
+            &want,
+            1e-4 * (1.0 + k as f32),
+            &format!("case {case} ({m}x{k}x{n}, α={alpha}, β={beta})"),
+        );
+    }
+}
+
+#[test]
+fn blocked_gemm_matches_naive_at_tile_edges() {
+    // Exact tile multiples and ±1 around them, where packing edge handling
+    // is most likely to go wrong.
+    for &m in &[1usize, 7, 8, 9, 15, 16, 17, 31, 32, 33] {
+        for &(k, n) in &[(1usize, 1usize), (8, 8), (9, 7), (17, 33), (64, 24)] {
+            let a = tensor_of(&[m, k], (m * 1000 + k) as u64);
+            let b = tensor_of(&[k, n], (k * 1000 + n) as u64);
+            let want = naive_gemm(
+                1.0,
+                &a,
+                Trans::No,
+                &b,
+                Trans::No,
+                0.0,
+                &Tensor::zeros(&[m, n]),
+            );
+            let got = matmul(&a, &b);
+            assert_close(&got, &want, 1e-4 * k as f32, &format!("{m}x{k}x{n}"));
+        }
+    }
+}
+
+#[test]
+fn sum_axis_preserves_total() {
+    for i in 0..64 {
+        let (a, b, c) = small_dims(i);
+        let t = tensor_of(&[a, b, c], i);
         let total = t.sum();
+        let axis = (i % 3) as usize;
         let reduced = t.sum_axis(axis);
-        prop_assert!((reduced.sum() - total).abs() < 1e-3 * (1.0 + total.abs()));
+        assert!((reduced.sum() - total).abs() < 1e-3 * (1.0 + total.abs()));
     }
+}
 
-    #[test]
-    fn transpose_is_involution((m, n, _k) in small_dims(), seed in 0u64..1000) {
-        let a = tensor_of(&[m, n], seed);
+#[test]
+fn transpose_is_involution() {
+    for i in 0..64 {
+        let (m, n, _) = small_dims(i);
+        let a = tensor_of(&[m, n], i);
         let tt = a.transposed().transposed();
-        prop_assert_eq!(tt.as_slice(), a.as_slice());
+        assert_eq!(tt.as_slice(), a.as_slice());
     }
+}
 
-    #[test]
-    fn im2col_col2im_adjoint(
-        c in 1usize..3, h in 3usize..8, w in 3usize..8,
-        k in 1usize..4, stride in 1usize..3, pad in 0usize..2,
-        seed in 0u64..1000,
-    ) {
-        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
-        let g = ConvGeom { c, h, w, kh: k, kw: k, stride, pad };
-        let mut rng = SeededRng::new(seed);
+#[test]
+fn im2col_col2im_adjoint() {
+    let mut r = SeededRng::new(0xC01);
+    for case in 0..64u64 {
+        let c = 1 + r.index(2);
+        let h = 3 + r.index(5);
+        let w = 3 + r.index(5);
+        let k = 1 + r.index(3);
+        let stride = 1 + r.index(2);
+        let pad = r.index(2);
+        if h + 2 * pad < k || w + 2 * pad < k {
+            continue;
+        }
+        let g = ConvGeom {
+            c,
+            h,
+            w,
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+        };
+        let mut rng = SeededRng::new(case);
         let x: Vec<f32> = (0..g.image_len()).map(|_| rng.uniform(-1.0, 1.0)).collect();
-        let y: Vec<f32> = (0..g.col_rows() * g.col_cols()).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let y: Vec<f32> = (0..g.col_rows() * g.col_cols())
+            .map(|_| rng.uniform(-1.0, 1.0))
+            .collect();
         let mut cx = vec![0.0; y.len()];
         im2col(&x, g, &mut cx);
         let lhs: f32 = cx.iter().zip(&y).map(|(p, q)| p * q).sum();
         let mut aty = vec![0.0; x.len()];
         col2im(&y, g, &mut aty);
         let rhs: f32 = x.iter().zip(&aty).map(|(p, q)| p * q).sum();
-        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()),
+            "case {case}: {lhs} vs {rhs}"
+        );
     }
+}
 
-    #[test]
-    fn bytes_roundtrip_any_shape((a, b, c) in small_dims(), seed in 0u64..1000) {
-        let t = tensor_of(&[a, b, c], seed);
+#[test]
+fn bytes_roundtrip_any_shape() {
+    for i in 0..64 {
+        let (a, b, c) = small_dims(i);
+        let t = tensor_of(&[a, b, c], i);
         let back = Tensor::from_bytes(t.to_bytes()).expect("decode");
-        prop_assert_eq!(t, back);
+        assert_eq!(t, back);
     }
+}
 
-    #[test]
-    fn channel_stats_normalisation(n in 1usize..4, c in 1usize..4, hw in 1usize..5, seed in 0u64..1000) {
+#[test]
+fn channel_stats_normalisation() {
+    for i in 0..64u64 {
+        let mut r = SeededRng::new(0x57A7 ^ i);
+        let (n, c, hw) = (1 + r.index(3), 1 + r.index(3), 1 + r.index(4));
         // After (x - mean)/std per channel, batch stats become ~(0, 1).
-        let t = tensor_of(&[n, c, hw, hw], seed);
+        let t = tensor_of(&[n, c, hw, hw], i);
         let m = t.channel_mean_nchw();
         let v = t.channel_var_nchw(&m);
         let mut norm = t.clone();
@@ -119,14 +277,14 @@ proptest! {
                 let mean = m.as_slice()[ci];
                 let plane = hh * ww;
                 let base = (ni * cc + ci) * plane;
-                for i in 0..plane {
-                    norm.as_mut_slice()[base + i] = (t.as_slice()[base + i] - mean) / std;
+                for j in 0..plane {
+                    norm.as_mut_slice()[base + j] = (t.as_slice()[base + j] - mean) / std;
                 }
             }
         }
         let m2 = norm.channel_mean_nchw();
         for &x in m2.as_slice() {
-            prop_assert!(x.abs() < 1e-3);
+            assert!(x.abs() < 1e-3);
         }
     }
 }

@@ -11,10 +11,8 @@
 //! unit tests. The Jetson Orin latency model always consumes the paper-scale
 //! config.
 
-use serde::{Deserialize, Serialize};
-
 /// Backbone choice (paper: R-18 vs R-34).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Backbone {
     /// ResNet-18: BasicBlock stages `[2, 2, 2, 2]`.
     ResNet18,
@@ -47,7 +45,7 @@ impl std::fmt::Display for Backbone {
 }
 
 /// Full architectural description of a UFLD lane-detection model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UfldConfig {
     /// Backbone depth.
     pub backbone: Backbone,
@@ -157,7 +155,12 @@ impl UfldConfig {
 
     /// Stage channel widths `w, 2w, 4w, 8w`.
     pub fn stage_channels(&self) -> [usize; 4] {
-        [self.width_base, self.width_base * 2, self.width_base * 4, self.width_base * 8]
+        [
+            self.width_base,
+            self.width_base * 2,
+            self.width_base * 4,
+            self.width_base * 8,
+        ]
     }
 
     /// Spatial size of the backbone output feature map.
@@ -207,7 +210,11 @@ impl UfldConfig {
                 self.input_height, self.input_width
             ));
         }
-        if self.width_base == 0 || self.griding_num == 0 || self.row_anchors == 0 || self.num_lanes == 0 {
+        if self.width_base == 0
+            || self.griding_num == 0
+            || self.row_anchors == 0
+            || self.num_lanes == 0
+        {
             return Err("zero-sized architectural dimension".into());
         }
         let (fh, fw) = self.feature_dims();
@@ -248,8 +255,12 @@ mod tests {
     #[test]
     fn scaled_and_tiny_validate() {
         for lanes in [2, 4] {
-            UfldConfig::paper(Backbone::ResNet34, lanes).validate().unwrap();
-            UfldConfig::scaled(Backbone::ResNet18, lanes).validate().unwrap();
+            UfldConfig::paper(Backbone::ResNet34, lanes)
+                .validate()
+                .unwrap();
+            UfldConfig::scaled(Backbone::ResNet18, lanes)
+                .validate()
+                .unwrap();
             UfldConfig::tiny(lanes).validate().unwrap();
         }
     }

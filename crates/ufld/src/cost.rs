@@ -9,10 +9,9 @@
 //! FLOPs; normalisation/activation layers count their per-element ops.
 
 use crate::config::UfldConfig;
-use serde::{Deserialize, Serialize};
 
 /// Operator category (drives per-kind efficiency in the roofline model).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CostKind {
     /// Convolution (GEMM-bound).
     Conv,
@@ -29,7 +28,7 @@ pub enum CostKind {
 }
 
 /// Cost of a single operator instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerCost {
     /// Layer name (mirrors the model's parameter naming).
     pub name: String,
@@ -51,7 +50,17 @@ pub struct LayerCost {
 
 impl LayerCost {
     #[allow(clippy::too_many_arguments)] // private ctor mirroring conv geometry
-    fn conv(name: &str, cin: usize, cout: usize, k: usize, oh: usize, ow: usize, ih: usize, iw: usize, bias: bool) -> Self {
+    fn conv(
+        name: &str,
+        cin: usize,
+        cout: usize,
+        k: usize,
+        oh: usize,
+        ow: usize,
+        ih: usize,
+        iw: usize,
+        bias: bool,
+    ) -> Self {
         let params = cout * cin * k * k + if bias { cout } else { 0 };
         LayerCost {
             name: name.into(),
@@ -146,7 +155,17 @@ pub fn model_costs(cfg: &UfldConfig) -> Vec<LayerCost> {
 
     // Stem.
     let (oh, ow) = (out_dim(h, 7, 2, 3), out_dim(w, 7, 2, 3));
-    costs.push(LayerCost::conv("stem.conv", cfg.input_channels, chans[0], 7, oh, ow, h, w, false));
+    costs.push(LayerCost::conv(
+        "stem.conv",
+        cfg.input_channels,
+        chans[0],
+        7,
+        oh,
+        ow,
+        h,
+        w,
+        false,
+    ));
     costs.push(LayerCost::bn("stem.bn", chans[0], oh, ow));
     costs.push(LayerCost::act("stem.relu", chans[0] * oh * ow));
     let (ph, pw) = (out_dim(oh, 3, 2, 1), out_dim(ow, 3, 2, 1));
@@ -162,13 +181,43 @@ pub fn model_costs(cfg: &UfldConfig) -> Vec<LayerCost> {
             let stride = if stage > 0 && b == 0 { 2 } else { 1 };
             let name = format!("layer{}.{}", stage + 1, b);
             let (oh, ow) = (out_dim(h, 3, stride, 1), out_dim(w, 3, stride, 1));
-            costs.push(LayerCost::conv(&format!("{name}.conv1"), in_ch, out_ch, 3, oh, ow, h, w, false));
+            costs.push(LayerCost::conv(
+                &format!("{name}.conv1"),
+                in_ch,
+                out_ch,
+                3,
+                oh,
+                ow,
+                h,
+                w,
+                false,
+            ));
             costs.push(LayerCost::bn(&format!("{name}.bn1"), out_ch, oh, ow));
             costs.push(LayerCost::act(&format!("{name}.relu1"), out_ch * oh * ow));
-            costs.push(LayerCost::conv(&format!("{name}.conv2"), out_ch, out_ch, 3, oh, ow, oh, ow, false));
+            costs.push(LayerCost::conv(
+                &format!("{name}.conv2"),
+                out_ch,
+                out_ch,
+                3,
+                oh,
+                ow,
+                oh,
+                ow,
+                false,
+            ));
             costs.push(LayerCost::bn(&format!("{name}.bn2"), out_ch, oh, ow));
             if stride != 1 || in_ch != out_ch {
-                costs.push(LayerCost::conv(&format!("{name}.down.conv"), in_ch, out_ch, 1, oh, ow, h, w, false));
+                costs.push(LayerCost::conv(
+                    &format!("{name}.down.conv"),
+                    in_ch,
+                    out_ch,
+                    1,
+                    oh,
+                    ow,
+                    h,
+                    w,
+                    false,
+                ));
                 costs.push(LayerCost::bn(&format!("{name}.down.bn"), out_ch, oh, ow));
             }
             costs.push(LayerCost::add(&format!("{name}.add"), out_ch * oh * ow));
@@ -180,16 +229,33 @@ pub fn model_costs(cfg: &UfldConfig) -> Vec<LayerCost> {
     }
 
     // Head.
-    costs.push(LayerCost::conv("head.reduce", in_ch, cfg.head_reduce_channels, 1, h, w, h, w, true));
-    costs.push(LayerCost::act("head.reduce_relu", cfg.head_reduce_channels * h * w));
-    costs.push(LayerCost::fc("head.fc1", cfg.head_in_features(), cfg.head_hidden));
+    costs.push(LayerCost::conv(
+        "head.reduce",
+        in_ch,
+        cfg.head_reduce_channels,
+        1,
+        h,
+        w,
+        h,
+        w,
+        true,
+    ));
+    costs.push(LayerCost::act(
+        "head.reduce_relu",
+        cfg.head_reduce_channels * h * w,
+    ));
+    costs.push(LayerCost::fc(
+        "head.fc1",
+        cfg.head_in_features(),
+        cfg.head_hidden,
+    ));
     costs.push(LayerCost::act("head.relu", cfg.head_hidden));
     costs.push(LayerCost::fc("head.fc2", cfg.head_hidden, cfg.logit_len()));
     costs
 }
 
 /// Aggregate totals over a cost walk.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CostTotals {
     /// Total forward FLOPs per image.
     pub flops: f64,
@@ -246,7 +312,12 @@ mod tests {
     fn r34_costs_more_than_r18() {
         let c18 = totals(&model_costs(&UfldConfig::paper(Backbone::ResNet18, 4)));
         let c34 = totals(&model_costs(&UfldConfig::paper(Backbone::ResNet34, 4)));
-        assert!(c34.flops > 1.5 * c18.flops, "{} vs {}", c34.flops, c18.flops);
+        assert!(
+            c34.flops > 1.5 * c18.flops,
+            "{} vs {}",
+            c34.flops,
+            c18.flops
+        );
         assert!(c34.params > c18.params);
     }
 
@@ -255,7 +326,10 @@ mod tests {
         let cfg = UfldConfig::paper(Backbone::ResNet18, 4);
         let t = totals(&model_costs(&cfg));
         let frac = t.bn_params as f64 / t.params as f64;
-        assert!(frac < 0.01, "bn fraction {frac} exceeds the paper's ~1% bound");
+        assert!(
+            frac < 0.01,
+            "bn fraction {frac} exceeds the paper's ~1% bound"
+        );
         assert!(t.bn_params > 0);
     }
 

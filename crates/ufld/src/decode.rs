@@ -143,7 +143,10 @@ mod tests {
             for l in 0..cfg.num_lanes {
                 let want = ((r * cfg.num_lanes + l) % cfg.griding_num) as f32;
                 let got = sets[0].position(l, r).expect("present");
-                assert!((got - want).abs() < 0.05, "row {r} lane {l}: {got} vs {want}");
+                assert!(
+                    (got - want).abs() < 0.05,
+                    "row {r} lane {l}: {got} vs {want}"
+                );
             }
         }
     }

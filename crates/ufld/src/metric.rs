@@ -9,10 +9,9 @@
 
 use crate::config::UfldConfig;
 use crate::decode::LaneSet;
-use serde::{Deserialize, Serialize};
 
 /// Counters aggregated over one or more evaluated images.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct AccuracyReport {
     /// Ground-truth lane points (label ≠ background).
     pub gt_points: usize,
@@ -95,7 +94,11 @@ pub fn score_image(pred: &LaneSet, labels: &[u32], cfg: &UfldConfig) -> Accuracy
 /// Panics if the label count does not match the predictions.
 pub fn score_batch(preds: &[LaneSet], labels: &[u32], cfg: &UfldConfig) -> AccuracyReport {
     let per = cfg.row_anchors * cfg.num_lanes;
-    assert_eq!(labels.len(), preds.len() * per, "score_batch: label count mismatch");
+    assert_eq!(
+        labels.len(),
+        preds.len() * per,
+        "score_batch: label count mismatch"
+    );
     let mut total = AccuracyReport::default();
     for (i, p) in preds.iter().enumerate() {
         total.merge(&score_image(p, &labels[i * per..(i + 1) * per], cfg));
@@ -173,8 +176,18 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = AccuracyReport { gt_points: 10, correct: 9, missed: 1, false_positives: 0 };
-        let b = AccuracyReport { gt_points: 10, correct: 5, missed: 2, false_positives: 3 };
+        let mut a = AccuracyReport {
+            gt_points: 10,
+            correct: 9,
+            missed: 1,
+            false_positives: 0,
+        };
+        let b = AccuracyReport {
+            gt_points: 10,
+            correct: 5,
+            missed: 2,
+            false_positives: 3,
+        };
         a.merge(&b);
         assert_eq!(a.gt_points, 20);
         assert_eq!(a.correct, 14);

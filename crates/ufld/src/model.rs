@@ -58,12 +58,31 @@ impl UfldModel {
         UfldModel {
             cfg: cfg.clone(),
             backbone,
-            reduce: Conv2d::new("head.reduce", out_ch, cfg.head_reduce_channels, 1, 1, 0, true, mix_seed(seed, 0x1C)),
+            reduce: Conv2d::new(
+                "head.reduce",
+                out_ch,
+                cfg.head_reduce_channels,
+                1,
+                1,
+                0,
+                true,
+                mix_seed(seed, 0x1C),
+            ),
             reduce_relu: Relu::new(),
             flatten: Flatten::new(),
-            fc1: Linear::new("head.fc1", cfg.head_in_features(), cfg.head_hidden, mix_seed(seed, 0xF1)),
+            fc1: Linear::new(
+                "head.fc1",
+                cfg.head_in_features(),
+                cfg.head_hidden,
+                mix_seed(seed, 0xF1),
+            ),
             head_relu: Relu::new(),
-            fc2: Linear::new("head.fc2", cfg.head_hidden, cfg.logit_len(), mix_seed(seed, 0xF2)),
+            fc2: Linear::new(
+                "head.fc2",
+                cfg.head_hidden,
+                cfg.logit_len(),
+                mix_seed(seed, 0xF2),
+            ),
             last_embedding: None,
         }
     }
@@ -82,7 +101,20 @@ impl UfldModel {
     /// Sets the batch-norm statistics policy on **all** BN layers (the
     /// first half of LD-BN-ADAPT: recompute (µ, σ) from unlabeled data).
     pub fn set_bn_policy(&mut self, policy: BnStatsPolicy) {
-        self.backbone.for_each_bn(&mut |bn: &mut BatchNorm2d| bn.policy = policy);
+        self.backbone
+            .for_each_bn(&mut |bn: &mut BatchNorm2d| bn.policy = policy);
+    }
+
+    /// Enables/disables the fused conv→BN eval path on the backbone.
+    ///
+    /// When on, eval-mode forwards whose BN layers use frozen running
+    /// statistics ([`BnStatsPolicy::Running`] — the paper's "no adaptation"
+    /// deployment reference) fold each BN into the preceding convolution's
+    /// per-channel affine epilogue, skipping the separate BN traversal.
+    /// Forwards under batch-stats policies (the adaptation path) are
+    /// unaffected.
+    pub fn set_fused_eval(&mut self, on: bool) {
+        self.backbone.set_fused_eval(on);
     }
 
     /// Number of BN layers.
@@ -158,7 +190,7 @@ impl UfldModel {
             if bytes.len() < tlen {
                 return Err(TensorError::DecodeBytes("truncated tensor".into()));
             }
-            let t = Tensor::from_bytes(bytes::Bytes::copy_from_slice(&bytes[..tlen]))?;
+            let t = Tensor::from_bytes(&bytes[..tlen])?;
             bytes = &bytes[tlen..];
             entries.push((name, t));
         }
@@ -218,7 +250,11 @@ impl Layer for UfldModel {
         let (_, c, h, w) = x.dims4();
         assert_eq!(
             (c, h, w),
-            (self.cfg.input_channels, self.cfg.input_height, self.cfg.input_width),
+            (
+                self.cfg.input_channels,
+                self.cfg.input_height,
+                self.cfg.input_width
+            ),
             "UfldModel: input shape {c}×{h}×{w} does not match config"
         );
         let f = self.backbone.forward(x, mode);
@@ -288,7 +324,8 @@ mod tests {
     #[test]
     fn forward_produces_configured_logit_shape() {
         let (cfg, mut model) = tiny_model(1);
-        let x = SeededRng::new(0).uniform_tensor(&[2, 3, cfg.input_height, cfg.input_width], 0.0, 1.0);
+        let x =
+            SeededRng::new(0).uniform_tensor(&[2, 3, cfg.input_height, cfg.input_width], 0.0, 1.0);
         let y = model.forward(&x, Mode::Eval);
         assert_eq!(y.shape_dims(), &cfg.logit_dims(2));
         assert!(!y.has_non_finite());
@@ -297,7 +334,8 @@ mod tests {
     #[test]
     fn backward_reaches_the_input() {
         let (cfg, mut model) = tiny_model(2);
-        let x = SeededRng::new(1).uniform_tensor(&[1, 3, cfg.input_height, cfg.input_width], 0.0, 1.0);
+        let x =
+            SeededRng::new(1).uniform_tensor(&[1, 3, cfg.input_height, cfg.input_width], 0.0, 1.0);
         let y = model.forward(&x, Mode::Train);
         let h = loss::entropy(&y);
         let gin = model.backward(&h.grad);
@@ -331,7 +369,8 @@ mod tests {
     #[test]
     fn state_dict_roundtrip_preserves_outputs() {
         let (cfg, mut model) = tiny_model(5);
-        let x = SeededRng::new(9).uniform_tensor(&[1, 3, cfg.input_height, cfg.input_width], 0.0, 1.0);
+        let x =
+            SeededRng::new(9).uniform_tensor(&[1, 3, cfg.input_height, cfg.input_width], 0.0, 1.0);
         let y0 = model.forward(&x, Mode::Eval);
         let state = model.state_dict();
 
@@ -369,7 +408,8 @@ mod tests {
     fn clone_model_is_independent() {
         let (cfg, mut model) = tiny_model(8);
         let mut copy = model.clone_model();
-        let x = SeededRng::new(4).uniform_tensor(&[1, 3, cfg.input_height, cfg.input_width], 0.0, 1.0);
+        let x =
+            SeededRng::new(4).uniform_tensor(&[1, 3, cfg.input_height, cfg.input_width], 0.0, 1.0);
         let ya = model.forward(&x, Mode::Eval);
         let yb = copy.forward(&x, Mode::Eval);
         assert_eq!(ya.as_slice(), yb.as_slice());
@@ -377,6 +417,34 @@ mod tests {
         copy.visit_params(&mut |p| p.value.fill(0.0));
         let ya2 = model.forward(&x, Mode::Eval);
         assert_eq!(ya.as_slice(), ya2.as_slice());
+    }
+
+    /// The fused conv→BN eval path is a pure reassociation: same outputs as
+    /// the exact layer-by-layer forward under frozen running statistics.
+    #[test]
+    fn fused_eval_matches_exact_forward() {
+        let (cfg, mut model) = tiny_model(10);
+        // Make running stats non-trivial so the fold actually does work.
+        let mut x =
+            SeededRng::new(20).uniform_tensor(&[2, 3, cfg.input_height, cfg.input_width], 0.0, 1.0);
+        model.forward(&x, Mode::Train);
+        x = SeededRng::new(21).uniform_tensor(&[2, 3, cfg.input_height, cfg.input_width], 0.0, 1.0);
+
+        let exact = model.forward(&x, Mode::Eval);
+        model.set_fused_eval(true);
+        let fused = model.forward(&x, Mode::Eval);
+        let scale = exact.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        for (a, b) in exact.as_slice().iter().zip(fused.as_slice()) {
+            assert!((a - b).abs() <= 1e-4 * (1.0 + scale), "{a} vs {b}");
+        }
+
+        // Batch-stats policy (the adaptation path) must be unaffected by the
+        // fuse flag: identical results with fusion on and off.
+        model.set_bn_policy(BnStatsPolicy::Batch);
+        let adapted_fused_flag = model.forward(&x, Mode::Eval);
+        model.set_fused_eval(false);
+        let adapted_plain = model.forward(&x, Mode::Eval);
+        assert_eq!(adapted_fused_flag.as_slice(), adapted_plain.as_slice());
     }
 
     #[test]

@@ -6,9 +6,32 @@
 //! in their first block via a 1×1 strided projection shortcut.
 
 use crate::config::UfldConfig;
-use ld_nn::{BatchNorm2d, Conv2d, Layer, MaxPool2d, Mode, Parameter, Relu};
+use ld_nn::{BatchNorm2d, BnStatsPolicy, Conv2d, Layer, MaxPool2d, Mode, Parameter, Relu};
 use ld_tensor::rng::mix_seed;
 use ld_tensor::Tensor;
+
+/// Runs a conv→BN pair, folding the BN into the convolution's output
+/// epilogue when the fused eval path applies (eval mode, frozen running
+/// statistics). Falls back to the separate layers otherwise — in particular
+/// the paper's batch-stats adaptation policy always takes the exact path.
+fn conv_bn_forward(
+    conv: &mut Conv2d,
+    bn: &mut BatchNorm2d,
+    x: &Tensor,
+    mode: Mode,
+    fuse: bool,
+) -> Tensor {
+    if fuse && mode == Mode::Eval && bn.policy == BnStatsPolicy::Running {
+        // The BN layer is bypassed; a stale cache from an earlier exact
+        // forward must not feed a later backward with wrong statistics.
+        bn.invalidate_cache();
+        let (scale, shift) = bn.folded_affine();
+        conv.forward_fused_affine(x, scale, shift)
+    } else {
+        let y = conv.forward(x, mode);
+        bn.forward(&y, mode)
+    }
+}
 
 /// The classic two-convolution residual block
 /// `out = relu(bn2(conv2(relu(bn1(conv1(x))))) + shortcut(x))`.
@@ -23,6 +46,8 @@ pub struct BasicBlock {
     relu2: Relu,
     /// Cached shortcut input for the identity path's backward.
     cached_input: Option<Tensor>,
+    /// Fold conv→BN on eval-mode forwards with frozen running stats.
+    pub fuse_eval: bool,
 }
 
 impl BasicBlock {
@@ -30,19 +55,47 @@ impl BasicBlock {
     pub fn new(name: &str, in_ch: usize, out_ch: usize, stride: usize, seed: u64) -> Self {
         let needs_proj = stride != 1 || in_ch != out_ch;
         BasicBlock {
-            conv1: Conv2d::new(&format!("{name}.conv1"), in_ch, out_ch, 3, stride, 1, false, mix_seed(seed, 1)),
+            conv1: Conv2d::new(
+                &format!("{name}.conv1"),
+                in_ch,
+                out_ch,
+                3,
+                stride,
+                1,
+                false,
+                mix_seed(seed, 1),
+            ),
             bn1: BatchNorm2d::new(&format!("{name}.bn1"), out_ch),
             relu1: Relu::new(),
-            conv2: Conv2d::new(&format!("{name}.conv2"), out_ch, out_ch, 3, 1, 1, false, mix_seed(seed, 2)),
+            conv2: Conv2d::new(
+                &format!("{name}.conv2"),
+                out_ch,
+                out_ch,
+                3,
+                1,
+                1,
+                false,
+                mix_seed(seed, 2),
+            ),
             bn2: BatchNorm2d::new(&format!("{name}.bn2"), out_ch),
             downsample: needs_proj.then(|| {
                 (
-                    Conv2d::new(&format!("{name}.down.conv"), in_ch, out_ch, 1, stride, 0, false, mix_seed(seed, 3)),
+                    Conv2d::new(
+                        &format!("{name}.down.conv"),
+                        in_ch,
+                        out_ch,
+                        1,
+                        stride,
+                        0,
+                        false,
+                        mix_seed(seed, 3),
+                    ),
                     BatchNorm2d::new(&format!("{name}.down.bn"), out_ch),
                 )
             }),
             relu2: Relu::new(),
             cached_input: None,
+            fuse_eval: false,
         }
     }
 
@@ -58,16 +111,12 @@ impl BasicBlock {
 
 impl Layer for BasicBlock {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
-        let main = self.conv1.forward(x, mode);
-        let main = self.bn1.forward(&main, mode);
+        let fuse = self.fuse_eval;
+        let main = conv_bn_forward(&mut self.conv1, &mut self.bn1, x, mode, fuse);
         let main = self.relu1.forward(&main, mode);
-        let main = self.conv2.forward(&main, mode);
-        let main = self.bn2.forward(&main, mode);
+        let main = conv_bn_forward(&mut self.conv2, &mut self.bn2, &main, mode, fuse);
         let shortcut = match &mut self.downsample {
-            Some((conv, bn)) => {
-                let s = conv.forward(x, mode);
-                bn.forward(&s, mode)
-            }
+            Some((conv, bn)) => conv_bn_forward(conv, bn, x, mode, fuse),
             None => x.clone(),
         };
         self.cached_input = Some(x.clone());
@@ -124,6 +173,8 @@ pub struct ResNetBackbone {
     stem_relu: Relu,
     stem_pool: MaxPool2d,
     blocks: Vec<BasicBlock>,
+    /// Fold conv→BN pairs on eval-mode forwards with frozen running stats.
+    fuse_eval: bool,
 }
 
 impl ResNetBackbone {
@@ -163,6 +214,20 @@ impl ResNetBackbone {
             stem_relu: Relu::new(),
             stem_pool: MaxPool2d::new(3, 2, 1),
             blocks,
+            fuse_eval: false,
+        }
+    }
+
+    /// Enables/disables the fused conv→BN eval path on every block.
+    ///
+    /// Fusion only changes *how* eval-mode forwards with frozen running
+    /// statistics are computed (one affine epilogue instead of a separate BN
+    /// traversal) — never the result, and never the adaptation path, which
+    /// uses batch statistics and therefore always takes the exact layers.
+    pub fn set_fused_eval(&mut self, on: bool) {
+        self.fuse_eval = on;
+        for b in &mut self.blocks {
+            b.fuse_eval = on;
         }
     }
 
@@ -187,8 +252,13 @@ impl ResNetBackbone {
 
 impl Layer for ResNetBackbone {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
-        let mut cur = self.stem_conv.forward(x, mode);
-        cur = self.stem_bn.forward(&cur, mode);
+        let mut cur = conv_bn_forward(
+            &mut self.stem_conv,
+            &mut self.stem_bn,
+            x,
+            mode,
+            self.fuse_eval,
+        );
         cur = self.stem_relu.forward(&cur, mode);
         cur = self.stem_pool.forward(&cur, mode);
         for b in &mut self.blocks {
@@ -283,6 +353,22 @@ mod tests {
         let probes: Vec<usize> = (0..x.len()).step_by(11).collect();
         let r = ld_nn::gradcheck::check_input_gradient(&mut block, &x, Mode::Train, &probes, 1e-2);
         assert!(r.passes(5e-2, 3e-2), "{r:?}");
+    }
+
+    /// A fused eval forward bypasses the BN layers, so the block must refuse
+    /// a subsequent backward (stale BN caches would yield silently wrong
+    /// gradients otherwise).
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn fused_forward_rejects_backward() {
+        let mut block = BasicBlock::new("b", 2, 2, 1, 3);
+        let x = SeededRng::new(4).uniform_tensor(&[1, 2, 4, 4], -1.0, 1.0);
+        // Exact train forward first: all caches populated…
+        block.forward(&x, Mode::Train);
+        // …then a fused eval forward, which must invalidate them.
+        block.fuse_eval = true;
+        let y = block.forward(&x, Mode::Eval);
+        block.backward(&Tensor::ones(y.shape_dims()));
     }
 
     #[test]

@@ -3,10 +3,9 @@
 
 use crate::model::UfldModel;
 use ld_nn::Layer;
-use serde::{Deserialize, Serialize};
 
 /// Scalar-parameter counts per architectural group.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ParamCensus {
     /// Convolution weights + biases.
     pub conv: usize,
@@ -83,7 +82,11 @@ mod tests {
         let cfg = UfldConfig::scaled(crate::config::Backbone::ResNet18, 4);
         let mut model = UfldModel::new(&cfg, 2);
         let census = ParamCensus::of(&mut model);
-        assert!(census.bn_fraction() < 0.05, "bn fraction {}", census.bn_fraction());
+        assert!(
+            census.bn_fraction() < 0.05,
+            "bn fraction {}",
+            census.bn_fraction()
+        );
     }
 
     #[test]

@@ -21,10 +21,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec4 = FrameSpec::new(320, 128, 25, 14, 4);
 
     let splits: [(&str, FrameStream); 4] = [
-        ("source_carla", FrameStream::source(Benchmark::MoLane, spec2, 2, 101)),
-        ("target_molane", FrameStream::target(Benchmark::MoLane, spec2, 2, 102)),
-        ("target_tulane", FrameStream::target(Benchmark::TuLane, spec4, 2, 103)),
-        ("target_mulane", FrameStream::target(Benchmark::MuLane, spec4, 2, 104)),
+        (
+            "source_carla",
+            FrameStream::source(Benchmark::MoLane, spec2, 2, 101),
+        ),
+        (
+            "target_molane",
+            FrameStream::target(Benchmark::MoLane, spec2, 2, 102),
+        ),
+        (
+            "target_tulane",
+            FrameStream::target(Benchmark::TuLane, spec4, 2, 103),
+        ),
+        (
+            "target_mulane",
+            FrameStream::target(Benchmark::MuLane, spec4, 2, 104),
+        ),
     ];
 
     for (name, stream) in splits {

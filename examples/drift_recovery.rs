@@ -47,7 +47,11 @@ fn main() {
         let f = stream.frame(i);
         let x = f.image.to_shape(&[1, 3, cfg.input_height, cfg.input_width]);
         let logits = model.forward(&x, Mode::Eval);
-        frozen_rep.merge(&score_image(&decode_batch(&logits, &cfg)[0], &f.labels, &cfg));
+        frozen_rep.merge(&score_image(
+            &decode_batch(&logits, &cfg)[0],
+            &f.labels,
+            &cfg,
+        ));
     }
 
     // 2. Always adapt.
@@ -57,24 +61,38 @@ fn main() {
     for i in 0..frames {
         let f = stream.frame(i);
         let out = adapter.process_frame(&mut model, &f.image);
-        always_rep.merge(&score_image(&decode_batch(&out.logits, &cfg)[0], &f.labels, &cfg));
+        always_rep.merge(&score_image(
+            &decode_batch(&out.logits, &cfg)[0],
+            &f.labels,
+            &cfg,
+        ));
     }
 
     // 3. Governed.
     model.load_state_dict(&snapshot);
-    let mut governor =
-        AdaptGovernor::new(LdBnAdaptConfig::paper(1), GovernorConfig::default(), &mut model);
+    let mut governor = AdaptGovernor::new(
+        LdBnAdaptConfig::paper(1),
+        GovernorConfig::default(),
+        &mut model,
+    );
     let mut gov_rep = AccuracyReport::default();
     for i in 0..frames {
         let f = stream.frame(i);
         let (logits, _) = governor.process_frame(&mut model, &f.image);
-        gov_rep.merge(&score_image(&decode_batch(&logits, &cfg)[0], &f.labels, &cfg));
+        gov_rep.merge(&score_image(
+            &decode_batch(&logits, &cfg)[0],
+            &f.labels,
+            &cfg,
+        ));
     }
     let duty = governor.stats().duty_cycle();
 
     println!("\nnoon → dusk over {frames} frames:");
     println!("  frozen (no adaptation):   {:.2}%", frozen_rep.percent());
-    println!("  LD-BN-ADAPT every frame:  {:.2}%  (duty cycle 100%)", always_rep.percent());
+    println!(
+        "  LD-BN-ADAPT every frame:  {:.2}%  (duty cycle 100%)",
+        always_rep.percent()
+    );
     println!(
         "  entropy-governed:         {:.2}%  (duty cycle {:.0}% → ~{:.0}% of adaptation energy)",
         gov_rep.percent(),

@@ -24,7 +24,10 @@ fn main() {
     let mut train = TrainConfig::scaled();
     train.steps = 200;
     train.dataset_size = 128;
-    println!("pre-training on CARLA-like source frames ({} steps)…", train.steps);
+    println!(
+        "pre-training on CARLA-like source frames ({} steps)…",
+        train.steps
+    );
     pretrain_on_source(&mut model, Benchmark::MuLane, &train);
 
     // MuLane's target stream alternates the two real-world domains — the
@@ -42,7 +45,10 @@ fn main() {
     let adapted = run_online(&mut model, LdBnAdaptConfig::paper(1), &stream);
 
     println!("\nsliding-window accuracy (window = 20 frames):");
-    println!("{:>8} | {:>10} | {:>12}", "frame", "no adapt", "LD-BN-ADAPT");
+    println!(
+        "{:>8} | {:>10} | {:>12}",
+        "frame", "no adapt", "LD-BN-ADAPT"
+    );
     let window = 20;
     for end in (window..=frames).step_by(window) {
         println!(

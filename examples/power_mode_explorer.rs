@@ -32,10 +32,30 @@ fn main() {
 
     println!("\nselection under the paper's scenarios:");
     let scenarios: [(&str, Deadline, f64, bool); 4] = [
-        ("strict 30 FPS camera, any power", Deadline::FPS30, 60.0, false),
-        ("18 FPS (Audi A8 L3), 50 W power cap", Deadline::FPS18, 50.0, false),
-        ("18 FPS, robust multi-target (prefer deeper)", Deadline::FPS18, 60.0, true),
-        ("30 FPS under a 30 W cap (infeasible)", Deadline::FPS30, 30.0, false),
+        (
+            "strict 30 FPS camera, any power",
+            Deadline::FPS30,
+            60.0,
+            false,
+        ),
+        (
+            "18 FPS (Audi A8 L3), 50 W power cap",
+            Deadline::FPS18,
+            50.0,
+            false,
+        ),
+        (
+            "18 FPS, robust multi-target (prefer deeper)",
+            Deadline::FPS18,
+            60.0,
+            true,
+        ),
+        (
+            "30 FPS under a 30 W cap (infeasible)",
+            Deadline::FPS30,
+            30.0,
+            false,
+        ),
     ];
     for (name, deadline, cap, robust) in scenarios {
         match best_configuration(&points, deadline, cap, robust) {

@@ -24,7 +24,11 @@ fn main() {
     train.dataset_size = 96;
     println!("pre-training on the source domain ({} steps)…", train.steps);
     let stats = ld_adapt::pretrain_on_source(&mut model, Benchmark::MoLane, &train);
-    println!("  loss {:.3} → {:.3}", stats.loss_curve[0], stats.final_loss());
+    println!(
+        "  loss {:.3} → {:.3}",
+        stats.loss_curve[0],
+        stats.final_loss()
+    );
 
     // 3. Deploy: unlabeled real-world-like target frames arrive at 30 FPS.
     let spec = ld_adapt::frame_spec_for(&cfg);

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# One-command verify for every PR: format, lints, tier-1 build+test, and a
+# quick benchmark smoke (exercises the criterion shim and the blocked-GEMM
+# bench end-to-end, including the BENCH_gemm.json emission).
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (all targets, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== bench smoke: gemm_blocked --quick =="
+cargo bench -p ld-bench --bench gemm_blocked -- --quick
+
+echo "== all checks passed =="

@@ -24,11 +24,20 @@ fn bn_only_adaptation_preserves_every_non_bn_scalar() {
         });
         v
     };
-    run_online(&mut model, LdBnAdaptConfig::paper(1), &target_stream(&cfg, 8));
+    run_online(
+        &mut model,
+        LdBnAdaptConfig::paper(1),
+        &target_stream(&cfg, 8),
+    );
     let mut i = 0;
     model.visit_params(&mut |p| {
         if !p.kind.is_bn() {
-            assert_eq!(p.value.as_slice(), before[i].1.as_slice(), "{} drifted", p.name);
+            assert_eq!(
+                p.value.as_slice(),
+                before[i].1.as_slice(),
+                "{} drifted",
+                p.name
+            );
             i += 1;
         }
     });
@@ -50,11 +59,19 @@ fn batch_policy_leaves_running_stats_frozen() {
         });
         v
     };
-    run_online(&mut model, LdBnAdaptConfig::paper(1), &target_stream(&cfg, 6));
+    run_online(
+        &mut model,
+        LdBnAdaptConfig::paper(1),
+        &target_stream(&cfg, 6),
+    );
     let mut i = 0;
     model.visit_state(&mut |name, t| {
         if name.contains("running") {
-            assert_eq!(t.as_slice(), before[i].1.as_slice(), "{name} drifted under Batch policy");
+            assert_eq!(
+                t.as_slice(),
+                before[i].1.as_slice(),
+                "{name} drifted under Batch policy"
+            );
             i += 1;
         }
     });
@@ -96,7 +113,11 @@ fn ema_policy_updates_running_stats() {
 fn state_bytes_snapshot_restores_adapted_model_exactly() {
     let cfg = UfldConfig::tiny(2);
     let mut model = UfldModel::new(&cfg, 6);
-    run_online(&mut model, LdBnAdaptConfig::paper(2), &target_stream(&cfg, 6));
+    run_online(
+        &mut model,
+        LdBnAdaptConfig::paper(2),
+        &target_stream(&cfg, 6),
+    );
     let bytes = model.state_bytes();
 
     let mut restored = UfldModel::new(&cfg, 999);
@@ -121,5 +142,8 @@ fn trainable_counts_shrink_with_filters() {
     let frozen = ld_ufld::filter_trainable(&mut model, ParamFilter::Frozen);
     assert_eq!(all, bn + conv + fc, "groups must partition the parameters");
     assert_eq!(frozen, 0);
-    assert!(bn < conv && bn < fc, "BN must be the smallest group: {bn} vs {conv}/{fc}");
+    assert!(
+        bn < conv && bn < fc,
+        "BN must be the smallest group: {bn} vs {conv}/{fc}"
+    );
 }

@@ -4,7 +4,7 @@
 //! order).
 
 use ld_adapt::{pretrain_on_source, ExperimentConfig, Method, PretrainedCell, TrainConfig};
-use ld_carlane::{Benchmark, FrameStream, FrameSpec};
+use ld_carlane::{Benchmark, FrameSpec, FrameStream};
 use ld_ufld::{Backbone, UfldConfig, UfldModel};
 
 #[test]

@@ -23,10 +23,14 @@ fn trained_tiny_model() -> (UfldConfig, UfldModel) {
 fn training_beats_random_initialisation_on_source() {
     let cfg = UfldConfig::tiny(2);
     let mut untrained = UfldModel::new(&cfg, 0xE2E);
-    let random_acc = evaluate_source(&mut untrained, Benchmark::MoLane, 12, 5).report.percent();
+    let random_acc = evaluate_source(&mut untrained, Benchmark::MoLane, 12, 5)
+        .report
+        .percent();
 
     let (_, mut model) = trained_tiny_model();
-    let trained_acc = evaluate_source(&mut model, Benchmark::MoLane, 12, 5).report.percent();
+    let trained_acc = evaluate_source(&mut model, Benchmark::MoLane, 12, 5)
+        .report
+        .percent();
     assert!(
         trained_acc > random_acc + 10.0,
         "training had no effect: {random_acc:.1}% → {trained_acc:.1}%"
@@ -40,7 +44,9 @@ fn domain_shift_hurts_and_bn_adaptation_recovers() {
     let stream = FrameStream::target(Benchmark::MoLane, spec, 30, 0xAC);
     let snapshot = model.state_dict();
 
-    let source_acc = evaluate_source(&mut model, Benchmark::MoLane, 20, 9).report.percent();
+    let source_acc = evaluate_source(&mut model, Benchmark::MoLane, 20, 9)
+        .report
+        .percent();
     model.load_state_dict(&snapshot);
     let frozen = evaluate_frozen(&mut model, &stream);
     model.load_state_dict(&snapshot);

@@ -123,5 +123,8 @@ fn single_entropy_step_descends_the_true_objective() {
     let mut opt = ld_nn::Sgd::new(1e-3);
     model.visit_params(&mut |p| opt.update(p));
     let after = entropy_of(&mut model, &x);
-    assert!(after < before, "entropy rose after a descent step: {before} → {after}");
+    assert!(
+        after < before,
+        "entropy rose after a descent step: {before} → {after}"
+    );
 }

@@ -1,58 +1,67 @@
 //! Cross-crate property tests: random scenes, frames and adaptation steps
-//! never violate the system's invariants.
+//! never violate the system's invariants. Seeded randomized loops stand in
+//! for `proptest` (unavailable in the offline build).
 
 use ld_adapt::{frame_spec_for, LdBnAdaptConfig, LdBnAdapter};
 use ld_carlane::{Benchmark, FrameStream};
 use ld_nn::{loss, Layer, Mode};
+use ld_tensor::rng::SeededRng;
 use ld_ufld::{decode_batch, score_batch, UfldConfig, UfldModel};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn rendered_frames_are_valid_inputs(seed in 0u64..10_000, bench_idx in 0usize..3) {
-        let benchmark = Benchmark::ALL[bench_idx];
+#[test]
+fn rendered_frames_are_valid_inputs() {
+    for case in 0..12u64 {
+        let mut r = SeededRng::new(0xF8A ^ case);
+        let seed = r.index(10_000) as u64;
+        let benchmark = Benchmark::ALL[r.index(3)];
         let cfg = UfldConfig::tiny(benchmark.num_lanes());
         let stream = FrameStream::target(benchmark, frame_spec_for(&cfg), 1, seed);
         let f = stream.frame(0);
-        prop_assert!(!f.image.has_non_finite());
-        prop_assert!(f.image.min() >= 0.0 && f.image.max() <= 1.0);
-        prop_assert_eq!(f.labels.len(), cfg.row_anchors * cfg.num_lanes);
+        assert!(!f.image.has_non_finite());
+        assert!(f.image.min() >= 0.0 && f.image.max() <= 1.0);
+        assert_eq!(f.labels.len(), cfg.row_anchors * cfg.num_lanes);
         for &l in &f.labels {
-            prop_assert!(l as usize <= cfg.background_class());
+            assert!(l as usize <= cfg.background_class());
         }
     }
+}
 
-    #[test]
-    fn forward_decode_score_pipeline_is_total(seed in 0u64..1_000) {
-        // Any (model, frame) pair must produce finite logits, a decodable
-        // lane set and an accuracy in [0, 1].
+#[test]
+fn forward_decode_score_pipeline_is_total() {
+    // Any (model, frame) pair must produce finite logits, a decodable
+    // lane set and an accuracy in [0, 1].
+    for seed in [0u64, 77, 311, 613] {
         let cfg = UfldConfig::tiny(2);
         let mut model = UfldModel::new(&cfg, seed);
         let stream = FrameStream::target(Benchmark::MoLane, frame_spec_for(&cfg), 1, seed ^ 0xF00);
         let f = stream.frame(0);
         let x = f.image.to_shape(&[1, 3, cfg.input_height, cfg.input_width]);
         let logits = model.forward(&x, Mode::Eval);
-        prop_assert!(!logits.has_non_finite());
+        assert!(!logits.has_non_finite());
         let lanes = decode_batch(&logits, &cfg);
         let rep = score_batch(&lanes, &f.labels, &cfg);
         let acc = rep.accuracy();
-        prop_assert!((0.0..=1.0).contains(&acc));
-        prop_assert_eq!(rep.gt_points, rep.correct + rep.missed
-            + (rep.gt_points - rep.correct - rep.missed)); // counters consistent
+        assert!((0.0..=1.0).contains(&acc));
+        assert!(
+            rep.correct + rep.missed <= rep.gt_points,
+            "counters consistent"
+        );
     }
+}
 
-    #[test]
-    fn adaptation_steps_never_poison_parameters(seed in 0u64..500, bs in 1usize..4) {
+#[test]
+fn adaptation_steps_never_poison_parameters() {
+    for case in 0..4u64 {
+        let seed = case * 131;
+        let bs = 1 + (case as usize % 3);
         let cfg = UfldConfig::tiny(2);
         let mut model = UfldModel::new(&cfg, seed);
         let mut adapter = LdBnAdapter::new(LdBnAdaptConfig::paper(bs), &mut model);
         let stream = FrameStream::target(Benchmark::MoLane, frame_spec_for(&cfg), bs * 2, seed);
         for f in stream {
             let out = adapter.process_frame(&mut model, &f.image);
-            prop_assert!(!out.logits.has_non_finite());
-            prop_assert!(out.entropy.is_finite());
+            assert!(!out.logits.has_non_finite());
+            assert!(out.entropy.is_finite());
         }
         let mut poisoned = false;
         model.visit_params(&mut |p| {
@@ -60,18 +69,26 @@ proptest! {
                 poisoned = true;
             }
         });
-        prop_assert!(!poisoned, "NaN/inf parameter after adaptation");
+        assert!(
+            !poisoned,
+            "NaN/inf parameter after adaptation (case {case})"
+        );
     }
+}
 
-    #[test]
-    fn entropy_is_bounded_by_log_classes(seed in 0u64..1_000) {
+#[test]
+fn entropy_is_bounded_by_log_classes() {
+    for seed in [1u64, 42, 512, 999] {
         let cfg = UfldConfig::tiny(4);
         let mut model = UfldModel::new(&cfg, seed);
         let stream = FrameStream::target(Benchmark::TuLane, frame_spec_for(&cfg), 1, seed);
-        let x = stream.frame(0).image.to_shape(&[1, 3, cfg.input_height, cfg.input_width]);
+        let x = stream
+            .frame(0)
+            .image
+            .to_shape(&[1, 3, cfg.input_height, cfg.input_width]);
         let logits = model.forward(&x, Mode::Eval);
         let h = loss::entropy(&logits).value;
-        prop_assert!(h >= 0.0);
-        prop_assert!(h <= (cfg.num_classes() as f32).ln() + 1e-4);
+        assert!(h >= 0.0);
+        assert!(h <= (cfg.num_classes() as f32).ln() + 1e-4);
     }
 }
