@@ -14,13 +14,18 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 /// `(m, k, n)` im2col products of a ResNet-18 UFLD backbone
-/// (`m` = out channels, `k` = in·kh·kw, `n` = out spatial).
+/// (`m` = out channels, `k` = in·kh·kw, `n` = out spatial), plus the
+/// batched FC-head products of the multi-stream server (`m` = admitted
+/// batch) — the shapes whose row split degenerates to a single `MC` block
+/// and the pool-aware column split exists for.
 const SHAPES: &[(usize, usize, usize)] = &[
     (64, 576, 3136),   // layer1 3×3 conv, 56×56
     (128, 1152, 784),  // layer2 3×3 conv, 28×28
     (256, 1152, 3136), // the acceptance-gate product (layer3-width at 56×56)
     (512, 4608, 49),   // layer4 3×3 conv, 7×7
     (128, 64, 784),    // 1×1 projection shortcut
+    (4, 1800, 2048),   // head fc1 at server batch 4 (column-split territory)
+    (4, 2048, 22624),  // head fc2 at server batch 4: logits for 4 streams
 ];
 
 /// A faithful replica of the seed kernel this PR replaced: row-split loop

@@ -1,0 +1,168 @@
+//! Benchmarks the multi-stream adaptation server against N independent
+//! single-stream governor loops **on the same frames**, and emits
+//! machine-readable `BENCH_server.json` (frames/sec vs stream count) at the
+//! workspace root so the batching trajectory is regressable.
+//!
+//! What is being compared — two *deployment configurations*, not two equal
+//! configs of one engine:
+//!
+//! * `sequential/N` is the stock public single-frame API
+//!   (`AdaptGovernor::process_frame`), which per adapted frame pays an
+//!   inference forward, the shared backward, and the `entropy_after`
+//!   telemetry forward its [`ld_adapt::FrameOutcome`] contract includes
+//!   (2 forwards + 1 backward; before this PR's refactor it was 3 + 1).
+//! * `batched/N` is the production server configuration
+//!   (`without_step_telemetry`): one batched forward per tick whose
+//!   activations also feed the one shared backward (1 + 1 per tick).
+//!
+//! The `streams: 1` row therefore isolates the wrapper/telemetry delta;
+//! the *growth* of `speedup_vs_sequential` with the stream count is the
+//! batching gain proper (head-GEMM weight-traffic amortisation on one
+//! core; pool parallelism on top on wider machines).
+//!
+//! Run: `cargo bench -p ld-bench --bench server_throughput` (add
+//! `-- --quick` for the smoke variant used by `scripts/check.sh`).
+
+use criterion::{take_results, BenchmarkId, Criterion};
+use ld_adapt::{
+    frame_spec_for, AdaptGovernor, AdaptServer, GovernorConfig, LdBnAdaptConfig, ServerConfig,
+};
+use ld_carlane::{Benchmark, StreamSet};
+use ld_tensor::Tensor;
+use ld_ufld::{Backbone, UfldConfig, UfldModel};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Worst-case real-time duty: every frame adapts (the Figure-3 deadline is
+/// sized for exactly this), making the two paths' work deterministic and
+/// identical in trigger behaviour.
+fn always_adapt() -> GovernorConfig {
+    GovernorConfig {
+        warmup_frames: usize::MAX,
+        ..Default::default()
+    }
+}
+
+/// A low learning rate keeps hundreds of timing iterations numerically
+/// uneventful (the arithmetic per iteration is identical regardless).
+fn adapt_cfg() -> LdBnAdaptConfig {
+    LdBnAdaptConfig::paper(1).with_lr(1e-4)
+}
+
+/// Pre-renders `ticks` frames for each of `n` drifting streams (tick-major:
+/// `frames[tick][stream]`), so both paths consume the exact same pixels
+/// with no generator cost in the loop.
+fn render_frames(cfg: &UfldConfig, n: usize, ticks: usize) -> Vec<Vec<Tensor>> {
+    let mut set = StreamSet::drifting(Benchmark::MoLane, frame_spec_for(cfg), n, ticks.max(4), 42);
+    (0..ticks)
+        .map(|_| (0..n).map(|sid| set.next_frame(sid).image).collect())
+        .collect()
+}
+
+fn bench_server(c: &mut Criterion) {
+    let quick = criterion::quick_mode();
+    let cfg = UfldConfig::scaled(Backbone::ResNet18, 2);
+    let ticks = if quick { 3 } else { 10 };
+    let stream_counts: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+
+    let mut group = c.benchmark_group("server_throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(if quick { 1 } else { 3 }));
+
+    for &n in stream_counts {
+        let frames = render_frames(&cfg, n, ticks);
+
+        // Batched: one server, one shared model, one tick per round.
+        let mut model_b = UfldModel::new(&cfg, 7);
+        let server_cfg = ServerConfig::new(adapt_cfg(), always_adapt(), n).without_step_telemetry();
+        let mut server = AdaptServer::new(server_cfg, n, &mut model_b);
+        group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, _| {
+            b.iter(|| {
+                for tick_frames in &frames {
+                    let batch: Vec<(usize, &Tensor)> = tick_frames.iter().enumerate().collect();
+                    server.process_batch(&mut model_b, &batch);
+                }
+            })
+        });
+
+        // Sequential: the pre-refactor deployment — one single-stream
+        // governor per camera, same shared model, frames served one by one.
+        let mut model_s = UfldModel::new(&cfg, 7);
+        let mut governors: Vec<AdaptGovernor> = (0..n)
+            .map(|_| AdaptGovernor::new(adapt_cfg(), always_adapt(), &mut model_s))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+            b.iter(|| {
+                for tick_frames in &frames {
+                    for (gov, frame) in governors.iter_mut().zip(tick_frames) {
+                        gov.process_frame(&mut model_s, frame);
+                    }
+                }
+            })
+        });
+    }
+    group.finish();
+
+    write_json(ticks);
+}
+
+/// Emits `BENCH_server.json`:
+/// `[{"streams": n, "mode": "batched"|"sequential", "frames_per_iter": …,
+///    "ns_per_iter": …, "fps": …, "speedup_vs_sequential": …}, …]`
+/// (speedup only on `batched` rows with a matching baseline).
+fn write_json(ticks: usize) {
+    let results = take_results();
+    let parse_streams = |id: &str| -> Option<usize> { id.rsplit('/').next()?.parse().ok() };
+    let ns_of = |mode: &str, streams: usize| -> Option<f64> {
+        results
+            .iter()
+            .find(|r| r.id.contains(&format!("/{mode}/")) && parse_streams(&r.id) == Some(streams))
+            .map(|r| r.ns_per_iter)
+    };
+
+    let mut rows = Vec::new();
+    for r in &results {
+        let Some(streams) = parse_streams(&r.id) else {
+            continue;
+        };
+        let mode = if r.id.contains("/batched/") {
+            "batched"
+        } else {
+            "sequential"
+        };
+        let frames = (streams * ticks) as f64;
+        let fps = frames / (r.ns_per_iter * 1e-9);
+        let mut row = format!(
+            "  {{\"streams\": {}, \"mode\": \"{}\", \"frames_per_iter\": {}, \"ns_per_iter\": {:.1}, \"fps\": {:.2}",
+            streams, mode, frames as usize, r.ns_per_iter, fps
+        );
+        if mode == "batched" {
+            if let Some(base) = ns_of("sequential", streams) {
+                let _ = write!(
+                    row,
+                    ", \"speedup_vs_sequential\": {:.3}",
+                    base / r.ns_per_iter
+                );
+            }
+        }
+        row.push('}');
+        rows.push(row);
+    }
+    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+
+    // Smoke runs must not clobber the committed full-run trajectory.
+    let path = if criterion::quick_mode() {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.quick.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json")
+    };
+    std::fs::write(path, &json).expect("write BENCH_server.json");
+    eprintln!("wrote {path}");
+    eprint!("{json}");
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_server(&mut c);
+}

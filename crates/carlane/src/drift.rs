@@ -81,6 +81,61 @@ impl DriftSchedule {
         ])
     }
 
+    /// A "tunnel transit" schedule: clear noon light, an abrupt dark
+    /// sodium-lit tunnel section at mid-stream, then back out into daylight
+    /// — the fast-switching condition §I argues cloud adaptation cannot
+    /// track.
+    pub fn tunnel(frames: usize) -> Self {
+        let noon = crate::appearance::AppearanceRanges::carla_source()
+            .base()
+            .clone();
+        let mut tunnel = noon.clone();
+        tunnel.sky = [0.06, 0.05, 0.05];
+        tunnel.road_albedo = 0.10;
+        tunnel.brightness = -0.30;
+        tunnel.contrast = 0.55;
+        tunnel.tint = [1.15, 1.0, 0.75]; // sodium lamps
+        tunnel.noise_std = 0.06;
+        tunnel.vignette = 0.45;
+        tunnel.glare_blobs = 2;
+        let last = frames.max(3) - 1;
+        DriftSchedule::new(vec![
+            DriftPhase {
+                name: "noon".into(),
+                at_frame: 0,
+                appearance: noon.clone(),
+            },
+            DriftPhase {
+                name: "tunnel".into(),
+                at_frame: last / 2,
+                appearance: tunnel,
+            },
+            DriftPhase {
+                name: "exit".into(),
+                at_frame: last,
+                appearance: noon,
+            },
+        ])
+    }
+
+    /// The same waypoints traversed backwards (dusk→noon from a noon→dusk
+    /// schedule) — used by the stream-set generator so concurrent cameras
+    /// drift in *opposite* directions.
+    pub fn reversed(&self) -> Self {
+        let last = self.phases.last().expect("nonempty").at_frame;
+        let mut phases: Vec<DriftPhase> = self
+            .phases
+            .iter()
+            .map(|p| DriftPhase {
+                name: p.name.clone(),
+                at_frame: last - p.at_frame,
+                appearance: p.appearance.clone(),
+            })
+            .collect();
+        phases.reverse();
+        DriftSchedule::new(phases)
+    }
+
     /// The waypoints.
     pub fn phases(&self) -> &[DriftPhase] {
         &self.phases
@@ -248,6 +303,33 @@ mod tests {
         assert_eq!(s.phase_name_at(0), "noon");
         assert_eq!(s.phase_name_at(9), "dusk");
         assert_eq!(s.phase_name_at(4), "noon");
+    }
+
+    #[test]
+    fn tunnel_dips_dark_at_midstream() {
+        let s = DriftSchedule::tunnel(41);
+        let start = s.appearance_at(0);
+        let mid = s.appearance_at(20);
+        let end = s.appearance_at(40);
+        assert!(mid.brightness < start.brightness - 0.2);
+        assert!(mid.vignette > start.vignette);
+        // Back out into the same daylight.
+        assert_eq!(end.road_albedo, start.road_albedo);
+        assert_eq!(s.phase_name_at(20), "tunnel");
+    }
+
+    #[test]
+    fn reversed_mirrors_the_timeline() {
+        let s = DriftSchedule::noon_to_dusk(31);
+        let r = s.reversed();
+        for f in [0usize, 10, 15, 30] {
+            let fwd = s.appearance_at(f);
+            let back = r.appearance_at(30 - f);
+            assert!((fwd.road_albedo - back.road_albedo).abs() < 1e-6);
+            assert!((fwd.brightness - back.brightness).abs() < 1e-6);
+        }
+        assert_eq!(r.phase_name_at(0), "dusk");
+        assert_eq!(r.phase_name_at(30), "noon");
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod ppm;
 pub mod render;
 pub mod scene;
 pub mod spec;
+pub mod streams;
 
 pub use appearance::{Appearance, AppearanceRanges};
 pub use dataset::{FrameStream, LabeledFrame};
@@ -43,3 +44,4 @@ pub use drift::{DriftPhase, DriftSchedule, DriftingStream};
 pub use render::render;
 pub use scene::{GeometryRanges, LineStyle, Scene};
 pub use spec::FrameSpec;
+pub use streams::StreamSet;

@@ -1,0 +1,270 @@
+//! Multi-camera stream sets for the batch-adaptation server.
+//!
+//! The paper's deployment is one camera; the batch server serves several at
+//! once, each drifting through *different* conditions on its own clock. A
+//! [`StreamSet`] bundles N logical camera streams over one benchmark
+//! geometry (so a single model fits all of them) while giving each stream:
+//!
+//! * its own [`DriftSchedule`] — the generator interleaves a palette of
+//!   schedules (noon→dusk, dusk→noon, tunnel transit, fast drift) so
+//!   concurrent streams disagree about the current conditions, which is
+//!   exactly the mixed-domain regime CARLANE's MuLane benchmark motivates;
+//! * an **independent drift clock**: a per-stream rate multiplier advances
+//!   some cameras through their schedule faster than others, and per-stream
+//!   cursors advance only when *that* stream is polled (a deferred stream
+//!   does not drift while it waits);
+//! * its own seed, so scene geometry is uncorrelated across streams.
+//!
+//! Streams wrap around at the end of their timeline, so a serving loop can
+//! run for any number of ticks.
+
+use crate::dataset::LabeledFrame;
+use crate::domain::Benchmark;
+use crate::drift::{DriftSchedule, DriftingStream};
+use crate::spec::FrameSpec;
+use ld_tensor::rng::mix_seed;
+
+/// One logical camera: a drifting stream plus its private clock.
+#[derive(Debug, Clone)]
+struct StreamLane {
+    stream: DriftingStream,
+    /// Frames taken from this lane so far.
+    cursor: usize,
+    /// Drift-clock multiplier: frame index advances by `rate` per poll.
+    rate: usize,
+}
+
+/// N concurrent camera streams with independent drift clocks.
+///
+/// # Example
+///
+/// ```
+/// use ld_carlane::{Benchmark, FrameSpec, StreamSet};
+///
+/// let spec = FrameSpec::new(64, 32, 10, 6, 2);
+/// let mut set = StreamSet::drifting(Benchmark::MoLane, spec, 4, 20, 7);
+/// let f0 = set.next_frame(0);
+/// let f1 = set.next_frame(1);
+/// assert_ne!(f0.image.as_slice(), f1.image.as_slice());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamSet {
+    lanes: Vec<StreamLane>,
+}
+
+impl StreamSet {
+    /// Builds a set from explicit `(stream, rate)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is empty, a stream is empty, or a rate is zero.
+    pub fn new(streams: Vec<(DriftingStream, usize)>) -> Self {
+        assert!(!streams.is_empty(), "StreamSet: no streams");
+        let lanes = streams
+            .into_iter()
+            .map(|(stream, rate)| {
+                assert!(!stream.is_empty(), "StreamSet: empty stream");
+                assert!(rate > 0, "StreamSet: zero drift rate");
+                StreamLane {
+                    stream,
+                    cursor: 0,
+                    rate,
+                }
+            })
+            .collect();
+        StreamSet { lanes }
+    }
+
+    /// The canonical mixed-condition generator: `n_streams` cameras over one
+    /// benchmark, cycling through a palette of drift schedules (noon→dusk,
+    /// tunnel transit, dusk→noon, fast noon→dusk) with drift rates 1–2 and
+    /// per-stream seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_streams == 0` or `len < 4`.
+    pub fn drifting(
+        benchmark: Benchmark,
+        spec: FrameSpec,
+        n_streams: usize,
+        len: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(n_streams > 0, "StreamSet: no streams");
+        assert!(len >= 4, "StreamSet: need at least 4 frames per stream");
+        let streams = (0..n_streams)
+            .map(|i| {
+                let schedule = match i % 4 {
+                    0 => DriftSchedule::noon_to_dusk(len),
+                    1 => DriftSchedule::tunnel(len),
+                    2 => DriftSchedule::noon_to_dusk(len).reversed(),
+                    _ => DriftSchedule::noon_to_dusk(len.div_ceil(3)),
+                };
+                let stream = DriftingStream::new(
+                    benchmark,
+                    spec,
+                    schedule,
+                    len,
+                    mix_seed(seed, 0x57AE + i as u64),
+                );
+                // Alternate rate pairs so mixed clocks appear from 3
+                // streams up: cams 0–1 drift at 1×, cams 2–3 at 2×, ….
+                let rate = 1 + (i / 2) % 2;
+                (stream, rate)
+            })
+            .collect();
+        StreamSet::new(streams)
+    }
+
+    /// Number of streams.
+    pub fn num_streams(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Timeline length of stream `id` (frames before the clock wraps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn stream_len(&self, id: usize) -> usize {
+        self.lanes[id].stream.len()
+    }
+
+    /// Frames taken from stream `id` so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn cursor(&self, id: usize) -> usize {
+        self.lanes[id].cursor
+    }
+
+    /// The drift schedule of stream `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn schedule(&self, id: usize) -> &DriftSchedule {
+        self.lanes[id].stream.schedule()
+    }
+
+    /// The drift-timeline index the next poll of stream `id` will render.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn peek_index(&self, id: usize) -> usize {
+        let lane = &self.lanes[id];
+        (lane.cursor * lane.rate) % lane.stream.len()
+    }
+
+    /// Takes the next frame of stream `id`, advancing its drift clock by the
+    /// stream's rate (wrapping at the end of the timeline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn next_frame(&mut self, id: usize) -> LabeledFrame {
+        let idx = self.peek_index(id);
+        let lane = &mut self.lanes[id];
+        lane.cursor += 1;
+        lane.stream.frame(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::channel_means;
+
+    fn spec() -> FrameSpec {
+        FrameSpec::new(64, 32, 10, 6, 2)
+    }
+
+    #[test]
+    fn streams_are_independent_and_deterministic() {
+        let mk = || StreamSet::drifting(Benchmark::MoLane, spec(), 3, 12, 5);
+        let mut a = mk();
+        let mut b = mk();
+        for id in 0..3 {
+            let fa = a.next_frame(id);
+            let fb = b.next_frame(id);
+            assert_eq!(fa.image.as_slice(), fb.image.as_slice(), "stream {id}");
+            assert_eq!(fa.labels, fb.labels);
+        }
+        // Different streams render different pixels (different seeds).
+        let f0 = a.next_frame(0);
+        let f1 = a.next_frame(1);
+        assert_ne!(f0.image.as_slice(), f1.image.as_slice());
+    }
+
+    #[test]
+    fn clocks_advance_per_stream_only() {
+        let mut set = StreamSet::drifting(Benchmark::MoLane, spec(), 2, 10, 1);
+        for _ in 0..4 {
+            set.next_frame(0);
+        }
+        assert_eq!(set.cursor(0), 4);
+        assert_eq!(set.cursor(1), 0, "unpolled stream must not drift");
+    }
+
+    #[test]
+    fn rates_scale_the_drift_clock_and_wrap() {
+        let slow = DriftingStream::new(
+            Benchmark::MoLane,
+            spec(),
+            DriftSchedule::noon_to_dusk(6),
+            6,
+            3,
+        );
+        let fast = slow.clone();
+        let mut set = StreamSet::new(vec![(slow, 1), (fast, 2)]);
+        let idx_slow: Vec<usize> = (0..4)
+            .map(|_| {
+                let i = set.peek_index(0);
+                set.next_frame(0);
+                i
+            })
+            .collect();
+        let idx_fast: Vec<usize> = (0..4)
+            .map(|_| {
+                let i = set.peek_index(1);
+                set.next_frame(1);
+                i
+            })
+            .collect();
+        assert_eq!(idx_slow, vec![0, 1, 2, 3]);
+        assert_eq!(idx_fast, vec![0, 2, 4, 0], "rate 2 wraps at len 6");
+    }
+
+    #[test]
+    fn mixed_schedules_disagree_about_conditions() {
+        // Mid-timeline, the noon→dusk stream has darkened while the
+        // dusk→noon stream has brightened: concurrent frames come from
+        // visibly different conditions.
+        let len = 20;
+        let mut set = StreamSet::drifting(Benchmark::MoLane, spec(), 3, len, 9);
+        // Advance both streams to late-timeline.
+        let mut last = Vec::new();
+        for id in [0usize, 2] {
+            let mut f = set.next_frame(id);
+            for _ in 0..len - 1 {
+                f = set.next_frame(id);
+            }
+            last.push(f);
+        }
+        let mean = |m: [f32; 3]| (m[0] + m[1] + m[2]) / 3.0;
+        let dusk_end = mean(channel_means(&last[0].image));
+        let noon_end = mean(channel_means(&last[1].image));
+        assert!(
+            noon_end > dusk_end + 0.03,
+            "reversed stream should end brighter: {noon_end} vs {dusk_end}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no streams")]
+    fn empty_set_rejected() {
+        StreamSet::new(vec![]);
+    }
+}

@@ -13,7 +13,8 @@
 //! This is an extension beyond the paper (documented as such in DESIGN.md);
 //! `ablation_params`/criterion benches quantify the trade-off.
 
-use crate::bn_adapt::{LdBnAdaptConfig, LdBnAdapter};
+use crate::bn_adapt::LdBnAdaptConfig;
+use crate::server::{AdaptServer, ServerConfig};
 use ld_tensor::Tensor;
 use ld_ufld::UfldModel;
 
@@ -71,37 +72,16 @@ impl GovernorStats {
 }
 
 /// LD-BN-ADAPT wrapped in an entropy-band trigger with safety rollback.
+///
+/// Since the multi-stream refactor this is a thin wrapper over a one-stream
+/// [`AdaptServer`] (see [`crate::server`] for the shared/per-stream state
+/// split); the trigger maths, rollback behaviour and telemetry are
+/// unchanged, and the batched path reuses the inference forward's
+/// activations for the adaptation backward, so a triggered frame costs one
+/// forward less than the historical adapter round-trip.
 #[derive(Debug)]
 pub struct AdaptGovernor {
-    adapter: LdBnAdapter,
-    cfg: GovernorConfig,
-    reference_entropy: Option<f32>,
-    stats: GovernorStats,
-    /// Last known-good BN parameter values (name → value).
-    good_bn_state: Vec<(String, Tensor)>,
-}
-
-fn snapshot_bn(model: &mut UfldModel) -> Vec<(String, Tensor)> {
-    use ld_nn::Layer;
-    let mut out = Vec::new();
-    model.visit_params(&mut |p| {
-        if p.kind.is_bn() {
-            out.push((p.name.clone(), p.value.clone()));
-        }
-    });
-    out
-}
-
-fn restore_bn(model: &mut UfldModel, state: &[(String, Tensor)]) {
-    use ld_nn::Layer;
-    let mut i = 0;
-    model.visit_params(&mut |p| {
-        if p.kind.is_bn() {
-            debug_assert_eq!(p.name, state[i].0);
-            p.value = state[i].1.clone();
-            i += 1;
-        }
-    });
+    server: AdaptServer,
 }
 
 impl AdaptGovernor {
@@ -117,71 +97,32 @@ impl AdaptGovernor {
             adapt_cfg.batch_size, 1,
             "AdaptGovernor requires batch size 1"
         );
-        let good_bn_state = snapshot_bn(model);
+        let cfg = ServerConfig::new(adapt_cfg, gov_cfg, 1);
         AdaptGovernor {
-            adapter: LdBnAdapter::new(adapt_cfg, model),
-            cfg: gov_cfg,
-            reference_entropy: None,
-            stats: GovernorStats::default(),
-            good_bn_state,
+            server: AdaptServer::new(cfg, 1, model),
         }
     }
 
     /// Statistics so far.
     pub fn stats(&self) -> GovernorStats {
-        self.stats
+        self.server.stream_stats(0)
     }
 
     /// Current reference entropy (None before the first frame).
     pub fn reference_entropy(&self) -> Option<f32> {
-        self.reference_entropy
+        self.server.reference_entropy(0)
     }
 
     /// Processes a frame: always runs inference; runs the adaptation step
     /// only in warm-up or when entropy exceeds the trigger band. Returns
     /// the frame logits and whether adaptation ran.
     pub fn process_frame(&mut self, model: &mut UfldModel, frame: &Tensor) -> (Tensor, bool) {
-        // Peek entropy with a cheap forward? The adapter's forward already
-        // computes it; for skipped frames we must avoid the backward, so we
-        // run inference directly here.
-        use ld_nn::{loss, Layer, Mode};
-        let dims = frame.shape_dims();
-        let batch1 = frame.to_shape(&[1, dims[0], dims[1], dims[2]]);
-
-        self.stats.frames += 1;
-        let warmup = self.stats.frames <= self.cfg.warmup_frames;
-
-        let logits = model.forward(&batch1, Mode::Eval);
-        let h = loss::entropy(&logits);
-        let reference = self.reference_entropy.unwrap_or(h.value);
-
-        // Safety fallback: an entropy explosion means the adapted γ/β are
-        // poisoned (e.g. a pathological frame drove a destructive update) —
-        // roll back to the last known-good snapshot before continuing.
-        if !warmup && h.value > self.cfg.rollback_ratio * reference {
-            restore_bn(model, &self.good_bn_state);
-            self.stats.rollbacks += 1;
-        }
-
-        let triggered = warmup || h.value > self.cfg.threshold_ratio * reference;
-        if triggered {
-            // Reuse the adapter for the update (it re-runs the forward; the
-            // double forward keeps the governor simple and the adapter's
-            // cadence/telemetry intact).
-            self.adapter.process_frame(model, frame);
-            self.stats.adapted_frames += 1;
-        } else {
-            self.stats.skipped_frames += 1;
-            // Confident frame: fold into the reference band and mark the
-            // current BN parameters as known-good.
-            let m = self.cfg.reference_momentum;
-            self.reference_entropy = Some((1.0 - m) * reference + m * h.value);
-            self.good_bn_state = snapshot_bn(model);
-        }
-        if self.reference_entropy.is_none() {
-            self.reference_entropy = Some(h.value);
-        }
-        (logits, triggered)
+        let outcome = self
+            .server
+            .process_batch(model, &[(0, frame)])
+            .pop()
+            .expect("one frame in, one outcome out");
+        (outcome.logits, outcome.adapted.is_some())
     }
 }
 

@@ -16,7 +16,11 @@
 //!   full-network fine-tuning — serves as the accuracy reference that is
 //!   *not* real-time capable;
 //! * [`eval`] and [`experiment`] reproduce the paper's Figure 2 protocol,
-//!   including the batch-size sweep and the conv/FC ablations.
+//!   including the batch-size sweep and the conv/FC ablations;
+//! * [`server`] scales the loop past one camera: N drifting streams are
+//!   batched through one shared model with per-stream entropy governors and
+//!   an Orin deadline gate deciding the admitted batch (and whether the
+//!   shared adaptation step fits the frame budget).
 //!
 //! # Example: online adaptation over a target stream
 //!
@@ -37,6 +41,7 @@ pub mod bridge;
 pub mod eval;
 pub mod experiment;
 pub mod governor;
+pub mod server;
 pub mod sota;
 pub mod trainer;
 
@@ -45,5 +50,8 @@ pub use bridge::frame_spec_for;
 pub use eval::{evaluate_frozen, evaluate_source, run_online, OnlineResult};
 pub use experiment::{CellResult, ExperimentConfig, Method, PretrainedCell};
 pub use governor::{AdaptGovernor, GovernorConfig, GovernorStats};
+pub use server::{
+    AdaptServer, AdmissionGate, ServeReport, ServerConfig, ServerStats, StreamReport,
+};
 pub use sota::{adapt_sota, SotaConfig, SotaStats};
 pub use trainer::{pretrain_on_source, TrainConfig, TrainStats};

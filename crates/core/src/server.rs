@@ -1,0 +1,833 @@
+//! The **multi-stream adaptation server**: N camera streams, one model,
+//! one entropy-governed adaptation loop.
+//!
+//! The paper deploys LD-BN-ADAPT for a single camera; this module batches
+//! several logical camera streams (e.g. a [`ld_carlane::StreamSet`], each
+//! stream on its own drift schedule) through one shared UFLD model so the
+//! batch-parallel dense kernels run at useful occupancy and the adaptation
+//! backward is paid once per tick instead of once per stream.
+//!
+//! # The mux/demux contract
+//!
+//! Each [`AdaptServer::process_batch`] call takes at most one frame per
+//! stream, packs them into a single NCHW batch, runs **one** batched
+//! forward, and demultiplexes per-stream statistics back out:
+//!
+//! * **Shared across streams** — the model weights, the BN statistics seen
+//!   by the forward (under [`ld_nn::BnStatsPolicy::Batch`] the batch
+//!   statistics mix all admitted streams: every camera sees the same
+//!   normalisation, which is what lets one backward serve all of them), the
+//!   SGD optimizer state, and the known-good BN snapshot used for safety
+//!   rollback.
+//! * **Per-stream** — the entropy reference band (each stream's notion of
+//!   "confident" tracks *its* conditions), warm-up progress, and the
+//!   duty-cycle telemetry ([`GovernorStats`]): a stream driving into a
+//!   tunnel adapts while a stream in steady daylight skips, even inside the
+//!   same tick.
+//!
+//! The adaptation step reuses the tick's forward activations: the entropy
+//! gradient is masked to the triggered streams (renormalised to their
+//! count) and backpropagated once. A triggered frame therefore costs one
+//! forward + a shared slice of one backward (plus an optional telemetry
+//! forward per tick), where the pre-refactor single-stream loop paid three
+//! forwards + one backward per frame — batching wins even before
+//! core-count parallelism enters, and `BENCH_server.json` tracks the
+//! margin against the stock [`crate::AdaptGovernor`] API.
+//!
+//! # Deadline-aware admission
+//!
+//! With an [`AdmissionGate`] configured, [`AdaptServer::serve`] asks the
+//! Orin cost model how many offered frames fit the frame budget
+//! (`cost(batch) ≤ deadline`, [`ld_orin::admit_batch`]): surplus frames
+//! defer to the next tick and the adapt step is shed first when the budget
+//! is tight — frames are hard real-time, adaptation is a quality
+//! refinement.
+//!
+//! The single-camera API is preserved exactly: [`crate::AdaptGovernor`] is
+//! now a thin wrapper over a one-stream server and its behaviour (trigger
+//! maths, rollback, telemetry) is unchanged.
+
+use crate::bn_adapt::{AdaptStep, FrameOutcome, LdBnAdaptConfig};
+use crate::governor::{GovernorConfig, GovernorStats};
+use ld_carlane::{LabeledFrame, StreamSet};
+use ld_nn::{loss, Layer, Mode, Sgd};
+use ld_orin::{admit_batch, AdaptCostModel, BatchAdmission, Deadline, PowerMode};
+use ld_tensor::Tensor;
+use ld_ufld::{decode_batch, score_image, AccuracyReport, UfldModel};
+use std::collections::VecDeque;
+
+/// Copies the current BN parameter values (name → value).
+pub(crate) fn snapshot_bn(model: &mut UfldModel) -> Vec<(String, Tensor)> {
+    let mut out = Vec::new();
+    model.visit_params(&mut |p| {
+        if p.kind.is_bn() {
+            out.push((p.name.clone(), p.value.clone()));
+        }
+    });
+    out
+}
+
+/// Restores BN parameter values captured by [`snapshot_bn`].
+pub(crate) fn restore_bn(model: &mut UfldModel, state: &[(String, Tensor)]) {
+    let mut i = 0;
+    model.visit_params(&mut |p| {
+        if p.kind.is_bn() {
+            debug_assert_eq!(p.name, state[i].0);
+            p.value = state[i].1.clone();
+            i += 1;
+        }
+    });
+}
+
+/// Per-stream governor state — everything that must NOT be shared when
+/// several cameras ride one model.
+#[derive(Debug, Clone, Default)]
+struct StreamState {
+    /// EMA over this stream's accepted-confident frame entropies.
+    reference_entropy: Option<f32>,
+    /// This stream's duty-cycle telemetry.
+    stats: GovernorStats,
+}
+
+/// Deadline gate: the Orin cost model + power mode + deadline the admission
+/// query runs against.
+#[derive(Debug, Clone)]
+pub struct AdmissionGate {
+    cost: AdaptCostModel,
+    mode: PowerMode,
+    deadline: Deadline,
+}
+
+impl AdmissionGate {
+    /// Builds a gate from a cost model (hand-calibrated or refreshed from
+    /// `BENCH_gemm.json` via [`ld_orin::Roofline::agx_orin_calibrated`]).
+    pub fn new(cost: AdaptCostModel, mode: PowerMode, deadline: Deadline) -> Self {
+        AdmissionGate {
+            cost,
+            mode,
+            deadline,
+        }
+    }
+
+    /// The batch-aware deadline query (see [`ld_orin::admit_batch`]).
+    pub fn admit(&self, offered: usize) -> BatchAdmission {
+        admit_batch(&self.cost, self.mode, self.deadline.budget_ms, offered)
+    }
+}
+
+/// Configuration of the multi-stream server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The adaptation engine settings (learning rate, momentum, BN policy,
+    /// parameter filter). `batch_size` must be 1: the server triggers per
+    /// frame and forms its own batches from concurrently-admitted streams.
+    pub adapt: LdBnAdaptConfig,
+    /// Per-stream trigger policy.
+    pub governor: GovernorConfig,
+    /// Hard cap on frames per tick (the packing buffer / scratch budget).
+    pub max_batch: usize,
+    /// Optional deadline gate consulted by [`AdaptServer::serve`].
+    pub admission: Option<AdmissionGate>,
+    /// Whether adaptation steps re-run the forward to report
+    /// `entropy_after` ([`AdaptStep`] telemetry). The single-stream wrapper
+    /// keeps it on for parity with [`crate::LdBnAdapter`]; throughput-bound
+    /// servers turn it off and save a forward per adapted tick.
+    pub measure_entropy_after: bool,
+}
+
+impl ServerConfig {
+    /// Server configuration with no admission gate and full telemetry.
+    pub fn new(adapt: LdBnAdaptConfig, governor: GovernorConfig, max_batch: usize) -> Self {
+        ServerConfig {
+            adapt,
+            governor,
+            max_batch,
+            admission: None,
+            measure_entropy_after: true,
+        }
+    }
+
+    /// Attaches a deadline gate (builder style).
+    pub fn with_admission(mut self, gate: AdmissionGate) -> Self {
+        self.admission = Some(gate);
+        self
+    }
+
+    /// Disables the post-step entropy telemetry forward (builder style).
+    pub fn without_step_telemetry(mut self) -> Self {
+        self.measure_entropy_after = false;
+        self
+    }
+}
+
+/// Whole-server telemetry (per-stream counters live in [`GovernorStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServerStats {
+    /// Batched ticks processed.
+    pub ticks: usize,
+    /// Frames processed across all streams.
+    pub frames: usize,
+    /// Shared adaptation steps taken.
+    pub adapt_steps: usize,
+    /// Ticks where triggered streams wanted adaptation but the admission
+    /// verdict shed it (deadline pressure).
+    pub shed_adapt_ticks: usize,
+    /// Frame-deferrals: offered frames pushed to a later tick because the
+    /// admitted batch was smaller than the offer.
+    pub deferred_frames: usize,
+    /// Ticks on which a poisoned-BN rollback fired.
+    pub rollback_ticks: usize,
+}
+
+/// Per-stream serving outcome of [`AdaptServer::serve`].
+#[derive(Debug, Clone, Default)]
+pub struct StreamReport {
+    /// Trigger/duty telemetry.
+    pub stats: GovernorStats,
+    /// Decoded-lane accuracy against the stream's labels.
+    pub report: AccuracyReport,
+    /// Frames of this stream actually served.
+    pub frames: usize,
+}
+
+/// Aggregate result of a serving run.
+#[derive(Debug, Clone, Default)]
+pub struct ServeReport {
+    /// One entry per stream.
+    pub per_stream: Vec<StreamReport>,
+    /// Whole-server counters.
+    pub server: ServerStats,
+}
+
+/// The multi-stream adaptation server (see the module docs for the
+/// mux/demux contract).
+///
+/// # Example
+///
+/// ```
+/// use ld_adapt::{AdaptServer, GovernorConfig, LdBnAdaptConfig, ServerConfig};
+/// use ld_ufld::{UfldConfig, UfldModel};
+/// use ld_tensor::Tensor;
+///
+/// let cfg = UfldConfig::tiny(2);
+/// let mut model = UfldModel::new(&cfg, 3);
+/// let server_cfg = ServerConfig::new(
+///     LdBnAdaptConfig::paper(1),
+///     GovernorConfig::default(),
+///     2,
+/// );
+/// let mut server = AdaptServer::new(server_cfg, 2, &mut model);
+/// let f0 = Tensor::zeros(&[3, cfg.input_height, cfg.input_width]);
+/// let f1 = Tensor::zeros(&[3, cfg.input_height, cfg.input_width]);
+/// let outcomes = server.process_batch(&mut model, &[(0, &f0), (1, &f1)]);
+/// assert_eq!(outcomes.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct AdaptServer {
+    cfg: ServerConfig,
+    /// Shared optimizer (momentum state spans all streams' updates).
+    opt: Sgd,
+    /// Per-stream governor state.
+    streams: Vec<StreamState>,
+    /// Shared last-known-good BN snapshot for safety rollback.
+    good_bn_state: Vec<(String, Tensor)>,
+    stats: ServerStats,
+}
+
+impl AdaptServer {
+    /// Creates the server and configures `model` for deployment-time
+    /// adaptation (BN policy + trainability filter), exactly as
+    /// [`crate::LdBnAdapter::new`] does for the single-camera loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_streams == 0`, `max_batch == 0`, or
+    /// `cfg.adapt.batch_size != 1` (the server forms its own batches from
+    /// concurrent streams; a frame-accumulation batch size would double-
+    /// batch).
+    pub fn new(cfg: ServerConfig, n_streams: usize, model: &mut UfldModel) -> Self {
+        assert!(n_streams > 0, "AdaptServer: zero streams");
+        assert!(cfg.max_batch > 0, "AdaptServer: zero max batch");
+        assert_eq!(
+            cfg.adapt.batch_size, 1,
+            "AdaptServer requires adapt batch size 1 (the tick batch is formed from streams)"
+        );
+        model.set_bn_policy(cfg.adapt.stats_policy);
+        model.apply_filter(cfg.adapt.filter);
+        let opt = Sgd::new(cfg.adapt.lr).momentum(cfg.adapt.momentum);
+        let good_bn_state = snapshot_bn(model);
+        AdaptServer {
+            cfg,
+            opt,
+            streams: vec![StreamState::default(); n_streams],
+            good_bn_state,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Number of streams.
+    pub fn num_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Whole-server counters.
+    pub fn server_stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Telemetry of one stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is out of range.
+    pub fn stream_stats(&self, stream: usize) -> GovernorStats {
+        self.streams[stream].stats
+    }
+
+    /// Current entropy reference of one stream (None before its first
+    /// frame).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is out of range.
+    pub fn reference_entropy(&self, stream: usize) -> Option<f32> {
+        self.streams[stream].reference_entropy
+    }
+
+    /// Summed telemetry across streams.
+    pub fn total_stats(&self) -> GovernorStats {
+        let mut total = GovernorStats::default();
+        for s in &self.streams {
+            total.frames += s.stats.frames;
+            total.adapted_frames += s.stats.adapted_frames;
+            total.skipped_frames += s.stats.skipped_frames;
+            total.rollbacks += s.stats.rollbacks;
+        }
+        total
+    }
+
+    /// Processes one tick: at most one `(3, H, W)` frame per distinct
+    /// stream, one batched forward, per-stream demux, and (when any stream
+    /// triggers) one shared adaptation step. Outcomes are returned in input
+    /// order; each [`FrameOutcome`] carries that frame's own logits and
+    /// entropy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch, more frames than `max_batch`, an unknown
+    /// or duplicated stream id, or a frame-shape mismatch.
+    pub fn process_batch(
+        &mut self,
+        model: &mut UfldModel,
+        frames: &[(usize, &Tensor)],
+    ) -> Vec<FrameOutcome> {
+        self.process_batch_gated(model, frames, true)
+    }
+
+    /// [`AdaptServer::process_batch`] with the admission verdict applied:
+    /// when `allow_adapt` is false the adapt step is shed (triggered frames
+    /// count as skipped and the shed is tallied in [`ServerStats`]).
+    fn process_batch_gated(
+        &mut self,
+        model: &mut UfldModel,
+        frames: &[(usize, &Tensor)],
+        allow_adapt: bool,
+    ) -> Vec<FrameOutcome> {
+        assert!(!frames.is_empty(), "process_batch: empty batch");
+        assert!(
+            frames.len() <= self.cfg.max_batch,
+            "process_batch: {} frames exceed max batch {}",
+            frames.len(),
+            self.cfg.max_batch
+        );
+        for (i, (sid, _)) in frames.iter().enumerate() {
+            assert!(
+                *sid < self.streams.len(),
+                "process_batch: unknown stream {sid}"
+            );
+            assert!(
+                !frames[..i].iter().any(|(prev, _)| prev == sid),
+                "process_batch: duplicate stream {sid}"
+            );
+        }
+        let k = frames.len();
+        let images: Vec<&Tensor> = frames.iter().map(|&(_, t)| t).collect();
+
+        // Mux: one batched forward serves every stream's inference.
+        let logits = model.forward_frames(&images, Mode::Eval);
+        let entropies = loss::entropy_per_image(&logits);
+        let ldims = logits.shape_dims().to_vec();
+
+        // Demux: per-stream trigger / rollback decisions against each
+        // stream's own reference band.
+        let mut triggered = vec![false; k];
+        let mut any_rollback = false;
+        for (i, &(sid, _)) in frames.iter().enumerate() {
+            let h = entropies[i];
+            let st = &mut self.streams[sid];
+            st.stats.frames += 1;
+            let warmup = st.stats.frames <= self.cfg.governor.warmup_frames;
+            let reference = st.reference_entropy.unwrap_or(h);
+            if !warmup && h > self.cfg.governor.rollback_ratio * reference {
+                st.stats.rollbacks += 1;
+                any_rollback = true;
+            }
+            triggered[i] = warmup || h > self.cfg.governor.threshold_ratio * reference;
+        }
+        if any_rollback {
+            restore_bn(model, &self.good_bn_state);
+            self.stats.rollback_ticks += 1;
+        }
+
+        let t = triggered.iter().filter(|&&x| x).count();
+        let do_adapt = allow_adapt && t > 0;
+        if !allow_adapt && t > 0 {
+            self.stats.shed_adapt_ticks += 1;
+        }
+
+        // One shared adaptation step over the triggered sub-batch: the
+        // entropy gradient of the batch forward, masked to triggered
+        // samples and renormalised to their count, backpropagates through
+        // the activations already in the layer caches — no extra forward.
+        let mut step_before = vec![f32::NAN; k];
+        let mut step_after = vec![f32::NAN; k];
+        // On a mixed tick (some streams confident, some triggered) the
+        // confident streams' entropies were measured on the *pre-update*
+        // parameters — those are the values their confidence blesses as
+        // known-good, so capture them before the shared step mutates the
+        // model (blessing the post-update state would let a destructive
+        // update poison the rollback snapshot itself).
+        let pre_step_bn = (do_adapt && t < k).then(|| snapshot_bn(model));
+        if do_adapt {
+            let lo = if any_rollback {
+                // The cached activations came from the poisoned parameters;
+                // refresh them against the restored model.
+                let refreshed = model.forward_frames(&images, Mode::Eval);
+                step_before.copy_from_slice(&loss::entropy_per_image(&refreshed));
+                loss::entropy(&refreshed)
+            } else {
+                step_before.copy_from_slice(&entropies);
+                loss::entropy(&logits)
+            };
+            let mut grad = lo.grad;
+            if t < k {
+                for (i, &hit) in triggered.iter().enumerate() {
+                    if !hit {
+                        grad.image_mut(i).fill(0.0);
+                    }
+                }
+                grad.scale(k as f32 / t as f32);
+            }
+            model.zero_grad();
+            model.backward(&grad);
+            model.visit_params(&mut |p| self.opt.update(p));
+            self.stats.adapt_steps += 1;
+            if self.cfg.measure_entropy_after {
+                let after_logits = model.forward_frames(&images, Mode::Eval);
+                let after = loss::entropy_per_image(&after_logits);
+                step_after[..k].copy_from_slice(&after[..k]);
+            }
+        }
+
+        // Per-stream bookkeeping: confident frames fold into their stream's
+        // reference band; any confident frame marks the (shared) BN state
+        // as known-good.
+        let mut any_skip = false;
+        for (i, &(sid, _)) in frames.iter().enumerate() {
+            let h = entropies[i];
+            let st = &mut self.streams[sid];
+            if triggered[i] {
+                if do_adapt {
+                    st.stats.adapted_frames += 1;
+                } else {
+                    st.stats.skipped_frames += 1; // shed by admission
+                }
+            } else {
+                st.stats.skipped_frames += 1;
+                let m = self.cfg.governor.reference_momentum;
+                let reference = st.reference_entropy.unwrap_or(h);
+                st.reference_entropy = Some((1.0 - m) * reference + m * h);
+                any_skip = true;
+            }
+            if st.reference_entropy.is_none() {
+                st.reference_entropy = Some(h);
+            }
+        }
+        if any_skip {
+            // Bless the state the confident streams actually ran on: the
+            // pre-step snapshot when this tick also adapted, the current
+            // parameters otherwise.
+            self.good_bn_state = pre_step_bn.unwrap_or_else(|| snapshot_bn(model));
+        }
+
+        self.stats.ticks += 1;
+        self.stats.frames += k;
+
+        let per_frame_dims = [1, ldims[1], ldims[2], ldims[3]];
+        (0..k)
+            .map(|i| {
+                let frame_logits = Tensor::from_vec(logits.image(i).to_vec(), &per_frame_dims);
+                let adapted = (triggered[i] && do_adapt).then_some(AdaptStep {
+                    entropy_before: step_before[i],
+                    entropy_after: step_after[i],
+                });
+                FrameOutcome {
+                    logits: frame_logits,
+                    entropy: entropies[i],
+                    adapted,
+                }
+            })
+            .collect()
+    }
+
+    /// The serving pump: for `ticks` rounds, offer one fresh frame per
+    /// stream (plus any deferrals), apply the admission verdict, process
+    /// the admitted batch, and score the decoded lanes against each
+    /// frame's labels.
+    ///
+    /// Deferred frames are served before their stream is polled again, so
+    /// under sustained oversubscription streams are served round-robin and
+    /// none starves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` has a different stream count than the server.
+    pub fn serve(
+        &mut self,
+        model: &mut UfldModel,
+        streams: &mut StreamSet,
+        ticks: usize,
+    ) -> ServeReport {
+        assert_eq!(
+            streams.num_streams(),
+            self.num_streams(),
+            "serve: stream-set size mismatch"
+        );
+        let n = self.num_streams();
+        let model_cfg = model.config().clone();
+        let mut pending: VecDeque<(usize, LabeledFrame)> = VecDeque::new();
+        let mut reports = vec![StreamReport::default(); n];
+        for _ in 0..ticks {
+            let mut offered_by: Vec<bool> = vec![false; n];
+            for &(sid, _) in &pending {
+                offered_by[sid] = true;
+            }
+            for (sid, seen) in offered_by.iter().enumerate() {
+                if !seen {
+                    pending.push_back((sid, streams.next_frame(sid)));
+                }
+            }
+            let offered = pending.len();
+            let verdict = match &self.cfg.admission {
+                Some(gate) => gate.admit(offered.min(self.cfg.max_batch)),
+                None => BatchAdmission {
+                    batch: offered.min(self.cfg.max_batch),
+                    adapt: true,
+                    latency_ms: 0.0,
+                    fits_deadline: true,
+                },
+            };
+            let take = verdict.batch.clamp(1, offered);
+            let batch: Vec<(usize, LabeledFrame)> = pending.drain(..take).collect();
+            self.stats.deferred_frames += pending.len();
+
+            let refs: Vec<(usize, &Tensor)> =
+                batch.iter().map(|(sid, f)| (*sid, &f.image)).collect();
+            let outcomes = self.process_batch_gated(model, &refs, verdict.adapt);
+
+            for ((sid, frame), outcome) in batch.iter().zip(&outcomes) {
+                let lanes = decode_batch(&outcome.logits, &model_cfg);
+                let scored = score_image(&lanes[0], &frame.labels, &model_cfg);
+                reports[*sid].report.merge(&scored);
+                reports[*sid].frames += 1;
+            }
+        }
+        for (sid, report) in reports.iter_mut().enumerate() {
+            report.stats = self.streams[sid].stats;
+        }
+        ServeReport {
+            per_stream: reports,
+            server: self.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bridge::frame_spec_for;
+    use crate::governor::AdaptGovernor;
+    use crate::trainer::{pretrain_on_source, TrainConfig};
+    use ld_carlane::Benchmark;
+    use ld_nn::BnStatsPolicy;
+    use ld_tensor::rng::SeededRng;
+    use ld_ufld::UfldConfig;
+
+    fn frozen_cfg(gov: GovernorConfig) -> ServerConfig {
+        ServerConfig::new(
+            LdBnAdaptConfig::paper(1).with_stats_policy(BnStatsPolicy::Running),
+            gov,
+            8,
+        )
+    }
+
+    fn random_frames(cfg: &UfldConfig, count: usize, seed: u64) -> Vec<Tensor> {
+        let mut rng = SeededRng::new(seed);
+        (0..count)
+            .map(|_| rng.uniform_tensor(&[3, cfg.input_height, cfg.input_width], 0.0, 1.0))
+            .collect()
+    }
+
+    /// The stream-isolation acceptance test: with BN statistics frozen
+    /// ([`BnStatsPolicy::Running`] keeps samples independent through the
+    /// batch) and a never-trigger governor, K interleaved streams through
+    /// one batched server yield bitwise-identical [`FrameOutcome`]s to K
+    /// fully independent single-stream governors on model clones.
+    #[test]
+    fn batched_streams_bitwise_match_independent_governors_when_frozen() {
+        let cfg = UfldConfig::tiny(2);
+        let gov = GovernorConfig {
+            warmup_frames: 0,
+            threshold_ratio: 1e6,
+            rollback_ratio: 1e9,
+            ..Default::default()
+        };
+        let k = 3;
+        let rounds = 4;
+        let mut shared = UfldModel::new(&cfg, 0xBEEF);
+        let mut clones: Vec<UfldModel> = (0..k).map(|_| shared.clone_model()).collect();
+
+        let mut server = AdaptServer::new(frozen_cfg(gov), k, &mut shared);
+        let mut governors: Vec<AdaptGovernor> = clones
+            .iter_mut()
+            .map(|m| {
+                AdaptGovernor::new(
+                    LdBnAdaptConfig::paper(1).with_stats_policy(BnStatsPolicy::Running),
+                    gov,
+                    m,
+                )
+            })
+            .collect();
+
+        for round in 0..rounds {
+            let frames = random_frames(&cfg, k, 100 + round as u64);
+            let batch: Vec<(usize, &Tensor)> = frames.iter().enumerate().collect();
+            let outcomes = server.process_batch(&mut shared, &batch);
+            for (s, (gov, clone)) in governors.iter_mut().zip(&mut clones).enumerate() {
+                let (logits, adapted) = gov.process_frame(clone, &frames[s]);
+                assert_eq!(
+                    outcomes[s].logits.as_slice(),
+                    logits.as_slice(),
+                    "round {round} stream {s}: logits diverged"
+                );
+                assert!(!adapted && outcomes[s].adapted.is_none());
+            }
+        }
+        for (s, gov) in governors.iter().enumerate() {
+            assert_eq!(server.stream_stats(s), gov.stats(), "stream {s}");
+            assert_eq!(
+                server.reference_entropy(s).map(f32::to_bits),
+                gov.reference_entropy().map(f32::to_bits),
+                "stream {s} reference band"
+            );
+            assert_eq!(server.stream_stats(s).frames, rounds);
+            assert_eq!(server.stream_stats(s).skipped_frames, rounds);
+        }
+        assert_eq!(server.server_stats().adapt_steps, 0);
+    }
+
+    /// Warm-up makes every stream trigger: one shared step per tick, every
+    /// stream's duty counted, and the step telemetry populated.
+    #[test]
+    fn warmup_batches_share_one_adapt_step_per_tick() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = UfldModel::new(&cfg, 0xA1);
+        let gov = GovernorConfig {
+            warmup_frames: 10,
+            ..Default::default()
+        };
+        let server_cfg = ServerConfig::new(LdBnAdaptConfig::paper(1), gov, 4);
+        let mut server = AdaptServer::new(server_cfg, 4, &mut model);
+        for round in 0..3 {
+            let frames = random_frames(&cfg, 4, 7 + round);
+            let batch: Vec<(usize, &Tensor)> = frames.iter().enumerate().collect();
+            let outcomes = server.process_batch(&mut model, &batch);
+            for out in &outcomes {
+                let step = out.adapted.expect("warm-up adapts");
+                assert!(step.entropy_before.is_finite());
+                assert!(step.entropy_after.is_finite());
+            }
+        }
+        assert_eq!(server.server_stats().adapt_steps, 3, "one step per tick");
+        assert_eq!(server.total_stats().adapted_frames, 12);
+        for s in 0..4 {
+            assert_eq!(server.stream_stats(s).adapted_frames, 3);
+        }
+    }
+
+    /// Duty-cycle accounting under mixed drift schedules: every stream's
+    /// counters stay consistent and per-stream references diverge (each
+    /// stream tracks its own conditions).
+    #[test]
+    fn duty_cycle_accounting_under_mixed_drift() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = UfldModel::new(&cfg, 0x60F);
+        let mut train = TrainConfig::smoke();
+        train.steps = 60;
+        pretrain_on_source(&mut model, Benchmark::MoLane, &train);
+
+        let gov = GovernorConfig {
+            warmup_frames: 2,
+            threshold_ratio: 1.05,
+            ..Default::default()
+        };
+        let server_cfg = ServerConfig::new(LdBnAdaptConfig::paper(1), gov, 3);
+        let mut server = AdaptServer::new(server_cfg, 3, &mut model);
+        let mut set = StreamSet::drifting(Benchmark::MoLane, frame_spec_for(&cfg), 3, 12, 11);
+
+        let ticks = 10;
+        let report = server.serve(&mut model, &mut set, ticks);
+
+        assert_eq!(report.server.ticks, ticks);
+        assert_eq!(report.server.frames, 3 * ticks);
+        assert_eq!(report.server.deferred_frames, 0, "no gate, no deferrals");
+        for (sid, stream) in report.per_stream.iter().enumerate() {
+            let s = stream.stats;
+            assert_eq!(s.frames, ticks, "stream {sid} served every tick");
+            assert_eq!(
+                s.adapted_frames + s.skipped_frames,
+                s.frames,
+                "stream {sid} accounting"
+            );
+            assert!(s.duty_cycle() > 0.0 && s.duty_cycle() <= 1.0);
+            assert!(stream.report.gt_points > 0, "stream {sid} was scored");
+            assert!(server.reference_entropy(sid).is_some());
+        }
+        // Warm-up adapts at minimum; the total cannot be all-skip.
+        assert!(report.server.adapt_steps >= 2);
+    }
+
+    /// Oversubscription against a tight deadline: frames defer round-robin
+    /// (no stream starves) and the adapt step is shed, never the frames.
+    #[test]
+    fn admission_sheds_adaptation_and_defers_frames() {
+        use ld_ufld::Backbone;
+        let cfg = UfldConfig::tiny(2);
+        let mut model = UfldModel::new(&cfg, 0xC4);
+        // R-18 paper-scale at 15 W cannot fit the adapt step in 33.3 ms;
+        // only a single inference-only frame is admitted per tick.
+        let gate = AdmissionGate::new(
+            AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4)),
+            PowerMode::W15,
+            Deadline::FPS30,
+        );
+        let gov = GovernorConfig {
+            warmup_frames: 100, // every frame wants to adapt
+            ..Default::default()
+        };
+        let server_cfg = ServerConfig::new(LdBnAdaptConfig::paper(1), gov, 2).with_admission(gate);
+        let mut server = AdaptServer::new(server_cfg, 2, &mut model);
+        let mut set = StreamSet::drifting(Benchmark::MoLane, frame_spec_for(&cfg), 2, 8, 3);
+
+        let ticks = 6;
+        let report = server.serve(&mut model, &mut set, ticks);
+
+        assert_eq!(report.server.adapt_steps, 0, "adaptation fully shed");
+        assert_eq!(report.server.shed_adapt_ticks, ticks);
+        assert!(report.server.deferred_frames > 0);
+        assert_eq!(report.server.frames, ticks, "one admitted frame per tick");
+        // Round-robin deferral serves both streams.
+        let f0 = report.per_stream[0].frames;
+        let f1 = report.per_stream[1].frames;
+        assert_eq!(f0 + f1, ticks);
+        assert!(f0 > 0 && f1 > 0, "no stream starves: {f0} vs {f1}");
+        // Shed triggers count as skips, keeping the accounting identity.
+        for s in &report.per_stream {
+            assert_eq!(s.stats.adapted_frames, 0);
+            assert_eq!(s.stats.skipped_frames, s.stats.frames);
+        }
+    }
+
+    /// A mixed tick (one stream confident, one adapting) must bless the
+    /// *pre-update* parameters as known-good: the confident stream's
+    /// entropy was measured on them, and blessing the post-update state
+    /// would let a destructive shared step poison the rollback snapshot.
+    #[test]
+    fn mixed_tick_blesses_pre_update_bn_state() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = UfldModel::new(&cfg, 0x60F);
+        let mut train = TrainConfig::smoke();
+        train.steps = 80;
+        pretrain_on_source(&mut model, Benchmark::MoLane, &train);
+
+        let gov = GovernorConfig {
+            warmup_frames: 0,
+            threshold_ratio: 1.02,
+            rollback_ratio: 1e9, // keep rollback out of this scenario
+            ..Default::default()
+        };
+        // A large step so the shared update visibly moves the BN params.
+        let server_cfg = ServerConfig::new(LdBnAdaptConfig::paper(1).with_lr(0.5), gov, 2);
+        let mut server = AdaptServer::new(server_cfg, 2, &mut model);
+
+        let calm = ld_carlane::FrameStream::source(Benchmark::MoLane, frame_spec_for(&cfg), 1, 12)
+            .frame(0)
+            .image;
+        // Tick 1: both streams see the calm frame — warmup 0 means both
+        // skip and set their references.
+        let outcomes = server.process_batch(&mut model, &[(0, &calm), (1, &calm)]);
+        assert!(outcomes.iter().all(|o| o.adapted.is_none()));
+
+        let pre_tick_bn = snapshot_bn(&mut model);
+        // Tick 2: stream 0 stays calm (skips), stream 1 sees an
+        // out-of-distribution frame (triggers) — a mixed tick.
+        let noise =
+            SeededRng::new(99).uniform_tensor(&[3, cfg.input_height, cfg.input_width], 0.0, 1.0);
+        let outcomes = server.process_batch(&mut model, &[(0, &calm), (1, &noise)]);
+        assert!(outcomes[0].adapted.is_none(), "calm stream must skip");
+        assert!(outcomes[1].adapted.is_some(), "noise stream must trigger");
+
+        // The update moved the live BN parameters…
+        let post_tick_bn = snapshot_bn(&mut model);
+        assert!(
+            pre_tick_bn
+                .iter()
+                .zip(&post_tick_bn)
+                .any(|((_, a), (_, b))| a.as_slice() != b.as_slice()),
+            "large-lr step should move BN params"
+        );
+        // …but the blessed snapshot is the pre-update state.
+        for ((name, good), (_, pre)) in server.good_bn_state.iter().zip(&pre_tick_bn) {
+            assert_eq!(
+                good.as_slice(),
+                pre.as_slice(),
+                "{name}: known-good state must be the pre-update values"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate stream")]
+    fn rejects_duplicate_streams_in_one_tick() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = UfldModel::new(&cfg, 1);
+        let server_cfg = ServerConfig::new(LdBnAdaptConfig::paper(1), GovernorConfig::default(), 4);
+        let mut server = AdaptServer::new(server_cfg, 2, &mut model);
+        let f = Tensor::zeros(&[3, cfg.input_height, cfg.input_width]);
+        server.process_batch(&mut model, &[(1, &f), (1, &f)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size 1")]
+    fn rejects_frame_accumulation_batch_sizes() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = UfldModel::new(&cfg, 2);
+        let server_cfg = ServerConfig::new(LdBnAdaptConfig::paper(2), GovernorConfig::default(), 4);
+        AdaptServer::new(server_cfg, 2, &mut model);
+    }
+}

@@ -509,6 +509,29 @@ mod tests {
         assert_eq!(conv.scratch_reallocs(), 2, "smaller shape reuses the arena");
     }
 
+    /// The batch-server contract: after one forward at the largest batch the
+    /// arena serves *any* smaller batch with zero further sizing, and each
+    /// image's output is bit-identical to its single-image forward (the
+    /// per-image im2col + GEMM never sees the rest of the batch).
+    #[test]
+    fn scratch_is_batch_size_agnostic_after_max_batch_warmup() {
+        let mut conv = Conv2d::new("t", 3, 6, 3, 1, 1, true, 17);
+        let x4 = SeededRng::new(18).uniform_tensor(&[4, 3, 9, 11], -1.0, 1.0);
+        let y4 = conv.forward(&x4, Mode::Eval);
+        assert_eq!(conv.scratch_reallocs(), 1, "max batch sizes the arena once");
+        for batch in [1usize, 2, 3, 4, 2, 1] {
+            let mut xb = Tensor::zeros(&[batch, 3, 9, 11]);
+            for i in 0..batch {
+                xb.image_mut(i).copy_from_slice(x4.image(i));
+            }
+            let yb = conv.forward(&xb, Mode::Eval);
+            for i in 0..batch {
+                assert_eq!(yb.image(i), y4.image(i), "batch {batch} image {i}");
+            }
+        }
+        assert_eq!(conv.scratch_reallocs(), 1, "batch changes reuse the arena");
+    }
+
     /// Backward must consume the forward's cached columns, so interleaved
     /// forward/backward at the same shape also stays allocation-stable.
     #[test]

@@ -161,6 +161,40 @@ pub fn entropy(logits: &Tensor) -> LossOutput {
     }
 }
 
+/// Per-image mean group entropy of `(N, C, R, L)` logits — the per-stream
+/// demux statistic of the multi-stream adaptation server: one batched
+/// forward, one softmax pass, and each stream's governor still sees *its
+/// own* frame entropy.
+///
+/// Accumulation order matches [`entropy`] exactly, so for a batch of one
+/// the single element equals `entropy(logits).value` bitwise.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 4.
+pub fn entropy_per_image(logits: &Tensor) -> Vec<f32> {
+    let d = group_dims(logits);
+    let stride = d.r * d.l;
+    let probs = group_softmax(logits);
+    let mut out = Vec::with_capacity(d.n);
+    for n in 0..d.n {
+        let img = n * d.c * stride;
+        let mut total = 0.0f64;
+        for g in 0..stride {
+            let mut h = 0.0f32;
+            for c in 0..d.c {
+                let p = probs.as_slice()[img + c * stride + g];
+                if p > 1e-12 {
+                    h -= p * p.ln();
+                }
+            }
+            total += h as f64;
+        }
+        out.push((total / stride as f64) as f32);
+    }
+    out
+}
+
 /// UFLD similarity loss: mean L1 distance between the logits of vertically
 /// adjacent row anchors (lanes are continuous, so neighbouring rows should
 /// classify similarly).
@@ -390,6 +424,29 @@ mod tests {
         let mut peaked = Tensor::zeros(&[1, c, 1, 1]);
         *peaked.at_mut(&[0, 0, 0, 0]) = 60.0;
         assert!(entropy(&peaked).value < 1e-3);
+    }
+
+    #[test]
+    fn entropy_per_image_demuxes_the_batch_mean() {
+        let logits = rand_logits(3, 5, 2, 2, 11);
+        let per = entropy_per_image(&logits);
+        assert_eq!(per.len(), 3);
+        // The batch entropy is the mean of the per-image entropies.
+        let mean: f64 = per.iter().map(|&h| h as f64).sum::<f64>() / 3.0;
+        assert!((mean as f32 - entropy(&logits).value).abs() < 1e-5);
+        // For a single-image batch the value is bitwise identical to the
+        // scalar loss (same accumulation order) — the server wrapper
+        // depends on this.
+        for n in 0..3 {
+            let one = Tensor::from_vec(
+                logits.as_slice()[n * 20..(n + 1) * 20].to_vec(),
+                &[1, 5, 2, 2],
+            );
+            assert_eq!(
+                entropy_per_image(&one)[0].to_bits(),
+                entropy(&one).value.to_bits()
+            );
+        }
     }
 
     #[test]

@@ -114,6 +114,38 @@ impl AdaptCostModel {
         }
     }
 
+    /// Latency of one **multi-stream server tick**: `batch` camera frames
+    /// (one per admitted stream) are host-preprocessed, packed, and pushed
+    /// through a single batched forward; when `adapt` is set, one batched
+    /// BN-only backward and the shared parameter update follow. This is the
+    /// cost query the batch-admission logic minimises against the deadline —
+    /// unlike [`AdaptCostModel::ld_bn_adapt_frame`], which models the
+    /// single-camera loop where a batch accumulates *across* frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn batched_tick(&self, mode: PowerMode, batch: usize, adapt: bool) -> FrameLatency {
+        assert!(batch > 0, "batched_tick: zero batch");
+        let (backward_ms, update_ms) = if adapt {
+            (
+                1e3 * self
+                    .roofline
+                    .backward_seconds(&self.costs, mode, batch, false),
+                1e3 * self.roofline.update_seconds(self.bn_params, mode),
+            )
+        } else {
+            (0.0, 0.0)
+        };
+        FrameLatency {
+            preprocess_ms: self.roofline.spec.host_preprocess_ms * batch as f64,
+            inference_ms: 1e3 * self.roofline.forward_seconds(&self.costs, mode, batch),
+            adapt_forward_ms: 0.0,
+            backward_ms,
+            update_ms,
+        }
+    }
+
     /// Energy per frame in millijoules at a power mode (power budget ×
     /// frame time).
     pub fn energy_mj(&self, mode: PowerMode, batch_size: usize) -> f64 {
@@ -212,6 +244,32 @@ mod tests {
             f4 > f1,
             "batch-completing frame must pay more: {f4} vs {f1}"
         );
+    }
+
+    #[test]
+    fn batched_tick_amortises_but_stays_monotonic() {
+        let m = model(Backbone::ResNet18);
+        let t1 = m.batched_tick(PowerMode::MaxN60, 1, true).total_ms();
+        let t4 = m.batched_tick(PowerMode::MaxN60, 4, true).total_ms();
+        // A 4-stream tick costs more than one frame but less than four
+        // single-frame loops (parameters/weights are read once per kernel).
+        assert!(t4 > t1, "batch must cost more: {t4} vs {t1}");
+        assert!(t4 < 4.0 * t1, "batch must amortise: {t4} vs 4×{t1}");
+        // Shedding adaptation removes the backward + update entirely.
+        let infer4 = m.batched_tick(PowerMode::MaxN60, 4, false);
+        assert_eq!(infer4.backward_ms, 0.0);
+        assert_eq!(infer4.update_ms, 0.0);
+        assert!(infer4.total_ms() < t4);
+    }
+
+    #[test]
+    fn batched_tick_single_frame_matches_frame_loop_compute() {
+        // At batch 1 with adaptation, the tick is exactly the bs=1 frame
+        // loop (inference + reused-activations backward + update).
+        let m = model(Backbone::ResNet18);
+        let tick = m.batched_tick(PowerMode::W50, 1, true);
+        let frame = m.ld_bn_adapt_frame(PowerMode::W50, 1);
+        assert!((tick.total_ms() - frame.total_ms()).abs() < 1e-9);
     }
 
     #[test]

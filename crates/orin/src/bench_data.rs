@@ -1,0 +1,153 @@
+//! Measured-GEMM ingestion for the cost-model refresh.
+//!
+//! The seed's roofline efficiencies were hand-estimated. Since PR 1 the
+//! workspace emits `BENCH_gemm.json` — real measured throughput of the
+//! blocked GEMM over the backbone's im2col shapes — so the efficiencies can
+//! be *fitted* instead: how far below the best-achieved rate do typical
+//! layer shapes land? That fraction is exactly what [`crate::Efficiency`]
+//! encodes, and it transfers between hosts better than absolute GFLOP/s.
+//!
+//! The build environment has no serde, so this module carries a tiny
+//! hand-rolled parser for the flat, machine-generated schema
+//! (`[{"shape": [m, k, n], "kernel": "...", "ns_per_iter": …, "gflops": …},
+//! …]`). It is deliberately strict about the fields it needs and silent
+//! about the ones it does not.
+
+/// One measured GEMM data point from `BENCH_gemm.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GemmMeasurement {
+    /// Product shape `(m, k, n)`.
+    pub shape: [usize; 3],
+    /// Kernel label (`"blocked"` rows are the tuned engine; `"seed_naive"`
+    /// rows are the regression baseline).
+    pub kernel: String,
+    /// Measured achieved throughput in GFLOP/s.
+    pub gflops: f64,
+}
+
+impl GemmMeasurement {
+    /// `true` for rows measuring the tuned blocked kernel.
+    pub fn is_blocked(&self) -> bool {
+        self.kernel == "blocked"
+    }
+
+    /// `true` for small-`m` products (the batched FC head and other dense
+    /// layers); everything wider is treated as conv-shaped (im2col).
+    pub fn is_fc_shaped(&self) -> bool {
+        self.shape[0] < 16
+    }
+}
+
+/// Extracts the value of `"key": …` inside one JSON object body, up to the
+/// next comma or closing brace.
+fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = obj[start..].trim_start();
+    // Arrays keep their brackets; scalars/strings end at `,` or end-of-body.
+    if let Some(arr) = rest.strip_prefix('[') {
+        let end = arr.find(']')?;
+        return Some(&arr[..end]);
+    }
+    let end = rest.find(',').unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+/// Parses the `BENCH_gemm.json` schema.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed object.
+pub fn parse_bench_gemm(json: &str) -> Result<Vec<GemmMeasurement>, String> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(open) = rest.find('{') {
+        let body_start = open + 1;
+        let close = rest[body_start..]
+            .find('}')
+            .ok_or_else(|| "unterminated object".to_string())?;
+        let obj = &rest[body_start..body_start + close];
+        rest = &rest[body_start + close + 1..];
+
+        let shape_body = field(obj, "shape").ok_or_else(|| format!("no shape in `{obj}`"))?;
+        let mut dims = shape_body.split(',').map(|v| v.trim().parse::<usize>());
+        let mut next_dim = |name: &str| {
+            dims.next()
+                .and_then(Result::ok)
+                .ok_or_else(|| format!("bad shape dim {name} in `{shape_body}`"))
+        };
+        let shape = [next_dim("m")?, next_dim("k")?, next_dim("n")?];
+        let kernel = field(obj, "kernel")
+            .ok_or_else(|| format!("no kernel in `{obj}`"))?
+            .trim_matches('"')
+            .to_owned();
+        let gflops: f64 = field(obj, "gflops")
+            .ok_or_else(|| format!("no gflops in `{obj}`"))?
+            .parse()
+            .map_err(|e| format!("bad gflops: {e}"))?;
+        if !gflops.is_finite() || gflops <= 0.0 {
+            return Err(format!("non-positive gflops {gflops}"));
+        }
+        out.push(GemmMeasurement {
+            shape,
+            kernel,
+            gflops,
+        });
+    }
+    if out.is_empty() {
+        return Err("no measurements found".into());
+    }
+    Ok(out)
+}
+
+/// Loads and parses a `BENCH_gemm.json` file.
+///
+/// # Errors
+///
+/// Returns a description on I/O or parse failure.
+pub fn load_bench_gemm(path: &str) -> Result<Vec<GemmMeasurement>, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    parse_bench_gemm(&json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"[
+  {"shape": [64, 576, 3136], "kernel": "blocked", "ns_per_iter": 5239997.2, "gflops": 44.124, "speedup_vs_seed": 3.93},
+  {"shape": [64, 576, 3136], "kernel": "seed_naive", "ns_per_iter": 20594822.1, "gflops": 11.227},
+  {"shape": [4, 1568, 2048], "kernel": "blocked", "ns_per_iter": 204243.6, "gflops": 62.891}
+]"#;
+
+    #[test]
+    fn parses_the_emitted_schema() {
+        let rows = parse_bench_gemm(SAMPLE).expect("parse");
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].shape, [64, 576, 3136]);
+        assert!(rows[0].is_blocked());
+        assert!((rows[0].gflops - 44.124).abs() < 1e-9);
+        assert!(!rows[1].is_blocked());
+        assert!(rows[2].is_fc_shaped());
+        assert!(!rows[0].is_fc_shaped());
+    }
+
+    #[test]
+    fn committed_trajectory_parses() {
+        // The workspace-root file this module exists to consume.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
+        let rows = load_bench_gemm(path).expect("BENCH_gemm.json must stay parseable");
+        assert!(rows.iter().any(|r| r.is_blocked()));
+        assert!(rows.iter().any(|r| !r.is_blocked()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_bench_gemm("[]").is_err());
+        assert!(parse_bench_gemm("{\"kernel\": \"blocked\"}").is_err());
+        assert!(
+            parse_bench_gemm("{\"shape\": [1, 2, 3], \"kernel\": \"b\", \"gflops\": -1.0}")
+                .is_err()
+        );
+    }
+}

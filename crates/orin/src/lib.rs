@@ -23,13 +23,17 @@
 //! ```
 
 pub mod adapt_cost;
+pub mod bench_data;
 pub mod deadline;
 pub mod roofline;
 pub mod scheduler;
 pub mod spec;
 
 pub use adapt_cost::{AdaptCostModel, FrameLatency};
+pub use bench_data::{load_bench_gemm, parse_bench_gemm, GemmMeasurement};
 pub use deadline::{best_configuration, feasibility, Deadline, DesignPoint};
 pub use roofline::{Efficiency, Roofline};
-pub use scheduler::{plan_adaptation, precision_what_if, AdaptBudget, Precision};
+pub use scheduler::{
+    admit_batch, plan_adaptation, precision_what_if, AdaptBudget, BatchAdmission, Precision,
+};
 pub use spec::{OrinSpec, PowerMode};

@@ -8,6 +8,7 @@
 //! meet which deadline — not cycle-exact numbers; EXPERIMENTS.md records
 //! estimates as estimates.
 
+use crate::bench_data::GemmMeasurement;
 use crate::spec::{OrinSpec, PowerMode};
 use ld_ufld::cost::{CostKind, LayerCost};
 
@@ -36,6 +37,57 @@ impl Default for Efficiency {
     }
 }
 
+impl Efficiency {
+    /// Fits the compute efficiencies from measured `BENCH_gemm.json` rows
+    /// instead of the hand-estimated seed constants.
+    ///
+    /// An [`Efficiency`] is a *fraction of achievable peak*, so it transfers
+    /// between hosts even though the measurements come from the development
+    /// machine rather than an Orin: the best blocked-kernel rate across all
+    /// shapes stands in for peak, and each operator class gets the geometric
+    /// mean of its shapes' rates relative to that peak — conv-shaped
+    /// products (im2col, `m ≥ 16`) drive `conv`, small-`m` products (the
+    /// batched FC head) drive `fc`. `elementwise` has no GEMM measurement
+    /// and keeps its calibrated default.
+    ///
+    /// Classes without a measured shape fall back to the default constants,
+    /// so a truncated bench file degrades gracefully.
+    pub fn from_gemm_bench(measurements: &[GemmMeasurement]) -> Efficiency {
+        let hand = Efficiency::default();
+        let blocked: Vec<&GemmMeasurement> =
+            measurements.iter().filter(|m| m.is_blocked()).collect();
+        let Some(peak) = blocked
+            .iter()
+            .map(|m| m.gflops)
+            .max_by(|a, b| a.partial_cmp(b).expect("finite"))
+        else {
+            return hand;
+        };
+        let geomean_ratio = |rows: &[&GemmMeasurement]| -> Option<f64> {
+            if rows.is_empty() {
+                return None;
+            }
+            let log_sum: f64 = rows.iter().map(|m| (m.gflops / peak).ln()).sum();
+            Some((log_sum / rows.len() as f64).exp())
+        };
+        let conv_rows: Vec<&GemmMeasurement> = blocked
+            .iter()
+            .copied()
+            .filter(|m| !m.is_fc_shaped())
+            .collect();
+        let fc_rows: Vec<&GemmMeasurement> = blocked
+            .iter()
+            .copied()
+            .filter(|m| m.is_fc_shaped())
+            .collect();
+        Efficiency {
+            conv: geomean_ratio(&conv_rows).unwrap_or(hand.conv),
+            fc: geomean_ratio(&fc_rows).unwrap_or(hand.fc),
+            elementwise: hand.elementwise,
+        }
+    }
+}
+
 /// The roofline model: hardware spec + efficiencies.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Roofline {
@@ -51,6 +103,18 @@ impl Roofline {
         Roofline {
             spec: OrinSpec::agx_orin(),
             eff: Efficiency::default(),
+        }
+    }
+
+    /// AGX Orin spec with efficiencies refitted from measured GEMM numbers
+    /// (see [`Efficiency::from_gemm_bench`]). This is what the batch
+    /// admission logic consumes when a `BENCH_gemm.json` trajectory is
+    /// available; the Figure-3 reproduction keeps the hand-calibrated
+    /// default so the paper's feasible set stays pinned.
+    pub fn agx_orin_calibrated(measurements: &[GemmMeasurement]) -> Self {
+        Roofline {
+            spec: OrinSpec::agx_orin(),
+            eff: Efficiency::from_gemm_bench(measurements),
         }
     }
 
@@ -178,6 +242,70 @@ mod tests {
         let t1 = rl.forward_seconds(&costs, PowerMode::MaxN60, 1);
         let t4 = rl.forward_seconds(&costs, PowerMode::MaxN60, 4);
         assert!(t4 > 2.0 * t1 && t4 < 4.5 * t1, "t1 {t1} t4 {t4}");
+    }
+
+    #[test]
+    fn fitted_efficiencies_come_from_measured_ratios() {
+        use crate::bench_data::GemmMeasurement;
+        let rows = vec![
+            GemmMeasurement {
+                shape: [64, 576, 3136],
+                kernel: "blocked".into(),
+                gflops: 40.0,
+            },
+            GemmMeasurement {
+                shape: [256, 1152, 3136],
+                kernel: "blocked".into(),
+                gflops: 50.0,
+            },
+            GemmMeasurement {
+                shape: [4, 1568, 2048],
+                kernel: "blocked".into(),
+                gflops: 30.0,
+            },
+            // Baseline rows must not participate in the fit.
+            GemmMeasurement {
+                shape: [64, 576, 3136],
+                kernel: "seed_naive".into(),
+                gflops: 10.0,
+            },
+        ];
+        let eff = Efficiency::from_gemm_bench(&rows);
+        // conv = geomean(40/50, 50/50) = sqrt(0.8); fc = 30/50.
+        assert!(
+            (eff.conv - (0.8f64).sqrt()).abs() < 1e-9,
+            "conv {}",
+            eff.conv
+        );
+        assert!((eff.fc - 0.6).abs() < 1e-9, "fc {}", eff.fc);
+        assert_eq!(eff.elementwise, Efficiency::default().elementwise);
+        assert!(eff.conv > 0.0 && eff.conv <= 1.0);
+        assert!(eff.fc > 0.0 && eff.fc <= 1.0);
+    }
+
+    #[test]
+    fn fit_degrades_to_hand_constants_without_measurements() {
+        assert_eq!(Efficiency::from_gemm_bench(&[]), Efficiency::default());
+    }
+
+    /// Structural only: the committed trajectory must always produce a
+    /// usable calibration, but no inequality against the hand constants is
+    /// asserted — the file is regenerated by `cargo bench gemm_blocked` on
+    /// whatever host runs it, and host-dependent ratios must not break
+    /// `cargo test`. (Exact fitting maths is pinned by the fixture test
+    /// above.)
+    #[test]
+    fn committed_trajectory_yields_usable_calibration() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
+        let rows = crate::bench_data::load_bench_gemm(path).expect("trajectory");
+        let rl = Roofline::agx_orin_calibrated(&rows);
+        assert!(
+            rl.eff.conv > 0.0 && rl.eff.conv <= 1.0,
+            "conv {}",
+            rl.eff.conv
+        );
+        assert!(rl.eff.fc > 0.0 && rl.eff.fc <= 1.0, "fc {}", rl.eff.fc);
+        assert_eq!(rl.eff.elementwise, Efficiency::default().elementwise);
     }
 
     #[test]

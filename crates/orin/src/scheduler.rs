@@ -59,6 +59,82 @@ pub fn plan_adaptation(cfg: &UfldConfig, mode: PowerMode, budget_ms: f64) -> Ada
     }
 }
 
+/// Verdict of the batch-aware deadline query: how many of the offered
+/// frames one server tick may take, and whether the adaptation step fits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchAdmission {
+    /// Admitted batch size (≥ 1 — a camera frame is never dropped outright;
+    /// surplus frames defer to the next tick).
+    pub batch: usize,
+    /// Whether the batched adaptation step fits alongside inference. When
+    /// `false` the tick runs inference-only and the adapt step is shed.
+    pub adapt: bool,
+    /// Predicted tick latency at the admitted configuration, in ms.
+    pub latency_ms: f64,
+    /// Whether even the admitted configuration meets the deadline (`false`
+    /// only when a single inference-only frame already overruns — the
+    /// Infeasible region of [`AdaptBudget`]).
+    pub fits_deadline: bool,
+}
+
+/// The batch-aware deadline query of the multi-stream server: picks the
+/// largest admitted batch with `cost(batch) ≤ deadline`, preferring to shed
+/// the adaptation step before shedding frames (frames are hard real-time;
+/// adaptation is a quality refinement that can wait a tick).
+///
+/// # Panics
+///
+/// Panics if `offered == 0` or `budget_ms` is not positive and finite.
+///
+/// # Example
+///
+/// ```
+/// use ld_orin::{admit_batch, AdaptCostModel, PowerMode};
+/// use ld_ufld::{Backbone, UfldConfig};
+///
+/// let cost = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
+/// let adm = admit_batch(&cost, PowerMode::MaxN60, 33.3, 4);
+/// assert!(adm.batch >= 1 && adm.batch <= 4);
+/// ```
+pub fn admit_batch(
+    cost: &AdaptCostModel,
+    mode: PowerMode,
+    budget_ms: f64,
+    offered: usize,
+) -> BatchAdmission {
+    assert!(offered > 0, "admit_batch: zero frames offered");
+    assert!(
+        budget_ms.is_finite() && budget_ms > 0.0,
+        "admit_batch: bad budget {budget_ms}"
+    );
+    // Tick latency is monotonic in the batch size, so scan downward and the
+    // first inference-only fit is the largest admissible batch.
+    let mut batch = 1;
+    let mut fits = false;
+    for b in (1..=offered).rev() {
+        if cost.batched_tick(mode, b, false).total_ms() <= budget_ms {
+            batch = b;
+            fits = true;
+            break;
+        }
+    }
+    let with_adapt = cost.batched_tick(mode, batch, true).total_ms();
+    if fits && with_adapt <= budget_ms {
+        return BatchAdmission {
+            batch,
+            adapt: true,
+            latency_ms: with_adapt,
+            fits_deadline: true,
+        };
+    }
+    BatchAdmission {
+        batch,
+        adapt: false,
+        latency_ms: cost.batched_tick(mode, batch, false).total_ms(),
+        fits_deadline: fits,
+    }
+}
+
 /// Arithmetic precision of the deployed network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Precision {
@@ -141,6 +217,77 @@ mod tests {
             plan_adaptation(&cfg, PowerMode::W15, 33.3),
             AdaptBudget::Infeasible
         );
+    }
+
+    #[test]
+    fn admission_prefers_frames_over_adaptation() {
+        let cost = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
+        // At MAXN a single frame fits with adaptation (the paper's setting)…
+        let one = admit_batch(&cost, PowerMode::MaxN60, 33.3, 1);
+        assert_eq!((one.batch, one.adapt), (1, true));
+        assert!(one.fits_deadline && one.latency_ms <= 33.3);
+        // …and offering more streams grows the admitted batch, shedding the
+        // adapt step before shedding frames.
+        let four = admit_batch(&cost, PowerMode::MaxN60, 33.3, 4);
+        assert!(four.batch >= one.batch);
+        if four.batch == 4 {
+            assert!(
+                !four.adapt || four.latency_ms <= 33.3,
+                "adapt admitted only when it fits"
+            );
+        }
+        assert!(four.latency_ms <= 33.3, "admitted tick must fit: {four:?}");
+    }
+
+    #[test]
+    fn admission_monotone_in_budget() {
+        let cost = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
+        let mut last_batch = 0;
+        let mut last_adapt = false;
+        for budget in [20.0, 33.3, 55.5, 120.0, 400.0] {
+            let adm = admit_batch(&cost, PowerMode::W50, budget, 6);
+            assert!(
+                adm.batch >= last_batch,
+                "batch must not shrink with budget: {adm:?}"
+            );
+            if adm.batch == last_batch {
+                assert!(adm.adapt >= last_adapt, "adapt must not regress: {adm:?}");
+            }
+            last_batch = adm.batch;
+            last_adapt = adm.adapt;
+        }
+        assert_eq!(last_batch, 6, "a generous budget admits everything");
+        assert!(last_adapt);
+    }
+
+    #[test]
+    fn overrun_is_reported_not_dropped() {
+        // R-34 at 15 W cannot meet 30 FPS even for one inference-only frame:
+        // the frame is still admitted (never dropped) but flagged.
+        let cost = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet34, 4));
+        let adm = admit_batch(&cost, PowerMode::W15, 33.3, 3);
+        assert_eq!(adm.batch, 1);
+        assert!(!adm.adapt);
+        assert!(!adm.fits_deadline);
+        assert!(adm.latency_ms > 33.3);
+    }
+
+    #[test]
+    fn calibrated_cost_model_feeds_admission() {
+        // The refreshed (measured) efficiencies plug straight into the
+        // admission query — the satellite wiring this PR adds. Only
+        // structural properties are asserted: the committed trajectory is
+        // regenerated per host, so its ratios (and hence the admitted
+        // batch) are data, not contract.
+        use crate::bench_data::load_bench_gemm;
+        use crate::roofline::Roofline;
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
+        let rows = load_bench_gemm(path).expect("trajectory");
+        let cfg = UfldConfig::paper(Backbone::ResNet18, 4);
+        let calibrated = AdaptCostModel::new(&cfg, Roofline::agx_orin_calibrated(&rows));
+        let adm = admit_batch(&calibrated, PowerMode::MaxN60, 33.3, 4);
+        assert!(adm.batch >= 1 && adm.batch <= 4);
+        assert!(adm.latency_ms.is_finite() && adm.latency_ms > 0.0);
     }
 
     #[test]

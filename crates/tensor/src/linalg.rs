@@ -30,7 +30,11 @@
 //! * **Parallelism** splits the `ic` loop over the persistent worker pool
 //!   ([`crate::parallel`]): each thread packs its own A block (thread-local
 //!   scratch, reused across calls — zero steady-state allocation) and owns a
-//!   disjoint row-band of C.
+//!   disjoint row-band of C. When `m` yields fewer `MC` row blocks than the
+//!   pool has threads (batched FC-head products, late backbone stages), the
+//!   split flips to the `jr` loop instead: the caller packs the whole
+//!   `m×KC` A panel once and threads own disjoint `NR` column strips — same
+//!   per-element accumulation order, so both splits are bitwise identical.
 //!
 //! # Tuning `MR`/`NR` and `MC`/`KC`/`NC`
 //!
@@ -410,6 +414,31 @@ fn micro_kernel(
     }
 }
 
+/// How the packed inner kernel splits its work over the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Split {
+    /// Threads own disjoint `MC` row blocks of C (the classic GotoBLAS
+    /// split; best when `m` yields at least one block per thread).
+    Rows,
+    /// Threads own disjoint `NR` column strips of C. For small-`m` products
+    /// (the batched FC head, late backbone stages) the row split degenerates
+    /// to one or two blocks and most of a wide machine idles; splitting the
+    /// `jr` loop instead keeps every core on its own strip of columns.
+    Cols,
+}
+
+/// Picks the split that offers more parallel units when the row split cannot
+/// fill the pool on its own.
+fn choose_split(m: usize, nc: usize) -> Split {
+    let row_units = m.div_ceil(MC);
+    let col_units = nc.div_ceil(NR);
+    if row_units < crate::parallel::pool_width() && col_units > row_units {
+        Split::Cols
+    } else {
+        Split::Rows
+    }
+}
+
 /// The packed, blocked path (see the module docs for the loop structure).
 #[allow(clippy::too_many_arguments)]
 fn gemm_blocked(
@@ -423,9 +452,28 @@ fn gemm_blocked(
     k: usize,
     n: usize,
 ) {
+    gemm_blocked_split(alpha, a, ta, b, tb, c, m, k, n, None)
+}
+
+/// [`gemm_blocked`] with an optional forced [`Split`] (tests exercise both
+/// work distributions regardless of the host's core count).
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked_split(
+    alpha: f32,
+    a: &[f32],
+    ta: Trans,
+    b: &[f32],
+    tb: Trans,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    force: Option<Split>,
+) {
     let c_ptr = SendPtr(c.as_mut_ptr());
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
+        let split = force.unwrap_or_else(|| choose_split(m, nc));
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
             let nc_strips = nc.div_ceil(NR);
@@ -437,41 +485,110 @@ fn gemm_blocked(
                 }
                 pack_b(b, tb, k, n, pc, kc, jc, nc, &mut pb[..need_b]);
                 let pb = &pb[..need_b];
-
-                // Parallel over row blocks: each thread owns disjoint C rows
-                // and packs its own A block into thread-local scratch.
-                let n_blocks = m.div_ceil(MC);
-                let work = 2 * m * nc * kc;
-                for_each_chunk(n_blocks, work, |blocks| {
-                    PACK_A.with(|pa| {
-                        let mut pa = pa.borrow_mut();
-                        for blk in blocks {
-                            let ic = blk * MC;
-                            let mc = MC.min(m - ic);
-                            let mc_strips = mc.div_ceil(MR);
-                            let need_a = mc_strips * MR * kc;
-                            if pa.len() < need_a {
-                                pa.resize(need_a, 0.0);
-                            }
-                            pack_a(alpha, a, ta, m, k, ic, mc, pc, kc, &mut pa[..need_a]);
-                            let pa = &pa[..need_a];
-
-                            for (js, jr) in (0..nc).step_by(NR).enumerate() {
-                                let cols = NR.min(nc - jr);
-                                let bp = &pb[js * NR * kc..(js + 1) * NR * kc];
-                                for (is, ir) in (0..mc).step_by(MR).enumerate() {
-                                    let rows = MR.min(mc - ir);
-                                    let ap = &pa[is * MR * kc..(is + 1) * MR * kc];
-                                    let crow = unsafe { c_ptr.add((ic + ir) * n + jc + jr) };
-                                    micro_kernel(ap, bp, kc, crow, n, rows, cols);
-                                }
-                            }
-                        }
-                    });
-                });
+                match split {
+                    Split::Rows => inner_rows(alpha, a, ta, m, k, n, pc, kc, jc, nc, pb, c_ptr),
+                    Split::Cols => inner_cols(alpha, a, ta, m, k, n, pc, kc, jc, nc, pb, c_ptr),
+                }
             });
         }
     }
+}
+
+/// Row-split inner kernel: parallel over `MC` row blocks — each thread owns
+/// disjoint C rows and packs its own A block into thread-local scratch.
+#[allow(clippy::too_many_arguments)]
+fn inner_rows(
+    alpha: f32,
+    a: &[f32],
+    ta: Trans,
+    m: usize,
+    k: usize,
+    n: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    pb: &[f32],
+    c_ptr: SendPtr,
+) {
+    let n_blocks = m.div_ceil(MC);
+    let work = 2 * m * nc * kc;
+    for_each_chunk(n_blocks, work, |blocks| {
+        PACK_A.with(|pa| {
+            let mut pa = pa.borrow_mut();
+            for blk in blocks {
+                let ic = blk * MC;
+                let mc = MC.min(m - ic);
+                let mc_strips = mc.div_ceil(MR);
+                let need_a = mc_strips * MR * kc;
+                if pa.len() < need_a {
+                    pa.resize(need_a, 0.0);
+                }
+                pack_a(alpha, a, ta, m, k, ic, mc, pc, kc, &mut pa[..need_a]);
+                let pa = &pa[..need_a];
+
+                for (js, jr) in (0..nc).step_by(NR).enumerate() {
+                    let cols = NR.min(nc - jr);
+                    let bp = &pb[js * NR * kc..(js + 1) * NR * kc];
+                    for (is, ir) in (0..mc).step_by(MR).enumerate() {
+                        let rows = MR.min(mc - ir);
+                        let ap = &pa[is * MR * kc..(is + 1) * MR * kc];
+                        let crow = unsafe { c_ptr.add((ic + ir) * n + jc + jr) };
+                        micro_kernel(ap, bp, kc, crow, n, rows, cols);
+                    }
+                }
+            }
+        });
+    });
+}
+
+/// Column-split inner kernel: the *whole* `m×kc` A panel is packed once by
+/// the calling thread (for the small `m` this path targets, that panel is a
+/// fraction of the `MC×KC` budget), then threads take disjoint `NR` column
+/// strips of C. Per-element accumulation order is identical to the row
+/// split — only the work distribution changes, so the two splits produce
+/// bitwise-identical results.
+#[allow(clippy::too_many_arguments)]
+fn inner_cols(
+    alpha: f32,
+    a: &[f32],
+    ta: Trans,
+    m: usize,
+    k: usize,
+    n: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    pb: &[f32],
+    c_ptr: SendPtr,
+) {
+    PACK_A.with(|pa| {
+        let mut pa = pa.borrow_mut();
+        let m_strips = m.div_ceil(MR);
+        let need_a = m_strips * MR * kc;
+        if pa.len() < need_a {
+            pa.resize(need_a, 0.0);
+        }
+        pack_a(alpha, a, ta, m, k, 0, m, pc, kc, &mut pa[..need_a]);
+        let pa = &pa[..need_a];
+
+        let nc_strips = nc.div_ceil(NR);
+        let work = 2 * m * nc * kc;
+        for_each_chunk(nc_strips, work, |strips| {
+            for js in strips {
+                let jr = js * NR;
+                let cols = NR.min(nc - jr);
+                let bp = &pb[js * NR * kc..(js + 1) * NR * kc];
+                for (is, ir) in (0..m).step_by(MR).enumerate() {
+                    let rows = MR.min(m - ir);
+                    let ap = &pa[is * MR * kc..(is + 1) * MR * kc];
+                    let crow = unsafe { c_ptr.add(ir * n + jc + jr) };
+                    micro_kernel(ap, bp, kc, crow, n, rows, cols);
+                }
+            }
+        });
+    });
 }
 
 /// Plain matrix product `A · B` into a fresh tensor.
@@ -596,6 +713,94 @@ mod tests {
             gemm(1.0, aa, ta, bb, tb, 0.0, &mut c);
             assert_close(&c, &reference, 1e-3);
         }
+    }
+
+    /// Both work splits must agree with the naive product (and, being the
+    /// same arithmetic in a different distribution, with each other
+    /// bitwise). Shapes chosen so the column split is the profitable one:
+    /// small `m` (a batched FC-head product), wide `n`, edge tiles on every
+    /// axis.
+    #[test]
+    fn row_and_column_splits_agree_on_small_m_wide_n() {
+        for (m, k, n) in [(4, 277, 2100), (7, 129, 97), (130, 61, 517)] {
+            let a = rand_tensor(&[m, k], (m + n) as u64);
+            let b = rand_tensor(&[k, n], (m * n) as u64);
+            let reference = naive_matmul(&a, &b);
+            let mut c_rows = Tensor::zeros(&[m, n]);
+            gemm_blocked_split(
+                1.0,
+                a.as_slice(),
+                Trans::No,
+                b.as_slice(),
+                Trans::No,
+                c_rows.as_mut_slice(),
+                m,
+                k,
+                n,
+                Some(Split::Rows),
+            );
+            let mut c_cols = Tensor::zeros(&[m, n]);
+            gemm_blocked_split(
+                1.0,
+                a.as_slice(),
+                Trans::No,
+                b.as_slice(),
+                Trans::No,
+                c_cols.as_mut_slice(),
+                m,
+                k,
+                n,
+                Some(Split::Cols),
+            );
+            assert_close(&c_rows, &reference, 1e-3);
+            assert_eq!(
+                c_rows.as_slice(),
+                c_cols.as_slice(),
+                "splits must be bitwise identical at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    /// The column split handles every transpose combination (it shares the
+    /// packing routines with the row split).
+    #[test]
+    fn column_split_handles_all_transpose_combinations() {
+        let (m, k, n) = (5, 83, 301);
+        let a = rand_tensor(&[m, k], 41);
+        let b = rand_tensor(&[k, n], 42);
+        let reference = naive_matmul(&a, &b);
+        let at = a.transposed();
+        let bt = b.transposed();
+        for (aa, ta, bb, tb) in [
+            (&a, Trans::No, &b, Trans::No),
+            (&at, Trans::Yes, &b, Trans::No),
+            (&a, Trans::No, &bt, Trans::Yes),
+            (&at, Trans::Yes, &bt, Trans::Yes),
+        ] {
+            let mut c = Tensor::zeros(&[m, n]);
+            gemm_blocked_split(
+                1.0,
+                aa.as_slice(),
+                ta,
+                bb.as_slice(),
+                tb,
+                c.as_mut_slice(),
+                m,
+                k,
+                n,
+                Some(Split::Cols),
+            );
+            assert_close(&c, &reference, 1e-3);
+        }
+    }
+
+    #[test]
+    fn split_heuristic_prefers_columns_only_when_rows_cannot_fill_the_pool() {
+        // A row-block count at or above the pool width always row-splits.
+        let wide_m = crate::parallel::pool_width() * MC;
+        assert_eq!(choose_split(wide_m, 2048), Split::Rows);
+        // Narrow outputs never column-split (fewer strips than blocks).
+        assert_eq!(choose_split(512, 8), Split::Rows);
     }
 
     #[test]

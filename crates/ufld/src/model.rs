@@ -41,6 +41,10 @@ pub struct UfldModel {
     /// Embedding (post-`fc1`, post-ReLU) cached by the last forward — the
     /// representation the SOTA baseline clusters.
     last_embedding: Option<Tensor>,
+    /// Reusable NCHW input buffers for [`UfldModel::forward_frames`], one
+    /// per batch size seen (the multi-stream server's admitted batch varies
+    /// tick to tick; packing must not allocate at steady state).
+    batch_bufs: HashMap<usize, Tensor>,
 }
 
 impl UfldModel {
@@ -84,7 +88,45 @@ impl UfldModel {
                 mix_seed(seed, 0xF2),
             ),
             last_embedding: None,
+            batch_bufs: HashMap::new(),
         }
+    }
+
+    /// Batched inference entry for the multi-stream server: packs `(3, H, W)`
+    /// frames from different streams into one NCHW batch and forwards once.
+    ///
+    /// The pack buffer for each batch size is retained and reused, and the
+    /// convolution scratch arenas grow to the largest batch seen and serve
+    /// every smaller one, so a server alternating admitted batch sizes runs
+    /// allocation-free at steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty or any frame's shape mismatches the
+    /// config.
+    pub fn forward_frames(&mut self, frames: &[&Tensor], mode: Mode) -> Tensor {
+        assert!(!frames.is_empty(), "forward_frames: empty batch");
+        let n = frames.len();
+        let want = [
+            self.cfg.input_channels,
+            self.cfg.input_height,
+            self.cfg.input_width,
+        ];
+        let mut buf = self
+            .batch_bufs
+            .remove(&n)
+            .unwrap_or_else(|| Tensor::zeros(&[n, want[0], want[1], want[2]]));
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(
+                f.shape_dims(),
+                &want,
+                "forward_frames: frame {i} shape mismatch"
+            );
+            buf.image_mut(i).copy_from_slice(f.as_slice());
+        }
+        let out = self.forward(&buf, mode);
+        self.batch_bufs.insert(n, buf);
+        out
     }
 
     /// The model's configuration.
@@ -417,6 +459,43 @@ mod tests {
         copy.visit_params(&mut |p| p.value.fill(0.0));
         let ya2 = model.forward(&x, Mode::Eval);
         assert_eq!(ya.as_slice(), ya2.as_slice());
+    }
+
+    /// The server contract for the batched entry: any mix of frames, any
+    /// sequence of batch sizes, and each frame's logits equal its own
+    /// single-frame forward bitwise (frozen running stats keep samples
+    /// independent through BN).
+    #[test]
+    fn forward_frames_matches_per_frame_forwards_under_frozen_stats() {
+        let (cfg, mut model) = tiny_model(12);
+        let mut rng = SeededRng::new(30);
+        let frames: Vec<Tensor> = (0..3)
+            .map(|_| rng.uniform_tensor(&[3, cfg.input_height, cfg.input_width], 0.0, 1.0))
+            .collect();
+        let singles: Vec<Tensor> = frames
+            .iter()
+            .map(|f| model.forward_frames(&[f], Mode::Eval))
+            .collect();
+        for batch in [vec![0usize, 1, 2], vec![2, 0], vec![1], vec![0, 1, 2]] {
+            let refs: Vec<&Tensor> = batch.iter().map(|&i| &frames[i]).collect();
+            let logits = model.forward_frames(&refs, Mode::Eval);
+            assert_eq!(logits.shape_dims(), &cfg.logit_dims(batch.len()));
+            for (pos, &i) in batch.iter().enumerate() {
+                assert_eq!(
+                    logits.image(pos),
+                    singles[i].image(0),
+                    "frame {i} at batch position {pos}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn forward_frames_rejects_wrong_frame_shape() {
+        let (_, mut model) = tiny_model(13);
+        let bad = Tensor::zeros(&[3, 16, 16]);
+        model.forward_frames(&[&bad], Mode::Eval);
     }
 
     /// The fused conv→BN eval path is a pure reassociation: same outputs as

@@ -22,4 +22,10 @@ cargo test -q
 echo "== bench smoke: gemm_blocked --quick =="
 cargo bench -p ld-bench --bench gemm_blocked -- --quick
 
+echo "== server smoke: drifting streams through the batch server =="
+cargo run --release --example multi_stream_server -- --quick
+
+echo "== bench smoke: server_throughput --quick (emits BENCH_server.quick.json) =="
+cargo bench -p ld-bench --bench server_throughput -- --quick
+
 echo "== all checks passed =="

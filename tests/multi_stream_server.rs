@@ -1,0 +1,77 @@
+//! End-to-end check of the multi-stream adaptation server: four drifting
+//! camera streams through one shared model, deadline-gated, decoded and
+//! scored — the batched counterpart of the single-camera online protocol.
+
+use ld_adapt::{
+    frame_spec_for, pretrain_on_source, AdaptServer, AdmissionGate, GovernorConfig,
+    LdBnAdaptConfig, ServerConfig, TrainConfig,
+};
+use ld_carlane::{Benchmark, StreamSet};
+use ld_orin::{AdaptCostModel, Deadline, PowerMode};
+use ld_ufld::{Backbone, UfldConfig, UfldModel};
+
+#[test]
+fn four_streams_serve_adapt_and_score_end_to_end() {
+    let cfg = UfldConfig::tiny(2);
+    let mut model = UfldModel::new(&cfg, 0x5E4);
+    let mut train = TrainConfig::smoke();
+    train.steps = 80;
+    pretrain_on_source(&mut model, Benchmark::MoLane, &train);
+
+    // A relaxed deadline on the paper-scale deployment target: four streams
+    // fit with the shared adapt step (the oversubscribed/shedding regime is
+    // covered by the server's unit tests).
+    let gate = AdmissionGate::new(
+        AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4)),
+        PowerMode::MaxN60,
+        Deadline {
+            name: "batch smoke",
+            budget_ms: 200.0,
+        },
+    );
+    let server_cfg = ServerConfig::new(
+        LdBnAdaptConfig::paper(1),
+        GovernorConfig {
+            warmup_frames: 2,
+            ..Default::default()
+        },
+        4,
+    )
+    .with_admission(gate);
+    let mut server = AdaptServer::new(server_cfg, 4, &mut model);
+    let mut streams = StreamSet::drifting(Benchmark::MoLane, frame_spec_for(&cfg), 4, 10, 21);
+
+    use ld_nn::Layer;
+    let mut bn_before = Vec::new();
+    model.visit_params(&mut |p| {
+        if p.kind.is_bn() {
+            bn_before.extend_from_slice(p.value.as_slice());
+        }
+    });
+
+    let ticks = 8;
+    let report = server.serve(&mut model, &mut streams, ticks);
+
+    assert_eq!(report.server.ticks, ticks);
+    assert_eq!(report.per_stream.len(), 4);
+    let served: usize = report.per_stream.iter().map(|s| s.frames).sum();
+    assert_eq!(served, report.server.frames);
+    assert!(report.server.adapt_steps >= 2, "warm-up must adapt");
+    for (sid, s) in report.per_stream.iter().enumerate() {
+        assert!(s.frames > 0, "stream {sid} starved");
+        assert_eq!(
+            s.stats.adapted_frames + s.stats.skipped_frames,
+            s.stats.frames
+        );
+        assert!(s.report.gt_points > 0, "stream {sid} unscored");
+        assert!(s.report.accuracy() >= 0.0 && s.report.accuracy() <= 1.0);
+    }
+    // The shared BN parameters actually moved under adaptation.
+    let mut bn_after = Vec::new();
+    model.visit_params(&mut |p| {
+        if p.kind.is_bn() {
+            bn_after.extend_from_slice(p.value.as_slice());
+        }
+    });
+    assert_ne!(bn_before, bn_after, "shared BN parameters never adapted");
+}
