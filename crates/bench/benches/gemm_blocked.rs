@@ -1,12 +1,22 @@
 //! Benchmarks the blocked-and-packed GEMM against the seed's naive kernel
 //! over ResNet-18-shaped products (the im2col shapes of the UFLD backbone),
-//! and emits machine-readable `BENCH_gemm.json` at the workspace root so
-//! later PRs have a perf trajectory to regress against.
+//! plus the `ld_quant` int8 dot-product kernel on the same shapes, and
+//! emits machine-readable `BENCH_gemm.json` at the workspace root so later
+//! PRs have a perf trajectory to regress against.
+//!
+//! int8 rows report giga-**ops** (an int8 multiply–accumulate counted like
+//! an FMA's two FLOPs), so `speedup_vs_f32` on those rows is a direct
+//! wall-clock ratio against the blocked f32 kernel at the same shape. The
+//! `ld_orin` efficiency fit only consumes `"blocked"` rows; int8 rows ride
+//! along as trajectory.
 //!
 //! Run: `cargo bench -p ld-bench --bench gemm_blocked` (add `-- --quick`
 //! for the smoke variant used by `scripts/check.sh`).
 
 use criterion::{black_box, take_results, BenchmarkId, Criterion};
+use ld_quant::qgemm_fused_affine;
+use ld_quant::quantize::pad_k;
+use ld_quant::QWeights;
 use ld_tensor::linalg::{gemm, Trans};
 use ld_tensor::rng::SeededRng;
 use ld_tensor::Tensor;
@@ -103,6 +113,36 @@ fn bench_kernels(c: &mut Criterion) {
             &(m, k, n),
             |bench, _| bench.iter(|| seed_naive_gemm(black_box(&a), black_box(&b), &mut cm)),
         );
+
+        // The int8 row-dot kernel on the same product: A as per-channel
+        // quantized weight rows, B as k-contiguous "patch" rows (the im2row
+        // layout the quantized conv feeds it), fused requantize epilogue.
+        let qa = QWeights::from_rows(a.as_slice(), m, k);
+        let bt = b.transposed();
+        let qb = QWeights::from_rows(bt.as_slice(), n, k);
+        let kp = pad_k(k);
+        let scale = vec![1e-3f32; m];
+        let shift = vec![0.0f32; m];
+        let mut outq = vec![0.0f32; m * n];
+        group.bench_with_input(
+            BenchmarkId::new("int8", format!("{m}x{k}x{n}")),
+            &(m, k, n),
+            |bench, _| {
+                bench.iter(|| {
+                    qgemm_fused_affine(
+                        black_box(qa.data()),
+                        black_box(qb.data()),
+                        &mut outq,
+                        m,
+                        n,
+                        kp,
+                        &scale,
+                        &shift,
+                        false,
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -133,22 +173,29 @@ fn write_json() {
         };
         let kernel = if r.id.contains("/blocked/") {
             "blocked"
+        } else if r.id.contains("/int8/") {
+            "int8"
         } else {
             "seed_naive"
         };
         let flops = 2.0 * shape.0 as f64 * shape.1 as f64 * shape.2 as f64;
         let gflops = flops / r.ns_per_iter;
-        let speedup = if kernel == "blocked" {
-            ns_of("seed_naive", shape).map(|base| base / r.ns_per_iter)
-        } else {
-            None
-        };
         let mut row = format!(
             "  {{\"shape\": [{}, {}, {}], \"kernel\": \"{}\", \"ns_per_iter\": {:.1}, \"gflops\": {:.3}",
             shape.0, shape.1, shape.2, kernel, r.ns_per_iter, gflops
         );
-        if let Some(s) = speedup {
-            let _ = write!(row, ", \"speedup_vs_seed\": {s:.2}");
+        match kernel {
+            "blocked" => {
+                if let Some(base) = ns_of("seed_naive", shape) {
+                    let _ = write!(row, ", \"speedup_vs_seed\": {:.2}", base / r.ns_per_iter);
+                }
+            }
+            "int8" => {
+                if let Some(base) = ns_of("blocked", shape) {
+                    let _ = write!(row, ", \"speedup_vs_f32\": {:.2}", base / r.ns_per_iter);
+                }
+            }
+            _ => {}
         }
         row.push('}');
         rows.push(row);

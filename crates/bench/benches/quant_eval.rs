@@ -1,0 +1,274 @@
+//! The quantized-inference trajectory: f32 fused eval vs the `ld_quant`
+//! int8 forward, end to end, emitting machine-readable `BENCH_quant.json`
+//! at the workspace root.
+//!
+//! Four row kinds:
+//!
+//! * `"eval"` — model-level eval forward (scaled R-18 config) at several
+//!   batch sizes, f32-fused vs int8, with `speedup_vs_f32` on int8 rows —
+//!   the acceptance trajectory for the quantized-inference rung (≥ 2× at
+//!   batch ≥ 4 single-core).
+//! * `"server"` — the multi-stream server on the same drifting carlane
+//!   workload with and without the quantized fast path (mixed duty: warmed
+//!   streams serve int8, triggered streams adapt in f32).
+//! * `"accuracy"` — decoded-lane accuracy of both paths on a carlane
+//!   target eval stream from one pretrained model (the ≤ 0.5 %-delta
+//!   criterion, asserted properly in `tests/quantized_inference.rs`).
+//! * `"admission"` — the paper-scale Orin gate's admitted inference-only
+//!   batch at f32 vs int8 costing (the "gate credits the cheaper ticks"
+//!   criterion).
+//!
+//! Run: `cargo bench -p ld-bench --bench quant_eval` (add `-- --quick` for
+//! the smoke variant used by `scripts/check.sh`).
+
+use criterion::{take_results, BenchmarkId, Criterion};
+use ld_adapt::{
+    frame_spec_for, pretrain_on_source, AdaptServer, GovernorConfig, LdBnAdaptConfig, ServerConfig,
+    TrainConfig,
+};
+use ld_carlane::{Benchmark, FrameStream, StreamSet};
+use ld_nn::{Layer, Mode};
+use ld_orin::{admit_batch_with, AdaptCostModel, PowerMode, Precision};
+use ld_quant::QuantizeModel;
+use ld_tensor::rng::SeededRng;
+use ld_tensor::Tensor;
+use ld_ufld::{decode_batch, score_image, AccuracyReport, Backbone, UfldConfig, UfldModel};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+fn batch_of(cfg: &UfldConfig, n: usize, seed: u64) -> Tensor {
+    SeededRng::new(seed).uniform_tensor(&[n, 3, cfg.input_height, cfg.input_width], 0.0, 1.0)
+}
+
+/// Eval-forward rows: f32 fused vs int8 at each batch size.
+fn bench_eval(c: &mut Criterion, quick: bool) {
+    let cfg = UfldConfig::scaled(Backbone::ResNet18, 2);
+    let mut model = UfldModel::new(&cfg, 42);
+    // Non-trivial running statistics, as a pre-trained model has.
+    model.forward(&batch_of(&cfg, 2, 1), Mode::Train);
+    let calib = batch_of(&cfg, 4, 2);
+    let calib_frames: Vec<Tensor> = (0..4)
+        .map(|i| {
+            Tensor::from_vec(
+                calib.image(i).to_vec(),
+                &[3, cfg.input_height, cfg.input_width],
+            )
+        })
+        .collect();
+    let calib_refs: Vec<&Tensor> = calib_frames.iter().collect();
+    let mut qmodel = model.quantize(&calib_refs);
+    model.set_fused_eval(true);
+
+    let mut group = c.benchmark_group("quant_eval");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(if quick { 1 } else { 3 }));
+    let batches: &[usize] = if quick { &[4] } else { &[1, 4, 8] };
+    for &n in batches {
+        let x = batch_of(&cfg, n, 10 + n as u64);
+        group.bench_with_input(BenchmarkId::new("f32_fused", n), &n, |b, _| {
+            b.iter(|| model.forward(&x, Mode::Eval))
+        });
+        group.bench_with_input(BenchmarkId::new("int8", n), &n, |b, _| {
+            b.iter(|| qmodel.forward(&x))
+        });
+    }
+    group.finish();
+}
+
+/// Server rows: the same mixed-duty drifting workload through the stock
+/// f32 server and the quantized fast path.
+fn bench_server(c: &mut Criterion, quick: bool) {
+    let cfg = UfldConfig::scaled(Backbone::ResNet18, 2);
+    let n = 4;
+    let ticks = if quick { 3 } else { 10 };
+    // Mixed duty: one warm-up tick adapts every stream, then the entropy
+    // band gates — confident streams ride the int8 snapshot, drift spikes
+    // go back to f32 adaptation. The threshold is sized for the quantized
+    // entropy band (logit quantization noise makes per-frame entropy
+    // jitter a few × wider than f32's; tighter bands storm the governor
+    // with artifact triggers and serve nothing from the fast path).
+    let gov = GovernorConfig {
+        warmup_frames: 1,
+        threshold_ratio: 1.5,
+        ..Default::default()
+    };
+    let adapt = LdBnAdaptConfig::paper(1).with_lr(1e-4);
+    let frames: Vec<Vec<Tensor>> = {
+        let mut set =
+            StreamSet::drifting(Benchmark::MoLane, frame_spec_for(&cfg), n, ticks.max(4), 42);
+        (0..ticks)
+            .map(|_| (0..n).map(|sid| set.next_frame(sid).image).collect())
+            .collect()
+    };
+
+    let mut group = c.benchmark_group("quant_server");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(if quick { 1 } else { 3 }));
+    for (mode, quantized) in [("f32", false), ("int8", true)] {
+        // Deployment serves a *pretrained* model: the quantized path folds
+        // the BN running statistics, which a fresh init leaves at (0, 1).
+        let mut model = UfldModel::new(&cfg, 7);
+        let mut train = TrainConfig::smoke();
+        train.steps = if quick { 30 } else { 60 };
+        pretrain_on_source(&mut model, Benchmark::MoLane, &train);
+        let mut server_cfg = ServerConfig::new(adapt.clone(), gov, n).without_step_telemetry();
+        if quantized {
+            server_cfg = server_cfg.with_quantized_inference();
+        }
+        let mut server = AdaptServer::new(server_cfg, n, &mut model);
+        // Untimed warm-up: pay the one-off costs (int8 snapshot
+        // calibration, warm-up adapt tick, scratch-arena sizing) and settle
+        // the entropy reference bands, so every timed sample measures the
+        // same steady-state serving duty.
+        for _ in 0..2 {
+            for tick_frames in &frames {
+                let batch: Vec<(usize, &Tensor)> = tick_frames.iter().enumerate().collect();
+                server.process_batch(&mut model, &batch);
+            }
+        }
+        group.bench_with_input(BenchmarkId::new(mode, n), &n, |b, _| {
+            b.iter(|| {
+                for tick_frames in &frames {
+                    let batch: Vec<(usize, &Tensor)> = tick_frames.iter().enumerate().collect();
+                    server.process_batch(&mut model, &batch);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Decoded-lane accuracy of both eval paths on a carlane target stream.
+fn accuracy_rows(quick: bool) -> (f64, f64) {
+    let cfg = UfldConfig::tiny(2);
+    let mut model = UfldModel::new(&cfg, 41);
+    let mut train = TrainConfig::smoke();
+    train.steps = if quick { 60 } else { 150 };
+    pretrain_on_source(&mut model, Benchmark::MoLane, &train);
+    let stream = FrameStream::target(Benchmark::MoLane, frame_spec_for(&cfg), 16, 77);
+    let frames: Vec<_> = (0..stream.len()).map(|i| stream.frame(i)).collect();
+    let calib: Vec<&Tensor> = frames.iter().take(4).map(|f| &f.image).collect();
+    let mut qmodel = model.quantize(&calib);
+    model.set_fused_eval(true);
+
+    let mut f32_rep = AccuracyReport::default();
+    let mut int8_rep = AccuracyReport::default();
+    for frame in &frames {
+        let logits_f32 = model.forward_frames(&[&frame.image], Mode::Eval);
+        let logits_q = qmodel.forward_frames(&[&frame.image]);
+        f32_rep.merge(&score_image(
+            &decode_batch(&logits_f32, &cfg)[0],
+            &frame.labels,
+            &cfg,
+        ));
+        int8_rep.merge(&score_image(
+            &decode_batch(&logits_q, &cfg)[0],
+            &frame.labels,
+            &cfg,
+        ));
+    }
+    (f32_rep.percent(), int8_rep.percent())
+}
+
+/// Emits `BENCH_quant.json` (see the module docs for the row kinds).
+fn write_json(acc: (f64, f64)) {
+    let results = take_results();
+    let parse_param = |id: &str| -> Option<usize> { id.rsplit('/').next()?.parse().ok() };
+    let ns_of = |group: &str, mode: &str, param: usize| -> Option<f64> {
+        results
+            .iter()
+            .find(|r| {
+                r.id.starts_with(group)
+                    && r.id.contains(&format!("/{mode}/"))
+                    && parse_param(&r.id) == Some(param)
+            })
+            .map(|r| r.ns_per_iter)
+    };
+
+    let mut rows = Vec::new();
+    for r in &results {
+        let Some(param) = parse_param(&r.id) else {
+            continue;
+        };
+        if r.id.starts_with("quant_eval") {
+            let mode = if r.id.contains("/int8/") {
+                "int8"
+            } else {
+                "f32_fused"
+            };
+            let ms_per_frame = r.ns_per_iter * 1e-6 / param as f64;
+            let mut row = format!(
+                "  {{\"kind\": \"eval\", \"path\": \"{}\", \"batch\": {}, \"ns_per_iter\": {:.1}, \"ms_per_frame\": {:.3}, \"fps\": {:.2}",
+                mode,
+                param,
+                r.ns_per_iter,
+                ms_per_frame,
+                1e3 / ms_per_frame
+            );
+            if mode == "int8" {
+                if let Some(base) = ns_of("quant_eval", "f32_fused", param) {
+                    let _ = write!(row, ", \"speedup_vs_f32\": {:.2}", base / r.ns_per_iter);
+                }
+            }
+            row.push('}');
+            rows.push(row);
+        } else if r.id.starts_with("quant_server") {
+            let mode = if r.id.contains("/int8/") {
+                "int8"
+            } else {
+                "f32"
+            };
+            let mut row = format!(
+                "  {{\"kind\": \"server\", \"mode\": \"{}\", \"streams\": {}, \"ns_per_iter\": {:.1}",
+                mode, param, r.ns_per_iter
+            );
+            if mode == "int8" {
+                if let Some(base) = ns_of("quant_server", "f32", param) {
+                    let _ = write!(row, ", \"speedup_vs_f32\": {:.2}", base / r.ns_per_iter);
+                }
+            }
+            row.push('}');
+            rows.push(row);
+        }
+    }
+
+    rows.push(format!(
+        "  {{\"kind\": \"accuracy\", \"benchmark\": \"MoLane\", \"f32_acc_pct\": {:.2}, \"int8_acc_pct\": {:.2}, \"delta_pct\": {:.3}}}",
+        acc.0,
+        acc.1,
+        (acc.0 - acc.1).abs()
+    ));
+
+    // The paper-scale Orin gate: inference-only batch admitted at f32 vs
+    // int8 costing, same power mode and deadline.
+    let cost = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
+    let offered = 16;
+    let f32_adm = admit_batch_with(&cost, PowerMode::W30, 33.3, offered, Precision::Fp32, 1.0);
+    let int8_adm = admit_batch_with(&cost, PowerMode::W30, 33.3, offered, Precision::Int8, 1.0);
+    rows.push(format!(
+        "  {{\"kind\": \"admission\", \"offered\": {}, \"mode\": \"W30/FPS30\", \"f32_batch\": {}, \"int8_batch\": {}, \"f32_latency_ms\": {:.2}, \"int8_latency_ms\": {:.2}}}",
+        offered, f32_adm.batch, int8_adm.batch, f32_adm.latency_ms, int8_adm.latency_ms
+    ));
+
+    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    // Smoke runs must not clobber the committed full-run trajectory.
+    let path = if criterion::quick_mode() {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_quant.quick.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_quant.json")
+    };
+    std::fs::write(path, &json).expect("write BENCH_quant.json");
+    eprintln!("wrote {path}");
+    eprint!("{json}");
+}
+
+fn main() {
+    let quick = criterion::quick_mode();
+    let mut c = Criterion::default();
+    bench_eval(&mut c, quick);
+    bench_server(&mut c, quick);
+    let acc = accuracy_rows(quick);
+    write_json(acc);
+}

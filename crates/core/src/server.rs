@@ -46,15 +46,42 @@
 //! The single-camera API is preserved exactly: [`crate::AdaptGovernor`] is
 //! now a thin wrapper over a one-stream server and its behaviour (trigger
 //! maths, rollback, telemetry) is unchanged.
+//!
+//! # The int8 inference fast path
+//!
+//! With [`ServerConfig::with_quantized_inference`], serving runs on an
+//! [`ld_quant::QuantUfldModel`] snapshot of the shared f32 model: every
+//! admitted frame's logits/entropy come from the quantized forward (~4×
+//! arithmetic density), and only **triggered** streams pay f32 — one exact
+//! forward over the triggered sub-batch to populate the backward's
+//! activation caches, then the shared entropy-descent step as before. The
+//! snapshot is dirty-flagged on every parameter movement (adaptation step
+//! or rollback) and lazily re-synchronised before the next quantized tick —
+//! an O(channels) epilogue re-fold, since BN-only adaptation never touches
+//! the integer weights ([`ld_quant::QuantUfldModel::refresh_affine`]).
+//! Pair the fast path with an [`AdmissionGate::with_precision`]
+//! ([`Precision::Int8`]) gate so the deadline query credits the cheaper
+//! inference ticks and admits more streams per tick.
+//!
+//! # Measured-latency admission feedback
+//!
+//! The gate's roofline predictions carry model error and host jitter. With
+//! [`ServerConfig::with_latency_feedback`], [`AdaptServer::serve`] measures
+//! each tick's actual wall-clock, maintains an EWMA of
+//! `actual / predicted`, and feeds it to [`ld_orin::admit_batch_with`] as a
+//! cost-scale on the next tick's query — a slow host shrinks admissions
+//! before deadlines slip, a fast host grows them before capacity idles.
 
 use crate::bn_adapt::{AdaptStep, FrameOutcome, LdBnAdaptConfig};
 use crate::governor::{GovernorConfig, GovernorStats};
 use ld_carlane::{LabeledFrame, StreamSet};
-use ld_nn::{loss, Layer, Mode, Sgd};
-use ld_orin::{admit_batch, AdaptCostModel, BatchAdmission, Deadline, PowerMode};
+use ld_nn::{loss, Layer, Mode, ParamFilter, Sgd};
+use ld_orin::{admit_batch_with, AdaptCostModel, BatchAdmission, Deadline, PowerMode, Precision};
+use ld_quant::{QuantUfldModel, QuantizeModel};
 use ld_tensor::Tensor;
 use ld_ufld::{decode_batch, score_image, AccuracyReport, UfldModel};
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Copies the current BN parameter values (name → value).
 pub(crate) fn snapshot_bn(model: &mut UfldModel) -> Vec<(String, Tensor)> {
@@ -96,22 +123,72 @@ pub struct AdmissionGate {
     cost: AdaptCostModel,
     mode: PowerMode,
     deadline: Deadline,
+    infer: Precision,
 }
 
 impl AdmissionGate {
     /// Builds a gate from a cost model (hand-calibrated or refreshed from
     /// `BENCH_gemm.json` via [`ld_orin::Roofline::agx_orin_calibrated`]).
+    /// Inference is costed at f32; see [`AdmissionGate::with_precision`].
     pub fn new(cost: AdaptCostModel, mode: PowerMode, deadline: Deadline) -> Self {
         AdmissionGate {
             cost,
             mode,
             deadline,
+            infer: Precision::Fp32,
         }
+    }
+
+    /// Costs the inference forward at `infer` (builder style) — pair
+    /// [`Precision::Int8`] with [`ServerConfig::with_quantized_inference`]
+    /// so the gate credits the quantized ticks.
+    pub fn with_precision(mut self, infer: Precision) -> Self {
+        self.infer = infer;
+        self
     }
 
     /// The batch-aware deadline query (see [`ld_orin::admit_batch`]).
     pub fn admit(&self, offered: usize) -> BatchAdmission {
-        admit_batch(&self.cost, self.mode, self.deadline.budget_ms, offered)
+        self.admit_scaled(offered, 1.0)
+    }
+
+    /// [`AdmissionGate::admit`] with a measured-latency cost-scale applied
+    /// to every prediction (see [`ld_orin::admit_batch_with`]).
+    pub fn admit_scaled(&self, offered: usize, cost_scale: f64) -> BatchAdmission {
+        admit_batch_with(
+            &self.cost,
+            self.mode,
+            self.deadline.budget_ms,
+            offered,
+            self.infer,
+            cost_scale,
+        )
+    }
+
+    /// The configured inference-costing precision.
+    pub fn precision(&self) -> Precision {
+        self.infer
+    }
+
+    /// Uncorrected predicted latency of a tick that served `batch` frames,
+    /// of which `adapted` triggered the f32 adaptation step, plus an
+    /// optional `remeasured`-frame f32 telemetry forward
+    /// ([`ServerConfig::measure_entropy_after`]) — the denominator of the
+    /// measured-latency feedback sample. Predicting the work the tick
+    /// *actually did* matters: pricing an inference-only (or
+    /// sub-batch-adapting quantized) tick at the all-triggered admission
+    /// estimate biases samples low, and omitting the telemetry forward
+    /// biases adapting ticks high; either way the "corrected" gate drifts
+    /// off the true host ratio.
+    pub fn predict_ms(&self, batch: usize, adapted: usize, remeasured: usize) -> f64 {
+        let mut ms = self
+            .cost
+            .mixed_tick_at(self.mode, batch, adapted, self.infer)
+            .total_ms();
+        if remeasured > 0 {
+            ms += self.cost.forward_only_ms(self.mode, remeasured);
+        }
+        ms
     }
 }
 
@@ -133,6 +210,14 @@ pub struct ServerConfig {
     /// keeps it on for parity with [`crate::LdBnAdapter`]; throughput-bound
     /// servers turn it off and save a forward per adapted tick.
     pub measure_entropy_after: bool,
+    /// Serve confident streams from an int8 [`QuantUfldModel`] snapshot of
+    /// the shared model (see the module docs). Requires
+    /// [`ld_nn::ParamFilter::BnOnly`] adaptation — the snapshot re-folds BN
+    /// movement without requantizing weights.
+    pub quantized_inference: bool,
+    /// Blend the EWMA of measured tick wall-clock over predicted latency
+    /// into the admission query (no effect without an [`AdmissionGate`]).
+    pub latency_feedback: bool,
 }
 
 impl ServerConfig {
@@ -144,6 +229,8 @@ impl ServerConfig {
             max_batch,
             admission: None,
             measure_entropy_after: true,
+            quantized_inference: false,
+            latency_feedback: false,
         }
     }
 
@@ -156,6 +243,18 @@ impl ServerConfig {
     /// Disables the post-step entropy telemetry forward (builder style).
     pub fn without_step_telemetry(mut self) -> Self {
         self.measure_entropy_after = false;
+        self
+    }
+
+    /// Serves confident streams from the int8 snapshot (builder style).
+    pub fn with_quantized_inference(mut self) -> Self {
+        self.quantized_inference = true;
+        self
+    }
+
+    /// Closes the admission loop on measured tick latency (builder style).
+    pub fn with_latency_feedback(mut self) -> Self {
+        self.latency_feedback = true;
         self
     }
 }
@@ -231,8 +330,64 @@ pub struct AdaptServer {
     streams: Vec<StreamState>,
     /// Shared last-known-good BN snapshot for safety rollback.
     good_bn_state: Vec<(String, Tensor)>,
+    /// The int8 serving snapshot (lazily built on the first quantized
+    /// tick, which doubles as its calibration batch).
+    quant: Option<QuantReplica>,
+    /// EWMA of measured-over-predicted tick latency (1.0 = roofline
+    /// trusted; fed back into admission when latency feedback is on).
+    latency_ratio: f64,
     stats: ServerStats,
 }
+
+/// The quantized serving snapshot plus its staleness flag.
+struct QuantReplica {
+    model: QuantUfldModel,
+    /// Set whenever the f32 parameters move (adaptation step, rollback);
+    /// cleared by the lazy epilogue re-fold before the next quantized tick.
+    dirty: bool,
+}
+
+impl std::fmt::Debug for QuantReplica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuantReplica")
+            .field("dirty", &self.dirty)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Splits one tick's batched logits back into per-frame [`FrameOutcome`]s
+/// (shared by the f32 and quantized paths).
+fn assemble_outcomes(
+    logits: &Tensor,
+    entropies: &[f32],
+    triggered: &[bool],
+    do_adapt: bool,
+    step_before: &[f32],
+    step_after: &[f32],
+) -> Vec<FrameOutcome> {
+    let ldims = logits.shape_dims();
+    let per_frame_dims = [1, ldims[1], ldims[2], ldims[3]];
+    (0..ldims[0])
+        .map(|i| {
+            let frame_logits = Tensor::from_vec(logits.image(i).to_vec(), &per_frame_dims);
+            let adapted = (triggered[i] && do_adapt).then_some(AdaptStep {
+                entropy_before: step_before[i],
+                entropy_after: step_after[i],
+            });
+            FrameOutcome {
+                logits: frame_logits,
+                entropy: entropies[i],
+                adapted,
+            }
+        })
+        .collect()
+}
+
+/// Momentum of the measured-latency EWMA (per served tick).
+const LATENCY_EWMA_MOMENTUM: f64 = 0.2;
+/// Clamp on each tick's measured/predicted ratio sample (spurious stalls
+/// must not poison the correction).
+const LATENCY_RATIO_CLAMP: (f64, f64) = (0.05, 20.0);
 
 impl AdaptServer {
     /// Creates the server and configures `model` for deployment-time
@@ -252,6 +407,25 @@ impl AdaptServer {
             cfg.adapt.batch_size, 1,
             "AdaptServer requires adapt batch size 1 (the tick batch is formed from streams)"
         );
+        assert!(
+            !cfg.quantized_inference || cfg.adapt.filter == ParamFilter::BnOnly,
+            "AdaptServer: quantized inference requires BnOnly adaptation \
+             (the int8 snapshot re-folds BN movement without requantizing weights)"
+        );
+        if let Some(gate) = &cfg.admission {
+            let expect = if cfg.quantized_inference {
+                Precision::Int8
+            } else {
+                Precision::Fp32
+            };
+            assert_eq!(
+                gate.precision(),
+                expect,
+                "AdaptServer: the admission gate must cost inference at the \
+                 precision the server actually serves ({expect:?} here) — a \
+                 mismatched gate admits batches priced for the wrong forward"
+            );
+        }
         model.set_bn_policy(cfg.adapt.stats_policy);
         model.apply_filter(cfg.adapt.filter);
         let opt = Sgd::new(cfg.adapt.lr).momentum(cfg.adapt.momentum);
@@ -261,6 +435,8 @@ impl AdaptServer {
             opt,
             streams: vec![StreamState::default(); n_streams],
             good_bn_state,
+            quant: None,
+            latency_ratio: 1.0,
             stats: ServerStats::default(),
         }
     }
@@ -338,22 +514,9 @@ impl AdaptServer {
         frames: &[(usize, &Tensor)],
         allow_adapt: bool,
     ) -> Vec<FrameOutcome> {
-        assert!(!frames.is_empty(), "process_batch: empty batch");
-        assert!(
-            frames.len() <= self.cfg.max_batch,
-            "process_batch: {} frames exceed max batch {}",
-            frames.len(),
-            self.cfg.max_batch
-        );
-        for (i, (sid, _)) in frames.iter().enumerate() {
-            assert!(
-                *sid < self.streams.len(),
-                "process_batch: unknown stream {sid}"
-            );
-            assert!(
-                !frames[..i].iter().any(|(prev, _)| prev == sid),
-                "process_batch: duplicate stream {sid}"
-            );
+        self.validate_batch(frames);
+        if self.cfg.quantized_inference {
+            return self.process_batch_quant(model, frames, allow_adapt);
         }
         let k = frames.len();
         let images: Vec<&Tensor> = frames.iter().map(|&(_, t)| t).collect();
@@ -361,24 +524,10 @@ impl AdaptServer {
         // Mux: one batched forward serves every stream's inference.
         let logits = model.forward_frames(&images, Mode::Eval);
         let entropies = loss::entropy_per_image(&logits);
-        let ldims = logits.shape_dims().to_vec();
 
         // Demux: per-stream trigger / rollback decisions against each
         // stream's own reference band.
-        let mut triggered = vec![false; k];
-        let mut any_rollback = false;
-        for (i, &(sid, _)) in frames.iter().enumerate() {
-            let h = entropies[i];
-            let st = &mut self.streams[sid];
-            st.stats.frames += 1;
-            let warmup = st.stats.frames <= self.cfg.governor.warmup_frames;
-            let reference = st.reference_entropy.unwrap_or(h);
-            if !warmup && h > self.cfg.governor.rollback_ratio * reference {
-                st.stats.rollbacks += 1;
-                any_rollback = true;
-            }
-            triggered[i] = warmup || h > self.cfg.governor.threshold_ratio * reference;
-        }
+        let (triggered, any_rollback) = self.decide_triggers(frames, &entropies);
         if any_rollback {
             restore_bn(model, &self.good_bn_state);
             self.stats.rollback_ticks += 1;
@@ -434,9 +583,56 @@ impl AdaptServer {
             }
         }
 
-        // Per-stream bookkeeping: confident frames fold into their stream's
-        // reference band; any confident frame marks the (shared) BN state
-        // as known-good.
+        self.finish_tick(model, frames, &entropies, &triggered, do_adapt, pre_step_bn);
+        assemble_outcomes(
+            &logits,
+            &entropies,
+            &triggered,
+            do_adapt,
+            &step_before,
+            &step_after,
+        )
+    }
+
+    /// The per-stream trigger / rollback demux shared by the f32 and
+    /// quantized ticks: folds each frame into its stream's frame counter
+    /// and decides, against that stream's reference band, whether it
+    /// triggers adaptation and whether the shared model must roll back.
+    fn decide_triggers(
+        &mut self,
+        frames: &[(usize, &Tensor)],
+        entropies: &[f32],
+    ) -> (Vec<bool>, bool) {
+        let mut triggered = vec![false; frames.len()];
+        let mut any_rollback = false;
+        for (i, &(sid, _)) in frames.iter().enumerate() {
+            let h = entropies[i];
+            let st = &mut self.streams[sid];
+            st.stats.frames += 1;
+            let warmup = st.stats.frames <= self.cfg.governor.warmup_frames;
+            let reference = st.reference_entropy.unwrap_or(h);
+            if !warmup && h > self.cfg.governor.rollback_ratio * reference {
+                st.stats.rollbacks += 1;
+                any_rollback = true;
+            }
+            triggered[i] = warmup || h > self.cfg.governor.threshold_ratio * reference;
+        }
+        (triggered, any_rollback)
+    }
+
+    /// The per-stream bookkeeping shared by the f32 and quantized ticks:
+    /// confident frames fold into their stream's reference band, any
+    /// confident frame blesses the (shared) BN state as known-good, and the
+    /// whole-server tick counters advance.
+    fn finish_tick(
+        &mut self,
+        model: &mut UfldModel,
+        frames: &[(usize, &Tensor)],
+        entropies: &[f32],
+        triggered: &[bool],
+        do_adapt: bool,
+        pre_step_bn: Option<Vec<(String, Tensor)>>,
+    ) {
         let mut any_skip = false;
         for (i, &(sid, _)) in frames.iter().enumerate() {
             let h = entropies[i];
@@ -464,25 +660,138 @@ impl AdaptServer {
             // parameters otherwise.
             self.good_bn_state = pre_step_bn.unwrap_or_else(|| snapshot_bn(model));
         }
-
         self.stats.ticks += 1;
-        self.stats.frames += k;
+        self.stats.frames += frames.len();
+    }
 
-        let per_frame_dims = [1, ldims[1], ldims[2], ldims[3]];
-        (0..k)
-            .map(|i| {
-                let frame_logits = Tensor::from_vec(logits.image(i).to_vec(), &per_frame_dims);
-                let adapted = (triggered[i] && do_adapt).then_some(AdaptStep {
-                    entropy_before: step_before[i],
-                    entropy_after: step_after[i],
-                });
-                FrameOutcome {
-                    logits: frame_logits,
-                    entropy: entropies[i],
-                    adapted,
+    /// Shared shape/id validation of one tick's frames.
+    fn validate_batch(&self, frames: &[(usize, &Tensor)]) {
+        assert!(!frames.is_empty(), "process_batch: empty batch");
+        assert!(
+            frames.len() <= self.cfg.max_batch,
+            "process_batch: {} frames exceed max batch {}",
+            frames.len(),
+            self.cfg.max_batch
+        );
+        for (i, (sid, _)) in frames.iter().enumerate() {
+            assert!(
+                *sid < self.streams.len(),
+                "process_batch: unknown stream {sid}"
+            );
+            assert!(
+                !frames[..i].iter().any(|(prev, _)| prev == sid),
+                "process_batch: duplicate stream {sid}"
+            );
+        }
+    }
+
+    /// The int8 fast-path tick (see the module docs): serving logits and
+    /// trigger entropies come from the quantized snapshot; only the
+    /// triggered sub-batch pays an f32 forward (activation caches for the
+    /// shared backward). Trigger/rollback/blessing bookkeeping mirrors the
+    /// f32 path per stream.
+    fn process_batch_quant(
+        &mut self,
+        model: &mut UfldModel,
+        frames: &[(usize, &Tensor)],
+        allow_adapt: bool,
+    ) -> Vec<FrameOutcome> {
+        let k = frames.len();
+        let images: Vec<&Tensor> = frames.iter().map(|&(_, t)| t).collect();
+
+        // Synchronise the snapshot: first quantized tick builds it (the
+        // tick's own frames are the calibration batch); later ticks re-fold
+        // the epilogues only when the f32 parameters moved.
+        let logits = {
+            let replica = match &mut self.quant {
+                Some(replica) => {
+                    if replica.dirty {
+                        replica.model.refresh_affine(model);
+                        replica.dirty = false;
+                    }
+                    replica
                 }
-            })
-            .collect()
+                slot @ None => slot.insert(QuantReplica {
+                    model: model.quantize(&images),
+                    dirty: false,
+                }),
+            };
+            // Mux: the quantized forward serves every stream's inference.
+            replica.model.forward_frames(&images)
+        };
+        let entropies = loss::entropy_per_image(&logits);
+
+        // Demux: same trigger / rollback maths as the f32 path, referenced
+        // to the quantized entropy band.
+        let (triggered, any_rollback) = self.decide_triggers(frames, &entropies);
+        if any_rollback {
+            restore_bn(model, &self.good_bn_state);
+            self.stats.rollback_ticks += 1;
+            if let Some(replica) = self.quant.as_mut() {
+                replica.dirty = true;
+            }
+        }
+
+        let t = triggered.iter().filter(|&&x| x).count();
+        let do_adapt = allow_adapt && t > 0;
+        if !allow_adapt && t > 0 {
+            self.stats.shed_adapt_ticks += 1;
+        }
+
+        // One f32 forward + shared step over the triggered sub-batch only.
+        // The sub-batch is exactly the triggered set, so the entropy
+        // gradient needs no masking or renormalisation.
+        let mut step_before = vec![f32::NAN; k];
+        let mut step_after = vec![f32::NAN; k];
+        let pre_step_bn = (do_adapt && t < k).then(|| snapshot_bn(model));
+        if do_adapt {
+            // One index list maps sub-batch positions back to batch slots
+            // for the forward, the telemetry scatter, and the re-measure.
+            let sub_idx: Vec<usize> = (0..k).filter(|&i| triggered[i]).collect();
+            let sub: Vec<&Tensor> = sub_idx.iter().map(|&i| images[i]).collect();
+            let sub_logits = model.forward_frames(&sub, Mode::Eval);
+            let sub_entropies = loss::entropy_per_image(&sub_logits);
+            for (&i, &h) in sub_idx.iter().zip(&sub_entropies) {
+                step_before[i] = h;
+            }
+            let lo = loss::entropy(&sub_logits);
+            model.zero_grad();
+            model.backward(&lo.grad);
+            model.visit_params(&mut |p| self.opt.update(p));
+            self.stats.adapt_steps += 1;
+            let replica = self.quant.as_mut().expect("replica exists");
+            replica.dirty = true;
+            if self.cfg.measure_entropy_after {
+                let after_logits = model.forward_frames(&sub, Mode::Eval);
+                let after = loss::entropy_per_image(&after_logits);
+                for (&i, &h) in sub_idx.iter().zip(&after) {
+                    step_after[i] = h;
+                }
+            }
+        }
+
+        self.finish_tick(model, frames, &entropies, &triggered, do_adapt, pre_step_bn);
+        assemble_outcomes(
+            &logits,
+            &entropies,
+            &triggered,
+            do_adapt,
+            &step_before,
+            &step_after,
+        )
+    }
+
+    /// Whether the int8 serving snapshot has been built (quantized servers
+    /// build it lazily on their first tick).
+    pub fn quant_snapshot_ready(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// Current measured-over-predicted tick-latency EWMA (1.0 until the
+    /// first fed-back tick; only updated by [`AdaptServer::serve`] when
+    /// latency feedback is enabled and an admission gate is attached).
+    pub fn latency_ratio(&self) -> f64 {
+        self.latency_ratio
     }
 
     /// The serving pump: for `ticks` rounds, offer one fresh frame per
@@ -523,8 +832,13 @@ impl AdaptServer {
                 }
             }
             let offered = pending.len();
+            let cost_scale = if self.cfg.latency_feedback {
+                self.latency_ratio
+            } else {
+                1.0
+            };
             let verdict = match &self.cfg.admission {
-                Some(gate) => gate.admit(offered.min(self.cfg.max_batch)),
+                Some(gate) => gate.admit_scaled(offered.min(self.cfg.max_batch), cost_scale),
                 None => BatchAdmission {
                     batch: offered.min(self.cfg.max_batch),
                     adapt: true,
@@ -538,7 +852,42 @@ impl AdaptServer {
 
             let refs: Vec<(usize, &Tensor)> =
                 batch.iter().map(|(sid, f)| (*sid, &f.image)).collect();
+            let snapshot_ready_before = !self.cfg.quantized_inference || self.quant.is_some();
+            let tick_start = Instant::now();
             let outcomes = self.process_batch_gated(model, &refs, verdict.adapt);
+            // Close the roofline-trust loop: fold this tick's measured
+            // wall-clock over the (unscaled) prediction of the work the
+            // tick *actually did* — how many frames adapted, at the gate's
+            // serving precision — into the EWMA that corrects the next
+            // admission query (pricing a shed, untriggered, or sub-batch
+            // adapt step at the all-triggered admission estimate would bias
+            // every sample low). The tick that builds the int8 snapshot is
+            // excluded: its one-off calibration cost is not steady-state
+            // serving and would poison the correction upward.
+            if self.cfg.latency_feedback && snapshot_ready_before {
+                if let Some(gate) = &self.cfg.admission {
+                    let actual_ms = tick_start.elapsed().as_secs_f64() * 1e3;
+                    let adapted = outcomes.iter().filter(|o| o.adapted.is_some()).count();
+                    // The telemetry re-measure forward spans the whole
+                    // batch on the f32 path (it reuses the batched
+                    // inference entry) but only the triggered sub-batch on
+                    // the quantized path.
+                    let remeasured = if adapted > 0 && self.cfg.measure_entropy_after {
+                        if self.cfg.quantized_inference {
+                            adapted
+                        } else {
+                            take
+                        }
+                    } else {
+                        0
+                    };
+                    let predicted_ms = gate.predict_ms(take, adapted, remeasured);
+                    let sample = (actual_ms / predicted_ms)
+                        .clamp(LATENCY_RATIO_CLAMP.0, LATENCY_RATIO_CLAMP.1);
+                    self.latency_ratio = (1.0 - LATENCY_EWMA_MOMENTUM) * self.latency_ratio
+                        + LATENCY_EWMA_MOMENTUM * sample;
+                }
+            }
 
             for ((sid, frame), outcome) in batch.iter().zip(&outcomes) {
                 let lanes = decode_batch(&outcome.logits, &model_cfg);
@@ -809,6 +1158,154 @@ mod tests {
                 "{name}: known-good state must be the pre-update values"
             );
         }
+    }
+
+    /// Quantized fast path, no triggers: every outcome must come bitwise
+    /// from the int8 snapshot (quantized on the first tick's frames), and
+    /// the f32 model must never be touched.
+    #[test]
+    fn quantized_server_serves_confident_streams_from_the_snapshot() {
+        use ld_quant::QuantizeModel;
+        let cfg = UfldConfig::tiny(2);
+        let gov = GovernorConfig {
+            warmup_frames: 0,
+            threshold_ratio: 1e6,
+            rollback_ratio: 1e9,
+            ..Default::default()
+        };
+        let k = 3;
+        let mut model = UfldModel::new(&cfg, 0xBEEF);
+        let mut reference = model.clone_model();
+        let server_cfg = frozen_cfg(gov).with_quantized_inference();
+        let mut server = AdaptServer::new(server_cfg, k, &mut model);
+        assert!(!server.quant_snapshot_ready());
+
+        let tick1 = random_frames(&cfg, k, 200);
+        let batch1: Vec<(usize, &Tensor)> = tick1.iter().enumerate().collect();
+        let out1 = server.process_batch(&mut model, &batch1);
+        assert!(server.quant_snapshot_ready());
+
+        // An independent snapshot quantized on the same calibration frames
+        // must reproduce the server's serving logits exactly.
+        let calib: Vec<&Tensor> = tick1.iter().collect();
+        let mut qref = reference.quantize(&calib);
+        let want1 = qref.forward_frames(&calib);
+        for (i, out) in out1.iter().enumerate() {
+            assert_eq!(out.logits.as_slice(), want1.image(i), "tick1 frame {i}");
+            assert!(out.adapted.is_none(), "never-trigger governor");
+        }
+        let tick2 = random_frames(&cfg, k, 201);
+        let batch2: Vec<(usize, &Tensor)> = tick2.iter().enumerate().collect();
+        let out2 = server.process_batch(&mut model, &batch2);
+        let refs2: Vec<&Tensor> = tick2.iter().collect();
+        let want2 = qref.forward_frames(&refs2);
+        for (i, out) in out2.iter().enumerate() {
+            assert_eq!(out.logits.as_slice(), want2.image(i), "tick2 frame {i}");
+        }
+        assert_eq!(server.server_stats().adapt_steps, 0);
+    }
+
+    /// Quantized fast path under warm-up (every stream triggers): the f32
+    /// adaptation still runs (one shared step per tick over the triggered
+    /// sub-batch), the snapshot is dirty-flagged and re-folded, and the
+    /// post-refresh serving logits pick up the BN movement.
+    #[test]
+    fn quantized_server_adapts_triggered_streams_in_f32() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = UfldModel::new(&cfg, 0xA7);
+        let gov = GovernorConfig {
+            warmup_frames: 10,
+            ..Default::default()
+        };
+        let server_cfg = ServerConfig::new(LdBnAdaptConfig::paper(1).with_lr(0.05), gov, 4)
+            .with_quantized_inference();
+        let mut server = AdaptServer::new(server_cfg, 4, &mut model);
+        let bn_before = snapshot_bn(&mut model);
+        let mut last = Vec::new();
+        for round in 0..3 {
+            let frames = random_frames(&cfg, 4, 50 + round);
+            let batch: Vec<(usize, &Tensor)> = frames.iter().enumerate().collect();
+            let outcomes = server.process_batch(&mut model, &batch);
+            for out in &outcomes {
+                let step = out.adapted.expect("warm-up adapts");
+                assert!(step.entropy_before.is_finite());
+                assert!(step.entropy_after.is_finite());
+            }
+            last = outcomes;
+        }
+        assert_eq!(server.server_stats().adapt_steps, 3, "one step per tick");
+        assert_eq!(server.total_stats().adapted_frames, 12);
+        let bn_after = snapshot_bn(&mut model);
+        assert!(
+            bn_before
+                .iter()
+                .zip(&bn_after)
+                .any(|((_, a), (_, b))| a.as_slice() != b.as_slice()),
+            "adaptation must move the f32 BN parameters"
+        );
+        assert!(!last.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "BnOnly")]
+    fn quantized_server_requires_bn_only_adaptation() {
+        use ld_nn::ParamFilter;
+        let cfg = UfldConfig::tiny(2);
+        let mut model = UfldModel::new(&cfg, 3);
+        let server_cfg = ServerConfig::new(
+            LdBnAdaptConfig::paper(1).with_filter(ParamFilter::ConvOnly),
+            GovernorConfig::default(),
+            2,
+        )
+        .with_quantized_inference();
+        AdaptServer::new(server_cfg, 2, &mut model);
+    }
+
+    /// Measured-latency feedback: the tiny CI model runs orders of
+    /// magnitude faster than the paper-scale roofline prediction, so the
+    /// EWMA must fall below 1 and the corrected gate must admit more (fewer
+    /// deferrals) than the uncorrected one on the same workload.
+    #[test]
+    fn latency_feedback_grows_admissions_on_a_fast_host() {
+        use ld_ufld::Backbone;
+        let cfg = UfldConfig::tiny(2);
+        let gov = GovernorConfig {
+            warmup_frames: 100,
+            ..Default::default()
+        };
+        let gate = || {
+            AdmissionGate::new(
+                AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4)),
+                PowerMode::W15,
+                Deadline::FPS30,
+            )
+        };
+        let ticks = 16;
+        let run = |feedback: bool| {
+            let mut model = UfldModel::new(&cfg, 0xC4);
+            let mut server_cfg =
+                ServerConfig::new(LdBnAdaptConfig::paper(1), gov, 2).with_admission(gate());
+            if feedback {
+                server_cfg = server_cfg.with_latency_feedback();
+            }
+            let mut server = AdaptServer::new(server_cfg, 2, &mut model);
+            let mut set = StreamSet::drifting(Benchmark::MoLane, frame_spec_for(&cfg), 2, 8, 3);
+            let report = server.serve(&mut model, &mut set, ticks);
+            (report.server, server.latency_ratio())
+        };
+        let (without, ratio_off) = run(false);
+        let (with, ratio_on) = run(true);
+        assert_eq!(ratio_off, 1.0, "feedback off leaves the EWMA untouched");
+        assert!(
+            ratio_on < 1.0,
+            "a fast host must pull the EWMA down, got {ratio_on}"
+        );
+        assert!(
+            with.deferred_frames < without.deferred_frames,
+            "corrected gate must defer less: {} vs {}",
+            with.deferred_frames,
+            without.deferred_frames
+        );
     }
 
     #[test]

@@ -149,6 +149,17 @@ impl Conv2d {
         &self.weight
     }
 
+    /// Immutable access to the bias parameter, when present.
+    pub fn bias(&self) -> Option<&Parameter> {
+        self.bias.as_ref()
+    }
+
+    /// Convolution geometry `(kernel, stride, pad)` — what a quantized
+    /// snapshot of this layer needs besides the weights.
+    pub fn geometry(&self) -> (usize, usize, usize) {
+        (self.kernel, self.stride, self.pad)
+    }
+
     /// How many times the scratch arena has been (re)sized.
     ///
     /// At a fixed input shape this stays at 1 after the first forward — the

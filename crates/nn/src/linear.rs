@@ -63,6 +63,16 @@ impl Linear {
     pub fn out_features(&self) -> usize {
         self.out_features
     }
+
+    /// Immutable access to the weight parameter (`(out, in)` row-major).
+    pub fn weight(&self) -> &Parameter {
+        &self.weight
+    }
+
+    /// Immutable access to the bias parameter.
+    pub fn bias(&self) -> &Parameter {
+        &self.bias
+    }
 }
 
 impl Layer for Linear {

@@ -2,6 +2,7 @@
 //! the SOTA baseline's epoch cost (the ">1 hour per epoch" claim).
 
 use crate::roofline::Roofline;
+use crate::scheduler::Precision;
 use crate::spec::PowerMode;
 use ld_ufld::cost::{model_costs, totals, LayerCost};
 use ld_ufld::UfldConfig;
@@ -77,6 +78,13 @@ impl AdaptCostModel {
             + 1e3 * self.roofline.forward_seconds(&self.costs, mode, 1)
     }
 
+    /// One batched f32 forward in ms, with no host-preprocess term — the
+    /// cost of an *extra* pass over already-ingested frames (e.g. the
+    /// server's post-step entropy telemetry re-measure).
+    pub fn forward_only_ms(&self, mode: PowerMode, batch: usize) -> f64 {
+        1e3 * self.roofline.forward_seconds(&self.costs, mode, batch)
+    }
+
     /// Worst-case frame latency of **LD-BN-ADAPT** (inference followed by
     /// adaptation) at the given adaptation batch size.
     ///
@@ -126,21 +134,93 @@ impl AdaptCostModel {
     ///
     /// Panics if `batch == 0`.
     pub fn batched_tick(&self, mode: PowerMode, batch: usize, adapt: bool) -> FrameLatency {
-        assert!(batch > 0, "batched_tick: zero batch");
-        let (backward_ms, update_ms) = if adapt {
+        self.batched_tick_at(mode, batch, adapt, Precision::Fp32)
+    }
+
+    /// The roofline with efficiencies scaled for `precision` execution
+    /// ([`Precision::scale_efficiency`] — the same maths as
+    /// [`crate::precision_what_if`]).
+    fn roofline_at(&self, precision: Precision) -> Roofline {
+        let mut rl = self.roofline;
+        rl.eff = precision.scale_efficiency(rl.eff);
+        rl
+    }
+
+    /// [`AdaptCostModel::batched_tick`] with the **inference forward run at
+    /// `infer` precision** — the cost query for a server with the
+    /// `ld_quant` fast path enabled.
+    ///
+    /// Adaptation stays f32: on an adapting tick the quantized server pays
+    /// the cheap quantized forward for serving *plus* a full-precision
+    /// forward to populate the backward's activation caches, so for
+    /// `infer != Fp32` an f32 `adapt_forward_ms` term appears alongside the
+    /// backward and update (at `Fp32` the inference activations are reused
+    /// and the term stays zero, matching [`AdaptCostModel::batched_tick`]
+    /// exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn batched_tick_at(
+        &self,
+        mode: PowerMode,
+        batch: usize,
+        adapt: bool,
+        infer: Precision,
+    ) -> FrameLatency {
+        self.mixed_tick_at(mode, batch, if adapt { batch } else { 0 }, infer)
+    }
+
+    /// The general mixed-tick cost: `batch` frames served at `infer`
+    /// precision, of which `adapted` triggered the f32 adaptation step.
+    ///
+    /// This is the post-hoc query the measured-latency feedback compares
+    /// ticks against — admission itself uses the all-triggered worst case
+    /// ([`AdaptCostModel::batched_tick_at`]), but a served tick's *actual*
+    /// work depends on how many streams triggered:
+    ///
+    /// * at `Fp32`, the backward always spans the whole batch (the masked
+    ///   entropy gradient reuses the batched inference activations), so
+    ///   only `adapted == 0` changes the cost;
+    /// * at a quantized precision, the f32 forward + backward run over the
+    ///   triggered sub-batch only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0` or `adapted > batch`.
+    pub fn mixed_tick_at(
+        &self,
+        mode: PowerMode,
+        batch: usize,
+        adapted: usize,
+        infer: Precision,
+    ) -> FrameLatency {
+        assert!(batch > 0, "mixed_tick: zero batch");
+        assert!(adapted <= batch, "mixed_tick: {adapted} adapted of {batch}");
+        let infer_rl = self.roofline_at(infer);
+        let (adapt_forward_ms, backward_ms, update_ms) = if adapted == 0 {
+            (0.0, 0.0, 0.0)
+        } else {
+            let (adapt_fwd, bwd_batch) = if infer == Precision::Fp32 {
+                (0.0, batch)
+            } else {
+                (
+                    1e3 * self.roofline.forward_seconds(&self.costs, mode, adapted),
+                    adapted,
+                )
+            };
             (
+                adapt_fwd,
                 1e3 * self
                     .roofline
-                    .backward_seconds(&self.costs, mode, batch, false),
+                    .backward_seconds(&self.costs, mode, bwd_batch, false),
                 1e3 * self.roofline.update_seconds(self.bn_params, mode),
             )
-        } else {
-            (0.0, 0.0)
         };
         FrameLatency {
             preprocess_ms: self.roofline.spec.host_preprocess_ms * batch as f64,
-            inference_ms: 1e3 * self.roofline.forward_seconds(&self.costs, mode, batch),
-            adapt_forward_ms: 0.0,
+            inference_ms: 1e3 * infer_rl.forward_seconds(&self.costs, mode, batch),
+            adapt_forward_ms,
             backward_ms,
             update_ms,
         }

@@ -102,23 +102,57 @@ pub fn admit_batch(
     budget_ms: f64,
     offered: usize,
 ) -> BatchAdmission {
+    admit_batch_with(cost, mode, budget_ms, offered, Precision::Fp32, 1.0)
+}
+
+/// [`admit_batch`] with the two correction knobs the production server
+/// turns:
+///
+/// * `infer` — the precision of the inference forward. With the `ld_quant`
+///   int8 fast path the inference-only tick is roughly 4× arithmetically
+///   denser, so the gate credits it and admits a larger inference-only
+///   batch at the same deadline (adapting ticks still pay the f32 forward
+///   and backward, see [`AdaptCostModel::batched_tick_at`]).
+/// * `cost_scale` — a measured-latency correction factor multiplying every
+///   predicted tick latency. The server maintains an EWMA of
+///   `actual / predicted` tick wall-clock and feeds it back here, closing
+///   the loop on roofline model error and host jitter (`> 1` shrinks
+///   admissions, `< 1` grows them). `1.0` trusts the roofline outright.
+///
+/// # Panics
+///
+/// Panics if `offered == 0`, `budget_ms` is not positive and finite, or
+/// `cost_scale` is not positive and finite.
+pub fn admit_batch_with(
+    cost: &AdaptCostModel,
+    mode: PowerMode,
+    budget_ms: f64,
+    offered: usize,
+    infer: Precision,
+    cost_scale: f64,
+) -> BatchAdmission {
     assert!(offered > 0, "admit_batch: zero frames offered");
     assert!(
         budget_ms.is_finite() && budget_ms > 0.0,
         "admit_batch: bad budget {budget_ms}"
     );
+    assert!(
+        cost_scale.is_finite() && cost_scale > 0.0,
+        "admit_batch: bad cost scale {cost_scale}"
+    );
     // Tick latency is monotonic in the batch size, so scan downward and the
     // first inference-only fit is the largest admissible batch.
+    let infer_ms = |b: usize| cost_scale * cost.batched_tick_at(mode, b, false, infer).total_ms();
     let mut batch = 1;
     let mut fits = false;
     for b in (1..=offered).rev() {
-        if cost.batched_tick(mode, b, false).total_ms() <= budget_ms {
+        if infer_ms(b) <= budget_ms {
             batch = b;
             fits = true;
             break;
         }
     }
-    let with_adapt = cost.batched_tick(mode, batch, true).total_ms();
+    let with_adapt = cost_scale * cost.batched_tick_at(mode, batch, true, infer).total_ms();
     if fits && with_adapt <= budget_ms {
         return BatchAdmission {
             batch,
@@ -130,7 +164,7 @@ pub fn admit_batch(
     BatchAdmission {
         batch,
         adapt: false,
-        latency_ms: cost.batched_tick(mode, batch, false).total_ms(),
+        latency_ms: infer_ms(batch),
         fits_deadline: fits,
     }
 }
@@ -143,6 +177,12 @@ pub enum Precision {
     /// FP16 on tensor cores (≈4× FP32 GEMM throughput on Ampere, half the
     /// activation traffic).
     Fp16,
+    /// INT8 on tensor cores (Ampere int8 TOPS are ≈2× the FP16 rate — 8×
+    /// FP32 CUDA — at a quarter of the activation traffic). This is the
+    /// dtype of the `ld_quant` inference fast path; the host-side kernel
+    /// realises a smaller fraction of it (see `BENCH_quant.json`), but the
+    /// roofline models the Orin deployment target.
+    Int8,
 }
 
 impl Precision {
@@ -151,6 +191,7 @@ impl Precision {
         match self {
             Precision::Fp32 => 1.0,
             Precision::Fp16 => 4.0,
+            Precision::Int8 => 8.0,
         }
     }
 
@@ -159,7 +200,23 @@ impl Precision {
         match self {
             Precision::Fp32 => 1.0,
             Precision::Fp16 => 0.5,
+            Precision::Int8 => 0.25,
         }
+    }
+
+    /// Scales a roofline [`Efficiency`] for execution at this precision:
+    /// GEMM kinds gain the compute-throughput multiplier, bandwidth-bound
+    /// kinds gain the inverse byte ratio (fewer bytes = more effective
+    /// bandwidth). The single source of the precision what-if maths, shared
+    /// by [`precision_what_if`] and the admission cost model.
+    pub fn scale_efficiency(
+        self,
+        mut eff: crate::roofline::Efficiency,
+    ) -> crate::roofline::Efficiency {
+        eff.conv *= self.compute_speedup();
+        eff.fc *= self.compute_speedup();
+        eff.elementwise /= self.byte_ratio();
+        eff
     }
 }
 
@@ -167,15 +224,11 @@ impl Precision {
 /// and memory terms. Returns `(total_ms, meets_30fps)`.
 pub fn precision_what_if(cfg: &UfldConfig, mode: PowerMode, precision: Precision) -> (f64, bool) {
     let base = Roofline::agx_orin();
-    let mut eff = base.eff;
-    eff.conv *= precision.compute_speedup();
-    eff.fc *= precision.compute_speedup();
-    eff.elementwise /= precision.byte_ratio(); // half the bytes = 2× effective BW
     let model = AdaptCostModel::new(
         cfg,
         Roofline {
             spec: base.spec,
-            eff,
+            eff: precision.scale_efficiency(base.eff),
         },
     );
     let total = model.ld_bn_adapt_frame(mode, 1).total_ms();
@@ -288,6 +341,124 @@ mod tests {
         let adm = admit_batch(&calibrated, PowerMode::MaxN60, 33.3, 4);
         assert!(adm.batch >= 1 && adm.batch <= 4);
         assert!(adm.latency_ms.is_finite() && adm.latency_ms > 0.0);
+    }
+
+    /// The tentpole acceptance property: at the same deadline and power
+    /// mode, costing the inference forward at int8 admits a strictly larger
+    /// inference-only batch than f32 whenever the f32 gate is saturated.
+    #[test]
+    fn int8_inference_admits_a_larger_batch() {
+        let cost = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
+        let offered = 16;
+        let f32_adm = admit_batch(&cost, PowerMode::W30, 33.3, offered);
+        let int8_adm = admit_batch_with(&cost, PowerMode::W30, 33.3, offered, Precision::Int8, 1.0);
+        assert!(
+            f32_adm.batch < offered,
+            "pick a scenario where f32 admission saturates: {f32_adm:?}"
+        );
+        assert!(
+            int8_adm.batch > f32_adm.batch,
+            "int8 must admit more inference-only frames: {int8_adm:?} vs {f32_adm:?}"
+        );
+        assert!(int8_adm.latency_ms <= 33.3);
+    }
+
+    #[test]
+    fn int8_adapt_tick_still_pays_the_f32_forward_and_backward() {
+        let cost = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
+        let f32_tick = cost.batched_tick_at(PowerMode::MaxN60, 4, true, Precision::Fp32);
+        let int8_tick = cost.batched_tick_at(PowerMode::MaxN60, 4, true, Precision::Int8);
+        assert_eq!(f32_tick.adapt_forward_ms, 0.0, "f32 reuses activations");
+        assert!(
+            int8_tick.adapt_forward_ms > 0.0,
+            "quantized serving needs a fresh f32 forward to adapt"
+        );
+        assert_eq!(int8_tick.backward_ms, f32_tick.backward_ms);
+        assert_eq!(int8_tick.update_ms, f32_tick.update_ms);
+        assert!(int8_tick.inference_ms < f32_tick.inference_ms);
+        // Inference-only ticks are where int8 pays off.
+        let f32_infer = cost.batched_tick_at(PowerMode::MaxN60, 4, false, Precision::Fp32);
+        let int8_infer = cost.batched_tick_at(PowerMode::MaxN60, 4, false, Precision::Int8);
+        assert!(int8_infer.total_ms() < f32_infer.total_ms());
+    }
+
+    /// The mixed-tick query the latency feedback compares served ticks
+    /// against: a quantized tick's adaptation terms scale with the
+    /// triggered sub-batch, an f32 tick's backward always spans the whole
+    /// batch (masked gradient over the batched activations).
+    #[test]
+    fn mixed_tick_prices_the_triggered_sub_batch() {
+        let cost = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
+        let mode = PowerMode::MaxN60;
+        // adapted == 0 is exactly the inference-only tick.
+        for p in [Precision::Fp32, Precision::Int8] {
+            assert_eq!(
+                cost.mixed_tick_at(mode, 6, 0, p),
+                cost.batched_tick_at(mode, 6, false, p)
+            );
+        }
+        // adapted == batch is exactly the all-triggered adapt tick.
+        for p in [Precision::Fp32, Precision::Int8] {
+            assert_eq!(
+                cost.mixed_tick_at(mode, 6, 6, p),
+                cost.batched_tick_at(mode, 6, true, p)
+            );
+        }
+        // int8: a 1-of-6 trigger pays a 1-frame f32 forward + backward,
+        // strictly cheaper than the all-triggered worst case.
+        let partial = cost.mixed_tick_at(mode, 6, 1, Precision::Int8);
+        let full = cost.mixed_tick_at(mode, 6, 6, Precision::Int8);
+        assert!(partial.adapt_forward_ms > 0.0);
+        assert!(partial.adapt_forward_ms < full.adapt_forward_ms);
+        assert!(partial.backward_ms < full.backward_ms);
+        assert_eq!(partial.inference_ms, full.inference_ms);
+        // f32: the backward is batch-wide regardless of the trigger count.
+        let f32_partial = cost.mixed_tick_at(mode, 6, 1, Precision::Fp32);
+        let f32_full = cost.mixed_tick_at(mode, 6, 6, Precision::Fp32);
+        assert_eq!(f32_partial, f32_full);
+    }
+
+    #[test]
+    #[should_panic(expected = "adapted")]
+    fn mixed_tick_rejects_more_adapted_than_batch() {
+        let cost = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
+        cost.mixed_tick_at(PowerMode::MaxN60, 2, 3, Precision::Int8);
+    }
+
+    #[test]
+    fn fp32_precision_tick_matches_plain_batched_tick() {
+        let cost = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
+        for adapt in [false, true] {
+            let plain = cost.batched_tick(PowerMode::W50, 3, adapt);
+            let at = cost.batched_tick_at(PowerMode::W50, 3, adapt, Precision::Fp32);
+            assert_eq!(plain, at);
+        }
+    }
+
+    /// The measured-latency feedback knob: a host running slower than the
+    /// roofline predicts (`cost_scale > 1`) shrinks admissions; a faster
+    /// host grows them; `1.0` reproduces the uncorrected gate bit-for-bit.
+    #[test]
+    fn cost_scale_corrects_admissions_monotonically() {
+        let cost = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
+        let base = admit_batch(&cost, PowerMode::MaxN60, 55.5, 8);
+        let same = admit_batch_with(&cost, PowerMode::MaxN60, 55.5, 8, Precision::Fp32, 1.0);
+        assert_eq!(base, same);
+        let slow = admit_batch_with(&cost, PowerMode::MaxN60, 55.5, 8, Precision::Fp32, 3.0);
+        let fast = admit_batch_with(&cost, PowerMode::MaxN60, 55.5, 8, Precision::Fp32, 0.33);
+        assert!(slow.batch <= base.batch);
+        assert!(fast.batch >= base.batch);
+        assert!(
+            slow.batch < fast.batch,
+            "a 9× measured spread must move the verdict: {slow:?} vs {fast:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bad cost scale")]
+    fn rejects_nonpositive_cost_scale() {
+        let cost = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
+        admit_batch_with(&cost, PowerMode::MaxN60, 33.3, 1, Precision::Fp32, 0.0);
     }
 
     #[test]

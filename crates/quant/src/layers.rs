@@ -1,0 +1,501 @@
+//! Quantized eval-only layers: [`QConv2d`] and [`QLinear`].
+//!
+//! Both are **inference layers**: no backward pass, no parameter gradients.
+//! The adapting f32 model remains the single source of truth; these layers
+//! are snapshots of it (weights quantized once, per-channel epilogues
+//! refreshable in O(channels) after each accepted adaptation step — see
+//! [`crate::model::QuantUfldModel::refresh_affine`]).
+//!
+//! A `QConv2d` quantizes its f32 input per tensor (calibrated scale), lowers
+//! it with an **im2row** (patch-major, k-contiguous — the transpose of the
+//! f32 engine's im2col) into a reusable i16 scratch arena, and runs the
+//! row-dot GEMM with the requantize/bias/BN/ReLU epilogue fused
+//! ([`crate::qgemm::qgemm_fused_affine`]). Padding is handled by quantizing
+//! into a zero-bordered plane buffer once, so patch gathering is
+//! branch-free row copies.
+
+use crate::qgemm::{qgemm_fused_affine, qgemm_nt};
+use crate::quantize::{max_abs, pad_k, quantize_into, QWeights};
+use ld_tensor::Tensor;
+
+/// Per-channel epilogue constants: `y = scale[o] · acc + shift[o]`.
+fn fold_epilogue(
+    w_scales: &[f32],
+    x_scale: f32,
+    bias: &[f32],
+    bn: Option<(&[f32], &[f32])>,
+) -> (Vec<f32>, Vec<f32>) {
+    let m = w_scales.len();
+    let mut scale = vec![0.0f32; m];
+    let mut shift = vec![0.0f32; m];
+    for o in 0..m {
+        let (g, t) = bn.map_or((1.0, 0.0), |(g, t)| (g[o], t[o]));
+        scale[o] = w_scales[o] * x_scale * g;
+        shift[o] = g * bias[o] + t;
+    }
+    (scale, shift)
+}
+
+/// Grows a layer's activation scale when the live input outruns the
+/// calibrated range (auto-ranging): returns the new scale, and the caller
+/// multiplies its per-channel requantization scales by `new / old` —
+/// `shift` never involves the activation scale, so the epilogue re-fold is
+/// exactly that one factor.
+///
+/// Ranges only ever grow (monotone), so quantized streams stay stable when
+/// a domain drifts *beyond* the calibration set instead of clipping into
+/// garbage logits: the first frame of a brighter/noisier domain re-ranges
+/// the boundary in O(channels) and serving continues.
+fn grow_range(x_scale: &mut f32, batch_max: f32, scale: &mut [f32]) {
+    let range = *x_scale * crate::quantize::QMAX;
+    if batch_max <= range || !batch_max.is_finite() {
+        return;
+    }
+    let new_scale = crate::quantize::symmetric_scale(batch_max);
+    let ratio = new_scale / *x_scale;
+    *x_scale = new_scale;
+    for s in scale.iter_mut() {
+        *s *= ratio;
+    }
+}
+
+/// A quantized 2-D convolution (square kernel, eval only) with the
+/// requantize + bias + folded-BN + optional-ReLU epilogue fused into the
+/// integer GEMM.
+pub struct QConv2d {
+    weights: QWeights,
+    /// Conv bias (zeros when the f32 layer has none); kept separate from
+    /// the folded shift so BN refreshes can re-fold it.
+    bias: Vec<f32>,
+    /// Calibrated input activation scale.
+    x_scale: f32,
+    scale: Vec<f32>,
+    shift: Vec<f32>,
+    relu: bool,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    /// Zero-bordered quantized input plane `(C, H+2p, W+2p)`, reused.
+    qpad: Vec<i16>,
+    /// im2row patch matrix `(OH·OW, k_padded)`, reused.
+    rows: Vec<i16>,
+    /// Shapes the scratch is currently sized for.
+    sized_hw: (usize, usize),
+}
+
+impl QConv2d {
+    /// Quantizes an f32 convolution: `weight` is `(O, C, K, K)`, `bias` the
+    /// optional f32 conv bias, `x_scale` the calibrated input scale, `bn`
+    /// an optional folded BatchNorm affine `(g, t)` applied after the conv,
+    /// and `relu` fuses a trailing ReLU into the epilogue.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent shapes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        weight: &Tensor,
+        bias: Option<&[f32]>,
+        stride: usize,
+        pad: usize,
+        x_scale: f32,
+        bn: Option<(&[f32], &[f32])>,
+        relu: bool,
+    ) -> Self {
+        let dims = weight.shape_dims();
+        assert_eq!(dims.len(), 4, "QConv2d: weight must be (O, C, K, K)");
+        let (out_ch, in_ch, kh, kw) = (dims[0], dims[1], dims[2], dims[3]);
+        assert_eq!(kh, kw, "QConv2d: square kernels only");
+        let k = in_ch * kh * kw;
+        let weights = QWeights::from_rows(weight.as_slice(), out_ch, k);
+        let bias = bias.map_or_else(|| vec![0.0; out_ch], <[f32]>::to_vec);
+        assert_eq!(bias.len(), out_ch, "QConv2d: bias length");
+        let (scale, shift) = fold_epilogue(weights.scales(), x_scale, &bias, bn);
+        QConv2d {
+            weights,
+            bias,
+            x_scale,
+            scale,
+            shift,
+            relu,
+            in_ch,
+            out_ch,
+            kernel: kh,
+            stride,
+            pad,
+            qpad: Vec::new(),
+            rows: Vec::new(),
+            sized_hw: (0, 0),
+        }
+    }
+
+    /// Re-folds the epilogue from a fresh BN affine (γ/β or running stats
+    /// moved under adaptation). O(channels); integer weights are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the affine length differs from the output channels.
+    pub fn refresh_bn(&mut self, g: &[f32], t: &[f32]) {
+        assert_eq!(g.len(), self.out_ch, "refresh_bn: affine length");
+        assert_eq!(t.len(), self.out_ch, "refresh_bn: affine length");
+        let (scale, shift) = fold_epilogue(
+            self.weights.scales(),
+            self.x_scale,
+            &self.bias,
+            Some((g, t)),
+        );
+        self.scale = scale;
+        self.shift = shift;
+    }
+
+    /// Output spatial dims for an `h × w` input.
+    pub fn out_dims(&self, h: usize, w: usize) -> (usize, usize) {
+        let o = |d: usize| (d + 2 * self.pad - self.kernel) / self.stride + 1;
+        (o(h), o(w))
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_ch
+    }
+
+    fn ensure_scratch(&mut self, h: usize, w: usize) {
+        if self.sized_hw == (h, w) && !self.qpad.is_empty() {
+            return;
+        }
+        let (ph, pw) = (h + 2 * self.pad, w + 2 * self.pad);
+        let (oh, ow) = self.out_dims(h, w);
+        let kp = self.weights.k_padded();
+        // Fresh zero fills keep borders (qpad) and depth padding (rows)
+        // exactly zero; interiors are overwritten every image.
+        self.qpad = vec![0i16; self.in_ch * ph * pw];
+        self.rows = vec![0i16; oh * ow * kp];
+        self.sized_hw = (h, w);
+    }
+
+    /// Quantized forward over an NCHW f32 batch → NCHW f32 output.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a channel-count mismatch.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let (n, c, h, w) = x.dims4();
+        assert_eq!(c, self.in_ch, "QConv2d: {c} channels, want {}", self.in_ch);
+        grow_range(&mut self.x_scale, max_abs(x.as_slice()), &mut self.scale);
+        let (oh, ow) = self.out_dims(h, w);
+        let spatial = oh * ow;
+        self.ensure_scratch(h, w);
+        let (ph, pw) = (h + 2 * self.pad, w + 2 * self.pad);
+        let kp = self.weights.k_padded();
+        let kernel = self.kernel;
+
+        let mut out = Tensor::zeros(&[n, self.out_ch, oh, ow]);
+        for ni in 0..n {
+            // Quantize the image into the zero-bordered plane buffer.
+            let img = x.image(ni);
+            for ci in 0..c {
+                let src = &img[ci * h * w..(ci + 1) * h * w];
+                let plane = &mut self.qpad[ci * ph * pw..(ci + 1) * ph * pw];
+                for iy in 0..h {
+                    let dst_off = (iy + self.pad) * pw + self.pad;
+                    quantize_into(
+                        &src[iy * w..(iy + 1) * w],
+                        self.x_scale,
+                        &mut plane[dst_off..dst_off + w],
+                    );
+                }
+            }
+            // im2row: each output position's patch, k-contiguous in the
+            // weight-row order (c, ky, kx); borders read pre-zeroed padding.
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let dst = &mut self.rows[(oy * ow + ox) * kp..];
+                    let (iy0, ix0) = (oy * self.stride, ox * self.stride);
+                    let mut wofs = 0;
+                    for ci in 0..c {
+                        let plane = &self.qpad[ci * ph * pw..];
+                        for ky in 0..kernel {
+                            let src = &plane[(iy0 + ky) * pw + ix0..][..kernel];
+                            dst[wofs..wofs + kernel].copy_from_slice(src);
+                            wofs += kernel;
+                        }
+                    }
+                }
+            }
+            qgemm_fused_affine(
+                self.weights.data(),
+                &self.rows[..spatial * kp],
+                &mut out.image_mut(ni)[..self.out_ch * spatial],
+                self.out_ch,
+                spatial,
+                kp,
+                &self.scale,
+                &self.shift,
+                self.relu,
+            );
+        }
+        out
+    }
+}
+
+/// A quantized dense layer `y = x·Wᵀ + b` (eval only, optional fused ReLU).
+pub struct QLinear {
+    weights: QWeights,
+    bias: Vec<f32>,
+    x_scale: f32,
+    /// `w_scale[o] · x_scale` — the requantization factor per output.
+    scale: Vec<f32>,
+    relu: bool,
+    in_features: usize,
+    out_features: usize,
+    /// Quantized input rows `(N, k_padded)`, reused.
+    qin: Vec<i16>,
+    /// i32 accumulator tile `(out, N)`, reused.
+    acc: Vec<i32>,
+}
+
+impl QLinear {
+    /// Quantizes an f32 dense layer: `weight` is `(out, in)` row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent shapes.
+    pub fn new(weight: &Tensor, bias: &[f32], x_scale: f32, relu: bool) -> Self {
+        let (out_features, in_features) = weight.dims2();
+        assert_eq!(bias.len(), out_features, "QLinear: bias length");
+        let weights = QWeights::from_rows(weight.as_slice(), out_features, in_features);
+        let scale: Vec<f32> = weights.scales().iter().map(|s| s * x_scale).collect();
+        QLinear {
+            weights,
+            bias: bias.to_vec(),
+            x_scale,
+            scale,
+            relu,
+            in_features,
+            out_features,
+            qin: Vec::new(),
+            acc: Vec::new(),
+        }
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Quantized forward over `(N, in)` → `(N, out)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a feature-count mismatch.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let (n, f) = x.dims2();
+        assert_eq!(f, self.in_features, "QLinear: {f} features, want {}", {
+            self.in_features
+        });
+        grow_range(&mut self.x_scale, max_abs(x.as_slice()), &mut self.scale);
+        let kp = pad_k(self.in_features);
+        if self.qin.len() < n * kp {
+            self.qin = vec![0i16; n * kp];
+            self.acc = vec![0i32; self.out_features * n];
+        }
+        for ni in 0..n {
+            quantize_into(
+                &x.as_slice()[ni * f..(ni + 1) * f],
+                self.x_scale,
+                &mut self.qin[ni * kp..ni * kp + f],
+            );
+        }
+        // acc[out, N] = W · Xᵀ; the epilogue transposes into (N, out) while
+        // applying the per-output requantization scale and bias.
+        let acc = &mut self.acc[..self.out_features * n];
+        qgemm_nt(
+            self.weights.data(),
+            &self.qin[..n * kp],
+            acc,
+            self.out_features,
+            n,
+            kp,
+        );
+        let mut out = Tensor::zeros(&[n, self.out_features]);
+        let o_slice = out.as_mut_slice();
+        for o in 0..self.out_features {
+            let (s, b) = (self.scale[o], self.bias[o]);
+            for ni in 0..n {
+                let mut y = s * acc[o * n + ni] as f32 + b;
+                if self.relu {
+                    y = y.max(0.0);
+                }
+                o_slice[ni * self.out_features + o] = y;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_nn::{Conv2d, Layer, Linear, Mode};
+    use ld_tensor::rng::SeededRng;
+
+    /// Activation scale from the exact input (tests quantization error in
+    /// isolation from calibration error).
+    fn exact_scale(x: &Tensor) -> f32 {
+        crate::quantize::symmetric_scale(max_abs(x.as_slice()))
+    }
+
+    #[test]
+    fn qconv_tracks_f32_conv_within_quantization_noise() {
+        let mut conv = Conv2d::new("t", 3, 8, 3, 2, 1, true, 7);
+        let mut rng = SeededRng::new(1);
+        let x = rng.uniform_tensor(&[2, 3, 9, 12], -1.0, 1.0);
+        let want = conv.forward(&x, Mode::Eval);
+
+        let mut qconv = QConv2d::new(
+            &conv.weight().value.clone(),
+            None,
+            2,
+            1,
+            exact_scale(&x),
+            None,
+            false,
+        );
+        let got = qconv.forward(&x);
+        assert_eq!(got.shape_dims(), want.shape_dims());
+        // Error budget: input step/2 per product plus weight step/2, summed
+        // over k taps — loose bound, the observed error is far smaller.
+        let max_abs = want.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        for (a, b) in want.as_slice().iter().zip(got.as_slice()) {
+            assert!(
+                (a - b).abs() <= 0.05 * (1.0 + max_abs),
+                "{a} vs {b} diverge beyond quantization noise"
+            );
+        }
+    }
+
+    #[test]
+    fn qconv_fused_relu_and_affine_match_post_ops() {
+        let conv = Conv2d::new("t", 2, 4, 3, 1, 1, false, 9);
+        let mut rng = SeededRng::new(2);
+        let x = rng.uniform_tensor(&[1, 2, 6, 6], -1.0, 1.0);
+        let g: Vec<f32> = (0..4).map(|_| rng.uniform(0.5, 1.5)).collect();
+        let t: Vec<f32> = (0..4).map(|_| rng.uniform(-0.5, 0.5)).collect();
+        let s = exact_scale(&x);
+
+        let mut plain = QConv2d::new(&conv.weight().value.clone(), None, 1, 1, s, None, false);
+        let base = plain.forward(&x);
+        let mut fused = QConv2d::new(
+            &conv.weight().value.clone(),
+            None,
+            1,
+            1,
+            s,
+            Some((&g, &t)),
+            true,
+        );
+        let got = fused.forward(&x);
+        let (n, oc, oh, ow) = base.dims4();
+        let spatial = oh * ow;
+        for ni in 0..n {
+            for o in 0..oc {
+                for p in 0..spatial {
+                    let idx = (ni * oc + o) * spatial + p;
+                    let want = (g[o] * base.as_slice()[idx] + t[o]).max(0.0);
+                    let got_v = got.as_slice()[idx];
+                    assert!((want - got_v).abs() < 1e-4, "{want} vs {got_v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qconv_refresh_bn_moves_epilogue_only() {
+        let conv = Conv2d::new("t", 2, 3, 3, 1, 1, false, 11);
+        let x = SeededRng::new(3).uniform_tensor(&[1, 2, 5, 5], -1.0, 1.0);
+        let s = exact_scale(&x);
+        let g0 = vec![1.0f32; 3];
+        let t0 = vec![0.0f32; 3];
+        let mut q = QConv2d::new(
+            &conv.weight().value.clone(),
+            None,
+            1,
+            1,
+            s,
+            Some((&g0, &t0)),
+            false,
+        );
+        let y0 = q.forward(&x);
+        let g1 = vec![2.0f32; 3];
+        let t1 = vec![0.25f32; 3];
+        q.refresh_bn(&g1, &t1);
+        let y1 = q.forward(&x);
+        for (a, b) in y0.as_slice().iter().zip(y1.as_slice()) {
+            assert!((b - (2.0 * a + 0.25)).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn qlinear_tracks_f32_linear_within_quantization_noise() {
+        let mut fc = Linear::new("fc", 37, 11, 4);
+        let mut rng = SeededRng::new(5);
+        let x = rng.uniform_tensor(&[3, 37], -2.0, 2.0);
+        let want = fc.forward(&x, Mode::Eval);
+        let weight = {
+            let mut w = None;
+            fc.visit_params(&mut |p| {
+                if p.name.ends_with("weight") {
+                    w = Some(p.value.clone());
+                }
+            });
+            w.unwrap()
+        };
+        let mut q = QLinear::new(&weight, &[0.0; 11], exact_scale(&x), false);
+        let got = q.forward(&x);
+        let max_abs = want.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        for (a, b) in want.as_slice().iter().zip(got.as_slice()) {
+            assert!((a - b).abs() <= 0.05 * (1.0 + max_abs), "{a} vs {b}");
+        }
+    }
+
+    /// Auto-ranging: an input far outside the calibrated range must not
+    /// clip into garbage — the layer grows its activation scale and stays
+    /// within quantization noise of the f32 conv.
+    #[test]
+    fn qconv_auto_ranges_when_input_outruns_calibration() {
+        let mut conv = Conv2d::new("t", 2, 4, 3, 1, 1, false, 21);
+        let mut rng = SeededRng::new(22);
+        let small = rng.uniform_tensor(&[1, 2, 6, 6], -0.1, 0.1);
+        let big = rng.uniform_tensor(&[1, 2, 6, 6], -3.0, 3.0);
+        // Calibrated on the small range only.
+        let mut q = QConv2d::new(
+            &conv.weight().value.clone(),
+            None,
+            1,
+            1,
+            exact_scale(&small),
+            None,
+            false,
+        );
+        let want = conv.forward(&big, Mode::Eval);
+        let got = q.forward(&big);
+        let max = want.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        for (a, b) in want.as_slice().iter().zip(got.as_slice()) {
+            assert!(
+                (a - b).abs() <= 0.05 * (1.0 + max),
+                "{a} vs {b}: auto-ranging must prevent clipping"
+            );
+        }
+    }
+
+    #[test]
+    fn qlinear_relu_clamps_at_zero() {
+        let weight = Tensor::from_vec(vec![-1.0; 32], &[4, 8]);
+        let x = Tensor::ones(&[2, 8]);
+        let mut q = QLinear::new(&weight, &[0.0; 4], exact_scale(&x), true);
+        let y = q.forward(&x);
+        assert!(y.as_slice().iter().all(|&v| v == 0.0), "{:?}", y.as_slice());
+    }
+}

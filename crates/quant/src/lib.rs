@@ -1,0 +1,47 @@
+//! **`ld_quant`** — the int8 quantized inference subsystem.
+//!
+//! The paper's deployment problem is a hard real-time budget on embedded
+//! hardware, and in a multi-stream CARLANE deployment most camera streams at
+//! any tick are *confident* — they need inference, not adaptation. This
+//! crate gives those streams a second compute substrate next to the f32 one:
+//! symmetric int8 weights and activations, an integer GEMM whose 512-bit
+//! multiply–accumulate instructions retire twice as many products as f32
+//! FMA, and a per-channel f32 epilogue that folds requantization, bias,
+//! frozen-statistics BatchNorm and ReLU into one pass.
+//!
+//! * [`quantize`] — the scale scheme (symmetric, per-channel weights,
+//!   calibrated per-tensor activations) and the requantization math;
+//! * [`qgemm`] — the row-dot int8 GEMM kernel with exact i32 accumulation;
+//! * [`layers`] — quantized eval-only `QConv2d` / `QLinear`;
+//! * [`model`] — [`QuantUfldModel`]: a full quantized UFLD forward,
+//!   converted from (and re-synchronised with) an adapting f32
+//!   [`ld_ufld::UfldModel`] via [`QuantizeModel::quantize`].
+//!
+//! # Example
+//!
+//! ```
+//! use ld_quant::QuantizeModel;
+//! use ld_nn::{Layer, Mode};
+//! use ld_tensor::rng::SeededRng;
+//! use ld_ufld::{UfldConfig, UfldModel};
+//!
+//! let cfg = UfldConfig::tiny(2);
+//! let mut model = UfldModel::new(&cfg, 42);
+//! let calib: Vec<_> = (0..2)
+//!     .map(|s| SeededRng::new(s).uniform_tensor(&[3, 32, 64], 0.0, 1.0))
+//!     .collect();
+//! let calib_refs: Vec<_> = calib.iter().collect();
+//! let mut qmodel = model.quantize(&calib_refs);
+//! let logits = qmodel.forward_frames(&calib_refs);
+//! assert_eq!(logits.shape_dims(), &cfg.logit_dims(2));
+//! ```
+
+pub mod layers;
+pub mod model;
+pub mod qgemm;
+pub mod quantize;
+
+pub use layers::{QConv2d, QLinear};
+pub use model::{QuantUfldModel, QuantizeModel};
+pub use qgemm::{qgemm_fused_affine, qgemm_nt};
+pub use quantize::{QTensor, QWeights, RangeObserver};

@@ -1,0 +1,460 @@
+//! [`QuantUfldModel`]: the full quantized UFLD eval forward, converted from
+//! an f32 [`UfldModel`] and re-synchronisable after BN-only adaptation.
+//!
+//! # Conversion
+//!
+//! [`QuantizeModel::quantize`] snapshots the current f32 weights in two
+//! passes over the model:
+//!
+//! 1. **Calibration** — the calibration frames are pushed through the exact
+//!    fused-eval f32 forward (frozen running statistics — the deployment
+//!    reference the fused path already implements), and a
+//!    [`crate::RangeObserver`] at every quantized-GEMM input records the
+//!    activation range that becomes that boundary's per-tensor scale.
+//! 2. **Build** — each conv/BN pair becomes a [`QConv2d`] whose epilogue
+//!    folds the BN affine (`folded_affine`) with the weight/activation
+//!    scales (see [`crate::quantize`] for the math); the head's dense
+//!    layers become [`QLinear`]s. Trailing ReLUs fuse into the epilogues;
+//!    residual adds and max-pooling stay in f32 (they are bandwidth-bound
+//!    glue, not arithmetic).
+//!
+//! # Staying in sync with adaptation
+//!
+//! LD-BN-ADAPT moves only BN γ/β, and the symmetric scheme keeps the BN
+//! affine out of the integer weights entirely — so after an accepted
+//! adaptation step [`QuantUfldModel::refresh_affine`] re-folds the epilogue
+//! constants in O(channels) without requantizing a single weight. The
+//! multi-stream server dirty-flags the quantized snapshot on every
+//! parameter update and refreshes lazily before the next quantized tick.
+
+use crate::layers::{QConv2d, QLinear};
+use crate::quantize::RangeObserver;
+use ld_nn::{BatchNorm2d, Conv2d, Layer, MaxPool2d, Mode};
+use ld_tensor::Tensor;
+use ld_ufld::resnet::{BlockPartsMut, STEM_POOL};
+use ld_ufld::{UfldConfig, UfldModel};
+use std::collections::HashMap;
+
+fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// The backbone's stem pool, built from the shared geometry so the
+/// quantized forward cannot drift from [`ld_ufld::resnet`]'s.
+fn stem_pool() -> MaxPool2d {
+    MaxPool2d::new(STEM_POOL.0, STEM_POOL.1, STEM_POOL.2)
+}
+
+/// Fused f32 conv→BN eval forward under frozen running statistics — the
+/// reference the quantized path approximates.
+fn fused_conv_bn(conv: &mut Conv2d, bn: &mut BatchNorm2d, x: &Tensor) -> Tensor {
+    bn.invalidate_cache();
+    let (g, t) = bn.folded_affine();
+    conv.forward_fused_affine(x, g, t)
+}
+
+/// Builds a [`QConv2d`] from an f32 conv (+ optional BN to fold) and the
+/// calibrated input scale.
+fn qconv_from(
+    conv: &Conv2d,
+    bn: Option<&mut BatchNorm2d>,
+    x_scale: f32,
+    fuse_relu: bool,
+) -> QConv2d {
+    let (_, stride, pad) = conv.geometry();
+    let bias = conv.bias().map(|b| b.value.as_slice().to_vec());
+    let folded = bn.map(|bn| {
+        bn.invalidate_cache();
+        let (g, t) = bn.folded_affine();
+        (g.to_vec(), t.to_vec())
+    });
+    QConv2d::new(
+        &conv.weight().value,
+        bias.as_deref(),
+        stride,
+        pad,
+        x_scale,
+        folded.as_ref().map(|(g, t)| (g.as_slice(), t.as_slice())),
+        fuse_relu,
+    )
+}
+
+/// One quantized residual block (conv epilogues carry the folded BNs and
+/// the first ReLU; the residual add and final ReLU run in f32).
+struct QBasicBlock {
+    conv1: QConv2d,
+    conv2: QConv2d,
+    downsample: Option<QConv2d>,
+}
+
+impl QBasicBlock {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let main = self.conv1.forward(x);
+        let main = self.conv2.forward(&main);
+        let sum = match &mut self.downsample {
+            Some(down) => &main + &down.forward(x),
+            None => &main + x,
+        };
+        relu(&sum)
+    }
+}
+
+/// Calibrated activation ranges for every quantized boundary.
+struct CalibRanges {
+    stem_in: RangeObserver,
+    /// Per block: (block input, conv2 input).
+    blocks: Vec<(RangeObserver, RangeObserver)>,
+    reduce_in: RangeObserver,
+    fc1_in: RangeObserver,
+    fc2_in: RangeObserver,
+}
+
+/// Replays the fused-eval f32 forward over the calibration batch, recording
+/// every quantized-GEMM input range.
+fn calibrate(model: &mut UfldModel, batch: &Tensor) -> CalibRanges {
+    let cfg = model.config().clone();
+    let n = batch.dims4().0;
+    let mut stem_in = RangeObserver::new();
+    let mut blocks = Vec::new();
+    let mut reduce_in = RangeObserver::new();
+    let mut fc1_in = RangeObserver::new();
+    let mut fc2_in = RangeObserver::new();
+
+    stem_in.observe(batch.as_slice());
+    let bb = model.backbone_mut();
+    let (stem_conv, stem_bn) = bb.stem_mut();
+    let mut cur = fused_conv_bn(stem_conv, stem_bn, batch);
+    cur = relu(&cur);
+    cur = stem_pool().forward(&cur, Mode::Eval);
+    for block in bb.blocks_mut() {
+        let p: BlockPartsMut<'_> = block.parts_mut();
+        let mut block_in = RangeObserver::new();
+        block_in.observe(cur.as_slice());
+        let main = fused_conv_bn(p.conv1, p.bn1, &cur);
+        let main = relu(&main);
+        let mut conv2_in = RangeObserver::new();
+        conv2_in.observe(main.as_slice());
+        let main = fused_conv_bn(p.conv2, p.bn2, &main);
+        let short = match p.downsample {
+            Some((conv, bn)) => fused_conv_bn(conv, bn, &cur),
+            None => cur.clone(),
+        };
+        cur = relu(&(&main + &short));
+        blocks.push((block_in, conv2_in));
+    }
+    reduce_in.observe(cur.as_slice());
+    let (reduce, fc1, _) = model.head_mut();
+    let cur = reduce.forward(&cur, Mode::Eval);
+    let cur = relu(&cur);
+    let flat = cur.to_shape(&[n, cfg.head_in_features()]);
+    fc1_in.observe(flat.as_slice());
+    let emb = relu(&fc1.forward(&flat, Mode::Eval));
+    fc2_in.observe(emb.as_slice());
+
+    CalibRanges {
+        stem_in,
+        blocks,
+        reduce_in,
+        fc1_in,
+        fc2_in,
+    }
+}
+
+/// The quantized UFLD model: int8 GEMMs end to end, f32 glue between them.
+///
+/// Eval-only — it has no backward pass and no trainable parameters; it is a
+/// snapshot of an f32 [`UfldModel`] (see the module docs).
+pub struct QuantUfldModel {
+    cfg: UfldConfig,
+    stem: QConv2d,
+    pool: MaxPool2d,
+    blocks: Vec<QBasicBlock>,
+    reduce: QConv2d,
+    fc1: QLinear,
+    fc2: QLinear,
+    /// Reusable NCHW pack buffers per batch size (mirrors
+    /// [`UfldModel::forward_frames`]).
+    batch_bufs: HashMap<usize, Tensor>,
+}
+
+impl QuantUfldModel {
+    /// The architecture this snapshot was quantized from.
+    pub fn config(&self) -> &UfldConfig {
+        &self.cfg
+    }
+
+    /// Quantized forward over an NCHW batch → logits
+    /// `(n, classes, rows, lanes)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match the config.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let (n, c, h, w) = x.dims4();
+        assert_eq!(
+            (c, h, w),
+            (
+                self.cfg.input_channels,
+                self.cfg.input_height,
+                self.cfg.input_width
+            ),
+            "QuantUfldModel: input shape {c}×{h}×{w} does not match config"
+        );
+        let mut cur = self.stem.forward(x);
+        cur = self.pool.forward(&cur, Mode::Eval);
+        for block in &mut self.blocks {
+            cur = block.forward(&cur);
+        }
+        cur = self.reduce.forward(&cur);
+        let flat = cur.to_shape(&[n, self.cfg.head_in_features()]);
+        let emb = self.fc1.forward(&flat);
+        let logits = self.fc2.forward(&emb);
+        logits.reshape(&self.cfg.logit_dims(n))
+    }
+
+    /// Batched entry mirroring [`UfldModel::forward_frames`]: packs
+    /// `(3, H, W)` frames into one NCHW batch (reusable per-size buffers)
+    /// and forwards once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty or a frame's shape mismatches the config.
+    pub fn forward_frames(&mut self, frames: &[&Tensor]) -> Tensor {
+        assert!(!frames.is_empty(), "forward_frames: empty batch");
+        let n = frames.len();
+        let want = [
+            self.cfg.input_channels,
+            self.cfg.input_height,
+            self.cfg.input_width,
+        ];
+        let mut buf = self
+            .batch_bufs
+            .remove(&n)
+            .unwrap_or_else(|| Tensor::zeros(&[n, want[0], want[1], want[2]]));
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(
+                f.shape_dims(),
+                &want,
+                "forward_frames: frame {i} shape mismatch"
+            );
+            buf.image_mut(i).copy_from_slice(f.as_slice());
+        }
+        let out = self.forward(&buf);
+        self.batch_bufs.insert(n, buf);
+        out
+    }
+
+    /// Re-folds every conv epilogue from the f32 model's **current** BN
+    /// affines — the whole re-quantization after a BN-only adaptation step.
+    /// O(total channels); integer weights are untouched.
+    ///
+    /// Only BN movement is absorbed: if adaptation also updated conv/FC
+    /// weights (the paper's §III ablations), take a fresh
+    /// [`QuantizeModel::quantize`] snapshot instead.
+    pub fn refresh_affine(&mut self, model: &mut UfldModel) {
+        let bb = model.backbone_mut();
+        let (_, stem_bn) = bb.stem_mut();
+        stem_bn.invalidate_cache();
+        let (g, t) = stem_bn.folded_affine();
+        self.stem.refresh_bn(g, t);
+        for (qblock, block) in self.blocks.iter_mut().zip(bb.blocks_mut()) {
+            let p = block.parts_mut();
+            p.bn1.invalidate_cache();
+            let (g, t) = p.bn1.folded_affine();
+            qblock.conv1.refresh_bn(g, t);
+            p.bn2.invalidate_cache();
+            let (g, t) = p.bn2.folded_affine();
+            qblock.conv2.refresh_bn(g, t);
+            if let (Some(qdown), Some((_, bn))) = (&mut qblock.downsample, p.downsample) {
+                bn.invalidate_cache();
+                let (g, t) = bn.folded_affine();
+                qdown.refresh_bn(g, t);
+            }
+        }
+    }
+}
+
+/// Conversion of an f32 model into its quantized snapshot.
+pub trait QuantizeModel {
+    /// Quantizes the current (possibly adapted) weights, calibrating
+    /// activation scales on `calib` frames (each `(3, H, W)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calib` is empty or a frame's shape mismatches the config.
+    fn quantize(&mut self, calib: &[&Tensor]) -> QuantUfldModel;
+}
+
+impl QuantizeModel for UfldModel {
+    fn quantize(&mut self, calib: &[&Tensor]) -> QuantUfldModel {
+        assert!(!calib.is_empty(), "quantize: no calibration frames");
+        let cfg = self.config().clone();
+        let want = [cfg.input_channels, cfg.input_height, cfg.input_width];
+        let mut batch = Tensor::zeros(&[calib.len(), want[0], want[1], want[2]]);
+        for (i, f) in calib.iter().enumerate() {
+            assert_eq!(
+                f.shape_dims(),
+                &want,
+                "quantize: calibration frame {i} shape mismatch"
+            );
+            batch.image_mut(i).copy_from_slice(f.as_slice());
+        }
+        let ranges = calibrate(self, &batch);
+
+        let bb = self.backbone_mut();
+        let (stem_conv, stem_bn) = bb.stem_mut();
+        let stem = qconv_from(stem_conv, Some(stem_bn), ranges.stem_in.scale(), true);
+        let mut blocks = Vec::new();
+        for (block, (block_in, conv2_in)) in bb.blocks_mut().iter_mut().zip(&ranges.blocks) {
+            let p = block.parts_mut();
+            let conv1 = qconv_from(p.conv1, Some(p.bn1), block_in.scale(), true);
+            let conv2 = qconv_from(p.conv2, Some(p.bn2), conv2_in.scale(), false);
+            let downsample = p
+                .downsample
+                .map(|(conv, bn)| qconv_from(conv, Some(bn), block_in.scale(), false));
+            blocks.push(QBasicBlock {
+                conv1,
+                conv2,
+                downsample,
+            });
+        }
+        let (reduce_f32, fc1_f32, fc2_f32) = self.head_mut();
+        let reduce = qconv_from(reduce_f32, None, ranges.reduce_in.scale(), true);
+        let fc1 = QLinear::new(
+            &fc1_f32.weight().value,
+            fc1_f32.bias().value.as_slice(),
+            ranges.fc1_in.scale(),
+            true,
+        );
+        let fc2 = QLinear::new(
+            &fc2_f32.weight().value,
+            fc2_f32.bias().value.as_slice(),
+            ranges.fc2_in.scale(),
+            false,
+        );
+        QuantUfldModel {
+            cfg,
+            stem,
+            pool: stem_pool(),
+            blocks,
+            reduce,
+            fc1,
+            fc2,
+            batch_bufs: HashMap::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_tensor::rng::SeededRng;
+
+    fn calib_frames(cfg: &UfldConfig, count: usize, seed: u64) -> Vec<Tensor> {
+        let mut rng = SeededRng::new(seed);
+        (0..count)
+            .map(|_| rng.uniform_tensor(&[3, cfg.input_height, cfg.input_width], 0.0, 1.0))
+            .collect()
+    }
+
+    /// Populate non-trivial running statistics (a fresh model's (0, 1) stats
+    /// make the fold a no-op).
+    fn warmed_model(cfg: &UfldConfig, seed: u64) -> UfldModel {
+        let mut model = UfldModel::new(cfg, seed);
+        let x = SeededRng::new(seed ^ 0xAB).uniform_tensor(
+            &[2, 3, cfg.input_height, cfg.input_width],
+            0.0,
+            1.0,
+        );
+        model.forward(&x, Mode::Train);
+        model
+    }
+
+    #[test]
+    fn quantized_logits_track_the_fused_f32_forward() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = warmed_model(&cfg, 5);
+        let frames = calib_frames(&cfg, 3, 9);
+        let refs: Vec<&Tensor> = frames.iter().collect();
+        let mut qmodel = model.quantize(&refs);
+
+        model.set_fused_eval(true);
+        let exact = model.forward_frames(&refs, Mode::Eval);
+        let quant = qmodel.forward_frames(&refs);
+        assert_eq!(exact.shape_dims(), quant.shape_dims());
+        // Logits agree to within accumulated quantization noise, measured
+        // relative to the logit range.
+        let range = exact.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let mut worst = 0.0f32;
+        for (a, b) in exact.as_slice().iter().zip(quant.as_slice()) {
+            worst = worst.max((a - b).abs());
+        }
+        assert!(
+            worst <= 0.15 * (1.0 + range),
+            "worst |Δlogit| {worst} vs range {range}"
+        );
+    }
+
+    #[test]
+    fn forward_frames_matches_batched_forward() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = warmed_model(&cfg, 6);
+        let frames = calib_frames(&cfg, 2, 10);
+        let refs: Vec<&Tensor> = frames.iter().collect();
+        let mut qmodel = model.quantize(&refs);
+        let batched = qmodel.forward_frames(&refs);
+        for (i, f) in frames.iter().enumerate() {
+            let single = qmodel.forward_frames(&[f]);
+            assert_eq!(
+                single.image(0),
+                batched.image(i),
+                "frame {i}: batch position must not change quantized logits"
+            );
+        }
+    }
+
+    #[test]
+    fn refresh_affine_tracks_bn_updates_without_requantizing() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = warmed_model(&cfg, 7);
+        let frames = calib_frames(&cfg, 2, 11);
+        let refs: Vec<&Tensor> = frames.iter().collect();
+        let mut qmodel = model.quantize(&refs);
+        let before = qmodel.forward_frames(&[&frames[0]]);
+
+        // Move every BN γ/β by a small step, as one entropy-descent update
+        // would (large compounding moves would outgrow the calibrated
+        // activation ranges — the server re-calibrates for those).
+        model.visit_params(&mut |p| {
+            if p.kind.is_bn() {
+                p.value.map_inplace(|v| v + 0.02);
+            }
+        });
+        qmodel.refresh_affine(&mut model);
+        let after = qmodel.forward_frames(&[&frames[0]]);
+        assert_ne!(
+            before.as_slice(),
+            after.as_slice(),
+            "refresh must pick up BN movement"
+        );
+
+        // The refreshed snapshot still tracks the updated f32 model's fused
+        // eval forward within quantization noise.
+        model.set_fused_eval(true);
+        let exact = model.forward_frames(&[&frames[0]], Mode::Eval);
+        let range = exact.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        for (a, b) in exact.as_slice().iter().zip(after.as_slice()) {
+            assert!(
+                (a - b).abs() <= 0.15 * (1.0 + range),
+                "{a} vs {b} diverge after refresh"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no calibration frames")]
+    fn quantize_rejects_empty_calibration() {
+        let mut model = UfldModel::new(&UfldConfig::tiny(2), 1);
+        let _ = model.quantize(&[]);
+    }
+}

@@ -1,0 +1,307 @@
+//! Symmetric int8 quantization primitives.
+//!
+//! # Scheme
+//!
+//! Everything in this subsystem is **symmetric** (zero-point 0) int8 in the
+//! range `[-127, 127]` (−128 is never produced, keeping negation exact and
+//! the i32 accumulator bound simple):
+//!
+//! * **Weights** are quantized **per output channel**: each row `o` of the
+//!   `(O, K)` GEMM operand gets its own scale `s_w[o] = max|w[o,·]| / 127`,
+//!   `q = round(w / s_w[o])`. Per-channel scales cost nothing at inference
+//!   (they fold into the requantization epilogue) and recover most of the
+//!   accuracy a per-tensor scheme loses on channels with small dynamic
+//!   range.
+//! * **Activations** are quantized **per tensor** with a scale calibrated
+//!   offline: `s_x = max|x| / 127` observed over calibration frames
+//!   ([`RangeObserver`]). A per-tensor activation scale keeps the GEMM a
+//!   plain integer product (per-column scales would not factor out).
+//!
+//! # Requantization math
+//!
+//! The int8 GEMM accumulates exactly in i32:
+//! `acc[o,s] = Σ_k q_w[o,k] · q_x[k,s]`, which approximates
+//! `y[o,s] ≈ s_w[o] · s_x · acc[o,s]`. A following frozen-statistics
+//! BatchNorm (`y·g[o] + t[o]`) and bias therefore collapse into one f32
+//! per-channel affine applied to the integer accumulator:
+//!
+//! ```text
+//! y[o,s] = scale[o] · acc[o,s] + shift[o]
+//!   scale[o] = s_w[o] · s_x · g[o]
+//!   shift[o] = g[o] · bias[o] + t[o]
+//! ```
+//!
+//! so requantization, bias, BN folding and (optionally) ReLU are a single
+//! fused epilogue pass over the i32 tile — and adapting BN's γ/β only moves
+//! `scale`/`shift`, never the stored integer weights (see
+//! [`crate::model::QuantUfldModel::refresh_affine`]).
+//!
+//! Quantized values are **stored widened to i16**: the dot-product kernels
+//! accumulate `i32 += i16·i16`, the exact shape of the x86 `vpmaddwd` /
+//! AVX-512-VNNI `vpdpwssd` instructions (32 multiply–accumulates per 512-bit
+//! instruction — twice an f32 FMA's lane count), which LLVM's vectorizer
+//! recognises from a plain widening-multiply reduction. Values stay in
+//! `[-127, 127]`, so a `k ≤ 2³¹⁻¹⁴` reduction cannot overflow the i32
+//! accumulator — far beyond any im2col depth in this stack.
+
+/// Largest quantized magnitude (symmetric: `[-QMAX, QMAX]`).
+pub const QMAX: f32 = 127.0;
+
+/// Largest absolute value in a buffer (0 for an empty one) — the range
+/// statistic every symmetric scale in this crate derives from.
+pub fn max_abs(values: &[f32]) -> f32 {
+    values.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+}
+
+/// Scale for a symmetric quantization of values with absolute bound
+/// `max_abs` (a degenerate all-zero range quantizes with scale 1).
+pub fn symmetric_scale(max_abs: f32) -> f32 {
+    if max_abs > 0.0 && max_abs.is_finite() {
+        max_abs / QMAX
+    } else {
+        1.0
+    }
+}
+
+/// Quantizes `src` with the given scale into widened-i16 storage
+/// (`round(x / scale)` clamped to `[-127, 127]`).
+///
+/// # Panics
+///
+/// Panics if lengths differ or `scale` is not positive.
+pub fn quantize_into(src: &[f32], scale: f32, dst: &mut [i16]) {
+    assert_eq!(src.len(), dst.len(), "quantize_into: length mismatch");
+    assert!(scale > 0.0, "quantize_into: bad scale {scale}");
+    let inv = 1.0 / scale;
+    for (d, &x) in dst.iter_mut().zip(src) {
+        *d = (x * inv).round().clamp(-QMAX, QMAX) as i16;
+    }
+}
+
+/// Dequantizes widened-i16 values back to f32 (`q · scale`).
+pub fn dequantize(q: &[i16], scale: f32) -> Vec<f32> {
+    q.iter().map(|&v| v as f32 * scale).collect()
+}
+
+/// A per-tensor symmetric quantization of a flat f32 buffer.
+#[derive(Debug, Clone)]
+pub struct QTensor {
+    /// Quantized values in `[-127, 127]`, widened to i16 for the kernels.
+    pub data: Vec<i16>,
+    /// Dequantization scale (`x ≈ data · scale`).
+    pub scale: f32,
+}
+
+impl QTensor {
+    /// Quantizes `src` with a scale derived from its own max-abs.
+    pub fn from_f32(src: &[f32]) -> Self {
+        let scale = symmetric_scale(max_abs(src));
+        let mut data = vec![0i16; src.len()];
+        quantize_into(src, scale, &mut data);
+        QTensor { data, scale }
+    }
+}
+
+/// Per-output-channel quantized weights for one GEMM operand `(rows, k)`.
+///
+/// Row `o` holds the quantized `k`-length weight vector of output channel
+/// `o`; `scales[o]` dequantizes it. `k` is padded to [`K_ALIGN`] with zeros
+/// so the dot kernels always run full vector strips.
+#[derive(Debug, Clone)]
+pub struct QWeights {
+    data: Vec<i16>,
+    scales: Vec<f32>,
+    rows: usize,
+    k: usize,
+    k_padded: usize,
+}
+
+/// Dot-kernel alignment: padded row length in elements. One AVX-512
+/// `vpdpwssd` consumes 32 i16 products, so rows are padded to a multiple of
+/// 32 (zero products are exact no-ops in integer arithmetic).
+pub const K_ALIGN: usize = 32;
+
+/// Rounds a reduction depth up to the kernel alignment.
+pub fn pad_k(k: usize) -> usize {
+    k.div_ceil(K_ALIGN) * K_ALIGN
+}
+
+impl QWeights {
+    /// Quantizes a `(rows, k)` row-major f32 matrix per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != rows * k` or either dimension is zero.
+    pub fn from_rows(src: &[f32], rows: usize, k: usize) -> Self {
+        assert!(rows > 0 && k > 0, "QWeights: zero dimension");
+        assert_eq!(src.len(), rows * k, "QWeights: bad buffer length");
+        let k_padded = pad_k(k);
+        let mut data = vec![0i16; rows * k_padded];
+        let mut scales = vec![0.0f32; rows];
+        for o in 0..rows {
+            let row = &src[o * k..(o + 1) * k];
+            let scale = symmetric_scale(max_abs(row));
+            scales[o] = scale;
+            quantize_into(row, scale, &mut data[o * k_padded..o * k_padded + k]);
+        }
+        QWeights {
+            data,
+            scales,
+            rows,
+            k,
+            k_padded,
+        }
+    }
+
+    /// Number of output channels (rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical reduction depth (unpadded).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Padded row stride in elements.
+    pub fn k_padded(&self) -> usize {
+        self.k_padded
+    }
+
+    /// Per-row dequantization scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// The quantized row of channel `o` (padded length).
+    pub fn row(&self, o: usize) -> &[i16] {
+        &self.data[o * self.k_padded..(o + 1) * self.k_padded]
+    }
+
+    /// The full padded storage (rows × k_padded).
+    pub fn data(&self) -> &[i16] {
+        &self.data
+    }
+
+    /// Dequantizes row `o` back to its logical `k` f32 values.
+    pub fn dequantize_row(&self, o: usize) -> Vec<f32> {
+        dequantize(&self.row(o)[..self.k], self.scales[o])
+    }
+}
+
+/// Streaming max-abs observer used to calibrate activation scales.
+///
+/// Feed it every tensor that will cross a given quantization boundary
+/// during calibration; [`RangeObserver::scale`] then yields the per-tensor
+/// activation scale `max|x|/127`.
+#[derive(Debug, Clone, Default)]
+pub struct RangeObserver {
+    max_abs: f32,
+    samples: usize,
+}
+
+impl RangeObserver {
+    /// A fresh observer (empty range).
+    pub fn new() -> Self {
+        RangeObserver::default()
+    }
+
+    /// Folds one activation buffer into the observed range.
+    pub fn observe(&mut self, values: &[f32]) {
+        self.max_abs = self.max_abs.max(max_abs(values));
+        self.samples += 1;
+    }
+
+    /// Number of buffers observed.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Largest absolute value seen.
+    pub fn max_abs(&self) -> f32 {
+        self.max_abs
+    }
+
+    /// The calibrated activation scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was observed (an uncalibrated boundary is a
+    /// construction bug, not a runtime condition).
+    pub fn scale(&self) -> f32 {
+        assert!(self.samples > 0, "RangeObserver: no calibration samples");
+        symmetric_scale(self.max_abs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_tensor::rng::SeededRng;
+
+    #[test]
+    fn round_trip_error_is_bounded_by_half_a_step() {
+        let mut rng = SeededRng::new(7);
+        let src: Vec<f32> = (0..1000).map(|_| rng.uniform(-3.0, 3.0)).collect();
+        let q = QTensor::from_f32(&src);
+        let back = dequantize(&q.data, q.scale);
+        // |x - dq(q(x))| ≤ scale/2 for values inside the clamp range.
+        for (a, b) in src.iter().zip(&back) {
+            assert!((a - b).abs() <= q.scale * 0.5 + 1e-7, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn per_channel_scales_are_tighter_than_per_tensor() {
+        // Two rows with very different ranges: the small row must get a
+        // proportionally small scale (per-tensor would smear it).
+        let src = [100.0, -50.0, 25.0, 0.5, -0.25, 0.125];
+        let w = QWeights::from_rows(&src, 2, 3);
+        assert!((w.scales()[0] - 100.0 / 127.0).abs() < 1e-6);
+        assert!((w.scales()[1] - 0.5 / 127.0).abs() < 1e-6);
+        let r1 = w.dequantize_row(1);
+        for (a, b) in src[3..].iter().zip(&r1) {
+            assert!((a - b).abs() <= w.scales()[1] * 0.5 + 1e-7);
+        }
+    }
+
+    #[test]
+    fn quantized_values_stay_in_symmetric_range() {
+        let src: Vec<f32> = (0..256).map(|i| (i as f32 - 128.0) * 10.0).collect();
+        let q = QTensor::from_f32(&src);
+        assert!(q.data.iter().all(|&v| (-127..=127).contains(&v)));
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_with_unit_scale() {
+        let q = QTensor::from_f32(&[0.0; 8]);
+        assert_eq!(q.scale, 1.0);
+        assert!(q.data.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn rows_are_zero_padded_to_alignment() {
+        let src = vec![1.0f32; 2 * 33];
+        let w = QWeights::from_rows(&src, 2, 33);
+        assert_eq!(w.k_padded(), 64);
+        for o in 0..2 {
+            assert!(w.row(o)[33..].iter().all(|&v| v == 0));
+        }
+    }
+
+    #[test]
+    fn observer_tracks_max_abs_across_buffers() {
+        let mut obs = RangeObserver::new();
+        obs.observe(&[0.5, -1.5]);
+        obs.observe(&[0.25]);
+        assert_eq!(obs.samples(), 2);
+        assert!((obs.max_abs() - 1.5).abs() < 1e-7);
+        assert!((obs.scale() - 1.5 / 127.0).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "no calibration samples")]
+    fn uncalibrated_observer_panics() {
+        RangeObserver::new().scale();
+    }
+}

@@ -204,15 +204,15 @@ pub fn for_each_chunk(total: usize, work_hint: usize, f: impl Fn(Range<usize>) +
 /// Used internally by the GEMM/conv kernels; exposed for the NN crate's
 /// batch-parallel loops.
 #[derive(Clone, Copy)]
-pub struct SendPtr(pub *mut f32);
+pub struct SendPtr<T = f32>(pub *mut T);
 
 // SAFETY: callers only ever write disjoint index ranges per thread; the
 // fork-join structure of `for_each_chunk` guarantees the writes complete
 // before `for_each_chunk` returns.
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
 
-impl SendPtr {
+impl<T> SendPtr<T> {
     /// Reborrows the pointed-to buffer as a mutable slice of length `len`
     /// starting at `offset`.
     ///
@@ -222,7 +222,7 @@ impl SendPtr {
     /// original allocation, that no other thread accesses that range
     /// concurrently, and that the returned borrow does not outlive the
     /// buffer.
-    pub unsafe fn slice_mut<'a>(self, offset: usize, len: usize) -> &'a mut [f32] {
+    pub unsafe fn slice_mut<'a>(self, offset: usize, len: usize) -> &'a mut [T] {
         std::slice::from_raw_parts_mut(self.0.add(offset), len)
     }
 
@@ -231,7 +231,7 @@ impl SendPtr {
     /// # Safety
     ///
     /// `offset` must stay within the original allocation.
-    pub unsafe fn add(self, offset: usize) -> SendPtr {
+    pub unsafe fn add(self, offset: usize) -> SendPtr<T> {
         SendPtr(self.0.add(offset))
     }
 }

@@ -134,6 +134,17 @@ impl UfldModel {
         &self.cfg
     }
 
+    /// Mutable access to the backbone (quantized-snapshot conversion walks
+    /// its conv/BN pairs).
+    pub fn backbone_mut(&mut self) -> &mut ResNetBackbone {
+        &mut self.backbone
+    }
+
+    /// Split borrows of the head layers `(reduce conv, fc1, fc2)`.
+    pub fn head_mut(&mut self) -> (&mut Conv2d, &mut Linear, &mut Linear) {
+        (&mut self.reduce, &mut self.fc1, &mut self.fc2)
+    }
+
     /// The `(batch, head_hidden)` embedding produced by the last forward —
     /// the feature space the SOTA baseline encodes with k-means.
     pub fn last_embedding(&self) -> Option<&Tensor> {

@@ -10,6 +10,12 @@ use ld_nn::{BatchNorm2d, BnStatsPolicy, Conv2d, Layer, MaxPool2d, Mode, Paramete
 use ld_tensor::rng::mix_seed;
 use ld_tensor::Tensor;
 
+/// Stem max-pool geometry `(kernel, stride, pad)` — shared with consumers
+/// that replay the backbone structure outside this module (the `ld_quant`
+/// snapshot builds its own pool from this, so the two forwards cannot
+/// silently diverge).
+pub const STEM_POOL: (usize, usize, usize) = (3, 2, 1);
+
 /// Runs a conv→BN pair, folding the BN into the convolution's output
 /// epilogue when the fused eval path applies (eval mode, frozen running
 /// statistics). Falls back to the separate layers otherwise — in particular
@@ -107,6 +113,33 @@ impl BasicBlock {
             f(bn);
         }
     }
+
+    /// Split borrows of the block's conv/BN pairs — the surface a quantized
+    /// snapshot walks (fold each BN into the preceding conv's epilogue).
+    pub fn parts_mut(&mut self) -> BlockPartsMut<'_> {
+        BlockPartsMut {
+            conv1: &mut self.conv1,
+            bn1: &mut self.bn1,
+            conv2: &mut self.conv2,
+            bn2: &mut self.bn2,
+            downsample: self.downsample.as_mut().map(|(c, b)| (c, b)),
+        }
+    }
+}
+
+/// Mutable views into one [`BasicBlock`]'s conv/BN pairs (split borrows, so
+/// a caller can fold a BN affine while reading the paired conv weights).
+pub struct BlockPartsMut<'a> {
+    /// First 3×3 convolution.
+    pub conv1: &'a mut Conv2d,
+    /// BN following `conv1`.
+    pub bn1: &'a mut BatchNorm2d,
+    /// Second 3×3 convolution.
+    pub conv2: &'a mut Conv2d,
+    /// BN following `conv2`.
+    pub bn2: &'a mut BatchNorm2d,
+    /// The 1×1 projection shortcut, when the block has one.
+    pub downsample: Option<(&'a mut Conv2d, &'a mut BatchNorm2d)>,
 }
 
 impl Layer for BasicBlock {
@@ -212,7 +245,7 @@ impl ResNetBackbone {
             stem_conv,
             stem_bn,
             stem_relu: Relu::new(),
-            stem_pool: MaxPool2d::new(3, 2, 1),
+            stem_pool: MaxPool2d::new(STEM_POOL.0, STEM_POOL.1, STEM_POOL.2),
             blocks,
             fuse_eval: false,
         }
@@ -247,6 +280,16 @@ impl ResNetBackbone {
     /// Number of residual blocks.
     pub fn block_count(&self) -> usize {
         self.blocks.len()
+    }
+
+    /// Split borrows of the stem conv/BN pair.
+    pub fn stem_mut(&mut self) -> (&mut Conv2d, &mut BatchNorm2d) {
+        (&mut self.stem_conv, &mut self.stem_bn)
+    }
+
+    /// Mutable access to the residual blocks in execution order.
+    pub fn blocks_mut(&mut self) -> &mut [BasicBlock] {
+        &mut self.blocks
     }
 }
 

@@ -1,0 +1,114 @@
+//! The int8 inference fast path end to end: quantize a UFLD model with
+//! `ld_quant`, compare logits/accuracy and wall-clock against the fused
+//! f32 eval forward, and show the Orin admission gate crediting the
+//! cheaper int8 ticks.
+//!
+//! ```text
+//! cargo run --release --example quantized_eval [-- --quick]
+//! ```
+
+use ld_bn_adapt::prelude::*;
+use ld_carlane::FrameStream;
+use ld_orin::{admit_batch_with, AdaptCostModel, PowerMode, Precision};
+use ld_ufld::{decode_batch, score_image, AccuracyReport};
+use std::time::Instant;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = UfldConfig::scaled(Backbone::ResNet18, 2);
+    let mut model = UfldModel::new(&cfg, 42);
+
+    // A deployment serves a pretrained model (the quantized path folds the
+    // BN running statistics, which a fresh init leaves at (0, 1)).
+    let mut train = TrainConfig::smoke();
+    train.steps = if quick { 80 } else { 300 };
+    train.dataset_size = if quick { 32 } else { 64 };
+    println!(
+        "pretraining on the MoLane source domain ({} steps)…",
+        train.steps
+    );
+    pretrain_on_source(&mut model, Benchmark::MoLane, &train);
+
+    // Quantize against a handful of target-domain calibration frames.
+    let stream = FrameStream::target(Benchmark::MoLane, frame_spec_for(&cfg), 24, 7);
+    let frames: Vec<_> = (0..stream.len()).map(|i| stream.frame(i)).collect();
+    let calib: Vec<&Tensor> = frames.iter().take(4).map(|f| &f.image).collect();
+    let mut qmodel = model.quantize(&calib);
+    model.set_fused_eval(true);
+
+    // Parity: logits and decoded-lane accuracy, frame by frame.
+    let mut max_diff = 0.0f32;
+    let mut logit_range = 0.0f32;
+    let mut f32_acc = AccuracyReport::default();
+    let mut int8_acc = AccuracyReport::default();
+    for frame in &frames {
+        let exact = model.forward_frames(&[&frame.image], Mode::Eval);
+        let quant = qmodel.forward_frames(&[&frame.image]);
+        for (a, b) in exact.as_slice().iter().zip(quant.as_slice()) {
+            max_diff = max_diff.max((a - b).abs());
+            logit_range = logit_range.max(a.abs());
+        }
+        f32_acc.merge(&score_image(
+            &decode_batch(&exact, &cfg)[0],
+            &frame.labels,
+            &cfg,
+        ));
+        int8_acc.merge(&score_image(
+            &decode_batch(&quant, &cfg)[0],
+            &frame.labels,
+            &cfg,
+        ));
+    }
+    println!(
+        "parity: max |Δlogit| = {max_diff:.3} over range {logit_range:.1} \
+         ({:.2}% relative)",
+        100.0 * max_diff / logit_range.max(1e-6)
+    );
+    println!(
+        "lane accuracy: f32 {:.2}%  int8 {:.2}%  (Δ {:.3} points)",
+        f32_acc.percent(),
+        int8_acc.percent(),
+        (f32_acc.percent() - int8_acc.percent()).abs()
+    );
+    assert!(
+        (f32_acc.percent() - int8_acc.percent()).abs() <= 0.5,
+        "quantized accuracy must stay within 0.5% of f32"
+    );
+
+    // Speed: batched eval forward, single host (the bench emits the
+    // committed trajectory; this is the demo-scale version).
+    let batch = 4;
+    let mut x = Tensor::zeros(&[batch, 3, cfg.input_height, cfg.input_width]);
+    for (i, frame) in frames.iter().take(batch).enumerate() {
+        x.image_mut(i).copy_from_slice(frame.image.as_slice());
+    }
+    let reps = if quick { 5 } else { 30 };
+    let time = |f: &mut dyn FnMut() -> Tensor| {
+        let _ = f(); // warm scratch arenas
+        let t = Instant::now();
+        for _ in 0..reps {
+            let _ = f();
+        }
+        t.elapsed().as_secs_f64() * 1e3 / (reps * batch) as f64
+    };
+    let f32_ms = time(&mut || model.forward(&x, Mode::Eval));
+    let int8_ms = time(&mut || qmodel.forward(&x));
+    println!(
+        "eval forward (batch {batch}): f32 fused {f32_ms:.2} ms/frame, \
+         int8 {int8_ms:.2} ms/frame — {:.2}× ",
+        f32_ms / int8_ms
+    );
+
+    // The Orin gate credits the cheaper int8 inference ticks.
+    let cost = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
+    let offered = 16;
+    let f32_adm = admit_batch_with(&cost, PowerMode::W30, 33.3, offered, Precision::Fp32, 1.0);
+    let int8_adm = admit_batch_with(&cost, PowerMode::W30, 33.3, offered, Precision::Int8, 1.0);
+    println!(
+        "admission @ R-18/W30/30FPS, {offered} streams offered: \
+         f32 admits {} ({:.1} ms), int8 admits {} ({:.1} ms)",
+        f32_adm.batch, f32_adm.latency_ms, int8_adm.batch, int8_adm.latency_ms
+    );
+    assert!(int8_adm.batch > f32_adm.batch);
+    println!("int8 fast path: parity within quantization noise, bigger admitted batches ✓");
+}

@@ -28,4 +28,13 @@ cargo run --release --example multi_stream_server -- --quick
 echo "== bench smoke: server_throughput --quick (emits BENCH_server.quick.json) =="
 cargo bench -p ld-bench --bench server_throughput -- --quick
 
+echo "== quant smoke: ld-quant tests =="
+cargo test -q -p ld-quant --release
+
+echo "== quant smoke: int8 parity + admission demo =="
+cargo run --release --example quantized_eval -- --quick
+
+echo "== bench smoke: quant_eval --quick (emits BENCH_quant.quick.json) =="
+cargo bench -p ld-bench --bench quant_eval -- --quick
+
 echo "== all checks passed =="

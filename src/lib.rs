@@ -13,6 +13,7 @@
 //!   ablations and the evaluation harness ([`ld_adapt`])
 //! * [`orin`] — the Jetson AGX Orin roofline latency/energy model
 //!   ([`ld_orin`])
+//! * [`quant`] — the int8 quantized inference subsystem ([`ld_quant`])
 //!
 //! # Quickstart
 //!
@@ -32,6 +33,7 @@ pub use ld_carlane as carlane;
 pub use ld_cluster as cluster;
 pub use ld_nn as nn;
 pub use ld_orin as orin;
+pub use ld_quant as quant;
 pub use ld_tensor as tensor;
 pub use ld_ufld as ufld;
 
@@ -40,6 +42,7 @@ pub mod prelude {
     pub use ld_adapt::*;
     pub use ld_carlane::{Benchmark, Domain};
     pub use ld_nn::{BnStatsPolicy, Layer, Mode, ParamFilter};
+    pub use ld_quant::{QuantUfldModel, QuantizeModel};
     pub use ld_tensor::Tensor;
     pub use ld_ufld::{Backbone, UfldConfig, UfldModel};
 }

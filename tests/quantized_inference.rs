@@ -1,0 +1,158 @@
+//! End-to-end contracts of the int8 quantized inference subsystem: the
+//! quantized snapshot of a source-trained lane detector must decode lanes
+//! at f32-equivalent accuracy on the carlane eval set, and the quantized
+//! multi-stream server must preserve the adaptation loop's behaviour.
+
+use ld_adapt::{
+    frame_spec_for, pretrain_on_source, AdaptServer, GovernorConfig, LdBnAdaptConfig, ServerConfig,
+    TrainConfig,
+};
+use ld_carlane::{Benchmark, FrameStream, LabeledFrame, StreamSet};
+use ld_nn::Mode;
+use ld_quant::QuantizeModel;
+use ld_tensor::Tensor;
+use ld_ufld::{decode_batch, score_image, AccuracyReport, UfldConfig, UfldModel};
+
+fn trained_tiny_model() -> (UfldConfig, UfldModel) {
+    let cfg = UfldConfig::tiny(2);
+    let mut model = UfldModel::new(&cfg, 0xE2E);
+    let mut train = TrainConfig::smoke();
+    train.steps = 150;
+    train.dataset_size = 48;
+    pretrain_on_source(&mut model, Benchmark::MoLane, &train);
+    (cfg, model)
+}
+
+fn eval_frames(
+    cfg: &UfldConfig,
+    benchmark: Benchmark,
+    count: usize,
+    seed: u64,
+) -> Vec<LabeledFrame> {
+    let stream = FrameStream::target(benchmark, frame_spec_for(cfg), count, seed);
+    (0..stream.len()).map(|i| stream.frame(i)).collect()
+}
+
+fn score_frames(
+    cfg: &UfldConfig,
+    frames: &[LabeledFrame],
+    mut logits_of: impl FnMut(&Tensor) -> Tensor,
+) -> AccuracyReport {
+    let mut report = AccuracyReport::default();
+    for frame in frames {
+        let logits = logits_of(&frame.image);
+        let lanes = decode_batch(&logits, cfg);
+        report.merge(&score_image(&lanes[0], &frame.labels, cfg));
+    }
+    report
+}
+
+/// The acceptance criterion: quantized lane accuracy on the carlane eval
+/// set within 0.5 % (absolute) of the f32 path it snapshots.
+#[test]
+fn quantized_lane_accuracy_is_within_half_a_percent_of_f32() {
+    let (cfg, mut model) = trained_tiny_model();
+    let frames = eval_frames(&cfg, Benchmark::MoLane, 20, 77);
+    let calib: Vec<&Tensor> = frames.iter().take(4).map(|f| &f.image).collect();
+    let mut qmodel = model.quantize(&calib);
+    model.set_fused_eval(true);
+
+    let f32_report = score_frames(&cfg, &frames, |img| {
+        model.forward_frames(&[img], Mode::Eval)
+    });
+    let int8_report = score_frames(&cfg, &frames, |img| qmodel.forward_frames(&[img]));
+
+    let f32_pct = f32_report.percent();
+    let int8_pct = int8_report.percent();
+    assert!(
+        f32_pct > 50.0,
+        "eval set must be meaningfully decodable, got {f32_pct:.1}%"
+    );
+    assert!(
+        (f32_pct - int8_pct).abs() <= 0.5,
+        "quantized accuracy {int8_pct:.2}% drifts more than 0.5% from f32 {f32_pct:.2}%"
+    );
+}
+
+/// Quantization must also hold up *after* online adaptation: adapt the f32
+/// model on a drifted stream, re-synchronise the snapshot, and the
+/// refreshed quantized path again scores within the same bound.
+#[test]
+fn refreshed_snapshot_tracks_the_adapted_model() {
+    let (cfg, mut model) = trained_tiny_model();
+    let frames = eval_frames(&cfg, Benchmark::MoLane, 16, 91);
+    let calib: Vec<&Tensor> = frames.iter().take(4).map(|f| &f.image).collect();
+    let mut qmodel = model.quantize(&calib);
+
+    // A few entropy-descent steps on the target stream (the paper's loop).
+    let adapt_cfg = LdBnAdaptConfig::paper(1);
+    let mut adapter = ld_adapt::LdBnAdapter::new(adapt_cfg, &mut model);
+    for frame in frames.iter().take(6) {
+        adapter.process_frame(&mut model, &frame.image);
+    }
+    qmodel.refresh_affine(&mut model);
+
+    model.set_fused_eval(true);
+    let f32_report = score_frames(&cfg, &frames, |img| {
+        model.forward_frames(&[img], Mode::Eval)
+    });
+    let int8_report = score_frames(&cfg, &frames, |img| qmodel.forward_frames(&[img]));
+    assert!(
+        (f32_report.percent() - int8_report.percent()).abs() <= 0.5,
+        "post-adaptation: int8 {:.2}% vs f32 {:.2}%",
+        int8_report.percent(),
+        f32_report.percent()
+    );
+}
+
+/// The quantized server end to end on drifting streams: serves every
+/// frame, keeps the per-stream accounting identity, and scores lanes
+/// competitively with the stock f32 server on the same workload.
+#[test]
+fn quantized_server_serves_drifting_streams_end_to_end() {
+    let (cfg, mut model) = trained_tiny_model();
+    let gov = GovernorConfig {
+        warmup_frames: 2,
+        threshold_ratio: 1.5,
+        ..Default::default()
+    };
+    let n = 3;
+    let ticks = 8;
+    let mut f32_model = model.clone_model();
+
+    let run = |model: &mut UfldModel, quantized: bool| {
+        let mut server_cfg = ServerConfig::new(LdBnAdaptConfig::paper(1), gov, n);
+        if quantized {
+            server_cfg = server_cfg.with_quantized_inference();
+        }
+        let mut server = AdaptServer::new(server_cfg, n, model);
+        let mut set = StreamSet::drifting(Benchmark::MoLane, frame_spec_for(&cfg), n, 12, 11);
+        server.serve(model, &mut set, ticks)
+    };
+    let quant_report = run(&mut model, true);
+    let f32_report = run(&mut f32_model, false);
+
+    assert_eq!(quant_report.server.ticks, ticks);
+    assert_eq!(quant_report.server.frames, n * ticks);
+    let mut quant_acc = AccuracyReport::default();
+    let mut f32_acc = AccuracyReport::default();
+    for (q, f) in quant_report.per_stream.iter().zip(&f32_report.per_stream) {
+        assert_eq!(q.stats.frames, ticks, "every stream served every tick");
+        assert_eq!(
+            q.stats.adapted_frames + q.stats.skipped_frames,
+            q.stats.frames,
+            "duty accounting"
+        );
+        quant_acc.merge(&q.report);
+        f32_acc.merge(&f.report);
+    }
+    // Drift + adaptation make per-frame decoding diverge between the two
+    // serving paths, so compare in the aggregate: the quantized server must
+    // stay within a few points of the f32 server on the same workload.
+    assert!(
+        quant_acc.percent() >= f32_acc.percent() - 5.0,
+        "quant server {:.1}% vs f32 server {:.1}%",
+        quant_acc.percent(),
+        f32_acc.percent()
+    );
+}
