@@ -33,7 +33,8 @@ const SHAPES: &[(usize, usize, usize)] = &[
     (128, 1152, 784),  // layer2 3×3 conv, 28×28
     (256, 1152, 3136), // the acceptance-gate product (layer3-width at 56×56)
     (512, 4608, 49),   // layer4 3×3 conv, 7×7
-    (128, 64, 784),    // 1×1 projection shortcut
+    (128, 64, 784),    // 1×1 projection shortcut (small-k int8 kernel)
+    (256, 128, 196),   // layer3 1×1 projection (small-k int8 kernel, k=128)
     (4, 1800, 2048),   // head fc1 at server batch 4 (column-split territory)
     (4, 2048, 22624),  // head fc2 at server batch 4: logits for 4 streams
 ];

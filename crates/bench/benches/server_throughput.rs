@@ -20,6 +20,17 @@
 //! batching gain proper (head-GEMM weight-traffic amortisation on one
 //! core; pool parallelism on top on wider machines).
 //!
+//! A third mode, `banked/N`, is the production server with **per-stream BN
+//! state banks** (`with_bn_banks`): same batched tick, but every image
+//! rides its own normalisation state. Its `fps_vs_shared_batched` ratio is
+//! the cost of multi-target isolation — the acceptance bar is ≥ 0.9 (bank
+//! swaps are O(layers) pointer swaps; the arithmetic is unchanged).
+//!
+//! After writing the JSON the harness **diffs against the committed
+//! baseline** and fails on a > 10 % regression. Machine-portable ratios
+//! are compared (`speedup_vs_sequential`, `fps_vs_shared_batched`), not
+//! raw fps — the committed file may come from a different host.
+//!
 //! Run: `cargo bench -p ld-bench --bench server_throughput` (add
 //! `-- --quick` for the smoke variant used by `scripts/check.sh`).
 
@@ -86,6 +97,22 @@ fn bench_server(c: &mut Criterion) {
             })
         });
 
+        // Banked: the same batched tick with per-stream BN state banks
+        // swapped in at demux (multi-target isolation).
+        let mut model_k = UfldModel::new(&cfg, 7);
+        let banked_cfg = ServerConfig::new(adapt_cfg(), always_adapt(), n)
+            .without_step_telemetry()
+            .with_bn_banks();
+        let mut banked = AdaptServer::new(banked_cfg, n, &mut model_k);
+        group.bench_with_input(BenchmarkId::new("banked", n), &n, |b, _| {
+            b.iter(|| {
+                for tick_frames in &frames {
+                    let batch: Vec<(usize, &Tensor)> = tick_frames.iter().enumerate().collect();
+                    banked.process_batch(&mut model_k, &batch);
+                }
+            })
+        });
+
         // Sequential: the pre-refactor deployment — one single-stream
         // governor per camera, same shared model, frames served one by one.
         let mut model_s = UfldModel::new(&cfg, 7);
@@ -108,9 +135,12 @@ fn bench_server(c: &mut Criterion) {
 }
 
 /// Emits `BENCH_server.json`:
-/// `[{"streams": n, "mode": "batched"|"sequential", "frames_per_iter": …,
-///    "ns_per_iter": …, "fps": …, "speedup_vs_sequential": …}, …]`
-/// (speedup only on `batched` rows with a matching baseline).
+/// `[{"streams": n, "mode": "batched"|"banked"|"sequential",
+///    "frames_per_iter": …, "ns_per_iter": …, "fps": …,
+///    "speedup_vs_sequential": …, "fps_vs_shared_batched": …}, …]`
+/// (ratios only on rows with a matching in-run baseline), then diffs the
+/// ratios against the previously committed file and **fails on a > 10 %
+/// regression** (see the module docs).
 fn write_json(ticks: usize) {
     let results = take_results();
     let parse_streams = |id: &str| -> Option<usize> { id.rsplit('/').next()?.parse().ok() };
@@ -121,13 +151,24 @@ fn write_json(ticks: usize) {
             .map(|r| r.ns_per_iter)
     };
 
+    let path = if criterion::quick_mode() {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.quick.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json")
+    };
+    // The committed trajectory, read before this run overwrites it.
+    let baseline = std::fs::read_to_string(path).unwrap_or_default();
+
     let mut rows = Vec::new();
+    let mut current: Vec<(usize, &str, &str, f64)> = Vec::new();
     for r in &results {
         let Some(streams) = parse_streams(&r.id) else {
             continue;
         };
         let mode = if r.id.contains("/batched/") {
             "batched"
+        } else if r.id.contains("/banked/") {
+            "banked"
         } else {
             "sequential"
         };
@@ -137,29 +178,104 @@ fn write_json(ticks: usize) {
             "  {{\"streams\": {}, \"mode\": \"{}\", \"frames_per_iter\": {}, \"ns_per_iter\": {:.1}, \"fps\": {:.2}",
             streams, mode, frames as usize, r.ns_per_iter, fps
         );
-        if mode == "batched" {
+        if mode != "sequential" {
             if let Some(base) = ns_of("sequential", streams) {
-                let _ = write!(
-                    row,
-                    ", \"speedup_vs_sequential\": {:.3}",
-                    base / r.ns_per_iter
-                );
+                let ratio = base / r.ns_per_iter;
+                let _ = write!(row, ", \"speedup_vs_sequential\": {ratio:.3}");
+                current.push((streams, mode, "speedup_vs_sequential", ratio));
+            }
+        }
+        if mode == "banked" {
+            if let Some(base) = ns_of("batched", streams) {
+                let ratio = base / r.ns_per_iter;
+                let _ = write!(row, ", \"fps_vs_shared_batched\": {ratio:.3}");
+                current.push((streams, mode, "fps_vs_shared_batched", ratio));
             }
         }
         row.push('}');
         rows.push(row);
     }
     let json = format!("[\n{}\n]\n", rows.join(",\n"));
-
-    // Smoke runs must not clobber the committed full-run trajectory.
-    let path = if criterion::quick_mode() {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.quick.json")
-    } else {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json")
-    };
     std::fs::write(path, &json).expect("write BENCH_server.json");
     eprintln!("wrote {path}");
     eprint!("{json}");
+
+    regress_against_baseline(&baseline, &current);
+}
+
+/// The steady-state regression gate: for each `(mode, metric)` pair, the
+/// mean ratio pooled over the stream counts present in both runs must be
+/// within 10 % of the committed baseline's. Ratios rather than raw
+/// frames/sec are compared — the committed baseline may come from a
+/// different host, but relative batching/banking overheads travel — and
+/// pooling across stream counts averages out single-row sampling noise
+/// (individual rows swing >10 % on a busy single-core box). Missing
+/// baseline rows (first run of a new dimension) pass.
+fn regress_against_baseline(baseline: &str, current: &[(usize, &str, &str, f64)]) {
+    // The full bench (3 s measurements) holds the 10 % bar; the --quick
+    // smoke measures for 1 s and its run-to-run noise floor exceeds 10 %,
+    // so it gates at 30 % — still a hard stop for real breakage.
+    let tolerance = if criterion::quick_mode() { 0.7 } else { 0.9 };
+    let field = |obj: &str, key: &str| -> Option<f64> {
+        let at = obj.find(&format!("\"{key}\":"))? + key.len() + 3;
+        let rest = obj[at..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    };
+    // Pooled (Σ baseline, Σ current, count) per (mode, metric).
+    let mut pools: Vec<(String, &str, f64, f64, usize)> = Vec::new();
+    for line in baseline.lines() {
+        let (Some(streams), Some(mode)) = (
+            field(line, "streams").map(|v| v as usize),
+            line.split("\"mode\": \"")
+                .nth(1)
+                .and_then(|s| s.split('"').next()),
+        ) else {
+            continue;
+        };
+        for metric in ["speedup_vs_sequential", "fps_vs_shared_batched"] {
+            let Some(base) = field(line, metric) else {
+                continue;
+            };
+            let Some(&(_, _, _, now)) = current
+                .iter()
+                .find(|(s, m, k, _)| *s == streams && *m == mode && *k == metric)
+            else {
+                continue; // stream count not measured this run (quick sweep)
+            };
+            match pools
+                .iter_mut()
+                .find(|(m, k, ..)| m == mode && *k == metric)
+            {
+                Some(p) => {
+                    p.2 += base;
+                    p.3 += now;
+                    p.4 += 1;
+                }
+                None => pools.push((mode.to_owned(), metric, base, now, 1)),
+            }
+        }
+    }
+    let mut failures = Vec::new();
+    for (mode, metric, base_sum, now_sum, count) in &pools {
+        let (base, now) = (base_sum / *count as f64, now_sum / *count as f64);
+        if now < tolerance * base {
+            failures.push(format!(
+                "{mode} {metric}: mean {now:.3} vs committed {base:.3} over {count} stream counts \
+                 (more than {:.0}% regression)",
+                100.0 * (1.0 - tolerance)
+            ));
+        } else {
+            eprintln!("gate ok: {mode} {metric} mean {now:.3} (baseline {base:.3}, {count} rows)");
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "server throughput regression:\n{}",
+        failures.join("\n")
+    );
 }
 
 fn main() {

@@ -89,15 +89,7 @@ impl DriftSchedule {
         let noon = crate::appearance::AppearanceRanges::carla_source()
             .base()
             .clone();
-        let mut tunnel = noon.clone();
-        tunnel.sky = [0.06, 0.05, 0.05];
-        tunnel.road_albedo = 0.10;
-        tunnel.brightness = -0.30;
-        tunnel.contrast = 0.55;
-        tunnel.tint = [1.15, 1.0, 0.75]; // sodium lamps
-        tunnel.noise_std = 0.06;
-        tunnel.vignette = 0.45;
-        tunnel.glare_blobs = 2;
+        let tunnel = Self::tunnel_appearance(&noon);
         let last = frames.max(3) - 1;
         DriftSchedule::new(vec![
             DriftPhase {
@@ -116,6 +108,107 @@ impl DriftSchedule {
                 appearance: noon,
             },
         ])
+    }
+
+    /// A schedule that **enters and holds** a divergent steady-state domain:
+    /// clear noon conditions for the first tenth of the timeline, a short
+    /// transition, then `target` for the rest. This is the multi-target
+    /// deployment shape (CARLANE's MuLane): several cameras each settled in
+    /// a *different* domain, not phase-shifted copies of one drift.
+    pub fn settle_into(name: &str, target: Appearance, frames: usize) -> Self {
+        let noon = crate::appearance::AppearanceRanges::carla_source()
+            .base()
+            .clone();
+        let last = frames.max(4) - 1;
+        let enter = (last / 10).max(1);
+        let settled = (last / 4).max(enter + 1);
+        DriftSchedule::new(vec![
+            DriftPhase {
+                name: "noon".into(),
+                at_frame: 0,
+                appearance: noon.clone(),
+            },
+            DriftPhase {
+                name: "noon".into(),
+                at_frame: enter,
+                appearance: noon,
+            },
+            DriftPhase {
+                name: name.into(),
+                at_frame: settled,
+                appearance: target.clone(),
+            },
+            DriftPhase {
+                name: name.into(),
+                at_frame: last,
+                appearance: target,
+            },
+        ])
+    }
+
+    /// Steady night driving: very dark scene, cool tint, heavy sensor noise
+    /// and vignette. Enters the domain early and **holds** it.
+    pub fn night(frames: usize) -> Self {
+        let noon = crate::appearance::AppearanceRanges::carla_source()
+            .base()
+            .clone();
+        let mut night = noon;
+        night.sky = [0.03, 0.04, 0.09];
+        night.road_albedo = 0.07;
+        night.line_brightness = 0.30;
+        night.brightness = -0.42;
+        night.contrast = 0.38;
+        night.tint = [0.85, 0.9, 1.2];
+        night.noise_std = 0.11;
+        night.vignette = 0.55;
+        DriftSchedule::settle_into("night", night, frames)
+    }
+
+    /// Steady heavy rain: washed-out grey light, low contrast, wet
+    /// reflective road, blur and glare streaks. Enters the domain early and
+    /// **holds** it.
+    pub fn rain(frames: usize) -> Self {
+        let noon = crate::appearance::AppearanceRanges::carla_source()
+            .base()
+            .clone();
+        let mut rain = noon;
+        rain.sky = [0.45, 0.48, 0.52];
+        rain.road_albedo = 0.26;
+        rain.line_brightness = 0.42;
+        rain.brightness = -0.08;
+        rain.contrast = 0.42;
+        rain.tint = [0.95, 0.98, 1.05];
+        rain.noise_std = 0.1;
+        rain.vignette = 0.25;
+        rain.blur_passes = 2;
+        rain.glare_blobs = 2;
+        DriftSchedule::settle_into("rain", rain, frames)
+    }
+
+    /// A steady tunnel: the sodium-lit section of [`DriftSchedule::tunnel`]
+    /// entered early and **held** (no exit back into daylight) — a camera
+    /// parked in the divergent domain rather than transiting it.
+    pub fn tunnel_hold(frames: usize) -> Self {
+        let noon = crate::appearance::AppearanceRanges::carla_source()
+            .base()
+            .clone();
+        let tunnel = Self::tunnel_appearance(&noon);
+        DriftSchedule::settle_into("tunnel", tunnel, frames)
+    }
+
+    /// The sodium-lit tunnel appearance shared by [`DriftSchedule::tunnel`]
+    /// and [`DriftSchedule::tunnel_hold`].
+    fn tunnel_appearance(noon: &Appearance) -> Appearance {
+        let mut tunnel = noon.clone();
+        tunnel.sky = [0.06, 0.05, 0.05];
+        tunnel.road_albedo = 0.10;
+        tunnel.brightness = -0.30;
+        tunnel.contrast = 0.55;
+        tunnel.tint = [1.15, 1.0, 0.75]; // sodium lamps
+        tunnel.noise_std = 0.06;
+        tunnel.vignette = 0.45;
+        tunnel.glare_blobs = 2;
+        tunnel
     }
 
     /// The same waypoints traversed backwards (dusk→noon from a noon→dusk

@@ -116,6 +116,67 @@ impl StreamSet {
         StreamSet::new(streams)
     }
 
+    /// The **multi-target** generator (CARLANE's MuLane deployment shape):
+    /// `n_streams` cameras that each settle into a *different* steady-state
+    /// domain and stay there — cam 0 holds clear daylight, cam 1 a sodium-lit
+    /// tunnel, cam 2 heavy rain, cam 3 night, cycling for more streams. After
+    /// the short entry transition the streams disagree about conditions for
+    /// the entire run, which is the regime where shared normalisation state
+    /// fights itself and per-stream BN banks pay off (the
+    /// [`StreamSet::drifting`] palette, by contrast, revisits overlapping
+    /// conditions on phase-shifted clocks).
+    ///
+    /// All streams run at drift rate 1 so every camera *stays* in its
+    /// domain once settled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_streams == 0` or `len < 4`.
+    pub fn multi_target(
+        benchmark: Benchmark,
+        spec: FrameSpec,
+        n_streams: usize,
+        len: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(n_streams > 0, "StreamSet: no streams");
+        assert!(len >= 4, "StreamSet: need at least 4 frames per stream");
+        let noon = crate::appearance::AppearanceRanges::carla_source()
+            .base()
+            .clone();
+        let streams = (0..n_streams)
+            .map(|i| {
+                let schedule = match i % 4 {
+                    0 => DriftSchedule::settle_into("noon", noon.clone(), len),
+                    1 => DriftSchedule::tunnel_hold(len),
+                    2 => DriftSchedule::rain(len),
+                    _ => DriftSchedule::night(len),
+                };
+                let stream = DriftingStream::new(
+                    benchmark,
+                    spec,
+                    schedule,
+                    len,
+                    mix_seed(seed, 0x3017 + i as u64),
+                );
+                (stream, 1)
+            })
+            .collect();
+        StreamSet::new(streams)
+    }
+
+    /// A fresh single-stream set containing a copy of stream `id` (cursor
+    /// reset to the start) — the dedicated-model baseline of multi-target
+    /// experiments serves exactly the frames the batched server saw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn isolate(&self, id: usize) -> StreamSet {
+        let lane = &self.lanes[id];
+        StreamSet::new(vec![(lane.stream.clone(), lane.rate)])
+    }
+
     /// Number of streams.
     pub fn num_streams(&self) -> usize {
         self.lanes.len()
@@ -266,5 +327,43 @@ mod tests {
     #[should_panic(expected = "no streams")]
     fn empty_set_rejected() {
         StreamSet::new(vec![]);
+    }
+
+    /// Multi-target streams settle into *distinct* steady domains: late in
+    /// the timeline every pair of cameras still disagrees about brightness,
+    /// and each camera's last frames stay in its own domain (steady state,
+    /// not a transit).
+    #[test]
+    fn multi_target_streams_hold_divergent_domains() {
+        let len = 40;
+        let set = StreamSet::multi_target(Benchmark::MoLane, spec(), 4, len, 3);
+        let mean = |m: [f32; 3]| (m[0] + m[1] + m[2]) / 3.0;
+        let names: Vec<&str> = (0..4)
+            .map(|id| set.schedule(id).phase_name_at(len - 1))
+            .collect();
+        assert_eq!(names, vec!["noon", "tunnel", "rain", "night"]);
+        // Late-timeline brightness separates the domains.
+        let late: Vec<f32> = (0..4)
+            .map(|id| {
+                let s = set.schedule(id);
+                let a = s.appearance_at(len - 1);
+                a.brightness + mean(a.sky) + a.road_albedo
+            })
+            .collect();
+        for i in 0..4 {
+            for j in i + 1..4 {
+                assert!(
+                    (late[i] - late[j]).abs() > 0.05,
+                    "streams {i} and {j} converged: {late:?}"
+                );
+            }
+        }
+        // Steady state: the second half of each timeline holds its domain.
+        for id in 0..4 {
+            let s = set.schedule(id);
+            let a = s.appearance_at(len / 2);
+            let b = s.appearance_at(len - 1);
+            assert_eq!(a, b, "stream {id} still drifting in its second half");
+        }
     }
 }

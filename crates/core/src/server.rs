@@ -25,6 +25,44 @@
 //!   tunnel adapts while a stream in steady daylight skips, even inside the
 //!   same tick.
 //!
+//! # Per-stream BN state banks
+//!
+//! The shared split above has one deliberate compromise: divergent domains
+//! fight over one set of γ/β and one batch's statistics — a tunnel camera
+//! and a noon camera drag each other off-domain (CARLANE's MuLane
+//! multi-target setting is exactly this regime). With
+//! [`ServerConfig::with_bn_banks`], the normalisation state moves from
+//! "shared" to "per-stream": every stream owns a [`BnBank`] (one
+//! [`ld_nn::BnState`] per BN layer, ~1 % of the model), plus its own SGD
+//! momentum, known-good rollback snapshot and entropy band, while conv/FC
+//! weights stay shared.
+//!
+//! **Bank swap lifecycle of one tick.** At mux time the admitted streams'
+//! banks are swapped into the model's per-image BN *lanes*
+//! ([`UfldModel::bind_bn_lanes`] — O(layers·batch) pointer swaps, nothing
+//! copied): the single batched forward then normalises image `i` with
+//! stream `i`'s own γ/β and **per-image** batch statistics, and the single
+//! batched backward accumulates each lane's entropy gradient into *that
+//! stream's* bank. After the backward the banks are swapped back out,
+//! each triggered stream's optimizer steps its own bank, confident streams
+//! bless their own known-good snapshots, and a poisoned stream rolls back
+//! *its* bank without touching anyone else's. Per-image statistics make a
+//! lane bitwise-identical to giving that stream a dedicated model copy —
+//! the isolation tests pin this — so banks recover dedicated-model
+//! accuracy at a fraction of the memory, and one batched GEMM pass still
+//! serves every stream.
+//!
+//! **Interaction with the quantized fast path.** The int8 snapshot's BN
+//! fold lives in per-channel epilogue tables, so banks quantize cheaply:
+//! the snapshot keeps one epilogue table per stream
+//! ([`QuantUfldModel::ensure_banks`]) and serves a mixed batch with
+//! per-image table selection ([`QuantUfldModel::forward_frames_banked`]).
+//! A *per-stream* dirty flag replaces the shared one: when stream `s`
+//! adapts or rolls back, only its table is stale, and the lazy
+//! [`QuantUfldModel::refresh_affine_bank`] re-fold before `s`'s next
+//! served frame is O(channels) **for that stream alone** — integer weights
+//! and the other streams' tables are untouched.
+//!
 //! The adaptation step reuses the tick's forward activations: the entropy
 //! gradient is masked to the triggered streams (renormalised to their
 //! count) and backpropagated once. A triggered frame therefore costs one
@@ -79,7 +117,7 @@ use ld_nn::{loss, Layer, Mode, ParamFilter, Sgd};
 use ld_orin::{admit_batch_with, AdaptCostModel, BatchAdmission, Deadline, PowerMode, Precision};
 use ld_quant::{QuantUfldModel, QuantizeModel};
 use ld_tensor::Tensor;
-use ld_ufld::{decode_batch, score_image, AccuracyReport, UfldModel};
+use ld_ufld::{decode_batch, score_image, AccuracyReport, BnBank, UfldModel};
 use std::collections::VecDeque;
 use std::time::Instant;
 
@@ -108,12 +146,26 @@ pub(crate) fn restore_bn(model: &mut UfldModel, state: &[(String, Tensor)]) {
 
 /// Per-stream governor state — everything that must NOT be shared when
 /// several cameras ride one model.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 struct StreamState {
     /// EMA over this stream's accepted-confident frame entropies.
     reference_entropy: Option<f32>,
     /// This stream's duty-cycle telemetry.
     stats: GovernorStats,
+    /// This stream's BN state bank (bank mode only). Taken out of the slot
+    /// while bound to a model lane during a tick.
+    bank: Option<BnBank>,
+    /// This stream's known-good bank snapshot for safety rollback (bank
+    /// mode only).
+    good_bank: Option<BnBank>,
+    /// This stream's optimizer (bank mode only: momentum must not leak
+    /// across domains).
+    opt: Option<Sgd>,
+    /// Ticks on which this stream's bank was swapped into a model lane.
+    bank_swaps: usize,
+    /// Last tick index on which this stream's quantized epilogue table was
+    /// re-folded from its bank.
+    last_refold_tick: Option<usize>,
 }
 
 /// Deadline gate: the Orin cost model + power mode + deadline the admission
@@ -218,6 +270,13 @@ pub struct ServerConfig {
     /// Blend the EWMA of measured tick wall-clock over predicted latency
     /// into the admission query (no effect without an [`AdmissionGate`]).
     pub latency_feedback: bool,
+    /// Give every stream its own BN state bank (γ/β + statistics + SGD
+    /// momentum + rollback snapshot), swapped into per-image model lanes at
+    /// demux — the multi-target configuration (see the module docs). Off by
+    /// default: the shared-normalisation behaviour of the original server
+    /// is preserved behind this flag. Requires
+    /// [`ld_nn::ParamFilter::BnOnly`] adaptation.
+    pub bn_banks: bool,
 }
 
 impl ServerConfig {
@@ -231,6 +290,7 @@ impl ServerConfig {
             measure_entropy_after: true,
             quantized_inference: false,
             latency_feedback: false,
+            bn_banks: false,
         }
     }
 
@@ -257,6 +317,13 @@ impl ServerConfig {
         self.latency_feedback = true;
         self
     }
+
+    /// Gives every stream its own BN state bank (builder style; see the
+    /// module docs for the swap lifecycle).
+    pub fn with_bn_banks(mut self) -> Self {
+        self.bn_banks = true;
+        self
+    }
 }
 
 /// Whole-server telemetry (per-stream counters live in [`GovernorStats`]).
@@ -278,6 +345,22 @@ pub struct ServerStats {
     pub rollback_ticks: usize,
 }
 
+/// Per-stream BN-bank telemetry (bank mode only; see
+/// [`ServerConfig::with_bn_banks`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BankTelemetry {
+    /// Ticks on which this stream's bank was active in a served batch
+    /// (an f32 lane swap, or epilogue-table selection on the int8 path).
+    pub bank_swaps: usize,
+    /// Last tick on which the stream's quantized epilogue table was
+    /// re-folded from its bank (`None` until the int8 fast path first
+    /// serves the stream; always `None` on the f32 path).
+    pub last_refold_tick: Option<usize>,
+    /// Euclidean distance of the bank's γ/β from their initial values —
+    /// how far this domain has adapted away from the deployed weights.
+    pub l2_from_init: f32,
+}
+
 /// Per-stream serving outcome of [`AdaptServer::serve`].
 #[derive(Debug, Clone, Default)]
 pub struct StreamReport {
@@ -287,6 +370,9 @@ pub struct StreamReport {
     pub report: AccuracyReport,
     /// Frames of this stream actually served.
     pub frames: usize,
+    /// BN-bank telemetry (`None` unless the server runs with
+    /// [`ServerConfig::with_bn_banks`]).
+    pub bank: Option<BankTelemetry>,
 }
 
 /// Aggregate result of a serving run.
@@ -333,24 +419,32 @@ pub struct AdaptServer {
     /// The int8 serving snapshot (lazily built on the first quantized
     /// tick, which doubles as its calibration batch).
     quant: Option<QuantReplica>,
+    /// The deployment-time bank every stream's bank started from (bank
+    /// mode only; the reference point of the L2 telemetry).
+    init_bank: Option<BnBank>,
     /// EWMA of measured-over-predicted tick latency (1.0 = roofline
     /// trusted; fed back into admission when latency feedback is on).
     latency_ratio: f64,
     stats: ServerStats,
 }
 
-/// The quantized serving snapshot plus its staleness flag.
+/// The quantized serving snapshot plus its staleness flags.
 struct QuantReplica {
     model: QuantUfldModel,
-    /// Set whenever the f32 parameters move (adaptation step, rollback);
-    /// cleared by the lazy epilogue re-fold before the next quantized tick.
+    /// Shared mode: set whenever the f32 parameters move (adaptation step,
+    /// rollback); cleared by the lazy epilogue re-fold before the next
+    /// quantized tick.
     dirty: bool,
+    /// Bank mode: one flag per stream — only the stream whose bank moved
+    /// pays a re-fold, and only for its own epilogue table.
+    bank_dirty: Vec<bool>,
 }
 
 impl std::fmt::Debug for QuantReplica {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QuantReplica")
             .field("dirty", &self.dirty)
+            .field("bank_dirty", &self.bank_dirty)
             .finish_non_exhaustive()
     }
 }
@@ -412,6 +506,23 @@ impl AdaptServer {
             "AdaptServer: quantized inference requires BnOnly adaptation \
              (the int8 snapshot re-folds BN movement without requantizing weights)"
         );
+        assert!(
+            !cfg.bn_banks || cfg.adapt.filter == ParamFilter::BnOnly,
+            "AdaptServer: BN banks require BnOnly adaptation \
+             (per-stream state is exactly the BN state; conv/FC weights stay shared)"
+        );
+        assert!(
+            !cfg.bn_banks
+                || matches!(
+                    cfg.adapt.stats_policy,
+                    ld_nn::BnStatsPolicy::Batch | ld_nn::BnStatsPolicy::Running
+                ),
+            "AdaptServer: BN banks require a stats policy whose running estimates \
+             are frozen during serving (Batch or Running) — under BatchEma the \
+             rollback-refresh and telemetry re-forwards of a tick would fold a \
+             confident stream's EMA statistics several times whenever *another* \
+             stream triggers, breaking the per-stream isolation contract"
+        );
         if let Some(gate) = &cfg.admission {
             let expect = if cfg.quantized_inference {
                 Precision::Int8
@@ -430,12 +541,33 @@ impl AdaptServer {
         model.apply_filter(cfg.adapt.filter);
         let opt = Sgd::new(cfg.adapt.lr).momentum(cfg.adapt.momentum);
         let good_bn_state = snapshot_bn(model);
+        // Banks inherit the resident state's *values*, never its transient
+        // gradient accumulators (pretraining leaves its last step's grads
+        // behind; the first banked backward must start from zero exactly as
+        // a dedicated adapter's `zero_grad` would).
+        let init_bank = cfg.bn_banks.then(|| {
+            let mut bank = model.extract_bn_bank();
+            bank.zero_grads();
+            bank
+        });
+        let streams = (0..n_streams)
+            .map(|_| {
+                let mut st = StreamState::default();
+                if let Some(init) = &init_bank {
+                    st.bank = Some(init.clone());
+                    st.good_bank = Some(init.clone());
+                    st.opt = Some(Sgd::new(cfg.adapt.lr).momentum(cfg.adapt.momentum));
+                }
+                st
+            })
+            .collect();
         AdaptServer {
             cfg,
             opt,
-            streams: vec![StreamState::default(); n_streams],
+            streams,
             good_bn_state,
             quant: None,
+            init_bank,
             latency_ratio: 1.0,
             stats: ServerStats::default(),
         }
@@ -515,8 +647,11 @@ impl AdaptServer {
         allow_adapt: bool,
     ) -> Vec<FrameOutcome> {
         self.validate_batch(frames);
-        if self.cfg.quantized_inference {
-            return self.process_batch_quant(model, frames, allow_adapt);
+        match (self.cfg.quantized_inference, self.cfg.bn_banks) {
+            (true, true) => return self.process_batch_quant_banked(model, frames, allow_adapt),
+            (true, false) => return self.process_batch_quant(model, frames, allow_adapt),
+            (false, true) => return self.process_batch_banked(model, frames, allow_adapt),
+            (false, false) => {}
         }
         let k = frames.len();
         let images: Vec<&Tensor> = frames.iter().map(|&(_, t)| t).collect();
@@ -527,7 +662,8 @@ impl AdaptServer {
 
         // Demux: per-stream trigger / rollback decisions against each
         // stream's own reference band.
-        let (triggered, any_rollback) = self.decide_triggers(frames, &entropies);
+        let (triggered, rollbacks) = self.decide_triggers(frames, &entropies);
+        let any_rollback = rollbacks.iter().any(|&r| r);
         if any_rollback {
             restore_bn(model, &self.good_bn_state);
             self.stats.rollback_ticks += 1;
@@ -594,17 +730,20 @@ impl AdaptServer {
         )
     }
 
-    /// The per-stream trigger / rollback demux shared by the f32 and
-    /// quantized ticks: folds each frame into its stream's frame counter
-    /// and decides, against that stream's reference band, whether it
-    /// triggers adaptation and whether the shared model must roll back.
+    /// The per-stream trigger / rollback demux shared by every tick
+    /// flavour: folds each frame into its stream's frame counter and
+    /// decides, against that stream's reference band, whether it triggers
+    /// adaptation and whether its normalisation state is poisoned. Returns
+    /// per-frame `(triggered, rollback)` flags — shared-state ticks roll
+    /// the whole model back on *any* rollback flag, banked ticks roll back
+    /// only the flagged streams' banks.
     fn decide_triggers(
         &mut self,
         frames: &[(usize, &Tensor)],
         entropies: &[f32],
-    ) -> (Vec<bool>, bool) {
+    ) -> (Vec<bool>, Vec<bool>) {
         let mut triggered = vec![false; frames.len()];
-        let mut any_rollback = false;
+        let mut rollbacks = vec![false; frames.len()];
         for (i, &(sid, _)) in frames.iter().enumerate() {
             let h = entropies[i];
             let st = &mut self.streams[sid];
@@ -613,26 +752,24 @@ impl AdaptServer {
             let reference = st.reference_entropy.unwrap_or(h);
             if !warmup && h > self.cfg.governor.rollback_ratio * reference {
                 st.stats.rollbacks += 1;
-                any_rollback = true;
+                rollbacks[i] = true;
             }
             triggered[i] = warmup || h > self.cfg.governor.threshold_ratio * reference;
         }
-        (triggered, any_rollback)
+        (triggered, rollbacks)
     }
 
-    /// The per-stream bookkeeping shared by the f32 and quantized ticks:
-    /// confident frames fold into their stream's reference band, any
-    /// confident frame blesses the (shared) BN state as known-good, and the
-    /// whole-server tick counters advance.
-    fn finish_tick(
+    /// The per-stream duty/reference bookkeeping shared by every tick
+    /// flavour: duty counters advance and confident frames fold into their
+    /// stream's reference band. Returns whether any frame skipped
+    /// confidently (the blessing condition).
+    fn fold_stream_counters(
         &mut self,
-        model: &mut UfldModel,
         frames: &[(usize, &Tensor)],
         entropies: &[f32],
         triggered: &[bool],
         do_adapt: bool,
-        pre_step_bn: Option<Vec<(String, Tensor)>>,
-    ) {
+    ) -> bool {
         let mut any_skip = false;
         for (i, &(sid, _)) in frames.iter().enumerate() {
             let h = entropies[i];
@@ -654,11 +791,55 @@ impl AdaptServer {
                 st.reference_entropy = Some(h);
             }
         }
+        any_skip
+    }
+
+    /// Shared-state tick epilogue: per-stream bookkeeping, then any
+    /// confident frame blesses the (shared) BN state as known-good, and the
+    /// whole-server tick counters advance.
+    fn finish_tick(
+        &mut self,
+        model: &mut UfldModel,
+        frames: &[(usize, &Tensor)],
+        entropies: &[f32],
+        triggered: &[bool],
+        do_adapt: bool,
+        pre_step_bn: Option<Vec<(String, Tensor)>>,
+    ) {
+        let any_skip = self.fold_stream_counters(frames, entropies, triggered, do_adapt);
         if any_skip {
             // Bless the state the confident streams actually ran on: the
             // pre-step snapshot when this tick also adapted, the current
             // parameters otherwise.
             self.good_bn_state = pre_step_bn.unwrap_or_else(|| snapshot_bn(model));
+        }
+        self.stats.ticks += 1;
+        self.stats.frames += frames.len();
+    }
+
+    /// Banked tick epilogue: per-stream bookkeeping, then each confident
+    /// stream blesses **its own** bank (no other stream's update can have
+    /// touched it, so post-tick blessing needs no pre-step snapshot), banks
+    /// return to their stream slots, and the tick counters advance.
+    fn finish_tick_banked(
+        &mut self,
+        frames: &[(usize, &Tensor)],
+        entropies: &[f32],
+        triggered: &[bool],
+        do_adapt: bool,
+        banks: Vec<BnBank>,
+    ) {
+        self.fold_stream_counters(frames, entropies, triggered, do_adapt);
+        for ((&(sid, _), bank), &hit) in frames.iter().zip(banks).zip(triggered) {
+            let st = &mut self.streams[sid];
+            if !hit {
+                st.good_bank
+                    .as_mut()
+                    .expect("bank mode")
+                    .restore_affine_from(&bank);
+            }
+            st.bank_swaps += 1;
+            st.bank = Some(bank);
         }
         self.stats.ticks += 1;
         self.stats.frames += frames.len();
@@ -714,6 +895,7 @@ impl AdaptServer {
                 slot @ None => slot.insert(QuantReplica {
                     model: model.quantize(&images),
                     dirty: false,
+                    bank_dirty: Vec::new(),
                 }),
             };
             // Mux: the quantized forward serves every stream's inference.
@@ -723,7 +905,8 @@ impl AdaptServer {
 
         // Demux: same trigger / rollback maths as the f32 path, referenced
         // to the quantized entropy band.
-        let (triggered, any_rollback) = self.decide_triggers(frames, &entropies);
+        let (triggered, rollbacks) = self.decide_triggers(frames, &entropies);
+        let any_rollback = rollbacks.iter().any(|&r| r);
         if any_rollback {
             restore_bn(model, &self.good_bn_state);
             self.stats.rollback_ticks += 1;
@@ -781,10 +964,327 @@ impl AdaptServer {
         )
     }
 
+    /// Takes the admitted streams' banks out of their slots, in batch
+    /// order, for the duration of one tick.
+    fn take_banks(&mut self, frames: &[(usize, &Tensor)]) -> Vec<BnBank> {
+        frames
+            .iter()
+            .map(|&(sid, _)| self.streams[sid].bank.take().expect("bank mode"))
+            .collect()
+    }
+
+    /// Per-image entropy gradients for the triggered lanes of a banked
+    /// tick, assembled into one batch gradient. Each lane's slice is the
+    /// gradient of *that image's own* mean entropy (bitwise what a
+    /// dedicated batch-1 adapter computes — no cross-stream renormalisation
+    /// exists to undo), and untriggered lanes stay zero so their banks
+    /// receive no update.
+    fn banked_entropy_grad(logits: &Tensor, triggered: &[bool]) -> Tensor {
+        let ldims = logits.shape_dims();
+        let per_frame_dims = [1, ldims[1], ldims[2], ldims[3]];
+        let mut grad = Tensor::zeros(ldims);
+        for (i, &hit) in triggered.iter().enumerate() {
+            if hit {
+                let img = Tensor::from_vec(logits.image(i).to_vec(), &per_frame_dims);
+                let lo = loss::entropy(&img);
+                grad.image_mut(i).copy_from_slice(lo.grad.as_slice());
+            }
+        }
+        grad
+    }
+
+    /// Rolls flagged streams' banks back to their own known-good snapshots
+    /// (the banks are out of the model at this point). Returns whether any
+    /// bank rolled back.
+    fn rollback_banks(
+        &mut self,
+        frames: &[(usize, &Tensor)],
+        banks: &mut [BnBank],
+        rollbacks: &[bool],
+    ) -> bool {
+        let mut any = false;
+        for (i, &(sid, _)) in frames.iter().enumerate() {
+            if rollbacks[i] {
+                let good = self.streams[sid].good_bank.as_ref().expect("bank mode");
+                banks[i].restore_affine_from(good);
+                any = true;
+            }
+        }
+        if any {
+            self.stats.rollback_ticks += 1;
+        }
+        any
+    }
+
+    /// Applies each triggered stream's own optimizer to its bank and zeroes
+    /// every tick bank's gradient accumulators (the invariant between
+    /// ticks: bank grads are always zero).
+    fn step_banks(
+        &mut self,
+        frames: &[(usize, &Tensor)],
+        banks: &mut [BnBank],
+        triggered: &[bool],
+    ) {
+        for (i, &(sid, _)) in frames.iter().enumerate() {
+            if triggered[i] {
+                let st = &mut self.streams[sid];
+                let opt = st.opt.as_mut().expect("bank mode");
+                for state in banks[i].states_mut() {
+                    opt.update(&mut state.gamma);
+                    opt.update(&mut state.beta);
+                }
+            }
+            banks[i].zero_grads();
+        }
+    }
+
+    /// The banked f32 tick: the admitted streams' BN banks are swapped into
+    /// per-image model lanes, so the single batched forward normalises each
+    /// image with its own stream's state (per-image statistics) and the
+    /// single batched backward accumulates each triggered lane's entropy
+    /// gradient into that stream's bank. Rollback, optimizer momentum and
+    /// known-good blessing are all per stream — a lane is bitwise a
+    /// dedicated single-stream adapter riding shared conv weights.
+    fn process_batch_banked(
+        &mut self,
+        model: &mut UfldModel,
+        frames: &[(usize, &Tensor)],
+        allow_adapt: bool,
+    ) -> Vec<FrameOutcome> {
+        let k = frames.len();
+        let images: Vec<&Tensor> = frames.iter().map(|&(_, t)| t).collect();
+        let mut banks = self.take_banks(frames);
+
+        // Mux: one batched forward, each lane on its own bank. The lanes
+        // stay bound through the backward — unbinding drops the layer
+        // caches the backward reuses.
+        model.bind_bn_lanes(&mut banks);
+        let logits = model.forward_frames(&images, Mode::Eval);
+        let entropies = loss::entropy_per_image(&logits);
+
+        // Demux: per-stream triggers, per-stream rollbacks. Rolling a bank
+        // back requires it out of the lanes.
+        let (triggered, rollbacks) = self.decide_triggers(frames, &entropies);
+        let any_rollback = rollbacks.iter().any(|&r| r);
+        let mut bound = true;
+        if any_rollback {
+            model.unbind_bn_lanes(&mut banks);
+            bound = false;
+            self.rollback_banks(frames, &mut banks, &rollbacks);
+        }
+
+        let t = triggered.iter().filter(|&&x| x).count();
+        let do_adapt = allow_adapt && t > 0;
+        if !allow_adapt && t > 0 {
+            self.stats.shed_adapt_ticks += 1;
+        }
+
+        let mut step_before = vec![f32::NAN; k];
+        let mut step_after = vec![f32::NAN; k];
+        if do_adapt {
+            let grad = if any_rollback {
+                // The cached activations came from the poisoned banks;
+                // refresh them against the restored state (the adapt branch
+                // always unbinds after the backward, so `bound` stays
+                // false through this stretch).
+                model.bind_bn_lanes(&mut banks);
+                let refreshed = model.forward_frames(&images, Mode::Eval);
+                step_before.copy_from_slice(&loss::entropy_per_image(&refreshed));
+                Self::banked_entropy_grad(&refreshed, &triggered)
+            } else {
+                step_before.copy_from_slice(&entropies);
+                Self::banked_entropy_grad(&logits, &triggered)
+            };
+            model.zero_grad();
+            model.backward(&grad);
+            model.unbind_bn_lanes(&mut banks);
+            bound = false;
+            self.step_banks(frames, &mut banks, &triggered);
+            self.stats.adapt_steps += 1;
+            if self.cfg.measure_entropy_after {
+                model.bind_bn_lanes(&mut banks);
+                let after_logits = model.forward_frames(&images, Mode::Eval);
+                let after = loss::entropy_per_image(&after_logits);
+                step_after[..k].copy_from_slice(&after[..k]);
+                model.unbind_bn_lanes(&mut banks);
+            }
+        }
+        if bound {
+            model.unbind_bn_lanes(&mut banks);
+        }
+
+        self.finish_tick_banked(frames, &entropies, &triggered, do_adapt, banks);
+        assemble_outcomes(
+            &logits,
+            &entropies,
+            &triggered,
+            do_adapt,
+            &step_before,
+            &step_after,
+        )
+    }
+
+    /// The banked int8 fast-path tick: serving logits come from the
+    /// quantized snapshot with **per-image epilogue tables** (one per
+    /// stream bank), lazily re-folded per stream via the per-stream dirty
+    /// flags. Only the triggered sub-batch pays f32 — with exactly its
+    /// streams' banks bound as lanes — and only those streams' tables go
+    /// dirty afterwards.
+    fn process_batch_quant_banked(
+        &mut self,
+        model: &mut UfldModel,
+        frames: &[(usize, &Tensor)],
+        allow_adapt: bool,
+    ) -> Vec<FrameOutcome> {
+        let k = frames.len();
+        let n_streams = self.streams.len();
+        let images: Vec<&Tensor> = frames.iter().map(|&(_, t)| t).collect();
+        let bank_ids: Vec<usize> = frames.iter().map(|&(sid, _)| sid).collect();
+
+        // Build the snapshot on the first tick (epilogue tables start as
+        // the resident fold, so every stream's table begins dirty), then
+        // re-fold only the admitted streams whose banks have moved.
+        if self.quant.is_none() {
+            self.quant = Some(QuantReplica {
+                model: {
+                    let mut qm = model.quantize(&images);
+                    qm.ensure_banks(n_streams);
+                    qm
+                },
+                dirty: false,
+                bank_dirty: vec![true; n_streams],
+            });
+        }
+        let tick_now = self.stats.ticks;
+        let logits = {
+            let replica = self.quant.as_mut().expect("replica exists");
+            for &sid in &bank_ids {
+                if replica.bank_dirty[sid] {
+                    let st = &mut self.streams[sid];
+                    replica
+                        .model
+                        .refresh_affine_bank(sid, st.bank.as_ref().expect("bank mode"));
+                    replica.bank_dirty[sid] = false;
+                    st.last_refold_tick = Some(tick_now);
+                }
+            }
+            replica.model.forward_frames_banked(&images, &bank_ids)
+        };
+        let entropies = loss::entropy_per_image(&logits);
+
+        let (triggered, rollbacks) = self.decide_triggers(frames, &entropies);
+        let mut banks = self.take_banks(frames);
+        if self.rollback_banks(frames, &mut banks, &rollbacks) {
+            let replica = self.quant.as_mut().expect("replica exists");
+            for (i, &(sid, _)) in frames.iter().enumerate() {
+                if rollbacks[i] {
+                    replica.bank_dirty[sid] = true;
+                }
+            }
+        }
+
+        let t = triggered.iter().filter(|&&x| x).count();
+        let do_adapt = allow_adapt && t > 0;
+        if !allow_adapt && t > 0 {
+            self.stats.shed_adapt_ticks += 1;
+        }
+
+        // One f32 forward + per-lane backward over the triggered sub-batch
+        // only, with exactly the triggered streams' banks bound as lanes.
+        let mut step_before = vec![f32::NAN; k];
+        let mut step_after = vec![f32::NAN; k];
+        if do_adapt {
+            let sub_idx: Vec<usize> = (0..k).filter(|&i| triggered[i]).collect();
+            let sub: Vec<&Tensor> = sub_idx.iter().map(|&i| images[i]).collect();
+            let mut sub_banks: Vec<BnBank> = Vec::with_capacity(sub_idx.len());
+            for &i in sub_idx.iter().rev() {
+                sub_banks.push(banks.remove(i));
+            }
+            sub_banks.reverse();
+
+            model.bind_bn_lanes(&mut sub_banks);
+            let sub_logits = model.forward_frames(&sub, Mode::Eval);
+            let sub_entropies = loss::entropy_per_image(&sub_logits);
+            for (&i, &h) in sub_idx.iter().zip(&sub_entropies) {
+                step_before[i] = h;
+            }
+            let all_hit = vec![true; sub.len()];
+            let grad = Self::banked_entropy_grad(&sub_logits, &all_hit);
+            model.zero_grad();
+            model.backward(&grad);
+            model.unbind_bn_lanes(&mut sub_banks);
+
+            // Update each triggered stream's bank with its own optimizer
+            // and dirty-flag its epilogue table.
+            let sub_frames: Vec<(usize, &Tensor)> = sub_idx.iter().map(|&i| frames[i]).collect();
+            self.step_banks(&sub_frames, &mut sub_banks, &all_hit);
+            let replica = self.quant.as_mut().expect("replica exists");
+            for &(sid, _) in &sub_frames {
+                replica.bank_dirty[sid] = true;
+            }
+            self.stats.adapt_steps += 1;
+
+            if self.cfg.measure_entropy_after {
+                model.bind_bn_lanes(&mut sub_banks);
+                let after_logits = model.forward_frames(&sub, Mode::Eval);
+                let after = loss::entropy_per_image(&after_logits);
+                for (&i, &h) in sub_idx.iter().zip(&after) {
+                    step_after[i] = h;
+                }
+                model.unbind_bn_lanes(&mut sub_banks);
+            }
+
+            // Re-insert the sub-batch banks at their original positions
+            // (increasing indices, so each insert lands where it left).
+            for (&i, bank) in sub_idx.iter().zip(sub_banks) {
+                banks.insert(i, bank);
+            }
+        }
+
+        self.finish_tick_banked(frames, &entropies, &triggered, do_adapt, banks);
+        assemble_outcomes(
+            &logits,
+            &entropies,
+            &triggered,
+            do_adapt,
+            &step_before,
+            &step_after,
+        )
+    }
+
     /// Whether the int8 serving snapshot has been built (quantized servers
     /// build it lazily on their first tick).
     pub fn quant_snapshot_ready(&self) -> bool {
         self.quant.is_some()
+    }
+
+    /// Whether per-stream BN banks are active.
+    pub fn bn_banks_enabled(&self) -> bool {
+        self.cfg.bn_banks
+    }
+
+    /// One stream's current BN bank (bank mode only; `None` otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is out of range.
+    pub fn stream_bank(&self, stream: usize) -> Option<&BnBank> {
+        self.streams[stream].bank.as_ref()
+    }
+
+    /// One stream's bank telemetry (bank mode only; `None` otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is out of range.
+    pub fn bank_telemetry(&self, stream: usize) -> Option<BankTelemetry> {
+        let st = &self.streams[stream];
+        let (bank, init) = (st.bank.as_ref()?, self.init_bank.as_ref()?);
+        Some(BankTelemetry {
+            bank_swaps: st.bank_swaps,
+            last_refold_tick: st.last_refold_tick,
+            l2_from_init: bank.affine_l2_distance(init),
+        })
     }
 
     /// Current measured-over-predicted tick-latency EWMA (1.0 until the
@@ -898,6 +1398,7 @@ impl AdaptServer {
         }
         for (sid, report) in reports.iter_mut().enumerate() {
             report.stats = self.streams[sid].stats;
+            report.bank = self.bank_telemetry(sid);
         }
         ServeReport {
             per_stream: reports,
@@ -1306,6 +1807,223 @@ mod tests {
             with.deferred_frames,
             without.deferred_frames
         );
+    }
+
+    /// The bank-mode isolation contract: K streams with per-stream banks
+    /// through ONE batched server are bitwise identical — logits, trigger
+    /// decisions, duty stats, reference bands — to K dedicated
+    /// single-stream governors each owning a full model copy. This is with
+    /// the paper's Batch statistics policy and real adaptation steps (the
+    /// frozen-stats variant of this test covers the shared config).
+    #[test]
+    fn banked_streams_bitwise_match_dedicated_single_stream_servers() {
+        let cfg = UfldConfig::tiny(2);
+        let gov = GovernorConfig {
+            warmup_frames: 2,
+            threshold_ratio: 1.05,
+            rollback_ratio: 1e9,
+            ..Default::default()
+        };
+        let k = 3;
+        let rounds = 5;
+        let adapt = || LdBnAdaptConfig::paper(1).with_lr(0.02);
+        let mut shared = UfldModel::new(&cfg, 0xBA7);
+        let mut clones: Vec<UfldModel> = (0..k).map(|_| shared.clone_model()).collect();
+
+        let non_bn_before: Vec<Tensor> = {
+            let mut v = Vec::new();
+            shared.visit_params(&mut |p| {
+                if !p.kind.is_bn() {
+                    v.push(p.value.clone());
+                }
+            });
+            v
+        };
+        let server_cfg = ServerConfig::new(adapt(), gov, k).with_bn_banks();
+        let mut server = AdaptServer::new(server_cfg, k, &mut shared);
+        assert!(server.bn_banks_enabled());
+        let resident_bn_before = snapshot_bn(&mut shared);
+        let mut governors: Vec<AdaptGovernor> = clones
+            .iter_mut()
+            .map(|m| AdaptGovernor::new(adapt(), gov, m))
+            .collect();
+
+        let mut any_adapted = false;
+        for round in 0..rounds {
+            let frames = random_frames(&cfg, k, 500 + round as u64);
+            let batch: Vec<(usize, &Tensor)> = frames.iter().enumerate().collect();
+            let outcomes = server.process_batch(&mut shared, &batch);
+            for (s, (gv, clone)) in governors.iter_mut().zip(&mut clones).enumerate() {
+                let (logits, adapted) = gv.process_frame(clone, &frames[s]);
+                assert_eq!(
+                    outcomes[s].logits.as_slice(),
+                    logits.as_slice(),
+                    "round {round} stream {s}: logits diverged"
+                );
+                assert_eq!(
+                    outcomes[s].adapted.is_some(),
+                    adapted,
+                    "round {round} stream {s}: trigger decision diverged"
+                );
+                any_adapted |= adapted;
+            }
+        }
+        assert!(any_adapted, "workload never adapted — test is vacuous");
+        for (s, gv) in governors.iter().enumerate() {
+            assert_eq!(server.stream_stats(s), gv.stats(), "stream {s} stats");
+            assert_eq!(
+                server.reference_entropy(s).map(f32::to_bits),
+                gv.reference_entropy().map(f32::to_bits),
+                "stream {s} reference band"
+            );
+        }
+        // Banks moved away from init (and per-stream L2 telemetry sees it)…
+        let telemetry = server.bank_telemetry(0).expect("bank telemetry");
+        assert!(telemetry.l2_from_init > 0.0);
+        assert_eq!(telemetry.bank_swaps, rounds);
+        // …while the shared model itself — conv/FC weights AND resident BN
+        // state — was never touched: all per-stream state lives in banks.
+        let mut idx = 0;
+        shared.visit_params(&mut |p| {
+            if !p.kind.is_bn() {
+                assert_eq!(p.value.as_slice(), non_bn_before[idx].as_slice());
+                idx += 1;
+            }
+        });
+        let resident_bn_after = snapshot_bn(&mut shared);
+        for ((name, a), (_, b)) in resident_bn_before.iter().zip(&resident_bn_after) {
+            assert_eq!(a.as_slice(), b.as_slice(), "{name}: resident BN moved");
+        }
+    }
+
+    /// Per-stream rollback in bank mode: poisoning one stream's bank rolls
+    /// only that stream back; the healthy stream's bank is untouched.
+    #[test]
+    fn banked_rollback_is_per_stream() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = UfldModel::new(&cfg, 0x60F);
+        let mut train = TrainConfig::smoke();
+        train.steps = 60;
+        pretrain_on_source(&mut model, Benchmark::MoLane, &train);
+
+        let gov = GovernorConfig {
+            warmup_frames: 0,
+            threshold_ratio: 1.02,
+            rollback_ratio: 1.5,
+            ..Default::default()
+        };
+        let server_cfg = ServerConfig::new(LdBnAdaptConfig::paper(1), gov, 2).with_bn_banks();
+        let mut server = AdaptServer::new(server_cfg, 2, &mut model);
+
+        let calm = ld_carlane::FrameStream::source(Benchmark::MoLane, frame_spec_for(&cfg), 1, 12)
+            .frame(0)
+            .image;
+        // Settle both streams on the calm frame (references + blessings).
+        for _ in 0..4 {
+            server.process_batch(&mut model, &[(0, &calm), (1, &calm)]);
+        }
+        let healthy_before = server.stream_bank(1).unwrap().clone();
+
+        // Poison stream 0's bank directly (simulating a destructive update).
+        for st in server.streams[0].bank.as_mut().unwrap().states_mut() {
+            st.gamma.value.fill(0.0);
+            st.beta.value.fill(0.0);
+        }
+        server.process_batch(&mut model, &[(0, &calm), (1, &calm)]);
+        assert!(
+            server.stream_stats(0).rollbacks >= 1,
+            "poisoned stream must roll back: {:?}",
+            server.stream_stats(0)
+        );
+        assert_eq!(server.stream_stats(1).rollbacks, 0, "healthy stream");
+        // Stream 0's bank is restored (non-zero), not still poisoned.
+        let restored = server.stream_bank(0).unwrap();
+        assert!(restored
+            .iter()
+            .any(|st| st.gamma.value.as_slice().iter().any(|&v| v != 0.0)));
+        // Stream 1's bank did not take stream 0's rollback (it may have
+        // adapted its own step on this tick, but from its own history).
+        let healthy_after = server.stream_bank(1).unwrap();
+        let drift = healthy_after.affine_l2_distance(&healthy_before);
+        assert!(drift < 1.0, "healthy bank jumped implausibly far: {drift}");
+    }
+
+    /// Banked int8 fast path: per-stream epilogue tables re-fold lazily —
+    /// only when *that* stream's bank moved — and the serving logits stay
+    /// finite through build/refold/adapt cycles.
+    #[test]
+    fn quantized_banked_server_refolds_tables_per_stream() {
+        let cfg = UfldConfig::tiny(2);
+        let gov = GovernorConfig {
+            warmup_frames: 1,
+            threshold_ratio: 1e6,
+            rollback_ratio: 1e9,
+            ..Default::default()
+        };
+        let mut model = UfldModel::new(&cfg, 0xBEE5);
+        let server_cfg = ServerConfig::new(LdBnAdaptConfig::paper(1).with_lr(0.05), gov, 2)
+            .with_quantized_inference()
+            .with_bn_banks();
+        let mut server = AdaptServer::new(server_cfg, 2, &mut model);
+
+        // Tick 0: warm-up triggers both; tables refold from init (dirty at
+        // build), then both banks adapt and go dirty again.
+        let f0 = random_frames(&cfg, 2, 700);
+        let out0 = server.process_batch(&mut model, &[(0, &f0[0]), (1, &f0[1])]);
+        assert!(server.quant_snapshot_ready());
+        assert!(out0.iter().all(|o| o.adapted.is_some()));
+        assert_eq!(server.bank_telemetry(0).unwrap().last_refold_tick, Some(0));
+        assert_eq!(server.bank_telemetry(1).unwrap().last_refold_tick, Some(0));
+        assert!(server.bank_telemetry(0).unwrap().l2_from_init > 0.0);
+
+        // Tick 1: both dirty from tick 0's adapt → both refold; the huge
+        // threshold stops further triggering.
+        let f1 = random_frames(&cfg, 2, 701);
+        let out1 = server.process_batch(&mut model, &[(0, &f1[0]), (1, &f1[1])]);
+        assert!(out1.iter().all(|o| o.adapted.is_none()));
+        assert_eq!(server.bank_telemetry(0).unwrap().last_refold_tick, Some(1));
+        assert_eq!(server.bank_telemetry(1).unwrap().last_refold_tick, Some(1));
+
+        // Tick 2: serve stream 0 alone — its table is clean, so no refold.
+        server.process_batch(&mut model, &[(0, &f0[0])]);
+        assert_eq!(
+            server.bank_telemetry(0).unwrap().last_refold_tick,
+            Some(1),
+            "clean table must not refold"
+        );
+        // And every outcome stayed finite through the quantized path.
+        for o in out0.iter().chain(&out1) {
+            assert!(o.entropy.is_finite());
+            assert!(!o.logits.has_non_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "frozen during serving")]
+    fn bn_banks_reject_ema_stats_policy() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = UfldModel::new(&cfg, 3);
+        let server_cfg = ServerConfig::new(
+            LdBnAdaptConfig::paper(1).with_stats_policy(BnStatsPolicy::BatchEma { momentum: 0.1 }),
+            GovernorConfig::default(),
+            2,
+        )
+        .with_bn_banks();
+        AdaptServer::new(server_cfg, 2, &mut model);
+    }
+
+    #[test]
+    #[should_panic(expected = "BnOnly")]
+    fn bn_banks_require_bn_only_adaptation() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = UfldModel::new(&cfg, 3);
+        let server_cfg = ServerConfig::new(
+            LdBnAdaptConfig::paper(1).with_filter(ParamFilter::FcOnly),
+            GovernorConfig::default(),
+            2,
+        )
+        .with_bn_banks();
+        AdaptServer::new(server_cfg, 2, &mut model);
     }
 
     #[test]

@@ -9,6 +9,24 @@
 //! 2. the affine parameters `(γ, β)` are **updated by one entropy-descent
 //!    step** (they are the only [`Parameter`]s a
 //!    [`ParamFilter::BnOnly`](crate::ParamFilter::BnOnly) leaves trainable).
+//!
+//! # State banks
+//!
+//! Everything the adaptation loop mutates — γ, β and the running statistics
+//! — lives in a [`BnState`] that is **swappable**: the layer owns a resident
+//! state but exposes [`BatchNorm2d::swap_state`] (trade the resident state
+//! for another bank's) and per-image **lanes**
+//! ([`BatchNorm2d::swap_lane`] / [`BatchNorm2d::set_lane_count`]) so one
+//! batched forward can normalise every image with a *different* state while
+//! the convolution weights stay shared. This is what lets a multi-stream
+//! server keep per-domain normalisation banks (~1 % of the model per
+//! stream) and still pay a single batched forward/backward: image `i` of
+//! the batch reads and writes lane `i`'s γ/β/stats, and the backward
+//! accumulates each lane's gradient into *that lane's* parameters.
+//!
+//! Under lane mode the batch statistics are computed **per image** (over
+//! `H·W`), exactly what a dedicated batch-1 model would compute — so a lane
+//! is bitwise-equivalent to giving the stream its own model copy.
 
 // The normalisation kernels index several per-channel arrays in lockstep;
 // plain index loops are clearer than zipped iterator chains here.
@@ -17,6 +35,11 @@
 use crate::layer::{Layer, Mode};
 use crate::param::{ParamKind, Parameter};
 use ld_tensor::Tensor;
+
+/// The ε used by every BN layer in this stack (no config ever changes it).
+/// Exposed so bank consumers (e.g. the quantized epilogue re-fold) can fold
+/// a [`BnState`] without a [`BatchNorm2d`] at hand.
+pub const BN_EPS: f32 = 1e-5;
 
 /// Which statistics a BN layer normalises with during [`Mode::Eval`].
 ///
@@ -40,14 +63,116 @@ pub enum BnStatsPolicy {
     },
 }
 
+/// Everything a BN layer *adapts*: the affine parameters and the running
+/// statistics, decoupled from the layer's geometry so it can be swapped as
+/// a unit (per-stream state banks, known-good rollback snapshots).
+#[derive(Debug, Clone)]
+pub struct BnState {
+    /// Per-channel scale γ.
+    pub gamma: Parameter,
+    /// Per-channel shift β.
+    pub beta: Parameter,
+    /// Running mean estimate (one value per channel).
+    pub running_mean: Tensor,
+    /// Running variance estimate (one value per channel).
+    pub running_var: Tensor,
+}
+
+impl BnState {
+    /// Fresh state for `channels` channels: γ=1, β=0, running stats (0, 1).
+    pub fn new(name: &str, channels: usize) -> Self {
+        BnState {
+            gamma: Parameter::new(
+                format!("{name}.gamma"),
+                ParamKind::BnGamma,
+                Tensor::ones(&[channels]),
+            ),
+            beta: Parameter::new(
+                format!("{name}.beta"),
+                ParamKind::BnBeta,
+                Tensor::zeros(&[channels]),
+            ),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+        }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// The per-channel affine this state collapses to under frozen running
+    /// statistics: `scale = γ/√(σ²_run + ε)`, `shift = β − scale·µ_run` —
+    /// the same fold as [`BatchNorm2d::folded_affine`], computable from a
+    /// bank without the owning layer (quantized epilogue re-folds).
+    pub fn folded_affine_into(&self, eps: f32, scale: &mut [f32], shift: &mut [f32]) {
+        let c = self.channels();
+        assert_eq!(scale.len(), c, "folded_affine_into: scale length");
+        assert_eq!(shift.len(), c, "folded_affine_into: shift length");
+        for ci in 0..c {
+            let s =
+                self.gamma.value.as_slice()[ci] / (self.running_var.as_slice()[ci] + eps).sqrt();
+            scale[ci] = s;
+            shift[ci] = self.beta.value.as_slice()[ci] - s * self.running_mean.as_slice()[ci];
+        }
+    }
+
+    /// Euclidean distance between the γ/β of two states (the telemetry
+    /// measure of how far a bank has adapted from its initial values;
+    /// running statistics are excluded — the paper's Batch policy never
+    /// moves them).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a channel-count mismatch.
+    pub fn affine_l2_distance(&self, other: &BnState) -> f32 {
+        assert_eq!(
+            self.channels(),
+            other.channels(),
+            "affine_l2_distance: channel mismatch"
+        );
+        let mut sq = 0.0f64;
+        for (a, b) in self
+            .gamma
+            .value
+            .as_slice()
+            .iter()
+            .zip(other.gamma.value.as_slice())
+        {
+            sq += ((a - b) as f64).powi(2);
+        }
+        for (a, b) in self
+            .beta
+            .value
+            .as_slice()
+            .iter()
+            .zip(other.beta.value.as_slice())
+        {
+            sq += ((a - b) as f64).powi(2);
+        }
+        (sq as f32).sqrt()
+    }
+}
+
 struct BnCache {
     x_hat: Tensor,
+    /// Per-channel inverse std — `c` entries in resident mode, `n·c` in lane
+    /// mode (each lane normalised with its own statistics).
     inv_std: Vec<f32>,
     used_batch_stats: bool,
+    /// Reduction count behind the cached statistics (`n·H·W` resident,
+    /// `H·W` per lane).
     count: usize,
+    /// Whether the cached forward ran in lane mode.
+    laned: bool,
 }
 
 /// 2-D batch normalisation over NCHW activations.
+///
+/// The layer is **shared geometry** (channel count, ε, policy, caches) plus
+/// a resident [`BnState`]; see the module docs for how states swap and how
+/// per-image lanes let one batched forward serve several state banks.
 ///
 /// # Example
 ///
@@ -63,10 +188,8 @@ struct BnCache {
 /// ```
 pub struct BatchNorm2d {
     name: String,
-    gamma: Parameter,
-    beta: Parameter,
-    running_mean: Tensor,
-    running_var: Tensor,
+    /// The resident adaptation state (used when no lanes are bound).
+    state: BnState,
     channels: usize,
     /// Statistics policy applied in [`Mode::Eval`].
     pub policy: BnStatsPolicy,
@@ -77,6 +200,11 @@ pub struct BatchNorm2d {
     /// Reusable buffers for [`BatchNorm2d::folded_affine`] (sized once).
     fold_scale: Vec<f32>,
     fold_shift: Vec<f32>,
+    /// Per-image lane slots (swap targets for external state banks). Only
+    /// `lanes[..lanes_bound]` are live; the rest is reusable storage.
+    lanes: Vec<BnState>,
+    /// Number of bound lanes; 0 = resident mode.
+    lanes_bound: usize,
 }
 
 impl BatchNorm2d {
@@ -88,26 +216,17 @@ impl BatchNorm2d {
     pub fn new(name: &str, channels: usize) -> Self {
         assert!(channels > 0, "BatchNorm2d: zero channels");
         BatchNorm2d {
+            state: BnState::new(name, channels),
             name: name.to_owned(),
-            gamma: Parameter::new(
-                format!("{name}.gamma"),
-                ParamKind::BnGamma,
-                Tensor::ones(&[channels]),
-            ),
-            beta: Parameter::new(
-                format!("{name}.beta"),
-                ParamKind::BnBeta,
-                Tensor::zeros(&[channels]),
-            ),
-            running_mean: Tensor::zeros(&[channels]),
-            running_var: Tensor::ones(&[channels]),
             channels,
             policy: BnStatsPolicy::Running,
             train_momentum: 0.1,
-            eps: 1e-5,
+            eps: BN_EPS,
             cache: None,
             fold_scale: Vec::new(),
             fold_shift: Vec::new(),
+            lanes: Vec::new(),
+            lanes_bound: 0,
         }
     }
 
@@ -116,24 +235,111 @@ impl BatchNorm2d {
         self.channels
     }
 
+    /// The normalisation ε.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
     /// Current running mean (one value per channel).
     pub fn running_mean(&self) -> &Tensor {
-        &self.running_mean
+        &self.state.running_mean
     }
 
     /// Current running variance (one value per channel).
     pub fn running_var(&self) -> &Tensor {
-        &self.running_var
+        &self.state.running_var
     }
 
     /// Immutable access to γ.
     pub fn gamma(&self) -> &Parameter {
-        &self.gamma
+        &self.state.gamma
     }
 
     /// Immutable access to β.
     pub fn beta(&self) -> &Parameter {
-        &self.beta
+        &self.state.beta
+    }
+
+    /// The resident adaptation state.
+    pub fn state(&self) -> &BnState {
+        &self.state
+    }
+
+    /// Mutable access to the resident state (callers that mutate between a
+    /// forward and its backward get the same self-inflicted inconsistency
+    /// they always could via `visit_params`).
+    pub fn state_mut(&mut self) -> &mut BnState {
+        &mut self.state
+    }
+
+    /// A deep copy of the resident state (bank construction).
+    pub fn extract_state(&self) -> BnState {
+        self.state.clone()
+    }
+
+    /// Trades the resident state for `other` (whole-bank swap). O(1): the
+    /// tensors move, nothing is copied. Drops the forward cache — the cached
+    /// intermediates belong to the outgoing state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a channel-count mismatch.
+    pub fn swap_state(&mut self, other: &mut BnState) {
+        assert_eq!(
+            other.channels(),
+            self.channels,
+            "swap_state: {} channels, want {}",
+            other.channels(),
+            self.channels
+        );
+        std::mem::swap(&mut self.state, other);
+        self.cache = None;
+    }
+
+    /// Trades the state bound to per-image lane `lane` for `state`, growing
+    /// the lane storage (clones of the resident state) as needed. Call
+    /// [`BatchNorm2d::set_lane_count`] to activate the bound lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a channel-count mismatch.
+    pub fn swap_lane(&mut self, lane: usize, state: &mut BnState) {
+        assert_eq!(
+            state.channels(),
+            self.channels,
+            "swap_lane: {} channels, want {}",
+            state.channels(),
+            self.channels
+        );
+        while self.lanes.len() <= lane {
+            self.lanes.push(self.state.clone());
+        }
+        std::mem::swap(&mut self.lanes[lane], state);
+    }
+
+    /// Sets the number of live lanes: the next forward must see a batch of
+    /// exactly `count` images and will normalise image `i` with lane `i`'s
+    /// state (per-image statistics under batch policies). `0` returns the
+    /// layer to resident mode. Drops the forward cache either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the lanes bound via
+    /// [`BatchNorm2d::swap_lane`].
+    pub fn set_lane_count(&mut self, count: usize) {
+        assert!(
+            count <= self.lanes.len(),
+            "set_lane_count: {count} lanes bound, only {} exist",
+            self.lanes.len()
+        );
+        self.lanes_bound = count;
+        self.cache = None;
+    }
+
+    /// Whether per-image lanes are active (the fused conv→BN path must not
+    /// fold the resident state while lanes are bound).
+    pub fn lanes_active(&self) -> bool {
+        self.lanes_bound > 0
     }
 
     /// The per-channel affine this layer collapses to under **frozen running
@@ -155,30 +361,177 @@ impl BatchNorm2d {
     /// ([`Conv2d::forward_fused_affine`](crate::Conv2d::forward_fused_affine)):
     /// a preceding convolution applies the affine as its output epilogue and
     /// the whole BN traversal is skipped. Only valid to *use* when the layer
-    /// would normalise with running stats (eval + [`BnStatsPolicy::Running`]);
-    /// callers check the policy. Recomputed on every call into reusable
-    /// buffers, so current γ/β/running values are always reflected without
-    /// steady-state allocation.
+    /// would normalise with running stats (eval + [`BnStatsPolicy::Running`])
+    /// **and no lanes are bound**; callers check both. Recomputed on every
+    /// call into reusable buffers, so current γ/β/running values are always
+    /// reflected without steady-state allocation.
     pub fn folded_affine(&mut self) -> (&[f32], &[f32]) {
         self.fold_scale.resize(self.channels, 0.0);
         self.fold_shift.resize(self.channels, 0.0);
-        for c in 0..self.channels {
-            let s =
-                self.gamma.value.as_slice()[c] / (self.running_var.as_slice()[c] + self.eps).sqrt();
-            self.fold_scale[c] = s;
-            self.fold_shift[c] =
-                self.beta.value.as_slice()[c] - s * self.running_mean.as_slice()[c];
-        }
+        self.state
+            .folded_affine_into(self.eps, &mut self.fold_scale, &mut self.fold_shift);
         (&self.fold_scale, &self.fold_shift)
     }
 
-    fn fold_into_running(&mut self, mean: &Tensor, var: &Tensor, momentum: f32) {
-        for c in 0..self.channels {
-            let rm = &mut self.running_mean.as_mut_slice()[c];
-            *rm = (1.0 - momentum) * *rm + momentum * mean.as_slice()[c];
-            let rv = &mut self.running_var.as_mut_slice()[c];
-            *rv = (1.0 - momentum) * *rv + momentum * var.as_slice()[c];
+    fn fold_into_running(state: &mut BnState, mean: &[f32], var: &[f32], momentum: f32) {
+        for c in 0..mean.len() {
+            let rm = &mut state.running_mean.as_mut_slice()[c];
+            *rm = (1.0 - momentum) * *rm + momentum * mean[c];
+            let rv = &mut state.running_var.as_mut_slice()[c];
+            *rv = (1.0 - momentum) * *rv + momentum * var[c];
         }
+    }
+
+    /// Whether this `(mode, policy)` combination normalises with batch
+    /// statistics.
+    fn uses_batch_stats(&self, mode: Mode) -> bool {
+        match (mode, self.policy) {
+            (Mode::Train, _) => true,
+            (Mode::Eval, BnStatsPolicy::Running) => false,
+            (Mode::Eval, BnStatsPolicy::Batch | BnStatsPolicy::BatchEma { .. }) => true,
+        }
+    }
+
+    /// The lane-mode forward: image `i` is normalised with lane `i`'s state,
+    /// and batch statistics are **per image** (over `H·W`) — the exact
+    /// accumulation a dedicated batch-1 model would perform, so a lane's
+    /// output is bitwise-identical to that stream owning a model copy.
+    fn forward_lanes(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let (n, c, h, w) = x.dims4();
+        assert_eq!(
+            n, self.lanes_bound,
+            "BatchNorm2d {}: batch {n} does not match {} bound lanes",
+            self.name, self.lanes_bound
+        );
+        let use_batch = self.uses_batch_stats(mode);
+        let plane = h * w;
+        let inv_count = 1.0 / plane as f32;
+
+        let mut x_hat = Tensor::zeros(x.shape_dims());
+        let mut out = Tensor::zeros(x.shape_dims());
+        let mut inv_std = vec![0.0f32; n * c];
+        let mut mean_buf = vec![0.0f32; c];
+        let mut var_buf = vec![0.0f32; c];
+        for ni in 0..n {
+            let lane = &mut self.lanes[ni];
+            if use_batch {
+                for ci in 0..c {
+                    let base = (ni * c + ci) * plane;
+                    let mut s = 0.0;
+                    for i in 0..plane {
+                        s += x.as_slice()[base + i];
+                    }
+                    mean_buf[ci] = s * inv_count;
+                }
+                for ci in 0..c {
+                    let base = (ni * c + ci) * plane;
+                    let m = mean_buf[ci];
+                    let mut s = 0.0;
+                    for i in 0..plane {
+                        let d = x.as_slice()[base + i] - m;
+                        s += d * d;
+                    }
+                    var_buf[ci] = s * inv_count;
+                }
+                match (mode, self.policy) {
+                    (Mode::Train, _) => {
+                        Self::fold_into_running(lane, &mean_buf, &var_buf, self.train_momentum);
+                    }
+                    (Mode::Eval, BnStatsPolicy::BatchEma { momentum }) => {
+                        Self::fold_into_running(lane, &mean_buf, &var_buf, momentum);
+                    }
+                    _ => {}
+                }
+            } else {
+                mean_buf.copy_from_slice(lane.running_mean.as_slice());
+                var_buf.copy_from_slice(lane.running_var.as_slice());
+            }
+            for ci in 0..c {
+                let base = (ni * c + ci) * plane;
+                let is = 1.0 / (var_buf[ci] + self.eps).sqrt();
+                inv_std[ni * c + ci] = is;
+                let mu = mean_buf[ci];
+                let g = lane.gamma.value.as_slice()[ci];
+                let b = lane.beta.value.as_slice()[ci];
+                for i in 0..plane {
+                    let xh = (x.as_slice()[base + i] - mu) * is;
+                    x_hat.as_mut_slice()[base + i] = xh;
+                    out.as_mut_slice()[base + i] = g * xh + b;
+                }
+            }
+        }
+        self.cache = Some(BnCache {
+            x_hat,
+            inv_std,
+            used_batch_stats: use_batch,
+            count: plane,
+            laned: true,
+        });
+        out
+    }
+
+    /// The lane-mode backward: each lane's gradient contribution accumulates
+    /// into *that lane's* γ/β, and the input gradient uses the lane's own
+    /// cached statistics (reduction count `H·W`).
+    fn backward_lanes(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("laned cache");
+        let (n, c, h, w) = grad_out.dims4();
+        assert_eq!(
+            n, self.lanes_bound,
+            "BatchNorm2d {}: gradient batch {n} does not match {} bound lanes",
+            self.name, self.lanes_bound
+        );
+        let plane = h * w;
+        let m = cache.count as f32;
+
+        let mut grad_in = Tensor::zeros(grad_out.shape_dims());
+        let mut sum_dy = vec![0.0f32; c];
+        let mut sum_dy_xhat = vec![0.0f32; c];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * plane;
+                let mut s = 0.0;
+                let mut sx = 0.0;
+                for i in 0..plane {
+                    let dy = grad_out.as_slice()[base + i];
+                    s += dy;
+                    sx += dy * cache.x_hat.as_slice()[base + i];
+                }
+                sum_dy[ci] = s;
+                sum_dy_xhat[ci] = sx;
+            }
+            let lane = &mut self.lanes[ni];
+            if lane.gamma.trainable {
+                for ci in 0..c {
+                    lane.gamma.grad.as_mut_slice()[ci] += sum_dy_xhat[ci];
+                }
+            }
+            if lane.beta.trainable {
+                for ci in 0..c {
+                    lane.beta.grad.as_mut_slice()[ci] += sum_dy[ci];
+                }
+            }
+            for ci in 0..c {
+                let base = (ni * c + ci) * plane;
+                let g = lane.gamma.value.as_slice()[ci];
+                let is = cache.inv_std[ni * c + ci];
+                if cache.used_batch_stats {
+                    let k1 = sum_dy[ci] / m;
+                    let k2 = sum_dy_xhat[ci] / m;
+                    for i in 0..plane {
+                        let dy = grad_out.as_slice()[base + i];
+                        let xh = cache.x_hat.as_slice()[base + i];
+                        grad_in.as_mut_slice()[base + i] = g * is * (dy - k1 - xh * k2);
+                    }
+                } else {
+                    let scale = g * is;
+                    for i in 0..plane {
+                        grad_in.as_mut_slice()[base + i] = grad_out.as_slice()[base + i] * scale;
+                    }
+                }
+            }
+        }
+        grad_in
     }
 }
 
@@ -188,13 +541,12 @@ impl Layer for BatchNorm2d {
         assert_eq!(
             c, self.channels,
             "BatchNorm2d {}: {c} channels, want {}",
-            self.gamma.name, self.channels
+            self.name, self.channels
         );
-        let use_batch = match (mode, self.policy) {
-            (Mode::Train, _) => true,
-            (Mode::Eval, BnStatsPolicy::Running) => false,
-            (Mode::Eval, BnStatsPolicy::Batch | BnStatsPolicy::BatchEma { .. }) => true,
-        };
+        if self.lanes_bound > 0 {
+            return self.forward_lanes(x, mode);
+        }
+        let use_batch = self.uses_batch_stats(mode);
 
         let (mean, var) = if use_batch {
             let m = x.channel_mean_nchw();
@@ -202,16 +554,19 @@ impl Layer for BatchNorm2d {
             match (mode, self.policy) {
                 (Mode::Train, _) => {
                     let mom = self.train_momentum;
-                    self.fold_into_running(&m, &v, mom);
+                    Self::fold_into_running(&mut self.state, m.as_slice(), v.as_slice(), mom);
                 }
                 (Mode::Eval, BnStatsPolicy::BatchEma { momentum }) => {
-                    self.fold_into_running(&m, &v, momentum);
+                    Self::fold_into_running(&mut self.state, m.as_slice(), v.as_slice(), momentum);
                 }
                 _ => {}
             }
             (m, v)
         } else {
-            (self.running_mean.clone(), self.running_var.clone())
+            (
+                self.state.running_mean.clone(),
+                self.state.running_var.clone(),
+            )
         };
 
         let plane = h * w;
@@ -226,8 +581,8 @@ impl Layer for BatchNorm2d {
                 let base = (ni * c + ci) * plane;
                 let mu = mean.as_slice()[ci];
                 let is = inv_std[ci];
-                let g = self.gamma.value.as_slice()[ci];
-                let b = self.beta.value.as_slice()[ci];
+                let g = self.state.gamma.value.as_slice()[ci];
+                let b = self.state.beta.value.as_slice()[ci];
                 for i in 0..plane {
                     let xh = (x.as_slice()[base + i] - mu) * is;
                     x_hat.as_mut_slice()[base + i] = xh;
@@ -240,6 +595,7 @@ impl Layer for BatchNorm2d {
             inv_std,
             used_batch_stats: use_batch,
             count: n * plane,
+            laned: false,
         });
         out
     }
@@ -249,12 +605,15 @@ impl Layer for BatchNorm2d {
             .cache
             .as_ref()
             .expect("BatchNorm2d::backward before forward");
-        let (n, c, h, w) = grad_out.dims4();
         assert_eq!(
             grad_out.shape_dims(),
             cache.x_hat.shape_dims(),
             "BatchNorm2d::backward: gradient shape mismatch"
         );
+        if cache.laned {
+            return self.backward_lanes(grad_out);
+        }
+        let (n, c, h, w) = grad_out.dims4();
         let plane = h * w;
         let m = cache.count as f32;
 
@@ -276,14 +635,14 @@ impl Layer for BatchNorm2d {
             }
         }
 
-        if self.gamma.trainable {
+        if self.state.gamma.trainable {
             for ci in 0..c {
-                self.gamma.grad.as_mut_slice()[ci] += sum_dy_xhat[ci];
+                self.state.gamma.grad.as_mut_slice()[ci] += sum_dy_xhat[ci];
             }
         }
-        if self.beta.trainable {
+        if self.state.beta.trainable {
             for ci in 0..c {
-                self.beta.grad.as_mut_slice()[ci] += sum_dy[ci];
+                self.state.beta.grad.as_mut_slice()[ci] += sum_dy[ci];
             }
         }
 
@@ -293,7 +652,7 @@ impl Layer for BatchNorm2d {
             for ni in 0..n {
                 for ci in 0..c {
                     let base = (ni * c + ci) * plane;
-                    let g = self.gamma.value.as_slice()[ci];
+                    let g = self.state.gamma.value.as_slice()[ci];
                     let is = cache.inv_std[ci];
                     let k1 = sum_dy[ci] / m;
                     let k2 = sum_dy_xhat[ci] / m;
@@ -309,7 +668,7 @@ impl Layer for BatchNorm2d {
             for ni in 0..n {
                 for ci in 0..c {
                     let base = (ni * c + ci) * plane;
-                    let scale = self.gamma.value.as_slice()[ci] * cache.inv_std[ci];
+                    let scale = self.state.gamma.value.as_slice()[ci] * cache.inv_std[ci];
                     for i in 0..plane {
                         grad_in.as_mut_slice()[base + i] = grad_out.as_slice()[base + i] * scale;
                     }
@@ -320,16 +679,22 @@ impl Layer for BatchNorm2d {
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
-        f(&mut self.gamma);
-        f(&mut self.beta);
+        f(&mut self.state.gamma);
+        f(&mut self.state.beta);
     }
 
     fn visit_state(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
         let prefix = self.name.clone();
-        f(&format!("{prefix}.gamma"), &mut self.gamma.value);
-        f(&format!("{prefix}.beta"), &mut self.beta.value);
-        f(&format!("{prefix}.running_mean"), &mut self.running_mean);
-        f(&format!("{prefix}.running_var"), &mut self.running_var);
+        f(&format!("{prefix}.gamma"), &mut self.state.gamma.value);
+        f(&format!("{prefix}.beta"), &mut self.state.beta.value);
+        f(
+            &format!("{prefix}.running_mean"),
+            &mut self.state.running_mean,
+        );
+        f(
+            &format!("{prefix}.running_var"),
+            &mut self.state.running_var,
+        );
     }
 }
 
@@ -364,8 +729,8 @@ mod tests {
     #[test]
     fn eval_running_policy_uses_frozen_stats() {
         let mut bn = BatchNorm2d::new("bn", 1);
-        bn.running_mean = Tensor::from_vec(vec![5.0], &[1]);
-        bn.running_var = Tensor::from_vec(vec![4.0], &[1]);
+        bn.state_mut().running_mean = Tensor::from_vec(vec![5.0], &[1]);
+        bn.state_mut().running_var = Tensor::from_vec(vec![4.0], &[1]);
         let x = Tensor::full(&[1, 1, 1, 2], 9.0);
         let y = bn.forward(&x, Mode::Eval);
         // (9 − 5)/2 = 2.
@@ -379,7 +744,7 @@ mod tests {
         let mut bn = BatchNorm2d::new("bn", 1);
         bn.policy = BnStatsPolicy::Batch;
         // Running stats are garbage; batch stats must be used instead.
-        bn.running_mean = Tensor::from_vec(vec![1000.0], &[1]);
+        bn.state_mut().running_mean = Tensor::from_vec(vec![1000.0], &[1]);
         let x = Tensor::from_vec(vec![1.0, 3.0], &[1, 1, 1, 2]);
         let y = bn.forward(&x, Mode::Eval);
         assert!(
@@ -403,8 +768,8 @@ mod tests {
     fn backward_matches_finite_difference_batch_stats() {
         let mut bn = BatchNorm2d::new("bn", 2);
         let mut rng = SeededRng::new(3);
-        bn.gamma.value = rng.uniform_tensor(&[2], 0.5, 1.5);
-        bn.beta.value = rng.uniform_tensor(&[2], -0.5, 0.5);
+        bn.state_mut().gamma.value = rng.uniform_tensor(&[2], 0.5, 1.5);
+        bn.state_mut().beta.value = rng.uniform_tensor(&[2], -0.5, 0.5);
         let x = rng.uniform_tensor(&[2, 2, 2, 2], -1.0, 1.0);
 
         // loss = Σ y² / 2  ⇒ dL/dy = y.
@@ -431,18 +796,18 @@ mod tests {
         let y = bn.forward(&x, Mode::Train);
         bn.backward(&y.clone());
         for ci in 0..2 {
-            let base = bn.gamma.value.clone();
+            let base = bn.gamma().value.clone();
             let mut gp = base.clone();
             gp.as_mut_slice()[ci] += eps;
-            bn.gamma.value = gp;
+            bn.state_mut().gamma.value = gp;
             let fp = loss(&mut bn, &x);
             let mut gm = base.clone();
             gm.as_mut_slice()[ci] -= eps;
-            bn.gamma.value = gm;
+            bn.state_mut().gamma.value = gm;
             let fm = loss(&mut bn, &x);
-            bn.gamma.value = base;
+            bn.state_mut().gamma.value = base;
             let fd = (fp - fm) / (2.0 * eps);
-            let an = bn.gamma.grad.as_slice()[ci];
+            let an = bn.gamma().grad.as_slice()[ci];
             assert!((fd - an).abs() < 3e-2, "dγ[{ci}]: fd {fd} an {an}");
         }
     }
@@ -450,8 +815,8 @@ mod tests {
     #[test]
     fn backward_running_stats_is_linear_scaling() {
         let mut bn = BatchNorm2d::new("bn", 1);
-        bn.running_var = Tensor::from_vec(vec![3.0], &[1]);
-        bn.gamma.value = Tensor::from_vec(vec![2.0], &[1]);
+        bn.state_mut().running_var = Tensor::from_vec(vec![3.0], &[1]);
+        bn.state_mut().gamma.value = Tensor::from_vec(vec![2.0], &[1]);
         let x = Tensor::full(&[1, 1, 1, 3], 1.0);
         bn.forward(&x, Mode::Eval);
         let g = bn.backward(&Tensor::ones(&[1, 1, 1, 3]));
@@ -465,10 +830,10 @@ mod tests {
     fn folded_affine_equals_running_stats_forward() {
         let mut bn = BatchNorm2d::new("bn", 3);
         let mut rng = SeededRng::new(21);
-        bn.gamma.value = rng.uniform_tensor(&[3], 0.5, 1.5);
-        bn.beta.value = rng.uniform_tensor(&[3], -0.5, 0.5);
-        bn.running_mean = rng.uniform_tensor(&[3], -1.0, 1.0);
-        bn.running_var = rng.uniform_tensor(&[3], 0.5, 2.0);
+        bn.state_mut().gamma.value = rng.uniform_tensor(&[3], 0.5, 1.5);
+        bn.state_mut().beta.value = rng.uniform_tensor(&[3], -0.5, 0.5);
+        bn.state_mut().running_mean = rng.uniform_tensor(&[3], -1.0, 1.0);
+        bn.state_mut().running_var = rng.uniform_tensor(&[3], 0.5, 2.0);
         let x = rng.uniform_tensor(&[2, 3, 4, 4], -2.0, 2.0);
         let want = bn.forward(&x, Mode::Eval);
         let (scale, shift) = bn.folded_affine();
@@ -501,5 +866,139 @@ mod tests {
         let y = bn.forward(&x, Mode::Eval);
         let mean: f32 = y.as_slice().iter().sum::<f32>() / 4.0;
         assert!(mean.abs() < 1e-5);
+    }
+
+    #[test]
+    fn swap_state_trades_whole_banks() {
+        let mut bn = BatchNorm2d::new("bn", 2);
+        bn.policy = BnStatsPolicy::Running;
+        let mut other = BnState::new("bank", 2);
+        other.gamma.value = Tensor::from_vec(vec![2.0, 3.0], &[2]);
+        let x = Tensor::ones(&[1, 2, 1, 1]);
+
+        let resident = bn.forward(&x, Mode::Eval).as_slice().to_vec();
+        bn.swap_state(&mut other);
+        let swapped = bn.forward(&x, Mode::Eval).as_slice().to_vec();
+        assert_ne!(resident, swapped, "bank affine must take effect");
+        // `other` now holds the original resident state.
+        assert_eq!(other.gamma.value.as_slice(), &[1.0, 1.0]);
+        bn.swap_state(&mut other);
+        let back = bn.forward(&x, Mode::Eval).as_slice().to_vec();
+        assert_eq!(resident, back, "round-trip restores the resident state");
+    }
+
+    #[test]
+    #[should_panic(expected = "channels")]
+    fn swap_state_rejects_channel_mismatch() {
+        let mut bn = BatchNorm2d::new("bn", 2);
+        bn.swap_state(&mut BnState::new("bad", 3));
+    }
+
+    /// Per-image lanes: a batch where each image carries its own state bank
+    /// must match, bitwise, running each image alone through a layer holding
+    /// that bank as its resident state (forward AND parameter gradients).
+    #[test]
+    fn lane_forward_backward_bitwise_match_dedicated_layers() {
+        let mut rng = SeededRng::new(17);
+        let c = 3;
+        let n = 2;
+        let x = rng.uniform_tensor(&[n, c, 4, 5], -2.0, 2.0);
+        let gout = rng.uniform_tensor(&[n, c, 4, 5], -1.0, 1.0);
+
+        for policy in [BnStatsPolicy::Batch, BnStatsPolicy::Running] {
+            // Two divergent banks.
+            let mut banks: Vec<BnState> = (0..n)
+                .map(|i| {
+                    let mut s = BnState::new("bank", c);
+                    s.gamma.value = rng.uniform_tensor(&[c], 0.5, 1.5 + i as f32);
+                    s.beta.value = rng.uniform_tensor(&[c], -0.5, 0.5);
+                    s.running_mean = rng.uniform_tensor(&[c], -1.0, 1.0);
+                    s.running_var = rng.uniform_tensor(&[c], 0.5, 2.0);
+                    s
+                })
+                .collect();
+
+            // Reference: each image alone in a dedicated layer.
+            let mut want_out = Vec::new();
+            let mut want_gin = Vec::new();
+            let mut want_ggrad = Vec::new();
+            for (i, bank) in banks.iter_mut().enumerate() {
+                let mut solo = BatchNorm2d::new("bn", c);
+                solo.policy = policy;
+                solo.swap_state(bank);
+                let xi = Tensor::from_vec(x.image(i).to_vec(), &[1, c, 4, 5]);
+                let gi = Tensor::from_vec(gout.image(i).to_vec(), &[1, c, 4, 5]);
+                want_out.push(solo.forward(&xi, Mode::Eval));
+                want_gin.push(solo.backward(&gi));
+                solo.swap_state(bank);
+                want_ggrad.push(bank.gamma.grad.clone());
+                bank.gamma.zero_grad();
+                bank.beta.zero_grad();
+            }
+
+            // Lanes: one batched layer, per-image banks.
+            let mut bn = BatchNorm2d::new("bn", c);
+            bn.policy = policy;
+            for (i, bank) in banks.iter_mut().enumerate() {
+                bn.swap_lane(i, bank);
+            }
+            bn.set_lane_count(n);
+            let out = bn.forward(&x, Mode::Eval);
+            let gin = bn.backward(&gout);
+            for (i, bank) in banks.iter_mut().enumerate() {
+                bn.swap_lane(i, bank);
+            }
+            bn.set_lane_count(0);
+
+            for i in 0..n {
+                assert_eq!(out.image(i), want_out[i].as_slice(), "{policy:?} out {i}");
+                assert_eq!(gin.image(i), want_gin[i].as_slice(), "{policy:?} gin {i}");
+                assert_eq!(
+                    banks[i].gamma.grad.as_slice(),
+                    want_ggrad[i].as_slice(),
+                    "{policy:?} γ-grad {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_count_zero_restores_resident_behaviour() {
+        let mut rng = SeededRng::new(31);
+        let x = rng.uniform_tensor(&[2, 2, 3, 3], -1.0, 1.0);
+        let mut bn = BatchNorm2d::new("bn", 2);
+        bn.policy = BnStatsPolicy::Batch;
+        let resident = bn.forward(&x, Mode::Eval);
+
+        let mut bank = BnState::new("bank", 2);
+        bank.gamma.value = Tensor::from_vec(vec![5.0, 5.0], &[2]);
+        bn.swap_lane(0, &mut bank);
+        bn.swap_lane(1, &mut BnState::new("b1", 2));
+        bn.set_lane_count(2);
+        let laned = bn.forward(&x, Mode::Eval);
+        assert_ne!(resident.as_slice(), laned.as_slice());
+
+        bn.set_lane_count(0);
+        let back = bn.forward(&x, Mode::Eval);
+        assert_eq!(resident.as_slice(), back.as_slice());
+    }
+
+    #[test]
+    fn affine_l2_distance_tracks_movement() {
+        let a = BnState::new("a", 4);
+        let mut b = BnState::new("b", 4);
+        assert_eq!(a.affine_l2_distance(&b), 0.0);
+        b.gamma.value.as_mut_slice()[0] += 3.0;
+        b.beta.value.as_mut_slice()[1] -= 4.0;
+        assert!((a.affine_l2_distance(&b) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound lanes")]
+    fn lane_mode_rejects_mismatched_batch() {
+        let mut bn = BatchNorm2d::new("bn", 1);
+        bn.swap_lane(0, &mut BnState::new("b", 1));
+        bn.set_lane_count(1);
+        bn.forward(&Tensor::zeros(&[2, 1, 2, 2]), Mode::Eval);
     }
 }

@@ -48,7 +48,7 @@ pub mod param;
 pub mod pool;
 
 pub use act::{Flatten, Relu};
-pub use bn::{BatchNorm2d, BnStatsPolicy};
+pub use bn::{BatchNorm2d, BnState, BnStatsPolicy, BN_EPS};
 pub use conv::Conv2d;
 pub use layer::{Layer, Mode, Sequential};
 pub use linear::Linear;

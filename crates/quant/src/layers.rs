@@ -37,40 +37,46 @@ fn fold_epilogue(
 }
 
 /// Grows a layer's activation scale when the live input outruns the
-/// calibrated range (auto-ranging): returns the new scale, and the caller
-/// multiplies its per-channel requantization scales by `new / old` —
-/// `shift` never involves the activation scale, so the epilogue re-fold is
-/// exactly that one factor.
+/// calibrated range (auto-ranging): returns the factor `new / old` the
+/// caller must apply to its per-channel requantization scales — `shift`
+/// never involves the activation scale, so the epilogue re-fold is exactly
+/// that one factor (applied to every table where a layer keeps several).
 ///
 /// Ranges only ever grow (monotone), so quantized streams stay stable when
 /// a domain drifts *beyond* the calibration set instead of clipping into
 /// garbage logits: the first frame of a brighter/noisier domain re-ranges
 /// the boundary in O(channels) and serving continues.
-fn grow_range(x_scale: &mut f32, batch_max: f32, scale: &mut [f32]) {
+fn grow_ratio(x_scale: &mut f32, batch_max: f32) -> Option<f32> {
     let range = *x_scale * crate::quantize::QMAX;
     if batch_max <= range || !batch_max.is_finite() {
-        return;
+        return None;
     }
     let new_scale = crate::quantize::symmetric_scale(batch_max);
     let ratio = new_scale / *x_scale;
     *x_scale = new_scale;
-    for s in scale.iter_mut() {
-        *s *= ratio;
-    }
+    Some(ratio)
 }
 
 /// A quantized 2-D convolution (square kernel, eval only) with the
 /// requantize + bias + folded-BN + optional-ReLU epilogue fused into the
 /// integer GEMM.
+///
+/// The epilogue constants live in per-bank **tables**: table 0 is the
+/// resident fold used by [`QConv2d::forward`], and
+/// [`QConv2d::ensure_tables`] grows additional tables so a multi-stream
+/// server can keep one re-folded epilogue per BN state bank and serve a
+/// mixed batch with [`QConv2d::forward_banked`] (image `i` requantizes
+/// through its own stream's table). Tables cost `2 × out_channels` f32
+/// each — the integer weights are shared by all of them.
 pub struct QConv2d {
     weights: QWeights,
     /// Conv bias (zeros when the f32 layer has none); kept separate from
     /// the folded shift so BN refreshes can re-fold it.
     bias: Vec<f32>,
-    /// Calibrated input activation scale.
+    /// Calibrated input activation scale (shared by every table).
     x_scale: f32,
-    scale: Vec<f32>,
-    shift: Vec<f32>,
+    /// Per-bank `(scale, shift)` epilogue tables; index 0 is resident.
+    tables: Vec<(Vec<f32>, Vec<f32>)>,
     relu: bool,
     in_ch: usize,
     out_ch: usize,
@@ -112,13 +118,12 @@ impl QConv2d {
         let weights = QWeights::from_rows(weight.as_slice(), out_ch, k);
         let bias = bias.map_or_else(|| vec![0.0; out_ch], <[f32]>::to_vec);
         assert_eq!(bias.len(), out_ch, "QConv2d: bias length");
-        let (scale, shift) = fold_epilogue(weights.scales(), x_scale, &bias, bn);
+        let table0 = fold_epilogue(weights.scales(), x_scale, &bias, bn);
         QConv2d {
             weights,
             bias,
             x_scale,
-            scale,
-            shift,
+            tables: vec![table0],
             relu,
             in_ch,
             out_ch,
@@ -131,23 +136,53 @@ impl QConv2d {
         }
     }
 
-    /// Re-folds the epilogue from a fresh BN affine (γ/β or running stats
-    /// moved under adaptation). O(channels); integer weights are untouched.
+    /// Re-folds the resident epilogue (table 0) from a fresh BN affine
+    /// (γ/β or running stats moved under adaptation). O(channels); integer
+    /// weights are untouched.
     ///
     /// # Panics
     ///
     /// Panics if the affine length differs from the output channels.
     pub fn refresh_bn(&mut self, g: &[f32], t: &[f32]) {
+        self.refresh_bn_table(0, g, t);
+    }
+
+    /// Re-folds epilogue table `table` from a fresh BN affine — the
+    /// per-stream variant: each BN state bank owns one table, re-folded in
+    /// O(channels) when *that* stream's bank moves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` does not exist (see [`QConv2d::ensure_tables`]) or
+    /// the affine length differs from the output channels.
+    pub fn refresh_bn_table(&mut self, table: usize, g: &[f32], t: &[f32]) {
         assert_eq!(g.len(), self.out_ch, "refresh_bn: affine length");
         assert_eq!(t.len(), self.out_ch, "refresh_bn: affine length");
-        let (scale, shift) = fold_epilogue(
+        assert!(
+            table < self.tables.len(),
+            "refresh_bn_table: table {table} of {}",
+            self.tables.len()
+        );
+        self.tables[table] = fold_epilogue(
             self.weights.scales(),
             self.x_scale,
             &self.bias,
             Some((g, t)),
         );
-        self.scale = scale;
-        self.shift = shift;
+    }
+
+    /// Grows the epilogue-table bank to at least `count` tables (new tables
+    /// clone the resident fold; re-fold them per bank with
+    /// [`QConv2d::refresh_bn_table`]).
+    pub fn ensure_tables(&mut self, count: usize) {
+        while self.tables.len() < count {
+            self.tables.push(self.tables[0].clone());
+        }
+    }
+
+    /// Number of epilogue tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
     }
 
     /// Output spatial dims for an `h × w` input.
@@ -175,15 +210,53 @@ impl QConv2d {
         self.sized_hw = (h, w);
     }
 
-    /// Quantized forward over an NCHW f32 batch → NCHW f32 output.
+    /// Grows the activation scale when `batch_max` outruns the calibrated
+    /// range, re-scaling **every** table's requantization factors (the
+    /// activation scale is shared across banks).
+    fn grow_range_all_tables(&mut self, batch_max: f32) {
+        if let Some(ratio) = grow_ratio(&mut self.x_scale, batch_max) {
+            for (scale, _) in &mut self.tables {
+                for s in scale.iter_mut() {
+                    *s *= ratio;
+                }
+            }
+        }
+    }
+
+    /// Quantized forward over an NCHW f32 batch → NCHW f32 output, using
+    /// the resident epilogue (table 0) for every image.
     ///
     /// # Panics
     ///
     /// Panics on a channel-count mismatch.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.forward_with(x, None)
+    }
+
+    /// Quantized forward where image `i` requantizes through epilogue table
+    /// `table_of_image[i]` — the mixed-batch multi-bank serving path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a channel-count/batch mismatch or an out-of-range table.
+    pub fn forward_banked(&mut self, x: &Tensor, table_of_image: &[usize]) -> Tensor {
+        self.forward_with(x, Some(table_of_image))
+    }
+
+    fn forward_with(&mut self, x: &Tensor, table_of_image: Option<&[usize]>) -> Tensor {
         let (n, c, h, w) = x.dims4();
         assert_eq!(c, self.in_ch, "QConv2d: {c} channels, want {}", self.in_ch);
-        grow_range(&mut self.x_scale, max_abs(x.as_slice()), &mut self.scale);
+        if let Some(tables) = table_of_image {
+            assert_eq!(tables.len(), n, "QConv2d: table count != batch");
+            for &t in tables {
+                assert!(
+                    t < self.tables.len(),
+                    "QConv2d: table {t} of {}",
+                    self.tables.len()
+                );
+            }
+        }
+        self.grow_range_all_tables(max_abs(x.as_slice()));
         let (oh, ow) = self.out_dims(h, w);
         let spatial = oh * ow;
         self.ensure_scratch(h, w);
@@ -224,6 +297,7 @@ impl QConv2d {
                     }
                 }
             }
+            let (scale, shift) = &self.tables[table_of_image.map_or(0, |t| t[ni])];
             qgemm_fused_affine(
                 self.weights.data(),
                 &self.rows[..spatial * kp],
@@ -231,8 +305,8 @@ impl QConv2d {
                 self.out_ch,
                 spatial,
                 kp,
-                &self.scale,
-                &self.shift,
+                scale,
+                shift,
                 self.relu,
             );
         }
@@ -295,7 +369,11 @@ impl QLinear {
         assert_eq!(f, self.in_features, "QLinear: {f} features, want {}", {
             self.in_features
         });
-        grow_range(&mut self.x_scale, max_abs(x.as_slice()), &mut self.scale);
+        if let Some(ratio) = grow_ratio(&mut self.x_scale, max_abs(x.as_slice())) {
+            for s in &mut self.scale {
+                *s *= ratio;
+            }
+        }
         let kp = pad_k(self.in_features);
         if self.qin.len() < n * kp {
             self.qin = vec![0i16; n * kp];
@@ -486,6 +564,86 @@ mod tests {
             assert!(
                 (a - b).abs() <= 0.05 * (1.0 + max),
                 "{a} vs {b}: auto-ranging must prevent clipping"
+            );
+        }
+    }
+
+    /// Per-bank epilogue tables: a mixed batch where each image selects its
+    /// own table must equal, bitwise, running each image through a conv
+    /// whose resident fold is that table.
+    #[test]
+    fn qconv_banked_tables_select_per_image() {
+        let conv = Conv2d::new("t", 2, 3, 3, 1, 1, false, 31);
+        let mut rng = SeededRng::new(32);
+        let x = rng.uniform_tensor(&[2, 2, 5, 5], -1.0, 1.0);
+        let s = exact_scale(&x);
+        let g0: Vec<f32> = vec![1.0, 1.2, 0.8];
+        let t0: Vec<f32> = vec![0.0, 0.1, -0.1];
+        let g1: Vec<f32> = vec![2.0, 0.5, 1.5];
+        let t1: Vec<f32> = vec![0.3, -0.2, 0.0];
+
+        let mut banked = QConv2d::new(
+            &conv.weight().value.clone(),
+            None,
+            1,
+            1,
+            s,
+            Some((&g0, &t0)),
+            true,
+        );
+        banked.ensure_tables(2);
+        banked.refresh_bn_table(1, &g1, &t1);
+        assert_eq!(banked.table_count(), 2);
+        let got = banked.forward_banked(&x, &[1, 0]);
+
+        // References: dedicated convs with each fold resident.
+        let mk = |g: &[f32], t: &[f32]| {
+            QConv2d::new(
+                &conv.weight().value.clone(),
+                None,
+                1,
+                1,
+                s,
+                Some((g, t)),
+                true,
+            )
+        };
+        let img = |i: usize| Tensor::from_vec(x.image(i).to_vec(), &[1, 2, 5, 5]);
+        let want0 = mk(&g1, &t1).forward(&img(0));
+        let want1 = mk(&g0, &t0).forward(&img(1));
+        assert_eq!(got.image(0), want0.as_slice(), "image 0 via table 1");
+        assert_eq!(got.image(1), want1.as_slice(), "image 1 via table 0");
+    }
+
+    /// Auto-ranging in a banked conv re-scales every table, so an
+    /// out-of-calibration input stays correct through *all* banks.
+    #[test]
+    fn qconv_auto_ranging_rescales_every_table() {
+        let mut conv = Conv2d::new("t", 2, 3, 3, 1, 1, false, 33);
+        let mut rng = SeededRng::new(34);
+        let small = rng.uniform_tensor(&[1, 2, 5, 5], -0.1, 0.1);
+        let big = rng.uniform_tensor(&[1, 2, 5, 5], -3.0, 3.0);
+        let g = vec![1.3f32; 3];
+        let t = vec![0.2f32; 3];
+        let mut q = QConv2d::new(
+            &conv.weight().value.clone(),
+            None,
+            1,
+            1,
+            exact_scale(&small),
+            None,
+            false,
+        );
+        q.ensure_tables(2);
+        q.refresh_bn_table(1, &g, &t);
+        let got = q.forward_banked(&big, &[1]);
+        let base = conv.forward(&big, Mode::Eval);
+        let max = base.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        for (b, o) in base.as_slice().iter().zip(got.as_slice()) {
+            let want = g[0] * b + t[0];
+            assert!(
+                (want - o).abs() <= 0.07 * (1.0 + max),
+                "{want} vs {o}: bank table must auto-range"
             );
         }
     }

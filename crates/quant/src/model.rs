@@ -97,6 +97,28 @@ impl QBasicBlock {
         };
         relu(&sum)
     }
+
+    /// [`QBasicBlock::forward`] with per-image epilogue tables (every conv
+    /// in the block selects image `i`'s bank table).
+    fn forward_banked(&mut self, x: &Tensor, tables: &[usize]) -> Tensor {
+        let main = self.conv1.forward_banked(x, tables);
+        let main = self.conv2.forward_banked(&main, tables);
+        let sum = match &mut self.downsample {
+            Some(down) => &main + &down.forward_banked(x, tables),
+            None => &main + x,
+        };
+        relu(&sum)
+    }
+
+    /// Applies `f` to the block's BN-folded convs in canonical bank order
+    /// (`conv1`, `conv2`, projection).
+    fn for_each_bn_conv(&mut self, f: &mut dyn FnMut(&mut QConv2d)) {
+        f(&mut self.conv1);
+        f(&mut self.conv2);
+        if let Some(down) = &mut self.downsample {
+            f(down);
+        }
+    }
 }
 
 /// Calibrated activation ranges for every quantized boundary.
@@ -175,6 +197,9 @@ pub struct QuantUfldModel {
     /// Reusable NCHW pack buffers per batch size (mirrors
     /// [`UfldModel::forward_frames`]).
     batch_bufs: HashMap<usize, Tensor>,
+    /// Reusable fold buffers for the per-bank epilogue refresh.
+    fold_scale: Vec<f32>,
+    fold_shift: Vec<f32>,
 }
 
 impl QuantUfldModel {
@@ -242,6 +267,129 @@ impl QuantUfldModel {
         let out = self.forward(&buf);
         self.batch_bufs.insert(n, buf);
         out
+    }
+
+    /// Quantized forward where image `i` requantizes through epilogue-table
+    /// bank `banks[i]` at every BN-folded conv — the multi-bank serving
+    /// path: one integer GEMM pass over the mixed batch, per-stream
+    /// normalisation folded into per-image epilogue selection. The BN-free
+    /// head (reduce conv + FC layers) is bank-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks.len()` differs from the batch or a bank index is
+    /// out of range (see [`QuantUfldModel::ensure_banks`]).
+    pub fn forward_banked(&mut self, x: &Tensor, banks: &[usize]) -> Tensor {
+        let (n, c, h, w) = x.dims4();
+        assert_eq!(
+            (c, h, w),
+            (
+                self.cfg.input_channels,
+                self.cfg.input_height,
+                self.cfg.input_width
+            ),
+            "QuantUfldModel: input shape {c}×{h}×{w} does not match config"
+        );
+        assert_eq!(banks.len(), n, "forward_banked: bank count != batch");
+        let mut cur = self.stem.forward_banked(x, banks);
+        cur = self.pool.forward(&cur, Mode::Eval);
+        for block in &mut self.blocks {
+            cur = block.forward_banked(&cur, banks);
+        }
+        cur = self.reduce.forward(&cur);
+        let flat = cur.to_shape(&[n, self.cfg.head_in_features()]);
+        let emb = self.fc1.forward(&flat);
+        let logits = self.fc2.forward(&emb);
+        logits.reshape(&self.cfg.logit_dims(n))
+    }
+
+    /// [`QuantUfldModel::forward_banked`] over unpacked `(3, H, W)` frames
+    /// (reusable per-size pack buffers, mirrors
+    /// [`QuantUfldModel::forward_frames`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty, a frame's shape mismatches the config,
+    /// or `banks.len() != frames.len()`.
+    pub fn forward_frames_banked(&mut self, frames: &[&Tensor], banks: &[usize]) -> Tensor {
+        assert!(!frames.is_empty(), "forward_frames: empty batch");
+        assert_eq!(
+            banks.len(),
+            frames.len(),
+            "forward_frames_banked: bank count != batch"
+        );
+        let n = frames.len();
+        let want = [
+            self.cfg.input_channels,
+            self.cfg.input_height,
+            self.cfg.input_width,
+        ];
+        let mut buf = self
+            .batch_bufs
+            .remove(&n)
+            .unwrap_or_else(|| Tensor::zeros(&[n, want[0], want[1], want[2]]));
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(
+                f.shape_dims(),
+                &want,
+                "forward_frames: frame {i} shape mismatch"
+            );
+            buf.image_mut(i).copy_from_slice(f.as_slice());
+        }
+        let out = self.forward_banked(&buf, banks);
+        self.batch_bufs.insert(n, buf);
+        out
+    }
+
+    /// Grows every BN-folded conv's epilogue-table bank to `count` tables
+    /// (new tables clone the resident fold; bank 0 *is* the resident
+    /// table). The BN-free head is untouched.
+    pub fn ensure_banks(&mut self, count: usize) {
+        self.stem.ensure_tables(count);
+        for block in &mut self.blocks {
+            block.for_each_bn_conv(&mut |conv| conv.ensure_tables(count));
+        }
+    }
+
+    /// Re-folds epilogue-table bank `bank` from a [`BnBank`]'s states —
+    /// the per-stream re-quantization after one stream's BN-only
+    /// adaptation step: O(channels) for that bank only, no f32 model and
+    /// no integer weights touched. The bank's states are walked in the
+    /// canonical order ([`UfldModel::extract_bn_bank`]); running statistics
+    /// and γ/β fold exactly as [`QuantUfldModel::refresh_affine`] folds the
+    /// resident state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank's layer sequence does not match this model's
+    /// conv/BN topology or `bank` is out of table range.
+    pub fn refresh_affine_bank(&mut self, bank: usize, states: &ld_ufld::BnBank) {
+        let mut it = states.iter();
+        let fold_scale = &mut self.fold_scale;
+        let fold_shift = &mut self.fold_shift;
+        let mut fold_next = |conv: &mut QConv2d, what: &str| {
+            let st = it
+                .next()
+                .unwrap_or_else(|| panic!("refresh_affine_bank: bank too short at {what}"));
+            let c = st.channels();
+            assert_eq!(
+                c,
+                conv.out_channels(),
+                "refresh_affine_bank: {what} channel mismatch"
+            );
+            fold_scale.resize(c, 0.0);
+            fold_shift.resize(c, 0.0);
+            st.folded_affine_into(ld_nn::BN_EPS, &mut fold_scale[..c], &mut fold_shift[..c]);
+            conv.refresh_bn_table(bank, &fold_scale[..c], &fold_shift[..c]);
+        };
+        fold_next(&mut self.stem, "stem");
+        for block in &mut self.blocks {
+            block.for_each_bn_conv(&mut |conv| fold_next(conv, "block"));
+        }
+        assert!(
+            it.next().is_none(),
+            "refresh_affine_bank: bank has extra layers"
+        );
     }
 
     /// Re-folds every conv epilogue from the f32 model's **current** BN
@@ -341,6 +489,8 @@ impl QuantizeModel for UfldModel {
             fc1,
             fc2,
             batch_bufs: HashMap::new(),
+            fold_scale: Vec::new(),
+            fold_shift: Vec::new(),
         }
     }
 }
@@ -449,6 +599,69 @@ mod tests {
                 "{a} vs {b} diverge after refresh"
             );
         }
+    }
+
+    /// Per-bank epilogue tables: a mixed banked forward must track, per
+    /// image, a whole-snapshot `refresh_affine` against a model holding
+    /// that image's bank as resident state. The comparison is
+    /// quantization-noise-tolerant rather than bitwise: the mixed batch
+    /// produces different intermediate activations than the single-bank
+    /// reference pass, so auto-ranging can grow boundary scales at
+    /// different points and re-quantize with slightly different steps (the
+    /// *exact* per-image table selection is pinned bitwise at the
+    /// `QConv2d` level).
+    #[test]
+    fn banked_forward_matches_whole_model_refresh_per_bank() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = warmed_model(&cfg, 8);
+        let frames = calib_frames(&cfg, 2, 12);
+        let refs: Vec<&Tensor> = frames.iter().collect();
+        let mut qmodel = model.quantize(&refs);
+
+        // Two banks: bank 0 = resident, bank 1 = perturbed γ/β.
+        let bank0 = model.extract_bn_bank();
+        let mut bank1 = model.extract_bn_bank();
+        for st in bank1.states_mut() {
+            st.gamma.value.map_inplace(|v| v * 1.05);
+            st.beta.value.map_inplace(|v| v + 0.01);
+        }
+        qmodel.ensure_banks(2);
+        qmodel.refresh_affine_bank(0, &bank0);
+        qmodel.refresh_affine_bank(1, &bank1);
+        let got = qmodel.forward_frames_banked(&refs, &[1, 0]);
+
+        // Reference snapshots with each bank resident.
+        let mut qref = model.quantize(&refs);
+        let want_b0 = qref.forward_frames(&refs);
+        let mut swap = bank1.clone();
+        model.swap_bn_bank(&mut swap);
+        qref.refresh_affine(&mut model);
+        let want_b1 = qref.forward_frames(&refs);
+        model.swap_bn_bank(&mut swap);
+
+        let close = |a: &[f32], b: &[f32], what: &str| {
+            let range = b.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            for (x, y) in a.iter().zip(b) {
+                assert!(
+                    (x - y).abs() <= 0.05 * (1.0 + range),
+                    "{what}: {x} vs {y} (range {range})"
+                );
+            }
+        };
+        close(got.image(0), want_b1.image(0), "image 0 via bank 1");
+        close(got.image(1), want_b0.image(1), "image 1 via bank 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "bank too short")]
+    fn refresh_affine_bank_rejects_short_banks() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = warmed_model(&cfg, 9);
+        let frames = calib_frames(&cfg, 1, 13);
+        let refs: Vec<&Tensor> = frames.iter().collect();
+        let mut qmodel = model.quantize(&refs);
+        let short = ld_ufld::BnBank::new(vec![]);
+        qmodel.refresh_affine_bank(0, &short);
     }
 
     #[test]

@@ -62,6 +62,50 @@ fn dot1(a: &[i16], b: &[i16]) -> i32 {
     acc
 }
 
+/// `acc += Σ_pairs a·b` — one 512-bit i16 dot-product step.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512bw"))]
+#[inline]
+unsafe fn dp(
+    acc: std::arch::x86_64::__m512i,
+    a: std::arch::x86_64::__m512i,
+    b: std::arch::x86_64::__m512i,
+) -> std::arch::x86_64::__m512i {
+    use std::arch::x86_64::*;
+    #[cfg(target_feature = "avx512vnni")]
+    {
+        _mm512_dpwssd_epi32(acc, a, b)
+    }
+    #[cfg(not(target_feature = "avx512vnni"))]
+    {
+        _mm512_add_epi32(acc, _mm512_madd_epi16(a, b))
+    }
+}
+
+/// Reduces four 16-lane i32 accumulators to their four horizontal sums in
+/// one 128-bit vector `[Σa, Σb, Σc, Σd]` — a shared shuffle tree (~8 ops)
+/// instead of four independent `_mm512_reduce_add_epi32` sequences
+/// (~24 ops). Integer adds are exact, so any reduction order is bit-equal.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512bw"))]
+#[inline]
+unsafe fn hsum4(
+    a: std::arch::x86_64::__m512i,
+    b: std::arch::x86_64::__m512i,
+    c: std::arch::x86_64::__m512i,
+    d: std::arch::x86_64::__m512i,
+) -> std::arch::x86_64::__m128i {
+    use std::arch::x86_64::*;
+    // Per 128-bit lane: [Σ₂a, Σ₂b, Σ₂a', Σ₂b'] etc., then qword interleave
+    // leaves each lane as [Σ₄a, Σ₄b, Σ₄c, Σ₄d] (lane-partial sums).
+    let ab = _mm512_add_epi32(_mm512_unpacklo_epi32(a, b), _mm512_unpackhi_epi32(a, b));
+    let cd = _mm512_add_epi32(_mm512_unpacklo_epi32(c, d), _mm512_unpackhi_epi32(c, d));
+    let abcd = _mm512_add_epi32(_mm512_unpacklo_epi64(ab, cd), _mm512_unpackhi_epi64(ab, cd));
+    // Fold the four 128-bit lanes onto lane 0.
+    let swap256 = _mm512_shuffle_i32x4(abcd, abcd, 0b01_00_11_10);
+    let s = _mm512_add_epi32(abcd, swap256);
+    let swap128 = _mm512_shuffle_i32x4(s, s, 0b10_11_00_01);
+    _mm512_castsi512_si128(_mm512_add_epi32(s, swap128))
+}
+
 /// The 4×4 register-tile dot kernel: `out[r][c] = dot(a_r, b_c)`.
 ///
 /// All eight row slices have length `kp` (a [`K_ALIGN`] multiple).
@@ -69,19 +113,6 @@ fn dot1(a: &[i16], b: &[i16]) -> i32 {
 #[inline]
 fn dot4x4(a: [&[i16]; QUAD], b: [&[i16]; QUAD], kp: usize) -> [[i32; QUAD]; QUAD] {
     use std::arch::x86_64::*;
-
-    /// `acc += Σ_pairs a·b` — one 512-bit i16 dot-product step.
-    #[inline]
-    unsafe fn dp(acc: __m512i, a: __m512i, b: __m512i) -> __m512i {
-        #[cfg(target_feature = "avx512vnni")]
-        {
-            _mm512_dpwssd_epi32(acc, a, b)
-        }
-        #[cfg(not(target_feature = "avx512vnni"))]
-        {
-            _mm512_add_epi32(acc, _mm512_madd_epi16(a, b))
-        }
-    }
 
     // SAFETY: rows are K_ALIGN-padded (asserted by the callers), so every
     // 32-element load is in bounds; loadu has no alignment requirement.
@@ -104,12 +135,74 @@ fn dot4x4(a: [&[i16]; QUAD], b: [&[i16]; QUAD], kp: usize) -> [[i32; QUAD]; QUAD
             i += K_ALIGN;
         }
         let mut out = [[0i32; QUAD]; QUAD];
-        for r in 0..QUAD {
-            for c in 0..QUAD {
-                out[r][c] = _mm512_reduce_add_epi32(acc[r][c]);
-            }
+        for (r, accr) in acc.iter().enumerate() {
+            let sums = hsum4(accr[0], accr[1], accr[2], accr[3]);
+            _mm_storeu_si128(out[r].as_mut_ptr() as *mut _, sums);
         }
         out
+    }
+}
+
+/// Maximum strip count handled by the small-`k` specialisation
+/// (`k ≤ 4·K_ALIGN = 128` — the 1×1-projection shapes).
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512bw"))]
+const SMALL_K_STRIPS: usize = 4;
+
+/// The small-`k` specialisation: processes one quad of A rows against the
+/// whole `[s0, s1)` column range with the A strips **held in registers**
+/// throughout (`STRIPS ≤ 4`, so 4 rows × ≤4 strips ≤ 16 zmm plus 16
+/// accumulators fit the register file). At these depths the generic tile's
+/// per-element horizontal reduction and repeated A reloads dominate the
+/// actual dot-product work — measured 0.7× the f32 kernel at `k = 64`
+/// before this path; the shared [`hsum4`] tree and resident A rows
+/// reclaim the int8 advantage.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512bw"))]
+#[inline]
+#[allow(clippy::needless_range_loop)] // `st` walks lockstep strips of B and the A register file
+unsafe fn quad_rows_small_k<const STRIPS: usize>(
+    a: [&[i16]; QUAD],
+    b: &[i16],
+    s0: usize,
+    s1: usize,
+    kp: usize,
+    o: usize,
+    emit: &(impl Fn(usize, usize, i32) + Sync),
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(kp, STRIPS * K_ALIGN);
+    let mut areg = [[_mm512_setzero_si512(); STRIPS]; QUAD];
+    for (r, arow) in a.iter().enumerate() {
+        for (st, slot) in areg[r].iter_mut().enumerate() {
+            *slot = _mm512_loadu_si512(arow.as_ptr().add(st * K_ALIGN) as *const _);
+        }
+    }
+    let mut s = s0;
+    while s + QUAD <= s1 {
+        let mut acc = [[_mm512_setzero_si512(); QUAD]; QUAD];
+        for c in 0..QUAD {
+            let brow = b[(s + c) * kp..].as_ptr();
+            for st in 0..STRIPS {
+                let bv = _mm512_loadu_si512(brow.add(st * K_ALIGN) as *const _);
+                for r in 0..QUAD {
+                    acc[r][c] = dp(acc[r][c], areg[r][st], bv);
+                }
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            let sums = hsum4(accr[0], accr[1], accr[2], accr[3]);
+            let mut out4 = [0i32; QUAD];
+            _mm_storeu_si128(out4.as_mut_ptr() as *mut _, sums);
+            for (c, &v) in out4.iter().enumerate() {
+                emit(o + r, s + c, v);
+            }
+        }
+        s += QUAD;
+    }
+    for s in s..s1 {
+        let brow = row(b, s, kp);
+        for (r, arow) in a.iter().enumerate() {
+            emit(o + r, s, dot1(arow, brow));
+        }
     }
 }
 
@@ -169,6 +262,24 @@ fn walk(
                     row(a, o + 2, kp),
                     row(a, o + 3, kp),
                 ];
+                // Small-k shapes (1×1 projections) dispatch to the
+                // register-resident specialisation; the generic tile's
+                // reduce overhead swamps 1–4-strip dot products.
+                #[cfg(all(target_arch = "x86_64", target_feature = "avx512bw"))]
+                if kp <= SMALL_K_STRIPS * K_ALIGN {
+                    // SAFETY: rows are kp-length and K_ALIGN-padded
+                    // (asserted above), matching the strip count.
+                    unsafe {
+                        match kp / K_ALIGN {
+                            1 => quad_rows_small_k::<1>(arows, b, s0, s1, kp, o, emit),
+                            2 => quad_rows_small_k::<2>(arows, b, s0, s1, kp, o, emit),
+                            3 => quad_rows_small_k::<3>(arows, b, s0, s1, kp, o, emit),
+                            _ => quad_rows_small_k::<4>(arows, b, s0, s1, kp, o, emit),
+                        }
+                    }
+                    o += QUAD;
+                    continue;
+                }
                 let mut s = s0;
                 while s + QUAD <= s1 {
                     let brows = [

@@ -1,0 +1,177 @@
+//! [`BnBank`]: a whole-model bundle of BN adaptation state.
+//!
+//! LD-BN-ADAPT's unit of adaptation is the batch-norm state — γ/β and the
+//! normalisation statistics, ~1 % of the model. A [`BnBank`] collects one
+//! [`BnState`] per BN layer of a [`UfldModel`](crate::UfldModel) in the
+//! model's canonical visitation order (stem, then every block's `bn1`,
+//! `bn2`, projection BN — the same order as
+//! [`ResNetBackbone::for_each_bn`](crate::resnet::ResNetBackbone::for_each_bn)),
+//! so a multi-target deployment can keep one bank per camera domain and
+//! swap them through one shared set of conv/FC weights:
+//!
+//! * [`UfldModel::extract_bn_bank`](crate::UfldModel::extract_bn_bank)
+//!   clones the resident state into a fresh bank;
+//! * [`UfldModel::swap_bn_bank`](crate::UfldModel::swap_bn_bank) trades the
+//!   resident state for a bank (O(layers) pointer swaps, nothing copied);
+//! * [`UfldModel::bind_bn_lanes`](crate::UfldModel::bind_bn_lanes) binds one
+//!   bank **per batch image**, so a single batched forward/backward reads
+//!   and writes each image's own bank (per-image statistics — bitwise what
+//!   a dedicated batch-1 model would compute).
+//!
+//! The same order is what
+//! `ld_quant`'s per-bank epilogue re-fold walks, so a bank can re-fold a
+//! quantized snapshot without touching the f32 model.
+
+use ld_nn::BnState;
+
+/// One [`BnState`] per BN layer of a model, in canonical order.
+#[derive(Debug, Clone)]
+pub struct BnBank {
+    states: Vec<BnState>,
+}
+
+impl BnBank {
+    /// Builds a bank from per-layer states (normally via
+    /// [`UfldModel::extract_bn_bank`](crate::UfldModel::extract_bn_bank)).
+    pub fn new(states: Vec<BnState>) -> Self {
+        BnBank { states }
+    }
+
+    /// Number of BN layers covered.
+    pub fn layer_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The per-layer states in canonical order.
+    pub fn states(&self) -> &[BnState] {
+        &self.states
+    }
+
+    /// Mutable per-layer states in canonical order.
+    pub fn states_mut(&mut self) -> &mut [BnState] {
+        &mut self.states
+    }
+
+    /// Iterates the per-layer states in canonical order.
+    pub fn iter(&self) -> std::slice::Iter<'_, BnState> {
+        self.states.iter()
+    }
+
+    /// Total scalars held (γ + β + running mean + running var).
+    pub fn scalar_count(&self) -> usize {
+        self.states.iter().map(|s| 4 * s.channels()).sum()
+    }
+
+    /// Euclidean distance between the γ/β of two banks (whole-bank L2 over
+    /// every BN parameter) — the "how far has this domain adapted from
+    /// init" telemetry statistic.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a layer-count or channel mismatch.
+    pub fn affine_l2_distance(&self, other: &BnBank) -> f32 {
+        assert_eq!(
+            self.states.len(),
+            other.states.len(),
+            "affine_l2_distance: layer count mismatch"
+        );
+        let sq: f64 = self
+            .states
+            .iter()
+            .zip(&other.states)
+            .map(|(a, b)| {
+                let d = a.affine_l2_distance(b) as f64;
+                d * d
+            })
+            .sum();
+        (sq as f32).sqrt()
+    }
+
+    /// Copies the γ/β **values** of `other` into this bank (the per-stream
+    /// safety rollback: restore a poisoned bank from its known-good
+    /// snapshot). Running statistics, gradients and momentum identities are
+    /// untouched — exactly the scope of the shared-mode rollback.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a layer-count or shape mismatch.
+    pub fn restore_affine_from(&mut self, other: &BnBank) {
+        assert_eq!(
+            self.states.len(),
+            other.states.len(),
+            "restore_affine_from: layer count mismatch"
+        );
+        for (dst, src) in self.states.iter_mut().zip(&other.states) {
+            assert_eq!(
+                dst.channels(),
+                src.channels(),
+                "restore_affine_from: channel mismatch"
+            );
+            dst.gamma
+                .value
+                .as_mut_slice()
+                .copy_from_slice(src.gamma.value.as_slice());
+            dst.beta
+                .value
+                .as_mut_slice()
+                .copy_from_slice(src.beta.value.as_slice());
+        }
+    }
+
+    /// Zeroes every γ/β gradient accumulator in the bank.
+    pub fn zero_grads(&mut self) {
+        for s in &mut self.states {
+            s.gamma.zero_grad();
+            s.beta.zero_grad();
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BnBank {
+    type Item = &'a BnState;
+    type IntoIter = std::slice::Iter<'a, BnState>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank(channels: &[usize]) -> BnBank {
+        BnBank::new(
+            channels
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| BnState::new(&format!("l{i}"), c))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn scalar_count_is_four_per_channel() {
+        let b = bank(&[2, 3]);
+        assert_eq!(b.scalar_count(), 4 * 5);
+        assert_eq!(b.layer_count(), 2);
+    }
+
+    #[test]
+    fn l2_distance_and_restore_roundtrip() {
+        let init = bank(&[2, 4]);
+        let mut moved = init.clone();
+        moved.states_mut()[0].gamma.value.as_mut_slice()[1] += 2.0;
+        moved.states_mut()[1].beta.value.as_mut_slice()[3] -= 1.0;
+        let d = moved.affine_l2_distance(&init);
+        assert!((d - 5.0f32.sqrt()).abs() < 1e-6, "distance {d}");
+
+        moved.restore_affine_from(&init);
+        assert_eq!(moved.affine_l2_distance(&init), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer count mismatch")]
+    fn distance_rejects_mismatched_banks() {
+        bank(&[2]).affine_l2_distance(&bank(&[2, 2]));
+    }
+}

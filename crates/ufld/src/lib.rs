@@ -29,6 +29,7 @@
 //! assert_eq!(lanes.len(), 1);
 //! ```
 
+pub mod bank;
 pub mod config;
 pub mod cost;
 pub mod decode;
@@ -37,6 +38,7 @@ pub mod model;
 pub mod resnet;
 pub mod summary;
 
+pub use bank::BnBank;
 pub use config::{Backbone, UfldConfig};
 pub use decode::{decode_batch, LaneSet};
 pub use metric::{score_batch, score_image, AccuracyReport};

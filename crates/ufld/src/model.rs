@@ -5,6 +5,7 @@
 //! convolution, flattened, and passed through a two-layer FC head producing
 //! `(griding + 1) × row_anchors × num_lanes` logits per image.
 
+use crate::bank::BnBank;
 use crate::config::UfldConfig;
 use crate::resnet::ResNetBackbone;
 use ld_nn::{
@@ -175,6 +176,94 @@ impl UfldModel {
         let mut n = 0;
         self.backbone.for_each_bn(&mut |_| n += 1);
         n
+    }
+
+    /// Applies `f` to every BN layer in canonical bank order (stem first,
+    /// then every block's `bn1`, `bn2`, projection BN).
+    pub fn for_each_bn(&mut self, f: &mut dyn FnMut(&mut BatchNorm2d)) {
+        self.backbone.for_each_bn(f);
+    }
+
+    /// Clones the resident BN state of every layer into a fresh [`BnBank`]
+    /// (canonical order) — the starting point of every per-domain bank.
+    pub fn extract_bn_bank(&mut self) -> BnBank {
+        let mut states = Vec::new();
+        self.backbone
+            .for_each_bn(&mut |bn| states.push(bn.extract_state()));
+        BnBank::new(states)
+    }
+
+    /// Trades the model's resident BN state for `bank`, layer by layer:
+    /// after the call the model normalises with the bank's γ/β/statistics
+    /// and `bank` holds the previous resident state. O(layers) pointer
+    /// swaps; call again with the same bank to swap back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` does not cover exactly this model's BN layers.
+    pub fn swap_bn_bank(&mut self, bank: &mut BnBank) {
+        let mut l = 0;
+        let states = bank.states_mut();
+        self.backbone.for_each_bn(&mut |bn| {
+            assert!(l < states.len(), "swap_bn_bank: bank too short");
+            bn.swap_state(&mut states[l]);
+            l += 1;
+        });
+        assert_eq!(l, states.len(), "swap_bn_bank: bank has extra layers");
+    }
+
+    /// Binds one bank **per batch image**: the next forward must see a
+    /// batch of exactly `banks.len()` frames, and image `i` is normalised
+    /// with (and its backward accumulates into) `banks[i]`'s state — the
+    /// multi-stream server's demux point, where each stream's own bank
+    /// rides one shared batched forward. The bank contents are swapped into
+    /// the layers' lane slots; call [`UfldModel::unbind_bn_lanes`] with the
+    /// same banks (same order) to swap them back out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is empty or a bank does not cover this model's BN
+    /// layers.
+    pub fn bind_bn_lanes(&mut self, banks: &mut [BnBank]) {
+        assert!(!banks.is_empty(), "bind_bn_lanes: no banks");
+        let n = banks.len();
+        let mut l = 0;
+        self.backbone.for_each_bn(&mut |bn| {
+            for (j, bank) in banks.iter_mut().enumerate() {
+                let states = bank.states_mut();
+                assert!(l < states.len(), "bind_bn_lanes: bank {j} too short");
+                bn.swap_lane(j, &mut states[l]);
+            }
+            bn.set_lane_count(n);
+            l += 1;
+        });
+        for (j, bank) in banks.iter().enumerate() {
+            assert_eq!(
+                bank.layer_count(),
+                l,
+                "bind_bn_lanes: bank {j} has extra layers"
+            );
+        }
+    }
+
+    /// Swaps lane-bound bank state back out into `banks` (same order as the
+    /// [`UfldModel::bind_bn_lanes`] call) and returns the model to resident
+    /// BN state. Any updates the forward/backward made to lane state (EMA
+    /// statistics, accumulated γ/β gradients) are in the banks afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` does not match the bound lane count.
+    pub fn unbind_bn_lanes(&mut self, banks: &mut [BnBank]) {
+        assert!(!banks.is_empty(), "unbind_bn_lanes: no banks");
+        let mut l = 0;
+        self.backbone.for_each_bn(&mut |bn| {
+            for (j, bank) in banks.iter_mut().enumerate() {
+                bn.swap_lane(j, &mut bank.states_mut()[l]);
+            }
+            bn.set_lane_count(0);
+            l += 1;
+        });
     }
 
     /// Snapshot of all persistent state (weights + BN running statistics).
@@ -542,5 +631,71 @@ mod tests {
     fn forward_rejects_wrong_resolution() {
         let (_, mut model) = tiny_model(9);
         model.forward(&Tensor::zeros(&[1, 3, 16, 16]), Mode::Eval);
+    }
+
+    /// Whole-model bank swap: forwarding under a mutated bank changes the
+    /// output; swapping back restores it bitwise.
+    #[test]
+    fn bn_bank_swap_roundtrip_is_bitwise() {
+        let (cfg, mut model) = tiny_model(14);
+        model.set_bn_policy(BnStatsPolicy::Batch);
+        let x =
+            SeededRng::new(40).uniform_tensor(&[1, 3, cfg.input_height, cfg.input_width], 0.0, 1.0);
+        let resident = model.forward(&x, Mode::Eval);
+
+        let mut bank = model.extract_bn_bank();
+        assert_eq!(bank.layer_count(), model.bn_layer_count());
+        for st in bank.states_mut() {
+            st.gamma.value.map_inplace(|v| v * 1.1);
+        }
+        model.swap_bn_bank(&mut bank);
+        let banked = model.forward(&x, Mode::Eval);
+        assert_ne!(resident.as_slice(), banked.as_slice());
+
+        model.swap_bn_bank(&mut bank);
+        let back = model.forward(&x, Mode::Eval);
+        assert_eq!(resident.as_slice(), back.as_slice());
+    }
+
+    /// The multi-stream contract: a batched forward with per-image banks is
+    /// bitwise identical, per lane, to dedicated model clones each holding
+    /// that bank as resident state (batch statistics are per image in both
+    /// cases, so the conv weights are the only thing actually shared).
+    #[test]
+    fn banked_lanes_bitwise_match_dedicated_model_clones() {
+        let (cfg, mut model) = tiny_model(15);
+        model.set_bn_policy(BnStatsPolicy::Batch);
+        let mut rng = SeededRng::new(41);
+        let frames: Vec<Tensor> = (0..3)
+            .map(|_| rng.uniform_tensor(&[3, cfg.input_height, cfg.input_width], 0.0, 1.0))
+            .collect();
+
+        // Three divergent banks.
+        let mut banks: Vec<_> = (0..3).map(|_| model.extract_bn_bank()).collect();
+        for (i, bank) in banks.iter_mut().enumerate() {
+            for st in bank.states_mut() {
+                st.gamma.value.map_inplace(|v| v * (1.0 + 0.07 * i as f32));
+                st.beta.value.map_inplace(|v| v + 0.01 * i as f32);
+            }
+        }
+
+        // Reference: each bank resident in its own model clone, batch of 1.
+        let mut want = Vec::new();
+        for (i, bank) in banks.iter_mut().enumerate() {
+            let mut solo = model.clone_model();
+            solo.set_bn_policy(BnStatsPolicy::Batch);
+            solo.swap_bn_bank(bank);
+            want.push(solo.forward_frames(&[&frames[i]], Mode::Eval));
+            solo.swap_bn_bank(bank);
+        }
+
+        // One shared model, one batched forward, per-image banks.
+        let refs: Vec<&Tensor> = frames.iter().collect();
+        model.bind_bn_lanes(&mut banks);
+        let logits = model.forward_frames(&refs, Mode::Eval);
+        model.unbind_bn_lanes(&mut banks);
+        for (i, w) in want.iter().enumerate() {
+            assert_eq!(logits.image(i), w.image(0), "lane {i} diverged");
+        }
     }
 }

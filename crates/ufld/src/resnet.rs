@@ -18,8 +18,9 @@ pub const STEM_POOL: (usize, usize, usize) = (3, 2, 1);
 
 /// Runs a conv→BN pair, folding the BN into the convolution's output
 /// epilogue when the fused eval path applies (eval mode, frozen running
-/// statistics). Falls back to the separate layers otherwise — in particular
-/// the paper's batch-stats adaptation policy always takes the exact path.
+/// statistics, no per-image state lanes bound). Falls back to the separate
+/// layers otherwise — in particular the paper's batch-stats adaptation
+/// policy and the banked per-stream forward always take the exact path.
 fn conv_bn_forward(
     conv: &mut Conv2d,
     bn: &mut BatchNorm2d,
@@ -27,7 +28,7 @@ fn conv_bn_forward(
     mode: Mode,
     fuse: bool,
 ) -> Tensor {
-    if fuse && mode == Mode::Eval && bn.policy == BnStatsPolicy::Running {
+    if fuse && mode == Mode::Eval && bn.policy == BnStatsPolicy::Running && !bn.lanes_active() {
         // The BN layer is bypassed; a stale cache from an earlier exact
         // forward must not feed a later backward with wrong statistics.
         bn.invalidate_cache();

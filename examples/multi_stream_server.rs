@@ -1,16 +1,20 @@
 //! Four cameras, one model: the multi-stream adaptation server end-to-end.
 //!
-//! Four logical camera streams drift through *different* conditions on
-//! independent clocks (noon→dusk, a tunnel transit, dusk→noon, and a
-//! fast-drifting lap). Every tick they are packed into one NCHW batch, run
-//! through a single shared UFLD forward, demultiplexed through per-stream
-//! entropy governors, decoded to lanes and scored — with an Orin deadline
-//! gate (cost model refreshed from `BENCH_gemm.json` when available)
-//! deciding how many frames a tick may take and whether the shared
-//! adaptation step fits the 30 FPS budget.
+//! Four logical camera streams settle into *divergent* steady domains
+//! (clear noon, a sodium-lit tunnel, heavy rain, night — CARLANE's
+//! multi-target deployment shape). Every tick they are packed into one
+//! NCHW batch, run through a single shared UFLD forward with **per-stream
+//! BN state banks** swapped in at demux (each camera normalises with its
+//! own γ/β and statistics while conv/FC weights stay shared),
+//! demultiplexed through per-stream entropy governors, decoded to lanes
+//! and scored — with an Orin deadline gate (cost model refreshed from
+//! `BENCH_gemm.json` when available) deciding how many frames a tick may
+//! take and whether the adaptation step fits the budget. The report
+//! includes the per-stream bank telemetry: swap count, last quantized
+//! re-fold tick, and how far each domain's bank has adapted from init.
 //!
 //! ```text
-//! cargo run --release --example multi_stream_server [-- --quick]
+//! cargo run --release --example multi_stream_server [-- --quick] [-- --shared-bn]
 //! ```
 
 use ld_adapt::{
@@ -52,10 +56,19 @@ fn main() {
             AdaptCostModel::paper_scale(&paper_cfg)
         }
     };
-    // The paper's relaxed deadline (18 FPS, the Audi A8 L3 system): four
-    // streams fit *with* the shared adapt step; the strict 30 FPS budget
-    // would shed adaptation whenever 3+ streams are admitted.
-    let gate = AdmissionGate::new(cost, PowerMode::MaxN60, Deadline::FPS18);
+    // A relaxed multi-camera budget (~12 FPS per round-robin tick): all
+    // four streams fit *with* the adaptation step, so the per-stream banks
+    // actually adapt toward their domains. The paper's 18/30 FPS deadlines
+    // shed the adapt step whenever 4 streams are admitted — that shedding
+    // regime is what the admit table above and the unit tests demonstrate.
+    let gate = AdmissionGate::new(
+        cost,
+        PowerMode::MaxN60,
+        Deadline {
+            name: "4-cam demo budget",
+            budget_ms: 83.3,
+        },
+    );
     for offered in 1..=4 {
         let v = gate.admit(offered);
         println!(
@@ -64,28 +77,33 @@ fn main() {
         );
     }
 
+    let shared_bn = std::env::args().any(|a| a == "--shared-bn");
     let n_streams = 4;
     let ticks = if quick { 12 } else { 60 };
     let timeline = ticks.max(8);
-    let mut streams = StreamSet::drifting(
+    let mut streams = StreamSet::multi_target(
         Benchmark::MoLane,
         frame_spec_for(&cfg),
         n_streams,
         timeline,
         5,
     );
-    println!("\nserving {n_streams} drifting camera streams for {ticks} ticks:");
+    println!(
+        "\nserving {n_streams} multi-target camera streams for {ticks} ticks ({}):",
+        if shared_bn {
+            "shared BN state"
+        } else {
+            "per-stream BN banks"
+        }
+    );
     for sid in 0..n_streams {
-        let names: Vec<&str> = streams
-            .schedule(sid)
-            .phases()
-            .iter()
-            .map(|p| p.name.as_str())
-            .collect();
-        println!("  cam{sid}: {}", names.join(" → "));
+        println!(
+            "  cam{sid}: holds \"{}\"",
+            streams.schedule(sid).phase_name_at(timeline - 1)
+        );
     }
 
-    let server_cfg = ServerConfig::new(
+    let mut server_cfg = ServerConfig::new(
         LdBnAdaptConfig::paper(1),
         GovernorConfig {
             warmup_frames: 4,
@@ -94,6 +112,9 @@ fn main() {
         n_streams,
     )
     .with_admission(gate);
+    if !shared_bn {
+        server_cfg = server_cfg.with_bn_banks();
+    }
     let mut server = AdaptServer::new(server_cfg, n_streams, &mut model);
 
     let t0 = std::time::Instant::now();
@@ -101,17 +122,29 @@ fn main() {
     let elapsed = t0.elapsed();
 
     println!(
-        "\n{:>6} | {:>7} | {:>10} | {:>9} | {:>9}",
-        "stream", "frames", "duty cycle", "rollbacks", "accuracy"
+        "\n{:>6} | {:>7} | {:>10} | {:>9} | {:>9} | {:>6} | {:>7} | {:>9}",
+        "stream", "frames", "duty cycle", "rollbacks", "accuracy", "swaps", "refold", "bank ‖Δ‖"
     );
     for (sid, s) in report.per_stream.iter().enumerate() {
+        let (swaps, refold, l2) = match s.bank {
+            Some(b) => (
+                b.bank_swaps.to_string(),
+                b.last_refold_tick
+                    .map_or_else(|| "-".into(), |t| t.to_string()),
+                format!("{:.3}", b.l2_from_init),
+            ),
+            None => ("-".into(), "-".into(), "-".into()),
+        };
         println!(
-            "{:>6} | {:>7} | {:>9.0}% | {:>9} | {:>8.1}%",
+            "{:>6} | {:>7} | {:>9.0}% | {:>9} | {:>8.1}% | {:>6} | {:>7} | {:>9}",
             format!("cam{sid}"),
             s.frames,
             100.0 * s.stats.duty_cycle(),
             s.stats.rollbacks,
-            s.report.percent()
+            s.report.percent(),
+            swaps,
+            refold,
+            l2
         );
     }
     let sv = report.server;

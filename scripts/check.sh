@@ -22,10 +22,18 @@ cargo test -q
 echo "== bench smoke: gemm_blocked --quick =="
 cargo bench -p ld-bench --bench gemm_blocked -- --quick
 
-echo "== server smoke: drifting streams through the batch server =="
+echo "== server smoke: multi-target streams, per-stream BN banks =="
 cargo run --release --example multi_stream_server -- --quick
 
-echo "== bench smoke: server_throughput --quick (emits BENCH_server.quick.json) =="
+echo "== server smoke: same workload, shared-BN legacy config =="
+cargo run --release --example multi_stream_server -- --quick --shared-bn
+
+# The smoke gate compares against the last local quick run (the file is
+# gitignored; a fresh checkout passes trivially) at a 30% noise floor —
+# the strict >10% gate runs with the full `server_throughput` bench,
+# diffing BENCH_server.json against the committed baseline.
+echo "== bench smoke: server_throughput --quick (emits BENCH_server.quick.json," \
+     "smoke-level throughput regression gate) =="
 cargo bench -p ld-bench --bench server_throughput -- --quick
 
 echo "== quant smoke: ld-quant tests =="

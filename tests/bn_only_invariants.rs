@@ -131,6 +131,70 @@ fn state_bytes_snapshot_restores_adapted_model_exactly() {
     assert_eq!(ya.as_slice(), yb.as_slice());
 }
 
+/// Bank-mode invariant: serving with per-stream BN banks never mutates the
+/// shared model at all — conv/FC weights, the resident BN parameters AND
+/// the resident running statistics are untouched; every adapted scalar
+/// lives in the per-stream banks.
+#[test]
+fn banked_serving_leaves_the_shared_model_untouched() {
+    use ld_adapt::{AdaptServer, GovernorConfig, ServerConfig};
+    use ld_carlane::StreamSet;
+
+    let cfg = UfldConfig::tiny(2);
+    let mut model = UfldModel::new(&cfg, 0xB44);
+    let before = model.state_dict();
+
+    let gov = GovernorConfig {
+        warmup_frames: 3,
+        ..Default::default()
+    };
+    let server_cfg =
+        ServerConfig::new(LdBnAdaptConfig::paper(1).with_lr(0.05), gov, 3).with_bn_banks();
+    let mut server = AdaptServer::new(server_cfg, 3, &mut model);
+    let mut streams = StreamSet::multi_target(Benchmark::MoLane, frame_spec_for(&cfg), 3, 8, 5);
+    let report = server.serve(&mut model, &mut streams, 6);
+    assert!(report.server.adapt_steps > 0, "warm-up must adapt");
+
+    let after = model.state_dict();
+    assert_eq!(before.len(), after.len());
+    for ((name, a), (_, b)) in before.iter().zip(&after) {
+        assert_eq!(a.as_slice(), b.as_slice(), "{name} mutated in bank mode");
+    }
+    // …and the banks did move (the adaptation landed somewhere).
+    let telemetry = server.bank_telemetry(0).expect("bank telemetry");
+    assert!(telemetry.l2_from_init > 0.0, "banks never adapted");
+}
+
+/// Whole-model bank swap round-trips across crate boundaries: extract →
+/// perturb → swap in → swap out restores the model bitwise, and the
+/// extracted bank covers every BN layer.
+#[test]
+fn bn_bank_extract_swap_roundtrip_is_lossless() {
+    let cfg = UfldConfig::tiny(2);
+    let mut model = UfldModel::new(&cfg, 0xB45);
+    model.set_bn_policy(BnStatsPolicy::Batch);
+    let x = ld_tensor::rng::SeededRng::new(8).uniform_tensor(
+        &[1, 3, cfg.input_height, cfg.input_width],
+        0.0,
+        1.0,
+    );
+    let y0 = model.forward(&x, Mode::Eval);
+
+    let mut bank = model.extract_bn_bank();
+    assert_eq!(bank.layer_count(), model.bn_layer_count());
+    assert!(bank.scalar_count() > 0);
+    for st in bank.states_mut() {
+        st.gamma.value.map_inplace(|v| v * 0.9);
+        st.beta.value.map_inplace(|v| v + 0.05);
+    }
+    model.swap_bn_bank(&mut bank);
+    let y1 = model.forward(&x, Mode::Eval);
+    assert_ne!(y0.as_slice(), y1.as_slice(), "swapped bank must apply");
+    model.swap_bn_bank(&mut bank);
+    let y2 = model.forward(&x, Mode::Eval);
+    assert_eq!(y0.as_slice(), y2.as_slice(), "round-trip must be lossless");
+}
+
 #[test]
 fn trainable_counts_shrink_with_filters() {
     let cfg = UfldConfig::tiny(4);

@@ -10,6 +10,172 @@ use ld_carlane::{Benchmark, StreamSet};
 use ld_orin::{AdaptCostModel, Deadline, PowerMode};
 use ld_ufld::{Backbone, UfldConfig, UfldModel};
 
+/// The multi-target acceptance proof: on a divergent-domain workload (one
+/// camera each holding noon / tunnel / rain / night), per-stream BN banks
+/// recover the accuracy of a *dedicated model per stream* on every stream
+/// (they are bitwise that model — asserted within 0.5 % here), while the
+/// shared-normalisation config measurably degrades on at least one stream:
+/// divergent domains fight over one γ/β and one batch's statistics.
+#[test]
+fn multi_target_banks_recover_dedicated_accuracy_where_shared_degrades() {
+    let cfg = UfldConfig::tiny(2);
+    let mut base = UfldModel::new(&cfg, 0x5E4);
+    let mut train = TrainConfig::smoke();
+    train.steps = 400;
+    train.dataset_size = 64;
+    pretrain_on_source(&mut base, Benchmark::MoLane, &train);
+
+    let n = 4;
+    let ticks = 48;
+    let gov = GovernorConfig {
+        warmup_frames: 2,
+        threshold_ratio: 1.05,
+        ..Default::default()
+    };
+    let adapt = LdBnAdaptConfig::paper(1).with_lr(0.02);
+    let mk_streams = || StreamSet::multi_target(Benchmark::MoLane, frame_spec_for(&cfg), n, 48, 77);
+
+    let mut serve_with = |server_cfg: ServerConfig, streams: &mut StreamSet| -> Vec<f64> {
+        let count = streams.num_streams();
+        let mut model = base.clone_model();
+        let mut server = AdaptServer::new(server_cfg, count, &mut model);
+        let report = server.serve(&mut model, streams, ticks);
+        report
+            .per_stream
+            .iter()
+            .map(|s| s.report.percent())
+            .collect()
+    };
+
+    let banked = serve_with(
+        ServerConfig::new(adapt.clone(), gov, n).with_bn_banks(),
+        &mut mk_streams(),
+    );
+    let shared = serve_with(ServerConfig::new(adapt.clone(), gov, n), &mut mk_streams());
+    let dedicated: Vec<f64> = (0..n)
+        .map(|sid| {
+            serve_with(
+                ServerConfig::new(adapt.clone(), gov, 1),
+                &mut mk_streams().isolate(sid),
+            )[0]
+        })
+        .collect();
+
+    eprintln!("banked:    {banked:.1?}");
+    eprintln!("shared:    {shared:.1?}");
+    eprintln!("dedicated: {dedicated:.1?}");
+    for sid in 0..n {
+        assert!(
+            banked[sid] >= dedicated[sid] - 0.5,
+            "stream {sid}: banks {:.2}% below dedicated {:.2}%",
+            banked[sid],
+            dedicated[sid]
+        );
+    }
+    let worst_gap = (0..n)
+        .map(|sid| banked[sid] - shared[sid])
+        .fold(f64::MIN, f64::max);
+    assert!(
+        worst_gap > 0.5,
+        "shared normalisation never measurably degraded: banked {banked:.1?} vs shared {shared:.1?}"
+    );
+}
+
+/// Divergent-domain isolation on real rendered streams: two cameras on
+/// *opposing* drift schedules (noon→dusk vs dusk→noon) served by one
+/// banked batch server match, bitwise and frame by frame, two dedicated
+/// single-stream governors each owning a full model copy.
+#[test]
+fn opposing_drift_banked_streams_bitwise_match_dedicated_models() {
+    use ld_adapt::AdaptGovernor;
+    use ld_carlane::{DriftSchedule, DriftingStream};
+
+    let cfg = UfldConfig::tiny(2);
+    let mut shared = UfldModel::new(&cfg, 0xD1F);
+    let mut train = TrainConfig::smoke();
+    train.steps = 80;
+    pretrain_on_source(&mut shared, Benchmark::MoLane, &train);
+    let mut clones: Vec<UfldModel> = (0..2).map(|_| shared.clone_model()).collect();
+
+    let len = 12;
+    let fwd = DriftingStream::new(
+        Benchmark::MoLane,
+        frame_spec_for(&cfg),
+        DriftSchedule::noon_to_dusk(len),
+        len,
+        41,
+    );
+    let rev = DriftingStream::new(
+        Benchmark::MoLane,
+        frame_spec_for(&cfg),
+        DriftSchedule::noon_to_dusk(len).reversed(),
+        len,
+        42,
+    );
+
+    let gov = GovernorConfig {
+        warmup_frames: 2,
+        threshold_ratio: 1.02,
+        ..Default::default()
+    };
+    let adapt = || LdBnAdaptConfig::paper(1).with_lr(0.01);
+    let server_cfg = ServerConfig::new(adapt(), gov, 2).with_bn_banks();
+    let mut server = AdaptServer::new(server_cfg, 2, &mut shared);
+    let mut governors: Vec<AdaptGovernor> = clones
+        .iter_mut()
+        .map(|m| AdaptGovernor::new(adapt(), gov, m))
+        .collect();
+
+    for i in 0..len {
+        let frames = [fwd.frame(i).image, rev.frame(i).image];
+        let batch: Vec<(usize, &ld_tensor::Tensor)> = frames.iter().enumerate().collect();
+        let outcomes = server.process_batch(&mut shared, &batch);
+        for (s, (gv, clone)) in governors.iter_mut().zip(&mut clones).enumerate() {
+            let (logits, adapted) = gv.process_frame(clone, &frames[s]);
+            assert_eq!(
+                outcomes[s].logits.as_slice(),
+                logits.as_slice(),
+                "frame {i} stream {s}: logits diverged from the dedicated model"
+            );
+            assert_eq!(
+                outcomes[s].adapted.is_some(),
+                adapted,
+                "frame {i} stream {s}"
+            );
+        }
+    }
+    for (s, gv) in governors.iter().enumerate() {
+        assert_eq!(server.stream_stats(s), gv.stats(), "stream {s} stats");
+    }
+    // The opposing domains actually drove the banks apart.
+    let d01 = server
+        .stream_bank(0)
+        .unwrap()
+        .affine_l2_distance(server.stream_bank(1).unwrap());
+    assert!(d01 > 0.0, "opposing drifts left identical banks");
+}
+
+/// The shared-normalisation behaviour stays available (and unchanged)
+/// behind the config flag: with `bn_banks` off, a mixed divergent batch
+/// runs the original shared-state tick — streams see one normalisation and
+/// the per-stream bank telemetry is absent.
+#[test]
+fn shared_bank_config_flag_pins_the_original_behaviour() {
+    let cfg = UfldConfig::tiny(2);
+    let mut model = UfldModel::new(&cfg, 0x5E4);
+    let server_cfg = ServerConfig::new(LdBnAdaptConfig::paper(1), GovernorConfig::default(), 2);
+    assert!(!server_cfg.bn_banks, "shared normalisation is the default");
+    let mut server = AdaptServer::new(server_cfg, 2, &mut model);
+    let mut streams = StreamSet::multi_target(Benchmark::MoLane, frame_spec_for(&cfg), 2, 8, 3);
+    let report = server.serve(&mut model, &mut streams, 4);
+    assert!(!server.bn_banks_enabled());
+    for s in &report.per_stream {
+        assert!(s.bank.is_none(), "no bank telemetry in shared mode");
+    }
+    assert!(server.stream_bank(0).is_none());
+    assert!(server.bank_telemetry(0).is_none());
+}
+
 #[test]
 fn four_streams_serve_adapt_and_score_end_to_end() {
     let cfg = UfldConfig::tiny(2);
