@@ -1,0 +1,314 @@
+//! Benchmarks the real-time ingest front end under offered load, and emits
+//! machine-readable `BENCH_ingest.json` at the workspace root.
+//!
+//! What is measured — the production server configuration
+//! (`without_step_telemetry`, always-adapt duty) behind a **real-clock**
+//! [`IngestFrontEnd`]: per-camera producers on pooled background threads
+//! pushing pre-rendered frames at their jittered due times into latest-wins
+//! mailboxes, the server draining at tick boundaries. The tick period is
+//! calibrated per host (2× the measured synchronous tick time, so nominal
+//! load has real headroom and the numbers travel between machines), then
+//! each row serves a `(cameras, offered-load)` cell:
+//!
+//! * `load 1.0` — nominal: one frame per camera per tick. Everything the
+//!   cameras produce should be served; drops ≈ 0.
+//! * `load 2.0` — 2× overload: the cameras produce twice what the server
+//!   can admit. The surplus must be **shed at ingest** (latest-wins
+//!   mailboxes keep only the freshest frame) while the served fraction
+//!   holds at ~½ and *no tick overruns its deadline* — the acceptance
+//!   criterion of the ingest subsystem.
+//!
+//! Rows record sustained served FPS, drop rate, frame-age p50/p99 and the
+//! tick-overrun count. After writing the JSON the harness **diffs the
+//! machine-portable ratios** (`served_over_offered`, `overrun_free`,
+//! pooled per load mode) against the committed baseline and fails on more
+//! than 10 % regression (30 % for `--quick`, whose short runs are
+//! noisier) — the same gate pattern as `BENCH_server.json`.
+//!
+//! Run: `cargo bench -p ld-bench --bench ingest_throughput` (add
+//! `-- --quick` for the smoke variant used by `scripts/check.sh`).
+
+use ld_adapt::{frame_spec_for, AdaptServer, GovernorConfig, LdBnAdaptConfig, ServerConfig};
+use ld_carlane::{Benchmark, StreamSet};
+use ld_ingest::{IngestConfig, IngestFrontEnd, OverflowPolicy};
+use ld_tensor::Tensor;
+use ld_ufld::{Backbone, UfldConfig, UfldModel};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Worst-case duty — every frame adapts — so tick cost is deterministic
+/// and the overrun measurement is the honest worst case.
+fn always_adapt() -> GovernorConfig {
+    GovernorConfig {
+        warmup_frames: usize::MAX,
+        ..Default::default()
+    }
+}
+
+fn adapt_cfg() -> LdBnAdaptConfig {
+    LdBnAdaptConfig::paper(1).with_lr(1e-4)
+}
+
+fn server_cfg(n: usize) -> ServerConfig {
+    ServerConfig::new(adapt_cfg(), always_adapt(), n).without_step_telemetry()
+}
+
+/// Synchronous tick wall time for `n` cameras — the **maximum** over the
+/// measured ticks, not the mean: the tick period derived from it must
+/// absorb host jitter (a busy CI box doubles the occasional tick), or the
+/// overrun accounting measures the host's load average instead of the
+/// ingest subsystem.
+fn calibrate_tick_ns(cfg: &UfldConfig, streams: &StreamSet, n: usize) -> u64 {
+    let mut model = UfldModel::new(cfg, 7);
+    let mut server = AdaptServer::new(server_cfg(n), n, &mut model);
+    let ticks = 9;
+    let timelines: Vec<Vec<ld_carlane::LabeledFrame>> =
+        (0..n).map(|cam| streams.prerender(cam, ticks)).collect();
+    let mut worst = 0u64;
+    for t in 0..ticks {
+        let batch: Vec<(usize, &Tensor)> = timelines
+            .iter()
+            .enumerate()
+            .map(|(cam, tl)| (cam, &tl[t].image))
+            .collect();
+        let t0 = Instant::now();
+        server.process_batch(&mut model, &batch);
+        if t >= 2 {
+            // Skip the first ticks (allocation warm-up).
+            worst = worst.max(t0.elapsed().as_nanos() as u64);
+        }
+    }
+    worst
+}
+
+struct Row {
+    cams: usize,
+    load: f64,
+    ticks: usize,
+    tick_period_ns: u64,
+    produced: u64,
+    served: usize,
+    dropped: u64,
+    overruns: usize,
+    served_fps: f64,
+    age_p50_ms: f64,
+    age_p99_ms: f64,
+    served_over_offered: f64,
+    overrun_free: f64,
+}
+
+fn run_row(cfg: &UfldConfig, cams: usize, load: f64, ticks: usize, tick_period_ns: u64) -> Row {
+    let streams = StreamSet::drifting(Benchmark::MoLane, frame_spec_for(cfg), cams, 16, 42);
+    let ingest_cfg = IngestConfig::new(tick_period_ns)
+        .with_policy(OverflowPolicy::LatestWins)
+        .with_capacity(4)
+        .with_prerender(8)
+        .with_load(load);
+    let mut model = UfldModel::new(cfg, 7);
+    let mut server = AdaptServer::new(server_cfg(cams), cams, &mut model);
+    // Warm the scratch arenas before the clock starts: the first tick of a
+    // fresh server pays one-off allocations that are not steady-state
+    // serving and would count as a spurious overrun.
+    let warm: Vec<Vec<ld_carlane::LabeledFrame>> =
+        (0..cams).map(|cam| streams.prerender(cam, 2)).collect();
+    for t in 0..2 {
+        let batch: Vec<(usize, &Tensor)> = warm
+            .iter()
+            .enumerate()
+            .map(|(cam, tl)| (cam, &tl[t].image))
+            .collect();
+        server.process_batch(&mut model, &batch);
+    }
+    let warm_frames = server.server_stats().frames;
+    let mut front = IngestFrontEnd::realtime(&streams, &ingest_cfg);
+    let t0 = Instant::now();
+    let report = server.serve_ingest(&mut model, &mut front, ticks);
+    let elapsed = t0.elapsed().as_secs_f64();
+    front.shutdown();
+    let ingest = front.report();
+
+    // Producer counters from the snapshot serve_ingest took at its last
+    // tick — the post-shutdown front-end report would inflate `produced`
+    // with frames offered after the measurement window closed.
+    let produced: u64 = report
+        .per_stream
+        .iter()
+        .map(|s| s.ingest.map_or(0, |c| c.produced))
+        .sum();
+    let served = report.server.frames - warm_frames;
+    let served_over_offered = served as f64 / produced.max(1) as f64;
+    Row {
+        cams,
+        load,
+        ticks,
+        tick_period_ns,
+        produced,
+        served,
+        dropped: ingest.dropped(),
+        overruns: ingest.tick_overruns,
+        served_fps: served as f64 / elapsed,
+        age_p50_ms: ingest.age_p50_ns as f64 / 1e6,
+        age_p99_ms: ingest.age_p99_ns as f64 / 1e6,
+        served_over_offered,
+        overrun_free: 1.0 - ingest.tick_overruns as f64 / ticks.max(1) as f64,
+    }
+}
+
+fn main() {
+    let quick = criterion::quick_mode();
+    let cfg = UfldConfig::scaled(Backbone::ResNet18, 2);
+    let ticks = if quick { 24 } else { 48 };
+    let cam_counts: &[usize] = if quick { &[2] } else { &[2, 4] };
+    let loads = [1.0, 2.0];
+
+    let mut rows = Vec::new();
+    for &cams in cam_counts {
+        let streams = StreamSet::drifting(Benchmark::MoLane, frame_spec_for(&cfg), cams, 16, 42);
+        let sync_ns = calibrate_tick_ns(&cfg, &streams, cams);
+        // 3× headroom over the *worst* calibrated tick: nominal load must
+        // be comfortably real-time even on a contended box, so the
+        // overload rows isolate the ingest behaviour, not host speed.
+        let tick_period_ns = (3 * sync_ns).max(1_000_000);
+        eprintln!(
+            "cams {cams}: synchronous tick {:.2} ms → period {:.2} ms",
+            sync_ns as f64 / 1e6,
+            tick_period_ns as f64 / 1e6
+        );
+        for &load in &loads {
+            let row = run_row(&cfg, cams, load, ticks, tick_period_ns);
+            eprintln!(
+                "  load {load:.1}: produced {} served {} dropped {} overruns {} \
+                 (served/offered {:.3}, fps {:.1}, age p50 {:.2} ms p99 {:.2} ms)",
+                row.produced,
+                row.served,
+                row.dropped,
+                row.overruns,
+                row.served_over_offered,
+                row.served_fps,
+                row.age_p50_ms,
+                row.age_p99_ms
+            );
+            rows.push(row);
+        }
+    }
+    write_json(&rows);
+}
+
+/// Emits `BENCH_ingest.json` and runs the ratio regression gate (see the
+/// module docs).
+fn write_json(rows: &[Row]) {
+    let path = if criterion::quick_mode() {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.quick.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json")
+    };
+    let baseline = std::fs::read_to_string(path).unwrap_or_default();
+
+    let mut lines = Vec::new();
+    for r in rows {
+        let mode = if r.load > 1.0 { "overload" } else { "nominal" };
+        let mut line = format!(
+            "  {{\"cams\": {}, \"load\": {:.1}, \"mode\": \"{}\", \"ticks\": {}, \
+             \"tick_period_ms\": {:.3}, \"produced\": {}, \"served\": {}, \"dropped\": {}, \
+             \"tick_overruns\": {}, \"served_fps\": {:.2}, \"age_p50_ms\": {:.3}, \
+             \"age_p99_ms\": {:.3}",
+            r.cams,
+            r.load,
+            mode,
+            r.ticks,
+            r.tick_period_ns as f64 / 1e6,
+            r.produced,
+            r.served,
+            r.dropped,
+            r.overruns,
+            r.served_fps,
+            r.age_p50_ms,
+            r.age_p99_ms
+        );
+        let _ = write!(
+            line,
+            ", \"served_over_offered\": {:.3}, \"overrun_free\": {:.3}}}",
+            r.served_over_offered, r.overrun_free
+        );
+        lines.push(line);
+    }
+    let json = format!("[\n{}\n]\n", lines.join(",\n"));
+    std::fs::write(path, &json).expect("write BENCH_ingest.json");
+    eprintln!("wrote {path}");
+    eprint!("{json}");
+
+    regress_against_baseline(&baseline, rows);
+}
+
+/// The machine-portable regression gate: `served_over_offered` and
+/// `overrun_free`, pooled per load mode over the camera counts present in
+/// both runs, must stay within tolerance of the committed baseline (10 %
+/// full, 30 % quick). Raw FPS and ages are recorded but not gated — they
+/// are host properties.
+fn regress_against_baseline(baseline: &str, rows: &[Row]) {
+    let tolerance = if criterion::quick_mode() { 0.7 } else { 0.9 };
+    let field = |obj: &str, key: &str| -> Option<f64> {
+        let at = obj.find(&format!("\"{key}\":"))? + key.len() + 3;
+        let rest = obj[at..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    };
+    // Pooled (Σ baseline, Σ current, count) per (mode, metric).
+    let mut pools: Vec<(String, &str, f64, f64, usize)> = Vec::new();
+    for line in baseline.lines() {
+        let (Some(cams), Some(mode)) = (
+            field(line, "cams").map(|v| v as usize),
+            line.split("\"mode\": \"")
+                .nth(1)
+                .and_then(|s| s.split('"').next()),
+        ) else {
+            continue;
+        };
+        for metric in ["served_over_offered", "overrun_free"] {
+            let Some(base) = field(line, metric) else {
+                continue;
+            };
+            let this_mode = mode;
+            let Some(now_row) = rows.iter().find(|r| {
+                r.cams == cams && (if r.load > 1.0 { "overload" } else { "nominal" }) == this_mode
+            }) else {
+                continue; // cam count not measured this run (quick sweep)
+            };
+            let now = match metric {
+                "served_over_offered" => now_row.served_over_offered,
+                _ => now_row.overrun_free,
+            };
+            match pools
+                .iter_mut()
+                .find(|(m, k, ..)| m == mode && *k == metric)
+            {
+                Some(p) => {
+                    p.2 += base;
+                    p.3 += now;
+                    p.4 += 1;
+                }
+                None => pools.push((mode.to_owned(), metric, base, now, 1)),
+            }
+        }
+    }
+    let mut failures = Vec::new();
+    for (mode, metric, base_sum, now_sum, count) in &pools {
+        let (base, now) = (base_sum / *count as f64, now_sum / *count as f64);
+        if now < tolerance * base {
+            failures.push(format!(
+                "{mode} {metric}: mean {now:.3} vs committed {base:.3} over {count} cam counts \
+                 (more than {:.0}% regression)",
+                100.0 * (1.0 - tolerance)
+            ));
+        } else {
+            eprintln!("gate ok: {mode} {metric} mean {now:.3} (baseline {base:.3}, {count} rows)");
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "ingest throughput regression:\n{}",
+        failures.join("\n")
+    );
+}

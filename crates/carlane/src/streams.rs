@@ -177,6 +177,22 @@ impl StreamSet {
         StreamSet::new(vec![(lane.stream.clone(), lane.rate)])
     }
 
+    /// Renders the first `count` frames of stream `id` without advancing
+    /// its clock — the pre-rendered timeline real-time camera producers
+    /// cycle when render cost must not distort the offered load (frames
+    /// wrap exactly like the live clock would).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or `count == 0`.
+    pub fn prerender(&self, id: usize, count: usize) -> Vec<LabeledFrame> {
+        assert!(count > 0, "prerender: zero frames");
+        let lane = &self.lanes[id];
+        (0..count)
+            .map(|k| lane.stream.frame((k * lane.rate) % lane.stream.len()))
+            .collect()
+    }
+
     /// Number of streams.
     pub fn num_streams(&self) -> usize {
         self.lanes.len()

@@ -109,12 +109,59 @@
 //! `actual / predicted`, and feeds it to [`ld_orin::admit_batch_with`] as a
 //! cost-scale on the next tick's query — a slow host shrinks admissions
 //! before deadlines slip, a fast host grows them before capacity idles.
+//!
+//! # The ingest lifecycle: mailbox → age-gated admission → batch → decode
+//!
+//! [`AdaptServer::serve`] *polls* its streams synchronously — fine for
+//! experiments, but real cameras deliver frames on their own jittered
+//! clocks and keep delivering while the server is busy.
+//! [`AdaptServer::serve_ingest`] serves an [`ld_ingest::IngestFrontEnd`]
+//! instead, and one tick flows through four stages:
+//!
+//! 1. **Mailbox** — each camera's producer pushes stamped frames (sequence
+//!    number + due time) into its own lock-free bounded
+//!    [`ld_ingest::Mailbox`] on the camera's clock. A slow tick never
+//!    blocks a camera: overflow evicts the oldest frame at ingest, and
+//!    every loss is observable (eviction counters, sequence-gap
+//!    accounting). At each tick boundary the server drains the mailboxes
+//!    under their [`ld_ingest::OverflowPolicy`]; frames come out stamped
+//!    with their queue **age**.
+//! 2. **Age-gated admission** — the drained frames (plus any deferred
+//!    backlog) go to [`ld_orin::admit_batch_aged`] through the
+//!    [`AdmissionGate`]: a frame whose age plus the predicted tick latency
+//!    exceeds the gate's staleness bound
+//!    ([`AdmissionGate::with_staleness`]) is **shed before batching** — it
+//!    would arrive expired, and its slot shrinks the batch so the frames
+//!    that remain serve fresher. Shed and deferral are distinct:
+//!    deferred frames wait (and age) in the pending queue, shed frames are
+//!    dropped and tallied ([`ServerStats::stale_shed_frames`]).
+//! 3. **Batch** — the admitted frames ride the ordinary tick
+//!    (`process_batch_gated`): one batched forward, per-stream governor
+//!    demux, shared (or banked) adaptation, exactly the synchronous
+//!    engine. At nominal load the tick batches are identical to
+//!    [`AdaptServer::serve`]'s, and the adaptation state is **bitwise**
+//!    identical — the parity tests pin this.
+//! 4. **Decode** — lanes are decoded and scored per stream, and the tick's
+//!    busy time is folded back into the front end
+//!    ([`ld_ingest::IngestFrontEnd::record_busy`]): measured wall-clock on
+//!    the real clock, the gate's predicted latency on the deterministic
+//!    manual clock, counting tick-deadline overruns either way.
+//!
+//! Backpressure telemetry flows out through [`ServerStats`]
+//! (`stale_shed_frames`, `ingest_dropped_frames`, `tick_overruns`) and
+//! per-stream through [`StreamReport::ingest`]
+//! ([`ld_ingest::CamReport`]: produced/delivered/dropped, peak queue
+//! depth).
 
 use crate::bn_adapt::{AdaptStep, FrameOutcome, LdBnAdaptConfig};
 use crate::governor::{GovernorConfig, GovernorStats};
 use ld_carlane::{LabeledFrame, StreamSet};
+use ld_ingest::{CamReport, IngestFrame, IngestFrontEnd};
 use ld_nn::{loss, Layer, Mode, ParamFilter, Sgd};
-use ld_orin::{admit_batch_with, AdaptCostModel, BatchAdmission, Deadline, PowerMode, Precision};
+use ld_orin::{
+    admit_batch_aged, admit_batch_with, AdaptCostModel, AgedAdmission, BatchAdmission, Deadline,
+    PowerMode, Precision,
+};
 use ld_quant::{QuantUfldModel, QuantizeModel};
 use ld_tensor::Tensor;
 use ld_ufld::{decode_batch, score_image, AccuracyReport, BnBank, UfldModel};
@@ -176,6 +223,10 @@ pub struct AdmissionGate {
     mode: PowerMode,
     deadline: Deadline,
     infer: Precision,
+    /// End-to-end freshness bound for the ingest path (ms): a frame whose
+    /// queue age plus predicted tick latency exceeds it is shed at ingest.
+    /// `None` disables staleness shedding.
+    staleness_ms: Option<f64>,
 }
 
 impl AdmissionGate {
@@ -188,6 +239,7 @@ impl AdmissionGate {
             mode,
             deadline,
             infer: Precision::Fp32,
+            staleness_ms: None,
         }
     }
 
@@ -199,9 +251,44 @@ impl AdmissionGate {
         self
     }
 
+    /// Sets the end-to-end freshness bound of the ingest path (builder
+    /// style): a drained frame is shed before batching when its queue age
+    /// plus the predicted tick latency exceeds `ms` (see
+    /// [`ld_orin::admit_batch_aged`]). A sensible deployment bound is a
+    /// small multiple of the deadline budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is not positive and finite.
+    pub fn with_staleness(mut self, ms: f64) -> Self {
+        assert!(ms.is_finite() && ms > 0.0, "bad staleness bound {ms}");
+        self.staleness_ms = Some(ms);
+        self
+    }
+
+    /// The configured staleness bound, if any.
+    pub fn staleness_ms(&self) -> Option<f64> {
+        self.staleness_ms
+    }
+
     /// The batch-aware deadline query (see [`ld_orin::admit_batch`]).
     pub fn admit(&self, offered: usize) -> BatchAdmission {
         self.admit_scaled(offered, 1.0)
+    }
+
+    /// The age-aware admission query of the ingest path: staleness
+    /// shedding (against the [`AdmissionGate::with_staleness`] bound;
+    /// no-op without one) plus the batch verdict over the fresh frames.
+    pub fn admit_aged(&self, ages_ms: &[f64], cost_scale: f64) -> AgedAdmission {
+        admit_batch_aged(
+            &self.cost,
+            self.mode,
+            self.deadline.budget_ms,
+            ages_ms,
+            self.infer,
+            cost_scale,
+            self.staleness_ms.unwrap_or(f64::INFINITY),
+        )
     }
 
     /// [`AdmissionGate::admit`] with a measured-latency cost-scale applied
@@ -343,6 +430,17 @@ pub struct ServerStats {
     pub deferred_frames: usize,
     /// Ticks on which a poisoned-BN rollback fired.
     pub rollback_ticks: usize,
+    /// Ingest path only: frames shed *before batching* because their queue
+    /// age plus the predicted tick latency exceeded the gate's staleness
+    /// bound (see [`AdmissionGate::with_staleness`]).
+    pub stale_shed_frames: usize,
+    /// Ingest path only: frames dropped inside the mailboxes (overflow
+    /// evictions and latest-wins skips), per the front end's sequence-gap
+    /// accounting.
+    pub ingest_dropped_frames: usize,
+    /// Ingest path only: ticks whose processing time exceeded the tick
+    /// period (measured on the real clock, predicted on the manual one).
+    pub tick_overruns: usize,
 }
 
 /// Per-stream BN-bank telemetry (bank mode only; see
@@ -373,6 +471,9 @@ pub struct StreamReport {
     /// BN-bank telemetry (`None` unless the server runs with
     /// [`ServerConfig::with_bn_banks`]).
     pub bank: Option<BankTelemetry>,
+    /// Per-camera ingest backpressure counters (`None` unless served
+    /// through [`AdaptServer::serve_ingest`]).
+    pub ingest: Option<CamReport>,
 }
 
 /// Aggregate result of a serving run.
@@ -1400,6 +1501,221 @@ impl AdaptServer {
             report.stats = self.streams[sid].stats;
             report.bank = self.bank_telemetry(sid);
         }
+        ServeReport {
+            per_stream: reports,
+            server: self.stats,
+        }
+    }
+
+    /// The real-time serving pump over an [`ld_ingest::IngestFrontEnd`]
+    /// (see the *ingest lifecycle* module docs): for `ticks` tick periods,
+    /// advance to the tick boundary, drain the per-camera mailboxes, shed
+    /// stale frames through the age-aware admission gate, batch-serve the
+    /// survivors, and fold the tick's busy time back into the front end's
+    /// overrun accounting.
+    ///
+    /// Semantics relative to [`AdaptServer::serve`]:
+    ///
+    /// * at nominal load (one frame per camera per tick, no staleness
+    ///   pressure) the tick batches — and therefore the entire per-stream
+    ///   adaptation state — are **bitwise identical** to the synchronous
+    ///   pump on the same streams;
+    /// * at most one frame per stream rides each tick, and at most one
+    ///   undelivered frame per stream is ever held outside the mailboxes
+    ///   (a stream with a deferred frame is simply not drained that tick —
+    ///   the same bound `serve`'s `offered_by` check gives its pending
+    ///   queue): surplus frames wait in the **bounded** rings, where
+    ///   eviction keeps memory bounded and every loss counted. Deferred
+    ///   frames keep aging — with an [`AdmissionGate::with_staleness`]
+    ///   bound, frames that can no longer be served fresh are dropped *at
+    ///   ingest* and counted in [`ServerStats::stale_shed_frames`]. When
+    ///   the run ends, up to one still-fresh deferred frame per stream may
+    ///   remain unserved; it is discarded with the pump's local state
+    ///   (exactly as `serve` discards its pending deferrals);
+    /// * a tick's busy time is its measured wall-clock on the real clock
+    ///   and the gate's predicted latency on the deterministic manual
+    ///   clock, so overrun accounting exists (and is reproducible) in both
+    ///   modes. Measured-latency feedback
+    ///   ([`ServerConfig::with_latency_feedback`]) stays wall-clock-based
+    ///   and therefore only engages on the real clock.
+    ///
+    /// Real-time producers keep running when this returns; call
+    /// [`ld_ingest::IngestFrontEnd::shutdown`] when done with the front
+    /// end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the front end's camera count differs from the server's
+    /// stream count.
+    pub fn serve_ingest(
+        &mut self,
+        model: &mut UfldModel,
+        ingest: &mut IngestFrontEnd,
+        ticks: usize,
+    ) -> ServeReport {
+        assert_eq!(
+            ingest.num_cams(),
+            self.num_streams(),
+            "serve_ingest: camera-count mismatch"
+        );
+        let n = self.num_streams();
+        let model_cfg = model.config().clone();
+        let staleness = self.cfg.admission.as_ref().and_then(|g| g.staleness_ms());
+        // Front-end counters are cumulative per front end; fold only this
+        // run's delta into the server stats (the server may outlive the
+        // front end, and vice versa).
+        let ingest_base = ingest.report();
+        let mut pending: VecDeque<IngestFrame> = VecDeque::new();
+        let mut reports = vec![StreamReport::default(); n];
+        for _ in 0..ticks {
+            ingest.next_tick();
+            // Drain one frame per stream that has none deferred: `pending`
+            // holds at most one frame per stream, and everything beyond
+            // that waits in the bounded, loss-counted mailboxes.
+            let mut deferred_by = vec![false; n];
+            for f in &pending {
+                deferred_by[f.cam] = true;
+            }
+            pending.extend(ingest.drain_ready(&deferred_by));
+            let now_ns = ingest.now_ns();
+            let age_ms = |f: &IngestFrame| now_ns.saturating_sub(f.due_ns) as f64 / 1e6;
+
+            // Backlog pre-shed: a queued frame whose age *alone* exceeds
+            // the staleness bound can never be served fresh — drop it here
+            // so an overloaded backlog cannot outgrow the admission
+            // query's per-tick window.
+            if let Some(bound) = staleness {
+                let before = pending.len();
+                pending.retain(|f| age_ms(f) <= bound);
+                self.stats.stale_shed_frames += before - pending.len();
+            }
+
+            // At most one frame per stream per tick, FIFO within a stream
+            // (deferred frames precede fresh arrivals, so no stream
+            // starves under sustained pressure).
+            let mut offered_by = vec![false; n];
+            let mut candidates: Vec<IngestFrame> = Vec::new();
+            let mut leftover: VecDeque<IngestFrame> = VecDeque::new();
+            for f in pending.drain(..) {
+                if !offered_by[f.cam] && candidates.len() < self.cfg.max_batch {
+                    offered_by[f.cam] = true;
+                    candidates.push(f);
+                } else {
+                    leftover.push_back(f);
+                }
+            }
+            if candidates.is_empty() {
+                ingest.record_busy(0);
+                pending = leftover;
+                self.stats.deferred_frames += pending.len();
+                continue;
+            }
+
+            let cost_scale = if self.cfg.latency_feedback {
+                self.latency_ratio
+            } else {
+                1.0
+            };
+            let tick_start = Instant::now();
+            // Age-aware admission with a gate; a plain max-batch cap
+            // without one (already applied above).
+            let (served, allow_adapt) = match &self.cfg.admission {
+                Some(gate) => {
+                    let ages: Vec<f64> = candidates.iter().map(&age_ms).collect();
+                    let aged = gate.admit_aged(&ages, cost_scale);
+                    let mut fresh = Vec::with_capacity(aged.fresh());
+                    for (f, &stale) in candidates.into_iter().zip(&aged.stale) {
+                        if stale {
+                            self.stats.stale_shed_frames += 1;
+                        } else {
+                            fresh.push(f);
+                        }
+                    }
+                    match aged.admission {
+                        None => (Vec::new(), false),
+                        Some(adm) => {
+                            let take = adm.batch.clamp(1, fresh.len());
+                            // Unadmitted fresh frames defer ahead of this
+                            // tick's leftovers (they are older).
+                            for f in fresh.split_off(take).into_iter().rev() {
+                                leftover.push_front(f);
+                            }
+                            (fresh, adm.adapt)
+                        }
+                    }
+                }
+                None => (candidates, true),
+            };
+
+            let mut adapted_count = 0;
+            let snapshot_ready_before = !self.cfg.quantized_inference || self.quant.is_some();
+            if !served.is_empty() {
+                let refs: Vec<(usize, &Tensor)> =
+                    served.iter().map(|f| (f.cam, &f.frame.image)).collect();
+                let outcomes = self.process_batch_gated(model, &refs, allow_adapt);
+                adapted_count = outcomes.iter().filter(|o| o.adapted.is_some()).count();
+                for (f, outcome) in served.iter().zip(&outcomes) {
+                    let lanes = decode_batch(&outcome.logits, &model_cfg);
+                    let scored = score_image(&lanes[0], &f.frame.labels, &model_cfg);
+                    reports[f.cam].report.merge(&scored);
+                    reports[f.cam].frames += 1;
+                }
+            }
+
+            // Busy time: measured on the real clock, predicted on the
+            // manual clock (deterministic overrun accounting); the same
+            // remeasure-span rule as the serve pump's feedback sample.
+            let remeasured = if adapted_count > 0 && self.cfg.measure_entropy_after {
+                if self.cfg.quantized_inference {
+                    adapted_count
+                } else {
+                    served.len()
+                }
+            } else {
+                0
+            };
+            let busy_ns = if ingest.is_manual() {
+                match &self.cfg.admission {
+                    Some(gate) if !served.is_empty() => {
+                        let ms = gate.predict_ms(served.len(), adapted_count, remeasured);
+                        (ms * 1e6) as u64
+                    }
+                    _ => 0,
+                }
+            } else {
+                u64::try_from(tick_start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            };
+            // Close the roofline-trust loop exactly as `serve` does —
+            // wall-clock over predicted — which only exists on the real
+            // clock (the manual clock's busy time *is* the prediction).
+            if self.cfg.latency_feedback
+                && !ingest.is_manual()
+                && snapshot_ready_before
+                && !served.is_empty()
+            {
+                if let Some(gate) = &self.cfg.admission {
+                    let actual_ms = busy_ns as f64 / 1e6;
+                    let predicted_ms = gate.predict_ms(served.len(), adapted_count, remeasured);
+                    let sample = (actual_ms / predicted_ms)
+                        .clamp(LATENCY_RATIO_CLAMP.0, LATENCY_RATIO_CLAMP.1);
+                    self.latency_ratio = (1.0 - LATENCY_EWMA_MOMENTUM) * self.latency_ratio
+                        + LATENCY_EWMA_MOMENTUM * sample;
+                }
+            }
+            ingest.record_busy(busy_ns);
+            pending = leftover;
+            self.stats.deferred_frames += pending.len();
+        }
+
+        let ingest_report = ingest.report();
+        for (sid, report) in reports.iter_mut().enumerate() {
+            report.stats = self.streams[sid].stats;
+            report.bank = self.bank_telemetry(sid);
+            report.ingest = Some(ingest_report.per_cam[sid]);
+        }
+        self.stats.ingest_dropped_frames +=
+            (ingest_report.dropped() - ingest_base.dropped()) as usize;
+        self.stats.tick_overruns += ingest_report.tick_overruns - ingest_base.tick_overruns;
         ServeReport {
             per_stream: reports,
             server: self.stats,

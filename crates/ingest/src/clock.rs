@@ -1,0 +1,160 @@
+//! [`TickClock`]: the monotonic tick scheduler of the ingest front end.
+//!
+//! Serving runs in fixed-period ticks. Tick `t` spans
+//! `[t·period, (t+1)·period)` on a monotonic time base: frames produced
+//! during the tick land in the mailboxes, and the serving loop drains them
+//! at the tick's *end* boundary. Two modes share one API:
+//!
+//! * **Real** — the time base is [`std::time::Instant`]; advancing to a
+//!   boundary sleeps. This is the deployment mode.
+//! * **Manual** — the time base is an explicit nanosecond counter the
+//!   harness advances. `Instant` cannot drive reproducible tests (a loaded
+//!   CI box would shift every due time), so every determinism test and the
+//!   bitwise serve-parity proofs run on a manual clock, advancing it by the
+//!   cost model's *predicted* tick latency instead of wall time.
+//!
+//! Time is always expressed as nanoseconds since the clock's start.
+
+use std::time::{Duration, Instant};
+
+/// Monotonic tick scheduler (see the module docs).
+#[derive(Debug)]
+pub struct TickClock {
+    period_ns: u64,
+    mode: Mode,
+}
+
+#[derive(Debug)]
+enum Mode {
+    Real { start: Instant },
+    Manual { now_ns: u64 },
+}
+
+impl TickClock {
+    /// A real-time clock starting now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn real(period: Duration) -> Self {
+        Self::real_at(Instant::now(), period)
+    }
+
+    /// A real-time clock over an explicit start instant — the ingest front
+    /// end hands the same instant to its camera producers so frame due
+    /// times and tick boundaries share one time base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn real_at(start: Instant, period: Duration) -> Self {
+        let period_ns = u64::try_from(period.as_nanos()).expect("period overflow");
+        assert!(period_ns > 0, "TickClock: zero period");
+        TickClock {
+            period_ns,
+            mode: Mode::Real { start },
+        }
+    }
+
+    /// A deterministic manual clock starting at 0 ns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_ns` is zero.
+    pub fn manual(period_ns: u64) -> Self {
+        assert!(period_ns > 0, "TickClock: zero period");
+        TickClock {
+            period_ns,
+            mode: Mode::Manual { now_ns: 0 },
+        }
+    }
+
+    /// Whether this is the deterministic manual clock.
+    pub fn is_manual(&self) -> bool {
+        matches!(self.mode, Mode::Manual { .. })
+    }
+
+    /// Tick period in nanoseconds.
+    pub fn period_ns(&self) -> u64 {
+        self.period_ns
+    }
+
+    /// Nanoseconds since the clock started.
+    pub fn now_ns(&self) -> u64 {
+        match &self.mode {
+            Mode::Real { start } => u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            Mode::Manual { now_ns } => *now_ns,
+        }
+    }
+
+    /// End boundary of tick `t`: `(t + 1) · period`.
+    pub fn tick_boundary_ns(&self, tick: u64) -> u64 {
+        (tick + 1).saturating_mul(self.period_ns)
+    }
+
+    /// Advances to `deadline_ns`: sleeps in real mode, jumps the counter in
+    /// manual mode. Returns whether the clock was *late* — `now` had
+    /// already passed `deadline_ns` on entry, in which case time does not
+    /// move (it never rewinds).
+    pub fn advance_to(&mut self, deadline_ns: u64) -> bool {
+        let now = self.now_ns();
+        if now >= deadline_ns {
+            return now > deadline_ns;
+        }
+        match &mut self.mode {
+            Mode::Real { .. } => std::thread::sleep(Duration::from_nanos(deadline_ns - now)),
+            Mode::Manual { now_ns } => *now_ns = deadline_ns,
+        }
+        false
+    }
+
+    /// Advances the manual counter by `ns` (models the processing time a
+    /// simulated tick spent). No-op in real mode, where wall time advances
+    /// by itself.
+    pub fn advance_by(&mut self, ns: u64) {
+        if let Mode::Manual { now_ns } = &mut self.mode {
+            *now_ns = now_ns.saturating_add(ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_is_deterministic() {
+        let mut c = TickClock::manual(1_000);
+        assert!(c.is_manual());
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.tick_boundary_ns(0), 1_000);
+        assert_eq!(c.tick_boundary_ns(4), 5_000);
+        assert!(!c.advance_to(1_000));
+        assert_eq!(c.now_ns(), 1_000);
+        c.advance_by(250);
+        assert_eq!(c.now_ns(), 1_250);
+        // Already past a boundary → late.
+        assert!(c.advance_to(1_100));
+        assert_eq!(c.now_ns(), 1_250, "late advance must not rewind");
+        // Landing exactly on the deadline is on time.
+        assert!(!c.advance_to(1_250));
+    }
+
+    #[test]
+    fn real_clock_waits_for_the_boundary() {
+        let mut c = TickClock::real(Duration::from_millis(5));
+        assert!(!c.is_manual());
+        assert!(!c.advance_to(c.tick_boundary_ns(0)));
+        assert!(c.now_ns() >= 5_000_000, "must have slept to the boundary");
+        // advance_by is a no-op on the real clock.
+        let before = c.now_ns();
+        c.advance_by(u64::MAX / 2);
+        assert!(c.now_ns() < before + 4_000_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero period")]
+    fn rejects_zero_period() {
+        TickClock::manual(0);
+    }
+}

@@ -1,0 +1,601 @@
+//! [`IngestFrontEnd`]: per-camera mailboxes + producers + tick scheduling,
+//! bundled behind the drain/telemetry API the serving loop consumes.
+//!
+//! The lifecycle of one serving tick:
+//!
+//! 1. [`IngestFrontEnd::next_tick`] advances the [`TickClock`] to the next
+//!    tick boundary. On the manual clock this also pumps every camera
+//!    producer synchronously (deterministic); on the real clock the
+//!    producers have been pushing from their background threads all along.
+//! 2. [`IngestFrontEnd::drain`] empties the mailboxes under each camera's
+//!    [`OverflowPolicy`], stamping every frame with its **age** (now minus
+//!    due time) and folding sequence-number gaps into the per-camera drop
+//!    accounting.
+//! 3. The server batches/serves what survives its admission gate and calls
+//!    [`IngestFrontEnd::record_busy`] with the tick's processing time
+//!    (measured wall-clock in real mode; the cost model's prediction in
+//!    manual mode) — which both advances the manual clock and counts
+//!    tick-deadline overruns.
+//!
+//! [`IngestFrontEnd::report`] exposes the backpressure picture: per-camera
+//! produced/delivered/dropped counts, peak queue depth, frame-age p50/p99
+//! and tick overruns.
+
+use crate::clock::TickClock;
+use crate::mailbox::{Mailbox, OverflowPolicy, SeqTracker};
+use crate::producer::{CameraProducer, CameraSchedule, FrameSource, StampedFrame};
+use ld_carlane::{LabeledFrame, StreamSet};
+use ld_tensor::parallel::BackgroundTask;
+use ld_tensor::rng::mix_seed;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cap on retained frame-age samples (enough for every CI run; a real
+/// deployment would downsample).
+const MAX_AGE_SAMPLES: usize = 1 << 16;
+
+/// Configuration of the ingest front end.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Serving tick period, ns.
+    pub tick_period_ns: u64,
+    /// Mailbox capacity per camera (rounded up to a power of two, min 2).
+    pub capacity: usize,
+    /// Overflow/drain policy of every mailbox.
+    pub policy: OverflowPolicy,
+    /// Per-frame delivery jitter cap, ns (clamped per camera so the
+    /// [`CameraSchedule`] monotonicity invariant holds).
+    pub jitter_ns: u64,
+    /// Seed for the per-camera phases and jitter.
+    pub seed: u64,
+    /// When > 0, pre-render this many frames per camera and cycle them —
+    /// real-time benches use this so render cost cannot distort the
+    /// offered load. 0 renders live (the deterministic default).
+    pub prerender: usize,
+    /// Offered load per camera, as frames per tick (1.0 = nominal: one
+    /// frame per camera per tick). Per-camera overrides via
+    /// [`IngestConfig::with_cam_load`].
+    pub load: f64,
+    /// `(cam, frames-per-tick)` overrides of [`IngestConfig::load`].
+    pub cam_loads: Vec<(usize, f64)>,
+}
+
+impl IngestConfig {
+    /// Nominal-load defaults: capacity 4, latest-wins, jitter an eighth of
+    /// the tick, live rendering.
+    pub fn new(tick_period_ns: u64) -> Self {
+        IngestConfig {
+            tick_period_ns,
+            capacity: 4,
+            policy: OverflowPolicy::LatestWins,
+            jitter_ns: tick_period_ns / 8,
+            seed: 0x1A6E57,
+            prerender: 0,
+            load: 1.0,
+            cam_loads: Vec::new(),
+        }
+    }
+
+    /// Sets the uniform offered load (builder style).
+    pub fn with_load(mut self, frames_per_tick: f64) -> Self {
+        self.load = frames_per_tick;
+        self
+    }
+
+    /// Overrides one camera's offered load (builder style).
+    pub fn with_cam_load(mut self, cam: usize, frames_per_tick: f64) -> Self {
+        self.cam_loads.push((cam, frames_per_tick));
+        self
+    }
+
+    /// Sets the overflow policy (builder style).
+    pub fn with_policy(mut self, policy: OverflowPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the mailbox capacity (builder style).
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Pre-renders `frames` per camera instead of rendering live (builder
+    /// style).
+    pub fn with_prerender(mut self, frames: usize) -> Self {
+        self.prerender = frames;
+        self
+    }
+
+    /// Disables delivery jitter (builder style) — with zero jitter and
+    /// nominal load, camera `k`'s frame `t` is due strictly inside tick
+    /// `t`, which the bitwise serve-parity tests rely on.
+    pub fn without_jitter(mut self) -> Self {
+        self.jitter_ns = 0;
+        self
+    }
+
+    fn cam_load(&self, cam: usize) -> f64 {
+        self.cam_loads
+            .iter()
+            .rev()
+            .find(|&&(c, _)| c == cam)
+            .map_or(self.load, |&(_, l)| l)
+    }
+}
+
+/// A drained frame, ready for admission: the stamp plus its age at drain
+/// time.
+#[derive(Debug, Clone)]
+pub struct IngestFrame {
+    /// Producing camera id (== the server's stream id).
+    pub cam: usize,
+    /// Per-camera sequence number.
+    pub seq: u64,
+    /// Due (capture) time, ns on the front end's clock.
+    pub due_ns: u64,
+    /// Age when drained: `drain_now − due_ns`.
+    pub age_ns: u64,
+    /// The frame.
+    pub frame: LabeledFrame,
+}
+
+/// Per-camera backpressure counters (a snapshot; see
+/// [`IngestFrontEnd::report`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CamReport {
+    /// Frames the camera pushed into its mailbox.
+    pub produced: u64,
+    /// Frames the serving loop drained.
+    pub delivered: u64,
+    /// Frames lost between production and drain (sequence-gap accounting:
+    /// covers both full-ring evictions and latest-wins skips).
+    pub dropped: u64,
+    /// Frames still queued at snapshot time.
+    pub queued: usize,
+    /// Peak queue depth observed at drain boundaries.
+    pub max_queue_depth: usize,
+}
+
+/// Whole-front-end backpressure report.
+#[derive(Debug, Clone, Default)]
+pub struct IngestReport {
+    /// Ticks accounted via [`IngestFrontEnd::record_busy`].
+    pub ticks: usize,
+    /// Ticks whose processing time exceeded the tick period.
+    pub tick_overruns: usize,
+    /// Per-camera counters.
+    pub per_cam: Vec<CamReport>,
+    /// Median drained-frame age, ns.
+    pub age_p50_ns: u64,
+    /// 99th-percentile drained-frame age, ns.
+    pub age_p99_ns: u64,
+}
+
+impl IngestReport {
+    /// Total frames produced across cameras.
+    pub fn produced(&self) -> u64 {
+        self.per_cam.iter().map(|c| c.produced).sum()
+    }
+
+    /// Total frames delivered across cameras.
+    pub fn delivered(&self) -> u64 {
+        self.per_cam.iter().map(|c| c.delivered).sum()
+    }
+
+    /// Total frames dropped at ingest across cameras.
+    pub fn dropped(&self) -> u64 {
+        self.per_cam.iter().map(|c| c.dropped).sum()
+    }
+}
+
+enum DriveMode {
+    /// Deterministic: producers pumped synchronously at tick boundaries.
+    Manual(Vec<CameraProducer>),
+    /// Producers on pooled background threads; the handles stop them on
+    /// drop.
+    Realtime(Vec<BackgroundTask>),
+}
+
+/// The ingest front end (see the module docs).
+pub struct IngestFrontEnd {
+    clock: TickClock,
+    mailboxes: Vec<Arc<Mailbox<StampedFrame>>>,
+    mode: DriveMode,
+    trackers: Vec<SeqTracker>,
+    delivered: Vec<u64>,
+    max_depth: Vec<usize>,
+    tick: u64,
+    ticks_run: usize,
+    tick_overruns: usize,
+    age_samples: Vec<u64>,
+}
+
+impl std::fmt::Debug for IngestFrontEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestFrontEnd")
+            .field("cams", &self.mailboxes.len())
+            .field("tick", &self.tick)
+            .field("manual", &self.clock.is_manual())
+            .finish_non_exhaustive()
+    }
+}
+
+impl IngestFrontEnd {
+    /// Deterministic front end over a manual clock: one camera per stream
+    /// of `streams`, pumped synchronously at every tick boundary.
+    pub fn manual(streams: &StreamSet, cfg: &IngestConfig) -> Self {
+        let clock = TickClock::manual(cfg.tick_period_ns);
+        let (mailboxes, producers) = Self::build_cams(streams, cfg);
+        Self::assemble(clock, mailboxes, DriveMode::Manual(producers))
+    }
+
+    /// Real-time front end: cameras run on pooled background threads
+    /// ([`ld_tensor::parallel::spawn_background`]) pushing frames at their
+    /// real due times; the serving loop sleeps to each tick boundary.
+    pub fn realtime(streams: &StreamSet, cfg: &IngestConfig) -> Self {
+        let start = Instant::now();
+        let clock = TickClock::real_at(start, Duration::from_nanos(cfg.tick_period_ns));
+        let (mailboxes, producers) = Self::build_cams(streams, cfg);
+        let tasks = producers
+            .into_iter()
+            .map(|p| p.run_realtime(start))
+            .collect();
+        Self::assemble(clock, mailboxes, DriveMode::Realtime(tasks))
+    }
+
+    fn build_cams(
+        streams: &StreamSet,
+        cfg: &IngestConfig,
+    ) -> (Vec<Arc<Mailbox<StampedFrame>>>, Vec<CameraProducer>) {
+        let n = streams.num_streams();
+        assert!(n > 0, "IngestFrontEnd: no cameras");
+        let mut mailboxes = Vec::with_capacity(n);
+        let mut producers = Vec::with_capacity(n);
+        for cam in 0..n {
+            let load = cfg.cam_load(cam);
+            assert!(
+                load.is_finite() && load > 0.0,
+                "IngestFrontEnd: bad load {load} for cam {cam}"
+            );
+            let period = ((cfg.tick_period_ns as f64 / load) as u64).max(4);
+            // Deterministic per-camera phase in (0, period/2]; jitter is
+            // clamped so phase + jitter stays inside the frame period.
+            let phase = (period / 8 * (1 + (cam as u64 % 4))).max(1);
+            let jitter = cfg.jitter_ns.min(period.saturating_sub(phase) / 2);
+            let schedule =
+                CameraSchedule::new(phase, period, jitter, mix_seed(cfg.seed, cam as u64));
+            let mailbox = Arc::new(Mailbox::new(cfg.capacity, cfg.policy));
+            let source = if cfg.prerender > 0 {
+                FrameSource::Prerendered(streams.prerender(cam, cfg.prerender))
+            } else {
+                FrameSource::Live(streams.isolate(cam))
+            };
+            producers.push(CameraProducer::new(cam, source, schedule, mailbox.clone()));
+            mailboxes.push(mailbox);
+        }
+        (mailboxes, producers)
+    }
+
+    fn assemble(
+        clock: TickClock,
+        mailboxes: Vec<Arc<Mailbox<StampedFrame>>>,
+        mode: DriveMode,
+    ) -> Self {
+        let n = mailboxes.len();
+        IngestFrontEnd {
+            clock,
+            mailboxes,
+            mode,
+            trackers: vec![SeqTracker::new(); n],
+            delivered: vec![0; n],
+            max_depth: vec![0; n],
+            tick: 0,
+            ticks_run: 0,
+            tick_overruns: 0,
+            age_samples: Vec::new(),
+        }
+    }
+
+    /// Number of cameras.
+    pub fn num_cams(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    /// Whether this front end runs on the deterministic manual clock.
+    pub fn is_manual(&self) -> bool {
+        self.clock.is_manual()
+    }
+
+    /// Tick period, ns.
+    pub fn tick_period_ns(&self) -> u64 {
+        self.clock.period_ns()
+    }
+
+    /// Current time on the front end's clock, ns.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Advances to the next tick boundary (sleeping in real mode, jumping
+    /// the manual clock otherwise) and, on the manual clock, pumps every
+    /// producer up to that boundary. Returns the tick index just entered.
+    pub fn next_tick(&mut self) -> u64 {
+        let tick = self.tick;
+        let boundary = self.clock.tick_boundary_ns(tick);
+        self.clock.advance_to(boundary);
+        if let DriveMode::Manual(producers) = &mut self.mode {
+            let now = self.clock.now_ns();
+            for p in producers {
+                p.pump(now);
+            }
+        }
+        self.tick += 1;
+        tick
+    }
+
+    /// Drains every mailbox under its policy, in camera order. Frames come
+    /// out stamped with their age at this instant; sequence gaps fold into
+    /// the per-camera drop accounting.
+    pub fn drain(&mut self) -> Vec<IngestFrame> {
+        let now = self.clock.now_ns();
+        let mut out = Vec::new();
+        for cam in 0..self.mailboxes.len() {
+            self.note_depth(cam);
+            while let Some(f) = self.pop_cam(cam, now) {
+                out.push(f);
+                // LatestWins yields one (the newest) frame per drain by
+                // construction; DropOldest drains FIFO to empty.
+                if self.mailboxes[cam].policy() == OverflowPolicy::LatestWins {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The serving loop's drain: pops **at most one** frame per camera —
+    /// skipping cameras whose previous frame the caller still holds — so
+    /// the caller never buffers more than one frame per camera. Under
+    /// [`OverflowPolicy::LatestWins`] the popped frame is the newest
+    /// queued (older ones fold into the drop accounting); under
+    /// [`OverflowPolicy::DropOldest`] it is the FIFO head, and the surplus
+    /// stays in the **bounded** ring, where producer-side eviction keeps
+    /// memory bounded and every loss counted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `skip.len()` differs from the camera count.
+    pub fn drain_ready(&mut self, skip: &[bool]) -> Vec<IngestFrame> {
+        assert_eq!(
+            skip.len(),
+            self.mailboxes.len(),
+            "drain_ready: mask length mismatch"
+        );
+        let now = self.clock.now_ns();
+        let mut out = Vec::new();
+        for (cam, &skipped) in skip.iter().enumerate() {
+            self.note_depth(cam);
+            if !skipped {
+                if let Some(f) = self.pop_cam(cam, now) {
+                    out.push(f);
+                }
+            }
+        }
+        out
+    }
+
+    /// Folds the camera's current queue depth into its peak telemetry.
+    fn note_depth(&mut self, cam: usize) {
+        let depth = self.mailboxes[cam].len();
+        if depth > self.max_depth[cam] {
+            self.max_depth[cam] = depth;
+        }
+    }
+
+    /// Pops one frame from `cam`'s mailbox under its policy, recording
+    /// delivery, sequence gaps, and the frame's age at `now`.
+    fn pop_cam(&mut self, cam: usize, now: u64) -> Option<IngestFrame> {
+        let (stamped, _skipped) = self.mailboxes[cam].pop_policy()?;
+        self.trackers[cam].observe(stamped.seq);
+        self.delivered[cam] += 1;
+        let age_ns = now.saturating_sub(stamped.due_ns);
+        if self.age_samples.len() < MAX_AGE_SAMPLES {
+            self.age_samples.push(age_ns);
+        }
+        Some(IngestFrame {
+            cam: stamped.cam,
+            seq: stamped.seq,
+            due_ns: stamped.due_ns,
+            age_ns,
+            frame: stamped.frame,
+        })
+    }
+
+    /// Accounts one completed tick: `busy_ns` of processing (measured in
+    /// real mode, predicted in manual mode) advances the manual clock and
+    /// counts a tick-deadline overrun when it exceeds the tick period.
+    pub fn record_busy(&mut self, busy_ns: u64) {
+        self.ticks_run += 1;
+        if busy_ns > self.clock.period_ns() {
+            self.tick_overruns += 1;
+        }
+        self.clock.advance_by(busy_ns);
+    }
+
+    /// Stops real-time producers (blocking until each acknowledges).
+    /// Manual producers have nothing to stop. Idempotent.
+    pub fn shutdown(&mut self) {
+        if let DriveMode::Realtime(tasks) = &mut self.mode {
+            tasks.clear(); // BackgroundTask::drop stops and joins
+        }
+    }
+
+    /// The backpressure report (see [`IngestReport`]).
+    pub fn report(&self) -> IngestReport {
+        let per_cam = (0..self.num_cams())
+            .map(|cam| CamReport {
+                produced: self.mailboxes[cam].pushed() as u64,
+                delivered: self.delivered[cam],
+                dropped: self.trackers[cam].dropped(),
+                queued: self.mailboxes[cam].len(),
+                max_queue_depth: self.max_depth[cam],
+            })
+            .collect();
+        let (age_p50_ns, age_p99_ns) = percentiles(&self.age_samples);
+        IngestReport {
+            ticks: self.ticks_run,
+            tick_overruns: self.tick_overruns,
+            per_cam,
+            age_p50_ns,
+            age_p99_ns,
+        }
+    }
+}
+
+/// `(p50, p99)` of the samples (0 when empty).
+fn percentiles(samples: &[u64]) -> (u64, u64) {
+    if samples.is_empty() {
+        return (0, 0);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let at = |p: usize| sorted[(sorted.len() * p / 100).min(sorted.len() - 1)];
+    (at(50), at(99))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_carlane::{Benchmark, FrameSpec};
+
+    fn tiny_streams(n: usize) -> StreamSet {
+        StreamSet::drifting(Benchmark::MoLane, FrameSpec::new(32, 16, 6, 4, 2), n, 12, 5)
+    }
+
+    #[test]
+    fn nominal_manual_load_delivers_one_frame_per_cam_per_tick() {
+        let streams = tiny_streams(3);
+        let cfg = IngestConfig::new(1_000_000);
+        let mut fe = IngestFrontEnd::manual(&streams, &cfg);
+        assert!(fe.is_manual());
+        for tick in 0..6 {
+            assert_eq!(fe.next_tick(), tick);
+            let frames = fe.drain();
+            assert_eq!(frames.len(), 3, "tick {tick}");
+            // Camera order, consecutive sequence numbers, ages under one
+            // tick period.
+            for (cam, f) in frames.iter().enumerate() {
+                assert_eq!(f.cam, cam);
+                assert_eq!(f.seq, tick);
+                assert!(f.age_ns < 1_000_000, "age {} at tick {tick}", f.age_ns);
+            }
+            fe.record_busy(200_000);
+        }
+        let report = fe.report();
+        assert_eq!(report.ticks, 6);
+        assert_eq!(report.tick_overruns, 0);
+        assert_eq!(report.produced(), 18);
+        assert_eq!(report.delivered(), 18);
+        assert_eq!(report.dropped(), 0);
+        assert!(report.age_p50_ns > 0 && report.age_p99_ns >= report.age_p50_ns);
+    }
+
+    #[test]
+    fn manual_runs_are_bitwise_reproducible() {
+        let run = || {
+            let streams = tiny_streams(2);
+            let cfg = IngestConfig::new(500_000).with_load(1.7);
+            let mut fe = IngestFrontEnd::manual(&streams, &cfg);
+            let mut sig = Vec::new();
+            for _ in 0..5 {
+                fe.next_tick();
+                for f in fe.drain() {
+                    sig.push((
+                        f.cam,
+                        f.seq,
+                        f.due_ns,
+                        f.age_ns,
+                        f.frame.image.as_slice()[0].to_bits(),
+                    ));
+                }
+                fe.record_busy(100_000);
+            }
+            sig
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn overload_sheds_and_accounts_at_ingest() {
+        let streams = tiny_streams(2);
+        // Cam 1 offers 3 frames per tick into a latest-wins mailbox.
+        let cfg = IngestConfig::new(1_000_000)
+            .with_cam_load(1, 3.0)
+            .with_capacity(2);
+        let mut fe = IngestFrontEnd::manual(&streams, &cfg);
+        let mut delivered1 = 0;
+        for _ in 0..8 {
+            fe.next_tick();
+            for f in fe.drain() {
+                if f.cam == 1 {
+                    delivered1 += 1;
+                }
+            }
+            fe.record_busy(0);
+        }
+        let report = fe.report();
+        assert_eq!(report.per_cam[0].dropped, 0, "nominal cam sheds nothing");
+        assert!(
+            report.per_cam[1].dropped > 0,
+            "overloaded cam must shed at ingest: {:?}",
+            report.per_cam[1]
+        );
+        assert_eq!(delivered1 as u64, report.per_cam[1].delivered);
+        assert!(
+            report.per_cam[1].delivered <= 8,
+            "latest-wins delivers at most one per tick"
+        );
+        // Conservation: everything produced is delivered, dropped, or
+        // still queued.
+        let c = report.per_cam[1];
+        assert!(c.produced >= c.delivered + c.dropped);
+        assert!(c.produced <= c.delivered + c.dropped + c.queued as u64 + 1);
+    }
+
+    #[test]
+    fn busy_ticks_past_the_period_count_as_overruns() {
+        let streams = tiny_streams(1);
+        let cfg = IngestConfig::new(1_000_000);
+        let mut fe = IngestFrontEnd::manual(&streams, &cfg);
+        fe.next_tick();
+        fe.drain();
+        fe.record_busy(1_500_000); // 1.5 ticks of work
+        fe.next_tick();
+        fe.drain();
+        fe.record_busy(100_000);
+        let report = fe.report();
+        assert_eq!(report.ticks, 2);
+        assert_eq!(report.tick_overruns, 1);
+    }
+
+    #[test]
+    fn realtime_front_end_delivers_and_shuts_down() {
+        let streams = tiny_streams(2);
+        // 3 ms ticks so the test finishes quickly.
+        let cfg = IngestConfig::new(3_000_000).with_prerender(4);
+        let mut fe = IngestFrontEnd::realtime(&streams, &cfg);
+        let mut total = 0;
+        for _ in 0..4 {
+            fe.next_tick();
+            let t0 = Instant::now();
+            let frames = fe.drain();
+            total += frames.len();
+            fe.record_busy(t0.elapsed().as_nanos() as u64);
+        }
+        fe.shutdown();
+        assert!(total >= 4, "4 real ticks must deliver frames, got {total}");
+        let report = fe.report();
+        assert!(report.produced() >= total as u64);
+    }
+}

@@ -1,0 +1,50 @@
+//! **`ld_ingest`** — the real-time frame ingest front end.
+//!
+//! The paper's premise is *real-time* on-device adaptation under a hard
+//! latency budget, but a synchronous serving loop that polls its frame
+//! generators can only pretend: real cameras deliver on their own jittered
+//! clocks, keep delivering when the server falls behind, and the deadline
+//! analysis only holds if stale frames are shed **at ingest** — before they
+//! consume batching, inference or adaptation budget. This crate supplies
+//! that front end:
+//!
+//! * [`Mailbox`] — a lock-free bounded ring per camera. Producers never
+//!   block; overflow evicts the oldest frame; every loss is observable
+//!   (eviction counters plus [`SeqTracker`] sequence-gap accounting).
+//!   Consumer semantics are policy-driven ([`OverflowPolicy`]).
+//! * [`CameraProducer`] / [`CameraSchedule`] — `ld_carlane` stream
+//!   generators driven on per-camera jittered clocks, either pumped
+//!   synchronously (deterministic) or running on pooled background threads
+//!   ([`ld_tensor::parallel::spawn_background`]).
+//! * [`TickClock`] — the monotonic tick scheduler, with a manual mode that
+//!   makes every test (including the bitwise serve-parity proofs in
+//!   `ld_adapt`) reproducible.
+//! * [`IngestFrontEnd`] — the bundle the serving loop consumes: advance to
+//!   a tick boundary, drain age-stamped frames, record the tick's busy
+//!   time, read the backpressure report ([`IngestReport`]: drops, queue
+//!   depths, frame-age p50/p99, tick overruns).
+//!
+//! # Example (deterministic)
+//!
+//! ```
+//! use ld_carlane::{Benchmark, FrameSpec, StreamSet};
+//! use ld_ingest::{IngestConfig, IngestFrontEnd};
+//!
+//! let streams = StreamSet::drifting(Benchmark::MoLane, FrameSpec::new(32, 16, 6, 4, 2), 2, 8, 7);
+//! let mut fe = IngestFrontEnd::manual(&streams, &IngestConfig::new(1_000_000));
+//! fe.next_tick();
+//! let frames = fe.drain();
+//! assert_eq!(frames.len(), 2); // nominal load: one frame per camera per tick
+//! fe.record_busy(100_000);
+//! assert_eq!(fe.report().tick_overruns, 0);
+//! ```
+
+pub mod clock;
+pub mod front;
+pub mod mailbox;
+pub mod producer;
+
+pub use clock::TickClock;
+pub use front::{CamReport, IngestConfig, IngestFrame, IngestFrontEnd, IngestReport};
+pub use mailbox::{Mailbox, OverflowPolicy, SeqTracker};
+pub use producer::{CameraProducer, CameraSchedule, FrameSource, StampedFrame};

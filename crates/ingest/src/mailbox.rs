@@ -1,0 +1,546 @@
+//! The per-camera frame mailbox: a lock-free bounded ring buffer.
+//!
+//! One camera producer pushes frames on its own jittered clock; the serving
+//! loop drains at tick boundaries. The queue between them must be
+//! *wait-bounded* (a slow consumer must never block the camera) and its
+//! drops must be *observable* (a shed frame is an accounting event, not a
+//! silent loss). Both requirements rule out a mutexed `VecDeque`:
+//!
+//! * [`Mailbox::push`] never fails and never blocks — on a full ring the
+//!   **oldest** queued frame is evicted (cameras produce strictly fresher
+//!   data; keeping stale frames while dropping fresh ones would invert the
+//!   real-time contract), and the eviction is counted.
+//! * The consumer side is policy-driven ([`OverflowPolicy`]):
+//!   [`OverflowPolicy::DropOldest`] pops FIFO, for servers that want every
+//!   frame they can afford; [`OverflowPolicy::LatestWins`] drains to the
+//!   newest frame, counting everything older as skipped — the classic
+//!   "current camera image" semantics.
+//!
+//! The implementation is a bounded ring with per-slot sequence counters
+//! (Vyukov's bounded-queue scheme). Slot sequence numbers, not head/tail
+//! comparison, decide slot ownership, which is what lets the *producer*
+//! evict the oldest element with a plain CAS on the dequeue cursor — the
+//! one operation a pure SPSC ring cannot express — while staying lock-free
+//! on every path.
+//!
+//! Frame-level drop observability is layered on top: producers stamp every
+//! frame with a per-camera sequence number, and [`SeqTracker`] converts the
+//! gaps the consumer observes into a drop count, no matter where in the
+//! pipeline the frame was lost.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// What a full mailbox (and its consumer) does with surplus frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// The consumer only ever wants the newest frame:
+    /// [`Mailbox::pop_policy`] drains the ring and returns the most recent
+    /// item, counting everything older as skipped.
+    #[default]
+    LatestWins,
+    /// FIFO ring: the consumer pops in arrival order; overflow evicts the
+    /// oldest queued item at push time (counted by
+    /// [`Mailbox::overflow_drops`]).
+    DropOldest,
+}
+
+/// One ring slot: a sequence counter arbitrating ownership plus the value.
+struct Slot<T> {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Pads the hot cursors to their own cache lines so the producer's enqueue
+/// cursor and the consumer's dequeue cursor do not false-share.
+#[repr(align(64))]
+struct Padded(AtomicUsize);
+
+/// A lock-free bounded frame queue (see the module docs).
+///
+/// Capacity is rounded up to a power of two, minimum 2. `push` is intended
+/// for a single producer and `pop`/`pop_policy` for a single consumer
+/// (per-camera SPSC); the slot-sequence scheme itself tolerates the
+/// producer-side eviction racing the consumer's pop.
+///
+/// # Example
+///
+/// ```
+/// use ld_ingest::{Mailbox, OverflowPolicy};
+///
+/// let mb = Mailbox::new(2, OverflowPolicy::DropOldest);
+/// mb.push(1);
+/// mb.push(2);
+/// mb.push(3); // full: evicts 1
+/// assert_eq!(mb.overflow_drops(), 1);
+/// assert_eq!(mb.pop(), Some(2));
+/// assert_eq!(mb.pop(), Some(3));
+/// assert_eq!(mb.pop(), None);
+/// ```
+pub struct Mailbox<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    policy: OverflowPolicy,
+    enqueue_pos: Padded,
+    dequeue_pos: Padded,
+    overflow_drops: AtomicUsize,
+    pushed: AtomicUsize,
+}
+
+// SAFETY: values move between threads through the ring exactly once each
+// (slot sequence numbers arbitrate ownership), so `T: Send` suffices; the
+// UnsafeCell is only touched by the thread that won the slot's CAS.
+unsafe impl<T: Send> Send for Mailbox<T> {}
+unsafe impl<T: Send> Sync for Mailbox<T> {}
+
+impl<T> Mailbox<T> {
+    /// Creates a mailbox holding at most `capacity` items (rounded up to a
+    /// power of two, minimum 2 — the slot-sequence scheme needs one slot of
+    /// slack to distinguish full from empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, policy: OverflowPolicy) -> Self {
+        assert!(capacity > 0, "Mailbox: zero capacity");
+        let cap = capacity.next_power_of_two().max(2);
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Mailbox {
+            slots,
+            mask: cap - 1,
+            policy,
+            enqueue_pos: Padded(AtomicUsize::new(0)),
+            dequeue_pos: Padded(AtomicUsize::new(0)),
+            overflow_drops: AtomicUsize::new(0),
+            pushed: AtomicUsize::new(0),
+        }
+    }
+
+    /// Actual ring capacity after rounding.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The consumer-side overflow policy.
+    pub fn policy(&self) -> OverflowPolicy {
+        self.policy
+    }
+
+    /// Items currently queued (exact when quiescent; a snapshot under
+    /// concurrency).
+    pub fn len(&self) -> usize {
+        let tail = self.enqueue_pos.0.load(Ordering::Acquire);
+        let head = self.dequeue_pos.0.load(Ordering::Acquire);
+        tail.saturating_sub(head)
+    }
+
+    /// Whether the mailbox is currently empty (same caveat as [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Items evicted at push time because the ring was full.
+    pub fn overflow_drops(&self) -> usize {
+        self.overflow_drops.load(Ordering::Acquire)
+    }
+
+    /// Total items ever pushed.
+    pub fn pushed(&self) -> usize {
+        self.pushed.load(Ordering::Acquire)
+    }
+
+    /// Enqueues `value`. Never blocks and never fails: a full ring evicts
+    /// its oldest item (counted by [`Mailbox::overflow_drops`]).
+    pub fn push(&self, value: T) {
+        self.pushed.fetch_add(1, Ordering::AcqRel);
+        let mut value = value;
+        loop {
+            match self.try_push(value) {
+                Ok(()) => return,
+                Err(v) => {
+                    // Full: evict the oldest queued item to make room. If
+                    // the consumer raced us and emptied the ring, the retry
+                    // simply succeeds.
+                    if self.try_pop().is_some() {
+                        self.overflow_drops.fetch_add(1, Ordering::AcqRel);
+                    }
+                    value = v;
+                }
+            }
+        }
+    }
+
+    /// Enqueue attempt; returns the value back if the ring is full.
+    fn try_push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.enqueue_pos.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                match self.enqueue_pos.0.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the CAS grants exclusive write
+                        // ownership of this slot until the seq store below
+                        // publishes it.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(now) => pos = now,
+                }
+            } else if diff < 0 {
+                return Err(value); // full
+            } else {
+                pos = self.enqueue_pos.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the oldest item, if any (FIFO).
+    fn try_pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos.wrapping_add(1) as isize;
+            if diff == 0 {
+                match self.dequeue_pos.0.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the CAS grants exclusive read
+                        // ownership; the slot was fully written before its
+                        // seq advanced to pos + 1.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(now) => pos = now,
+                }
+            } else if diff < 0 {
+                return None; // empty
+            } else {
+                pos = self.dequeue_pos.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// FIFO pop (both policies share it; [`OverflowPolicy::LatestWins`]
+    /// consumers normally use [`Mailbox::pop_policy`]).
+    pub fn pop(&self) -> Option<T> {
+        self.try_pop()
+    }
+
+    /// The policy-driven consumer entry: returns the next item plus how
+    /// many queued items were skipped to get it (always 0 under
+    /// [`OverflowPolicy::DropOldest`]; the count of superseded older frames
+    /// under [`OverflowPolicy::LatestWins`]).
+    pub fn pop_policy(&self) -> Option<(T, usize)> {
+        match self.policy {
+            OverflowPolicy::DropOldest => self.try_pop().map(|v| (v, 0)),
+            OverflowPolicy::LatestWins => {
+                let mut newest = self.try_pop()?;
+                let mut skipped = 0;
+                while let Some(next) = self.try_pop() {
+                    newest = next;
+                    skipped += 1;
+                }
+                Some((newest, skipped))
+            }
+        }
+    }
+}
+
+impl<T> Drop for Mailbox<T> {
+    fn drop(&mut self) {
+        while self.try_pop().is_some() {}
+    }
+}
+
+impl<T> std::fmt::Debug for Mailbox<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mailbox")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .field("policy", &self.policy)
+            .field("overflow_drops", &self.overflow_drops())
+            .field("pushed", &self.pushed())
+            .finish()
+    }
+}
+
+/// Consumer-side sequence-gap accounting: feed it the per-camera sequence
+/// number of every frame actually received, and it tallies the frames that
+/// went missing in between — no matter whether they were evicted at push,
+/// skipped by a `LatestWins` drain, or lost anywhere else upstream.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeqTracker {
+    last: Option<u64>,
+    gaps: u64,
+    observed: u64,
+}
+
+impl SeqTracker {
+    /// Fresh tracker (no frames observed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records receipt of `seq`; returns the gap since the previously
+    /// observed sequence number (0 when consecutive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not strictly greater than the last observed
+    /// sequence number (producers stamp monotonically).
+    pub fn observe(&mut self, seq: u64) -> u64 {
+        let gap = match self.last {
+            None => seq, // frames 0..seq never arrived
+            Some(prev) => {
+                assert!(
+                    seq > prev,
+                    "SeqTracker: non-monotonic seq {seq} after {prev}"
+                );
+                seq - prev - 1
+            }
+        };
+        self.last = Some(seq);
+        self.gaps += gap;
+        self.observed += 1;
+        gap
+    }
+
+    /// Total frames that went missing (sum of observed gaps).
+    pub fn dropped(&self) -> u64 {
+        self.gaps
+    }
+
+    /// Total frames received.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Highest sequence number seen so far.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_roundtrip_and_wraparound() {
+        let mb = Mailbox::new(4, OverflowPolicy::DropOldest);
+        // Push/pop far past the ring size so every slot wraps many times.
+        for round in 0u64..100 {
+            mb.push(round * 2);
+            mb.push(round * 2 + 1);
+            assert_eq!(mb.pop(), Some(round * 2));
+            assert_eq!(mb.pop(), Some(round * 2 + 1));
+            assert_eq!(mb.pop(), None);
+        }
+        assert_eq!(mb.overflow_drops(), 0);
+        assert_eq!(mb.pushed(), 200);
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_under_drop_oldest() {
+        let mb = Mailbox::new(2, OverflowPolicy::DropOldest);
+        for v in 0..5 {
+            mb.push(v);
+        }
+        assert_eq!(mb.overflow_drops(), 3, "capacity 2, 5 pushes");
+        // The survivors are the two newest, in order.
+        assert_eq!(mb.pop(), Some(3));
+        assert_eq!(mb.pop(), Some(4));
+        assert_eq!(mb.pop(), None);
+    }
+
+    #[test]
+    fn latest_wins_drains_to_the_newest() {
+        let mb = Mailbox::new(8, OverflowPolicy::LatestWins);
+        for v in 10..14 {
+            mb.push(v);
+        }
+        let (newest, skipped) = mb.pop_policy().expect("non-empty");
+        assert_eq!((newest, skipped), (13, 3));
+        assert!(mb.pop_policy().is_none());
+        // A single queued item skips nothing.
+        mb.push(99);
+        assert_eq!(mb.pop_policy(), Some((99, 0)));
+    }
+
+    #[test]
+    fn capacity_rounds_up_and_len_tracks() {
+        let mb = Mailbox::<u32>::new(3, OverflowPolicy::DropOldest);
+        assert_eq!(mb.capacity(), 4);
+        assert!(mb.is_empty());
+        mb.push(1);
+        mb.push(2);
+        assert_eq!(mb.len(), 2);
+        mb.pop();
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero capacity")]
+    fn rejects_zero_capacity() {
+        Mailbox::<u32>::new(0, OverflowPolicy::LatestWins);
+    }
+
+    #[test]
+    fn drops_queued_values_without_leaking() {
+        // Drop-counting payload: the ring must drop exactly the un-popped
+        // values when the mailbox itself is dropped.
+        struct Counted(Arc<std::sync::atomic::AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+            }
+        }
+        let drops = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mb = Mailbox::new(4, OverflowPolicy::DropOldest);
+        for _ in 0..3 {
+            mb.push(Counted(drops.clone()));
+        }
+        drop(mb.pop());
+        drop(mb);
+        assert_eq!(drops.load(std::sync::atomic::Ordering::Acquire), 3);
+    }
+
+    /// Interleaving stress: a real producer thread races the consumer
+    /// through thousands of push/pop cycles on a tiny ring. Every value
+    /// must be either received or accounted as dropped — no loss, no
+    /// duplication, FIFO order preserved among the received.
+    #[test]
+    fn concurrent_producer_consumer_accounts_for_every_item() {
+        for trial in 0..4 {
+            let mb = Arc::new(Mailbox::new(4, OverflowPolicy::DropOldest));
+            let total = 20_000u64;
+            let producer = {
+                let mb = mb.clone();
+                std::thread::spawn(move || {
+                    for v in 0..total {
+                        mb.push(v);
+                        if v % 97 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            };
+            let mut tracker = SeqTracker::new();
+            let mut received = 0u64;
+            let mut done = false;
+            while !done {
+                done = producer.is_finished();
+                while let Some(v) = mb.pop() {
+                    tracker.observe(v);
+                    received += 1;
+                }
+            }
+            producer.join().expect("producer");
+            // Drain anything pushed after the last pre-join sweep.
+            while let Some(v) = mb.pop() {
+                tracker.observe(v);
+                received += 1;
+            }
+            // Receipt order was strictly monotone (SeqTracker::observe
+            // panics otherwise), and the books balance.
+            let tail_gap = total - 1 - tracker.last_seq().expect("received something");
+            assert_eq!(
+                received + tracker.dropped() + tail_gap,
+                total,
+                "trial {trial}: received {received}, gap-dropped {}",
+                tracker.dropped()
+            );
+            assert_eq!(tail_gap, 0, "the final push must be observed");
+            assert_eq!(
+                tracker.dropped() as usize,
+                mb.overflow_drops(),
+                "trial {trial}: every loss must be a counted eviction"
+            );
+        }
+    }
+
+    /// The same stress under LatestWins: the consumer's policy drain skips
+    /// superseded frames; skips + evictions + receipts must cover every
+    /// produced value.
+    #[test]
+    fn concurrent_latest_wins_accounts_for_skips() {
+        let mb = Arc::new(Mailbox::new(4, OverflowPolicy::LatestWins));
+        let total = 20_000u64;
+        let producer = {
+            let mb = mb.clone();
+            std::thread::spawn(move || {
+                for v in 0..total {
+                    mb.push(v);
+                }
+            })
+        };
+        let mut tracker = SeqTracker::new();
+        let mut received = 0u64;
+        let mut skipped = 0u64;
+        let mut done = false;
+        while !done {
+            done = producer.is_finished();
+            while let Some((v, s)) = mb.pop_policy() {
+                tracker.observe(v);
+                received += 1;
+                skipped += s as u64;
+            }
+        }
+        producer.join().expect("producer");
+        while let Some((v, s)) = mb.pop_policy() {
+            tracker.observe(v);
+            received += 1;
+            skipped += s as u64;
+        }
+        assert_eq!(tracker.last_seq(), Some(total - 1));
+        assert_eq!(received + tracker.dropped(), total);
+        assert_eq!(
+            tracker.dropped(),
+            skipped + mb.overflow_drops() as u64,
+            "every gap is either a policy skip or a counted eviction"
+        );
+    }
+
+    #[test]
+    fn seq_tracker_counts_gaps() {
+        let mut t = SeqTracker::new();
+        assert_eq!(t.observe(0), 0);
+        assert_eq!(t.observe(1), 0);
+        assert_eq!(t.observe(4), 2, "frames 2 and 3 lost");
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.observed(), 3);
+        // A consumer that never saw the first frames counts them too.
+        let mut late = SeqTracker::new();
+        assert_eq!(late.observe(3), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-monotonic")]
+    fn seq_tracker_rejects_reordering() {
+        let mut t = SeqTracker::new();
+        t.observe(5);
+        t.observe(5);
+    }
+}

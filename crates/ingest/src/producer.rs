@@ -1,0 +1,301 @@
+//! Camera producers: frame generators on their own jittered clocks.
+//!
+//! A real fleet's cameras do not tick in lockstep with the server — each
+//! delivers on its own crystal, with per-frame jitter, and keeps delivering
+//! whether or not the consumer is keeping up. A [`CameraProducer`] models
+//! exactly that: an `ld_carlane` frame source driven by a
+//! [`CameraSchedule`] (phase + period + bounded deterministic jitter), with
+//! every produced frame stamped ([`StampedFrame`]) with its camera id, a
+//! per-camera sequence number (so downstream drops are observable as
+//! sequence gaps) and its due time (so downstream can compute frame *age*).
+//!
+//! Two drive modes:
+//!
+//! * [`CameraProducer::pump`] — synchronous: render and push everything due
+//!   by a given manual-clock time. Deterministic; what the bitwise
+//!   serve-parity tests run.
+//! * [`CameraProducer::run_realtime`] — the producer moves onto a pooled
+//!   background thread ([`ld_tensor::parallel::spawn_background`]) and
+//!   pushes frames at their real due times until stopped.
+
+use crate::mailbox::Mailbox;
+use ld_carlane::{LabeledFrame, StreamSet};
+use ld_tensor::parallel::{spawn_background, BackgroundTask};
+use ld_tensor::rng::mix_seed;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A produced frame plus the metadata that makes ingest shedding
+/// observable: which camera, which sequence number, and when it was due.
+#[derive(Debug, Clone)]
+pub struct StampedFrame {
+    /// Producing camera id.
+    pub cam: usize,
+    /// Per-camera monotone sequence number (0-based).
+    pub seq: u64,
+    /// Due (capture) time on the shared clock, ns — frame age at any later
+    /// instant is `now_ns - due_ns`.
+    pub due_ns: u64,
+    /// The labeled frame itself.
+    pub frame: LabeledFrame,
+}
+
+/// When camera frames come due: `due(k) = phase + k·period + jitter(k)`,
+/// with deterministic per-frame jitter in `[0, jitter_ns]`.
+///
+/// The constructor enforces `phase + jitter_ns < period`, which pins two
+/// properties the front end relies on: due times are strictly monotone per
+/// camera, and frame `k` falls inside its own frame interval
+/// `(k·period, (k+1)·period)` — at nominal load (camera period == tick
+/// period) every tick drains exactly one frame per camera.
+#[derive(Debug, Clone, Copy)]
+pub struct CameraSchedule {
+    phase_ns: u64,
+    period_ns: u64,
+    jitter_ns: u64,
+    seed: u64,
+}
+
+impl CameraSchedule {
+    /// Builds a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_ns == 0`, `phase_ns == 0`, or
+    /// `phase_ns + jitter_ns >= period_ns`.
+    pub fn new(phase_ns: u64, period_ns: u64, jitter_ns: u64, seed: u64) -> Self {
+        assert!(period_ns > 0, "CameraSchedule: zero period");
+        assert!(
+            phase_ns > 0,
+            "CameraSchedule: zero phase (frame 0 must come due after t=0)"
+        );
+        assert!(
+            phase_ns + jitter_ns < period_ns,
+            "CameraSchedule: phase {phase_ns} + jitter {jitter_ns} must stay under period {period_ns}"
+        );
+        CameraSchedule {
+            phase_ns,
+            period_ns,
+            jitter_ns,
+            seed,
+        }
+    }
+
+    /// Frame period in nanoseconds.
+    pub fn period_ns(&self) -> u64 {
+        self.period_ns
+    }
+
+    /// Due time of frame `k` on the shared clock.
+    pub fn due_ns(&self, k: u64) -> u64 {
+        let jitter = if self.jitter_ns == 0 {
+            0
+        } else {
+            mix_seed(self.seed, k) % (self.jitter_ns + 1)
+        };
+        self.phase_ns + k * self.period_ns + jitter
+    }
+}
+
+/// Where a producer's pixels come from.
+#[derive(Debug, Clone)]
+pub enum FrameSource {
+    /// Render live from a single-camera stream set (e.g.
+    /// [`StreamSet::isolate`]); frames are generated in order, exactly as
+    /// the synchronous serving path would pull them.
+    Live(StreamSet),
+    /// A pre-rendered timeline, cycled — for benches that must not let
+    /// render cost distort the offered load.
+    Prerendered(Vec<LabeledFrame>),
+}
+
+impl FrameSource {
+    fn frame(&mut self, k: u64) -> LabeledFrame {
+        match self {
+            FrameSource::Live(set) => set.next_frame(0),
+            FrameSource::Prerendered(frames) => {
+                assert!(!frames.is_empty(), "FrameSource: empty timeline");
+                frames[(k % frames.len() as u64) as usize].clone()
+            }
+        }
+    }
+}
+
+/// One camera: a frame source, its delivery schedule, and the mailbox it
+/// feeds (see the module docs).
+#[derive(Debug)]
+pub struct CameraProducer {
+    cam: usize,
+    source: FrameSource,
+    schedule: CameraSchedule,
+    next: u64,
+    mailbox: Arc<Mailbox<StampedFrame>>,
+}
+
+impl CameraProducer {
+    /// Builds a producer feeding `mailbox`.
+    pub fn new(
+        cam: usize,
+        source: FrameSource,
+        schedule: CameraSchedule,
+        mailbox: Arc<Mailbox<StampedFrame>>,
+    ) -> Self {
+        CameraProducer {
+            cam,
+            source,
+            schedule,
+            next: 0,
+            mailbox,
+        }
+    }
+
+    /// The delivery schedule.
+    pub fn schedule(&self) -> &CameraSchedule {
+        &self.schedule
+    }
+
+    /// Frames produced so far (== the next sequence number).
+    pub fn produced(&self) -> u64 {
+        self.next
+    }
+
+    /// Synchronous pump: renders and pushes every frame due by `now_ns`.
+    /// Returns how many frames were pushed. Deterministic — the manual-mode
+    /// front end calls this once per tick boundary.
+    pub fn pump(&mut self, now_ns: u64) -> usize {
+        let mut pushed = 0;
+        while self.schedule.due_ns(self.next) <= now_ns {
+            self.push_next();
+            pushed += 1;
+        }
+        pushed
+    }
+
+    fn push_next(&mut self) {
+        let due_ns = self.schedule.due_ns(self.next);
+        let frame = self.source.frame(self.next);
+        self.mailbox.push(StampedFrame {
+            cam: self.cam,
+            seq: self.next,
+            due_ns,
+            frame,
+        });
+        self.next += 1;
+    }
+
+    /// Moves the producer onto a pooled background thread that pushes each
+    /// frame at its real due time (relative to `start`, the same instant
+    /// the front end's [`crate::TickClock`] runs on) until stopped.
+    ///
+    /// Sleeps are chunked (≤ 2 ms) so a stop request is honoured promptly.
+    pub fn run_realtime(mut self, start: Instant) -> BackgroundTask {
+        spawn_background(move |stop| loop {
+            if stop.is_stopped() {
+                return;
+            }
+            let due = self.schedule.due_ns(self.next);
+            loop {
+                let now = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                if now >= due {
+                    break;
+                }
+                if stop.is_stopped() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_nanos((due - now).min(2_000_000)));
+            }
+            self.push_next();
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mailbox::OverflowPolicy;
+    use ld_carlane::{Benchmark, FrameSpec};
+
+    fn tiny_set() -> StreamSet {
+        StreamSet::drifting(Benchmark::MoLane, FrameSpec::new(32, 16, 6, 4, 2), 2, 8, 7)
+    }
+
+    #[test]
+    fn schedule_is_monotone_and_stays_in_its_frame_interval() {
+        let s = CameraSchedule::new(250, 1_000, 500, 42);
+        let mut prev = 0;
+        for k in 0..64 {
+            let due = s.due_ns(k);
+            assert!(due > prev, "due times must be strictly monotone");
+            assert!(
+                due > k * 1_000 && due < (k + 1) * 1_000,
+                "frame {k} at {due}"
+            );
+            prev = due;
+        }
+        // Deterministic: the same schedule re-derives the same times.
+        let again = CameraSchedule::new(250, 1_000, 500, 42);
+        assert_eq!(
+            (0..64).map(|k| s.due_ns(k)).collect::<Vec<_>>(),
+            (0..64).map(|k| again.due_ns(k)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stay under period")]
+    fn schedule_rejects_jitter_spilling_past_the_period() {
+        CameraSchedule::new(600, 1_000, 400, 1);
+    }
+
+    #[test]
+    fn pump_pushes_exactly_the_due_frames() {
+        let mb = Arc::new(Mailbox::new(8, OverflowPolicy::DropOldest));
+        let set = tiny_set().isolate(0);
+        let sched = CameraSchedule::new(300, 1_000, 0, 9);
+        let mut prod = CameraProducer::new(0, FrameSource::Live(set), sched, mb.clone());
+
+        assert_eq!(prod.pump(200), 0, "nothing due before the phase");
+        assert_eq!(prod.pump(1_000), 1, "frame 0 due at 300");
+        assert_eq!(prod.pump(1_000), 0, "idempotent at the same time");
+        assert_eq!(prod.pump(3_500), 3, "frames 1..=3 due by 3500");
+        let f = mb.pop().expect("frame 0");
+        assert_eq!((f.cam, f.seq, f.due_ns), (0, 0, 300));
+        // Live rendering matches the synchronous stream pull bit for bit.
+        let mut reference = tiny_set().isolate(0);
+        assert_eq!(
+            f.frame.image.as_slice(),
+            reference.next_frame(0).image.as_slice()
+        );
+    }
+
+    #[test]
+    fn prerendered_source_cycles() {
+        let mut set = tiny_set().isolate(0);
+        let timeline: Vec<LabeledFrame> = (0..3).map(|_| set.next_frame(0)).collect();
+        let mut src = FrameSource::Prerendered(timeline.clone());
+        assert_eq!(
+            src.frame(4).image.as_slice(),
+            timeline[1].image.as_slice(),
+            "frame 4 of a 3-frame timeline wraps to 1"
+        );
+    }
+
+    #[test]
+    fn realtime_producer_delivers_on_schedule_and_stops() {
+        let mb = Arc::new(Mailbox::new(64, OverflowPolicy::DropOldest));
+        let set = tiny_set().isolate(1);
+        // 2 ms frames: a short real-time run delivers several.
+        let sched = CameraSchedule::new(500_000, 2_000_000, 100_000, 3);
+        let prod = CameraProducer::new(1, FrameSource::Live(set), sched, mb.clone());
+        let start = Instant::now();
+        let task = prod.run_realtime(start);
+        while mb.len() < 3 {
+            std::thread::yield_now();
+        }
+        task.stop();
+        let after = mb.pushed();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(mb.pushed(), after, "a stopped producer pushes nothing");
+        let f = mb.pop().expect("first frame");
+        assert_eq!((f.cam, f.seq), (1, 0));
+    }
+}

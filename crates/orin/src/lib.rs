@@ -34,7 +34,7 @@ pub use bench_data::{load_bench_gemm, parse_bench_gemm, GemmMeasurement};
 pub use deadline::{best_configuration, feasibility, Deadline, DesignPoint};
 pub use roofline::{Efficiency, Roofline};
 pub use scheduler::{
-    admit_batch, admit_batch_with, plan_adaptation, precision_what_if, AdaptBudget, BatchAdmission,
-    Precision,
+    admit_batch, admit_batch_aged, admit_batch_with, plan_adaptation, precision_what_if,
+    AdaptBudget, AgedAdmission, BatchAdmission, Precision,
 };
 pub use spec::{OrinSpec, PowerMode};

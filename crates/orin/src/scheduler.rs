@@ -169,6 +169,108 @@ pub fn admit_batch_with(
     }
 }
 
+/// Verdict of the **age-aware** admission query ([`admit_batch_aged`]): the
+/// ingest front end's staleness shedding plus the batch admission over the
+/// surviving frames.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgedAdmission {
+    /// Per-offered-frame staleness verdict, in offer order: `true` means
+    /// the frame is shed *at ingest* — its queue age plus the predicted
+    /// serving latency would exceed the staleness bound, so serving it
+    /// would deliver an already-expired result while burning budget the
+    /// fresh frames need.
+    pub stale: Vec<bool>,
+    /// The [`admit_batch_with`] verdict over the fresh frames (`None` when
+    /// every offered frame was stale).
+    pub admission: Option<BatchAdmission>,
+}
+
+impl AgedAdmission {
+    /// Number of frames shed as stale.
+    pub fn shed(&self) -> usize {
+        self.stale.iter().filter(|&&s| s).count()
+    }
+
+    /// Number of frames that survived the staleness check.
+    pub fn fresh(&self) -> usize {
+        self.stale.len() - self.shed()
+    }
+}
+
+/// The age-aware admission term of the ingest front end: frames arrive with
+/// a queue **age** (time since capture), and a frame is only worth serving
+/// if `age + predicted tick latency ≤ max_staleness_ms` — otherwise the
+/// result it produces is already expired on delivery. This query sheds such
+/// frames *before* batching and admits the rest through
+/// [`admit_batch_with`].
+///
+/// Shedding and latency are coupled (a smaller batch is faster, so
+/// shedding a stale frame can bring a borderline frame back inside the
+/// bound), so the query sheds *minimally*: predict the latency of serving
+/// the currently-fresh frames; if any fresh frame misses the bound at that
+/// latency, shed only the **oldest** violator and re-predict. Predicted
+/// latency is monotone in batch size, so each round either terminates or
+/// strictly shrinks the batch — at most `offered` rounds, and no frame is
+/// shed that a smaller batch could have served fresh. When even a
+/// single-frame tick exceeds the bound every frame is shed (`admission:
+/// None`) — the staleness analogue of `fits_deadline: false`.
+///
+/// `max_staleness_ms = f64::INFINITY` disables shedding (every frame is
+/// fresh; the verdict degenerates to [`admit_batch_with`]).
+///
+/// # Panics
+///
+/// Panics if `ages_ms` is empty or contains a negative/non-finite age, if
+/// `max_staleness_ms` is NaN or ≤ 0, or on the [`admit_batch_with`]
+/// preconditions (`budget_ms`, `cost_scale`).
+pub fn admit_batch_aged(
+    cost: &AdaptCostModel,
+    mode: PowerMode,
+    budget_ms: f64,
+    ages_ms: &[f64],
+    infer: Precision,
+    cost_scale: f64,
+    max_staleness_ms: f64,
+) -> AgedAdmission {
+    assert!(!ages_ms.is_empty(), "admit_batch_aged: zero frames offered");
+    assert!(
+        ages_ms.iter().all(|a| a.is_finite() && *a >= 0.0),
+        "admit_batch_aged: bad ages {ages_ms:?}"
+    );
+    assert!(
+        max_staleness_ms > 0.0 && !max_staleness_ms.is_nan(),
+        "admit_batch_aged: bad staleness bound {max_staleness_ms}"
+    );
+    let mut stale = vec![false; ages_ms.len()];
+    loop {
+        let fresh = stale.iter().filter(|&&s| !s).count();
+        if fresh == 0 {
+            return AgedAdmission {
+                stale,
+                admission: None,
+            };
+        }
+        let admission = admit_batch_with(cost, mode, budget_ms, fresh, infer, cost_scale);
+        // A frame's end-to-end latency if served this tick: its age now
+        // plus the tick it rides in. Shed only the oldest violator per
+        // round — the smaller batch may serve the rest fresh.
+        let worst = ages_ms
+            .iter()
+            .enumerate()
+            .filter(|&(i, &age)| !stale[i] && age + admission.latency_ms > max_staleness_ms)
+            .max_by(|a, b| a.1.total_cmp(b.1));
+        match worst {
+            Some((i, _)) => stale[i] = true,
+            None => {
+                return AgedAdmission {
+                    stale,
+                    admission: Some(admission),
+                }
+            }
+        }
+    }
+}
+
 /// Arithmetic precision of the deployed network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Precision {
@@ -459,6 +561,135 @@ mod tests {
     fn rejects_nonpositive_cost_scale() {
         let cost = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
         admit_batch_with(&cost, PowerMode::MaxN60, 33.3, 1, Precision::Fp32, 0.0);
+    }
+
+    /// Fresh frames pass through the age-aware query untouched: with zero
+    /// ages and an infinite bound the verdict is exactly
+    /// [`admit_batch_with`]'s.
+    #[test]
+    fn aged_admission_degenerates_to_the_batch_query_when_fresh() {
+        let cost = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
+        let base = admit_batch(&cost, PowerMode::MaxN60, 33.3, 4);
+        for bound in [f64::INFINITY, 1e6] {
+            let aged = admit_batch_aged(
+                &cost,
+                PowerMode::MaxN60,
+                33.3,
+                &[0.0; 4],
+                Precision::Fp32,
+                1.0,
+                bound,
+            );
+            assert_eq!(aged.shed(), 0);
+            assert_eq!(aged.fresh(), 4);
+            assert_eq!(aged.admission, Some(base));
+        }
+    }
+
+    /// An aged frame is shed at ingest while fresh frames keep serving:
+    /// the paper's deadline analysis only holds if staleness is handled
+    /// before batching.
+    #[test]
+    fn aged_admission_sheds_only_the_stale_frames() {
+        let cost = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
+        // R-18 @ MAXN serves ~17 ms ticks; a 100 ms-old frame misses a
+        // 60 ms staleness bound, fresh neighbours do not.
+        let aged = admit_batch_aged(
+            &cost,
+            PowerMode::MaxN60,
+            33.3,
+            &[1.0, 100.0, 2.0],
+            Precision::Fp32,
+            1.0,
+            60.0,
+        );
+        assert_eq!(aged.stale, vec![false, true, false]);
+        assert_eq!(aged.shed(), 1);
+        let adm = aged.admission.expect("fresh frames remain");
+        assert!(adm.batch >= 1 && adm.batch <= 2);
+        assert!(adm.latency_ms + 2.0 <= 60.0, "survivors serve fresh");
+    }
+
+    #[test]
+    fn aged_admission_sheds_everything_when_all_frames_expired() {
+        let cost = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
+        let aged = admit_batch_aged(
+            &cost,
+            PowerMode::MaxN60,
+            33.3,
+            &[500.0, 900.0],
+            Precision::Fp32,
+            1.0,
+            40.0,
+        );
+        assert_eq!(aged.stale, vec![true, true]);
+        assert_eq!(aged.fresh(), 0);
+        assert_eq!(aged.admission, None);
+    }
+
+    /// The fixed point matters: shedding a stale frame shrinks the batch,
+    /// whose lower latency can keep a borderline frame fresh — the verdict
+    /// must settle there instead of cascading every frame out.
+    #[test]
+    fn aged_admission_reaches_a_fixed_point_on_borderline_ages() {
+        let cost = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
+        let mode = PowerMode::MaxN60;
+        let budget = 200.0;
+        // Latency grows with batch size; find a bound between the 3-frame
+        // and 4-frame tick latencies so one old frame's shed rescues the
+        // borderline frame.
+        let l3 = admit_batch(&cost, mode, budget, 3).latency_ms;
+        let l4 = admit_batch(&cost, mode, budget, 4).latency_ms;
+        assert!(l4 > l3, "latency must grow with batch: {l3} vs {l4}");
+        let eps = (l4 - l3) / 4.0;
+        let bound = l4 - eps; // borderline frame: age 0 fails at l4, fits at l3
+        let old_age = bound + 1.0; // always stale
+        let aged = admit_batch_aged(
+            &cost,
+            mode,
+            budget,
+            &[0.0, old_age, 0.0, 0.0],
+            Precision::Fp32,
+            1.0,
+            bound,
+        );
+        assert_eq!(
+            aged.stale,
+            vec![false, true, false, false],
+            "only the genuinely old frame is shed"
+        );
+        let adm = aged.admission.expect("three fresh frames");
+        assert!(adm.latency_ms <= bound);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad staleness bound")]
+    fn aged_admission_rejects_nonpositive_bound() {
+        let cost = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
+        admit_batch_aged(
+            &cost,
+            PowerMode::MaxN60,
+            33.3,
+            &[0.0],
+            Precision::Fp32,
+            1.0,
+            0.0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bad ages")]
+    fn aged_admission_rejects_negative_ages() {
+        let cost = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
+        admit_batch_aged(
+            &cost,
+            PowerMode::MaxN60,
+            33.3,
+            &[-1.0],
+            Precision::Fp32,
+            1.0,
+            50.0,
+        );
     }
 
     #[test]

@@ -10,12 +10,27 @@
 //!
 //! With the tiny models used in CI the work usually stays below
 //! [`PAR_THRESHOLD_FLOPS`] and runs single-threaded on the caller.
+//!
+//! # Background tasks
+//!
+//! The fork-join tier above is for *bounded* work: every `for_each_chunk`
+//! call returns before its borrows end. Long-lived producers (the ingest
+//! front end's camera threads, which render and push frames for the whole
+//! serving run) must not ride those workers — a producer parked on a
+//! fork-join channel would starve the dense kernels. [`spawn_background`]
+//! runs them on a second, detached tier of pooled threads: workers are
+//! created on demand, parked on a free list between tasks, and reused by
+//! later spawns, so repeated producer start/stop cycles (every
+//! `serve_ingest` call) cost no thread churn. A [`BackgroundTask`] handle
+//! owns the cooperative [`StopToken`]; dropping the handle requests a stop
+//! and waits for the task to acknowledge, so borrowed state never outlives
+//! its owner silently.
 
 use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Sender};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Work sizes (in FLOPs or elements) below this run on the calling thread.
 pub const PAR_THRESHOLD_FLOPS: usize = 1 << 18;
@@ -236,6 +251,140 @@ impl<T> SendPtr<T> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Background tasks: pooled detached workers for long-lived producers.
+// ---------------------------------------------------------------------------
+
+/// A job shipped to a background worker (one whole task, not a chunk) plus
+/// the completion signal. The worker re-parks itself on the free list
+/// *before* signalling, so a returned [`BackgroundTask::stop`] guarantees
+/// the worker is reusable by the next spawn.
+type BgJob = (Box<dyn FnOnce() + Send + 'static>, Sender<()>);
+
+/// Idle background workers, each represented by the sender feeding it. A
+/// worker pushes its sender back after finishing a task, so the next
+/// [`spawn_background`] reuses the parked thread instead of creating one.
+fn bg_free_list() -> &'static Mutex<Vec<Sender<BgJob>>> {
+    static FREE: OnceLock<Mutex<Vec<Sender<BgJob>>>> = OnceLock::new();
+    FREE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Total background worker threads ever created (telemetry; lets tests pin
+/// the reuse guarantee).
+static BG_WORKERS_CREATED: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of background worker threads created so far in this process.
+pub fn background_workers_created() -> usize {
+    BG_WORKERS_CREATED.load(Ordering::Acquire)
+}
+
+/// Cooperative cancellation flag handed to a background task's closure.
+///
+/// Long-running tasks must poll [`StopToken::is_stopped`] (and bound any
+/// sleeps) so that [`BackgroundTask::stop`] — and the handle's `Drop` —
+/// return promptly.
+#[derive(Debug, Clone)]
+pub struct StopToken(Arc<AtomicBool>);
+
+impl StopToken {
+    /// Whether a stop has been requested.
+    pub fn is_stopped(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Handle to a task started with [`spawn_background`].
+///
+/// Dropping the handle requests a stop and blocks until the task function
+/// returns — a background task can therefore safely operate on `Arc`-shared
+/// state owned by the spawner for exactly the handle's lifetime.
+#[derive(Debug)]
+pub struct BackgroundTask {
+    stop: Arc<AtomicBool>,
+    done: Receiver<()>,
+}
+
+impl BackgroundTask {
+    /// Requests a cooperative stop and waits for the task to finish.
+    pub fn stop(self) {
+        // Drop does the work.
+    }
+
+    /// Whether the task function has already returned.
+    pub fn is_finished(&self) -> bool {
+        match self.done.try_recv() {
+            Ok(()) => true,
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => true,
+            Err(std::sync::mpsc::TryRecvError::Empty) => false,
+        }
+    }
+}
+
+impl Drop for BackgroundTask {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Ok(()) = clean finish; Err = the job panicked and dropped its
+        // sender. Either way the task no longer touches shared state.
+        let _ = self.done.recv();
+    }
+}
+
+/// Runs `f` on a pooled detached worker thread (see the module docs).
+///
+/// `f` receives a [`StopToken`] it must poll; the returned handle requests
+/// the stop. Background workers are separate from the fork-join pool, so a
+/// parked producer never starves `for_each_chunk`, and a background task
+/// may itself call `for_each_chunk` (it is an ordinary thread).
+pub fn spawn_background<F>(f: F) -> BackgroundTask
+where
+    F: FnOnce(&StopToken) + Send + 'static,
+{
+    let stop = Arc::new(AtomicBool::new(false));
+    let token = StopToken(stop.clone());
+    let (done_tx, done_rx) = channel();
+    let job: BgJob = (Box::new(move || f(&token)), done_tx);
+
+    let parked = bg_free_list().lock().expect("bg free list poisoned").pop();
+    let job = match parked {
+        // A parked worker can only be gone if its thread died at process
+        // teardown; fall through and create a fresh one.
+        Some(tx) => match tx.send(job) {
+            Ok(()) => {
+                return BackgroundTask {
+                    stop,
+                    done: done_rx,
+                }
+            }
+            Err(e) => e.0,
+        },
+        None => job,
+    };
+
+    let idx = BG_WORKERS_CREATED.fetch_add(1, Ordering::AcqRel);
+    let (tx, rx) = channel::<BgJob>();
+    let requeue = tx.clone();
+    std::thread::Builder::new()
+        .name(format!("ld-bg-{idx}"))
+        .spawn(move || {
+            while let Ok((job, done)) = rx.recv() {
+                // A panicking task must not take the worker down; the
+                // completion is signalled either way.
+                let _ = panic::catch_unwind(AssertUnwindSafe(job));
+                bg_free_list()
+                    .lock()
+                    .expect("bg free list poisoned")
+                    .push(requeue.clone());
+                let _ = done.send(());
+            }
+        })
+        .expect("failed to spawn background worker");
+    tx.send(job).expect("fresh background worker disconnected");
+    BackgroundTask {
+        stop,
+        done: done_rx,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +445,9 @@ mod tests {
     #[test]
     #[cfg(target_os = "linux")]
     fn repeated_calls_spawn_no_new_threads() {
+        // Hold the background-pool lock so concurrent bg tests cannot
+        // create workers while we count OS threads.
+        let _g = bg_test_lock();
         // Warm the pool.
         for_each_chunk(512, usize::MAX, |_r| {});
         let before = os_thread_count();
@@ -307,13 +459,94 @@ mod tests {
             before, after,
             "thread count grew across 100 parallel calls: {before} -> {after}"
         );
-        // And the pool is bounded by the core count.
-        assert!(after <= 2 + pool_width(), "unexpected thread count {after}");
+        // And the pool is bounded by the core count (parked background
+        // workers from other tests persist; they are counted explicitly).
+        assert!(
+            after <= 2 + pool_width() + background_workers_created(),
+            "unexpected thread count {after}"
+        );
     }
 
     #[test]
     fn pool_width_is_positive() {
         assert!(pool_width() >= 1);
+    }
+
+    /// Serialises the background-pool tests: they reason about the global
+    /// free list and worker count, which concurrent spawns would perturb.
+    fn bg_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn background_task_runs_and_stops_cooperatively() {
+        let _g = bg_test_lock();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        let task = spawn_background(move |stop| {
+            while !stop.is_stopped() {
+                c.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        });
+        while count.load(Ordering::Relaxed) < 3 {
+            std::thread::yield_now();
+        }
+        assert!(!task.is_finished());
+        task.stop();
+        let after = count.load(Ordering::Relaxed);
+        assert!(after >= 3, "task ran {after} iterations");
+    }
+
+    /// Sequential background tasks reuse the parked worker thread instead
+    /// of spawning a new one per task (the "pool handle for long-lived
+    /// producers" contract).
+    #[test]
+    fn background_workers_are_reused_across_tasks() {
+        let _g = bg_test_lock();
+        // Warm one worker and park it.
+        spawn_background(|_stop| {}).stop();
+        let created = background_workers_created();
+        for _ in 0..8 {
+            let task = spawn_background(|stop| while !stop.is_stopped() {});
+            task.stop();
+        }
+        assert_eq!(
+            background_workers_created(),
+            created,
+            "sequential tasks must reuse the parked worker"
+        );
+    }
+
+    #[test]
+    fn background_task_panic_does_not_kill_the_worker() {
+        let _g = bg_test_lock();
+        let task = spawn_background(|_stop| panic!("task boom"));
+        task.stop(); // must not hang or propagate
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = ran.clone();
+        let task = spawn_background(move |_stop| {
+            r.store(1, Ordering::Release);
+        });
+        task.stop();
+        assert_eq!(ran.load(Ordering::Acquire), 1, "pool survives a panic");
+    }
+
+    #[test]
+    fn background_tasks_do_not_starve_the_fork_join_pool() {
+        let _g = bg_test_lock();
+        // Two spinning producers parked on background workers…
+        let t1 = spawn_background(|stop| while !stop.is_stopped() {});
+        let t2 = spawn_background(|stop| while !stop.is_stopped() {});
+        // …while the fork-join tier still completes its chunks.
+        let acc = AtomicUsize::new(0);
+        for_each_chunk(1000, usize::MAX, |r| {
+            acc.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 1000);
+        t1.stop();
+        t2.stop();
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //! quantized snapshot without touching the f32 model.
 
 use ld_nn::BnState;
+use ld_tensor::{Tensor, TensorError};
+
+/// Magic prefix of the serialized-bank format (`LDBK`).
+const BANK_MAGIC: &[u8; 4] = b"LDBK";
 
 /// One [`BnState`] per BN layer of a model, in canonical order.
 #[derive(Debug, Clone)]
@@ -125,6 +129,108 @@ impl BnBank {
             s.beta.zero_grad();
         }
     }
+
+    /// Serialises the bank to the compact `LDBK` binary format, built on
+    /// the `LDTN` tensor encoding of `ld_tensor::io` — per-stream banks
+    /// persist across restarts next to the model's
+    /// [`state_bytes`](crate::UfldModel::state_bytes) checkpoint:
+    ///
+    /// ```text
+    /// magic  b"LDBK"                      4 bytes
+    /// layers u32 LE                       4 bytes
+    /// per layer:
+    ///   name_len u32 LE + name bytes      (the BN layer's base name)
+    ///   4 × (tensor_len u64 LE + LDTN):   γ, β, running mean, running var
+    /// ```
+    ///
+    /// Gradient accumulators and momentum are deliberately *not* stored: a
+    /// restored bank starts with zeroed gradients, exactly like a freshly
+    /// extracted one (the between-ticks invariant of the serving loop).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(BANK_MAGIC);
+        out.extend_from_slice(&(self.states.len() as u32).to_le_bytes());
+        for s in &self.states {
+            let base = s.gamma.name.strip_suffix(".gamma").unwrap_or(&s.gamma.name);
+            let nb = base.as_bytes();
+            out.extend_from_slice(&(nb.len() as u32).to_le_bytes());
+            out.extend_from_slice(nb);
+            for t in [
+                &s.gamma.value,
+                &s.beta.value,
+                &s.running_mean,
+                &s.running_var,
+            ] {
+                let tb = t.to_bytes();
+                out.extend_from_slice(&(tb.len() as u64).to_le_bytes());
+                out.extend_from_slice(&tb);
+            }
+        }
+        out
+    }
+
+    /// Restores a bank serialised by [`BnBank::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DecodeBytes`] on a bad magic, truncation, or
+    /// a per-layer shape inconsistency (γ/β/stats must all be
+    /// `[channels]`).
+    pub fn from_bytes(bytes: impl AsRef<[u8]>) -> Result<BnBank, TensorError> {
+        let mut bytes = bytes.as_ref();
+        let take = |bytes: &mut &[u8], n: usize, what: &str| -> Result<Vec<u8>, TensorError> {
+            if bytes.len() < n {
+                return Err(TensorError::DecodeBytes(format!("truncated {what}")));
+            }
+            let (head, rest) = bytes.split_at(n);
+            *bytes = rest;
+            Ok(head.to_vec())
+        };
+        let magic = take(&mut bytes, 4, "magic")?;
+        if magic != BANK_MAGIC {
+            return Err(TensorError::DecodeBytes(format!(
+                "bad bank magic {magic:?}, want {BANK_MAGIC:?}"
+            )));
+        }
+        let layers = u32::from_le_bytes(take(&mut bytes, 4, "layer count")?.try_into().unwrap());
+        let mut states = Vec::with_capacity(layers as usize);
+        for li in 0..layers {
+            let nlen = u32::from_le_bytes(take(&mut bytes, 4, "name length")?.try_into().unwrap())
+                as usize;
+            let name = String::from_utf8(take(&mut bytes, nlen, "name")?)
+                .map_err(|e| TensorError::DecodeBytes(e.to_string()))?;
+            let mut tensors = Vec::with_capacity(4);
+            for what in ["gamma", "beta", "running mean", "running var"] {
+                let tlen =
+                    u64::from_le_bytes(take(&mut bytes, 8, "tensor length")?.try_into().unwrap())
+                        as usize;
+                tensors.push(Tensor::from_bytes(take(&mut bytes, tlen, what)?)?);
+            }
+            let channels = tensors[0].len();
+            if tensors.iter().any(|t| t.shape_dims() != [channels]) {
+                return Err(TensorError::DecodeBytes(format!(
+                    "layer {li} ({name}): γ/β/stats shapes disagree"
+                )));
+            }
+            // BnState::new rebuilds the parameter names/kinds and zeroed
+            // gradient accumulators; only the values are restored.
+            let mut state = BnState::new(&name, channels);
+            let [gamma, beta, mean, var]: [Tensor; 4] =
+                tensors.try_into().expect("exactly four tensors");
+            state.gamma.value = gamma;
+            state.beta.value = beta;
+            state.running_mean = mean;
+            state.running_var = var;
+            states.push(state);
+        }
+        if !bytes.is_empty() {
+            return Err(TensorError::DecodeBytes(format!(
+                "{} trailing bytes after the last layer",
+                bytes.len()
+            )));
+        }
+        Ok(BnBank::new(states))
+    }
 }
 
 impl<'a> IntoIterator for &'a BnBank {
@@ -173,5 +279,92 @@ mod tests {
     #[should_panic(expected = "layer count mismatch")]
     fn distance_rejects_mismatched_banks() {
         bank(&[2]).affine_l2_distance(&bank(&[2, 2]));
+    }
+
+    #[test]
+    fn bytes_roundtrip_preserves_names_values_and_stats() {
+        let mut b = bank(&[2, 5]);
+        b.states_mut()[0].gamma.value.as_mut_slice()[1] = 3.5;
+        b.states_mut()[1].beta.value.as_mut_slice()[4] = -0.25;
+        b.states_mut()[0].running_mean.as_mut_slice()[0] = 7.0;
+        b.states_mut()[1].running_var.as_mut_slice()[2] = 0.125;
+        // A non-zero grad accumulator must NOT survive the roundtrip.
+        b.states_mut()[0].gamma.grad.as_mut_slice()[0] = 99.0;
+
+        let restored = BnBank::from_bytes(b.to_bytes()).expect("roundtrip");
+        assert_eq!(restored.layer_count(), 2);
+        assert_eq!(restored.affine_l2_distance(&b), 0.0);
+        for (a, r) in b.iter().zip(restored.iter()) {
+            assert_eq!(a.gamma.name, r.gamma.name);
+            assert_eq!(a.beta.name, r.beta.name);
+            assert_eq!(a.gamma.value.as_slice(), r.gamma.value.as_slice());
+            assert_eq!(a.beta.value.as_slice(), r.beta.value.as_slice());
+            assert_eq!(a.running_mean.as_slice(), r.running_mean.as_slice());
+            assert_eq!(a.running_var.as_slice(), r.running_var.as_slice());
+            assert!(r.gamma.grad.as_slice().iter().all(|&g| g == 0.0));
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage_and_truncation() {
+        assert!(BnBank::from_bytes(b"XXXX").is_err(), "bad magic");
+        assert!(BnBank::from_bytes(b"LD").is_err(), "truncated magic");
+        let full = bank(&[3]).to_bytes();
+        assert!(
+            BnBank::from_bytes(&full[..full.len() - 2]).is_err(),
+            "truncated payload"
+        );
+        let mut trailing = full.clone();
+        trailing.push(0);
+        assert!(BnBank::from_bytes(trailing).is_err(), "trailing bytes");
+        BnBank::from_bytes(full).expect("the untouched encoding decodes");
+    }
+
+    /// The restart story: a bank extracted from an adapted model survives
+    /// the byte roundtrip and swaps into a *fresh* model such that the
+    /// forward is bitwise what the adapted model computes.
+    #[test]
+    fn swap_roundtrip_through_bytes_restores_the_adapted_forward() {
+        use crate::{UfldConfig, UfldModel};
+        use ld_nn::Mode;
+        use ld_tensor::rng::SeededRng;
+
+        let cfg = UfldConfig::tiny(2);
+        let mut adapted = UfldModel::new(&cfg, 0xD1);
+        // Move the BN state away from init (γ/β and running stats).
+        let mut bank = adapted.extract_bn_bank();
+        let mut rng = SeededRng::new(11);
+        for st in bank.states_mut() {
+            for v in st.gamma.value.as_mut_slice() {
+                *v += rng.uniform(-0.2, 0.2);
+            }
+            for v in st.beta.value.as_mut_slice() {
+                *v += rng.uniform(-0.2, 0.2);
+            }
+            for v in st.running_mean.as_mut_slice() {
+                *v += rng.uniform(-0.1, 0.1);
+            }
+        }
+        adapted.swap_bn_bank(&mut bank);
+
+        let frame = rng.uniform_tensor(&[3, cfg.input_height, cfg.input_width], 0.0, 1.0);
+        let want = adapted.forward_frames(&[&frame], Mode::Eval);
+
+        // Persist the adapted bank, restore it into a fresh model of the
+        // same seed (same conv/FC weights, untouched BN).
+        let bytes = adapted.extract_bn_bank().to_bytes();
+        let mut restored_bank = BnBank::from_bytes(bytes).expect("decode");
+        let mut fresh = UfldModel::new(&cfg, 0xD1);
+        assert_ne!(
+            fresh
+                .forward_frames(&[&frame], Mode::Eval)
+                .as_slice()
+                .to_vec(),
+            want.as_slice().to_vec(),
+            "the adapted BN state must actually change the forward"
+        );
+        fresh.swap_bn_bank(&mut restored_bank);
+        let got = fresh.forward_frames(&[&frame], Mode::Eval);
+        assert_eq!(got.as_slice(), want.as_slice(), "bitwise restart restore");
     }
 }

@@ -13,8 +13,18 @@
 //! includes the per-stream bank telemetry: swap count, last quantized
 //! re-fold tick, and how far each domain's bank has adapted from init.
 //!
+//! With `--ingest`, the same cameras run **in real time** through the
+//! `ld_ingest` mailbox front end: each camera renders and delivers frames
+//! from a pooled background thread on its own jittered clock, the server
+//! drains at tick boundaries, sheds stale frames through the age-aware
+//! admission gate, and the run ends with the backpressure report
+//! (produced/delivered/dropped per camera, queue depths, frame-age
+//! p50/p99, tick overruns). Add `--overload` to offer 2× the tick rate and
+//! watch the surplus shed at ingest.
+//!
 //! ```text
-//! cargo run --release --example multi_stream_server [-- --quick] [-- --shared-bn]
+//! cargo run --release --example multi_stream_server \
+//!     [-- --quick] [-- --shared-bn] [-- --ingest [--overload]]
 //! ```
 
 use ld_adapt::{
@@ -23,6 +33,7 @@ use ld_adapt::{
 };
 use ld_bn_adapt::prelude::*;
 use ld_carlane::StreamSet;
+use ld_ingest::{IngestConfig, IngestFrontEnd};
 use ld_orin::{AdaptCostModel, Deadline, PowerMode, Roofline};
 
 fn main() {
@@ -78,6 +89,8 @@ fn main() {
     }
 
     let shared_bn = std::env::args().any(|a| a == "--shared-bn");
+    let ingest_mode = std::env::args().any(|a| a == "--ingest");
+    let overload = std::env::args().any(|a| a == "--overload");
     let n_streams = 4;
     let ticks = if quick { 12 } else { 60 };
     let timeline = ticks.max(8);
@@ -103,6 +116,13 @@ fn main() {
         );
     }
 
+    // The ingest path sheds frames that cannot be served within two tick
+    // budgets of their capture — the age-aware admission term.
+    let gate = if ingest_mode {
+        gate.with_staleness(2.0 * 83.3)
+    } else {
+        gate
+    };
     let mut server_cfg = ServerConfig::new(
         LdBnAdaptConfig::paper(1),
         GovernorConfig {
@@ -118,7 +138,22 @@ fn main() {
     let mut server = AdaptServer::new(server_cfg, n_streams, &mut model);
 
     let t0 = std::time::Instant::now();
-    let report = server.serve(&mut model, &mut streams, ticks);
+    let (report, ingest_report) = if ingest_mode {
+        let mut ingest_cfg = IngestConfig::new(83_300_000); // the demo budget
+        if overload {
+            ingest_cfg = ingest_cfg.with_load(2.0);
+        }
+        println!(
+            "\ningest mode: real-time jittered cameras, {} offered load",
+            if overload { "2×" } else { "nominal" }
+        );
+        let mut front = IngestFrontEnd::realtime(&streams, &ingest_cfg);
+        let report = server.serve_ingest(&mut model, &mut front, ticks);
+        front.shutdown();
+        (report, Some(front.report()))
+    } else {
+        (server.serve(&mut model, &mut streams, ticks), None)
+    };
     let elapsed = t0.elapsed();
 
     println!(
@@ -154,4 +189,33 @@ fn main() {
         sv.ticks, sv.frames, sv.adapt_steps, sv.shed_adapt_ticks, sv.deferred_frames
     );
     println!("wall-clock throughput: {fps:.1} frames/s (shared model, single process)");
+
+    if let Some(ing) = ingest_report {
+        println!("\nbackpressure report (mailbox front end):");
+        println!(
+            "{:>6} | {:>8} | {:>9} | {:>7} | {:>6} | {:>9}",
+            "cam", "produced", "delivered", "dropped", "queued", "max depth"
+        );
+        for (cid, c) in ing.per_cam.iter().enumerate() {
+            println!(
+                "{:>6} | {:>8} | {:>9} | {:>7} | {:>6} | {:>9}",
+                format!("cam{cid}"),
+                c.produced,
+                c.delivered,
+                c.dropped,
+                c.queued,
+                c.max_queue_depth
+            );
+        }
+        println!(
+            "frame age p50 {:.1} ms / p99 {:.1} ms | tick overruns {}/{} | \
+             stale sheds {} | mailbox drops {}",
+            ing.age_p50_ns as f64 / 1e6,
+            ing.age_p99_ns as f64 / 1e6,
+            ing.tick_overruns,
+            ing.ticks,
+            sv.stale_shed_frames,
+            sv.ingest_dropped_frames
+        );
+    }
 }

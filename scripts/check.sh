@@ -28,6 +28,12 @@ cargo run --release --example multi_stream_server -- --quick
 echo "== server smoke: same workload, shared-BN legacy config =="
 cargo run --release --example multi_stream_server -- --quick --shared-bn
 
+echo "== ingest smoke: real-time mailbox front end, steady state =="
+cargo run --release --example multi_stream_server -- --quick --ingest
+
+echo "== ingest smoke: 2x offered overload (sheds at ingest, no overruns) =="
+cargo run --release --example multi_stream_server -- --quick --ingest --overload
+
 # The smoke gate compares against the last local quick run (the file is
 # gitignored; a fresh checkout passes trivially) at a 30% noise floor —
 # the strict >10% gate runs with the full `server_throughput` bench,
@@ -44,5 +50,9 @@ cargo run --release --example quantized_eval -- --quick
 
 echo "== bench smoke: quant_eval --quick (emits BENCH_quant.quick.json) =="
 cargo bench -p ld-bench --bench quant_eval -- --quick
+
+echo "== bench smoke: ingest_throughput --quick (emits BENCH_ingest.quick.json," \
+     "served-fraction + overrun regression gate) =="
+cargo bench -p ld-bench --bench ingest_throughput -- --quick
 
 echo "== all checks passed =="

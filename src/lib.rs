@@ -9,6 +9,8 @@
 //! * [`cluster`] — k-means (SOTA-baseline substrate) ([`ld_cluster`])
 //! * [`ufld`] — the Ultra-Fast Lane Detection model ([`ld_ufld`])
 //! * [`carlane`] — synthetic CARLANE sim-to-real benchmarks ([`ld_carlane`])
+//! * [`ingest`] — real-time frame ingest: lock-free per-camera mailboxes,
+//!   tick scheduling, backpressure telemetry ([`ld_ingest`])
 //! * [`adapt`] — **the paper's contribution**: LD-BN-ADAPT, baselines,
 //!   ablations and the evaluation harness ([`ld_adapt`])
 //! * [`orin`] — the Jetson AGX Orin roofline latency/energy model
@@ -31,6 +33,7 @@
 pub use ld_adapt as adapt;
 pub use ld_carlane as carlane;
 pub use ld_cluster as cluster;
+pub use ld_ingest as ingest;
 pub use ld_nn as nn;
 pub use ld_orin as orin;
 pub use ld_quant as quant;
@@ -41,6 +44,7 @@ pub use ld_ufld as ufld;
 pub mod prelude {
     pub use ld_adapt::*;
     pub use ld_carlane::{Benchmark, Domain};
+    pub use ld_ingest::{IngestConfig, IngestFrontEnd, OverflowPolicy};
     pub use ld_nn::{BnStatsPolicy, Layer, Mode, ParamFilter};
     pub use ld_quant::{QuantUfldModel, QuantizeModel};
     pub use ld_tensor::Tensor;

@@ -1,0 +1,334 @@
+//! Acceptance tests of the ingest front end (`ld_ingest`) wired through
+//! the multi-stream server (`AdaptServer::serve_ingest`), all on the
+//! deterministic manual clock:
+//!
+//! * at nominal load the async path is **bitwise identical** to the
+//!   synchronous `serve` pump — same batches, same adaptation state, same
+//!   telemetry;
+//! * under per-camera overload, surplus frames are shed *at ingest*
+//!   (observable in the sequence-gap accounting) while a healthy
+//!   neighbouring stream's adaptation state stays bitwise identical to a
+//!   dedicated synchronous server;
+//! * with an age-aware admission gate, frames that can no longer be served
+//!   fresh are dropped before batching — backlog stays bounded and no tick
+//!   overruns its deadline.
+
+use ld_adapt::{
+    frame_spec_for, AdaptServer, AdmissionGate, GovernorConfig, LdBnAdaptConfig, ServerConfig,
+};
+use ld_carlane::{Benchmark, StreamSet};
+use ld_ingest::{IngestConfig, IngestFrontEnd, OverflowPolicy};
+use ld_orin::{AdaptCostModel, Deadline, PowerMode};
+use ld_ufld::{Backbone, UfldConfig, UfldModel};
+
+const TICK_NS: u64 = 33_300_000; // 30 FPS tick period
+
+fn governor() -> GovernorConfig {
+    GovernorConfig {
+        warmup_frames: 2,
+        threshold_ratio: 1.05,
+        rollback_ratio: 1e9,
+        ..Default::default()
+    }
+}
+
+/// Nominal load, shared normalisation: the ingest pump must reproduce the
+/// synchronous pump bit for bit — whole-model adaptation state, per-stream
+/// duty/reference telemetry, accuracy reports, and the server counters.
+#[test]
+fn serve_ingest_at_nominal_load_is_bitwise_identical_to_serve() {
+    let cfg = UfldConfig::tiny(2);
+    let n = 3;
+    let ticks = 8;
+    let mk_streams = || StreamSet::drifting(Benchmark::MoLane, frame_spec_for(&cfg), n, 16, 21);
+    let server_cfg = || ServerConfig::new(LdBnAdaptConfig::paper(1), governor(), n);
+
+    // Synchronous reference.
+    let mut model_sync = UfldModel::new(&cfg, 0x1157);
+    let mut streams_sync = mk_streams();
+    let mut sync = AdaptServer::new(server_cfg(), n, &mut model_sync);
+    let report_sync = sync.serve(&mut model_sync, &mut streams_sync, ticks);
+
+    // Ingest path: same streams behind jittered per-camera mailboxes on a
+    // deterministic clock.
+    let mut model_ing = UfldModel::new(&cfg, 0x1157);
+    let streams_ing = mk_streams();
+    let mut front = IngestFrontEnd::manual(&streams_ing, &IngestConfig::new(TICK_NS));
+    let mut ingest = AdaptServer::new(server_cfg(), n, &mut model_ing);
+    let report_ing = ingest.serve_ingest(&mut model_ing, &mut front, ticks);
+
+    // The entire adaptation state is bitwise identical…
+    assert_eq!(
+        model_sync.state_bytes(),
+        model_ing.state_bytes(),
+        "adaptation state diverged"
+    );
+    // …and so is every piece of telemetry the two pumps share.
+    assert_eq!(report_sync.server, {
+        let mut s = report_ing.server;
+        // The ingest-only counters must all be zero at nominal load.
+        assert_eq!(
+            (
+                s.stale_shed_frames,
+                s.ingest_dropped_frames,
+                s.tick_overruns
+            ),
+            (0, 0, 0)
+        );
+        s.stale_shed_frames = 0;
+        s.ingest_dropped_frames = 0;
+        s.tick_overruns = 0;
+        s
+    });
+    assert!(report_sync.server.adapt_steps > 0, "workload never adapted");
+    for sid in 0..n {
+        let (a, b) = (&report_sync.per_stream[sid], &report_ing.per_stream[sid]);
+        assert_eq!(a.stats, b.stats, "stream {sid} duty telemetry");
+        assert_eq!(a.report, b.report, "stream {sid} accuracy");
+        assert_eq!(a.frames, b.frames, "stream {sid} frames");
+        assert_eq!(
+            sync.reference_entropy(sid).map(f32::to_bits),
+            ingest.reference_entropy(sid).map(f32::to_bits),
+            "stream {sid} reference band"
+        );
+        let cam = b.ingest.expect("ingest telemetry present");
+        assert_eq!(cam.delivered, ticks as u64, "one frame per tick");
+        assert_eq!(cam.dropped, 0);
+    }
+}
+
+/// Bank mode under asymmetric overload: camera 1 offers 3× the tick rate
+/// into a latest-wins mailbox, so its surplus frames are shed at ingest —
+/// while camera 0's per-stream bank, duty stats and reference band stay
+/// bitwise identical to a dedicated synchronous single-stream server that
+/// never saw camera 1 at all.
+#[test]
+fn overloaded_camera_sheds_at_ingest_while_healthy_camera_stays_bitwise() {
+    let cfg = UfldConfig::tiny(2);
+    let ticks = 10;
+    let adapt = || LdBnAdaptConfig::paper(1).with_lr(0.02);
+    let mk_streams = || StreamSet::drifting(Benchmark::MoLane, frame_spec_for(&cfg), 2, 16, 33);
+
+    // Dedicated synchronous server over camera 0 alone.
+    let mut model_ref = UfldModel::new(&cfg, 0xF00D);
+    let mut streams_ref = mk_streams().isolate(0);
+    let ref_cfg = ServerConfig::new(adapt(), governor(), 1).with_bn_banks();
+    let mut reference = AdaptServer::new(ref_cfg, 1, &mut model_ref);
+    let report_ref = reference.serve(&mut model_ref, &mut streams_ref, ticks);
+
+    // Batched ingest server over both cameras, camera 1 at 3× load.
+    let mut model = UfldModel::new(&cfg, 0xF00D);
+    let streams = mk_streams();
+    let ingest_cfg = IngestConfig::new(TICK_NS)
+        .with_policy(OverflowPolicy::LatestWins)
+        .with_capacity(2)
+        .with_cam_load(1, 3.0);
+    let mut front = IngestFrontEnd::manual(&streams, &ingest_cfg);
+    let server_cfg = ServerConfig::new(adapt(), governor(), 2).with_bn_banks();
+    let mut server = AdaptServer::new(server_cfg, 2, &mut model);
+    let report = server.serve_ingest(&mut model, &mut front, ticks);
+
+    // The overloaded camera shed at ingest, observably.
+    let cam1 = report.per_stream[1].ingest.expect("telemetry");
+    assert!(
+        cam1.dropped > 0,
+        "3× load into a latest-wins mailbox must shed: {cam1:?}"
+    );
+    assert!(
+        cam1.delivered <= ticks as u64,
+        "latest-wins serves at most one frame per tick"
+    );
+    assert!(report.server.ingest_dropped_frames > 0);
+    assert_eq!(report.server.tick_overruns, 0, "no deadline overruns");
+
+    // The healthy camera is bitwise the dedicated server.
+    assert_eq!(
+        report.per_stream[0].stats, report_ref.per_stream[0].stats,
+        "healthy stream duty telemetry"
+    );
+    assert_eq!(
+        report.per_stream[0].report, report_ref.per_stream[0].report,
+        "healthy stream accuracy"
+    );
+    assert_eq!(
+        server.reference_entropy(0).map(f32::to_bits),
+        reference.reference_entropy(0).map(f32::to_bits),
+        "healthy stream reference band"
+    );
+    let bank = server.stream_bank(0).expect("bank mode").to_bytes();
+    let bank_ref = reference.stream_bank(0).expect("bank mode").to_bytes();
+    assert_eq!(bank, bank_ref, "healthy stream bank state diverged");
+    assert!(
+        report_ref.per_stream[0].stats.adapted_frames > 0,
+        "vacuous without adaptation"
+    );
+}
+
+/// The age-gated admission path, deterministically: 2× offered overload
+/// against a 30 FPS gate with a finite staleness bound. Frames that age
+/// out are shed *before batching* (counted, bounded backlog), every tick's
+/// predicted busy time fits the period (zero overruns), and serving keeps
+/// going.
+#[test]
+fn aged_gate_sheds_stale_frames_with_zero_overruns_under_overload() {
+    let cfg = UfldConfig::tiny(2);
+    let n = 2;
+    let ticks = 12;
+    let gate = AdmissionGate::new(
+        AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4)),
+        PowerMode::MaxN60,
+        Deadline::FPS30,
+    )
+    .with_staleness(100.0); // ~3 ticks of freshness
+    let server_cfg = ServerConfig::new(LdBnAdaptConfig::paper(1), governor(), n)
+        .with_admission(gate)
+        .without_step_telemetry();
+
+    let streams = StreamSet::drifting(Benchmark::MoLane, frame_spec_for(&cfg), n, 16, 9);
+    // 2× offered load per camera, FIFO mailboxes: the backlog must be
+    // tamed by staleness shedding, not by latest-wins skips.
+    let ingest_cfg = IngestConfig::new(TICK_NS)
+        .with_policy(OverflowPolicy::DropOldest)
+        .with_capacity(8)
+        .with_load(2.0);
+    let mut front = IngestFrontEnd::manual(&streams, &ingest_cfg);
+    let mut model = UfldModel::new(&cfg, 0xA6ED);
+    let mut server = AdaptServer::new(server_cfg, n, &mut model);
+    let report = server.serve_ingest(&mut model, &mut front, ticks);
+
+    assert!(
+        report.server.stale_shed_frames > 0,
+        "2× overload against a 100 ms bound must shed stale frames: {:?}",
+        report.server
+    );
+    assert_eq!(
+        report.server.tick_overruns, 0,
+        "admitted ticks must fit the period: {:?}",
+        report.server
+    );
+    // Serving continued: every stream got frames through.
+    for (sid, s) in report.per_stream.iter().enumerate() {
+        assert!(s.frames > 0, "stream {sid} starved");
+    }
+    // The backlog stays bounded: of everything delivered, what was neither
+    // served nor shed (the server-side pending queue) cannot exceed the
+    // staleness window's worth of frames — staleness shedding, not queue
+    // growth, absorbs the overload.
+    let ingest_report = front.report();
+    let delivered = ingest_report.delivered() as usize;
+    assert!(
+        delivered >= report.server.frames + report.server.stale_shed_frames,
+        "accounting: delivered {delivered} < served {} + shed {}",
+        report.server.frames,
+        report.server.stale_shed_frames
+    );
+    let backlog = delivered - report.server.frames - report.server.stale_shed_frames;
+    // 100 ms bound / 33.3 ms ticks ≈ 3 ticks of freshness at 2 frames per
+    // tick per camera.
+    assert!(
+        backlog <= n * 2 * 4,
+        "backlog {backlog} outgrew the staleness window"
+    );
+    assert!(ingest_report.age_p99_ns > 0);
+}
+
+/// Without any admission gate, sustained FIFO overload must still be
+/// memory-bounded: the server holds at most one deferred frame per stream
+/// (a deferred stream is simply not drained), and the surplus waits in the
+/// bounded mailbox rings where eviction is counted — never in an unbounded
+/// server-side queue.
+#[test]
+fn ungated_fifo_overload_stays_bounded_in_the_mailboxes() {
+    let cfg = UfldConfig::tiny(2);
+    let n = 2;
+    let ticks = 12;
+    let streams = StreamSet::drifting(Benchmark::MoLane, frame_spec_for(&cfg), n, 16, 13);
+    let ingest_cfg = IngestConfig::new(TICK_NS)
+        .with_policy(OverflowPolicy::DropOldest)
+        .with_capacity(4)
+        .with_load(2.0);
+    let mut front = IngestFrontEnd::manual(&streams, &ingest_cfg);
+    let server_cfg = ServerConfig::new(LdBnAdaptConfig::paper(1), governor(), n);
+    let mut model = UfldModel::new(&cfg, 0xB0B);
+    let mut server = AdaptServer::new(server_cfg, n, &mut model);
+    let report = server.serve_ingest(&mut model, &mut front, ticks);
+
+    for (cam, c) in report
+        .per_stream
+        .iter()
+        .map(|s| s.ingest.expect("telemetry"))
+        .enumerate()
+    {
+        assert!(
+            c.delivered <= ticks as u64,
+            "cam {cam}: at most one frame leaves the mailbox per tick: {c:?}"
+        );
+        assert!(
+            c.queued <= 4,
+            "cam {cam}: backlog must stay inside the bounded ring: {c:?}"
+        );
+    }
+    assert!(
+        report.server.ingest_dropped_frames > 0,
+        "the full rings must evict (counted), not grow: {:?}",
+        report.server
+    );
+    assert_eq!(
+        report.server.frames,
+        n * ticks,
+        "every tick served n frames"
+    );
+}
+
+/// `ServerStats` ingest counters accumulate across serve_ingest calls
+/// exactly like every other server counter — a second run with a fresh
+/// front end must not erase the first run's drop/overrun tallies.
+#[test]
+fn ingest_counters_accumulate_across_serving_runs() {
+    let cfg = UfldConfig::tiny(2);
+    let n = 2;
+    let ticks = 6;
+    let streams = StreamSet::drifting(Benchmark::MoLane, frame_spec_for(&cfg), n, 16, 17);
+    let mk_front = || {
+        IngestFrontEnd::manual(
+            &streams,
+            &IngestConfig::new(TICK_NS).with_capacity(2).with_load(3.0),
+        )
+    };
+    let server_cfg = ServerConfig::new(LdBnAdaptConfig::paper(1), governor(), n);
+    let mut model = UfldModel::new(&cfg, 0xACC);
+    let mut server = AdaptServer::new(server_cfg, n, &mut model);
+
+    let mut front1 = mk_front();
+    let after1 = server
+        .serve_ingest(&mut model, &mut front1, ticks)
+        .server
+        .ingest_dropped_frames;
+    assert!(after1 > 0, "3× overload must drop in run 1");
+    let mut front2 = mk_front();
+    let after2 = server
+        .serve_ingest(&mut model, &mut front2, ticks)
+        .server
+        .ingest_dropped_frames;
+    assert!(
+        after2 > after1,
+        "run 2's drops must add to run 1's, not replace them: {after1} → {after2}"
+    );
+}
+
+#[test]
+#[should_panic(expected = "camera-count mismatch")]
+fn serve_ingest_rejects_mismatched_camera_counts() {
+    let cfg = UfldConfig::tiny(2);
+    let streams = StreamSet::drifting(Benchmark::MoLane, frame_spec_for(&cfg), 3, 8, 1);
+    let front_streams = StreamSet::drifting(Benchmark::MoLane, frame_spec_for(&cfg), 2, 8, 1);
+    let mut front = IngestFrontEnd::manual(&front_streams, &IngestConfig::new(TICK_NS));
+    let mut model = UfldModel::new(&cfg, 1);
+    let server_cfg = ServerConfig::new(
+        LdBnAdaptConfig::paper(1),
+        GovernorConfig::default(),
+        streams.num_streams(),
+    );
+    let mut server = AdaptServer::new(server_cfg, streams.num_streams(), &mut model);
+    server.serve_ingest(&mut model, &mut front, 1);
+}
