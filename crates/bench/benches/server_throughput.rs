@@ -26,6 +26,14 @@
 //! the cost of multi-target isolation — the acceptance bar is ≥ 0.9 (bank
 //! swaps are O(layers) pointer swaps; the arithmetic is unchanged).
 //!
+//! A fourth mode, `degraded/N` (N ≥ 2), is the banked server with the
+//! **self-healing layer armed** and one camera streaming NaN-poisoned
+//! frames: every tick pays the integrity screen over all N offered frames,
+//! rejects the poisoned one, and serves the N−1 healthy neighbours. Its
+//! `fps_vs_banked` ratio compares *per-healthy-frame* cost against the
+//! fault-free banked run — the price of serving through a fault (screen
+//! scans + state screens + grad checks), which must stay near 1.
+//!
 //! After writing the JSON the harness **diffs against the committed
 //! baseline** and fails on a > 10 % regression. Machine-portable ratios
 //! are compared (`speedup_vs_sequential`, `fps_vs_shared_batched`), not
@@ -36,7 +44,8 @@
 
 use criterion::{take_results, BenchmarkId, Criterion};
 use ld_adapt::{
-    frame_spec_for, AdaptGovernor, AdaptServer, GovernorConfig, LdBnAdaptConfig, ServerConfig,
+    frame_spec_for, AdaptGovernor, AdaptServer, GovernorConfig, LdBnAdaptConfig, SelfHealConfig,
+    ServerConfig,
 };
 use ld_carlane::{Benchmark, StreamSet};
 use ld_tensor::Tensor;
@@ -113,6 +122,36 @@ fn bench_server(c: &mut Criterion) {
             })
         });
 
+        // Degraded: the banked production config with self-healing armed
+        // and camera 0 streaming NaN-poisoned frames — the screen rejects
+        // them before batching, the healthy neighbours keep serving.
+        if n >= 2 {
+            let mut poisoned = frames.clone();
+            for tick_frames in &mut poisoned {
+                tick_frames[0].as_mut_slice()[0] = f32::NAN;
+            }
+            let mut model_d = UfldModel::new(&cfg, 7);
+            let degraded_cfg = ServerConfig::new(adapt_cfg(), always_adapt(), n)
+                .without_step_telemetry()
+                .with_bn_banks()
+                .with_self_healing(SelfHealConfig::default());
+            let mut degraded = AdaptServer::new(degraded_cfg, n, &mut model_d);
+            group.bench_with_input(BenchmarkId::new("degraded", n), &n, |b, _| {
+                b.iter(|| {
+                    for tick_frames in &poisoned {
+                        let batch: Vec<(usize, &Tensor)> = tick_frames
+                            .iter()
+                            .enumerate()
+                            .filter(|(sid, f)| degraded.screen_frame(*sid, f))
+                            .collect();
+                        if !batch.is_empty() {
+                            degraded.process_batch(&mut model_d, &batch);
+                        }
+                    }
+                })
+            });
+        }
+
         // Sequential: the pre-refactor deployment — one single-stream
         // governor per camera, same shared model, frames served one by one.
         let mut model_s = UfldModel::new(&cfg, 7);
@@ -169,16 +208,24 @@ fn write_json(ticks: usize) {
             "batched"
         } else if r.id.contains("/banked/") {
             "banked"
+        } else if r.id.contains("/degraded/") {
+            "degraded"
         } else {
             "sequential"
         };
-        let frames = (streams * ticks) as f64;
+        // A degraded tick serves the healthy N−1 frames; fps is throughput
+        // of frames actually served, not frames offered.
+        let frames = if mode == "degraded" {
+            ((streams - 1) * ticks) as f64
+        } else {
+            (streams * ticks) as f64
+        };
         let fps = frames / (r.ns_per_iter * 1e-9);
         let mut row = format!(
             "  {{\"streams\": {}, \"mode\": \"{}\", \"frames_per_iter\": {}, \"ns_per_iter\": {:.1}, \"fps\": {:.2}",
             streams, mode, frames as usize, r.ns_per_iter, fps
         );
-        if mode != "sequential" {
+        if mode == "batched" || mode == "banked" {
             if let Some(base) = ns_of("sequential", streams) {
                 let ratio = base / r.ns_per_iter;
                 let _ = write!(row, ", \"speedup_vs_sequential\": {ratio:.3}");
@@ -190,6 +237,15 @@ fn write_json(ticks: usize) {
                 let ratio = base / r.ns_per_iter;
                 let _ = write!(row, ", \"fps_vs_shared_batched\": {ratio:.3}");
                 current.push((streams, mode, "fps_vs_shared_batched", ratio));
+            }
+        }
+        if mode == "degraded" {
+            if let Some(base) = ns_of("banked", streams) {
+                // Per-frame normalised: the two modes serve different frame
+                // counts per iteration.
+                let ratio = (base / (streams * ticks) as f64) / (r.ns_per_iter / frames);
+                let _ = write!(row, ", \"fps_vs_banked\": {ratio:.3}");
+                current.push((streams, mode, "fps_vs_banked", ratio));
             }
         }
         row.push('}');
@@ -235,7 +291,11 @@ fn regress_against_baseline(baseline: &str, current: &[(usize, &str, &str, f64)]
         ) else {
             continue;
         };
-        for metric in ["speedup_vs_sequential", "fps_vs_shared_batched"] {
+        for metric in [
+            "speedup_vs_sequential",
+            "fps_vs_shared_batched",
+            "fps_vs_banked",
+        ] {
             let Some(base) = field(line, metric) else {
                 continue;
             };

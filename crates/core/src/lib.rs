@@ -51,7 +51,8 @@ pub use eval::{evaluate_frozen, evaluate_source, run_online, OnlineResult};
 pub use experiment::{CellResult, ExperimentConfig, Method, PretrainedCell};
 pub use governor::{AdaptGovernor, GovernorConfig, GovernorStats};
 pub use server::{
-    AdaptServer, AdmissionGate, ServeReport, ServerConfig, ServerStats, StreamReport,
+    AdaptServer, AdmissionGate, SelfHealConfig, ServeReport, ServerConfig, ServerStats,
+    StreamFaultStats, StreamReport,
 };
 pub use sota::{adapt_sota, SotaConfig, SotaStats};
 pub use trainer::{pretrain_on_source, TrainConfig, TrainStats};

@@ -152,6 +152,47 @@
 //! per-stream through [`StreamReport::ingest`]
 //! ([`ld_ingest::CamReport`]: produced/delivered/dropped, peak queue
 //! depth).
+//!
+//! # Self-healing serving
+//!
+//! A fleet server outlives its sensors: cameras wedge, DMA engines hand
+//! over NaN-splattered or frozen buffers, and an unlucky update can drive
+//! one stream's normalisation state numerically divergent. With
+//! [`ServerConfig::with_self_healing`] the server defends itself at three
+//! layers, all per stream, none of which can disturb a healthy neighbour:
+//!
+//! 1. **Frame integrity guard** ([`AdaptServer::screen_frame`]) — before a
+//!    frame costs any batching/forward budget, it is screened for
+//!    non-finite pixels and for frozen content (a run of bitwise-identical
+//!    frames longer than [`SelfHealConfig::freeze_threshold`] means the
+//!    capture pipeline is wedged, and a frozen frame would keep folding
+//!    into the entropy reference as fraudulent "confidence"). Rejected
+//!    frames are tallied ([`StreamFaultStats::rejected_frames`],
+//!    [`ServerStats::rejected_frames`]) and the stream simply skips the
+//!    tick. Both serving pumps apply the guard; callers driving
+//!    [`AdaptServer::process_batch`] directly can invoke it themselves.
+//! 2. **Divergence watchdog** — a non-finite serving entropy (or, in bank
+//!    mode, a non-finite bank gradient) is numerical divergence, not
+//!    drift: the trigger maths would compare NaN and silently do nothing
+//!    while the reference band rots. The watchdog books the event, rolls
+//!    the stream back to its blessed snapshot (the shared BN state, or the
+//!    stream's own bank), and opens a **quarantine**.
+//! 3. **Quarantine with doubling backoff** — a quarantined stream keeps
+//!    being served (eval-only: its frames ride the batched — possibly
+//!    int8 — forward as usual) but cannot adapt for
+//!    [`SelfHealConfig::quarantine_base`] served ticks; each re-divergence
+//!    doubles the next term up to [`SelfHealConfig::quarantine_max`]. When
+//!    the cooldown expires the tick index is recorded in
+//!    [`StreamFaultStats::recovery_tick`] and the stream resumes normal
+//!    triggering. On the ingest pump, cameras the front end has declared
+//!    [`ld_ingest::CamHealth::Dead`] are additionally excluded from the
+//!    drain ([`ld_ingest::IngestFrontEnd::dead_mask`]), so a wedged sensor
+//!    costs zero serving budget until it comes back.
+//!
+//! Self-healing is **opt-in** and the default path is bitwise untouched;
+//! the chaos suite (`tests/chaos_serving.rs`) pins that faults injected
+//! into one stream leave every healthy stream's adaptation state bitwise
+//! identical to a fault-free run.
 
 use crate::bn_adapt::{AdaptStep, FrameOutcome, LdBnAdaptConfig};
 use crate::governor::{GovernorConfig, GovernorStats};
@@ -213,6 +254,9 @@ struct StreamState {
     /// Last tick index on which this stream's quantized epilogue table was
     /// re-folded from its bank.
     last_refold_tick: Option<usize>,
+    /// This stream's self-healing state (guard memory + quarantine;
+    /// dormant unless [`ServerConfig::with_self_healing`] armed it).
+    fault: StreamFaultState,
 }
 
 /// Deadline gate: the Orin cost model + power mode + deadline the admission
@@ -279,29 +323,79 @@ impl AdmissionGate {
     /// The age-aware admission query of the ingest path: staleness
     /// shedding (against the [`AdmissionGate::with_staleness`] bound;
     /// no-op without one) plus the batch verdict over the fresh frames.
+    ///
+    /// Pathological inputs degrade instead of panicking — this sits on the
+    /// serving hot path, where a poisoned timestamp (clock skew producing a
+    /// negative age, a NaN from corrupted telemetry) must cost one shed
+    /// frame, not the whole server. A non-finite or negative age is shed as
+    /// stale before the strict [`ld_orin::admit_batch_aged`] preconditions
+    /// see it; an empty (or fully-poisoned) offer admits nothing.
     pub fn admit_aged(&self, ages_ms: &[f64], cost_scale: f64) -> AgedAdmission {
-        admit_batch_aged(
+        let poisoned = |a: &f64| !a.is_finite() || *a < 0.0;
+        let mut stale: Vec<bool> = ages_ms.iter().map(poisoned).collect();
+        let sane: Vec<f64> = ages_ms.iter().filter(|a| !poisoned(a)).copied().collect();
+        if sane.is_empty() {
+            return AgedAdmission {
+                stale,
+                admission: None,
+            };
+        }
+        let aged = admit_batch_aged(
             &self.cost,
             self.mode,
             self.deadline.budget_ms,
-            ages_ms,
+            &sane,
             self.infer,
-            cost_scale,
+            Self::sane_scale(cost_scale),
             self.staleness_ms.unwrap_or(f64::INFINITY),
-        )
+        );
+        // Scatter the sane-subset verdicts back over the pre-shed slots so
+        // `stale` stays in offer order.
+        let mut verdicts = aged.stale.iter();
+        for slot in stale.iter_mut().filter(|s| !**s) {
+            *slot = *verdicts.next().expect("verdict per sane offer");
+        }
+        AgedAdmission {
+            stale,
+            admission: aged.admission,
+        }
     }
 
     /// [`AdmissionGate::admit`] with a measured-latency cost-scale applied
     /// to every prediction (see [`ld_orin::admit_batch_with`]).
+    ///
+    /// Degrades on pathological input rather than panicking: a zero-frame
+    /// offer admits nothing (a trivially on-deadline no-adapt verdict), and
+    /// a non-finite or non-positive cost-scale falls back to the
+    /// uncorrected roofline prediction.
     pub fn admit_scaled(&self, offered: usize, cost_scale: f64) -> BatchAdmission {
+        if offered == 0 {
+            return BatchAdmission {
+                batch: 0,
+                adapt: false,
+                latency_ms: 0.0,
+                fits_deadline: true,
+            };
+        }
         admit_batch_with(
             &self.cost,
             self.mode,
             self.deadline.budget_ms,
             offered,
             self.infer,
-            cost_scale,
+            Self::sane_scale(cost_scale),
         )
+    }
+
+    /// A measured-latency correction must be a positive finite ratio; a
+    /// poisoned sample (NaN timer, zero-duration division) falls back to
+    /// the uncorrected roofline instead of panicking the gate.
+    fn sane_scale(cost_scale: f64) -> f64 {
+        if cost_scale.is_finite() && cost_scale > 0.0 {
+            cost_scale
+        } else {
+            1.0
+        }
     }
 
     /// The configured inference-costing precision.
@@ -328,6 +422,35 @@ impl AdmissionGate {
             ms += self.cost.forward_only_ms(self.mode, remeasured);
         }
         ms
+    }
+}
+
+/// Thresholds of the self-healing layer (see the *self-healing serving*
+/// module docs). [`SelfHealConfig::default`] is a sensible deployment
+/// posture; construct-and-override for anything custom.
+#[derive(Debug, Clone, Copy)]
+pub struct SelfHealConfig {
+    /// Reject frames containing non-finite pixels before batching.
+    pub reject_nonfinite: bool,
+    /// Consecutive bitwise-identical frames tolerated before the stream is
+    /// treated as frozen and further repeats are rejected. `0` disables
+    /// freeze detection.
+    pub freeze_threshold: u32,
+    /// Base quarantine term after a divergence, in served ticks of the
+    /// affected stream.
+    pub quarantine_base: u32,
+    /// Backoff clamp: no quarantine term grows past this.
+    pub quarantine_max: u32,
+}
+
+impl Default for SelfHealConfig {
+    fn default() -> Self {
+        SelfHealConfig {
+            reject_nonfinite: true,
+            freeze_threshold: 3,
+            quarantine_base: 4,
+            quarantine_max: 64,
+        }
     }
 }
 
@@ -364,6 +487,10 @@ pub struct ServerConfig {
     /// is preserved behind this flag. Requires
     /// [`ld_nn::ParamFilter::BnOnly`] adaptation.
     pub bn_banks: bool,
+    /// Self-healing: frame integrity guard + divergence quarantine (see
+    /// the module docs). `None` (the default) leaves every serving path
+    /// bitwise identical to the pre-self-healing server.
+    pub self_heal: Option<SelfHealConfig>,
 }
 
 impl ServerConfig {
@@ -378,6 +505,7 @@ impl ServerConfig {
             quantized_inference: false,
             latency_feedback: false,
             bn_banks: false,
+            self_heal: None,
         }
     }
 
@@ -411,6 +539,25 @@ impl ServerConfig {
         self.bn_banks = true;
         self
     }
+
+    /// Arms the self-healing layer (builder style; see the *self-healing
+    /// serving* module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heal.quarantine_base == 0` or
+    /// `heal.quarantine_max < heal.quarantine_base`.
+    pub fn with_self_healing(mut self, heal: SelfHealConfig) -> Self {
+        assert!(heal.quarantine_base > 0, "SelfHealConfig: zero quarantine");
+        assert!(
+            heal.quarantine_max >= heal.quarantine_base,
+            "SelfHealConfig: quarantine_max {} below base {}",
+            heal.quarantine_max,
+            heal.quarantine_base
+        );
+        self.self_heal = Some(heal);
+        self
+    }
 }
 
 /// Whole-server telemetry (per-stream counters live in [`GovernorStats`]).
@@ -441,6 +588,97 @@ pub struct ServerStats {
     /// Ingest path only: ticks whose processing time exceeded the tick
     /// period (measured on the real clock, predicted on the manual one).
     pub tick_overruns: usize,
+    /// Self-healing only: frames rejected by the integrity guard
+    /// (non-finite pixels or frozen content) before batching.
+    pub rejected_frames: usize,
+    /// Self-healing only: divergence events booked by the watchdog
+    /// (non-finite serving entropy or bank gradient).
+    pub divergence_events: usize,
+    /// Self-healing only: served stream-ticks spent in quarantine
+    /// (eval-only serving while a cooldown runs down).
+    pub quarantine_ticks: usize,
+}
+
+/// Per-stream self-healing telemetry (`None` unless the server runs with
+/// [`ServerConfig::with_self_healing`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamFaultStats {
+    /// Frames the integrity guard rejected before batching (includes the
+    /// frozen ones).
+    pub rejected_frames: usize,
+    /// Rejected frames that were frozen repeats specifically.
+    pub frozen_frames: usize,
+    /// Divergence events (non-finite serving entropy or bank gradient),
+    /// each of which rolled the stream back to its blessed state.
+    pub divergence_events: usize,
+    /// Served ticks this stream spent quarantined (eval-only).
+    pub quarantine_ticks: usize,
+    /// Quarantines opened (re-divergence inside a running cooldown
+    /// restarts the countdown instead of opening a new one).
+    pub quarantines: usize,
+    /// Server tick on which the most recent quarantine expired and
+    /// adaptation resumed (`None` while quarantined or never quarantined).
+    pub recovery_tick: Option<usize>,
+}
+
+/// Per-stream self-healing state: the integrity guard's frame memory plus
+/// the quarantine countdown (see the *self-healing serving* module docs).
+#[derive(Debug, Default)]
+struct StreamFaultState {
+    /// Content hash of the last screened frame (freeze detection).
+    last_frame_hash: Option<u64>,
+    /// Consecutive screened frames with an identical hash.
+    repeat_count: u32,
+    /// Served ticks of eval-only quarantine still to run (0 = not
+    /// quarantined).
+    cooldown: u32,
+    /// The term the current quarantine was opened with (re-divergence
+    /// reloads the countdown to this).
+    term: u32,
+    /// The term the *next* quarantine would impose; doubles on every
+    /// opened quarantine, clamped to [`SelfHealConfig::quarantine_max`].
+    /// 0 means "unset — use the configured base".
+    backoff: u32,
+    stats: StreamFaultStats,
+}
+
+impl StreamFaultState {
+    /// Books one divergence: opens a quarantine (doubling the next term)
+    /// or restarts a running countdown.
+    fn diverge(&mut self, heal: &SelfHealConfig) {
+        self.stats.divergence_events += 1;
+        if self.cooldown == 0 {
+            self.term = self.backoff.max(heal.quarantine_base);
+            self.cooldown = self.term;
+            self.backoff = (self.term * 2).min(heal.quarantine_max);
+            self.stats.quarantines += 1;
+            self.stats.recovery_tick = None;
+        } else {
+            self.cooldown = self.term;
+        }
+    }
+}
+
+/// Whether a bank's affine values (γ/β — the state serving actually
+/// normalises with; the frozen running statistics cannot diverge through
+/// serving) are all finite.
+fn bank_affine_finite(bank: &BnBank) -> bool {
+    bank.states().iter().all(|s| {
+        s.gamma.value.as_slice().iter().all(|v| v.is_finite())
+            && s.beta.value.as_slice().iter().all(|v| v.is_finite())
+    })
+}
+
+/// FNV-1a over the frame's pixel bit patterns — the frozen-frame detector
+/// compares content identity, so the bitwise hash (not an approximate
+/// one) is the right tool.
+fn hash_frame(frame: &Tensor) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &v in frame.as_slice() {
+        h ^= u64::from(v.to_bits());
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 /// Per-stream BN-bank telemetry (bank mode only; see
@@ -474,6 +712,9 @@ pub struct StreamReport {
     /// Per-camera ingest backpressure counters (`None` unless served
     /// through [`AdaptServer::serve_ingest`]).
     pub ingest: Option<CamReport>,
+    /// Self-healing telemetry (`None` unless the server runs with
+    /// [`ServerConfig::with_self_healing`]).
+    pub fault: Option<StreamFaultStats>,
 }
 
 /// Aggregate result of a serving run.
@@ -756,14 +997,16 @@ impl AdaptServer {
         }
         let k = frames.len();
         let images: Vec<&Tensor> = frames.iter().map(|&(_, t)| t).collect();
+        let poisoned = self.poisoned_lanes(model, frames);
 
         // Mux: one batched forward serves every stream's inference.
         let logits = model.forward_frames(&images, Mode::Eval);
-        let entropies = loss::entropy_per_image(&logits);
+        let mut entropies = loss::entropy_per_image(&logits);
+        self.mark_divergent(&logits, &mut entropies);
 
         // Demux: per-stream trigger / rollback decisions against each
         // stream's own reference band.
-        let (triggered, rollbacks) = self.decide_triggers(frames, &entropies);
+        let (triggered, rollbacks) = self.decide_triggers(frames, &entropies, &poisoned);
         let any_rollback = rollbacks.iter().any(|&r| r);
         if any_rollback {
             restore_bn(model, &self.good_bn_state);
@@ -820,7 +1063,15 @@ impl AdaptServer {
             }
         }
 
-        self.finish_tick(model, frames, &entropies, &triggered, do_adapt, pre_step_bn);
+        self.finish_tick(
+            model,
+            frames,
+            &entropies,
+            &triggered,
+            do_adapt,
+            pre_step_bn,
+            &poisoned,
+        );
         assemble_outcomes(
             &logits,
             &entropies,
@@ -831,24 +1082,111 @@ impl AdaptServer {
         )
     }
 
+    /// Self-heal: the per-lane divergence screen over the *state* each
+    /// lane will serve with. The network's rectifiers launder mid-network
+    /// non-finites into zeroed activations, so waiting for a NaN at the
+    /// head misses a poisoned normalisation state entirely — screen the
+    /// state itself. Banked mode checks each admitted stream's own bank;
+    /// shared mode checks the shared BN affine (one poisoned tensor
+    /// poisons every lane riding it). All-false with self-healing off.
+    fn poisoned_lanes(&self, model: &mut UfldModel, frames: &[(usize, &Tensor)]) -> Vec<bool> {
+        if self.cfg.self_heal.is_none() {
+            return vec![false; frames.len()];
+        }
+        if self.cfg.bn_banks {
+            frames
+                .iter()
+                .map(|&(sid, _)| {
+                    self.streams[sid]
+                        .bank
+                        .as_ref()
+                        .is_some_and(|b| !bank_affine_finite(b))
+                })
+                .collect()
+        } else {
+            let mut finite = true;
+            model.visit_params(&mut |p| {
+                if p.kind.is_bn() {
+                    finite &= p.value.as_slice().iter().all(|v| v.is_finite());
+                }
+            });
+            vec![!finite; frames.len()]
+        }
+    }
+
+    /// Self-heal: overwrites an image's entropy with NaN when its logits
+    /// contain non-finite values — the stabilised softmax gives such a
+    /// group zero entropy contribution, which would otherwise launder
+    /// head-level divergence into a confident-looking skip. No-op with
+    /// self-healing off.
+    fn mark_divergent(&self, logits: &Tensor, entropies: &mut [f32]) {
+        if self.cfg.self_heal.is_none() {
+            return;
+        }
+        for (i, h) in entropies.iter_mut().enumerate() {
+            if logits.image(i).iter().any(|v| !v.is_finite()) {
+                *h = f32::NAN;
+            }
+        }
+    }
+
     /// The per-stream trigger / rollback demux shared by every tick
     /// flavour: folds each frame into its stream's frame counter and
     /// decides, against that stream's reference band, whether it triggers
     /// adaptation and whether its normalisation state is poisoned. Returns
     /// per-frame `(triggered, rollback)` flags — shared-state ticks roll
     /// the whole model back on *any* rollback flag, banked ticks roll back
-    /// only the flagged streams' banks.
+    /// only the flagged streams' banks. `poisoned` is the self-heal state
+    /// screen ([`AdaptServer::poisoned_lanes`]); a poisoned lane is
+    /// divergence regardless of what entropy the laundered forward
+    /// produced.
     fn decide_triggers(
         &mut self,
         frames: &[(usize, &Tensor)],
         entropies: &[f32],
+        poisoned: &[bool],
     ) -> (Vec<bool>, Vec<bool>) {
+        let heal = self.cfg.self_heal;
+        let tick_now = self.stats.ticks;
         let mut triggered = vec![false; frames.len()];
         let mut rollbacks = vec![false; frames.len()];
         for (i, &(sid, _)) in frames.iter().enumerate() {
             let h = entropies[i];
             let st = &mut self.streams[sid];
             st.stats.frames += 1;
+            if let Some(heal) = &heal {
+                // Divergence watchdog: poisoned normalisation state or a
+                // non-finite serving entropy is numerical divergence, not
+                // drift — the trigger comparisons below would all come out
+                // false on NaN and the stream would silently coast. Roll
+                // it back to its blessed snapshot and quarantine its
+                // adaptation.
+                if poisoned[i] || !h.is_finite() {
+                    st.stats.rollbacks += 1;
+                    rollbacks[i] = true;
+                    st.fault.diverge(heal);
+                    self.stats.divergence_events += 1;
+                    continue; // never triggers: eval-only until recovered
+                }
+                // Quarantine: serve eval-only while the cooldown runs
+                // down. The rollback band stays armed — a still-poisoned
+                // reference cannot ride out the cooldown unnoticed.
+                if st.fault.cooldown > 0 {
+                    st.fault.cooldown -= 1;
+                    st.fault.stats.quarantine_ticks += 1;
+                    self.stats.quarantine_ticks += 1;
+                    if st.fault.cooldown == 0 {
+                        st.fault.stats.recovery_tick = Some(tick_now);
+                    }
+                    let warmup = st.stats.frames <= self.cfg.governor.warmup_frames;
+                    let reference = st.reference_entropy.unwrap_or(h);
+                    if !warmup && h > self.cfg.governor.rollback_ratio * reference {
+                        st.stats.rollbacks += 1;
+                        rollbacks[i] = true;
+                    }
+                    continue;
+                }
+            }
             let warmup = st.stats.frames <= self.cfg.governor.warmup_frames;
             let reference = st.reference_entropy.unwrap_or(h);
             if !warmup && h > self.cfg.governor.rollback_ratio * reference {
@@ -863,13 +1201,17 @@ impl AdaptServer {
     /// The per-stream duty/reference bookkeeping shared by every tick
     /// flavour: duty counters advance and confident frames fold into their
     /// stream's reference band. Returns whether any frame skipped
-    /// confidently (the blessing condition).
+    /// confidently (the blessing condition). `poisoned` lanes (self-heal
+    /// state screen) ran the forward on divergent state — whatever entropy
+    /// the laundered forward produced, it neither folds into the reference
+    /// band nor blesses anything.
     fn fold_stream_counters(
         &mut self,
         frames: &[(usize, &Tensor)],
         entropies: &[f32],
         triggered: &[bool],
         do_adapt: bool,
+        poisoned: &[bool],
     ) -> bool {
         let mut any_skip = false;
         for (i, &(sid, _)) in frames.iter().enumerate() {
@@ -883,12 +1225,18 @@ impl AdaptServer {
                 }
             } else {
                 st.stats.skipped_frames += 1;
-                let m = self.cfg.governor.reference_momentum;
-                let reference = st.reference_entropy.unwrap_or(h);
-                st.reference_entropy = Some((1.0 - m) * reference + m * h);
-                any_skip = true;
+                // A non-finite entropy — or one measured on poisoned state
+                // — never folds into the reference band (it would poison
+                // every future trigger comparison) and never blesses the
+                // state it was measured on.
+                if h.is_finite() && !poisoned[i] {
+                    let m = self.cfg.governor.reference_momentum;
+                    let reference = st.reference_entropy.unwrap_or(h);
+                    st.reference_entropy = Some((1.0 - m) * reference + m * h);
+                    any_skip = true;
+                }
             }
-            if st.reference_entropy.is_none() {
+            if st.reference_entropy.is_none() && h.is_finite() && !poisoned[i] {
                 st.reference_entropy = Some(h);
             }
         }
@@ -898,6 +1246,7 @@ impl AdaptServer {
     /// Shared-state tick epilogue: per-stream bookkeeping, then any
     /// confident frame blesses the (shared) BN state as known-good, and the
     /// whole-server tick counters advance.
+    #[allow(clippy::too_many_arguments)] // private epilogue mirroring the tick's full state
     fn finish_tick(
         &mut self,
         model: &mut UfldModel,
@@ -906,8 +1255,9 @@ impl AdaptServer {
         triggered: &[bool],
         do_adapt: bool,
         pre_step_bn: Option<Vec<(String, Tensor)>>,
+        poisoned: &[bool],
     ) {
-        let any_skip = self.fold_stream_counters(frames, entropies, triggered, do_adapt);
+        let any_skip = self.fold_stream_counters(frames, entropies, triggered, do_adapt, poisoned);
         if any_skip {
             // Bless the state the confident streams actually ran on: the
             // pre-step snapshot when this tick also adapted, the current
@@ -929,11 +1279,15 @@ impl AdaptServer {
         triggered: &[bool],
         do_adapt: bool,
         banks: Vec<BnBank>,
+        poisoned: &[bool],
     ) {
-        self.fold_stream_counters(frames, entropies, triggered, do_adapt);
-        for ((&(sid, _), bank), &hit) in frames.iter().zip(banks).zip(triggered) {
+        self.fold_stream_counters(frames, entropies, triggered, do_adapt, poisoned);
+        for (i, ((&(sid, _), bank), &hit)) in frames.iter().zip(banks).zip(triggered).enumerate() {
             let st = &mut self.streams[sid];
-            if !hit {
+            // A poisoned lane never blesses: its bank was restored from
+            // the blessed snapshot this tick, and re-blessing a state the
+            // lane did not confidently serve on proves nothing.
+            if !hit && !poisoned[i] {
                 st.good_bank
                     .as_mut()
                     .expect("bank mode")
@@ -980,6 +1334,7 @@ impl AdaptServer {
     ) -> Vec<FrameOutcome> {
         let k = frames.len();
         let images: Vec<&Tensor> = frames.iter().map(|&(_, t)| t).collect();
+        let poisoned = self.poisoned_lanes(model, frames);
 
         // Synchronise the snapshot: first quantized tick builds it (the
         // tick's own frames are the calibration batch); later ticks re-fold
@@ -1002,11 +1357,12 @@ impl AdaptServer {
             // Mux: the quantized forward serves every stream's inference.
             replica.model.forward_frames(&images)
         };
-        let entropies = loss::entropy_per_image(&logits);
+        let mut entropies = loss::entropy_per_image(&logits);
+        self.mark_divergent(&logits, &mut entropies);
 
         // Demux: same trigger / rollback maths as the f32 path, referenced
         // to the quantized entropy band.
-        let (triggered, rollbacks) = self.decide_triggers(frames, &entropies);
+        let (triggered, rollbacks) = self.decide_triggers(frames, &entropies, &poisoned);
         let any_rollback = rollbacks.iter().any(|&r| r);
         if any_rollback {
             restore_bn(model, &self.good_bn_state);
@@ -1054,7 +1410,15 @@ impl AdaptServer {
             }
         }
 
-        self.finish_tick(model, frames, &entropies, &triggered, do_adapt, pre_step_bn);
+        self.finish_tick(
+            model,
+            frames,
+            &entropies,
+            &triggered,
+            do_adapt,
+            pre_step_bn,
+            &poisoned,
+        );
         assemble_outcomes(
             &logits,
             &entropies,
@@ -1126,8 +1490,29 @@ impl AdaptServer {
         banks: &mut [BnBank],
         triggered: &[bool],
     ) {
+        let heal = self.cfg.self_heal;
         for (i, &(sid, _)) in frames.iter().enumerate() {
             if triggered[i] {
+                // Self-heal: a non-finite bank gradient is divergence the
+                // entropy watchdog cannot see (the serving entropy can be
+                // finite while an extreme activation blows the backward
+                // up). Applying it would poison γ/β; skip the update,
+                // restore the blessed snapshot, quarantine.
+                if let Some(heal) = &heal {
+                    let finite = banks[i].states().iter().all(|s| {
+                        s.gamma.grad.as_slice().iter().all(|v| v.is_finite())
+                            && s.beta.grad.as_slice().iter().all(|v| v.is_finite())
+                    });
+                    if !finite {
+                        let st = &mut self.streams[sid];
+                        banks[i].restore_affine_from(st.good_bank.as_ref().expect("bank mode"));
+                        st.stats.rollbacks += 1;
+                        st.fault.diverge(heal);
+                        self.stats.divergence_events += 1;
+                        banks[i].zero_grads();
+                        continue;
+                    }
+                }
                 let st = &mut self.streams[sid];
                 let opt = st.opt.as_mut().expect("bank mode");
                 for state in banks[i].states_mut() {
@@ -1154,6 +1539,7 @@ impl AdaptServer {
     ) -> Vec<FrameOutcome> {
         let k = frames.len();
         let images: Vec<&Tensor> = frames.iter().map(|&(_, t)| t).collect();
+        let poisoned = self.poisoned_lanes(model, frames);
         let mut banks = self.take_banks(frames);
 
         // Mux: one batched forward, each lane on its own bank. The lanes
@@ -1161,11 +1547,12 @@ impl AdaptServer {
         // caches the backward reuses.
         model.bind_bn_lanes(&mut banks);
         let logits = model.forward_frames(&images, Mode::Eval);
-        let entropies = loss::entropy_per_image(&logits);
+        let mut entropies = loss::entropy_per_image(&logits);
+        self.mark_divergent(&logits, &mut entropies);
 
         // Demux: per-stream triggers, per-stream rollbacks. Rolling a bank
         // back requires it out of the lanes.
-        let (triggered, rollbacks) = self.decide_triggers(frames, &entropies);
+        let (triggered, rollbacks) = self.decide_triggers(frames, &entropies, &poisoned);
         let any_rollback = rollbacks.iter().any(|&r| r);
         let mut bound = true;
         if any_rollback {
@@ -1214,7 +1601,7 @@ impl AdaptServer {
             model.unbind_bn_lanes(&mut banks);
         }
 
-        self.finish_tick_banked(frames, &entropies, &triggered, do_adapt, banks);
+        self.finish_tick_banked(frames, &entropies, &triggered, do_adapt, banks, &poisoned);
         assemble_outcomes(
             &logits,
             &entropies,
@@ -1241,6 +1628,7 @@ impl AdaptServer {
         let n_streams = self.streams.len();
         let images: Vec<&Tensor> = frames.iter().map(|&(_, t)| t).collect();
         let bank_ids: Vec<usize> = frames.iter().map(|&(sid, _)| sid).collect();
+        let poisoned = self.poisoned_lanes(model, frames);
 
         // Build the snapshot on the first tick (epilogue tables start as
         // the resident fold, so every stream's table begins dirty), then
@@ -1271,9 +1659,10 @@ impl AdaptServer {
             }
             replica.model.forward_frames_banked(&images, &bank_ids)
         };
-        let entropies = loss::entropy_per_image(&logits);
+        let mut entropies = loss::entropy_per_image(&logits);
+        self.mark_divergent(&logits, &mut entropies);
 
-        let (triggered, rollbacks) = self.decide_triggers(frames, &entropies);
+        let (triggered, rollbacks) = self.decide_triggers(frames, &entropies, &poisoned);
         let mut banks = self.take_banks(frames);
         if self.rollback_banks(frames, &mut banks, &rollbacks) {
             let replica = self.quant.as_mut().expect("replica exists");
@@ -1342,7 +1731,7 @@ impl AdaptServer {
             }
         }
 
-        self.finish_tick_banked(frames, &entropies, &triggered, do_adapt, banks);
+        self.finish_tick_banked(frames, &entropies, &triggered, do_adapt, banks, &poisoned);
         assemble_outcomes(
             &logits,
             &entropies,
@@ -1395,6 +1784,71 @@ impl AdaptServer {
         self.latency_ratio
     }
 
+    /// The frame integrity guard of the self-healing layer: returns
+    /// whether `frame` is fit to serve for `stream`, booking the rejection
+    /// telemetry when it is not. A frame fails the screen when it contains
+    /// non-finite pixels ([`SelfHealConfig::reject_nonfinite`]) or extends
+    /// a run of bitwise-identical frames past
+    /// [`SelfHealConfig::freeze_threshold`] (a wedged capture pipeline —
+    /// serving it would fold fraudulent "confidence" into the stream's
+    /// entropy reference). Always `true` when self-healing is off.
+    ///
+    /// [`AdaptServer::serve`] and [`AdaptServer::serve_ingest`] apply the
+    /// guard themselves; callers driving [`AdaptServer::process_batch`]
+    /// directly should screen each frame first and drop the rejects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is out of range.
+    pub fn screen_frame(&mut self, stream: usize, frame: &Tensor) -> bool {
+        let Some(heal) = self.cfg.self_heal else {
+            return true;
+        };
+        let st = &mut self.streams[stream];
+        if heal.reject_nonfinite && frame.as_slice().iter().any(|v| !v.is_finite()) {
+            st.fault.stats.rejected_frames += 1;
+            self.stats.rejected_frames += 1;
+            return false;
+        }
+        if heal.freeze_threshold > 0 {
+            let hash = hash_frame(frame);
+            if st.fault.last_frame_hash == Some(hash) {
+                st.fault.repeat_count += 1;
+                if st.fault.repeat_count >= heal.freeze_threshold {
+                    st.fault.stats.frozen_frames += 1;
+                    st.fault.stats.rejected_frames += 1;
+                    self.stats.rejected_frames += 1;
+                    return false;
+                }
+            } else {
+                st.fault.last_frame_hash = Some(hash);
+                st.fault.repeat_count = 0;
+            }
+        }
+        true
+    }
+
+    /// One stream's self-healing telemetry (`None` unless the server runs
+    /// with [`ServerConfig::with_self_healing`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is out of range.
+    pub fn stream_fault_stats(&self, stream: usize) -> Option<StreamFaultStats> {
+        self.cfg.self_heal.map(|_| self.streams[stream].fault.stats)
+    }
+
+    /// Whether `stream` is currently quarantined (serving eval-only while
+    /// its divergence cooldown runs down; always `false` with self-healing
+    /// off).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is out of range.
+    pub fn is_quarantined(&self, stream: usize) -> bool {
+        self.streams[stream].fault.cooldown > 0
+    }
+
     /// The serving pump: for `ticks` rounds, offer one fresh frame per
     /// stream (plus any deferrals), apply the admission verdict, process
     /// the admitted batch, and score the decoded lanes against each
@@ -1429,8 +1883,18 @@ impl AdaptServer {
             }
             for (sid, seen) in offered_by.iter().enumerate() {
                 if !seen {
-                    pending.push_back((sid, streams.next_frame(sid)));
+                    let frame = streams.next_frame(sid);
+                    // Self-heal: a frame that fails the integrity screen
+                    // is dropped at poll time — the stream skips the tick
+                    // rather than batching poison.
+                    if self.screen_frame(sid, &frame.image) {
+                        pending.push_back((sid, frame));
+                    }
                 }
+            }
+            if pending.is_empty() {
+                // Every stream's frame was rejected this tick.
+                continue;
             }
             let offered = pending.len();
             let cost_scale = if self.cfg.latency_feedback {
@@ -1500,6 +1964,7 @@ impl AdaptServer {
         for (sid, report) in reports.iter_mut().enumerate() {
             report.stats = self.streams[sid].stats;
             report.bank = self.bank_telemetry(sid);
+            report.fault = self.stream_fault_stats(sid);
         }
         ServeReport {
             per_stream: reports,
@@ -1576,6 +2041,15 @@ impl AdaptServer {
             for f in &pending {
                 deferred_by[f.cam] = true;
             }
+            // Self-heal: cameras the front end's health machine has
+            // declared dead are excluded from the drain entirely — a
+            // wedged sensor costs zero tick budget, and its recovery is
+            // detected from mailbox pushes alone.
+            if self.cfg.self_heal.is_some() {
+                for (skip, dead) in deferred_by.iter_mut().zip(ingest.dead_mask()) {
+                    *skip |= dead;
+                }
+            }
             pending.extend(ingest.drain_ready(&deferred_by));
             let now_ns = ingest.now_ns();
             let age_ms = |f: &IngestFrame| now_ns.saturating_sub(f.due_ns) as f64 / 1e6;
@@ -1598,6 +2072,11 @@ impl AdaptServer {
             let mut leftover: VecDeque<IngestFrame> = VecDeque::new();
             for f in pending.drain(..) {
                 if !offered_by[f.cam] && candidates.len() < self.cfg.max_batch {
+                    // Self-heal: poisoned frames are dropped at the gate,
+                    // before they cost admission or batching budget.
+                    if !self.screen_frame(f.cam, &f.frame.image) {
+                        continue;
+                    }
                     offered_by[f.cam] = true;
                     candidates.push(f);
                 } else {
@@ -1712,6 +2191,7 @@ impl AdaptServer {
             report.stats = self.streams[sid].stats;
             report.bank = self.bank_telemetry(sid);
             report.ingest = Some(ingest_report.per_cam[sid]);
+            report.fault = self.stream_fault_stats(sid);
         }
         self.stats.ingest_dropped_frames +=
             (ingest_report.dropped() - ingest_base.dropped()) as usize;
@@ -1916,6 +2396,52 @@ mod tests {
         for s in &report.per_stream {
             assert_eq!(s.stats.adapted_frames, 0);
             assert_eq!(s.stats.skipped_frames, s.stats.frames);
+        }
+    }
+
+    /// The gate boundary degrades pathological admission inputs to
+    /// shedding instead of panicking: `ld_orin`'s preconditions stay
+    /// strict, so a poisoned age or cost-scale must be absorbed here, on
+    /// the serving hot path, at the cost of one shed frame.
+    #[test]
+    fn admission_gate_degrades_pathological_inputs_to_shedding() {
+        use ld_ufld::Backbone;
+        let gate = AdmissionGate::new(
+            AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4)),
+            PowerMode::MaxN60,
+            Deadline::FPS30,
+        )
+        .with_staleness(100.0);
+
+        // Non-finite / negative ages shed as stale in offer order; the sane
+        // remainder gets the same verdict as offering it alone.
+        let aged = gate.admit_aged(&[f64::NAN, -3.0, 5.0, f64::INFINITY, 0.0], 1.0);
+        assert_eq!(aged.stale[..2], [true, true], "poisoned ages shed");
+        assert!(aged.stale[3], "infinite age shed");
+        let clean = gate.admit_aged(&[5.0, 0.0], 1.0);
+        assert_eq!(aged.stale[2], clean.stale[0]);
+        assert_eq!(aged.stale[4], clean.stale[1]);
+        assert_eq!(aged.admission, clean.admission);
+
+        // A fully-poisoned offer — and an empty one — admits nothing.
+        let all_bad = gate.admit_aged(&[f64::NEG_INFINITY, -0.5], 2.0);
+        assert_eq!(all_bad.stale, vec![true, true]);
+        assert!(all_bad.admission.is_none());
+        let empty = gate.admit_aged(&[], 1.0);
+        assert!(empty.stale.is_empty() && empty.admission.is_none());
+
+        // A zero-stream batch is a trivially on-deadline no-adapt verdict.
+        let zero = gate.admit_scaled(0, 1.0);
+        assert_eq!((zero.batch, zero.adapt), (0, false));
+        assert!(zero.fits_deadline && zero.latency_ms == 0.0);
+
+        // Poisoned cost-scales (NaN timer, zero-duration division, negative
+        // latency sample) fall back to the uncorrected roofline.
+        let reference = gate.admit_scaled(4, 1.0);
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -2.0] {
+            assert_eq!(gate.admit_scaled(4, bad), reference, "scale {bad}");
+            let aged = gate.admit_aged(&[1.0, 2.0], bad);
+            assert_eq!(aged.admission, gate.admit_aged(&[1.0, 2.0], 1.0).admission);
         }
     }
 
@@ -2360,5 +2886,211 @@ mod tests {
         let mut model = UfldModel::new(&cfg, 2);
         let server_cfg = ServerConfig::new(LdBnAdaptConfig::paper(2), GovernorConfig::default(), 4);
         AdaptServer::new(server_cfg, 2, &mut model);
+    }
+
+    /// The integrity screen rejects non-finite frames outright and frozen
+    /// repeats past the threshold, while letting short static runs serve.
+    #[test]
+    fn integrity_screen_rejects_nonfinite_and_frozen_frames() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = UfldModel::new(&cfg, 7);
+        let server_cfg =
+            frozen_cfg(GovernorConfig::default()).with_self_healing(SelfHealConfig::default());
+        let mut server = AdaptServer::new(server_cfg, 1, &mut model);
+        let frames = random_frames(&cfg, 2, 3);
+
+        let mut poison = frames[0].clone();
+        poison.as_mut_slice()[5] = f32::INFINITY;
+        assert!(!server.screen_frame(0, &poison), "inf pixel must reject");
+
+        // Freeze detection: a short static run is legal (threshold 3),
+        // the run past it is a wedged capture pipeline.
+        assert!(server.screen_frame(0, &frames[0]));
+        assert!(server.screen_frame(0, &frames[0]));
+        assert!(server.screen_frame(0, &frames[0]));
+        assert!(
+            !server.screen_frame(0, &frames[0]),
+            "4th identical frame exceeds threshold 3"
+        );
+        assert!(!server.screen_frame(0, &frames[0]));
+        assert!(server.screen_frame(0, &frames[1]), "fresh content serves");
+        let fault = server.stream_fault_stats(0).unwrap();
+        assert_eq!(fault.rejected_frames, 3);
+        assert_eq!(fault.frozen_frames, 2);
+        assert_eq!(server.server_stats().rejected_frames, 3);
+    }
+
+    /// Shared-state mode: non-finite BN state is divergence the entropy
+    /// can't surface (the rectifiers launder mid-network NaN into zeroed
+    /// activations, so the head's entropy still looks finite) — the state
+    /// screen catches it, rolls the shared model back, and quarantines
+    /// every stream riding the poisoned state.
+    #[test]
+    fn shared_mode_poisoned_bn_state_rolls_back_and_quarantines() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = UfldModel::new(&cfg, 0xBAD);
+        let gov = GovernorConfig {
+            warmup_frames: 0,
+            threshold_ratio: 1e6,
+            rollback_ratio: 1e9,
+            ..Default::default()
+        };
+        let server_cfg = frozen_cfg(gov).with_self_healing(SelfHealConfig::default());
+        let mut server = AdaptServer::new(server_cfg, 2, &mut model);
+        let frames = random_frames(&cfg, 2, 9);
+        server.process_batch(&mut model, &[(0, &frames[0]), (1, &frames[1])]);
+        let references_before: Vec<_> = (0..2)
+            .map(|s| server.reference_entropy(s).map(f32::to_bits))
+            .collect();
+
+        // Simulate a destructive update landing non-finite γ/β on the
+        // shared model.
+        model.visit_params(&mut |p| {
+            if p.kind.is_bn() {
+                p.value.fill(f32::NAN);
+            }
+        });
+        let outcomes = server.process_batch(&mut model, &[(0, &frames[0]), (1, &frames[1])]);
+        assert!(outcomes.iter().all(|o| o.adapted.is_none()));
+        assert!(server.is_quarantined(0), "shared state is shared fate");
+        assert!(server.is_quarantined(1));
+        assert_eq!(server.server_stats().rollback_ticks, 1);
+        assert_eq!(server.server_stats().divergence_events, 2);
+        // The rollback healed the model: BN values are finite again…
+        let mut finite = true;
+        model.visit_params(&mut |p| {
+            if p.kind.is_bn() {
+                finite &= p.value.as_slice().iter().all(|v| v.is_finite());
+            }
+        });
+        assert!(finite, "rollback must restore finite BN state");
+        // …and the garbage tick never folded into the reference bands.
+        for (s, before) in references_before.iter().enumerate() {
+            assert_eq!(
+                server.reference_entropy(s).map(f32::to_bits),
+                *before,
+                "stream {s}: divergent tick polluted the reference band"
+            );
+        }
+        // Serving out the quarantine recovers both streams.
+        let base = SelfHealConfig::default().quarantine_base as usize;
+        for _ in 0..base {
+            let outcomes = server.process_batch(&mut model, &[(0, &frames[0]), (1, &frames[1])]);
+            assert!(outcomes.iter().all(|o| o.entropy.is_finite()));
+        }
+        assert!(!server.is_quarantined(0));
+        assert!(!server.is_quarantined(1));
+        assert!(server
+            .stream_fault_stats(0)
+            .unwrap()
+            .recovery_tick
+            .is_some());
+    }
+
+    /// Bank mode: a stream whose bank goes numerically divergent is rolled
+    /// back to its blessed snapshot, serves eval-only through the
+    /// quarantine, and resumes with a recorded recovery tick — while the
+    /// healthy stream's fault telemetry stays all-zero.
+    #[test]
+    fn divergent_bank_rolls_back_quarantines_and_recovers() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = UfldModel::new(&cfg, 0x5EA1);
+        let mut train = TrainConfig::smoke();
+        train.steps = 40;
+        pretrain_on_source(&mut model, Benchmark::MoLane, &train);
+        let gov = GovernorConfig {
+            warmup_frames: 0,
+            threshold_ratio: 1e6,
+            rollback_ratio: 1e9,
+            ..Default::default()
+        };
+        let server_cfg = ServerConfig::new(LdBnAdaptConfig::paper(1), gov, 2)
+            .with_bn_banks()
+            .with_self_healing(SelfHealConfig::default());
+        let mut server = AdaptServer::new(server_cfg, 2, &mut model);
+        let calm = ld_carlane::FrameStream::source(Benchmark::MoLane, frame_spec_for(&cfg), 1, 12)
+            .frame(0)
+            .image;
+        for _ in 0..2 {
+            server.process_batch(&mut model, &[(0, &calm), (1, &calm)]);
+        }
+
+        // NaN-poison stream 0's bank: its next serving entropy diverges.
+        for st in server.streams[0].bank.as_mut().unwrap().states_mut() {
+            st.gamma.value.fill(f32::NAN);
+        }
+        server.process_batch(&mut model, &[(0, &calm), (1, &calm)]);
+        let fault = server.stream_fault_stats(0).unwrap();
+        assert_eq!(fault.divergence_events, 1);
+        assert_eq!(fault.quarantines, 1);
+        assert_eq!(fault.recovery_tick, None);
+        assert!(server.is_quarantined(0));
+        assert_eq!(server.stream_stats(0).rollbacks, 1);
+
+        // The rollback restored the bank: serving is finite again, and the
+        // stream rides eval-only until the cooldown expires.
+        let base = SelfHealConfig::default().quarantine_base as usize;
+        for _ in 0..base {
+            let outcomes = server.process_batch(&mut model, &[(0, &calm), (1, &calm)]);
+            assert!(outcomes[0].entropy.is_finite(), "rollback must heal");
+            assert!(outcomes[0].adapted.is_none(), "quarantine is eval-only");
+        }
+        assert!(!server.is_quarantined(0));
+        let fault = server.stream_fault_stats(0).unwrap();
+        assert_eq!(fault.quarantine_ticks, base);
+        assert!(fault.recovery_tick.is_some());
+        assert_eq!(server.server_stats().quarantine_ticks, base);
+
+        // The healthy stream never noticed.
+        assert_eq!(
+            server.stream_fault_stats(1).unwrap(),
+            StreamFaultStats::default()
+        );
+        assert_eq!(server.stream_stats(1).rollbacks, 0);
+    }
+
+    /// Bank mode: a non-finite bank gradient (divergence the entropy
+    /// watchdog cannot see) drops the update, restores the blessed
+    /// snapshot, and quarantines the stream.
+    #[test]
+    fn nonfinite_bank_grad_is_dropped_restored_and_quarantined() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = UfldModel::new(&cfg, 0xFA01);
+        let gov = GovernorConfig {
+            warmup_frames: 0,
+            threshold_ratio: 1e6,
+            rollback_ratio: 1e9,
+            ..Default::default()
+        };
+        let server_cfg = ServerConfig::new(LdBnAdaptConfig::paper(1), gov, 2)
+            .with_bn_banks()
+            .with_self_healing(SelfHealConfig::default());
+        let mut server = AdaptServer::new(server_cfg, 2, &mut model);
+        let calm = random_frames(&cfg, 1, 77).remove(0);
+        server.process_batch(&mut model, &[(0, &calm)]); // settle + bless
+        let good = server.stream_bank(0).unwrap().clone();
+
+        let mut bank = server.streams[0].bank.take().unwrap();
+        for st in bank.states_mut() {
+            st.gamma.grad.fill(f32::NAN);
+        }
+        let mut banks = vec![bank];
+        server.step_banks(&[(0, &calm)], &mut banks, &[true]);
+        let bank = banks.pop().unwrap();
+        assert_eq!(
+            bank.affine_l2_distance(&good),
+            0.0,
+            "poisoned update must be dropped, bank restored"
+        );
+        assert!(
+            bank.states()
+                .iter()
+                .all(|s| s.gamma.grad.as_slice().iter().all(|&v| v == 0.0)),
+            "grads zeroed for the next tick"
+        );
+        server.streams[0].bank = Some(bank);
+        assert!(server.is_quarantined(0));
+        assert_eq!(server.stream_fault_stats(0).unwrap().divergence_events, 1);
+        assert_eq!(server.stream_stats(0).rollbacks, 1);
     }
 }

@@ -1,0 +1,541 @@
+//! **`ld_fault`** — deterministic, seeded fault injection for the serving
+//! stack.
+//!
+//! The paper's pitch is *safety-critical* on-vehicle adaptation; a fleet
+//! server that falls over on one stuck camera or one NaN gradient is not
+//! deployable. This crate makes every failure mode a **reproducible test
+//! input**, in the spirit of `ld_carlane`'s deterministic
+//! `DriftSchedule`s: a [`FaultScript`] is a seeded
+//! [`FrameTap`](ld_ingest::FrameTap) that plugs into a
+//! [`CameraProducer`](ld_ingest::CameraProducer) (via
+//! [`IngestFrontEnd::manual_with_taps`](ld_ingest::IngestFrontEnd::manual_with_taps))
+//! and replays the exact same fault trajectory run over run — which is
+//! what lets the chaos suite assert *bitwise* isolation of healthy
+//! streams.
+//!
+//! # Fault taxonomy
+//!
+//! Scheduling faults rule on frame **delivery** (see
+//! [`TapVerdict`](ld_ingest::TapVerdict)):
+//!
+//! * [`Fault::Stall`] — the camera goes silent for a window; sequence
+//!   numbers do not advance, so the stream resumes seamlessly. Drives the
+//!   ingest health machine through `Stalled`/`Dead`.
+//! * [`Fault::Death`] — a stall that never ends.
+//! * [`Fault::Lossy`] — frames are lost in transit; sequence numbers *do*
+//!   advance, so downstream observes gaps (drop accounting, `Degraded`).
+//! * [`Fault::Restart`] — camera firmware reboot: the sequence counter
+//!   restarts at 0, exercising
+//!   [`SeqTracker::regressions`](ld_ingest::SeqTracker::regressions).
+//!
+//! Corruption faults mutate **pixels** in place (the frame still
+//! delivers; the server's integrity guard must catch it):
+//!
+//! * [`Fault::NanPixels`] / [`Fault::InfPixels`] — non-finite values at a
+//!   seeded per-frame rate, the classic DMA/ISP failure.
+//! * [`Fault::BitFlips`] — random single-bit flips in the pixel words.
+//! * [`Fault::Freeze`] — the frame at the window start repeats verbatim
+//!   (a wedged capture pipeline serving its last DMA buffer).
+//! * [`Fault::DriftStorm`] — violent gain/bias oscillation, the
+//!   appearance-level stressor for the adaptation governor (also
+//!   available as a schedule via [`storm_schedule`] for
+//!   `StreamSet`-level composition).
+//!
+//! # The health state machine downstream
+//!
+//! The ingest front end classifies each camera
+//! `Healthy → Degraded → Stalled → Dead` with exponential-backoff
+//! probation before re-promotion (see [`ld_ingest::CamHealthMachine`]);
+//! `Dead` cameras are excluded from the drain via
+//! [`dead_mask`](ld_ingest::IngestFrontEnd::dead_mask) so they cost zero
+//! tick budget. Server-side, `ld_adapt::AdaptServer`'s self-healing layer
+//! rejects non-finite/frozen frames before the batched forward and
+//! quarantines diverging streams (rollback + adaptation cooldown with
+//! backoff) — per-stream fault telemetry lands in its `StreamReport`.
+//!
+//! # How to write a chaos test
+//!
+//! 1. Build the workload twice from the same seeds: once fault-free, once
+//!    with a [`FaultScript`] tap on the faulted camera(s). Use the manual
+//!    clock (`IngestFrontEnd::manual_with_taps`) — wall-clock timing must
+//!    never enter the comparison.
+//! 2. Run both to completion, then compare the **healthy** streams across
+//!    runs: bank bytes (`stream_bank(i).to_bytes()`), reference entropy
+//!    (`f32::to_bits`), per-stream stats and reports. In banked mode each
+//!    lane normalises with per-image statistics, so healthy lanes must be
+//!    **bitwise identical** — any drift means fault state leaked across
+//!    stream isolation.
+//! 3. Assert the *faulted* stream's telemetry shows the injected faults
+//!    (rejected frames, quarantine ticks, health trajectory) and that
+//!    recovery happens after the fault window closes.
+//!
+//! ```
+//! use ld_carlane::{Benchmark, FrameSpec, StreamSet};
+//! use ld_fault::{Fault, FaultScript};
+//! use ld_ingest::{IngestConfig, IngestFrontEnd};
+//!
+//! let streams = StreamSet::drifting(Benchmark::MoLane, FrameSpec::new(32, 16, 6, 4, 2), 2, 8, 7);
+//! let script = FaultScript::new(0xFA17).with(Fault::NanPixels { from: 2, frames: 3, rate: 0.05 });
+//! let mut fe = IngestFrontEnd::manual_with_taps(
+//!     &streams,
+//!     &IngestConfig::new(1_000_000),
+//!     vec![(1, Box::new(script))],
+//! );
+//! fe.next_tick();
+//! let frames = fe.drain();
+//! assert_eq!(frames.len(), 2); // tick 0 is clean on both cameras
+//! ```
+
+use ld_carlane::{AppearanceRanges, DriftPhase, DriftSchedule, LabeledFrame};
+use ld_ingest::{FrameTap, StampedFrame, TapVerdict};
+use ld_tensor::rng::{mix_seed, SeededRng};
+
+/// One injected failure mode, windowed on the camera's own frame index
+/// (monotone even across sequence restarts, so scripts stay reproducible).
+/// See the module doc for the taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Silence for `frames` frames starting at `from`: nothing delivered,
+    /// sequence numbers pause (seamless resume).
+    Stall {
+        /// First silent frame index.
+        from: u64,
+        /// Window length in frames.
+        frames: u64,
+    },
+    /// The camera dies at `from` and never delivers again.
+    Death {
+        /// First dead frame index.
+        from: u64,
+    },
+    /// Frames lost in transit for the window: sequence numbers advance,
+    /// downstream sees gaps.
+    Lossy {
+        /// First lost frame index.
+        from: u64,
+        /// Window length in frames.
+        frames: u64,
+    },
+    /// Firmware reboot at exactly frame `at`: delivery continues but the
+    /// sequence counter restarts at 0.
+    Restart {
+        /// Frame index of the reboot.
+        at: u64,
+    },
+    /// A seeded fraction of pixels become NaN for the window.
+    NanPixels {
+        /// First corrupted frame index.
+        from: u64,
+        /// Window length in frames.
+        frames: u64,
+        /// Fraction of pixels corrupted per frame, in `(0, 1]` (at least
+        /// one pixel per frame).
+        rate: f32,
+    },
+    /// A seeded fraction of pixels become +∞ for the window.
+    InfPixels {
+        /// First corrupted frame index.
+        from: u64,
+        /// Window length in frames.
+        frames: u64,
+        /// Fraction of pixels corrupted per frame, in `(0, 1]`.
+        rate: f32,
+    },
+    /// Seeded single-bit flips in the raw f32 pixel words (may or may not
+    /// produce non-finite values — exactly like real memory corruption).
+    BitFlips {
+        /// First corrupted frame index.
+        from: u64,
+        /// Window length in frames.
+        frames: u64,
+        /// Bit flips per frame.
+        flips: u32,
+    },
+    /// The frame at `from` repeats verbatim for the whole window (wedged
+    /// capture pipeline).
+    Freeze {
+        /// First frozen frame index.
+        from: u64,
+        /// Window length in frames.
+        frames: u64,
+    },
+    /// Violent deterministic gain/bias oscillation of the pixels — an
+    /// appearance storm that stresses the adaptation governor without
+    /// breaking frame integrity.
+    DriftStorm {
+        /// First stormy frame index.
+        from: u64,
+        /// Window length in frames.
+        frames: u64,
+        /// Peak multiplicative swing (0.5 ⇒ gain oscillates in [0.5, 1.5]).
+        gain: f32,
+    },
+}
+
+fn in_window(k: u64, from: u64, frames: u64) -> bool {
+    k >= from && k - from < frames
+}
+
+/// A seeded, scripted fault injector: a list of [`Fault`]s applied to one
+/// camera's frame stream through the [`FrameTap`] seam. Corruption faults
+/// compose (every matching window mutates the pixels, in script order);
+/// scheduling faults resolve by severity — silence (`Stall`/`Death`)
+/// beats `Restart` beats `Lossy`.
+#[derive(Debug)]
+pub struct FaultScript {
+    seed: u64,
+    faults: Vec<Fault>,
+    frozen: Option<LabeledFrame>,
+}
+
+impl FaultScript {
+    /// An empty script (injects nothing) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultScript {
+            seed,
+            faults: Vec::new(),
+            frozen: None,
+        }
+    }
+
+    /// Adds a fault (builder style).
+    pub fn with(mut self, fault: Fault) -> Self {
+        if let Fault::NanPixels { rate, .. } | Fault::InfPixels { rate, .. } = fault {
+            assert!(
+                rate > 0.0 && rate <= 1.0,
+                "FaultScript: pixel-corruption rate {rate} outside (0, 1]"
+            );
+        }
+        self.faults.push(fault);
+        self
+    }
+
+    /// The script's faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Convenience: a camera that dies at frame `at` (the chaos demo's
+    /// dead camera).
+    pub fn dead_camera(seed: u64, at: u64) -> Self {
+        Self::new(seed).with(Fault::Death { from: at })
+    }
+
+    /// Convenience: a camera streaming heavily NaN-corrupted frames from
+    /// `from` for `frames` frames (the chaos demo's poisoned camera).
+    pub fn nan_camera(seed: u64, from: u64, frames: u64) -> Self {
+        Self::new(seed).with(Fault::NanPixels {
+            from,
+            frames,
+            rate: 0.05,
+        })
+    }
+
+    fn corrupt(&mut self, k: u64, frame: &mut StampedFrame) {
+        for fi in 0..self.faults.len() {
+            match self.faults[fi] {
+                Fault::NanPixels { from, frames, rate } if in_window(k, from, frames) => {
+                    splatter(self.seed, fi as u64, k, &mut frame.frame, rate, f32::NAN);
+                }
+                Fault::InfPixels { from, frames, rate } if in_window(k, from, frames) => {
+                    splatter(
+                        self.seed,
+                        fi as u64,
+                        k,
+                        &mut frame.frame,
+                        rate,
+                        f32::INFINITY,
+                    );
+                }
+                Fault::BitFlips {
+                    from,
+                    frames,
+                    flips,
+                } if in_window(k, from, frames) => {
+                    let mut rng = SeededRng::new(mix_seed(mix_seed(self.seed, fi as u64), k));
+                    let px = frame.frame.image.as_mut_slice();
+                    for _ in 0..flips {
+                        let i = rng.index(px.len());
+                        let bit = rng.index(32) as u32;
+                        px[i] = f32::from_bits(px[i].to_bits() ^ (1 << bit));
+                    }
+                }
+                Fault::Freeze { from, frames } if in_window(k, from, frames) => {
+                    if k == from {
+                        self.frozen = Some(frame.frame.clone());
+                    }
+                    if let Some(frozen) = &self.frozen {
+                        frame.frame = frozen.clone();
+                    }
+                }
+                Fault::DriftStorm { from, frames, gain } if in_window(k, from, frames) => {
+                    let t = (k - from) as f32;
+                    let g = 1.0 + gain * (t * 0.9).sin();
+                    let b = 0.25 * gain * (t * 0.45 + 1.0).sin();
+                    for px in frame.frame.image.as_mut_slice() {
+                        *px = (*px * g + b).clamp(0.0, 1.0);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn verdict(&self, k: u64) -> TapVerdict {
+        let mut verdict = TapVerdict::Deliver;
+        for fault in &self.faults {
+            let v = match *fault {
+                Fault::Death { from } if k >= from => TapVerdict::Suppress,
+                Fault::Stall { from, frames } if in_window(k, from, frames) => TapVerdict::Suppress,
+                Fault::Restart { at } if k == at => TapVerdict::Restart,
+                Fault::Lossy { from, frames } if in_window(k, from, frames) => TapVerdict::Lose,
+                _ => TapVerdict::Deliver,
+            };
+            // Severity: silence > restart > loss > normal delivery.
+            let rank = |v: TapVerdict| match v {
+                TapVerdict::Suppress => 3,
+                TapVerdict::Restart => 2,
+                TapVerdict::Lose => 1,
+                TapVerdict::Deliver => 0,
+            };
+            if rank(v) > rank(verdict) {
+                verdict = v;
+            }
+        }
+        verdict
+    }
+}
+
+impl FrameTap for FaultScript {
+    fn tap(&mut self, k: u64, frame: &mut StampedFrame) -> TapVerdict {
+        let verdict = self.verdict(k);
+        // Pixels only matter for frames that will actually deliver.
+        if matches!(verdict, TapVerdict::Deliver | TapVerdict::Restart) {
+            self.corrupt(k, frame);
+        }
+        verdict
+    }
+}
+
+/// Corrupts `ceil(rate · len)` seeded pixel positions with `value`.
+fn splatter(seed: u64, salt: u64, k: u64, frame: &mut LabeledFrame, rate: f32, value: f32) {
+    let px = frame.image.as_mut_slice();
+    let count = ((rate * px.len() as f32).ceil() as usize).clamp(1, px.len());
+    let mut rng = SeededRng::new(mix_seed(mix_seed(seed, salt), k));
+    for _ in 0..count {
+        px[rng.index(px.len())] = value;
+    }
+}
+
+/// A drift **storm** as a `StreamSet`-composable schedule: the appearance
+/// slams between a washed-out glare extreme and a near-black extreme every
+/// `period` frames — the schedule-level twin of [`Fault::DriftStorm`],
+/// for stressing the governor through the normal rendering path.
+///
+/// # Panics
+///
+/// Panics if `frames == 0` or `period == 0`.
+pub fn storm_schedule(frames: usize, period: usize) -> DriftSchedule {
+    assert!(frames > 0, "storm_schedule: zero frames");
+    assert!(period > 0, "storm_schedule: zero period");
+    let mut bright = AppearanceRanges::molane_target().base().clone();
+    bright.brightness += 0.35;
+    bright.contrast *= 1.6;
+    bright.sky = [0.95, 0.95, 0.9];
+    let mut dark = AppearanceRanges::molane_target().base().clone();
+    dark.brightness -= 0.3;
+    dark.contrast *= 0.45;
+    dark.sky = [0.05, 0.05, 0.08];
+    let mut phases = Vec::new();
+    let mut at = 0usize;
+    let mut i = 0usize;
+    while at < frames {
+        let (name, app) = if i.is_multiple_of(2) {
+            (format!("storm-glare-{i}"), bright.clone())
+        } else {
+            (format!("storm-dark-{i}"), dark.clone())
+        };
+        phases.push(DriftPhase {
+            name,
+            at_frame: at,
+            appearance: app,
+        });
+        at += period;
+        i += 1;
+    }
+    DriftSchedule::new(phases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_carlane::{Benchmark, FrameSpec, StreamSet};
+    use ld_ingest::{IngestConfig, IngestFrontEnd};
+
+    fn tiny_streams(n: usize) -> StreamSet {
+        StreamSet::drifting(Benchmark::MoLane, FrameSpec::new(32, 16, 6, 4, 2), n, 16, 5)
+    }
+
+    fn run_tapped(script: Option<FaultScript>, ticks: usize) -> Vec<Vec<(usize, u64, Vec<u32>)>> {
+        let streams = tiny_streams(2);
+        let cfg = IngestConfig::new(1_000_000).without_jitter();
+        let taps: Vec<(usize, Box<dyn FrameTap>)> = match script {
+            Some(s) => vec![(1, Box::new(s) as Box<dyn FrameTap>)],
+            None => Vec::new(),
+        };
+        let mut fe = IngestFrontEnd::manual_with_taps(&streams, &cfg, taps);
+        let mut out = Vec::new();
+        for _ in 0..ticks {
+            fe.next_tick();
+            let frames = fe
+                .drain()
+                .into_iter()
+                .map(|f| {
+                    (
+                        f.cam,
+                        f.seq,
+                        f.frame
+                            .image
+                            .as_slice()
+                            .iter()
+                            .map(|p| p.to_bits())
+                            .collect(),
+                    )
+                })
+                .collect();
+            out.push(frames);
+            fe.record_busy(0);
+        }
+        out
+    }
+
+    #[test]
+    fn scripts_are_bitwise_reproducible() {
+        let mk = || {
+            FaultScript::new(7)
+                .with(Fault::NanPixels {
+                    from: 1,
+                    frames: 2,
+                    rate: 0.03,
+                })
+                .with(Fault::BitFlips {
+                    from: 4,
+                    frames: 2,
+                    flips: 3,
+                })
+        };
+        assert_eq!(run_tapped(Some(mk()), 8), run_tapped(Some(mk()), 8));
+    }
+
+    #[test]
+    fn faults_on_one_camera_leave_the_other_bitwise_untouched() {
+        let chaos = run_tapped(
+            Some(
+                FaultScript::new(3)
+                    .with(Fault::Stall { from: 2, frames: 3 })
+                    .with(Fault::NanPixels {
+                        from: 6,
+                        frames: 2,
+                        rate: 0.1,
+                    }),
+            ),
+            8,
+        );
+        let clean = run_tapped(None, 8);
+        for (tick, (c, f)) in chaos.iter().zip(&clean).enumerate() {
+            let cam0_chaos: Vec<_> = c.iter().filter(|e| e.0 == 0).collect();
+            let cam0_clean: Vec<_> = f.iter().filter(|e| e.0 == 0).collect();
+            assert_eq!(cam0_chaos, cam0_clean, "cam 0 diverged at tick {tick}");
+        }
+    }
+
+    #[test]
+    fn nan_fault_poisons_exactly_the_window() {
+        let runs = run_tapped(
+            Some(FaultScript::new(11).with(Fault::NanPixels {
+                from: 2,
+                frames: 3,
+                rate: 0.02,
+            })),
+            8,
+        );
+        for (tick, frames) in runs.iter().enumerate() {
+            let cam1 = frames.iter().find(|e| e.0 == 1).expect("cam 1 delivers");
+            let has_nan = cam1.2.iter().any(|&b| f32::from_bits(b).is_nan());
+            assert_eq!(
+                has_nan,
+                (2..5).contains(&tick),
+                "tick {tick}: NaN presence must match the fault window"
+            );
+        }
+    }
+
+    #[test]
+    fn death_silences_and_restart_regresses() {
+        let runs = run_tapped(
+            Some(
+                FaultScript::new(5)
+                    .with(Fault::Restart { at: 3 })
+                    .with(Fault::Death { from: 6 }),
+            ),
+            10,
+        );
+        for (tick, frames) in runs.iter().enumerate() {
+            let cam1: Vec<_> = frames.iter().filter(|e| e.0 == 1).collect();
+            if tick >= 6 {
+                assert!(cam1.is_empty(), "tick {tick}: the camera is dead");
+            } else {
+                let seq = cam1[0].1;
+                let want = if tick < 3 {
+                    tick as u64
+                } else {
+                    tick as u64 - 3
+                };
+                assert_eq!(seq, want, "tick {tick}: reboot restarts the counter");
+            }
+        }
+    }
+
+    #[test]
+    fn freeze_repeats_the_window_start_frame() {
+        let runs = run_tapped(
+            Some(FaultScript::new(2).with(Fault::Freeze { from: 2, frames: 4 })),
+            8,
+        );
+        let cam1_at = |t: usize| {
+            runs[t]
+                .iter()
+                .find(|e| e.0 == 1)
+                .expect("cam 1 delivers")
+                .2
+                .clone()
+        };
+        assert_eq!(cam1_at(3), cam1_at(2), "frozen");
+        assert_eq!(cam1_at(5), cam1_at(2), "still frozen");
+        assert_ne!(cam1_at(6), cam1_at(2), "thawed");
+        assert_ne!(cam1_at(1), cam1_at(2), "pre-window frames are live");
+    }
+
+    #[test]
+    fn storm_schedule_oscillates_between_extremes() {
+        let sched = storm_schedule(20, 5);
+        assert!(sched.phases().len() >= 4);
+        let a = sched.appearance_at(0);
+        let b = sched.appearance_at(5);
+        assert!(
+            (a.brightness - b.brightness).abs() > 0.3,
+            "consecutive storm phases must be far apart"
+        );
+        assert!(sched.phase_name_at(0).starts_with("storm-"));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn rejects_nonsense_corruption_rate() {
+        let _ = FaultScript::new(1).with(Fault::NanPixels {
+            from: 0,
+            frames: 1,
+            rate: 0.0,
+        });
+    }
+}

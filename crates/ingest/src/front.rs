@@ -22,8 +22,9 @@
 //! and tick overruns.
 
 use crate::clock::TickClock;
+use crate::health::{CamHealth, CamHealthMachine, HealthConfig};
 use crate::mailbox::{Mailbox, OverflowPolicy, SeqTracker};
-use crate::producer::{CameraProducer, CameraSchedule, FrameSource, StampedFrame};
+use crate::producer::{CameraProducer, CameraSchedule, FrameSource, FrameTap, StampedFrame};
 use ld_carlane::{LabeledFrame, StreamSet};
 use ld_tensor::parallel::BackgroundTask;
 use ld_tensor::rng::mix_seed;
@@ -58,6 +59,8 @@ pub struct IngestConfig {
     pub load: f64,
     /// `(cam, frames-per-tick)` overrides of [`IngestConfig::load`].
     pub cam_loads: Vec<(usize, f64)>,
+    /// Thresholds of the per-camera health state machine.
+    pub health: HealthConfig,
 }
 
 impl IngestConfig {
@@ -73,7 +76,14 @@ impl IngestConfig {
             prerender: 0,
             load: 1.0,
             cam_loads: Vec::new(),
+            health: HealthConfig::default(),
         }
+    }
+
+    /// Overrides the health-machine thresholds (builder style).
+    pub fn with_health(mut self, health: HealthConfig) -> Self {
+        self.health = health;
+        self
     }
 
     /// Sets the uniform offered load (builder style).
@@ -155,6 +165,8 @@ pub struct CamReport {
     pub queued: usize,
     /// Peak queue depth observed at drain boundaries.
     pub max_queue_depth: usize,
+    /// Health classification at snapshot time.
+    pub health: CamHealth,
 }
 
 /// Whole-front-end backpressure report.
@@ -205,6 +217,11 @@ pub struct IngestFrontEnd {
     trackers: Vec<SeqTracker>,
     delivered: Vec<u64>,
     max_depth: Vec<usize>,
+    health: Vec<CamHealthMachine>,
+    // Previous-tick counter snapshots, so the health machines see deltas.
+    seen_delivered: Vec<u64>,
+    seen_dropped: Vec<u64>,
+    seen_pushed: Vec<u64>,
     tick: u64,
     ticks_run: usize,
     tick_overruns: usize,
@@ -225,28 +242,57 @@ impl IngestFrontEnd {
     /// Deterministic front end over a manual clock: one camera per stream
     /// of `streams`, pumped synchronously at every tick boundary.
     pub fn manual(streams: &StreamSet, cfg: &IngestConfig) -> Self {
+        Self::manual_with_taps(streams, cfg, Vec::new())
+    }
+
+    /// [`IngestFrontEnd::manual`] with per-camera fault-injection taps
+    /// (`(cam, tap)` pairs; see [`FrameTap`]) installed between frame
+    /// generation and mailbox delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tap names a camera the stream set does not have.
+    pub fn manual_with_taps(
+        streams: &StreamSet,
+        cfg: &IngestConfig,
+        taps: Vec<(usize, Box<dyn FrameTap>)>,
+    ) -> Self {
         let clock = TickClock::manual(cfg.tick_period_ns);
-        let (mailboxes, producers) = Self::build_cams(streams, cfg);
-        Self::assemble(clock, mailboxes, DriveMode::Manual(producers))
+        let (mailboxes, producers) = Self::build_cams(streams, cfg, taps);
+        Self::assemble(clock, mailboxes, DriveMode::Manual(producers), cfg.health)
     }
 
     /// Real-time front end: cameras run on pooled background threads
     /// ([`ld_tensor::parallel::spawn_background`]) pushing frames at their
     /// real due times; the serving loop sleeps to each tick boundary.
     pub fn realtime(streams: &StreamSet, cfg: &IngestConfig) -> Self {
+        Self::realtime_with_taps(streams, cfg, Vec::new())
+    }
+
+    /// [`IngestFrontEnd::realtime`] with per-camera fault-injection taps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tap names a camera the stream set does not have.
+    pub fn realtime_with_taps(
+        streams: &StreamSet,
+        cfg: &IngestConfig,
+        taps: Vec<(usize, Box<dyn FrameTap>)>,
+    ) -> Self {
         let start = Instant::now();
         let clock = TickClock::real_at(start, Duration::from_nanos(cfg.tick_period_ns));
-        let (mailboxes, producers) = Self::build_cams(streams, cfg);
+        let (mailboxes, producers) = Self::build_cams(streams, cfg, taps);
         let tasks = producers
             .into_iter()
             .map(|p| p.run_realtime(start))
             .collect();
-        Self::assemble(clock, mailboxes, DriveMode::Realtime(tasks))
+        Self::assemble(clock, mailboxes, DriveMode::Realtime(tasks), cfg.health)
     }
 
     fn build_cams(
         streams: &StreamSet,
         cfg: &IngestConfig,
+        mut taps: Vec<(usize, Box<dyn FrameTap>)>,
     ) -> (Vec<Arc<Mailbox<StampedFrame>>>, Vec<CameraProducer>) {
         let n = streams.num_streams();
         assert!(n > 0, "IngestFrontEnd: no cameras");
@@ -271,9 +317,18 @@ impl IngestFrontEnd {
             } else {
                 FrameSource::Live(streams.isolate(cam))
             };
-            producers.push(CameraProducer::new(cam, source, schedule, mailbox.clone()));
+            let mut producer = CameraProducer::new(cam, source, schedule, mailbox.clone());
+            if let Some(pos) = taps.iter().position(|&(c, _)| c == cam) {
+                producer = producer.with_tap(taps.swap_remove(pos).1);
+            }
+            producers.push(producer);
             mailboxes.push(mailbox);
         }
+        assert!(
+            taps.is_empty(),
+            "IngestFrontEnd: tap for unknown camera {}",
+            taps[0].0
+        );
         (mailboxes, producers)
     }
 
@@ -281,6 +336,7 @@ impl IngestFrontEnd {
         clock: TickClock,
         mailboxes: Vec<Arc<Mailbox<StampedFrame>>>,
         mode: DriveMode,
+        health: HealthConfig,
     ) -> Self {
         let n = mailboxes.len();
         IngestFrontEnd {
@@ -290,6 +346,10 @@ impl IngestFrontEnd {
             trackers: vec![SeqTracker::new(); n],
             delivered: vec![0; n],
             max_depth: vec![0; n],
+            health: vec![CamHealthMachine::new(health); n],
+            seen_delivered: vec![0; n],
+            seen_dropped: vec![0; n],
+            seen_pushed: vec![0; n],
             tick: 0,
             ticks_run: 0,
             tick_overruns: 0,
@@ -415,12 +475,48 @@ impl IngestFrontEnd {
     /// Accounts one completed tick: `busy_ns` of processing (measured in
     /// real mode, predicted in manual mode) advances the manual clock and
     /// counts a tick-deadline overrun when it exceeds the tick period.
+    /// This is also the health-machine heartbeat: each camera's machine
+    /// observes the tick's delivered/dropped/pushed deltas.
     pub fn record_busy(&mut self, busy_ns: u64) {
         self.ticks_run += 1;
         if busy_ns > self.clock.period_ns() {
             self.tick_overruns += 1;
         }
         self.clock.advance_by(busy_ns);
+        for cam in 0..self.mailboxes.len() {
+            let delivered = self.delivered[cam];
+            let dropped = self.trackers[cam].dropped();
+            let pushed = self.mailboxes[cam].pushed() as u64;
+            self.health[cam].observe_tick(
+                delivered - self.seen_delivered[cam],
+                dropped - self.seen_dropped[cam],
+                pushed - self.seen_pushed[cam],
+            );
+            self.seen_delivered[cam] = delivered;
+            self.seen_dropped[cam] = dropped;
+            self.seen_pushed[cam] = pushed;
+        }
+    }
+
+    /// Health classification of one camera.
+    pub fn health(&self, cam: usize) -> CamHealth {
+        self.health[cam].state()
+    }
+
+    /// The camera's full health machine (events, backoff telemetry).
+    pub fn health_machine(&self, cam: usize) -> &CamHealthMachine {
+        &self.health[cam]
+    }
+
+    /// Per-camera mask of `Dead` cameras — OR this into the
+    /// [`IngestFrontEnd::drain_ready`] skip mask and a dead camera costs
+    /// zero tick budget (its liveness is then observed from mailbox pushes
+    /// alone, which is exactly what re-opens probation).
+    pub fn dead_mask(&self) -> Vec<bool> {
+        self.health
+            .iter()
+            .map(|h| h.state() == CamHealth::Dead)
+            .collect()
     }
 
     /// Stops real-time producers (blocking until each acknowledges).
@@ -440,6 +536,7 @@ impl IngestFrontEnd {
                 dropped: self.trackers[cam].dropped(),
                 queued: self.mailboxes[cam].len(),
                 max_queue_depth: self.max_depth[cam],
+                health: self.health[cam].state(),
             })
             .collect();
         let (age_p50_ns, age_p99_ns) = percentiles(&self.age_samples);
@@ -577,6 +674,54 @@ mod tests {
         let report = fe.report();
         assert_eq!(report.ticks, 2);
         assert_eq!(report.tick_overruns, 1);
+    }
+
+    #[test]
+    fn health_walks_stall_death_probation_and_back_through_the_front_end() {
+        use crate::producer::{FrameTap, TapVerdict};
+        /// Camera goes dark for frames 2..=9, then resumes.
+        struct DarkWindow;
+        impl FrameTap for DarkWindow {
+            fn tap(&mut self, k: u64, _f: &mut StampedFrame) -> TapVerdict {
+                if (2..=9).contains(&k) {
+                    TapVerdict::Suppress
+                } else {
+                    TapVerdict::Deliver
+                }
+            }
+        }
+        let streams = tiny_streams(2);
+        let cfg = IngestConfig::new(1_000_000);
+        let mut fe =
+            IngestFrontEnd::manual_with_taps(&streams, &cfg, vec![(1, Box::new(DarkWindow))]);
+        let mut trajectory = Vec::new();
+        for _ in 0..16 {
+            fe.next_tick();
+            // The serving idiom: dead cameras are excluded from the drain,
+            // so their recovery is observed from mailbox pushes alone.
+            let skip = fe.dead_mask();
+            let _ = fe.drain_ready(&skip);
+            fe.record_busy(0);
+            trajectory.push((fe.health(0), fe.health(1)));
+        }
+        assert!(
+            trajectory.iter().all(|&(h0, _)| h0 == CamHealth::Healthy),
+            "the untouched camera stays healthy: {trajectory:?}"
+        );
+        for want in [CamHealth::Stalled, CamHealth::Dead, CamHealth::Probation] {
+            assert!(
+                trajectory.iter().any(|&(_, h1)| h1 == want),
+                "cam 1 must pass through {want:?}: {trajectory:?}"
+            );
+        }
+        assert_eq!(
+            trajectory.last().unwrap().1,
+            CamHealth::Healthy,
+            "cam 1 serves out probation and is re-promoted"
+        );
+        assert_eq!(fe.health_machine(1).death_events(), 1);
+        assert_eq!(fe.health_machine(1).repromotions(), 1);
+        assert_eq!(fe.report().per_cam[1].health, CamHealth::Healthy);
     }
 
     #[test]

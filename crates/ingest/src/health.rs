@@ -1,0 +1,330 @@
+//! Camera health state machine: `Healthy → Degraded → Stalled → Dead`,
+//! with exponential-backoff probation before re-promotion.
+//!
+//! A fleet front end must not let one wedged camera cost serving budget
+//! forever, and must not flap a camera back to full service the moment a
+//! single frame trickles in after a stall. The per-camera
+//! [`CamHealthMachine`] consumes the backpressure signals the front end
+//! already tracks — frames **delivered** to the serving loop this tick,
+//! frames **dropped** (sequence-gap accounting) this tick, and frames the
+//! camera **pushed** into its mailbox this tick — and classifies:
+//!
+//! * [`CamHealth::Healthy`] — delivering, nothing shed.
+//! * [`CamHealth::Degraded`] — delivering, but shedding (drop accounting
+//!   grew this tick: the camera outruns the drain, or frames go missing).
+//! * [`CamHealth::Stalled`] — silent (nothing delivered, nothing pushed)
+//!   for [`HealthConfig::stall_ticks`] consecutive ticks.
+//! * [`CamHealth::Dead`] — silent for [`HealthConfig::dead_ticks`]
+//!   consecutive ticks. The front end's
+//!   [`dead_mask`](crate::IngestFrontEnd::dead_mask) excludes dead cameras
+//!   from the drain, so they cost **zero** tick budget; liveness is then
+//!   detected from mailbox pushes alone.
+//! * [`CamHealth::Probation`] — active again after a stall/death, but not
+//!   yet trusted: it must survive a backoff-scaled run of clean ticks
+//!   (delivering, no drops) before re-promotion to `Healthy`. Every
+//!   relapse **doubles** the next probation term (clamped to
+//!   [`HealthConfig::probation_max`]); a sustained healthy run resets the
+//!   backoff to its base.
+//!
+//! Driven once per tick from
+//! [`IngestFrontEnd::record_busy`](crate::IngestFrontEnd::record_busy) on
+//! counter *deltas*, the machine is fully deterministic on the manual
+//! clock — the chaos suite replays identical health trajectories run over
+//! run.
+
+/// Health classification of one camera (see the module doc).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CamHealth {
+    /// Delivering, nothing shed.
+    #[default]
+    Healthy,
+    /// Delivering, but shedding frames.
+    Degraded,
+    /// Silent for at least `stall_ticks` consecutive ticks.
+    Stalled,
+    /// Silent for at least `dead_ticks`; excluded from draining.
+    Dead,
+    /// Active again after stall/death, serving out its backoff term.
+    Probation,
+}
+
+/// Thresholds of the camera health machine.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthConfig {
+    /// Consecutive silent ticks before `Healthy/Degraded → Stalled`.
+    pub stall_ticks: u32,
+    /// Consecutive silent ticks before `→ Dead`.
+    pub dead_ticks: u32,
+    /// Base probation term (clean ticks required for re-promotion).
+    pub probation_ticks: u32,
+    /// Backoff clamp: no probation term grows past this.
+    pub probation_max: u32,
+    /// Consecutive healthy ticks after which the backoff resets to its
+    /// base (the camera has earned back its trust).
+    pub backoff_reset_ticks: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            stall_ticks: 2,
+            dead_ticks: 6,
+            probation_ticks: 2,
+            probation_max: 16,
+            backoff_reset_ticks: 32,
+        }
+    }
+}
+
+/// Per-camera health state machine (see the module doc).
+#[derive(Debug, Clone, Copy)]
+pub struct CamHealthMachine {
+    cfg: HealthConfig,
+    state: CamHealth,
+    silent: u32,
+    probation_left: u32,
+    /// The probation term currently being served (reloaded on an unclean
+    /// probation tick).
+    term: u32,
+    backoff: u32,
+    healthy_streak: u32,
+    stall_events: u64,
+    death_events: u64,
+    repromotions: u64,
+}
+
+impl CamHealthMachine {
+    /// Fresh machine in the `Healthy` state.
+    pub fn new(cfg: HealthConfig) -> Self {
+        assert!(cfg.stall_ticks > 0, "HealthConfig: zero stall_ticks");
+        assert!(
+            cfg.dead_ticks >= cfg.stall_ticks,
+            "HealthConfig: dead_ticks {} below stall_ticks {}",
+            cfg.dead_ticks,
+            cfg.stall_ticks
+        );
+        assert!(cfg.probation_ticks > 0, "HealthConfig: zero probation");
+        CamHealthMachine {
+            cfg,
+            state: CamHealth::Healthy,
+            silent: 0,
+            probation_left: 0,
+            term: cfg.probation_ticks,
+            backoff: cfg.probation_ticks,
+            healthy_streak: 0,
+            stall_events: 0,
+            death_events: 0,
+            repromotions: 0,
+        }
+    }
+
+    /// Current classification.
+    pub fn state(&self) -> CamHealth {
+        self.state
+    }
+
+    /// Times the camera crossed into `Stalled`.
+    pub fn stall_events(&self) -> u64 {
+        self.stall_events
+    }
+
+    /// Times the camera crossed into `Dead`.
+    pub fn death_events(&self) -> u64 {
+        self.death_events
+    }
+
+    /// Times the camera served out probation back to `Healthy`.
+    pub fn repromotions(&self) -> u64 {
+        self.repromotions
+    }
+
+    /// The probation term the *next* demotion would impose, in ticks.
+    pub fn current_backoff(&self) -> u32 {
+        self.backoff
+    }
+
+    /// Folds one tick's observation into the machine: frames `delivered`
+    /// to the serving loop, `dropped` booked by the gap accounting, and
+    /// `pushed` into the mailbox — all as this-tick deltas.
+    pub fn observe_tick(&mut self, delivered: u64, dropped: u64, pushed: u64) {
+        let active = delivered > 0 || pushed > 0;
+        if !active {
+            self.silent += 1;
+            self.healthy_streak = 0;
+            if self.state != CamHealth::Dead && self.silent >= self.cfg.dead_ticks {
+                self.state = CamHealth::Dead;
+                self.death_events += 1;
+            } else if matches!(
+                self.state,
+                CamHealth::Healthy | CamHealth::Degraded | CamHealth::Probation
+            ) && self.silent >= self.cfg.stall_ticks
+            {
+                self.state = CamHealth::Stalled;
+                self.stall_events += 1;
+            }
+            return;
+        }
+        self.silent = 0;
+        match self.state {
+            CamHealth::Stalled | CamHealth::Dead => {
+                // Back from the dead: serve out a probation term that
+                // doubles on every relapse.
+                self.state = CamHealth::Probation;
+                self.term = self.backoff;
+                self.probation_left = self.term;
+                self.backoff = (self.backoff * 2).min(self.cfg.probation_max);
+                self.healthy_streak = 0;
+            }
+            CamHealth::Probation => {
+                if delivered > 0 && dropped == 0 {
+                    self.probation_left = self.probation_left.saturating_sub(1);
+                    if self.probation_left == 0 {
+                        self.state = CamHealth::Healthy;
+                        self.repromotions += 1;
+                    }
+                } else if dropped > 0 {
+                    // An unclean tick restarts the countdown.
+                    self.probation_left = self.term;
+                }
+            }
+            CamHealth::Healthy | CamHealth::Degraded => {
+                self.state = if dropped > 0 {
+                    CamHealth::Degraded
+                } else {
+                    CamHealth::Healthy
+                };
+            }
+        }
+        if self.state == CamHealth::Healthy && dropped == 0 {
+            self.healthy_streak += 1;
+            if self.healthy_streak >= self.cfg.backoff_reset_ticks {
+                self.backoff = self.cfg.probation_ticks;
+            }
+        } else {
+            self.healthy_streak = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> CamHealthMachine {
+        CamHealthMachine::new(HealthConfig::default())
+    }
+
+    #[test]
+    fn nominal_ticks_stay_healthy() {
+        let mut m = machine();
+        for _ in 0..50 {
+            m.observe_tick(1, 0, 1);
+        }
+        assert_eq!(m.state(), CamHealth::Healthy);
+        assert_eq!(m.stall_events() + m.death_events(), 0);
+    }
+
+    #[test]
+    fn drops_degrade_and_clean_ticks_recover() {
+        let mut m = machine();
+        m.observe_tick(1, 0, 1);
+        m.observe_tick(1, 2, 3);
+        assert_eq!(m.state(), CamHealth::Degraded);
+        m.observe_tick(1, 0, 1);
+        assert_eq!(m.state(), CamHealth::Healthy, "degraded is not sticky");
+    }
+
+    #[test]
+    fn silence_walks_stalled_then_dead() {
+        let mut m = machine();
+        m.observe_tick(1, 0, 1);
+        m.observe_tick(0, 0, 0);
+        assert_eq!(m.state(), CamHealth::Healthy, "one silent tick tolerated");
+        m.observe_tick(0, 0, 0);
+        assert_eq!(m.state(), CamHealth::Stalled);
+        for _ in 0..3 {
+            m.observe_tick(0, 0, 0);
+        }
+        assert_eq!(
+            m.state(),
+            CamHealth::Stalled,
+            "5 silent ticks: not dead yet"
+        );
+        m.observe_tick(0, 0, 0);
+        assert_eq!(m.state(), CamHealth::Dead, "6th silent tick kills it");
+        assert_eq!((m.stall_events(), m.death_events()), (1, 1));
+    }
+
+    #[test]
+    fn recovery_serves_probation_with_doubling_backoff() {
+        let mut m = machine();
+        // First death → probation term 2.
+        for _ in 0..6 {
+            m.observe_tick(0, 0, 0);
+        }
+        assert_eq!(m.state(), CamHealth::Dead);
+        m.observe_tick(0, 0, 1); // liveness via mailbox push alone
+        assert_eq!(m.state(), CamHealth::Probation);
+        m.observe_tick(1, 0, 1);
+        m.observe_tick(1, 0, 1);
+        assert_eq!(m.state(), CamHealth::Healthy, "2 clean ticks re-promote");
+        assert_eq!(m.repromotions(), 1);
+
+        // Relapse → the term doubled to 4.
+        for _ in 0..6 {
+            m.observe_tick(0, 0, 0);
+        }
+        m.observe_tick(1, 0, 1);
+        assert_eq!(m.state(), CamHealth::Probation);
+        for _ in 0..3 {
+            m.observe_tick(1, 0, 1);
+        }
+        assert_eq!(m.state(), CamHealth::Probation, "term is now 4, not 2");
+        m.observe_tick(1, 0, 1);
+        assert_eq!(m.state(), CamHealth::Healthy);
+
+        // A long healthy run earns the base term back.
+        for _ in 0..32 {
+            m.observe_tick(1, 0, 1);
+        }
+        assert_eq!(
+            m.current_backoff(),
+            2,
+            "backoff reset after sustained health"
+        );
+    }
+
+    #[test]
+    fn unclean_probation_tick_restarts_the_countdown() {
+        let mut m = machine();
+        for _ in 0..2 {
+            m.observe_tick(0, 0, 0);
+        }
+        assert_eq!(m.state(), CamHealth::Stalled);
+        m.observe_tick(1, 0, 1);
+        assert_eq!(m.state(), CamHealth::Probation);
+        m.observe_tick(1, 1, 2); // drops during probation
+        m.observe_tick(1, 0, 1);
+        assert_eq!(
+            m.state(),
+            CamHealth::Probation,
+            "the unclean tick reset the countdown"
+        );
+        m.observe_tick(1, 0, 1);
+        assert_eq!(m.state(), CamHealth::Healthy);
+    }
+
+    #[test]
+    fn probation_relapse_to_silence_stalls_again() {
+        let mut m = machine();
+        for _ in 0..2 {
+            m.observe_tick(0, 0, 0);
+        }
+        m.observe_tick(1, 0, 1); // probation
+        for _ in 0..2 {
+            m.observe_tick(0, 0, 0);
+        }
+        assert_eq!(m.state(), CamHealth::Stalled);
+        assert_eq!(m.stall_events(), 2);
+    }
+}

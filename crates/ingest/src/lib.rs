@@ -23,6 +23,16 @@
 //!   a tick boundary, drain age-stamped frames, record the tick's busy
 //!   time, read the backpressure report ([`IngestReport`]: drops, queue
 //!   depths, frame-age p50/p99, tick overruns).
+//! * [`CamHealthMachine`] — the per-camera health state machine
+//!   (`Healthy → Degraded → Stalled → Dead`, with exponential-backoff
+//!   probation before re-promotion), driven from the drop/gap/push
+//!   telemetry every [`IngestFrontEnd::record_busy`] tick; `Dead` cameras
+//!   are excluded from the drain via [`IngestFrontEnd::dead_mask`] so a
+//!   wedged sensor costs zero serving budget.
+//! * [`FrameTap`] / [`TapVerdict`] — the seam between frame generation
+//!   and mailbox delivery that the `ld_fault` injector plugs into
+//!   (corrupt pixels in place; lose, suppress, or sequence-restart
+//!   delivery).
 //!
 //! # Example (deterministic)
 //!
@@ -41,10 +51,14 @@
 
 pub mod clock;
 pub mod front;
+pub mod health;
 pub mod mailbox;
 pub mod producer;
 
 pub use clock::TickClock;
 pub use front::{CamReport, IngestConfig, IngestFrame, IngestFrontEnd, IngestReport};
+pub use health::{CamHealth, CamHealthMachine, HealthConfig};
 pub use mailbox::{Mailbox, OverflowPolicy, SeqTracker};
-pub use producer::{CameraProducer, CameraSchedule, FrameSource, StampedFrame};
+pub use producer::{
+    CameraProducer, CameraSchedule, FrameSource, FrameTap, StampedFrame, TapVerdict,
+};

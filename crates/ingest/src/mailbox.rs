@@ -289,11 +289,21 @@ impl<T> std::fmt::Debug for Mailbox<T> {
 /// number of every frame actually received, and it tallies the frames that
 /// went missing in between — no matter whether they were evicted at push,
 /// skipped by a `LatestWins` drain, or lost anywhere else upstream.
+///
+/// A sequence number that does **not** increase is treated as a producer
+/// restart (camera firmware reboot re-issuing low seqs), not an error: the
+/// tracker opens a new epoch at `seq`, counts the restart in
+/// [`SeqTracker::regressions`], and books the new epoch's startup loss
+/// (frames `0..seq` of the fresh counter) as a gap — exactly what a late
+/// first observation books. Frames of the *old* epoch that were still in
+/// flight past the last pre-restart receipt cannot be seen by the consumer
+/// and are the caller's tail-gap to account, same as at end of stream.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SeqTracker {
     last: Option<u64>,
     gaps: u64,
     observed: u64,
+    regressions: u64,
 }
 
 impl SeqTracker {
@@ -303,21 +313,19 @@ impl SeqTracker {
     }
 
     /// Records receipt of `seq`; returns the gap since the previously
-    /// observed sequence number (0 when consecutive).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `seq` is not strictly greater than the last observed
-    /// sequence number (producers stamp monotonically).
+    /// observed sequence number (0 when consecutive). A non-increasing
+    /// `seq` opens a restart epoch: the returned gap is the fresh
+    /// counter's startup loss `seq` (frames `0..seq` of the new epoch
+    /// never arrived).
     pub fn observe(&mut self, seq: u64) -> u64 {
         let gap = match self.last {
             None => seq, // frames 0..seq never arrived
-            Some(prev) => {
-                assert!(
-                    seq > prev,
-                    "SeqTracker: non-monotonic seq {seq} after {prev}"
-                );
-                seq - prev - 1
+            Some(prev) if seq > prev => seq - prev - 1,
+            Some(_) => {
+                // Producer restart: the counter regressed. Same books as a
+                // fresh tracker's late first observation.
+                self.regressions += 1;
+                seq
             }
         };
         self.last = Some(seq);
@@ -336,7 +344,12 @@ impl SeqTracker {
         self.observed
     }
 
-    /// Highest sequence number seen so far.
+    /// Producer restarts detected (sequence-number regressions).
+    pub fn regressions(&self) -> u64 {
+        self.regressions
+    }
+
+    /// Highest sequence number seen in the current epoch.
     pub fn last_seq(&self) -> Option<u64> {
         self.last
     }
@@ -537,10 +550,118 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-monotonic")]
-    fn seq_tracker_rejects_reordering() {
+    fn seq_tracker_books_restart_as_new_epoch() {
         let mut t = SeqTracker::new();
-        t.observe(5);
-        t.observe(5);
+        assert_eq!(t.observe(5), 5);
+        // A re-issued seq is a producer restart, not a panic: the fresh
+        // counter's frames 0..5 never arrived.
+        assert_eq!(t.observe(5), 5);
+        assert_eq!(t.regressions(), 1);
+        assert_eq!(t.observe(6), 0, "the new epoch continues normally");
+        assert_eq!(t.observe(2), 2, "second reboot: frames 0 and 1 lost");
+        assert_eq!(t.regressions(), 2);
+        assert_eq!(t.dropped(), 5 + 5 + 2);
+        assert_eq!(t.observed(), 4);
+        assert_eq!(t.last_seq(), Some(2));
+    }
+
+    /// Producer-restart stress: a camera that reboots mid-stream four
+    /// times, re-issuing low seqs through a tiny lossy ring while the
+    /// consumer drains in bursts. Every produced frame must end up
+    /// received, booked as an observed gap, or booked as an epoch's
+    /// un-witnessed eviction tail — and every missing frame must be a
+    /// counted ring eviction. The books balance *exactly*.
+    #[test]
+    fn producer_restart_stress_balances_the_books() {
+        let mb = Mailbox::new(4, OverflowPolicy::DropOldest);
+        let mut tracker = SeqTracker::new();
+        let mut received = 0u64;
+        let mut produced = 0u64;
+        let mut tail = 0u64;
+        // The camera dies and reboots after each epoch (restarting seq at
+        // 0). Epochs are long enough that every restart is *detectable*:
+        // the new epoch's first receipt carries a seq at or below the old
+        // epoch's last one (a reboot after a 1-frame epoch is inherently
+        // indistinguishable from a plain gap — that ambiguity is the
+        // tail-accounting case pinned by the reboot test below).
+        let epochs = [37u64, 9, 83, 12, 64];
+        for &len in &epochs {
+            for seq in 0..len {
+                mb.push(seq);
+                produced += 1;
+                // Bursty consumer: sweep only every 7th frame, so the
+                // 4-slot ring overflows and evicts between sweeps.
+                if seq % 7 == 6 {
+                    while let Some(v) = mb.pop() {
+                        tracker.observe(v);
+                        received += 1;
+                    }
+                }
+            }
+            // The reboot: whatever the dying epoch pushed after the last
+            // sweep either drains now or was evicted un-witnessed (no
+            // later receipt can reveal the gap) — that is the epoch's
+            // tail loss, accounted here like at end of stream.
+            while let Some(v) = mb.pop() {
+                tracker.observe(v);
+                received += 1;
+            }
+            tail += len - 1 - tracker.last_seq().expect("every epoch delivers");
+        }
+        assert_eq!(tracker.regressions(), epochs.len() as u64 - 1);
+        assert_eq!(received, tracker.observed());
+        assert_eq!(
+            received + tracker.dropped() + tail,
+            produced,
+            "received {received} + gap-dropped {} + tails {tail} must cover all {produced}",
+            tracker.dropped()
+        );
+        assert_eq!(
+            tracker.dropped() + tail,
+            mb.overflow_drops() as u64,
+            "every missing frame is a counted ring eviction"
+        );
+    }
+
+    /// A reboot that destroys the dying epoch's queued tail: the old
+    /// frames still in the ring are evicted by the new epoch's pushes
+    /// before the consumer ever sees them. No later receipt can witness
+    /// that gap — it is the old epoch's *tail loss*, accounted from the
+    /// last pre-restart receipt, and the books still balance exactly.
+    #[test]
+    fn reboot_evicting_the_queued_tail_balances_exactly() {
+        let mb = Mailbox::new(4, OverflowPolicy::DropOldest);
+        let mut tracker = SeqTracker::new();
+        let mut received = 0u64;
+        // Epoch A: frames 0..=6 queued, one sweep. The 4-slot ring kept
+        // only 3..=6; the eviction of 0..=2 is witnessed as the gap on
+        // first receipt.
+        for seq in 0..=6u64 {
+            mb.push(seq);
+        }
+        while let Some(v) = mb.pop() {
+            tracker.observe(v);
+            received += 1;
+        }
+        assert_eq!(tracker.last_seq(), Some(6));
+        assert_eq!(tracker.dropped(), 3, "frames 0..=2 evicted, witnessed");
+        for seq in 7..=9u64 {
+            mb.push(seq); // queued, never to be seen again
+        }
+        let last_before_reboot = tracker.last_seq().unwrap();
+        // Reboot: epoch B pushes 0..=3, evicting A's queued 7..=9.
+        for seq in 0..=3u64 {
+            mb.push(seq);
+        }
+        while let Some(v) = mb.pop() {
+            tracker.observe(v);
+            received += 1;
+        }
+        assert_eq!(tracker.regressions(), 1, "the restart was detected");
+        let tail = 9 - last_before_reboot; // A's frames 7..=9, un-witnessed
+        let produced = 10 + 4;
+        assert_eq!(received + tracker.dropped() + tail, produced);
+        assert_eq!(tracker.dropped() + tail, mb.overflow_drops() as u64);
+        assert_eq!(tracker.last_seq(), Some(3), "epoch B is current");
     }
 }

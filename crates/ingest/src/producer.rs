@@ -40,6 +40,35 @@ pub struct StampedFrame {
     pub frame: LabeledFrame,
 }
 
+/// What a [`FrameTap`] decides about one about-to-be-delivered frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TapVerdict {
+    /// Deliver the (possibly mutated) frame normally.
+    Deliver,
+    /// The frame is lost in transit: the sequence number advances but
+    /// nothing is delivered — downstream observes a sequence *gap*.
+    Lose,
+    /// The camera goes silent: nothing is delivered and the sequence
+    /// number does **not** advance — downstream observes a stall, and the
+    /// stream resumes seamlessly (no gap) when delivery restarts.
+    Suppress,
+    /// The camera firmware reboots: the frame is delivered, but its
+    /// sequence counter restarts at 0 — downstream observes a sequence
+    /// *regression* (see [`crate::SeqTracker::regressions`]).
+    Restart,
+}
+
+/// A hook between frame generation and mailbox delivery — the seam the
+/// fault injector (`ld_fault`) plugs into. The tap sees every frame the
+/// schedule makes due, may mutate its pixels in place (corruption faults),
+/// and rules on its delivery ([`TapVerdict`]). `k` is the camera's frame
+/// index on its own schedule (monotone even across sequence restarts), so
+/// a seeded tap is bitwise reproducible run over run.
+pub trait FrameTap: Send {
+    /// Inspect/mutate frame `k` and rule on its delivery.
+    fn tap(&mut self, k: u64, frame: &mut StampedFrame) -> TapVerdict;
+}
+
 /// When camera frames come due: `due(k) = phase + k·period + jitter(k)`,
 /// with deterministic per-frame jitter in `[0, jitter_ns]`.
 ///
@@ -122,14 +151,38 @@ impl FrameSource {
 }
 
 /// One camera: a frame source, its delivery schedule, and the mailbox it
-/// feeds (see the module docs).
-#[derive(Debug)]
+/// feeds (see the module docs). An optional [`FrameTap`] sits between
+/// generation and delivery; it is what decouples the stamped sequence
+/// number `seq` from the schedule index `next` (a tap can lose frames,
+/// silence the camera, or restart its sequence counter).
 pub struct CameraProducer {
     cam: usize,
     source: FrameSource,
     schedule: CameraSchedule,
+    /// Schedule index of the next frame to generate (monotone, never
+    /// resets — it drives due times).
     next: u64,
+    /// Sequence number the next delivered frame will be stamped with.
+    seq: u64,
+    tap: Option<Box<dyn FrameTap>>,
+    lost: u64,
+    suppressed: u64,
+    restarts: u64,
     mailbox: Arc<Mailbox<StampedFrame>>,
+}
+
+impl std::fmt::Debug for CameraProducer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CameraProducer")
+            .field("cam", &self.cam)
+            .field("next", &self.next)
+            .field("seq", &self.seq)
+            .field("tapped", &self.tap.is_some())
+            .field("lost", &self.lost)
+            .field("suppressed", &self.suppressed)
+            .field("restarts", &self.restarts)
+            .finish()
+    }
 }
 
 impl CameraProducer {
@@ -145,8 +198,19 @@ impl CameraProducer {
             source,
             schedule,
             next: 0,
+            seq: 0,
+            tap: None,
+            lost: 0,
+            suppressed: 0,
+            restarts: 0,
             mailbox,
         }
+    }
+
+    /// Installs a fault-injection tap between generation and delivery.
+    pub fn with_tap(mut self, tap: Box<dyn FrameTap>) -> Self {
+        self.tap = Some(tap);
+        self
     }
 
     /// The delivery schedule.
@@ -154,9 +218,25 @@ impl CameraProducer {
         &self.schedule
     }
 
-    /// Frames produced so far (== the next sequence number).
+    /// Frames generated so far (the schedule index; without a tap this
+    /// equals the next sequence number).
     pub fn produced(&self) -> u64 {
         self.next
+    }
+
+    /// Frames a tap ruled lost in transit (sequence gaps).
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Frames a tap silently swallowed (camera stall, no gap).
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Sequence-counter restarts a tap injected.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
     }
 
     /// Synchronous pump: renders and pushes every frame due by `now_ns`.
@@ -172,15 +252,39 @@ impl CameraProducer {
     }
 
     fn push_next(&mut self) {
-        let due_ns = self.schedule.due_ns(self.next);
-        let frame = self.source.frame(self.next);
-        self.mailbox.push(StampedFrame {
+        let k = self.next;
+        let due_ns = self.schedule.due_ns(k);
+        let frame = self.source.frame(k);
+        self.next += 1;
+        let mut stamped = StampedFrame {
             cam: self.cam,
-            seq: self.next,
+            seq: self.seq,
             due_ns,
             frame,
-        });
-        self.next += 1;
+        };
+        let verdict = match &mut self.tap {
+            Some(tap) => tap.tap(k, &mut stamped),
+            None => TapVerdict::Deliver,
+        };
+        match verdict {
+            TapVerdict::Deliver => {
+                self.mailbox.push(stamped);
+                self.seq += 1;
+            }
+            TapVerdict::Lose => {
+                self.lost += 1;
+                self.seq += 1;
+            }
+            TapVerdict::Suppress => {
+                self.suppressed += 1;
+            }
+            TapVerdict::Restart => {
+                self.restarts += 1;
+                stamped.seq = 0;
+                self.mailbox.push(stamped);
+                self.seq = 1;
+            }
+        }
     }
 
     /// Moves the producer onto a pooled background thread that pushes each
@@ -276,6 +380,66 @@ mod tests {
             src.frame(4).image.as_slice(),
             timeline[1].image.as_slice(),
             "frame 4 of a 3-frame timeline wraps to 1"
+        );
+    }
+
+    #[test]
+    fn tap_verdicts_drive_seq_stamping_and_delivery() {
+        struct ScriptTap(Vec<TapVerdict>);
+        impl FrameTap for ScriptTap {
+            fn tap(&mut self, k: u64, frame: &mut StampedFrame) -> TapVerdict {
+                if k == 2 {
+                    frame.frame.image.as_mut_slice()[0] = f32::NAN;
+                }
+                self.0
+                    .get(k as usize)
+                    .copied()
+                    .unwrap_or(TapVerdict::Deliver)
+            }
+        }
+        let mb = Arc::new(Mailbox::new(16, OverflowPolicy::DropOldest));
+        let sched = CameraSchedule::new(300, 1_000, 0, 9);
+        let mut prod = CameraProducer::new(
+            0,
+            FrameSource::Live(tiny_set().isolate(0)),
+            sched,
+            mb.clone(),
+        )
+        .with_tap(Box::new(ScriptTap(vec![
+            TapVerdict::Deliver,
+            TapVerdict::Lose,
+            TapVerdict::Deliver,
+            TapVerdict::Suppress,
+            TapVerdict::Restart,
+            TapVerdict::Deliver,
+        ])));
+        prod.pump(5_500); // frames 0..=5 due (due(5) = 5300)
+        assert_eq!(
+            (
+                prod.produced(),
+                prod.lost(),
+                prod.suppressed(),
+                prod.restarts()
+            ),
+            (6, 1, 1, 1)
+        );
+
+        let delivered: Vec<StampedFrame> = std::iter::from_fn(|| mb.pop()).collect();
+        // k=0 → seq 0; k=1 lost (seq 1 burned: a gap); k=2 → seq 2 with the
+        // corrupted pixel; k=3 suppressed (seq untouched: no gap); k=4
+        // restarts at seq 0; k=5 → seq 1 of the new epoch.
+        assert_eq!(
+            delivered.iter().map(|f| f.seq).collect::<Vec<_>>(),
+            [0, 2, 0, 1]
+        );
+        assert!(
+            delivered[1].frame.image.as_slice()[0].is_nan(),
+            "tap mutation delivered"
+        );
+        // Due times keep flowing from the schedule index across the restart.
+        assert_eq!(
+            delivered.iter().map(|f| f.due_ns).collect::<Vec<_>>(),
+            [300, 2_300, 4_300, 5_300]
         );
     }
 

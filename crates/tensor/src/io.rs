@@ -17,6 +17,41 @@ use crate::{Tensor, TensorError};
 
 const MAGIC: &[u8; 4] = b"LDTN";
 
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial) over `bytes`.
+///
+/// Used as the payload checksum of the versioned `LDBK` bank format so a
+/// bit-flipped checkpoint is *rejected* instead of silently decoding into a
+/// poisoned bank. Table-driven, std-only — the build environment cannot
+/// fetch a crc crate, and 40 lines beat a dependency.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Reflected polynomial 0xEDB88320; table built once, lazily.
+    fn table() -> &'static [u32; 256] {
+        use std::sync::OnceLock;
+        static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            let mut t = [0u32; 256];
+            for (i, e) in t.iter_mut().enumerate() {
+                let mut c = i as u32;
+                for _ in 0..8 {
+                    c = if c & 1 != 0 {
+                        0xEDB8_8320 ^ (c >> 1)
+                    } else {
+                        c >> 1
+                    };
+                }
+                *e = c;
+            }
+            t
+        })
+    }
+    let t = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = t[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
 impl Tensor {
     /// Encodes the tensor into the compact `LDTN` binary format.
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -113,6 +148,18 @@ mod tests {
         let cut = &full[..full.len() - 4];
         let err = Tensor::from_bytes(cut).unwrap_err();
         assert!(matches!(err, TensorError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE test vector, plus edge cases.
+        assert_eq!(super::crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(super::crc32(b""), 0);
+        // Any single-bit flip changes the checksum.
+        let base = super::crc32(b"payload");
+        let mut flipped = b"payload".to_vec();
+        flipped[3] ^= 0x10;
+        assert_ne!(super::crc32(&flipped), base);
     }
 
     #[test]

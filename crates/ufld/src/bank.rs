@@ -21,12 +21,31 @@
 //! The same order is what
 //! `ld_quant`'s per-bank epilogue re-fold walks, so a bank can re-fold a
 //! quantized snapshot without touching the f32 model.
+//!
+//! # Format versioning and corruption rejection
+//!
+//! [`BnBank::to_bytes`] emits **version 1** of the `LDBK` format: a format
+//! version byte after the magic and a trailing CRC-32 over everything
+//! between them, so a bank checkpoint with even a single flipped bit is
+//! *rejected* at [`BnBank::from_bytes`] instead of silently restoring a
+//! poisoned γ/β into the serving path. Version-0 bytes (PR 4's unversioned
+//! layout, where the little-endian layer count follows the magic directly)
+//! are still decoded: the byte after the magic is `0x01` only for v1
+//! streams, because a v0 stream puts the layer-count LSB there.
+//!
+//! **Documented break**: a v0 bank whose layer count ≡ 1 (mod 256) is
+//! misdetected as v1 and rejected with a checksum error. In practice that
+//! is only single-layer toy banks (real UFLD models carry ~9+ BN layers);
+//! re-encode such a bank with the current `to_bytes` to migrate.
 
 use ld_nn::BnState;
 use ld_tensor::{Tensor, TensorError};
 
 /// Magic prefix of the serialized-bank format (`LDBK`).
 const BANK_MAGIC: &[u8; 4] = b"LDBK";
+
+/// Current `LDBK` format version (see the module doc for the history).
+const BANK_VERSION: u8 = 1;
 
 /// One [`BnState`] per BN layer of a model, in canonical order.
 #[derive(Debug, Clone)]
@@ -136,11 +155,13 @@ impl BnBank {
     /// [`state_bytes`](crate::UfldModel::state_bytes) checkpoint:
     ///
     /// ```text
-    /// magic  b"LDBK"                      4 bytes
-    /// layers u32 LE                       4 bytes
+    /// magic   b"LDBK"                     4 bytes
+    /// version u8 = 0x01                   1 byte
+    /// layers  u32 LE                      4 bytes
     /// per layer:
     ///   name_len u32 LE + name bytes      (the BN layer's base name)
     ///   4 × (tensor_len u64 LE + LDTN):   γ, β, running mean, running var
+    /// crc32   u32 LE                      4 bytes, over version..payload
     /// ```
     ///
     /// Gradient accumulators and momentum are deliberately *not* stored: a
@@ -149,6 +170,7 @@ impl BnBank {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(BANK_MAGIC);
+        out.push(BANK_VERSION);
         out.extend_from_slice(&(self.states.len() as u32).to_le_bytes());
         for s in &self.states {
             let base = s.gamma.name.strip_suffix(".gamma").unwrap_or(&s.gamma.name);
@@ -166,16 +188,24 @@ impl BnBank {
                 out.extend_from_slice(&tb);
             }
         }
+        let crc = ld_tensor::io::crc32(&out[4..]);
+        out.extend_from_slice(&crc.to_le_bytes());
         out
     }
 
     /// Restores a bank serialised by [`BnBank::to_bytes`].
     ///
+    /// Version-1 streams are verified against their trailing CRC-32 before
+    /// any payload is parsed — a single flipped bit anywhere between magic
+    /// and checksum is rejected. Version-0 streams (no version byte, no
+    /// checksum) still decode; see the module doc for the one documented
+    /// misdetection case.
+    ///
     /// # Errors
     ///
-    /// Returns [`TensorError::DecodeBytes`] on a bad magic, truncation, or
-    /// a per-layer shape inconsistency (γ/β/stats must all be
-    /// `[channels]`).
+    /// Returns [`TensorError::DecodeBytes`] on a bad magic, checksum
+    /// mismatch, truncation, or a per-layer shape inconsistency
+    /// (γ/β/stats must all be `[channels]`).
     pub fn from_bytes(bytes: impl AsRef<[u8]>) -> Result<BnBank, TensorError> {
         let mut bytes = bytes.as_ref();
         let take = |bytes: &mut &[u8], n: usize, what: &str| -> Result<Vec<u8>, TensorError> {
@@ -191,6 +221,24 @@ impl BnBank {
             return Err(TensorError::DecodeBytes(format!(
                 "bad bank magic {magic:?}, want {BANK_MAGIC:?}"
             )));
+        }
+        // Version sniff: v1 puts the version byte right after the magic; a
+        // v0 stream puts its layer-count LSB there instead (0x01 only for
+        // the documented 1-mod-256 corner, rejected below by the CRC).
+        if bytes.first() == Some(&BANK_VERSION) {
+            if bytes.len() < 1 + 4 {
+                return Err(TensorError::DecodeBytes("truncated checksum".into()));
+            }
+            let (body, tail) = bytes.split_at(bytes.len() - 4);
+            let stored = u32::from_le_bytes(tail.try_into().unwrap());
+            let computed = ld_tensor::io::crc32(body);
+            if computed != stored {
+                return Err(TensorError::DecodeBytes(format!(
+                    "bank checksum mismatch: stored {stored:#010x}, computed {computed:#010x} \
+                     (corrupted payload)"
+                )));
+            }
+            bytes = &body[1..]; // strict v1 from here on: CRC already verified
         }
         let layers = u32::from_le_bytes(take(&mut bytes, 4, "layer count")?.try_into().unwrap());
         let mut states = Vec::with_capacity(layers as usize);
@@ -303,6 +351,88 @@ mod tests {
             assert_eq!(a.running_var.as_slice(), r.running_var.as_slice());
             assert!(r.gamma.grad.as_slice().iter().all(|&g| g == 0.0));
         }
+    }
+
+    /// Re-encodes a bank in the PR 4 version-0 layout (no version byte, no
+    /// checksum) to pin backward compatibility of the decoder.
+    fn v0_bytes(b: &BnBank) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"LDBK");
+        out.extend_from_slice(&(b.layer_count() as u32).to_le_bytes());
+        for s in b.iter() {
+            let base = s.gamma.name.strip_suffix(".gamma").unwrap_or(&s.gamma.name);
+            out.extend_from_slice(&(base.len() as u32).to_le_bytes());
+            out.extend_from_slice(base.as_bytes());
+            for t in [
+                &s.gamma.value,
+                &s.beta.value,
+                &s.running_mean,
+                &s.running_var,
+            ] {
+                let tb = t.to_bytes();
+                out.extend_from_slice(&(tb.len() as u64).to_le_bytes());
+                out.extend_from_slice(&tb);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn v1_encoding_carries_version_byte_and_checksum() {
+        let bytes = bank(&[2, 3]).to_bytes();
+        assert_eq!(&bytes[..4], b"LDBK");
+        assert_eq!(bytes[4], 1, "format version byte");
+        let crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+        assert_eq!(crc, ld_tensor::io::crc32(&bytes[4..bytes.len() - 4]));
+    }
+
+    /// The headline corruption guarantee: flipping ANY single bit of a v1
+    /// encoding — magic, version, header, names, tensor payloads, or the
+    /// checksum itself — makes the decode fail instead of silently
+    /// restoring a poisoned bank.
+    #[test]
+    fn from_bytes_rejects_any_single_bit_flip() {
+        let mut b = bank(&[2, 3]);
+        b.states_mut()[0].gamma.value.as_mut_slice()[1] = 1.5;
+        b.states_mut()[1].running_var.as_mut_slice()[2] = 0.25;
+        let clean = b.to_bytes();
+        BnBank::from_bytes(&clean).expect("the clean encoding decodes");
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut corrupt = clean.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(
+                    BnBank::from_bytes(&corrupt).is_err(),
+                    "flip of byte {byte} bit {bit} must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_v0_bytes_still_decode() {
+        let mut b = bank(&[2, 5]);
+        b.states_mut()[0].gamma.value.as_mut_slice()[1] = 3.5;
+        b.states_mut()[1].running_mean.as_mut_slice()[4] = -2.0;
+        let restored = BnBank::from_bytes(v0_bytes(&b)).expect("v0 decode");
+        assert_eq!(restored.layer_count(), 2);
+        assert_eq!(restored.affine_l2_distance(&b), 0.0);
+        assert_eq!(
+            restored.states()[1].running_mean.as_slice(),
+            b.states()[1].running_mean.as_slice()
+        );
+    }
+
+    /// The documented break: a v0 stream whose layer count ≡ 1 (mod 256)
+    /// puts 0x01 where v1 keeps its version byte, is misdetected as v1 and
+    /// rejected by the checksum — loudly, never silently misparsed.
+    #[test]
+    fn legacy_v0_single_layer_is_rejected_as_documented() {
+        let err = BnBank::from_bytes(v0_bytes(&bank(&[3]))).unwrap_err();
+        assert!(
+            err.to_string().contains("checksum"),
+            "want a checksum rejection, got: {err}"
+        );
     }
 
     #[test]

@@ -22,22 +22,144 @@
 //! p50/p99, tick overruns). Add `--overload` to offer 2× the tick rate and
 //! watch the surplus shed at ingest.
 //!
+//! With `--chaos`, the same serving stack is attacked instead: seeded
+//! `ld_fault` scripts kill one camera mid-run, NaN-poison another and slam
+//! a third with a drift storm, while the self-healing layer (integrity
+//! screen + divergence quarantine) keeps serving. The run replays the same
+//! seeds fault-free, prints the per-camera health / fault telemetry, and
+//! **asserts** the untouched camera's adaptation state is bitwise
+//! identical across the two runs — chaos as a smoke-testable contract.
+//!
 //! ```text
 //! cargo run --release --example multi_stream_server \
-//!     [-- --quick] [-- --shared-bn] [-- --ingest [--overload]]
+//!     [-- --quick] [-- --shared-bn] [-- --ingest [--overload]] [-- --chaos]
 //! ```
 
 use ld_adapt::{
     frame_spec_for, pretrain_on_source, AdaptServer, AdmissionGate, GovernorConfig,
-    LdBnAdaptConfig, ServerConfig, TrainConfig,
+    LdBnAdaptConfig, SelfHealConfig, ServerConfig, TrainConfig,
 };
 use ld_bn_adapt::prelude::*;
 use ld_carlane::StreamSet;
-use ld_ingest::{IngestConfig, IngestFrontEnd};
+use ld_fault::{Fault, FaultScript};
+use ld_ingest::{FrameTap, IngestConfig, IngestFrontEnd};
 use ld_orin::{AdaptCostModel, Deadline, PowerMode, Roofline};
+
+/// The `--chaos` demo: four cameras in bank mode with self-healing armed,
+/// three of them under scripted attack, on the deterministic manual clock.
+fn chaos_demo(quick: bool) {
+    let cfg = UfldConfig::tiny(2);
+    let n = 4;
+    let ticks = if quick { 12 } else { 24 };
+    const TICK_NS: u64 = 33_300_000;
+    let mk_streams = || StreamSet::drifting(Benchmark::MoLane, frame_spec_for(&cfg), n, 24, 21);
+    let server_cfg = || {
+        ServerConfig::new(
+            LdBnAdaptConfig::paper(1).with_lr(0.02),
+            GovernorConfig {
+                warmup_frames: 2,
+                threshold_ratio: 1.05,
+                rollback_ratio: 1e9,
+                ..Default::default()
+            },
+            n,
+        )
+        .with_bn_banks()
+        .with_self_healing(SelfHealConfig::default())
+    };
+    let mk_taps = || -> Vec<(usize, Box<dyn FrameTap>)> {
+        vec![
+            (1, Box::new(FaultScript::dead_camera(0xD1E, 3))),
+            (2, Box::new(FaultScript::nan_camera(0xBAD, 2, 4))),
+            (
+                3,
+                Box::new(FaultScript::new(0x570).with(Fault::DriftStorm {
+                    from: 0,
+                    frames: ticks as u64,
+                    gain: 0.5,
+                })),
+            ),
+        ]
+    };
+    println!("chaos mode: {n} cameras, {ticks} ticks, manual 30 FPS clock");
+    println!("  cam0: untouched (the bitwise-isolation witness)");
+    println!("  cam1: dies at frame 3 (health machine must classify it)");
+    println!("  cam2: NaN pixels for ticks 2..6 (integrity screen must reject)");
+    println!("  cam3: full-run drift storm (governor stress, frames stay legal)");
+
+    // Fault-free reference run of the same seeds.
+    let mut model_clean = UfldModel::new(&cfg, 0xC4A0);
+    let streams_clean = mk_streams();
+    let mut front_clean = IngestFrontEnd::manual(&streams_clean, &IngestConfig::new(TICK_NS));
+    let mut clean = AdaptServer::new(server_cfg(), n, &mut model_clean);
+    let report_clean = clean.serve_ingest(&mut model_clean, &mut front_clean, ticks);
+
+    // The attacked run.
+    let mut model_chaos = UfldModel::new(&cfg, 0xC4A0);
+    let streams_chaos = mk_streams();
+    let mut front_chaos =
+        IngestFrontEnd::manual_with_taps(&streams_chaos, &IngestConfig::new(TICK_NS), mk_taps());
+    let mut chaos = AdaptServer::new(server_cfg(), n, &mut model_chaos);
+    let report_chaos = chaos.serve_ingest(&mut model_chaos, &mut front_chaos, ticks);
+
+    println!(
+        "\n{:>6} | {:>7} | {:>8} | {:>8} | {:>6} | {:>7} | {:>10} | {:>8}",
+        "stream", "frames", "health", "rejected", "frozen", "diverge", "quarantine", "recovery"
+    );
+    for (sid, s) in report_chaos.per_stream.iter().enumerate() {
+        let f = s.fault.expect("self-heal armed");
+        println!(
+            "{:>6} | {:>7} | {:>8} | {:>8} | {:>6} | {:>7} | {:>10} | {:>8}",
+            format!("cam{sid}"),
+            s.frames,
+            format!("{:?}", front_chaos.health(sid)),
+            f.rejected_frames,
+            f.frozen_frames,
+            f.divergence_events,
+            f.quarantine_ticks,
+            f.recovery_tick
+                .map_or_else(|| "-".into(), |t| t.to_string()),
+        );
+    }
+    println!(
+        "server: {} frames served, {} rejected, {} adapt steps",
+        report_chaos.server.frames,
+        report_chaos.server.rejected_frames,
+        report_chaos.server.adapt_steps
+    );
+
+    // The contract, asserted so the check-suite smoke is a real gate: the
+    // untouched camera's entire adaptation state is bitwise the clean run.
+    let (a, b) = (&report_clean.per_stream[0], &report_chaos.per_stream[0]);
+    assert_eq!(a.stats, b.stats, "cam0 duty telemetry diverged");
+    assert_eq!(a.frames, b.frames, "cam0 serving cadence diverged");
+    assert_eq!(
+        clean.reference_entropy(0).map(f32::to_bits),
+        chaos.reference_entropy(0).map(f32::to_bits),
+        "cam0 reference band diverged"
+    );
+    assert_eq!(
+        clean.stream_bank(0).expect("bank mode").to_bytes(),
+        chaos.stream_bank(0).expect("bank mode").to_bytes(),
+        "cam0 bank state diverged"
+    );
+    assert!(
+        report_chaos.per_stream[2]
+            .fault
+            .expect("self-heal armed")
+            .rejected_frames
+            >= 1,
+        "the NaN window must be caught by the integrity screen"
+    );
+    println!("\nbitwise isolation of the untouched camera: VERIFIED");
+}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    if std::env::args().any(|a| a == "--chaos") {
+        chaos_demo(quick);
+        return;
+    }
     let cfg = UfldConfig::scaled(Backbone::ResNet18, 2);
     let mut model = UfldModel::new(&cfg, 11);
 

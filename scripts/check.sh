@@ -34,10 +34,14 @@ cargo run --release --example multi_stream_server -- --quick --ingest
 echo "== ingest smoke: 2x offered overload (sheds at ingest, no overruns) =="
 cargo run --release --example multi_stream_server -- --quick --ingest --overload
 
+echo "== chaos smoke: scripted faults, self-healing, asserted bitwise isolation =="
+cargo run --release --example multi_stream_server -- --quick --chaos
+
 # The smoke gate compares against the last local quick run (the file is
 # gitignored; a fresh checkout passes trivially) at a 30% noise floor —
 # the strict >10% gate runs with the full `server_throughput` bench,
-# diffing BENCH_server.json against the committed baseline.
+# diffing BENCH_server.json against the committed baseline (including the
+# degraded-mode `fps_vs_banked` self-healing overhead row).
 echo "== bench smoke: server_throughput --quick (emits BENCH_server.quick.json," \
      "smoke-level throughput regression gate) =="
 cargo bench -p ld-bench --bench server_throughput -- --quick

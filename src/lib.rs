@@ -10,7 +10,10 @@
 //! * [`ufld`] — the Ultra-Fast Lane Detection model ([`ld_ufld`])
 //! * [`carlane`] — synthetic CARLANE sim-to-real benchmarks ([`ld_carlane`])
 //! * [`ingest`] — real-time frame ingest: lock-free per-camera mailboxes,
-//!   tick scheduling, backpressure telemetry ([`ld_ingest`])
+//!   tick scheduling, backpressure telemetry, camera health state machine
+//!   ([`ld_ingest`])
+//! * [`fault`] — deterministic seeded fault injection: camera
+//!   stall/death/restart, frame corruption, drift storms ([`ld_fault`])
 //! * [`adapt`] — **the paper's contribution**: LD-BN-ADAPT, baselines,
 //!   ablations and the evaluation harness ([`ld_adapt`])
 //! * [`orin`] — the Jetson AGX Orin roofline latency/energy model
@@ -33,6 +36,7 @@
 pub use ld_adapt as adapt;
 pub use ld_carlane as carlane;
 pub use ld_cluster as cluster;
+pub use ld_fault as fault;
 pub use ld_ingest as ingest;
 pub use ld_nn as nn;
 pub use ld_orin as orin;

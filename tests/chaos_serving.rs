@@ -1,0 +1,271 @@
+//! Chaos acceptance suite: deterministic fault injection (`ld_fault`)
+//! against the self-healing serving stack, all on the manual clock.
+//!
+//! The contracts under test:
+//!
+//! * **isolation** — a dead camera and a NaN-spewing camera must not
+//!   perturb a healthy neighbour by a single bit: per-stream bank bytes,
+//!   reference bands, duty stats and accuracy reports of the healthy
+//!   streams are compared bitwise against a fault-free run of the same
+//!   seeds;
+//! * **survival** — a storm of every fault in the taxonomy (bit flips,
+//!   freezes, restarts, losses, stalls, drift storms, ∞ pixels) degrades
+//!   serving, never panics it;
+//! * **recovery** — a quarantined stream serves eval-only through its
+//!   cooldown and resumes with a recorded recovery tick in its
+//!   [`StreamReport`] fault telemetry.
+
+use ld_adapt::{
+    frame_spec_for, AdaptServer, GovernorConfig, LdBnAdaptConfig, SelfHealConfig, ServerConfig,
+    StreamFaultStats,
+};
+use ld_carlane::{Benchmark, StreamSet};
+use ld_fault::{Fault, FaultScript};
+use ld_ingest::{CamHealth, FrameTap, IngestConfig, IngestFrontEnd};
+use ld_nn::Layer;
+use ld_ufld::{UfldConfig, UfldModel};
+
+const TICK_NS: u64 = 33_300_000; // 30 FPS tick period
+
+fn governor() -> GovernorConfig {
+    GovernorConfig {
+        warmup_frames: 2,
+        threshold_ratio: 1.05,
+        rollback_ratio: 1e9,
+        ..Default::default()
+    }
+}
+
+/// The headline isolation proof: four drifting cameras in bank mode, one
+/// dies mid-run, one streams NaN-corrupted frames for a window — the two
+/// healthy cameras' entire adaptation state must be **bitwise identical**
+/// to a fault-free run of the same seeds, and the server must not panic.
+#[test]
+fn chaos_cameras_leave_healthy_streams_bitwise_identical() {
+    let cfg = UfldConfig::tiny(2);
+    let n = 4;
+    let ticks = 12;
+    let mk_streams = || StreamSet::drifting(Benchmark::MoLane, frame_spec_for(&cfg), n, 16, 21);
+    let server_cfg = || {
+        ServerConfig::new(LdBnAdaptConfig::paper(1).with_lr(0.02), governor(), n)
+            .with_bn_banks()
+            .with_self_healing(SelfHealConfig::default())
+    };
+
+    // Fault-free reference run.
+    let mut model_clean = UfldModel::new(&cfg, 0xC4A0);
+    let streams_clean = mk_streams();
+    let mut front_clean = IngestFrontEnd::manual(&streams_clean, &IngestConfig::new(TICK_NS));
+    let mut clean = AdaptServer::new(server_cfg(), n, &mut model_clean);
+    let report_clean = clean.serve_ingest(&mut model_clean, &mut front_clean, ticks);
+
+    // Chaos run: camera 1 dies at frame 3, camera 2 streams heavily
+    // NaN-corrupted frames for ticks 2..6. Same seeds everywhere else.
+    let mut model_chaos = UfldModel::new(&cfg, 0xC4A0);
+    let streams_chaos = mk_streams();
+    let taps: Vec<(usize, Box<dyn FrameTap>)> = vec![
+        (1, Box::new(FaultScript::dead_camera(0xD1E, 3))),
+        (2, Box::new(FaultScript::nan_camera(0xBAD, 2, 4))),
+    ];
+    let mut front_chaos =
+        IngestFrontEnd::manual_with_taps(&streams_chaos, &IngestConfig::new(TICK_NS), taps);
+    let mut chaos = AdaptServer::new(server_cfg(), n, &mut model_chaos);
+    let report_chaos = chaos.serve_ingest(&mut model_chaos, &mut front_chaos, ticks);
+
+    // The faults observably happened.
+    assert!(
+        report_chaos.per_stream[1].frames < ticks,
+        "the dead camera cannot keep serving every tick"
+    );
+    assert_eq!(
+        front_chaos.health(1),
+        CamHealth::Dead,
+        "six silent ticks must classify the camera dead"
+    );
+    let cam2 = report_chaos.per_stream[2].fault.expect("self-heal armed");
+    assert!(
+        cam2.rejected_frames >= 1,
+        "the NaN window must be rejected by the integrity screen: {cam2:?}"
+    );
+    assert!(report_chaos.server.rejected_frames >= 1);
+    assert!(
+        report_clean.per_stream[0].stats.adapted_frames > 0,
+        "vacuous without adaptation"
+    );
+
+    // The healthy cameras are bitwise the fault-free run.
+    for sid in [0usize, 3] {
+        let (a, b) = (&report_clean.per_stream[sid], &report_chaos.per_stream[sid]);
+        assert_eq!(a.stats, b.stats, "stream {sid} duty telemetry diverged");
+        assert_eq!(a.report, b.report, "stream {sid} accuracy diverged");
+        assert_eq!(a.frames, b.frames, "stream {sid} serving cadence diverged");
+        assert_eq!(
+            clean.reference_entropy(sid).map(f32::to_bits),
+            chaos.reference_entropy(sid).map(f32::to_bits),
+            "stream {sid} reference band diverged"
+        );
+        assert_eq!(
+            clean.stream_bank(sid).expect("bank mode").to_bytes(),
+            chaos.stream_bank(sid).expect("bank mode").to_bytes(),
+            "stream {sid} bank state diverged"
+        );
+        assert_eq!(
+            b.fault.expect("self-heal armed"),
+            StreamFaultStats::default(),
+            "stream {sid} accrued fault telemetry it should not have"
+        );
+    }
+}
+
+/// Survival: every fault in the taxonomy at once, behind real mailboxes on
+/// the manual clock. The run must complete (no panic anywhere in the
+/// stack), keep serving the streams that still deliver frames, and account
+/// for the carnage in the fault telemetry.
+#[test]
+fn full_fault_storm_degrades_serving_but_never_panics() {
+    let cfg = UfldConfig::tiny(2);
+    let n = 3;
+    let ticks = 16;
+    let streams = StreamSet::drifting(Benchmark::MoLane, frame_spec_for(&cfg), n, 24, 33);
+    let taps: Vec<(usize, Box<dyn FrameTap>)> = vec![
+        (
+            0,
+            Box::new(
+                FaultScript::new(0x51)
+                    .with(Fault::BitFlips {
+                        from: 2,
+                        frames: 8,
+                        flips: 4,
+                    })
+                    .with(Fault::Restart { at: 4 })
+                    .with(Fault::Lossy { from: 6, frames: 3 }),
+            ),
+        ),
+        (
+            1,
+            Box::new(
+                FaultScript::new(0x52)
+                    .with(Fault::Freeze { from: 3, frames: 6 })
+                    .with(Fault::Stall {
+                        from: 10,
+                        frames: 3,
+                    }),
+            ),
+        ),
+        (
+            2,
+            Box::new(
+                FaultScript::new(0x53)
+                    .with(Fault::DriftStorm {
+                        from: 0,
+                        frames: 16,
+                        gain: 0.5,
+                    })
+                    .with(Fault::InfPixels {
+                        from: 5,
+                        frames: 2,
+                        rate: 0.02,
+                    }),
+            ),
+        ),
+    ];
+    let mut front = IngestFrontEnd::manual_with_taps(&streams, &IngestConfig::new(TICK_NS), taps);
+    let server_cfg = ServerConfig::new(LdBnAdaptConfig::paper(1).with_lr(0.02), governor(), n)
+        .with_bn_banks()
+        .with_self_healing(SelfHealConfig::default());
+    let mut model = UfldModel::new(&cfg, 0x570);
+    let mut server = AdaptServer::new(server_cfg, n, &mut model);
+
+    let report = server.serve_ingest(&mut model, &mut front, ticks);
+
+    // Serving survived: every camera still got frames through (the storm
+    // windows all close before the run ends).
+    for (sid, s) in report.per_stream.iter().enumerate() {
+        assert!(s.frames > 0, "stream {sid} starved outright");
+    }
+    // The carnage is accounted, not silently swallowed: the long freeze
+    // must trip the integrity screen past its threshold…
+    let cam1 = report.per_stream[1].fault.expect("self-heal armed");
+    assert!(
+        cam1.frozen_frames >= 1,
+        "six frozen frames against threshold 3 must be caught: {cam1:?}"
+    );
+    // …and the ∞-pixel window must be rejected outright.
+    let cam2 = report.per_stream[2].fault.expect("self-heal armed");
+    assert!(
+        cam2.rejected_frames >= 1,
+        "∞ pixels must never reach the batched forward: {cam2:?}"
+    );
+    // The adaptation state the run ends with is finite everywhere.
+    for sid in 0..n {
+        let bank = server.stream_bank(sid).expect("bank mode");
+        for st in bank.states() {
+            assert!(
+                st.gamma.value.as_slice().iter().all(|v| v.is_finite())
+                    && st.beta.value.as_slice().iter().all(|v| v.is_finite()),
+                "stream {sid} ended the storm with non-finite bank state"
+            );
+        }
+    }
+}
+
+/// Recovery: a destructive update lands non-finite γ/β on the shared
+/// model mid-deployment. The state screen quarantines every stream riding
+/// it (shared state is shared fate), the rollback heals the model, the
+/// cooldown serves eval-only, and the recovery tick lands in each
+/// stream's [`ld_adapt::StreamReport`] fault telemetry.
+#[test]
+fn quarantined_streams_recover_with_recovery_ticks_in_the_report() {
+    let cfg = UfldConfig::tiny(2);
+    let n = 2;
+    let gov = GovernorConfig {
+        warmup_frames: 100, // skip-only: every tick blesses the BN state
+        ..Default::default()
+    };
+    let server_cfg = ServerConfig::new(LdBnAdaptConfig::paper(1), gov, n)
+        .with_self_healing(SelfHealConfig::default());
+    let mut model = UfldModel::new(&cfg, 0x4EC0);
+    let mut set = StreamSet::drifting(Benchmark::MoLane, frame_spec_for(&cfg), n, 24, 9);
+    let mut server = AdaptServer::new(server_cfg, n, &mut model);
+
+    // Healthy warmup: references set, BN state blessed as known-good.
+    server.serve(&mut model, &mut set, 2);
+
+    // The destructive update: non-finite γ/β on the shared model.
+    model.visit_params(&mut |p| {
+        if p.kind.is_bn() {
+            p.value.fill(f32::NAN);
+        }
+    });
+
+    // Long enough to detect, quarantine (base 4 served ticks) and recover.
+    let report = server.serve(&mut model, &mut set, 8);
+
+    assert!(report.server.rollback_ticks >= 1, "{:?}", report.server);
+    assert_eq!(
+        report.server.divergence_events, n,
+        "every stream riding the poisoned state diverges"
+    );
+    // The rollback healed the shared model.
+    let mut finite = true;
+    model.visit_params(&mut |p| {
+        if p.kind.is_bn() {
+            finite &= p.value.as_slice().iter().all(|v| v.is_finite());
+        }
+    });
+    assert!(finite, "rollback must restore finite BN state");
+    let base = SelfHealConfig::default().quarantine_base as usize;
+    for (sid, s) in report.per_stream.iter().enumerate() {
+        let fault = s.fault.expect("self-heal armed");
+        assert_eq!(fault.quarantines, 1, "stream {sid}: one quarantine");
+        assert_eq!(
+            fault.quarantine_ticks, base,
+            "stream {sid}: the cooldown must run its base term"
+        );
+        assert!(
+            fault.recovery_tick.is_some(),
+            "stream {sid}: recovery must be recorded: {fault:?}"
+        );
+        assert!(!server.is_quarantined(sid), "stream {sid} must be released");
+    }
+}
