@@ -1,0 +1,256 @@
+//! Benchmarks the batch-parallel backward pass against the width-1
+//! sequential reference schedule, per layer and for the full UFLD model,
+//! and emits machine-readable `BENCH_backward.json` at the workspace root.
+//!
+//! Two schedules of the *same* backward are timed at each batch size:
+//!
+//! * `parallel` — the production path: images fan out over the persistent
+//!   worker pool into per-image gradient replicas, folded in image order
+//!   (bitwise-identical to sequential at every pool width — pinned by the
+//!   `ld_nn::gradcheck` suite and the root `backward_parallel_*` tests);
+//! * `sequential` — the same code forced through
+//!   [`ld_tensor::parallel::run_sequential`], the width-1 reference.
+//!
+//! `speedup_vs_sequential` on parallel rows is therefore pure scheduling
+//! gain: on a single-core host it sits at ~1.0 (the pool has no workers),
+//! on an N-core host the model-scope rows approach the core count for
+//! batches ≥ N. The full-model parallel rows feed
+//! `ld_orin::BackwardCal::from_backward_bench`, which the admission gate
+//! uses to stop overpricing adapting ticks as `batch ×` the single-image
+//! backward.
+//!
+//! Run: `cargo bench -p ld-bench --bench backward_step` (add `-- --quick`
+//! for the smoke variant used by `scripts/check.sh`).
+
+use criterion::{take_results, BenchmarkId, Criterion};
+use ld_nn::{loss, BatchNorm2d, BnStatsPolicy, Conv2d, Layer, Linear, Mode};
+use ld_tensor::parallel::run_sequential;
+use ld_tensor::rng::SeededRng;
+use ld_tensor::Tensor;
+use ld_ufld::{UfldConfig, UfldModel};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Times `backward(grad)` under both schedules at one `(scope, batch)`
+/// cell. The forward runs once up front — layer caches persist across
+/// backward calls, which is exactly how the server reuses the batched
+/// inference activations.
+fn bench_layer<L: Layer>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    scope: &str,
+    batch: usize,
+    layer: &mut L,
+    x: &Tensor,
+) {
+    let out = layer.forward(x, Mode::Eval);
+    let grad = SeededRng::new(0xB5).uniform_tensor(out.shape_dims(), -1e-3, 1e-3);
+    group.bench_with_input(
+        BenchmarkId::new(format!("{scope}/parallel"), batch),
+        &batch,
+        |b, _| {
+            b.iter(|| {
+                layer.zero_grad();
+                layer.backward(&grad)
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new(format!("{scope}/sequential"), batch),
+        &batch,
+        |b, _| {
+            b.iter(|| {
+                layer.zero_grad();
+                run_sequential(|| layer.backward(&grad))
+            })
+        },
+    );
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let quick = criterion::quick_mode();
+    let batches: &[usize] = if quick { &[1, 4] } else { &[1, 4, 8] };
+    let mut group = c.benchmark_group("backward_step");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(if quick { 1 } else { 3 }));
+
+    for &n in batches {
+        // Backbone-stage-1-shaped layers: 3×3 conv and its BN at an
+        // early-stage channel width, where the per-image replica split has
+        // the most spatial work per image.
+        let mut rng = SeededRng::new(n as u64);
+        let xc = rng.uniform_tensor(&[n, 32, 28, 28], 0.0, 1.0);
+        let mut conv = Conv2d::new("bench.conv", 32, 64, 3, 1, 1, false, 7);
+        bench_layer(&mut group, "conv_stage1", n, &mut conv, &xc);
+
+        let xb = rng.uniform_tensor(&[n, 64, 28, 28], -1.0, 1.0);
+        let mut bn = BatchNorm2d::new("bench.bn", 64);
+        bn.policy = BnStatsPolicy::Batch;
+        bench_layer(&mut group, "bn_stage1", n, &mut bn, &xb);
+
+        // FC-head-shaped product: the batched row-GEMM path (parallel over
+        // images only via the GEMM's own column split, so its speedup rows
+        // are a control, not a win).
+        let xl = rng.uniform_tensor(&[n, 512], -1.0, 1.0);
+        let mut fc = Linear::new("bench.fc", 512, 1024, 11);
+        bench_layer(&mut group, "linear_head", n, &mut fc, &xl);
+
+        // The full adaptation backward: entropy gradient at the logits,
+        // backpropagated through the whole tiny-config UFLD network with
+        // batch-statistics BN — the exact per-tick cost the admission gate
+        // prices.
+        let cfg = UfldConfig::tiny(2);
+        let mut model = UfldModel::new(&cfg, 0xBEEF);
+        model.set_bn_policy(BnStatsPolicy::Batch);
+        model.set_skip_stem_input_grad(true); // the server's configuration
+        let x = rng.uniform_tensor(&[n, 3, cfg.input_height, cfg.input_width], 0.0, 1.0);
+        let logits = model.forward(&x, Mode::Eval);
+        let h = loss::entropy(&logits);
+        group.bench_with_input(BenchmarkId::new("model/parallel", n), &n, |b, _| {
+            b.iter(|| {
+                model.zero_grad();
+                model.backward(&h.grad)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("model/sequential", n), &n, |b, _| {
+            b.iter(|| {
+                model.zero_grad();
+                run_sequential(|| model.backward(&h.grad))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Turns the recorded measurements into `BENCH_backward.json`:
+/// `[{"scope": "...", "batch": n, "schedule": "...", "ns_per_iter": …,
+///    "speedup_vs_sequential": …}, …]` (speedup only on parallel rows with
+/// a matching in-run sequential row), then diffs against the previously
+/// committed file and fails on a pooled regression.
+fn write_json() {
+    let results = take_results();
+    let parse_batch = |id: &str| -> Option<usize> { id.rsplit('/').next()?.parse().ok() };
+    // "backward_step/<scope>/<schedule>/<batch>"
+    fn parse_scope(id: &str) -> Option<&str> {
+        id.split('/').nth(1)
+    }
+    let ns_of = |scope: &str, schedule: &str, batch: usize| -> Option<f64> {
+        results
+            .iter()
+            .find(|r| {
+                parse_scope(&r.id) == Some(scope)
+                    && r.id.contains(&format!("/{schedule}/"))
+                    && parse_batch(&r.id) == Some(batch)
+            })
+            .map(|r| r.ns_per_iter)
+    };
+
+    let path = if criterion::quick_mode() {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_backward.quick.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_backward.json")
+    };
+    // The committed trajectory, read before this run overwrites it.
+    let baseline = std::fs::read_to_string(path).unwrap_or_default();
+
+    let mut rows = Vec::new();
+    let mut current: Vec<(String, usize, f64)> = Vec::new();
+    for r in &results {
+        let (Some(scope), Some(batch)) = (parse_scope(&r.id), parse_batch(&r.id)) else {
+            continue;
+        };
+        let schedule = if r.id.contains("/parallel/") {
+            "parallel"
+        } else {
+            "sequential"
+        };
+        let mut row = format!(
+            "  {{\"scope\": \"{}\", \"batch\": {}, \"schedule\": \"{}\", \"ns_per_iter\": {:.1}",
+            scope, batch, schedule, r.ns_per_iter
+        );
+        if schedule == "parallel" {
+            if let Some(base) = ns_of(scope, "sequential", batch) {
+                let ratio = base / r.ns_per_iter;
+                let _ = write!(row, ", \"speedup_vs_sequential\": {ratio:.3}");
+                current.push((scope.to_owned(), batch, ratio));
+            }
+        }
+        row.push('}');
+        rows.push(row);
+    }
+    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    std::fs::write(path, &json).expect("write BENCH_backward.json");
+    eprintln!("wrote {path}");
+    eprint!("{json}");
+
+    regress_against_baseline(&baseline, &current);
+}
+
+/// The regression gate: per scope, the mean `speedup_vs_sequential` pooled
+/// over the batch sizes present in both runs must be within 10 % of the
+/// committed baseline's (30 % for `--quick` — its 1 s measurements have a
+/// wider noise floor). Ratios travel between hosts where absolute
+/// nanoseconds do not; pooling across batches averages out single-row
+/// sampling noise. Missing baseline rows (first run) pass.
+fn regress_against_baseline(baseline: &str, current: &[(String, usize, f64)]) {
+    let tolerance = if criterion::quick_mode() { 0.7 } else { 0.9 };
+    let field = |obj: &str, key: &str| -> Option<f64> {
+        let at = obj.find(&format!("\"{key}\":"))? + key.len() + 3;
+        let rest = obj[at..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    };
+    // Pooled (Σ baseline, Σ current, count) per scope.
+    let mut pools: Vec<(String, f64, f64, usize)> = Vec::new();
+    for line in baseline.lines() {
+        let (Some(batch), Some(scope), Some(base)) = (
+            field(line, "batch").map(|v| v as usize),
+            line.split("\"scope\": \"")
+                .nth(1)
+                .and_then(|s| s.split('"').next()),
+            field(line, "speedup_vs_sequential"),
+        ) else {
+            continue;
+        };
+        let Some(&(_, _, now)) = current.iter().find(|(s, b, _)| s == scope && *b == batch) else {
+            continue; // batch size not measured this run (quick sweep)
+        };
+        match pools.iter_mut().find(|(s, ..)| s == scope) {
+            Some(p) => {
+                p.1 += base;
+                p.2 += now;
+                p.3 += 1;
+            }
+            None => pools.push((scope.to_owned(), base, now, 1)),
+        }
+    }
+    let mut failures = Vec::new();
+    for (scope, base_sum, now_sum, count) in &pools {
+        let (base, now) = (base_sum / *count as f64, now_sum / *count as f64);
+        if now < tolerance * base {
+            failures.push(format!(
+                "{scope} speedup_vs_sequential: mean {now:.3} vs committed {base:.3} over \
+                 {count} batch sizes (more than {:.0}% regression)",
+                100.0 * (1.0 - tolerance)
+            ));
+        } else {
+            eprintln!("gate ok: {scope} speedup mean {now:.3} (baseline {base:.3}, {count} rows)");
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "backward pass regression:\n{}",
+        failures.join("\n")
+    );
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_backward(&mut c);
+    write_json();
+}

@@ -130,6 +130,10 @@ impl LdBnAdapter {
         assert!(cfg.batch_size > 0, "LdBnAdapter: zero batch size");
         model.set_bn_policy(cfg.stats_policy);
         model.apply_filter(cfg.filter);
+        // The adapter discards the input gradient of every backward, so
+        // the stem conv's dX computation is pure waste — skip it.
+        // Parameter gradients are unaffected.
+        model.set_skip_stem_input_grad(true);
         let opt = Sgd::new(cfg.lr).momentum(cfg.momentum);
         LdBnAdapter {
             cfg,

@@ -195,7 +195,16 @@ mod tests {
         // absorbed by the reference band — see module docs). Feed a stable
         // scene until the governor settles into skipping, then an
         // out-of-distribution noise frame: the spike must re-trigger.
-        let (cfg, mut model) = trained_model();
+        //
+        // Pretrained further than the shared helper: the trigger margin is
+        // the gap between the settled reference entropy and the spike, and
+        // an under-trained model is uniformly unconfident — its reference
+        // sits so high that even white noise cannot spike 2% above it.
+        let cfg = UfldConfig::tiny(2);
+        let mut model = UfldModel::new(&cfg, 0x60F);
+        let mut t = TrainConfig::smoke();
+        t.steps = 240;
+        pretrain_on_source(&mut model, Benchmark::MoLane, &t);
         let mut gov = AdaptGovernor::new(
             LdBnAdaptConfig::paper(1),
             GovernorConfig {

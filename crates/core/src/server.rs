@@ -881,6 +881,11 @@ impl AdaptServer {
         }
         model.set_bn_policy(cfg.adapt.stats_policy);
         model.apply_filter(cfg.adapt.filter);
+        // The server always discards the input gradient its backwards
+        // return, so the stem conv's dX — the largest backward GEMM +
+        // col2im, over the full-resolution input — is skipped. Parameter
+        // gradients are unaffected.
+        model.set_skip_stem_input_grad(true);
         let opt = Sgd::new(cfg.adapt.lr).momentum(cfg.adapt.momentum);
         let good_bn_state = snapshot_bn(model);
         // Banks inherit the resident state's *values*, never its transient
@@ -2458,31 +2463,31 @@ mod tests {
         pretrain_on_source(&mut model, Benchmark::MoLane, &train);
 
         let gov = GovernorConfig {
-            warmup_frames: 0,
+            warmup_frames: 1,
             threshold_ratio: 1.02,
             rollback_ratio: 1e9, // keep rollback out of this scenario
             ..Default::default()
         };
-        // A large step so the shared update visibly moves the BN params.
-        let server_cfg = ServerConfig::new(LdBnAdaptConfig::paper(1).with_lr(0.5), gov, 2);
+        let server_cfg = ServerConfig::new(LdBnAdaptConfig::paper(1).with_lr(0.05), gov, 2);
         let mut server = AdaptServer::new(server_cfg, 2, &mut model);
 
         let calm = ld_carlane::FrameStream::source(Benchmark::MoLane, frame_spec_for(&cfg), 1, 12)
             .frame(0)
             .image;
-        // Tick 1: both streams see the calm frame — warmup 0 means both
-        // skip and set their references.
-        let outcomes = server.process_batch(&mut model, &[(0, &calm), (1, &calm)]);
-        assert!(outcomes.iter().all(|o| o.adapted.is_none()));
+        // Tick 1: stream 0 alone — its single warm-up frame adapts and
+        // sets its reference on the pre-update entropy.
+        let outcomes = server.process_batch(&mut model, &[(0, &calm)]);
+        assert!(outcomes[0].adapted.is_some(), "warm-up frame must adapt");
 
         let pre_tick_bn = snapshot_bn(&mut model);
-        // Tick 2: stream 0 stays calm (skips), stream 1 sees an
-        // out-of-distribution frame (triggers) — a mixed tick.
-        let noise =
-            SeededRng::new(99).uniform_tensor(&[3, cfg.input_height, cfg.input_width], 0.0, 1.0);
-        let outcomes = server.process_batch(&mut model, &[(0, &calm), (1, &noise)]);
+        // Tick 2: stream 0 is past warm-up and sees the same calm frame
+        // again — tick 1's entropy-descent step on that very frame keeps
+        // it inside the trigger band, so it skips. Stream 1's first-ever
+        // frame is still warm-up and must adapt: a mixed tick by
+        // construction, independent of any entropy margin.
+        let outcomes = server.process_batch(&mut model, &[(0, &calm), (1, &calm)]);
         assert!(outcomes[0].adapted.is_none(), "calm stream must skip");
-        assert!(outcomes[1].adapted.is_some(), "noise stream must trigger");
+        assert!(outcomes[1].adapted.is_some(), "warm-up stream must adapt");
 
         // The update moved the live BN parameters…
         let post_tick_bn = snapshot_bn(&mut model);
@@ -2491,7 +2496,7 @@ mod tests {
                 .iter()
                 .zip(&post_tick_bn)
                 .any(|((_, a), (_, b))| a.as_slice() != b.as_slice()),
-            "large-lr step should move BN params"
+            "the shared step should move BN params"
         );
         // …but the blessed snapshot is the pre-update state.
         for ((name, good), (_, pre)) in server.good_bn_state.iter().zip(&pre_tick_bn) {

@@ -14,11 +14,30 @@ impl Relu {
     pub fn new() -> Self {
         Relu { mask: None }
     }
+
+    /// In-place backward: zeroes the masked entries of `grad` directly.
+    ///
+    /// The backbone/model backward chains own their gradient tensor between
+    /// layers, so masking in place avoids a full clone + copy per ReLU —
+    /// these are pure memory traffic in the tick-dominating adapt step.
+    /// Identical arithmetic to [`Layer::backward`] (which delegates here).
+    pub fn backward_inplace(&mut self, grad: &mut Tensor) {
+        let mask = self.mask.as_ref().expect("Relu::backward before forward");
+        assert_eq!(grad.len(), mask.len(), "Relu::backward: size mismatch");
+        for (v, &m) in grad.as_mut_slice().iter_mut().zip(mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+    }
 }
 
 impl Layer for Relu {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
-        let mut mask = vec![false; x.len()];
+        // Reuse the mask allocation at steady state (fixed shape per tick).
+        let mask = self.mask.get_or_insert_with(Vec::new);
+        mask.clear();
+        mask.resize(x.len(), false);
         let mut out = x.clone();
         for (i, v) in out.as_mut_slice().iter_mut().enumerate() {
             if *v > 0.0 {
@@ -27,19 +46,12 @@ impl Layer for Relu {
                 *v = 0.0;
             }
         }
-        self.mask = Some(mask);
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mask = self.mask.as_ref().expect("Relu::backward before forward");
-        assert_eq!(grad_out.len(), mask.len(), "Relu::backward: size mismatch");
         let mut g = grad_out.clone();
-        for (v, &m) in g.as_mut_slice().iter_mut().zip(mask) {
-            if !m {
-                *v = 0.0;
-            }
-        }
+        self.backward_inplace(&mut g);
         g
     }
 }

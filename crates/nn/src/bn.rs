@@ -34,6 +34,7 @@
 
 use crate::layer::{Layer, Mode};
 use crate::param::{ParamKind, Parameter};
+use ld_tensor::parallel::{for_each_chunk, pool_width, ReduceArena, SendPtr};
 use ld_tensor::Tensor;
 
 /// The ε used by every BN layer in this stack (no config ever changes it).
@@ -205,6 +206,9 @@ pub struct BatchNorm2d {
     lanes: Vec<BnState>,
     /// Number of bound lanes; 0 = resident mode.
     lanes_bound: usize,
+    /// Per-image `[Σdy | Σdy·x̂]` replica slots for the batch-parallel
+    /// backward (deterministic image-order reduction; grow-only).
+    arena: ReduceArena,
 }
 
 impl BatchNorm2d {
@@ -227,6 +231,7 @@ impl BatchNorm2d {
             fold_shift: Vec::new(),
             lanes: Vec::new(),
             lanes_bound: 0,
+            arena: ReduceArena::new(),
         }
     }
 
@@ -473,6 +478,12 @@ impl BatchNorm2d {
     /// The lane-mode backward: each lane's gradient contribution accumulates
     /// into *that lane's* γ/β, and the input gradient uses the lane's own
     /// cached statistics (reduction count `H·W`).
+    ///
+    /// Batch-parallel: every image's reductions land in its own replica slot
+    /// and its (disjoint) `grad_in` slice; the γ/β application then walks
+    /// the slots serially in lane order. Lane `i`'s gradients touch only
+    /// bank `i` — the isolation contract the per-stream banks rely on — and
+    /// the result is bitwise independent of pool width.
     fn backward_lanes(&mut self, grad_out: &Tensor) -> Tensor {
         let cache = self.cache.as_ref().expect("laned cache");
         let (n, c, h, w) = grad_out.dims4();
@@ -485,49 +496,64 @@ impl BatchNorm2d {
         let m = cache.count as f32;
 
         let mut grad_in = Tensor::zeros(grad_out.shape_dims());
-        let mut sum_dy = vec![0.0f32; c];
-        let mut sum_dy_xhat = vec![0.0f32; c];
-        for ni in 0..n {
+        let gin_ptr = SendPtr(grad_in.as_mut_slice().as_mut_ptr());
+        let lanes = &self.lanes[..n];
+        let go = grad_out.as_slice();
+        let xh = cache.x_hat.as_slice();
+        let work = if n >= pool_width() {
+            6 * n * c * plane
+        } else {
+            0
+        };
+        self.arena.map_slots(n, 2 * c, work, |ni, slot| {
+            let (sum_dy, sum_dy_xhat) = slot.split_at_mut(c);
             for ci in 0..c {
                 let base = (ni * c + ci) * plane;
                 let mut s = 0.0;
                 let mut sx = 0.0;
                 for i in 0..plane {
-                    let dy = grad_out.as_slice()[base + i];
+                    let dy = go[base + i];
                     s += dy;
-                    sx += dy * cache.x_hat.as_slice()[base + i];
+                    sx += dy * xh[base + i];
                 }
                 sum_dy[ci] = s;
                 sum_dy_xhat[ci] = sx;
             }
-            let lane = &mut self.lanes[ni];
-            if lane.gamma.trainable {
-                for ci in 0..c {
-                    lane.gamma.grad.as_mut_slice()[ci] += sum_dy_xhat[ci];
-                }
-            }
-            if lane.beta.trainable {
-                for ci in 0..c {
-                    lane.beta.grad.as_mut_slice()[ci] += sum_dy[ci];
-                }
-            }
+            let lane = &lanes[ni];
             for ci in 0..c {
                 let base = (ni * c + ci) * plane;
                 let g = lane.gamma.value.as_slice()[ci];
                 let is = cache.inv_std[ni * c + ci];
+                // SAFETY: image `ni`'s grad_in slice is written only by the
+                // chunk owning this image.
+                let gin = unsafe { gin_ptr.slice_mut(base, plane) };
                 if cache.used_batch_stats {
                     let k1 = sum_dy[ci] / m;
                     let k2 = sum_dy_xhat[ci] / m;
                     for i in 0..plane {
-                        let dy = grad_out.as_slice()[base + i];
-                        let xh = cache.x_hat.as_slice()[base + i];
-                        grad_in.as_mut_slice()[base + i] = g * is * (dy - k1 - xh * k2);
+                        gin[i] = g * is * (go[base + i] - k1 - xh[base + i] * k2);
                     }
                 } else {
                     let scale = g * is;
                     for i in 0..plane {
-                        grad_in.as_mut_slice()[base + i] = grad_out.as_slice()[base + i] * scale;
+                        gin[i] = go[base + i] * scale;
                     }
+                }
+            }
+        });
+        // Per-lane parameter gradients, serially in lane order (each lane is
+        // one image, so this *is* the ordered reduction).
+        for ni in 0..n {
+            let slot = self.arena.slot_mut(ni);
+            let lane = &mut self.lanes[ni];
+            if lane.gamma.trainable {
+                for ci in 0..c {
+                    lane.gamma.grad.as_mut_slice()[ci] += slot[c + ci];
+                }
+            }
+            if lane.beta.trainable {
+                for ci in 0..c {
+                    lane.beta.grad.as_mut_slice()[ci] += slot[ci];
                 }
             }
         }
@@ -616,24 +642,37 @@ impl Layer for BatchNorm2d {
         let (n, c, h, w) = grad_out.dims4();
         let plane = h * w;
         let m = cache.count as f32;
+        let go = grad_out.as_slice();
+        let xh = cache.x_hat.as_slice();
+        let work = if n >= pool_width() {
+            6 * n * c * plane
+        } else {
+            0
+        };
 
-        // Per-channel reductions Σdy and Σ dy·x̂.
+        // Per-channel reductions Σdy and Σ dy·x̂: each image reduces into
+        // its own `[Σdy | Σdy·x̂]` replica slot, then the slots fold in
+        // image order — the exact accumulation order of the old sequential
+        // loop, so this is bitwise-identical at every pool width.
         let mut sum_dy = vec![0.0f32; c];
         let mut sum_dy_xhat = vec![0.0f32; c];
-        for ni in 0..n {
+        self.arena.map_slots(n, 2 * c, work, |ni, slot| {
+            let (sd, sdx) = slot.split_at_mut(c);
             for ci in 0..c {
                 let base = (ni * c + ci) * plane;
                 let mut s = 0.0;
                 let mut sx = 0.0;
                 for i in 0..plane {
-                    let dy = grad_out.as_slice()[base + i];
+                    let dy = go[base + i];
                     s += dy;
-                    sx += dy * cache.x_hat.as_slice()[base + i];
+                    sx += dy * xh[base + i];
                 }
-                sum_dy[ci] += s;
-                sum_dy_xhat[ci] += sx;
+                sd[ci] = s;
+                sdx[ci] = sx;
             }
-        }
+        });
+        self.arena.fold_ordered_at(0, &mut sum_dy);
+        self.arena.fold_ordered_at(c, &mut sum_dy_xhat);
 
         if self.state.gamma.trainable {
             for ci in 0..c {
@@ -646,35 +685,38 @@ impl Layer for BatchNorm2d {
             }
         }
 
+        // The input-gradient pass is per-element given the global sums:
+        // images fan over the pool, each writing its disjoint slice.
         let mut grad_in = Tensor::zeros(grad_out.shape_dims());
-        if cache.used_batch_stats {
-            // Full BN backward: statistics depend on x.
-            for ni in 0..n {
+        let gin_ptr = SendPtr(grad_in.as_mut_slice().as_mut_ptr());
+        let gamma = self.state.gamma.value.as_slice();
+        let use_batch = cache.used_batch_stats;
+        let inv_std = &cache.inv_std;
+        let (sum_dy, sum_dy_xhat) = (&sum_dy, &sum_dy_xhat);
+        for_each_chunk(n, work, |images| {
+            for ni in images {
                 for ci in 0..c {
                     let base = (ni * c + ci) * plane;
-                    let g = self.state.gamma.value.as_slice()[ci];
-                    let is = cache.inv_std[ci];
-                    let k1 = sum_dy[ci] / m;
-                    let k2 = sum_dy_xhat[ci] / m;
-                    for i in 0..plane {
-                        let dy = grad_out.as_slice()[base + i];
-                        let xh = cache.x_hat.as_slice()[base + i];
-                        grad_in.as_mut_slice()[base + i] = g * is * (dy - k1 - xh * k2);
+                    let g = gamma[ci];
+                    let is = inv_std[ci];
+                    // SAFETY: image `ni`'s grad_in slice is written only by
+                    // the chunk owning this image.
+                    let gin = unsafe { gin_ptr.slice_mut(base, plane) };
+                    if use_batch {
+                        let k1 = sum_dy[ci] / m;
+                        let k2 = sum_dy_xhat[ci] / m;
+                        for i in 0..plane {
+                            gin[i] = g * is * (go[base + i] - k1 - xh[base + i] * k2);
+                        }
+                    } else {
+                        let scale = g * is;
+                        for i in 0..plane {
+                            gin[i] = go[base + i] * scale;
+                        }
                     }
                 }
             }
-        } else {
-            // Running stats are constants: dx = dy · γ · inv_std.
-            for ni in 0..n {
-                for ci in 0..c {
-                    let base = (ni * c + ci) * plane;
-                    let scale = self.state.gamma.value.as_slice()[ci] * cache.inv_std[ci];
-                    for i in 0..plane {
-                        grad_in.as_mut_slice()[base + i] = grad_out.as_slice()[base + i] * scale;
-                    }
-                }
-            }
-        }
+        });
         grad_in
     }
 

@@ -7,14 +7,17 @@
 //! at the same input shape ([`Conv2d::scratch_reallocs`] counts the sizings,
 //! and a test pins it to one). The GEMM runs straight from the weight
 //! storage into the output tensor via [`ld_tensor::linalg::gemm_raw`] — no
-//! reshaped weight copies, no per-image `y` temporaries — and the batch loop
-//! fans images out over the persistent worker pool.
+//! reshaped weight copies, no per-image `y` temporaries — and both the
+//! forward and backward batch loops fan images out over the persistent
+//! worker pool. The backward uses per-image gradient replica slots with a
+//! fixed-order reduction (`ld_tensor::parallel::ReduceArena`), so parallel
+//! gradients are bitwise independent of pool width and thread timing.
 
 use crate::layer::{Layer, Mode};
 use crate::param::{ParamKind, Parameter};
 use ld_tensor::conv::{col2im, im2col, ConvGeom};
 use ld_tensor::linalg::{gemm_raw, Trans};
-use ld_tensor::parallel::{for_each_chunk, SendPtr};
+use ld_tensor::parallel::{for_each_chunk, ReduceArena, SendPtr};
 use ld_tensor::rng::SeededRng;
 use ld_tensor::Tensor;
 
@@ -22,10 +25,15 @@ use ld_tensor::Tensor;
 ///
 /// `cols` holds one `(K, OH·OW)` im2col matrix per batch image,
 /// back-to-back; it doubles as the forward cache consumed by `backward`.
+/// `dcol` holds one backward column panel per image (each image in the
+/// batch-parallel backward owns its own panel), and `arena` holds the
+/// per-image `[dW | db]` gradient replica slots for the deterministic
+/// ordered reduction.
 #[derive(Default)]
 struct ConvScratch {
     cols: Vec<f32>,
     dcol: Vec<f32>,
+    arena: ReduceArena,
     geom: Option<ConvGeom>,
     batch: usize,
     reallocs: usize,
@@ -36,20 +44,13 @@ impl ConvScratch {
     fn ensure(&mut self, batch: usize, geom: ConvGeom) {
         let per_image = geom.col_rows() * geom.col_cols();
         let need = batch * per_image;
-        if self.cols.len() < need || self.dcol.len() < per_image {
+        if self.cols.len() < need || self.dcol.len() < need {
             self.cols.resize(need, 0.0);
-            self.dcol.resize(per_image, 0.0);
+            self.dcol.resize(need, 0.0);
             self.reallocs += 1;
         }
         self.geom = Some(geom);
         self.batch = batch;
-    }
-
-    /// The column panel of image `ni` (immutable).
-    fn col(&self, ni: usize) -> &[f32] {
-        let g = self.geom.expect("scratch not sized");
-        let per_image = g.col_rows() * g.col_cols();
-        &self.cols[ni * per_image..(ni + 1) * per_image]
     }
 }
 
@@ -76,6 +77,7 @@ pub struct Conv2d {
     kernel: usize,
     stride: usize,
     pad: usize,
+    skip_input_grad: bool,
     scratch: ConvScratch,
 }
 
@@ -122,8 +124,22 @@ impl Conv2d {
             kernel,
             stride,
             pad,
+            skip_input_grad: false,
             scratch: ConvScratch::default(),
         }
+    }
+
+    /// Opts this layer out of computing the input gradient in `backward`
+    /// (a zero tensor of the right shape is returned instead).
+    ///
+    /// Correct **only** when nothing upstream consumes the gradient — i.e.
+    /// this is the first layer of the network and the caller discards the
+    /// returned input gradient, as the adaptation server does. For a
+    /// ResNet stem conv the dX GEMM + col2im over the full-resolution input
+    /// is the single most expensive backward op, and it feeds nothing.
+    /// Defaults to off; gradient-fidelity tests rely on the exact default.
+    pub fn set_skip_input_grad(&mut self, skip: bool) {
+        self.skip_input_grad = skip;
     }
 
     /// Output spatial dims for an input of `h × w`.
@@ -297,57 +313,89 @@ impl Layer for Conv2d {
         let spatial = oh * ow;
         let k = g.col_rows();
         let compute_dw = self.weight.trainable;
+        let compute_db = self.bias.as_ref().is_some_and(|b| b.trainable);
+        let compute_dx = !self.skip_input_grad;
+
+        // Batch-parallel over images with per-image gradient replicas: each
+        // image computes its whole contribution — a `[dW | db]` slot in the
+        // reduce arena plus its (already disjoint) `grad_in` image — then the
+        // slots fold into the shared grads strictly in image order. Results
+        // are bitwise independent of pool width and scheduling; see
+        // `ld_tensor::parallel` module docs for the contract.
+        let dw_len = if compute_dw { self.out_ch * k } else { 0 };
+        let db_len = if compute_db { self.out_ch } else { 0 };
+        let slot_len = dw_len + db_len;
 
         let mut grad_in = Tensor::zeros(&[n, g.c, g.h, g.w]);
-        // Sequential over images: dW accumulates into shared weight.grad
-        // (batch sizes in the adaptation loop are tiny, parallelising this
-        // would race the accumulation or need per-thread replicas).
-        for ni in 0..n {
+        let per_image = k * spatial;
+        let image_in = g.c * g.h * g.w;
+        let out_ch = self.out_ch;
+        let wmat = self.weight.value.as_slice();
+        let scratch = &mut self.scratch;
+        let cols: &[f32] = &scratch.cols;
+        let dcol_ptr = SendPtr(scratch.dcol.as_mut_ptr());
+        let gin_ptr = SendPtr(grad_in.as_mut_slice().as_mut_ptr());
+        // Same policy as forward: image-level fan-out only when the batch
+        // can occupy the pool; otherwise run the image loop inline and let
+        // each GEMM split itself across the workers.
+        let work = if n >= ld_tensor::parallel::pool_width() {
+            2 * n * out_ch * spatial * k * (compute_dw as usize + compute_dx as usize)
+        } else {
+            0
+        };
+        scratch.arena.map_slots(n, slot_len, work, |ni, slot| {
             // dY[O, S] is exactly the image slice of grad_out — no copy.
             let dy = grad_out.image(ni);
             if compute_dw {
-                // dW[O, K] += dY[O, S] · colᵀ[S, K], straight into the grad
-                // tensor ((O, C, K, K) storage is the (O, K) matrix).
+                // dW_i[O, K] = dY[O, S] · colᵀ[S, K] into this image's slot
+                // ((O, C, K, K) grad storage is the (O, K) matrix).
                 gemm_raw(
                     1.0,
                     dy,
                     Trans::No,
-                    self.scratch.col(ni),
+                    &cols[ni * per_image..(ni + 1) * per_image],
                     Trans::Yes,
-                    1.0,
-                    self.weight.grad.as_mut_slice(),
-                    self.out_ch,
+                    0.0,
+                    &mut slot[..dw_len],
+                    out_ch,
                     spatial,
                     k,
                 );
             }
-            // dcol[K, S] = Wᵀ[K, O] · dY[O, S]
-            let dcol = &mut self.scratch.dcol[..k * spatial];
-            gemm_raw(
-                1.0,
-                self.weight.value.as_slice(),
-                Trans::Yes,
-                dy,
-                Trans::No,
-                0.0,
-                dcol,
-                k,
-                self.out_ch,
-                spatial,
-            );
-            col2im(dcol, g, grad_in.image_mut(ni));
-        }
-
-        if let Some(b) = &mut self.bias {
-            if b.trainable {
-                for ni in 0..n {
-                    let img = grad_out.image(ni);
-                    for o in 0..self.out_ch {
-                        let s: f32 = img[o * spatial..(o + 1) * spatial].iter().sum();
-                        b.grad.as_mut_slice()[o] += s;
-                    }
+            if compute_db {
+                for o in 0..out_ch {
+                    slot[dw_len + o] = dy[o * spatial..(o + 1) * spatial].iter().sum();
                 }
             }
+            if compute_dx {
+                // SAFETY: image `ni`'s dcol panel and grad_in slice are
+                // touched only by the chunk owning this image.
+                let dcol = unsafe { dcol_ptr.slice_mut(ni * per_image, per_image) };
+                // dcol[K, S] = Wᵀ[K, O] · dY[O, S]
+                gemm_raw(
+                    1.0,
+                    wmat,
+                    Trans::Yes,
+                    dy,
+                    Trans::No,
+                    0.0,
+                    dcol,
+                    k,
+                    out_ch,
+                    spatial,
+                );
+                let gin = unsafe { gin_ptr.slice_mut(ni * image_in, image_in) };
+                col2im(dcol, g, gin);
+            }
+        });
+        if compute_dw {
+            scratch
+                .arena
+                .fold_ordered_at(0, self.weight.grad.as_mut_slice());
+        }
+        if compute_db {
+            let b = self.bias.as_mut().expect("compute_db without bias");
+            scratch.arena.fold_ordered_at(dw_len, b.grad.as_mut_slice());
         }
         grad_in
     }
@@ -554,6 +602,66 @@ mod tests {
             conv.backward(&Tensor::ones(y.shape_dims()));
         }
         assert_eq!(conv.scratch_reallocs(), 1);
+    }
+
+    /// The batch-parallel backward is bitwise-identical to the sequential
+    /// (width 1) schedule, and its replica arena reuses its allocation.
+    #[test]
+    fn parallel_backward_matches_sequential_bitwise() {
+        use ld_tensor::parallel::run_sequential;
+        let bits = |s: &[f32]| s.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        let x = SeededRng::new(22).uniform_tensor(&[8, 3, 10, 10], -1.0, 1.0);
+        let gy = SeededRng::new(23).uniform_tensor(&[8, 5, 10, 10], -1.0, 1.0);
+
+        let mut par = Conv2d::new("t", 3, 5, 3, 1, 1, true, 21);
+        let mut seq = Conv2d::new("t", 3, 5, 3, 1, 1, true, 21);
+        par.forward(&x, Mode::Train);
+        seq.forward(&x, Mode::Train);
+        let gin_par = par.backward(&gy);
+        let gin_seq = run_sequential(|| seq.backward(&gy));
+
+        assert_eq!(bits(gin_par.as_slice()), bits(gin_seq.as_slice()));
+        assert_eq!(
+            bits(par.weight.grad.as_slice()),
+            bits(seq.weight.grad.as_slice())
+        );
+        assert_eq!(
+            bits(par.bias.as_ref().unwrap().grad.as_slice()),
+            bits(seq.bias.as_ref().unwrap().grad.as_slice())
+        );
+
+        // Steady state: repeated backwards never regrow the replica arena
+        // and stay bit-identical.
+        let w0 = bits(par.weight.grad.as_slice());
+        for _ in 0..3 {
+            par.weight.grad.as_mut_slice().fill(0.0);
+            par.forward(&x, Mode::Train);
+            par.backward(&gy);
+            assert_eq!(bits(par.weight.grad.as_slice()), w0);
+        }
+        assert_eq!(par.scratch.arena.reallocs(), 1);
+        assert_eq!(par.scratch_reallocs(), 1);
+    }
+
+    /// `set_skip_input_grad` suppresses only dX: parameter grads are
+    /// unchanged bitwise and the returned input gradient is zero.
+    #[test]
+    fn skip_input_grad_preserves_param_grads() {
+        let bits = |s: &[f32]| s.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        let x = SeededRng::new(31).uniform_tensor(&[2, 2, 8, 8], -1.0, 1.0);
+        let gy = SeededRng::new(32).uniform_tensor(&[2, 4, 8, 8], -1.0, 1.0);
+        let mut full = Conv2d::new("t", 2, 4, 3, 1, 1, true, 30);
+        let mut skip = Conv2d::new("t", 2, 4, 3, 1, 1, true, 30);
+        skip.set_skip_input_grad(true);
+        full.forward(&x, Mode::Train);
+        skip.forward(&x, Mode::Train);
+        full.backward(&gy);
+        let gin = skip.backward(&gy);
+        assert!(gin.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(
+            bits(full.weight.grad.as_slice()),
+            bits(skip.weight.grad.as_slice())
+        );
     }
 
     /// `forward_fused_affine(scale, shift)` equals conv → per-channel affine.

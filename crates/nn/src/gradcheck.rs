@@ -3,9 +3,36 @@
 //! Every layer and loss in this stack is verified against central finite
 //! differences; this module provides the shared machinery (also used by the
 //! downstream `ld-ufld` tests for whole-network checks).
+//!
+//! Since the backward pass went batch-parallel, every check can run under
+//! either [`Schedule::Pooled`] (the production fan-out) or
+//! [`Schedule::Sequential`] (the inline width-1 reference), and
+//! [`parallel_matches_sequential`] asserts the two schedules agree
+//! **bitwise** on every gradient byte — the determinism contract of
+//! `ld_tensor::parallel`'s ordered reduction.
 
 use crate::layer::{Layer, Mode};
+use ld_tensor::parallel::run_sequential;
 use ld_tensor::Tensor;
+
+/// Which backward schedule a gradient check runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// The production schedule: batch fans over the worker pool.
+    Pooled,
+    /// The width-1 reference: everything inline on the caller, in order
+    /// (via `ld_tensor::parallel::run_sequential`).
+    Sequential,
+}
+
+impl Schedule {
+    fn run<R>(self, f: impl FnOnce() -> R) -> R {
+        match self {
+            Schedule::Pooled => f(),
+            Schedule::Sequential => run_sequential(f),
+        }
+    }
+}
 
 /// Result of a gradient check: worst absolute and relative deviation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,8 +65,20 @@ pub fn check_input_gradient(
     probes: &[usize],
     eps: f32,
 ) -> GradCheck {
-    let y = layer.forward(x, mode);
-    let analytic = layer.backward(&y);
+    check_input_gradient_on(layer, x, mode, probes, eps, Schedule::Pooled)
+}
+
+/// [`check_input_gradient`] under an explicit backward [`Schedule`].
+pub fn check_input_gradient_on(
+    layer: &mut dyn Layer,
+    x: &Tensor,
+    mode: Mode,
+    probes: &[usize],
+    eps: f32,
+    schedule: Schedule,
+) -> GradCheck {
+    let y = schedule.run(|| layer.forward(x, mode));
+    let analytic = schedule.run(|| layer.backward(&y));
     let mut max_abs = 0.0f32;
     let mut max_rel = 0.0f32;
     for &i in probes {
@@ -72,10 +111,22 @@ pub fn check_param_gradients(
     probes_per_param: usize,
     eps: f32,
 ) -> GradCheck {
+    check_param_gradients_on(layer, x, mode, probes_per_param, eps, Schedule::Pooled)
+}
+
+/// [`check_param_gradients`] under an explicit backward [`Schedule`].
+pub fn check_param_gradients_on(
+    layer: &mut dyn Layer,
+    x: &Tensor,
+    mode: Mode,
+    probes_per_param: usize,
+    eps: f32,
+    schedule: Schedule,
+) -> GradCheck {
     // Accumulate analytic grads.
     layer.zero_grad();
-    let y = layer.forward(x, mode);
-    layer.backward(&y);
+    let y = schedule.run(|| layer.forward(x, mode));
+    schedule.run(|| layer.backward(&y));
 
     // Snapshot analytic gradients.
     let mut grads: Vec<(u64, Tensor)> = Vec::new();
@@ -117,10 +168,53 @@ pub fn check_param_gradients(
     }
 }
 
+/// Every gradient a backward pass produced, as raw bit patterns: the input
+/// gradient followed by every trainable parameter gradient (visit order).
+/// Bit patterns — not `f32` compares — so `-0.0` vs `0.0` and NaN payloads
+/// count as divergence.
+pub fn gradient_bits(layer: &mut dyn Layer, grad_in: &Tensor) -> Vec<u32> {
+    let mut bits: Vec<u32> = grad_in.as_slice().iter().map(|v| v.to_bits()).collect();
+    layer.visit_params(&mut |p| {
+        if p.trainable {
+            bits.extend(p.grad.as_slice().iter().map(|v| v.to_bits()));
+        }
+    });
+    bits
+}
+
+/// Runs `layer`'s forward+backward under the pooled schedule and again under
+/// the sequential reference, and returns `true` iff **every** gradient —
+/// input gradient and all trainable parameter gradients — matches bitwise.
+///
+/// This is the executable form of the determinism contract: the pooled
+/// backward must be indistinguishable, byte for byte, from the width-1
+/// schedule at any pool width (the integration suites re-run it under
+/// `LD_POOL_THREADS` overrides of 2 and 8).
+pub fn parallel_matches_sequential(
+    layer: &mut dyn Layer,
+    x: &Tensor,
+    grad_out: &Tensor,
+    mode: Mode,
+) -> bool {
+    layer.zero_grad();
+    let _ = layer.forward(x, mode);
+    let gin = layer.backward(grad_out);
+    let pooled = gradient_bits(layer, &gin);
+
+    layer.zero_grad();
+    let gin = run_sequential(|| {
+        let _ = layer.forward(x, mode);
+        layer.backward(grad_out)
+    });
+    let sequential = gradient_bits(layer, &gin);
+    pooled == sequential
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::act::Relu;
+    use crate::bn::{BatchNorm2d, BnStatsPolicy};
     use crate::conv::Conv2d;
     use crate::linear::Linear;
     use ld_tensor::rng::SeededRng;
@@ -140,6 +234,53 @@ mod tests {
         let x = SeededRng::new(2).uniform_tensor(&[2, 2, 5, 5], -1.0, 1.0);
         let r = check_param_gradients(&mut layer, &x, Mode::Train, 6, 1e-2);
         assert!(r.passes(5e-2, 2e-2), "{r:?}");
+    }
+
+    /// Batch > 1, both schedules: the batch-parallel backward must stay
+    /// finite-difference-correct under the pooled and sequential schedules.
+    #[test]
+    fn conv_batched_param_gradients_check_both_schedules() {
+        let x = SeededRng::new(41).uniform_tensor(&[8, 2, 5, 5], -1.0, 1.0);
+        for schedule in [Schedule::Pooled, Schedule::Sequential] {
+            let mut layer = Conv2d::new("c", 2, 3, 3, 1, 1, true, 11);
+            let r = check_param_gradients_on(&mut layer, &x, Mode::Train, 6, 1e-2, schedule);
+            assert!(r.passes(5e-2, 2e-2), "{schedule:?}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn bn_batched_gradients_check_both_schedules() {
+        let x = SeededRng::new(42).uniform_tensor(&[8, 3, 4, 4], -1.0, 1.0);
+        let probes: Vec<usize> = (0..x.len()).step_by(11).collect();
+        for schedule in [Schedule::Pooled, Schedule::Sequential] {
+            let mut layer = BatchNorm2d::new("bn", 3);
+            layer.policy = BnStatsPolicy::Batch;
+            let ri = check_input_gradient_on(&mut layer, &x, Mode::Eval, &probes, 1e-2, schedule);
+            assert!(ri.passes(2e-2, 1e-2), "{schedule:?}: {ri:?}");
+            let rp = check_param_gradients_on(&mut layer, &x, Mode::Eval, 4, 1e-2, schedule);
+            assert!(rp.passes(5e-2, 2e-2), "{schedule:?}: {rp:?}");
+        }
+    }
+
+    /// Pooled ≡ sequential, bitwise, for every batch-parallel layer.
+    #[test]
+    fn parallel_backward_is_bitwise_sequential() {
+        let mut rng = SeededRng::new(43);
+        let x = rng.uniform_tensor(&[8, 3, 6, 6], -1.0, 1.0);
+
+        let mut conv = Conv2d::new("c", 3, 4, 3, 1, 1, true, 19);
+        let gy = rng.uniform_tensor(&[8, 4, 6, 6], -1.0, 1.0);
+        assert!(parallel_matches_sequential(&mut conv, &x, &gy, Mode::Train));
+
+        let mut bn = BatchNorm2d::new("bn", 3);
+        bn.policy = BnStatsPolicy::Batch;
+        let gy = rng.uniform_tensor(&[8, 3, 6, 6], -1.0, 1.0);
+        assert!(parallel_matches_sequential(&mut bn, &x, &gy, Mode::Eval));
+
+        let mut fc = Linear::new("fc", 9, 5, 23);
+        let xf = rng.uniform_tensor(&[8, 9], -1.0, 1.0);
+        let gy = rng.uniform_tensor(&[8, 5], -1.0, 1.0);
+        assert!(parallel_matches_sequential(&mut fc, &xf, &gy, Mode::Train));
     }
 
     #[test]

@@ -100,10 +100,23 @@ impl Layer for Linear {
                 *v += b;
             }
         }
-        self.cache = Some(x.clone());
+        // Reuse the cached input buffer at steady state (same shape every
+        // adaptation tick) instead of allocating a fresh clone per forward.
+        match &mut self.cache {
+            Some(c) if c.shape_dims() == x.shape_dims() => {
+                c.as_mut_slice().copy_from_slice(x.as_slice());
+            }
+            c => *c = Some(x.clone()),
+        }
         y
     }
 
+    /// Batch parallelism note: unlike conv/BN, the batch axis here is a GEMM
+    /// dimension (`N` is the K-dim of dW and the M-dim of dX), so the whole
+    /// batch's gradients are single GEMM calls that already split themselves
+    /// across the worker pool — and the blocked kernel's K-accumulation order
+    /// is fixed regardless of the row/column split, so the results are
+    /// bitwise independent of pool width without needing replica slots.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let x = self
             .cache

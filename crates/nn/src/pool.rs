@@ -2,6 +2,7 @@
 
 use crate::layer::{Layer, Mode};
 use ld_tensor::conv::conv_out_dim;
+use ld_tensor::parallel::{for_each_chunk, pool_width, SendPtr};
 use ld_tensor::Tensor;
 
 /// Max pooling over NCHW activations (square window).
@@ -89,9 +90,30 @@ impl Layer for MaxPool2d {
             "MaxPool2d::backward: size mismatch"
         );
         let mut gin = Tensor::zeros(in_shape);
-        for (oi, &src) in argmax.iter().enumerate() {
-            gin.as_mut_slice()[src] += grad_out.as_slice()[oi];
-        }
+        // Every argmax of image `ni` lies inside image `ni`'s input plane,
+        // so the scatter is per-image disjoint and fans over the pool
+        // (element order within an image is unchanged → bitwise-stable).
+        let n = in_shape[0];
+        let per_in = gin.len() / n;
+        let per_out = argmax.len() / n;
+        let go = grad_out.as_slice();
+        let gin_ptr = SendPtr(gin.as_mut_slice().as_mut_ptr());
+        let work = if n >= pool_width() {
+            4 * argmax.len()
+        } else {
+            0
+        };
+        for_each_chunk(n, work, |images| {
+            for ni in images {
+                // SAFETY: image `ni`'s input slice is written only by the
+                // chunk owning this image.
+                let gi = unsafe { gin_ptr.slice_mut(ni * per_in, per_in) };
+                let base = ni * per_in;
+                for oi in ni * per_out..(ni + 1) * per_out {
+                    gi[argmax[oi] - base] += go[oi];
+                }
+            }
+        });
         gin
     }
 }

@@ -1,7 +1,7 @@
 //! End-to-end per-frame latency of inference + adaptation (Figure 3), and
 //! the SOTA baseline's epoch cost (the ">1 hour per epoch" claim).
 
-use crate::roofline::Roofline;
+use crate::roofline::{BackwardCal, Roofline};
 use crate::scheduler::Precision;
 use crate::spec::PowerMode;
 use ld_ufld::cost::{model_costs, totals, LayerCost};
@@ -46,6 +46,9 @@ pub struct AdaptCostModel {
     costs: Vec<LayerCost>,
     bn_params: usize,
     all_params: usize,
+    /// Measured batch-parallel backward speedups (identity when no bench
+    /// trajectory has been fed in).
+    bwd_cal: BackwardCal,
 }
 
 impl AdaptCostModel {
@@ -59,12 +62,37 @@ impl AdaptCostModel {
             costs,
             bn_params: t.bn_params,
             all_params: t.params,
+            bwd_cal: BackwardCal::NONE,
         }
     }
 
     /// Convenience: paper-scale model on a default AGX Orin.
     pub fn paper_scale(cfg: &UfldConfig) -> Self {
         AdaptCostModel::new(cfg, Roofline::agx_orin())
+    }
+
+    /// Applies a measured backward-speedup calibration (fitted from
+    /// `BENCH_backward.json` full-model rows, see
+    /// [`BackwardCal::from_backward_bench`]): every backward term is divided
+    /// by the measured `sequential ÷ parallel` ratio at its batch size, so
+    /// batch admission credits the batch-parallel backward instead of
+    /// pricing it as `batch ×` the single-image pass.
+    pub fn with_backward_cal(mut self, cal: BackwardCal) -> Self {
+        self.bwd_cal = cal;
+        self
+    }
+
+    /// The active backward calibration.
+    pub fn backward_cal(&self) -> &BackwardCal {
+        &self.bwd_cal
+    }
+
+    /// The roofline's backward estimate with the measured parallel-backward
+    /// speedup credited.
+    fn backward_seconds_cal(&self, mode: PowerMode, batch: usize, train_all: bool) -> f64 {
+        self.roofline
+            .backward_seconds(&self.costs, mode, batch, train_all)
+            / self.bwd_cal.speedup_at(batch)
     }
 
     /// The underlying roofline.
@@ -101,16 +129,11 @@ impl AdaptCostModel {
         assert!(batch_size > 0, "ld_bn_adapt_frame: zero batch size");
         let fwd1 = 1e3 * self.roofline.forward_seconds(&self.costs, mode, 1);
         let (adapt_fwd, bwd) = if batch_size == 1 {
-            (
-                0.0,
-                1e3 * self.roofline.backward_seconds(&self.costs, mode, 1, false),
-            )
+            (0.0, 1e3 * self.backward_seconds_cal(mode, 1, false))
         } else {
             (
                 1e3 * self.roofline.forward_seconds(&self.costs, mode, batch_size),
-                1e3 * self
-                    .roofline
-                    .backward_seconds(&self.costs, mode, batch_size, false),
+                1e3 * self.backward_seconds_cal(mode, batch_size, false),
             )
         };
         FrameLatency {
@@ -211,9 +234,7 @@ impl AdaptCostModel {
             };
             (
                 adapt_fwd,
-                1e3 * self
-                    .roofline
-                    .backward_seconds(&self.costs, mode, bwd_batch, false),
+                1e3 * self.backward_seconds_cal(mode, bwd_batch, false),
                 1e3 * self.roofline.update_seconds(self.bn_params, mode),
             )
         };

@@ -110,6 +110,112 @@ pub fn load_bench_gemm(path: &str) -> Result<Vec<GemmMeasurement>, String> {
     parse_bench_gemm(&json)
 }
 
+/// One measured backward-pass data point from `BENCH_backward.json`
+/// (emitted by the `backward_step` bench: per-layer and full-model rows,
+/// each batch size timed under the pooled schedule and the sequential
+/// width-1 reference).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackwardMeasurement {
+    /// What was timed: a per-layer row (`"conv_stage1"`, `"bn_stage1"`,
+    /// `"linear_head"`) or the full UFLD backward (`"model"`).
+    pub scope: String,
+    /// Images per backward.
+    pub batch: usize,
+    /// `"parallel"` (production pooled schedule) or `"sequential"`
+    /// (width-1 reference via `run_sequential`).
+    pub schedule: String,
+    /// Measured wall-clock per backward, nanoseconds.
+    pub ns_per_iter: f64,
+    /// For `"parallel"` rows: sequential time ÷ parallel time at the same
+    /// scope and batch. Absent on `"sequential"` rows.
+    pub speedup_vs_sequential: Option<f64>,
+}
+
+impl BackwardMeasurement {
+    /// `true` for full-model rows — the ones the admission cost model
+    /// calibrates from (per-layer rows are diagnostic).
+    pub fn is_model_scope(&self) -> bool {
+        self.scope == "model"
+    }
+
+    /// `true` for rows timing the production pooled schedule.
+    pub fn is_parallel(&self) -> bool {
+        self.schedule == "parallel"
+    }
+}
+
+/// Parses the `BENCH_backward.json` schema.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed object.
+pub fn parse_bench_backward(json: &str) -> Result<Vec<BackwardMeasurement>, String> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(open) = rest.find('{') {
+        let body_start = open + 1;
+        let close = rest[body_start..]
+            .find('}')
+            .ok_or_else(|| "unterminated object".to_string())?;
+        let obj = &rest[body_start..body_start + close];
+        rest = &rest[body_start + close + 1..];
+
+        let scope = field(obj, "scope")
+            .ok_or_else(|| format!("no scope in `{obj}`"))?
+            .trim_matches('"')
+            .to_owned();
+        let batch: usize = field(obj, "batch")
+            .ok_or_else(|| format!("no batch in `{obj}`"))?
+            .parse()
+            .map_err(|e| format!("bad batch: {e}"))?;
+        if batch == 0 {
+            return Err("zero batch".into());
+        }
+        let schedule = field(obj, "schedule")
+            .ok_or_else(|| format!("no schedule in `{obj}`"))?
+            .trim_matches('"')
+            .to_owned();
+        let ns_per_iter: f64 = field(obj, "ns_per_iter")
+            .ok_or_else(|| format!("no ns_per_iter in `{obj}`"))?
+            .parse()
+            .map_err(|e| format!("bad ns_per_iter: {e}"))?;
+        if !ns_per_iter.is_finite() || ns_per_iter <= 0.0 {
+            return Err(format!("non-positive ns_per_iter {ns_per_iter}"));
+        }
+        let speedup_vs_sequential = match field(obj, "speedup_vs_sequential") {
+            Some(v) => {
+                let s: f64 = v.parse().map_err(|e| format!("bad speedup: {e}"))?;
+                if !s.is_finite() || s <= 0.0 {
+                    return Err(format!("non-positive speedup {s}"));
+                }
+                Some(s)
+            }
+            None => None,
+        };
+        out.push(BackwardMeasurement {
+            scope,
+            batch,
+            schedule,
+            ns_per_iter,
+            speedup_vs_sequential,
+        });
+    }
+    if out.is_empty() {
+        return Err("no measurements found".into());
+    }
+    Ok(out)
+}
+
+/// Loads and parses a `BENCH_backward.json` file.
+///
+/// # Errors
+///
+/// Returns a description on I/O or parse failure.
+pub fn load_bench_backward(path: &str) -> Result<Vec<BackwardMeasurement>, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    parse_bench_backward(&json)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +255,45 @@ mod tests {
             parse_bench_gemm("{\"shape\": [1, 2, 3], \"kernel\": \"b\", \"gflops\": -1.0}")
                 .is_err()
         );
+    }
+
+    const BACKWARD_SAMPLE: &str = r#"[
+  {"scope": "model", "batch": 8, "schedule": "parallel", "ns_per_iter": 1000.0, "speedup_vs_sequential": 2.5},
+  {"scope": "model", "batch": 8, "schedule": "sequential", "ns_per_iter": 2500.0},
+  {"scope": "conv_stage1", "batch": 4, "schedule": "parallel", "ns_per_iter": 400.0, "speedup_vs_sequential": 1.9}
+]"#;
+
+    #[test]
+    fn parses_the_backward_schema() {
+        let rows = parse_bench_backward(BACKWARD_SAMPLE).expect("parse");
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].is_model_scope() && rows[0].is_parallel());
+        assert_eq!(rows[0].batch, 8);
+        assert_eq!(rows[0].speedup_vs_sequential, Some(2.5));
+        assert!(rows[1].is_model_scope() && !rows[1].is_parallel());
+        assert_eq!(rows[1].speedup_vs_sequential, None);
+        assert!(!rows[2].is_model_scope());
+    }
+
+    #[test]
+    fn backward_parser_rejects_garbage() {
+        assert!(parse_bench_backward("[]").is_err());
+        assert!(parse_bench_backward("{\"scope\": \"model\"}").is_err());
+        assert!(parse_bench_backward(
+            "{\"scope\": \"model\", \"batch\": 0, \"schedule\": \"parallel\", \"ns_per_iter\": 1.0}"
+        )
+        .is_err());
+        assert!(parse_bench_backward(
+            "{\"scope\": \"model\", \"batch\": 1, \"schedule\": \"parallel\", \"ns_per_iter\": 1.0, \"speedup_vs_sequential\": -2.0}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn committed_backward_trajectory_parses() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_backward.json");
+        let rows = load_bench_backward(path).expect("BENCH_backward.json must stay parseable");
+        assert!(rows.iter().any(|r| r.is_model_scope() && r.is_parallel()));
+        assert!(rows.iter().any(|r| !r.is_parallel()));
     }
 }

@@ -30,9 +30,12 @@ pub mod scheduler;
 pub mod spec;
 
 pub use adapt_cost::{AdaptCostModel, FrameLatency};
-pub use bench_data::{load_bench_gemm, parse_bench_gemm, GemmMeasurement};
+pub use bench_data::{
+    load_bench_backward, load_bench_gemm, parse_bench_backward, parse_bench_gemm,
+    BackwardMeasurement, GemmMeasurement,
+};
 pub use deadline::{best_configuration, feasibility, Deadline, DesignPoint};
-pub use roofline::{Efficiency, Roofline};
+pub use roofline::{BackwardCal, Efficiency, Roofline};
 pub use scheduler::{
     admit_batch, admit_batch_aged, admit_batch_with, plan_adaptation, precision_what_if,
     AdaptBudget, AgedAdmission, BatchAdmission, Precision,

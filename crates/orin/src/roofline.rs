@@ -88,6 +88,96 @@ impl Efficiency {
     }
 }
 
+/// Measured batch-parallel backward speedups, as `(batch, speedup)` points
+/// fitted from the full-model rows of `BENCH_backward.json`.
+///
+/// Since the backward pass fans images over the worker pool, its wall-clock
+/// no longer scales like `batch × single-image backward` on a multi-core
+/// host — the admission gate would overprice adapting ticks and shed
+/// adaptation it could afford. This table records the measured
+/// `sequential ÷ parallel` ratio per batch size; [`BackwardCal::speedup_at`]
+/// interpolates between measured batches (clamping at the ends), and
+/// [`BackwardCal::NONE`] is the identity calibration (factor 1.0
+/// everywhere) used when no bench trajectory is available — which keeps the
+/// hand-calibrated Figure-3 feasible set pinned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackwardCal {
+    points: [(f64, f64); Self::MAX],
+    len: usize,
+}
+
+impl BackwardCal {
+    /// Maximum number of `(batch, speedup)` points retained.
+    pub const MAX: usize = 8;
+
+    /// The identity calibration: speedup 1.0 at every batch.
+    pub const NONE: BackwardCal = BackwardCal {
+        points: [(0.0, 1.0); Self::MAX],
+        len: 0,
+    };
+
+    /// Builds the table from `(batch, speedup)` pairs. Non-finite or
+    /// non-positive entries are dropped; points are sorted by batch and at
+    /// most [`BackwardCal::MAX`] smallest batches are kept (duplicates:
+    /// last one wins is not guaranteed — feed one point per batch).
+    pub fn from_points(pairs: &[(usize, f64)]) -> BackwardCal {
+        let mut sane: Vec<(f64, f64)> = pairs
+            .iter()
+            .filter(|&&(b, s)| b > 0 && s.is_finite() && s > 0.0)
+            .map(|&(b, s)| (b as f64, s))
+            .collect();
+        sane.sort_by(|a, b| a.0.total_cmp(&b.0));
+        sane.truncate(Self::MAX);
+        let mut cal = BackwardCal::NONE;
+        for (i, &p) in sane.iter().enumerate() {
+            cal.points[i] = p;
+        }
+        cal.len = sane.len();
+        cal
+    }
+
+    /// Fits the table from measured bench rows: full-model parallel rows
+    /// carrying a `speedup_vs_sequential` become the calibration points.
+    pub fn from_backward_bench(rows: &[crate::bench_data::BackwardMeasurement]) -> BackwardCal {
+        let pairs: Vec<(usize, f64)> = rows
+            .iter()
+            .filter(|r| r.is_model_scope() && r.is_parallel())
+            .filter_map(|r| r.speedup_vs_sequential.map(|s| (r.batch, s)))
+            .collect();
+        BackwardCal::from_points(&pairs)
+    }
+
+    /// `true` when no measured point is present (identity calibration).
+    pub fn is_none(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The speedup factor to credit a backward over `batch` images:
+    /// piecewise-linear between measured batches, clamped to the first/last
+    /// point outside the measured range, `1.0` when empty.
+    pub fn speedup_at(&self, batch: usize) -> f64 {
+        if self.len == 0 {
+            return 1.0;
+        }
+        let pts = &self.points[..self.len];
+        let b = batch as f64;
+        if b <= pts[0].0 {
+            return pts[0].1;
+        }
+        if b >= pts[self.len - 1].0 {
+            return pts[self.len - 1].1;
+        }
+        for w in pts.windows(2) {
+            let ((b0, s0), (b1, s1)) = (w[0], w[1]);
+            if b <= b1 {
+                let t = (b - b0) / (b1 - b0);
+                return s0 + t * (s1 - s0);
+            }
+        }
+        pts[self.len - 1].1
+    }
+}
+
 /// The roofline model: hardware spec + efficiencies.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Roofline {
@@ -314,5 +404,60 @@ mod tests {
         // ~10k BN scalars update in well under a millisecond.
         let t = rl.update_seconds(10_000, PowerMode::W15);
         assert!(t < 1e-3, "update {t}s");
+    }
+
+    #[test]
+    fn backward_cal_none_is_identity() {
+        let cal = BackwardCal::NONE;
+        assert!(cal.is_none());
+        for b in [1, 4, 8, 64] {
+            assert_eq!(cal.speedup_at(b), 1.0);
+        }
+        assert!(BackwardCal::from_points(&[]).is_none());
+        // Insane points are dropped, possibly down to the identity.
+        assert!(BackwardCal::from_points(&[(0, 2.0), (4, f64::NAN), (4, -1.0)]).is_none());
+    }
+
+    #[test]
+    fn backward_cal_interpolates_and_clamps() {
+        // Deliberately unsorted input; table must sort by batch.
+        let cal = BackwardCal::from_points(&[(8, 3.0), (1, 1.0), (4, 2.0)]);
+        assert!(!cal.is_none());
+        assert_eq!(cal.speedup_at(1), 1.0);
+        assert_eq!(cal.speedup_at(4), 2.0);
+        assert_eq!(cal.speedup_at(8), 3.0);
+        // Midpoints interpolate linearly.
+        assert!((cal.speedup_at(2) - (1.0 + 1.0 / 3.0)).abs() < 1e-12);
+        assert!((cal.speedup_at(6) - 2.5).abs() < 1e-12);
+        // Outside the measured range the end values clamp.
+        assert_eq!(cal.speedup_at(64), 3.0);
+        let no_b1 = BackwardCal::from_points(&[(4, 2.0), (8, 3.0)]);
+        assert_eq!(no_b1.speedup_at(1), 2.0);
+    }
+
+    #[test]
+    fn backward_cal_fits_from_model_scope_parallel_rows_only() {
+        use crate::bench_data::BackwardMeasurement;
+        let row =
+            |scope: &str, batch: usize, schedule: &str, speedup: Option<f64>| BackwardMeasurement {
+                scope: scope.into(),
+                batch,
+                schedule: schedule.into(),
+                ns_per_iter: 1000.0,
+                speedup_vs_sequential: speedup,
+            };
+        let rows = vec![
+            row("model", 1, "parallel", Some(1.1)),
+            row("model", 8, "parallel", Some(2.5)),
+            // Must all be ignored: wrong scope, wrong schedule, no speedup.
+            row("conv_stage1", 8, "parallel", Some(9.0)),
+            row("model", 8, "sequential", None),
+            row("model", 4, "parallel", None),
+        ];
+        let cal = BackwardCal::from_backward_bench(&rows);
+        assert_eq!(cal.speedup_at(1), 1.1);
+        assert_eq!(cal.speedup_at(8), 2.5);
+        assert!((cal.speedup_at(4) - (1.1 + 3.0 / 7.0 * 1.4)).abs() < 1e-12);
+        assert!(BackwardCal::from_backward_bench(&[]).is_none());
     }
 }

@@ -713,4 +713,84 @@ mod tests {
             .total_ms();
         assert!((t - base).abs() < 1e-9);
     }
+
+    /// The backward-calibration satellite, before/after: R-18 at 30 W,
+    /// eight streams each one 30 FPS frame period (33.3 ms) deep in queue,
+    /// staleness bounded at eight periods (266.4 ms), an adaptation-heavy
+    /// tick with a relaxed tick budget (the gate prices the all-triggered
+    /// worst case).
+    ///
+    /// The uncalibrated gate prices the backward as `batch ×` the
+    /// single-image pass, predicts an overlong adapting tick, and sheds
+    /// down to **4** admitted streams. Fed the measured batch-parallel
+    /// speedups (1×/2×/3× at batch 1/4/8 — the shape of the pooled
+    /// backward on a multi-core host), the same tick is predicted fast
+    /// enough for **6** streams to serve fresh. Both verdicts keep the
+    /// adaptation step; the calibration converts pure model error into two
+    /// extra adapted streams.
+    #[test]
+    fn backward_calibration_admits_more_aged_streams() {
+        use crate::roofline::BackwardCal;
+        let cfg = UfldConfig::paper(Backbone::ResNet18, 4);
+        let base = AdaptCostModel::paper_scale(&cfg);
+        let cal = BackwardCal::from_points(&[(1, 1.0), (4, 2.0), (8, 3.0)]);
+        let calibrated = AdaptCostModel::paper_scale(&cfg).with_backward_cal(cal);
+        assert!(base.backward_cal().is_none());
+        assert!(!calibrated.backward_cal().is_none());
+
+        let mode = PowerMode::W30;
+        let period_ms = 33.3; // 30 FPS arrival
+        let ages = [period_ms; 8];
+        let bound = 8.0 * period_ms;
+        let budget = 450.0;
+        let before = admit_batch_aged(&base, mode, budget, &ages, Precision::Fp32, 1.0, bound);
+        let after = admit_batch_aged(
+            &calibrated,
+            mode,
+            budget,
+            &ages,
+            Precision::Fp32,
+            1.0,
+            bound,
+        );
+
+        let before_adm = before.admission.expect("some streams serve");
+        let after_adm = after.admission.expect("some streams serve");
+        assert!(before_adm.adapt && after_adm.adapt, "both ticks adapt");
+        assert_eq!(before.fresh(), 4, "uncalibrated sheds to 4: {before_adm:?}");
+        assert_eq!(after.fresh(), 6, "calibrated serves 6: {after_adm:?}");
+        assert!(after_adm.latency_ms + period_ms <= bound);
+        // The win is purely the cheaper backward: inference-side predictions
+        // are untouched by the calibration.
+        let b_inf = base.batched_tick_at(mode, 6, false, Precision::Fp32);
+        let c_inf = calibrated.batched_tick_at(mode, 6, false, Precision::Fp32);
+        assert_eq!(b_inf, c_inf);
+    }
+
+    /// The identity calibration must reproduce the uncalibrated gate
+    /// bit-for-bit — `BackwardCal::NONE` is what every existing caller
+    /// (and the pinned Figure-3 suite) implicitly runs with.
+    #[test]
+    fn none_calibration_is_bitwise_neutral_for_admission() {
+        use crate::roofline::BackwardCal;
+        let cfg = UfldConfig::paper(Backbone::ResNet18, 4);
+        let base = AdaptCostModel::paper_scale(&cfg);
+        let with_none = AdaptCostModel::paper_scale(&cfg).with_backward_cal(BackwardCal::NONE);
+        for mode in [PowerMode::MaxN60, PowerMode::W30] {
+            for offered in [1, 4, 8] {
+                assert_eq!(
+                    admit_batch(&base, mode, 33.3, offered),
+                    admit_batch(&with_none, mode, 33.3, offered)
+                );
+            }
+            assert_eq!(
+                base.ld_bn_adapt_frame(mode, 4),
+                with_none.ld_bn_adapt_frame(mode, 4)
+            );
+            assert_eq!(
+                base.mixed_tick_at(mode, 6, 3, Precision::Int8),
+                with_none.mixed_tick_at(mode, 6, 3, Precision::Int8)
+            );
+        }
+    }
 }

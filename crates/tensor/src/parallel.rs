@@ -1,4 +1,6 @@
-//! A persistent fork-join worker pool for the dense-compute kernels.
+//! A persistent fork-join worker pool for the dense-compute kernels, plus a
+//! **deterministic map-reduce** primitive for the batch-parallel backward
+//! pass.
 //!
 //! The convolution and GEMM kernels split their output loops across the
 //! machine's cores. Earlier revisions spawned fresh OS threads through
@@ -7,9 +9,47 @@
 //! replaces that with a lazily-initialized pool of `cores − 1` long-lived
 //! workers fed over channels; the calling thread executes the first chunk
 //! itself, so small machines (including 1-core CI) never context-switch.
+//! The pool width can be pinned with the `LD_POOL_THREADS` environment
+//! variable (read once, before first use) — determinism tests use it to run
+//! real multi-worker schedules even on single-core hosts.
 //!
 //! With the tiny models used in CI the work usually stays below
 //! [`PAR_THRESHOLD_FLOPS`] and runs single-threaded on the caller.
+//!
+//! # Deterministic map-reduce (gradient replicas)
+//!
+//! The backward pass accumulates per-image gradient contributions into
+//! *shared* parameter gradients — a race under image-level parallelism, and
+//! worse, a **determinism hazard**: letting each worker add its partial sums
+//! in arrival order would make gradients depend on thread timing, and every
+//! chaos/isolation proof in this repo asserts *bitwise* equality of
+//! adaptation state across runs. The reduction order is part of the public
+//! semantics.
+//!
+//! [`map_slots`] + [`ReduceArena::fold_ordered`] (or the one-call
+//! [`map_reduce_ordered`]) solve both at once:
+//!
+//! * **map**: every item (batch image) gets its *own* zeroed replica slot in
+//!   a [`ReduceArena`]; the map closure runs over items fanned across the
+//!   pool, writing only its slot. Slots are per-item, not per-worker, so the
+//!   partials themselves are independent of how items were chunked.
+//! * **reduce**: slots fold into the output strictly in **item order**
+//!   (`out[j] += slot_0[j]; out[j] += slot_1[j]; …` — a left-leaning
+//!   reduction tree evaluated in image order, never arrival order). The
+//!   *element* axis is what parallelises the fold, so each output element's
+//!   addition chain is a pure function of the batch size.
+//!
+//! The result is bitwise independent of the pool width and of scheduling:
+//! width 1, width 8, or a nested (inline) run all produce identical bytes.
+//! The arena is grow-only and reused across steps ([`ReduceArena::reallocs`]
+//! lets tests pin the steady-state zero-allocation contract).
+//!
+//! Calling any of these from inside a parallel region is detected
+//! ([`in_parallel_region`]) and falls back to the same fixed-order
+//! evaluation inline — identical results, no deadlock, no silent
+//! oversubscription. [`run_sequential`] forces that mode for a closure and
+//! is the reference "pool width 1" path the parallel≡sequential proofs
+//! compare against.
 //!
 //! # Background tasks
 //!
@@ -109,6 +149,13 @@ fn pool() -> &'static Pool {
 fn num_threads() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
+        if let Ok(v) = std::env::var("LD_POOL_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -121,6 +168,51 @@ thread_local! {
     /// owns the cores, and a worker enqueueing onto its own channel while
     /// blocked on the latch would deadlock.
     static IN_PARALLEL_REGION: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// RAII marker for "this thread is inside a parallel region". Restores the
+/// *previous* value on drop (including on unwind), so nested regions — e.g.
+/// a backward pass invoked from a pooled job, which itself enters the
+/// sequential fallback — never clear an outer region's flag early.
+struct RegionGuard {
+    prev: bool,
+}
+
+impl RegionGuard {
+    fn enter() -> Self {
+        RegionGuard {
+            prev: IN_PARALLEL_REGION.with(|g| g.replace(true)),
+        }
+    }
+}
+
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_PARALLEL_REGION.with(|g| g.set(prev));
+    }
+}
+
+/// Whether the current thread is executing inside a parallel region (a
+/// `for_each_chunk` job, or a [`run_sequential`] scope). Dispatch helpers use
+/// this to fall back to inline fixed-order execution instead of deadlocking
+/// on the pool; callers can use it to pick cheaper code paths.
+pub fn in_parallel_region() -> bool {
+    IN_PARALLEL_REGION.with(|g| g.get())
+}
+
+/// Runs `f` with this thread marked as inside a parallel region, so every
+/// `for_each_chunk`/[`map_slots`] call inside executes inline, in index
+/// order, on this thread.
+///
+/// This is the reference "pool width 1" schedule: because the map-reduce
+/// primitive is bitwise width-independent, `run_sequential(|| backward(..))`
+/// must produce byte-identical results to the pooled path — the
+/// parallel≡sequential proofs (and the `backward_step` bench's sequential
+/// baseline) are built on this function.
+pub fn run_sequential<R>(f: impl FnOnce() -> R) -> R {
+    let _g = RegionGuard::enter();
+    f()
 }
 
 /// Number of threads `for_each_chunk` can use (persistent workers + caller).
@@ -156,19 +248,57 @@ pub fn pool_width() -> usize {
 /// assert_eq!(acc.load(Ordering::Relaxed), 100);
 /// ```
 pub fn for_each_chunk(total: usize, work_hint: usize, f: impl Fn(Range<usize>) + Sync) {
+    for_each_chunk_width(total, num_threads(), work_hint, f);
+}
+
+/// [`for_each_chunk`] with an explicit chunk count (`width`), decoupled from
+/// the physical pool width.
+///
+/// The range splits into `width` contiguous chunks; chunk 0 runs on the
+/// caller and the rest round-robin over the persistent workers (a worker may
+/// execute several chunks when `width` exceeds the pool). This is the seam
+/// the determinism tests use: a 1-core host can still exercise the exact
+/// chunk geometry of an 8-wide machine, and the map-reduce primitive must
+/// produce bitwise-identical results for every `width`.
+///
+/// Falls back to inline, in-order execution when `width <= 1`, when the
+/// `work_hint` is below [`PAR_THRESHOLD_FLOPS`], when called from inside a
+/// parallel region (see [`in_parallel_region`] — dispatching would deadlock
+/// a worker on its own queue), or when the pool has no workers (1-core host
+/// without an `LD_POOL_THREADS` override). Every fallback preserves chunk
+/// order, so code that is chunk-order-deterministic stays deterministic.
+pub fn for_each_chunk_width(
+    total: usize,
+    width: usize,
+    work_hint: usize,
+    f: impl Fn(Range<usize>) + Sync,
+) {
     if total == 0 {
         return;
     }
-    let threads = num_threads().min(total);
-    if threads <= 1 || work_hint < PAR_THRESHOLD_FLOPS || IN_PARALLEL_REGION.with(|g| g.get()) {
+    let width = width.min(total);
+    if width <= 1 || work_hint < PAR_THRESHOLD_FLOPS || in_parallel_region() {
         f(0..total);
         return;
     }
 
     let pool = pool();
-    let chunk = total.div_ceil(threads);
+    let chunk = total.div_ceil(width);
+    if pool.senders.is_empty() {
+        // No workers to dispatch to: run the chunks on the caller, in chunk
+        // order, inside a marked region (exactly what each worker would do).
+        let _g = RegionGuard::enter();
+        let mut start = 0;
+        while start < total {
+            let end = (start + chunk).min(total);
+            f(start..end);
+            start = end;
+        }
+        return;
+    }
+
     // Chunk 0 runs on the caller; chunks 1.. go to the workers.
-    let worker_chunks: Vec<Range<usize>> = (1..threads)
+    let worker_chunks: Vec<Range<usize>> = (1..width)
         .map(|t| (t * chunk).min(total)..((t + 1) * chunk).min(total))
         .filter(|r| !r.is_empty())
         .collect();
@@ -185,10 +315,9 @@ pub fn for_each_chunk(total: usize, work_hint: usize, f: impl Fn(Range<usize>) +
     for (i, range) in worker_chunks.into_iter().enumerate() {
         let job: Job = Box::new(move || {
             let result = panic::catch_unwind(AssertUnwindSafe(|| {
-                IN_PARALLEL_REGION.with(|g| g.set(true));
+                let _g = RegionGuard::enter();
                 f_static(range);
             }));
-            IN_PARALLEL_REGION.with(|g| g.set(false));
             if result.is_err() {
                 latch_static.panicked.store(true, Ordering::Release);
             }
@@ -202,10 +331,9 @@ pub fn for_each_chunk(total: usize, work_hint: usize, f: impl Fn(Range<usize>) +
     }
 
     let caller_result = panic::catch_unwind(AssertUnwindSafe(|| {
-        IN_PARALLEL_REGION.with(|g| g.set(true));
+        let _g = RegionGuard::enter();
         f(0..chunk.min(total));
     }));
-    IN_PARALLEL_REGION.with(|g| g.set(false));
     latch.wait();
     if caller_result.is_err() || latch.panicked.load(Ordering::Acquire) {
         // Re-raise after all borrows of `f`/`latch` have quiesced.
@@ -249,6 +377,156 @@ impl<T> SendPtr<T> {
     pub unsafe fn add(self, offset: usize) -> SendPtr<T> {
         SendPtr(self.0.add(offset))
     }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic map-reduce: per-item gradient replicas + ordered fold.
+// ---------------------------------------------------------------------------
+
+/// A grow-only arena of per-item replica slots for deterministic parallel
+/// reduction (see the module docs).
+///
+/// One arena is owned by each layer's scratch state and reused across steps:
+/// after the first full-size call, [`ReduceArena::ensure`] never reallocates
+/// ([`ReduceArena::reallocs`] counts grows so tests can pin the steady-state
+/// zero-allocation contract, mirroring `ConvScratch`).
+#[derive(Debug, Default, Clone)]
+pub struct ReduceArena {
+    buf: Vec<f32>,
+    slots: usize,
+    slot_len: usize,
+    reallocs: usize,
+}
+
+impl ReduceArena {
+    /// An empty arena; the first [`ReduceArena::ensure`] sizes it.
+    pub const fn new() -> Self {
+        ReduceArena {
+            buf: Vec::new(),
+            slots: 0,
+            slot_len: 0,
+            reallocs: 0,
+        }
+    }
+
+    /// Sizes the arena for `slots` replica slots of `slot_len` floats each.
+    /// Grow-only: shrinking requests reuse the existing allocation.
+    pub fn ensure(&mut self, slots: usize, slot_len: usize) {
+        let need = slots * slot_len;
+        if need > self.buf.len() {
+            self.buf.resize(need, 0.0);
+            self.reallocs += 1;
+        }
+        self.slots = slots;
+        self.slot_len = slot_len;
+    }
+
+    /// Number of times the backing buffer grew (1 after warm-up, then flat).
+    pub fn reallocs(&self) -> usize {
+        self.reallocs
+    }
+
+    /// Slot count configured by the last [`ReduceArena::ensure`].
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Slot length configured by the last [`ReduceArena::ensure`].
+    pub fn slot_len(&self) -> usize {
+        self.slot_len
+    }
+
+    /// Mutable view of slot `i` (for inline/sequential callers).
+    pub fn slot_mut(&mut self, i: usize) -> &mut [f32] {
+        let start = i * self.slot_len;
+        &mut self.buf[start..start + self.slot_len]
+    }
+
+    /// **Map**: sizes the arena for `items` slots of `slot_len`, zeroes them,
+    /// and runs `f(item, slot)` for every item, fanned over the pool.
+    ///
+    /// Each item owns exactly one slot, so `f` may accumulate freely without
+    /// synchronisation, and the partials are independent of how items were
+    /// chunked across threads. `f` may also write other *per-item disjoint*
+    /// outputs (e.g. `grad_in` images) through a [`SendPtr`].
+    pub fn map_slots(
+        &mut self,
+        items: usize,
+        slot_len: usize,
+        work_hint: usize,
+        f: impl Fn(usize, &mut [f32]) + Sync,
+    ) {
+        self.map_slots_width(items, slot_len, num_threads(), work_hint, f);
+    }
+
+    /// [`ReduceArena::map_slots`] with an explicit chunk `width` (test seam;
+    /// results are bitwise identical for every width by construction).
+    pub fn map_slots_width(
+        &mut self,
+        items: usize,
+        slot_len: usize,
+        width: usize,
+        work_hint: usize,
+        f: impl Fn(usize, &mut [f32]) + Sync,
+    ) {
+        self.ensure(items, slot_len);
+        self.buf[..items * slot_len].fill(0.0);
+        let base = SendPtr(self.buf.as_mut_ptr());
+        for_each_chunk_width(items, width, work_hint, |r| {
+            for i in r {
+                // SAFETY: slot `i` is touched only by the chunk owning item
+                // `i`; chunks are disjoint and complete before we return.
+                let slot = unsafe { base.slice_mut(i * slot_len, slot_len) };
+                f(i, slot);
+            }
+        });
+    }
+
+    /// **Reduce**: folds a sub-range of every slot into `out`, strictly in
+    /// slot (= item) order: `out[j] += slot_0[off+j]; out[j] += slot_1[off+j];
+    /// …` — a left fold in item order, never arrival order.
+    ///
+    /// The *element* axis is what parallelises: each output element's
+    /// addition chain is a pure function of the slot count, so the result is
+    /// bitwise independent of pool width and scheduling. `offset` selects a
+    /// field when one slot packs several reductions (e.g. `[dW | db]`).
+    pub fn fold_ordered_at(&self, offset: usize, out: &mut [f32]) {
+        let (slots, slot_len) = (self.slots, self.slot_len);
+        assert!(offset + out.len() <= slot_len, "fold range exceeds slot");
+        let optr = SendPtr(out.as_mut_ptr());
+        let buf = &self.buf;
+        for_each_chunk(out.len(), slots * out.len(), |r| {
+            // SAFETY: element ranges are disjoint across chunks.
+            let o = unsafe { optr.slice_mut(r.start, r.len()) };
+            for i in 0..slots {
+                let s = &buf[i * slot_len + offset + r.start..][..r.len()];
+                for (oj, sj) in o.iter_mut().zip(s) {
+                    *oj += *sj;
+                }
+            }
+        });
+    }
+
+    /// [`ReduceArena::fold_ordered_at`] over the whole slot (`out.len()` must
+    /// equal the slot length).
+    pub fn fold_ordered(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.slot_len, "out length must match slot");
+        self.fold_ordered_at(0, out);
+    }
+}
+
+/// One-call map + ordered reduce: runs `f(item, slot)` for every item in
+/// parallel, then folds the slots into `out` in item order. See
+/// [`ReduceArena::map_slots`] / [`ReduceArena::fold_ordered`].
+pub fn map_reduce_ordered(
+    arena: &mut ReduceArena,
+    items: usize,
+    work_hint: usize,
+    out: &mut [f32],
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    arena.map_slots(items, out.len(), work_hint, f);
+    arena.fold_ordered(out);
 }
 
 // ---------------------------------------------------------------------------
@@ -470,6 +748,130 @@ mod tests {
     #[test]
     fn pool_width_is_positive() {
         assert!(pool_width() >= 1);
+    }
+
+    #[test]
+    fn chunk_width_covers_range_for_widths_beyond_pool() {
+        for width in [1, 2, 3, 8, 100] {
+            let acc = AtomicUsize::new(0);
+            for_each_chunk_width(57, width, usize::MAX, |r| {
+                acc.fetch_add(r.sum::<usize>(), Ordering::Relaxed);
+            });
+            assert_eq!(acc.load(Ordering::Relaxed), 56 * 57 / 2, "width {width}");
+        }
+    }
+
+    #[test]
+    fn run_sequential_marks_and_restores_region() {
+        assert!(!in_parallel_region());
+        let r = run_sequential(|| {
+            assert!(in_parallel_region());
+            // Nested dispatch must stay inline instead of deadlocking.
+            let acc = AtomicUsize::new(0);
+            for_each_chunk_width(100, 8, usize::MAX, |r| {
+                acc.fetch_add(r.len(), Ordering::Relaxed);
+            });
+            // …and must not clear the outer region flag on exit.
+            assert!(in_parallel_region(), "inner call cleared the region flag");
+            acc.load(Ordering::Relaxed)
+        });
+        assert_eq!(r, 100);
+        assert!(!in_parallel_region());
+    }
+
+    #[test]
+    fn chunk_jobs_are_marked_as_region_and_nesting_restores() {
+        // Force the multi-chunk path even on a 1-core host (empty pool →
+        // ordered caller fallback; with workers → real dispatch). Either
+        // way every chunk body must observe the region flag, including
+        // after a nested run_sequential scope exits.
+        let ok = AtomicUsize::new(0);
+        for_each_chunk_width(4, 4, usize::MAX, |r| {
+            let before = in_parallel_region();
+            run_sequential(|| assert!(in_parallel_region()));
+            let after = in_parallel_region();
+            if before && after {
+                ok.fetch_add(r.len(), Ordering::Relaxed);
+            }
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 4, "region flag lost in a chunk");
+    }
+
+    /// The map-reduce values match a plain serial accumulation (same order →
+    /// bitwise, not just approximately).
+    #[test]
+    fn map_reduce_matches_serial_accumulation_bitwise() {
+        let items = 13;
+        let len = 37;
+        // Magnitude-diverse partials so any reordering would change the sum.
+        let part = |i: usize, j: usize| ((i * 31 + j * 7) as f32).exp2() * 1e-3 - (j as f32);
+
+        let mut serial = vec![0.5f32; len];
+        for i in 0..items {
+            for (j, s) in serial.iter_mut().enumerate() {
+                *s += part(i, j);
+            }
+        }
+
+        let mut arena = ReduceArena::new();
+        let mut out = vec![0.5f32; len];
+        map_reduce_ordered(&mut arena, items, usize::MAX, &mut out, |i, slot| {
+            for (j, s) in slot.iter_mut().enumerate() {
+                *s += part(i, j);
+            }
+        });
+        assert_eq!(
+            out.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            serial.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    /// Bitwise width-independence: every chunk width (including inline width
+    /// 1 and widths beyond the physical pool) produces identical bytes.
+    #[test]
+    fn map_reduce_is_bitwise_width_independent() {
+        let items = 9;
+        let len = 129;
+        let part = |i: usize, j: usize| 1.0f32 / ((i * len + j + 1) as f32);
+        let run = |width: usize| {
+            let mut arena = ReduceArena::new();
+            let mut out = vec![0.0f32; len];
+            arena.map_slots_width(items, len, width, usize::MAX, |i, slot| {
+                for (j, s) in slot.iter_mut().enumerate() {
+                    *s += part(i, j);
+                }
+            });
+            arena.fold_ordered(&mut out);
+            out.iter().map(|x| x.to_bits()).collect::<Vec<u32>>()
+        };
+        let reference = run(1);
+        for width in [2, 3, 4, 8, 16] {
+            assert_eq!(run(width), reference, "width {width} diverged");
+        }
+        // And the nested/sequential fallback matches too.
+        assert_eq!(run_sequential(|| run(8)), reference);
+    }
+
+    /// The arena is grow-only: steady-state reuse never reallocates, and a
+    /// packed slot folds per-field through `fold_ordered_at`.
+    #[test]
+    fn arena_reuse_and_packed_fold() {
+        let mut arena = ReduceArena::new();
+        arena.map_slots(4, 6, usize::MAX, |i, slot| {
+            slot[0] = i as f32; // field A: [0..4)
+            slot[4] = 10.0 * i as f32; // field B: [4..6)
+        });
+        assert_eq!(arena.reallocs(), 1);
+        let mut a = vec![0.0f32; 4];
+        let mut b = vec![0.0f32; 2];
+        arena.fold_ordered_at(0, &mut a);
+        arena.fold_ordered_at(4, &mut b);
+        assert_eq!(a[0], 0.0 + 1.0 + 2.0 + 3.0);
+        assert_eq!(b[0], 10.0 * (0.0 + 1.0 + 2.0 + 3.0));
+        // Smaller and equal re-uses keep the allocation.
+        arena.map_slots(2, 6, usize::MAX, |_, _| {});
+        arena.map_slots(4, 6, usize::MAX, |_, _| {});
+        assert_eq!(arena.reallocs(), 1, "steady-state map_slots reallocated");
     }
 
     /// Serialises the background-pool tests: they reason about the global

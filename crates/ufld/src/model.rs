@@ -378,12 +378,24 @@ impl UfldModel {
         let g = grad_logits.to_shape(&[n, self.cfg.logit_len()]);
         let mut g = self.fc2.backward(&g);
         g.axpy(1.0, grad_embedding);
-        let g = self.head_relu.backward(&g);
+        self.head_relu.backward_inplace(&mut g);
         let g = self.fc1.backward(&g);
-        let g = self.flatten.backward(&g);
-        let g = self.reduce_relu.backward(&g);
+        let mut g = self.flatten.backward(&g);
+        self.reduce_relu.backward_inplace(&mut g);
         let g = self.reduce.backward(&g);
         self.backbone.backward(&g)
+    }
+
+    /// Enables/disables skipping the stem convolution's input-gradient
+    /// computation (the most expensive backward GEMM + col2im, over the
+    /// full-resolution input).
+    ///
+    /// The value [`Layer::backward`] returns for the stem's input is all
+    /// zeros while this is on, so only callers that discard the returned
+    /// input gradient — the adaptation server and governor do — may enable
+    /// it. Off by default; gradient-fidelity probes rely on the exact path.
+    pub fn set_skip_stem_input_grad(&mut self, skip: bool) {
+        self.backbone.set_skip_stem_input_grad(skip);
     }
 }
 
@@ -419,11 +431,11 @@ impl Layer for UfldModel {
             "UfldModel::backward: gradient shape mismatch"
         );
         let g = grad_out.to_shape(&[n, self.cfg.logit_len()]);
-        let g = self.fc2.backward(&g);
-        let g = self.head_relu.backward(&g);
+        let mut g = self.fc2.backward(&g);
+        self.head_relu.backward_inplace(&mut g);
         let g = self.fc1.backward(&g);
-        let g = self.flatten.backward(&g);
-        let g = self.reduce_relu.backward(&g);
+        let mut g = self.flatten.backward(&g);
+        self.reduce_relu.backward_inplace(&mut g);
         let g = self.reduce.backward(&g);
         self.backbone.backward(&g)
     }

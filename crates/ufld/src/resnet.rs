@@ -51,8 +51,6 @@ pub struct BasicBlock {
     /// 1×1 strided projection when shape changes; identity otherwise.
     downsample: Option<(Conv2d, BatchNorm2d)>,
     relu2: Relu,
-    /// Cached shortcut input for the identity path's backward.
-    cached_input: Option<Tensor>,
     /// Fold conv→BN on eval-mode forwards with frozen running stats.
     pub fuse_eval: bool,
 }
@@ -101,7 +99,6 @@ impl BasicBlock {
                 )
             }),
             relu2: Relu::new(),
-            cached_input: None,
             fuse_eval: false,
         }
     }
@@ -149,32 +146,35 @@ impl Layer for BasicBlock {
         let main = conv_bn_forward(&mut self.conv1, &mut self.bn1, x, mode, fuse);
         let main = self.relu1.forward(&main, mode);
         let main = conv_bn_forward(&mut self.conv2, &mut self.bn2, &main, mode, fuse);
-        let shortcut = match &mut self.downsample {
+        let mut sum = match &mut self.downsample {
             Some((conv, bn)) => conv_bn_forward(conv, bn, x, mode, fuse),
             None => x.clone(),
         };
-        self.cached_input = Some(x.clone());
-        let sum = &main + &shortcut;
+        sum.axpy(1.0, &main);
         self.relu2.forward(&sum, mode)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let g_sum = self.relu2.backward(grad_out);
+        // The gradient chain owns its tensor between layers, so the ReLU
+        // masks and the branch merge run in place — no per-layer clones.
+        let mut g_sum = grad_out.clone();
+        self.relu2.backward_inplace(&mut g_sum);
         // Main branch.
         let g = self.bn2.backward(&g_sum);
-        let g = self.conv2.backward(&g);
-        let g = self.relu1.backward(&g);
+        let mut g = self.conv2.backward(&g);
+        self.relu1.backward_inplace(&mut g);
         let g = self.bn1.backward(&g);
-        let g_main = self.conv1.backward(&g);
-        // Shortcut branch.
-        let g_short = match &mut self.downsample {
+        let mut g_main = self.conv1.backward(&g);
+        // Shortcut branch accumulates into the main-branch gradient
+        // (same element order as the old `&g_main + &g_short` — bitwise).
+        match &mut self.downsample {
             Some((conv, bn)) => {
                 let g = bn.backward(&g_sum);
-                conv.backward(&g)
+                g_main.axpy(1.0, &conv.backward(&g));
             }
-            None => g_sum,
-        };
-        &g_main + &g_short
+            None => g_main.axpy(1.0, &g_sum),
+        }
+        g_main
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
@@ -288,6 +288,16 @@ impl ResNetBackbone {
         (&mut self.stem_conv, &mut self.stem_bn)
     }
 
+    /// Opts the stem convolution out of computing its input gradient (see
+    /// [`Conv2d::set_skip_input_grad`]): the stem is the first layer, so its
+    /// dX — the single most expensive backward GEMM + col2im, over the
+    /// full-resolution input — feeds nothing when the caller discards the
+    /// network input gradient, as the adaptation server does. Off by
+    /// default; callers that *probe* input gradients must leave it off.
+    pub fn set_skip_stem_input_grad(&mut self, skip: bool) {
+        self.stem_conv.set_skip_input_grad(skip);
+    }
+
     /// Mutable access to the residual blocks in execution order.
     pub fn blocks_mut(&mut self) -> &mut [BasicBlock] {
         &mut self.blocks
@@ -316,9 +326,9 @@ impl Layer for ResNetBackbone {
         for b in self.blocks.iter_mut().rev() {
             g = b.backward(&g);
         }
-        g = self.stem_pool.backward(&g);
-        g = self.stem_relu.backward(&g);
-        g = self.stem_bn.backward(&g);
+        let mut g = self.stem_pool.backward(&g);
+        self.stem_relu.backward_inplace(&mut g);
+        let g = self.stem_bn.backward(&g);
         self.stem_conv.backward(&g)
     }
 

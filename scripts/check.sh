@@ -22,6 +22,14 @@ cargo test -q
 echo "== bench smoke: gemm_blocked --quick =="
 cargo bench -p ld-bench --bench gemm_blocked -- --quick
 
+# Per-scope pooled speedup_vs_sequential gate: the smoke run compares its
+# parallel-vs-sequential backward ratios against the last local quick run
+# at a 30% noise floor; the full `backward_step` bench holds the strict
+# >10% bar against the committed BENCH_backward.json.
+echo "== bench smoke: backward_step --quick (emits BENCH_backward.quick.json," \
+     "parallel-backward schedule regression gate) =="
+cargo bench -p ld-bench --bench backward_step -- --quick
+
 echo "== server smoke: multi-target streams, per-stream BN banks =="
 cargo run --release --example multi_stream_server -- --quick
 

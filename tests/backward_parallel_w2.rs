@@ -1,0 +1,47 @@
+//! Width-2 leg of the pool-width determinism sweep (see
+//! `backward_parallel_w8` for the full contract): `LD_POOL_THREADS=2` is a
+//! degenerate-but-distinct schedule — one worker plus the caller, uneven
+//! chunk geometry for odd batches — and the backward must still be
+//! bitwise the sequential reference.
+
+use std::sync::Once;
+
+use ld_nn::gradcheck::parallel_matches_sequential;
+use ld_nn::{loss, BnStatsPolicy, Conv2d, Layer, Mode};
+use ld_tensor::parallel::pool_width;
+use ld_tensor::rng::SeededRng;
+use ld_ufld::{UfldConfig, UfldModel};
+
+/// Pins the pool to 2. Must be the first call of every test here: the
+/// width is read once, at first pool use.
+fn pin_width() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| std::env::set_var("LD_POOL_THREADS", "2"));
+    assert_eq!(pool_width(), 2, "pool width override not in effect");
+}
+
+#[test]
+fn conv_backward_bitwise_matches_sequential_at_width_2() {
+    pin_width();
+    let mut rng = SeededRng::new(0x22);
+    // Odd batch: 5 images over 2 chunks is the uneven split.
+    let x = rng.uniform_tensor(&[5, 4, 12, 12], -1.0, 1.0);
+    let g = rng.uniform_tensor(&[5, 6, 12, 12], -1e-2, 1e-2);
+    let mut conv = Conv2d::new("w2.conv", 4, 6, 3, 1, 1, true, 3);
+    assert!(parallel_matches_sequential(&mut conv, &x, &g, Mode::Train));
+}
+
+#[test]
+fn full_model_backward_bitwise_matches_sequential_at_width_2() {
+    pin_width();
+    let cfg = UfldConfig::tiny(2);
+    let mut model = UfldModel::new(&cfg, 0x2F00D);
+    model.set_bn_policy(BnStatsPolicy::Batch);
+    let x = SeededRng::new(4).uniform_tensor(&[8, 3, cfg.input_height, cfg.input_width], 0.0, 1.0);
+    let logits = model.forward(&x, Mode::Eval);
+    let h = loss::entropy(&logits);
+    assert!(
+        parallel_matches_sequential(&mut model, &x, &h.grad, Mode::Eval),
+        "width-2 model backward diverged from the sequential reference"
+    );
+}

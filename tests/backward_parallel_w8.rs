@@ -1,0 +1,190 @@
+//! The determinism contract of the batch-parallel backward at a **real
+//! pool width**: this binary pins `LD_POOL_THREADS=8` before the pool
+//! spins up, so the per-image gradient replicas genuinely fan out over 8
+//! schedulable chunks (on any host — the pool honours the override even on
+//! one core), and every gradient byte must still match the width-1
+//! sequential reference.
+//!
+//! Three layers of the contract:
+//!
+//! * layer + full-model backward: pooled ≡ sequential, bitwise
+//!   (`ld_nn::gradcheck::parallel_matches_sequential`);
+//! * banked-lane isolation: 4 streams on divergent domains through one
+//!   banked server stay bitwise the 4 dedicated-model governors of the
+//!   multi-target baseline, now with the parallel backward underneath;
+//! * nested dispatch: a backward issued from inside a pooled region must
+//!   fall back cleanly (no deadlock, no refusal) and stay bitwise.
+//!
+//! The `backward_parallel_w2` binary repeats the core check at width 2 —
+//! widths 1 (in-crate), 2 and 8 together pin "independent of pool width".
+
+use std::sync::{Mutex, Once};
+
+use ld_adapt::{frame_spec_for, AdaptGovernor, AdaptServer, GovernorConfig};
+use ld_adapt::{LdBnAdaptConfig, ServerConfig};
+use ld_carlane::{Benchmark, StreamSet};
+use ld_nn::gradcheck::{gradient_bits, parallel_matches_sequential};
+use ld_nn::{loss, BatchNorm2d, BnStatsPolicy, Conv2d, Layer, Linear, Mode};
+use ld_tensor::parallel::{for_each_chunk, pool_width};
+use ld_tensor::rng::SeededRng;
+use ld_tensor::Tensor;
+use ld_ufld::{UfldConfig, UfldModel};
+
+/// Pins the pool to 8 workers' worth of chunks. Must be the first call of
+/// every test in this binary: the width is read once, at first pool use.
+fn pin_width() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| std::env::set_var("LD_POOL_THREADS", "8"));
+    assert_eq!(pool_width(), 8, "pool width override not in effect");
+}
+
+#[test]
+fn layer_backwards_bitwise_match_sequential_at_width_8() {
+    pin_width();
+    let mut rng = SeededRng::new(0x88);
+
+    let x = rng.uniform_tensor(&[8, 4, 12, 12], -1.0, 1.0);
+    let g = rng.uniform_tensor(&[8, 6, 12, 12], -1e-2, 1e-2);
+    let mut conv = Conv2d::new("w8.conv", 4, 6, 3, 1, 1, true, 3);
+    assert!(parallel_matches_sequential(&mut conv, &x, &g, Mode::Train));
+
+    let xb = rng.uniform_tensor(&[8, 6, 12, 12], -1.0, 1.0);
+    let gb = rng.uniform_tensor(&[8, 6, 12, 12], -1e-2, 1e-2);
+    let mut bn = BatchNorm2d::new("w8.bn", 6);
+    bn.policy = BnStatsPolicy::Batch;
+    assert!(parallel_matches_sequential(&mut bn, &xb, &gb, Mode::Eval));
+
+    let xl = rng.uniform_tensor(&[8, 64], -1.0, 1.0);
+    let gl = rng.uniform_tensor(&[8, 48], -1e-2, 1e-2);
+    let mut fc = Linear::new("w8.fc", 64, 48, 5);
+    assert!(parallel_matches_sequential(&mut fc, &xl, &gl, Mode::Train));
+}
+
+#[test]
+fn full_model_backward_bitwise_matches_sequential_at_width_8() {
+    pin_width();
+    let cfg = UfldConfig::tiny(2);
+    let mut model = UfldModel::new(&cfg, 0x8F00D);
+    model.set_bn_policy(BnStatsPolicy::Batch);
+    let x = SeededRng::new(9).uniform_tensor(&[8, 3, cfg.input_height, cfg.input_width], 0.0, 1.0);
+    let logits = model.forward(&x, Mode::Eval);
+    let h = loss::entropy(&logits);
+    assert!(
+        parallel_matches_sequential(&mut model, &x, &h.grad, Mode::Eval),
+        "width-8 model backward diverged from the sequential reference"
+    );
+}
+
+/// Satellite-1 regression at real width: `for_each_chunk` used to refuse
+/// nested dispatch in a way that could silently serialize (or wedge) a
+/// backward issued from pooled context. It must now fall back cleanly —
+/// the nested backward completes on a worker thread and produces the same
+/// gradient bytes as the same backward from the outer context.
+#[test]
+fn backward_inside_a_pooled_region_completes_and_stays_bitwise() {
+    pin_width();
+    let cfg = UfldConfig::tiny(2);
+    let mut model = UfldModel::new(&cfg, 0x8BAD);
+    model.set_bn_policy(BnStatsPolicy::Batch);
+    let x = SeededRng::new(11).uniform_tensor(&[2, 3, cfg.input_height, cfg.input_width], 0.0, 1.0);
+    let logits = model.forward(&x, Mode::Eval);
+    let h = loss::entropy(&logits);
+
+    model.zero_grad();
+    let gin = model.backward(&h.grad);
+    let outer_bits = gradient_bits(&mut model, &gin);
+
+    // Re-run the whole forward+backward from inside a pooled region. With
+    // 8 chunks over 8 items, item 1's chunk lands on a worker thread, so
+    // the nested dispatches exercise the in-worker fallback specifically.
+    let slot: Mutex<Option<Vec<u32>>> = Mutex::new(None);
+    let cell = Mutex::new(&mut model);
+    for_each_chunk(8, usize::MAX, |range| {
+        if range.contains(&1) {
+            let mut guard = cell.lock().expect("model cell");
+            let m: &mut UfldModel = &mut guard;
+            m.zero_grad();
+            let _ = m.forward(&x, Mode::Eval);
+            let gin = m.backward(&h.grad);
+            *slot.lock().expect("bits slot") = Some(gradient_bits(m, &gin));
+        }
+    });
+    let nested_bits = slot
+        .into_inner()
+        .expect("bits slot")
+        .expect("nested backward never ran");
+    assert_eq!(outer_bits, nested_bits, "nested backward diverged");
+}
+
+/// Satellite-3 at real width: with the parallel backward fanning a mixed
+/// 4-domain batch over 8-wide chunks, each lane's gradients must still
+/// land only in that lane's bank — asserted as PR 4 asserted it, by
+/// bitwise equivalence with four dedicated single-stream governors on
+/// model clones, serving the identical divergent frames.
+#[test]
+fn banked_lane_backward_stays_bitwise_dedicated_on_divergent_domains() {
+    pin_width();
+    let cfg = UfldConfig::tiny(2);
+    let gov = GovernorConfig {
+        warmup_frames: 2,
+        threshold_ratio: 1.05,
+        rollback_ratio: 1e9,
+        ..Default::default()
+    };
+    let k = 4;
+    let ticks = 6;
+    let adapt = || LdBnAdaptConfig::paper(1).with_lr(0.02);
+    let mut shared = UfldModel::new(&cfg, 0x8BA7);
+    let mut clones: Vec<UfldModel> = (0..k).map(|_| shared.clone_model()).collect();
+
+    // One camera each: noon / tunnel / rain / night, settled and held.
+    let streams = StreamSet::multi_target(Benchmark::MoLane, frame_spec_for(&cfg), k, 8, 0x711);
+    let timelines: Vec<Vec<Tensor>> = (0..k)
+        .map(|sid| {
+            streams
+                .prerender(sid, ticks)
+                .into_iter()
+                .map(|f| f.image)
+                .collect()
+        })
+        .collect();
+
+    let server_cfg = ServerConfig::new(adapt(), gov, k).with_bn_banks();
+    let mut server = AdaptServer::new(server_cfg, k, &mut shared);
+    let mut governors: Vec<AdaptGovernor> = clones
+        .iter_mut()
+        .map(|m| AdaptGovernor::new(adapt(), gov, m))
+        .collect();
+
+    let mut any_adapted = false;
+    // `tick` is the shared clock indexing every stream's timeline at once,
+    // not an iteration over one of them.
+    #[allow(clippy::needless_range_loop)]
+    for tick in 0..ticks {
+        let batch: Vec<(usize, &Tensor)> = (0..k).map(|sid| (sid, &timelines[sid][tick])).collect();
+        let outcomes = server.process_batch(&mut shared, &batch);
+        for (sid, (gv, clone)) in governors.iter_mut().zip(&mut clones).enumerate() {
+            let (logits, adapted) = gv.process_frame(clone, &timelines[sid][tick]);
+            assert_eq!(
+                outcomes[sid].logits.as_slice(),
+                logits.as_slice(),
+                "tick {tick} stream {sid}: logits diverged from dedicated model"
+            );
+            assert_eq!(
+                outcomes[sid].adapted.is_some(),
+                adapted,
+                "tick {tick} stream {sid}: trigger decision diverged"
+            );
+            any_adapted |= adapted;
+        }
+    }
+    assert!(any_adapted, "divergent domains never adapted — vacuous");
+    for (sid, gv) in governors.iter().enumerate() {
+        assert_eq!(server.stream_stats(sid), gv.stats(), "stream {sid} stats");
+        assert_eq!(
+            server.reference_entropy(sid).map(f32::to_bits),
+            gv.reference_entropy().map(f32::to_bits),
+            "stream {sid} reference band"
+        );
+    }
+}

@@ -72,22 +72,40 @@ fn domain_shift_hurts_and_bn_adaptation_recovers() {
 fn adaptation_reduces_mean_prediction_entropy() {
     let (cfg, mut model) = trained_tiny_model();
     let spec = frame_spec_for(&cfg);
-    let stream = FrameStream::target(Benchmark::MoLane, spec, 24, 0xBD);
+    let stream = FrameStream::target(Benchmark::MoLane, spec, 60, 0xBD);
     let snapshot = model.state_dict();
 
-    let frozen = evaluate_frozen(&mut model, &stream);
+    // Entropy minimisation is the objective, so the comparison must hold the
+    // normalisation fixed: both runs recompute BN statistics from the target
+    // frames (the paper's policy), and only the entropy-SGD term differs — a
+    // vanishing learning rate is the stats-only ablation. Comparing against
+    // the frozen Running-stats model instead would confound the gradient
+    // signal with the statistics swap itself.
+    let stats_only = run_online(
+        &mut model,
+        LdBnAdaptConfig::paper(1).with_lr(1e-12),
+        &stream,
+    );
     model.load_state_dict(&snapshot);
-    let adapted = run_online(&mut model, LdBnAdaptConfig::paper(1), &stream);
+    let adapted = run_online(&mut model, LdBnAdaptConfig::paper(1).with_lr(5e-3), &stream);
 
-    // Entropy minimisation is the objective — the second half of the stream
-    // must be more confident than the frozen model on the same frames.
-    let half = frozen.entropy.len() / 2;
+    // The second half of the stream must be more confident than the ablation
+    // on the same frames, and more confident than the method's own first
+    // half — entropy genuinely descends over the run.
+    let half = adapted.entropy.len() / 2;
     let mean = |xs: &[f32]| xs.iter().sum::<f32>() / xs.len() as f32;
-    let frozen_tail = mean(&frozen.entropy[half..]);
+    let ablation_tail = mean(&stats_only.entropy[half..]);
+    let adapted_head = mean(&adapted.entropy[..half]);
     let adapted_tail = mean(&adapted.entropy[half..]);
     assert!(
-        adapted_tail < frozen_tail,
-        "entropy did not drop: frozen {frozen_tail:.4} vs adapted {adapted_tail:.4}"
+        adapted_tail < ablation_tail,
+        "entropy SGD did not beat the stats-only ablation: \
+         ablation {ablation_tail:.4} vs adapted {adapted_tail:.4}"
+    );
+    assert!(
+        adapted_tail < adapted_head,
+        "entropy did not descend over the run: \
+         head {adapted_head:.4} vs tail {adapted_tail:.4}"
     );
 }
 
