@@ -165,6 +165,56 @@ impl StreamSet {
         StreamSet::new(streams)
     }
 
+    /// The **fleet-scale** generator: `n_streams` cameras (typically N ≫ 8,
+    /// one per camera across every shard of a sharded control plane) mixing
+    /// the full drift palette — four transits (noon→dusk, tunnel passage,
+    /// dusk→noon, a 3×-fast noon→dusk) and three hostile holds (sodium-lit
+    /// tunnel, heavy rain, night) — with drift rates 1–3. This is the
+    /// regime `ld_fleet` shards over: neighbouring cameras whose condition
+    /// trajectories diverge, some cycling through overlapping conditions,
+    /// some parked in steady states that fight shared normalisation.
+    ///
+    /// The palette index advances with stride 5 (coprime to the 7-schedule
+    /// palette), so a *contiguous* shard assignment (cameras `[a, b)` →
+    /// shard `k`) still spans the palette instead of aliasing every shard
+    /// onto one schedule family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_streams == 0` or `len < 4`.
+    pub fn fleet(
+        benchmark: Benchmark,
+        spec: FrameSpec,
+        n_streams: usize,
+        len: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(n_streams > 0, "StreamSet: no streams");
+        assert!(len >= 4, "StreamSet: need at least 4 frames per stream");
+        let streams = (0..n_streams)
+            .map(|i| {
+                let schedule = match (i * 5) % 7 {
+                    0 => DriftSchedule::noon_to_dusk(len),
+                    1 => DriftSchedule::tunnel(len),
+                    2 => DriftSchedule::noon_to_dusk(len).reversed(),
+                    3 => DriftSchedule::noon_to_dusk(len.div_ceil(3)),
+                    4 => DriftSchedule::tunnel_hold(len),
+                    5 => DriftSchedule::rain(len),
+                    _ => DriftSchedule::night(len),
+                };
+                let stream = DriftingStream::new(
+                    benchmark,
+                    spec,
+                    schedule,
+                    len,
+                    mix_seed(seed, 0xF1EE7 + i as u64),
+                );
+                (stream, 1 + i % 3)
+            })
+            .collect();
+        StreamSet::new(streams)
+    }
+
     /// A fresh single-stream set containing a copy of stream `id` (cursor
     /// reset to the start) — the dedicated-model baseline of multi-target
     /// experiments serves exactly the frames the batched server saw.
@@ -343,6 +393,50 @@ mod tests {
     #[should_panic(expected = "no streams")]
     fn empty_set_rejected() {
         StreamSet::new(vec![]);
+    }
+
+    /// The fleet generator must stay deterministic, vary the drift clocks,
+    /// and spread the palette so a contiguous shard of cameras still spans
+    /// divergent conditions.
+    #[test]
+    fn fleet_streams_are_deterministic_and_palette_diverse() {
+        let len = 21;
+        let mk = || StreamSet::fleet(Benchmark::MoLane, spec(), 24, len, 11);
+        let mut a = mk();
+        let mut b = mk();
+        for id in [0, 7, 23] {
+            assert_eq!(
+                a.next_frame(id).image.as_slice(),
+                b.next_frame(id).image.as_slice(),
+                "stream {id}"
+            );
+        }
+        // Drift rates cycle 1–3 (observable through the clock index).
+        let mut c = mk();
+        let rates: Vec<usize> = (0..3)
+            .map(|id| {
+                c.next_frame(id);
+                c.peek_index(id)
+            })
+            .collect();
+        assert_eq!(rates, vec![1, 2, 3]);
+        // Any 7 contiguous cameras end their timelines in ≥ 5 distinct
+        // conditions (transit endpoints can coincide; the holds cannot).
+        for window in [0usize, 8] {
+            let set = mk();
+            let mut ends: Vec<_> = Vec::new();
+            for id in window..window + 7 {
+                let end = set.schedule(id).appearance_at(len - 1);
+                if !ends.contains(&end) {
+                    ends.push(end);
+                }
+            }
+            assert!(
+                ends.len() >= 5,
+                "window at {window}: only {} distinct end conditions",
+                ends.len()
+            );
+        }
     }
 
     /// Multi-target streams settle into *distinct* steady domains: late in

@@ -52,7 +52,7 @@ pub use experiment::{CellResult, ExperimentConfig, Method, PretrainedCell};
 pub use governor::{AdaptGovernor, GovernorConfig, GovernorStats};
 pub use server::{
     AdaptServer, AdmissionGate, SelfHealConfig, ServeReport, ServerConfig, ServerStats,
-    StreamFaultStats, StreamReport,
+    StreamFaultStats, StreamReport, StreamSnapshot,
 };
 pub use sota::{adapt_sota, SotaConfig, SotaStats};
 pub use trainer::{pretrain_on_source, TrainConfig, TrainStats};

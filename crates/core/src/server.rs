@@ -205,7 +205,7 @@ use ld_orin::{
 };
 use ld_quant::{QuantUfldModel, QuantizeModel};
 use ld_tensor::Tensor;
-use ld_ufld::{decode_batch, score_image, AccuracyReport, BnBank, UfldModel};
+use ld_ufld::{decode_batch, score_image, AccuracyReport, BankMeta, BnBank, UfldModel};
 use std::collections::VecDeque;
 use std::time::Instant;
 
@@ -254,6 +254,10 @@ struct StreamState {
     /// Last tick index on which this stream's quantized epilogue table was
     /// re-folded from its bank.
     last_refold_tick: Option<usize>,
+    /// Last tick on which this stream blessed its good-bank snapshot
+    /// (bank mode; `None` until the first confident serve). Rides the
+    /// migration metadata so a moved bank is self-describing.
+    last_bless_tick: Option<usize>,
     /// This stream's self-healing state (guard memory + quarantine;
     /// dormant unless [`ServerConfig::with_self_healing`] armed it).
     fault: StreamFaultState,
@@ -623,7 +627,9 @@ pub struct StreamFaultStats {
 
 /// Per-stream self-healing state: the integrity guard's frame memory plus
 /// the quarantine countdown (see the *self-healing serving* module docs).
-#[derive(Debug, Default)]
+/// `Clone` because stream migration carries it verbatim — a quarantined
+/// stream must stay quarantined on its new shard.
+#[derive(Debug, Default, Clone)]
 struct StreamFaultState {
     /// Content hash of the last screened frame (freeze detection).
     last_frame_hash: Option<u64>,
@@ -724,6 +730,77 @@ pub struct ServeReport {
     pub per_stream: Vec<StreamReport>,
     /// Whole-server counters.
     pub server: ServerStats,
+}
+
+/// A detached stream's complete adaptation state — the migration unit
+/// produced by [`AdaptServer::detach_stream`] and consumed by
+/// [`AdaptServer::attach_stream`] (same server or a different shard).
+///
+/// The banks travel as **tagged `LDBK` v2 bytes** ([`BnBank::to_bytes_tagged`]
+/// with the camera tag and blessed tick as metadata) — the same CRC-framed
+/// format banks persist with, so the in-process transport and a future
+/// socket transport ship identical bytes, and a flipped bit anywhere is
+/// rejected at attach. Momentum buffers ride alongside in canonical layer
+/// order, because `LDBK` deliberately excludes optimizer state and velocity
+/// is keyed by process-unique parameter ids that do not survive a decode
+/// (see [`Sgd::velocity`]).
+#[derive(Debug, Clone)]
+pub struct StreamSnapshot {
+    /// Fleet-global camera tag the snapshot was detached under.
+    cam: u64,
+    /// Tagged `LDBK` bytes of the live bank.
+    bank_bytes: Vec<u8>,
+    /// Tagged `LDBK` bytes of the blessed rollback snapshot.
+    good_bank_bytes: Vec<u8>,
+    /// Per-layer momentum buffers `(γ, β)` in canonical bank order
+    /// (`None` where the optimizer had not created one yet).
+    velocities: Vec<(Option<Tensor>, Option<Tensor>)>,
+    reference_entropy: Option<f32>,
+    stats: GovernorStats,
+    bank_swaps: usize,
+    last_refold_tick: Option<usize>,
+    last_bless_tick: Option<usize>,
+    fault: StreamFaultState,
+    /// Source-server hyperparameters, asserted against the target config.
+    lr: f32,
+    momentum: f32,
+}
+
+impl StreamSnapshot {
+    /// The camera tag carried in the bank metadata.
+    pub fn cam_tag(&self) -> u64 {
+        self.cam
+    }
+
+    /// The live bank's tagged `LDBK` v2 bytes — the wire format; bitwise
+    /// preservation of these bytes across a migration is the contract the
+    /// fleet tests pin.
+    pub fn bank_bytes(&self) -> &[u8] {
+        &self.bank_bytes
+    }
+
+    /// The blessed rollback snapshot's tagged `LDBK` v2 bytes.
+    pub fn good_bank_bytes(&self) -> &[u8] {
+        &self.good_bank_bytes
+    }
+
+    /// The detached stream's trigger/duty telemetry.
+    pub fn stats(&self) -> GovernorStats {
+        self.stats
+    }
+
+    /// Tick of the last good-bank blessing on the source server (also in
+    /// the bank metadata, as [`BankMeta::blessed_tick`]).
+    pub fn last_bless_tick(&self) -> Option<usize> {
+        self.last_bless_tick
+    }
+
+    /// γ/β L2 distance of the carried live bank from `init` — the
+    /// "cheapest to move" statistic the rebalancer ranks candidates by.
+    pub fn l2_from_init(&self, init: &BnBank) -> f32 {
+        let (bank, _) = BnBank::from_bytes_tagged(&self.bank_bytes).expect("snapshot bank bytes");
+        bank.affine_l2_distance(init)
+    }
 }
 
 /// The multi-stream adaptation server (see the module docs for the
@@ -952,6 +1029,159 @@ impl AdaptServer {
     /// Panics if `stream` is out of range.
     pub fn reference_entropy(&self, stream: usize) -> Option<f32> {
         self.streams[stream].reference_entropy
+    }
+
+    /// The deployment-time bank every stream started from (`None` unless
+    /// the server runs with [`ServerConfig::with_bn_banks`]).
+    pub fn init_bank(&self) -> Option<&BnBank> {
+        self.init_bank.as_ref()
+    }
+
+    /// Detaches stream `stream`'s complete adaptation state for migration,
+    /// resetting the slot to its pristine (deployment-time) state so it can
+    /// host a future [`AdaptServer::attach_stream`].
+    ///
+    /// `cam_tag` is the fleet-global camera id stamped into the bank
+    /// metadata (use the slot index when there is no fleet). Must be called
+    /// **between ticks** (banks are back in their slots and gradients are
+    /// zero — always true outside `process_batch`/`serve_ingest`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server does not run BN banks (without per-stream
+    /// banks there is no per-stream state to move), or `stream` is out of
+    /// range.
+    pub fn detach_stream(&mut self, stream: usize, cam_tag: u64) -> StreamSnapshot {
+        assert!(
+            self.cfg.bn_banks,
+            "detach_stream requires bank mode (per-stream state is the BN bank)"
+        );
+        assert!(
+            stream < self.streams.len(),
+            "detach_stream: unknown stream {stream}"
+        );
+        let init = self.init_bank.clone().expect("bank mode");
+        let pristine = StreamState {
+            bank: Some(init.clone()),
+            good_bank: Some(init),
+            opt: Some(Sgd::new(self.cfg.adapt.lr).momentum(self.cfg.adapt.momentum)),
+            ..StreamState::default()
+        };
+        let st = std::mem::replace(&mut self.streams[stream], pristine);
+        // The slot's epilogue table (if the int8 fast path built one) now
+        // describes the departed bank; re-fold before its next quant tick.
+        if let Some(q) = &mut self.quant {
+            if let Some(flag) = q.bank_dirty.get_mut(stream) {
+                *flag = true;
+            }
+        }
+        let bank = st.bank.expect("bank present between ticks");
+        let good = st.good_bank.expect("bank mode");
+        let opt = st.opt.expect("bank mode");
+        let velocities = bank
+            .states()
+            .iter()
+            .map(|s| {
+                (
+                    opt.velocity(&s.gamma).cloned(),
+                    opt.velocity(&s.beta).cloned(),
+                )
+            })
+            .collect();
+        let meta = BankMeta {
+            cam: cam_tag,
+            blessed_tick: st.last_bless_tick.map(|t| t as u64),
+        };
+        StreamSnapshot {
+            cam: cam_tag,
+            bank_bytes: bank.to_bytes_tagged(&meta),
+            good_bank_bytes: good.to_bytes_tagged(&meta),
+            velocities,
+            reference_entropy: st.reference_entropy,
+            stats: st.stats,
+            bank_swaps: st.bank_swaps,
+            last_refold_tick: st.last_refold_tick,
+            last_bless_tick: st.last_bless_tick,
+            fault: st.fault,
+            lr: self.cfg.adapt.lr,
+            momentum: self.cfg.adapt.momentum,
+        }
+    }
+
+    /// Installs a detached stream's state into slot `stream`, decoding the
+    /// tagged `LDBK` bytes (CRC-verified) and re-keying the momentum
+    /// buffers onto the freshly-minted bank parameters. After attach the
+    /// stream's trajectory continues bitwise from where the detach cut it —
+    /// the round-trip and migration tests pin this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server does not run BN banks, `stream` is out of
+    /// range, the bank bytes fail their CRC or do not match this server's
+    /// model (layer names/channels), or the snapshot's optimizer
+    /// hyperparameters differ from this server's configuration.
+    pub fn attach_stream(&mut self, stream: usize, snapshot: StreamSnapshot) {
+        assert!(
+            self.cfg.bn_banks,
+            "attach_stream requires bank mode (per-stream state is the BN bank)"
+        );
+        assert!(
+            stream < self.streams.len(),
+            "attach_stream: unknown stream {stream}"
+        );
+        assert_eq!(
+            (snapshot.lr, snapshot.momentum),
+            (self.cfg.adapt.lr, self.cfg.adapt.momentum),
+            "attach_stream: optimizer hyperparameters differ from this server's \
+             (a migrated stream must continue the same trajectory)"
+        );
+        let (bank, _meta) =
+            BnBank::from_bytes_tagged(&snapshot.bank_bytes).expect("attach_stream: bank bytes");
+        let (good, _) = BnBank::from_bytes_tagged(&snapshot.good_bank_bytes)
+            .expect("attach_stream: good-bank bytes");
+        let init = self.init_bank.as_ref().expect("bank mode");
+        assert_eq!(
+            bank.layer_count(),
+            init.layer_count(),
+            "attach_stream: bank layer count does not match this server's model"
+        );
+        for (got, want) in bank.states().iter().zip(init.states()) {
+            assert_eq!(
+                (got.gamma.name.as_str(), got.channels()),
+                (want.gamma.name.as_str(), want.channels()),
+                "attach_stream: bank layer does not match this server's model"
+            );
+        }
+        assert_eq!(
+            snapshot.velocities.len(),
+            bank.layer_count(),
+            "attach_stream: velocity table does not align with the bank"
+        );
+        let mut opt = Sgd::new(self.cfg.adapt.lr).momentum(self.cfg.adapt.momentum);
+        for (state, (vg, vb)) in bank.states().iter().zip(&snapshot.velocities) {
+            if let Some(v) = vg {
+                opt.set_velocity(&state.gamma, v.clone());
+            }
+            if let Some(v) = vb {
+                opt.set_velocity(&state.beta, v.clone());
+            }
+        }
+        self.streams[stream] = StreamState {
+            reference_entropy: snapshot.reference_entropy,
+            stats: snapshot.stats,
+            bank: Some(bank),
+            good_bank: Some(good),
+            opt: Some(opt),
+            bank_swaps: snapshot.bank_swaps,
+            last_refold_tick: snapshot.last_refold_tick,
+            last_bless_tick: snapshot.last_bless_tick,
+            fault: snapshot.fault,
+        };
+        if let Some(q) = &mut self.quant {
+            if let Some(flag) = q.bank_dirty.get_mut(stream) {
+                *flag = true;
+            }
+        }
     }
 
     /// Summed telemetry across streams.
@@ -1287,6 +1517,7 @@ impl AdaptServer {
         poisoned: &[bool],
     ) {
         self.fold_stream_counters(frames, entropies, triggered, do_adapt, poisoned);
+        let tick = self.stats.ticks;
         for (i, ((&(sid, _), bank), &hit)) in frames.iter().zip(banks).zip(triggered).enumerate() {
             let st = &mut self.streams[sid];
             // A poisoned lane never blesses: its bank was restored from
@@ -1297,6 +1528,7 @@ impl AdaptServer {
                     .as_mut()
                     .expect("bank mode")
                     .restore_affine_from(&bank);
+                st.last_bless_tick = Some(tick);
             }
             st.bank_swaps += 1;
             st.bank = Some(bank);
@@ -3097,5 +3329,116 @@ mod tests {
         assert!(server.is_quarantined(0));
         assert_eq!(server.stream_fault_stats(0).unwrap().divergence_events, 1);
         assert_eq!(server.stream_stats(0).rollbacks, 1);
+    }
+
+    /// The migration primitive's round-trip contract: detach→attach on the
+    /// same server is bitwise invisible — banks, good banks, momentum,
+    /// reference band, and telemetry all continue exactly as if the stream
+    /// was never detached.
+    #[test]
+    fn detach_attach_roundtrip_is_bitwise_invisible() {
+        let cfg = UfldConfig::tiny(2);
+        let k = 3;
+        let gov = GovernorConfig {
+            warmup_frames: 100, // always adapt: momentum and banks move every tick
+            ..Default::default()
+        };
+        let mk = || {
+            let mut model = UfldModel::new(&cfg, 0xF1EE7);
+            let server_cfg =
+                ServerConfig::new(LdBnAdaptConfig::paper(1).with_lr(0.02), gov, k).with_bn_banks();
+            let server = AdaptServer::new(server_cfg, k, &mut model);
+            let set = StreamSet::drifting(Benchmark::MoLane, frame_spec_for(&cfg), k, 12, 11);
+            (model, server, set)
+        };
+        let (mut model_a, mut srv_a, mut set_a) = mk();
+        let (mut model_b, mut srv_b, mut set_b) = mk();
+
+        srv_a.serve(&mut model_a, &mut set_a, 4);
+        srv_b.serve(&mut model_b, &mut set_b, 4);
+
+        // Round-trip stream 1 on server B between ticks.
+        let snap = srv_b.detach_stream(1, 41);
+        assert_eq!(snap.cam_tag(), 41);
+        // The slot was reset to pristine while detached.
+        assert_eq!(
+            srv_b.bank_telemetry(1).expect("bank mode").l2_from_init,
+            0.0,
+            "detached slot must be pristine"
+        );
+        assert_eq!(srv_b.stream_stats(1), GovernorStats::default());
+        // The wire bytes are self-describing: camera tag + blessed tick.
+        let (_, meta) = BnBank::from_bytes_tagged(snap.bank_bytes()).expect("tagged bank");
+        let meta = meta.expect("v2 metadata present");
+        assert_eq!(meta.cam, 41);
+        assert_eq!(
+            meta.blessed_tick,
+            snap.last_bless_tick().map(|t| t as u64),
+            "metadata blessed tick mirrors the snapshot"
+        );
+        srv_b.attach_stream(1, snap);
+
+        // Both servers continue; the round-trip must not perturb ANY stream.
+        srv_a.serve(&mut model_a, &mut set_a, 4);
+        srv_b.serve(&mut model_b, &mut set_b, 4);
+
+        assert!(
+            srv_a.server_stats().adapt_steps > 0,
+            "workload never adapted — test is vacuous"
+        );
+        for s in 0..k {
+            let a = srv_a.detach_stream(s, s as u64);
+            let b = srv_b.detach_stream(s, s as u64);
+            assert_eq!(a.bank_bytes(), b.bank_bytes(), "stream {s} bank bytes");
+            assert_eq!(
+                a.good_bank_bytes(),
+                b.good_bank_bytes(),
+                "stream {s} good-bank bytes"
+            );
+            assert_eq!(a.stats(), b.stats(), "stream {s} stats");
+            assert_eq!(
+                a.reference_entropy.map(f32::to_bits),
+                b.reference_entropy.map(f32::to_bits),
+                "stream {s} reference band"
+            );
+            assert_eq!(a.bank_swaps, b.bank_swaps, "stream {s} bank swaps");
+            assert_eq!(a.last_bless_tick, b.last_bless_tick, "stream {s} blessing");
+            assert_eq!(a.velocities.len(), b.velocities.len());
+            for (i, ((ag, ab), (bg, bb))) in a.velocities.iter().zip(&b.velocities).enumerate() {
+                let bits = |t: &Option<Tensor>| {
+                    t.as_ref()
+                        .map(|t| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>())
+                };
+                assert_eq!(bits(ag), bits(bg), "stream {s} layer {i} γ momentum");
+                assert_eq!(bits(ab), bits(bb), "stream {s} layer {i} β momentum");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires bank mode")]
+    fn detach_without_banks_is_rejected() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = UfldModel::new(&cfg, 0xD0);
+        let server_cfg = ServerConfig::new(LdBnAdaptConfig::paper(1), GovernorConfig::default(), 2);
+        let mut server = AdaptServer::new(server_cfg, 2, &mut model);
+        server.detach_stream(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match this server's model")]
+    fn attach_rejects_foreign_bank_structure() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = UfldModel::new(&cfg, 0xD1);
+        let server_cfg = ServerConfig::new(LdBnAdaptConfig::paper(1), GovernorConfig::default(), 2)
+            .with_bn_banks();
+        let mut server = AdaptServer::new(server_cfg, 2, &mut model);
+        let mut snap = server.detach_stream(0, 0);
+        // A bank from a *different* model family must be rejected.
+        let foreign = BnBank::new(vec![ld_nn::BnState::new("alien", 4)]);
+        snap.bank_bytes = foreign.to_bytes_tagged(&BankMeta::default());
+        snap.good_bank_bytes = snap.bank_bytes.clone();
+        snap.velocities = vec![(None, None)];
+        server.attach_stream(0, snap);
     }
 }

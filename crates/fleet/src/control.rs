@@ -1,0 +1,704 @@
+//! The fleet control plane: camera routing, live migration, and the
+//! pressure-driven rebalancer (see the crate docs for the contracts).
+
+use crate::report::{FleetReport, MigrationRecord, ShardSummary};
+use crate::transport::{
+    InProcessShard, MigrationPacket, ShardCommand, ShardResponse, ShardSpec, ShardTransport,
+};
+use ld_adapt::ServeReport;
+use ld_carlane::StreamSet;
+use ld_ingest::{CamReport, IngestReport};
+use ld_orin::ShardPressure;
+
+/// Fleet-level configuration: the per-shard recipe plus the control
+/// plane's own knobs.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The recipe every shard is built from (one deployed model, one
+    /// serving policy — only slot maps differ).
+    pub shard: ShardSpec,
+    /// Number of shards.
+    pub shards: usize,
+    /// Slots per shard, including parked headroom for migrations.
+    pub slots_per_shard: usize,
+    /// Minimum hottest-minus-coolest [`ShardPressure`] score gap before
+    /// [`Fleet::rebalance`] moves a camera.
+    pub rebalance_gap: f64,
+}
+
+impl FleetConfig {
+    /// A fleet of `shards` shards with `slots_per_shard` slots each and
+    /// the default rebalance gap (0.25 — a quarter of full shedding).
+    pub fn new(shard: ShardSpec, shards: usize, slots_per_shard: usize) -> Self {
+        FleetConfig {
+            shard,
+            shards,
+            slots_per_shard,
+            rebalance_gap: 0.25,
+        }
+    }
+}
+
+/// The control plane over K shard transports (see the crate docs).
+pub struct Fleet {
+    shards: Vec<Box<dyn ShardTransport>>,
+    /// Router table: per shard, local slot → global camera.
+    slots: Vec<Vec<Option<usize>>>,
+    tick_period_ns: u64,
+    rebalance_gap: f64,
+    ticks_run: usize,
+    migrations: Vec<MigrationRecord>,
+    /// Cumulative frames served per shard (`ServeReport` covers one `Run`
+    /// command only, so served counts must be accumulated here).
+    served_frames: Vec<usize>,
+    /// Cumulative offered/delivered/dropped per shard. Front-end counters
+    /// are cumulative *per slot* but reset when a camera detaches, so the
+    /// control plane accumulates per-run deltas against per-slot baselines
+    /// (zeroed on migration) — otherwise a migrated camera's history would
+    /// vanish from its old shard's ratios.
+    offered_frames: Vec<u64>,
+    delivered_frames: Vec<u64>,
+    dropped_frames: Vec<u64>,
+    /// Per-slot counter baselines from the previous `Run` response.
+    cam_base: Vec<Vec<CamReport>>,
+    last_serve: Vec<Option<ServeReport>>,
+    last_ingest: Vec<Option<IngestReport>>,
+    stopped: bool,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("shards", &self.shards.len())
+            .field("slots", &self.slots)
+            .field("ticks_run", &self.ticks_run)
+            .field("migrations", &self.migrations.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Fleet {
+    /// The canonical initial layout: cameras `0..n_cams` split into
+    /// contiguous runs, one per shard (as even as possible), each shard's
+    /// map padded to `slots_per_shard` with parked slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero or the fleet lacks capacity.
+    pub fn contiguous_assignment(
+        n_cams: usize,
+        shards: usize,
+        slots_per_shard: usize,
+    ) -> Vec<Vec<Option<usize>>> {
+        assert!(n_cams > 0, "Fleet: no cameras");
+        assert!(shards > 0, "Fleet: no shards");
+        assert!(
+            n_cams <= shards * slots_per_shard,
+            "Fleet: {n_cams} cameras exceed {shards}x{slots_per_shard} slots"
+        );
+        let base = n_cams / shards;
+        let extra = n_cams % shards;
+        let mut next = 0;
+        (0..shards)
+            .map(|k| {
+                let take = base + usize::from(k < extra);
+                assert!(
+                    take <= slots_per_shard,
+                    "Fleet: shard {k} needs {take} slots, has {slots_per_shard}"
+                );
+                let mut map: Vec<Option<usize>> = (next..next + take).map(Some).collect();
+                map.resize(slots_per_shard, None);
+                next += take;
+                map
+            })
+            .collect()
+    }
+
+    /// Launches an in-process fleet over `streams` with the contiguous
+    /// assignment of all of the set's cameras.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-capacity config (see
+    /// [`Fleet::contiguous_assignment`]).
+    pub fn launch(cfg: &FleetConfig, streams: &StreamSet) -> Self {
+        let assignment =
+            Self::contiguous_assignment(streams.num_streams(), cfg.shards, cfg.slots_per_shard);
+        Self::launch_with_assignment(cfg, streams, assignment)
+    }
+
+    /// Launches an in-process fleet with an explicit assignment (per
+    /// shard, local slot → global camera; `None` = parked headroom).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is empty, routes an unknown camera, or
+    /// routes one camera to two slots anywhere in the fleet.
+    pub fn launch_with_assignment(
+        cfg: &FleetConfig,
+        streams: &StreamSet,
+        assignment: Vec<Vec<Option<usize>>>,
+    ) -> Self {
+        Self::validate_assignment(streams, &assignment);
+        let shards = assignment
+            .iter()
+            .enumerate()
+            .map(|(k, slots)| {
+                Box::new(InProcessShard::spawn(k, &cfg.shard, streams, slots.clone()))
+                    as Box<dyn ShardTransport>
+            })
+            .collect();
+        Self::assemble(cfg, shards, assignment)
+    }
+
+    /// Assembles a fleet over caller-provided transports — the seam a
+    /// socket transport (or a test mock) plugs into. Each transport must
+    /// already be serving `assignment[k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transport and assignment counts differ or the
+    /// assignment is empty.
+    pub fn over_transports(
+        cfg: &FleetConfig,
+        shards: Vec<Box<dyn ShardTransport>>,
+        assignment: Vec<Vec<Option<usize>>>,
+    ) -> Self {
+        assert_eq!(
+            shards.len(),
+            assignment.len(),
+            "Fleet: {} transports for {} slot maps",
+            shards.len(),
+            assignment.len()
+        );
+        assert!(!shards.is_empty(), "Fleet: no shards");
+        Self::assemble(cfg, shards, assignment)
+    }
+
+    fn assemble(
+        cfg: &FleetConfig,
+        shards: Vec<Box<dyn ShardTransport>>,
+        assignment: Vec<Vec<Option<usize>>>,
+    ) -> Self {
+        let n = shards.len();
+        let cam_base = assignment
+            .iter()
+            .map(|slots| vec![CamReport::default(); slots.len()])
+            .collect();
+        Fleet {
+            shards,
+            slots: assignment,
+            tick_period_ns: cfg.shard.ingest.tick_period_ns,
+            rebalance_gap: cfg.rebalance_gap,
+            ticks_run: 0,
+            migrations: Vec::new(),
+            served_frames: vec![0; n],
+            offered_frames: vec![0; n],
+            delivered_frames: vec![0; n],
+            dropped_frames: vec![0; n],
+            cam_base,
+            last_serve: vec![None; n],
+            last_ingest: vec![None; n],
+            stopped: false,
+        }
+    }
+
+    fn validate_assignment(streams: &StreamSet, assignment: &[Vec<Option<usize>>]) {
+        assert!(!assignment.is_empty(), "Fleet: no shards");
+        let n = streams.num_streams();
+        let mut seen = vec![false; n];
+        for (k, slots) in assignment.iter().enumerate() {
+            assert!(!slots.is_empty(), "Fleet: shard {k} has no slots");
+            for &slot in slots {
+                let Some(global) = slot else { continue };
+                assert!(
+                    global < n,
+                    "Fleet: shard {k} routes unknown camera {global} (stream set has {n})"
+                );
+                assert!(!seen[global], "Fleet: camera {global} routed to two slots");
+                seen[global] = true;
+            }
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Fleet ticks completed.
+    pub fn ticks_run(&self) -> usize {
+        self.ticks_run
+    }
+
+    /// The router table (per shard, local slot → global camera).
+    pub fn assignment(&self) -> &[Vec<Option<usize>>] {
+        &self.slots
+    }
+
+    /// Resolves a global camera to its `(shard, local slot)`.
+    pub fn locate(&self, global: usize) -> Option<(usize, usize)> {
+        self.slots.iter().enumerate().find_map(|(k, slots)| {
+            slots
+                .iter()
+                .position(|&g| g == Some(global))
+                .map(|slot| (k, slot))
+        })
+    }
+
+    /// The migration log.
+    pub fn migrations(&self) -> &[MigrationRecord] {
+        &self.migrations
+    }
+
+    /// The most recent serving report of shard `k` (`None` before the
+    /// first [`Fleet::run`]).
+    pub fn shard_serve_report(&self, k: usize) -> Option<&ServeReport> {
+        self.last_serve[k].as_ref()
+    }
+
+    /// Serves `ticks` ingest ticks on **every** shard concurrently
+    /// (commands fan out before any response is collected) and returns
+    /// the fleet report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet was shut down or a shard answers out of
+    /// protocol.
+    pub fn run(&mut self, ticks: usize) -> FleetReport {
+        assert!(!self.stopped, "Fleet: already shut down");
+        for shard in &mut self.shards {
+            shard.submit(ShardCommand::Run { ticks });
+        }
+        for (k, shard) in self.shards.iter_mut().enumerate() {
+            match shard.receive() {
+                ShardResponse::Served { serve, ingest } => {
+                    self.served_frames[k] +=
+                        serve.per_stream.iter().map(|r| r.frames).sum::<usize>();
+                    for (slot, now) in ingest.per_cam.iter().enumerate() {
+                        let base = &mut self.cam_base[k][slot];
+                        self.offered_frames[k] += now.produced - base.produced;
+                        self.delivered_frames[k] += now.delivered - base.delivered;
+                        self.dropped_frames[k] += now.dropped - base.dropped;
+                        *base = *now;
+                    }
+                    self.last_serve[k] = Some(*serve);
+                    self.last_ingest[k] = Some(ingest);
+                }
+                other => panic!("Fleet: shard {k} answered {other:?} to Run"),
+            }
+        }
+        self.ticks_run += ticks;
+        self.report()
+    }
+
+    /// The [`ShardPressure`] score of shard `k` from its latest telemetry
+    /// (0.0 before the first run).
+    pub fn pressure(&self, k: usize) -> f64 {
+        let Some(ing) = &self.last_ingest[k] else {
+            return 0.0;
+        };
+        ShardPressure {
+            offered: self.offered_frames[k],
+            served: self.served_frames[k] as u64,
+            age_p99_ns: ing.age_p99_ns,
+            tick_period_ns: self.tick_period_ns,
+            ticks: ing.ticks,
+            tick_overruns: ing.tick_overruns,
+        }
+        .score()
+    }
+
+    /// Builds the fleet report from the latest shard telemetry.
+    pub fn report(&self) -> FleetReport {
+        let per_shard = (0..self.shards.len())
+            .map(|k| {
+                let cams = self.slots[k].iter().filter(|s| s.is_some()).count();
+                let mut s = ShardSummary {
+                    shard: k,
+                    cams,
+                    pressure: self.pressure(k),
+                    ..ShardSummary::default()
+                };
+                s.served_frames = self.served_frames[k];
+                s.offered_frames = self.offered_frames[k];
+                s.delivered_frames = self.delivered_frames[k];
+                s.dropped_frames = self.dropped_frames[k];
+                if let Some(serve) = &self.last_serve[k] {
+                    s.adapt_steps = serve.server.adapt_steps;
+                }
+                if let Some(ing) = &self.last_ingest[k] {
+                    s.age_p99_ns = ing.age_p99_ns;
+                    s.ticks = ing.ticks;
+                    s.tick_overruns = ing.tick_overruns;
+                }
+                s
+            })
+            .collect();
+        FleetReport {
+            ticks: self.ticks_run,
+            per_shard,
+            migrations: self.migrations.clone(),
+        }
+    }
+
+    /// Migrates camera `global` to `to_shard` (between serving calls —
+    /// never mid-tick) and logs the [`MigrationRecord`]. The bank bytes in
+    /// flight are bitwise-preserved end to end (crate docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the camera is not in the fleet, the target is the
+    /// camera's current shard, or the target has no parked headroom.
+    pub fn migrate(&mut self, global: usize, to_shard: usize) -> MigrationRecord {
+        assert!(!self.stopped, "Fleet: already shut down");
+        let (from_shard, from_slot) = self
+            .locate(global)
+            .unwrap_or_else(|| panic!("Fleet: camera {global} is not in the fleet"));
+        assert!(
+            to_shard < self.shards.len(),
+            "Fleet: no shard {to_shard} (fleet has {})",
+            self.shards.len()
+        );
+        assert_ne!(
+            from_shard, to_shard,
+            "Fleet: camera {global} is already on shard {to_shard}"
+        );
+        assert!(
+            self.slots[to_shard].iter().any(|s| s.is_none()),
+            "Fleet: shard {to_shard} has no parked headroom"
+        );
+        self.shards[from_shard].submit(ShardCommand::Detach {
+            local: from_slot,
+            cam_tag: global as u64,
+        });
+        let packet = match self.shards[from_shard].receive() {
+            ShardResponse::Detached(p) => p,
+            other => panic!("Fleet: shard {from_shard} answered {other:?} to Detach"),
+        };
+        let bank_bytes = packet.snapshot.bank_bytes().len();
+        let blessed_tick = packet.snapshot.last_bless_tick().map(|t| t as u64);
+        let dropped_in_flight = packet.handoff.dropped_in_flight();
+        self.shards[to_shard].submit(ShardCommand::Attach { packet });
+        let to_slot = match self.shards[to_shard].receive() {
+            ShardResponse::Attached { slot } => slot,
+            other => panic!("Fleet: shard {to_shard} answered {other:?} to Attach"),
+        };
+        self.slots[from_shard][from_slot] = None;
+        self.slots[to_shard][to_slot] = Some(global);
+        // Both slots restart their front-end counters from zero.
+        self.cam_base[from_shard][from_slot] = CamReport::default();
+        self.cam_base[to_shard][to_slot] = CamReport::default();
+        let record = MigrationRecord {
+            at_tick: self.ticks_run,
+            global,
+            from_shard,
+            from_slot,
+            to_shard,
+            to_slot,
+            bank_bytes,
+            blessed_tick,
+            dropped_in_flight,
+        };
+        self.migrations.push(record);
+        record
+    }
+
+    /// Permanently detaches a camera, returning its complete
+    /// [`MigrationPacket`] (the domain-library seam: tagged `LDBK` bytes
+    /// keyed by camera). The slot parks; [`Fleet::admit`] re-homes the
+    /// packet later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the camera is not in the fleet.
+    pub fn extract(&mut self, global: usize) -> MigrationPacket {
+        assert!(!self.stopped, "Fleet: already shut down");
+        let (shard, slot) = self
+            .locate(global)
+            .unwrap_or_else(|| panic!("Fleet: camera {global} is not in the fleet"));
+        self.shards[shard].submit(ShardCommand::Detach {
+            local: slot,
+            cam_tag: global as u64,
+        });
+        let packet = match self.shards[shard].receive() {
+            ShardResponse::Detached(p) => p,
+            other => panic!("Fleet: shard {shard} answered {other:?} to Detach"),
+        };
+        self.slots[shard][slot] = None;
+        self.cam_base[shard][slot] = CamReport::default();
+        *packet
+    }
+
+    /// Re-homes an extracted camera onto `shard`'s lowest parked slot and
+    /// returns that slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the camera is already in the fleet or the shard has no
+    /// headroom.
+    pub fn admit(&mut self, shard: usize, packet: MigrationPacket) -> usize {
+        assert!(!self.stopped, "Fleet: already shut down");
+        let global = packet.handoff.global();
+        assert!(
+            self.locate(global).is_none(),
+            "Fleet: camera {global} is already in the fleet"
+        );
+        assert!(
+            self.slots[shard].iter().any(|s| s.is_none()),
+            "Fleet: shard {shard} has no parked headroom"
+        );
+        self.shards[shard].submit(ShardCommand::Attach {
+            packet: Box::new(packet),
+        });
+        let slot = match self.shards[shard].receive() {
+            ShardResponse::Attached { slot } => slot,
+            other => panic!("Fleet: shard {shard} answered {other:?} to Attach"),
+        };
+        self.slots[shard][slot] = Some(global);
+        self.cam_base[shard][slot] = CamReport::default();
+        slot
+    }
+
+    /// One rebalance step: if the hottest shard out-pressures the coolest
+    /// by more than the configured gap, the coolest has parked headroom,
+    /// and the hottest serves at least two cameras, move the hottest
+    /// shard's cheapest camera (least bank drift from the deployed
+    /// weights; ties to the lowest global id) and return the record.
+    /// Returns `None` when the fleet is balanced or no legal move exists.
+    pub fn rebalance(&mut self) -> Option<MigrationRecord> {
+        let scores: Vec<f64> = (0..self.shards.len()).map(|k| self.pressure(k)).collect();
+        let hot = (0..scores.len()).max_by(|&a, &b| scores[a].total_cmp(&scores[b]))?;
+        let cool = (0..scores.len()).min_by(|&a, &b| scores[a].total_cmp(&scores[b]))?;
+        if hot == cool || scores[hot] - scores[cool] < self.rebalance_gap {
+            return None;
+        }
+        if !self.slots[cool].iter().any(|s| s.is_none()) {
+            return None;
+        }
+        if self.slots[hot].iter().filter(|s| s.is_some()).count() < 2 {
+            // Moving a lone camera just relocates the hotspot.
+            return None;
+        }
+        let serve = self.last_serve[hot].as_ref()?;
+        let (_, global) = self.slots[hot]
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, &g)| {
+                g.map(|global| {
+                    let l2 = serve
+                        .per_stream
+                        .get(slot)
+                        .and_then(|r| r.bank.as_ref())
+                        .map_or(0.0, |b| b.l2_from_init);
+                    (l2, global)
+                })
+            })
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))?;
+        Some(self.migrate(global, cool))
+    }
+
+    /// Stops every shard (producers included) and closes the transports.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        for shard in &mut self.shards {
+            shard.submit(ShardCommand::Shutdown);
+        }
+        for (k, shard) in self.shards.iter_mut().enumerate() {
+            match shard.receive() {
+                ShardResponse::Stopped => {}
+                other => panic!("Fleet: shard {k} answered {other:?} to Shutdown"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_adapt::{
+        frame_spec_for, GovernorConfig, LdBnAdaptConfig, ServerConfig, ServerStats, StreamReport,
+    };
+    use ld_carlane::Benchmark;
+    use ld_ingest::{CamReport, IngestConfig};
+    use ld_ufld::UfldConfig;
+    use std::collections::VecDeque;
+
+    fn tiny_streams(n: usize) -> StreamSet {
+        StreamSet::fleet(
+            Benchmark::MoLane,
+            frame_spec_for(&UfldConfig::tiny(2)),
+            n,
+            12,
+            5,
+        )
+    }
+
+    fn tiny_spec() -> ShardSpec {
+        ShardSpec {
+            server: ServerConfig::new(LdBnAdaptConfig::paper(1), GovernorConfig::default(), 8)
+                .with_bn_banks(),
+            ufld: UfldConfig::tiny(2),
+            model_seed: 0xF1EE7,
+            ingest: IngestConfig::new(1_000_000).without_jitter(),
+            workers: 1,
+            realtime: false,
+        }
+    }
+
+    #[test]
+    fn contiguous_assignment_splits_evenly_and_parks_headroom() {
+        let a = Fleet::contiguous_assignment(5, 2, 4);
+        assert_eq!(
+            a,
+            vec![
+                vec![Some(0), Some(1), Some(2), None],
+                vec![Some(3), Some(4), None, None],
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn assignment_rejects_overflowing_fleets() {
+        Fleet::contiguous_assignment(9, 2, 4);
+    }
+
+    /// A scripted transport: records submitted commands, answers from a
+    /// queue — lets the router/rebalancer logic be tested without serving.
+    struct MockShard {
+        submitted: Vec<String>,
+        responses: VecDeque<ShardResponse>,
+    }
+
+    impl MockShard {
+        fn new(responses: Vec<ShardResponse>) -> Box<Self> {
+            Box::new(MockShard {
+                submitted: Vec::new(),
+                responses: responses.into(),
+            })
+        }
+    }
+
+    impl ShardTransport for MockShard {
+        fn submit(&mut self, cmd: ShardCommand) {
+            self.submitted.push(format!("{cmd:?}"));
+        }
+        fn receive(&mut self) -> ShardResponse {
+            self.responses.pop_front().expect("mock: script exhausted")
+        }
+    }
+
+    fn served(frames_l2: &[(usize, f32)], produced: u64, age_p99_ns: u64) -> ShardResponse {
+        let per_stream = frames_l2
+            .iter()
+            .map(|&(frames, l2)| StreamReport {
+                frames,
+                bank: Some(ld_adapt::server::BankTelemetry {
+                    l2_from_init: l2,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            })
+            .collect();
+        let per_cam = vec![
+            CamReport {
+                produced,
+                ..Default::default()
+            };
+            1
+        ];
+        ShardResponse::Served {
+            serve: Box::new(ServeReport {
+                per_stream,
+                server: ServerStats::default(),
+            }),
+            ingest: IngestReport {
+                ticks: 8,
+                tick_overruns: 0,
+                per_cam,
+                age_p50_ns: age_p99_ns / 2,
+                age_p99_ns,
+            },
+        }
+    }
+
+    #[test]
+    fn rebalancer_moves_the_cheapest_camera_to_the_coolest_shard() {
+        // Shard 0: two cams, serving 25 of 100 offered frames, stale.
+        // Shard 1: one cam, keeping up, with headroom.
+        let hot = served(&[(15, 0.8), (10, 0.2)], 100, 3_000_000);
+        let detached_packet = {
+            // A real packet requires a serving stack; script the detach
+            // through a live single-slot shard instead.
+            let streams = tiny_streams(4);
+            let mut shard = InProcessShard::spawn(9, &tiny_spec(), &streams, vec![Some(1), None]);
+            shard.submit(ShardCommand::Detach {
+                local: 0,
+                cam_tag: 1,
+            });
+            match shard.receive() {
+                ShardResponse::Detached(p) => p,
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        let cool = served(&[(8, 0.0)], 8, 200_000);
+        let cfg = FleetConfig::new(tiny_spec(), 2, 2);
+        let shard0 = MockShard::new(vec![hot, ShardResponse::Detached(detached_packet)]);
+        let shard1 = MockShard::new(vec![cool, ShardResponse::Attached { slot: 1 }]);
+        let assignment = vec![vec![Some(0), Some(1)], vec![Some(2), None]];
+        let mut fleet = Fleet::over_transports(&cfg, vec![shard0, shard1], assignment);
+        fleet.run(8);
+        assert!(fleet.pressure(0) > fleet.pressure(1) + 0.25);
+
+        let record = fleet.rebalance().expect("gap exceeds threshold");
+        // Slot 1 held the cheaper bank (l2 0.2 < 0.8) → camera 1 moves.
+        assert_eq!(
+            (record.global, record.from_shard, record.to_shard),
+            (1, 0, 1)
+        );
+        assert_eq!(record.to_slot, 1);
+        assert!(record.bank_bytes > 0);
+        assert_eq!(fleet.locate(1), Some((1, 1)));
+        assert_eq!(fleet.assignment()[0], vec![Some(0), None]);
+        assert_eq!(fleet.migrations().len(), 1);
+        assert_eq!(fleet.report().migrations.len(), 1);
+    }
+
+    #[test]
+    fn balanced_fleets_do_not_rebalance() {
+        let cfg = FleetConfig::new(tiny_spec(), 2, 2);
+        let shard0 = MockShard::new(vec![served(&[(8, 0.1)], 8, 200_000)]);
+        let shard1 = MockShard::new(vec![served(&[(8, 0.1)], 8, 200_000)]);
+        let assignment = vec![vec![Some(0), None], vec![Some(1), None]];
+        let mut fleet = Fleet::over_transports(&cfg, vec![shard0, shard1], assignment);
+        fleet.run(8);
+        assert!(fleet.rebalance().is_none());
+    }
+
+    /// End-to-end smoke over real in-process shards: a 2-shard fleet
+    /// serves, reports, and shuts down cleanly.
+    #[test]
+    fn in_process_fleet_serves_and_reports() {
+        let streams = tiny_streams(4);
+        let cfg = FleetConfig::new(tiny_spec(), 2, 3);
+        let mut fleet = Fleet::launch(&cfg, &streams);
+        assert_eq!(fleet.num_shards(), 2);
+        assert_eq!(fleet.locate(3), Some((1, 1)));
+        let report = fleet.run(4);
+        assert_eq!(report.ticks, 4);
+        let total = report.rollup();
+        assert_eq!(total.cams, 4);
+        assert!(
+            total.served_frames >= 8,
+            "4 cams x 4 nominal ticks must serve: {report}"
+        );
+        assert_eq!(total.offered_frames, 16);
+        fleet.shutdown();
+        fleet.shutdown(); // idempotent
+    }
+}

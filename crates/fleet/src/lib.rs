@@ -1,0 +1,81 @@
+//! **`ld_fleet`** — sharded fleet serving: a control plane over many
+//! `AdaptServer`s.
+//!
+//! One `AdaptServer` scales the paper's single-camera adaptation loop to a
+//! handful of concurrent streams; a vehicle fleet offers hundreds. This
+//! crate shards the fleet: K server shards, each a complete serving stack,
+//! under one [`Fleet`] control plane that routes cameras to shards, watches
+//! per-shard backpressure, and migrates cameras live when one shard sheds
+//! while a neighbour idles.
+//!
+//! # The shard contract
+//!
+//! Each shard ([`InProcessShard`]) owns a complete, *isolated* serving
+//! stack on its own thread: a model replica (same deployed weights
+//! everywhere — one seed), an `AdaptServer` in BN-bank mode, an
+//! `ld_ingest` front end over a **routed slot map** (schedules and frame
+//! sources keyed by global camera id, frames stamped with the shard-local
+//! slot), and a private `ld_tensor` worker pool bound with
+//! [`ld_tensor::parallel::with_pool`] so shards never contend for
+//! dispatch. Admission (`ld_orin`) stays per-shard: each shard gates its
+//! own tick against its own deadline. No state is shared between shards —
+//! which is the determinism contract: under a fixed assignment and manual
+//! clocks, every shard is **bitwise identical** to an independent
+//! `AdaptServer` serving the same routed slot map, so a K-shard fleet
+//! equals K independent servers stream for stream.
+//!
+//! # The router contract
+//!
+//! The [`Fleet`] holds the assignment table: per shard, a slot map
+//! `local slot → Option<global camera>` (`None` = parked headroom). Every
+//! global camera appears on at most one shard. [`Fleet::locate`] resolves
+//! a camera; [`Fleet::contiguous_assignment`] builds the canonical initial
+//! layout. The table is updated only by migrations, so the router is the
+//! single source of truth for *where a camera's adaptation state lives* —
+//! the shape a domain-library keyed store would index by camera tag.
+//!
+//! # The migration contract
+//!
+//! [`Fleet::migrate`] moves one camera between serving calls (never
+//! mid-tick). The unit in flight is a [`MigrationPacket`]:
+//!
+//! * the ingest half (`CamHandoff`) carries the producer's schedule index,
+//!   frame cursor and sequence state, so delivery resumes with no frame
+//!   replayed or skipped;
+//! * the server half (`StreamSnapshot`) carries the stream's banks as
+//!   **tagged `LDBK` v2 bytes** (camera tag + blessed tick in the metadata
+//!   chunk, CRC over everything) plus SGD momentum re-keyed at attach.
+//!   Between ticks bank gradients are zero by construction, so the `LDBK`
+//!   encoding — which deliberately drops gradients — is lossless here, and
+//!   the bytes are preserved **bitwise** end to end: what
+//!   [`MigrationPacket`] ships is exactly what a later detach re-emits.
+//!
+//! The transport ([`ShardTransport`]) is deliberately socket-shaped — a
+//! pipelined `submit`/`receive` pair per shard, commands fanned out before
+//! responses are collected — and the in-process implementation is just one
+//! realisation. A future socket transport ships the same `LDBK` bytes;
+//! only the ingest half degrades (a remote producer is rebuilt from the
+//! global id, restarting its sequence epoch, exactly like the real-time
+//! attach path today).
+//!
+//! # The rebalancer
+//!
+//! [`Fleet::rebalance`] scores every shard with
+//! [`ld_orin::ShardPressure`] (shed ratio + staleness excess + deadline
+//! overruns, from the shard's own telemetry). When the hottest shard
+//! out-pressures the coolest by more than the configured gap and the
+//! coolest has parked headroom, it moves the hottest shard's
+//! **cheapest-to-move** camera — the one whose bank has drifted least from
+//! the deployed weights ([`ld_adapt`]'s `l2_from_init` telemetry) — and
+//! logs a [`MigrationRecord`] (tick-stamped, with the bank byte count and
+//! blessed tick) into the [`FleetReport`].
+
+pub mod control;
+pub mod report;
+pub mod transport;
+
+pub use control::{Fleet, FleetConfig};
+pub use report::{FleetReport, MigrationRecord, ShardSummary};
+pub use transport::{
+    InProcessShard, MigrationPacket, ShardCommand, ShardResponse, ShardSpec, ShardTransport,
+};

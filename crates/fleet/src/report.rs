@@ -1,0 +1,232 @@
+//! Fleet telemetry: per-shard rollups, the migration log, and the
+//! rendered report table.
+
+use std::fmt;
+
+/// One shard's serving + backpressure rollup (cumulative over the fleet's
+/// lifetime; every ratio the rebalancer uses is derived from these).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardSummary {
+    /// Shard index.
+    pub shard: usize,
+    /// Occupied (non-parked) slots.
+    pub cams: usize,
+    /// Frames served into batches.
+    pub served_frames: usize,
+    /// Frames offered at ingest (produced into mailboxes).
+    pub offered_frames: u64,
+    /// Frames drained out of the mailboxes.
+    pub delivered_frames: u64,
+    /// Frames lost at ingest (evictions + latest-wins skips).
+    pub dropped_frames: u64,
+    /// Shared adaptation steps taken by the shard's server.
+    pub adapt_steps: usize,
+    /// Drained-frame age p99, ns.
+    pub age_p99_ns: u64,
+    /// Ticks accounted by the shard's front end.
+    pub ticks: usize,
+    /// Ticks whose busy time exceeded the tick period.
+    pub tick_overruns: usize,
+    /// [`ld_orin::ShardPressure`] score at report time.
+    pub pressure: f64,
+}
+
+impl ShardSummary {
+    /// Served frames over offered frames (1.0 when nothing was offered).
+    pub fn served_over_offered(&self) -> f64 {
+        if self.offered_frames == 0 {
+            1.0
+        } else {
+            self.served_frames as f64 / self.offered_frames as f64
+        }
+    }
+}
+
+/// One completed migration, tick-stamped against the fleet clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationRecord {
+    /// Fleet ticks completed when the migration ran (migrations happen
+    /// *between* serving calls, so this is exact).
+    pub at_tick: usize,
+    /// Global camera id moved.
+    pub global: usize,
+    /// Source shard.
+    pub from_shard: usize,
+    /// Slot vacated on the source shard.
+    pub from_slot: usize,
+    /// Destination shard.
+    pub to_shard: usize,
+    /// Slot occupied on the destination shard.
+    pub to_slot: usize,
+    /// Size of the live bank's tagged `LDBK` bytes that travelled.
+    pub bank_bytes: usize,
+    /// Blessed-snapshot tick carried in the bank metadata (`None` if the
+    /// stream was never blessed on the source shard).
+    pub blessed_tick: Option<u64>,
+    /// Ingest frames discarded in flight by the detach.
+    pub dropped_in_flight: u64,
+}
+
+/// The fleet-wide report: per-shard summaries plus the migration log.
+/// `Display` renders the operator table (see the `--fleet` example).
+#[derive(Debug, Clone, Default)]
+pub struct FleetReport {
+    /// Fleet ticks completed.
+    pub ticks: usize,
+    /// One summary per shard.
+    pub per_shard: Vec<ShardSummary>,
+    /// Every migration so far, in order.
+    pub migrations: Vec<MigrationRecord>,
+}
+
+impl FleetReport {
+    /// Fleet-wide totals (ages/pressure roll up as maxima — the fleet is
+    /// as stale and as pressured as its worst shard; `shard` is the shard
+    /// count).
+    pub fn rollup(&self) -> ShardSummary {
+        let mut total = ShardSummary {
+            shard: self.per_shard.len(),
+            ..ShardSummary::default()
+        };
+        for s in &self.per_shard {
+            total.cams += s.cams;
+            total.served_frames += s.served_frames;
+            total.offered_frames += s.offered_frames;
+            total.delivered_frames += s.delivered_frames;
+            total.dropped_frames += s.dropped_frames;
+            total.adapt_steps += s.adapt_steps;
+            total.age_p99_ns = total.age_p99_ns.max(s.age_p99_ns);
+            total.ticks = total.ticks.max(s.ticks);
+            total.tick_overruns += s.tick_overruns;
+            total.pressure = total.pressure.max(s.pressure);
+        }
+        total
+    }
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:>6} {:>5} {:>7} {:>8} {:>7} {:>8} {:>6} {:>11} {:>9} {:>9}",
+            "shard",
+            "cams",
+            "served",
+            "offered",
+            "ratio",
+            "dropped",
+            "adapt",
+            "age_p99_ms",
+            "overruns",
+            "pressure"
+        )?;
+        let row = |f: &mut fmt::Formatter<'_>, label: &str, s: &ShardSummary| {
+            writeln!(
+                f,
+                "{:>6} {:>5} {:>7} {:>8} {:>7.3} {:>8} {:>6} {:>11.3} {:>9} {:>9.3}",
+                label,
+                s.cams,
+                s.served_frames,
+                s.offered_frames,
+                s.served_over_offered(),
+                s.dropped_frames,
+                s.adapt_steps,
+                s.age_p99_ns as f64 / 1e6,
+                s.tick_overruns,
+                s.pressure
+            )
+        };
+        for s in &self.per_shard {
+            row(f, &s.shard.to_string(), s)?;
+        }
+        row(f, "fleet", &self.rollup())?;
+        writeln!(f, "migrations ({}):", self.migrations.len())?;
+        for m in &self.migrations {
+            writeln!(
+                f,
+                "  tick {:>4}  cam {:>3}: shard {}/slot {} -> shard {}/slot {}  \
+                 (bank {} B, blessed @ {}, {} in flight)",
+                m.at_tick,
+                m.global,
+                m.from_shard,
+                m.from_slot,
+                m.to_shard,
+                m.to_slot,
+                m.bank_bytes,
+                m.blessed_tick
+                    .map_or_else(|| "never".to_string(), |t| t.to_string()),
+                m.dropped_in_flight
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rollup_sums_counters_and_maxes_pressure() {
+        let report = FleetReport {
+            ticks: 8,
+            per_shard: vec![
+                ShardSummary {
+                    shard: 0,
+                    cams: 3,
+                    served_frames: 20,
+                    offered_frames: 60,
+                    delivered_frames: 25,
+                    dropped_frames: 35,
+                    adapt_steps: 7,
+                    age_p99_ns: 2_000_000,
+                    ticks: 8,
+                    tick_overruns: 1,
+                    pressure: 0.9,
+                },
+                ShardSummary {
+                    shard: 1,
+                    cams: 1,
+                    served_frames: 8,
+                    offered_frames: 8,
+                    delivered_frames: 8,
+                    dropped_frames: 0,
+                    adapt_steps: 2,
+                    age_p99_ns: 400_000,
+                    ticks: 8,
+                    tick_overruns: 0,
+                    pressure: 0.0,
+                },
+            ],
+            migrations: vec![MigrationRecord {
+                at_tick: 4,
+                global: 2,
+                from_shard: 0,
+                from_slot: 2,
+                to_shard: 1,
+                to_slot: 1,
+                bank_bytes: 420,
+                blessed_tick: Some(3),
+                dropped_in_flight: 0,
+            }],
+        };
+        let total = report.rollup();
+        assert_eq!(total.cams, 4);
+        assert_eq!(total.served_frames, 28);
+        assert_eq!(total.offered_frames, 68);
+        assert_eq!(total.pressure, 0.9);
+        assert_eq!(total.age_p99_ns, 2_000_000);
+        let text = report.to_string();
+        assert!(text.contains("fleet"), "{text}");
+        assert!(
+            text.contains("cam   2: shard 0/slot 2 -> shard 1/slot 1"),
+            "{text}"
+        );
+        assert!(text.contains("blessed @ 3"), "{text}");
+    }
+
+    #[test]
+    fn empty_offer_counts_as_fully_served() {
+        assert_eq!(ShardSummary::default().served_over_offered(), 1.0);
+    }
+}

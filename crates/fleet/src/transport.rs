@@ -1,0 +1,237 @@
+//! The shard transport: command/response protocol plus the in-process
+//! shard implementation.
+//!
+//! The protocol is deliberately *socket-shaped*: a shard is driven through
+//! an ordered pair of [`ShardTransport::submit`] / [`ShardTransport::receive`]
+//! calls, one response per command, and the control plane fans commands
+//! out to every shard before collecting any response — so K shards serve
+//! their ticks concurrently even though each transport call is blocking.
+//! The in-process realisation ([`InProcessShard`]) is a dedicated thread
+//! with two mpsc channels; a future TCP realisation would serialize
+//! [`ShardCommand`] frames instead, shipping the `MigrationPacket`'s
+//! `LDBK` bytes verbatim (they are already the wire format) and degrading
+//! the ingest half to a rebuild-by-global-id (see the crate docs).
+
+use ld_adapt::{AdaptServer, ServeReport, ServerConfig, StreamSnapshot};
+use ld_carlane::StreamSet;
+use ld_ingest::{CamHandoff, IngestConfig, IngestFrontEnd, IngestReport};
+use ld_tensor::parallel::{with_pool, WorkerPool};
+use ld_ufld::{UfldConfig, UfldModel};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// Everything one shard needs to build its serving stack. Every shard of a
+/// fleet gets the same spec (same deployed model, same serving policy);
+/// only the slot map differs.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Server policy. Migration requires BN-bank mode
+    /// (`ServerConfig::with_bn_banks`).
+    pub server: ServerConfig,
+    /// Model architecture of the shared deployment.
+    pub ufld: UfldConfig,
+    /// Model weight seed — identical across shards: a fleet serves one
+    /// deployed model.
+    pub model_seed: u64,
+    /// Ingest front-end settings (tick period, mailbox policy, loads).
+    pub ingest: IngestConfig,
+    /// Worker threads in the shard's private compute pool (the pool width
+    /// never affects serving bytes — only wall-clock).
+    pub workers: usize,
+    /// Drive the front end on the real clock instead of the deterministic
+    /// manual clock.
+    pub realtime: bool,
+}
+
+/// A camera's complete state in flight between shards: the ingest half
+/// (producer schedule/cursor/sequence) and the server half (banks as
+/// tagged `LDBK` v2 bytes + momentum). See the crate docs for the
+/// bitwise-preservation contract.
+#[derive(Debug)]
+pub struct MigrationPacket {
+    /// Ingest handoff ([`IngestFrontEnd::detach_cam`]).
+    pub handoff: CamHandoff,
+    /// Adaptation-state snapshot ([`AdaptServer::detach_stream`]).
+    pub snapshot: StreamSnapshot,
+}
+
+/// One command to a shard. Every command produces exactly one
+/// [`ShardResponse`].
+#[derive(Debug)]
+pub enum ShardCommand {
+    /// Serve `ticks` ingest ticks.
+    Run {
+        /// Tick count.
+        ticks: usize,
+    },
+    /// Detach the camera on local slot `local`, tagging its bank bytes
+    /// with `cam_tag` (the fleet-global camera id).
+    Detach {
+        /// Shard-local slot.
+        local: usize,
+        /// Fleet-global camera tag for the `LDBK` metadata.
+        cam_tag: u64,
+    },
+    /// Attach a migrated camera onto the lowest parked slot.
+    Attach {
+        /// The camera state in flight.
+        packet: Box<MigrationPacket>,
+    },
+    /// Stop producers and exit the shard loop.
+    Shutdown,
+}
+
+/// One shard response (see [`ShardCommand`]).
+#[derive(Debug)]
+pub enum ShardResponse {
+    /// `Run` result: the serving report plus the front end's cumulative
+    /// backpressure report (ages, overruns — the rebalancer's signal).
+    Served {
+        /// Per-stream serving outcome.
+        serve: Box<ServeReport>,
+        /// Ingest backpressure telemetry.
+        ingest: IngestReport,
+    },
+    /// `Detach` result.
+    Detached(Box<MigrationPacket>),
+    /// `Attach` result: the local slot the camera landed on.
+    Attached {
+        /// Shard-local slot.
+        slot: usize,
+    },
+    /// `Shutdown` acknowledged.
+    Stopped,
+}
+
+/// Blocking, ordered command transport to one shard (see the module docs
+/// for the pipelining contract).
+pub trait ShardTransport: Send {
+    /// Enqueues one command. Returns immediately; the shard processes
+    /// commands in order.
+    fn submit(&mut self, cmd: ShardCommand);
+
+    /// Blocks for the next response. Responses arrive in command order.
+    fn receive(&mut self) -> ShardResponse;
+}
+
+/// A shard on a dedicated in-process thread (see the crate docs for the
+/// shard contract). Dropping the handle stops the thread; prefer an
+/// explicit [`ShardCommand::Shutdown`] through the fleet so real-time
+/// producers stop deterministically.
+#[derive(Debug)]
+pub struct InProcessShard {
+    cmd_tx: Option<Sender<ShardCommand>>,
+    resp_rx: Receiver<ShardResponse>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl InProcessShard {
+    /// Spawns shard `shard` serving `slots` (local slot → global camera,
+    /// `None` = parked headroom) over `streams`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread cannot be spawned. Invalid specs (bad slot
+    /// map, non-bank server config on a later detach) surface as panics on
+    /// the shard thread, which in turn close the transport.
+    pub fn spawn(
+        shard: usize,
+        spec: &ShardSpec,
+        streams: &StreamSet,
+        slots: Vec<Option<usize>>,
+    ) -> Self {
+        let (cmd_tx, cmd_rx) = channel();
+        let (resp_tx, resp_rx) = channel();
+        let spec = spec.clone();
+        let streams = streams.clone();
+        let thread = std::thread::Builder::new()
+            .name(format!("ld-fleet-shard{shard}"))
+            .spawn(move || shard_main(spec, streams, slots, cmd_rx, resp_tx))
+            .expect("InProcessShard: spawn failed");
+        InProcessShard {
+            cmd_tx: Some(cmd_tx),
+            resp_rx,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl ShardTransport for InProcessShard {
+    fn submit(&mut self, cmd: ShardCommand) {
+        self.cmd_tx
+            .as_ref()
+            .expect("InProcessShard: transport closed")
+            .send(cmd)
+            .expect("InProcessShard: shard thread is gone");
+    }
+
+    fn receive(&mut self) -> ShardResponse {
+        self.resp_rx
+            .recv()
+            .expect("InProcessShard: shard thread is gone")
+    }
+}
+
+impl Drop for InProcessShard {
+    fn drop(&mut self) {
+        // Closing the command channel ends the shard loop; join so shard
+        // teardown (producer shutdown) finishes before the handle dies.
+        drop(self.cmd_tx.take());
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The shard thread body: build the serving stack inside the shard's
+/// private pool binding, then process commands until shutdown or
+/// transport close.
+fn shard_main(
+    spec: ShardSpec,
+    streams: StreamSet,
+    slots: Vec<Option<usize>>,
+    cmd_rx: Receiver<ShardCommand>,
+    resp_tx: Sender<ShardResponse>,
+) {
+    let pool = WorkerPool::new(spec.workers);
+    with_pool(&pool, || {
+        let mut model = UfldModel::new(&spec.ufld, spec.model_seed);
+        let mut server = AdaptServer::new(spec.server.clone(), slots.len(), &mut model);
+        let mut ingest = if spec.realtime {
+            IngestFrontEnd::realtime_routed(&streams, &spec.ingest, &slots)
+        } else {
+            IngestFrontEnd::manual_routed(&streams, &spec.ingest, &slots)
+        };
+        while let Ok(cmd) = cmd_rx.recv() {
+            let resp = match cmd {
+                ShardCommand::Run { ticks } => {
+                    let serve = server.serve_ingest(&mut model, &mut ingest, ticks);
+                    ShardResponse::Served {
+                        serve: Box::new(serve),
+                        ingest: ingest.report(),
+                    }
+                }
+                ShardCommand::Detach { local, cam_tag } => {
+                    let handoff = ingest.detach_cam(local);
+                    let snapshot = server.detach_stream(local, cam_tag);
+                    ShardResponse::Detached(Box::new(MigrationPacket { handoff, snapshot }))
+                }
+                ShardCommand::Attach { packet } => {
+                    let MigrationPacket { handoff, snapshot } = *packet;
+                    let slot = ingest.attach_cam(&streams, handoff);
+                    server.attach_stream(slot, snapshot);
+                    ShardResponse::Attached { slot }
+                }
+                ShardCommand::Shutdown => {
+                    ingest.shutdown();
+                    let _ = resp_tx.send(ShardResponse::Stopped);
+                    break;
+                }
+            };
+            if resp_tx.send(resp).is_err() {
+                break; // control plane is gone
+            }
+        }
+        ingest.shutdown();
+    });
+}

@@ -20,6 +20,31 @@
 //! [`IngestFrontEnd::report`] exposes the backpressure picture: per-camera
 //! produced/delivered/dropped counts, peak queue depth, frame-age p50/p99
 //! and tick overruns.
+//!
+//! # Routed slots and camera migration
+//!
+//! A sharded fleet (`ld_fleet`) runs one front end per shard, each serving
+//! a *subset* of the fleet's cameras. [`IngestFrontEnd::manual_routed`] /
+//! [`IngestFrontEnd::realtime_routed`] build a front end from a slot map:
+//! slot `i` either carries a **global** camera id (its schedule, load
+//! override, jitter seed and frame source are all keyed by the global id,
+//! while delivered frames are stamped with the **local** slot so the
+//! shard-local server indexes them directly) or is **parked** (`None`) — a
+//! mailbox with no producer, reserved headroom for cameras migrating in.
+//!
+//! [`IngestFrontEnd::detach_cam`] stops a slot's producer and returns a
+//! [`CamHandoff`]; [`IngestFrontEnd::attach_cam`] resumes it on the lowest
+//! parked slot of another front end. On the manual clock the handoff
+//! carries the producer itself — schedule index, frame-source cursor and
+//! sequence counter intact — so the migrated camera resumes with no frame
+//! replayed or skipped and its gap accounting seamless
+//! ([`SeqTracker::resume_at`]). In real-time mode the producer lives on a
+//! background thread and cannot be carried: attach rebuilds it, and the
+//! camera restarts from frame 0 of its schedule (a fresh sequence epoch on
+//! a fresh tracker — downstream sees a camera reboot, which is exactly
+//! what a physical re-home looks like). Frames still queued at detach time
+//! can no longer reach any server; they are discarded and surface in
+//! [`CamHandoff::dropped_in_flight`].
 
 use crate::clock::TickClock;
 use crate::health::{CamHealth, CamHealthMachine, HealthConfig};
@@ -203,17 +228,68 @@ impl IngestReport {
 
 enum DriveMode {
     /// Deterministic: producers pumped synchronously at tick boundaries.
+    /// Each producer knows its local slot ([`CameraProducer::cam`]).
     Manual(Vec<CameraProducer>),
-    /// Producers on pooled background threads; the handles stop them on
-    /// drop.
-    Realtime(Vec<BackgroundTask>),
+    /// Producers on pooled background threads, tagged with their local
+    /// slot; the handles stop them on drop.
+    Realtime(Vec<(usize, BackgroundTask)>),
+}
+
+/// A detached camera in flight between front ends (see the module docs on
+/// routed slots and migration).
+pub struct CamHandoff {
+    global: usize,
+    /// Manual mode carries the producer (cursor + sequence state);
+    /// real-time producers live on background threads and are rebuilt at
+    /// attach.
+    producer: Option<CameraProducer>,
+    /// Last sequence number the detaching front end drained — primes the
+    /// attaching tracker so gap accounting stays exact across the move.
+    last_seq: Option<u64>,
+    dropped_in_flight: u64,
+}
+
+impl std::fmt::Debug for CamHandoff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CamHandoff")
+            .field("global", &self.global)
+            .field("carries_producer", &self.producer.is_some())
+            .field("last_seq", &self.last_seq)
+            .field("dropped_in_flight", &self.dropped_in_flight)
+            .finish()
+    }
+}
+
+impl CamHandoff {
+    /// Global id of the camera in flight.
+    pub fn global(&self) -> usize {
+        self.global
+    }
+
+    /// Whether the producer itself travels (manual mode) or must be
+    /// rebuilt at attach (real-time mode).
+    pub fn carries_producer(&self) -> bool {
+        self.producer.is_some()
+    }
+
+    /// Frames that were still queued at detach time — they can no longer
+    /// reach any server and were discarded.
+    pub fn dropped_in_flight(&self) -> u64 {
+        self.dropped_in_flight
+    }
 }
 
 /// The ingest front end (see the module docs).
 pub struct IngestFrontEnd {
     clock: TickClock,
+    cfg: IngestConfig,
+    /// Per-slot global camera id; `None` = parked (mailbox, no producer).
+    globals: Vec<Option<usize>>,
     mailboxes: Vec<Arc<Mailbox<StampedFrame>>>,
     mode: DriveMode,
+    /// Real-clock epoch shared by the tick clock and every producer
+    /// schedule; `None` on the manual clock.
+    start: Option<Instant>,
     trackers: Vec<SeqTracker>,
     delivered: Vec<u64>,
     max_depth: Vec<usize>,
@@ -257,9 +333,39 @@ impl IngestFrontEnd {
         cfg: &IngestConfig,
         taps: Vec<(usize, Box<dyn FrameTap>)>,
     ) -> Self {
+        let slots: Vec<Option<usize>> = (0..streams.num_streams()).map(Some).collect();
         let clock = TickClock::manual(cfg.tick_period_ns);
-        let (mailboxes, producers) = Self::build_cams(streams, cfg, taps);
-        Self::assemble(clock, mailboxes, DriveMode::Manual(producers), cfg.health)
+        let (mailboxes, producers) = Self::build_cams(streams, cfg, taps, &slots);
+        Self::assemble(
+            clock,
+            mailboxes,
+            DriveMode::Manual(producers),
+            cfg,
+            slots,
+            None,
+        )
+    }
+
+    /// Deterministic front end over an explicit slot map: slot `i` serves
+    /// global camera `slots[i]`, or is parked when `None` (see the module
+    /// docs on routed slots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map is empty, names a camera the stream set does not
+    /// have, or routes the same global camera to two slots.
+    pub fn manual_routed(streams: &StreamSet, cfg: &IngestConfig, slots: &[Option<usize>]) -> Self {
+        Self::check_slots(streams, slots);
+        let clock = TickClock::manual(cfg.tick_period_ns);
+        let (mailboxes, producers) = Self::build_cams(streams, cfg, Vec::new(), slots);
+        Self::assemble(
+            clock,
+            mailboxes,
+            DriveMode::Manual(producers),
+            cfg,
+            slots.to_vec(),
+            None,
+        )
     }
 
     /// Real-time front end: cameras run on pooled background threads
@@ -279,49 +385,117 @@ impl IngestFrontEnd {
         cfg: &IngestConfig,
         taps: Vec<(usize, Box<dyn FrameTap>)>,
     ) -> Self {
+        let slots: Vec<Option<usize>> = (0..streams.num_streams()).map(Some).collect();
+        Self::realtime_from_slots(streams, cfg, taps, slots)
+    }
+
+    /// Real-time front end over an explicit slot map (see
+    /// [`IngestFrontEnd::manual_routed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map is empty, names a camera the stream set does not
+    /// have, or routes the same global camera to two slots.
+    pub fn realtime_routed(
+        streams: &StreamSet,
+        cfg: &IngestConfig,
+        slots: &[Option<usize>],
+    ) -> Self {
+        Self::check_slots(streams, slots);
+        Self::realtime_from_slots(streams, cfg, Vec::new(), slots.to_vec())
+    }
+
+    fn realtime_from_slots(
+        streams: &StreamSet,
+        cfg: &IngestConfig,
+        taps: Vec<(usize, Box<dyn FrameTap>)>,
+        slots: Vec<Option<usize>>,
+    ) -> Self {
         let start = Instant::now();
         let clock = TickClock::real_at(start, Duration::from_nanos(cfg.tick_period_ns));
-        let (mailboxes, producers) = Self::build_cams(streams, cfg, taps);
+        let (mailboxes, producers) = Self::build_cams(streams, cfg, taps, &slots);
         let tasks = producers
             .into_iter()
-            .map(|p| p.run_realtime(start))
+            .map(|p| (p.cam(), p.run_realtime(start)))
             .collect();
-        Self::assemble(clock, mailboxes, DriveMode::Realtime(tasks), cfg.health)
+        Self::assemble(
+            clock,
+            mailboxes,
+            DriveMode::Realtime(tasks),
+            cfg,
+            slots,
+            Some(start),
+        )
+    }
+
+    fn check_slots(streams: &StreamSet, slots: &[Option<usize>]) {
+        assert!(!slots.is_empty(), "IngestFrontEnd: empty slot map");
+        let n = streams.num_streams();
+        let mut seen = Vec::new();
+        for &slot in slots {
+            let Some(global) = slot else { continue };
+            assert!(
+                global < n,
+                "IngestFrontEnd: slot routes unknown camera {global} (stream set has {n})"
+            );
+            assert!(
+                !seen.contains(&global),
+                "IngestFrontEnd: camera {global} routed to two slots"
+            );
+            seen.push(global);
+        }
+    }
+
+    /// Builds one producer for global camera `global`, stamping frames
+    /// with local slot `local`. Schedule (load, phase, jitter, seed) and
+    /// frame source are keyed by the **global** id, so a camera keeps its
+    /// delivery pattern no matter which shard hosts it.
+    fn producer_for(
+        streams: &StreamSet,
+        cfg: &IngestConfig,
+        global: usize,
+        local: usize,
+        mailbox: Arc<Mailbox<StampedFrame>>,
+    ) -> CameraProducer {
+        let load = cfg.cam_load(global);
+        assert!(
+            load.is_finite() && load > 0.0,
+            "IngestFrontEnd: bad load {load} for cam {global}"
+        );
+        let period = ((cfg.tick_period_ns as f64 / load) as u64).max(4);
+        // Deterministic per-camera phase in (0, period/2]; jitter is
+        // clamped so phase + jitter stays inside the frame period.
+        let phase = (period / 8 * (1 + (global as u64 % 4))).max(1);
+        let jitter = cfg.jitter_ns.min(period.saturating_sub(phase) / 2);
+        let schedule =
+            CameraSchedule::new(phase, period, jitter, mix_seed(cfg.seed, global as u64));
+        let source = if cfg.prerender > 0 {
+            FrameSource::Prerendered(streams.prerender(global, cfg.prerender))
+        } else {
+            FrameSource::Live(streams.isolate(global))
+        };
+        CameraProducer::new(local, source, schedule, mailbox)
     }
 
     fn build_cams(
         streams: &StreamSet,
         cfg: &IngestConfig,
         mut taps: Vec<(usize, Box<dyn FrameTap>)>,
+        slots: &[Option<usize>],
     ) -> (Vec<Arc<Mailbox<StampedFrame>>>, Vec<CameraProducer>) {
-        let n = streams.num_streams();
+        let n = slots.len();
         assert!(n > 0, "IngestFrontEnd: no cameras");
         let mut mailboxes = Vec::with_capacity(n);
         let mut producers = Vec::with_capacity(n);
-        for cam in 0..n {
-            let load = cfg.cam_load(cam);
-            assert!(
-                load.is_finite() && load > 0.0,
-                "IngestFrontEnd: bad load {load} for cam {cam}"
-            );
-            let period = ((cfg.tick_period_ns as f64 / load) as u64).max(4);
-            // Deterministic per-camera phase in (0, period/2]; jitter is
-            // clamped so phase + jitter stays inside the frame period.
-            let phase = (period / 8 * (1 + (cam as u64 % 4))).max(1);
-            let jitter = cfg.jitter_ns.min(period.saturating_sub(phase) / 2);
-            let schedule =
-                CameraSchedule::new(phase, period, jitter, mix_seed(cfg.seed, cam as u64));
+        for (local, &slot) in slots.iter().enumerate() {
             let mailbox = Arc::new(Mailbox::new(cfg.capacity, cfg.policy));
-            let source = if cfg.prerender > 0 {
-                FrameSource::Prerendered(streams.prerender(cam, cfg.prerender))
-            } else {
-                FrameSource::Live(streams.isolate(cam))
-            };
-            let mut producer = CameraProducer::new(cam, source, schedule, mailbox.clone());
-            if let Some(pos) = taps.iter().position(|&(c, _)| c == cam) {
-                producer = producer.with_tap(taps.swap_remove(pos).1);
+            if let Some(global) = slot {
+                let mut producer = Self::producer_for(streams, cfg, global, local, mailbox.clone());
+                if let Some(pos) = taps.iter().position(|&(c, _)| c == local) {
+                    producer = producer.with_tap(taps.swap_remove(pos).1);
+                }
+                producers.push(producer);
             }
-            producers.push(producer);
             mailboxes.push(mailbox);
         }
         assert!(
@@ -336,17 +510,22 @@ impl IngestFrontEnd {
         clock: TickClock,
         mailboxes: Vec<Arc<Mailbox<StampedFrame>>>,
         mode: DriveMode,
-        health: HealthConfig,
+        cfg: &IngestConfig,
+        globals: Vec<Option<usize>>,
+        start: Option<Instant>,
     ) -> Self {
         let n = mailboxes.len();
         IngestFrontEnd {
             clock,
+            cfg: cfg.clone(),
+            globals,
             mailboxes,
             mode,
+            start,
             trackers: vec![SeqTracker::new(); n],
             delivered: vec![0; n],
             max_depth: vec![0; n],
-            health: vec![CamHealthMachine::new(health); n],
+            health: vec![CamHealthMachine::new(cfg.health); n],
             seen_delivered: vec![0; n],
             seen_dropped: vec![0; n],
             seen_pushed: vec![0; n],
@@ -357,9 +536,131 @@ impl IngestFrontEnd {
         }
     }
 
-    /// Number of cameras.
+    /// Number of slots (occupied + parked).
     pub fn num_cams(&self) -> usize {
         self.mailboxes.len()
+    }
+
+    /// Global camera id served by local slot `local` (`None` = parked).
+    pub fn global_of(&self, local: usize) -> Option<usize> {
+        self.globals.get(local).copied().flatten()
+    }
+
+    /// Number of occupied (non-parked) slots.
+    pub fn num_active(&self) -> usize {
+        self.globals.iter().filter(|g| g.is_some()).count()
+    }
+
+    /// Detaches the camera on slot `local`: stops its producer, discards
+    /// (and counts) frames still in flight, parks the slot, and returns
+    /// the [`CamHandoff`] that resumes the camera on another front end
+    /// (see the module docs on migration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range or already parked.
+    pub fn detach_cam(&mut self, local: usize) -> CamHandoff {
+        assert!(
+            local < self.mailboxes.len(),
+            "detach_cam: no slot {local} (front end has {})",
+            self.mailboxes.len()
+        );
+        let global = self.globals[local]
+            .take()
+            .unwrap_or_else(|| panic!("detach_cam: slot {local} is already parked"));
+        let producer = match &mut self.mode {
+            DriveMode::Manual(producers) => {
+                let pos = producers
+                    .iter()
+                    .position(|p| p.cam() == local)
+                    .expect("detach_cam: occupied manual slot must have a producer");
+                Some(producers.swap_remove(pos))
+            }
+            DriveMode::Realtime(tasks) => {
+                let pos = tasks
+                    .iter()
+                    .position(|&(slot, _)| slot == local)
+                    .expect("detach_cam: occupied realtime slot must have a producer task");
+                // Dropping the handle stops and joins the producer thread,
+                // so nothing pushes into the old mailbox after this.
+                drop(tasks.swap_remove(pos));
+                None
+            }
+        };
+        let mut dropped_in_flight = 0;
+        while self.mailboxes[local].pop().is_some() {
+            dropped_in_flight += 1;
+        }
+        let last_seq = self.trackers[local].last_seq();
+        self.reset_slot(local);
+        CamHandoff {
+            global,
+            producer,
+            last_seq,
+            dropped_in_flight,
+        }
+    }
+
+    /// Resumes a detached camera on this front end's lowest parked slot
+    /// and returns that slot. A carried producer (manual mode) is rebound
+    /// — schedule index, source cursor and sequence state intact, the gap
+    /// tracker primed at the handoff's last drained sequence number. In
+    /// real-time mode (or when no producer travels) the producer is
+    /// rebuilt from `streams`, keyed by the camera's global id, and the
+    /// camera restarts from frame 0 of its schedule on a fresh tracker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no slot is parked, or a rebuilt producer's global id is
+    /// outside `streams`.
+    pub fn attach_cam(&mut self, streams: &StreamSet, handoff: CamHandoff) -> usize {
+        let slot = self
+            .globals
+            .iter()
+            .position(|g| g.is_none())
+            .expect("attach_cam: no parked slot free");
+        let CamHandoff {
+            global,
+            producer,
+            last_seq,
+            ..
+        } = handoff;
+        self.reset_slot(slot);
+        let mailbox = self.mailboxes[slot].clone();
+        match &mut self.mode {
+            DriveMode::Manual(producers) => {
+                let carried = producer.is_some();
+                let mut p = producer.unwrap_or_else(|| {
+                    Self::producer_for(streams, &self.cfg, global, slot, mailbox.clone())
+                });
+                p.rebind(slot, mailbox);
+                producers.push(p);
+                if carried {
+                    self.trackers[slot] = SeqTracker::resume_at(last_seq);
+                }
+            }
+            DriveMode::Realtime(tasks) => {
+                let p = Self::producer_for(streams, &self.cfg, global, slot, mailbox);
+                let start = self
+                    .start
+                    .expect("realtime front end always has a start instant");
+                tasks.push((slot, p.run_realtime(start)));
+            }
+        }
+        self.globals[slot] = Some(global);
+        slot
+    }
+
+    /// Resets one slot's mailbox and telemetry to the parked/fresh state.
+    fn reset_slot(&mut self, local: usize) {
+        self.mailboxes[local] = Arc::new(Mailbox::new(self.cfg.capacity, self.cfg.policy));
+        self.trackers[local] = SeqTracker::new();
+        self.delivered[local] = 0;
+        self.max_depth[local] = 0;
+        self.health[local] = CamHealthMachine::new(self.cfg.health);
+        self.seen_delivered[local] = 0;
+        self.seen_dropped[local] = 0;
+        self.seen_pushed[local] = 0;
     }
 
     /// Whether this front end runs on the deterministic manual clock.
@@ -484,6 +785,11 @@ impl IngestFrontEnd {
         }
         self.clock.advance_by(busy_ns);
         for cam in 0..self.mailboxes.len() {
+            // Parked slots have no producer: their health machines stay
+            // frozen rather than decaying toward Dead on zero deliveries.
+            if self.globals[cam].is_none() {
+                continue;
+            }
             let delivered = self.delivered[cam];
             let dropped = self.trackers[cam].dropped();
             let pushed = self.mailboxes[cam].pushed() as u64;
@@ -722,6 +1028,148 @@ mod tests {
         assert_eq!(fe.health_machine(1).death_events(), 1);
         assert_eq!(fe.health_machine(1).repromotions(), 1);
         assert_eq!(fe.report().per_cam[1].health, CamHealth::Healthy);
+    }
+
+    #[test]
+    fn routed_slots_key_schedules_and_sources_by_global_id() {
+        let streams = tiny_streams(4);
+        let cfg = IngestConfig::new(1_000_000);
+        let mut fe = IngestFrontEnd::manual_routed(&streams, &cfg, &[Some(3), None, Some(1)]);
+        assert_eq!(fe.num_cams(), 3);
+        assert_eq!(fe.num_active(), 2);
+        assert_eq!(fe.global_of(0), Some(3));
+        assert_eq!(fe.global_of(1), None);
+        assert_eq!(fe.global_of(2), Some(1));
+        fe.next_tick();
+        let frames = fe.drain();
+        assert_eq!(frames.len(), 2, "the parked slot delivers nothing");
+        // Stamped with the LOCAL slot, pixels from the GLOBAL stream.
+        assert_eq!((frames[0].cam, frames[1].cam), (0, 2));
+        let mut reference = tiny_streams(4).isolate(3);
+        assert_eq!(
+            frames[0].frame.image.as_slice(),
+            reference.next_frame(0).image.as_slice()
+        );
+        // The schedule follows the global camera: identical due times to
+        // the identity (unrouted) front end's cams 3 and 1.
+        let mut id_fe = IngestFrontEnd::manual(&tiny_streams(4), &cfg);
+        id_fe.next_tick();
+        let id_frames = id_fe.drain();
+        assert_eq!(frames[0].due_ns, id_frames[3].due_ns);
+        assert_eq!(frames[1].due_ns, id_frames[1].due_ns);
+    }
+
+    #[test]
+    fn manual_handoff_migrates_a_camera_without_replay_or_loss() {
+        let streams = tiny_streams(3);
+        let cfg = IngestConfig::new(1_000_000);
+        // Shard A serves globals {0, 1}; shard B serves {2} + one parked
+        // slot of headroom.
+        let mut a = IngestFrontEnd::manual_routed(&streams, &cfg, &[Some(0), Some(1)]);
+        let mut b = IngestFrontEnd::manual_routed(&streams, &cfg, &[Some(2), None]);
+        let mut migrated = Vec::new();
+        for _ in 0..4 {
+            a.next_tick();
+            b.next_tick();
+            migrated.extend(a.drain().into_iter().filter(|f| f.cam == 1));
+            b.drain();
+            a.record_busy(0);
+            b.record_busy(0);
+        }
+        let handoff = a.detach_cam(1);
+        assert_eq!(handoff.global(), 1);
+        assert!(handoff.carries_producer(), "manual mode carries state");
+        assert_eq!(
+            handoff.dropped_in_flight(),
+            0,
+            "between-tick migration finds an empty mailbox"
+        );
+        assert_eq!(a.num_active(), 1);
+        assert_eq!(a.global_of(1), None);
+
+        let slot = b.attach_cam(&streams, handoff);
+        assert_eq!(slot, 1, "lowest parked slot");
+        assert_eq!(b.global_of(1), Some(1));
+        for _ in 4..8 {
+            a.next_tick();
+            b.next_tick();
+            a.drain();
+            migrated.extend(b.drain().into_iter().filter(|f| f.cam == 1));
+            a.record_busy(0);
+            b.record_busy(0);
+        }
+        // The migrated camera's delivery is exactly what a never-migrated
+        // run produces: same seqs, due times and pixels, no gap booked.
+        let mut reference = IngestFrontEnd::manual_routed(&streams, &cfg, &[Some(1)]);
+        let mut expect = Vec::new();
+        for _ in 0..8 {
+            reference.next_tick();
+            expect.extend(reference.drain());
+            reference.record_busy(0);
+        }
+        assert_eq!(migrated.len(), expect.len());
+        for (got, want) in migrated.iter().zip(&expect) {
+            assert_eq!((got.seq, got.due_ns), (want.seq, want.due_ns));
+            assert_eq!(got.frame.image.as_slice(), want.frame.image.as_slice());
+        }
+        assert_eq!(
+            b.report().per_cam[1].dropped,
+            0,
+            "resumed tracker books no startup gap"
+        );
+        // The detaching shard's slot telemetry is parked-fresh.
+        assert_eq!(a.report().per_cam[1], CamReport::default());
+    }
+
+    #[test]
+    fn detach_discards_and_counts_in_flight_frames() {
+        let streams = tiny_streams(2);
+        let cfg = IngestConfig::new(1_000_000);
+        let mut fe = IngestFrontEnd::manual(&streams, &cfg);
+        fe.next_tick(); // pumps one frame per camera; nothing drained yet
+        let handoff = fe.detach_cam(0);
+        assert_eq!(handoff.dropped_in_flight(), 1);
+        assert_eq!(fe.global_of(0), None);
+        assert_eq!(fe.drain().len(), 1, "only the surviving camera delivers");
+        // Re-attach onto the (now lowest-parked) slot 0: the carried
+        // producer resumes at frame 1 — frame 0 died in flight, and the
+        // new tracker books exactly that gap.
+        let slot = fe.attach_cam(&streams, handoff);
+        assert_eq!(slot, 0);
+        fe.next_tick();
+        let frames = fe.drain();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].seq, 1, "no replay of the discarded frame");
+        fe.record_busy(0);
+        assert_eq!(fe.report().per_cam[0].dropped, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already parked")]
+    fn detaching_a_parked_slot_is_rejected() {
+        let streams = tiny_streams(2);
+        let cfg = IngestConfig::new(1_000_000);
+        let mut fe = IngestFrontEnd::manual_routed(&streams, &cfg, &[Some(0), None]);
+        fe.detach_cam(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no parked slot")]
+    fn attaching_without_headroom_is_rejected() {
+        let streams = tiny_streams(2);
+        let cfg = IngestConfig::new(1_000_000);
+        let mut a = IngestFrontEnd::manual_routed(&streams, &cfg, &[Some(0)]);
+        let mut b = IngestFrontEnd::manual_routed(&streams, &cfg, &[Some(1)]);
+        let handoff = a.detach_cam(0);
+        b.attach_cam(&streams, handoff);
+    }
+
+    #[test]
+    #[should_panic(expected = "routed to two slots")]
+    fn duplicate_global_routes_are_rejected() {
+        let streams = tiny_streams(2);
+        let cfg = IngestConfig::new(1_000_000);
+        IngestFrontEnd::manual_routed(&streams, &cfg, &[Some(0), Some(0)]);
     }
 
     #[test]

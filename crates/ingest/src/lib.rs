@@ -33,6 +33,13 @@
 //!   and mailbox delivery that the `ld_fault` injector plugs into
 //!   (corrupt pixels in place; lose, suppress, or sequence-restart
 //!   delivery).
+//! * Routed slots + [`CamHandoff`] — a front end can serve an arbitrary
+//!   subset of a fleet's cameras ([`IngestFrontEnd::manual_routed`] /
+//!   [`IngestFrontEnd::realtime_routed`]; schedules keyed by global
+//!   camera id, frames stamped with the local slot) and hand a camera to
+//!   another front end live ([`IngestFrontEnd::detach_cam`] /
+//!   [`IngestFrontEnd::attach_cam`]) — the seam `ld_fleet`'s rebalancer
+//!   moves cameras across shards through.
 //!
 //! # Example (deterministic)
 //!
@@ -56,7 +63,7 @@ pub mod mailbox;
 pub mod producer;
 
 pub use clock::TickClock;
-pub use front::{CamReport, IngestConfig, IngestFrame, IngestFrontEnd, IngestReport};
+pub use front::{CamHandoff, CamReport, IngestConfig, IngestFrame, IngestFrontEnd, IngestReport};
 pub use health::{CamHealth, CamHealthMachine, HealthConfig};
 pub use mailbox::{Mailbox, OverflowPolicy, SeqTracker};
 pub use producer::{

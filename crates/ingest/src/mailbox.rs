@@ -312,6 +312,18 @@ impl SeqTracker {
         Self::default()
     }
 
+    /// A tracker primed to continue from `last`: counters start fresh, but
+    /// the next observed sequence number is gapped against `last` instead
+    /// of being booked as a late first observation. The migration seam — a
+    /// camera re-attached to a new front end keeps exact gap accounting
+    /// without importing its previous host's totals.
+    pub fn resume_at(last: Option<u64>) -> Self {
+        SeqTracker {
+            last,
+            ..Default::default()
+        }
+    }
+
     /// Records receipt of `seq`; returns the gap since the previously
     /// observed sequence number (0 when consecutive). A non-increasing
     /// `seq` opens a restart epoch: the returned gap is the fresh

@@ -213,6 +213,21 @@ impl CameraProducer {
         self
     }
 
+    /// The camera id frames are stamped with (the front end's local slot).
+    pub fn cam(&self) -> usize {
+        self.cam
+    }
+
+    /// Retargets the producer onto a new camera id and mailbox, keeping its
+    /// schedule, frame-source cursor and sequence state intact. This is the
+    /// migration seam: a manual-mode camera detached from one front end
+    /// resumes on another with no frame replayed, skipped, or re-stamped
+    /// out of order.
+    pub fn rebind(&mut self, cam: usize, mailbox: Arc<Mailbox<StampedFrame>>) {
+        self.cam = cam;
+        self.mailbox = mailbox;
+    }
+
     /// The delivery schedule.
     pub fn schedule(&self) -> &CameraSchedule {
         &self.schedule

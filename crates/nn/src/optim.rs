@@ -70,6 +70,41 @@ impl Sgd {
         self.lr = lr;
     }
 
+    /// Current momentum coefficient.
+    pub fn momentum_coeff(&self) -> f32 {
+        self.momentum
+    }
+
+    /// The momentum buffer for `p`, if one has been created by a prior
+    /// [`Sgd::update`]. Velocity is keyed by the parameter's process-unique
+    /// id, so state migrated through a byte-level snapshot (which mints
+    /// fresh parameters, hence fresh ids) must be re-keyed: extract with
+    /// this accessor against the *old* parameter, then
+    /// [`Sgd::set_velocity`] against the new one.
+    pub fn velocity(&self, p: &Parameter) -> Option<&Tensor> {
+        self.velocity.get(&p.id())
+    }
+
+    /// Installs (or replaces) the momentum buffer for `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v`'s length differs from the parameter's.
+    pub fn set_velocity(&mut self, p: &Parameter, v: Tensor) {
+        assert_eq!(
+            v.len(),
+            p.value.len(),
+            "Sgd::set_velocity: buffer/parameter length mismatch"
+        );
+        self.velocity.insert(p.id(), v);
+    }
+
+    /// Drops the momentum buffer for `p` (detached streams must not leak
+    /// velocity into a slot's next occupant).
+    pub fn clear_velocity(&mut self, p: &Parameter) {
+        self.velocity.remove(&p.id());
+    }
+
     /// Applies one update to a parameter (no-op when not trainable).
     pub fn update(&mut self, p: &mut Parameter) {
         if !p.trainable {
@@ -279,5 +314,45 @@ mod tests {
     #[should_panic(expected = "learning rate")]
     fn sgd_rejects_bad_lr() {
         Sgd::new(-1.0);
+    }
+
+    /// Velocity extracted from one parameter and installed on a fresh one
+    /// (new id, same values) continues the exact same trajectory — the
+    /// migration re-keying contract.
+    #[test]
+    fn sgd_velocity_rekeying_preserves_trajectory() {
+        let step = |opt: &mut Sgd, p: &mut Parameter| {
+            p.grad = Tensor::full(&[2], 1.0);
+            opt.update(p);
+        };
+
+        // Reference: three steps on one parameter.
+        let mut opt_ref = Sgd::new(1.0).momentum(0.5);
+        let mut p_ref = param_with_grad(0.0, 1.0);
+        for _ in 0..3 {
+            step(&mut opt_ref, &mut p_ref);
+        }
+
+        // Migrated: two steps, then move value + velocity to a fresh
+        // parameter (fresh id) under a fresh optimizer, then one more step.
+        let mut opt_a = Sgd::new(1.0).momentum(0.5);
+        let mut p_a = param_with_grad(0.0, 1.0);
+        for _ in 0..2 {
+            step(&mut opt_a, &mut p_a);
+        }
+        let v = opt_a.velocity(&p_a).expect("velocity exists").clone();
+        let mut p_b = Parameter::new("p", ParamKind::LinearWeight, p_a.value.clone());
+        assert_ne!(p_a.id(), p_b.id());
+        let mut opt_b = Sgd::new(1.0).momentum(0.5);
+        assert!(opt_b.velocity(&p_b).is_none());
+        opt_b.set_velocity(&p_b, v);
+        step(&mut opt_b, &mut p_b);
+
+        assert_eq!(
+            p_ref.value.as_slice()[0].to_bits(),
+            p_b.value.as_slice()[0].to_bits()
+        );
+        opt_b.clear_velocity(&p_b);
+        assert!(opt_b.velocity(&p_b).is_none());
     }
 }

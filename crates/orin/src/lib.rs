@@ -25,6 +25,7 @@
 pub mod adapt_cost;
 pub mod bench_data;
 pub mod deadline;
+pub mod pressure;
 pub mod roofline;
 pub mod scheduler;
 pub mod spec;
@@ -35,6 +36,7 @@ pub use bench_data::{
     BackwardMeasurement, GemmMeasurement,
 };
 pub use deadline::{best_configuration, feasibility, Deadline, DesignPoint};
+pub use pressure::ShardPressure;
 pub use roofline::{BackwardCal, Efficiency, Roofline};
 pub use scheduler::{
     admit_batch, admit_batch_aged, admit_batch_with, plan_adaptation, precision_what_if,

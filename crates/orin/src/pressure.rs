@@ -1,0 +1,134 @@
+//! Shard backpressure scoring for the fleet rebalancer.
+//!
+//! A sharded control plane (`ld_fleet`) must decide *when* one shard is
+//! shedding while a neighbour idles, from telemetry alone. This module
+//! reduces a shard's ingest/serving counters to a single dimensionless
+//! **pressure score** built from the three signals the deadline analysis
+//! already exposes:
+//!
+//! * **shed ratio** — the fraction of offered frames that never reached a
+//!   batch (mailbox evictions, staleness sheds, admission cuts). 0 when
+//!   everything offered is served, →1 under hopeless overload.
+//! * **staleness excess** — how far the drained-frame age p99 extends past
+//!   one tick period, capped so one pathological sample cannot dominate. A
+//!   shard serving fresh frames scores 0 here even if it sheds.
+//! * **overrun ratio** — the fraction of ticks whose processing time blew
+//!   the tick deadline (the roofline's feasibility signal, observed rather
+//!   than predicted).
+//!
+//! The score is deliberately *not* a latency prediction — the admission
+//! gate already owns that. It is a rank statistic: monotone in each
+//! overload symptom, comparable across shards serving different camera
+//! counts, and 0 for an idle shard, so a rebalancer can act on
+//! `hottest − coolest` gaps without modelling the workload.
+
+/// One shard's backpressure inputs over some telemetry window (cumulative
+/// counters are fine — the score only uses ratios).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardPressure {
+    /// Frames offered at ingest (produced into the mailboxes).
+    pub offered: u64,
+    /// Frames that made it into a served batch.
+    pub served: u64,
+    /// Drained-frame age p99, ns.
+    pub age_p99_ns: u64,
+    /// Serving tick period, ns.
+    pub tick_period_ns: u64,
+    /// Ticks accounted in the window.
+    pub ticks: usize,
+    /// Ticks whose busy time exceeded the tick period.
+    pub tick_overruns: usize,
+}
+
+/// Cap on the staleness-excess term: beyond 4 tick periods of age, a shard
+/// is maximally stale and more age must not outvote the shed ratio.
+const AGE_EXCESS_CAP: f64 = 4.0;
+
+impl ShardPressure {
+    /// The pressure score (see the module docs). 0 for an idle or
+    /// perfectly-keeping-up shard; grows monotonically with shedding,
+    /// staleness and deadline overruns. An empty window (nothing offered,
+    /// no ticks) scores 0.
+    pub fn score(&self) -> f64 {
+        let shed = if self.offered == 0 {
+            0.0
+        } else {
+            1.0 - (self.served.min(self.offered) as f64 / self.offered as f64)
+        };
+        let age_excess = if self.tick_period_ns == 0 {
+            0.0
+        } else {
+            (self.age_p99_ns as f64 / self.tick_period_ns as f64 - 1.0).clamp(0.0, AGE_EXCESS_CAP)
+        };
+        let overruns = if self.ticks == 0 {
+            0.0
+        } else {
+            self.tick_overruns.min(self.ticks) as f64 / self.ticks as f64
+        };
+        shed + age_excess + overruns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nominal() -> ShardPressure {
+        ShardPressure {
+            offered: 100,
+            served: 100,
+            age_p99_ns: 500_000,
+            tick_period_ns: 1_000_000,
+            ticks: 100,
+            tick_overruns: 0,
+        }
+    }
+
+    #[test]
+    fn idle_and_nominal_shards_score_zero() {
+        assert_eq!(ShardPressure::default().score(), 0.0);
+        assert_eq!(nominal().score(), 0.0);
+    }
+
+    #[test]
+    fn score_is_monotone_in_each_overload_symptom() {
+        let base = nominal().score();
+        let shed = ShardPressure {
+            served: 60,
+            ..nominal()
+        };
+        let stale = ShardPressure {
+            age_p99_ns: 2_500_000,
+            ..nominal()
+        };
+        let overrun = ShardPressure {
+            tick_overruns: 25,
+            ..nominal()
+        };
+        for (name, p) in [("shed", shed), ("stale", stale), ("overrun", overrun)] {
+            assert!(p.score() > base, "{name} must raise the score");
+        }
+        // A 3×-overloaded shard dominates a nominal one by a wide margin.
+        let hot = ShardPressure {
+            offered: 300,
+            served: 100,
+            age_p99_ns: 1_800_000,
+            ..nominal()
+        };
+        assert!(hot.score() > 0.5, "hot shard score {}", hot.score());
+    }
+
+    #[test]
+    fn pathological_inputs_stay_bounded() {
+        let p = ShardPressure {
+            offered: 10,
+            served: 50, // served > offered (window skew) must not go negative
+            age_p99_ns: u64::MAX,
+            tick_period_ns: 1,
+            ticks: 1,
+            tick_overruns: 9,
+        };
+        let s = p.score();
+        assert!((0.0..=1.0 + AGE_EXCESS_CAP + 1.0).contains(&s), "score {s}");
+    }
+}

@@ -65,6 +65,23 @@
 //! owns the cooperative [`StopToken`]; dropping the handle requests a stop
 //! and waits for the task to acknowledge, so borrowed state never outlives
 //! its owner silently.
+//!
+//! # Scoped pools (shard isolation)
+//!
+//! By default every `for_each_chunk` in the process shares the one global
+//! pool — correct for a single server, but fleet shards must **never
+//! contend**: one shard's backward pass must not steal the cores another
+//! shard's deadline depends on. [`WorkerPool::new`] builds a private,
+//! independently-sized pool, and [`with_pool`] binds it to the current
+//! thread for a closure's duration: every dispatch inside (including the
+//! implicit width picked by [`for_each_chunk`] and
+//! [`ReduceArena::map_slots`]) uses the scoped pool instead of the global
+//! one. Because every kernel in this repo is chunk-geometry independent
+//! (disjoint writes; reductions via the ordered arena), results under a
+//! scoped pool of *any* width are bitwise identical to the global-pool and
+//! sequential schedules — the fleet parity proofs rest on this. Dropping a
+//! `WorkerPool` disconnects its channels and the workers exit; a pool built
+//! with zero workers degrades to the ordered inline fallback.
 
 use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
@@ -115,21 +132,22 @@ impl Latch {
     }
 }
 
-/// The process-wide worker pool: `cores − 1` threads, one channel each.
+/// The worker set behind one pool: N threads, one channel each. Workers
+/// exit when their channel disconnects (process teardown for the global
+/// pool; `WorkerPool` drop for scoped pools).
 struct Pool {
     senders: Vec<Sender<Job>>,
 }
 
 impl Pool {
-    fn new(workers: usize) -> Self {
+    fn new(workers: usize, name_prefix: &str) -> Self {
         let mut senders = Vec::with_capacity(workers);
         for i in 0..workers {
             let (tx, rx) = channel::<Job>();
             std::thread::Builder::new()
-                .name(format!("ld-pool-{i}"))
+                .name(format!("{name_prefix}-{i}"))
                 .spawn(move || {
-                    // Workers live for the process lifetime; they exit when
-                    // the channel disconnects at process teardown.
+                    // Workers live until the channel disconnects.
                     while let Ok(job) = rx.recv() {
                         job();
                     }
@@ -143,7 +161,90 @@ impl Pool {
 
 fn pool() -> &'static Pool {
     static POOL: OnceLock<Pool> = OnceLock::new();
-    POOL.get_or_init(|| Pool::new(num_threads().saturating_sub(1)))
+    POOL.get_or_init(|| Pool::new(num_threads().saturating_sub(1), "ld-pool"))
+}
+
+/// A private, independently-sized fork-join pool (see the module docs on
+/// scoped pools). Bind it with [`with_pool`]; fleet shards own one each so
+/// their dense kernels never contend. Dropping the handle disconnects the
+/// channels and the worker threads exit.
+pub struct WorkerPool {
+    inner: Arc<Pool>,
+}
+
+impl WorkerPool {
+    /// Builds a pool with `workers` dedicated threads (named
+    /// `ld-shard<k>-<i>`). `workers == 0` is valid: dispatch through such a
+    /// pool runs the chunks inline on the caller, in order.
+    pub fn new(workers: usize) -> Self {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let k = NEXT.fetch_add(1, Ordering::AcqRel);
+        WorkerPool {
+            inner: Arc::new(Pool::new(workers, &format!("ld-shard{k}"))),
+        }
+    }
+
+    /// Threads a dispatch through this pool can use (workers + caller).
+    pub fn width(&self) -> usize {
+        self.inner.senders.len() + 1
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.inner.senders.len())
+            .finish()
+    }
+}
+
+thread_local! {
+    /// The pool bound to this thread by [`with_pool`], if any. Consulted by
+    /// every dispatch helper before falling back to the global pool.
+    static SCOPED_POOL: std::cell::RefCell<Option<Arc<Pool>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with `pool` bound as this thread's dispatch target: every
+/// [`for_each_chunk`]/[`for_each_chunk_width`]/[`ReduceArena::map_slots`]
+/// call inside uses the scoped pool's workers and width instead of the
+/// global pool's. Bindings nest (innermost wins) and restore on unwind.
+///
+/// The binding is per-thread and does **not** propagate into the pool's
+/// workers — chunks they execute are parallel-region jobs and any nested
+/// dispatch falls back inline, exactly as with the global pool.
+pub fn with_pool<R>(pool: &WorkerPool, f: impl FnOnce() -> R) -> R {
+    struct Restore {
+        prev: Option<Arc<Pool>>,
+    }
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.prev.take();
+            SCOPED_POOL.with(|p| *p.borrow_mut() = prev);
+        }
+    }
+    let _restore = Restore {
+        prev: SCOPED_POOL.with(|p| p.borrow_mut().replace(pool.inner.clone())),
+    };
+    f()
+}
+
+/// The pool the current thread dispatches to: scoped if bound, else global.
+/// Returns an owned handle so the borrow of the thread-local ends before
+/// any job runs.
+fn current_pool() -> Arc<Pool> {
+    if let Some(p) = SCOPED_POOL.with(|p| p.borrow().clone()) {
+        return p;
+    }
+    // The global pool is 'static; wrap it in a never-dropped Arc once.
+    static GLOBAL: OnceLock<Arc<Pool>> = OnceLock::new();
+    GLOBAL
+        .get_or_init(|| {
+            Arc::new(Pool {
+                senders: pool().senders.clone(),
+            })
+        })
+        .clone()
 }
 
 fn num_threads() -> usize {
@@ -215,9 +316,13 @@ pub fn run_sequential<R>(f: impl FnOnce() -> R) -> R {
     f()
 }
 
-/// Number of threads `for_each_chunk` can use (persistent workers + caller).
+/// Number of threads `for_each_chunk` can use from the current thread:
+/// the scoped pool's width when one is bound (see [`with_pool`]), else the
+/// global pool's (persistent workers + caller).
 pub fn pool_width() -> usize {
-    num_threads()
+    SCOPED_POOL
+        .with(|p| p.borrow().as_ref().map(|q| q.senders.len() + 1))
+        .unwrap_or_else(num_threads)
 }
 
 /// Runs `f` over `0..total` split into contiguous chunks, in parallel when
@@ -248,7 +353,7 @@ pub fn pool_width() -> usize {
 /// assert_eq!(acc.load(Ordering::Relaxed), 100);
 /// ```
 pub fn for_each_chunk(total: usize, work_hint: usize, f: impl Fn(Range<usize>) + Sync) {
-    for_each_chunk_width(total, num_threads(), work_hint, f);
+    for_each_chunk_width(total, pool_width(), work_hint, f);
 }
 
 /// [`for_each_chunk`] with an explicit chunk count (`width`), decoupled from
@@ -282,7 +387,7 @@ pub fn for_each_chunk_width(
         return;
     }
 
-    let pool = pool();
+    let pool = current_pool();
     let chunk = total.div_ceil(width);
     if pool.senders.is_empty() {
         // No workers to dispatch to: run the chunks on the caller, in chunk
@@ -456,7 +561,7 @@ impl ReduceArena {
         work_hint: usize,
         f: impl Fn(usize, &mut [f32]) + Sync,
     ) {
-        self.map_slots_width(items, slot_len, num_threads(), work_hint, f);
+        self.map_slots_width(items, slot_len, pool_width(), work_hint, f);
     }
 
     /// [`ReduceArena::map_slots`] with an explicit chunk `width` (test seam;
@@ -872,6 +977,102 @@ mod tests {
         arena.map_slots(2, 6, usize::MAX, |_, _| {});
         arena.map_slots(4, 6, usize::MAX, |_, _| {});
         assert_eq!(arena.reallocs(), 1, "steady-state map_slots reallocated");
+    }
+
+    #[test]
+    fn scoped_pool_covers_range_and_reports_width() {
+        let shard = WorkerPool::new(3);
+        assert_eq!(shard.width(), 4);
+        with_pool(&shard, || {
+            assert_eq!(pool_width(), 4);
+            let acc = AtomicUsize::new(0);
+            for_each_chunk(1000, usize::MAX, |r| {
+                acc.fetch_add(r.sum::<usize>(), Ordering::Relaxed);
+            });
+            assert_eq!(acc.load(Ordering::Relaxed), 999 * 1000 / 2);
+        });
+        // Binding restored on exit.
+        assert_eq!(pool_width(), num_threads());
+    }
+
+    #[test]
+    fn scoped_pool_zero_workers_runs_inline_in_order() {
+        let shard = WorkerPool::new(0);
+        with_pool(&shard, || {
+            assert_eq!(pool_width(), 1);
+            let order = Mutex::new(Vec::new());
+            for_each_chunk_width(8, 4, usize::MAX, |r| {
+                order.lock().unwrap().push(r.start);
+            });
+            assert_eq!(*order.lock().unwrap(), vec![0, 2, 4, 6]);
+        });
+    }
+
+    #[test]
+    fn scoped_pool_bindings_nest_and_restore_on_unwind() {
+        let outer = WorkerPool::new(1);
+        let inner = WorkerPool::new(2);
+        with_pool(&outer, || {
+            assert_eq!(pool_width(), 2);
+            with_pool(&inner, || assert_eq!(pool_width(), 3));
+            assert_eq!(pool_width(), 2, "inner binding leaked");
+            let r = panic::catch_unwind(AssertUnwindSafe(|| {
+                with_pool(&inner, || panic!("boom"));
+            }));
+            assert!(r.is_err());
+            assert_eq!(pool_width(), 2, "binding not restored on unwind");
+        });
+    }
+
+    /// The fleet parity contract: a scoped pool of any width produces the
+    /// same bytes as the global pool and the sequential schedule.
+    #[test]
+    fn scoped_pool_map_reduce_is_bitwise_identical_to_global() {
+        let items = 9;
+        let len = 129;
+        let part = |i: usize, j: usize| 1.0f32 / ((i * len + j + 1) as f32);
+        let run = || {
+            let mut arena = ReduceArena::new();
+            let mut out = vec![0.0f32; len];
+            arena.map_slots(items, len, usize::MAX, |i, slot| {
+                for (j, s) in slot.iter_mut().enumerate() {
+                    *s += part(i, j);
+                }
+            });
+            arena.fold_ordered(&mut out);
+            out.iter().map(|x| x.to_bits()).collect::<Vec<u32>>()
+        };
+        let reference = run_sequential(run);
+        assert_eq!(run(), reference, "global pool diverged");
+        for workers in [0, 1, 3] {
+            let shard = WorkerPool::new(workers);
+            assert_eq!(
+                with_pool(&shard, run),
+                reference,
+                "scoped pool with {workers} workers diverged"
+            );
+        }
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn dropping_a_worker_pool_stops_its_threads() {
+        let _g = bg_test_lock();
+        let before = os_thread_count();
+        let shard = WorkerPool::new(2);
+        with_pool(&shard, || {
+            for_each_chunk(512, usize::MAX, |_r| {});
+        });
+        assert!(os_thread_count() >= before + 2);
+        drop(shard);
+        // Workers exit when the channels disconnect; give them a moment.
+        for _ in 0..1000 {
+            if os_thread_count() <= before {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("scoped pool workers survived drop");
     }
 
     /// Serialises the background-pool tests: they reason about the global

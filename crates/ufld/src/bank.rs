@@ -37,6 +37,21 @@
 //! misdetected as v1 and rejected with a checksum error. In practice that
 //! is only single-layer toy banks (real UFLD models carry ~9+ BN layers);
 //! re-encode such a bank with the current `to_bytes` to migrate.
+//!
+//! **Version 2 (tagged)**: fleet migration ships banks between shards and
+//! wants them *self-describing* — [`BnBank::to_bytes_tagged`] emits version
+//! byte `0x02` followed by a length-prefixed [`BankMeta`] chunk (camera id +
+//! blessed-snapshot tick) before the layer table, with the same trailing
+//! CRC-32 now covering the metadata too. [`BnBank::from_bytes_tagged`]
+//! returns the metadata alongside the bank; plain [`BnBank::from_bytes`]
+//! accepts v2 frames and drops the metadata. [`BnBank::to_bytes`] still
+//! emits strict v1, so readers from previous releases keep accepting every
+//! frame this release writes untagged. The v2 sniff is CRC-gated: bytes
+//! whose post-magic byte is `0x02` but whose checksum does not verify fall
+//! back to the v0 parse, so legacy v0 banks with layer count ≡ 2 (mod 256)
+//! still decode (a v0 bank misparsing as v2 would additionally require its
+//! last four bytes to collide with the CRC — a 2⁻³² accident, rejected
+//! loudly as a v0 parse error if it ever happened).
 
 use ld_nn::BnState;
 use ld_tensor::{Tensor, TensorError};
@@ -46,6 +61,50 @@ const BANK_MAGIC: &[u8; 4] = b"LDBK";
 
 /// Current `LDBK` format version (see the module doc for the history).
 const BANK_VERSION: u8 = 1;
+
+/// The tagged (metadata-carrying) `LDBK` format version.
+const BANK_VERSION_TAGGED: u8 = 2;
+
+/// Fixed-size prefix of the v2 metadata chunk this reader understands
+/// (camera id + flags + blessed tick); longer chunks from future writers
+/// are accepted and their tail ignored.
+const BANK_META_LEN: usize = 8 + 1 + 8;
+
+/// Self-describing migration metadata carried by a v2 `LDBK` frame: which
+/// camera this bank belongs to and the tick of its last blessed snapshot
+/// (`None` when the stream was never blessed past init).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BankMeta {
+    /// Fleet-global camera id the bank was detached from.
+    pub cam: u64,
+    /// Server tick at which the good-bank snapshot was last blessed.
+    pub blessed_tick: Option<u64>,
+}
+
+impl BankMeta {
+    fn encode(&self) -> [u8; BANK_META_LEN] {
+        let mut out = [0u8; BANK_META_LEN];
+        out[..8].copy_from_slice(&self.cam.to_le_bytes());
+        out[8] = self.blessed_tick.is_some() as u8;
+        out[9..].copy_from_slice(&self.blessed_tick.unwrap_or(0).to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<BankMeta, TensorError> {
+        if bytes.len() < BANK_META_LEN {
+            return Err(TensorError::DecodeBytes(format!(
+                "bank metadata chunk too short: {} < {BANK_META_LEN}",
+                bytes.len()
+            )));
+        }
+        let cam = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+        let tick = u64::from_le_bytes(bytes[9..BANK_META_LEN].try_into().unwrap());
+        Ok(BankMeta {
+            cam,
+            blessed_tick: (bytes[8] & 1 == 1).then_some(tick),
+        })
+    }
+}
 
 /// One [`BnState`] per BN layer of a model, in canonical order.
 #[derive(Debug, Clone)]
@@ -171,6 +230,34 @@ impl BnBank {
         let mut out = Vec::new();
         out.extend_from_slice(BANK_MAGIC);
         out.push(BANK_VERSION);
+        self.append_layers(&mut out);
+        let crc = ld_tensor::io::crc32(&out[4..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Serialises the bank in the **tagged v2** layout: like
+    /// [`BnBank::to_bytes`] but with version byte `0x02` and a
+    /// length-prefixed [`BankMeta`] chunk between the version byte and the
+    /// layer table. The trailing CRC-32 covers the metadata as well, so a
+    /// flipped bit in the camera id or blessed tick is rejected exactly
+    /// like payload corruption. This is the fleet migration wire format.
+    pub fn to_bytes_tagged(&self, meta: &BankMeta) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(BANK_MAGIC);
+        out.push(BANK_VERSION_TAGGED);
+        let mb = meta.encode();
+        out.extend_from_slice(&(mb.len() as u32).to_le_bytes());
+        out.extend_from_slice(&mb);
+        self.append_layers(&mut out);
+        let crc = ld_tensor::io::crc32(&out[4..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// The shared v1/v2 layer table: layer count + per-layer name and the
+    /// four `LDTN` tensors.
+    fn append_layers(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&(self.states.len() as u32).to_le_bytes());
         for s in &self.states {
             let base = s.gamma.name.strip_suffix(".gamma").unwrap_or(&s.gamma.name);
@@ -188,18 +275,11 @@ impl BnBank {
                 out.extend_from_slice(&tb);
             }
         }
-        let crc = ld_tensor::io::crc32(&out[4..]);
-        out.extend_from_slice(&crc.to_le_bytes());
-        out
     }
 
-    /// Restores a bank serialised by [`BnBank::to_bytes`].
-    ///
-    /// Version-1 streams are verified against their trailing CRC-32 before
-    /// any payload is parsed — a single flipped bit anywhere between magic
-    /// and checksum is rejected. Version-0 streams (no version byte, no
-    /// checksum) still decode; see the module doc for the one documented
-    /// misdetection case.
+    /// Restores a bank serialised by [`BnBank::to_bytes`] (or
+    /// [`BnBank::to_bytes_tagged`] — any carried metadata is dropped; use
+    /// [`BnBank::from_bytes_tagged`] to keep it).
     ///
     /// # Errors
     ///
@@ -207,6 +287,24 @@ impl BnBank {
     /// mismatch, truncation, or a per-layer shape inconsistency
     /// (γ/β/stats must all be `[channels]`).
     pub fn from_bytes(bytes: impl AsRef<[u8]>) -> Result<BnBank, TensorError> {
+        Self::from_bytes_tagged(bytes).map(|(bank, _)| bank)
+    }
+
+    /// Restores a bank plus its [`BankMeta`] (present only on tagged v2
+    /// frames; `None` for v0/v1).
+    ///
+    /// Version-1 and version-2 streams are verified against their trailing
+    /// CRC-32 before any payload is parsed — a single flipped bit anywhere
+    /// between magic and checksum is rejected. Version-0 streams (no
+    /// version byte, no checksum) still decode; see the module doc for the
+    /// documented misdetection cases.
+    ///
+    /// # Errors
+    ///
+    /// As [`BnBank::from_bytes`], plus a malformed metadata chunk.
+    pub fn from_bytes_tagged(
+        bytes: impl AsRef<[u8]>,
+    ) -> Result<(BnBank, Option<BankMeta>), TensorError> {
         let mut bytes = bytes.as_ref();
         let take = |bytes: &mut &[u8], n: usize, what: &str| -> Result<Vec<u8>, TensorError> {
             if bytes.len() < n {
@@ -222,9 +320,11 @@ impl BnBank {
                 "bad bank magic {magic:?}, want {BANK_MAGIC:?}"
             )));
         }
-        // Version sniff: v1 puts the version byte right after the magic; a
-        // v0 stream puts its layer-count LSB there instead (0x01 only for
-        // the documented 1-mod-256 corner, rejected below by the CRC).
+        // Version sniff: v1/v2 put the version byte right after the magic;
+        // a v0 stream puts its layer-count LSB there instead (0x01 only for
+        // the documented 1-mod-256 corner, rejected below by the CRC; 0x02
+        // only for the 2-mod-256 corner, disambiguated by the CRC gate).
+        let mut meta = None;
         if bytes.first() == Some(&BANK_VERSION) {
             if bytes.len() < 1 + 4 {
                 return Err(TensorError::DecodeBytes("truncated checksum".into()));
@@ -239,9 +339,26 @@ impl BnBank {
                 )));
             }
             bytes = &body[1..]; // strict v1 from here on: CRC already verified
+        } else if bytes.first() == Some(&BANK_VERSION_TAGGED) && v2_checksum_ok(bytes) {
+            // Tagged v2: the CRC gate above is what keeps 2-layer v0 banks
+            // (layer-count LSB 0x02) on the v0 fallback path below. A
+            // corrupted v2 frame fails the gate and falls through to the
+            // v0 parse, which rejects it as truncated/misshapen — loudly
+            // either way.
+            let body = &bytes[..bytes.len() - 4];
+            bytes = &body[1..];
+            let mlen =
+                u32::from_le_bytes(take(&mut bytes, 4, "metadata length")?.try_into().unwrap())
+                    as usize;
+            let mbytes = take(&mut bytes, mlen, "metadata chunk")?;
+            meta = Some(BankMeta::decode(&mbytes)?);
         }
         let layers = u32::from_le_bytes(take(&mut bytes, 4, "layer count")?.try_into().unwrap());
-        let mut states = Vec::with_capacity(layers as usize);
+        // Cap the preallocation by what the remaining bytes could possibly
+        // hold (≥ 4 bytes of name length per layer): a corrupt frame with a
+        // garbage layer count must fail the truncation checks below, not
+        // abort on an absurd reservation.
+        let mut states = Vec::with_capacity((layers as usize).min(bytes.len() / 4 + 1));
         for li in 0..layers {
             let nlen = u32::from_le_bytes(take(&mut bytes, 4, "name length")?.try_into().unwrap())
                 as usize;
@@ -277,8 +394,19 @@ impl BnBank {
                 bytes.len()
             )));
         }
-        Ok(BnBank::new(states))
+        Ok((BnBank::new(states), meta))
     }
+}
+
+/// Whether `bytes` (everything after the magic) carries a trailing CRC-32
+/// that verifies over the body — the v2 sniff gate.
+fn v2_checksum_ok(bytes: &[u8]) -> bool {
+    if bytes.len() < 1 + 4 + 4 {
+        return false;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(tail.try_into().unwrap());
+    ld_tensor::io::crc32(body) == stored
 }
 
 impl<'a> IntoIterator for &'a BnBank {
@@ -433,6 +561,112 @@ mod tests {
             err.to_string().contains("checksum"),
             "want a checksum rejection, got: {err}"
         );
+    }
+
+    #[test]
+    fn v2_roundtrip_carries_metadata_and_bank() {
+        let mut b = bank(&[2, 3]);
+        b.states_mut()[0].gamma.value.as_mut_slice()[1] = 1.25;
+        for meta in [
+            BankMeta {
+                cam: 17,
+                blessed_tick: Some(42),
+            },
+            BankMeta {
+                cam: u64::MAX,
+                blessed_tick: None,
+            },
+        ] {
+            let bytes = b.to_bytes_tagged(&meta);
+            assert_eq!(bytes[4], 2, "tagged version byte");
+            let (restored, got) = BnBank::from_bytes_tagged(&bytes).expect("v2 decode");
+            assert_eq!(got, Some(meta));
+            assert_eq!(restored.affine_l2_distance(&b), 0.0);
+            // The plain reader accepts the tagged frame and drops the tag.
+            let plain = BnBank::from_bytes(&bytes).expect("plain decode of v2");
+            assert_eq!(plain.affine_l2_distance(&b), 0.0);
+        }
+    }
+
+    /// Both compat directions of the satellite: the tagged reader accepts
+    /// v1 (and v0) frames with no metadata, and the untagged writer still
+    /// emits byte-for-byte v1 so old readers keep working.
+    #[test]
+    fn v2_reader_and_v1_writer_are_cross_compatible() {
+        let b = bank(&[2, 5]);
+        let (restored, meta) = BnBank::from_bytes_tagged(b.to_bytes()).expect("v1 via tagged");
+        assert_eq!(meta, None);
+        assert_eq!(restored.affine_l2_distance(&b), 0.0);
+        let (restored, meta) = BnBank::from_bytes_tagged(v0_bytes(&b)).expect("v0 via tagged");
+        assert_eq!(meta, None);
+        assert_eq!(restored.affine_l2_distance(&b), 0.0);
+        // The untagged writer's output is strict v1: version byte 0x01 and
+        // a layer count directly after — the layout the pre-v2 reader
+        // parses. (v1_encoding_carries_version_byte_and_checksum pins the
+        // CRC; here we pin that tagging never leaks into `to_bytes`.)
+        let bytes = b.to_bytes();
+        assert_eq!(bytes[4], 1);
+        assert_eq!(
+            u32::from_le_bytes(bytes[5..9].try_into().unwrap()),
+            b.layer_count() as u32
+        );
+    }
+
+    /// The CRC coverage extension: every single-bit flip of a v2 frame —
+    /// including the metadata chunk — is rejected (possibly via the v0
+    /// fallback parse, but never silently accepted).
+    #[test]
+    fn v2_rejects_any_single_bit_flip() {
+        let mut b = bank(&[2, 3]);
+        b.states_mut()[1].running_var.as_mut_slice()[2] = 0.25;
+        let clean = b.to_bytes_tagged(&BankMeta {
+            cam: 7,
+            blessed_tick: Some(13),
+        });
+        BnBank::from_bytes_tagged(&clean).expect("the clean encoding decodes");
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut corrupt = clean.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(
+                    BnBank::from_bytes_tagged(&corrupt).is_err(),
+                    "flip of byte {byte} bit {bit} must be rejected"
+                );
+            }
+        }
+    }
+
+    /// A 2-layer v0 bank puts 0x02 where v2 keeps its version byte; the
+    /// CRC gate must route it to the v0 fallback, not reject it.
+    #[test]
+    fn legacy_v0_two_layer_still_decodes_despite_v2_sniff() {
+        let mut b = bank(&[2, 5]);
+        b.states_mut()[1].beta.value.as_mut_slice()[3] = -0.5;
+        let (restored, meta) = BnBank::from_bytes_tagged(v0_bytes(&b)).expect("v0 fallback");
+        assert_eq!(meta, None);
+        assert_eq!(restored.affine_l2_distance(&b), 0.0);
+    }
+
+    /// Future writers may grow the metadata chunk; this reader must accept
+    /// a longer chunk and ignore the tail.
+    #[test]
+    fn v2_metadata_chunk_is_forward_extensible() {
+        let b = bank(&[2, 3]);
+        let meta = BankMeta {
+            cam: 3,
+            blessed_tick: Some(9),
+        };
+        let mut bytes = b.to_bytes_tagged(&meta);
+        // Splice two extra metadata bytes in and re-frame the CRC.
+        bytes.truncate(bytes.len() - 4);
+        let mlen = u32::from_le_bytes(bytes[5..9].try_into().unwrap()) as usize;
+        bytes[5..9].copy_from_slice(&((mlen + 2) as u32).to_le_bytes());
+        bytes.splice(9 + mlen..9 + mlen, [0xAB, 0xCD]);
+        let crc = ld_tensor::io::crc32(&bytes[4..]);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        let (restored, got) = BnBank::from_bytes_tagged(&bytes).expect("extended meta");
+        assert_eq!(got, Some(meta));
+        assert_eq!(restored.affine_l2_distance(&b), 0.0);
     }
 
     #[test]

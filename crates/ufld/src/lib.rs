@@ -38,7 +38,7 @@ pub mod model;
 pub mod resnet;
 pub mod summary;
 
-pub use bank::BnBank;
+pub use bank::{BankMeta, BnBank};
 pub use config::{Backbone, UfldConfig};
 pub use decode::{decode_batch, LaneSet};
 pub use metric::{score_batch, score_image, AccuracyReport};

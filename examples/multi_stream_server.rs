@@ -22,6 +22,18 @@
 //! p50/p99, tick overruns). Add `--overload` to offer 2× the tick rate and
 //! watch the surplus shed at ingest.
 //!
+//! With `--fleet`, the cameras are spread over a **sharded fleet**: two
+//! in-process server shards (each its own thread, worker pool, routed
+//! ingest front end and BN-bank server) under one `ld_fleet` control
+//! plane, on deterministic manual clocks. The demo scripts a live
+//! migration — one camera's tagged `LDBK` bank bytes ship across the
+//! transport between serving windows — and prints the fleet report table
+//! (per-shard served/offered, pressure scores, the migration log). Add
+//! `--overload` to pile three cameras onto a two-frame tick budget on
+//! shard 0 while shard 1 idles: the pressure-driven rebalancer detects
+//! the gap, moves the cheapest camera, and the demo **asserts** the
+//! fleet's marginal shed rate drops.
+//!
 //! With `--chaos`, the same serving stack is attacked instead: seeded
 //! `ld_fault` scripts kill one camera mid-run, NaN-poison another and slam
 //! a third with a drift storm, while the self-healing layer (integrity
@@ -32,7 +44,8 @@
 //!
 //! ```text
 //! cargo run --release --example multi_stream_server \
-//!     [-- --quick] [-- --shared-bn] [-- --ingest [--overload]] [-- --chaos]
+//!     [-- --quick] [-- --shared-bn] [-- --ingest [--overload]] \
+//!     [-- --fleet [--overload]] [-- --chaos]
 //! ```
 
 use ld_adapt::{
@@ -42,8 +55,120 @@ use ld_adapt::{
 use ld_bn_adapt::prelude::*;
 use ld_carlane::StreamSet;
 use ld_fault::{Fault, FaultScript};
+use ld_fleet::{Fleet, FleetConfig, ShardSpec};
 use ld_ingest::{FrameTap, IngestConfig, IngestFrontEnd};
 use ld_orin::{AdaptCostModel, Deadline, PowerMode, Roofline};
+
+/// The `--fleet` demo: two in-process server shards under one control
+/// plane, on deterministic manual clocks. Nominal mode scripts a live
+/// migration; `--overload` saturates shard 0 and lets the rebalancer fix
+/// it, asserting the marginal shed rate drops.
+fn fleet_demo(quick: bool, overload: bool) {
+    let cfg = UfldConfig::tiny(2);
+    const TICK_NS: u64 = 33_300_000;
+    let ticks = if quick { 6 } else { 16 };
+    // A two-frame tick budget is the overload: three cameras cannot fit.
+    let max_batch = if overload { 2 } else { 8 };
+    let spec = ShardSpec {
+        server: ServerConfig::new(
+            LdBnAdaptConfig::paper(1).with_lr(0.02),
+            GovernorConfig {
+                warmup_frames: 2,
+                threshold_ratio: 1.05,
+                rollback_ratio: 1e9,
+                ..Default::default()
+            },
+            max_batch,
+        )
+        .with_bn_banks(),
+        ufld: cfg,
+        model_seed: 0xF1EE7,
+        ingest: IngestConfig::new(TICK_NS),
+        workers: 2,
+        realtime: false,
+    };
+    let fleet_cfg = FleetConfig::new(spec, 2, 4);
+
+    if overload {
+        let n = 4;
+        let streams = StreamSet::fleet(
+            Benchmark::MoLane,
+            frame_spec_for(&UfldConfig::tiny(2)),
+            n,
+            24,
+            55,
+        );
+        println!(
+            "fleet overload mode: shard 0 serves cams 0-2 against a 2-frame tick budget, \
+             shard 1 idles with cam 3 ({ticks}+{ticks} ticks, manual 30 FPS clocks)"
+        );
+        let assignment = vec![
+            vec![Some(0), Some(1), Some(2), None],
+            vec![Some(3), None, None, None],
+        ];
+        let mut fleet = Fleet::launch_with_assignment(&fleet_cfg, &streams, assignment);
+        let before = fleet.run(ticks);
+        println!("\nbefore rebalancing:\n{before}");
+        println!(
+            "pressure: shard 0 {:.3} vs shard 1 {:.3} (gap threshold {:.2})",
+            fleet.pressure(0),
+            fleet.pressure(1),
+            fleet_cfg.rebalance_gap
+        );
+        let record = fleet
+            .rebalance()
+            .expect("the pressure gap must trigger a migration");
+        println!(
+            "rebalanced: cam {} moved shard {} -> {}",
+            record.global, record.from_shard, record.to_shard
+        );
+        let after = fleet.run(ticks);
+        println!("\nafter rebalancing:\n{after}");
+        let (b, a) = (before.rollup(), after.rollup());
+        let before_rate = b.served_frames as f64 / b.offered_frames.max(1) as f64;
+        let after_rate = (a.served_frames - b.served_frames) as f64
+            / (a.offered_frames - b.offered_frames).max(1) as f64;
+        assert!(
+            after_rate > before_rate,
+            "marginal shed rate must drop after rebalancing: \
+             {before_rate:.3} -> {after_rate:.3}"
+        );
+        println!(
+            "served/offered: {before_rate:.3} overloaded -> {after_rate:.3} after the move: \
+             VERIFIED"
+        );
+        fleet.shutdown();
+        return;
+    }
+
+    let n = 6;
+    let streams = StreamSet::fleet(
+        Benchmark::MoLane,
+        frame_spec_for(&UfldConfig::tiny(2)),
+        n,
+        24,
+        21,
+    );
+    println!(
+        "fleet mode: {n} cameras over 2 shards ({ticks}+{ticks} ticks, manual 30 FPS \
+         clocks), with one scripted live migration between the serving windows"
+    );
+    let mut fleet = Fleet::launch(&fleet_cfg, &streams);
+    fleet.run(ticks);
+    let record = fleet.migrate(1, 1);
+    assert_eq!(
+        record.dropped_in_flight, 0,
+        "between-tick migration must find the mailbox empty"
+    );
+    let report = fleet.run(ticks);
+    println!("\n{report}");
+    println!(
+        "cam {} carried {} bytes of tagged LDBK bank state shard {} -> {}: VERIFIED",
+        record.global, record.bank_bytes, record.from_shard, record.to_shard
+    );
+    assert!(report.rollup().adapt_steps > 0, "workload never adapted");
+    fleet.shutdown();
+}
 
 /// The `--chaos` demo: four cameras in bank mode with self-healing armed,
 /// three of them under scripted attack, on the deterministic manual clock.
@@ -158,6 +283,10 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     if std::env::args().any(|a| a == "--chaos") {
         chaos_demo(quick);
+        return;
+    }
+    if std::env::args().any(|a| a == "--fleet") {
+        fleet_demo(quick, std::env::args().any(|a| a == "--overload"));
         return;
     }
     let cfg = UfldConfig::scaled(Backbone::ResNet18, 2);

@@ -45,6 +45,12 @@ cargo run --release --example multi_stream_server -- --quick --ingest --overload
 echo "== chaos smoke: scripted faults, self-healing, asserted bitwise isolation =="
 cargo run --release --example multi_stream_server -- --quick --chaos
 
+echo "== fleet smoke: 2 shards, scripted live migration (bank bytes across the transport) =="
+cargo run --release --example multi_stream_server -- --quick --fleet
+
+echo "== fleet smoke: overloaded shard, rebalancer moves a camera, shed rate drops =="
+cargo run --release --example multi_stream_server -- --quick --fleet --overload
+
 # The smoke gate compares against the last local quick run (the file is
 # gitignored; a fresh checkout passes trivially) at a 30% noise floor —
 # the strict >10% gate runs with the full `server_throughput` bench,
@@ -66,5 +72,9 @@ cargo bench -p ld-bench --bench quant_eval -- --quick
 echo "== bench smoke: ingest_throughput --quick (emits BENCH_ingest.quick.json," \
      "served-fraction + overrun regression gate) =="
 cargo bench -p ld-bench --bench ingest_throughput -- --quick
+
+echo "== bench smoke: fleet_throughput --quick (emits BENCH_fleet.quick.json," \
+     "pooled served-fraction + overrun regression gate) =="
+cargo bench -p ld-bench --bench fleet_throughput -- --quick
 
 echo "== all checks passed =="

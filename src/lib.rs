@@ -19,6 +19,9 @@
 //! * [`orin`] — the Jetson AGX Orin roofline latency/energy model
 //!   ([`ld_orin`])
 //! * [`quant`] — the int8 quantized inference subsystem ([`ld_quant`])
+//! * [`fleet`] — sharded fleet serving: K in-process server shards under
+//!   one control plane, with live camera migration and a pressure-driven
+//!   rebalancer ([`ld_fleet`])
 //!
 //! # Quickstart
 //!
@@ -37,6 +40,7 @@ pub use ld_adapt as adapt;
 pub use ld_carlane as carlane;
 pub use ld_cluster as cluster;
 pub use ld_fault as fault;
+pub use ld_fleet as fleet;
 pub use ld_ingest as ingest;
 pub use ld_nn as nn;
 pub use ld_orin as orin;

@@ -1,0 +1,291 @@
+//! Acceptance tests for `ld_fleet` — sharded fleet serving.
+//!
+//! Three contracts from the roadmap, proven end to end over real
+//! in-process shards on manual clocks:
+//!
+//! 1. **Sharding is free**: a K-shard fleet under a fixed assignment is
+//!    bitwise identical, stream for stream, to K independent
+//!    `AdaptServer`s each serving the same routed slot map — reports,
+//!    server counters, and tagged bank bytes.
+//! 2. **Migration preserves state**: a scripted migration ships the
+//!    stream's tagged `LDBK` bytes bitwise, the migrated stream resumes
+//!    exactly as if it had always lived on the destination shard, and the
+//!    whole script replays bitwise.
+//! 3. **The rebalancer works under overload**: with one shard saturated
+//!    and a neighbour idling, one rebalance step moves a camera, the
+//!    fleet's shed rate drops, and untouched streams stay bitwise
+//!    identical to a never-rebalanced run.
+
+use ld_adapt::{frame_spec_for, AdaptServer, GovernorConfig, LdBnAdaptConfig, ServerConfig};
+use ld_carlane::{Benchmark, StreamSet};
+use ld_fleet::{Fleet, FleetConfig, ShardSpec};
+use ld_ingest::{IngestConfig, IngestFrontEnd};
+use ld_ufld::{UfldConfig, UfldModel};
+
+const TICK_NS: u64 = 33_300_000; // 30 FPS tick period
+
+fn governor() -> GovernorConfig {
+    GovernorConfig {
+        warmup_frames: 2,
+        threshold_ratio: 1.05,
+        rollback_ratio: 1e9,
+        ..Default::default()
+    }
+}
+
+/// The shared shard recipe: bank-mode server (migration requires it), tiny
+/// model, 2-worker private pools. `max_batch` is the serving capacity knob
+/// the overload test turns down.
+fn spec(max_batch: usize) -> ShardSpec {
+    ShardSpec {
+        server: ServerConfig::new(
+            LdBnAdaptConfig::paper(1).with_lr(0.02),
+            governor(),
+            max_batch,
+        )
+        .with_bn_banks(),
+        ufld: UfldConfig::tiny(2),
+        model_seed: 0x5EED,
+        ingest: IngestConfig::new(TICK_NS),
+        workers: 2,
+        realtime: false,
+    }
+}
+
+fn fleet_streams(n: usize, seed: u64) -> StreamSet {
+    StreamSet::fleet(
+        Benchmark::MoLane,
+        frame_spec_for(&UfldConfig::tiny(2)),
+        n,
+        16,
+        seed,
+    )
+}
+
+/// Drains every camera's tagged bank bytes out of a fleet (destructive:
+/// every slot parks). Returned in global-camera order.
+fn extract_all_banks(fleet: &mut Fleet, n_cams: usize) -> Vec<Vec<u8>> {
+    (0..n_cams)
+        .map(|g| fleet.extract(g).snapshot.bank_bytes().to_vec())
+        .collect()
+}
+
+/// Contract 1: under a fixed assignment and manual clocks, a 3-shard fleet
+/// is bitwise identical per stream to 3 independent `AdaptServer`s each
+/// serving the same routed slot map — even though the shards run private
+/// 2-worker pools and the independents run sequentially.
+#[test]
+fn sharded_fleet_is_bitwise_identical_to_independent_servers() {
+    let n = 6;
+    let ticks = 8;
+    let spec = spec(8);
+    let streams = fleet_streams(n, 21);
+    let assignment = Fleet::contiguous_assignment(n, 3, 3);
+
+    let mut fleet = Fleet::launch(&FleetConfig::new(spec.clone(), 3, 3), &streams);
+    assert_eq!(fleet.assignment(), &assignment[..]);
+    let report = fleet.run(ticks);
+    assert!(
+        report.rollup().adapt_steps > 0,
+        "workload never adapted: {report}"
+    );
+
+    for (k, slots) in assignment.iter().enumerate() {
+        // The independent reference: one complete serving stack over the
+        // same routed slot map, no worker pool.
+        let mut model = UfldModel::new(&spec.ufld, spec.model_seed);
+        let mut server = AdaptServer::new(spec.server.clone(), slots.len(), &mut model);
+        let mut front = IngestFrontEnd::manual_routed(&streams, &spec.ingest, slots);
+        let reference = server.serve_ingest(&mut model, &mut front, ticks);
+
+        let shard = fleet.shard_serve_report(k).expect("shard served").clone();
+        assert_eq!(
+            shard.server, reference.server,
+            "shard {k} server counters diverged"
+        );
+        for (slot, &global) in slots.iter().enumerate() {
+            let (a, b) = (&shard.per_stream[slot], &reference.per_stream[slot]);
+            assert_eq!(a.stats, b.stats, "shard {k} slot {slot} duty telemetry");
+            assert_eq!(a.report, b.report, "shard {k} slot {slot} accuracy");
+            assert_eq!(a.frames, b.frames, "shard {k} slot {slot} frames");
+            assert_eq!(a.ingest, b.ingest, "shard {k} slot {slot} ingest counters");
+            let Some(global) = global else { continue };
+            // The live adaptation state itself, as the tagged wire bytes.
+            let fleet_bank = fleet.extract(global).snapshot.bank_bytes().to_vec();
+            let ref_bank = server.detach_stream(slot, global as u64);
+            assert_eq!(
+                fleet_bank,
+                ref_bank.bank_bytes(),
+                "camera {global} bank bytes diverged"
+            );
+        }
+    }
+    fleet.shutdown();
+}
+
+/// Contract 2: the scripted migration. Camera 1 moves from shard 0 to
+/// shard 1 mid-script; its bank bytes round-trip bitwise through the
+/// transport, it resumes exactly as if it had always lived on the
+/// destination slot, every other camera is untouched, and a replay of the
+/// same script is bitwise identical.
+#[test]
+fn migration_preserves_bank_bytes_and_is_replayable() {
+    let n = 4;
+    let spec = spec(8);
+    let streams = fleet_streams(n, 33);
+    let cfg = FleetConfig::new(spec, 2, 3);
+    let assignment = vec![vec![Some(0), Some(1), None], vec![Some(2), Some(3), None]];
+    let script = |streams: &StreamSet| {
+        let mut fleet = Fleet::launch_with_assignment(&cfg, streams, assignment.clone());
+        fleet.run(4);
+        let record = fleet.migrate(1, 1);
+        fleet.run(4);
+        (fleet, record)
+    };
+
+    let (mut fleet, record) = script(&streams);
+    assert_eq!(
+        (
+            record.from_shard,
+            record.from_slot,
+            record.to_shard,
+            record.to_slot
+        ),
+        (0, 1, 1, 2),
+        "camera 1 must land on shard 1's parked slot"
+    );
+    assert_eq!(record.at_tick, 4);
+    assert_eq!(
+        record.dropped_in_flight, 0,
+        "between-tick migration must find the mailbox empty"
+    );
+    assert!(record.bank_bytes > 0, "bank-mode fleet ships real banks");
+    assert_eq!(fleet.locate(1), Some((1, 2)));
+
+    // Round trip through the transport: the bytes a detach emits are the
+    // bytes the next detach re-emits, bitwise.
+    let packet = fleet.extract(1);
+    let in_flight = packet.snapshot.bank_bytes().to_vec();
+    assert_eq!(packet.handoff.global(), 1);
+    let slot = fleet.admit(1, packet);
+    assert_eq!(slot, 2, "lowest parked slot");
+    let packet = fleet.extract(1);
+    assert_eq!(
+        packet.snapshot.bank_bytes(),
+        &in_flight[..],
+        "bank bytes not preserved bitwise across attach/detach"
+    );
+    fleet.admit(1, packet);
+
+    // Had camera 1 lived on shard 1 slot 2 from tick 0 (same global
+    // schedule, same manual clocks), every stream's final bank state is
+    // bitwise what the migrated fleet holds.
+    let from_start = vec![vec![Some(0), None, None], vec![Some(2), Some(3), Some(1)]];
+    let mut reference = Fleet::launch_with_assignment(&cfg, &streams, from_start);
+    reference.run(4);
+    reference.run(4);
+    let migrated = extract_all_banks(&mut fleet, n);
+    let settled = extract_all_banks(&mut reference, n);
+    for g in 0..n {
+        assert_eq!(
+            migrated[g], settled[g],
+            "camera {g} diverged from the always-there placement"
+        );
+    }
+
+    // The script replays bitwise: same record, same final bytes.
+    let (mut replay, record2) = script(&streams);
+    assert_eq!(record, record2, "migration record not replayable");
+    let replayed = extract_all_banks(&mut replay, n);
+    assert_eq!(migrated, replayed, "replay diverged");
+
+    fleet.shutdown();
+    reference.shutdown();
+    replay.shutdown();
+}
+
+/// Contract 3: rebalance under overload. Shard 0 serves 3 cameras against
+/// a 2-frame tick budget (persistent 1/3 shed) while shard 1 idles with
+/// one camera and parked headroom. One rebalance step moves exactly one
+/// camera to shard 1, the fleet's marginal shed rate collapses, and the
+/// untouched idle-shard camera stays bitwise identical to a fleet that
+/// never rebalanced.
+#[test]
+fn rebalancer_moves_a_camera_and_shed_rate_drops() {
+    let n = 4;
+    let ticks = 6;
+    let spec = spec(2); // tick budget: 2 frames — shard 0's overload
+    let streams = fleet_streams(n, 55);
+    let cfg = FleetConfig::new(spec, 2, 4);
+    let assignment = vec![
+        vec![Some(0), Some(1), Some(2), None],
+        vec![Some(3), None, None, None],
+    ];
+
+    let mut fleet = Fleet::launch_with_assignment(&cfg, &streams, assignment.clone());
+    let before = fleet.run(ticks);
+    let hot = &before.per_shard[0];
+    let cool = &before.per_shard[1];
+    assert!(
+        hot.served_over_offered() < 0.85,
+        "3 cams against a 2-frame budget must shed: {before}"
+    );
+    assert!(
+        cool.served_over_offered() > 0.95,
+        "one nominal camera must keep up: {before}"
+    );
+    assert!(
+        fleet.pressure(0) > fleet.pressure(1) + cfg.rebalance_gap,
+        "pressure gap must exceed the rebalance threshold"
+    );
+
+    let record = fleet.rebalance().expect("overloaded fleet must rebalance");
+    assert_eq!(record.from_shard, 0);
+    assert_eq!(record.to_shard, 1);
+    assert_eq!(record.at_tick, ticks);
+    assert_eq!(
+        fleet.assignment()[0].iter().flatten().count(),
+        2,
+        "hot shard sheds one camera"
+    );
+
+    let after = fleet.run(ticks).rollup();
+    let before_total = before.rollup();
+    // Marginal (post-migration window) shed rate vs the overloaded window.
+    let window = |later: u64, earlier: u64| later - earlier;
+    let offered_w = window(after.offered_frames, before_total.offered_frames);
+    let served_w = window(
+        after.served_frames as u64,
+        before_total.served_frames as u64,
+    );
+    let before_rate = before_total.served_frames as f64 / before_total.offered_frames as f64;
+    let after_rate = served_w as f64 / offered_w as f64;
+    assert!(
+        after_rate > before_rate + 0.1,
+        "shed rate must drop after rebalancing: {before_rate:.3} -> {after_rate:.3}"
+    );
+    assert!(
+        after_rate > 0.9,
+        "2+2 cameras against 2-frame budgets must roughly keep up: {after_rate:.3}"
+    );
+
+    // The idle shard's original camera never noticed: bitwise identical
+    // (bank bytes and duty telemetry) to a fleet that ran the same script
+    // without the migration.
+    let mut reference = Fleet::launch_with_assignment(&cfg, &streams, assignment);
+    reference.run(ticks);
+    reference.run(ticks);
+    let ref_report = reference.shard_serve_report(1).expect("served").clone();
+    let report = fleet.shard_serve_report(1).expect("served").clone();
+    assert_eq!(
+        report.per_stream[0].stats, ref_report.per_stream[0].stats,
+        "untouched camera 3 duty telemetry diverged"
+    );
+    assert_eq!(
+        fleet.extract(3).snapshot.bank_bytes(),
+        reference.extract(3).snapshot.bank_bytes(),
+        "untouched camera 3 bank bytes diverged"
+    );
+    fleet.shutdown();
+    reference.shutdown();
+}
