@@ -6,17 +6,23 @@
 //!
 //! int8 rows report giga-**ops** (an int8 multiply–accumulate counted like
 //! an FMA's two FLOPs), so `speedup_vs_f32` on those rows is a direct
-//! wall-clock ratio against the blocked f32 kernel at the same shape. The
-//! `ld_orin` efficiency fit only consumes `"blocked"` rows; int8 rows ride
-//! along as trajectory.
+//! wall-clock ratio against the blocked f32 kernel at the same shape. Two
+//! quantized kernels are timed per shape: `"int8"` (widened-i16 activations,
+//! `vpmaddwd`/`vpdpwssd` — the stem path) and `"int8_u8"` (u8 activations,
+//! `vpdpbusd` — the post-ReLU interior path), the latter also carrying
+//! `speedup_vs_i16`. The `ld_orin` efficiency fit consumes `"blocked"` rows
+//! and `Int8Cal` the matched `int8_u8`/`blocked` conv pairs; after emitting,
+//! the run diffs its pooled `speedup_vs_i16` against the previous file and
+//! fails on a regression (the u8 kernel must not quietly fall back to the
+//! i16 rate).
 //!
 //! Run: `cargo bench -p ld-bench --bench gemm_blocked` (add `-- --quick`
 //! for the smoke variant used by `scripts/check.sh`).
 
 use criterion::{black_box, take_results, BenchmarkId, Criterion};
-use ld_quant::qgemm_fused_affine;
-use ld_quant::quantize::pad_k;
+use ld_quant::quantize::{pad_k, quantize_into_u8, unsigned_scale};
 use ld_quant::QWeights;
+use ld_quant::{qgemm_fused_affine, qgemm_fused_affine_u8};
 use ld_tensor::linalg::{gemm, Trans};
 use ld_tensor::rng::SeededRng;
 use ld_tensor::Tensor;
@@ -144,6 +150,37 @@ fn bench_kernels(c: &mut Criterion) {
                 })
             },
         );
+
+        // The u8-activation kernel on the same product: the interior-layer
+        // fast path, where the patches are post-ReLU (non-negative) and
+        // quantize unsigned with zero-point 0. Same A-side weights, true-i8
+        // storage; B-side patches rebuilt as |b| in u8.
+        let kp8 = qa.k_padded_u8();
+        let uscale = unsigned_scale(1.0);
+        let mut rows_u8 = vec![0u8; n * kp8];
+        for (r, patch) in bt.as_slice().chunks_exact(k).enumerate() {
+            let pos: Vec<f32> = patch.iter().map(|v| v.abs()).collect();
+            quantize_into_u8(&pos, uscale, &mut rows_u8[r * kp8..r * kp8 + k]);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("int8_u8", format!("{m}x{k}x{n}")),
+            &(m, k, n),
+            |bench, _| {
+                bench.iter(|| {
+                    qgemm_fused_affine_u8(
+                        black_box(qa.data_i8()),
+                        black_box(&rows_u8),
+                        &mut outq,
+                        m,
+                        n,
+                        kp8,
+                        &scale,
+                        &shift,
+                        false,
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -151,7 +188,9 @@ fn bench_kernels(c: &mut Criterion) {
 /// Turns the recorded measurements into `BENCH_gemm.json`:
 /// `[{"shape": [m,k,n], "kernel": "...", "ns_per_iter": …, "gflops": …,
 ///    "speedup_vs_seed": …}, …]` (speedup only on `blocked` rows with a
-/// matching baseline).
+/// matching baseline; `int8`/`int8_u8` rows carry `speedup_vs_f32`, and
+/// `int8_u8` additionally `speedup_vs_i16`), then diffs the pooled
+/// u8-vs-i16 ratio against the previous file.
 fn write_json() {
     let results = take_results();
     let parse_shape = |id: &str| -> Option<(usize, usize, usize)> {
@@ -166,14 +205,28 @@ fn write_json() {
             .map(|r| r.ns_per_iter)
     };
 
+    // Smoke (`--quick`) and `GEMM_SHAPE`-filtered runs measure a reduced
+    // sweep with throwaway iteration counts — keep them from clobbering the
+    // committed full-run trajectory.
+    let path = if criterion::quick_mode() || std::env::var_os("GEMM_SHAPE").is_some() {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.quick.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json")
+    };
+    // The previous trajectory, read before this run overwrites it.
+    let baseline = std::fs::read_to_string(path).unwrap_or_default();
+
     let mut json = String::from("[\n");
     let mut rows = Vec::new();
+    let mut current: Vec<((usize, usize, usize), f64)> = Vec::new();
     for r in &results {
         let Some(shape) = parse_shape(&r.id) else {
             continue;
         };
         let kernel = if r.id.contains("/blocked/") {
             "blocked"
+        } else if r.id.contains("/int8_u8/") {
+            "int8_u8"
         } else if r.id.contains("/int8/") {
             "int8"
         } else {
@@ -196,6 +249,16 @@ fn write_json() {
                     let _ = write!(row, ", \"speedup_vs_f32\": {:.2}", base / r.ns_per_iter);
                 }
             }
+            "int8_u8" => {
+                if let Some(base) = ns_of("blocked", shape) {
+                    let _ = write!(row, ", \"speedup_vs_f32\": {:.2}", base / r.ns_per_iter);
+                }
+                if let Some(base) = ns_of("int8", shape) {
+                    let ratio = base / r.ns_per_iter;
+                    let _ = write!(row, ", \"speedup_vs_i16\": {ratio:.3}");
+                    current.push((shape, ratio));
+                }
+            }
             _ => {}
         }
         row.push('}');
@@ -204,17 +267,70 @@ fn write_json() {
     json.push_str(&rows.join(",\n"));
     json.push_str("\n]\n");
 
-    // Smoke (`--quick`) and `GEMM_SHAPE`-filtered runs measure a reduced
-    // sweep with throwaway iteration counts — keep them from clobbering the
-    // committed full-run trajectory.
-    let path = if criterion::quick_mode() || std::env::var_os("GEMM_SHAPE").is_some() {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.quick.json")
-    } else {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json")
-    };
     std::fs::write(path, &json).expect("write BENCH_gemm.json");
     eprintln!("wrote {path}");
     eprint!("{json}");
+
+    regress_against_baseline(&baseline, &current);
+}
+
+/// The regression gate: the mean `speedup_vs_i16` pooled over the shapes
+/// present in both runs must be within 10 % of the previous file's (30 %
+/// for `--quick` — its 1 s measurements have a wider noise floor). Ratios
+/// travel between hosts where absolute nanoseconds do not; pooling across
+/// shapes averages out single-row sampling noise. A missing or pre-u8
+/// baseline (first run) passes.
+fn regress_against_baseline(baseline: &str, current: &[((usize, usize, usize), f64)]) {
+    let tolerance = if criterion::quick_mode() { 0.7 } else { 0.9 };
+    let field = |obj: &str, key: &str| -> Option<f64> {
+        let at = obj.find(&format!("\"{key}\":"))? + key.len() + 3;
+        let rest = obj[at..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    };
+    let mut base_sum = 0.0;
+    let mut now_sum = 0.0;
+    let mut count = 0usize;
+    for line in baseline.lines() {
+        if !line.contains("\"kernel\": \"int8_u8\"") {
+            continue;
+        }
+        let (Some(shape_body), Some(base)) = (
+            line.split("\"shape\": [")
+                .nth(1)
+                .and_then(|s| s.split(']').next()),
+            field(line, "speedup_vs_i16"),
+        ) else {
+            continue;
+        };
+        let mut dims = shape_body
+            .split(',')
+            .map(|v| v.trim().parse::<usize>().ok());
+        let (Some(Some(m)), Some(Some(k)), Some(Some(n))) = (dims.next(), dims.next(), dims.next())
+        else {
+            continue;
+        };
+        let Some(&(_, now)) = current.iter().find(|(s, _)| *s == (m, k, n)) else {
+            continue; // shape not measured this run (quick sweep)
+        };
+        base_sum += base;
+        now_sum += now;
+        count += 1;
+    }
+    if count == 0 {
+        eprintln!("gate skipped: no matching int8_u8 baseline rows");
+        return;
+    }
+    let (base, now) = (base_sum / count as f64, now_sum / count as f64);
+    assert!(
+        now >= tolerance * base,
+        "u8 kernel regression: mean speedup_vs_i16 {now:.3} vs previous {base:.3} over \
+         {count} shapes (more than {:.0}% regression)",
+        100.0 * (1.0 - tolerance)
+    );
+    eprintln!("gate ok: int8_u8 speedup_vs_i16 mean {now:.3} (baseline {base:.3}, {count} shapes)");
 }
 
 fn main() {

@@ -5,18 +5,23 @@
 //! Four row kinds:
 //!
 //! * `"eval"` — model-level eval forward (scaled R-18 config) at several
-//!   batch sizes, f32-fused vs int8, with `speedup_vs_f32` on int8 rows —
-//!   the acceptance trajectory for the quantized-inference rung (≥ 2× at
-//!   batch ≥ 4 single-core).
+//!   batch sizes: f32-fused vs `"int8"` (interior layers forced onto the
+//!   signed-i16 kernel — the portable baseline) vs `"int8_u8"` (the default
+//!   dual-path quantization: u8 `vpdpbusd` interior, i16 stem), with
+//!   `speedup_vs_f32` on both quantized paths and `speedup_vs_i16` on the
+//!   u8 rows. After emitting, the pooled per-path `speedup_vs_f32` is
+//!   diffed against the previous file and a regression fails the run.
 //! * `"server"` — the multi-stream server on the same drifting carlane
 //!   workload with and without the quantized fast path (mixed duty: warmed
-//!   streams serve int8, triggered streams adapt in f32).
-//! * `"accuracy"` — decoded-lane accuracy of both paths on a carlane
+//!   streams serve on the default u8-interior snapshot, triggered streams
+//!   adapt in f32).
+//! * `"accuracy"` — decoded-lane accuracy of all three paths on a carlane
 //!   target eval stream from one pretrained model (the ≤ 0.5 %-delta
 //!   criterion, asserted properly in `tests/quantized_inference.rs`).
 //! * `"admission"` — the paper-scale Orin gate's admitted inference-only
 //!   batch at f32 vs int8 costing (the "gate credits the cheaper ticks"
-//!   criterion).
+//!   criterion), the int8 column both modelled and recalibrated with the
+//!   measured `BENCH_gemm.json` kernel ratio when one is present.
 //!
 //! Run: `cargo bench -p ld-bench --bench quant_eval` (add `-- --quick` for
 //! the smoke variant used by `scripts/check.sh`).
@@ -28,8 +33,8 @@ use ld_adapt::{
 };
 use ld_carlane::{Benchmark, FrameStream, StreamSet};
 use ld_nn::{Layer, Mode};
-use ld_orin::{admit_batch_with, AdaptCostModel, PowerMode, Precision};
-use ld_quant::QuantizeModel;
+use ld_orin::{admit_batch_with, AdaptCostModel, Int8Cal, PowerMode, Precision};
+use ld_quant::{ActPath, QuantizeModel};
 use ld_tensor::rng::SeededRng;
 use ld_tensor::Tensor;
 use ld_ufld::{decode_batch, score_image, AccuracyReport, Backbone, UfldConfig, UfldModel};
@@ -56,7 +61,11 @@ fn bench_eval(c: &mut Criterion, quick: bool) {
         })
         .collect();
     let calib_refs: Vec<&Tensor> = calib_frames.iter().collect();
-    let mut qmodel = model.quantize(&calib_refs);
+    // `int8` = interior layers forced onto the signed-i16 kernel (the
+    // portable baseline and the committed pre-u8 trajectory); `int8_u8` =
+    // the default dual-path quantization (u8 interior, i16 stem).
+    let mut qmodel_i16 = model.quantize_with_paths(&calib_refs, ActPath::I16);
+    let mut qmodel_u8 = model.quantize(&calib_refs);
     model.set_fused_eval(true);
 
     let mut group = c.benchmark_group("quant_eval");
@@ -70,7 +79,10 @@ fn bench_eval(c: &mut Criterion, quick: bool) {
             b.iter(|| model.forward(&x, Mode::Eval))
         });
         group.bench_with_input(BenchmarkId::new("int8", n), &n, |b, _| {
-            b.iter(|| qmodel.forward(&x))
+            b.iter(|| qmodel_i16.forward(&x))
+        });
+        group.bench_with_input(BenchmarkId::new("int8_u8", n), &n, |b, _| {
+            b.iter(|| qmodel_u8.forward(&x))
         });
     }
     group.finish();
@@ -140,8 +152,9 @@ fn bench_server(c: &mut Criterion, quick: bool) {
     group.finish();
 }
 
-/// Decoded-lane accuracy of both eval paths on a carlane target stream.
-fn accuracy_rows(quick: bool) -> (f64, f64) {
+/// Decoded-lane accuracy of all three eval paths (f32, forced-i16, default
+/// u8) on a carlane target stream.
+fn accuracy_rows(quick: bool) -> (f64, f64, f64) {
     let cfg = UfldConfig::tiny(2);
     let mut model = UfldModel::new(&cfg, 41);
     let mut train = TrainConfig::smoke();
@@ -150,30 +163,35 @@ fn accuracy_rows(quick: bool) -> (f64, f64) {
     let stream = FrameStream::target(Benchmark::MoLane, frame_spec_for(&cfg), 16, 77);
     let frames: Vec<_> = (0..stream.len()).map(|i| stream.frame(i)).collect();
     let calib: Vec<&Tensor> = frames.iter().take(4).map(|f| &f.image).collect();
-    let mut qmodel = model.quantize(&calib);
+    let mut qmodel_i16 = model.quantize_with_paths(&calib, ActPath::I16);
+    let mut qmodel_u8 = model.quantize(&calib);
     model.set_fused_eval(true);
 
     let mut f32_rep = AccuracyReport::default();
-    let mut int8_rep = AccuracyReport::default();
+    let mut i16_rep = AccuracyReport::default();
+    let mut u8_rep = AccuracyReport::default();
     for frame in &frames {
-        let logits_f32 = model.forward_frames(&[&frame.image], Mode::Eval);
-        let logits_q = qmodel.forward_frames(&[&frame.image]);
-        f32_rep.merge(&score_image(
-            &decode_batch(&logits_f32, &cfg)[0],
-            &frame.labels,
-            &cfg,
-        ));
-        int8_rep.merge(&score_image(
-            &decode_batch(&logits_q, &cfg)[0],
-            &frame.labels,
-            &cfg,
-        ));
+        let score = |logits: &Tensor, rep: &mut AccuracyReport| {
+            rep.merge(&score_image(
+                &decode_batch(logits, &cfg)[0],
+                &frame.labels,
+                &cfg,
+            ))
+        };
+        score(
+            &model.forward_frames(&[&frame.image], Mode::Eval),
+            &mut f32_rep,
+        );
+        score(&qmodel_i16.forward_frames(&[&frame.image]), &mut i16_rep);
+        score(&qmodel_u8.forward_frames(&[&frame.image]), &mut u8_rep);
     }
-    (f32_rep.percent(), int8_rep.percent())
+    (f32_rep.percent(), i16_rep.percent(), u8_rep.percent())
 }
 
-/// Emits `BENCH_quant.json` (see the module docs for the row kinds).
-fn write_json(acc: (f64, f64)) {
+/// Emits `BENCH_quant.json` (see the module docs for the row kinds), then
+/// diffs the pooled per-path eval `speedup_vs_f32` against the previous
+/// file.
+fn write_json(acc: (f64, f64, f64)) {
     let results = take_results();
     let parse_param = |id: &str| -> Option<usize> { id.rsplit('/').next()?.parse().ok() };
     let ns_of = |group: &str, mode: &str, param: usize| -> Option<f64> {
@@ -188,12 +206,15 @@ fn write_json(acc: (f64, f64)) {
     };
 
     let mut rows = Vec::new();
+    let mut current: Vec<(String, usize, f64)> = Vec::new();
     for r in &results {
         let Some(param) = parse_param(&r.id) else {
             continue;
         };
         if r.id.starts_with("quant_eval") {
-            let mode = if r.id.contains("/int8/") {
+            let mode = if r.id.contains("/int8_u8/") {
+                "int8_u8"
+            } else if r.id.contains("/int8/") {
                 "int8"
             } else {
                 "f32_fused"
@@ -207,9 +228,16 @@ fn write_json(acc: (f64, f64)) {
                 ms_per_frame,
                 1e3 / ms_per_frame
             );
-            if mode == "int8" {
+            if mode != "f32_fused" {
                 if let Some(base) = ns_of("quant_eval", "f32_fused", param) {
-                    let _ = write!(row, ", \"speedup_vs_f32\": {:.2}", base / r.ns_per_iter);
+                    let ratio = base / r.ns_per_iter;
+                    let _ = write!(row, ", \"speedup_vs_f32\": {ratio:.2}");
+                    current.push((mode.to_owned(), param, ratio));
+                }
+            }
+            if mode == "int8_u8" {
+                if let Some(base) = ns_of("quant_eval", "int8", param) {
+                    let _ = write!(row, ", \"speedup_vs_i16\": {:.3}", base / r.ns_per_iter);
                 }
             }
             row.push('}');
@@ -235,22 +263,46 @@ fn write_json(acc: (f64, f64)) {
     }
 
     rows.push(format!(
-        "  {{\"kind\": \"accuracy\", \"benchmark\": \"MoLane\", \"f32_acc_pct\": {:.2}, \"int8_acc_pct\": {:.2}, \"delta_pct\": {:.3}}}",
+        "  {{\"kind\": \"accuracy\", \"benchmark\": \"MoLane\", \"f32_acc_pct\": {:.2}, \"int8_acc_pct\": {:.2}, \"delta_pct\": {:.3}, \"int8_u8_acc_pct\": {:.2}, \"delta_u8_pct\": {:.3}}}",
         acc.0,
         acc.1,
-        (acc.0 - acc.1).abs()
+        (acc.0 - acc.1).abs(),
+        acc.2,
+        (acc.0 - acc.2).abs()
     ));
 
     // The paper-scale Orin gate: inference-only batch admitted at f32 vs
-    // int8 costing, same power mode and deadline.
+    // int8 costing, same power mode and deadline — int8 both at the
+    // modelled tensor-core 8× and recalibrated with the measured u8-kernel
+    // ratio from `BENCH_gemm.json` (when the workspace has one).
     let cost = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
     let offered = 16;
     let f32_adm = admit_batch_with(&cost, PowerMode::W30, 33.3, offered, Precision::Fp32, 1.0);
     let int8_adm = admit_batch_with(&cost, PowerMode::W30, 33.3, offered, Precision::Int8, 1.0);
+    let gemm_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
+    let int8_cal = ld_orin::load_bench_gemm(gemm_path)
+        .map(|rows| Int8Cal::from_gemm_bench(&rows))
+        .unwrap_or(Int8Cal::NONE);
+    let cal_cost = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4))
+        .with_int8_cal(int8_cal);
+    let cal_adm = admit_batch_with(
+        &cal_cost,
+        PowerMode::W30,
+        33.3,
+        offered,
+        Precision::Int8,
+        1.0,
+    );
     rows.push(format!(
-        "  {{\"kind\": \"admission\", \"offered\": {}, \"mode\": \"W30/FPS30\", \"f32_batch\": {}, \"int8_batch\": {}, \"f32_latency_ms\": {:.2}, \"int8_latency_ms\": {:.2}}}",
-        offered, f32_adm.batch, int8_adm.batch, f32_adm.latency_ms, int8_adm.latency_ms
-    ));
+        "  {{\"kind\": \"admission\", \"offered\": {}, \"mode\": \"W30/FPS30\", \"f32_batch\": {}, \"int8_batch\": {}, \"f32_latency_ms\": {:.2}, \"int8_latency_ms\": {:.2}, \"int8_measured_speedup\": {:.2}, \"int8_calibrated_batch\": {}",
+        offered,
+        f32_adm.batch,
+        int8_adm.batch,
+        f32_adm.latency_ms,
+        int8_adm.latency_ms,
+        int8_cal.speedup_or(Precision::Int8.compute_speedup()),
+        cal_adm.batch
+    ) + "}");
 
     let json = format!("[\n{}\n]\n", rows.join(",\n"));
     // Smoke runs must not clobber the committed full-run trajectory.
@@ -259,9 +311,76 @@ fn write_json(acc: (f64, f64)) {
     } else {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_quant.json")
     };
+    // The previous trajectory, read before this run overwrites it.
+    let baseline = std::fs::read_to_string(path).unwrap_or_default();
     std::fs::write(path, &json).expect("write BENCH_quant.json");
     eprintln!("wrote {path}");
     eprint!("{json}");
+
+    regress_against_baseline(&baseline, &current);
+}
+
+/// The regression gate: per quantized path, the mean eval `speedup_vs_f32`
+/// pooled over the batch sizes present in both runs must be within 10 % of
+/// the previous file's (30 % for `--quick`). A missing or pre-u8 baseline
+/// passes; so does a path absent from the baseline (first u8 run).
+fn regress_against_baseline(baseline: &str, current: &[(String, usize, f64)]) {
+    let tolerance = if criterion::quick_mode() { 0.7 } else { 0.9 };
+    let field = |obj: &str, key: &str| -> Option<f64> {
+        let at = obj.find(&format!("\"{key}\":"))? + key.len() + 3;
+        let rest = obj[at..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    };
+    // Pooled (Σ baseline, Σ current, count) per path.
+    let mut pools: Vec<(String, f64, f64, usize)> = Vec::new();
+    for line in baseline.lines() {
+        if !line.contains("\"kind\": \"eval\"") {
+            continue;
+        }
+        let (Some(path), Some(batch), Some(base)) = (
+            line.split("\"path\": \"")
+                .nth(1)
+                .and_then(|s| s.split('"').next()),
+            field(line, "batch").map(|v| v as usize),
+            field(line, "speedup_vs_f32"),
+        ) else {
+            continue;
+        };
+        let Some(&(_, _, now)) = current.iter().find(|(p, b, _)| p == path && *b == batch) else {
+            continue; // batch size not measured this run (quick sweep)
+        };
+        match pools.iter_mut().find(|(p, ..)| p == path) {
+            Some(pool) => {
+                pool.1 += base;
+                pool.2 += now;
+                pool.3 += 1;
+            }
+            None => pools.push((path.to_owned(), base, now, 1)),
+        }
+    }
+    let mut failures = Vec::new();
+    for (path, base_sum, now_sum, count) in &pools {
+        let (base, now) = (base_sum / *count as f64, now_sum / *count as f64);
+        if now < tolerance * base {
+            failures.push(format!(
+                "{path} speedup_vs_f32: mean {now:.3} vs previous {base:.3} over {count} \
+                 batch sizes (more than {:.0}% regression)",
+                100.0 * (1.0 - tolerance)
+            ));
+        } else {
+            eprintln!(
+                "gate ok: {path} eval speedup mean {now:.3} (baseline {base:.3}, {count} rows)"
+            );
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "quantized eval regression:\n{}",
+        failures.join("\n")
+    );
 }
 
 fn main() {

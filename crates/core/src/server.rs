@@ -61,7 +61,10 @@
 //! adapts or rolls back, only its table is stale, and the lazy
 //! [`QuantUfldModel::refresh_affine_bank`] re-fold before `s`'s next
 //! served frame is O(channels) **for that stream alone** — integer weights
-//! and the other streams' tables are untouched.
+//! and the other streams' tables are untouched. The tables are
+//! path-agnostic (zero-point 0 on both the i16 and u8 activation paths
+//! keeps the fold the same `scale·acc + shift` form), so the u8
+//! `vpdpbusd` fast path inherits the same O(channels) refresh.
 //!
 //! The adaptation step reuses the tick's forward activations: the entropy
 //! gradient is masked to the triggered streams (renormalised to their
@@ -89,8 +92,10 @@
 //!
 //! With [`ServerConfig::with_quantized_inference`], serving runs on an
 //! [`ld_quant::QuantUfldModel`] snapshot of the shared f32 model: every
-//! admitted frame's logits/entropy come from the quantized forward (~4×
-//! arithmetic density), and only **triggered** streams pay f32 — one exact
+//! admitted frame's logits/entropy come from the quantized forward (the
+//! stem on the signed i16 kernel, every post-ReLU interior layer on the
+//! u8 `vpdpbusd` kernel — [`ld_quant::ActPath`] — for ~4–8× arithmetic
+//! density), and only **triggered** streams pay f32 — one exact
 //! forward over the triggered sub-batch to populate the backward's
 //! activation caches, then the shared entropy-descent step as before. The
 //! snapshot is dirty-flagged on every parameter movement (adaptation step

@@ -1,7 +1,7 @@
 //! End-to-end per-frame latency of inference + adaptation (Figure 3), and
 //! the SOTA baseline's epoch cost (the ">1 hour per epoch" claim).
 
-use crate::roofline::{BackwardCal, Roofline};
+use crate::roofline::{BackwardCal, Int8Cal, Roofline};
 use crate::scheduler::Precision;
 use crate::spec::PowerMode;
 use ld_ufld::cost::{model_costs, totals, LayerCost};
@@ -49,6 +49,8 @@ pub struct AdaptCostModel {
     /// Measured batch-parallel backward speedups (identity when no bench
     /// trajectory has been fed in).
     bwd_cal: BackwardCal,
+    /// Measured int8 kernel speedup over f32 (modelled 8× when none).
+    int8_cal: Int8Cal,
 }
 
 impl AdaptCostModel {
@@ -63,6 +65,7 @@ impl AdaptCostModel {
             bn_params: t.bn_params,
             all_params: t.params,
             bwd_cal: BackwardCal::NONE,
+            int8_cal: Int8Cal::NONE,
         }
     }
 
@@ -85,6 +88,22 @@ impl AdaptCostModel {
     /// The active backward calibration.
     pub fn backward_cal(&self) -> &BackwardCal {
         &self.bwd_cal
+    }
+
+    /// Applies a measured int8 inference-speedup calibration (fitted from
+    /// `BENCH_gemm.json`'s matched `int8_u8`-vs-`blocked` conv rows, see
+    /// [`Int8Cal::from_gemm_bench`]): every [`Precision::Int8`] cost query
+    /// credits the quantized forward with the *measured* kernel ratio
+    /// instead of the modelled tensor-core 8×, so batch admission tracks
+    /// what the deployed u8 `vpdpbusd` path actually delivers.
+    pub fn with_int8_cal(mut self, cal: Int8Cal) -> Self {
+        self.int8_cal = cal;
+        self
+    }
+
+    /// The active int8 calibration.
+    pub fn int8_cal(&self) -> &Int8Cal {
+        &self.int8_cal
     }
 
     /// The roofline's backward estimate with the measured parallel-backward
@@ -161,11 +180,12 @@ impl AdaptCostModel {
     }
 
     /// The roofline with efficiencies scaled for `precision` execution
-    /// ([`Precision::scale_efficiency`] — the same maths as
-    /// [`crate::precision_what_if`]).
+    /// ([`Precision::scale_efficiency_cal`] — the same maths as
+    /// [`crate::precision_what_if`], with the measured int8 calibration
+    /// applied when one has been fed in).
     fn roofline_at(&self, precision: Precision) -> Roofline {
         let mut rl = self.roofline;
-        rl.eff = precision.scale_efficiency(rl.eff);
+        rl.eff = precision.scale_efficiency_cal(rl.eff, &self.int8_cal);
         rl
     }
 

@@ -36,6 +36,15 @@ impl GemmMeasurement {
     pub fn is_fc_shaped(&self) -> bool {
         self.shape[0] < 16
     }
+
+    /// `true` for rows measuring the `ld_quant` u8×i8 `vpdpbusd` kernel
+    /// (the interior-layer fast path). Their `gflops` count an int8 MAC
+    /// like an FMA's two FLOPs, so at a matched shape the ratio against a
+    /// `"blocked"` row is a direct wall-clock ratio — what
+    /// [`crate::roofline::Int8Cal`] fits the measured int8 speedup from.
+    pub fn is_int8_u8(&self) -> bool {
+        self.kernel == "int8_u8"
+    }
 }
 
 /// Extracts the value of `"key": …` inside one JSON object body, up to the

@@ -37,7 +37,7 @@ pub use bench_data::{
 };
 pub use deadline::{best_configuration, feasibility, Deadline, DesignPoint};
 pub use pressure::ShardPressure;
-pub use roofline::{BackwardCal, Efficiency, Roofline};
+pub use roofline::{BackwardCal, Efficiency, Int8Cal, Roofline};
 pub use scheduler::{
     admit_batch, admit_batch_aged, admit_batch_with, plan_adaptation, precision_what_if,
     AdaptBudget, AgedAdmission, BatchAdmission, Precision,

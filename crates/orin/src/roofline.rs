@@ -178,6 +178,75 @@ impl BackwardCal {
     }
 }
 
+/// Measured int8 inference speedup: the wall-clock ratio of the deployed
+/// `ld_quant` u8×i8 `vpdpbusd` kernel to the blocked f32 kernel, pooled
+/// (geometric mean) over the conv shapes measured in `BENCH_gemm.json`.
+///
+/// `Precision::Int8`'s modelled 8× is the Orin tensor-core TOPS ratio; the
+/// kernel actually deployed realises some host-dependent fraction of it.
+/// Feeding this calibration into
+/// [`crate::AdaptCostModel::with_int8_cal`] makes batch admission credit
+/// quantized ticks with the *measured* ratio instead of the spec-sheet one
+/// — without it ([`Int8Cal::NONE`]) the modelled constant stays in force
+/// and the hand-calibrated feasible set is unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Int8Cal {
+    speedup: Option<f64>,
+}
+
+impl Int8Cal {
+    /// No measurement: `Precision::Int8` keeps its modelled multiplier.
+    pub const NONE: Int8Cal = Int8Cal { speedup: None };
+
+    /// Wraps an already-computed speedup ratio; non-finite or non-positive
+    /// values degrade to [`Int8Cal::NONE`].
+    pub fn from_speedup(speedup: f64) -> Int8Cal {
+        if speedup.is_finite() && speedup > 0.0 {
+            Int8Cal {
+                speedup: Some(speedup),
+            }
+        } else {
+            Int8Cal::NONE
+        }
+    }
+
+    /// Fits the calibration from measured bench rows: every conv-shaped
+    /// `int8_u8` row is matched with the `blocked` f32 row at the same
+    /// shape, and the speedup is the geometric mean of the per-shape
+    /// `gflops` ratios (both kernels count 2·m·k·n ops, so the ratio is
+    /// pure wall-clock). FC-shaped products are excluded — at batch-scale
+    /// `m` they are bandwidth bound and would drag the compute multiplier
+    /// below what conv layers (the dominant cost) actually achieve.
+    /// No matched pair → [`Int8Cal::NONE`].
+    pub fn from_gemm_bench(rows: &[GemmMeasurement]) -> Int8Cal {
+        let ratios: Vec<f64> = rows
+            .iter()
+            .filter(|u| u.is_int8_u8() && !u.is_fc_shaped())
+            .filter_map(|u| {
+                rows.iter()
+                    .find(|f| f.is_blocked() && f.shape == u.shape)
+                    .map(|f| u.gflops / f.gflops)
+            })
+            .filter(|r| r.is_finite() && *r > 0.0)
+            .collect();
+        if ratios.is_empty() {
+            return Int8Cal::NONE;
+        }
+        let log_mean = ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64;
+        Int8Cal::from_speedup(log_mean.exp())
+    }
+
+    /// `true` when no measurement is present.
+    pub fn is_none(&self) -> bool {
+        self.speedup.is_none()
+    }
+
+    /// The measured speedup, or `modelled` when uncalibrated.
+    pub fn speedup_or(&self, modelled: f64) -> f64 {
+        self.speedup.unwrap_or(modelled)
+    }
+}
+
 /// The roofline model: hardware spec + efficiencies.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Roofline {
@@ -433,6 +502,53 @@ mod tests {
         assert_eq!(cal.speedup_at(64), 3.0);
         let no_b1 = BackwardCal::from_points(&[(4, 2.0), (8, 3.0)]);
         assert_eq!(no_b1.speedup_at(1), 2.0);
+    }
+
+    #[test]
+    fn int8_cal_pools_matched_conv_shapes_only() {
+        use crate::bench_data::GemmMeasurement;
+        let row = |shape: [usize; 3], kernel: &str, gflops: f64| GemmMeasurement {
+            shape,
+            kernel: kernel.into(),
+            gflops,
+        };
+        let rows = vec![
+            row([64, 576, 3136], "blocked", 40.0),
+            row([64, 576, 3136], "int8_u8", 80.0), // 2.0×
+            row([512, 4608, 49], "blocked", 30.0),
+            row([512, 4608, 49], "int8_u8", 135.0), // 4.5×
+            // Must all be ignored: fc-shaped, unmatched shape, i16 row.
+            row([4, 1568, 2048], "blocked", 60.0),
+            row([4, 1568, 2048], "int8_u8", 600.0),
+            row([128, 1152, 784], "int8_u8", 999.0),
+            row([64, 576, 3136], "int8", 50.0),
+        ];
+        let cal = Int8Cal::from_gemm_bench(&rows);
+        assert!(!cal.is_none());
+        // geomean(2.0, 4.5) = 3.0
+        assert!((cal.speedup_or(8.0) - 3.0).abs() < 1e-9, "{cal:?}");
+    }
+
+    #[test]
+    fn int8_cal_degrades_to_modelled_constant() {
+        assert!(Int8Cal::NONE.is_none());
+        assert_eq!(Int8Cal::NONE.speedup_or(8.0), 8.0);
+        assert!(Int8Cal::from_gemm_bench(&[]).is_none());
+        assert!(Int8Cal::from_speedup(f64::NAN).is_none());
+        assert!(Int8Cal::from_speedup(-2.0).is_none());
+        assert_eq!(Int8Cal::from_speedup(3.5).speedup_or(8.0), 3.5);
+    }
+
+    /// Structural: once the committed trajectory carries `int8_u8` rows the
+    /// fit must produce a usable positive speedup (no inequality against
+    /// the modelled 8× — the ratio is host-dependent).
+    #[test]
+    fn committed_trajectory_yields_int8_calibration() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
+        let rows = crate::bench_data::load_bench_gemm(path).expect("trajectory");
+        let cal = Int8Cal::from_gemm_bench(&rows);
+        assert!(!cal.is_none(), "BENCH_gemm.json lost its int8_u8 rows");
+        assert!(cal.speedup_or(0.0) > 0.0);
     }
 
     #[test]

@@ -281,9 +281,12 @@ pub enum Precision {
     Fp16,
     /// INT8 on tensor cores (Ampere int8 TOPS are ≈2× the FP16 rate — 8×
     /// FP32 CUDA — at a quarter of the activation traffic). This is the
-    /// dtype of the `ld_quant` inference fast path; the host-side kernel
-    /// realises a smaller fraction of it (see `BENCH_quant.json`), but the
-    /// roofline models the Orin deployment target.
+    /// dtype of the `ld_quant` inference fast path; the kernel actually
+    /// deployed (u8 `vpdpbusd` interior layers, i16 stem) realises a
+    /// host-dependent fraction of the spec-sheet ratio, so admission can
+    /// swap the modelled 8× for the measured `BENCH_gemm.json` ratio via
+    /// [`crate::roofline::Int8Cal`] and
+    /// [`crate::AdaptCostModel::with_int8_cal`].
     Int8,
 }
 
@@ -311,12 +314,26 @@ impl Precision {
     /// kinds gain the inverse byte ratio (fewer bytes = more effective
     /// bandwidth). The single source of the precision what-if maths, shared
     /// by [`precision_what_if`] and the admission cost model.
-    pub fn scale_efficiency(
+    pub fn scale_efficiency(self, eff: crate::roofline::Efficiency) -> crate::roofline::Efficiency {
+        self.scale_efficiency_cal(eff, &crate::roofline::Int8Cal::NONE)
+    }
+
+    /// [`Precision::scale_efficiency`] with the `Int8` compute multiplier
+    /// replaced by a measured kernel ratio when one is present
+    /// ([`crate::roofline::Int8Cal`]); the byte ratio stays modelled (the
+    /// quantized path really does move a quarter of the activation bytes),
+    /// and other precisions are unaffected.
+    pub fn scale_efficiency_cal(
         self,
         mut eff: crate::roofline::Efficiency,
+        int8: &crate::roofline::Int8Cal,
     ) -> crate::roofline::Efficiency {
-        eff.conv *= self.compute_speedup();
-        eff.fc *= self.compute_speedup();
+        let compute = match self {
+            Precision::Int8 => int8.speedup_or(self.compute_speedup()),
+            _ => self.compute_speedup(),
+        };
+        eff.conv *= compute;
+        eff.fc *= compute;
         eff.elementwise /= self.byte_ratio();
         eff
     }
@@ -525,6 +542,45 @@ mod tests {
     fn mixed_tick_rejects_more_adapted_than_batch() {
         let cost = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
         cost.mixed_tick_at(PowerMode::MaxN60, 2, 3, Precision::Int8);
+    }
+
+    /// Opt-in contract of the measured int8 calibration: `Int8Cal::NONE`
+    /// is bit-identical to the uncalibrated model (the hand-calibrated
+    /// feasible set stays pinned), a measured ratio below the modelled 8×
+    /// makes int8 ticks dearer (and can shrink the admitted batch), and
+    /// f32 costing never moves.
+    #[test]
+    fn int8_cal_is_opt_in_and_only_reprices_int8() {
+        use crate::roofline::Int8Cal;
+        let cfg = UfldConfig::paper(Backbone::ResNet18, 4);
+        let base = AdaptCostModel::paper_scale(&cfg);
+        let none = AdaptCostModel::paper_scale(&cfg).with_int8_cal(Int8Cal::NONE);
+        let slow = AdaptCostModel::paper_scale(&cfg).with_int8_cal(Int8Cal::from_speedup(2.0));
+        let mode = PowerMode::W30;
+        for p in [Precision::Fp32, Precision::Fp16, Precision::Int8] {
+            assert_eq!(
+                base.batched_tick_at(mode, 4, false, p),
+                none.batched_tick_at(mode, 4, false, p)
+            );
+        }
+        for p in [Precision::Fp32, Precision::Fp16] {
+            assert_eq!(
+                base.batched_tick_at(mode, 4, false, p),
+                slow.batched_tick_at(mode, 4, false, p)
+            );
+        }
+        let modelled = base.batched_tick_at(mode, 4, false, Precision::Int8);
+        let measured = slow.batched_tick_at(mode, 4, false, Precision::Int8);
+        assert!(
+            measured.inference_ms > modelled.inference_ms,
+            "a 2× measured kernel must cost more than the modelled 8×"
+        );
+        // Still cheaper than f32 — the calibration reprices, not disables.
+        let f32_tick = slow.batched_tick_at(mode, 4, false, Precision::Fp32);
+        assert!(measured.inference_ms < f32_tick.inference_ms);
+        let adm_modelled = admit_batch_with(&base, mode, 33.3, 16, Precision::Int8, 1.0);
+        let adm_measured = admit_batch_with(&slow, mode, 33.3, 16, Precision::Int8, 1.0);
+        assert!(adm_measured.batch <= adm_modelled.batch);
     }
 
     #[test]

@@ -8,14 +8,25 @@
 //!
 //! A `QConv2d` quantizes its f32 input per tensor (calibrated scale), lowers
 //! it with an **im2row** (patch-major, k-contiguous — the transpose of the
-//! f32 engine's im2col) into a reusable i16 scratch arena, and runs the
-//! row-dot GEMM with the requantize/bias/BN/ReLU epilogue fused
+//! f32 engine's im2col) into a reusable scratch arena, and runs the row-dot
+//! GEMM with the requantize/bias/BN/ReLU epilogue fused
 //! ([`crate::qgemm::qgemm_fused_affine`]). Padding is handled by quantizing
-//! into a zero-bordered plane buffer once, so patch gathering is
-//! branch-free row copies.
+//! into a zero-bordered plane buffer once, so patch gathering is branch-free
+//! row copies.
+//!
+//! Each layer is built on one of two activation paths ([`ActPath`]): the
+//! signed **i16** path (any input range — the stem and the portable
+//! default) or the unsigned **u8** path (post-ReLU inputs only, zero-point
+//! 0 — the `vpdpbusd` fast path for interior layers). The epilogue tables
+//! are *path-agnostic*: zero-point 0 on both paths means the per-channel
+//! fold is the same `scale·acc + shift` form, so per-stream BN bank
+//! refreshes ([`QConv2d::refresh_bn_table`]) stay O(channels) regardless of
+//! path.
 
-use crate::qgemm::{qgemm_fused_affine, qgemm_nt};
-use crate::quantize::{max_abs, pad_k, quantize_into, QWeights};
+use crate::qgemm::{qgemm_fused_affine, qgemm_fused_affine_u8, qgemm_nt, qgemm_nt_u8};
+use crate::quantize::{
+    max_abs, pad_k, pad_k_u8, quantize_into, quantize_into_u8, ActPath, QWeights, QMAX, UMAX,
+};
 use ld_tensor::Tensor;
 
 /// Per-channel epilogue constants: `y = scale[o] · acc + shift[o]`.
@@ -46,15 +57,60 @@ fn fold_epilogue(
 /// a domain drifts *beyond* the calibration set instead of clipping into
 /// garbage logits: the first frame of a brighter/noisier domain re-ranges
 /// the boundary in O(channels) and serving continues.
-fn grow_ratio(x_scale: &mut f32, batch_max: f32) -> Option<f32> {
-    let range = *x_scale * crate::quantize::QMAX;
+fn grow_ratio(x_scale: &mut f32, batch_max: f32, qmax: f32) -> Option<f32> {
+    let range = *x_scale * qmax;
     if batch_max <= range || !batch_max.is_finite() {
         return None;
     }
-    let new_scale = crate::quantize::symmetric_scale(batch_max);
+    // batch_max > range ≥ 0 here, so the scale is well-defined on both the
+    // signed (qmax = 127) and unsigned (qmax = 255) paths.
+    let new_scale = batch_max / qmax;
     let ratio = new_scale / *x_scale;
     *x_scale = new_scale;
     Some(ratio)
+}
+
+/// The quantized-range bound for a path's grow test (`QMAX` signed,
+/// `UMAX` unsigned — both ranges pivot at zero-point 0, so `max|x|` is the
+/// statistic for either).
+fn path_qmax(path: ActPath) -> f32 {
+    match path {
+        ActPath::I16 => QMAX,
+        ActPath::U8 => UMAX,
+    }
+}
+
+/// Gathers im2row patches from a zero-bordered `(C, ph, pw)` plane buffer
+/// into `(oh·ow, kp)` patch rows — element-width agnostic, shared by the
+/// i16 and u8 paths.
+#[allow(clippy::too_many_arguments)]
+fn im2row_into<T: Copy>(
+    qpad: &[T],
+    rows: &mut [T],
+    c: usize,
+    ph: usize,
+    pw: usize,
+    oh: usize,
+    ow: usize,
+    kernel: usize,
+    stride: usize,
+    kp: usize,
+) {
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let dst = &mut rows[(oy * ow + ox) * kp..];
+            let (iy0, ix0) = (oy * stride, ox * stride);
+            let mut wofs = 0;
+            for ci in 0..c {
+                let plane = &qpad[ci * ph * pw..];
+                for ky in 0..kernel {
+                    let src = &plane[(iy0 + ky) * pw + ix0..][..kernel];
+                    dst[wofs..wofs + kernel].copy_from_slice(src);
+                    wofs += kernel;
+                }
+            }
+        }
+    }
 }
 
 /// A quantized 2-D convolution (square kernel, eval only) with the
@@ -78,15 +134,22 @@ pub struct QConv2d {
     /// Per-bank `(scale, shift)` epilogue tables; index 0 is resident.
     tables: Vec<(Vec<f32>, Vec<f32>)>,
     relu: bool,
+    /// Which activation storage/kernel path this layer runs
+    /// ([`QConv2d::new`] → i16, [`QConv2d::new_u8`] → u8).
+    path: ActPath,
     in_ch: usize,
     out_ch: usize,
     kernel: usize,
     stride: usize,
     pad: usize,
-    /// Zero-bordered quantized input plane `(C, H+2p, W+2p)`, reused.
+    /// Zero-bordered quantized input plane `(C, H+2p, W+2p)`, reused
+    /// (i16 path).
     qpad: Vec<i16>,
-    /// im2row patch matrix `(OH·OW, k_padded)`, reused.
+    /// im2row patch matrix `(OH·OW, k_padded)`, reused (i16 path).
     rows: Vec<i16>,
+    /// u8-path twins of `qpad`/`rows` (only one pair is ever sized).
+    qpad_u8: Vec<u8>,
+    rows_u8: Vec<u8>,
     /// Shapes the scratch is currently sized for.
     sized_hw: (usize, usize),
 }
@@ -110,6 +173,42 @@ impl QConv2d {
         bn: Option<(&[f32], &[f32])>,
         relu: bool,
     ) -> Self {
+        Self::with_path(weight, bias, stride, pad, x_scale, bn, relu, ActPath::I16)
+    }
+
+    /// [`QConv2d::new`] on the unsigned u8 activation path: `x_scale` is
+    /// the calibrated **unsigned** scale (`max(x)/255`,
+    /// [`crate::RangeObserver::unsigned_scale`]) and the layer's inputs
+    /// must be non-negative (post-ReLU) — stray negatives quantize to 0,
+    /// i.e. behave as if the producing layer's ReLU had clamped them.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent shapes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_u8(
+        weight: &Tensor,
+        bias: Option<&[f32]>,
+        stride: usize,
+        pad: usize,
+        x_scale: f32,
+        bn: Option<(&[f32], &[f32])>,
+        relu: bool,
+    ) -> Self {
+        Self::with_path(weight, bias, stride, pad, x_scale, bn, relu, ActPath::U8)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn with_path(
+        weight: &Tensor,
+        bias: Option<&[f32]>,
+        stride: usize,
+        pad: usize,
+        x_scale: f32,
+        bn: Option<(&[f32], &[f32])>,
+        relu: bool,
+        path: ActPath,
+    ) -> Self {
         let dims = weight.shape_dims();
         assert_eq!(dims.len(), 4, "QConv2d: weight must be (O, C, K, K)");
         let (out_ch, in_ch, kh, kw) = (dims[0], dims[1], dims[2], dims[3]);
@@ -125,6 +224,7 @@ impl QConv2d {
             x_scale,
             tables: vec![table0],
             relu,
+            path,
             in_ch,
             out_ch,
             kernel: kh,
@@ -132,7 +232,22 @@ impl QConv2d {
             pad,
             qpad: Vec::new(),
             rows: Vec::new(),
+            qpad_u8: Vec::new(),
+            rows_u8: Vec::new(),
             sized_hw: (0, 0),
+        }
+    }
+
+    /// The activation path this layer was built on.
+    pub fn act_path(&self) -> ActPath {
+        self.path
+    }
+
+    /// The padded patch depth for this layer's path.
+    fn kp(&self) -> usize {
+        match self.path {
+            ActPath::I16 => self.weights.k_padded(),
+            ActPath::U8 => self.weights.k_padded_u8(),
         }
     }
 
@@ -197,16 +312,29 @@ impl QConv2d {
     }
 
     fn ensure_scratch(&mut self, h: usize, w: usize) {
-        if self.sized_hw == (h, w) && !self.qpad.is_empty() {
+        let sized = match self.path {
+            ActPath::I16 => !self.qpad.is_empty(),
+            ActPath::U8 => !self.qpad_u8.is_empty(),
+        };
+        if self.sized_hw == (h, w) && sized {
             return;
         }
         let (ph, pw) = (h + 2 * self.pad, w + 2 * self.pad);
         let (oh, ow) = self.out_dims(h, w);
-        let kp = self.weights.k_padded();
+        let kp = self.kp();
         // Fresh zero fills keep borders (qpad) and depth padding (rows)
-        // exactly zero; interiors are overwritten every image.
-        self.qpad = vec![0i16; self.in_ch * ph * pw];
-        self.rows = vec![0i16; oh * ow * kp];
+        // exactly zero; interiors are overwritten every image. Zero is the
+        // exact encoding of 0.0 on both paths (zero-point 0).
+        match self.path {
+            ActPath::I16 => {
+                self.qpad = vec![0i16; self.in_ch * ph * pw];
+                self.rows = vec![0i16; oh * ow * kp];
+            }
+            ActPath::U8 => {
+                self.qpad_u8 = vec![0u8; self.in_ch * ph * pw];
+                self.rows_u8 = vec![0u8; oh * ow * kp];
+            }
+        }
         self.sized_hw = (h, w);
     }
 
@@ -214,7 +342,7 @@ impl QConv2d {
     /// range, re-scaling **every** table's requantization factors (the
     /// activation scale is shared across banks).
     fn grow_range_all_tables(&mut self, batch_max: f32) {
-        if let Some(ratio) = grow_ratio(&mut self.x_scale, batch_max) {
+        if let Some(ratio) = grow_ratio(&mut self.x_scale, batch_max, path_qmax(self.path)) {
             for (scale, _) in &mut self.tables {
                 for s in scale.iter_mut() {
                     *s *= ratio;
@@ -261,54 +389,95 @@ impl QConv2d {
         let spatial = oh * ow;
         self.ensure_scratch(h, w);
         let (ph, pw) = (h + 2 * self.pad, w + 2 * self.pad);
-        let kp = self.weights.k_padded();
+        let kp = self.kp();
         let kernel = self.kernel;
 
         let mut out = Tensor::zeros(&[n, self.out_ch, oh, ow]);
         for ni in 0..n {
-            // Quantize the image into the zero-bordered plane buffer.
+            // Quantize the image into the zero-bordered plane buffer, then
+            // im2row: each output position's patch, k-contiguous in the
+            // weight-row order (c, ky, kx); borders read pre-zeroed padding.
             let img = x.image(ni);
-            for ci in 0..c {
-                let src = &img[ci * h * w..(ci + 1) * h * w];
-                let plane = &mut self.qpad[ci * ph * pw..(ci + 1) * ph * pw];
-                for iy in 0..h {
-                    let dst_off = (iy + self.pad) * pw + self.pad;
-                    quantize_into(
-                        &src[iy * w..(iy + 1) * w],
-                        self.x_scale,
-                        &mut plane[dst_off..dst_off + w],
+            match self.path {
+                ActPath::I16 => {
+                    for ci in 0..c {
+                        let src = &img[ci * h * w..(ci + 1) * h * w];
+                        let plane = &mut self.qpad[ci * ph * pw..(ci + 1) * ph * pw];
+                        for iy in 0..h {
+                            let dst_off = (iy + self.pad) * pw + self.pad;
+                            quantize_into(
+                                &src[iy * w..(iy + 1) * w],
+                                self.x_scale,
+                                &mut plane[dst_off..dst_off + w],
+                            );
+                        }
+                    }
+                    im2row_into(
+                        &self.qpad,
+                        &mut self.rows,
+                        c,
+                        ph,
+                        pw,
+                        oh,
+                        ow,
+                        kernel,
+                        self.stride,
+                        kp,
+                    );
+                }
+                ActPath::U8 => {
+                    for ci in 0..c {
+                        let src = &img[ci * h * w..(ci + 1) * h * w];
+                        let plane = &mut self.qpad_u8[ci * ph * pw..(ci + 1) * ph * pw];
+                        for iy in 0..h {
+                            let dst_off = (iy + self.pad) * pw + self.pad;
+                            quantize_into_u8(
+                                &src[iy * w..(iy + 1) * w],
+                                self.x_scale,
+                                &mut plane[dst_off..dst_off + w],
+                            );
+                        }
+                    }
+                    im2row_into(
+                        &self.qpad_u8,
+                        &mut self.rows_u8,
+                        c,
+                        ph,
+                        pw,
+                        oh,
+                        ow,
+                        kernel,
+                        self.stride,
+                        kp,
                     );
                 }
             }
-            // im2row: each output position's patch, k-contiguous in the
-            // weight-row order (c, ky, kx); borders read pre-zeroed padding.
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let dst = &mut self.rows[(oy * ow + ox) * kp..];
-                    let (iy0, ix0) = (oy * self.stride, ox * self.stride);
-                    let mut wofs = 0;
-                    for ci in 0..c {
-                        let plane = &self.qpad[ci * ph * pw..];
-                        for ky in 0..kernel {
-                            let src = &plane[(iy0 + ky) * pw + ix0..][..kernel];
-                            dst[wofs..wofs + kernel].copy_from_slice(src);
-                            wofs += kernel;
-                        }
-                    }
-                }
-            }
             let (scale, shift) = &self.tables[table_of_image.map_or(0, |t| t[ni])];
-            qgemm_fused_affine(
-                self.weights.data(),
-                &self.rows[..spatial * kp],
-                &mut out.image_mut(ni)[..self.out_ch * spatial],
-                self.out_ch,
-                spatial,
-                kp,
-                scale,
-                shift,
-                self.relu,
-            );
+            let out_img = &mut out.image_mut(ni)[..self.out_ch * spatial];
+            match self.path {
+                ActPath::I16 => qgemm_fused_affine(
+                    self.weights.data(),
+                    &self.rows[..spatial * kp],
+                    out_img,
+                    self.out_ch,
+                    spatial,
+                    kp,
+                    scale,
+                    shift,
+                    self.relu,
+                ),
+                ActPath::U8 => qgemm_fused_affine_u8(
+                    self.weights.data_i8(),
+                    &self.rows_u8[..spatial * kp],
+                    out_img,
+                    self.out_ch,
+                    spatial,
+                    kp,
+                    scale,
+                    shift,
+                    self.relu,
+                ),
+            }
         }
         out
     }
@@ -322,10 +491,15 @@ pub struct QLinear {
     /// `w_scale[o] · x_scale` — the requantization factor per output.
     scale: Vec<f32>,
     relu: bool,
+    /// Which activation storage/kernel path this layer runs
+    /// ([`QLinear::new`] → i16, [`QLinear::new_u8`] → u8).
+    path: ActPath,
     in_features: usize,
     out_features: usize,
-    /// Quantized input rows `(N, k_padded)`, reused.
+    /// Quantized input rows `(N, k_padded)`, reused (i16 path).
     qin: Vec<i16>,
+    /// u8-path twin of `qin`.
+    qin_u8: Vec<u8>,
     /// i32 accumulator tile `(out, N)`, reused.
     acc: Vec<i32>,
 }
@@ -337,6 +511,21 @@ impl QLinear {
     ///
     /// Panics on inconsistent shapes.
     pub fn new(weight: &Tensor, bias: &[f32], x_scale: f32, relu: bool) -> Self {
+        Self::with_path(weight, bias, x_scale, relu, ActPath::I16)
+    }
+
+    /// [`QLinear::new`] on the unsigned u8 activation path: `x_scale` is
+    /// the calibrated unsigned scale (`max(x)/255`) and inputs must be
+    /// non-negative (post-ReLU).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent shapes.
+    pub fn new_u8(weight: &Tensor, bias: &[f32], x_scale: f32, relu: bool) -> Self {
+        Self::with_path(weight, bias, x_scale, relu, ActPath::U8)
+    }
+
+    fn with_path(weight: &Tensor, bias: &[f32], x_scale: f32, relu: bool, path: ActPath) -> Self {
         let (out_features, in_features) = weight.dims2();
         assert_eq!(bias.len(), out_features, "QLinear: bias length");
         let weights = QWeights::from_rows(weight.as_slice(), out_features, in_features);
@@ -347,9 +536,11 @@ impl QLinear {
             x_scale,
             scale,
             relu,
+            path,
             in_features,
             out_features,
             qin: Vec::new(),
+            qin_u8: Vec::new(),
             acc: Vec::new(),
         }
     }
@@ -357,6 +548,11 @@ impl QLinear {
     /// Output feature count.
     pub fn out_features(&self) -> usize {
         self.out_features
+    }
+
+    /// The activation path this layer was built on.
+    pub fn act_path(&self) -> ActPath {
+        self.path
     }
 
     /// Quantized forward over `(N, in)` → `(N, out)`.
@@ -369,34 +565,69 @@ impl QLinear {
         assert_eq!(f, self.in_features, "QLinear: {f} features, want {}", {
             self.in_features
         });
-        if let Some(ratio) = grow_ratio(&mut self.x_scale, max_abs(x.as_slice())) {
+        if let Some(ratio) = grow_ratio(
+            &mut self.x_scale,
+            max_abs(x.as_slice()),
+            path_qmax(self.path),
+        ) {
             for s in &mut self.scale {
                 *s *= ratio;
             }
         }
-        let kp = pad_k(self.in_features);
-        if self.qin.len() < n * kp {
-            self.qin = vec![0i16; n * kp];
+        let kp = match self.path {
+            ActPath::I16 => pad_k(self.in_features),
+            ActPath::U8 => pad_k_u8(self.in_features),
+        };
+        if self.acc.len() < self.out_features * n {
             self.acc = vec![0i32; self.out_features * n];
         }
-        for ni in 0..n {
-            quantize_into(
-                &x.as_slice()[ni * f..(ni + 1) * f],
-                self.x_scale,
-                &mut self.qin[ni * kp..ni * kp + f],
-            );
+        match self.path {
+            ActPath::I16 => {
+                if self.qin.len() < n * kp {
+                    self.qin = vec![0i16; n * kp];
+                }
+                for ni in 0..n {
+                    quantize_into(
+                        &x.as_slice()[ni * f..(ni + 1) * f],
+                        self.x_scale,
+                        &mut self.qin[ni * kp..ni * kp + f],
+                    );
+                }
+            }
+            ActPath::U8 => {
+                if self.qin_u8.len() < n * kp {
+                    self.qin_u8 = vec![0u8; n * kp];
+                }
+                for ni in 0..n {
+                    quantize_into_u8(
+                        &x.as_slice()[ni * f..(ni + 1) * f],
+                        self.x_scale,
+                        &mut self.qin_u8[ni * kp..ni * kp + f],
+                    );
+                }
+            }
         }
         // acc[out, N] = W · Xᵀ; the epilogue transposes into (N, out) while
         // applying the per-output requantization scale and bias.
         let acc = &mut self.acc[..self.out_features * n];
-        qgemm_nt(
-            self.weights.data(),
-            &self.qin[..n * kp],
-            acc,
-            self.out_features,
-            n,
-            kp,
-        );
+        match self.path {
+            ActPath::I16 => qgemm_nt(
+                self.weights.data(),
+                &self.qin[..n * kp],
+                acc,
+                self.out_features,
+                n,
+                kp,
+            ),
+            ActPath::U8 => qgemm_nt_u8(
+                self.weights.data_i8(),
+                &self.qin_u8[..n * kp],
+                acc,
+                self.out_features,
+                n,
+                kp,
+            ),
+        }
         let mut out = Tensor::zeros(&[n, self.out_features]);
         let o_slice = out.as_mut_slice();
         for o in 0..self.out_features {
@@ -655,5 +886,142 @@ mod tests {
         let mut q = QLinear::new(&weight, &[0.0; 4], exact_scale(&x), true);
         let y = q.forward(&x);
         assert!(y.as_slice().iter().all(|&v| v == 0.0), "{:?}", y.as_slice());
+    }
+
+    // ---- u8 activation path ----
+
+    /// Unsigned activation scale from the exact input.
+    fn exact_unsigned_scale(x: &Tensor) -> f32 {
+        crate::quantize::unsigned_scale(max_abs(x.as_slice()))
+    }
+
+    #[test]
+    fn u8_qconv_tracks_f32_conv_on_nonneg_input() {
+        let mut conv = Conv2d::new("t", 3, 8, 3, 2, 1, true, 7);
+        let mut rng = SeededRng::new(41);
+        // Post-ReLU-shaped input: non-negative.
+        let x = rng.uniform_tensor(&[2, 3, 9, 12], 0.0, 2.0);
+        let want = conv.forward(&x, Mode::Eval);
+
+        let mut qconv = QConv2d::new_u8(
+            &conv.weight().value.clone(),
+            None,
+            2,
+            1,
+            exact_unsigned_scale(&x),
+            None,
+            false,
+        );
+        assert_eq!(qconv.act_path(), crate::ActPath::U8);
+        let got = qconv.forward(&x);
+        assert_eq!(got.shape_dims(), want.shape_dims());
+        let max_abs = want.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        for (a, b) in want.as_slice().iter().zip(got.as_slice()) {
+            assert!(
+                (a - b).abs() <= 0.05 * (1.0 + max_abs),
+                "{a} vs {b} diverge beyond quantization noise"
+            );
+        }
+    }
+
+    #[test]
+    fn u8_qconv_is_tighter_than_i16_on_nonneg_input() {
+        // Same range spent on [0, max] in 255 steps instead of [-max, max]
+        // in 254: the u8 path's quantization step is half the i16 path's
+        // on non-negative data, so its error should not be worse.
+        let mut conv = Conv2d::new("t", 2, 4, 3, 1, 1, false, 43);
+        let mut rng = SeededRng::new(44);
+        let x = rng.uniform_tensor(&[1, 2, 8, 8], 0.0, 1.5);
+        let want = conv.forward(&x, Mode::Eval);
+        let w = conv.weight().value.clone();
+        let mut qi = QConv2d::new(&w, None, 1, 1, exact_scale(&x), None, false);
+        let mut qu = QConv2d::new_u8(&w, None, 1, 1, exact_unsigned_scale(&x), None, false);
+        let err = |y: &Tensor| {
+            y.as_slice()
+                .iter()
+                .zip(want.as_slice())
+                .map(|(a, b)| (a - b).abs() as f64)
+                .sum::<f64>()
+        };
+        let (ei, eu) = (err(&qi.forward(&x)), err(&qu.forward(&x)));
+        assert!(
+            eu <= ei * 1.05,
+            "u8 total error {eu} should not exceed i16's {ei}"
+        );
+    }
+
+    #[test]
+    fn u8_banked_tables_select_per_image_bitwise() {
+        let conv = Conv2d::new("t", 2, 3, 3, 1, 1, false, 51);
+        let mut rng = SeededRng::new(52);
+        let x = rng.uniform_tensor(&[2, 2, 5, 5], 0.0, 1.0);
+        let s = exact_unsigned_scale(&x);
+        let g0: Vec<f32> = vec![1.0, 1.2, 0.8];
+        let t0: Vec<f32> = vec![0.0, 0.1, -0.1];
+        let g1: Vec<f32> = vec![2.0, 0.5, 1.5];
+        let t1: Vec<f32> = vec![0.3, -0.2, 0.0];
+
+        let w = conv.weight().value.clone();
+        let mut banked = QConv2d::new_u8(&w, None, 1, 1, s, Some((&g0, &t0)), true);
+        banked.ensure_tables(2);
+        banked.refresh_bn_table(1, &g1, &t1);
+        let got = banked.forward_banked(&x, &[1, 0]);
+
+        let mk = |g: &[f32], t: &[f32]| QConv2d::new_u8(&w, None, 1, 1, s, Some((g, t)), true);
+        let img = |i: usize| Tensor::from_vec(x.image(i).to_vec(), &[1, 2, 5, 5]);
+        let want0 = mk(&g1, &t1).forward(&img(0));
+        let want1 = mk(&g0, &t0).forward(&img(1));
+        assert_eq!(got.image(0), want0.as_slice(), "image 0 via table 1");
+        assert_eq!(got.image(1), want1.as_slice(), "image 1 via table 0");
+    }
+
+    #[test]
+    fn u8_qconv_auto_ranges_when_input_outruns_calibration() {
+        let mut conv = Conv2d::new("t", 2, 4, 3, 1, 1, false, 61);
+        let mut rng = SeededRng::new(62);
+        let small = rng.uniform_tensor(&[1, 2, 6, 6], 0.0, 0.1);
+        let big = rng.uniform_tensor(&[1, 2, 6, 6], 0.0, 3.0);
+        let mut q = QConv2d::new_u8(
+            &conv.weight().value.clone(),
+            None,
+            1,
+            1,
+            exact_unsigned_scale(&small),
+            None,
+            false,
+        );
+        let want = conv.forward(&big, Mode::Eval);
+        let got = q.forward(&big);
+        let max = want.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        for (a, b) in want.as_slice().iter().zip(got.as_slice()) {
+            assert!(
+                (a - b).abs() <= 0.05 * (1.0 + max),
+                "{a} vs {b}: u8 auto-ranging must prevent clipping"
+            );
+        }
+    }
+
+    #[test]
+    fn u8_qlinear_tracks_f32_linear_on_nonneg_input() {
+        let mut fc = Linear::new("fc", 37, 11, 4);
+        let mut rng = SeededRng::new(65);
+        let x = rng.uniform_tensor(&[3, 37], 0.0, 2.0);
+        let want = fc.forward(&x, Mode::Eval);
+        let weight = {
+            let mut w = None;
+            fc.visit_params(&mut |p| {
+                if p.name.ends_with("weight") {
+                    w = Some(p.value.clone());
+                }
+            });
+            w.unwrap()
+        };
+        let mut q = QLinear::new_u8(&weight, &[0.0; 11], exact_unsigned_scale(&x), false);
+        assert_eq!(q.act_path(), crate::ActPath::U8);
+        let got = q.forward(&x);
+        let max_abs = want.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        for (a, b) in want.as_slice().iter().zip(got.as_slice()) {
+            assert!((a - b).abs() <= 0.05 * (1.0 + max_abs), "{a} vs {b}");
+        }
     }
 }

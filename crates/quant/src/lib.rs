@@ -4,14 +4,18 @@
 //! hardware, and in a multi-stream CARLANE deployment most camera streams at
 //! any tick are *confident* — they need inference, not adaptation. This
 //! crate gives those streams a second compute substrate next to the f32 one:
-//! symmetric int8 weights and activations, an integer GEMM whose 512-bit
-//! multiply–accumulate instructions retire twice as many products as f32
-//! FMA, and a per-channel f32 epilogue that folds requantization, bias,
+//! symmetric int8 weights, dual-path activations (signed i16 for the stem,
+//! unsigned u8 for every post-ReLU interior layer — see [`ActPath`]), an
+//! integer GEMM whose 512-bit multiply–accumulate instructions retire two
+//! (`vpdpwssd`) to four (`vpdpbusd`) times as many products as f32 FMA, and
+//! a per-channel f32 epilogue that folds requantization, bias,
 //! frozen-statistics BatchNorm and ReLU into one pass.
 //!
-//! * [`quantize`] — the scale scheme (symmetric, per-channel weights,
-//!   calibrated per-tensor activations) and the requantization math;
-//! * [`qgemm`] — the row-dot int8 GEMM kernel with exact i32 accumulation;
+//! * [`quantize`] — the scale scheme (symmetric per-channel weights,
+//!   calibrated per-tensor activations on either path) and the
+//!   requantization math;
+//! * [`qgemm`] — the row-dot integer GEMM kernels (i16×i16 and u8×i8) with
+//!   exact i32 accumulation;
 //! * [`layers`] — quantized eval-only `QConv2d` / `QLinear`;
 //! * [`model`] — [`QuantUfldModel`]: a full quantized UFLD forward,
 //!   converted from (and re-synchronised with) an adapting f32
@@ -43,5 +47,7 @@ pub mod quantize;
 
 pub use layers::{QConv2d, QLinear};
 pub use model::{QuantUfldModel, QuantizeModel};
-pub use qgemm::{qgemm_fused_affine, qgemm_nt};
-pub use quantize::{QTensor, QWeights, RangeObserver};
+pub use qgemm::{
+    qgemm_fused_affine, qgemm_fused_affine_u8, qgemm_nt, qgemm_nt_u8, U8_KERNEL_IS_VNNI,
+};
+pub use quantize::{ActPath, QTensor, QWeights, RangeObserver};

@@ -18,6 +18,21 @@
 //!    residual adds and max-pooling stay in f32 (they are bandwidth-bound
 //!    glue, not arithmetic).
 //!
+//! # Activation-path selection
+//!
+//! The build step also picks each layer's [`crate::ActPath`]: the **stem**
+//! input is mean/std-normalised pixels (signed), so it always takes the
+//! i16 path; every **interior** boundary — block inputs (post-ReLU, or
+//! max-pool of post-ReLU), `conv2` inputs (post-ReLU), the reduce conv and
+//! both FC inputs (post-ReLU) — is provably non-negative, so the default
+//! [`QuantizeModel::quantize`] puts it on the u8 `vpdpbusd` path. The
+//! non-negativity is not assumed: the calibration observers track the
+//! minimum value seen and [`crate::RangeObserver::unsigned_scale`] panics
+//! if a u8 boundary ever observed a negative input.
+//! [`QuantizeModel::quantize_with_paths`] forces all interior layers onto
+//! the i16 path instead (portable fallback / A-B measurement);
+//! [`QuantUfldModel::layer_paths`] reports the selection per layer.
+//!
 //! # Staying in sync with adaptation
 //!
 //! LD-BN-ADAPT moves only BN γ/β, and the symmetric scheme keeps the BN
@@ -28,7 +43,7 @@
 //! parameter update and refreshes lazily before the next quantized tick.
 
 use crate::layers::{QConv2d, QLinear};
-use crate::quantize::RangeObserver;
+use crate::quantize::{ActPath, RangeObserver};
 use ld_nn::{BatchNorm2d, Conv2d, Layer, MaxPool2d, Mode};
 use ld_tensor::Tensor;
 use ld_ufld::resnet::{BlockPartsMut, STEM_POOL};
@@ -53,13 +68,15 @@ fn fused_conv_bn(conv: &mut Conv2d, bn: &mut BatchNorm2d, x: &Tensor) -> Tensor 
     conv.forward_fused_affine(x, g, t)
 }
 
-/// Builds a [`QConv2d`] from an f32 conv (+ optional BN to fold) and the
-/// calibrated input scale.
+/// Builds a [`QConv2d`] from an f32 conv (+ optional BN to fold), the
+/// calibrated input scale, and the selected activation path (`x_scale`
+/// must be the matching signed/unsigned scale).
 fn qconv_from(
     conv: &Conv2d,
     bn: Option<&mut BatchNorm2d>,
     x_scale: f32,
     fuse_relu: bool,
+    path: ActPath,
 ) -> QConv2d {
     let (_, stride, pad) = conv.geometry();
     let bias = conv.bias().map(|b| b.value.as_slice().to_vec());
@@ -68,7 +85,11 @@ fn qconv_from(
         let (g, t) = bn.folded_affine();
         (g.to_vec(), t.to_vec())
     });
-    QConv2d::new(
+    let build = match path {
+        ActPath::I16 => QConv2d::new,
+        ActPath::U8 => QConv2d::new_u8,
+    };
+    build(
         &conv.weight().value,
         bias.as_deref(),
         stride,
@@ -206,6 +227,24 @@ impl QuantUfldModel {
     /// The architecture this snapshot was quantized from.
     pub fn config(&self) -> &UfldConfig {
         &self.cfg
+    }
+
+    /// Per-layer activation-path selection, in forward order — the
+    /// diagnostics behind the example's path report: which layers ride the
+    /// u8 `vpdpbusd` kernel and which stay on the signed i16 path.
+    pub fn layer_paths(&self) -> Vec<(String, ActPath)> {
+        let mut out = vec![("stem".to_string(), self.stem.act_path())];
+        for (i, block) in self.blocks.iter().enumerate() {
+            out.push((format!("block{i}.conv1"), block.conv1.act_path()));
+            out.push((format!("block{i}.conv2"), block.conv2.act_path()));
+            if let Some(down) = &block.downsample {
+                out.push((format!("block{i}.downsample"), down.act_path()));
+            }
+        }
+        out.push(("reduce".to_string(), self.reduce.act_path()));
+        out.push(("fc1".to_string(), self.fc1.act_path()));
+        out.push(("fc2".to_string(), self.fc2.act_path()));
+        out
     }
 
     /// Quantized forward over an NCHW batch → logits
@@ -425,16 +464,31 @@ impl QuantUfldModel {
 /// Conversion of an f32 model into its quantized snapshot.
 pub trait QuantizeModel {
     /// Quantizes the current (possibly adapted) weights, calibrating
-    /// activation scales on `calib` frames (each `(3, H, W)`).
+    /// activation scales on `calib` frames (each `(3, H, W)`), with every
+    /// **interior** (post-ReLU-input) layer on the given path. The stem
+    /// always stays on the i16 path — its input is signed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calib` is empty, a frame's shape mismatches the config,
+    /// or `interior` is [`ActPath::U8`] and a calibration pass observed a
+    /// negative value at an interior boundary (a topology bug — interior
+    /// inputs are post-ReLU by construction).
+    fn quantize_with_paths(&mut self, calib: &[&Tensor], interior: ActPath) -> QuantUfldModel;
+
+    /// [`QuantizeModel::quantize_with_paths`] with the default selection:
+    /// interior layers on the u8 `vpdpbusd` path.
     ///
     /// # Panics
     ///
     /// Panics if `calib` is empty or a frame's shape mismatches the config.
-    fn quantize(&mut self, calib: &[&Tensor]) -> QuantUfldModel;
+    fn quantize(&mut self, calib: &[&Tensor]) -> QuantUfldModel {
+        self.quantize_with_paths(calib, ActPath::U8)
+    }
 }
 
 impl QuantizeModel for UfldModel {
-    fn quantize(&mut self, calib: &[&Tensor]) -> QuantUfldModel {
+    fn quantize_with_paths(&mut self, calib: &[&Tensor], interior: ActPath) -> QuantUfldModel {
         assert!(!calib.is_empty(), "quantize: no calibration frames");
         let cfg = self.config().clone();
         let want = [cfg.input_channels, cfg.input_height, cfg.input_width];
@@ -449,17 +503,45 @@ impl QuantizeModel for UfldModel {
         }
         let ranges = calibrate(self, &batch);
 
+        // Interior boundaries use the path-matching scale; asking for the
+        // unsigned scale *proves* the boundary observed no negative values
+        // (RangeObserver::unsigned_scale panics otherwise) — the u8 path's
+        // precondition is checked at build time, not assumed.
+        let interior_scale = |obs: &RangeObserver| match interior {
+            ActPath::I16 => obs.scale(),
+            ActPath::U8 => obs.unsigned_scale(),
+        };
+
         let bb = self.backbone_mut();
         let (stem_conv, stem_bn) = bb.stem_mut();
-        let stem = qconv_from(stem_conv, Some(stem_bn), ranges.stem_in.scale(), true);
+        // The stem's input (normalised pixels) is signed: always i16.
+        let stem = qconv_from(
+            stem_conv,
+            Some(stem_bn),
+            ranges.stem_in.scale(),
+            true,
+            ActPath::I16,
+        );
         let mut blocks = Vec::new();
         for (block, (block_in, conv2_in)) in bb.blocks_mut().iter_mut().zip(&ranges.blocks) {
             let p = block.parts_mut();
-            let conv1 = qconv_from(p.conv1, Some(p.bn1), block_in.scale(), true);
-            let conv2 = qconv_from(p.conv2, Some(p.bn2), conv2_in.scale(), false);
-            let downsample = p
-                .downsample
-                .map(|(conv, bn)| qconv_from(conv, Some(bn), block_in.scale(), false));
+            let conv1 = qconv_from(
+                p.conv1,
+                Some(p.bn1),
+                interior_scale(block_in),
+                true,
+                interior,
+            );
+            let conv2 = qconv_from(
+                p.conv2,
+                Some(p.bn2),
+                interior_scale(conv2_in),
+                false,
+                interior,
+            );
+            let downsample = p.downsample.map(|(conv, bn)| {
+                qconv_from(conv, Some(bn), interior_scale(block_in), false, interior)
+            });
             blocks.push(QBasicBlock {
                 conv1,
                 conv2,
@@ -467,17 +549,27 @@ impl QuantizeModel for UfldModel {
             });
         }
         let (reduce_f32, fc1_f32, fc2_f32) = self.head_mut();
-        let reduce = qconv_from(reduce_f32, None, ranges.reduce_in.scale(), true);
-        let fc1 = QLinear::new(
+        let reduce = qconv_from(
+            reduce_f32,
+            None,
+            interior_scale(&ranges.reduce_in),
+            true,
+            interior,
+        );
+        let build_fc = match interior {
+            ActPath::I16 => QLinear::new,
+            ActPath::U8 => QLinear::new_u8,
+        };
+        let fc1 = build_fc(
             &fc1_f32.weight().value,
             fc1_f32.bias().value.as_slice(),
-            ranges.fc1_in.scale(),
+            interior_scale(&ranges.fc1_in),
             true,
         );
-        let fc2 = QLinear::new(
+        let fc2 = build_fc(
             &fc2_f32.weight().value,
             fc2_f32.bias().value.as_slice(),
-            ranges.fc2_in.scale(),
+            interior_scale(&ranges.fc2_in),
             false,
         );
         QuantUfldModel {
@@ -669,5 +761,79 @@ mod tests {
     fn quantize_rejects_empty_calibration() {
         let mut model = UfldModel::new(&UfldConfig::tiny(2), 1);
         let _ = model.quantize(&[]);
+    }
+
+    /// The u8 path's precondition, proven on the real topology: every
+    /// interior quantized boundary (block inputs, conv2 inputs, reduce and
+    /// FC inputs) is post-ReLU (or max-pool of post-ReLU) and therefore
+    /// observes no negative value during calibration. Only the stem input
+    /// — normalised pixels — is signed.
+    #[test]
+    fn every_interior_boundary_input_is_non_negative() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = warmed_model(&cfg, 17);
+        // Signed input frames, so the stem boundary genuinely sees
+        // negatives and the interior proof is not vacuous.
+        let mut rng = SeededRng::new(18);
+        let batch = rng.uniform_tensor(&[3, 3, cfg.input_height, cfg.input_width], -1.0, 1.0);
+        let ranges = calibrate(&mut model, &batch);
+        assert!(ranges.stem_in.min() < 0.0, "stem input should be signed");
+        for (i, (block_in, conv2_in)) in ranges.blocks.iter().enumerate() {
+            assert!(block_in.non_negative(), "block {i} input saw a negative");
+            assert!(
+                conv2_in.non_negative(),
+                "block {i} conv2 input saw a negative"
+            );
+        }
+        assert!(
+            ranges.reduce_in.non_negative(),
+            "reduce input saw a negative"
+        );
+        assert!(ranges.fc1_in.non_negative(), "fc1 input saw a negative");
+        assert!(ranges.fc2_in.non_negative(), "fc2 input saw a negative");
+    }
+
+    /// Default `quantize` puts every interior layer on the u8 path and the
+    /// stem on i16; the forced-i16 build keeps everything on i16.
+    #[test]
+    fn default_quantize_selects_u8_for_interior_layers() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = warmed_model(&cfg, 19);
+        let frames = calib_frames(&cfg, 2, 20);
+        let refs: Vec<&Tensor> = frames.iter().collect();
+
+        let qmodel = model.quantize(&refs);
+        for (name, path) in qmodel.layer_paths() {
+            let want = if name == "stem" {
+                ActPath::I16
+            } else {
+                ActPath::U8
+            };
+            assert_eq!(path, want, "{name}");
+        }
+
+        let qi16 = model.quantize_with_paths(&refs, ActPath::I16);
+        assert!(qi16.layer_paths().iter().all(|(_, p)| *p == ActPath::I16));
+    }
+
+    /// The u8 and forced-i16 snapshots agree within quantization noise —
+    /// the path choice changes throughput, not the answer.
+    #[test]
+    fn u8_and_i16_paths_agree_within_quantization_noise() {
+        let cfg = UfldConfig::tiny(2);
+        let mut model = warmed_model(&cfg, 23);
+        let frames = calib_frames(&cfg, 3, 24);
+        let refs: Vec<&Tensor> = frames.iter().collect();
+        let mut q_u8 = model.quantize(&refs);
+        let mut q_i16 = model.quantize_with_paths(&refs, ActPath::I16);
+        let a = q_u8.forward_frames(&refs);
+        let b = q_i16.forward_frames(&refs);
+        let range = b.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!(
+                (x - y).abs() <= 0.1 * (1.0 + range),
+                "{x} vs {y}: paths diverge beyond quantization noise"
+            );
+        }
     }
 }

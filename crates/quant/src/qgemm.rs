@@ -1,14 +1,14 @@
-//! The int8 dot-product GEMM with i32 accumulation and a fused
+//! The integer dot-product GEMMs — a signed i16 path and an unsigned
+//! u8×i8 path — with exact i32 accumulation and a fused
 //! requantize/bias/ReLU epilogue.
 //!
 //! # Why a row-dot ("NT") kernel instead of the f32 pack-and-block shape
 //!
 //! The f32 engine ([`ld_tensor::linalg`]) packs both operands into panels so
 //! a rank-1-update micro-kernel reads them with stride 1. Integer
-//! quantization changes the trade-off: the natural x86 instruction for i16
-//! products is a **dot product** (`vpmaddwd`, and `vpdpwssd` with AVX-512
-//! VNNI: 32 multiply–accumulates per 512-bit instruction, twice the f32 FMA
-//! lane count, with the accumulator add fused), which wants both operands
+//! quantization changes the trade-off: the natural x86 instructions for
+//! quantized products are **dot products** (`vpmaddwd`/`vpdpwssd` for i16
+//! pairs, `vpdpbusd` for u8×i8 quads), which want both operands
 //! *k-contiguous*. Both quantized operands are already stored that way —
 //! weights as per-channel rows ([`crate::QWeights`]), activations as im2row
 //! patches — so the kernel multiplies `C[o,s] = dot(A_row[o], B_row[s])`
@@ -22,27 +22,57 @@
 //!       over k: 8 vector loads feed 16 dot-product accumulators
 //! ```
 //!
-//! # The micro-kernel
+//! # The two paths and their micro-kernels
 //!
-//! The 4×4 tile is written twice: an explicit AVX-512 intrinsics kernel
-//! (`vpdpwssd` when the build target has AVX-512 VNNI, `vpmaddwd + vpaddd`
-//! on plain AVX-512BW), and a portable scalar fallback that LLVM
-//! auto-vectorizes. The intrinsics are unavoidable here: LLVM vectorizes
-//! the widening-multiply reduction but does not form the i16 dot-product
-//! instructions from it, which costs the integer path its entire density
-//! advantage over f32 FMA (measured ~0.6× f32 autovectorized vs ~3× with
-//! the explicit kernel on an AVX-512-VNNI Xeon). Builds use
+//! **i16 path** ([`qgemm_nt`], [`qgemm_fused_affine`]): both operands are
+//! widened i16 in `[-127, 127]`. The 4×4 tile is written twice: an
+//! explicit AVX-512 intrinsics kernel (`vpdpwssd` when the build target
+//! has AVX-512 VNNI — 32 multiply–accumulates per 512-bit instruction —
+//! `vpmaddwd + vpaddd` on plain AVX-512BW), and a portable scalar fallback
+//! that LLVM auto-vectorizes. This is the portable default and the only
+//! path that accepts signed activations (the network stem).
+//!
+//! **u8 path** ([`qgemm_nt_u8`], [`qgemm_fused_affine_u8`]): activations
+//! are u8 in `[0, 255]` (zero-point 0 — post-ReLU layers only, see
+//! [`crate::ActPath`]), weights true i8 in `[-127, 127]`. The kernel is
+//! AVX-512-VNNI `vpdpbusd`: **64** multiply–accumulates per instruction,
+//! double the i16 density on the same ports. Exactness holds for *all*
+//! inputs: each u8×i8 product fits i16 (`255·127 = 32385`,
+//! `255·(−128) = −32640`) and `vpdpbusd` sign-extends the four adjacent
+//! products to 32 bits before summing into the i32 accumulator, so unlike
+//! `vpdpbusds` (saturating add) or AVX2's `vpmaddubsw` (saturating i16
+//! pair-sum) it cannot saturate. Without VNNI the u8 path drops straight
+//! to the exact scalar fallback — there is no profitable AVX-512BW
+//! emulation precisely because `vpmaddubsw` saturates — so non-VNNI hosts
+//! should prefer the i16 path, which is why layer construction keeps it
+//! selectable.
+//!
+//! In both cases the intrinsics are unavoidable: LLVM vectorizes the
+//! widening-multiply reductions but does not form the dot-product
+//! instructions from them, which costs the integer paths their entire
+//! density advantage over f32 FMA (measured ~0.6× f32 autovectorized vs
+//! ~3× with the explicit kernel on an AVX-512-VNNI Xeon). Builds use
 //! `target-cpu=native` (see `.cargo/config.toml`), so the right variant is
 //! selected at compile time; rows are padded to
-//! [`crate::quantize::K_ALIGN`] so every strip is full vector width.
+//! [`crate::quantize::K_ALIGN`] (i16) / [`crate::quantize::K_ALIGN_U8`]
+//! (u8) so every strip is full vector width.
 //!
-//! Accumulation is exact: values are in `[-127, 127]`, so `i32` holds any
-//! reduction up to `k = 2³¹/127² ≈ 1.3·10⁵` — an order of magnitude beyond
-//! the deepest im2col in this stack, and the property tests pin all kernel
+//! Accumulation is exact on both paths (i16: `k ≤ 2³¹/127² ≈ 1.3·10⁵`;
+//! u8: `k ≤ 2³¹/(255·127) ≈ 6.6·10⁴` — orders of magnitude beyond the
+//! deepest im2col in this stack), and the property tests pin all kernel
 //! variants against a naive integer reference bit-for-bit.
 
-use crate::quantize::K_ALIGN;
+use crate::quantize::{K_ALIGN, K_ALIGN_U8};
 use ld_tensor::parallel::{for_each_chunk, SendPtr};
+
+/// Whether this build's u8×i8 kernel is the `vpdpbusd` vector path (true)
+/// or the exact scalar fallback (false) — diagnostics for benches and the
+/// example's path report.
+pub const U8_KERNEL_IS_VNNI: bool = cfg!(all(
+    target_arch = "x86_64",
+    target_feature = "avx512bw",
+    target_feature = "avx512vnni"
+));
 
 /// Patch rows per cache tile (`TILE_N · k_padded` i16 target L2).
 const TILE_N: usize = 64;
@@ -368,6 +398,316 @@ pub fn qgemm_fused_affine(
     });
 }
 
+// ---------------------------------------------------------------------------
+// The u8×i8 path: activations u8 (zero-point 0), weights i8, `vpdpbusd`.
+// Mirrors the i16 path's tiling exactly; only the element widths and the
+// dot-product instruction change (64 MACs/instruction instead of 32).
+// ---------------------------------------------------------------------------
+
+/// One k-contiguous u8×i8 dot product in i32 (exact: every product is
+/// ≤ 255·128 in magnitude and the sum widens before accumulating). Scalar;
+/// the edge kernel on VNNI builds and the whole kernel elsewhere.
+#[inline]
+fn dot1_u8(a: &[i8], b: &[u8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0i32;
+    for (&w, &x) in a.iter().zip(b) {
+        acc += w as i32 * x as i32;
+    }
+    acc
+}
+
+/// `acc += Σ_quads act·w` — one 512-bit `vpdpbusd` step (`act` unsigned
+/// bytes, `w` signed bytes; the four adjacent i16-sized products are
+/// sign-extended to 32 bits before the non-saturating accumulator add).
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx512bw",
+    target_feature = "avx512vnni"
+))]
+#[inline]
+unsafe fn dp_u8(
+    acc: std::arch::x86_64::__m512i,
+    act: std::arch::x86_64::__m512i,
+    w: std::arch::x86_64::__m512i,
+) -> std::arch::x86_64::__m512i {
+    std::arch::x86_64::_mm512_dpbusd_epi32(acc, act, w)
+}
+
+/// The 4×4 register-tile u8×i8 dot kernel: `out[r][c] = dot(a_r, b_c)`
+/// with `a` the i8 weight rows and `b` the u8 patch rows.
+///
+/// All eight row slices have length `kp` (a [`K_ALIGN_U8`] multiple).
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx512bw",
+    target_feature = "avx512vnni"
+))]
+#[inline]
+fn dot4x4_u8(a: [&[i8]; QUAD], b: [&[u8]; QUAD], kp: usize) -> [[i32; QUAD]; QUAD] {
+    use std::arch::x86_64::*;
+
+    // SAFETY: rows are K_ALIGN_U8-padded (asserted by the callers), so
+    // every 64-byte load is in bounds; loadu has no alignment requirement.
+    unsafe {
+        let mut acc = [[_mm512_setzero_si512(); QUAD]; QUAD];
+        let mut i = 0;
+        while i < kp {
+            let bv = [
+                _mm512_loadu_si512(b[0].as_ptr().add(i) as *const _),
+                _mm512_loadu_si512(b[1].as_ptr().add(i) as *const _),
+                _mm512_loadu_si512(b[2].as_ptr().add(i) as *const _),
+                _mm512_loadu_si512(b[3].as_ptr().add(i) as *const _),
+            ];
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let av = _mm512_loadu_si512(a[r].as_ptr().add(i) as *const _);
+                for (slot, &bvc) in accr.iter_mut().zip(&bv) {
+                    *slot = dp_u8(*slot, bvc, av);
+                }
+            }
+            i += K_ALIGN_U8;
+        }
+        let mut out = [[0i32; QUAD]; QUAD];
+        for (r, accr) in acc.iter().enumerate() {
+            let sums = hsum4(accr[0], accr[1], accr[2], accr[3]);
+            _mm_storeu_si128(out[r].as_mut_ptr() as *mut _, sums);
+        }
+        out
+    }
+}
+
+/// Portable 4×4 u8×i8 tile: sixteen interleaved exact scalar reductions.
+/// Plain AVX-512BW without VNNI also lands here — `vpmaddubsw` saturates
+/// its i16 pair-sums, so there is no exact byte-width emulation; non-VNNI
+/// hosts should run the i16 path instead (see the module docs).
+#[cfg(not(all(
+    target_arch = "x86_64",
+    target_feature = "avx512bw",
+    target_feature = "avx512vnni"
+)))]
+#[inline]
+fn dot4x4_u8(a: [&[i8]; QUAD], b: [&[u8]; QUAD], kp: usize) -> [[i32; QUAD]; QUAD] {
+    let mut out = [[0i32; QUAD]; QUAD];
+    for (r, arow) in a.iter().enumerate() {
+        let (mut s0, mut s1, mut s2, mut s3) = (0i32, 0i32, 0i32, 0i32);
+        for i in 0..kp {
+            let av = arow[i] as i32;
+            s0 += av * b[0][i] as i32;
+            s1 += av * b[1][i] as i32;
+            s2 += av * b[2][i] as i32;
+            s3 += av * b[3][i] as i32;
+        }
+        out[r] = [s0, s1, s2, s3];
+    }
+    out
+}
+
+/// The small-`k` u8 specialisation: one quad of i8 weight rows held in
+/// registers (`STRIPS ≤ 4` × 64-byte strips covers `k ≤ 256` — every 1×1
+/// projection *and* the 3×3 shapes up to 28 input channels) against the
+/// whole `[s0, s1)` patch range, sharing [`hsum4`]. Same motivation as the
+/// i16 [`quad_rows_small_k`]: at these depths reload + reduce overhead
+/// swamps the dot-product work.
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx512bw",
+    target_feature = "avx512vnni"
+))]
+#[inline]
+#[allow(clippy::needless_range_loop)] // `st` walks lockstep strips of B and the A register file
+unsafe fn quad_rows_small_k_u8<const STRIPS: usize>(
+    a: [&[i8]; QUAD],
+    b: &[u8],
+    s0: usize,
+    s1: usize,
+    kp: usize,
+    o: usize,
+    emit: &(impl Fn(usize, usize, i32) + Sync),
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(kp, STRIPS * K_ALIGN_U8);
+    let mut areg = [[_mm512_setzero_si512(); STRIPS]; QUAD];
+    for (r, arow) in a.iter().enumerate() {
+        for (st, slot) in areg[r].iter_mut().enumerate() {
+            *slot = _mm512_loadu_si512(arow.as_ptr().add(st * K_ALIGN_U8) as *const _);
+        }
+    }
+    let mut s = s0;
+    while s + QUAD <= s1 {
+        let mut acc = [[_mm512_setzero_si512(); QUAD]; QUAD];
+        for c in 0..QUAD {
+            let brow = b[(s + c) * kp..].as_ptr();
+            for st in 0..STRIPS {
+                let bv = _mm512_loadu_si512(brow.add(st * K_ALIGN_U8) as *const _);
+                for r in 0..QUAD {
+                    acc[r][c] = dp_u8(acc[r][c], bv, areg[r][st]);
+                }
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            let sums = hsum4(accr[0], accr[1], accr[2], accr[3]);
+            let mut out4 = [0i32; QUAD];
+            _mm_storeu_si128(out4.as_mut_ptr() as *mut _, sums);
+            for (c, &v) in out4.iter().enumerate() {
+                emit(o + r, s + c, v);
+            }
+        }
+        s += QUAD;
+    }
+    for s in s..s1 {
+        let brow = &b[s * kp..(s + 1) * kp];
+        for (r, arow) in a.iter().enumerate() {
+            emit(o + r, s, dot1_u8(arow, brow));
+        }
+    }
+}
+
+/// Row slice `r` of a rows×kp row-major i8 buffer.
+#[inline]
+fn row_i8(buf: &[i8], r: usize, kp: usize) -> &[i8] {
+    &buf[r * kp..(r + 1) * kp]
+}
+
+/// Row slice `r` of a rows×kp row-major u8 buffer.
+#[inline]
+fn row_u8(buf: &[u8], r: usize, kp: usize) -> &[u8] {
+    &buf[r * kp..(r + 1) * kp]
+}
+
+/// Walks the tiled u8×i8 product, invoking `emit(o, s, acc)` for every
+/// output element — `a` is the i8 weight buffer (`m` rows), `b` the u8
+/// patch buffer (`n` rows). Same concurrency contract as [`walk`].
+fn walk_u8(
+    a: &[i8],
+    b: &[u8],
+    m: usize,
+    n: usize,
+    kp: usize,
+    emit: &(impl Fn(usize, usize, i32) + Sync),
+) {
+    assert!(kp.is_multiple_of(K_ALIGN_U8), "qgemm_u8: unaligned k {kp}");
+    assert_eq!(a.len(), m * kp, "qgemm_u8: bad A buffer");
+    assert_eq!(b.len(), n * kp, "qgemm_u8: bad B buffer");
+    let n_tiles = n.div_ceil(TILE_N);
+    let work = 2 * m * n * kp;
+    for_each_chunk(n_tiles, work, |tiles| {
+        for tile in tiles {
+            let s0 = tile * TILE_N;
+            let s1 = (s0 + TILE_N).min(n);
+            let mut o = 0;
+            while o + QUAD <= m {
+                let arows = [
+                    row_i8(a, o, kp),
+                    row_i8(a, o + 1, kp),
+                    row_i8(a, o + 2, kp),
+                    row_i8(a, o + 3, kp),
+                ];
+                #[cfg(all(
+                    target_arch = "x86_64",
+                    target_feature = "avx512bw",
+                    target_feature = "avx512vnni"
+                ))]
+                if kp <= SMALL_K_STRIPS * K_ALIGN_U8 {
+                    // SAFETY: rows are kp-length and K_ALIGN_U8-padded
+                    // (asserted above), matching the strip count.
+                    unsafe {
+                        match kp / K_ALIGN_U8 {
+                            1 => quad_rows_small_k_u8::<1>(arows, b, s0, s1, kp, o, emit),
+                            2 => quad_rows_small_k_u8::<2>(arows, b, s0, s1, kp, o, emit),
+                            3 => quad_rows_small_k_u8::<3>(arows, b, s0, s1, kp, o, emit),
+                            _ => quad_rows_small_k_u8::<4>(arows, b, s0, s1, kp, o, emit),
+                        }
+                    }
+                    o += QUAD;
+                    continue;
+                }
+                let mut s = s0;
+                while s + QUAD <= s1 {
+                    let brows = [
+                        row_u8(b, s, kp),
+                        row_u8(b, s + 1, kp),
+                        row_u8(b, s + 2, kp),
+                        row_u8(b, s + 3, kp),
+                    ];
+                    let tile16 = dot4x4_u8(arows, brows, kp);
+                    for (r, trow) in tile16.iter().enumerate() {
+                        for (c, &v) in trow.iter().enumerate() {
+                            emit(o + r, s + c, v);
+                        }
+                    }
+                    s += QUAD;
+                }
+                for s in s..s1 {
+                    let brow = row_u8(b, s, kp);
+                    for (r, arow) in arows.iter().enumerate() {
+                        emit(o + r, s, dot1_u8(arow, brow));
+                    }
+                }
+                o += QUAD;
+            }
+            for o in o..m {
+                let arow = row_i8(a, o, kp);
+                for s in s0..s1 {
+                    emit(o, s, dot1_u8(arow, row_u8(b, s, kp)));
+                }
+            }
+        }
+    });
+}
+
+/// Integer GEMM `C[m,n] = A · Bᵀ` over an i8 weight operand and a u8
+/// activation operand (the `vpdpbusd` path).
+///
+/// `a` holds `m` i8 weight rows and `b` holds `n` u8 patch rows, each
+/// `k_padded` elements (`k_padded` a multiple of [`K_ALIGN_U8`],
+/// zero-padded past the logical depth — exact, since zero-point is 0);
+/// `c` is row-major `m×n` i32 and is fully overwritten.
+///
+/// # Panics
+///
+/// Panics on buffer/stride mismatches.
+pub fn qgemm_nt_u8(a: &[i8], b: &[u8], c: &mut [i32], m: usize, n: usize, k_padded: usize) {
+    assert_eq!(c.len(), m * n, "qgemm_nt_u8: bad C buffer");
+    let c_ptr: SendPtr<i32> = SendPtr(c.as_mut_ptr());
+    walk_u8(a, b, m, n, k_padded, &|o, s, acc| {
+        // SAFETY: (o, s) pairs are emitted exactly once, in bounds.
+        unsafe { c_ptr.slice_mut(o * n + s, 1)[0] = acc };
+    });
+}
+
+/// [`qgemm_fused_affine`] on the u8 path:
+/// `out[o,s] = scale[o] · dot(A[o], B[s]) + shift[o]`, optionally clamped
+/// at zero — same epilogue, `vpdpbusd` accumulators.
+///
+/// # Panics
+///
+/// Panics on buffer/stride mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn qgemm_fused_affine_u8(
+    a: &[i8],
+    b: &[u8],
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    k_padded: usize,
+    scale: &[f32],
+    shift: &[f32],
+    relu: bool,
+) {
+    assert_eq!(out.len(), m * n, "qgemm_fused_u8: bad output buffer");
+    assert_eq!(scale.len(), m, "qgemm_fused_u8: scale length");
+    assert_eq!(shift.len(), m, "qgemm_fused_u8: shift length");
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    walk_u8(a, b, m, n, k_padded, &|o, s, acc| {
+        let mut y = scale[o] * acc as f32 + shift[o];
+        if relu {
+            y = y.max(0.0);
+        }
+        // SAFETY: (o, s) pairs are emitted exactly once, in bounds.
+        unsafe { out_ptr.slice_mut(o * n + s, 1)[0] = y };
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,5 +803,128 @@ mod tests {
     #[should_panic(expected = "unaligned")]
     fn rejects_unaligned_depth() {
         qgemm_nt(&[0; 10], &[0; 10], &mut [0; 1], 1, 1, 10);
+    }
+
+    // ---- u8×i8 path ----
+
+    use crate::quantize::pad_k_u8;
+
+    /// i8 weight rows with logical depth `k` padded to `kp` (pad zeroed).
+    fn padded_rows_i8(rows: usize, k: usize, seed: u64) -> (Vec<i8>, usize) {
+        let mut rng = ld_tensor::rng::SeededRng::new(seed);
+        let kp = pad_k_u8(k);
+        let mut data = vec![0i8; rows * kp];
+        for r in 0..rows {
+            for i in 0..k {
+                data[r * kp + i] = rng.uniform(-127.0, 127.0).round() as i8;
+            }
+        }
+        (data, kp)
+    }
+
+    /// u8 patch rows with logical depth `k` padded to `kp` (pad zeroed).
+    fn padded_rows_u8(rows: usize, k: usize, seed: u64) -> Vec<u8> {
+        let mut rng = ld_tensor::rng::SeededRng::new(seed);
+        let kp = pad_k_u8(k);
+        let mut data = vec![0u8; rows * kp];
+        for r in 0..rows {
+            for i in 0..k {
+                data[r * kp + i] = rng.uniform(0.0, 255.0).round() as u8;
+            }
+        }
+        data
+    }
+
+    fn naive_nt_u8(a: &[i8], b: &[u8], m: usize, n: usize, kp: usize) -> Vec<i32> {
+        let mut c = vec![0i32; m * n];
+        for o in 0..m {
+            for s in 0..n {
+                let mut acc = 0i64;
+                for i in 0..kp {
+                    acc += a[o * kp + i] as i64 * b[s * kp + i] as i64;
+                }
+                c[o * n + s] = i32::try_from(acc).expect("accumulator overflow");
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn u8_qgemm_matches_naive_integer_reference_exactly() {
+        // Odd sizes hit quad remainders on both axes, partial tiles, the
+        // small-k register specialisation (k ≤ 256) and its strip-count
+        // dispatch (k = 64/128/192/256 boundaries straddled by 60/129/257).
+        for (m, n, k) in [
+            (1, 1, 5),
+            (4, 64, 60),
+            (4, 64, 64),
+            (7, 65, 129),
+            (13, 130, 257),
+            (5, 3, 192),
+            (6, 70, 600),
+        ] {
+            let (a, kp) = padded_rows_i8(m, k, (m * n) as u64);
+            let b = padded_rows_u8(n, k, (m + n) as u64);
+            let mut c = vec![0i32; m * n];
+            qgemm_nt_u8(&a, &b, &mut c, m, n, kp);
+            assert_eq!(c, naive_nt_u8(&a, &b, m, n, kp), "{m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn u8_kernel_never_saturates_at_extreme_values() {
+        // The vpdpbusd contract: a=255 against w=±127 makes every group of
+        // four adjacent products sum to ±129540 — far outside i16 — so a
+        // saturating pair-sum instruction (vpmaddubsw) or a saturating
+        // accumulator add (vpdpbusds) would clamp. The exact answers below
+        // prove the kernel widens before summing, on every build variant.
+        let kp = pad_k_u8(4608);
+        let act = vec![255u8; kp];
+        for w in [127i8, -127i8] {
+            let weights = vec![w; kp];
+            let mut c = vec![0i32; 1];
+            qgemm_nt_u8(&weights, &act, &mut c, 1, 1, kp);
+            assert_eq!(c[0], 255 * w as i32 * 4608);
+        }
+        // Alternating extremes: adjacent quads partially cancel, which
+        // saturation would *not* model — pin the exact alternating sum.
+        let mut weights = vec![127i8; kp];
+        for v in weights.iter_mut().skip(1).step_by(2) {
+            *v = -127;
+        }
+        let mut c = vec![0i32; 1];
+        qgemm_nt_u8(&weights, &act, &mut c, 1, 1, kp);
+        assert_eq!(c[0], 0);
+    }
+
+    #[test]
+    fn u8_fused_affine_applies_scale_shift_and_relu() {
+        let (m, n, k) = (6, 40, 70);
+        let (a, kp) = padded_rows_i8(m, k, 1);
+        let b = padded_rows_u8(n, k, 2);
+        let mut c = vec![0i32; m * n];
+        qgemm_nt_u8(&a, &b, &mut c, m, n, kp);
+        let scale: Vec<f32> = (0..m).map(|o| 0.01 + o as f32 * 0.005).collect();
+        let shift: Vec<f32> = (0..m).map(|o| -2.0 + o as f32).collect();
+
+        for relu in [false, true] {
+            let mut out = vec![f32::NAN; m * n];
+            qgemm_fused_affine_u8(&a, &b, &mut out, m, n, kp, &scale, &shift, relu);
+            for o in 0..m {
+                for s in 0..n {
+                    let mut want = scale[o] * c[o * n + s] as f32 + shift[o];
+                    if relu {
+                        want = want.max(0.0);
+                    }
+                    assert_eq!(out[o * n + s], want, "relu={relu} ({o},{s})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn u8_rejects_unaligned_depth() {
+        qgemm_nt_u8(&[0; 32], &[0; 32], &mut [0; 1], 1, 1, 32);
     }
 }

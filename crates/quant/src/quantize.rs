@@ -1,25 +1,38 @@
-//! Symmetric int8 quantization primitives.
+//! Int8 quantization primitives: symmetric weights, dual-path activations.
 //!
 //! # Scheme
 //!
-//! Everything in this subsystem is **symmetric** (zero-point 0) int8 in the
-//! range `[-127, 127]` (−128 is never produced, keeping negation exact and
-//! the i32 accumulator bound simple):
+//! **Weights** are always **symmetric** (zero-point 0) int8 in the range
+//! `[-127, 127]` (−128 is never produced, keeping negation exact and the
+//! accumulator bounds simple), quantized **per output channel**: each row
+//! `o` of the `(O, K)` GEMM operand gets its own scale
+//! `s_w[o] = max|w[o,·]| / 127`, `q = round(w / s_w[o])`. Per-channel
+//! scales cost nothing at inference (they fold into the requantization
+//! epilogue) and recover most of the accuracy a per-tensor scheme loses on
+//! channels with small dynamic range.
 //!
-//! * **Weights** are quantized **per output channel**: each row `o` of the
-//!   `(O, K)` GEMM operand gets its own scale `s_w[o] = max|w[o,·]| / 127`,
-//!   `q = round(w / s_w[o])`. Per-channel scales cost nothing at inference
-//!   (they fold into the requantization epilogue) and recover most of the
-//!   accuracy a per-tensor scheme loses on channels with small dynamic
-//!   range.
-//! * **Activations** are quantized **per tensor** with a scale calibrated
-//!   offline: `s_x = max|x| / 127` observed over calibration frames
-//!   ([`RangeObserver`]). A per-tensor activation scale keeps the GEMM a
-//!   plain integer product (per-column scales would not factor out).
+//! **Activations** are quantized **per tensor** with a scale calibrated
+//! offline over calibration frames ([`RangeObserver`]); a per-tensor
+//! activation scale keeps the GEMM a plain integer product (per-column
+//! scales would not factor out). Two storage paths exist, selected per
+//! layer ([`crate::ActPath`]):
+//!
+//! * **Signed i16 path** (`s_x = max|x| / 127`, values `[-127, 127]`): the
+//!   portable default and the only correct choice where activations can be
+//!   negative — the network *stem*, whose input is mean/std-normalised
+//!   pixels.
+//! * **Unsigned u8 path** (`s_x = max(x) / 255`, zero-point 0, values
+//!   `[0, 255]`): for every **interior** layer, whose input is post-ReLU
+//!   and therefore provably non-negative. Zero-point 0 on a non-negative
+//!   range means `q = 0 ⇔ x = 0.0`, so zero padding stays exact, and the
+//!   epilogue fold below is *identical* in form to the signed path — only
+//!   the divisor changes. The payoff is the `vpdpbusd` u8×i8 kernel
+//!   (see [`crate::qgemm`]): 64 multiply–accumulates per 512-bit
+//!   instruction, twice the i16 path's 32.
 //!
 //! # Requantization math
 //!
-//! The int8 GEMM accumulates exactly in i32:
+//! Both paths accumulate exactly in i32:
 //! `acc[o,s] = Σ_k q_w[o,k] · q_x[k,s]`, which approximates
 //! `y[o,s] ≈ s_w[o] · s_x · acc[o,s]`. A following frozen-statistics
 //! BatchNorm (`y·g[o] + t[o]`) and bias therefore collapse into one f32
@@ -34,18 +47,52 @@
 //! so requantization, bias, BN folding and (optionally) ReLU are a single
 //! fused epilogue pass over the i32 tile — and adapting BN's γ/β only moves
 //! `scale`/`shift`, never the stored integer weights (see
-//! [`crate::model::QuantUfldModel::refresh_affine`]).
+//! [`crate::model::QuantUfldModel::refresh_affine`]). Because the u8 path
+//! keeps zero-point 0, the fold is path-agnostic: per-stream BN bank
+//! refreshes stay O(channels) on either path.
 //!
-//! Quantized values are **stored widened to i16**: the dot-product kernels
-//! accumulate `i32 += i16·i16`, the exact shape of the x86 `vpmaddwd` /
-//! AVX-512-VNNI `vpdpwssd` instructions (32 multiply–accumulates per 512-bit
-//! instruction — twice an f32 FMA's lane count), which LLVM's vectorizer
-//! recognises from a plain widening-multiply reduction. Values stay in
-//! `[-127, 127]`, so a `k ≤ 2³¹⁻¹⁴` reduction cannot overflow the i32
-//! accumulator — far beyond any im2col depth in this stack.
+//! # Storage
+//!
+//! On the **i16 path** quantized values are stored widened to i16: the dot
+//! kernels accumulate `i32 += i16·i16`, the exact shape of the x86
+//! `vpmaddwd` / AVX-512-VNNI `vpdpwssd` instructions (32 multiply–
+//! accumulates per 512-bit instruction), which LLVM's vectorizer recognises
+//! from a plain widening-multiply reduction. Values stay in `[-127, 127]`,
+//! so a `k ≤ 2³¹⁻¹⁴` reduction cannot overflow the i32 accumulator.
+//!
+//! On the **u8 path** activations are stored as u8 and weights narrowed to
+//! true i8 ([`QWeights`] keeps both widths): the kernel is the
+//! AVX-512-VNNI `vpdpbusd` u8×i8 dot product, 64 multiply–accumulates per
+//! instruction. Each u8×i8 product fits i16 (`255·127 = 32385 ≤ 32767`,
+//! `255·(−128) = −32640 ≥ −32768`) and `vpdpbusd` sign-extends the four
+//! adjacent products to 32 bits *before* summing into the i32 accumulator,
+//! so — unlike `vpdpbusds` or AVX2's `vpmaddubsw` — it **never saturates**:
+//! the u8 kernel is exact for all inputs, not just typical ones.
 
 /// Largest quantized magnitude (symmetric: `[-QMAX, QMAX]`).
 pub const QMAX: f32 = 127.0;
+
+/// Largest quantized value on the unsigned activation path (`[0, UMAX]`,
+/// zero-point 0).
+pub const UMAX: f32 = 255.0;
+
+/// Which storage/kernel path a quantized layer runs its activations on.
+///
+/// Selected per layer at quantize time: interior layers (post-ReLU inputs,
+/// provably ≥ 0) take [`ActPath::U8`]; the stem (signed normalised-pixel
+/// input) keeps [`ActPath::I16`]. The i16 path is also the portable
+/// fallback semantics — both paths accumulate exactly in i32, so the
+/// choice never changes *what* is computed for non-negative inputs, only
+/// how fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActPath {
+    /// Signed symmetric activations `[-127, 127]` stored widened to i16
+    /// (`vpmaddwd`/`vpdpwssd` kernels, 32 MACs per instruction).
+    I16,
+    /// Unsigned activations `[0, 255]` (zero-point 0) stored as u8 against
+    /// true-i8 weights (`vpdpbusd` kernel, 64 MACs per instruction).
+    U8,
+}
 
 /// Largest absolute value in a buffer (0 for an empty one) — the range
 /// statistic every symmetric scale in this crate derives from.
@@ -83,6 +130,36 @@ pub fn dequantize(q: &[i16], scale: f32) -> Vec<f32> {
     q.iter().map(|&v| v as f32 * scale).collect()
 }
 
+/// Scale for an unsigned (zero-point 0) quantization of non-negative
+/// values bounded by `max` (a degenerate all-zero range quantizes with
+/// scale 1).
+pub fn unsigned_scale(max: f32) -> f32 {
+    if max > 0.0 && max.is_finite() {
+        max / UMAX
+    } else {
+        1.0
+    }
+}
+
+/// Quantizes `src` with the given scale into u8 storage
+/// (`round(x / scale)` clamped to `[0, 255]`).
+///
+/// Intended for **post-ReLU** (non-negative) activations; any stray
+/// negative input clamps to 0, which on the u8 path is exactly what a
+/// fused ReLU would have produced.
+///
+/// # Panics
+///
+/// Panics if lengths differ or `scale` is not positive.
+pub fn quantize_into_u8(src: &[f32], scale: f32, dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "quantize_into_u8: length mismatch");
+    assert!(scale > 0.0, "quantize_into_u8: bad scale {scale}");
+    let inv = 1.0 / scale;
+    for (d, &x) in dst.iter_mut().zip(src) {
+        *d = (x * inv).round().clamp(0.0, UMAX) as u8;
+    }
+}
+
 /// A per-tensor symmetric quantization of a flat f32 buffer.
 #[derive(Debug, Clone)]
 pub struct QTensor {
@@ -105,25 +182,40 @@ impl QTensor {
 /// Per-output-channel quantized weights for one GEMM operand `(rows, k)`.
 ///
 /// Row `o` holds the quantized `k`-length weight vector of output channel
-/// `o`; `scales[o]` dequantizes it. `k` is padded to [`K_ALIGN`] with zeros
-/// so the dot kernels always run full vector strips.
+/// `o`; `scales[o]` dequantizes it. Storage is kept at **both** kernel
+/// widths from the same quantized values (`[-127, 127]` narrows to i8
+/// exactly): widened i16 padded to [`K_ALIGN`] for the signed path, true
+/// i8 padded to [`K_ALIGN_U8`] for the `vpdpbusd` path. The zero padding
+/// is an exact no-op in integer arithmetic on both.
 #[derive(Debug, Clone)]
 pub struct QWeights {
     data: Vec<i16>,
+    data_i8: Vec<i8>,
     scales: Vec<f32>,
     rows: usize,
     k: usize,
     k_padded: usize,
+    k_padded_u8: usize,
 }
 
-/// Dot-kernel alignment: padded row length in elements. One AVX-512
-/// `vpdpwssd` consumes 32 i16 products, so rows are padded to a multiple of
-/// 32 (zero products are exact no-ops in integer arithmetic).
+/// i16-path dot-kernel alignment: padded row length in elements. One
+/// AVX-512 `vpdpwssd` consumes 32 i16 products, so rows are padded to a
+/// multiple of 32 (zero products are exact no-ops in integer arithmetic).
 pub const K_ALIGN: usize = 32;
 
-/// Rounds a reduction depth up to the kernel alignment.
+/// u8-path dot-kernel alignment: one AVX-512 `vpdpbusd` consumes 64 byte
+/// products, so u8/i8 rows are padded to a multiple of 64 (zero-point 0
+/// makes the zero padding exact on this path too).
+pub const K_ALIGN_U8: usize = 64;
+
+/// Rounds a reduction depth up to the i16-path kernel alignment.
 pub fn pad_k(k: usize) -> usize {
     k.div_ceil(K_ALIGN) * K_ALIGN
+}
+
+/// Rounds a reduction depth up to the u8-path kernel alignment.
+pub fn pad_k_u8(k: usize) -> usize {
+    k.div_ceil(K_ALIGN_U8) * K_ALIGN_U8
 }
 
 impl QWeights {
@@ -136,20 +228,31 @@ impl QWeights {
         assert!(rows > 0 && k > 0, "QWeights: zero dimension");
         assert_eq!(src.len(), rows * k, "QWeights: bad buffer length");
         let k_padded = pad_k(k);
+        let k_padded_u8 = pad_k_u8(k);
         let mut data = vec![0i16; rows * k_padded];
+        let mut data_i8 = vec![0i8; rows * k_padded_u8];
         let mut scales = vec![0.0f32; rows];
         for o in 0..rows {
             let row = &src[o * k..(o + 1) * k];
             let scale = symmetric_scale(max_abs(row));
             scales[o] = scale;
-            quantize_into(row, scale, &mut data[o * k_padded..o * k_padded + k]);
+            let qrow = &mut data[o * k_padded..o * k_padded + k];
+            quantize_into(row, scale, qrow);
+            for (narrow, &wide) in data_i8[o * k_padded_u8..o * k_padded_u8 + k]
+                .iter_mut()
+                .zip(qrow.iter())
+            {
+                *narrow = wide as i8;
+            }
         }
         QWeights {
             data,
+            data_i8,
             scales,
             rows,
             k,
             k_padded,
+            k_padded_u8,
         }
     }
 
@@ -163,9 +266,14 @@ impl QWeights {
         self.k
     }
 
-    /// Padded row stride in elements.
+    /// Padded row stride in elements on the i16 path.
     pub fn k_padded(&self) -> usize {
         self.k_padded
+    }
+
+    /// Padded row stride in elements on the u8/i8 path.
+    pub fn k_padded_u8(&self) -> usize {
+        self.k_padded_u8
     }
 
     /// Per-row dequantization scales.
@@ -173,14 +281,24 @@ impl QWeights {
         &self.scales
     }
 
-    /// The quantized row of channel `o` (padded length).
+    /// The quantized row of channel `o` (padded length, i16 path).
     pub fn row(&self, o: usize) -> &[i16] {
         &self.data[o * self.k_padded..(o + 1) * self.k_padded]
     }
 
-    /// The full padded storage (rows × k_padded).
+    /// The quantized row of channel `o` (padded length, i8/u8 path).
+    pub fn row_i8(&self, o: usize) -> &[i8] {
+        &self.data_i8[o * self.k_padded_u8..(o + 1) * self.k_padded_u8]
+    }
+
+    /// The full padded i16 storage (rows × k_padded).
     pub fn data(&self) -> &[i16] {
         &self.data
+    }
+
+    /// The full padded i8 storage (rows × k_padded_u8).
+    pub fn data_i8(&self) -> &[i8] {
+        &self.data_i8
     }
 
     /// Dequantizes row `o` back to its logical `k` f32 values.
@@ -189,15 +307,30 @@ impl QWeights {
     }
 }
 
-/// Streaming max-abs observer used to calibrate activation scales.
+/// Streaming range observer used to calibrate activation scales.
 ///
 /// Feed it every tensor that will cross a given quantization boundary
-/// during calibration; [`RangeObserver::scale`] then yields the per-tensor
-/// activation scale `max|x|/127`.
-#[derive(Debug, Clone, Default)]
+/// during calibration; [`RangeObserver::scale`] then yields the signed
+/// per-tensor scale `max|x|/127` and [`RangeObserver::unsigned_scale`] the
+/// u8-path scale `max(x)/255`. The observer also tracks the **minimum**
+/// value seen, which is what lets the model builder *prove* (rather than
+/// assume) that a boundary's inputs are non-negative before putting it on
+/// the u8 path.
+#[derive(Debug, Clone)]
 pub struct RangeObserver {
     max_abs: f32,
+    min: f32,
     samples: usize,
+}
+
+impl Default for RangeObserver {
+    fn default() -> Self {
+        RangeObserver {
+            max_abs: 0.0,
+            min: f32::INFINITY,
+            samples: 0,
+        }
+    }
 }
 
 impl RangeObserver {
@@ -209,6 +342,7 @@ impl RangeObserver {
     /// Folds one activation buffer into the observed range.
     pub fn observe(&mut self, values: &[f32]) {
         self.max_abs = self.max_abs.max(max_abs(values));
+        self.min = values.iter().fold(self.min, |m, &v| m.min(v));
         self.samples += 1;
     }
 
@@ -222,7 +356,18 @@ impl RangeObserver {
         self.max_abs
     }
 
-    /// The calibrated activation scale.
+    /// Smallest value seen (`+∞` before any observation).
+    pub fn min(&self) -> f32 {
+        self.min
+    }
+
+    /// Whether every observed value was non-negative — the precondition
+    /// for quantizing this boundary on the u8 path.
+    pub fn non_negative(&self) -> bool {
+        self.samples > 0 && self.min >= 0.0
+    }
+
+    /// The calibrated signed (i16-path) activation scale.
     ///
     /// # Panics
     ///
@@ -231,6 +376,22 @@ impl RangeObserver {
     pub fn scale(&self) -> f32 {
         assert!(self.samples > 0, "RangeObserver: no calibration samples");
         symmetric_scale(self.max_abs)
+    }
+
+    /// The calibrated unsigned (u8-path) activation scale `max(x)/255`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was observed, or if a negative value was seen —
+    /// putting a signed boundary on the u8 path is a construction bug.
+    pub fn unsigned_scale(&self) -> f32 {
+        assert!(self.samples > 0, "RangeObserver: no calibration samples");
+        assert!(
+            self.min >= 0.0,
+            "RangeObserver: unsigned scale over a signed range (min {})",
+            self.min
+        );
+        unsigned_scale(self.max_abs)
     }
 }
 
@@ -303,5 +464,63 @@ mod tests {
     #[should_panic(expected = "no calibration samples")]
     fn uncalibrated_observer_panics() {
         RangeObserver::new().scale();
+    }
+
+    #[test]
+    fn u8_round_trip_error_is_bounded_by_half_a_step() {
+        let mut rng = SeededRng::new(11);
+        let src: Vec<f32> = (0..1000).map(|_| rng.uniform(0.0, 6.0)).collect();
+        let scale = unsigned_scale(src.iter().fold(0.0f32, |m, &v| m.max(v)));
+        let mut q = vec![0u8; src.len()];
+        quantize_into_u8(&src, scale, &mut q);
+        for (&x, &v) in src.iter().zip(&q) {
+            assert!((x - v as f32 * scale).abs() <= scale * 0.5 + 1e-7);
+        }
+    }
+
+    #[test]
+    fn u8_quantization_clamps_negatives_to_zero() {
+        // On the u8 path a stray negative input behaves as a fused ReLU.
+        let mut q = [9u8; 3];
+        quantize_into_u8(&[-1.0, 0.0, 1.0], 1.0 / UMAX, &mut q);
+        assert_eq!(q, [0, 0, 255]);
+    }
+
+    #[test]
+    fn i8_weight_storage_mirrors_the_i16_values() {
+        let mut rng = SeededRng::new(3);
+        let src: Vec<f32> = (0..5 * 70).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let w = QWeights::from_rows(&src, 5, 70);
+        assert_eq!(w.k_padded(), 96);
+        assert_eq!(w.k_padded_u8(), 128);
+        for o in 0..5 {
+            let wide = w.row(o);
+            let narrow = w.row_i8(o);
+            for i in 0..70 {
+                assert_eq!(wide[i] as i8, narrow[i]);
+            }
+            assert!(narrow[70..].iter().all(|&v| v == 0));
+        }
+    }
+
+    #[test]
+    fn observer_tracks_min_and_proves_non_negativity() {
+        let mut obs = RangeObserver::new();
+        assert!(!obs.non_negative(), "empty observer proves nothing");
+        obs.observe(&[0.5, 2.0]);
+        obs.observe(&[0.0, 1.0]);
+        assert_eq!(obs.min(), 0.0);
+        assert!(obs.non_negative());
+        assert!((obs.unsigned_scale() - 2.0 / 255.0).abs() < 1e-9);
+        obs.observe(&[-0.125]);
+        assert!(!obs.non_negative());
+    }
+
+    #[test]
+    #[should_panic(expected = "unsigned scale over a signed range")]
+    fn unsigned_scale_panics_on_signed_range() {
+        let mut obs = RangeObserver::new();
+        obs.observe(&[-1.0, 1.0]);
+        obs.unsigned_scale();
     }
 }

@@ -9,7 +9,8 @@
 
 use ld_bn_adapt::prelude::*;
 use ld_carlane::FrameStream;
-use ld_orin::{admit_batch_with, AdaptCostModel, PowerMode, Precision};
+use ld_orin::{admit_batch_with, AdaptCostModel, Int8Cal, PowerMode, Precision};
+use ld_quant::{ActPath, U8_KERNEL_IS_VNNI};
 use ld_ufld::{decode_batch, score_image, AccuracyReport};
 use std::time::Instant;
 
@@ -33,17 +34,41 @@ fn main() {
     let stream = FrameStream::target(Benchmark::MoLane, frame_spec_for(&cfg), 24, 7);
     let frames: Vec<_> = (0..stream.len()).map(|i| stream.frame(i)).collect();
     let calib: Vec<&Tensor> = frames.iter().take(4).map(|f| &f.image).collect();
+    // Default quantization: u8 `vpdpbusd` interior, signed-i16 stem. The
+    // forced-i16 model is the portable baseline the u8 path is diffed
+    // against below.
     let mut qmodel = model.quantize(&calib);
+    let mut qmodel_i16 = model.quantize_with_paths(&calib, ActPath::I16);
     model.set_fused_eval(true);
+
+    println!(
+        "activation paths (u8 kernel: {}):",
+        if U8_KERNEL_IS_VNNI {
+            "AVX-512-VNNI vpdpbusd"
+        } else {
+            "portable scalar (exact, no VNNI on this host)"
+        }
+    );
+    for (layer, path) in qmodel.layer_paths() {
+        println!(
+            "  {layer:<18} {}",
+            match path {
+                ActPath::I16 => "i16 (signed input — stem)",
+                ActPath::U8 => "u8  (post-ReLU, zero-point 0)",
+            }
+        );
+    }
 
     // Parity: logits and decoded-lane accuracy, frame by frame.
     let mut max_diff = 0.0f32;
     let mut logit_range = 0.0f32;
     let mut f32_acc = AccuracyReport::default();
     let mut int8_acc = AccuracyReport::default();
+    let mut i16_acc = AccuracyReport::default();
     for frame in &frames {
         let exact = model.forward_frames(&[&frame.image], Mode::Eval);
         let quant = qmodel.forward_frames(&[&frame.image]);
+        let quant_i16 = qmodel_i16.forward_frames(&[&frame.image]);
         for (a, b) in exact.as_slice().iter().zip(quant.as_slice()) {
             max_diff = max_diff.max((a - b).abs());
             logit_range = logit_range.max(a.abs());
@@ -58,6 +83,11 @@ fn main() {
             &frame.labels,
             &cfg,
         ));
+        i16_acc.merge(&score_image(
+            &decode_batch(&quant_i16, &cfg)[0],
+            &frame.labels,
+            &cfg,
+        ));
     }
     println!(
         "parity: max |Δlogit| = {max_diff:.3} over range {logit_range:.1} \
@@ -65,14 +95,19 @@ fn main() {
         100.0 * max_diff / logit_range.max(1e-6)
     );
     println!(
-        "lane accuracy: f32 {:.2}%  int8 {:.2}%  (Δ {:.3} points)",
+        "lane accuracy: f32 {:.2}%  int8/u8 {:.2}%  int8/i16 {:.2}%  (u8 Δf32 {:.3} points)",
         f32_acc.percent(),
         int8_acc.percent(),
+        i16_acc.percent(),
         (f32_acc.percent() - int8_acc.percent()).abs()
     );
     assert!(
         (f32_acc.percent() - int8_acc.percent()).abs() <= 0.5,
         "quantized accuracy must stay within 0.5% of f32"
+    );
+    assert!(
+        (i16_acc.percent() - int8_acc.percent()).abs() <= 0.5,
+        "u8 and i16 activation paths must agree within the e2e bound"
     );
 
     // Speed: batched eval forward, single host (the bench emits the
@@ -92,15 +127,21 @@ fn main() {
         t.elapsed().as_secs_f64() * 1e3 / (reps * batch) as f64
     };
     let f32_ms = time(&mut || model.forward(&x, Mode::Eval));
+    let i16_ms = time(&mut || qmodel_i16.forward(&x));
     let int8_ms = time(&mut || qmodel.forward(&x));
     println!(
         "eval forward (batch {batch}): f32 fused {f32_ms:.2} ms/frame, \
-         int8 {int8_ms:.2} ms/frame — {:.2}× ",
-        f32_ms / int8_ms
+         int8/i16 {i16_ms:.2} ms/frame, int8/u8 {int8_ms:.2} ms/frame — \
+         {:.2}× vs f32, {:.2}× vs i16",
+        f32_ms / int8_ms,
+        i16_ms / int8_ms
     );
 
-    // The Orin gate credits the cheaper int8 inference ticks.
-    let cost = AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4));
+    // The Orin gate credits the cheaper int8 inference ticks — modelled
+    // 8× tensor-core ratio, and recalibrated with the measured u8-kernel
+    // ratio from the committed GEMM trajectory when one is present.
+    let paper_cfg = UfldConfig::paper(Backbone::ResNet18, 4);
+    let cost = AdaptCostModel::paper_scale(&paper_cfg);
     let offered = 16;
     let f32_adm = admit_batch_with(&cost, PowerMode::W30, 33.3, offered, Precision::Fp32, 1.0);
     let int8_adm = admit_batch_with(&cost, PowerMode::W30, 33.3, offered, Precision::Int8, 1.0);
@@ -110,5 +151,26 @@ fn main() {
         f32_adm.batch, f32_adm.latency_ms, int8_adm.batch, int8_adm.latency_ms
     );
     assert!(int8_adm.batch > f32_adm.batch);
+    match ld_orin::load_bench_gemm("BENCH_gemm.json").map(|rows| Int8Cal::from_gemm_bench(&rows)) {
+        Ok(cal) if !cal.is_none() => {
+            let cal_cost = AdaptCostModel::paper_scale(&paper_cfg).with_int8_cal(cal);
+            let cal_adm = admit_batch_with(
+                &cal_cost,
+                PowerMode::W30,
+                33.3,
+                offered,
+                Precision::Int8,
+                1.0,
+            );
+            println!(
+                "  measured u8-kernel ratio {:.2}× (BENCH_gemm.json): \
+                 calibrated int8 admits {} ({:.1} ms)",
+                cal.speedup_or(0.0),
+                cal_adm.batch,
+                cal_adm.latency_ms
+            );
+        }
+        _ => println!("  (no BENCH_gemm.json int8_u8 rows — admission stays modelled)"),
+    }
     println!("int8 fast path: parity within quantization noise, bigger admitted batches ✓");
 }

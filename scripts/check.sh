@@ -19,7 +19,12 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
-echo "== bench smoke: gemm_blocked --quick =="
+# Pooled u8-vs-i16 kernel gate: the smoke run compares its int8_u8
+# speedup_vs_i16 ratios against the last local quick run at a 30% noise
+# floor; the full `gemm_blocked` bench holds the strict >10% bar against
+# the committed BENCH_gemm.json.
+echo "== bench smoke: gemm_blocked --quick (emits BENCH_gemm.quick.json," \
+     "u8-kernel speedup regression gate) =="
 cargo bench -p ld-bench --bench gemm_blocked -- --quick
 
 # Per-scope pooled speedup_vs_sequential gate: the smoke run compares its
@@ -66,7 +71,8 @@ cargo test -q -p ld-quant --release
 echo "== quant smoke: int8 parity + admission demo =="
 cargo run --release --example quantized_eval -- --quick
 
-echo "== bench smoke: quant_eval --quick (emits BENCH_quant.quick.json) =="
+echo "== bench smoke: quant_eval --quick (emits BENCH_quant.quick.json," \
+     "per-path eval speedup regression gate) =="
 cargo bench -p ld-bench --bench quant_eval -- --quick
 
 echo "== bench smoke: ingest_throughput --quick (emits BENCH_ingest.quick.json," \
