@@ -204,14 +204,16 @@ use crate::governor::{GovernorConfig, GovernorStats};
 use ld_carlane::{LabeledFrame, StreamSet};
 use ld_ingest::{CamReport, IngestFrame, IngestFrontEnd};
 use ld_nn::{loss, Layer, Mode, ParamFilter, Sgd};
+use ld_obs::{apportion, KernelSink, MetricsRegistry, ObsConfig, Span, TickTrace};
 use ld_orin::{
     admit_batch_aged, admit_batch_with, AdaptCostModel, AgedAdmission, BatchAdmission, Deadline,
-    PowerMode, Precision,
+    FrameLatency, PowerMode, Precision,
 };
 use ld_quant::{QuantUfldModel, QuantizeModel};
 use ld_tensor::Tensor;
 use ld_ufld::{decode_batch, score_image, AccuracyReport, BankMeta, BnBank, UfldModel};
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Copies the current BN parameter values (name → value).
@@ -423,14 +425,30 @@ impl AdmissionGate {
     /// biases adapting ticks high; either way the "corrected" gate drifts
     /// off the true host ratio.
     pub fn predict_ms(&self, batch: usize, adapted: usize, remeasured: usize) -> f64 {
-        let mut ms = self
+        let (lat, remeasure_ms) = self.predict_stages(batch, adapted, remeasured);
+        lat.total_ms() + remeasure_ms
+    }
+
+    /// The stage-level breakdown behind [`AdmissionGate::predict_ms`]: the
+    /// tick's [`FrameLatency`] plus the telemetry re-measure forward's cost
+    /// (0 when `remeasured == 0`). Tick tracing apportions a manual-clock
+    /// tick's busy time over exactly these components, so the exported
+    /// stage spans sum to the recorded busy time by construction.
+    pub fn predict_stages(
+        &self,
+        batch: usize,
+        adapted: usize,
+        remeasured: usize,
+    ) -> (FrameLatency, f64) {
+        let lat = self
             .cost
-            .mixed_tick_at(self.mode, batch, adapted, self.infer)
-            .total_ms();
-        if remeasured > 0 {
-            ms += self.cost.forward_only_ms(self.mode, remeasured);
-        }
-        ms
+            .mixed_tick_at(self.mode, batch, adapted, self.infer);
+        let remeasure_ms = if remeasured > 0 {
+            self.cost.forward_only_ms(self.mode, remeasured)
+        } else {
+            0.0
+        };
+        (lat, remeasure_ms)
     }
 }
 
@@ -500,6 +518,12 @@ pub struct ServerConfig {
     /// the module docs). `None` (the default) leaves every serving path
     /// bitwise identical to the pre-self-healing server.
     pub self_heal: Option<SelfHealConfig>,
+    /// Observability: tick tracing + kernel counters (see `ld_obs`). Off
+    /// by default; enabling records telemetry around the serving hot path
+    /// but never touches batching, admission, or the model, so served
+    /// bytes stay bitwise identical either way (pinned by
+    /// `tests/obs_tracing.rs`).
+    pub obs: ObsConfig,
 }
 
 impl ServerConfig {
@@ -515,6 +539,7 @@ impl ServerConfig {
             latency_feedback: false,
             bn_banks: false,
             self_heal: None,
+            obs: ObsConfig::default(),
         }
     }
 
@@ -565,6 +590,13 @@ impl ServerConfig {
             heal.quarantine_base
         );
         self.self_heal = Some(heal);
+        self
+    }
+
+    /// Arms observability (builder style): per-tick stage spans + kernel
+    /// counters, drained via [`AdaptServer::take_traces`].
+    pub fn with_observability(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
         self
     }
 }
@@ -849,7 +881,19 @@ pub struct AdaptServer {
     /// EWMA of measured-over-predicted tick latency (1.0 = roofline
     /// trusted; fed back into admission when latency feedback is on).
     latency_ratio: f64,
-    stats: ServerStats,
+    /// Whole-server counters — the one source of truth [`ServerStats`],
+    /// [`StreamReport`] and the fleet report render from.
+    metrics: MetricsRegistry,
+    /// Tick tracing state (`None` unless [`ServerConfig::obs`] is on).
+    obs: Option<Box<ServerObs>>,
+}
+
+/// Tick-tracing state of one server: the kernel sink its ticks bind, and
+/// the tick traces accumulated since the last [`AdaptServer::take_traces`].
+#[derive(Debug)]
+struct ServerObs {
+    sink: Arc<KernelSink>,
+    traces: Vec<TickTrace>,
 }
 
 /// The quantized serving snapshot plus its staleness flags.
@@ -990,6 +1034,12 @@ impl AdaptServer {
                 st
             })
             .collect();
+        let obs = cfg.obs.enabled.then(|| {
+            Box::new(ServerObs {
+                sink: Arc::new(KernelSink::new()),
+                traces: Vec::new(),
+            })
+        });
         AdaptServer {
             cfg,
             opt,
@@ -998,7 +1048,8 @@ impl AdaptServer {
             quant: None,
             init_bank,
             latency_ratio: 1.0,
-            stats: ServerStats::default(),
+            metrics: MetricsRegistry::new(),
+            obs,
         }
     }
 
@@ -1012,9 +1063,47 @@ impl AdaptServer {
         self.streams.len()
     }
 
-    /// Whole-server counters.
+    /// Whole-server counters, assembled from the metrics registry (the
+    /// public [`ServerStats`] fields are preserved; the registry is the
+    /// single source of truth behind them).
     pub fn server_stats(&self) -> ServerStats {
-        self.stats
+        let c = |name: &str| self.metrics.counter(name) as usize;
+        ServerStats {
+            ticks: c("server.ticks"),
+            frames: c("server.frames"),
+            adapt_steps: c("server.adapt_steps"),
+            shed_adapt_ticks: c("server.shed_adapt_ticks"),
+            deferred_frames: c("server.deferred_frames"),
+            rollback_ticks: c("server.rollback_ticks"),
+            stale_shed_frames: c("server.stale_shed_frames"),
+            ingest_dropped_frames: c("server.ingest_dropped_frames"),
+            tick_overruns: c("server.tick_overruns"),
+            rejected_frames: c("server.rejected_frames"),
+            divergence_events: c("server.divergence_events"),
+            quarantine_ticks: c("server.quarantine_ticks"),
+        }
+    }
+
+    /// The server's metrics registry (counters backing [`ServerStats`];
+    /// shard registries merge into fleet-wide ones via
+    /// [`ld_obs::MetricsRegistry::merge`]).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Batched ticks processed so far (the tick index the serving paths
+    /// stamp telemetry with).
+    fn tick_count(&self) -> usize {
+        self.metrics.counter("server.ticks") as usize
+    }
+
+    /// Takes the tick traces accumulated since the last call (empty unless
+    /// [`ServerConfig::obs`] is enabled).
+    pub fn take_traces(&mut self) -> Vec<TickTrace> {
+        self.obs
+            .as_mut()
+            .map(|o| std::mem::take(&mut o.traces))
+            .unwrap_or_default()
     }
 
     /// Telemetry of one stream.
@@ -1222,6 +1311,13 @@ impl AdaptServer {
     /// [`AdaptServer::process_batch`] with the admission verdict applied:
     /// when `allow_adapt` is false the adapt step is shed (triggered frames
     /// count as skipped and the shed is tallied in [`ServerStats`]).
+    ///
+    /// With observability on, the tick runs with the server's kernel sink
+    /// bound (slot 0 here; the compute pool re-binds workers to their own
+    /// slots per parallel region), and the drained per-shape GEMM counters
+    /// become a new [`TickTrace`]. The tracing wrapper reads outcomes and
+    /// counters but never feeds anything back into batching, admission, or
+    /// the model — which is why enabling it cannot change served bytes.
     fn process_batch_gated(
         &mut self,
         model: &mut UfldModel,
@@ -1229,6 +1325,37 @@ impl AdaptServer {
         allow_adapt: bool,
     ) -> Vec<FrameOutcome> {
         self.validate_batch(frames);
+        let sink = self.obs.as_ref().map(|o| o.sink.clone());
+        let Some(sink) = sink else {
+            return self.process_batch_inner(model, frames, allow_adapt);
+        };
+        let binding = ld_obs::bind_kernel_sink(&sink, 0);
+        let outcomes = self.process_batch_inner(model, frames, allow_adapt);
+        drop(binding);
+        let (kernels, dropped_events) = sink.drain();
+        let tick = (self.tick_count() as u64).saturating_sub(1);
+        let adapted = outcomes.iter().filter(|o| o.adapted.is_some()).count() as u32;
+        if let Some(obs) = self.obs.as_mut() {
+            obs.traces.push(TickTrace {
+                tick,
+                frames: frames.len() as u32,
+                adapted,
+                kernels,
+                dropped_events,
+                ..TickTrace::default()
+            });
+        }
+        outcomes
+    }
+
+    /// The tick body of every serving flavour (shared / banked / quantized
+    /// / both), shorn of the tracing wrapper.
+    fn process_batch_inner(
+        &mut self,
+        model: &mut UfldModel,
+        frames: &[(usize, &Tensor)],
+        allow_adapt: bool,
+    ) -> Vec<FrameOutcome> {
         match (self.cfg.quantized_inference, self.cfg.bn_banks) {
             (true, true) => return self.process_batch_quant_banked(model, frames, allow_adapt),
             (true, false) => return self.process_batch_quant(model, frames, allow_adapt),
@@ -1250,13 +1377,13 @@ impl AdaptServer {
         let any_rollback = rollbacks.iter().any(|&r| r);
         if any_rollback {
             restore_bn(model, &self.good_bn_state);
-            self.stats.rollback_ticks += 1;
+            self.metrics.counter_add("server.rollback_ticks", 1);
         }
 
         let t = triggered.iter().filter(|&&x| x).count();
         let do_adapt = allow_adapt && t > 0;
         if !allow_adapt && t > 0 {
-            self.stats.shed_adapt_ticks += 1;
+            self.metrics.counter_add("server.shed_adapt_ticks", 1);
         }
 
         // One shared adaptation step over the triggered sub-batch: the
@@ -1295,7 +1422,7 @@ impl AdaptServer {
             model.zero_grad();
             model.backward(&grad);
             model.visit_params(&mut |p| self.opt.update(p));
-            self.stats.adapt_steps += 1;
+            self.metrics.counter_add("server.adapt_steps", 1);
             if self.cfg.measure_entropy_after {
                 let after_logits = model.forward_frames(&images, Mode::Eval);
                 let after = loss::entropy_per_image(&after_logits);
@@ -1387,7 +1514,7 @@ impl AdaptServer {
         poisoned: &[bool],
     ) -> (Vec<bool>, Vec<bool>) {
         let heal = self.cfg.self_heal;
-        let tick_now = self.stats.ticks;
+        let tick_now = self.tick_count();
         let mut triggered = vec![false; frames.len()];
         let mut rollbacks = vec![false; frames.len()];
         for (i, &(sid, _)) in frames.iter().enumerate() {
@@ -1405,7 +1532,7 @@ impl AdaptServer {
                     st.stats.rollbacks += 1;
                     rollbacks[i] = true;
                     st.fault.diverge(heal);
-                    self.stats.divergence_events += 1;
+                    self.metrics.counter_add("server.divergence_events", 1);
                     continue; // never triggers: eval-only until recovered
                 }
                 // Quarantine: serve eval-only while the cooldown runs
@@ -1414,7 +1541,7 @@ impl AdaptServer {
                 if st.fault.cooldown > 0 {
                     st.fault.cooldown -= 1;
                     st.fault.stats.quarantine_ticks += 1;
-                    self.stats.quarantine_ticks += 1;
+                    self.metrics.counter_add("server.quarantine_ticks", 1);
                     if st.fault.cooldown == 0 {
                         st.fault.stats.recovery_tick = Some(tick_now);
                     }
@@ -1504,8 +1631,9 @@ impl AdaptServer {
             // parameters otherwise.
             self.good_bn_state = pre_step_bn.unwrap_or_else(|| snapshot_bn(model));
         }
-        self.stats.ticks += 1;
-        self.stats.frames += frames.len();
+        self.metrics.counter_add("server.ticks", 1);
+        self.metrics
+            .counter_add("server.frames", frames.len() as u64);
     }
 
     /// Banked tick epilogue: per-stream bookkeeping, then each confident
@@ -1522,7 +1650,7 @@ impl AdaptServer {
         poisoned: &[bool],
     ) {
         self.fold_stream_counters(frames, entropies, triggered, do_adapt, poisoned);
-        let tick = self.stats.ticks;
+        let tick = self.tick_count();
         for (i, ((&(sid, _), bank), &hit)) in frames.iter().zip(banks).zip(triggered).enumerate() {
             let st = &mut self.streams[sid];
             // A poisoned lane never blesses: its bank was restored from
@@ -1538,8 +1666,9 @@ impl AdaptServer {
             st.bank_swaps += 1;
             st.bank = Some(bank);
         }
-        self.stats.ticks += 1;
-        self.stats.frames += frames.len();
+        self.metrics.counter_add("server.ticks", 1);
+        self.metrics
+            .counter_add("server.frames", frames.len() as u64);
     }
 
     /// Shared shape/id validation of one tick's frames.
@@ -1608,7 +1737,7 @@ impl AdaptServer {
         let any_rollback = rollbacks.iter().any(|&r| r);
         if any_rollback {
             restore_bn(model, &self.good_bn_state);
-            self.stats.rollback_ticks += 1;
+            self.metrics.counter_add("server.rollback_ticks", 1);
             if let Some(replica) = self.quant.as_mut() {
                 replica.dirty = true;
             }
@@ -1617,7 +1746,7 @@ impl AdaptServer {
         let t = triggered.iter().filter(|&&x| x).count();
         let do_adapt = allow_adapt && t > 0;
         if !allow_adapt && t > 0 {
-            self.stats.shed_adapt_ticks += 1;
+            self.metrics.counter_add("server.shed_adapt_ticks", 1);
         }
 
         // One f32 forward + shared step over the triggered sub-batch only.
@@ -1640,7 +1769,7 @@ impl AdaptServer {
             model.zero_grad();
             model.backward(&lo.grad);
             model.visit_params(&mut |p| self.opt.update(p));
-            self.stats.adapt_steps += 1;
+            self.metrics.counter_add("server.adapt_steps", 1);
             let replica = self.quant.as_mut().expect("replica exists");
             replica.dirty = true;
             if self.cfg.measure_entropy_after {
@@ -1718,7 +1847,7 @@ impl AdaptServer {
             }
         }
         if any {
-            self.stats.rollback_ticks += 1;
+            self.metrics.counter_add("server.rollback_ticks", 1);
         }
         any
     }
@@ -1750,7 +1879,7 @@ impl AdaptServer {
                         banks[i].restore_affine_from(st.good_bank.as_ref().expect("bank mode"));
                         st.stats.rollbacks += 1;
                         st.fault.diverge(heal);
-                        self.stats.divergence_events += 1;
+                        self.metrics.counter_add("server.divergence_events", 1);
                         banks[i].zero_grads();
                         continue;
                     }
@@ -1806,7 +1935,7 @@ impl AdaptServer {
         let t = triggered.iter().filter(|&&x| x).count();
         let do_adapt = allow_adapt && t > 0;
         if !allow_adapt && t > 0 {
-            self.stats.shed_adapt_ticks += 1;
+            self.metrics.counter_add("server.shed_adapt_ticks", 1);
         }
 
         let mut step_before = vec![f32::NAN; k];
@@ -1830,7 +1959,7 @@ impl AdaptServer {
             model.unbind_bn_lanes(&mut banks);
             bound = false;
             self.step_banks(frames, &mut banks, &triggered);
-            self.stats.adapt_steps += 1;
+            self.metrics.counter_add("server.adapt_steps", 1);
             if self.cfg.measure_entropy_after {
                 model.bind_bn_lanes(&mut banks);
                 let after_logits = model.forward_frames(&images, Mode::Eval);
@@ -1886,7 +2015,7 @@ impl AdaptServer {
                 bank_dirty: vec![true; n_streams],
             });
         }
-        let tick_now = self.stats.ticks;
+        let tick_now = self.tick_count();
         let logits = {
             let replica = self.quant.as_mut().expect("replica exists");
             for &sid in &bank_ids {
@@ -1918,7 +2047,7 @@ impl AdaptServer {
         let t = triggered.iter().filter(|&&x| x).count();
         let do_adapt = allow_adapt && t > 0;
         if !allow_adapt && t > 0 {
-            self.stats.shed_adapt_ticks += 1;
+            self.metrics.counter_add("server.shed_adapt_ticks", 1);
         }
 
         // One f32 forward + per-lane backward over the triggered sub-batch
@@ -1954,7 +2083,7 @@ impl AdaptServer {
             for &(sid, _) in &sub_frames {
                 replica.bank_dirty[sid] = true;
             }
-            self.stats.adapt_steps += 1;
+            self.metrics.counter_add("server.adapt_steps", 1);
 
             if self.cfg.measure_entropy_after {
                 model.bind_bn_lanes(&mut sub_banks);
@@ -2049,7 +2178,7 @@ impl AdaptServer {
         let st = &mut self.streams[stream];
         if heal.reject_nonfinite && frame.as_slice().iter().any(|v| !v.is_finite()) {
             st.fault.stats.rejected_frames += 1;
-            self.stats.rejected_frames += 1;
+            self.metrics.counter_add("server.rejected_frames", 1);
             return false;
         }
         if heal.freeze_threshold > 0 {
@@ -2059,7 +2188,7 @@ impl AdaptServer {
                 if st.fault.repeat_count >= heal.freeze_threshold {
                     st.fault.stats.frozen_frames += 1;
                     st.fault.stats.rejected_frames += 1;
-                    self.stats.rejected_frames += 1;
+                    self.metrics.counter_add("server.rejected_frames", 1);
                     return false;
                 }
             } else {
@@ -2155,7 +2284,8 @@ impl AdaptServer {
             };
             let take = verdict.batch.clamp(1, offered);
             let batch: Vec<(usize, LabeledFrame)> = pending.drain(..take).collect();
-            self.stats.deferred_frames += pending.len();
+            self.metrics
+                .counter_add("server.deferred_frames", pending.len() as u64);
 
             let refs: Vec<(usize, &Tensor)> =
                 batch.iter().map(|(sid, f)| (*sid, &f.image)).collect();
@@ -2210,7 +2340,7 @@ impl AdaptServer {
         }
         ServeReport {
             per_stream: reports,
-            server: self.stats,
+            server: self.server_stats(),
         }
     }
 
@@ -2250,6 +2380,95 @@ impl AdaptServer {
     /// [`ld_ingest::IngestFrontEnd::shutdown`] when done with the front
     /// end.
     ///
+    /// Builds the stage-span timeline of one served ingest tick: the
+    /// admission gate's cost-model breakdown (forward at the gate's
+    /// precision, adaptation forward/backward, telemetry re-measure, and
+    /// fixed sub-splits of the host-side preprocess cost for drain /
+    /// screen / admit / bank-swap / decode) apportioned over the tick's
+    /// recorded `busy_ns` — integer largest-remainder, so the spans sum to
+    /// the busy time *exactly*. Without a gate there is no cost model to
+    /// split against, and the tick is one opaque `server.process` span.
+    fn tick_spans(
+        &self,
+        start_ns: u64,
+        busy_ns: u64,
+        batch: usize,
+        adapted: usize,
+        remeasured: usize,
+    ) -> Vec<Span> {
+        type Args = Vec<(&'static str, i64)>;
+        let mut stages: Vec<(&'static str, f64, Args)> = Vec::new();
+        match &self.cfg.admission {
+            Some(gate) => {
+                let (lat, remeasure_ms) = gate.predict_stages(batch, adapted, remeasured);
+                let heal = self.cfg.self_heal.is_some();
+                let banked = self.cfg.bn_banks;
+                // The cost model prices the host-side work as one
+                // `preprocess` term; sub-split it over the pipeline stages
+                // it stands for (fractions are nominal — the paper's cost
+                // model does not resolve below the preprocess line).
+                let screen_f = if heal { 0.15 } else { 0.0 };
+                let drain_f = if heal { 0.35 } else { 0.50 };
+                let bank_f = if banked { 0.10 } else { 0.0 };
+                let admit_f = 0.15;
+                let decode_f = 1.0 - drain_f - screen_f - admit_f - bank_f;
+                let pre = lat.preprocess_ms;
+                stages.push(("ingest.drain", pre * drain_f, Vec::new()));
+                if heal {
+                    stages.push(("server.screen", pre * screen_f, Vec::new()));
+                }
+                stages.push(("orin.admit", pre * admit_f, Vec::new()));
+                if banked {
+                    stages.push(("bank.swap", pre * bank_f, Vec::new()));
+                }
+                stages.push((
+                    gate.precision().trace_stage(),
+                    lat.inference_ms,
+                    vec![("batch", batch as i64)],
+                ));
+                if lat.adapt_forward_ms > 0.0 {
+                    stages.push((
+                        "forward.f32",
+                        lat.adapt_forward_ms,
+                        vec![("adapted", adapted as i64)],
+                    ));
+                }
+                if adapted > 0 {
+                    stages.push((
+                        "backward",
+                        lat.backward_ms + lat.update_ms,
+                        vec![("adapted", adapted as i64)],
+                    ));
+                }
+                if remeasure_ms > 0.0 {
+                    stages.push((
+                        "forward.f32",
+                        remeasure_ms,
+                        vec![("remeasured", remeasured as i64)],
+                    ));
+                }
+                stages.push(("decode", pre * decode_f, Vec::new()));
+            }
+            None => stages.push(("server.process", 1.0, vec![("batch", batch as i64)])),
+        }
+        let weights: Vec<f64> = stages.iter().map(|s| s.1).collect();
+        let durations = apportion(busy_ns, &weights);
+        let mut spans = Vec::with_capacity(stages.len());
+        let mut cursor = start_ns;
+        for ((stage, _, args), dur_ns) in stages.into_iter().zip(durations) {
+            if dur_ns > 0 {
+                spans.push(Span {
+                    stage,
+                    start_ns: cursor,
+                    dur_ns,
+                    args,
+                });
+            }
+            cursor += dur_ns;
+        }
+        spans
+    }
+
     /// # Panics
     ///
     /// Panics if the front end's camera count differs from the server's
@@ -2303,7 +2522,8 @@ impl AdaptServer {
             if let Some(bound) = staleness {
                 let before = pending.len();
                 pending.retain(|f| age_ms(f) <= bound);
-                self.stats.stale_shed_frames += before - pending.len();
+                self.metrics
+                    .counter_add("server.stale_shed_frames", (before - pending.len()) as u64);
             }
 
             // At most one frame per stream per tick, FIFO within a stream
@@ -2328,7 +2548,8 @@ impl AdaptServer {
             if candidates.is_empty() {
                 ingest.record_busy(0);
                 pending = leftover;
-                self.stats.deferred_frames += pending.len();
+                self.metrics
+                    .counter_add("server.deferred_frames", pending.len() as u64);
                 continue;
             }
 
@@ -2347,7 +2568,7 @@ impl AdaptServer {
                     let mut fresh = Vec::with_capacity(aged.fresh());
                     for (f, &stale) in candidates.into_iter().zip(&aged.stale) {
                         if stale {
-                            self.stats.stale_shed_frames += 1;
+                            self.metrics.counter_add("server.stale_shed_frames", 1);
                         } else {
                             fresh.push(f);
                         }
@@ -2406,6 +2627,18 @@ impl AdaptServer {
             } else {
                 u64::try_from(tick_start.elapsed().as_nanos()).unwrap_or(u64::MAX)
             };
+            // Tick tracing: annotate the trace this tick just pushed with
+            // its timeline position and stage spans. Observability reads
+            // the tick's telemetry; it never writes anything back.
+            if self.obs.is_some() && !served.is_empty() {
+                let spans =
+                    self.tick_spans(now_ns, busy_ns, served.len(), adapted_count, remeasured);
+                if let Some(trace) = self.obs.as_mut().and_then(|o| o.traces.last_mut()) {
+                    trace.start_ns = now_ns;
+                    trace.busy_ns = busy_ns;
+                    trace.spans = spans;
+                }
+            }
             // Close the roofline-trust loop exactly as `serve` does —
             // wall-clock over predicted — which only exists on the real
             // clock (the manual clock's busy time *is* the prediction).
@@ -2425,7 +2658,8 @@ impl AdaptServer {
             }
             ingest.record_busy(busy_ns);
             pending = leftover;
-            self.stats.deferred_frames += pending.len();
+            self.metrics
+                .counter_add("server.deferred_frames", pending.len() as u64);
         }
 
         let ingest_report = ingest.report();
@@ -2435,12 +2669,17 @@ impl AdaptServer {
             report.ingest = Some(ingest_report.per_cam[sid]);
             report.fault = self.stream_fault_stats(sid);
         }
-        self.stats.ingest_dropped_frames +=
-            (ingest_report.dropped() - ingest_base.dropped()) as usize;
-        self.stats.tick_overruns += ingest_report.tick_overruns - ingest_base.tick_overruns;
+        self.metrics.counter_add(
+            "server.ingest_dropped_frames",
+            ingest_report.dropped() - ingest_base.dropped(),
+        );
+        self.metrics.counter_add(
+            "server.tick_overruns",
+            (ingest_report.tick_overruns - ingest_base.tick_overruns) as u64,
+        );
         ServeReport {
             per_stream: reports,
-            server: self.stats,
+            server: self.server_stats(),
         }
     }
 }

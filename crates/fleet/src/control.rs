@@ -1,7 +1,7 @@
 //! The fleet control plane: camera routing, live migration, and the
 //! pressure-driven rebalancer (see the crate docs for the contracts).
 
-use crate::report::{FleetReport, MigrationRecord, ShardSummary};
+use crate::report::{FleetReport, FleetTraces, MigrationRecord, ShardSummary};
 use crate::transport::{
     InProcessShard, MigrationPacket, ShardCommand, ShardResponse, ShardSpec, ShardTransport,
 };
@@ -290,6 +290,29 @@ impl Fleet {
         }
         self.ticks_run += ticks;
         self.report()
+    }
+
+    /// Drains every shard's accumulated tick traces (fan-out, like
+    /// [`Fleet::run`]) into a [`FleetTraces`] — empty groups unless the
+    /// spec's `ServerConfig` enables observability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet was shut down or a shard answers out of
+    /// protocol.
+    pub fn take_traces(&mut self) -> FleetTraces {
+        assert!(!self.stopped, "Fleet: already shut down");
+        for shard in &mut self.shards {
+            shard.submit(ShardCommand::ExportTrace);
+        }
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        for (k, shard) in self.shards.iter_mut().enumerate() {
+            match shard.receive() {
+                ShardResponse::Trace(t) => per_shard.push(t),
+                other => panic!("Fleet: shard {k} answered {other:?} to ExportTrace"),
+            }
+        }
+        FleetTraces::new(per_shard, &self.migrations, self.tick_period_ns)
     }
 
     /// The [`ShardPressure`] score of shard `k` from its latest telemetry

@@ -75,7 +75,7 @@ pub mod report;
 pub mod transport;
 
 pub use control::{Fleet, FleetConfig};
-pub use report::{FleetReport, MigrationRecord, ShardSummary};
+pub use report::{FleetReport, FleetTraces, MigrationRecord, ShardSummary};
 pub use transport::{
     InProcessShard, MigrationPacket, ShardCommand, ShardResponse, ShardSpec, ShardTransport,
 };

@@ -1,6 +1,7 @@
-//! Fleet telemetry: per-shard rollups, the migration log, and the
-//! rendered report table.
+//! Fleet telemetry: per-shard rollups, the migration log, the rendered
+//! report table, and the fleet's exported tick traces.
 
+use ld_obs::{Span, StageRollup, TickTrace, TraceGroup};
 use std::fmt;
 
 /// One shard's serving + backpressure rollup (cumulative over the fleet's
@@ -162,9 +163,114 @@ impl fmt::Display for FleetReport {
     }
 }
 
+/// The fleet's exported tick traces: one Perfetto process group per shard
+/// (pid `k+1`, named `shard{k}`) plus a `fleet` group (pid 0) whose
+/// timeline carries one `fleet.migrate` marker span per migration. A pure
+/// value — rendering it is deterministic, so two identical manual-clock
+/// runs export byte-identical traces (pinned by `tests/obs_tracing.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct FleetTraces {
+    /// The trace groups, fleet first then shards in index order.
+    pub groups: Vec<TraceGroup>,
+}
+
+impl FleetTraces {
+    /// Assembles the groups from per-shard tick traces, the migration log,
+    /// and the fleet tick period (which places each migration on the fleet
+    /// timeline: migrations run *between* serving calls, so the tick
+    /// boundary is exact).
+    pub fn new(
+        per_shard: Vec<Vec<TickTrace>>,
+        migrations: &[MigrationRecord],
+        tick_period_ns: u64,
+    ) -> Self {
+        let fleet_ticks = migrations
+            .iter()
+            .map(|m| {
+                let at_ns = m.at_tick as u64 * tick_period_ns;
+                TickTrace {
+                    tick: m.at_tick as u64,
+                    start_ns: at_ns,
+                    spans: vec![Span {
+                        stage: "fleet.migrate",
+                        start_ns: at_ns,
+                        dur_ns: 0,
+                        args: vec![
+                            ("cam", m.global as i64),
+                            ("from_shard", m.from_shard as i64),
+                            ("to_shard", m.to_shard as i64),
+                            ("bank_bytes", m.bank_bytes as i64),
+                            ("dropped_in_flight", m.dropped_in_flight as i64),
+                        ],
+                    }],
+                    ..TickTrace::default()
+                }
+            })
+            .collect();
+        let mut groups = vec![TraceGroup {
+            pid: 0,
+            name: "fleet".to_string(),
+            ticks: fleet_ticks,
+        }];
+        for (k, ticks) in per_shard.into_iter().enumerate() {
+            groups.push(TraceGroup {
+                pid: k as u32 + 1,
+                name: format!("shard{k}"),
+                ticks,
+            });
+        }
+        FleetTraces { groups }
+    }
+
+    /// The Chrome/Perfetto trace-event JSON of the whole fleet run.
+    pub fn perfetto_json(&self) -> String {
+        ld_obs::perfetto_json(&self.groups)
+    }
+
+    /// The flat per-stage rollup across every shard's ticks (its `Display`
+    /// is the operator table the `--trace` example prints).
+    pub fn rollup(&self) -> StageRollup {
+        StageRollup::from_groups(&self.groups)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fleet_traces_group_shards_and_migrations() {
+        let shard_ticks = vec![
+            vec![TickTrace {
+                tick: 0,
+                busy_ns: 5,
+                frames: 1,
+                ..TickTrace::default()
+            }],
+            Vec::new(),
+        ];
+        let migration = MigrationRecord {
+            at_tick: 3,
+            global: 1,
+            from_shard: 0,
+            from_slot: 1,
+            to_shard: 1,
+            to_slot: 0,
+            bank_bytes: 128,
+            blessed_tick: None,
+            dropped_in_flight: 2,
+        };
+        let traces = FleetTraces::new(shard_ticks, &[migration], 1_000_000);
+        assert_eq!(traces.groups.len(), 3);
+        assert_eq!(traces.groups[0].name, "fleet");
+        assert_eq!(traces.groups[0].ticks[0].spans[0].stage, "fleet.migrate");
+        assert_eq!(traces.groups[0].ticks[0].start_ns, 3_000_000);
+        assert_eq!(traces.groups[2].name, "shard1");
+        let json = traces.perfetto_json();
+        assert!(json.contains("fleet.migrate"));
+        assert!(json.contains("\"bank_bytes\":128"));
+        assert_eq!(json, traces.perfetto_json());
+    }
 
     #[test]
     fn rollup_sums_counters_and_maxes_pressure() {

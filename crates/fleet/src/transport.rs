@@ -77,6 +77,9 @@ pub enum ShardCommand {
         /// The camera state in flight.
         packet: Box<MigrationPacket>,
     },
+    /// Drain the shard's accumulated tick traces (empty unless the spec's
+    /// `ServerConfig` enables observability).
+    ExportTrace,
     /// Stop producers and exit the shard loop.
     Shutdown,
 }
@@ -99,6 +102,9 @@ pub enum ShardResponse {
         /// Shard-local slot.
         slot: usize,
     },
+    /// `ExportTrace` result: the tick traces accumulated since the last
+    /// export, in tick order.
+    Trace(Vec<ld_obs::TickTrace>),
     /// `Shutdown` acknowledged.
     Stopped,
 }
@@ -222,6 +228,7 @@ fn shard_main(
                     server.attach_stream(slot, snapshot);
                     ShardResponse::Attached { slot }
                 }
+                ShardCommand::ExportTrace => ShardResponse::Trace(server.take_traces()),
                 ShardCommand::Shutdown => {
                     ingest.shutdown();
                     let _ = resp_tx.send(ShardResponse::Stopped);

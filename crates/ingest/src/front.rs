@@ -56,10 +56,6 @@ use ld_tensor::rng::mix_seed;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Cap on retained frame-age samples (enough for every CI run; a real
-/// deployment would downsample).
-const MAX_AGE_SAMPLES: usize = 1 << 16;
-
 /// Configuration of the ingest front end.
 #[derive(Debug, Clone)]
 pub struct IngestConfig {
@@ -301,7 +297,11 @@ pub struct IngestFrontEnd {
     tick: u64,
     ticks_run: usize,
     tick_overruns: usize,
-    age_samples: Vec<u64>,
+    /// Frame ages at delivery, ns. The log2 histogram is O(1) memory, so —
+    /// unlike the capped sample vector it replaced — every frame of an
+    /// arbitrarily long run is counted, and per-shard histograms merge
+    /// exactly for fleet rollups.
+    age_hist: ld_obs::Histogram,
 }
 
 impl std::fmt::Debug for IngestFrontEnd {
@@ -532,7 +532,7 @@ impl IngestFrontEnd {
             tick: 0,
             ticks_run: 0,
             tick_overruns: 0,
-            age_samples: Vec::new(),
+            age_hist: ld_obs::Histogram::new(),
         }
     }
 
@@ -761,9 +761,7 @@ impl IngestFrontEnd {
         self.trackers[cam].observe(stamped.seq);
         self.delivered[cam] += 1;
         let age_ns = now.saturating_sub(stamped.due_ns);
-        if self.age_samples.len() < MAX_AGE_SAMPLES {
-            self.age_samples.push(age_ns);
-        }
+        self.age_hist.record(age_ns);
         Some(IngestFrame {
             cam: stamped.cam,
             seq: stamped.seq,
@@ -845,7 +843,7 @@ impl IngestFrontEnd {
                 health: self.health[cam].state(),
             })
             .collect();
-        let (age_p50_ns, age_p99_ns) = percentiles(&self.age_samples);
+        let (age_p50_ns, age_p99_ns) = (self.age_hist.percentile(50), self.age_hist.percentile(99));
         IngestReport {
             ticks: self.ticks_run,
             tick_overruns: self.tick_overruns,
@@ -854,17 +852,6 @@ impl IngestFrontEnd {
             age_p99_ns,
         }
     }
-}
-
-/// `(p50, p99)` of the samples (0 when empty).
-fn percentiles(samples: &[u64]) -> (u64, u64) {
-    if samples.is_empty() {
-        return (0, 0);
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_unstable();
-    let at = |p: usize| sorted[(sorted.len() * p / 100).min(sorted.len() - 1)];
-    (at(50), at(99))
 }
 
 #[cfg(test)]

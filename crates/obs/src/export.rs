@@ -1,0 +1,321 @@
+//! Exporters: Chrome/Perfetto trace-event JSON and the flat per-stage
+//! text rollup. Both render from [`TraceGroup`]s — a named process worth
+//! of tick traces — and both are byte-deterministic functions of their
+//! input (timestamps are formatted with integer arithmetic only).
+
+use crate::trace::TickTrace;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A named group of tick traces rendered as one Perfetto "process": the
+/// fleet controller is pid 0, shard *k* is pid *k+1*.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceGroup {
+    /// Perfetto process id.
+    pub pid: u32,
+    /// Process name shown in the trace viewer (e.g. `shard0`).
+    pub name: String,
+    /// The group's tick traces, in tick order.
+    pub ticks: Vec<TickTrace>,
+}
+
+/// Microsecond timestamp with nanosecond fraction, from integer ns —
+/// Perfetto's `ts`/`dur` unit — formatted without ever touching floats so
+/// identical inputs render byte-identically.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Appends one trace event, comma-prefixed (every call site follows the
+/// group's metadata event, so a preceding event always exists).
+#[allow(clippy::too_many_arguments)]
+fn push_event(
+    out: &mut String,
+    name: &str,
+    ph: char,
+    ts_ns: u64,
+    dur_ns: Option<u64>,
+    pid: u32,
+    tid: u32,
+    args: &[(&str, i64)],
+) {
+    out.push(',');
+    let _ = write!(
+        out,
+        "\n{{\"name\":\"{name}\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":{pid},\"tid\":{tid}",
+        us(ts_ns)
+    );
+    if let Some(d) = dur_ns {
+        let _ = write!(out, ",\"dur\":{}", us(d));
+    }
+    if !args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":{v}");
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Renders trace groups as Chrome/Perfetto trace-event JSON
+/// (`chrome://tracing` and <https://ui.perfetto.dev> both load it). Emits
+/// one metadata event naming each process, an `X` event per tick, an `X`
+/// event per stage span, and a `C` counter track of GEMM flops by kernel
+/// path. Pure function of the input: identical groups render
+/// byte-identical JSON.
+pub fn perfetto_json(groups: &[TraceGroup]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for g in groups {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "\n{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            g.pid, g.name
+        );
+        for t in &g.ticks {
+            push_event(
+                &mut out,
+                "tick",
+                'X',
+                t.start_ns,
+                Some(t.busy_ns),
+                g.pid,
+                0,
+                &[
+                    ("tick", t.tick as i64),
+                    ("frames", i64::from(t.frames)),
+                    ("adapted", i64::from(t.adapted)),
+                ],
+            );
+            for s in &t.spans {
+                push_event(
+                    &mut out,
+                    s.stage,
+                    'X',
+                    s.start_ns,
+                    Some(s.dur_ns),
+                    g.pid,
+                    1,
+                    &s.args,
+                );
+            }
+            if !t.kernels.is_empty() {
+                let mut by_path: BTreeMap<&str, u64> = BTreeMap::new();
+                for k in &t.kernels {
+                    *by_path.entry(k.path).or_insert(0) += k.flops;
+                }
+                let args: Vec<(&str, i64)> = by_path.iter().map(|(&p, &f)| (p, f as i64)).collect();
+                push_event(
+                    &mut out,
+                    "gemm_flops",
+                    'C',
+                    t.start_ns,
+                    None,
+                    g.pid,
+                    0,
+                    &args,
+                );
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[derive(Debug, Clone, Default)]
+struct StageAcc {
+    spans: u64,
+    total_ns: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct KernelAcc {
+    calls: u64,
+    flops: u64,
+}
+
+/// Flat per-stage rollup across trace groups: for every stage, how many
+/// spans and how much busy time; for every kernel path/shape, call and
+/// flop totals. [`fmt::Display`] renders the text table the fleet report
+/// and the `--trace` example print.
+#[derive(Debug, Clone, Default)]
+pub struct StageRollup {
+    stages: BTreeMap<&'static str, StageAcc>,
+    kernels: BTreeMap<(&'static str, u32, u32, u32), KernelAcc>,
+    busy_ns: u64,
+    ticks: u64,
+}
+
+impl StageRollup {
+    /// Aggregates every tick of every group.
+    pub fn from_groups(groups: &[TraceGroup]) -> Self {
+        let mut r = StageRollup::default();
+        for g in groups {
+            for t in &g.ticks {
+                r.ticks += 1;
+                r.busy_ns += t.busy_ns;
+                for s in &t.spans {
+                    let acc = r.stages.entry(s.stage).or_default();
+                    acc.spans += 1;
+                    acc.total_ns += s.dur_ns;
+                }
+                for k in &t.kernels {
+                    let acc = r.kernels.entry((k.path, k.m, k.n, k.k)).or_default();
+                    acc.calls += k.calls;
+                    acc.flops += k.flops;
+                }
+            }
+        }
+        r
+    }
+
+    /// Total busy time across all aggregated ticks, ns.
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns
+    }
+
+    /// Ticks aggregated.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Total time attributed to `stage`, ns (0 if absent).
+    pub fn stage_ns(&self, stage: &str) -> u64 {
+        self.stages.get(stage).map(|a| a.total_ns).unwrap_or(0)
+    }
+}
+
+impl fmt::Display for StageRollup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "stage rollup — {} ticks, {:.3} ms busy",
+            self.ticks,
+            self.busy_ns as f64 / 1e6
+        )?;
+        writeln!(
+            f,
+            "  {:<16} {:>8} {:>12} {:>7}",
+            "stage", "spans", "total ms", "busy%"
+        )?;
+        for (stage, acc) in &self.stages {
+            let pct = if self.busy_ns > 0 {
+                100.0 * acc.total_ns as f64 / self.busy_ns as f64
+            } else {
+                0.0
+            };
+            writeln!(
+                f,
+                "  {:<16} {:>8} {:>12.3} {:>6.1}%",
+                stage,
+                acc.spans,
+                acc.total_ns as f64 / 1e6,
+                pct
+            )?;
+        }
+        if !self.kernels.is_empty() {
+            writeln!(
+                f,
+                "  {:<16} {:>8} {:>12}",
+                "kernel (m×n×k)", "calls", "Mflop"
+            )?;
+            for ((path, m, n, k), acc) in &self.kernels {
+                writeln!(
+                    f,
+                    "  {:<16} {:>8} {:>12.2}",
+                    format!("{path} {m}x{n}x{k}"),
+                    acc.calls,
+                    acc.flops as f64 / 1e6
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{KernelRollup, Span};
+
+    fn demo_group() -> TraceGroup {
+        TraceGroup {
+            pid: 1,
+            name: "shard0".into(),
+            ticks: vec![TickTrace {
+                tick: 0,
+                start_ns: 33_300_000,
+                busy_ns: 10_000_000,
+                frames: 2,
+                adapted: 1,
+                spans: vec![
+                    Span::new("ingest.drain", 33_300_000, 1_000_000),
+                    Span {
+                        stage: "forward.f32",
+                        start_ns: 34_300_000,
+                        dur_ns: 9_000_000,
+                        args: vec![("batch", 2)],
+                    },
+                ],
+                kernels: vec![KernelRollup {
+                    path: "f32",
+                    m: 8,
+                    n: 16,
+                    k: 32,
+                    calls: 4,
+                    flops: 2 * 8 * 16 * 32 * 4,
+                }],
+                dropped_events: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn perfetto_json_is_wellformed_and_deterministic() {
+        let groups = [demo_group()];
+        let json = perfetto_json(&groups);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"name\":\"tick\""));
+        assert!(json.contains("\"name\":\"forward.f32\""));
+        assert!(json.contains("\"batch\":2"));
+        assert!(json.contains("\"name\":\"gemm_flops\""));
+        // ts formatting is integer-only: 33_300_000 ns = 33300.000 µs.
+        assert!(json.contains("\"ts\":33300.000"));
+        assert_eq!(json, perfetto_json(&groups));
+        // Braces balance (cheap well-formedness proxy without a parser).
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn empty_groups_render_an_empty_valid_document() {
+        let json = perfetto_json(&[]);
+        assert_eq!(json, "{\"traceEvents\":[\n]}\n");
+    }
+
+    #[test]
+    fn rollup_totals_and_display() {
+        let groups = [demo_group()];
+        let r = StageRollup::from_groups(&groups);
+        assert_eq!(r.ticks(), 1);
+        assert_eq!(r.busy_ns(), 10_000_000);
+        assert_eq!(r.stage_ns("ingest.drain"), 1_000_000);
+        assert_eq!(r.stage_ns("forward.f32"), 9_000_000);
+        let text = r.to_string();
+        assert!(text.contains("ingest.drain"));
+        assert!(text.contains("f32 8x16x32"));
+        assert!(text.contains("90.0%"));
+    }
+}

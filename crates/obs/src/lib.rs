@@ -1,0 +1,90 @@
+//! **`ld_obs`** — deterministic observability for the serving stack.
+//!
+//! The paper's premise is that online adaptation must fit a hard real-time
+//! budget, yet the serving layers could only report *that* a tick overran,
+//! never *where* the time went across drain → screen → admission → forward
+//! → backward → decode. This crate closes that gap with three pieces, all
+//! built to the same contract as the serving stack itself: **bitwise
+//! reproducible under the manual `TickClock`, and strictly opt-in** (the
+//! default-off path leaves served bytes untouched).
+//!
+//! # The deterministic histogram
+//!
+//! [`Histogram`] is a fixed-bucket log2 histogram over `u64` samples:
+//! bucket 0 holds the value 0 and bucket *i* holds `[2^(i-1), 2^i)`, with
+//! **exact integer counts** plus the exact maximum recorded value per
+//! bucket. That representation is:
+//!
+//! * *deterministic* — recording order never changes the state, so two
+//!   identical manual-clock runs produce identical histograms;
+//! * *mergeable* — counts add and maxima max, so per-shard histograms fold
+//!   into a fleet-wide one without resampling error;
+//! * *O(1) memory* — unlike the sample vector it replaces, it never caps
+//!   or downsamples, so every frame age of an arbitrarily long run is
+//!   counted.
+//!
+//! Quantiles walk the cumulative counts to the target rank and report the
+//! bucket's recorded maximum — exact whenever the bucket holds one
+//! distinct value (the common case on the manual clock, where ages are
+//! schedule-derived), and never past the true maximum otherwise.
+//!
+//! # The per-thread span rings
+//!
+//! Stage spans and kernel counters are recorded into [`SpanRing`]s — fixed
+//! capacity, single-writer rings written with release stores and no locks
+//! on the hot path. A [`KernelSink`] owns one lazily-allocated ring per
+//! worker slot: the serving thread binds slot 0 around a tick
+//! ([`bind_kernel_sink`]), the compute pool re-binds its workers to their
+//! own slots for the duration of each parallel region (see
+//! `ld_tensor::parallel`), and every GEMM dispatch appends a shape/path
+//! event to the ring of whatever thread it runs on. At tick end —
+//! provably after the fork-join region quiesced — the serving thread
+//! drains all slots and folds the events into per-shape counters sorted by
+//! `(path, m, n, k)`, so the aggregate is **independent of thread
+//! scheduling**: the same GEMMs run every tick regardless of which worker
+//! executed them, and summation commutes.
+//!
+//! # Tick traces and exporters
+//!
+//! A drained tick becomes a [`TickTrace`]: stage spans (`ingest.drain`,
+//! `server.screen`, `orin.admit`, `bank.swap`, `forward.f32|i16|u8`,
+//! `backward`, `decode`, `fleet.migrate`) laid out on the tick clock's
+//! nanosecond timeline, plus the kernel rollup. On the manual clock the
+//! span durations are the admission gate's cost-model breakdown
+//! apportioned over the tick's recorded busy time ([`apportion`] — integer
+//! largest-remainder, so the spans sum to the busy time *exactly*), which
+//! is what makes two identical runs export byte-identical traces.
+//! [`perfetto_json`] renders groups of tick traces as Chrome/Perfetto
+//! trace-event JSON; [`StageRollup`] renders the flat text table the fleet
+//! report and the `--trace` example print.
+//!
+//! [`MetricsRegistry`] rounds the crate out: named counters, gauges and
+//! histograms with deterministic (sorted) iteration and a flat text
+//! rendering — the one source of truth the server's stat accessors read.
+
+pub mod export;
+pub mod registry;
+pub mod trace;
+
+pub use export::{perfetto_json, StageRollup, TraceGroup};
+pub use registry::{Histogram, MetricsRegistry};
+pub use trace::{
+    apportion, bind_kernel_sink, current_kernel_binding, record_gemm, GemmPath, KernelBinding,
+    KernelRollup, KernelSink, Span, SpanRing, TickTrace,
+};
+
+/// Observability switch carried by serving configurations. Off by default:
+/// the disabled path records nothing, allocates nothing, and leaves served
+/// bytes bitwise identical to a build without observability wired in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Master switch: tick tracing + kernel counters + registry export.
+    pub enabled: bool,
+}
+
+impl ObsConfig {
+    /// Observability on.
+    pub fn enabled() -> Self {
+        ObsConfig { enabled: true }
+    }
+}

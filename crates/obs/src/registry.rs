@@ -1,0 +1,316 @@
+//! The metrics registry: counters, gauges, and the deterministic
+//! fixed-bucket log2 [`Histogram`] (see the crate docs for the design).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `i ≥ 1`
+/// holds `[2^(i-1), 2^i)`, so bucket 64 holds `[2^63, u64::MAX]`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Deterministic fixed-bucket log2 histogram over `u64` samples with exact
+/// integer counts and per-bucket maxima (see the crate docs). Recording is
+/// order-independent and [`Histogram::merge`] is exact, so per-shard
+/// histograms fold into fleet-wide ones bitwise-reproducibly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    maxes: [u64; HISTOGRAM_BUCKETS],
+    total: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            maxes: [0; HISTOGRAM_BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+/// The bucket holding `v`: 0 for 0, else `floor(log2 v) + 1`.
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample. O(1), no allocation.
+    pub fn record(&mut self, v: u64) {
+        let b = bucket_of(v);
+        self.counts[b] += 1;
+        if v > self.maxes[b] {
+            self.maxes[b] = v;
+        }
+        self.total += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The exact maximum recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.maxes
+            .iter()
+            .zip(&self.counts)
+            .rev()
+            .find(|&(_, &c)| c > 0)
+            .map(|(&m, _)| m)
+            .unwrap_or(0)
+    }
+
+    /// The `pct`-th percentile (0 when empty): the recorded maximum of the
+    /// bucket holding the rank `⌊total · pct / 100⌋` sample — the same
+    /// rank convention as the sorted-sample percentile it replaces, exact
+    /// whenever that bucket holds one distinct value and never past the
+    /// true maximum otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct > 100`.
+    pub fn percentile(&self, pct: u64) -> u64 {
+        assert!(pct <= 100, "percentile: {pct} > 100");
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (self.total * pct / 100).min(self.total - 1);
+        let mut cum = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum > rank {
+                return self.maxes[b];
+            }
+        }
+        self.max()
+    }
+
+    /// Folds `other` into `self` (counts add, maxima max) — the cross-shard
+    /// merge, exact by construction.
+    pub fn merge(&mut self, other: &Histogram) {
+        for b in 0..HISTOGRAM_BUCKETS {
+            self.counts[b] += other.counts[b];
+            if other.maxes[b] > self.maxes[b] {
+                self.maxes[b] = other.maxes[b];
+            }
+        }
+        self.total += other.total;
+    }
+}
+
+/// Named counters, gauges and histograms with deterministic (sorted)
+/// iteration — the one source of truth serving telemetry renders from.
+/// Keys are `&'static str` so hot-path bumps never allocate.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, i64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to a counter (creating it at 0).
+    pub fn counter_add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Current counter value (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge to `v`.
+    pub fn gauge_set(&mut self, name: &'static str, v: i64) {
+        self.gauges.insert(name, v);
+    }
+
+    /// Current gauge value (0 if never set).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Mutable handle to a named histogram (creating it empty).
+    pub fn histogram_mut(&mut self, name: &'static str) -> &mut Histogram {
+        self.histograms.entry(name).or_default()
+    }
+
+    /// A named histogram, if it has been created.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Folds `other` into `self`: counters add, gauges take `other`'s
+    /// value, histograms merge — the cross-shard rollup.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (&k, &v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &other.gauges {
+            self.gauges.insert(k, v);
+        }
+        for (&k, h) in &other.histograms {
+            self.histograms.entry(k).or_default().merge(h);
+        }
+    }
+
+    /// Flat text rendering, sorted by metric name — deterministic, so two
+    /// identical runs render byte-identical text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "counter {k} {v}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "gauge {k} {v}");
+        }
+        for (k, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram {k} count={} p50={} p99={} max={}",
+                h.count(),
+                h.percentile(50),
+                h.percentile(99),
+                h.max()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_with_zero_split_out() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn percentiles_match_sorted_samples_on_distinct_buckets() {
+        // One distinct value per bucket: the histogram percentile is exact.
+        let samples: Vec<u64> = (0..10).map(|i| 1u64 << (2 * i)).collect();
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let at = |p: usize| sorted[(sorted.len() * p / 100).min(sorted.len() - 1)];
+        assert_eq!(h.percentile(50), at(50));
+        assert_eq!(h.percentile(99), at(99));
+        assert_eq!(h.max(), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn percentile_ordering_and_bounds_hold() {
+        let mut h = Histogram::new();
+        for v in [3u64, 7, 7, 9, 100, 1000, 1001, 4096] {
+            h.record(v);
+        }
+        let p50 = h.percentile(50);
+        let p99 = h.percentile(99);
+        assert!(p50 > 0);
+        assert!(p99 >= p50);
+        assert!(p99 <= h.max());
+        assert_eq!(h.percentile(100), h.max());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50), 0);
+        assert_eq!(h.percentile(99), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let vals_a = [1u64, 5, 9, 33_300_000];
+        let vals_b = [0u64, 2, 70_000, 33_300_001];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut one = Histogram::new();
+        for &v in &vals_a {
+            a.record(v);
+            one.record(v);
+        }
+        for &v in &vals_b {
+            b.record(v);
+            one.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, one);
+    }
+
+    #[test]
+    fn recording_order_never_changes_state() {
+        let vals = [44u64, 1, 0, 9999, 44, 128];
+        let mut fwd = Histogram::new();
+        let mut rev = Histogram::new();
+        for &v in &vals {
+            fwd.record(v);
+        }
+        for &v in vals.iter().rev() {
+            rev.record(v);
+        }
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn registry_render_is_sorted_and_stable() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("z.last", 2);
+        r.counter_add("a.first", 1);
+        r.gauge_set("mid.gauge", -7);
+        r.histogram_mut("ages").record(40);
+        let text = r.render();
+        let a = text.find("a.first").unwrap();
+        let z = text.find("z.last").unwrap();
+        assert!(a < z, "counters must render sorted:\n{text}");
+        assert!(text.contains("gauge mid.gauge -7"));
+        assert!(text.contains("histogram ages count=1 p50=40 p99=40 max=40"));
+        assert_eq!(text, r.clone().render());
+    }
+
+    #[test]
+    fn registry_merge_adds_counters_and_merges_histograms() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.counter_add("ticks", 3);
+        b.counter_add("ticks", 4);
+        b.counter_add("only.b", 1);
+        a.histogram_mut("ages").record(10);
+        b.histogram_mut("ages").record(1000);
+        a.merge(&b);
+        assert_eq!(a.counter("ticks"), 7);
+        assert_eq!(a.counter("only.b"), 1);
+        assert_eq!(a.histogram("ages").unwrap().count(), 2);
+    }
+}

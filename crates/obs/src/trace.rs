@@ -1,0 +1,468 @@
+//! Tick tracing: lock-free per-thread span rings, the kernel-counter sink
+//! the GEMM dispatchers record into, and the per-tick [`TickTrace`] the
+//! serving loop drains them into (see the crate docs for the design and
+//! the determinism argument).
+
+use std::cell::RefCell;
+use std::cell::UnsafeCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Events one ring can hold before dropping (dropped events are counted,
+/// never silently lost). A tick records one event per GEMM dispatch —
+/// hundreds for a batched backward — so 8192 is generous headroom.
+pub const RING_CAPACITY: usize = 8192;
+
+/// Worker slots per [`KernelSink`]: slot 0 is the serving thread, slots
+/// 1.. are compute-pool workers (re-bound per parallel region). Rings are
+/// allocated lazily, so unused slots cost a pointer each.
+pub const SINK_SLOTS: usize = 64;
+
+/// Which kernel path a GEMM dispatch took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GemmPath {
+    /// The blocked f32 kernel (`ld_tensor::linalg`).
+    F32,
+    /// The i16 integer kernel (`ld_quant::qgemm`).
+    I16,
+    /// The u8 `vpdpbusd` kernel (`ld_quant::qgemm`).
+    U8,
+}
+
+impl GemmPath {
+    /// Stable label used in rollups and exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GemmPath::F32 => "f32",
+            GemmPath::I16 => "i16",
+            GemmPath::U8 => "u8",
+        }
+    }
+
+    fn from_tag(tag: u8) -> GemmPath {
+        match tag {
+            0 => GemmPath::F32,
+            1 => GemmPath::I16,
+            _ => GemmPath::U8,
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            GemmPath::F32 => 0,
+            GemmPath::I16 => 1,
+            GemmPath::U8 => 2,
+        }
+    }
+}
+
+/// One raw ring event: a GEMM dispatch labeled by path and shape.
+#[derive(Debug, Clone, Copy, Default)]
+struct RawEvent {
+    path: u8,
+    m: u32,
+    n: u32,
+    k: u32,
+}
+
+/// A fixed-capacity, lock-free, single-writer event ring.
+///
+/// Exactly one thread pushes at a time (the slot's bound thread); the
+/// owner drains between parallel regions, after the fork-join latch has
+/// quiesced every writer. Pushes are a relaxed read of the length, a slot
+/// write, and a release store — no CAS, no lock, no allocation.
+#[derive(Debug)]
+pub struct SpanRing {
+    len: AtomicUsize,
+    events: Box<[UnsafeCell<RawEvent>]>,
+    dropped: AtomicU64,
+}
+
+// SAFETY: the single-writer protocol above — at most one thread pushes at
+// a time, and drains only happen after the writers' fork-join region
+// completed (which is itself a happens-before edge).
+unsafe impl Sync for SpanRing {}
+unsafe impl Send for SpanRing {}
+
+impl SpanRing {
+    /// A ring with [`RING_CAPACITY`] slots.
+    pub fn new() -> Self {
+        SpanRing {
+            len: AtomicUsize::new(0),
+            events: (0..RING_CAPACITY)
+                .map(|_| UnsafeCell::new(RawEvent::default()))
+                .collect(),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, ev: RawEvent) {
+        let i = self.len.load(Ordering::Relaxed);
+        if i >= self.events.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // SAFETY: single writer per ring (see the type docs); index `i` is
+        // in bounds and not yet published.
+        unsafe { *self.events[i].get() = ev };
+        self.len.store(i + 1, Ordering::Release);
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped on overflow since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Drains every buffered event into `agg` (keyed by `(path, m, n, k)`,
+    /// value = call count) and resets the ring. Only call from the owning
+    /// side with all writers quiesced.
+    fn drain_into(&self, agg: &mut BTreeMap<(u8, u32, u32, u32), u64>) {
+        let n = self.len.load(Ordering::Acquire);
+        for i in 0..n {
+            // SAFETY: indices below the acquired length were fully written
+            // before the matching release store.
+            let ev = unsafe { *self.events[i].get() };
+            *agg.entry((ev.path, ev.m, ev.n, ev.k)).or_insert(0) += 1;
+        }
+        self.len.store(0, Ordering::Release);
+    }
+}
+
+impl Default for SpanRing {
+    fn default() -> Self {
+        SpanRing::new()
+    }
+}
+
+/// The kernel-counter sink: one lazily-allocated [`SpanRing`] per worker
+/// slot. The serving thread binds slot 0 around a tick; the compute pool
+/// binds each worker to `1 + worker_index` for the duration of a parallel
+/// region; [`record_gemm`] appends to whichever ring the current thread is
+/// bound to. [`KernelSink::drain`] folds all slots into shape-sorted
+/// counters, which makes the aggregate independent of thread scheduling.
+#[derive(Debug)]
+pub struct KernelSink {
+    slots: Box<[OnceLock<SpanRing>]>,
+}
+
+impl KernelSink {
+    /// A sink with [`SINK_SLOTS`] lazily-allocated rings.
+    pub fn new() -> Self {
+        KernelSink {
+            slots: (0..SINK_SLOTS).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    fn ring(&self, slot: usize) -> &SpanRing {
+        self.slots[slot.min(SINK_SLOTS - 1)].get_or_init(SpanRing::new)
+    }
+
+    /// Drains every slot into a deterministic per-shape rollup, resetting
+    /// the rings. Returns `(rollup, dropped_events)` where the rollup is
+    /// sorted by `(path, m, n, k)`. Only call with all parallel regions
+    /// that recorded into the sink completed.
+    pub fn drain(&self) -> (Vec<KernelRollup>, u64) {
+        let mut agg: BTreeMap<(u8, u32, u32, u32), u64> = BTreeMap::new();
+        let mut dropped = 0;
+        for slot in self.slots.iter() {
+            if let Some(ring) = slot.get() {
+                ring.drain_into(&mut agg);
+                dropped += ring.dropped();
+            }
+        }
+        let rollup = agg
+            .into_iter()
+            .map(|((path, m, n, k), calls)| KernelRollup {
+                path: GemmPath::from_tag(path).as_str(),
+                m,
+                n,
+                k,
+                calls,
+                flops: 2 * u64::from(m) * u64::from(n) * u64::from(k) * calls,
+            })
+            .collect();
+        (rollup, dropped)
+    }
+}
+
+impl Default for KernelSink {
+    fn default() -> Self {
+        KernelSink::new()
+    }
+}
+
+thread_local! {
+    /// The kernel sink (and slot) the current thread records GEMM events
+    /// into, if any. `None` — the default, and the state whenever
+    /// observability is off — makes [`record_gemm`] a no-op.
+    static KERNEL_CTX: RefCell<Option<(Arc<KernelSink>, usize)>> = const { RefCell::new(None) };
+}
+
+/// RAII guard restoring the previous kernel binding on drop (bindings
+/// nest; unwinding restores).
+#[derive(Debug)]
+pub struct KernelBinding {
+    prev: Option<(Arc<KernelSink>, usize)>,
+}
+
+impl Drop for KernelBinding {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        KERNEL_CTX.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Binds `sink` slot `slot` as the current thread's GEMM event target
+/// until the returned guard drops.
+pub fn bind_kernel_sink(sink: &Arc<KernelSink>, slot: usize) -> KernelBinding {
+    KernelBinding {
+        prev: KERNEL_CTX.with(|c| c.borrow_mut().replace((sink.clone(), slot))),
+    }
+}
+
+/// The current thread's kernel binding, if any — the compute pool reads
+/// this at dispatch time to re-bind its workers to their own slots for the
+/// duration of a parallel region.
+pub fn current_kernel_binding() -> Option<(Arc<KernelSink>, usize)> {
+    KERNEL_CTX.with(|c| c.borrow().clone())
+}
+
+/// Records one GEMM dispatch (`m×n×k` on `path`) into the current
+/// thread's bound ring. A no-op — one thread-local read — when no sink is
+/// bound, which is the permanent state with observability off.
+pub fn record_gemm(path: GemmPath, m: usize, n: usize, k: usize) {
+    KERNEL_CTX.with(|c| {
+        if let Some((sink, slot)) = c.borrow().as_ref() {
+            sink.ring(*slot).push(RawEvent {
+                path: path.tag(),
+                m: m as u32,
+                n: n as u32,
+                k: k as u32,
+            });
+        }
+    });
+}
+
+/// Per-shape kernel counters of one tick, sorted by `(path, m, n, k)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelRollup {
+    /// Kernel path label (`"f32"`, `"i16"`, `"u8"`).
+    pub path: &'static str,
+    /// Output rows.
+    pub m: u32,
+    /// Output columns.
+    pub n: u32,
+    /// Inner depth.
+    pub k: u32,
+    /// Dispatches with this exact shape/path this tick.
+    pub calls: u64,
+    /// `2·m·n·k·calls` multiply-adds.
+    pub flops: u64,
+}
+
+/// One stage span on the tick timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Stage name from the taxonomy (`ingest.drain`, `server.screen`,
+    /// `orin.admit`, `bank.swap`, `forward.f32|i16|u8`, `backward`,
+    /// `decode`, `fleet.migrate`).
+    pub stage: &'static str,
+    /// Start, ns on the tick clock's time base.
+    pub start_ns: u64,
+    /// Duration, ns.
+    pub dur_ns: u64,
+    /// Optional structured arguments (exported verbatim).
+    pub args: Vec<(&'static str, i64)>,
+}
+
+impl Span {
+    /// A span with no arguments.
+    pub fn new(stage: &'static str, start_ns: u64, dur_ns: u64) -> Self {
+        Span {
+            stage,
+            start_ns,
+            dur_ns,
+            args: Vec::new(),
+        }
+    }
+}
+
+/// One served tick's trace: the stage spans on the clock timeline plus the
+/// drained kernel rollup.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TickTrace {
+    /// Tick ordinal within the trace (0-based, counting served ticks).
+    pub tick: u64,
+    /// Tick start on the clock's ns time base.
+    pub start_ns: u64,
+    /// The tick's recorded busy time, ns — measured on the real clock,
+    /// the cost model's prediction on the manual one. Stage spans
+    /// apportion exactly this.
+    pub busy_ns: u64,
+    /// Frames served.
+    pub frames: u32,
+    /// Frames that triggered adaptation.
+    pub adapted: u32,
+    /// Stage spans, in timeline order.
+    pub spans: Vec<Span>,
+    /// Kernel counters drained from the per-thread rings.
+    pub kernels: Vec<KernelRollup>,
+    /// Ring events dropped on overflow (cumulative at drain time; 0 in
+    /// any healthy configuration).
+    pub dropped_events: u64,
+}
+
+/// Splits `total` into integer parts proportional to `weights`, summing to
+/// `total` **exactly** (largest-remainder rounding, ties to the earlier
+/// index — fully deterministic). Non-finite or negative weights count as
+/// zero; an all-zero weight vector puts everything on the first slot.
+pub fn apportion(total: u64, weights: &[f64]) -> Vec<u64> {
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    let sane: Vec<f64> = weights
+        .iter()
+        .map(|&w| if w.is_finite() && w > 0.0 { w } else { 0.0 })
+        .collect();
+    let sum: f64 = sane.iter().sum();
+    if sum <= 0.0 {
+        let mut out = vec![0; weights.len()];
+        out[0] = total;
+        return out;
+    }
+    let mut out = Vec::with_capacity(sane.len());
+    let mut fracs: Vec<(usize, f64)> = Vec::with_capacity(sane.len());
+    let mut assigned = 0u64;
+    for (i, &w) in sane.iter().enumerate() {
+        let exact = total as f64 * (w / sum);
+        let floor = (exact.floor() as u64).min(total);
+        out.push(floor);
+        assigned += floor;
+        fracs.push((i, exact - floor as f64));
+    }
+    // Distribute the remainder to the largest fractional parts; the sort
+    // is stable and the key deterministic, so ties go to earlier indices.
+    fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut rest = total - assigned.min(total);
+    for (i, _) in fracs {
+        if rest == 0 {
+            break;
+        }
+        out[i] += 1;
+        rest -= 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apportion_sums_exactly_and_is_deterministic() {
+        let w = [0.35, 0.05, 0.4, 0.2];
+        let parts = apportion(33_300_000, &w);
+        assert_eq!(parts.iter().sum::<u64>(), 33_300_000);
+        assert_eq!(parts, apportion(33_300_000, &w));
+        // Shares track the weights.
+        assert!(parts[2] > parts[0] && parts[0] > parts[3] && parts[3] > parts[1]);
+    }
+
+    #[test]
+    fn apportion_handles_degenerate_weights() {
+        assert_eq!(apportion(10, &[]), Vec::<u64>::new());
+        assert_eq!(apportion(10, &[0.0, 0.0]), vec![10, 0]);
+        assert_eq!(apportion(10, &[f64::NAN, 1.0]), vec![0, 10]);
+        assert_eq!(apportion(0, &[1.0, 2.0]), vec![0, 0]);
+    }
+
+    #[test]
+    fn ring_records_and_drains_in_aggregate() {
+        let sink = Arc::new(KernelSink::new());
+        {
+            let _b = bind_kernel_sink(&sink, 0);
+            record_gemm(GemmPath::F32, 8, 16, 32);
+            record_gemm(GemmPath::F32, 8, 16, 32);
+            record_gemm(GemmPath::U8, 4, 4, 64);
+        }
+        let (rollup, dropped) = sink.drain();
+        assert_eq!(dropped, 0);
+        assert_eq!(rollup.len(), 2);
+        assert_eq!(rollup[0].path, "f32");
+        assert_eq!(rollup[0].calls, 2);
+        assert_eq!(rollup[0].flops, 2 * 8 * 16 * 32 * 2);
+        assert_eq!(rollup[1].path, "u8");
+        // Drained: the next drain is empty.
+        assert!(sink.drain().0.is_empty());
+    }
+
+    #[test]
+    fn unbound_record_is_a_noop() {
+        record_gemm(GemmPath::F32, 128, 128, 128);
+        let sink = Arc::new(KernelSink::new());
+        assert!(sink.drain().0.is_empty());
+    }
+
+    #[test]
+    fn bindings_nest_and_restore() {
+        let a = Arc::new(KernelSink::new());
+        let b = Arc::new(KernelSink::new());
+        let _ga = bind_kernel_sink(&a, 0);
+        {
+            let _gb = bind_kernel_sink(&b, 3);
+            record_gemm(GemmPath::I16, 2, 2, 2);
+        }
+        record_gemm(GemmPath::F32, 3, 3, 3);
+        let (ra, _) = a.drain();
+        let (rb, _) = b.drain();
+        assert_eq!(ra.len(), 1);
+        assert_eq!(ra[0].path, "f32");
+        assert_eq!(rb.len(), 1);
+        assert_eq!(rb[0].path, "i16");
+    }
+
+    #[test]
+    fn slot_aggregation_is_order_independent() {
+        // The same events land in different slots (as under different
+        // thread schedules); the drained rollup is identical.
+        let a = Arc::new(KernelSink::new());
+        let b = Arc::new(KernelSink::new());
+        {
+            let _g = bind_kernel_sink(&a, 0);
+            record_gemm(GemmPath::F32, 8, 8, 8);
+            record_gemm(GemmPath::U8, 2, 2, 2);
+        }
+        {
+            let _g = bind_kernel_sink(&b, 7);
+            record_gemm(GemmPath::U8, 2, 2, 2);
+        }
+        {
+            let _g = bind_kernel_sink(&b, 2);
+            record_gemm(GemmPath::F32, 8, 8, 8);
+        }
+        assert_eq!(a.drain().0, b.drain().0);
+    }
+
+    #[test]
+    fn overflow_drops_are_counted_not_lost() {
+        let sink = Arc::new(KernelSink::new());
+        let _g = bind_kernel_sink(&sink, 0);
+        for _ in 0..(RING_CAPACITY + 5) {
+            record_gemm(GemmPath::F32, 1, 1, 1);
+        }
+        let (rollup, dropped) = sink.drain();
+        assert_eq!(rollup[0].calls, RING_CAPACITY as u64);
+        assert_eq!(dropped, 5);
+    }
+}

@@ -37,6 +37,18 @@ impl FrameLatency {
     pub fn fps(&self) -> f64 {
         1000.0 / self.total_ms()
     }
+
+    /// The latency broken into named components, in pipeline order — the
+    /// stage weights tick tracing apportions a tick's busy time over.
+    pub fn components(&self) -> [(&'static str, f64); 5] {
+        [
+            ("preprocess", self.preprocess_ms),
+            ("inference", self.inference_ms),
+            ("adapt_forward", self.adapt_forward_ms),
+            ("backward", self.backward_ms),
+            ("update", self.update_ms),
+        ]
+    }
 }
 
 /// Latency model for a UFLD model on Orin.

@@ -300,6 +300,17 @@ impl Precision {
         }
     }
 
+    /// The tick-trace stage label of an inference forward pass at this
+    /// precision (`Int8` deploys as the u8 `vpdpbusd` kernel, hence
+    /// `forward.u8`).
+    pub fn trace_stage(self) -> &'static str {
+        match self {
+            Precision::Fp32 => "forward.f32",
+            Precision::Fp16 => "forward.f16",
+            Precision::Int8 => "forward.u8",
+        }
+    }
+
     /// Bytes-per-element ratio relative to FP32.
     pub fn byte_ratio(self) -> f64 {
         match self {

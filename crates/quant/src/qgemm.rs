@@ -355,6 +355,7 @@ fn walk(
 /// Panics on buffer/stride mismatches.
 pub fn qgemm_nt(a: &[i16], b: &[i16], c: &mut [i32], m: usize, n: usize, k_padded: usize) {
     assert_eq!(c.len(), m * n, "qgemm_nt: bad C buffer");
+    ld_obs::record_gemm(ld_obs::GemmPath::I16, m, n, k_padded);
     let c_ptr: SendPtr<i32> = SendPtr(c.as_mut_ptr());
     walk(a, b, m, n, k_padded, &|o, s, acc| {
         // SAFETY: (o, s) pairs are emitted exactly once, in bounds.
@@ -387,6 +388,7 @@ pub fn qgemm_fused_affine(
     assert_eq!(out.len(), m * n, "qgemm_fused: bad output buffer");
     assert_eq!(scale.len(), m, "qgemm_fused: scale length");
     assert_eq!(shift.len(), m, "qgemm_fused: shift length");
+    ld_obs::record_gemm(ld_obs::GemmPath::I16, m, n, k_padded);
     let out_ptr = SendPtr(out.as_mut_ptr());
     walk(a, b, m, n, k_padded, &|o, s, acc| {
         let mut y = scale[o] * acc as f32 + shift[o];
@@ -668,6 +670,7 @@ fn walk_u8(
 /// Panics on buffer/stride mismatches.
 pub fn qgemm_nt_u8(a: &[i8], b: &[u8], c: &mut [i32], m: usize, n: usize, k_padded: usize) {
     assert_eq!(c.len(), m * n, "qgemm_nt_u8: bad C buffer");
+    ld_obs::record_gemm(ld_obs::GemmPath::U8, m, n, k_padded);
     let c_ptr: SendPtr<i32> = SendPtr(c.as_mut_ptr());
     walk_u8(a, b, m, n, k_padded, &|o, s, acc| {
         // SAFETY: (o, s) pairs are emitted exactly once, in bounds.
@@ -697,6 +700,7 @@ pub fn qgemm_fused_affine_u8(
     assert_eq!(out.len(), m * n, "qgemm_fused_u8: bad output buffer");
     assert_eq!(scale.len(), m, "qgemm_fused_u8: scale length");
     assert_eq!(shift.len(), m, "qgemm_fused_u8: shift length");
+    ld_obs::record_gemm(ld_obs::GemmPath::U8, m, n, k_padded);
     let out_ptr = SendPtr(out.as_mut_ptr());
     walk_u8(a, b, m, n, k_padded, &|o, s, acc| {
         let mut y = scale[o] * acc as f32 + shift[o];

@@ -169,6 +169,7 @@ pub fn gemm_raw(
     if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
         return;
     }
+    ld_obs::record_gemm(ld_obs::GemmPath::F32, m, n, k);
 
     let flops = m * n * k;
     if flops < SMALL_GEMM_FLOPS || n < NR / 2 {

@@ -417,9 +417,21 @@ pub fn for_each_chunk_width(
     let f_static: &'static (dyn Fn(Range<usize>) + Sync) = unsafe { std::mem::transmute(f_ref) };
     let latch_static: &'static Latch = unsafe { std::mem::transmute(&latch) };
 
+    // Propagate the caller's kernel-counter binding (if any) to the workers:
+    // each worker records into its own sink slot, keyed by its channel, so
+    // concurrent pushes never share a ring and the drained aggregate is
+    // schedule-independent. `None` (observability off) stays `None` — the
+    // clone below is an `Option` copy, not an allocation.
+    let kctx = ld_obs::current_kernel_binding();
+    let n_senders = pool.senders.len();
+
     for (i, range) in worker_chunks.into_iter().enumerate() {
+        let kctx = kctx.clone();
         let job: Job = Box::new(move || {
             let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                let _kb = kctx
+                    .as_ref()
+                    .map(|(sink, _)| ld_obs::bind_kernel_sink(sink, 1 + (i % n_senders)));
                 let _g = RegionGuard::enter();
                 f_static(range);
             }));

@@ -42,10 +42,18 @@
 //! **asserts** the untouched camera's adaptation state is bitwise
 //! identical across the two runs — chaos as a smoke-testable contract.
 //!
+//! Add `--trace <path>` to a `--fleet` run to turn on `ld_obs` tick
+//! tracing: every shard's server records per-tick stage spans (drain,
+//! admission, forward, backward, decode) and GEMM kernel rollups, the
+//! fleet's migrations become timeline markers, and the run writes a
+//! Chrome/Perfetto trace-event JSON to `<path>` (load it at
+//! `ui.perfetto.dev`) plus the flat per-stage rollup table. On the manual
+//! clocks the export is byte-for-byte reproducible.
+//!
 //! ```text
 //! cargo run --release --example multi_stream_server \
 //!     [-- --quick] [-- --shared-bn] [-- --ingest [--overload]] \
-//!     [-- --fleet [--overload]] [-- --chaos]
+//!     [-- --fleet [--overload] [--trace <path>]] [-- --chaos]
 //! ```
 
 use ld_adapt::{
@@ -59,28 +67,62 @@ use ld_fleet::{Fleet, FleetConfig, ShardSpec};
 use ld_ingest::{FrameTap, IngestConfig, IngestFrontEnd};
 use ld_orin::{AdaptCostModel, Deadline, PowerMode, Roofline};
 
+/// Drains the fleet's tick traces, writes the Perfetto JSON to `path`,
+/// and prints the flat per-stage rollup table.
+fn export_trace(fleet: &mut Fleet, path: &str) {
+    let traces = fleet.take_traces();
+    let json = traces.perfetto_json();
+    std::fs::write(path, &json).expect("--trace: cannot write trace file");
+    println!("\n{}", traces.rollup());
+    println!(
+        "perfetto trace: {} events, {} bytes -> {path} (load at ui.perfetto.dev)",
+        json.matches("\"ph\":").count(),
+        json.len()
+    );
+}
+
 /// The `--fleet` demo: two in-process server shards under one control
 /// plane, on deterministic manual clocks. Nominal mode scripts a live
 /// migration; `--overload` saturates shard 0 and lets the rebalancer fix
-/// it, asserting the marginal shed rate drops.
-fn fleet_demo(quick: bool, overload: bool) {
+/// it, asserting the marginal shed rate drops. `--trace <path>` arms
+/// `ld_obs` tick tracing on every shard and exports the Perfetto JSON.
+fn fleet_demo(quick: bool, overload: bool, trace: Option<&str>) {
     let cfg = UfldConfig::tiny(2);
     const TICK_NS: u64 = 33_300_000;
     let ticks = if quick { 6 } else { 16 };
     // A two-frame tick budget is the overload: three cameras cannot fit.
     let max_batch = if overload { 2 } else { 8 };
-    let spec = ShardSpec {
-        server: ServerConfig::new(
-            LdBnAdaptConfig::paper(1).with_lr(0.02),
-            GovernorConfig {
-                warmup_frames: 2,
-                threshold_ratio: 1.05,
-                rollback_ratio: 1e9,
-                ..Default::default()
+    let mut server = ServerConfig::new(
+        LdBnAdaptConfig::paper(1).with_lr(0.02),
+        GovernorConfig {
+            warmup_frames: 2,
+            threshold_ratio: 1.05,
+            rollback_ratio: 1e9,
+            ..Default::default()
+        },
+        max_batch,
+    )
+    .with_bn_banks();
+    if trace.is_some() {
+        // Tracing wants a deadline gate: on the manual clock the gate's
+        // cost-model prediction *is* the tick's busy time, which the span
+        // timeline apportions. The relaxed multi-camera budget admits
+        // every frame with the adapt step, so serving behaviour matches
+        // the gateless demo while the timeline gets real durations.
+        let gate = AdmissionGate::new(
+            AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4)),
+            PowerMode::MaxN60,
+            Deadline {
+                name: "fleet trace budget",
+                budget_ms: 83.3,
             },
-            max_batch,
-        )
-        .with_bn_banks(),
+        );
+        server = server
+            .with_admission(gate)
+            .with_observability(ld_obs::ObsConfig::enabled());
+    }
+    let spec = ShardSpec {
+        server,
         ufld: cfg,
         model_seed: 0xF1EE7,
         ingest: IngestConfig::new(TICK_NS),
@@ -137,6 +179,9 @@ fn fleet_demo(quick: bool, overload: bool) {
             "served/offered: {before_rate:.3} overloaded -> {after_rate:.3} after the move: \
              VERIFIED"
         );
+        if let Some(path) = trace {
+            export_trace(&mut fleet, path);
+        }
         fleet.shutdown();
         return;
     }
@@ -167,6 +212,9 @@ fn fleet_demo(quick: bool, overload: bool) {
         record.global, record.bank_bytes, record.from_shard, record.to_shard
     );
     assert!(report.rollup().adapt_steps > 0, "workload never adapted");
+    if let Some(path) = trace {
+        export_trace(&mut fleet, path);
+    }
     fleet.shutdown();
 }
 
@@ -280,13 +328,18 @@ fn chaos_demo(quick: bool) {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    if std::env::args().any(|a| a == "--chaos") {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let trace = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| args.get(i + 1).expect("--trace needs a path").as_str());
+    if args.iter().any(|a| a == "--chaos") {
         chaos_demo(quick);
         return;
     }
-    if std::env::args().any(|a| a == "--fleet") {
-        fleet_demo(quick, std::env::args().any(|a| a == "--overload"));
+    if args.iter().any(|a| a == "--fleet") {
+        fleet_demo(quick, args.iter().any(|a| a == "--overload"), trace);
         return;
     }
     let cfg = UfldConfig::scaled(Backbone::ResNet18, 2);

@@ -56,6 +56,41 @@ cargo run --release --example multi_stream_server -- --quick --fleet
 echo "== fleet smoke: overloaded shard, rebalancer moves a camera, shed rate drops =="
 cargo run --release --example multi_stream_server -- --quick --fleet --overload
 
+echo "== obs smoke: traced overloaded fleet run exports Perfetto JSON + stage rollup =="
+cargo run --release --example multi_stream_server -- --quick --fleet --overload \
+    --trace target/obs_trace.json
+# The exported trace must be a loadable trace-event document carrying the
+# span taxonomy: the shard process groups, real stage spans, the migration
+# marker, and the per-tick GEMM flops counter track.
+for needle in '{"traceEvents":\[' '"name":"shard0"' '"name":"shard1"' \
+              'ingest.drain' 'orin.admit' 'forward' 'fleet.migrate' 'gemm_flops'; do
+    grep -q "$needle" target/obs_trace.json \
+        || { echo "obs trace missing $needle"; exit 1; }
+done
+# Byte-determinism: the same manual-clock run exports the same bytes.
+cargo run --release --example multi_stream_server -- --quick --fleet --overload \
+    --trace target/obs_trace2.json > /dev/null
+cmp target/obs_trace.json target/obs_trace2.json \
+    || { echo "obs trace not byte-reproducible"; exit 1; }
+
+# The observability tax gate: on the committed full-bench trajectory, the
+# obs-enabled banked server keeps >= 97% of the obs-off fps (the roadmap's
+# <3% overhead contract), pooled across stream counts.
+echo "== obs overhead gate: mean fps_vs_noobs >= 0.97 in BENCH_server.json =="
+awk '
+    /"fps_vs_noobs"/ {
+        if (match($0, /"fps_vs_noobs": [0-9.]+/)) {
+            sum += substr($0, RSTART + 16, RLENGTH - 16); rows++
+        }
+    }
+    END {
+        if (rows == 0) { print "no fps_vs_noobs rows in BENCH_server.json"; exit 1 }
+        mean = sum / rows
+        printf "obs overhead: mean fps_vs_noobs %.3f over %d rows\n", mean, rows
+        if (mean < 0.97) { print "observability overhead exceeds 3%"; exit 1 }
+    }
+' BENCH_server.json
+
 # The smoke gate compares against the last local quick run (the file is
 # gitignored; a fresh checkout passes trivially) at a 30% noise floor —
 # the strict >10% gate runs with the full `server_throughput` bench,

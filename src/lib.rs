@@ -22,6 +22,8 @@
 //! * [`fleet`] — sharded fleet serving: K in-process server shards under
 //!   one control plane, with live camera migration and a pressure-driven
 //!   rebalancer ([`ld_fleet`])
+//! * [`obs`] — deterministic observability: metrics registry, log2
+//!   histograms, tick tracing and Perfetto export ([`ld_obs`])
 //!
 //! # Quickstart
 //!
@@ -43,6 +45,7 @@ pub use ld_fault as fault;
 pub use ld_fleet as fleet;
 pub use ld_ingest as ingest;
 pub use ld_nn as nn;
+pub use ld_obs as obs;
 pub use ld_orin as orin;
 pub use ld_quant as quant;
 pub use ld_tensor as tensor;

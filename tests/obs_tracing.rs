@@ -1,0 +1,286 @@
+//! Acceptance tests for `ld_obs` — deterministic tick tracing.
+//!
+//! Three contracts from the roadmap, proven end to end on manual clocks:
+//!
+//! 1. **Observability is free**: enabling `ObsConfig` leaves every served
+//!    byte bitwise unchanged — server counters, per-stream telemetry,
+//!    accuracy reports and tagged bank bytes are compared against an
+//!    obs-off run of the same seeds.
+//! 2. **Traces are deterministic**: two identical 2-shard manual-clock
+//!    fleet runs (including a live migration) export *byte-identical*
+//!    Perfetto JSON, and every tick's stage spans sum exactly to the
+//!    tick's recorded busy time.
+//! 3. **Chaos does not break determinism**: the same holds under an
+//!    `ld_fault` script (a dead camera and a NaN-spewing camera) with
+//!    self-healing armed.
+
+use ld_adapt::{
+    frame_spec_for, AdaptServer, AdmissionGate, GovernorConfig, LdBnAdaptConfig, SelfHealConfig,
+    ServeReport, ServerConfig,
+};
+use ld_carlane::{Benchmark, StreamSet};
+use ld_fault::FaultScript;
+use ld_fleet::{Fleet, FleetConfig, FleetTraces, ShardSpec};
+use ld_ingest::{FrameTap, IngestConfig, IngestFrontEnd};
+use ld_obs::{ObsConfig, TickTrace, TraceGroup};
+use ld_orin::{AdaptCostModel, Deadline, PowerMode};
+use ld_ufld::{Backbone, UfldConfig, UfldModel};
+
+const TICK_NS: u64 = 33_300_000; // 30 FPS tick period
+
+fn governor() -> GovernorConfig {
+    GovernorConfig {
+        warmup_frames: 2,
+        threshold_ratio: 1.05,
+        rollback_ratio: 1e9,
+        ..Default::default()
+    }
+}
+
+/// The deadline gate every traced run uses: the paper-scale Orin cost
+/// model drives the manual clock's busy-time prediction, so tick spans
+/// have real durations to apportion.
+fn gate() -> AdmissionGate {
+    AdmissionGate::new(
+        AdaptCostModel::paper_scale(&UfldConfig::paper(Backbone::ResNet18, 4)),
+        PowerMode::MaxN60,
+        Deadline::FPS30,
+    )
+}
+
+fn server_cfg(max_batch: usize) -> ServerConfig {
+    ServerConfig::new(
+        LdBnAdaptConfig::paper(1).with_lr(0.02),
+        governor(),
+        max_batch,
+    )
+    .with_bn_banks()
+    .with_admission(gate())
+}
+
+fn fleet_streams(n: usize, seed: u64) -> StreamSet {
+    StreamSet::fleet(
+        Benchmark::MoLane,
+        frame_spec_for(&UfldConfig::tiny(2)),
+        n,
+        16,
+        seed,
+    )
+}
+
+/// Wraps a single server's drained traces as one Perfetto process group.
+fn server_group(ticks: Vec<TickTrace>) -> Vec<TraceGroup> {
+    vec![TraceGroup {
+        pid: 0,
+        name: "server".to_string(),
+        ticks,
+    }]
+}
+
+/// Every span timeline must account for its tick exactly: the apportioned
+/// stage durations sum to the tick's recorded busy time (well within the
+/// roadmap's 5% criterion — the integer apportionment makes it exact).
+fn assert_spans_cover_busy(ticks: &[TickTrace], label: &str) -> usize {
+    let mut covered = 0;
+    for t in ticks {
+        if t.busy_ns == 0 {
+            continue;
+        }
+        let span_sum: u64 = t.spans.iter().map(|s| s.dur_ns).sum();
+        assert_eq!(
+            span_sum, t.busy_ns,
+            "{label} tick {}: spans sum {span_sum} != busy {}",
+            t.tick, t.busy_ns
+        );
+        covered += 1;
+    }
+    covered
+}
+
+/// Contract 1: the proof that observability never touches serving.
+/// Identical seeds, identical streams, one run with `ObsConfig::enabled()`
+/// — the served bytes must be bitwise the obs-off run's.
+#[test]
+fn enabling_observability_leaves_served_bytes_bitwise_unchanged() {
+    let cfg = UfldConfig::tiny(2);
+    let n = 3;
+    let ticks = 8;
+
+    let run = |obs: ObsConfig| -> (ServeReport, Vec<Vec<u8>>, Vec<TickTrace>) {
+        let streams = fleet_streams(n, 21);
+        let mut model = UfldModel::new(&cfg, 0x5EED);
+        let mut front = IngestFrontEnd::manual(&streams, &IngestConfig::new(TICK_NS));
+        let mut server = AdaptServer::new(server_cfg(n).with_observability(obs), n, &mut model);
+        let report = server.serve_ingest(&mut model, &mut front, ticks);
+        let banks = (0..n)
+            .map(|sid| server.detach_stream(sid, sid as u64).bank_bytes().to_vec())
+            .collect();
+        let traces = server.take_traces();
+        (report, banks, traces)
+    };
+
+    let (plain, plain_banks, plain_traces) = run(ObsConfig::default());
+    let (traced, traced_banks, traces) = run(ObsConfig::enabled());
+
+    assert_eq!(plain.server, traced.server, "server counters diverged");
+    for sid in 0..n {
+        let (a, b) = (&plain.per_stream[sid], &traced.per_stream[sid]);
+        assert_eq!(a.stats, b.stats, "stream {sid} duty telemetry diverged");
+        assert_eq!(a.report, b.report, "stream {sid} accuracy diverged");
+        assert_eq!(a.frames, b.frames, "stream {sid} frame count diverged");
+        assert_eq!(a.ingest, b.ingest, "stream {sid} ingest counters diverged");
+        assert_eq!(
+            plain_banks[sid], traced_banks[sid],
+            "stream {sid} bank bytes diverged"
+        );
+    }
+
+    // And the traced run actually observed something.
+    assert!(
+        plain_traces.is_empty(),
+        "obs off must record nothing (default-off contract)"
+    );
+    assert!(!traces.is_empty(), "obs on must record tick traces");
+    assert!(
+        assert_spans_cover_busy(&traces, "server") > 0,
+        "no tick carried a busy span timeline"
+    );
+    assert!(
+        traces.iter().any(|t| !t.kernels.is_empty()),
+        "no tick recorded a GEMM kernel rollup"
+    );
+}
+
+/// Contract 2: two identical 2-shard manual-clock fleet runs — including a
+/// live migration — export byte-identical Perfetto JSON; the trace loads
+/// as one process group per shard plus the fleet's migration timeline, and
+/// every tick's spans sum exactly to its busy time.
+#[test]
+fn fleet_trace_exports_are_byte_identical_across_runs() {
+    let n = 4;
+    let spec = ShardSpec {
+        server: server_cfg(4).with_observability(ObsConfig::enabled()),
+        ufld: UfldConfig::tiny(2),
+        model_seed: 0x5EED,
+        ingest: IngestConfig::new(TICK_NS),
+        workers: 2,
+        realtime: false,
+    };
+    let cfg = FleetConfig::new(spec, 2, 3);
+    let assignment = vec![vec![Some(0), Some(1), Some(2)], vec![Some(3), None, None]];
+
+    let run = |streams: &StreamSet| -> FleetTraces {
+        let mut fleet = Fleet::launch_with_assignment(&cfg, streams, assignment.clone());
+        fleet.run(4);
+        fleet.migrate(1, 1);
+        fleet.run(4);
+        let traces = fleet.take_traces();
+        fleet.shutdown();
+        traces
+    };
+
+    let streams = fleet_streams(n, 33);
+    let first = run(&streams);
+    let second = run(&streams);
+
+    let json = first.perfetto_json();
+    assert_eq!(
+        json,
+        second.perfetto_json(),
+        "identical fleet runs must export byte-identical traces"
+    );
+
+    // Perfetto-loadable shape: one JSON object with a traceEvents array,
+    // one named process per group.
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.ends_with("]}\n"));
+    for name in ["fleet", "shard0", "shard1"] {
+        assert!(
+            json.contains(&format!("\"name\":\"{name}\"")),
+            "missing {name}"
+        );
+    }
+    assert!(json.contains("fleet.migrate"), "migration marker missing");
+    assert!(json.contains("gemm_flops"), "kernel counter track missing");
+
+    // Group order is stable: fleet first, shards in index order.
+    assert_eq!(first.groups.len(), 3);
+    assert_eq!(first.groups[0].name, "fleet");
+    assert_eq!(
+        first.groups[0].ticks.len(),
+        1,
+        "exactly one migration marker"
+    );
+
+    // Stage spans account for each tick exactly (the roadmap's 5% criterion
+    // is met with zero slack).
+    let mut covered = 0;
+    for g in &first.groups[1..] {
+        covered += assert_spans_cover_busy(&g.ticks, &g.name);
+    }
+    assert!(covered > 0, "no shard tick carried a span timeline");
+
+    // The rollup sees the taxonomy's serving stages.
+    let rollup = first.rollup();
+    assert!(rollup.ticks() > 0);
+    for stage in ["ingest.drain", "orin.admit"] {
+        assert!(
+            rollup.stage_ns(stage) > 0,
+            "stage {stage} missing from rollup"
+        );
+    }
+    let table = rollup.to_string();
+    assert!(table.contains("ingest.drain"), "{table}");
+
+    // A second export drains nothing new.
+    let mut fleet = Fleet::launch_with_assignment(&cfg, &streams, assignment.clone());
+    fleet.run(2);
+    let drained = fleet.take_traces();
+    let redrained = fleet.take_traces();
+    assert!(!drained.groups[1].ticks.is_empty());
+    assert_eq!(redrained.groups[1].ticks.len(), 0, "export must drain");
+    fleet.shutdown();
+}
+
+/// Contract 3: determinism survives chaos. A dead camera and a NaN-spewing
+/// camera under self-healing produce the *same byte-identical* trace on a
+/// replay — fault injection is seeded, so the observed timeline is too.
+#[test]
+fn chaos_run_traces_are_byte_identical_on_replay() {
+    let cfg = UfldConfig::tiny(2);
+    let n = 4;
+    let ticks = 10;
+
+    let run = || -> (String, usize) {
+        let streams = StreamSet::drifting(Benchmark::MoLane, frame_spec_for(&cfg), n, 16, 21);
+        let mut model = UfldModel::new(&cfg, 0xC4A0);
+        let taps: Vec<(usize, Box<dyn FrameTap>)> = vec![
+            (1, Box::new(FaultScript::dead_camera(0xD1E, 3))),
+            (2, Box::new(FaultScript::nan_camera(0xBAD, 2, 4))),
+        ];
+        let mut front =
+            IngestFrontEnd::manual_with_taps(&streams, &IngestConfig::new(TICK_NS), taps);
+        let server_cfg = server_cfg(n)
+            .with_self_healing(SelfHealConfig::default())
+            .with_observability(ObsConfig::enabled());
+        let mut server = AdaptServer::new(server_cfg, n, &mut model);
+        let report = server.serve_ingest(&mut model, &mut front, ticks);
+        let traces = server.take_traces();
+        let covered = assert_spans_cover_busy(&traces, "chaos");
+        assert!(
+            report.server.rejected_frames >= 1,
+            "the NaN window must trip the integrity screen"
+        );
+        (ld_obs::perfetto_json(&server_group(traces)), covered)
+    };
+
+    let (first, covered) = run();
+    let (second, _) = run();
+    assert_eq!(
+        first, second,
+        "chaos replay must export byte-identical traces"
+    );
+    assert!(covered > 0, "chaos run never traced a busy tick");
+    // Self-healing splits preprocess into drain + integrity screen.
+    assert!(first.contains("server.screen"), "screen stage missing");
+}
